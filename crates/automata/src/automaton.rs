@@ -1,0 +1,643 @@
+//! Automaton classes: compiled TESLA assertions.
+//!
+//! [`compile`] lowers a validated [`Assertion`] into an [`Automaton`]
+//! — the *class* that libtesla instantiates per variable binding
+//! (§4.4). The compilation pipeline:
+//!
+//! 1. take `assertion.expr_with_site()` (an implicit site is appended
+//!    when the programmer wrote none, matching the macro expansions of
+//!    §3.4.1);
+//! 2. recursively lower the expression to an epsilon-free NFA
+//!    fragment, interning symbols and threading `caller`/`callee`
+//!    instrumentation-side modifiers;
+//! 3. wrap with the temporal bounds: an «init» symbol for the bound's
+//!    start event and a «cleanup» symbol for its end event (§3.3);
+//! 4. compute the *cleanup-safe* state set: finalising an instance in
+//!    a cleanup-safe state is acceptance (the bypass transitions of
+//!    §4.1 for code paths that never reach the assertion site);
+//!    anywhere else it is a violation (a pending `eventually`
+//!    obligation).
+
+use crate::bitset::{StateSet, MAX_STATES};
+use crate::nfa::Frag;
+use crate::symbol::{
+    kind_from_event, Direction, Guard, InstrSide, ProgEvent, Symbol, SymbolId, SymbolKind,
+    Transition,
+};
+use crate::CompileError;
+use tesla_spec::{Assertion, BoolOp, Context, Expr, Modifier, SourceLoc, StaticEvent};
+
+/// A temporal bound, resolved to concrete function entry/exit events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bound {
+    /// Function whose event initialises instances.
+    pub start_fn: String,
+    /// Entry or exit of `start_fn`.
+    pub start_dir: Direction,
+    /// Function whose event finalises instances.
+    pub end_fn: String,
+    /// Entry or exit of `end_fn`.
+    pub end_dir: Direction,
+}
+
+impl Bound {
+    fn from_spec(b: &tesla_spec::Bounds) -> Bound {
+        let (start_fn, start_dir) = match &b.start {
+            StaticEvent::Call(f) => (f.clone(), Direction::Entry),
+            StaticEvent::ReturnFrom(f) => (f.clone(), Direction::Exit),
+        };
+        let (end_fn, end_dir) = match &b.end {
+            StaticEvent::Call(f) => (f.clone(), Direction::Entry),
+            StaticEvent::ReturnFrom(f) => (f.clone(), Direction::Exit),
+        };
+        Bound { start_fn, start_dir, end_fn, end_dir }
+    }
+}
+
+/// A compiled automaton class.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    /// Assertion name (diagnostics, coverage).
+    pub name: String,
+    /// Store context (§3.2).
+    pub context: Context,
+    /// Temporal bounds (§3.3).
+    pub bound: Bound,
+    /// The symbolic alphabet. `symbols[i].id == SymbolId(i)`.
+    pub symbols: Vec<Symbol>,
+    /// Number of body states.
+    pub n_states: u32,
+    /// State new instances start in (after «init»).
+    pub start: u32,
+    /// Body transitions (init/cleanup are implicit; see [`Bound`]).
+    pub transitions: Vec<Transition>,
+    /// States in which the whole behaviour has been observed.
+    pub accepting: StateSet,
+    /// States where finalisation at «cleanup» is acceptance: either
+    /// accepting, or the assertion site is still ahead (the path never
+    /// reached the site — the §4.1 bypass).
+    pub cleanup_safe: StateSet,
+    /// `strict` semantics: alphabet events with no transition from the
+    /// current states are violations rather than ignored.
+    pub strict: bool,
+    /// Variable names, in variable-index order.
+    pub var_names: Vec<String>,
+    /// The assertion-site symbol.
+    pub site_sym: SymbolId,
+    /// The «init» symbol.
+    pub init_sym: SymbolId,
+    /// The «cleanup» symbol.
+    pub cleanup_sym: SymbolId,
+    /// Source location of the assertion.
+    pub loc: SourceLoc,
+    /// Pretty-printed source form.
+    pub source: String,
+    /// Per-symbol transition index: `by_symbol[sym][..]` are indices
+    /// into `transitions`.
+    by_symbol: Vec<Vec<u32>>,
+}
+
+struct Lowerer {
+    symbols: Vec<Symbol>,
+    strict: bool,
+}
+
+impl Lowerer {
+    fn intern(&mut self, kind: SymbolKind) -> SymbolId {
+        if let Some(s) = self.symbols.iter().find(|s| s.kind == kind) {
+            return s.id;
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(Symbol { id, kind });
+        id
+    }
+
+    fn lower(&mut self, e: &Expr, side: InstrSide) -> Result<Frag, CompileError> {
+        match e {
+            Expr::Event(ev) => {
+                let sym = self.intern(kind_from_event(ev, side));
+                Ok(Frag::event(sym, None))
+            }
+            Expr::AssertionSite => {
+                let sym = self.intern(SymbolKind::Site);
+                Ok(Frag::event(sym, None))
+            }
+            Expr::InCallStack(f) => {
+                // A guarded assertion-site transition (fig. 7).
+                let sym = self.intern(SymbolKind::Site);
+                Ok(Frag::event(sym, Some(Guard::InCallStack(f.clone()))))
+            }
+            Expr::Sequence(es) => {
+                let mut frag = Frag::empty();
+                for e in es {
+                    frag = frag.seq(self.lower(e, side)?);
+                    self.check_size(&frag)?;
+                }
+                Ok(frag)
+            }
+            Expr::Bool { op: BoolOp::Or, exprs } => {
+                let mut it = exprs.iter();
+                let first = it.next().ok_or(CompileError::EmptyAutomaton)?;
+                let mut frag = self.lower(first, side)?;
+                for e in it {
+                    frag = frag.or(self.lower(e, side)?);
+                    self.check_size(&frag)?;
+                }
+                Ok(frag)
+            }
+            Expr::Bool { op: BoolOp::Xor, exprs } => {
+                let frags = exprs
+                    .iter()
+                    .map(|e| self.lower(e, side))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let frag = Frag::alt(frags);
+                self.check_size(&frag)?;
+                Ok(frag)
+            }
+            Expr::AtLeast { n, exprs } => {
+                let frags = exprs
+                    .iter()
+                    .map(|e| self.lower(e, side))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let frag = Frag::alt(frags).at_least(*n);
+                self.check_size(&frag)?;
+                Ok(frag)
+            }
+            Expr::Modified { modifier, expr } => match modifier {
+                Modifier::Optional | Modifier::Conditional => {
+                    Ok(self.lower(expr, side)?.optional())
+                }
+                Modifier::Strict => {
+                    self.strict = true;
+                    self.lower(expr, side)
+                }
+                Modifier::Caller => self.lower(expr, InstrSide::Caller),
+                Modifier::Callee => self.lower(expr, InstrSide::Callee),
+            },
+        }
+    }
+
+    fn check_size(&self, f: &Frag) -> Result<(), CompileError> {
+        if f.n_states as usize > MAX_STATES {
+            Err(CompileError::TooManyStates(f.n_states as usize))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Compile an assertion into an automaton class.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the assertion is structurally invalid
+/// or the automaton would exceed [`MAX_STATES`].
+pub fn compile(assertion: &Assertion) -> Result<Automaton, CompileError> {
+    assertion.validate()?;
+    let expr = assertion.expr_with_site();
+    let mut lw = Lowerer { symbols: Vec::new(), strict: false };
+    let frag = lw.lower(&expr, InstrSide::Callee)?;
+    if frag.n_states as usize > MAX_STATES {
+        return Err(CompileError::TooManyStates(frag.n_states as usize));
+    }
+    let site_sym = lw.intern(SymbolKind::Site);
+    let init_sym = lw.intern(SymbolKind::BoundStart);
+    let cleanup_sym = lw.intern(SymbolKind::BoundEnd);
+
+    let accepting: StateSet = frag.accepts.iter().copied().collect();
+    let cleanup_safe = compute_cleanup_safe(&frag, site_sym, &accepting);
+
+    let mut by_symbol = vec![Vec::new(); lw.symbols.len()];
+    for (i, t) in frag.transitions.iter().enumerate() {
+        by_symbol[t.sym.0 as usize].push(i as u32);
+    }
+
+    Ok(Automaton {
+        name: assertion.name.clone(),
+        context: assertion.context,
+        bound: Bound::from_spec(&assertion.bounds),
+        symbols: lw.symbols,
+        n_states: frag.n_states,
+        start: frag.start,
+        transitions: frag.transitions,
+        accepting,
+        cleanup_safe,
+        strict: lw.strict,
+        var_names: assertion.variables.clone(),
+        site_sym,
+        init_sym,
+        cleanup_sym,
+        loc: assertion.loc.clone(),
+        source: assertion.to_string(),
+        by_symbol,
+    })
+}
+
+/// Cleanup-safe states: accepting, or the assertion site is still
+/// reachable ahead (the instance's path simply never went through the
+/// site — §4.1's bypass transitions).
+fn compute_cleanup_safe(frag: &Frag, site_sym: SymbolId, accepting: &StateSet) -> StateSet {
+    let n = frag.n_states as usize;
+    // States with an outgoing site transition can still legitimately
+    // reach the site.
+    let mut safe = vec![false; n];
+    for t in &frag.transitions {
+        if t.sym == site_sym {
+            safe[t.from as usize] = true;
+        }
+    }
+    // Reverse reachability: anything that can reach such a state.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for t in &frag.transitions {
+            if safe[t.to as usize] && !safe[t.from as usize] {
+                safe[t.from as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    let mut out = StateSet::EMPTY;
+    for (i, s) in safe.iter().enumerate() {
+        if *s {
+            out.insert(i as u32);
+        }
+    }
+    out.union_with(accepting);
+    out
+}
+
+/// Outcome of symbolically simulating an automaton over a word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Finalised in a cleanup-safe state.
+    Accepted,
+    /// An assertion-site event found no viable transition.
+    SiteViolation,
+    /// Finalised with a pending obligation (`eventually` unmet).
+    CleanupViolation,
+    /// Strict mode: an alphabet event had no transition.
+    StrictViolation,
+}
+
+impl Automaton {
+    /// Transitions consuming `sym`.
+    pub fn transitions_on(&self, sym: SymbolId) -> impl Iterator<Item = &Transition> + '_ {
+        self.by_symbol
+            .get(sym.0 as usize)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.transitions[i as usize])
+    }
+
+    /// Number of symbols in the alphabet.
+    pub fn n_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The initial state set of a fresh instance.
+    pub fn initial_states(&self) -> StateSet {
+        StateSet::singleton(self.start)
+    }
+
+    /// Advance a state set by one symbol, with `guard_ok` deciding
+    /// guarded transitions. Returns the successor set (possibly
+    /// empty).
+    pub fn step(
+        &self,
+        states: &StateSet,
+        sym: SymbolId,
+        mut guard_ok: impl FnMut(&Guard) -> bool,
+    ) -> StateSet {
+        let mut next = StateSet::EMPTY;
+        for t in self.transitions_on(sym) {
+            if states.contains(t.from) {
+                let pass = match &t.guard {
+                    None => true,
+                    Some(g) => guard_ok(g),
+                };
+                if pass {
+                    next.insert(t.to);
+                }
+            }
+        }
+        next
+    }
+
+    /// Is any state in `states` cleanup-safe?
+    pub fn finalise_ok(&self, states: &StateSet) -> bool {
+        self.cleanup_safe.intersects(states)
+    }
+
+    /// Symbolic whole-word simulation for tests and offline analysis:
+    /// run one instance (no variable bindings, guards always pass)
+    /// over a word of symbols, applying TESLA's update semantics —
+    /// non-site events with no transition are ignored (unless strict),
+    /// site events with no transition are violations — and finalise.
+    pub fn simulate(&self, word: &[SymbolId]) -> Verdict {
+        let mut states = self.initial_states();
+        for &sym in word {
+            if sym == self.cleanup_sym {
+                return if self.finalise_ok(&states) {
+                    Verdict::Accepted
+                } else {
+                    Verdict::CleanupViolation
+                };
+            }
+            if sym == self.init_sym {
+                continue;
+            }
+            let next = self.step(&states, sym, |_| true);
+            if next.is_empty() {
+                if sym == self.site_sym {
+                    return Verdict::SiteViolation;
+                }
+                if self.strict {
+                    return Verdict::StrictViolation;
+                }
+                // Irrelevant at this point: ignore (§4.4.1 — automata
+                // "resume ignoring events" outside their progress).
+            } else {
+                states = next;
+            }
+        }
+        if self.finalise_ok(&states) {
+            Verdict::Accepted
+        } else {
+            Verdict::CleanupViolation
+        }
+    }
+
+    /// Find the symbol matching a concrete event, if any, together
+    /// with its extracted bindings. Linear scan — offline use only;
+    /// the runtime builds interned dispatch tables instead.
+    pub fn match_event<'s>(
+        &'s self,
+        ev: &ProgEvent<'_>,
+    ) -> Vec<(SymbolId, crate::symbol::MatchBindings)> {
+        self.symbols
+            .iter()
+            .filter_map(|s| s.matches(ev).map(|b| (s.id, b)))
+            .collect()
+    }
+
+    /// All function names this automaton needs instrumented, with the
+    /// side. Includes the bound functions (callee side) and any
+    /// `incallstack` guard functions.
+    pub fn instrumentation_targets(&self) -> Vec<(String, InstrSide)> {
+        let mut out: Vec<(String, InstrSide)> = Vec::new();
+        let mut push = |name: &str, side: InstrSide| {
+            if !out.iter().any(|(n, s)| n == name && *s == side) {
+                out.push((name.to_string(), side));
+            }
+        };
+        for s in &self.symbols {
+            if let Some((name, _dir, side)) = s.function_name() {
+                push(name, side);
+            }
+        }
+        push(&self.bound.start_fn, InstrSide::Callee);
+        push(&self.bound.end_fn, InstrSide::Callee);
+        for t in &self.transitions {
+            if let Some(Guard::InCallStack(f)) = &t.guard {
+                push(f, InstrSide::Callee);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_spec::{call, msg_send, atleast, AssertionBuilder, ExprBuilder};
+
+    fn sym_named(a: &Automaton, needle: &str) -> SymbolId {
+        a.symbols
+            .iter()
+            .find(|s| s.kind.to_string().contains(needle))
+            .unwrap_or_else(|| panic!("no symbol containing `{needle}`"))
+            .id
+    }
+
+    fn mac_poll_automaton() -> Automaton {
+        // Figure 9's assertion.
+        let a = AssertionBuilder::syscall()
+            .named("mac_poll")
+            .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+            .build()
+            .unwrap();
+        compile(&a).unwrap()
+    }
+
+    #[test]
+    fn figure9_shape() {
+        let m = mac_poll_automaton();
+        // Alphabet: check symbol, site, init, cleanup.
+        assert_eq!(m.n_symbols(), 4);
+        assert_eq!(m.var_names, vec!["so".to_string()]);
+        // previously(x): 3 body states in a chain.
+        assert_eq!(m.n_states, 3);
+        assert_eq!(m.bound.start_fn, "amd64_syscall");
+        assert_eq!(m.bound.start_dir, Direction::Entry);
+        assert_eq!(m.bound.end_dir, Direction::Exit);
+    }
+
+    #[test]
+    fn previously_simulation_verdicts() {
+        let m = mac_poll_automaton();
+        let check = sym_named(&m, "mac_socket_check_poll");
+        let (site, cleanup) = (m.site_sym, m.cleanup_sym);
+        // check then site then cleanup: accepted.
+        assert_eq!(m.simulate(&[check, site, cleanup]), Verdict::Accepted);
+        // site with no prior check: violation at the site.
+        assert_eq!(m.simulate(&[site]), Verdict::SiteViolation);
+        // Path that never reaches the site: bypass, accepted.
+        assert_eq!(m.simulate(&[cleanup]), Verdict::Accepted);
+        assert_eq!(m.simulate(&[check, cleanup]), Verdict::Accepted);
+        // Duplicate checks are ignored, not errors.
+        assert_eq!(m.simulate(&[check, check, site, cleanup]), Verdict::Accepted);
+    }
+
+    #[test]
+    fn eventually_cleanup_violation() {
+        let a = AssertionBuilder::syscall()
+            .named("sugid")
+            .eventually(call("audit_event").arg_var("p").returns(0))
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        let audit = sym_named(&m, "audit_event");
+        let (site, cleanup) = (m.site_sym, m.cleanup_sym);
+        // Site reached, obligation met before cleanup.
+        assert_eq!(m.simulate(&[site, audit, cleanup]), Verdict::Accepted);
+        // Site reached but obligation unmet at cleanup.
+        assert_eq!(m.simulate(&[site, cleanup]), Verdict::CleanupViolation);
+        // Site never reached: bypass.
+        assert_eq!(m.simulate(&[cleanup]), Verdict::Accepted);
+    }
+
+    #[test]
+    fn disjunction_accepts_any_branch_and_both() {
+        let a = AssertionBuilder::syscall()
+            .previously(
+                ExprBuilder::from(call("check_open").any_ptr().arg_var("vp").returns(0))
+                    .or(call("check_exec").any_ptr().arg_var("vp").returns(0)),
+            )
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        let open = sym_named(&m, "check_open");
+        let exec = sym_named(&m, "check_exec");
+        let (site, cleanup) = (m.site_sym, m.cleanup_sym);
+        assert_eq!(m.simulate(&[open, site, cleanup]), Verdict::Accepted);
+        assert_eq!(m.simulate(&[exec, site, cleanup]), Verdict::Accepted);
+        assert_eq!(m.simulate(&[open, exec, site, cleanup]), Verdict::Accepted);
+        assert_eq!(m.simulate(&[site, cleanup]), Verdict::SiteViolation);
+    }
+
+    #[test]
+    fn guarded_site_transition_consults_guard() {
+        let a = AssertionBuilder::syscall()
+            .body(
+                ExprBuilder::in_callstack("ufs_readdir")
+                    .or(ExprBuilder::from(call("mac_check").any_ptr().returns(0)).then(ExprBuilder::site())),
+            )
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        // With the guard passing, a bare site event is fine.
+        let next = m.step(&m.initial_states(), m.site_sym, |_| true);
+        assert!(!next.is_empty());
+        // With the guard failing and no prior check, the site event
+        // has no viable transition.
+        let next = m.step(&m.initial_states(), m.site_sym, |_| false);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn strict_modifier_sets_class_flag() {
+        let a = AssertionBuilder::within("f")
+            .previously(ExprBuilder::from(call("g").returns(0)).strict())
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        assert!(m.strict);
+        let g = sym_named(&m, "g()");
+        let site = m.site_sym;
+        // Out-of-order in strict mode: violation.
+        assert_eq!(m.simulate(&[g, g, site]), Verdict::StrictViolation);
+    }
+
+    #[test]
+    fn atleast_zero_tracing_automaton_never_fails_on_events() {
+        // Figure 8: ATLEAST(0, push, pop, draw) — pure tracing.
+        let a = AssertionBuilder::within("startDrawing")
+            .previously(atleast(
+                0,
+                vec![
+                    msg_send("push").into(),
+                    msg_send("pop").into(),
+                    msg_send("drawWithFrame:inView:").any("NSRect").any("id").into(),
+                ],
+            ))
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        let push = sym_named(&m, "push");
+        let pop = sym_named(&m, "pop");
+        let (site, cleanup) = (m.site_sym, m.cleanup_sym);
+        assert_eq!(m.simulate(&[push, push, pop, site, cleanup]), Verdict::Accepted);
+        assert_eq!(m.simulate(&[site, cleanup]), Verdict::Accepted);
+    }
+
+    #[test]
+    fn caller_side_modifier_reaches_symbols() {
+        let a = AssertionBuilder::within("main")
+            .previously(
+                ExprBuilder::from(
+                    call("EVP_VerifyFinal").any_ptr().any_ptr().any("int").any_ptr().returns(1),
+                )
+                .caller(),
+            )
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        let evp = m
+            .symbols
+            .iter()
+            .find_map(|s| s.function_name().filter(|(n, ..)| *n == "EVP_VerifyFinal"))
+            .unwrap();
+        assert_eq!(evp.2, InstrSide::Caller);
+    }
+
+    #[test]
+    fn instrumentation_targets_cover_bounds_guards_and_events() {
+        let a = AssertionBuilder::syscall()
+            .body(
+                ExprBuilder::in_callstack("ufs_readdir")
+                    .or(ExprBuilder::from(call("mac_check").any_ptr().returns(0))
+                        .then(ExprBuilder::site())),
+            )
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        let names: Vec<String> =
+            m.instrumentation_targets().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"mac_check".to_string()));
+        assert!(names.contains(&"amd64_syscall".to_string()));
+        assert!(names.contains(&"ufs_readdir".to_string()));
+    }
+
+    #[test]
+    fn symbols_are_deduplicated() {
+        // The same event written twice interns to one symbol.
+        let a = AssertionBuilder::within("f")
+            .previously(
+                ExprBuilder::from(call("g").returns(0))
+                    .or(ExprBuilder::from(call("g").returns(0)).then(call("h").returns(0))),
+            )
+            .build()
+            .unwrap();
+        let m = compile(&a).unwrap();
+        let g_syms = m
+            .symbols
+            .iter()
+            .filter(|s| matches!(s.function_name(), Some(("g", ..))))
+            .count();
+        assert_eq!(g_syms, 1);
+    }
+
+    #[test]
+    fn too_many_states_is_an_error() {
+        // OR of many multi-state sequences: cross product blows up.
+        let mut big = ExprBuilder::from(call("f0").returns(0)).then(call("g0").returns(0));
+        for i in 1..8 {
+            let e = ExprBuilder::from(call(&format!("f{i}")).returns(0))
+                .then(call(&format!("g{i}")).returns(0));
+            big = big.or(e);
+        }
+        let a = AssertionBuilder::within("main").previously(big).build().unwrap();
+        assert!(matches!(compile(&a), Err(CompileError::TooManyStates(_))));
+    }
+
+    #[test]
+    fn match_event_extracts_bindings() {
+        let m = mac_poll_automaton();
+        let args = [tesla_spec::Value(1), tesla_spec::Value(42)];
+        let hits = m.match_event(&ProgEvent::FnExit {
+            name: "mac_socket_check_poll",
+            args: &args,
+            ret: tesla_spec::Value(0),
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.pairs, vec![(0, tesla_spec::Value(42))]);
+        // Failed static check (non-zero return) matches nothing.
+        let hits = m.match_event(&ProgEvent::FnExit {
+            name: "mac_socket_check_poll",
+            args: &args,
+            ret: tesla_spec::Value::from_i64(-1),
+        });
+        assert!(hits.is_empty());
+    }
+}

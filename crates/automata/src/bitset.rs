@@ -1,0 +1,201 @@
+//! A fixed-capacity state set.
+//!
+//! Automaton instances carry their current NFA state set in every
+//! libtesla instance (§4.4.1), so the representation must be `Copy`,
+//! allocation-free and cheap to union — a fixed array of words.
+
+/// Number of 64-bit words in a [`StateSet`].
+const WORDS: usize = 4;
+
+/// Maximum representable state index + 1.
+pub const MAX_STATES: usize = WORDS * 64;
+
+/// A set of NFA states, capacity [`MAX_STATES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StateSet {
+    bits: [u64; WORDS],
+}
+
+impl StateSet {
+    /// The empty set.
+    pub const EMPTY: StateSet = StateSet { bits: [0; WORDS] };
+
+    /// A singleton set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= MAX_STATES`; the automaton compiler enforces
+    /// the cap before any set is built.
+    #[inline]
+    pub fn singleton(state: u32) -> StateSet {
+        let mut s = StateSet::EMPTY;
+        s.insert(state);
+        s
+    }
+
+    /// Insert a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= MAX_STATES`.
+    #[inline]
+    pub fn insert(&mut self, state: u32) {
+        let i = state as usize;
+        assert!(i < MAX_STATES, "state {i} exceeds StateSet capacity {MAX_STATES}");
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Remove a state.
+    #[inline]
+    pub fn remove(&mut self, state: u32) {
+        let i = state as usize;
+        if i < MAX_STATES {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, state: u32) -> bool {
+        let i = state as usize;
+        i < MAX_STATES && self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Number of states in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union.
+    #[inline]
+    pub fn union_with(&mut self, other: &StateSet) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Does the intersection with `other` contain anything?
+    #[inline]
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterate over member states in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            let base = (wi * 64) as u32;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(base + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<u32> for StateSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> StateSet {
+        let mut s = StateSet::EMPTY;
+        for st in iter {
+            s.insert(st);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for StateSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = StateSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(255);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64) && s.contains(255));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 255]);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a: StateSet = [1u32, 5, 100].into_iter().collect();
+        let b: StateSet = [5u32, 200].into_iter().collect();
+        assert!(a.intersects(&b));
+        let mut u = a;
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 100, 200]);
+        let c: StateSet = [2u32].into_iter().collect();
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds StateSet capacity")]
+    fn insert_beyond_capacity_panics() {
+        let mut s = StateSet::EMPTY;
+        s.insert(MAX_STATES as u32);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s: StateSet = [1u32, 3].into_iter().collect();
+        assert_eq!(s.to_string(), "{1,3}");
+    }
+
+    proptest! {
+        #[test]
+        fn iter_roundtrips(mut states in proptest::collection::vec(0u32..256, 0..40)) {
+            let set: StateSet = states.iter().copied().collect();
+            states.sort_unstable();
+            states.dedup();
+            prop_assert_eq!(set.iter().collect::<Vec<_>>(), states.clone());
+            prop_assert_eq!(set.len(), states.len());
+        }
+
+        #[test]
+        fn union_is_commutative(
+            a in proptest::collection::vec(0u32..256, 0..30),
+            b in proptest::collection::vec(0u32..256, 0..30),
+        ) {
+            let sa: StateSet = a.iter().copied().collect();
+            let sb: StateSet = b.iter().copied().collect();
+            let mut ab = sa;
+            ab.union_with(&sb);
+            let mut ba = sb;
+            ba.union_with(&sa);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

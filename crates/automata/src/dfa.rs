@@ -1,0 +1,371 @@
+//! Subset construction: symbolic NFA → DFA.
+//!
+//! Figure 9 of the paper shows DFA states labelled with the NFA state
+//! sets they stand for ("NFA:1,3"); this module produces exactly that
+//! structure. The runtime simulates the NFA directly (instances need
+//! independent per-binding branching), but the DFA is used for offline
+//! analysis, state-graph rendering and as a differential-testing
+//! oracle: a property test checks NFA and DFA acceptance agree on
+//! random words.
+//!
+//! Guards are ignored here (treated as always passing): the DFA is a
+//! *structural* view.
+
+use crate::automaton::Automaton;
+use crate::bitset::StateSet;
+use crate::symbol::SymbolId;
+use std::collections::HashMap;
+
+/// A determinised view of an [`Automaton`]'s body.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// For each DFA state, the NFA state set it represents (the
+    /// "NFA:…" labels of fig. 9).
+    pub states: Vec<StateSet>,
+    /// `transitions[state][symbol]` → successor DFA state, if any.
+    pub transitions: Vec<Vec<Option<u32>>>,
+    /// DFA start state (always 0).
+    pub start: u32,
+    /// DFA states containing at least one accepting NFA state.
+    pub accepting: Vec<bool>,
+    /// DFA states containing at least one cleanup-safe NFA state.
+    pub cleanup_safe: Vec<bool>,
+}
+
+impl Dfa {
+    /// Determinise `automaton`'s body via subset construction.
+    pub fn from_automaton(automaton: &Automaton) -> Dfa {
+        let n_syms = automaton.n_symbols();
+        let start_set = automaton.initial_states();
+        let mut states = vec![start_set];
+        let mut index: HashMap<StateSet, u32> = HashMap::new();
+        index.insert(start_set, 0);
+        let mut transitions: Vec<Vec<Option<u32>>> = Vec::new();
+        // In-order BFS: `states` grows as successors are discovered;
+        // every state at index < i already has its row built.
+        let mut i = 0;
+        while i < states.len() {
+            let set = states[i];
+            let mut row = vec![None; n_syms];
+            for sym in 0..n_syms {
+                let sym = SymbolId(sym as u32);
+                // Skip the pseudo-symbols: init/cleanup are handled by
+                // the instance lifecycle, not by body transitions.
+                if sym == automaton.init_sym || sym == automaton.cleanup_sym {
+                    continue;
+                }
+                let next = automaton.step(&set, sym, |_| true);
+                if next.is_empty() {
+                    continue;
+                }
+                let ni = *index.entry(next).or_insert_with(|| {
+                    states.push(next);
+                    states.len() as u32 - 1
+                });
+                row[sym.0 as usize] = Some(ni);
+            }
+            transitions.push(row);
+            i += 1;
+        }
+        let accepting = states.iter().map(|s| automaton.accepting.intersects(s)).collect();
+        let cleanup_safe =
+            states.iter().map(|s| automaton.cleanup_safe.intersects(s)).collect();
+        Dfa { states, transitions, start: 0, accepting, cleanup_safe }
+    }
+
+    /// Number of DFA states.
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Run a word; `None` means the run died (no transition).
+    pub fn run(&self, word: &[SymbolId]) -> Option<u32> {
+        let mut s = self.start;
+        for sym in word {
+            s = self.transitions[s as usize].get(sym.0 as usize).copied().flatten()?;
+        }
+        Some(s)
+    }
+
+    /// Does the DFA accept the word (ignoring TESLA's
+    /// ignore-unmatched-events semantics — pure regular-language
+    /// acceptance)?
+    pub fn accepts(&self, word: &[SymbolId]) -> bool {
+        self.run(word).map(|s| self.accepting[s as usize]).unwrap_or(false)
+    }
+
+    /// The fig. 9 style label of a DFA state: `"NFA:1,3"`.
+    pub fn label(&self, state: u32) -> String {
+        let members: Vec<String> =
+            self.states[state as usize].iter().map(|s| s.to_string()).collect();
+        format!("NFA:{}", members.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::compile;
+    use proptest::prelude::*;
+    use tesla_spec::{call, AssertionBuilder, ExprBuilder};
+
+    fn nfa_accepts(a: &Automaton, word: &[SymbolId]) -> bool {
+        let mut states = a.initial_states();
+        for &sym in word {
+            let next = a.step(&states, sym, |_| true);
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        a.accepting.intersects(&states)
+    }
+
+    fn sample_automata() -> Vec<Automaton> {
+        let simple = AssertionBuilder::syscall()
+            .previously(call("check").any_ptr().returns(0))
+            .build()
+            .unwrap();
+        let or3 = AssertionBuilder::syscall()
+            .previously(
+                ExprBuilder::from(call("a").returns(0))
+                    .or(call("b").returns(0))
+                    .or(call("c").returns(0)),
+            )
+            .build()
+            .unwrap();
+        let seq_or = AssertionBuilder::within("main")
+            .previously(
+                ExprBuilder::from(call("x").returns(0))
+                    .then(call("y").returns(0))
+                    .or(ExprBuilder::from(call("z").returns(0))),
+            )
+            .build()
+            .unwrap();
+        let ev = AssertionBuilder::syscall()
+            .eventually(call("audit").returns(0))
+            .build()
+            .unwrap();
+        vec![
+            compile(&simple).unwrap(),
+            compile(&or3).unwrap(),
+            compile(&seq_or).unwrap(),
+            compile(&ev).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn dfa_start_is_initial_singleton() {
+        for a in sample_automata() {
+            let d = Dfa::from_automaton(&a);
+            assert_eq!(d.states[0], a.initial_states());
+            assert!(d.n_states() >= 2);
+        }
+    }
+
+    #[test]
+    fn dfa_labels_name_nfa_sets() {
+        let a = &sample_automata()[0];
+        let d = Dfa::from_automaton(a);
+        assert!(d.label(0).starts_with("NFA:"));
+    }
+
+    #[test]
+    fn dfa_is_deterministic() {
+        for a in sample_automata() {
+            let d = Dfa::from_automaton(&a);
+            // Exactly one row per state, one successor per symbol.
+            assert_eq!(d.transitions.len(), d.n_states());
+            for row in &d.transitions {
+                assert_eq!(row.len(), a.n_symbols());
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dfa_and_nfa_agree_on_random_words(
+            which in 0usize..4,
+            word in proptest::collection::vec(0u32..6, 0..12),
+        ) {
+            let a = &sample_automata()[which];
+            let n = a.n_symbols() as u32;
+            let word: Vec<SymbolId> = word
+                .into_iter()
+                .map(|w| SymbolId(w % n))
+                .filter(|s| *s != a.init_sym && *s != a.cleanup_sym)
+                .collect();
+            let d = Dfa::from_automaton(a);
+            prop_assert_eq!(d.accepts(&word), nfa_accepts(a, &word));
+        }
+    }
+}
+
+/// Moore-style partition refinement: merge DFA states that are
+/// behaviourally indistinguishable (same acceptance, same
+/// cleanup-safety, same successor blocks on every symbol). Used by
+/// offline analysis and graph rendering; the paper's fig. 9 graphs
+/// are already minimal for chain automata, but OR cross-products
+/// frequently are not.
+impl Dfa {
+    /// Produce the minimal equivalent DFA. State labels (NFA sets) of
+    /// merged states are unioned so rendering stays meaningful.
+    pub fn minimise(&self) -> Dfa {
+        let n = self.n_states();
+        let n_syms = self.transitions.first().map(Vec::len).unwrap_or(0);
+        // Initial partition: by (accepting, cleanup_safe).
+        let mut block: Vec<usize> = (0..n)
+            .map(|i| match (self.accepting[i], self.cleanup_safe[i]) {
+                (false, false) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (true, true) => 3,
+            })
+            .collect();
+        loop {
+            // Signature of each state: (block, successor block per
+            // symbol, with None for missing transitions).
+            let mut sigs: Vec<(usize, Vec<Option<usize>>)> = Vec::with_capacity(n);
+            for i in 0..n {
+                let succ: Vec<Option<usize>> = (0..n_syms)
+                    .map(|s| self.transitions[i][s].map(|t| block[t as usize]))
+                    .collect();
+                sigs.push((block[i], succ));
+            }
+            // Renumber by distinct signature.
+            let mut index: std::collections::HashMap<&(usize, Vec<Option<usize>>), usize> =
+                std::collections::HashMap::new();
+            let mut next_block = Vec::with_capacity(n);
+            for sig in &sigs {
+                let id = index.len();
+                next_block.push(*index.entry(sig).or_insert(id));
+            }
+            if next_block == block {
+                break;
+            }
+            block = next_block;
+        }
+        let n_blocks = block.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        // Representative-based rebuild, with start mapped to block 0
+        // by renumbering blocks in order of first appearance from the
+        // start block.
+        let mut order = vec![usize::MAX; n_blocks];
+        let mut next = 0usize;
+        let mut renum = |b: usize, order: &mut Vec<usize>| {
+            if order[b] == usize::MAX {
+                order[b] = next;
+                next += 1;
+            }
+            order[b]
+        };
+        let start_block = renum(block[self.start as usize], &mut order);
+        let mut states = vec![StateSet::EMPTY; n_blocks];
+        let mut accepting = vec![false; n_blocks];
+        let mut cleanup_safe = vec![false; n_blocks];
+        let mut transitions: Vec<Vec<Option<u32>>> = vec![vec![None; n_syms]; n_blocks];
+        // First pass: ensure deterministic numbering (walk states in
+        // order).
+        for i in 0..n {
+            renum(block[i], &mut order);
+        }
+        for i in 0..n {
+            let b = order[block[i]];
+            states[b].union_with(&self.states[i]);
+            accepting[b] |= self.accepting[i];
+            cleanup_safe[b] |= self.cleanup_safe[i];
+            for s in 0..n_syms {
+                if let Some(t) = self.transitions[i][s] {
+                    transitions[b][s] = Some(order[block[t as usize]] as u32);
+                }
+            }
+        }
+        Dfa { states, transitions, start: start_block as u32, accepting, cleanup_safe }
+    }
+}
+
+#[cfg(test)]
+mod minimise_tests {
+    use super::*;
+    use crate::automaton::compile;
+    use proptest::prelude::*;
+    use tesla_spec::{call, AssertionBuilder, ExprBuilder};
+
+    fn dfa_of(e: ExprBuilder) -> (crate::Automaton, Dfa) {
+        let a = AssertionBuilder::within("f").previously(e).build().unwrap();
+        let auto = compile(&a).unwrap();
+        let d = Dfa::from_automaton(&auto);
+        (auto, d)
+    }
+
+    #[test]
+    fn minimise_shrinks_or_products() {
+        // a||b||c: the cross product has redundant states once any
+        // branch has completed.
+        let (_a, d) = dfa_of(
+            ExprBuilder::from(call("a").returns(0))
+                .or(call("b").returns(0))
+                .or(call("c").returns(0)),
+        );
+        let m = d.minimise();
+        assert!(m.n_states() <= d.n_states());
+        assert!(m.n_states() >= 2);
+    }
+
+    #[test]
+    fn minimise_preserves_language_on_chain() {
+        let (a, d) = dfa_of(
+            ExprBuilder::from(call("x").returns(0)).then(call("y").returns(0)),
+        );
+        let m = d.minimise();
+        let syms: Vec<SymbolId> = (0..a.n_symbols() as u32).map(SymbolId).collect();
+        // Enumerate all words up to length 3 over the alphabet.
+        let mut words = vec![vec![]];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for w in &words {
+                for s in &syms {
+                    if *s == a.init_sym || *s == a.cleanup_sym {
+                        continue;
+                    }
+                    let mut w2 = w.clone();
+                    w2.push(*s);
+                    next.push(w2);
+                }
+            }
+            words.extend(next);
+        }
+        for w in &words {
+            assert_eq!(d.accepts(w), m.accepts(w), "word {w:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn minimise_preserves_language_randomly(
+            shape in 0usize..4,
+            word in proptest::collection::vec(0u32..6, 0..10),
+        ) {
+            let e = match shape {
+                0 => ExprBuilder::from(call("a").returns(0)).or(call("b").returns(0)),
+                1 => ExprBuilder::from(call("a").returns(0))
+                    .then(call("b").returns(0))
+                    .or(ExprBuilder::from(call("c").returns(0))),
+                2 => ExprBuilder::from(call("a").returns(0)).xor(call("b").returns(0)),
+                _ => tesla_spec::atleast(
+                    1,
+                    vec![call("a").returns(0).into(), call("b").returns(0).into()],
+                ),
+            };
+            let (a, d) = dfa_of(e);
+            let m = d.minimise();
+            prop_assert!(m.n_states() <= d.n_states());
+            let n = a.n_symbols() as u32;
+            let w: Vec<SymbolId> = word
+                .into_iter()
+                .map(|x| SymbolId(x % n))
+                .filter(|s| *s != a.init_sym && *s != a.cleanup_sym)
+                .collect();
+            prop_assert_eq!(d.accepts(&w), m.accepts(&w));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Graphviz rendering of automata (fig. 9).
+//!
+//! "TESLA can combine observations of dynamic behaviour with static
+//! automata descriptions, producing weighted graphs … the programmer
+//! can visually inspect the portions of the state graph that are
+//! executed in practice, as well as their relative frequencies"
+//! (§4.4.2). The weight source is `tesla-runtime`'s counting handler;
+//! this module only needs a `(state, symbol) → count` lookup.
+
+use crate::automaton::Automaton;
+use crate::dfa::Dfa;
+use crate::symbol::SymbolKind;
+use std::fmt::Write as _;
+
+/// Per-transition run-time weights for rendering.
+pub trait WeightSource {
+    /// How many times `from --sym-->` fired at run time.
+    fn weight(&self, from: u32, sym: u32) -> u64;
+}
+
+/// No weights: uniform pen width.
+pub struct Unweighted;
+
+impl WeightSource for Unweighted {
+    fn weight(&self, _from: u32, _sym: u32) -> u64 {
+        0
+    }
+}
+
+impl<F: Fn(u32, u32) -> u64> WeightSource for F {
+    fn weight(&self, from: u32, sym: u32) -> u64 {
+        self(from, sym)
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the automaton body as a Graphviz digraph, in the style of
+/// figure 9: a synthetic entry node for «init», cleanup edges from
+/// every cleanup-safe state, and transitions weighted (pen width and
+/// count labels) by run-time occurrence.
+pub fn render(automaton: &Automaton, weights: &dyn WeightSource) -> String {
+    let dfa = Dfa::from_automaton(automaton);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(&automaton.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontname=\"Helvetica\"];");
+    let _ = writeln!(
+        out,
+        "  entry [label=\"{}\\n(Entry)\", shape=box];",
+        esc(&format!("{}({})", automaton.bound.start_fn, ""))
+    );
+    let _ = writeln!(out, "  exit [label=\"{}\\n(Exit)\", shape=box];", esc(&automaton.bound.end_fn));
+    for (i, _set) in dfa.states.iter().enumerate() {
+        let style = if dfa.accepting[i] { ", peripheries=2" } else { "" };
+        let _ = writeln!(
+            out,
+            "  s{i} [label=\"state {i}\\n\\\"{}\\\"\"{style}];",
+            esc(&dfa.label(i as u32))
+        );
+    }
+    // «init» edge.
+    let _ = writeln!(out, "  entry -> s0 [label=\"«init»\", style=dashed];");
+    // Body transitions.
+    let max_w = {
+        let mut m = 1u64;
+        for (i, row) in dfa.transitions.iter().enumerate() {
+            for (sym, tgt) in row.iter().enumerate() {
+                if tgt.is_some() {
+                    m = m.max(weights.weight(i as u32, sym as u32));
+                }
+            }
+        }
+        m
+    };
+    for (i, row) in dfa.transitions.iter().enumerate() {
+        for (sym, tgt) in row.iter().enumerate() {
+            let Some(tgt) = tgt else { continue };
+            let label = match &automaton.symbols[sym].kind {
+                SymbolKind::Site => "«assertion»".to_string(),
+                k => k.to_string(),
+            };
+            let w = weights.weight(i as u32, sym as u32);
+            let pen = 1.0 + 4.0 * (w as f64) / (max_w as f64);
+            let wl = if w > 0 { format!(" ({w}×)") } else { String::new() };
+            let _ = writeln!(
+                out,
+                "  s{i} -> s{tgt} [label=\"{}{}\", penwidth={pen:.2}];",
+                esc(&label),
+                wl
+            );
+        }
+    }
+    // «cleanup» edges from cleanup-safe states.
+    for (i, safe) in dfa.cleanup_safe.iter().enumerate() {
+        if *safe {
+            let _ = writeln!(out, "  s{i} -> exit [label=\"«cleanup»\", style=dashed];");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::compile;
+    use tesla_spec::{call, AssertionBuilder};
+
+    fn mac_poll() -> Automaton {
+        let a = AssertionBuilder::syscall()
+            .named("figure9")
+            .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+            .build()
+            .unwrap();
+        compile(&a).unwrap()
+    }
+
+    #[test]
+    fn renders_figure9_structure() {
+        let dot = render(&mac_poll(), &Unweighted);
+        assert!(dot.contains("digraph \"figure9\""));
+        assert!(dot.contains("«init»"));
+        assert!(dot.contains("«cleanup»"));
+        assert!(dot.contains("«assertion»"));
+        assert!(dot.contains("mac_socket_check_poll"));
+        assert!(dot.contains("NFA:"));
+        assert!(dot.contains("amd64_syscall"));
+        // Balanced braces — parseable by graphviz.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn weights_scale_pen_width() {
+        let weigher = |from: u32, _sym: u32| if from == 0 { 100u64 } else { 1 };
+        let dot = render(&mac_poll(), &weigher);
+        assert!(dot.contains("(100×)"));
+        assert!(dot.contains("penwidth=5.00"));
+    }
+}

@@ -1,0 +1,107 @@
+//! # tesla-automata — from temporal assertions to finite-state automata
+//!
+//! TESLA assertions "have a natural expression as finite-state
+//! automata that can be mechanically woven into a program" (§3). This
+//! crate is that translation: it lowers a [`tesla_spec::Assertion`]
+//! into an [`Automaton`] *class* — a symbolic NFA whose alphabet is
+//! program-event patterns — ready for the instrumenter to drive and
+//! for libtesla to instantiate.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`symbol`] — the symbolic alphabet: each [`symbol::Symbol`]
+//!   matches a family of concrete program events (function call or
+//!   return with argument patterns, structure-field assignment,
+//!   Objective-C-style message send, or the assertion site itself) and
+//!   says which variables it binds (§3.4.1).
+//! * [`nfa`] — Thompson-style construction over *epsilon-free*
+//!   fragments: sequences, exclusive alternation (`^`), the inclusive
+//!   OR (`||`) as a cross-product automaton exactly per the equations
+//!   of §3.4.2, `ATLEAST(n, ...)` repetition, and `optional`.
+//! * [`automaton`] — bounds wrapping (§3.3): «init» on the start
+//!   event, «cleanup» on the end event, *bypass* finalisation for code
+//!   paths that never reach the assertion site (§4.1), and the
+//!   cleanup-safety analysis that decides whether finalising an
+//!   instance in a given state is acceptance or a violation (the
+//!   `eventually` case).
+//! * [`dfa`] — subset construction; figure 9's states are labelled
+//!   with NFA state sets ("NFA:1,3") exactly as this module produces.
+//! * [`manifest`] — the on-disk `.tesla` interchange format (§4.1).
+//!   The paper uses protocol buffers; we use `serde_json` (see
+//!   DESIGN.md). Manifests from many compilation units are merged into
+//!   one program-wide description, which is what makes incremental
+//!   rebuilds one-to-many (§5.1).
+//! * [`dot`] — Graphviz rendering, optionally weighted by run-time
+//!   transition counts (fig. 9, §4.4.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use tesla_automata::{compile, Dfa};
+//! use tesla_spec::parse_assertion;
+//!
+//! let a = parse_assertion(
+//!     "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)",
+//! ).unwrap();
+//! let auto = compile(&a).unwrap();
+//! assert_eq!(auto.n_states, 3);                 // the fig. 9 chain
+//! assert_eq!(auto.bound.start_fn, "amd64_syscall");
+//! let dfa = Dfa::from_automaton(&auto);
+//! assert_eq!(dfa.label(0), "NFA:0");            // fig. 9's state labels
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod bitset;
+pub mod dfa;
+pub mod dot;
+pub mod manifest;
+pub mod nfa;
+pub mod symbol;
+
+pub use automaton::{compile, Automaton, Bound};
+pub use bitset::StateSet;
+pub use dfa::Dfa;
+pub use manifest::Manifest;
+pub use symbol::{
+    Direction, Guard, InstrSide, ProgEvent, Symbol, SymbolId, SymbolKind, Transition,
+};
+
+/// Maximum number of NFA states per automaton. Cross-product (`||`)
+/// state counts multiply, so the compiler enforces a cap rather than
+/// letting a pathological assertion exhaust memory; the paper's
+/// assertions compile to well under this.
+pub const MAX_STATES: usize = bitset::MAX_STATES;
+
+/// Errors from assertion-to-automaton compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The assertion failed structural validation.
+    Spec(tesla_spec::SpecError),
+    /// The automaton would exceed [`MAX_STATES`] states.
+    TooManyStates(usize),
+    /// The expression was empty after lowering (e.g. only modifiers).
+    EmptyAutomaton,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Spec(e) => write!(f, "invalid assertion: {e}"),
+            CompileError::TooManyStates(n) => {
+                write!(f, "automaton needs {n} states, more than the maximum {MAX_STATES}")
+            }
+            CompileError::EmptyAutomaton => write!(f, "assertion lowered to an empty automaton"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<tesla_spec::SpecError> for CompileError {
+    fn from(e: tesla_spec::SpecError) -> CompileError {
+        CompileError::Spec(e)
+    }
+}

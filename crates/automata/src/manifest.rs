@@ -1,0 +1,226 @@
+//! The `.tesla` manifest format (§4.1).
+//!
+//! The paper's analyser writes parsed assertions to disk as automaton
+//! descriptions, "formatted using Google Protocol Buffers", one
+//! `.tesla` file per compilation unit; these are then *combined into a
+//! larger file describing all parts of the program that may need
+//! instrumentation*. We use `serde_json` as the interchange encoding
+//! (see DESIGN.md) but keep the workflow identical — including its
+//! awkward consequence: because assertions in any file can name events
+//! defined in any other file, a change to one source file changes the
+//! combined manifest and forces re-instrumentation of *every* IR file
+//! (§5.1, fig. 10).
+
+use crate::automaton::{compile, Automaton};
+use crate::symbol::InstrSide;
+use crate::CompileError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tesla_spec::Assertion;
+
+/// One assertion as stored in a manifest, with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The source file (compilation unit) the assertion came from.
+    pub source_file: String,
+    /// The assertion itself.
+    pub assertion: Assertion,
+}
+
+/// A `.tesla` manifest: the automata descriptions extracted from one
+/// compilation unit, or (after [`Manifest::merge`]) a whole program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// The assertions, in deterministic order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Manifest {
+        Manifest { version: MANIFEST_VERSION, entries: Vec::new() }
+    }
+
+    /// Add an assertion extracted from `source_file`.
+    pub fn push(&mut self, source_file: &str, assertion: Assertion) {
+        self.entries
+            .push(ManifestEntry { source_file: source_file.to_string(), assertion });
+    }
+
+    /// Combine per-unit manifests into a program-wide manifest.
+    /// Deterministic: entries are sorted by (file, assertion name,
+    /// line) and duplicates dropped.
+    pub fn merge(manifests: &[Manifest]) -> Manifest {
+        let mut entries: Vec<ManifestEntry> =
+            manifests.iter().flat_map(|m| m.entries.iter().cloned()).collect();
+        entries.sort_by(|a, b| {
+            (&a.source_file, &a.assertion.name, a.assertion.loc.line).cmp(&(
+                &b.source_file,
+                &b.assertion.name,
+                b.assertion.loc.line,
+            ))
+        });
+        entries.dedup();
+        Manifest { version: MANIFEST_VERSION, entries }
+    }
+
+    /// Serialise to the on-disk `.tesla` encoding.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: all manifest types serialise infallibly.
+    pub fn to_tesla(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialisation cannot fail")
+    }
+
+    /// Parse a `.tesla` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_tesla(s: &str) -> Result<Manifest, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Compile every assertion to its automaton class.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CompileError`], tagged with the assertion
+    /// name.
+    pub fn compile_all(&self) -> Result<Vec<Automaton>, (String, CompileError)> {
+        self.entries
+            .iter()
+            .map(|e| compile(&e.assertion).map_err(|err| (e.assertion.name.clone(), err)))
+            .collect()
+    }
+
+    /// The program-wide instrumentation plan: which functions need
+    /// hooks, on which side, according to *all* assertions. This is
+    /// the set the instrumenter consults for every IR file — the
+    /// reason one assertion edit re-instruments the world.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors as in [`Manifest::compile_all`].
+    pub fn instrumentation_plan(
+        &self,
+    ) -> Result<BTreeMap<String, InstrSide>, (String, CompileError)> {
+        let mut plan = BTreeMap::new();
+        for a in self.compile_all()? {
+            for (name, side) in a.instrumentation_targets() {
+                // Caller-side requests win: they are needed when the
+                // callee cannot be recompiled.
+                plan.entry(name)
+                    .and_modify(|s| {
+                        if side == InstrSide::Caller {
+                            *s = InstrSide::Caller;
+                        }
+                    })
+                    .or_insert(side);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A content fingerprint: two manifests with equal fingerprints
+    /// produce identical instrumentation. Drives incremental-rebuild
+    /// decisions in the pipeline.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the canonical serialisation.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_tesla().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_spec::{call, parse_assertion, AssertionBuilder};
+
+    fn sample() -> Assertion {
+        AssertionBuilder::syscall()
+            .named("mac_poll")
+            .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_tesla_format() {
+        let mut m = Manifest::new();
+        m.push("kern/uipc_socket.c", sample());
+        m.push(
+            "ufs/ufs_vnops.c",
+            parse_assertion(
+                "TESLA_SYSCALL_PREVIOUSLY(mac_vnode_check_open(ANY(ptr), vp, ANY(int)) == 0)",
+            )
+            .unwrap(),
+        );
+        let text = m.to_tesla();
+        let back = Manifest::from_tesla(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_dedups() {
+        let mut a = Manifest::new();
+        a.push("b.c", sample());
+        let mut b = Manifest::new();
+        b.push("a.c", sample());
+        b.push("b.c", sample()); // duplicate of a's entry
+        let m1 = Manifest::merge(&[a.clone(), b.clone()]);
+        let m2 = Manifest::merge(&[b, a]);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.entries.len(), 2);
+        assert_eq!(m1.entries[0].source_file, "a.c");
+    }
+
+    #[test]
+    fn compile_all_and_plan() {
+        let mut m = Manifest::new();
+        m.push("kern.c", sample());
+        let autos = m.compile_all().unwrap();
+        assert_eq!(autos.len(), 1);
+        let plan = m.instrumentation_plan().unwrap();
+        assert!(plan.contains_key("mac_socket_check_poll"));
+        assert!(plan.contains_key("amd64_syscall"));
+    }
+
+    #[test]
+    fn caller_side_wins_in_plan() {
+        use tesla_spec::ExprBuilder;
+        let callee = AssertionBuilder::within("main")
+            .previously(call("EVP_VerifyFinal").returns(1))
+            .build()
+            .unwrap();
+        let caller = AssertionBuilder::within("main")
+            .previously(ExprBuilder::from(call("EVP_VerifyFinal").returns(1)).caller())
+            .build()
+            .unwrap();
+        let mut m = Manifest::new();
+        m.push("a.c", callee);
+        m.push("b.c", caller);
+        let plan = m.instrumentation_plan().unwrap();
+        assert_eq!(plan["EVP_VerifyFinal"], InstrSide::Caller);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut a = Manifest::new();
+        a.push("a.c", sample());
+        let f1 = a.fingerprint();
+        assert_eq!(f1, a.clone().fingerprint());
+        a.push("b.c", sample());
+        assert_ne!(f1, a.fingerprint());
+    }
+}

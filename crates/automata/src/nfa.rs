@@ -1,0 +1,458 @@
+//! Epsilon-free NFA fragments and the combinators that build them.
+//!
+//! Every combinator here consumes and produces *epsilon-free*
+//! fragments, so the inclusive-OR cross product (§3.4.2) can be
+//! applied directly:
+//!
+//! ```text
+//! states(a ∨ b) = { a_i b_j | a_i ∈ a and b_j ∈ b }
+//! ∀ b_j . a_i --e--> a_k  implies  a_i b_j --e--> a_k b_j
+//! ∀ a_i . b_j --e--> b_k  implies  a_i b_j --e--> a_i b_k
+//! ```
+//!
+//! Fragments are little graphs with a start state and a set of
+//! accepting states; they are pruned (unreachable states dropped,
+//! states renumbered) after expensive combinators.
+
+use crate::symbol::{Guard, SymbolId, Transition};
+use std::collections::BTreeSet;
+
+/// An epsilon-free NFA fragment.
+#[derive(Debug, Clone)]
+pub struct Frag {
+    /// Number of states, numbered `0..n_states`.
+    pub n_states: u32,
+    /// Start state.
+    pub start: u32,
+    /// Accepting states.
+    pub accepts: BTreeSet<u32>,
+    /// Transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl Frag {
+    /// A fragment matching exactly one occurrence of `sym`.
+    pub fn event(sym: SymbolId, guard: Option<Guard>) -> Frag {
+        Frag {
+            n_states: 2,
+            start: 0,
+            accepts: [1].into(),
+            transitions: vec![Transition { from: 0, sym, to: 1, guard }],
+        }
+    }
+
+    /// A fragment accepting only the empty word.
+    pub fn empty() -> Frag {
+        Frag { n_states: 1, start: 0, accepts: [0].into(), transitions: Vec::new() }
+    }
+
+    /// Outgoing transitions of `state`.
+    fn outgoing(&self, state: u32) -> impl Iterator<Item = &Transition> + '_ {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// Renumber `self`'s states by adding `offset`.
+    fn offset(mut self, offset: u32) -> Frag {
+        for t in &mut self.transitions {
+            t.from += offset;
+            t.to += offset;
+        }
+        Frag {
+            n_states: self.n_states + offset,
+            start: self.start + offset,
+            accepts: self.accepts.iter().map(|s| s + offset).collect(),
+            transitions: std::mem::take(&mut self.transitions),
+        }
+    }
+
+    /// Concatenation: `self` then `b`.
+    ///
+    /// Epsilon-free construction: every accepting state of `self`
+    /// gains copies of `b.start`'s outgoing transitions; `self`'s
+    /// accepts remain accepting only if `b` accepts the empty word.
+    pub fn seq(self, b: Frag) -> Frag {
+        let base = self.n_states;
+        let b = b.offset(base);
+        let mut transitions = self.transitions;
+        let b_start_out: Vec<Transition> = b.outgoing(b.start).cloned().collect();
+        for &acc in &self.accepts {
+            for t in &b_start_out {
+                transitions.push(Transition {
+                    from: acc,
+                    sym: t.sym,
+                    to: t.to,
+                    guard: t.guard.clone(),
+                });
+            }
+        }
+        let mut accepts: BTreeSet<u32> = b.accepts.clone();
+        if b.accepts.contains(&b.start) {
+            accepts.extend(self.accepts.iter().copied());
+        }
+        transitions.extend(b.transitions);
+        Frag { n_states: b.n_states, start: self.start, accepts, transitions }.prune()
+    }
+
+    /// Exclusive alternation (`^`, and the branching inside
+    /// `ATLEAST`): one fresh start state with copies of every
+    /// operand's start-outgoing transitions.
+    pub fn alt(frags: Vec<Frag>) -> Frag {
+        let mut n_states = 1u32; // fresh start = 0
+        let mut transitions = Vec::new();
+        let mut accepts = BTreeSet::new();
+        let mut start_accepting = false;
+        for f in frags {
+            let f = f.offset(n_states);
+            start_accepting |= f.accepts.contains(&f.start);
+            for t in f.outgoing(f.start) {
+                transitions.push(Transition {
+                    from: 0,
+                    sym: t.sym,
+                    to: t.to,
+                    guard: t.guard.clone(),
+                });
+            }
+            accepts.extend(f.accepts.iter().copied());
+            transitions.extend(f.transitions);
+            n_states = f.n_states;
+        }
+        if start_accepting {
+            accepts.insert(0);
+        }
+        Frag { n_states, start: 0, accepts, transitions }.prune()
+    }
+
+    /// Inclusive OR (`||`): the cross-product automaton of §3.4.2.
+    /// Accepts when *at least one* operand's behaviour has occurred;
+    /// it is not an error for both to occur.
+    pub fn or(self, b: Frag) -> Frag {
+        let (na, nb) = (self.n_states, b.n_states);
+        let idx = |i: u32, j: u32| i * nb + j;
+        let mut transitions = Vec::with_capacity(
+            self.transitions.len() as usize * nb as usize
+                + b.transitions.len() * na as usize,
+        );
+        for t in &self.transitions {
+            for j in 0..nb {
+                transitions.push(Transition {
+                    from: idx(t.from, j),
+                    sym: t.sym,
+                    to: idx(t.to, j),
+                    guard: t.guard.clone(),
+                });
+            }
+        }
+        for t in &b.transitions {
+            for i in 0..na {
+                transitions.push(Transition {
+                    from: idx(i, t.from),
+                    sym: t.sym,
+                    to: idx(i, t.to),
+                    guard: t.guard.clone(),
+                });
+            }
+        }
+        let mut accepts = BTreeSet::new();
+        for i in 0..na {
+            for j in 0..nb {
+                if self.accepts.contains(&i) || b.accepts.contains(&j) {
+                    accepts.insert(idx(i, j));
+                }
+            }
+        }
+        Frag {
+            n_states: na * nb,
+            start: idx(self.start, b.start),
+            accepts,
+            transitions,
+        }
+        .prune()
+    }
+
+    /// `optional(e)`: additionally accept the empty word.
+    pub fn optional(mut self) -> Frag {
+        self.accepts.insert(self.start);
+        self
+    }
+
+    /// Kleene star: zero or more repetitions.
+    pub fn star(self) -> Frag {
+        let start_out: Vec<Transition> = self.outgoing(self.start).cloned().collect();
+        let mut transitions = self.transitions.clone();
+        for &acc in &self.accepts {
+            if acc == self.start {
+                continue;
+            }
+            for t in &start_out {
+                transitions.push(Transition {
+                    from: acc,
+                    sym: t.sym,
+                    to: t.to,
+                    guard: t.guard.clone(),
+                });
+            }
+        }
+        let mut accepts = self.accepts;
+        accepts.insert(self.start);
+        Frag { n_states: self.n_states, start: self.start, accepts, transitions }.prune()
+    }
+
+    /// `ATLEAST(n, e)`: `n` mandatory copies followed by a star.
+    pub fn at_least(self, n: usize) -> Frag {
+        let mut out = Frag::empty();
+        for _ in 0..n {
+            out = out.seq(self.clone());
+        }
+        out.seq(self.star())
+    }
+
+    /// Drop unreachable states and renumber densely. Also deduplicates
+    /// transitions (cross products and copied start edges can create
+    /// duplicates).
+    pub fn prune(self) -> Frag {
+        let n = self.n_states as usize;
+        let mut order = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = vec![self.start];
+        order[self.start as usize] = {
+            let v = next;
+            next += 1;
+            v
+        };
+        // Adjacency for the walk.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for t in &self.transitions {
+            adj[t.from as usize].push(t.to);
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &adj[s as usize] {
+                if order[t as usize] == u32::MAX {
+                    order[t as usize] = next;
+                    next += 1;
+                    stack.push(t);
+                }
+            }
+        }
+        let mut transitions: Vec<Transition> = self
+            .transitions
+            .into_iter()
+            .filter(|t| order[t.from as usize] != u32::MAX)
+            .map(|t| Transition {
+                from: order[t.from as usize],
+                sym: t.sym,
+                to: order[t.to as usize],
+                guard: t.guard,
+            })
+            .collect();
+        transitions.sort_by(|a, b| {
+            (a.from, a.sym, a.to).cmp(&(b.from, b.sym, b.to)).then_with(|| a.guard.cmp(&b.guard))
+        });
+        transitions.dedup();
+        let accepts = self
+            .accepts
+            .into_iter()
+            .filter(|s| order[*s as usize] != u32::MAX)
+            .map(|s| order[s as usize])
+            .collect();
+        Frag { n_states: next, start: order[self.start as usize], accepts, transitions }
+    }
+
+    /// Simulate the fragment on a word of symbols (guards pass),
+    /// returning whether it accepts. Test helper.
+    #[cfg(test)]
+    pub fn accepts_word(&self, word: &[SymbolId]) -> bool {
+        let mut states: BTreeSet<u32> = [self.start].into();
+        for &sym in word {
+            let mut next = BTreeSet::new();
+            for t in &self.transitions {
+                if t.sym == sym && states.contains(&t.from) {
+                    next.insert(t.to);
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                return false;
+            }
+        }
+        states.iter().any(|s| self.accepts.contains(s))
+    }
+}
+
+// `Guard` needs `Ord` for transition dedup; derive-by-hand here to
+// keep `symbol.rs` focused.
+impl PartialOrd for Guard {
+    fn partial_cmp(&self, other: &Guard) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Guard {
+    fn cmp(&self, other: &Guard) -> std::cmp::Ordering {
+        match (self, other) {
+            (Guard::InCallStack(a), Guard::InCallStack(b)) => a.cmp(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn ev(i: u32) -> Frag {
+        Frag::event(s(i), None)
+    }
+
+    #[test]
+    fn event_accepts_single_symbol() {
+        let f = ev(1);
+        assert!(f.accepts_word(&[s(1)]));
+        assert!(!f.accepts_word(&[]));
+        assert!(!f.accepts_word(&[s(2)]));
+        assert!(!f.accepts_word(&[s(1), s(1)]));
+    }
+
+    #[test]
+    fn seq_orders_events() {
+        let f = ev(1).seq(ev(2));
+        assert!(f.accepts_word(&[s(1), s(2)]));
+        assert!(!f.accepts_word(&[s(2), s(1)]));
+        assert!(!f.accepts_word(&[s(1)]));
+    }
+
+    #[test]
+    fn seq_with_empty_is_identity() {
+        let f = Frag::empty().seq(ev(1)).seq(Frag::empty());
+        assert!(f.accepts_word(&[s(1)]));
+        assert!(!f.accepts_word(&[]));
+    }
+
+    #[test]
+    fn alt_is_exclusive_choice() {
+        let f = Frag::alt(vec![ev(1), ev(2)]);
+        assert!(f.accepts_word(&[s(1)]));
+        assert!(f.accepts_word(&[s(2)]));
+        assert!(!f.accepts_word(&[s(1), s(2)]));
+        assert!(!f.accepts_word(&[]));
+    }
+
+    #[test]
+    fn or_accepts_either_and_both() {
+        // a || b where a = [1], b = [2]: any interleaving containing
+        // at least one of them is accepted; extra occurrences of the
+        // other operand's behaviour are fine.
+        let f = ev(1).or(ev(2));
+        assert!(f.accepts_word(&[s(1)]));
+        assert!(f.accepts_word(&[s(2)]));
+        assert!(f.accepts_word(&[s(1), s(2)]));
+        assert!(f.accepts_word(&[s(2), s(1)]));
+        assert!(!f.accepts_word(&[]));
+    }
+
+    #[test]
+    fn or_of_sequences_tracks_operands_independently() {
+        // (1·2) || (3·4): both operands progress independently
+        // (cross-product); completing either accepts.
+        let f = ev(1).seq(ev(2)).or(ev(3).seq(ev(4)));
+        assert!(f.accepts_word(&[s(1), s(2)]));
+        assert!(f.accepts_word(&[s(3), s(4)]));
+        assert!(f.accepts_word(&[s(1), s(3), s(2)]));
+        assert!(f.accepts_word(&[s(1), s(3), s(4)]));
+        assert!(!f.accepts_word(&[s(1), s(4)]));
+        assert!(!f.accepts_word(&[s(2)]));
+    }
+
+    #[test]
+    fn optional_accepts_empty() {
+        let f = ev(1).optional();
+        assert!(f.accepts_word(&[]));
+        assert!(f.accepts_word(&[s(1)]));
+        assert!(!f.accepts_word(&[s(2)]));
+    }
+
+    #[test]
+    fn star_accepts_repetition() {
+        let f = ev(1).star();
+        assert!(f.accepts_word(&[]));
+        assert!(f.accepts_word(&[s(1)]));
+        assert!(f.accepts_word(&[s(1), s(1), s(1)]));
+        assert!(!f.accepts_word(&[s(2)]));
+    }
+
+    #[test]
+    fn star_of_sequence_loops_whole_body() {
+        let f = ev(1).seq(ev(2)).star();
+        assert!(f.accepts_word(&[]));
+        assert!(f.accepts_word(&[s(1), s(2)]));
+        assert!(f.accepts_word(&[s(1), s(2), s(1), s(2)]));
+        assert!(!f.accepts_word(&[s(1), s(2), s(1)]));
+    }
+
+    #[test]
+    fn at_least_counts_minimum() {
+        let f = Frag::alt(vec![ev(1), ev(2)]).at_least(2);
+        assert!(!f.accepts_word(&[]));
+        assert!(!f.accepts_word(&[s(1)]));
+        assert!(f.accepts_word(&[s(1), s(2)]));
+        assert!(f.accepts_word(&[s(2), s(2), s(1)]));
+    }
+
+    #[test]
+    fn at_least_zero_is_free_repetition() {
+        // Figure 8's ATLEAST(0, ...): "some (or none) of the API
+        // methods should have been called", in any order.
+        let f = Frag::alt(vec![ev(1), ev(2), ev(3)]).at_least(0);
+        assert!(f.accepts_word(&[]));
+        assert!(f.accepts_word(&[s(3), s(1), s(1), s(2)]));
+        assert!(!f.accepts_word(&[s(4)]));
+    }
+
+    #[test]
+    fn prune_drops_unreachable_states() {
+        // Build an OR then check the state count is the pruned
+        // product, not the raw product.
+        let f = ev(1).or(ev(2));
+        assert!(f.n_states <= 4);
+        // All states reachable from start.
+        let reachable = {
+            let mut seen = vec![false; f.n_states as usize];
+            seen[f.start as usize] = true;
+            let mut stack = vec![f.start];
+            while let Some(st) = stack.pop() {
+                for t in &f.transitions {
+                    if t.from == st && !seen[t.to as usize] {
+                        seen[t.to as usize] = true;
+                        stack.push(t.to);
+                    }
+                }
+            }
+            seen
+        };
+        assert!(reachable.iter().all(|r| *r));
+    }
+
+    #[test]
+    fn paper_or_example_both_checks_not_an_error() {
+        // previously(check(x) || check(y)) from §3.4.2: it is not an
+        // error for both checks to be performed. Model check(x)=1,
+        // check(y)=2, site=9.
+        let f = ev(1).or(ev(2)).seq(ev(9));
+        assert!(f.accepts_word(&[s(1), s(9)]));
+        assert!(f.accepts_word(&[s(2), s(9)]));
+        assert!(f.accepts_word(&[s(1), s(2), s(9)]));
+        assert!(!f.accepts_word(&[s(9)]));
+    }
+
+    #[test]
+    fn guards_survive_combinators() {
+        let g = Some(Guard::InCallStack("ufs_readdir".into()));
+        let f = Frag::event(s(9), g.clone()).or(ev(1).seq(ev(9)));
+        let guarded: Vec<_> =
+            f.transitions.iter().filter(|t| t.guard.is_some()).collect();
+        assert!(!guarded.is_empty());
+        assert!(guarded.iter().all(|t| t.guard == g));
+    }
+}

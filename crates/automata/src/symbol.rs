@@ -1,0 +1,596 @@
+//! The symbolic alphabet of TESLA automata.
+//!
+//! Automata do not consume raw program events; the instrumenter's
+//! *event translators* (§4.2) first match each event against the
+//! symbols an automaton references, checking static parameters
+//! (constants, flag patterns) and extracting the dynamic
+//! variable–value mapping. This module defines the symbols, the
+//! concrete-event shape they match against, and that matching logic.
+
+use serde::{Deserialize, Serialize};
+use tesla_spec::{ArgPattern, CallKind, EventExpr, FieldOp, Value};
+
+/// Index of a symbol within one automaton's alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
+/// Function-event direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Function or method entry.
+    Entry,
+    /// Function or method exit (return).
+    Exit,
+}
+
+/// Which side instrumentation is woven on for a function symbol
+/// (§4.2): the callee's entry/return blocks, or around call sites in
+/// callers (needed for libraries that cannot be recompiled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InstrSide {
+    /// Callee-side (default for functions we compile).
+    #[default]
+    Callee,
+    /// Caller-side.
+    Caller,
+}
+
+/// A site-transition guard: a predicate evaluated when the assertion
+/// site is reached rather than a temporal event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Guard {
+    /// `incallstack(fn)` — `fn` is on the current thread's (shadow)
+    /// call stack (fig. 7).
+    InCallStack(String),
+}
+
+impl std::fmt::Display for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Guard::InCallStack(name) => write!(f, "incallstack({name})"),
+        }
+    }
+}
+
+/// What family of concrete events a symbol matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// C function call or return with argument patterns.
+    Function {
+        /// Function name.
+        name: String,
+        /// Argument patterns; may be shorter than the callee's arity.
+        args: Vec<ArgPattern>,
+        /// Entry or exit.
+        direction: Direction,
+        /// Return-value pattern (exit only).
+        ret: Option<ArgPattern>,
+        /// Instrumentation side.
+        side: InstrSide,
+    },
+    /// Structure-field assignment.
+    FieldAssign {
+        /// Structure type name; empty means "any structure with this
+        /// field name" (used when the analyser had no type info).
+        struct_name: String,
+        /// Field name.
+        field_name: String,
+        /// Pattern for the containing object.
+        object: ArgPattern,
+        /// Assignment operator.
+        op: FieldOp,
+        /// Pattern for the assigned (right-hand side) value.
+        value: ArgPattern,
+    },
+    /// Objective-C-style message send or return (§4.3).
+    Message {
+        /// Receiver pattern.
+        receiver: ArgPattern,
+        /// Full selector.
+        selector: String,
+        /// Argument patterns.
+        args: Vec<ArgPattern>,
+        /// Entry (send) or exit (method return).
+        direction: Direction,
+        /// Return-value pattern (exit only).
+        ret: Option<ArgPattern>,
+    },
+    /// The automaton's assertion site (`TESLA_ASSERTION_SITE`).
+    Site,
+    /// The «init» bound event (function entry or exit of the bound
+    /// start function, §3.3).
+    BoundStart,
+    /// The «cleanup» bound event.
+    BoundEnd,
+}
+
+/// One letter of an automaton's alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Identity within the owning automaton.
+    pub id: SymbolId,
+    /// Event family and static patterns.
+    pub kind: SymbolKind,
+}
+
+/// A single NFA transition: `from --symbol[guard]--> to`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: u32,
+    /// The symbol consumed.
+    pub sym: SymbolId,
+    /// Destination state.
+    pub to: u32,
+    /// Optional site-time guard (only on `Site` transitions).
+    pub guard: Option<Guard>,
+}
+
+/// A concrete program event as exposed by instrumentation hooks.
+///
+/// Names are borrowed strings here; `tesla-runtime` interns them and
+/// pre-compiles per-event dispatch tables (its analogue of the
+/// generated event translators), but this form is what offline
+/// analysis and the tests consume.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgEvent<'a> {
+    /// Function entry.
+    FnEntry {
+        /// Callee name.
+        name: &'a str,
+        /// Argument values.
+        args: &'a [Value],
+    },
+    /// Function exit.
+    FnExit {
+        /// Callee name.
+        name: &'a str,
+        /// Argument values (as at entry).
+        args: &'a [Value],
+        /// Return value.
+        ret: Value,
+    },
+    /// Structure-field assignment. The event translator for a field
+    /// assignment receives the structure, the field and the new value
+    /// (§4.2); compound operators also carry the operator.
+    FieldStore {
+        /// Structure type name.
+        struct_name: &'a str,
+        /// Field name.
+        field_name: &'a str,
+        /// The containing object (address/handle).
+        object: Value,
+        /// Assignment operator used.
+        op: FieldOp,
+        /// Right-hand-side value.
+        value: Value,
+    },
+    /// Message send (method entry).
+    MsgEntry {
+        /// Receiver object.
+        receiver: Value,
+        /// Full selector.
+        selector: &'a str,
+        /// Argument values.
+        args: &'a [Value],
+    },
+    /// Method return.
+    MsgExit {
+        /// Receiver object.
+        receiver: Value,
+        /// Full selector.
+        selector: &'a str,
+        /// Argument values.
+        args: &'a [Value],
+        /// Return value.
+        ret: Value,
+    },
+    /// The assertion site was reached with the scope's variable
+    /// values (one per automaton variable, in variable-index order).
+    Site {
+        /// Values of the assertion's scope variables.
+        bindings: &'a [Value],
+    },
+}
+
+/// The result of matching a symbol against an event: the dynamic
+/// variable–value pairs the event provides (empty when the symbol
+/// binds no variables).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchBindings {
+    /// `(variable index, observed value)` pairs.
+    pub pairs: Vec<(usize, Value)>,
+}
+
+impl Symbol {
+    /// Does this symbol reference the given function name (either as a
+    /// hook target or a bound)? Used by the instrumentation planner.
+    pub fn function_name(&self) -> Option<(&str, Direction, InstrSide)> {
+        match &self.kind {
+            SymbolKind::Function { name, direction, side, .. } => {
+                Some((name.as_str(), *direction, *side))
+            }
+            _ => None,
+        }
+    }
+
+    /// Match a concrete event against this symbol's static patterns.
+    ///
+    /// Returns `None` when the event does not match; otherwise the
+    /// dynamic bindings extracted for the automaton's variables.
+    /// Binding *consistency* (the same variable observed with two
+    /// different values) is the instance store's job, not the
+    /// translator's.
+    pub fn matches(&self, ev: &ProgEvent<'_>) -> Option<MatchBindings> {
+        match (&self.kind, ev) {
+            (
+                SymbolKind::Function { name, args, direction: Direction::Entry, .. },
+                ProgEvent::FnEntry { name: en, args: ea },
+            ) if name == en => match_args(args, ea, None, None),
+            (
+                SymbolKind::Function { name, args, direction: Direction::Exit, ret, .. },
+                ProgEvent::FnExit { name: en, args: ea, ret: er },
+            ) if name == en => match_args(args, ea, ret.as_ref(), Some(*er)),
+            (
+                SymbolKind::FieldAssign { struct_name, field_name, object, op, value },
+                ProgEvent::FieldStore {
+                    struct_name: es,
+                    field_name: ef,
+                    object: eo,
+                    op: eop,
+                    value: ev,
+                },
+            ) if field_name == ef
+                && (struct_name.is_empty() || struct_name == es)
+                && op == eop =>
+            {
+                let mut b = MatchBindings::default();
+                if !match_one(object, *eo, &mut b) || !match_one(value, *ev, &mut b) {
+                    return None;
+                }
+                Some(b)
+            }
+            (
+                SymbolKind::Message { receiver, selector, args, direction: Direction::Entry, .. },
+                ProgEvent::MsgEntry { receiver: er, selector: es, args: ea },
+            ) if selector == es => {
+                let mut b = MatchBindings::default();
+                if !match_one(receiver, *er, &mut b) {
+                    return None;
+                }
+                match_args_into(args, ea, None, None, b)
+            }
+            (
+                SymbolKind::Message { receiver, selector, args, direction: Direction::Exit, ret, .. },
+                ProgEvent::MsgExit { receiver: er, selector: es, args: ea, ret: erv },
+            ) if selector == es => {
+                let mut b = MatchBindings::default();
+                if !match_one(receiver, *er, &mut b) {
+                    return None;
+                }
+                match_args_into(args, ea, ret.as_ref(), Some(*erv), b)
+            }
+            (SymbolKind::Site, ProgEvent::Site { bindings }) => Some(MatchBindings {
+                pairs: bindings.iter().enumerate().map(|(i, v)| (i, *v)).collect(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn match_args(
+    patterns: &[ArgPattern],
+    values: &[Value],
+    ret_pat: Option<&ArgPattern>,
+    ret_val: Option<Value>,
+) -> Option<MatchBindings> {
+    match_args_into(patterns, values, ret_pat, ret_val, MatchBindings::default())
+}
+
+fn match_args_into(
+    patterns: &[ArgPattern],
+    values: &[Value],
+    ret_pat: Option<&ArgPattern>,
+    ret_val: Option<Value>,
+    mut b: MatchBindings,
+) -> Option<MatchBindings> {
+    if patterns.len() > values.len() {
+        // The event carries fewer arguments than the pattern expects:
+        // cannot match.
+        return None;
+    }
+    for (p, v) in patterns.iter().zip(values.iter()) {
+        if !match_one(p, *v, &mut b) {
+            return None;
+        }
+    }
+    if let (Some(p), Some(v)) = (ret_pat, ret_val) {
+        if !match_one(p, v, &mut b) {
+            return None;
+        }
+    }
+    Some(b)
+}
+
+fn match_one(p: &ArgPattern, v: Value, b: &mut MatchBindings) -> bool {
+    if !p.matches_static(v) {
+        return false;
+    }
+    if let Some(i) = p.var_index() {
+        b.pairs.push((i, v));
+    }
+    true
+}
+
+/// Lower a [`tesla_spec::EventExpr`] into a symbol kind, applying the
+/// ambient instrumentation side from `caller`/`callee` modifiers.
+pub fn kind_from_event(e: &EventExpr, side: InstrSide) -> SymbolKind {
+    match e {
+        EventExpr::FunctionEvent { name, args, kind } => {
+            let (direction, ret) = match kind {
+                CallKind::Entry => (Direction::Entry, None),
+                CallKind::Exit => (Direction::Exit, None),
+                CallKind::ExitWithReturn(r) => (Direction::Exit, Some(r.clone())),
+            };
+            SymbolKind::Function { name: name.clone(), args: args.clone(), direction, ret, side }
+        }
+        EventExpr::FieldAssignEvent { struct_name, field_name, object, op, value } => {
+            SymbolKind::FieldAssign {
+                struct_name: struct_name.clone(),
+                field_name: field_name.clone(),
+                object: object.clone(),
+                op: *op,
+                value: value.clone(),
+            }
+        }
+        EventExpr::MessageEvent { receiver, selector, args, kind } => {
+            let (direction, ret) = match kind {
+                CallKind::Entry => (Direction::Entry, None),
+                CallKind::Exit => (Direction::Exit, None),
+                CallKind::ExitWithReturn(r) => (Direction::Exit, Some(r.clone())),
+            };
+            SymbolKind::Message {
+                receiver: receiver.clone(),
+                selector: selector.clone(),
+                args: args.clone(),
+                direction,
+                ret,
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SymbolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymbolKind::Function { name, args, direction, ret, .. } => {
+                let dir = match direction {
+                    Direction::Entry => "call ",
+                    Direction::Exit => "",
+                };
+                write!(f, "{dir}{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+                if let Some(r) = ret {
+                    write!(f, " == {r}")?;
+                } else if *direction == Direction::Exit {
+                    write!(f, " returns")?;
+                }
+                Ok(())
+            }
+            SymbolKind::FieldAssign { struct_name, field_name, object, op, value } => {
+                if struct_name.is_empty() {
+                    write!(f, "{object}.{field_name} {op} {value}")
+                } else {
+                    write!(f, "{struct_name}({object}).{field_name} {op} {value}")
+                }
+            }
+            SymbolKind::Message { receiver, selector, direction, .. } => {
+                let dir = match direction {
+                    Direction::Entry => "",
+                    Direction::Exit => "return ",
+                };
+                write!(f, "{dir}[{receiver} {selector}]")
+            }
+            SymbolKind::Site => write!(f, "«assertion»"),
+            SymbolKind::BoundStart => write!(f, "«init»"),
+            SymbolKind::BoundEnd => write!(f, "«cleanup»"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fn_exit_sym(name: &str, args: Vec<ArgPattern>, ret: i64) -> Symbol {
+        Symbol {
+            id: SymbolId(0),
+            kind: SymbolKind::Function {
+                name: name.into(),
+                args,
+                direction: Direction::Exit,
+                ret: Some(ArgPattern::Const(Value::from_i64(ret))),
+                side: InstrSide::Callee,
+            },
+        }
+    }
+
+    #[test]
+    fn function_exit_matches_name_args_and_return() {
+        let s = fn_exit_sym(
+            "mac_socket_check_poll",
+            vec![ArgPattern::any_ptr(), ArgPattern::Var { index: 0, name: "so".into() }],
+            0,
+        );
+        let args = [Value(11), Value(22)];
+        let hit = s
+            .matches(&ProgEvent::FnExit { name: "mac_socket_check_poll", args: &args, ret: Value(0) })
+            .unwrap();
+        assert_eq!(hit.pairs, vec![(0, Value(22))]);
+
+        // Wrong return value: static check fails.
+        assert!(s
+            .matches(&ProgEvent::FnExit {
+                name: "mac_socket_check_poll",
+                args: &args,
+                ret: Value::from_i64(-1),
+            })
+            .is_none());
+        // Wrong function.
+        assert!(s
+            .matches(&ProgEvent::FnExit { name: "other", args: &args, ret: Value(0) })
+            .is_none());
+        // Entry events do not match exit symbols.
+        assert!(s.matches(&ProgEvent::FnEntry { name: "mac_socket_check_poll", args: &args }).is_none());
+    }
+
+    #[test]
+    fn shorter_patterns_ignore_trailing_args() {
+        let s = fn_exit_sym("f", vec![ArgPattern::Const(Value(1))], 0);
+        let args = [Value(1), Value(99), Value(100)];
+        assert!(s.matches(&ProgEvent::FnExit { name: "f", args: &args, ret: Value(0) }).is_some());
+        // But an event with *fewer* args than patterns cannot match.
+        let s2 = fn_exit_sym("f", vec![ArgPattern::Const(Value(1)); 4], 0);
+        assert!(s2.matches(&ProgEvent::FnExit { name: "f", args: &args, ret: Value(0) }).is_none());
+    }
+
+    #[test]
+    fn field_assign_matches_struct_op_and_binds() {
+        let s = Symbol {
+            id: SymbolId(0),
+            kind: SymbolKind::FieldAssign {
+                struct_name: "proc".into(),
+                field_name: "p_flag".into(),
+                object: ArgPattern::Var { index: 0, name: "p".into() },
+                op: FieldOp::OrAssign,
+                value: ArgPattern::Flags(0x100),
+            },
+        };
+        let hit = s
+            .matches(&ProgEvent::FieldStore {
+                struct_name: "proc",
+                field_name: "p_flag",
+                object: Value(7),
+                op: FieldOp::OrAssign,
+                value: Value(0x300),
+            })
+            .unwrap();
+        assert_eq!(hit.pairs, vec![(0, Value(7))]);
+
+        // Wrong operator.
+        assert!(s
+            .matches(&ProgEvent::FieldStore {
+                struct_name: "proc",
+                field_name: "p_flag",
+                object: Value(7),
+                op: FieldOp::Assign,
+                value: Value(0x300),
+            })
+            .is_none());
+        // Wrong struct.
+        assert!(s
+            .matches(&ProgEvent::FieldStore {
+                struct_name: "socket",
+                field_name: "p_flag",
+                object: Value(7),
+                op: FieldOp::OrAssign,
+                value: Value(0x300),
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn untyped_field_symbol_matches_any_struct() {
+        let s = Symbol {
+            id: SymbolId(0),
+            kind: SymbolKind::FieldAssign {
+                struct_name: String::new(),
+                field_name: "refcount".into(),
+                object: ArgPattern::any_ptr(),
+                op: FieldOp::AddAssign,
+                value: ArgPattern::Const(Value(1)),
+            },
+        };
+        assert!(s
+            .matches(&ProgEvent::FieldStore {
+                struct_name: "whatever",
+                field_name: "refcount",
+                object: Value(1),
+                op: FieldOp::AddAssign,
+                value: Value(1),
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn message_symbols_match_selector_and_direction() {
+        let s = Symbol {
+            id: SymbolId(0),
+            kind: SymbolKind::Message {
+                receiver: ArgPattern::any_ptr(),
+                selector: "drawWithFrame:inView:".into(),
+                args: vec![ArgPattern::any_ptr(), ArgPattern::any_ptr()],
+                direction: Direction::Entry,
+                ret: None,
+            },
+        };
+        let args = [Value(1), Value(2)];
+        assert!(s
+            .matches(&ProgEvent::MsgEntry {
+                receiver: Value(9),
+                selector: "drawWithFrame:inView:",
+                args: &args,
+            })
+            .is_some());
+        assert!(s
+            .matches(&ProgEvent::MsgEntry { receiver: Value(9), selector: "push", args: &args })
+            .is_none());
+        assert!(s
+            .matches(&ProgEvent::MsgExit {
+                receiver: Value(9),
+                selector: "drawWithFrame:inView:",
+                args: &args,
+                ret: Value(0),
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn site_symbol_binds_all_variables() {
+        let s = Symbol { id: SymbolId(0), kind: SymbolKind::Site };
+        let vals = [Value(5), Value(6)];
+        let hit = s.matches(&ProgEvent::Site { bindings: &vals }).unwrap();
+        assert_eq!(hit.pairs, vec![(0, Value(5)), (1, Value(6))]);
+    }
+
+    #[test]
+    fn return_value_can_bind_a_variable() {
+        let s = Symbol {
+            id: SymbolId(0),
+            kind: SymbolKind::Function {
+                name: "f".into(),
+                args: vec![],
+                direction: Direction::Exit,
+                ret: Some(ArgPattern::Var { index: 2, name: "rv".into() }),
+                side: InstrSide::Callee,
+            },
+        };
+        let hit = s.matches(&ProgEvent::FnExit { name: "f", args: &[], ret: Value(17) }).unwrap();
+        assert_eq!(hit.pairs, vec![(2, Value(17))]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = fn_exit_sym("f", vec![ArgPattern::any_ptr()], 0);
+        assert_eq!(s.kind.to_string(), "f(ANY(ptr)) == 0");
+        assert_eq!(SymbolKind::Site.to_string(), "«assertion»");
+        assert_eq!(SymbolKind::BoundStart.to_string(), "«init»");
+        assert_eq!(SymbolKind::BoundEnd.to_string(), "«cleanup»");
+    }
+}

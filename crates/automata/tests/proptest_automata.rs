@@ -1,0 +1,195 @@
+//! Property tests over the automaton construction: algebraic laws of
+//! the combinators (`||` commutes, `TSEQUENCE` associates), agreement
+//! between NFA simulation and the DFA produced by subset
+//! construction, and structural invariants of compiled assertions.
+
+use proptest::prelude::*;
+use tesla_automata::{compile, Automaton, Dfa, SymbolId};
+use tesla_spec::{call, AssertionBuilder, ExprBuilder};
+
+const FNS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// A tiny expression language whose leaves are distinct function
+/// events, so symbol identity is easy to reason about.
+#[derive(Debug, Clone)]
+enum E {
+    Leaf(usize),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Seq(Box<E>, Box<E>),
+    Opt(Box<E>),
+    AtLeast(usize, Box<E>),
+}
+
+fn e_strategy() -> impl Strategy<Value = E> {
+    let leaf = (0usize..FNS.len()).prop_map(E::Leaf);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Seq(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Opt(Box::new(a))),
+            (0usize..2, inner).prop_map(|(n, a)| E::AtLeast(n, Box::new(a))),
+        ]
+    })
+}
+
+fn build(e: &E) -> ExprBuilder {
+    match e {
+        E::Leaf(i) => call(FNS[*i]).returns(0).into(),
+        E::Or(a, b) => build(a).or(build(b)),
+        E::Xor(a, b) => build(a).xor(build(b)),
+        E::Seq(a, b) => build(a).then(build(b)),
+        E::Opt(a) => build(a).optional(),
+        E::AtLeast(n, a) => tesla_spec::atleast(*n, vec![build(a)]),
+    }
+}
+
+fn automaton(e: &E) -> Option<Automaton> {
+    let a = AssertionBuilder::within("f").previously(build(e)).build().unwrap();
+    compile(&a).ok() // None when the state cap is exceeded
+}
+
+/// Pure regular-language acceptance by NFA simulation (dies on
+/// missing transition).
+fn nfa_accepts(a: &Automaton, word: &[SymbolId]) -> bool {
+    let mut states = a.initial_states();
+    for &sym in word {
+        let next = a.step(&states, sym, |_| true);
+        if next.is_empty() {
+            return false;
+        }
+        states = next;
+    }
+    a.accepting.intersects(&states)
+}
+
+/// The symbol id for leaf function `i` in `a`, if the automaton
+/// references it.
+fn sym_for(a: &Automaton, i: usize) -> Option<SymbolId> {
+    a.symbols
+        .iter()
+        .find(|s| matches!(s.function_name(), Some((n, ..)) if n == FNS[i]))
+        .map(|s| s.id)
+}
+
+/// Translate a word over leaf indices (plus usize::MAX = site) into
+/// `a`'s symbol ids; `None` when `a` does not reference some leaf.
+fn word_for(a: &Automaton, word: &[usize]) -> Option<Vec<SymbolId>> {
+    word.iter()
+        .map(|&i| if i == usize::MAX { Some(a.site_sym) } else { sym_for(a, i) })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `a || b` and `b || a` accept the same words.
+    #[test]
+    fn or_is_commutative(
+        a in e_strategy(),
+        b in e_strategy(),
+        word in proptest::collection::vec(0usize..FNS.len(), 0..8),
+    ) {
+        let (Some(ab), Some(ba)) = (
+            automaton(&E::Or(Box::new(a.clone()), Box::new(b.clone()))),
+            automaton(&E::Or(Box::new(b), Box::new(a))),
+        ) else {
+            return Ok(()); // state cap: skip
+        };
+        let mut w1 = word.clone();
+        w1.push(usize::MAX); // the site terminates the behaviour
+        if let (Some(w_ab), Some(w_ba)) = (word_for(&ab, &w1), word_for(&ba, &w1)) {
+            prop_assert_eq!(nfa_accepts(&ab, &w_ab), nfa_accepts(&ba, &w_ba));
+        }
+    }
+
+    /// `(a ; b) ; c` and `a ; (b ; c)` accept the same words.
+    #[test]
+    fn seq_is_associative(
+        a in e_strategy(),
+        b in e_strategy(),
+        c in e_strategy(),
+        word in proptest::collection::vec(0usize..FNS.len(), 0..10),
+    ) {
+        let left = E::Seq(
+            Box::new(E::Seq(Box::new(a.clone()), Box::new(b.clone()))),
+            Box::new(c.clone()),
+        );
+        let right = E::Seq(Box::new(a), Box::new(E::Seq(Box::new(b), Box::new(c))));
+        let (Some(l), Some(r)) = (automaton(&left), automaton(&right)) else {
+            return Ok(());
+        };
+        let mut w = word.clone();
+        w.push(usize::MAX);
+        if let (Some(wl), Some(wr)) = (word_for(&l, &w), word_for(&r, &w)) {
+            prop_assert_eq!(nfa_accepts(&l, &wl), nfa_accepts(&r, &wr));
+        }
+    }
+
+    /// Subset construction preserves the language.
+    #[test]
+    fn dfa_equals_nfa(
+        e in e_strategy(),
+        word in proptest::collection::vec(0usize..FNS.len() + 1, 0..10),
+    ) {
+        let Some(a) = automaton(&e) else { return Ok(()) };
+        let dfa = Dfa::from_automaton(&a);
+        let word: Vec<usize> =
+            word.into_iter().map(|i| if i == FNS.len() { usize::MAX } else { i }).collect();
+        if let Some(w) = word_for(&a, &word) {
+            prop_assert_eq!(dfa.accepts(&w), nfa_accepts(&a, &w));
+        }
+    }
+
+    /// Structural invariants of every compiled assertion:
+    /// * all transition endpoints are valid states;
+    /// * accepting states are cleanup-safe;
+    /// * the start state is cleanup-safe (the empty path never reached
+    ///   the site — the §4.1 bypass);
+    /// * exactly one site / init / cleanup symbol each.
+    #[test]
+    fn compiled_invariants(e in e_strategy()) {
+        let Some(a) = automaton(&e) else { return Ok(()) };
+        for t in &a.transitions {
+            prop_assert!(t.from < a.n_states);
+            prop_assert!(t.to < a.n_states);
+            prop_assert!((t.sym.0 as usize) < a.symbols.len());
+        }
+        for s in a.accepting.iter() {
+            prop_assert!(a.cleanup_safe.contains(s), "accepting {s} must be cleanup-safe");
+        }
+        prop_assert!(a.cleanup_safe.contains(a.start));
+        let sites = a
+            .symbols
+            .iter()
+            .filter(|s| matches!(s.kind, tesla_automata::SymbolKind::Site))
+            .count();
+        prop_assert_eq!(sites, 1);
+        // Site violations are detectable: some state has an outgoing
+        // site transition.
+        prop_assert!(a.transitions.iter().any(|t| t.sym == a.site_sym));
+    }
+
+    /// `optional(e)` accepts everything `e` accepts, plus the empty
+    /// behaviour.
+    #[test]
+    fn optional_is_superset(
+        e in e_strategy(),
+        word in proptest::collection::vec(0usize..FNS.len(), 0..8),
+    ) {
+        let plain = automaton(&e);
+        let opt = automaton(&E::Opt(Box::new(e)));
+        let (Some(p), Some(o)) = (plain, opt) else { return Ok(()) };
+        let mut w = word.clone();
+        w.push(usize::MAX);
+        if let (Some(wp), Some(wo)) = (word_for(&p, &w), word_for(&o, &w)) {
+            if nfa_accepts(&p, &wp) {
+                prop_assert!(nfa_accepts(&o, &wo), "optional lost a word");
+            }
+        }
+        // Empty behaviour: just the site.
+        let site_only = vec![o.site_sym];
+        prop_assert!(nfa_accepts(&o, &site_only));
+    }
+}

@@ -1,0 +1,178 @@
+//! Ablations beyond the paper's headline figures:
+//!
+//! * naive vs fingerprint-based re-instrumentation (the §5.1 "could
+//!   be pared down through further build optimisation");
+//! * instance-table capacity sweep (preallocation sizing, §4.4.1);
+//! * OR cross-product width (automaton compilation cost, §3.4.2);
+//! * dispatch cost with no subscribers (the "Infrastructure" floor).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tesla::pipeline::{BuildOptions, BuildSystem, ReinstrumentPolicy};
+use tesla::prelude::*;
+
+fn bench_reinstrument_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_reinstrument");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    let project = tesla::corpus::openssl_like(20);
+    for (name, policy) in
+        [("naive", ReinstrumentPolicy::Naive), ("fingerprint", ReinstrumentPolicy::Fingerprint)]
+    {
+        g.bench_function(name, |b| {
+            let mut opts = BuildOptions::tesla_toolchain();
+            opts.reinstrument = policy;
+            opts.verify = false;
+            let mut bs = BuildSystem::new(project.clone(), opts);
+            bs.build().unwrap();
+            b.iter(|| {
+                // Touch a file whose change does NOT alter the merged
+                // manifest: fingerprint mode can skip re-instrumenting
+                // the world.
+                bs.touch("ssl/layer1.c");
+                bs.build().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_capacity");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for capacity in [8usize, 64, 512] {
+        g.bench_function(format!("distinct_bindings_cap{capacity}"), |b| {
+            b.iter_batched(
+                || {
+                    let t = Tesla::new(Config {
+                        fail_mode: FailMode::Log,
+                        instance_capacity: capacity,
+                        ..Config::default()
+                    });
+                    let a = AssertionBuilder::syscall()
+                        .named("cap")
+                        .previously(call("check").arg_var("x").returns(0))
+                        .build()
+                        .unwrap();
+                    t.register(compile(&a).unwrap()).unwrap();
+                    t
+                },
+                |t| {
+                    let syscall = t.intern_fn("amd64_syscall");
+                    let check = t.intern_fn("check");
+                    t.fn_entry(syscall, &[]).unwrap();
+                    for x in 0..256u64 {
+                        let args = [Value(x)];
+                        t.fn_entry(check, &args).unwrap();
+                        t.fn_exit(check, &args, Value(0)).unwrap();
+                    }
+                    t.fn_exit(syscall, &[], Value(0)).unwrap();
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_or_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_or_compile");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for width in [2usize, 4, 6] {
+        g.bench_function(format!("or_width_{width}"), |b| {
+            b.iter(|| {
+                let mut e = ExprBuilder::from(call("c0").arg_var("vp").returns(0));
+                for i in 1..width {
+                    e = e.or(call(&format!("c{i}")).arg_var("vp").returns(0));
+                }
+                let a = AssertionBuilder::syscall().previously(e).build().unwrap();
+                compile(&a).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dispatch_floor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dispatch_floor");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    // No subscribers at all: the cheapest possible hook.
+    let t = Tesla::with_defaults();
+    let f = t.intern_fn("unhooked_function");
+    g.bench_function("fn_entry_no_subscribers", |b| {
+        b.iter(|| t.fn_entry(f, &[Value(1)]).unwrap())
+    });
+    // A bound function with 96 classes registered (Infrastructure+).
+    let t2 = std::sync::Arc::new(Tesla::with_defaults());
+    tesla::sim_kernel::assertions::register_sets(
+        &t2,
+        &[tesla::sim_kernel::assertions::AssertionSet::All],
+    )
+    .unwrap();
+    let sys = t2.intern_fn("amd64_syscall");
+    g.bench_function("syscall_bound_96_classes", |b| {
+        b.iter(|| {
+            t2.fn_entry(sys, &[]).unwrap();
+            t2.fn_exit(sys, &[], Value(0)).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reinstrument_policy,
+    bench_capacity,
+    bench_or_width,
+    bench_dispatch_floor,
+    bench_instr_side
+);
+criterion_main!(benches);
+
+/// Caller-side vs callee-side instrumentation (§4.2): the same
+/// property enforced by hooking the callee's entry/exit blocks vs
+/// wrapping every call site, run through the full pipeline +
+/// interpreter.
+fn bench_instr_side(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_instr_side");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (name, modifier) in [("callee", ""), ("caller", "caller")] {
+        let body = if modifier.is_empty() {
+            "previously(check(x) == 0)".to_string()
+        } else {
+            format!("previously({modifier}(check(x) == 0))")
+        };
+        let src = format!(
+            "int check(int x) {{ return 0; }}\n\
+             int main(int x) {{\n\
+                 int i = 0;\n\
+                 while (i < 100) {{ check(x); i += 1; }}\n\
+                 TESLA_WITHIN(main, {body});\n\
+                 return 0;\n\
+             }}"
+        );
+        let mut opts = BuildOptions::tesla_toolchain();
+        opts.verify = false;
+        let mut bs = BuildSystem::new(
+            tesla::pipeline::Project::from_sources(&[("m.c", &src)]),
+            opts,
+        );
+        let art = bs.build().unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let t = Tesla::with_defaults();
+                tesla::pipeline::run_with_tesla(&art, &t, "main", &[3], 10_000_000).unwrap()
+            })
+        });
+    }
+    g.finish();
+}

@@ -1,0 +1,70 @@
+//! Fig. 10 / §5.2.1 — clean and incremental build times, default vs
+//! TESLA toolchain, on the OpenSSL- and kernel-shaped corpora.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tesla::pipeline::{BuildOptions, BuildSystem};
+
+fn noverify(mut o: BuildOptions) -> BuildOptions {
+    o.verify = false;
+    o
+}
+
+fn bench_build_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_build_time");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    let project = tesla::corpus::openssl_like(20);
+
+    for (name, opts) in [
+        ("clean/default", noverify(BuildOptions::default_toolchain())),
+        ("clean/tesla", noverify(BuildOptions::tesla_toolchain())),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || BuildSystem::new(project.clone(), opts),
+                |mut bs| bs.build().unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    for (name, opts) in [
+        ("incremental/default", noverify(BuildOptions::default_toolchain())),
+        ("incremental/tesla", noverify(BuildOptions::tesla_toolchain())),
+    ] {
+        g.bench_function(name, |b| {
+            let mut bs = BuildSystem::new(project.clone(), opts);
+            bs.build().unwrap();
+            b.iter(|| {
+                bs.touch("ssl/layer1.c");
+                bs.build().unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sec521_kernel_build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    let kernel = tesla::corpus::kernel_like(12, 48);
+    for (name, opts) in [
+        ("incremental/default", noverify(BuildOptions::default_toolchain())),
+        ("incremental/tesla48", noverify(BuildOptions::tesla_toolchain())),
+    ] {
+        g.bench_function(name, |b| {
+            let mut bs = BuildSystem::new(kernel.clone(), opts);
+            bs.build().unwrap();
+            b.iter(|| {
+                bs.touch("subsys/unit1.c");
+                bs.build().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build_time);
+criterion_main!(benches);

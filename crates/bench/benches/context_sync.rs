@@ -1,0 +1,82 @@
+//! Fig. 12 — the cost of the global (explicitly synchronised) context
+//! vs the per-thread context, single-threaded and contended.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tesla::prelude::*;
+
+fn engine(global: bool) -> (Arc<Tesla>, ClassId) {
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        instance_capacity: 256,
+        ..Config::default()
+    }));
+    let mut b = AssertionBuilder::bounded(
+        tesla::spec::StaticEvent::Call("job".into()),
+        tesla::spec::StaticEvent::ReturnFrom("job".into()),
+    )
+    .named("ctx");
+    if global {
+        b = b.global();
+    }
+    let a = b.previously(call("produce").arg_var("item").returns(0)).build().unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    (t, id)
+}
+
+fn bench_context(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_context");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (name, global) in [("per_thread", false), ("global", true)] {
+        // Single-threaded event cost.
+        let (t, id) = engine(global);
+        let job = t.intern_fn("job");
+        let produce = t.intern_fn("produce");
+        t.fn_entry(job, &[]).unwrap();
+        let mut i = 0u64;
+        g.bench_function(format!("{name}/single"), |b| {
+            b.iter(|| {
+                i = (i + 1) % 64;
+                let args = [Value(i)];
+                t.fn_entry(produce, &args).unwrap();
+                t.fn_exit(produce, &args, Value(0)).unwrap();
+                t.assertion_site(id, &[Value(i)]).unwrap();
+            })
+        });
+
+        // Contended: 4 threads × 2000 events per iteration.
+        g.sample_size(10);
+        g.bench_function(format!("{name}/contended_4x2000"), |b| {
+            b.iter(|| {
+                let (t, id) = engine(global);
+                let job = t.intern_fn("job");
+                let produce = t.intern_fn("produce");
+                let mut handles = Vec::new();
+                for th in 0..4u64 {
+                    let t = t.clone();
+                    handles.push(std::thread::spawn(move || {
+                        t.fn_entry(job, &[]).unwrap();
+                        for i in 0..2000u64 {
+                            let item = th * 1_000_000 + (i % 128);
+                            let args = [Value(item)];
+                            t.fn_entry(produce, &args).unwrap();
+                            t.fn_exit(produce, &args, Value(0)).unwrap();
+                            t.assertion_site(id, &[Value(item)]).unwrap();
+                        }
+                        t.fn_exit(job, &[], Value(0)).unwrap();
+                        tesla::runtime::engine::reset_thread_state();
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_context);
+criterion_main!(benches);

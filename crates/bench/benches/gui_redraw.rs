@@ -1,0 +1,28 @@
+//! Fig. 14b — window redraw times under an Xnee-like replayed session
+//! across the instrumentation tiers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tesla::workload::xnee;
+use tesla_bench::{gui_tiers, make_gui};
+
+fn bench_gui_redraw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14b_redraw");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let script = xnee::session(50);
+    for (label, mode) in gui_tiers() {
+        let mut app = make_gui(mode);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                for batch in &script {
+                    app.run_loop_iteration(batch).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gui_redraw);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 11b — macrobenchmarks: OLTP-like (socket-intensive) and
+//! build-like (FS/compute-intensive) workloads across configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tesla::prelude::InitMode;
+use tesla::workload::{buildload, oltp};
+use tesla_bench::{make_kernel, KernelCfg};
+
+fn bench_kernel_macro(c: &mut Criterion) {
+    let configs =
+        [KernelCfg::Release, KernelCfg::Debug, KernelCfg::Infrastructure, KernelCfg::All];
+
+    let mut g = c.benchmark_group("fig11b_oltp");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for cfg in configs {
+        let (k, _t) = make_kernel(cfg, InitMode::Lazy);
+        let params = oltp::OltpParams { threads: 4, transactions: 25, socket_ops: 3, compute: 4000 };
+        g.bench_function(cfg.label(), |b| b.iter(|| oltp::run(&k, params)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig11b_build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for cfg in configs {
+        let (k, _t) = make_kernel(cfg, InitMode::Lazy);
+        let params = buildload::BuildParams { files: 25, compute: 250 };
+        g.bench_function(cfg.label(), |b| b.iter(|| buildload::run(&k, params)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_macro);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 11a — the lmbench-style `open close` microbenchmark across
+//! the kernel configurations of table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tesla::prelude::InitMode;
+use tesla::workload::lmbench;
+use tesla_bench::{make_kernel, KernelCfg};
+
+fn bench_kernel_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11a_open_close");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for cfg in KernelCfg::ALL {
+        let (k, _t) = make_kernel(cfg, InitMode::Lazy);
+        lmbench::setup(&k);
+        let pid = k.init_pid();
+        lmbench::open_close_loop(&k, pid, 50).unwrap();
+        g.bench_function(cfg.label(), |b| b.iter(|| lmbench::open_close(&k, pid).unwrap()));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig11a_poll");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for cfg in [KernelCfg::Release, KernelCfg::Infrastructure, KernelCfg::M, KernelCfg::All] {
+        let (k, _t) = make_kernel(cfg, InitMode::Lazy);
+        lmbench::setup(&k);
+        let pid = k.init_pid();
+        let (fd, _) = k.socketpair(pid).unwrap();
+        g.bench_function(cfg.label(), |b| b.iter(|| k.sys_poll(pid, fd).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_micro);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 13 — the lazy-initialisation optimisation: naive (eager
+//! per-bound init of every class) vs lazy (first-event init), on
+//! syscall-bound micro and macro workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tesla::prelude::InitMode;
+use tesla::workload::{lmbench, oltp};
+use tesla_bench::{make_kernel, KernelCfg};
+
+fn bench_lazy_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_micro_open_close");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (name, init) in [("pre_naive", InitMode::Naive), ("post_lazy", InitMode::Lazy)] {
+        let (k, _t) = make_kernel(KernelCfg::All, init);
+        lmbench::setup(&k);
+        let pid = k.init_pid();
+        lmbench::open_close_loop(&k, pid, 50).unwrap();
+        g.bench_function(name, |b| b.iter(|| lmbench::open_close(&k, pid).unwrap()));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig13_macro_oltp");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for (name, init) in [("pre_naive", InitMode::Naive), ("post_lazy", InitMode::Lazy)] {
+        let (k, _t) = make_kernel(KernelCfg::All, init);
+        let params = oltp::OltpParams { threads: 4, transactions: 20, socket_ops: 3, compute: 4000 };
+        g.bench_function(name, |b| b.iter(|| oltp::run(&k, params)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lazy_init);
+criterion_main!(benches);

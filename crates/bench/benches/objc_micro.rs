@@ -1,0 +1,33 @@
+//! Fig. 14a — message-send cost across the four instrumentation
+//! tiers: release runtime, tracing-enabled runtime, trivial
+//! interposition, full TESLA automaton.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tesla_bench::{gui_tiers, make_gui};
+
+fn bench_objc_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14a_msg_send");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (label, mode) in gui_tiers() {
+        let mut app = make_gui(mode);
+        // Enter the run-loop bound once so the TESLA tier's automaton
+        // is live during the loop.
+        app.run_loop_iteration(&[]).unwrap();
+        let sel = app.world.sels.set_line_width;
+        let ctx = app.world.ctx;
+        let mut i = 0i64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                tesla::sim_gui::objc::objc_msg_send(&mut app.world, ctx, sel, &[i % 5])
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_objc_micro);
+criterion_main!(benches);

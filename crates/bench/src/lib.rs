@@ -1,0 +1,156 @@
+//! # tesla-bench — shared harness for the evaluation reproduction
+//!
+//! Builders for the kernel/GUI configurations every table and figure
+//! of §5 compares, used by both the criterion benches (`benches/`)
+//! and the `repro` binary that prints paper-style rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use tesla::prelude::*;
+use tesla::sim_gui::appkit::GuiBugs;
+use tesla::sim_gui::{GuiApp, GuiMode};
+use tesla::sim_kernel::assertions::{register_sets, AssertionSet};
+use tesla::sim_kernel::mac::MacFramework;
+use tesla::sim_kernel::{Bugs, Kernel, KernelConfig};
+
+/// The kernel configurations of fig. 11 (and fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelCfg {
+    /// Plain release kernel, no TESLA.
+    Release,
+    /// WITNESS/INVARIANTS-style debug aids, no TESLA.
+    Debug,
+    /// TESLA infrastructure + test assertions only.
+    Infrastructure,
+    /// MAC process assertions.
+    MP,
+    /// MAC process + socket assertions.
+    MpMs,
+    /// MAC process + socket + filesystem assertions.
+    MpMsMf,
+    /// All MAC assertions.
+    M,
+    /// Everything (96).
+    All,
+    /// Everything plus debug aids.
+    AllDebug,
+}
+
+impl KernelCfg {
+    /// All configurations in fig. 11a's bar order.
+    pub const ALL: [KernelCfg; 9] = [
+        KernelCfg::Release,
+        KernelCfg::Debug,
+        KernelCfg::Infrastructure,
+        KernelCfg::MP,
+        KernelCfg::MpMs,
+        KernelCfg::MpMsMf,
+        KernelCfg::M,
+        KernelCfg::All,
+        KernelCfg::AllDebug,
+    ];
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelCfg::Release => "Release",
+            KernelCfg::Debug => "Debug",
+            KernelCfg::Infrastructure => "Infrastructure",
+            KernelCfg::MP => "MP",
+            KernelCfg::MpMs => "MP+MS",
+            KernelCfg::MpMsMf => "MP+MS+MF",
+            KernelCfg::M => "M",
+            KernelCfg::All => "All",
+            KernelCfg::AllDebug => "All (Debug)",
+        }
+    }
+
+    /// The assertion sets this configuration registers.
+    pub fn sets(self) -> Vec<AssertionSet> {
+        match self {
+            KernelCfg::Release | KernelCfg::Debug => vec![],
+            KernelCfg::Infrastructure => vec![AssertionSet::Infra],
+            KernelCfg::MP => vec![AssertionSet::MP],
+            KernelCfg::MpMs => vec![AssertionSet::MP, AssertionSet::MS],
+            KernelCfg::MpMsMf => {
+                vec![AssertionSet::MP, AssertionSet::MS, AssertionSet::MF]
+            }
+            KernelCfg::M => vec![AssertionSet::M],
+            KernelCfg::All | KernelCfg::AllDebug => vec![AssertionSet::All],
+        }
+    }
+
+    /// Does this configuration run the debug sweeps?
+    pub fn debug_checks(self) -> bool {
+        matches!(self, KernelCfg::Debug | KernelCfg::AllDebug)
+    }
+}
+
+/// Build a kernel in the given configuration and initialisation mode.
+pub fn make_kernel(cfg: KernelCfg, init_mode: InitMode) -> (Arc<Kernel>, Option<Arc<Tesla>>) {
+    let sets = cfg.sets();
+    let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
+    if sets.is_empty() {
+        (Arc::new(Kernel::new(kc, MacFramework::new(), None)), None)
+    } else {
+        let t = Arc::new(Tesla::new(Config {
+            fail_mode: FailMode::FailStop,
+            init_mode,
+            instance_capacity: 64,
+        }));
+        let reg = register_sets(&t, &sets).expect("sets register");
+        let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
+        (k, Some(t))
+    }
+}
+
+/// The GUI tiers of fig. 14, in bar order.
+pub fn gui_tiers() -> Vec<(&'static str, GuiMode)> {
+    vec![
+        ("Baseline", GuiMode::Release),
+        ("Tracing", GuiMode::TracingEnabled),
+        ("Interposition", GuiMode::Interposed),
+        ("TESLA", GuiMode::Tesla(Arc::new(Tesla::with_defaults()))),
+    ]
+}
+
+/// Build a GUI app in a tier.
+pub fn make_gui(mode: GuiMode) -> GuiApp {
+    GuiApp::new(mode, GuiBugs::default())
+}
+
+/// Simple timing helper: median-of-runs wall time for `f`.
+pub fn time_runs<F: FnMut()>(runs: usize, mut f: F) -> std::time::Duration {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = std::time::Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Format a duration as adaptive human units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// `x`× ratio string against a baseline.
+pub fn ratio(x: std::time::Duration, base: std::time::Duration) -> String {
+    if base.as_nanos() == 0 {
+        return "n/a".into();
+    }
+    format!("{:.2}×", x.as_nanos() as f64 / base.as_nanos() as f64)
+}

@@ -1,0 +1,238 @@
+//! Mini-C abstract syntax.
+
+/// A mini-C type. Everything is machine-word sized; types exist to
+/// resolve `->` field accesses and to sanity-check calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int` (64-bit here).
+    Int,
+    /// `void` (function returns only).
+    Void,
+    /// `struct S *` — all struct access is through pointers.
+    Ptr(String),
+    /// A function pointer. Parameter/return types are not tracked;
+    /// mini-C call sites are checked by arity only.
+    FnPtr,
+}
+
+impl std::fmt::Display for CType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CType::Int => write!(f, "int"),
+            CType::Void => write!(f, "void"),
+            CType::Ptr(s) => write!(f, "struct {s} *"),
+            CType::FnPtr => write!(f, "int (*)()"),
+        }
+    }
+}
+
+/// Binary operators (C semantics; `&&`/`||` short-circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal (including resolved `#define` constants).
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// `expr->field`
+    Field {
+        /// The pointer expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+    /// Function call: direct (`f(x)`) or through an expression
+    /// (`fp(x)`, `so->ops->poll(x)`, `(*fp)(x)`).
+    Call {
+        /// The callee expression; a bare [`Expr::Var`] naming a known
+        /// function is a direct call, everything else is indirect.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `&f` — address of a named function.
+    FnAddr(String),
+    /// `malloc(sizeof(struct S))` — allocation of one `S`.
+    Malloc(String),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Local variable or parameter.
+    Var(String),
+    /// `expr->field`
+    Field {
+        /// The pointer expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declaration with optional initialiser.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Name.
+        name: String,
+        /// Initialiser.
+        init: Option<Expr>,
+    },
+    /// `lv = e;` / `lv += e;` / `lv++;` — the op distinguishes them.
+    Assign {
+        /// Target.
+        lv: LValue,
+        /// `=`, `+=`, `-=`, `|=`, `&=` (`++` is `+= 1`).
+        op: tesla_spec::FieldOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Expression statement (usually a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// A TESLA assertion, captured verbatim and parsed by the
+    /// analyser (§4.1).
+    Tesla {
+        /// The assertion as parsed by `tesla-spec`.
+        assertion: tesla_spec::Assertion,
+        /// 1-based source line (for diagnostics).
+        line: u32,
+    },
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Type.
+    pub ty: CType,
+    /// Name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Return type.
+    pub ret: CType,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDefAst {
+    /// Name.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<Param>,
+}
+
+/// A translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Source file name.
+    pub file: String,
+    /// Struct definitions.
+    pub structs: Vec<StructDefAst>,
+    /// Function definitions.
+    pub functions: Vec<FunctionDef>,
+    /// Declared-but-not-defined functions (`int f(int);` prototypes):
+    /// lowered to externals, resolved at link time.
+    pub prototypes: Vec<(String, usize)>,
+    /// `#define` constants (also fed to assertion parsing).
+    pub defines: std::collections::HashMap<String, u64>,
+}

@@ -1,0 +1,282 @@
+//! Lexer for mini-C.
+//!
+//! Mini-C is the C subset the TESLA analyser and instrumenter consume
+//! in this reproduction (the paper uses Clang; see DESIGN.md). The
+//! lexer also handles the preprocessor-lite pass: `#define NAME <int>`
+//! lines populate the constant table (used both by ordinary code and
+//! by TESLA assertion patterns such as `flags(IO_NOMACCHECK)`), and
+//! `#include` lines are recorded and skipped.
+
+use std::collections::HashMap;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation / operator, by exact spelling (`"->"`, `"+="`, …).
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of file"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Lexer output: tokens plus preprocessor results.
+#[derive(Debug, Clone, Default)]
+pub struct LexOutput {
+    /// The token stream (ends with `Eof`).
+    pub tokens: Vec<Spanned>,
+    /// `#define` constants.
+    pub defines: HashMap<String, u64>,
+    /// `#include` targets, verbatim.
+    pub includes: Vec<String>,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "|=", "&=", "^=", "++",
+    "--", "{", "}", "(", ")", "[", "]", ";", ",", ".", "*", "/", "%", "+", "-", "<", ">", "=",
+    "!", "&", "|", "^", "~", ":",
+];
+
+/// Lex `src`, running the preprocessor-lite pass.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed input.
+pub fn lex(src: &str) -> Result<LexOutput, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut at_line_start = true;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                at_line_start = true;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { message: "unterminated comment".into(), line });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'#' if at_line_start => {
+                // Preprocessor-lite: read to end of line.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let directive = src[start..i].trim();
+                parse_directive(directive, line, &mut out)?;
+            }
+            b'0'..=b'9' => {
+                at_line_start = false;
+                let start = i;
+                let value = if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    let ds = i;
+                    let mut v: u64 = 0;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        v = v * 16 + u64::from((bytes[i] as char).to_digit(16).unwrap());
+                        i += 1;
+                    }
+                    if i == ds {
+                        return Err(LexError { message: "empty hex literal".into(), line });
+                    }
+                    v as i64
+                } else {
+                    let mut v: i64 = 0;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        v = v * 10 + i64::from(bytes[i] - b'0');
+                        i += 1;
+                    }
+                    v
+                };
+                out.tokens.push(Spanned { tok: Tok::Int(value), offset: start, line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                at_line_start = false;
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    offset: start,
+                    line,
+                });
+            }
+            _ => {
+                at_line_start = false;
+                let rest = &src[i..];
+                let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+                    return Err(LexError {
+                        message: format!("unexpected character `{}`", c as char),
+                        line,
+                    });
+                };
+                out.tokens.push(Spanned { tok: Tok::Punct(p), offset: i, line });
+                i += p.len();
+            }
+        }
+    }
+    out.tokens.push(Spanned { tok: Tok::Eof, offset: src.len(), line });
+    Ok(out)
+}
+
+fn parse_directive(d: &str, line: u32, out: &mut LexOutput) -> Result<(), LexError> {
+    let mut parts = d.split_whitespace();
+    match parts.next() {
+        Some("#define") => {
+            let name = parts
+                .next()
+                .ok_or_else(|| LexError { message: "#define without name".into(), line })?;
+            let value = parts
+                .next()
+                .ok_or_else(|| LexError { message: "#define without value".into(), line })?;
+            let v = parse_int(value).ok_or_else(|| LexError {
+                message: format!("#define {name}: `{value}` is not an integer"),
+                line,
+            })?;
+            out.defines.insert(name.to_string(), v);
+            Ok(())
+        }
+        Some("#include") => {
+            out.includes.push(parts.collect::<Vec<_>>().join(" "));
+            Ok(())
+        }
+        Some(other) => {
+            Err(LexError { message: format!("unsupported directive `{other}`"), line })
+        }
+        None => Ok(()),
+    }
+}
+
+fn parse_int(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_c_tokens() {
+        let out = lex("int foo(struct socket *so) { return so->so_state + 0x10; }").unwrap();
+        let kinds: Vec<String> = out.tokens.iter().map(|t| t.tok.to_string()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "`int`", "`foo`", "`(`", "`struct`", "`socket`", "`*`", "`so`", "`)`", "`{`",
+                "`return`", "`so`", "`->`", "`so_state`", "`+`", "`16`", "`;`", "`}`",
+                "end of file"
+            ]
+        );
+    }
+
+    #[test]
+    fn defines_are_collected() {
+        let out = lex("#define IO_NOMACCHECK 0x80\n#define FIVE 5\nint x;").unwrap();
+        assert_eq!(out.defines["IO_NOMACCHECK"], 0x80);
+        assert_eq!(out.defines["FIVE"], 5);
+    }
+
+    #[test]
+    fn includes_are_recorded_and_skipped() {
+        let out = lex("#include \"TESLAGOps.h\"\nint x;").unwrap();
+        assert_eq!(out.includes, vec!["\"TESLAGOps.h\"".to_string()]);
+        assert_eq!(out.tokens.len(), 4); // int x ; EOF
+    }
+
+    #[test]
+    fn comments_and_lines_tracked() {
+        let out = lex("// c1\n/* multi\nline */ int x;").unwrap();
+        assert_eq!(out.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn compound_operators_lex_greedily() {
+        let out = lex("a += b; c->d++; e >= f;").unwrap();
+        let puncts: Vec<&Tok> =
+            out.tokens.iter().map(|t| &t.tok).filter(|t| matches!(t, Tok::Punct(_))).collect();
+        assert!(puncts.contains(&&Tok::Punct("+=")));
+        assert!(puncts.contains(&&Tok::Punct("->")));
+        assert!(puncts.contains(&&Tok::Punct("++")));
+        assert!(puncts.contains(&&Tok::Punct(">=")));
+    }
+
+    #[test]
+    fn bad_directive_is_an_error() {
+        assert!(lex("#pragma weird\n").is_err());
+        assert!(lex("#define FOO bar\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("/* nope").is_err());
+    }
+}

@@ -1,0 +1,673 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! TESLA assertions appear as statements whose head identifier starts
+//! with `TESLA_`. The parser slices the balanced-parenthesis source
+//! text of the whole macro and hands it to `tesla-spec`'s assertion
+//! parser with the unit's `#define` table — exactly the analyser
+//! workflow of §4.1, where assertion macros are parsed out of the
+//! Clang AST with the surrounding compile context available.
+
+use crate::ast::{
+    BinOp, CType, Expr, FunctionDef, LValue, Param, Stmt, StructDefAst, UnOp, Unit,
+};
+use crate::lexer::{lex, LexOutput, Spanned, Tok};
+use tesla_spec::FieldOp;
+
+/// A parse error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for CParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CParseError {}
+
+struct P<'s> {
+    src: &'s str,
+    toks: Vec<Spanned>,
+    pos: usize,
+    defines: std::collections::HashMap<String, u64>,
+    file: String,
+}
+
+impl<'s> P<'s> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> CParseError {
+        CParseError { message: message.into(), line: self.line() }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), CParseError> {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn is_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // --------------------------------------------------------------
+    // Types and declarators
+    // --------------------------------------------------------------
+
+    fn at_type(&self) -> bool {
+        self.is_ident("int") || self.is_ident("void") || self.is_ident("struct")
+    }
+
+    /// Parse a type prefix: `int`, `void`, `struct S *`.
+    fn parse_type(&mut self) -> Result<CType, CParseError> {
+        if self.is_ident("int") {
+            self.bump();
+            Ok(CType::Int)
+        } else if self.is_ident("void") {
+            self.bump();
+            Ok(CType::Void)
+        } else if self.is_ident("struct") {
+            self.bump();
+            let name = self.expect_ident()?;
+            self.expect_punct("*")?;
+            if self.eat_punct("*") {
+                return Err(self.err("mini-C supports a single level of struct pointers"));
+            }
+            Ok(CType::Ptr(name))
+        } else {
+            Err(self.err(format!("expected a type, found {}", self.peek())))
+        }
+    }
+
+    /// Parse `<type> name` or `<type> (*name)(params…)` (function
+    /// pointer). Returns the resolved type and name.
+    fn parse_declarator(&mut self) -> Result<(CType, String), CParseError> {
+        let base = self.parse_type()?;
+        if *self.peek() == Tok::Punct("(") && *self.peek_at(1) == Tok::Punct("*") {
+            self.bump(); // (
+            self.bump(); // *
+            let name = self.expect_ident()?;
+            self.expect_punct(")")?;
+            self.expect_punct("(")?;
+            // Skip the parameter type list (unchecked in mini-C).
+            let mut depth = 1;
+            while depth > 0 {
+                match self.bump() {
+                    Tok::Punct("(") => depth += 1,
+                    Tok::Punct(")") => depth -= 1,
+                    Tok::Eof => return Err(self.err("unterminated function-pointer declarator")),
+                    _ => {}
+                }
+            }
+            Ok((CType::FnPtr, name))
+        } else {
+            let name = self.expect_ident()?;
+            Ok((base, name))
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Top level
+    // --------------------------------------------------------------
+
+    fn parse_unit(&mut self) -> Result<Unit, CParseError> {
+        let mut unit = Unit {
+            file: self.file.clone(),
+            defines: self.defines.clone(),
+            ..Unit::default()
+        };
+        while *self.peek() != Tok::Eof {
+            if self.is_ident("struct") && *self.peek_at(2) == Tok::Punct("{") {
+                unit.structs.push(self.parse_struct()?);
+            } else {
+                self.parse_function_or_proto(&mut unit)?;
+            }
+        }
+        Ok(unit)
+    }
+
+    fn parse_struct(&mut self) -> Result<StructDefAst, CParseError> {
+        self.bump(); // struct
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let (ty, fname) = self.parse_declarator()?;
+            if ty == CType::Void {
+                return Err(self.err("fields cannot be void"));
+            }
+            fields.push(Param { ty, name: fname });
+            self.expect_punct(";")?;
+        }
+        self.expect_punct(";")?;
+        Ok(StructDefAst { name, fields })
+    }
+
+    fn parse_function_or_proto(&mut self, unit: &mut Unit) -> Result<(), CParseError> {
+        let line = self.line();
+        let ret = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.is_ident("void") && *self.peek_at(1) == Tok::Punct(")") {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    let (ty, pname) = self.parse_declarator()?;
+                    params.push(Param { ty, name: pname });
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+        }
+        if self.eat_punct(";") {
+            unit.prototypes.push((name, params.len()));
+            return Ok(());
+        }
+        self.expect_punct("{")?;
+        let body = self.parse_block()?;
+        unit.functions.push(FunctionDef { ret, name, params, body, line });
+        Ok(())
+    }
+
+    /// Parse statements until the matching `}` (already inside).
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CParseError> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CParseError> {
+        if self.at_type() {
+            // Could be a decl `struct S *p = ..` — but `struct` here
+            // can only be a decl since struct defs are top-level.
+            let (ty, name) = self.parse_declarator()?;
+            let init = if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { ty, name, init });
+        }
+        if self.is_ident("if") {
+            self.bump();
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let then_body = self.parse_block()?;
+            let else_body = if self.is_ident("else") {
+                self.bump();
+                if self.is_ident("if") {
+                    vec![self.parse_stmt()?]
+                } else {
+                    self.expect_punct("{")?;
+                    self.parse_block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_body, else_body });
+        }
+        if self.is_ident("while") {
+            self.bump();
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.is_ident("return") {
+            self.bump();
+            let v = if *self.peek() == Tok::Punct(";") { None } else { Some(self.parse_expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(v));
+        }
+        if let Tok::Ident(id) = self.peek() {
+            if id.starts_with("TESLA_") {
+                return self.parse_tesla_stmt();
+            }
+        }
+        // Expression or assignment.
+        let e = self.parse_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("=") => Some(FieldOp::Assign),
+            Tok::Punct("+=") => Some(FieldOp::AddAssign),
+            Tok::Punct("-=") => Some(FieldOp::SubAssign),
+            Tok::Punct("|=") => Some(FieldOp::OrAssign),
+            Tok::Punct("&=") => Some(FieldOp::AndAssign),
+            Tok::Punct("++") => Some(FieldOp::AddAssign),
+            Tok::Punct("--") => Some(FieldOp::SubAssign),
+            _ => None,
+        };
+        match op {
+            None => {
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+            Some(op) => {
+                let implicit_one = matches!(self.peek(), Tok::Punct("++") | Tok::Punct("--"));
+                self.bump();
+                let lv = match e {
+                    Expr::Var(v) => LValue::Var(v),
+                    Expr::Field { base, field } => LValue::Field { base, field },
+                    other => {
+                        return Err(self.err(format!("`{other:?}` is not assignable")));
+                    }
+                };
+                let value =
+                    if implicit_one { Expr::Int(1) } else { self.parse_expr()? };
+                self.expect_punct(";")?;
+                Ok(Stmt::Assign { lv, op, value })
+            }
+        }
+    }
+
+    /// Capture a `TESLA_*(...)` macro verbatim and parse it with the
+    /// spec parser and the unit's `#define` table.
+    fn parse_tesla_stmt(&mut self) -> Result<Stmt, CParseError> {
+        let line = self.line();
+        let start_off = self.toks[self.pos].offset;
+        self.bump(); // the TESLA_* identifier
+        self.expect_punct("(")?;
+        let mut depth = 1usize;
+        let mut end_off = self.toks[self.pos].offset;
+        while depth > 0 {
+            let off = self.toks[self.pos].offset;
+            match self.bump() {
+                Tok::Punct("(") => depth += 1,
+                Tok::Punct(")") => {
+                    depth -= 1;
+                    end_off = off + 1;
+                }
+                Tok::Eof => return Err(self.err("unterminated TESLA assertion")),
+                _ => {}
+            }
+        }
+        self.expect_punct(";")?;
+        let text = &self.src[start_off..end_off];
+        let mut assertion =
+            tesla_spec::parse_assertion_with_consts(text, &self.defines).map_err(|e| {
+                CParseError { message: format!("in TESLA assertion: {e}"), line }
+            })?;
+        assertion.loc = tesla_spec::SourceLoc { file: self.file.clone(), line };
+        assertion.name = format!("{}:{line}", self.file);
+        Ok(Stmt::Tesla { assertion, line })
+    }
+
+    // --------------------------------------------------------------
+    // Expressions (C precedence)
+    // --------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, CParseError> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_level: u8) -> Result<Expr, CParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some((op, level)) = self.peek_binop() else { break };
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_bin(level + 1)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let p = match self.peek() {
+            Tok::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "||" => (BinOp::LogOr, 1),
+            "&&" => (BinOp::LogAnd, 2),
+            "|" => (BinOp::BitOr, 3),
+            "^" => (BinOp::BitXor, 4),
+            "&" => (BinOp::BitAnd, 5),
+            "==" => (BinOp::Eq, 6),
+            "!=" => (BinOp::Ne, 6),
+            "<" => (BinOp::Lt, 7),
+            "<=" => (BinOp::Le, 7),
+            ">" => (BinOp::Gt, 7),
+            ">=" => (BinOp::Ge, 7),
+            "<<" => (BinOp::Shl, 8),
+            ">>" => (BinOp::Shr, 8),
+            "+" => (BinOp::Add, 9),
+            "-" => (BinOp::Sub, 9),
+            "*" => (BinOp::Mul, 10),
+            "/" => (BinOp::Div, 10),
+            "%" => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CParseError> {
+        match self.peek() {
+            Tok::Punct("-") => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(self.parse_unary()?) })
+            }
+            Tok::Punct("!") => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::Not, expr: Box::new(self.parse_unary()?) })
+            }
+            Tok::Punct("~") => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::BitNot, expr: Box::new(self.parse_unary()?) })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct("->") {
+                let field = self.expect_ident()?;
+                e = Expr::Field { base: Box::new(e), field };
+            } else if *self.peek() == Tok::Punct("(") {
+                self.bump();
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                e = Expr::Call { callee: Box::new(e), args };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                // `(*fp)` — explicit function-pointer dereference is a
+                // no-op in C call position.
+                if self.eat_punct("*") {
+                    let inner = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(inner);
+                }
+                let inner = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            Tok::Punct("&") => {
+                self.bump();
+                let name = self.expect_ident()?;
+                Ok(Expr::FnAddr(name))
+            }
+            Tok::Ident(id) => {
+                if id == "malloc" {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    if !self.is_ident("sizeof") {
+                        return Err(self.err("mini-C malloc takes sizeof(struct S)"));
+                    }
+                    self.bump();
+                    self.expect_punct("(")?;
+                    if !self.is_ident("struct") {
+                        return Err(self.err("sizeof takes struct S"));
+                    }
+                    self.bump();
+                    let s = self.expect_ident()?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(")")?;
+                    return Ok(Expr::Malloc(s));
+                }
+                if id == "NULL" {
+                    self.bump();
+                    return Ok(Expr::Int(0));
+                }
+                self.bump();
+                if let Some(v) = self.defines.get(&id) {
+                    return Ok(Expr::Int(*v as i64));
+                }
+                Ok(Expr::Var(id))
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Parse one mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns [`CParseError`] on lexical or syntactic failure.
+pub fn parse_unit(src: &str, file: &str) -> Result<Unit, CParseError> {
+    let LexOutput { tokens, defines, includes: _ } =
+        lex(src).map_err(|e| CParseError { message: e.message, line: e.line })?;
+    let mut p = P { src, toks: tokens, pos: 0, defines, file: file.to_string() };
+    p.parse_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_struct_and_function() {
+        let u = parse_unit(
+            "struct socket { int so_state; struct protosw *so_proto; };\n\
+             int soo_poll(struct socket *so, int events) {\n\
+                 int rc = 0;\n\
+                 so->so_state = 5;\n\
+                 return rc;\n\
+             }",
+            "uipc.c",
+        )
+        .unwrap();
+        assert_eq!(u.structs.len(), 1);
+        assert_eq!(u.structs[0].fields[1].ty, CType::Ptr("protosw".into()));
+        assert_eq!(u.functions.len(), 1);
+        let f = &u.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 3);
+        match &f.body[1] {
+            Stmt::Assign { lv: LValue::Field { field, .. }, op: FieldOp::Assign, .. } => {
+                assert_eq!(field, "so_state");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow_and_calls() {
+        let u = parse_unit(
+            "int check(int x);\n\
+             int f(int a) {\n\
+                 int acc = 0;\n\
+                 while (a > 0) {\n\
+                     if (check(a) == 0) { acc += a; } else if (a == 1) { return -1; } else { acc++; }\n\
+                     a -= 1;\n\
+                 }\n\
+                 return acc;\n\
+             }",
+            "t.c",
+        )
+        .unwrap();
+        assert_eq!(u.prototypes, vec![("check".to_string(), 1)]);
+        let f = &u.functions[0];
+        assert!(matches!(f.body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_function_pointers_and_chains() {
+        let u = parse_unit(
+            "struct pr_usrreqs { int (*pru_sopoll)(struct socket *); };\n\
+             struct protosw { struct pr_usrreqs *pr_usrreqs; };\n\
+             struct socket { struct protosw *so_proto; };\n\
+             int sopoll(struct socket *so) {\n\
+                 int (*fp)(struct socket *) = so->so_proto->pr_usrreqs->pru_sopoll;\n\
+                 return (*fp)(so);\n\
+             }",
+            "sock.c",
+        )
+        .unwrap();
+        let f = &u.functions[0];
+        match &f.body[0] {
+            Stmt::Decl { ty: CType::FnPtr, name, init: Some(Expr::Field { .. }) } => {
+                assert_eq!(name, "fp");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.body[1] {
+            Stmt::Return(Some(Expr::Call { callee, .. })) => {
+                assert!(matches!(**callee, Expr::Var(ref v) if v == "fp"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_malloc_and_fnaddr() {
+        let u = parse_unit(
+            "struct s { int a; };\n\
+             int g(int x) { return x; }\n\
+             int main() {\n\
+                 struct s *p = malloc(sizeof(struct s));\n\
+                 int (*fp)(int) = &g;\n\
+                 p->a = fp(3);\n\
+                 return p->a;\n\
+             }",
+            "m.c",
+        )
+        .unwrap();
+        let main = &u.functions[1];
+        assert!(matches!(
+            main.body[0],
+            Stmt::Decl { init: Some(Expr::Malloc(ref s)), .. } if s == "s"
+        ));
+        assert!(matches!(
+            main.body[1],
+            Stmt::Decl { init: Some(Expr::FnAddr(ref g)), .. } if g == "g"
+        ));
+    }
+
+    #[test]
+    fn captures_tesla_assertions_with_defines() {
+        let u = parse_unit(
+            "#define IO_NOMACCHECK 0x80\n\
+             int ffs_read(struct vop_read_args *ap) {\n\
+                 TESLA_SYSCALL_PREVIOUSLY(\n\
+                     mac_vnode_check_read(ANY(ptr), vp) == 0\n\
+                     || call(vn_rdwr(vp, flags(IO_NOMACCHECK))));\n\
+                 return 0;\n\
+             }\n\
+             struct vop_read_args { int a; };",
+            "ufs.c",
+        )
+        .unwrap();
+        let f = &u.functions[0];
+        match &f.body[0] {
+            Stmt::Tesla { assertion, line } => {
+                assert_eq!(*line, 3);
+                assert_eq!(assertion.loc.file, "ufs.c");
+                assert_eq!(assertion.name, "ufs.c:3");
+                assert_eq!(assertion.variables, vec!["vp".to_string()]);
+                // The define resolved inside flags(...).
+                let printed = assertion.to_string();
+                assert!(printed.contains("flags(0x80)"), "{printed}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_is_c_like() {
+        let u = parse_unit("int f(int a, int b) { return a + b * 2 == a << 1; }", "p.c").unwrap();
+        // ((a + (b*2)) == (a << 1))
+        match &u.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Bin { op: BinOp::Eq, lhs, rhs })) => {
+                assert!(matches!(**lhs, Expr::Bin { op: BinOp::Add, .. }));
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Shl, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let e = parse_unit("int f() {\n  return +;\n}", "x.c").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_unit("int f() { malloc(3); }", "x.c").is_err());
+        assert!(parse_unit("struct s { void v; };", "x.c").is_err());
+        assert!(parse_unit("int f() { 3 = x; }", "x.c").is_err());
+        assert!(parse_unit("int f() { TESLA_WITHIN(broken; }", "x.c").is_err());
+    }
+
+    #[test]
+    fn void_parameter_list_is_empty() {
+        let u = parse_unit("int f(void) { return 1; }", "v.c").unwrap();
+        assert!(u.functions[0].params.is_empty());
+    }
+}

@@ -1,0 +1,467 @@
+//! Semantic analysis for mini-C.
+//!
+//! Beyond the usual checks (declarations, fields, arity), sema does
+//! the analyser work the paper gets from Clang (§4.1): because the
+//! assertion is parsed *inside* a compile with full type information,
+//! untyped field-assignment events (`s.so_qstate = 5`) are resolved
+//! to their structure type from the scope variable `s`, and every
+//! variable an assertion references is checked to exist in scope at
+//! the assertion site.
+
+use crate::ast::{CType, Expr, FunctionDef, LValue, Param, Stmt, Unit};
+use std::collections::HashMap;
+
+/// A semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Description.
+    pub message: String,
+    /// Function the error is in (empty for unit-level errors).
+    pub function: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "sema: {}", self.message)
+        } else {
+            write!(f, "sema: in `{}`: {}", self.function, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Unit-wide tables produced by sema and consumed by lowering.
+#[derive(Debug, Clone, Default)]
+pub struct UnitInfo {
+    /// struct name → ordered fields.
+    pub structs: HashMap<String, Vec<Param>>,
+    /// function name → (arity, return type). Includes prototypes.
+    pub functions: HashMap<String, (usize, CType)>,
+}
+
+struct Scope {
+    vars: Vec<HashMap<String, CType>>,
+}
+
+impl Scope {
+    fn new() -> Scope {
+        Scope { vars: vec![HashMap::new()] }
+    }
+
+    fn push(&mut self) {
+        self.vars.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.vars.pop();
+    }
+
+    fn declare(&mut self, name: &str, ty: CType) -> bool {
+        self.vars.last_mut().unwrap().insert(name.to_string(), ty).is_none()
+    }
+
+    fn lookup(&self, name: &str) -> Option<&CType> {
+        self.vars.iter().rev().find_map(|m| m.get(name))
+    }
+}
+
+/// Run semantic analysis over `unit`, mutating it to patch assertion
+/// field-event struct types, and return the [`UnitInfo`] tables.
+///
+/// # Errors
+///
+/// Returns every [`SemaError`] found.
+pub fn analyse(unit: &mut Unit) -> Result<UnitInfo, Vec<SemaError>> {
+    let mut errs = Vec::new();
+    let mut info = UnitInfo::default();
+    for s in &unit.structs {
+        if info.structs.insert(s.name.clone(), s.fields.clone()).is_some() {
+            errs.push(SemaError {
+                message: format!("struct `{}` defined twice", s.name),
+                function: String::new(),
+            });
+        }
+    }
+    for (name, arity) in &unit.prototypes {
+        info.functions.insert(name.clone(), (*arity, CType::Int));
+    }
+    for f in &unit.functions {
+        if info
+            .functions
+            .insert(f.name.clone(), (f.params.len(), f.ret.clone()))
+            .is_some_and(|_| unit.functions.iter().filter(|g| g.name == f.name).count() > 1)
+        {
+            errs.push(SemaError {
+                message: format!("function `{}` defined twice", f.name),
+                function: String::new(),
+            });
+        }
+    }
+    // Validate struct field types refer to known structs.
+    for s in &unit.structs {
+        for p in &s.fields {
+            if let CType::Ptr(t) = &p.ty {
+                if !info.structs.contains_key(t) {
+                    errs.push(SemaError {
+                        message: format!("struct `{}` field `{}` has unknown type `struct {t}`", s.name, p.name),
+                        function: String::new(),
+                    });
+                }
+            }
+        }
+    }
+    for f in &mut unit.functions {
+        check_function(f, &info, &mut errs);
+    }
+    if errs.is_empty() {
+        Ok(info)
+    } else {
+        Err(errs)
+    }
+}
+
+fn check_function(f: &mut FunctionDef, info: &UnitInfo, errs: &mut Vec<SemaError>) {
+    let mut scope = Scope::new();
+    for p in &f.params {
+        if !scope.declare(&p.name, p.ty.clone()) {
+            errs.push(err(f, format!("duplicate parameter `{}`", p.name)));
+        }
+    }
+    let fname = f.name.clone();
+    check_block(&mut f.body, &fname, info, &mut scope, errs);
+}
+
+fn err(f: &FunctionDef, message: String) -> SemaError {
+    SemaError { message, function: f.name.clone() }
+}
+
+fn serr(function: &str, message: String) -> SemaError {
+    SemaError { message, function: function.to_string() }
+}
+
+fn check_block(
+    body: &mut [Stmt],
+    fname: &str,
+    info: &UnitInfo,
+    scope: &mut Scope,
+    errs: &mut Vec<SemaError>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                if let Some(e) = init {
+                    check_expr(e, fname, info, scope, errs);
+                }
+                if let CType::Ptr(s) = ty {
+                    if !info.structs.contains_key(s) {
+                        errs.push(serr(fname, format!("unknown struct `{s}`")));
+                    }
+                }
+                if !scope.declare(name, ty.clone()) {
+                    errs.push(serr(fname, format!("`{name}` redeclared")));
+                }
+            }
+            Stmt::Assign { lv, value, .. } => {
+                check_expr(value, fname, info, scope, errs);
+                match lv {
+                    LValue::Var(v) => {
+                        if scope.lookup(v).is_none() {
+                            errs.push(serr(fname, format!("assignment to undeclared `{v}`")));
+                        }
+                    }
+                    LValue::Field { base, field } => {
+                        check_field_access(base, field, fname, info, scope, errs);
+                    }
+                }
+            }
+            Stmt::Expr(e) => check_expr(e, fname, info, scope, errs),
+            Stmt::If { cond, then_body, else_body } => {
+                check_expr(cond, fname, info, scope, errs);
+                scope.push();
+                check_block(then_body, fname, info, scope, errs);
+                scope.pop();
+                scope.push();
+                check_block(else_body, fname, info, scope, errs);
+                scope.pop();
+            }
+            Stmt::While { cond, body } => {
+                check_expr(cond, fname, info, scope, errs);
+                scope.push();
+                check_block(body, fname, info, scope, errs);
+                scope.pop();
+            }
+            Stmt::Return(Some(e)) => check_expr(e, fname, info, scope, errs),
+            Stmt::Return(None) => {}
+            Stmt::Tesla { assertion, .. } => {
+                // Every referenced variable must exist in scope.
+                for v in &assertion.variables {
+                    if scope.lookup(v).is_none() {
+                        errs.push(serr(
+                            fname,
+                            format!("TESLA assertion references `{v}`, not in scope"),
+                        ));
+                    }
+                }
+                // Patch untyped field events with the variable's
+                // struct type (Clang-style type resolution).
+                patch_field_structs(&mut assertion.expr, &assertion.variables, scope, fname, info, errs);
+            }
+        }
+    }
+}
+
+fn patch_field_structs(
+    e: &mut tesla_spec::Expr,
+    variables: &[String],
+    scope: &Scope,
+    fname: &str,
+    info: &UnitInfo,
+    errs: &mut Vec<SemaError>,
+) {
+    use tesla_spec::{ArgPattern, EventExpr, Expr as TExpr};
+    match e {
+        TExpr::Event(EventExpr::FieldAssignEvent { struct_name, field_name, object, .. }) => {
+            if struct_name.is_empty() {
+                if let ArgPattern::Var { name, .. } = object {
+                    match scope.lookup(name) {
+                        Some(CType::Ptr(s)) => *struct_name = s.clone(),
+                        Some(other) => errs.push(serr(
+                            fname,
+                            format!("assertion field event on `{name}` of type {other}"),
+                        )),
+                        None => {} // already reported above
+                    }
+                }
+            }
+            if !struct_name.is_empty() {
+                match info.structs.get(struct_name) {
+                    None => errs.push(serr(
+                        fname,
+                        format!("assertion names unknown struct `{struct_name}`"),
+                    )),
+                    Some(fields) => {
+                        if !fields.iter().any(|f| &f.name == field_name) {
+                            errs.push(serr(
+                                fname,
+                                format!("struct `{struct_name}` has no field `{field_name}`"),
+                            ));
+                        }
+                    }
+                }
+            }
+            let _ = variables;
+        }
+        TExpr::Event(_) | TExpr::AssertionSite | TExpr::InCallStack(_) => {}
+        TExpr::Sequence(es) | TExpr::Bool { exprs: es, .. } | TExpr::AtLeast { exprs: es, .. } => {
+            for e in es {
+                patch_field_structs(e, variables, scope, fname, info, errs);
+            }
+        }
+        TExpr::Modified { expr, .. } => {
+            patch_field_structs(expr, variables, scope, fname, info, errs)
+        }
+    }
+}
+
+fn check_field_access(
+    base: &Expr,
+    field: &str,
+    fname: &str,
+    info: &UnitInfo,
+    scope: &Scope,
+    errs: &mut Vec<SemaError>,
+) -> Option<CType> {
+    check_expr_inner(base, fname, info, scope, errs);
+    match type_of(base, info, scope) {
+        Some(CType::Ptr(s)) => match info.structs.get(&s) {
+            Some(fields) => match fields.iter().find(|p| p.name == field) {
+                Some(p) => Some(p.ty.clone()),
+                None => {
+                    errs.push(serr(fname, format!("struct `{s}` has no field `{field}`")));
+                    None
+                }
+            },
+            None => None, // unknown struct reported at decl
+        },
+        Some(other) => {
+            errs.push(serr(fname, format!("`->{field}` on non-pointer type {other}")));
+            None
+        }
+        None => None,
+    }
+}
+
+fn check_expr(e: &Expr, fname: &str, info: &UnitInfo, scope: &Scope, errs: &mut Vec<SemaError>) {
+    check_expr_inner(e, fname, info, scope, errs);
+}
+
+fn check_expr_inner(
+    e: &Expr,
+    fname: &str,
+    info: &UnitInfo,
+    scope: &Scope,
+    errs: &mut Vec<SemaError>,
+) {
+    match e {
+        Expr::Int(_) => {}
+        Expr::Var(v) => {
+            if scope.lookup(v).is_none() {
+                errs.push(serr(fname, format!("use of undeclared `{v}`")));
+            }
+        }
+        Expr::Field { base, field } => {
+            check_field_access(base, field, fname, info, scope, errs);
+        }
+        Expr::Call { callee, args } => {
+            for a in args {
+                check_expr_inner(a, fname, info, scope, errs);
+            }
+            match &**callee {
+                Expr::Var(name) if scope.lookup(name).is_none() => {
+                    // A direct call to a known or external function.
+                    if let Some((arity, _)) = info.functions.get(name) {
+                        if *arity != args.len() {
+                            errs.push(serr(
+                                fname,
+                                format!(
+                                    "`{name}` called with {} args, expects {arity}",
+                                    args.len()
+                                ),
+                            ));
+                        }
+                    }
+                    // Unknown names become link-time externals.
+                }
+                other => check_expr_inner(other, fname, info, scope, errs),
+            }
+        }
+        Expr::FnAddr(name) => {
+            if !info.functions.contains_key(name) {
+                errs.push(serr(fname, format!("`&{name}`: unknown function")));
+            }
+        }
+        Expr::Malloc(s) => {
+            if !info.structs.contains_key(s) {
+                errs.push(serr(fname, format!("malloc of unknown struct `{s}`")));
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            check_expr_inner(lhs, fname, info, scope, errs);
+            check_expr_inner(rhs, fname, info, scope, errs);
+        }
+        Expr::Un { expr, .. } => check_expr_inner(expr, fname, info, scope, errs),
+    }
+}
+
+/// Type of an expression, where determinable (crate-internal:
+/// lowering re-resolves with its own scope).
+fn type_of(e: &Expr, info: &UnitInfo, scope: &Scope) -> Option<CType> {
+    match e {
+        Expr::Int(_) => Some(CType::Int),
+        Expr::Var(v) => scope.lookup(v).cloned(),
+        Expr::Field { base, field } => match type_of(base, info, scope) {
+            Some(CType::Ptr(s)) => info
+                .structs
+                .get(&s)
+                .and_then(|fs| fs.iter().find(|p| &p.name == field))
+                .map(|p| p.ty.clone()),
+            _ => None,
+        },
+        Expr::Call { callee, .. } => match &**callee {
+            Expr::Var(name) if scope.lookup(name).is_none() => {
+                info.functions.get(name).map(|(_, r)| r.clone())
+            }
+            _ => Some(CType::Int),
+        },
+        Expr::FnAddr(_) => Some(CType::FnPtr),
+        Expr::Malloc(s) => Some(CType::Ptr(s.clone())),
+        Expr::Bin { .. } | Expr::Un { .. } => Some(CType::Int),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn ok(src: &str) -> Unit {
+        let mut u = parse_unit(src, "t.c").unwrap();
+        analyse(&mut u).unwrap();
+        u
+    }
+
+    fn fails_with(src: &str, needle: &str) {
+        let mut u = parse_unit(src, "t.c").unwrap();
+        let errs = analyse(&mut u).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains(needle)),
+            "expected error containing `{needle}`, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_valid_unit() {
+        ok("struct s { int a; };\n\
+            int g(struct s *p) { return p->a; }\n\
+            int main() { struct s *p = malloc(sizeof(struct s)); p->a = 1; return g(p); }");
+    }
+
+    #[test]
+    fn rejects_undeclared_and_unknown_fields() {
+        fails_with("int f() { return x; }", "undeclared `x`");
+        fails_with(
+            "struct s { int a; }; int f(struct s *p) { return p->b; }",
+            "no field `b`",
+        );
+        fails_with("int f(int x) { return x->a; }", "non-pointer");
+        fails_with("int f() { y = 3; return 0; }", "undeclared `y`");
+        fails_with("int f(int a) { int a = 3; return a; }", "redeclared");
+        fails_with("int g(int a); int f() { return g(); }", "expects 1");
+        fails_with("int f() { struct nope *p = NULL; return 0; }", "unknown struct");
+        fails_with("int f() { return h; }", "undeclared `h`");
+    }
+
+    #[test]
+    fn tesla_variables_must_be_in_scope() {
+        fails_with(
+            "int f(int so) { TESLA_SYSCALL_PREVIOUSLY(check(other) == 0); return so; }",
+            "references `other`",
+        );
+        ok("int f(int so) { TESLA_SYSCALL_PREVIOUSLY(check(so) == 0); return so; }");
+    }
+
+    #[test]
+    fn tesla_field_events_get_struct_types_patched() {
+        let u = ok("struct proc { int p_flag; };\n\
+                    int f(struct proc *p) {\n\
+                        TESLA_SYSCALL(eventually(p.p_flag |= 0x100));\n\
+                        return 0;\n\
+                    }");
+        let Stmt::Tesla { assertion, .. } = &u.functions[0].body[0] else {
+            panic!("expected tesla stmt");
+        };
+        let mut patched = false;
+        assertion.expr.for_each_event(&mut |e| {
+            if let tesla_spec::EventExpr::FieldAssignEvent { struct_name, .. } = e {
+                patched = struct_name == "proc";
+            }
+        });
+        assert!(patched);
+    }
+
+    #[test]
+    fn tesla_field_events_with_bad_fields_are_rejected() {
+        fails_with(
+            "struct proc { int p_flag; };\n\
+             int f(struct proc *p) { TESLA_SYSCALL(eventually(p.nope = 1)); return 0; }",
+            "no field `nope`",
+        );
+    }
+
+    #[test]
+    fn shadowing_in_inner_scopes_is_allowed() {
+        ok("int f(int a) { if (a) { int b = 1; a = b; } else { int b = 2; a = b; } return a; }");
+    }
+}

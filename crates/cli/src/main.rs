@@ -1,0 +1,177 @@
+//! `tesla` — the command-line front door to the TESLA toolchain.
+//!
+//! ```text
+//! tesla check  '<assertion>'          parse + compile an assertion, describe the automaton
+//! tesla graph  '<assertion>'          emit the automaton as Graphviz DOT
+//! tesla analyse <file.c>...           run the analyser, print the merged .tesla manifest
+//! tesla build   <file.c>...           full TESLA build, print instrumentation stats
+//! tesla run     <file.c>... [--entry f] [--arg N]...
+//!                                     build, weave, execute under libtesla (fail-stop)
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem, Project};
+use tesla::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let r = match cmd.as_str() {
+        "check" => check(rest),
+        "graph" => graph(rest),
+        "analyse" | "analyze" => analyse(rest),
+        "static-check" => static_check_cmd(rest),
+        "build" => build(rest),
+        "run" => run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tesla: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tesla check  '<assertion>'     describe the compiled automaton
+  tesla graph  '<assertion>'     emit Graphviz DOT
+  tesla analyse <file.c>...      print the merged .tesla manifest
+  tesla static-check <file.c>... compile-time assertion checking (§7)
+  tesla build   <file.c>...      TESLA build; print instrumentation stats
+  tesla run     <file.c>... [--entry main] [--arg N]...
+                                 build and execute under libtesla";
+
+fn parse_one(src: &str) -> Result<tesla::spec::Assertion, String> {
+    parse_assertion(src).map_err(|e| e.to_string())
+}
+
+fn check(rest: &[String]) -> Result<(), String> {
+    let src = rest.first().ok_or("check needs an assertion string")?;
+    let a = parse_one(src)?;
+    let auto = compile(&a).map_err(|e| e.to_string())?;
+    println!("assertion : {a}");
+    println!("context   : {}", a.context);
+    println!("bounds    : {} .. {}", a.bounds.start, a.bounds.end);
+    println!("variables : {:?}", a.variables);
+    println!("states    : {}", auto.n_states);
+    println!("symbols   : {}", auto.n_symbols());
+    for s in &auto.symbols {
+        println!("  #{:<3} {}", s.id.0, s.kind);
+    }
+    let dfa = tesla::automata::Dfa::from_automaton(&auto);
+    println!("DFA states: {}", dfa.n_states());
+    println!("instrument: {:?}", auto.instrumentation_targets());
+    Ok(())
+}
+
+fn graph(rest: &[String]) -> Result<(), String> {
+    let src = rest.first().ok_or("graph needs an assertion string")?;
+    let a = parse_one(src)?;
+    let auto = compile(&a).map_err(|e| e.to_string())?;
+    print!("{}", tesla::automata::dot::render(&auto, &tesla::automata::dot::Unweighted));
+    Ok(())
+}
+
+fn load_project(files: &[String]) -> Result<Project, String> {
+    if files.is_empty() {
+        return Err("no source files given".into());
+    }
+    let mut units = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        units.push((f.clone(), src));
+    }
+    Ok(Project::from_sources(
+        &units.iter().map(|(f, s)| (f.as_str(), s.as_str())).collect::<Vec<_>>(),
+    ))
+}
+
+fn analyse(rest: &[String]) -> Result<(), String> {
+    let project = load_project(rest)?;
+    let mut manifests = Vec::new();
+    for u in &project.units {
+        let out = tesla::cc::compile_unit(&u.source, &u.file).map_err(|e| e.to_string())?;
+        manifests.push(out.manifest);
+    }
+    let merged = tesla::automata::Manifest::merge(&manifests);
+    println!("{}", merged.to_tesla());
+    eprintln!(
+        "({} assertions across {} units; instrumentation plan: {:?})",
+        merged.entries.len(),
+        project.units.len(),
+        merged.instrumentation_plan().map_err(|(n, e)| format!("{n}: {e}"))?
+    );
+    Ok(())
+}
+
+fn static_check_cmd(rest: &[String]) -> Result<(), String> {
+    let project = load_project(rest)?;
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let art = bs.build().map_err(|e| e.to_string())?;
+    let findings = tesla::instrument::static_check(&art.program, &art.manifest)?;
+    if findings.is_empty() {
+        println!("static check: all {} assertions look satisfiable", art.manifest.entries.len());
+        Ok(())
+    } else {
+        for f in &findings {
+            eprintln!("warning: {f}");
+        }
+        Err(format!("{} static finding(s)", findings.len()))
+    }
+}
+
+fn build(rest: &[String]) -> Result<(), String> {
+    let project = load_project(rest)?;
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let art = bs.build().map_err(|e| e.to_string())?;
+    println!(
+        "compiled {} units; instrumented {}; {} hooks; {} sites; {} TIR instructions",
+        art.stats.compiled_units,
+        art.stats.instrumented_units,
+        art.stats.hooks_inserted,
+        art.manifest.entries.len(),
+        art.stats.linked_insts
+    );
+    Ok(())
+}
+
+fn run(rest: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut entry = "main".to_string();
+    let mut prog_args: Vec<i64> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = it.next().ok_or("--entry needs a name")?.clone(),
+            "--arg" => prog_args.push(
+                it.next()
+                    .ok_or("--arg needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --arg: {e}"))?,
+            ),
+            f => files.push(f.to_string()),
+        }
+    }
+    let project = load_project(&files)?;
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let art = bs.build().map_err(|e| e.to_string())?;
+    let engine = Arc::new(Tesla::with_defaults());
+    match run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000) {
+        Ok(rc) => {
+            println!("{entry}({prog_args:?}) = {rc}");
+            println!("0 violations");
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}

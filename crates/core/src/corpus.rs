@@ -1,0 +1,196 @@
+//! Synthetic mini-C corpora for the build-time experiments.
+//!
+//! Fig. 10 measures the TESLA toolchain over OpenSSL (hundreds of C
+//! files); §5.2.1 over the FreeBSD kernel. These generators produce
+//! projects with the same *shape* — many interdependent translation
+//! units, a few of which contain assertions that reference functions
+//! defined in other units — scaled to laptop-sized corpora.
+
+use crate::pipeline::Project;
+use std::fmt::Write as _;
+
+/// An OpenSSL-shaped corpus: `files` units of library code
+/// ("libcrypto"/"libssl" layers), plus a "libfetch" client unit whose
+/// `main` carries the fig. 6 assertion referencing a function defined
+/// in unit 0.
+pub fn openssl_like(files: usize) -> Project {
+    assert!(files >= 2, "need at least a library and a client");
+    let mut units = Vec::with_capacity(files);
+    // Unit 0: the libcrypto-ish core, defining EVP_VerifyFinal.
+    let mut src = String::from(
+        "struct evp_ctx { int digest; int err; };\n\
+         int EVP_VerifyFinal(struct evp_ctx *ctx, int sig, int len, int key) {\n\
+             if (len < 4) { return -1; }\n\
+             if (sig == key) { return 1; }\n\
+             return 0;\n\
+         }\n",
+    );
+    for f in 0..20 {
+        let _ = write!(
+            src,
+            "int crypto_helper_{f}(int x) {{\n\
+                 int acc = {f};\n\
+                 while (x > 0) {{ acc += (x * {m}) % 13; x -= 1; }}\n\
+                 return acc;\n\
+             }}\n",
+            m = f + 2
+        );
+    }
+    units.push(("crypto/evp.c".to_string(), src));
+    // Middle units: libssl-ish layers calling downward.
+    for i in 1..files - 1 {
+        let mut src = String::new();
+        let below = if i == 1 {
+            "crypto_helper_0".to_string()
+        } else {
+            format!("ssl_layer_{}_fn_0", i - 1)
+        };
+        let _ = writeln!(src, "int {below}(int x);");
+        for f in 0..20 {
+            let _ = write!(
+                src,
+                "int ssl_layer_{i}_fn_{f}(int x) {{\n\
+                     int acc = {below}(x);\n\
+                     int round = 0;\n\
+                     while (round < {f} + 3) {{\n\
+                         if (acc % 2 == 0) {{ acc += x * {f}; }} else {{ acc -= round; }}\n\
+                         round += 1;\n\
+                     }}\n\
+                     return acc;\n\
+                 }}\n"
+            );
+        }
+        units.push((format!("ssl/layer{i}.c"), src));
+    }
+    // The client: fig. 6's cross-library assertion.
+    let top = if files >= 3 { format!("ssl_layer_{}_fn_0", files - 2) } else { "crypto_helper_0".to_string() };
+    let client = format!(
+        "struct evp_ctx {{ int digest; int err; }};\n\
+         int EVP_VerifyFinal(struct evp_ctx *ctx, int sig, int len, int key);\n\
+         int {top}(int x);\n\
+         int main(int key) {{\n\
+             struct evp_ctx *ctx = malloc(sizeof(struct evp_ctx));\n\
+             int rc = EVP_VerifyFinal(ctx, key, 8, key);\n\
+             int page = {top}(rc);\n\
+             TESLA_WITHIN(main, previously(\n\
+                 EVP_VerifyFinal(ANY(ptr), ANY(int), ANY(int), ANY(int)) == 1));\n\
+             return page;\n\
+         }}\n"
+    );
+    units.push(("fetch/main.c".to_string(), client));
+    Project {
+        units: units
+            .into_iter()
+            .map(|(file, source)| crate::pipeline::SourceUnit { file, source })
+            .collect(),
+    }
+}
+
+/// A kernel-shaped corpus: `files` subsystem units with `assertions`
+/// fig.-4-style MAC assertions spread across them, all bounded by a
+/// shared `amd64_syscall` defined in unit 0.
+pub fn kernel_like(files: usize, assertions: usize) -> Project {
+    assert!(files >= 2);
+    let mut units = Vec::with_capacity(files);
+    // Unit 0: syscall dispatch + the MAC check entry points.
+    let mut src = String::from(
+        "struct socket { int so_state; };\n\
+         int mac_check(int cred, struct socket *so) { return 0; }\n",
+    );
+    for s in 0..files - 1 {
+        let _ = writeln!(src, "int subsys_{s}_entry(int cred, struct socket *so);");
+    }
+    src.push_str(
+        "int amd64_syscall(int cred, int nr) {\n\
+             struct socket *so = malloc(sizeof(struct socket));\n\
+             mac_check(cred, so);\n",
+    );
+    for s in 0..files - 1 {
+        let _ = writeln!(src, "    subsys_{s}_entry(cred, so);");
+    }
+    src.push_str("    return 0;\n}\n");
+    units.push(("kern/syscall.c".to_string(), src));
+    // Subsystem units; assertions round-robin across them.
+    let mut remaining = assertions;
+    for s in 0..files - 1 {
+        let per_unit = if files > 1 {
+            (assertions / (files - 1)) + usize::from(s < assertions % (files - 1))
+        } else {
+            0
+        };
+        let mut src = String::from(
+            "struct socket { int so_state; };\n\
+             int mac_check(int cred, struct socket *so);\n",
+        );
+        let _ = write!(
+            src,
+            "int subsys_{s}_entry(int cred, struct socket *so) {{\n\
+                 so->so_state = {s};\n"
+        );
+        for a in 0..per_unit.min(remaining) {
+            let _ = writeln!(
+                src,
+                "    TESLA_SYSCALL_PREVIOUSLY(mac_check(ANY(int), so) == 0); // #{a}"
+            );
+        }
+        remaining = remaining.saturating_sub(per_unit);
+        src.push_str("    return 0;\n}\n");
+        units.push((format!("subsys/unit{s}.c"), src));
+    }
+    Project {
+        units: units
+            .into_iter()
+            .map(|(file, source)| crate::pipeline::SourceUnit { file, source })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{BuildOptions, BuildSystem};
+
+    #[test]
+    fn openssl_corpus_builds_both_ways() {
+        let p = openssl_like(8);
+        assert_eq!(p.units.len(), 8);
+        for opts in [BuildOptions::default_toolchain(), BuildOptions::tesla_toolchain()] {
+            let mut bs = BuildSystem::new(p.clone(), opts);
+            let art = bs.build().unwrap();
+            assert!(art.stats.linked_insts > 0);
+            if opts.tesla {
+                assert_eq!(art.manifest.entries.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn openssl_corpus_program_runs_and_asserts() {
+        let p = openssl_like(6);
+        let mut bs = BuildSystem::new(p, BuildOptions::tesla_toolchain());
+        let art = bs.build().unwrap();
+        let t = tesla_runtime::Tesla::with_defaults();
+        // key == sig → EVP returns 1 → assertion satisfied.
+        crate::pipeline::run_with_tesla(&art, &t, "main", &[9], 10_000_000).unwrap();
+    }
+
+    #[test]
+    fn kernel_corpus_scales_assertion_counts() {
+        let p = kernel_like(6, 10);
+        let mut bs = BuildSystem::new(p, BuildOptions::tesla_toolchain());
+        let art = bs.build().unwrap();
+        assert_eq!(art.manifest.entries.len(), 10);
+        let t = tesla_runtime::Tesla::with_defaults();
+        crate::pipeline::run_with_tesla(&art, &t, "amd64_syscall", &[1, 2], 10_000_000)
+            .unwrap();
+        assert!(t.violations().is_empty());
+    }
+
+    #[test]
+    fn kernel_corpus_with_zero_assertions_is_valid() {
+        let p = kernel_like(4, 0);
+        let mut bs = BuildSystem::new(p, BuildOptions::tesla_toolchain());
+        let art = bs.build().unwrap();
+        assert_eq!(art.manifest.entries.len(), 0);
+    }
+}

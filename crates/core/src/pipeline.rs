@@ -1,0 +1,492 @@
+//! The end-to-end TESLA build pipeline, with the incremental-rebuild
+//! behaviour of §5.1 (fig. 10).
+//!
+//! A [`BuildSystem`] owns a project (a set of mini-C units) and a
+//! per-unit cache, and supports two workflows:
+//!
+//! * **Default** — parse, lower, link, optimise. Incremental rebuilds
+//!   recompile only dirty units and relink.
+//! * **TESLA** — parse, *analyse* (extract assertions to per-unit
+//!   `.tesla` manifests), merge manifests program-wide, *instrument
+//!   every unit against the merged manifest*, link, optimise.
+//!
+//! "TESLA assertions in any source file can reference events that are
+//! defined in any other source file … after modifying a TESLA
+//! assertion in any one source file, instrumentation must be
+//! performed again, potentially on many files. In our current
+//! implementation, we naively re-instrument all code" (§5.1). The
+//! default [`ReinstrumentPolicy::Naive`] reproduces that; the
+//! fingerprint-based [`ReinstrumentPolicy::Fingerprint`] is the
+//! "could be pared down through further build optimisation" ablation.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tesla_automata::Manifest;
+use tesla_cc::UnitOutput;
+use tesla_instrument::{instrument, register_manifest, RuntimeSink};
+use tesla_ir::opt::{optimise, InlineOptions};
+use tesla_ir::verify::{verify, Stage};
+use tesla_ir::{Interp, Module};
+use tesla_runtime::Tesla;
+
+/// One source unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceUnit {
+    /// File name.
+    pub file: String,
+    /// Mini-C source text.
+    pub source: String,
+}
+
+/// A project: the program's translation units.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Project {
+    /// The units.
+    pub units: Vec<SourceUnit>,
+}
+
+impl Project {
+    /// Construct from (file, source) pairs.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Project {
+        Project {
+            units: sources
+                .iter()
+                .map(|(f, s)| SourceUnit { file: (*f).to_string(), source: (*s).to_string() })
+                .collect(),
+        }
+    }
+
+    /// Total source bytes (reporting).
+    pub fn total_bytes(&self) -> usize {
+        self.units.iter().map(|u| u.source.len()).sum()
+    }
+}
+
+/// When does an assertion change force re-instrumenting other units?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReinstrumentPolicy {
+    /// Any change to any unit re-instruments everything (the paper's
+    /// implementation: the combined `.tesla` file is regenerated, so
+    /// every IR file is considered stale).
+    #[default]
+    Naive,
+    /// Re-instrument all units only when the *merged manifest
+    /// fingerprint* actually changed; otherwise only dirty units.
+    Fingerprint,
+}
+
+/// Build configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Run the TESLA analyser + instrumenter stages.
+    pub tesla: bool,
+    /// Run the optimiser (after instrumentation, §4.2).
+    pub optimise: bool,
+    /// Incremental re-instrumentation policy.
+    pub reinstrument: ReinstrumentPolicy,
+    /// Verify units and the linked program (tests/debug; off in
+    /// benchmark runs, as real toolchains do not re-verify).
+    pub verify: bool,
+}
+
+impl BuildOptions {
+    /// The default (non-TESLA) toolchain.
+    pub fn default_toolchain() -> BuildOptions {
+        BuildOptions {
+            tesla: false,
+            optimise: true,
+            reinstrument: ReinstrumentPolicy::Naive,
+            verify: true,
+        }
+    }
+
+    /// The TESLA toolchain, with the paper's naive re-instrumentation.
+    pub fn tesla_toolchain() -> BuildOptions {
+        BuildOptions {
+            tesla: true,
+            optimise: true,
+            reinstrument: ReinstrumentPolicy::Naive,
+            verify: true,
+        }
+    }
+}
+
+/// Statistics from one build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Units (re)compiled front-end-side.
+    pub compiled_units: usize,
+    /// Units (re)instrumented.
+    pub instrumented_units: usize,
+    /// Total TIR instructions in the linked program.
+    pub linked_insts: usize,
+    /// Hooks inserted across re-instrumented units.
+    pub hooks_inserted: usize,
+    /// Bytes of per-unit object code emitted (recompiled units in
+    /// default mode; every re-instrumented unit in TESLA mode — the
+    /// paper's per-file IR read/instrument/write cycle, §5.1/§7).
+    pub object_bytes: usize,
+}
+
+/// A finished build.
+pub struct BuildArtifacts {
+    /// The linked (and, in TESLA mode, instrumented) program.
+    pub program: Module,
+    /// The merged program manifest (empty in default mode).
+    pub manifest: Manifest,
+    /// What the build did.
+    pub stats: BuildStats,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Build failure.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Front-end failure.
+    Compile(String, tesla_cc::CompileError),
+    /// Link failure.
+    Link(String),
+    /// Instrumentation failure.
+    Instrument(tesla_instrument::InstrumentError),
+    /// Verifier rejection.
+    Verify(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Compile(file, e) => write!(f, "{file}: {e}"),
+            BuildError::Link(e) => write!(f, "link: {e}"),
+            BuildError::Instrument(e) => write!(f, "instrument: {e}"),
+            BuildError::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The incremental build system.
+pub struct BuildSystem {
+    project: Project,
+    options: BuildOptions,
+    /// Per-unit front-end cache: file → (source fingerprint, output).
+    unit_cache: HashMap<String, (u64, UnitOutput)>,
+    /// Fingerprint of the last merged manifest.
+    last_manifest_fp: Option<u64>,
+    /// Dirty files (explicitly touched since the last build).
+    dirty: Vec<String>,
+    /// Per-unit object cache: file → (source fp, manifest key,
+    /// instrumented+optimised module).
+    object_cache: HashMap<String, (u64, u64, Module)>,
+    /// Monotonic build counter (naive TESLA staleness key).
+    build_seq: u64,
+}
+
+/// Serialise a unit's compiled form — the object-file emission cost
+/// of the real toolchain (LLVM bitcode write, §5.1).
+fn emit_object(m: &Module) -> usize {
+    serde_json::to_string(m).map(|s| s.len()).unwrap_or(0)
+}
+
+/// One IR write+read round-trip between toolchain stages (the
+/// `clang → .bc → instrumenter → .bc → opt` hand-offs of §4.2).
+fn reload_ir(m: &Module) -> Result<Module, String> {
+    let text = serde_json::to_string(m).map_err(|e| e.to_string())?;
+    serde_json::from_str(&text).map_err(|e: serde_json::Error| e.to_string())
+}
+
+fn fingerprint(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl BuildSystem {
+    /// Create a build system over a project.
+    pub fn new(project: Project, options: BuildOptions) -> BuildSystem {
+        BuildSystem {
+            project,
+            options,
+            unit_cache: HashMap::new(),
+            last_manifest_fp: None,
+            dirty: Vec::new(),
+            object_cache: HashMap::new(),
+            build_seq: 0,
+        }
+    }
+
+    /// Mark a file as edited (appends a comment so the fingerprint
+    /// changes, like a save in an editor).
+    pub fn touch(&mut self, file: &str) {
+        if let Some(u) = self.project.units.iter_mut().find(|u| u.file == file) {
+            u.source.push_str("\n// touched\n");
+            self.dirty.push(file.to_string());
+        }
+    }
+
+    /// Edit a file's source outright.
+    pub fn edit(&mut self, file: &str, new_source: &str) {
+        if let Some(u) = self.project.units.iter_mut().find(|u| u.file == file) {
+            u.source = new_source.to_string();
+            self.dirty.push(file.to_string());
+        }
+    }
+
+    /// Run a build: full on first call, incremental afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] from any stage.
+    pub fn build(&mut self) -> Result<BuildArtifacts, BuildError> {
+        let t0 = Instant::now();
+        let mut stats = BuildStats::default();
+
+        // Front-end: recompile units whose fingerprint changed.
+        for unit in &self.project.units {
+            let fp = fingerprint(&unit.source);
+            let cached = self.unit_cache.get(&unit.file).map(|(f, _)| *f);
+            if cached != Some(fp) {
+                let out = tesla_cc::compile_unit(&unit.source, &unit.file)
+                    .map_err(|e| BuildError::Compile(unit.file.clone(), e))?;
+                if self.options.verify {
+                    verify(&out.module, Stage::Unit)
+                        .map_err(|e| BuildError::Verify(format!("{}: {:?}", unit.file, e)))?;
+                }
+                self.unit_cache.insert(unit.file.clone(), (fp, out));
+                stats.compiled_units += 1;
+            }
+        }
+        self.dirty.clear();
+
+        // Analyse: merge the per-unit manifests program-wide.
+        let manifest = if self.options.tesla {
+            let per_unit: Vec<Manifest> = self
+                .project
+                .units
+                .iter()
+                .map(|u| self.unit_cache[&u.file].1.manifest.clone())
+                .collect();
+            Manifest::merge(&per_unit)
+        } else {
+            Manifest::new()
+        };
+
+        // Per-unit back-end: instrument (TESLA) → optimise → emit
+        // object code. This mirrors the paper's per-file workflow
+        // (clang -O0 → instrument → opt -O2 → .o); objects are cached
+        // so the default toolchain's incremental rebuild only re-does
+        // the dirty unit, while the naive TESLA toolchain re-does
+        // every unit on any change (§5.1).
+        let manifest_key = if self.options.tesla {
+            match self.options.reinstrument {
+                ReinstrumentPolicy::Naive => {
+                    // The combined .tesla file was just regenerated:
+                    // every object is considered stale.
+                    self.build_seq += 1;
+                    self.build_seq
+                }
+                ReinstrumentPolicy::Fingerprint => manifest.fingerprint(),
+            }
+        } else {
+            0
+        };
+        self.last_manifest_fp = Some(manifest.fingerprint());
+        // The paper's implementation "re-load[s], re-pars[es], and
+        // re-interpret[s] the same TESLA automaton description for
+        // every LLVM IR file it instruments" (§7) — reproduce that
+        // honestly: each unit re-reads the merged .tesla text.
+        let manifest_text = if self.options.tesla { manifest.to_tesla() } else { String::new() };
+        let mut modules: Vec<Module> = Vec::with_capacity(self.project.units.len());
+        for u in &self.project.units {
+            let (src_fp, unit_out) = &self.unit_cache[&u.file];
+            let cached = self
+                .object_cache
+                .get(&u.file)
+                .filter(|(sfp, mfp, _)| sfp == src_fp && *mfp == manifest_key);
+            if let Some((_, _, obj)) = cached {
+                modules.push(obj.clone());
+                continue;
+            }
+            let mut m = unit_out.module.clone();
+            if self.options.tesla {
+                // The TESLA workflow adds pipeline stages (§5.1):
+                // clang emits IR, the standalone instrumenter re-reads
+                // it, instruments, writes it back, and opt re-reads
+                // that. Model the two extra IR round-trips honestly.
+                m = reload_ir(&m).map_err(BuildError::Link)?;
+                let reloaded = Manifest::from_tesla(&manifest_text)
+                    .map_err(|e| BuildError::Link(format!("manifest reload: {e}")))?;
+                let st = instrument(&mut m, &reloaded).map_err(BuildError::Instrument)?;
+                m = reload_ir(&m).map_err(BuildError::Link)?;
+                stats.instrumented_units += 1;
+                stats.hooks_inserted +=
+                    st.entry_hooks + st.exit_hooks + st.call_site_hooks + st.field_hooks;
+            } else {
+                // Without the TESLA toolchain the assertion macros
+                // expand to nothing: drop the placeholders.
+                for f in &mut m.functions {
+                    for b in &mut f.blocks {
+                        b.insts
+                            .retain(|i| !matches!(i, tesla_ir::Inst::TeslaPseudoAssert { .. }));
+                    }
+                }
+            }
+            if self.options.optimise {
+                optimise(&mut m, &InlineOptions::default());
+            }
+            stats.object_bytes += emit_object(&m);
+            self.object_cache.insert(u.file.clone(), (*src_fp, manifest_key, m.clone()));
+            modules.push(m);
+        }
+
+        // Link (cheap relative to the per-unit work, as in a real
+        // toolchain).
+        let program = Module::link(modules, "program").map_err(BuildError::Link)?;
+        if self.options.verify {
+            verify(&program, Stage::Linked)
+                .map_err(|e| BuildError::Verify(format!("linked: {:?}", e.first().unwrap())))?;
+        }
+        stats.linked_insts = program.n_insts();
+        Ok(BuildArtifacts { program, manifest, stats, elapsed: t0.elapsed() })
+    }
+}
+
+/// Run a built program under the interpreter with a libtesla engine
+/// attached: registers the manifest's automata and bridges hooks.
+///
+/// # Errors
+///
+/// Returns the interpreter error (including TESLA violations) as a
+/// string.
+pub fn run_with_tesla(
+    artifacts: &BuildArtifacts,
+    tesla: &Tesla,
+    entry: &str,
+    args: &[i64],
+    fuel: u64,
+) -> Result<i64, String> {
+    // Register once per engine: repeated runs reuse the classes whose
+    // ids the instrumenter baked into `TeslaSite` instructions.
+    if tesla.n_classes() == 0 {
+        register_manifest(tesla, &artifacts.manifest)?;
+    }
+    let mut sink = RuntimeSink::new(tesla);
+    let mut interp = Interp::new(&artifacts.program, fuel);
+    interp.run_named(entry, args, &mut sink).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_ir::NullSink;
+
+    fn two_unit_project() -> Project {
+        Project::from_sources(&[
+            (
+                "lib.c",
+                "int check(int x) { return 0; }\n\
+                 int helper(int x) { return x + 1; }",
+            ),
+            (
+                "main.c",
+                "int check(int x);\n\
+                 int helper(int x);\n\
+                 int main(int x) {\n\
+                     check(x);\n\
+                     TESLA_WITHIN(main, previously(check(x) == 0));\n\
+                     return helper(x);\n\
+                 }",
+            ),
+        ])
+    }
+
+    #[test]
+    fn default_build_runs_without_tesla_stages() {
+        let mut bs = BuildSystem::new(
+            Project::from_sources(&[("a.c", "int main(int x) { return x * 2; }")]),
+            BuildOptions::default_toolchain(),
+        );
+        let art = bs.build().unwrap();
+        assert_eq!(art.stats.instrumented_units, 0);
+        let mut i = Interp::new(&art.program, 10_000);
+        assert_eq!(i.run_named("main", &[21], &mut NullSink).unwrap(), 42);
+    }
+
+    #[test]
+    fn tesla_build_instruments_and_enforces() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::tesla_toolchain());
+        let art = bs.build().unwrap();
+        assert_eq!(art.stats.compiled_units, 2);
+        assert_eq!(art.stats.instrumented_units, 2);
+        assert_eq!(art.manifest.entries.len(), 1);
+        let t = Tesla::with_defaults();
+        assert_eq!(run_with_tesla(&art, &t, "main", &[5], 100_000).unwrap(), 6);
+        assert!(t.violations().is_empty());
+    }
+
+    #[test]
+    fn violation_surfaces_through_the_pipeline() {
+        let mut bs = BuildSystem::new(
+            Project::from_sources(&[(
+                "main.c",
+                "int check(int x) { return 1; }\n\
+                 int main(int x) {\n\
+                     check(x);\n\
+                     TESLA_WITHIN(main, previously(check(x) == 0));\n\
+                     return 0;\n\
+                 }",
+            )]),
+            BuildOptions::tesla_toolchain(),
+        );
+        let art = bs.build().unwrap();
+        let t = Tesla::with_defaults();
+        let err = run_with_tesla(&art, &t, "main", &[5], 100_000).unwrap_err();
+        assert!(err.contains("TESLA"), "{err}");
+    }
+
+    #[test]
+    fn incremental_default_recompiles_only_dirty() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::default_toolchain());
+        bs.build().unwrap();
+        bs.touch("lib.c");
+        let art = bs.build().unwrap();
+        assert_eq!(art.stats.compiled_units, 1);
+        assert_eq!(art.stats.instrumented_units, 0);
+    }
+
+    #[test]
+    fn incremental_tesla_naively_reinstruments_everything() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::tesla_toolchain());
+        bs.build().unwrap();
+        bs.touch("lib.c");
+        let art = bs.build().unwrap();
+        // One unit recompiled, but *all* units re-instrumented.
+        assert_eq!(art.stats.compiled_units, 1);
+        assert_eq!(art.stats.instrumented_units, 2);
+    }
+
+    #[test]
+    fn no_op_build_is_fully_cached() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::default_toolchain());
+        bs.build().unwrap();
+        let art = bs.build().unwrap();
+        assert_eq!(art.stats.compiled_units, 0);
+    }
+
+    #[test]
+    fn optimised_and_unoptimised_agree() {
+        for optimise in [false, true] {
+            let mut bs = BuildSystem::new(
+                two_unit_project(),
+                BuildOptions { optimise, ..BuildOptions::tesla_toolchain() },
+            );
+            let art = bs.build().unwrap();
+            let t = Tesla::with_defaults();
+            assert_eq!(run_with_tesla(&art, &t, "main", &[7], 100_000).unwrap(), 8);
+        }
+    }
+}

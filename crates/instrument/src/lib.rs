@@ -1,0 +1,452 @@
+//! # tesla-instrument — weaving TESLA hooks into TIR
+//!
+//! The instrumenter "modifies compiled code to turn program events
+//! into automaton transitions" (§4.2). Given a TIR module and the
+//! program-wide merged `.tesla` manifest, [`instrument`] adds the two
+//! kinds of code the paper describes:
+//!
+//! * **program hooks** — callee-side instrumentation in the target
+//!   function's entry block and before every return instruction;
+//!   caller-side instrumentation immediately before and after call
+//!   sites (needed for libraries that cannot be recompiled); and
+//!   field-assignment hooks after each relevant `Store`;
+//! * **assertion-site rewriting** — every
+//!   `__tesla_inline_assertion` placeholder
+//!   ([`tesla_ir::Inst::TeslaPseudoAssert`]) is replaced with a real
+//!   site event bound to its runtime automaton class.
+//!
+//! The *event translators* the paper generates as code are compiled
+//! dispatch tables inside `tesla-runtime` (see its docs); the
+//! [`RuntimeSink`] here bridges the interpreter's hook stream into
+//! them.
+//!
+//! Because assertions anywhere in the program can name events
+//! anywhere else, the manifest passed in must be the *merged* one;
+//! instrumenting any unit therefore depends on every unit's
+//! assertions — the one-to-many property that makes incremental
+//! rebuilds expensive (§5.1, fig. 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod static_check;
+
+pub use static_check::{static_check, StaticFinding};
+
+use std::collections::{HashMap, HashSet};
+use tesla_automata::{InstrSide, Manifest, SymbolKind};
+use tesla_ir::{Callee, FuncId, Inst, Module, Terminator};
+use tesla_runtime::{ClassId, Tesla};
+use tesla_spec::Value;
+
+/// Instrumentation statistics (drives the build-time experiments).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InstrStats {
+    /// Functions that received callee-side entry/exit hooks.
+    pub hooked_functions: usize,
+    /// Entry hooks inserted.
+    pub entry_hooks: usize,
+    /// Exit hooks inserted.
+    pub exit_hooks: usize,
+    /// Caller-side pre/post pairs inserted.
+    pub call_site_hooks: usize,
+    /// Field-assignment hooks inserted.
+    pub field_hooks: usize,
+    /// Assertion placeholders replaced with site events.
+    pub sites_replaced: usize,
+}
+
+/// An instrumentation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrumentError {
+    /// An assertion in the module has no matching manifest entry —
+    /// the manifest is stale (a unit was edited without re-running
+    /// the analyser).
+    StaleManifest {
+        /// The unmatched assertion's name.
+        assertion: String,
+    },
+    /// Manifest compilation failed.
+    Compile(String),
+}
+
+impl std::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstrumentError::StaleManifest { assertion } => {
+                write!(f, "assertion `{assertion}` not in the merged manifest; re-run analysis")
+            }
+            InstrumentError::Compile(e) => write!(f, "automaton compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+/// Instrument `module` against the merged program `manifest`.
+///
+/// Runtime class ids are assigned by manifest order: entry *i*
+/// becomes class *i*, matching [`register_manifest`].
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] on stale manifests or un-compilable
+/// assertions.
+pub fn instrument(module: &mut Module, manifest: &Manifest) -> Result<InstrStats, InstrumentError> {
+    let mut stats = InstrStats::default();
+    let automata = manifest
+        .compile_all()
+        .map_err(|(name, e)| InstrumentError::Compile(format!("{name}: {e}")))?;
+
+    // Program-wide plan: function name → side.
+    let plan = manifest
+        .instrumentation_plan()
+        .map_err(|(name, e)| InstrumentError::Compile(format!("{name}: {e}")))?;
+    // Field events referenced by any automaton: (struct name or "",
+    // field name).
+    let mut field_targets: HashSet<(String, String)> = HashSet::new();
+    for a in &automata {
+        for s in &a.symbols {
+            if let SymbolKind::FieldAssign { struct_name, field_name, .. } = &s.kind {
+                field_targets.insert((struct_name.clone(), field_name.clone()));
+            }
+        }
+    }
+    // Message events are instrumented by runtime interposition
+    // (§4.3), not by this IR pass.
+
+    // Assertion index → runtime class id, by manifest identity.
+    let mut class_of: Vec<u32> = Vec::with_capacity(module.assertions.len());
+    for a in &module.assertions {
+        let idx = manifest
+            .entries
+            .iter()
+            .position(|e| {
+                e.assertion.name == a.assertion.name && e.assertion.loc == a.assertion.loc
+            })
+            .ok_or_else(|| InstrumentError::StaleManifest {
+                assertion: a.assertion.name.clone(),
+            })?;
+        class_of.push(idx as u32);
+    }
+
+    let callee_hooked: HashSet<String> = plan
+        .iter()
+        .filter(|(_, side)| **side == InstrSide::Callee)
+        .map(|(n, _)| n.clone())
+        .collect();
+    let caller_hooked: HashSet<String> = plan
+        .iter()
+        .filter(|(_, side)| **side == InstrSide::Caller)
+        .map(|(n, _)| n.clone())
+        .collect();
+
+    let fn_names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    let struct_names: Vec<String> = module.structs.iter().map(|s| s.name.clone()).collect();
+    let struct_fields: Vec<Vec<String>> =
+        module.structs.iter().map(|s| s.fields.clone()).collect();
+
+    for (fi, f) in module.functions.iter_mut().enumerate() {
+        let fid = FuncId(fi as u32);
+        let callee_side = callee_hooked.contains(&f.name);
+        if callee_side {
+            stats.hooked_functions += 1;
+            // Entry hook at the top of the entry block.
+            f.blocks[0].insts.insert(0, Inst::TeslaHookEntry { func: fid });
+            stats.entry_hooks += 1;
+            // Exit hooks before every return.
+            for b in &mut f.blocks {
+                if let Terminator::Ret(r) = &b.term {
+                    b.insts.push(Inst::TeslaHookExit { func: fid, ret: *r });
+                    stats.exit_hooks += 1;
+                }
+            }
+        }
+        // Walk instructions: caller-side call hooks, field hooks, and
+        // placeholder replacement.
+        for b in &mut f.blocks {
+            let mut i = 0;
+            while i < b.insts.len() {
+                match &b.insts[i] {
+                    Inst::Call { dst, callee, args } => {
+                        let name = match callee {
+                            Callee::Direct(g) => Some(fn_names[g.0 as usize].clone()),
+                            Callee::External(n) => Some(n.clone()),
+                            Callee::Indirect(_) => None, // §7: not yet expressible
+                        };
+                        if let Some(name) = name {
+                            if caller_hooked.contains(&name) {
+                                let pre = Inst::TeslaHookCallPre {
+                                    name: name.clone(),
+                                    args: args.clone(),
+                                };
+                                let post = Inst::TeslaHookCallPost {
+                                    name,
+                                    args: args.clone(),
+                                    ret: *dst,
+                                };
+                                b.insts.insert(i, pre);
+                                b.insts.insert(i + 2, post);
+                                stats.call_site_hooks += 1;
+                                i += 3;
+                                continue;
+                            }
+                        }
+                    }
+                    Inst::Store { obj, field, op, value } => {
+                        let sname = &struct_names[field.strct.0 as usize];
+                        let fname = &struct_fields[field.strct.0 as usize][field.field as usize];
+                        let hit = field_targets.contains(&(sname.clone(), fname.clone()))
+                            || field_targets.contains(&(String::new(), fname.clone()));
+                        if hit {
+                            let hook = Inst::TeslaHookField {
+                                obj: *obj,
+                                field: *field,
+                                op: *op,
+                                value: *value,
+                            };
+                            b.insts.insert(i + 1, hook);
+                            stats.field_hooks += 1;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    Inst::TeslaPseudoAssert { assertion, args } => {
+                        let class = class_of[*assertion as usize];
+                        let args = args.clone();
+                        b.insts[i] = Inst::TeslaSite { class, args };
+                        stats.sites_replaced += 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Register every automaton in the manifest with a libtesla engine,
+/// in manifest order — the class-id assignment [`instrument`] bakes
+/// into `TeslaSite` instructions.
+///
+/// # Errors
+///
+/// Returns a description of the first compilation or registration
+/// failure.
+pub fn register_manifest(tesla: &Tesla, manifest: &Manifest) -> Result<Vec<ClassId>, String> {
+    let automata = manifest.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
+    automata
+        .into_iter()
+        .map(|a| tesla.register(a).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Bridges interpreter hook events into a libtesla engine: the
+/// deployed-program configuration (compiler weaves hooks → hooks call
+/// libtesla).
+pub struct RuntimeSink<'t> {
+    tesla: &'t Tesla,
+    fn_ids: HashMap<String, tesla_runtime::NameId>,
+    field_ids: HashMap<String, tesla_runtime::NameId>,
+}
+
+impl<'t> RuntimeSink<'t> {
+    /// Wrap an engine.
+    pub fn new(tesla: &'t Tesla) -> RuntimeSink<'t> {
+        RuntimeSink { tesla, fn_ids: HashMap::new(), field_ids: HashMap::new() }
+    }
+
+    fn fn_id(&mut self, name: &str) -> tesla_runtime::NameId {
+        if let Some(id) = self.fn_ids.get(name) {
+            return *id;
+        }
+        let id = self.tesla.intern_fn(name);
+        self.fn_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn name_id(&mut self, name: &str) -> tesla_runtime::NameId {
+        if let Some(id) = self.field_ids.get(name) {
+            return *id;
+        }
+        let id = self.tesla.intern_field(name);
+        self.field_ids.insert(name.to_string(), id);
+        id
+    }
+}
+
+impl tesla_ir::HookSink for RuntimeSink<'_> {
+    fn fn_entry(&mut self, name: &str, args: &[Value]) -> Result<(), String> {
+        let id = self.fn_id(name);
+        self.tesla.fn_entry(id, args).map_err(|v| v.to_string())
+    }
+
+    fn fn_exit(&mut self, name: &str, args: &[Value], ret: Value) -> Result<(), String> {
+        let id = self.fn_id(name);
+        self.tesla.fn_exit(id, args, ret).map_err(|v| v.to_string())
+    }
+
+    fn field_store(
+        &mut self,
+        struct_name: &str,
+        field_name: &str,
+        object: Value,
+        op: tesla_spec::FieldOp,
+        value: Value,
+    ) -> Result<(), String> {
+        let s = self.name_id(struct_name);
+        let f = self.name_id(field_name);
+        self.tesla.field_store(s, f, object, op, value).map_err(|v| v.to_string())
+    }
+
+    fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String> {
+        self.tesla.assertion_site(ClassId(class), values).map_err(|v| v.to_string())
+    }
+}
+
+/// Check whether a module still needs instrumentation (contains
+/// placeholders) — used by pipeline caching.
+pub fn has_placeholders(m: &Module) -> bool {
+    m.functions.iter().any(|f| {
+        f.blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::TeslaPseudoAssert { .. })))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_ir::verify::{verify, Stage};
+    use tesla_ir::{Interp, NullSink};
+    use tesla_runtime::Config;
+
+    /// The figure-4 scenario in mini-C: syscall → optional MAC check →
+    /// sopoll_generic with the assertion.
+    fn kernel_source(do_check: i64) -> String {
+        format!(
+            "struct socket {{ int so_state; }};\n\
+             int mac_socket_check_poll(int cred, struct socket *so) {{ return 0; }}\n\
+             int sopoll_generic(int cred, struct socket *so) {{\n\
+                 TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(int), so) == 0);\n\
+                 return 1;\n\
+             }}\n\
+             int amd64_syscall(int cred, struct socket *so) {{\n\
+                 if ({do_check}) {{ mac_socket_check_poll(cred, so); }}\n\
+                 return sopoll_generic(cred, so);\n\
+             }}\n\
+             int kernel_main(int cred) {{\n\
+                 struct socket *so = malloc(sizeof(struct socket));\n\
+                 return amd64_syscall(cred, so);\n\
+             }}"
+        )
+    }
+
+    fn build(src: &str) -> (Module, Manifest) {
+        let out = tesla_cc::compile_unit(src, "kern.c").unwrap();
+        let manifest = Manifest::merge(&[out.manifest]);
+        (out.module, manifest)
+    }
+
+    #[test]
+    fn instrumenting_adds_hooks_and_replaces_sites() {
+        let (mut m, manifest) = build(&kernel_source(1));
+        let stats = instrument(&mut m, &manifest).unwrap();
+        assert!(stats.hooked_functions >= 2); // check fn + syscall bound
+        assert!(stats.entry_hooks >= 2);
+        assert!(stats.exit_hooks >= 2);
+        assert_eq!(stats.sites_replaced, 1);
+        assert!(!has_placeholders(&m));
+        verify(&m, Stage::Linked).unwrap();
+    }
+
+    #[test]
+    fn satisfied_run_passes_violating_run_failstops() {
+        for (do_check, expect_ok) in [(1i64, true), (0, false)] {
+            let (mut m, manifest) = build(&kernel_source(do_check));
+            instrument(&mut m, &manifest).unwrap();
+            let tesla = Tesla::new(Config::default());
+            register_manifest(&tesla, &manifest).unwrap();
+            let mut sink = RuntimeSink::new(&tesla);
+            let mut interp = Interp::new(&m, 1_000_000);
+            let r = interp.run_named("kernel_main", &[7], &mut sink);
+            if expect_ok {
+                assert_eq!(r.unwrap(), 1);
+                assert!(tesla.violations().is_empty());
+            } else {
+                let err = r.unwrap_err();
+                assert!(
+                    matches!(err, tesla_ir::ExecError::Violation(ref v) if v.contains("kern.c")),
+                    "unexpected {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uninstrumented_placeholders_trap_at_runtime() {
+        let (m, _manifest) = build(&kernel_source(1));
+        let mut interp = Interp::new(&m, 1_000_000);
+        assert!(interp.run_named("kernel_main", &[7], &mut NullSink).is_err());
+    }
+
+    #[test]
+    fn caller_side_instrumentation_wraps_call_sites() {
+        let src = "int lib_fn(int x);\n\
+                   int main_fn(int x) {\n\
+                       TESLA_WITHIN(main_fn, previously(caller(lib_fn(x) == 0)));\n\
+                       return 0;\n\
+                   }";
+        let (mut m, manifest) = build(src);
+        // A separate unit calls lib_fn: its call site gets wrapped
+        // even though lib_fn itself cannot be recompiled.
+        let src2 = "int lib_fn(int x);\n\
+                    int driver(int x) { return lib_fn(x); }";
+        let out2 = tesla_cc::compile_unit(src2, "driver.c").unwrap();
+        let mut m2 = out2.module;
+        let stats2 = instrument(&mut m2, &manifest).unwrap();
+        assert_eq!(stats2.call_site_hooks, 1);
+        let stats = instrument(&mut m, &manifest).unwrap();
+        assert_eq!(stats.sites_replaced, 1);
+        assert_eq!(stats.call_site_hooks, 0); // main_fn has no lib_fn call
+    }
+
+    #[test]
+    fn field_hooks_follow_stores() {
+        let src = "#define P_SUGID 0x100\n\
+                   struct proc { int p_flag; int p_uid; };\n\
+                   int sys_setuid(struct proc *p, int uid) {\n\
+                       TESLA_SYSCALL(eventually(p.p_flag |= P_SUGID));\n\
+                       p->p_uid = uid;\n\
+                       p->p_flag |= P_SUGID;\n\
+                       return 0;\n\
+                   }";
+        let (mut m, manifest) = build(src);
+        let stats = instrument(&mut m, &manifest).unwrap();
+        // Only the p_flag store is hooked; p_uid is not referenced.
+        assert_eq!(stats.field_hooks, 1);
+    }
+
+    #[test]
+    fn stale_manifest_is_rejected() {
+        let (mut m, _good) = build(&kernel_source(1));
+        let empty = Manifest::new();
+        match instrument(&mut m, &empty) {
+            Err(InstrumentError::StaleManifest { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instrumentation_is_stable_across_reruns() {
+        // Instrumenting two identical modules with the same manifest
+        // yields identical output (determinism matters for the
+        // build-caching experiments).
+        let (mut a, manifest) = build(&kernel_source(1));
+        let (mut b, _) = build(&kernel_source(1));
+        instrument(&mut a, &manifest).unwrap();
+        instrument(&mut b, &manifest).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,322 @@
+//! Compile-time assertion checking (§7).
+//!
+//! "We have focused exclusively on dynamic analysis. A natural next
+//! direction would be to explore cases where static analysis could be
+//! used … A further advantage would be compile-time reporting of
+//! potential failures." This module is that direction, scoped to what
+//! is sound on TIR:
+//!
+//! * **dormant assertions** — the temporal bound's start function
+//!   never occurs in the program: no instance will ever exist;
+//! * **unchecked assertions** — no assertion site was woven: the
+//!   property is never evaluated (the compile-time version of the
+//!   §3.5.2 coverage analysis);
+//! * **unsatisfiable assertions** — the site is present, but after
+//!   deleting automaton transitions whose events *cannot occur* in
+//!   this program (their function is neither defined nor called), no
+//!   assertion-site transition remains reachable from the start
+//!   state: every site visit is guaranteed to be a violation.
+//!
+//! All three are warnings a CI build can fail on, long before a
+//! workload would have to trigger the path at run time.
+
+use std::collections::HashSet;
+use tesla_automata::{Manifest, SymbolKind};
+use tesla_ir::{Callee, Inst, Module};
+
+/// A finding from the static pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticFinding {
+    /// The bound's start function never occurs: the assertion can
+    /// never be instantiated.
+    BoundNeverEntered {
+        /// Assertion name.
+        assertion: String,
+        /// The missing bound function.
+        bound_fn: String,
+    },
+    /// No site instruction exists for this assertion.
+    SiteNeverReached {
+        /// Assertion name.
+        assertion: String,
+    },
+    /// Every reachable path to the assertion site requires an event
+    /// that cannot occur in this program: the site always violates.
+    Unsatisfiable {
+        /// Assertion name.
+        assertion: String,
+        /// Functions the automaton needs but the program never
+        /// defines or calls.
+        missing_events: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for StaticFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaticFinding::BoundNeverEntered { assertion, bound_fn } => write!(
+                f,
+                "`{assertion}`: temporal bound `{bound_fn}` never occurs — assertion is dormant"
+            ),
+            StaticFinding::SiteNeverReached { assertion } => {
+                write!(f, "`{assertion}`: assertion site is never reached — property unchecked")
+            }
+            StaticFinding::Unsatisfiable { assertion, missing_events } => write!(
+                f,
+                "`{assertion}`: unsatisfiable — required events {missing_events:?} cannot occur \
+                 in this program; every site visit will be a violation"
+            ),
+        }
+    }
+}
+
+/// Function names that can produce events in `module`: defined
+/// functions (callee-side hooks) plus anything called directly or as
+/// an unresolved external (caller-side hooks).
+fn occurring_functions(module: &Module) -> HashSet<String> {
+    let mut out: HashSet<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    for f in &module.functions {
+        for b in &f.blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::Call { callee: Callee::External(n), .. } => {
+                        out.insert(n.clone());
+                    }
+                    Inst::Call { callee: Callee::Direct(g), .. } => {
+                        out.insert(module.functions[g.0 as usize].name.clone());
+                    }
+                    Inst::TeslaHookCallPre { name, .. } => {
+                        out.insert(name.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Classes whose site instruction exists in `module` (after
+/// instrumentation; also recognises un-instrumented placeholders by
+/// assertion index when the module has not been woven yet).
+fn sites_present(module: &Module) -> HashSet<u32> {
+    let mut out = HashSet::new();
+    for f in &module.functions {
+        for b in &f.blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::TeslaSite { class, .. } => {
+                        out.insert(*class);
+                    }
+                    Inst::TeslaPseudoAssert { assertion, .. } => {
+                        out.insert(*assertion);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the static pass over a (linked, instrumented or analysed)
+/// module and the program manifest.
+///
+/// # Errors
+///
+/// Returns the manifest-compilation error message if an assertion
+/// fails to compile.
+pub fn static_check(module: &Module, manifest: &Manifest) -> Result<Vec<StaticFinding>, String> {
+    let automata = manifest.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
+    let occurring = occurring_functions(module);
+    let sites = sites_present(module);
+    let mut findings = Vec::new();
+    for (idx, auto) in automata.iter().enumerate() {
+        let name = auto.name.clone();
+        if !occurring.contains(&auto.bound.start_fn) {
+            findings.push(StaticFinding::BoundNeverEntered {
+                assertion: name,
+                bound_fn: auto.bound.start_fn.clone(),
+            });
+            continue;
+        }
+        if !sites.contains(&(idx as u32)) {
+            findings.push(StaticFinding::SiteNeverReached { assertion: name });
+            continue;
+        }
+        // Delete transitions on impossible events; is a site
+        // transition still reachable from the start?
+        let impossible: HashSet<u32> = auto
+            .symbols
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SymbolKind::Function { name, .. } if !occurring.contains(name) => Some(s.id.0),
+                _ => None,
+            })
+            .collect();
+        if impossible.is_empty() {
+            continue;
+        }
+        let mut reach = vec![false; auto.n_states as usize];
+        reach[auto.start as usize] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for t in &auto.transitions {
+                if impossible.contains(&t.sym.0) {
+                    continue;
+                }
+                if reach[t.from as usize] && !reach[t.to as usize] {
+                    reach[t.to as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        let site_reachable = auto
+            .transitions
+            .iter()
+            .any(|t| t.sym == auto.site_sym && reach[t.from as usize]);
+        if !site_reachable {
+            let mut missing: Vec<String> = auto
+                .symbols
+                .iter()
+                .filter(|s| impossible.contains(&s.id.0))
+                .filter_map(|s| s.function_name().map(|(n, ..)| n.to_string()))
+                .collect();
+            missing.sort();
+            missing.dedup();
+            findings.push(StaticFinding::Unsatisfiable {
+                assertion: auto.name.clone(),
+                missing_events: missing,
+            });
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_automata::Manifest;
+
+    fn build(src: &str) -> (Module, Manifest) {
+        let out = tesla_cc::compile_unit(src, "t.c").unwrap();
+        let manifest = Manifest::merge(&[out.manifest]);
+        let mut m = out.module;
+        crate::instrument(&mut m, &manifest).unwrap();
+        (m, manifest)
+    }
+
+    #[test]
+    fn healthy_program_has_no_findings() {
+        let (m, man) = build(
+            "int check(int x) { return 0; }\n\
+             int main(int x) {\n\
+                 check(x);\n\
+                 TESLA_WITHIN(main, previously(check(x) == 0));\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(static_check(&m, &man).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn missing_event_function_is_unsatisfiable() {
+        // The assertion requires ghost_check, which is neither
+        // defined nor called anywhere.
+        let (m, man) = build(
+            "int main(int x) {\n\
+                 TESLA_WITHIN(main, previously(ghost_check(x) == 0));\n\
+                 return 0;\n\
+             }",
+        );
+        let fs = static_check(&m, &man).unwrap();
+        assert_eq!(fs.len(), 1);
+        match &fs[0] {
+            StaticFinding::Unsatisfiable { missing_events, .. } => {
+                assert_eq!(missing_events, &vec!["ghost_check".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The message is CI-friendly.
+        assert!(fs[0].to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn disjunction_with_one_possible_branch_is_fine() {
+        // ghost() can never occur, but check() can: the OR is
+        // satisfiable via the live branch.
+        let (m, man) = build(
+            "int check(int x) { return 0; }\n\
+             int main(int x) {\n\
+                 check(x);\n\
+                 TESLA_WITHIN(main, previously(check(x) == 0 || ghost(x) == 0));\n\
+                 return 0;\n\
+             }",
+        );
+        assert_eq!(static_check(&m, &man).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn dormant_bound_is_reported() {
+        // Assertion bounded by a syscall that this program never has.
+        let (m, man) = build(
+            "int check(int x) { return 0; }\n\
+             int helper(int x) {\n\
+                 TESLA_SYSCALL_PREVIOUSLY(check(x) == 0);\n\
+                 return check(x);\n\
+             }\n\
+             int main(int x) { return helper(x); }",
+        );
+        let fs = static_check(&m, &man).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert!(matches!(
+            &fs[0],
+            StaticFinding::BoundNeverEntered { bound_fn, .. } if bound_fn == "amd64_syscall"
+        ));
+    }
+
+    #[test]
+    fn unwoven_site_is_reported() {
+        // Manifest carries an assertion from another unit; this
+        // module never contains its site.
+        let out = tesla_cc::compile_unit(
+            "int check(int x) { return 0; }\n\
+             int main(int x) { return check(x); }",
+            "main.c",
+        )
+        .unwrap();
+        let other = tesla_cc::compile_unit(
+            "int check(int x);\n\
+             int helper(int x) {\n\
+                 TESLA_WITHIN(main, previously(check(x) == 0));\n\
+                 return 0;\n\
+             }",
+            "lib.c",
+        )
+        .unwrap();
+        let manifest = Manifest::merge(&[other.manifest]);
+        let mut m = out.module;
+        crate::instrument(&mut m, &manifest).unwrap();
+        let fs = static_check(&m, &manifest).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert!(matches!(fs[0], StaticFinding::SiteNeverReached { .. }));
+    }
+
+    #[test]
+    fn works_pre_instrumentation_via_placeholders() {
+        let out = tesla_cc::compile_unit(
+            "int main(int x) {\n\
+                 TESLA_WITHIN(main, previously(ghost(x) == 0));\n\
+                 return 0;\n\
+             }",
+            "t.c",
+        )
+        .unwrap();
+        let manifest = Manifest::merge(&[out.manifest]);
+        // No instrumentation: placeholders still mark sites.
+        let fs = static_check(&out.module, &manifest).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert!(matches!(fs[0], StaticFinding::Unsatisfiable { .. }));
+    }
+}

@@ -1,0 +1,640 @@
+//! The TIR interpreter.
+//!
+//! Executes a linked [`Module`] directly. TESLA hook instructions
+//! (inserted by `tesla-instrument`) call into a [`HookSink`], which in
+//! the full pipeline is libtesla; a sink returning an error aborts
+//! execution (fail-stop, §4.4.2).
+//!
+//! Machine model: 64-bit registers; a heap of structure objects
+//! addressed by opaque non-zero handles (0 is `NULL`); a call stack of
+//! frames. A fuel budget bounds runaway programs.
+
+use crate::module::{Callee, CmpOp, FieldRef, FuncId, Inst, Module, Op, Terminator};
+use std::collections::HashMap;
+use tesla_spec::{FieldOp, Value};
+
+/// Receives instrumentation events during execution.
+pub trait HookSink {
+    /// Callee-side function entry.
+    ///
+    /// # Errors
+    ///
+    /// A violation message aborts execution.
+    fn fn_entry(&mut self, name: &str, args: &[Value]) -> Result<(), String>;
+    /// Callee-side function exit.
+    ///
+    /// # Errors
+    ///
+    /// A violation message aborts execution.
+    fn fn_exit(&mut self, name: &str, args: &[Value], ret: Value) -> Result<(), String>;
+    /// Field assignment.
+    ///
+    /// # Errors
+    ///
+    /// A violation message aborts execution.
+    fn field_store(
+        &mut self,
+        struct_name: &str,
+        field_name: &str,
+        object: Value,
+        op: FieldOp,
+        value: Value,
+    ) -> Result<(), String>;
+    /// Assertion site (instrumented).
+    ///
+    /// # Errors
+    ///
+    /// A violation message aborts execution.
+    fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String>;
+}
+
+/// A sink that ignores everything (uninstrumented runs).
+pub struct NullSink;
+
+impl HookSink for NullSink {
+    fn fn_entry(&mut self, _: &str, _: &[Value]) -> Result<(), String> {
+        Ok(())
+    }
+    fn fn_exit(&mut self, _: &str, _: &[Value], _: Value) -> Result<(), String> {
+        Ok(())
+    }
+    fn field_store(&mut self, _: &str, _: &str, _: Value, _: FieldOp, _: Value) -> Result<(), String> {
+        Ok(())
+    }
+    fn assertion_site(&mut self, _: u32, _: &[Value]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A TESLA hook reported a violation (fail-stop).
+    Violation(String),
+    /// Ran out of fuel.
+    OutOfFuel,
+    /// Machine-level trap: bad handle, division by zero, unknown
+    /// external, `Unreachable`, …
+    Trap(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Violation(v) => write!(f, "TESLA violation: {v}"),
+            ExecError::OutOfFuel => write!(f, "out of fuel"),
+            ExecError::Trap(t) => write!(f, "trap: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A host (external) function.
+pub type ExternFn = Box<dyn FnMut(&[i64]) -> i64>;
+
+struct HeapObject {
+    strct: u32,
+    fields: Vec<i64>,
+}
+
+/// The interpreter.
+pub struct Interp<'m> {
+    module: &'m Module,
+    heap: Vec<HeapObject>,
+    externs: HashMap<String, ExternFn>,
+    fuel: u64,
+    /// Statistics: instructions retired.
+    pub retired: u64,
+    /// Statistics: hook events delivered.
+    pub hook_events: u64,
+}
+
+impl<'m> Interp<'m> {
+    /// Create an interpreter over a linked module with a fuel budget.
+    pub fn new(module: &'m Module, fuel: u64) -> Interp<'m> {
+        Interp { module, heap: Vec::new(), externs: HashMap::new(), fuel, retired: 0, hook_events: 0 }
+    }
+
+    /// Provide an external function.
+    pub fn add_extern(&mut self, name: &str, f: ExternFn) {
+        self.externs.insert(name.to_string(), f);
+    }
+
+    /// Run `function(args)` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on violation, trap or fuel exhaustion.
+    pub fn run(
+        &mut self,
+        function: FuncId,
+        args: &[i64],
+        sink: &mut dyn HookSink,
+    ) -> Result<i64, ExecError> {
+        self.call(function, args, sink, 0)
+    }
+
+    /// Run a function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Trap`] if the function does not exist, or
+    /// any execution error.
+    pub fn run_named(
+        &mut self,
+        name: &str,
+        args: &[i64],
+        sink: &mut dyn HookSink,
+    ) -> Result<i64, ExecError> {
+        let f = self
+            .module
+            .function(name)
+            .ok_or_else(|| ExecError::Trap(format!("no function `{name}`")))?;
+        self.run(f, args, sink)
+    }
+
+    fn call(
+        &mut self,
+        func: FuncId,
+        args: &[i64],
+        sink: &mut dyn HookSink,
+        depth: u32,
+    ) -> Result<i64, ExecError> {
+        if depth > 256 {
+            return Err(ExecError::Trap("call stack overflow".into()));
+        }
+        let f = &self.module.functions[func.0 as usize];
+        if args.len() != f.n_params as usize {
+            return Err(ExecError::Trap(format!(
+                "`{}` called with {} args, expects {}",
+                f.name,
+                args.len(),
+                f.n_params
+            )));
+        }
+        let mut regs = vec![0i64; f.n_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut bb = 0usize;
+        loop {
+            let block = &f.blocks[bb];
+            for inst in &block.insts {
+                if self.fuel == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                self.retired += 1;
+                match inst {
+                    Inst::Const { dst, value } => regs[dst.0 as usize] = *value,
+                    Inst::Copy { dst, src } => regs[dst.0 as usize] = regs[src.0 as usize],
+                    Inst::Bin { dst, op, lhs, rhs } => {
+                        let (a, b) = (regs[lhs.0 as usize], regs[rhs.0 as usize]);
+                        regs[dst.0 as usize] = eval_bin(*op, a, b)
+                            .ok_or_else(|| ExecError::Trap("division by zero".into()))?;
+                    }
+                    Inst::Cmp { dst, op, lhs, rhs } => {
+                        let (a, b) = (regs[lhs.0 as usize], regs[rhs.0 as usize]);
+                        regs[dst.0 as usize] = i64::from(eval_cmp(*op, a, b));
+                    }
+                    Inst::Call { dst, callee, args: argr } => {
+                        let argv: Vec<i64> =
+                            argr.iter().map(|r| regs[r.0 as usize]).collect();
+                        let rv = match callee {
+                            Callee::Direct(g) => self.call(*g, &argv, sink, depth + 1)?,
+                            Callee::Indirect(r) => {
+                                let fid = regs[r.0 as usize];
+                                if fid <= 0 || fid as usize > self.module.functions.len() {
+                                    return Err(ExecError::Trap(format!(
+                                        "indirect call through bad function pointer {fid}"
+                                    )));
+                                }
+                                self.call(FuncId(fid as u32 - 1), &argv, sink, depth + 1)?
+                            }
+                            Callee::External(name) => {
+                                let mut f = self.externs.remove(name).ok_or_else(|| {
+                                    ExecError::Trap(format!("unknown external `{name}`"))
+                                })?;
+                                let rv = f(&argv);
+                                self.externs.insert(name.clone(), f);
+                                rv
+                            }
+                        };
+                        if let Some(d) = dst {
+                            regs[d.0 as usize] = rv;
+                        }
+                    }
+                    Inst::FnAddr { dst, func } => {
+                        // Handles are 1-based so NULL stays falsy.
+                        regs[dst.0 as usize] = i64::from(func.0) + 1;
+                    }
+                    Inst::New { dst, strct } => {
+                        let nf = self.module.structs[strct.0 as usize].fields.len();
+                        self.heap.push(HeapObject { strct: strct.0, fields: vec![0; nf] });
+                        regs[dst.0 as usize] = self.heap.len() as i64; // 1-based
+                    }
+                    Inst::Load { dst, obj, field } => {
+                        let v = self.field(regs[obj.0 as usize], *field)?.0;
+                        regs[dst.0 as usize] = v;
+                    }
+                    Inst::Store { obj, field, op, value } => {
+                        let rhs = regs[value.0 as usize];
+                        let (old, slot) = self.field(regs[obj.0 as usize], *field)?;
+                        let new = apply_field_op(*op, old, rhs);
+                        self.heap[slot.0].fields[slot.1] = new;
+                    }
+                    Inst::TeslaPseudoAssert { .. } => {
+                        return Err(ExecError::Trap(
+                            "reached un-instrumented __tesla_inline_assertion; \
+                             run the instrumenter first"
+                                .into(),
+                        ));
+                    }
+                    Inst::TeslaHookEntry { func } => {
+                        self.hook_events += 1;
+                        let name = &self.module.functions[func.0 as usize].name;
+                        let n = self.module.functions[func.0 as usize].n_params as usize;
+                        let argv: Vec<Value> =
+                            regs[..n].iter().map(|v| Value(*v as u64)).collect();
+                        sink.fn_entry(name, &argv).map_err(ExecError::Violation)?;
+                    }
+                    Inst::TeslaHookExit { func, ret } => {
+                        self.hook_events += 1;
+                        let name = &self.module.functions[func.0 as usize].name;
+                        let n = self.module.functions[func.0 as usize].n_params as usize;
+                        let argv: Vec<Value> =
+                            regs[..n].iter().map(|v| Value(*v as u64)).collect();
+                        let rv = ret.map(|r| regs[r.0 as usize]).unwrap_or(0);
+                        sink.fn_exit(name, &argv, Value(rv as u64))
+                            .map_err(ExecError::Violation)?;
+                    }
+                    Inst::TeslaHookCallPre { name, args } => {
+                        self.hook_events += 1;
+                        let argv: Vec<Value> =
+                            args.iter().map(|r| Value(regs[r.0 as usize] as u64)).collect();
+                        sink.fn_entry(name, &argv).map_err(ExecError::Violation)?;
+                    }
+                    Inst::TeslaHookCallPost { name, args, ret } => {
+                        self.hook_events += 1;
+                        let argv: Vec<Value> =
+                            args.iter().map(|r| Value(regs[r.0 as usize] as u64)).collect();
+                        let rv = ret.map(|r| regs[r.0 as usize]).unwrap_or(0);
+                        sink.fn_exit(name, &argv, Value(rv as u64))
+                            .map_err(ExecError::Violation)?;
+                    }
+                    Inst::TeslaHookField { obj, field, op, value } => {
+                        self.hook_events += 1;
+                        let sd = &self.module.structs[field.strct.0 as usize];
+                        sink.field_store(
+                            &sd.name,
+                            &sd.fields[field.field as usize],
+                            Value(regs[obj.0 as usize] as u64),
+                            *op,
+                            Value(regs[value.0 as usize] as u64),
+                        )
+                        .map_err(ExecError::Violation)?;
+                    }
+                    Inst::TeslaSite { class, args } => {
+                        self.hook_events += 1;
+                        let argv: Vec<Value> =
+                            args.iter().map(|r| Value(regs[r.0 as usize] as u64)).collect();
+                        sink.assertion_site(*class, &argv).map_err(ExecError::Violation)?;
+                    }
+                }
+            }
+            if self.fuel == 0 {
+                return Err(ExecError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            match &block.term {
+                Terminator::Jump(b) => bb = b.0 as usize,
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    bb = if regs[cond.0 as usize] != 0 {
+                        then_bb.0 as usize
+                    } else {
+                        else_bb.0 as usize
+                    };
+                }
+                Terminator::Ret(r) => {
+                    return Ok(r.map(|r| regs[r.0 as usize]).unwrap_or(0));
+                }
+                Terminator::Unreachable => {
+                    return Err(ExecError::Trap(format!(
+                        "unreachable executed in `{}`",
+                        f.name
+                    )));
+                }
+            }
+        }
+    }
+
+    fn field(&self, handle: i64, field: FieldRef) -> Result<(i64, (usize, usize)), ExecError> {
+        if handle <= 0 || handle as usize > self.heap.len() {
+            return Err(ExecError::Trap(format!("bad object handle {handle}")));
+        }
+        let oi = handle as usize - 1;
+        let obj = &self.heap[oi];
+        if obj.strct != field.strct.0 {
+            return Err(ExecError::Trap(format!(
+                "type confusion: object is `{}`, access via `{}`",
+                self.module.structs[obj.strct as usize].name,
+                self.module.structs[field.strct.0 as usize].name
+            )));
+        }
+        let fi = field.field as usize;
+        Ok((obj.fields[fi], (oi, fi)))
+    }
+}
+
+fn eval_bin(op: Op, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        Op::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Shl => a.wrapping_shl(b as u32),
+        Op::Shr => a.wrapping_shr(b as u32),
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn apply_field_op(op: FieldOp, old: i64, rhs: i64) -> i64 {
+    match op {
+        FieldOp::Assign => rhs,
+        FieldOp::AddAssign => old.wrapping_add(rhs),
+        FieldOp::SubAssign => old.wrapping_sub(rhs),
+        FieldOp::OrAssign => old | rhs,
+        FieldOp::AndAssign => old & rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::module::{BlockId, Callee, CmpOp, FieldRef, Inst, Op, Terminator};
+
+    /// A sink recording hook traffic as strings.
+    #[derive(Default)]
+    pub struct TraceSink {
+        pub lines: Vec<String>,
+        pub fail_on_site: bool,
+    }
+
+    impl HookSink for TraceSink {
+        fn fn_entry(&mut self, name: &str, args: &[Value]) -> Result<(), String> {
+            self.lines.push(format!("enter {name}({args:?})"));
+            Ok(())
+        }
+        fn fn_exit(&mut self, name: &str, _args: &[Value], ret: Value) -> Result<(), String> {
+            self.lines.push(format!("exit {name} -> {ret}"));
+            Ok(())
+        }
+        fn field_store(
+            &mut self,
+            s: &str,
+            f: &str,
+            obj: Value,
+            op: FieldOp,
+            v: Value,
+        ) -> Result<(), String> {
+            self.lines.push(format!("store {s}.{f} [{obj}] {op} {v}"));
+            Ok(())
+        }
+        fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String> {
+            self.lines.push(format!("site {class} {values:?}"));
+            if self.fail_on_site {
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn fib_module() -> crate::module::Module {
+        // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+        let mut mb = ModuleBuilder::new("fib.c");
+        let mut f = mb.begin_function("fib", 1);
+        let two = f.constant(2);
+        let c = f.fresh();
+        f.inst(Inst::Cmp { dst: c, op: CmpOp::Lt, lhs: f.param(0), rhs: two });
+        f.end_block(Terminator::Branch { cond: c, then_bb: BlockId(1), else_bb: BlockId(2) });
+        f.end_block(Terminator::Ret(Some(f.param(0))));
+        let one = f.constant(1);
+        let n1 = f.fresh();
+        f.inst(Inst::Bin { dst: n1, op: Op::Sub, lhs: f.param(0), rhs: one });
+        let r1 = f.fresh();
+        f.inst(Inst::Call { dst: Some(r1), callee: Callee::Direct(FuncId(0)), args: vec![n1] });
+        let two2 = f.constant(2);
+        let n2 = f.fresh();
+        f.inst(Inst::Bin { dst: n2, op: Op::Sub, lhs: f.param(0), rhs: two2 });
+        let r2 = f.fresh();
+        f.inst(Inst::Call { dst: Some(r2), callee: Callee::Direct(FuncId(0)), args: vec![n2] });
+        let sum = f.fresh();
+        f.inst(Inst::Bin { dst: sum, op: Op::Add, lhs: r1, rhs: r2 });
+        let func = f.finish(Terminator::Ret(Some(sum)));
+        mb.add_function(func);
+        mb.build()
+    }
+
+    #[test]
+    fn fib_runs() {
+        let m = fib_module();
+        let mut i = Interp::new(&m, 1_000_000);
+        assert_eq!(i.run_named("fib", &[10], &mut NullSink).unwrap(), 55);
+        assert!(i.retired > 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let m = fib_module();
+        let mut i = Interp::new(&m, 50);
+        assert_eq!(i.run_named("fib", &[20], &mut NullSink), Err(ExecError::OutOfFuel));
+    }
+
+    #[test]
+    fn heap_fields_and_ops() {
+        let mut mb = ModuleBuilder::new("m");
+        let s = mb.add_struct("proc", &["p_flag", "p_uid"]);
+        let mut f = mb.begin_function("main", 0);
+        let o = f.fresh();
+        f.inst(Inst::New { dst: o, strct: s });
+        let v = f.constant(0x100);
+        f.inst(Inst::Store {
+            obj: o,
+            field: FieldRef { strct: s, field: 0 },
+            op: FieldOp::OrAssign,
+            value: v,
+        });
+        let v2 = f.constant(1);
+        f.inst(Inst::Store {
+            obj: o,
+            field: FieldRef { strct: s, field: 0 },
+            op: FieldOp::AddAssign,
+            value: v2,
+        });
+        let out = f.fresh();
+        f.inst(Inst::Load { dst: out, obj: o, field: FieldRef { strct: s, field: 0 } });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        let m = mb.build();
+        let mut i = Interp::new(&m, 1000);
+        assert_eq!(i.run_named("main", &[], &mut NullSink).unwrap(), 0x101);
+    }
+
+    #[test]
+    fn null_and_type_confusion_trap() {
+        let mut mb = ModuleBuilder::new("m");
+        let s = mb.add_struct("a", &["x"]);
+        let _t = mb.add_struct("b", &["y"]);
+        let mut f = mb.begin_function("deref_null", 0);
+        let z = f.constant(0);
+        let out = f.fresh();
+        f.inst(Inst::Load { dst: out, obj: z, field: FieldRef { strct: s, field: 0 } });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        let m = mb.build();
+        let mut i = Interp::new(&m, 1000);
+        match i.run_named("deref_null", &[], &mut NullSink) {
+            Err(ExecError::Trap(msg)) => assert!(msg.contains("bad object handle")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indirect_calls_through_fnaddr() {
+        let mut mb = ModuleBuilder::new("m");
+        // target(x) = x + 1
+        let mut t = mb.begin_function("target", 1);
+        let one = t.constant(1);
+        let r = t.fresh();
+        t.inst(Inst::Bin { dst: r, op: Op::Add, lhs: t.param(0), rhs: one });
+        let tf = t.finish(Terminator::Ret(Some(r)));
+        let target = mb.add_function(tf);
+        // main: fp = &target; return fp(41)
+        let mut f = mb.begin_function("main", 0);
+        let fp = f.fresh();
+        f.inst(Inst::FnAddr { dst: fp, func: target });
+        let a = f.constant(41);
+        let out = f.fresh();
+        f.inst(Inst::Call { dst: Some(out), callee: Callee::Indirect(fp), args: vec![a] });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        let m = mb.build();
+        let mut i = Interp::new(&m, 1000);
+        assert_eq!(i.run_named("main", &[], &mut NullSink).unwrap(), 42);
+    }
+
+    #[test]
+    fn hooks_reach_the_sink_and_violations_abort() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.begin_function("g", 1);
+        f.inst(Inst::TeslaHookEntry { func: FuncId(0) });
+        let r = f.constant(0);
+        f.inst(Inst::TeslaHookExit { func: FuncId(0), ret: Some(r) });
+        let gf = f.finish(Terminator::Ret(Some(r)));
+        mb.add_function(gf);
+        let mut f = mb.begin_function("main", 0);
+        let a = f.constant(7);
+        f.inst(Inst::Call { dst: None, callee: Callee::Direct(FuncId(0)), args: vec![a] });
+        f.inst(Inst::TeslaSite { class: 3, args: vec![a] });
+        let func = f.finish(Terminator::Ret(None));
+        mb.add_function(func);
+        let m = mb.build();
+
+        let mut sink = TraceSink::default();
+        let mut i = Interp::new(&m, 1000);
+        i.run_named("main", &[], &mut sink).unwrap();
+        assert_eq!(
+            sink.lines,
+            vec![
+                "enter g([Value(7)])".to_string(),
+                "exit g -> 0".to_string(),
+                "site 3 [Value(7)]".to_string(),
+            ]
+        );
+        assert_eq!(i.hook_events, 3);
+
+        let mut failing = TraceSink { fail_on_site: true, ..TraceSink::default() };
+        let mut i = Interp::new(&m, 1000);
+        match i.run_named("main", &[], &mut failing) {
+            Err(ExecError::Violation(v)) => assert_eq!(v, "boom"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninstrumented_pseudo_assert_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.begin_function("main", 0);
+        f.inst(Inst::TeslaPseudoAssert { assertion: 0, args: vec![] });
+        let func = f.finish(Terminator::Ret(None));
+        mb.add_function(func);
+        let m = mb.build();
+        let mut i = Interp::new(&m, 1000);
+        match i.run_named("main", &[], &mut NullSink) {
+            Err(ExecError::Trap(msg)) => assert!(msg.contains("instrumenter")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn externals_are_callable() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.begin_function("main", 0);
+        let a = f.constant(21);
+        let out = f.fresh();
+        f.inst(Inst::Call {
+            dst: Some(out),
+            callee: Callee::External("double".into()),
+            args: vec![a],
+        });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        let m = mb.build();
+        let mut i = Interp::new(&m, 1000);
+        i.add_extern("double", Box::new(|args| args[0] * 2));
+        assert_eq!(i.run_named("main", &[], &mut NullSink).unwrap(), 42);
+        // Missing external traps.
+        let mut i2 = Interp::new(&m, 1000);
+        assert!(matches!(i2.run_named("main", &[], &mut NullSink), Err(ExecError::Trap(_))));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.begin_function("main", 0);
+        let a = f.constant(1);
+        let z = f.constant(0);
+        let out = f.fresh();
+        f.inst(Inst::Bin { dst: out, op: Op::Div, lhs: a, rhs: z });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        let m = mb.build();
+        let mut i = Interp::new(&m, 1000);
+        assert!(matches!(i.run_named("main", &[], &mut NullSink), Err(ExecError::Trap(_))));
+    }
+}

@@ -1,0 +1,38 @@
+//! # tesla-ir — TIR, the IR substrate TESLA instruments
+//!
+//! The paper's instrumenter "modifies compiled code to turn program
+//! events into automaton transitions, transforming LLVM IR generated
+//! by language front-ends" (§4.2). This crate is our LLVM-IR
+//! substitute (see DESIGN.md): a small typed three-address IR for an
+//! abstract machine with an infinite virtual-register set, organised
+//! as modules → functions → basic blocks → instructions, plus
+//!
+//! * a structural [`verify`](verify::verify) pass,
+//! * an [`interp`] interpreter whose TESLA hook instructions call into
+//!   a [`interp::HookSink`] (libtesla, in the full pipeline),
+//! * an [`opt`] optimiser with an inlining pass — which exists largely
+//!   to demonstrate *why* TESLA instruments before optimisation:
+//!   inlining erases callee entry/exit events (§4.2 runs Clang at
+//!   `-O0`, instruments, then runs `opt -O2`).
+//!
+//! Divergence from LLVM noted in DESIGN.md: registers are mutable
+//! (three-address code, not strict SSA). Nothing in the
+//! instrumentation algorithm depends on single assignment; hooks are
+//! inserted at block boundaries and around instructions exactly as in
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod interp;
+pub mod module;
+pub mod opt;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use interp::{ExecError, HookSink, Interp, NullSink};
+pub use module::{
+    Block, BlockId, Callee, CmpOp, FieldRef, FuncId, Function, Inst, Module, Op, Reg, StructId,
+    Terminator,
+};

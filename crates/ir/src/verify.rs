@@ -1,0 +1,373 @@
+//! Structural verification of TIR modules.
+//!
+//! The paper notes that integrating with the compiler "lets us
+//! statically check properties of the instrumentation itself" (§6);
+//! this pass is that check for TIR: register bounds, block targets,
+//! call arities, struct-field references, and — in *linked* mode —
+//! that no un-instrumented `__tesla_inline_assertion` placeholders
+//! remain.
+
+use crate::module::{Callee, Inst, Module, Reg, Terminator};
+
+/// A verification failure, located by function/block/instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub function: String,
+    /// Block index.
+    pub block: usize,
+    /// Instruction index (`usize::MAX` = terminator).
+    pub inst: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "verify: {} in `{}` block {} inst {}",
+            self.message, self.function, self.block, self.inst
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verification strictness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Per-unit output of a front-end: externals and TESLA
+    /// placeholders allowed.
+    Unit,
+    /// Linked, instrumented program about to run: placeholders are
+    /// errors; direct callees must exist.
+    Linked,
+}
+
+/// Verify a module.
+///
+/// # Errors
+///
+/// Returns every [`VerifyError`] found (empty `Ok` means valid).
+pub fn verify(m: &Module, stage: Stage) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for f in &m.functions {
+        let err = |block: usize, inst: usize, message: String| VerifyError {
+            function: f.name.clone(),
+            block,
+            inst,
+            message,
+        };
+        if f.blocks.is_empty() {
+            errs.push(err(0, 0, "function has no blocks".into()));
+            continue;
+        }
+        if f.n_params > f.n_regs {
+            errs.push(err(0, 0, "n_params exceeds n_regs".into()));
+        }
+        let reg_ok = |r: Reg| r.0 < f.n_regs;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                // A macro rather than a closure: several arms also
+                // push other errors, which a capturing closure would
+                // conflict with.
+                macro_rules! check_reg {
+                    ($r:expr, $what:expr) => {
+                        if !reg_ok($r) {
+                            errs.push(err(
+                                bi,
+                                ii,
+                                format!("{} register r{} out of range", $what, $r.0),
+                            ));
+                        }
+                    };
+                }
+                match inst {
+                    Inst::Const { dst, .. } => check_reg!(*dst, "dst"),
+                    Inst::Copy { dst, src } => {
+                        check_reg!(*dst, "dst");
+                        check_reg!(*src, "src");
+                    }
+                    Inst::Bin { dst, lhs, rhs, .. } | Inst::Cmp { dst, lhs, rhs, .. } => {
+                        check_reg!(*dst, "dst");
+                        check_reg!(*lhs, "lhs");
+                        check_reg!(*rhs, "rhs");
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        if let Some(d) = dst {
+                            check_reg!(*d, "dst");
+                        }
+                        for a in args {
+                            check_reg!(*a, "arg");
+                        }
+                        match callee {
+                            Callee::Direct(g) => {
+                                if let Some(g) = m.functions.get(g.0 as usize) {
+                                    if g.n_params as usize != args.len() {
+                                        errs.push(err(
+                                            bi,
+                                            ii,
+                                            format!(
+                                                "call to `{}` with {} args, expects {}",
+                                                g.name,
+                                                args.len(),
+                                                g.n_params
+                                            ),
+                                        ));
+                                    }
+                                } else {
+                                    errs.push(err(bi, ii, "call target out of range".into()));
+                                }
+                            }
+                            Callee::Indirect(r) => check_reg!(*r, "fptr"),
+                            Callee::External(name) => {
+                                if stage == Stage::Linked && m.function(name).is_some() {
+                                    errs.push(err(
+                                        bi,
+                                        ii,
+                                        format!("unresolved external `{name}` after link"),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Inst::FnAddr { dst, func } => {
+                        check_reg!(*dst, "dst");
+                        if m.functions.get(func.0 as usize).is_none() {
+                            errs.push(err(bi, ii, "fnaddr target out of range".into()));
+                        }
+                    }
+                    Inst::New { dst, strct } => {
+                        check_reg!(*dst, "dst");
+                        if m.structs.get(strct.0 as usize).is_none() {
+                            errs.push(err(bi, ii, "unknown struct".into()));
+                        }
+                    }
+                    Inst::Load { dst, obj, field } => {
+                        check_reg!(*dst, "dst");
+                        check_reg!(*obj, "obj");
+                        check_field(m, field, |msg| errs.push(err(bi, ii, msg)));
+                    }
+                    Inst::Store { obj, value, field, .. } => {
+                        check_reg!(*obj, "obj");
+                        check_reg!(*value, "value");
+                        check_field(m, field, |msg| errs.push(err(bi, ii, msg)));
+                    }
+                    Inst::TeslaPseudoAssert { assertion, args } => {
+                        for a in args {
+                            check_reg!(*a, "arg");
+                        }
+                        if stage == Stage::Linked {
+                            errs.push(err(
+                                bi,
+                                ii,
+                                "un-instrumented __tesla_inline_assertion remains".into(),
+                            ));
+                        } else if m.assertions.get(*assertion as usize).is_none() {
+                            errs.push(err(bi, ii, "assertion index out of range".into()));
+                        }
+                    }
+                    Inst::TeslaHookEntry { func } | Inst::TeslaHookExit { func, .. } => {
+                        if m.functions.get(func.0 as usize).is_none() {
+                            errs.push(err(bi, ii, "hook names unknown function".into()));
+                        }
+                        if let Inst::TeslaHookExit { ret: Some(r), .. } = inst {
+                            check_reg!(*r, "ret");
+                        }
+                    }
+                    Inst::TeslaHookCallPre { args, .. } => {
+                        for a in args {
+                            check_reg!(*a, "arg");
+                        }
+                    }
+                    Inst::TeslaHookCallPost { args, ret, .. } => {
+                        for a in args {
+                            check_reg!(*a, "arg");
+                        }
+                        if let Some(r) = ret {
+                            check_reg!(*r, "ret");
+                        }
+                    }
+                    Inst::TeslaHookField { obj, value, field, .. } => {
+                        check_reg!(*obj, "obj");
+                        check_reg!(*value, "value");
+                        check_field(m, field, |msg| errs.push(err(bi, ii, msg)));
+                    }
+                    Inst::TeslaSite { args, .. } => {
+                        for a in args {
+                            check_reg!(*a, "arg");
+                        }
+                    }
+                }
+            }
+            let terr = |message: String| VerifyError {
+                function: f.name.clone(),
+                block: bi,
+                inst: usize::MAX,
+                message,
+            };
+            match &b.term {
+                Terminator::Jump(t) => {
+                    if f.blocks.get(t.0 as usize).is_none() {
+                        errs.push(terr("jump target out of range".into()));
+                    }
+                }
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    if !reg_ok(*cond) {
+                        errs.push(terr("branch condition register out of range".into()));
+                    }
+                    for t in [then_bb, else_bb] {
+                        if f.blocks.get(t.0 as usize).is_none() {
+                            errs.push(terr("branch target out of range".into()));
+                        }
+                    }
+                }
+                Terminator::Ret(Some(r)) => {
+                    if !reg_ok(*r) {
+                        errs.push(terr("return register out of range".into()));
+                    }
+                }
+                Terminator::Ret(None) | Terminator::Unreachable => {}
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn check_field(m: &Module, field: &crate::module::FieldRef, mut emit: impl FnMut(String)) {
+    match m.structs.get(field.strct.0 as usize) {
+        None => emit("field access on unknown struct".into()),
+        Some(s) => {
+            if s.fields.get(field.field as usize).is_none() {
+                emit(format!("struct `{}` has no field index {}", s.name, field.field));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::module::{BlockId, FieldRef, FuncId, StructId};
+
+    #[test]
+    fn valid_module_verifies() {
+        let mut mb = ModuleBuilder::new("m");
+        let s = mb.add_struct("s", &["a"]);
+        let mut f = mb.begin_function("f", 1);
+        let o = f.fresh();
+        f.inst(Inst::New { dst: o, strct: s });
+        let v = f.constant(1);
+        f.inst(Inst::Store {
+            obj: o,
+            field: FieldRef { strct: s, field: 0 },
+            op: tesla_spec::FieldOp::Assign,
+            value: v,
+        });
+        let func = f.finish(Terminator::Ret(Some(v)));
+        mb.add_function(func);
+        let m = mb.build();
+        assert!(verify(&m, Stage::Unit).is_ok());
+        assert!(verify(&m, Stage::Linked).is_ok());
+    }
+
+    #[test]
+    fn bad_register_is_caught() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.begin_function("f", 0);
+        let func = f.finish(Terminator::Ret(Some(Reg(99))));
+        mb.add_function(func);
+        let m = mb.build();
+        let errs = verify(&m, Stage::Unit).unwrap_err();
+        assert!(errs[0].message.contains("return register"));
+    }
+
+    #[test]
+    fn bad_block_target_is_caught() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.begin_function("f", 0);
+        let func = f.finish(Terminator::Jump(BlockId(9)));
+        mb.add_function(func);
+        let m = mb.build();
+        assert!(verify(&m, Stage::Unit).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_caught() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.begin_function("g", 2);
+        let gf = g.finish_trivial_return(None);
+        mb.add_function(gf);
+        let mut f = mb.begin_function("f", 0);
+        f.inst(Inst::Call { dst: None, callee: Callee::Direct(FuncId(0)), args: vec![] });
+        let ff = f.finish(Terminator::Ret(None));
+        mb.add_function(ff);
+        let m = mb.build();
+        let errs = verify(&m, Stage::Unit).unwrap_err();
+        assert!(errs[0].message.contains("expects 2"));
+    }
+
+    #[test]
+    fn bad_field_is_caught() {
+        let mut mb = ModuleBuilder::new("m");
+        let s = mb.add_struct("s", &["a"]);
+        let mut f = mb.begin_function("f", 1);
+        let out = f.fresh();
+        f.inst(Inst::Load { dst: out, obj: f.param(0), field: FieldRef { strct: s, field: 5 } });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        let m = mb.build();
+        let errs = verify(&m, Stage::Unit).unwrap_err();
+        assert!(errs[0].message.contains("no field index 5"));
+        // Unknown struct too.
+        let mut mb = ModuleBuilder::new("m2");
+        let mut f = mb.begin_function("f", 1);
+        let out = f.fresh();
+        f.inst(Inst::Load {
+            dst: out,
+            obj: f.param(0),
+            field: FieldRef { strct: StructId(7), field: 0 },
+        });
+        let func = f.finish(Terminator::Ret(Some(out)));
+        mb.add_function(func);
+        assert!(verify(&mb.build(), Stage::Unit).is_err());
+    }
+
+    #[test]
+    fn linked_stage_rejects_leftover_placeholders() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.add_assertion(
+            tesla_spec::AssertionBuilder::within("f")
+                .previously(tesla_spec::call("g").returns(0))
+                .build()
+                .unwrap(),
+        );
+        let mut f = mb.begin_function("f", 0);
+        f.inst(Inst::TeslaPseudoAssert { assertion: 0, args: vec![] });
+        let func = f.finish(Terminator::Ret(None));
+        mb.add_function(func);
+        let m = mb.build();
+        assert!(verify(&m, Stage::Unit).is_ok());
+        let errs = verify(&m, Stage::Linked).unwrap_err();
+        assert!(errs[0].message.contains("un-instrumented"));
+    }
+
+    #[test]
+    fn linked_stage_rejects_resolvable_externals() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.begin_function("g", 0);
+        mb.add_function(g.finish_trivial_return(None));
+        let mut f = mb.begin_function("f", 0);
+        f.inst(Inst::Call { dst: None, callee: Callee::External("g".into()), args: vec![] });
+        mb.add_function(f.finish(Terminator::Ret(None)));
+        let m = mb.build();
+        assert!(verify(&m, Stage::Unit).is_ok());
+        assert!(verify(&m, Stage::Linked).is_err());
+    }
+}

@@ -1,0 +1,957 @@
+//! The libtesla engine: registration, dispatch and instrumentation
+//! hooks.
+//!
+//! At class-registration time the engine compiles every automaton
+//! symbol into *translator entries* — the runtime analogue of the
+//! instrumenter's generated event translators (§4.2): per
+//! (function, direction), (field), or (selector, direction) key, a
+//! list of `(class, symbol, static checks, variable extractions)`.
+//! At run time a hook does one table lookup; if nothing subscribes to
+//! the event it returns immediately (the cost measured by the
+//! "Infrastructure" kernel configuration of fig. 11).
+//!
+//! Temporal bounds are tracked per *bound group* (classes sharing the
+//! same start/end events and context). Two strategies, matching
+//! §5.2.2 and fig. 13:
+//!
+//! * [`InitMode::Naive`] — on every bound entry, eagerly create a
+//!   `(∗)` instance for **every** class in the group; on exit, touch
+//!   every class again. Per-syscall work scales with the number of
+//!   registered assertions — the paper's first implementation, almost
+//!   2× slower Clang builds and 10× slower OLTP.
+//! * [`InitMode::Lazy`] — bound entry bumps a per-group epoch;
+//!   classes materialise their `(∗)` instance on their first real
+//!   event, and only materialised classes are finalised at exit.
+
+use crate::event::{Violation, ViolationKind};
+use crate::handlers::EventHandler;
+use crate::intern::{Interner, NameId};
+use crate::store::Store;
+use crate::{RegisterError, MAX_VARS};
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tesla_automata::{Automaton, Direction, Guard, Symbol, SymbolId, SymbolKind};
+use tesla_spec::{ArgPattern, Context, FieldOp, Value};
+
+/// Identifies a registered automaton class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub u32);
+
+/// Violation disposition (§4.4.2): fail-stop by default, or log and
+/// continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// Hooks return `Err(Violation)` — the program fail-stops.
+    #[default]
+    FailStop,
+    /// Violations are recorded (see [`Tesla::violations`]) and
+    /// execution continues.
+    Log,
+}
+
+/// Automaton-instance initialisation strategy (§5.2.2, fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitMode {
+    /// Eager per-bound-entry initialisation of every class.
+    Naive,
+    /// Lazy initialisation on the class's first event.
+    #[default]
+    Lazy,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Violation disposition.
+    pub fail_mode: FailMode,
+    /// Initialisation strategy.
+    pub init_mode: InitMode,
+    /// Instance-table capacity per class per store (§4.4.1
+    /// preallocation).
+    pub instance_capacity: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { fail_mode: FailMode::FailStop, init_mode: InitMode::Lazy, instance_capacity: 64 }
+    }
+}
+
+/// A registered class: compiled automaton plus bookkeeping.
+pub struct ClassDef {
+    /// The compiled automaton.
+    pub automaton: Automaton,
+    /// Bound-group id.
+    pub group: u32,
+    /// Instance-table capacity.
+    pub capacity: usize,
+    /// How often this class's assertion site was reached (coverage).
+    pub site_hits: AtomicU64,
+    /// Violations attributed to this class.
+    pub violation_count: AtomicU64,
+    /// `incallstack` guard targets, interned.
+    pub guard_fns: Vec<NameId>,
+}
+
+impl ClassDef {
+    /// Build a violation record for this class.
+    pub fn violation(&self, kind: ViolationKind, values: Vec<Value>, detail: String) -> Violation {
+        self.violation_count.fetch_add(1, Ordering::Relaxed);
+        Violation {
+            assertion: self.automaton.name.clone(),
+            kind,
+            loc: self.automaton.loc.clone(),
+            source: self.automaton.source.clone(),
+            values,
+            detail,
+        }
+    }
+}
+
+/// A static check compiled from an argument pattern.
+#[derive(Debug, Clone, Copy)]
+enum Check {
+    Const(Value),
+    Flags(u64),
+    Bitmask(u64),
+}
+
+impl Check {
+    #[inline]
+    fn ok(&self, v: Value) -> bool {
+        match self {
+            Check::Const(c) => *c == v,
+            Check::Flags(required) => v.0 & required == *required,
+            Check::Bitmask(mask) => v.0 & !mask == 0,
+        }
+    }
+}
+
+/// Where an event value comes from.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Arg(u8),
+    Ret,
+    Receiver,
+    Object,
+    StoredValue,
+}
+
+/// One compiled event translator: the static-check chain plus the
+/// dynamic variable extraction of §4.2.
+#[derive(Debug, Clone)]
+struct Translator {
+    class: u32,
+    sym: SymbolId,
+    context: Context,
+    /// Minimum argument count for the pattern to apply.
+    min_args: u8,
+    checks: Vec<(Slot, Check)>,
+    binds: Vec<(u8, Slot)>,
+    /// Field events: required struct type (None = wildcard) and
+    /// operator.
+    struct_filter: Option<NameId>,
+    field_op: Option<FieldOp>,
+}
+
+/// Per-function dispatch row.
+#[derive(Debug, Default, Clone)]
+struct FnTable {
+    entry: Vec<Translator>,
+    exit: Vec<Translator>,
+    /// Bound groups whose scope starts at this function's entry/exit.
+    bound_start_entry: Vec<u32>,
+    bound_start_exit: Vec<u32>,
+    /// Bound groups whose scope ends at this function's entry/exit.
+    bound_end_entry: Vec<u32>,
+    bound_end_exit: Vec<u32>,
+    /// Maintain the shadow call stack for this function (it appears in
+    /// an `incallstack` guard).
+    push_stack: bool,
+}
+
+/// Per-selector dispatch row.
+#[derive(Debug, Default, Clone)]
+struct SelTable {
+    entry: Vec<Translator>,
+    exit: Vec<Translator>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    start_fn: NameId,
+    start_dir: Direction,
+    end_fn: NameId,
+    end_dir: Direction,
+    context: Context,
+}
+
+/// A bound group: classes sharing the same temporal bounds + context.
+#[derive(Debug, Clone)]
+struct GroupDef {
+    context: Context,
+    classes: Vec<u32>,
+}
+
+#[derive(Default)]
+struct Tables {
+    fn_tables: Vec<FnTable>,
+    field_tables: Vec<Vec<Translator>>,
+    sel_tables: Vec<SelTable>,
+    groups: Vec<GroupDef>,
+    group_index: HashMap<GroupKey, u32>,
+}
+
+impl Tables {
+    fn fn_table_mut(&mut self, f: NameId) -> &mut FnTable {
+        let i = f.0 as usize;
+        if self.fn_tables.len() <= i {
+            self.fn_tables.resize_with(i + 1, FnTable::default);
+        }
+        &mut self.fn_tables[i]
+    }
+
+    fn field_table_mut(&mut self, f: NameId) -> &mut Vec<Translator> {
+        let i = f.0 as usize;
+        if self.field_tables.len() <= i {
+            self.field_tables.resize_with(i + 1, Vec::new);
+        }
+        &mut self.field_tables[i]
+    }
+
+    fn sel_table_mut(&mut self, s: NameId) -> &mut SelTable {
+        let i = s.0 as usize;
+        if self.sel_tables.len() <= i {
+            self.sel_tables.resize_with(i + 1, SelTable::default);
+        }
+        &mut self.sel_tables[i]
+    }
+}
+
+/// The libtesla engine handle. Cheap to share via `Arc`; all hook
+/// methods take `&self`.
+pub struct Tesla {
+    id: u64,
+    config: Config,
+    interner: Interner,
+    tables: RwLock<Tables>,
+    classes: RwLock<Vec<Arc<ClassDef>>>,
+    global: Mutex<Store>,
+    handlers: RwLock<Vec<Arc<dyn EventHandler>>>,
+    violation_log: Mutex<Vec<Violation>>,
+}
+
+thread_local! {
+    /// Per-thread stores, keyed by engine id.
+    static TL_STORES: RefCell<HashMap<u64, Rc<RefCell<Store>>>> =
+        RefCell::new(HashMap::new());
+    /// Per-thread shadow call stacks (for `incallstack` guards),
+    /// keyed by engine id.
+    static TL_STACKS: RefCell<HashMap<u64, Rc<RefCell<Vec<NameId>>>>> =
+        RefCell::new(HashMap::new());
+}
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Tesla {
+    /// Create an engine with the given configuration.
+    pub fn new(config: Config) -> Tesla {
+        Tesla {
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            config,
+            interner: Interner::new(),
+            tables: RwLock::new(Tables::default()),
+            classes: RwLock::new(Vec::new()),
+            global: Mutex::new(Store::default()),
+            handlers: RwLock::new(Vec::new()),
+            violation_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Create with the default configuration (fail-stop, lazy init).
+    pub fn with_defaults() -> Tesla {
+        Tesla::new(Config::default())
+    }
+
+    /// The engine's name interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern a function name for use with the function hooks.
+    pub fn intern_fn(&self, name: &str) -> NameId {
+        self.interner.intern(name)
+    }
+
+    /// Intern a structure field name.
+    pub fn intern_field(&self, name: &str) -> NameId {
+        self.interner.intern(name)
+    }
+
+    /// Intern a structure type name.
+    pub fn intern_struct(&self, name: &str) -> NameId {
+        self.interner.intern(name)
+    }
+
+    /// Intern an Objective-C-style selector.
+    pub fn intern_selector(&self, name: &str) -> NameId {
+        self.interner.intern(name)
+    }
+
+    /// Add a lifecycle-event handler (§4.4.2).
+    pub fn add_handler(&self, h: Arc<dyn EventHandler>) {
+        self.handlers.write().push(h);
+    }
+
+    /// Violations recorded in [`FailMode::Log`] mode (fail-stop mode
+    /// records them here too, before returning them).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violation_log.lock().clone()
+    }
+
+    /// Drop recorded violations.
+    pub fn clear_violations(&self) {
+        self.violation_log.lock().clear();
+    }
+
+    /// Register a compiled automaton class. Returns its id, used by
+    /// the [`Tesla::assertion_site`] hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError`] if the automaton exceeds engine
+    /// limits.
+    pub fn register(&self, automaton: Automaton) -> Result<ClassId, RegisterError> {
+        if automaton.var_names.len() > MAX_VARS {
+            return Err(RegisterError::TooManyVariables(automaton.var_names.len()));
+        }
+        let mut classes = self.classes.write();
+        let mut tables = self.tables.write();
+        let class = classes.len() as u32;
+
+        // Bound group.
+        let gk = GroupKey {
+            start_fn: self.interner.intern(&automaton.bound.start_fn),
+            start_dir: automaton.bound.start_dir,
+            end_fn: self.interner.intern(&automaton.bound.end_fn),
+            end_dir: automaton.bound.end_dir,
+            context: automaton.context,
+        };
+        let group = match tables.group_index.get(&gk) {
+            Some(g) => {
+                let g = *g;
+                tables.groups[g as usize].classes.push(class);
+                g
+            }
+            None => {
+                let g = tables.groups.len() as u32;
+                tables.groups.push(GroupDef { context: automaton.context, classes: vec![class] });
+                tables.group_index.insert(gk.clone(), g);
+                // Wire the bound events into the function tables.
+                match gk.start_dir {
+                    Direction::Entry => {
+                        tables.fn_table_mut(gk.start_fn).bound_start_entry.push(g)
+                    }
+                    Direction::Exit => tables.fn_table_mut(gk.start_fn).bound_start_exit.push(g),
+                }
+                match gk.end_dir {
+                    Direction::Entry => tables.fn_table_mut(gk.end_fn).bound_end_entry.push(g),
+                    Direction::Exit => tables.fn_table_mut(gk.end_fn).bound_end_exit.push(g),
+                }
+                g
+            }
+        };
+
+        // Guard functions need shadow-stack maintenance.
+        let mut guard_fns = Vec::new();
+        for t in &automaton.transitions {
+            if let Some(Guard::InCallStack(f)) = &t.guard {
+                let id = self.interner.intern(f);
+                tables.fn_table_mut(id).push_stack = true;
+                if !guard_fns.contains(&id) {
+                    guard_fns.push(id);
+                }
+            }
+        }
+
+        // Event translators.
+        for sym in &automaton.symbols {
+            match &sym.kind {
+                SymbolKind::Function { name, args, direction, ret, .. } => {
+                    let t = compile_fn_translator(class, sym, args, ret.as_ref(), automaton.context);
+                    let id = self.interner.intern(name);
+                    let ft = tables.fn_table_mut(id);
+                    match direction {
+                        Direction::Entry => ft.entry.push(t),
+                        Direction::Exit => ft.exit.push(t),
+                    }
+                }
+                SymbolKind::FieldAssign { struct_name, field_name, object, op, value } => {
+                    let struct_filter = if struct_name.is_empty() {
+                        None
+                    } else {
+                        Some(self.interner.intern(struct_name))
+                    };
+                    let mut t = Translator {
+                        class,
+                        sym: sym.id,
+                        context: automaton.context,
+                        min_args: 0,
+                        checks: Vec::new(),
+                        binds: Vec::new(),
+                        struct_filter,
+                        field_op: Some(*op),
+                    };
+                    compile_pattern(object, Slot::Object, &mut t);
+                    compile_pattern(value, Slot::StoredValue, &mut t);
+                    let id = self.interner.intern(field_name);
+                    tables.field_table_mut(id).push(t);
+                }
+                SymbolKind::Message { receiver, selector, args, direction, ret } => {
+                    let mut t = compile_fn_translator(
+                        class,
+                        sym,
+                        args,
+                        ret.as_ref(),
+                        automaton.context,
+                    );
+                    compile_pattern(receiver, Slot::Receiver, &mut t);
+                    let id = self.interner.intern(selector);
+                    let st = tables.sel_table_mut(id);
+                    match direction {
+                        Direction::Entry => st.entry.push(t),
+                        Direction::Exit => st.exit.push(t),
+                    }
+                }
+                SymbolKind::Site | SymbolKind::BoundStart | SymbolKind::BoundEnd => {}
+            }
+        }
+
+        classes.push(Arc::new(ClassDef {
+            automaton,
+            group,
+            capacity: self.config.instance_capacity,
+            site_hits: AtomicU64::new(0),
+            violation_count: AtomicU64::new(0),
+            guard_fns,
+        }));
+        Ok(ClassId(class))
+    }
+
+    /// Compile and register a [`tesla_spec::Assertion`] in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a string describing compilation or registration
+    /// failure.
+    pub fn register_assertion(
+        &self,
+        assertion: &tesla_spec::Assertion,
+    ) -> Result<ClassId, String> {
+        let a = tesla_automata::compile(assertion).map_err(|e| e.to_string())?;
+        self.register(a).map_err(|e| e.to_string())
+    }
+
+    /// The registered class definitions (introspection, DOT output).
+    pub fn class_defs(&self) -> Vec<Arc<ClassDef>> {
+        self.classes.read().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumentation hooks
+    // ------------------------------------------------------------------
+
+    /// Function-entry hook.
+    ///
+    /// # Errors
+    ///
+    /// In fail-stop mode, returns the violation that this event
+    /// exposed.
+    #[inline]
+    pub fn fn_entry(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
+        let tables = self.tables.read();
+        let Some(ft) = tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
+        if ft.push_stack {
+            self.with_stack(|s| s.push(f));
+        }
+        if ft.bound_start_entry.is_empty()
+            && ft.bound_end_entry.is_empty()
+            && ft.entry.is_empty()
+        {
+            return Ok(());
+        }
+        let mut first = None;
+        for &g in &ft.bound_start_entry {
+            self.enter_group(&tables, g);
+        }
+        self.run_translators(&tables, &ft.entry, args, None, None, None, &mut first);
+        for &g in &ft.bound_end_entry {
+            self.exit_group(&tables, g, &mut first);
+        }
+        self.dispose(first)
+    }
+
+    /// Function-exit hook; `args` are the entry arguments, `ret` the
+    /// return value.
+    ///
+    /// # Errors
+    ///
+    /// In fail-stop mode, returns the violation that this event
+    /// exposed.
+    #[inline]
+    pub fn fn_exit(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
+        let tables = self.tables.read();
+        let Some(ft) = tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
+        if ft.push_stack {
+            self.with_stack(|s| {
+                if let Some(pos) = s.iter().rposition(|x| *x == f) {
+                    s.remove(pos);
+                }
+            });
+        }
+        if ft.bound_start_exit.is_empty() && ft.bound_end_exit.is_empty() && ft.exit.is_empty() {
+            return Ok(());
+        }
+        let mut first = None;
+        for &g in &ft.bound_start_exit {
+            self.enter_group(&tables, g);
+        }
+        self.run_translators(&tables, &ft.exit, args, Some(ret), None, None, &mut first);
+        for &g in &ft.bound_end_exit {
+            self.exit_group(&tables, g, &mut first);
+        }
+        self.dispose(first)
+    }
+
+    /// Structure-field-assignment hook (§4.2 "Field assignment"):
+    /// the structure type, the field, the containing object and the
+    /// assigned value, plus the operator for compound assignments.
+    ///
+    /// # Errors
+    ///
+    /// In fail-stop mode, returns the violation that this event
+    /// exposed.
+    #[inline]
+    pub fn field_store(
+        &self,
+        struct_id: NameId,
+        field_id: NameId,
+        object: Value,
+        op: FieldOp,
+        value: Value,
+    ) -> Result<(), Violation> {
+        let tables = self.tables.read();
+        let Some(entries) = tables.field_tables.get(field_id.0 as usize) else {
+            return Ok(());
+        };
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut first = None;
+        self.run_translators(
+            &tables,
+            entries,
+            &[],
+            None,
+            Some((struct_id, object, op, value)),
+            None,
+            &mut first,
+        );
+        self.dispose(first)
+    }
+
+    /// Message-send (method entry) hook (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// In fail-stop mode, returns the violation that this event
+    /// exposed.
+    #[inline]
+    pub fn msg_entry(&self, sel: NameId, receiver: Value, args: &[Value]) -> Result<(), Violation> {
+        let tables = self.tables.read();
+        let Some(st) = tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
+        if st.entry.is_empty() {
+            return Ok(());
+        }
+        let mut first = None;
+        self.run_translators(&tables, &st.entry, args, None, None, Some(receiver), &mut first);
+        self.dispose(first)
+    }
+
+    /// Method-return hook (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// In fail-stop mode, returns the violation that this event
+    /// exposed.
+    #[inline]
+    pub fn msg_exit(
+        &self,
+        sel: NameId,
+        receiver: Value,
+        args: &[Value],
+        ret: Value,
+    ) -> Result<(), Violation> {
+        let tables = self.tables.read();
+        let Some(st) = tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
+        if st.exit.is_empty() {
+            return Ok(());
+        }
+        let mut first = None;
+        self.run_translators(&tables, &st.exit, args, Some(ret), None, Some(receiver), &mut first);
+        self.dispose(first)
+    }
+
+    /// Assertion-site hook: execution reached the assertion's source
+    /// location with the scope's variable values (in variable-index
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// In fail-stop mode, returns the violation that this event
+    /// exposed.
+    pub fn assertion_site(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
+        let def = {
+            let classes = self.classes.read();
+            classes[class.0 as usize].clone()
+        };
+        def.site_hits.fetch_add(1, Ordering::Relaxed);
+        let tables = self.tables.read();
+        let handlers = self.handlers.read();
+        let bindings: Vec<(usize, Value)> =
+            values.iter().enumerate().map(|(i, v)| (i, *v)).collect();
+        let sym = def.automaton.site_sym;
+        let mut first = None;
+        self.with_store(def.automaton.context, |store| {
+            store.ensure(self.n_classes(), tables.groups.len());
+            if store.groups[def.group as usize].depth == 0 {
+                // Outside the temporal bound: the site is unreachable
+                // by automaton semantics; treat as unchecked.
+                return;
+            }
+            store.materialize(class.0, &def, &handlers);
+            let stack = self.stack_handle();
+            let mut guard_ok = |g: &Guard| match g {
+                Guard::InCallStack(f) => self
+                    .interner
+                    .get(f)
+                    .map(|id| stack.borrow().contains(&id))
+                    .unwrap_or(false),
+            };
+            let out = store.apply_event(
+                class.0,
+                &def,
+                sym,
+                &bindings,
+                true,
+                &mut guard_ok,
+                &handlers,
+            );
+            if let Some(v) = out.violation {
+                first.get_or_insert(v);
+            }
+        });
+        self.dispose(first)
+    }
+
+    // Convenience string-keyed hooks (tests, examples).
+
+    /// [`Tesla::fn_entry`] with a string name (interned on the spot).
+    ///
+    /// # Errors
+    ///
+    /// See [`Tesla::fn_entry`].
+    pub fn fn_entry_named(&self, name: &str, args: &[Value]) -> Result<(), Violation> {
+        self.fn_entry(self.interner.intern(name), args)
+    }
+
+    /// [`Tesla::fn_exit`] with a string name (interned on the spot).
+    ///
+    /// # Errors
+    ///
+    /// See [`Tesla::fn_exit`].
+    pub fn fn_exit_named(&self, name: &str, args: &[Value], ret: Value) -> Result<(), Violation> {
+        self.fn_exit(self.interner.intern(name), args, ret)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Coverage report: per class, whether its assertion site was
+    /// ever reached (the §3.5.2 test-suite coverage analysis).
+    pub fn coverage(&self) -> Vec<(String, u64, u64)> {
+        self.classes
+            .read()
+            .iter()
+            .map(|c| {
+                (
+                    c.automaton.name.clone(),
+                    c.site_hits.load(Ordering::Relaxed),
+                    c.violation_count.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of registered classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.read().len()
+    }
+
+    /// Live instances for a class in the current thread's store
+    /// (tests/introspection).
+    pub fn live_instances_here(&self, class: ClassId) -> usize {
+        let def = self.classes.read()[class.0 as usize].clone();
+        let mut n = 0;
+        self.with_store(def.automaton.context, |s| {
+            n = s.live_instances(class.0);
+        });
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn dispose(&self, v: Option<Violation>) -> Result<(), Violation> {
+        match v {
+            None => Ok(()),
+            Some(v) => {
+                self.violation_log.lock().push(v.clone());
+                match self.config.fail_mode {
+                    FailMode::FailStop => Err(v),
+                    FailMode::Log => Ok(()),
+                }
+            }
+        }
+    }
+
+    fn with_stack<R>(&self, f: impl FnOnce(&mut Vec<NameId>) -> R) -> R {
+        let h = self.stack_handle();
+        let mut s = h.borrow_mut();
+        f(&mut s)
+    }
+
+    fn stack_handle(&self) -> Rc<RefCell<Vec<NameId>>> {
+        TL_STACKS.with(|m| {
+            m.borrow_mut()
+                .entry(self.id)
+                .or_insert_with(|| Rc::new(RefCell::new(Vec::new())))
+                .clone()
+        })
+    }
+
+    fn with_store<R>(&self, ctx: Context, f: impl FnOnce(&mut Store) -> R) -> R {
+        match ctx {
+            Context::Global => {
+                let mut g = self.global.lock();
+                f(&mut g)
+            }
+            Context::PerThread => {
+                let rc = TL_STORES.with(|m| {
+                    m.borrow_mut()
+                        .entry(self.id)
+                        .or_insert_with(|| Rc::new(RefCell::new(Store::default())))
+                        .clone()
+                });
+                let mut s = rc.borrow_mut();
+                f(&mut s)
+            }
+        }
+    }
+
+    fn enter_group(&self, tables: &Tables, g: u32) {
+        let gd = &tables.groups[g as usize];
+        let handlers = self.handlers.read();
+        let naive = self.config.init_mode == InitMode::Naive;
+        let classes = self.classes.read();
+        self.with_store(gd.context, |store| {
+            store.ensure(classes.len(), tables.groups.len());
+            let gs = &mut store.groups[g as usize];
+            gs.depth += 1;
+            if gs.depth > 1 {
+                return;
+            }
+            gs.epoch += 1;
+            gs.materialized.clear();
+            if naive {
+                // Eager init: touch every class in the group — the
+                // cost the lazy optimisation removes (fig. 13).
+                for &c in &gd.classes {
+                    store.materialize(c, &classes[c as usize], &handlers);
+                }
+            }
+        });
+    }
+
+    fn exit_group(&self, tables: &Tables, g: u32, first: &mut Option<Violation>) {
+        let gd = &tables.groups[g as usize];
+        let handlers = self.handlers.read();
+        let naive = self.config.init_mode == InitMode::Naive;
+        let classes = self.classes.read();
+        self.with_store(gd.context, |store| {
+            store.ensure(classes.len(), tables.groups.len());
+            {
+                let gs = &mut store.groups[g as usize];
+                if gs.depth == 0 {
+                    return; // exit without matching entry: ignore
+                }
+                gs.depth -= 1;
+                if gs.depth > 0 {
+                    return;
+                }
+            }
+            let to_finalise: Vec<u32> = if naive {
+                gd.classes.clone()
+            } else {
+                std::mem::take(&mut store.groups[g as usize].materialized)
+            };
+            for c in to_finalise {
+                if let Some(v) =
+                    store.finalise_class(c, &classes[c as usize], &handlers)
+                {
+                    first.get_or_insert(v);
+                }
+            }
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_translators(
+        &self,
+        tables: &Tables,
+        entries: &[Translator],
+        args: &[Value],
+        ret: Option<Value>,
+        field: Option<(NameId, Value, FieldOp, Value)>,
+        receiver: Option<Value>,
+        first: &mut Option<Violation>,
+    ) {
+        if entries.is_empty() {
+            return;
+        }
+        let handlers = self.handlers.read();
+        let classes = self.classes.read();
+        'entry: for t in entries {
+            // Static checks (§4.2: "the generated code checks static
+            // event parameters ... otherwise, the translator branches
+            // to the static checks for the next automaton").
+            if (args.len() as u8) < t.min_args {
+                continue;
+            }
+            if let Some((struct_id, _, op, _)) = &field {
+                if let Some(want) = t.struct_filter {
+                    if want != *struct_id {
+                        continue;
+                    }
+                }
+                if t.field_op != Some(*op) {
+                    continue;
+                }
+            }
+            let slot_value = |slot: &Slot| -> Option<Value> {
+                match slot {
+                    Slot::Arg(i) => args.get(*i as usize).copied(),
+                    Slot::Ret => ret,
+                    Slot::Receiver => receiver,
+                    Slot::Object => field.map(|(_, o, _, _)| o),
+                    Slot::StoredValue => field.map(|(_, _, _, v)| v),
+                }
+            };
+            for (slot, check) in &t.checks {
+                match slot_value(slot) {
+                    Some(v) if check.ok(v) => {}
+                    _ => continue 'entry,
+                }
+            }
+            // Dynamic variable extraction.
+            let mut bindings: Vec<(usize, Value)> = Vec::with_capacity(t.binds.len());
+            for (var, slot) in &t.binds {
+                match slot_value(slot) {
+                    Some(v) => bindings.push((*var as usize, v)),
+                    None => continue 'entry,
+                }
+            }
+            let def = &classes[t.class as usize];
+            let stack = self.stack_handle();
+            let mut guard_ok = |g: &Guard| match g {
+                Guard::InCallStack(f) => self
+                    .interner
+                    .get(f)
+                    .map(|id| stack.borrow().contains(&id))
+                    .unwrap_or(false),
+            };
+            self.with_store(t.context, |store| {
+                store.ensure(classes.len(), tables.groups.len());
+                if store.groups[def.group as usize].depth == 0 {
+                    return; // outside the temporal bound
+                }
+                store.materialize(t.class, def, &handlers);
+                let out = store.apply_event(
+                    t.class,
+                    def,
+                    t.sym,
+                    &bindings,
+                    false,
+                    &mut guard_ok,
+                    &handlers,
+                );
+                if let Some(v) = out.violation {
+                    first.get_or_insert(v);
+                }
+            });
+        }
+    }
+}
+
+fn compile_fn_translator(
+    class: u32,
+    sym: &Symbol,
+    args: &[ArgPattern],
+    ret: Option<&ArgPattern>,
+    context: Context,
+) -> Translator {
+    let mut t = Translator {
+        class,
+        sym: sym.id,
+        context,
+        min_args: args.len() as u8,
+        checks: Vec::new(),
+        binds: Vec::new(),
+        struct_filter: None,
+        field_op: None,
+    };
+    for (i, p) in args.iter().enumerate() {
+        compile_pattern(p, Slot::Arg(i as u8), &mut t);
+    }
+    if let Some(p) = ret {
+        compile_pattern(p, Slot::Ret, &mut t);
+    }
+    t
+}
+
+fn compile_pattern(p: &ArgPattern, slot: Slot, t: &mut Translator) {
+    match p {
+        ArgPattern::Any { .. } => {}
+        ArgPattern::Const(v) => t.checks.push((slot, Check::Const(*v))),
+        ArgPattern::Flags(b) => t.checks.push((slot, Check::Flags(*b))),
+        ArgPattern::Bitmask(b) => t.checks.push((slot, Check::Bitmask(*b))),
+        // Out-params behave like variables at run time: the hook is
+        // expected to pass the pointee value observed at event time.
+        ArgPattern::Var { index, .. } | ArgPattern::OutParam { index, .. } => {
+            t.binds.push((*index as u8, slot));
+        }
+    }
+}
+
+/// Expose the per-thread state reset, for benchmarks that reuse
+/// threads across engine instances.
+pub fn reset_thread_state() {
+    TL_STORES.with(|m| m.borrow_mut().clear());
+    TL_STACKS.with(|m| m.borrow_mut().clear());
+}

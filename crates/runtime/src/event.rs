@@ -1,0 +1,172 @@
+//! Violations and lifecycle events.
+//!
+//! libtesla "reports all of the event types referenced in §4.4.1:
+//! instance initialisation, clones, updates, errors, and finalisation
+//! (automaton acceptance)" (§4.4.2), plus preallocation overflows.
+
+use tesla_automata::{StateSet, SymbolId};
+use tesla_spec::{SourceLoc, Value};
+
+/// Why an assertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The assertion site was reached but no automaton instance could
+    /// take the site transition — e.g. `previously(...)` with the
+    /// required prior event missing, or present with the wrong
+    /// variable values (§4.4.1 "Error").
+    Site,
+    /// An instance was finalised at its temporal bound's end with a
+    /// pending obligation (`eventually(...)` unmet).
+    Cleanup,
+    /// `strict` semantics: an alphabet event matched an instance but
+    /// had no transition from its current state.
+    Strict,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Site => write!(f, "assertion-site violation"),
+            ViolationKind::Cleanup => write!(f, "unmet obligation at bound end"),
+            ViolationKind::Strict => write!(f, "unexpected event (strict)"),
+        }
+    }
+}
+
+/// A temporal-assertion violation.
+///
+/// In the default fail-stop mode this is returned as the `Err` of the
+/// instrumentation hook that observed it; in log mode it is recorded
+/// and execution continues (§4.4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the violated assertion.
+    pub assertion: String,
+    /// What kind of mismatch.
+    pub kind: ViolationKind,
+    /// Where the assertion was written.
+    pub loc: SourceLoc,
+    /// The assertion's surface form.
+    pub source: String,
+    /// Values involved in the offending event, in variable order where
+    /// known.
+    pub values: Vec<Value>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TESLA: {} in `{}` at {}: {} [{}]",
+            self.kind, self.assertion, self.loc, self.detail, self.source
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// An automaton-instance lifecycle notification, delivered to every
+/// registered [`crate::EventHandler`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleEvent {
+    /// A fresh `(∗)` instance was created at its bound's «init».
+    New {
+        /// Class index.
+        class: u32,
+        /// Instance slot.
+        instance: u32,
+    },
+    /// An instance was cloned to specialise a variable binding
+    /// (`(∗)` → `(vp₁)`, §4.4.1 "Clone").
+    Clone {
+        /// Class index.
+        class: u32,
+        /// Source instance slot.
+        from_instance: u32,
+        /// New instance slot.
+        to_instance: u32,
+        /// The newly bound variable values `(index, value)`.
+        bound: Vec<(usize, Value)>,
+        /// NFA states after the transition.
+        states: StateSet,
+    },
+    /// An instance consumed a symbol and moved (§4.4.1 "Update").
+    Update {
+        /// Class index.
+        class: u32,
+        /// Instance slot.
+        instance: u32,
+        /// Consumed symbol.
+        sym: SymbolId,
+        /// NFA states before.
+        from_states: StateSet,
+        /// NFA states after.
+        to_states: StateSet,
+    },
+    /// A violation was detected (§4.4.1 "Error").
+    Error {
+        /// The violation.
+        violation: Violation,
+    },
+    /// An instance was finalised at «cleanup»; `accepted` is automaton
+    /// acceptance.
+    Finalise {
+        /// Class index.
+        class: u32,
+        /// Instance slot.
+        instance: u32,
+        /// Whether the instance finalised in a cleanup-safe state.
+        accepted: bool,
+    },
+    /// The preallocated instance table was full; the clone/creation
+    /// was dropped and must be reported "so that we can adjust
+    /// preallocation size on the next run" (§4.4.1).
+    Overflow {
+        /// Class index.
+        class: u32,
+    },
+}
+
+impl LifecycleEvent {
+    /// The class this event concerns.
+    pub fn class(&self) -> Option<u32> {
+        match self {
+            LifecycleEvent::New { class, .. }
+            | LifecycleEvent::Clone { class, .. }
+            | LifecycleEvent::Update { class, .. }
+            | LifecycleEvent::Finalise { class, .. }
+            | LifecycleEvent::Overflow { class } => Some(*class),
+            LifecycleEvent::Error { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_mentions_everything() {
+        let v = Violation {
+            assertion: "mac_poll".into(),
+            kind: ViolationKind::Site,
+            loc: SourceLoc { file: "uipc_socket.c".into(), line: 42 },
+            source: "TESLA_SYSCALL_PREVIOUSLY(...)".into(),
+            values: vec![Value(7)],
+            detail: "no instance for so=7".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("mac_poll"));
+        assert!(s.contains("uipc_socket.c:42"));
+        assert!(s.contains("assertion-site violation"));
+        assert!(s.contains("so=7"));
+    }
+
+    #[test]
+    fn lifecycle_event_class_accessor() {
+        assert_eq!(LifecycleEvent::New { class: 3, instance: 0 }.class(), Some(3));
+        assert_eq!(LifecycleEvent::Overflow { class: 9 }.class(), Some(9));
+    }
+}

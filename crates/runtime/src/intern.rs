@@ -1,0 +1,123 @@
+//! Name interning.
+//!
+//! The instrumenter binds events to symbols at compile time; at run
+//! time only dense integer ids flow through the hooks. One interner
+//! per [`crate::Tesla`] instance covers function names, structure
+//! type/field names and Objective-C selectors (the namespaces cannot
+//! collide because they key different dispatch tables).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A dense interned-name id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+/// A concurrent string interner.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    by_name: HashMap<String, NameId>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// New, empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its id (stable for the interner's
+    /// lifetime).
+    pub fn intern(&self, name: &str) -> NameId {
+        if let Some(id) = self.inner.read().by_name.get(name) {
+            return *id;
+        }
+        let mut w = self.inner.write();
+        if let Some(id) = w.by_name.get(name) {
+            return *id;
+        }
+        let id = NameId(w.names.len() as u32);
+        w.names.push(name.to_string());
+        w.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// The string for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: NameId) -> String {
+        self.inner.read().names[id.0 as usize].clone()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        assert_eq!(a, b);
+        let c = i.intern("bar");
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let i = Interner::new();
+        let id = i.intern("mac_socket_check_poll");
+        assert_eq!(i.resolve(id), "mac_socket_check_poll");
+        assert_eq!(i.get("mac_socket_check_poll"), Some(id));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let i = std::sync::Arc::new(Interner::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let i = i.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for k in 0..50 {
+                    ids.push(i.intern(&format!("name{}", (k + t) % 50)));
+                }
+                ids
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(i.len(), 50);
+        // Every name resolves to itself.
+        for k in 0..50 {
+            let n = format!("name{k}");
+            assert_eq!(i.resolve(i.get(&n).unwrap()), n);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Automata instance storage (§4.4.1).
+//!
+//! Each store (one global, one per thread) holds, for every automaton
+//! class, a *preallocated, fixed-capacity* table of instances. An
+//! instance is a current NFA state set plus a partial variable→value
+//! binding; the instance "name" of the paper — `(∗)`, `(vp₁)`, … — is
+//! exactly that binding.
+//!
+//! The lifecycle:
+//!
+//! * **Init** — entering the temporal bound creates the unnamed `(∗)`
+//!   instance (eagerly in naive mode; lazily on the class's first
+//!   event in optimised mode, §5.2.2).
+//! * **Clone** — an event that binds a variable the instance does not
+//!   know *clones* it: the original stays general, the clone is
+//!   specialised (`(∗)` → `(vp₁)` in state 2, fig. 9).
+//! * **Update** — an event whose bindings agree with the instance
+//!   moves its state set in place.
+//! * **Error** — an assertion-site event that no instance can take is
+//!   a violation.
+//! * **Cleanup** — leaving the bound finalises every instance:
+//!   acceptance if its state set intersects the cleanup-safe set,
+//!   violation otherwise; then the table is expunged.
+
+use crate::engine::ClassDef;
+use crate::event::{LifecycleEvent, Violation, ViolationKind};
+use crate::handlers::EventHandler;
+use crate::MAX_VARS;
+use tesla_automata::{Guard, StateSet, SymbolId};
+use tesla_spec::Value;
+
+/// One automaton instance: a state set plus a partial binding.
+#[derive(Debug, Clone, Copy)]
+pub struct Instance {
+    /// Current NFA states.
+    pub states: StateSet,
+    /// Variable values; only slots with the corresponding `known` bit
+    /// set are meaningful.
+    pub bindings: [Value; MAX_VARS],
+    /// Bitmask of bound variables.
+    pub known: u8,
+}
+
+impl Instance {
+    /// The unnamed `(∗)` instance in the automaton's start state.
+    pub fn unnamed(start: StateSet) -> Instance {
+        Instance { states: start, bindings: [Value::NULL; MAX_VARS], known: 0 }
+    }
+
+    /// The instance's "name" for diagnostics: `(∗)` or `(v₀=3, v₂=7)`.
+    pub fn name(&self, var_names: &[String]) -> String {
+        if self.known == 0 {
+            return "(∗)".to_string();
+        }
+        let mut parts = Vec::new();
+        for (i, name) in var_names.iter().enumerate() {
+            if self.known & (1 << i) != 0 {
+                parts.push(format!("{name}={}", self.bindings[i]));
+            }
+        }
+        format!("({})", parts.join(", "))
+    }
+
+    /// Bound values in variable order (unknown slots omitted).
+    pub fn known_values(&self) -> Vec<Value> {
+        (0..MAX_VARS)
+            .filter(|i| self.known & (1 << i) != 0)
+            .map(|i| self.bindings[i])
+            .collect()
+    }
+}
+
+/// Per-class state within one store.
+#[derive(Debug, Default)]
+pub struct ClassState {
+    /// Live instances (preallocated to the class capacity on first
+    /// use; cleared, not shrunk, at cleanup).
+    pub instances: Vec<Instance>,
+    /// The bound epoch this class was last materialised in (lazy
+    /// initialisation, §5.2.2). 0 = never.
+    pub epoch: u64,
+}
+
+/// Per-bound-group scope state within one store.
+#[derive(Debug, Default)]
+pub struct GroupState {
+    /// Bound nesting depth (recursive bound functions).
+    pub depth: u32,
+    /// Monotonic epoch; bumped at every outermost bound entry.
+    pub epoch: u64,
+    /// Classes materialised this epoch (lazy mode): only these need
+    /// finalisation at cleanup.
+    pub materialized: Vec<u32>,
+}
+
+/// All automata state for one context (global, or one thread).
+#[derive(Debug, Default)]
+pub struct Store {
+    /// Indexed by class id.
+    pub classes: Vec<ClassState>,
+    /// Indexed by group id.
+    pub groups: Vec<GroupState>,
+}
+
+/// What `apply_event` observed.
+#[derive(Debug, Default)]
+pub struct ApplyOutcome {
+    /// At least one instance took the transition (in place or via
+    /// clone).
+    pub matched: bool,
+    /// A violation, if one was detected.
+    pub violation: Option<Violation>,
+}
+
+impl Store {
+    /// Grow to cover `n_classes` classes and `n_groups` groups.
+    pub fn ensure(&mut self, n_classes: usize, n_groups: usize) {
+        if self.classes.len() < n_classes {
+            self.classes.resize_with(n_classes, ClassState::default);
+        }
+        if self.groups.len() < n_groups {
+            self.groups.resize_with(n_groups, GroupState::default);
+        }
+    }
+
+    /// Create the `(∗)` instance for `class` if it has not been
+    /// materialised in the current epoch of its bound group.
+    /// Returns `true` if an instance was created.
+    pub fn materialize(
+        &mut self,
+        class: u32,
+        def: &ClassDef,
+        handlers: &[std::sync::Arc<dyn EventHandler>],
+    ) -> bool {
+        let epoch = self.groups[def.group as usize].epoch;
+        let cs = &mut self.classes[class as usize];
+        if cs.epoch == epoch {
+            return false;
+        }
+        cs.epoch = epoch;
+        if cs.instances.capacity() < def.capacity {
+            cs.instances.reserve_exact(def.capacity - cs.instances.capacity());
+        }
+        cs.instances.push(Instance::unnamed(def.automaton.initial_states()));
+        self.groups[def.group as usize].materialized.push(class);
+        for h in handlers {
+            h.on_event(&LifecycleEvent::New { class, instance: 0 });
+        }
+        true
+    }
+
+    /// Deliver one symbol occurrence to `class` with the event's
+    /// dynamic bindings, implementing the clone-on-specialise
+    /// semantics. `is_site` marks assertion-site events, whose failure
+    /// to match is a violation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_event(
+        &mut self,
+        class: u32,
+        def: &ClassDef,
+        sym: SymbolId,
+        bindings: &[(usize, Value)],
+        is_site: bool,
+        guard_ok: &mut dyn FnMut(&Guard) -> bool,
+        handlers: &[std::sync::Arc<dyn EventHandler>],
+    ) -> ApplyOutcome {
+        let auto = &def.automaton;
+        let cs = &mut self.classes[class as usize];
+        let mut out = ApplyOutcome::default();
+        // Clones created this event: (source slot, instance).
+        let mut clones: Vec<(u32, Instance)> = Vec::new();
+        let n = cs.instances.len();
+        for i in 0..n {
+            let inst = cs.instances[i];
+            // Binding compatibility: known variables must agree;
+            // unknown ones specialise.
+            let mut specialise_known: u8 = 0;
+            let mut specialise_vals = [Value::NULL; MAX_VARS];
+            let mut compatible = true;
+            for &(var, val) in bindings {
+                debug_assert!(var < MAX_VARS);
+                let bit = 1u8 << var;
+                if inst.known & bit != 0 {
+                    if inst.bindings[var] != val {
+                        compatible = false;
+                        break;
+                    }
+                } else {
+                    specialise_known |= bit;
+                    specialise_vals[var] = val;
+                }
+            }
+            if !compatible {
+                continue;
+            }
+            let next = auto.step(&inst.states, sym, &mut *guard_ok);
+            if next.is_empty() {
+                if auto.strict && !is_site {
+                    let v = def.violation(
+                        ViolationKind::Strict,
+                        inst.known_values(),
+                        format!(
+                            "instance {} has no transition on {}",
+                            inst.name(&auto.var_names),
+                            auto.symbols[sym.0 as usize].kind
+                        ),
+                    );
+                    for h in handlers {
+                        h.on_event(&LifecycleEvent::Error { violation: v.clone() });
+                    }
+                    out.violation = Some(v);
+                    return out;
+                }
+                // Irrelevant at this instance's progress: ignore.
+                continue;
+            }
+            if specialise_known == 0 {
+                let from = inst.states;
+                cs.instances[i].states = next;
+                out.matched = true;
+                for h in handlers {
+                    h.on_event(&LifecycleEvent::Update {
+                        class,
+                        instance: i as u32,
+                        sym,
+                        from_states: from,
+                        to_states: next,
+                    });
+                }
+            } else {
+                let mut clone = inst;
+                clone.known |= specialise_known;
+                for v in 0..MAX_VARS {
+                    if specialise_known & (1 << v) != 0 {
+                        clone.bindings[v] = specialise_vals[v];
+                    }
+                }
+                clone.states = next;
+                out.matched = true;
+                clones.push((i as u32, clone));
+            }
+        }
+        for (src, clone) in clones {
+            // Deduplicate: an instance with identical bindings may
+            // already exist (e.g. the same check ran twice); merge
+            // state sets instead of duplicating.
+            if let Some(j) = cs
+                .instances
+                .iter()
+                .position(|e| e.known == clone.known && same_bindings(e, &clone))
+            {
+                let from = cs.instances[j].states;
+                cs.instances[j].states.union_with(&clone.states);
+                let to = cs.instances[j].states;
+                if from != to {
+                    for h in handlers {
+                        h.on_event(&LifecycleEvent::Update {
+                            class,
+                            instance: j as u32,
+                            sym,
+                            from_states: from,
+                            to_states: to,
+                        });
+                    }
+                }
+            } else if cs.instances.len() < def.capacity {
+                let slot = cs.instances.len() as u32;
+                cs.instances.push(clone);
+                for h in handlers {
+                    h.on_event(&LifecycleEvent::Clone {
+                        class,
+                        from_instance: src,
+                        to_instance: slot,
+                        bound: bindings.to_vec(),
+                        states: clone.states,
+                    });
+                    // A clone is also a consumed transition: report it
+                    // for coverage/weighted graphs.
+                    h.on_event(&LifecycleEvent::Update {
+                        class,
+                        instance: slot,
+                        sym,
+                        from_states: cs.instances[src as usize].states,
+                        to_states: clone.states,
+                    });
+                }
+            } else {
+                for h in handlers {
+                    h.on_event(&LifecycleEvent::Overflow { class });
+                }
+            }
+        }
+        if !out.matched && is_site && out.violation.is_none() {
+            let values: Vec<Value> = bindings.iter().map(|(_, v)| *v).collect();
+            let v = def.violation(
+                ViolationKind::Site,
+                values.clone(),
+                format!(
+                    "assertion site reached with ({}) but no automaton instance can accept it",
+                    describe_bindings(&auto.var_names, bindings)
+                ),
+            );
+            for h in handlers {
+                h.on_event(&LifecycleEvent::Error { violation: v.clone() });
+            }
+            out.violation = Some(v);
+        }
+        out
+    }
+
+    /// Finalise and expunge every instance of `class` («cleanup»).
+    /// Returns the first cleanup violation, if any.
+    pub fn finalise_class(
+        &mut self,
+        class: u32,
+        def: &ClassDef,
+        handlers: &[std::sync::Arc<dyn EventHandler>],
+    ) -> Option<Violation> {
+        let auto = &def.automaton;
+        let cs = &mut self.classes[class as usize];
+        let mut violation = None;
+        for (i, inst) in cs.instances.iter().enumerate() {
+            let accepted = auto.finalise_ok(&inst.states);
+            for h in handlers {
+                h.on_event(&LifecycleEvent::Finalise {
+                    class,
+                    instance: i as u32,
+                    accepted,
+                });
+            }
+            if !accepted && violation.is_none() {
+                let v = def.violation(
+                    ViolationKind::Cleanup,
+                    inst.known_values(),
+                    format!(
+                        "instance {} finalised with a pending obligation",
+                        inst.name(&auto.var_names)
+                    ),
+                );
+                for h in handlers {
+                    h.on_event(&LifecycleEvent::Error { violation: v.clone() });
+                }
+                violation = Some(v);
+            }
+        }
+        cs.instances.clear();
+        cs.epoch = 0;
+        violation
+    }
+
+    /// Live instance count for a class (tests, introspection).
+    pub fn live_instances(&self, class: u32) -> usize {
+        self.classes.get(class as usize).map(|c| c.instances.len()).unwrap_or(0)
+    }
+}
+
+fn same_bindings(a: &Instance, b: &Instance) -> bool {
+    for v in 0..MAX_VARS {
+        if b.known & (1 << v) != 0 && a.bindings[v] != b.bindings[v] {
+            return false;
+        }
+    }
+    true
+}
+
+fn describe_bindings(var_names: &[String], bindings: &[(usize, Value)]) -> String {
+    bindings
+        .iter()
+        .map(|(i, v)| {
+            let name = var_names.get(*i).map(String::as_str).unwrap_or("?");
+            format!("{name}={v}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unnamed_instance_has_star_name() {
+        let i = Instance::unnamed(StateSet::singleton(0));
+        assert_eq!(i.name(&["so".into()]), "(∗)");
+    }
+
+    #[test]
+    fn named_instance_lists_bindings() {
+        let mut i = Instance::unnamed(StateSet::singleton(1));
+        i.known = 0b101;
+        i.bindings[0] = Value(7);
+        i.bindings[2] = Value(9);
+        assert_eq!(
+            i.name(&["a".into(), "b".into(), "c".into()]),
+            "(a=7, c=9)"
+        );
+        assert_eq!(i.known_values(), vec![Value(7), Value(9)]);
+    }
+
+    // Full store behaviour is exercised through the engine tests,
+    // which own ClassDef construction.
+}

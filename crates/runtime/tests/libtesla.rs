@@ -1,0 +1,713 @@
+//! Behavioural tests for libtesla: the full §4.4 lifecycle driven
+//! through the instrumentation hook API, including the paper's
+//! figure-9 scenario, clone-on-specialise, bounds, contexts,
+//! fail-stop vs log, guards, preallocation overflow and the
+//! naive-vs-lazy initialisation equivalence.
+
+use std::sync::Arc;
+use tesla_automata::compile;
+use tesla_runtime::{
+    engine::reset_thread_state, CountingHandler, Config, FailMode, InitMode, RecordingHandler,
+    Tesla, Violation, ViolationKind,
+};
+use tesla_spec::{call, field_assign, msg_send, AssertionBuilder, ExprBuilder, FieldOp, Value};
+
+fn syscall_poll_engine(init: InitMode, fail: FailMode) -> (Tesla, tesla_runtime::ClassId) {
+    let t = Tesla::new(Config { fail_mode: fail, init_mode: init, instance_capacity: 64 });
+    let a = AssertionBuilder::syscall()
+        .named("mac_poll")
+        .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    (t, id)
+}
+
+/// Run the fig. 9 scenario: enter syscall, optionally run the MAC
+/// check (with `checked_so`), reach the assertion site with `site_so`,
+/// exit the syscall.
+fn poll_scenario(
+    t: &Tesla,
+    id: tesla_runtime::ClassId,
+    checked_so: Option<u64>,
+    site_so: Option<u64>,
+) -> Result<(), Violation> {
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("mac_socket_check_poll");
+    t.fn_entry(syscall, &[Value(1), Value(2)])?;
+    if let Some(so) = checked_so {
+        let args = [Value(77), Value(so)];
+        t.fn_entry(check, &args)?;
+        t.fn_exit(check, &args, Value(0))?;
+    }
+    if let Some(so) = site_so {
+        t.assertion_site(id, &[Value(so)])?;
+    }
+    t.fn_exit(syscall, &[Value(1), Value(2)], Value(0))
+}
+
+#[test]
+fn previously_satisfied_accepts() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    assert!(poll_scenario(&t, id, Some(42), Some(42)).is_ok());
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn previously_missing_is_site_violation() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let err = poll_scenario(&t, id, None, Some(42)).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Site);
+    assert_eq!(err.assertion, "mac_poll");
+}
+
+#[test]
+fn wrong_variable_value_is_a_violation() {
+    // The §3.5.2 wrong-credential bug shape: a check ran, but for a
+    // different object than the one at the assertion site.
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let err = poll_scenario(&t, id, Some(42), Some(43)).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Site);
+    assert!(err.detail.contains("so=43"), "detail: {}", err.detail);
+}
+
+#[test]
+fn check_after_site_does_not_satisfy_previously() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("mac_socket_check_poll");
+    t.fn_entry(syscall, &[]).unwrap();
+    let err = t.assertion_site(id, &[Value(9)]).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Site);
+    // Doing the check afterwards must not retroactively fix anything.
+    let args = [Value(1), Value(9)];
+    t.fn_entry(check, &args).unwrap();
+    t.fn_exit(check, &args, Value(0)).unwrap();
+}
+
+#[test]
+fn site_never_reached_is_bypass_acceptance() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    assert!(poll_scenario(&t, id, Some(42), None).is_ok());
+    assert!(poll_scenario(&t, id, None, None).is_ok());
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn events_outside_bound_are_ignored() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let check = t.intern_fn("mac_socket_check_poll");
+    // No syscall entered: the check and even the site are outside the
+    // temporal bound — no instances exist, nothing to violate.
+    let args = [Value(1), Value(5)];
+    t.fn_entry(check, &args).unwrap();
+    t.fn_exit(check, &args, Value(0)).unwrap();
+    t.assertion_site(id, &[Value(5)]).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn clones_specialise_per_socket() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("mac_socket_check_poll");
+    t.fn_entry(syscall, &[]).unwrap();
+    for so in [10u64, 20, 30] {
+        let args = [Value(1), Value(so)];
+        t.fn_entry(check, &args).unwrap();
+        t.fn_exit(check, &args, Value(0)).unwrap();
+    }
+    // (∗) plus three specialised instances.
+    assert_eq!(t.live_instances_here(id), 4);
+    // Each specialised socket passes its own site.
+    t.assertion_site(id, &[Value(20)]).unwrap();
+    t.assertion_site(id, &[Value(10)]).unwrap();
+    t.assertion_site(id, &[Value(30)]).unwrap();
+    // An unchecked socket still fails.
+    assert!(t.assertion_site(id, &[Value(40)]).is_err());
+}
+
+#[test]
+fn duplicate_checks_do_not_duplicate_instances() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("mac_socket_check_poll");
+    t.fn_entry(syscall, &[]).unwrap();
+    for _ in 0..5 {
+        let args = [Value(1), Value(7)];
+        t.fn_entry(check, &args).unwrap();
+        t.fn_exit(check, &args, Value(0)).unwrap();
+    }
+    assert_eq!(t.live_instances_here(id), 2); // (∗) and (so=7)
+}
+
+#[test]
+fn failed_check_return_value_does_not_arm_the_automaton() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("mac_socket_check_poll");
+    t.fn_entry(syscall, &[]).unwrap();
+    let args = [Value(1), Value(7)];
+    t.fn_entry(check, &args).unwrap();
+    // Check ran but *failed* (EPERM): static return check == 0 fails.
+    t.fn_exit(check, &args, Value::from_i64(13)).unwrap();
+    let err = t.assertion_site(id, &[Value(7)]).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Site);
+}
+
+fn eventually_engine(fail: FailMode) -> (Tesla, tesla_runtime::ClassId) {
+    let t = Tesla::new(Config { fail_mode: fail, ..Config::default() });
+    let a = AssertionBuilder::syscall()
+        .named("sugid_flag")
+        .eventually(
+            field_assign("proc", "p_flag")
+                .object_var("p")
+                .op(FieldOp::OrAssign)
+                .value_const(0x100u64),
+        )
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    (t, id)
+}
+
+#[test]
+fn eventually_met_accepts() {
+    let (t, id) = eventually_engine(FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let (proc_s, p_flag) = (t.intern_struct("proc"), t.intern_field("p_flag"));
+    t.fn_entry(syscall, &[]).unwrap();
+    t.assertion_site(id, &[Value(55)]).unwrap();
+    t.field_store(proc_s, p_flag, Value(55), FieldOp::OrAssign, Value(0x100)).unwrap();
+    t.fn_exit(syscall, &[], Value(0)).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn eventually_unmet_fails_at_cleanup() {
+    let (t, id) = eventually_engine(FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    t.fn_entry(syscall, &[]).unwrap();
+    t.assertion_site(id, &[Value(55)]).unwrap();
+    let err = t.fn_exit(syscall, &[], Value(0)).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Cleanup);
+    assert_eq!(err.assertion, "sugid_flag");
+}
+
+#[test]
+fn eventually_wrong_object_fails_at_cleanup() {
+    let (t, id) = eventually_engine(FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let (proc_s, p_flag) = (t.intern_struct("proc"), t.intern_field("p_flag"));
+    t.fn_entry(syscall, &[]).unwrap();
+    t.assertion_site(id, &[Value(55)]).unwrap();
+    // Flag set on a *different* process.
+    t.field_store(proc_s, p_flag, Value(56), FieldOp::OrAssign, Value(0x100)).unwrap();
+    let err = t.fn_exit(syscall, &[], Value(0)).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Cleanup);
+}
+
+#[test]
+fn field_op_must_match() {
+    let (t, id) = eventually_engine(FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    let (proc_s, p_flag) = (t.intern_struct("proc"), t.intern_field("p_flag"));
+    t.fn_entry(syscall, &[]).unwrap();
+    t.assertion_site(id, &[Value(55)]).unwrap();
+    // Plain assignment is not the asserted |= event.
+    t.field_store(proc_s, p_flag, Value(55), FieldOp::Assign, Value(0x100)).unwrap();
+    assert!(t.fn_exit(syscall, &[], Value(0)).is_err());
+}
+
+#[test]
+fn log_mode_collects_and_continues() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::Log);
+    assert!(poll_scenario(&t, id, None, Some(42)).is_ok());
+    assert!(poll_scenario(&t, id, None, Some(43)).is_ok());
+    let vs = t.violations();
+    assert_eq!(vs.len(), 2);
+    assert!(vs.iter().all(|v| v.kind == ViolationKind::Site));
+    t.clear_violations();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn naive_and_lazy_agree_on_verdicts() {
+    // Drive both engines through the same mixed trace and compare.
+    for (checked, site, expect_err) in [
+        (Some(1u64), Some(1u64), false),
+        (Some(1), Some(2), true),
+        (None, Some(1), true),
+        (Some(1), None, false),
+        (None, None, false),
+    ] {
+        let (tn, idn) = syscall_poll_engine(InitMode::Naive, FailMode::FailStop);
+        let (tl, idl) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+        let rn = poll_scenario(&tn, idn, checked, site);
+        let rl = poll_scenario(&tl, idl, checked, site);
+        assert_eq!(rn.is_err(), expect_err, "naive {checked:?} {site:?}");
+        assert_eq!(rl.is_err(), expect_err, "lazy {checked:?} {site:?}");
+        assert_eq!(rn.err().map(|v| v.kind), rl.err().map(|v| v.kind));
+    }
+}
+
+#[test]
+fn naive_mode_creates_instances_eagerly() {
+    let (t, id) = syscall_poll_engine(InitMode::Naive, FailMode::FailStop);
+    let syscall = t.intern_fn("amd64_syscall");
+    t.fn_entry(syscall, &[]).unwrap();
+    assert_eq!(t.live_instances_here(id), 1); // (∗) exists already
+    t.fn_exit(syscall, &[], Value(0)).unwrap();
+    assert_eq!(t.live_instances_here(id), 0);
+
+    let (t2, id2) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let syscall2 = t2.intern_fn("amd64_syscall");
+    t2.fn_entry(syscall2, &[]).unwrap();
+    assert_eq!(t2.live_instances_here(id2), 0); // lazy: nothing yet
+    t2.fn_exit(syscall2, &[], Value(0)).unwrap();
+}
+
+#[test]
+fn recursive_bound_entries_nest() {
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::within("walker")
+        .named("rec")
+        .previously(call("prep").returns(0))
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let walker = t.intern_fn("walker");
+    let prep = t.intern_fn("prep");
+    // Outer enter, prep, inner enter+exit (must not expunge), site ok.
+    t.fn_entry(walker, &[]).unwrap();
+    t.fn_entry(prep, &[]).unwrap();
+    t.fn_exit(prep, &[], Value(0)).unwrap();
+    t.fn_entry(walker, &[]).unwrap();
+    t.fn_exit(walker, &[], Value(0)).unwrap();
+    t.assertion_site(id, &[]).unwrap();
+    t.fn_exit(walker, &[], Value(0)).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn incallstack_guard_consults_shadow_stack() {
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::syscall()
+        .named("ufs_read_paths")
+        .body(
+            ExprBuilder::in_callstack("ufs_readdir")
+                .or(ExprBuilder::from(
+                    call("mac_vnode_check_read").any_ptr().arg_var("vp").returns(0),
+                )
+                .then(ExprBuilder::site())),
+        )
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let syscall = t.intern_fn("amd64_syscall");
+    let readdir = t.intern_fn("ufs_readdir");
+
+    // Inside ufs_readdir: guard passes without any MAC check.
+    t.fn_entry(syscall, &[]).unwrap();
+    t.fn_entry(readdir, &[]).unwrap();
+    t.assertion_site(id, &[Value(3)]).unwrap();
+    t.fn_exit(readdir, &[], Value(0)).unwrap();
+    t.fn_exit(syscall, &[], Value(0)).unwrap();
+
+    // Outside it, with no check: violation.
+    t.fn_entry(syscall, &[]).unwrap();
+    let err = t.assertion_site(id, &[Value(3)]).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Site);
+    let _ = t.fn_exit(syscall, &[], Value(0));
+}
+
+#[test]
+fn message_events_flow_like_functions() {
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::within("run_loop_iteration")
+        .named("push_before_draw")
+        .previously(msg_send("push").receiver_var("cur"))
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let rl = t.intern_fn("run_loop_iteration");
+    let push = t.intern_selector("push");
+    t.fn_entry(rl, &[]).unwrap();
+    t.msg_entry(push, Value(5), &[]).unwrap();
+    t.assertion_site(id, &[Value(5)]).unwrap();
+    assert!(t.assertion_site(id, &[Value(6)]).is_err());
+    let _ = t.fn_exit(rl, &[], Value(0));
+}
+
+#[test]
+fn overflow_is_reported_not_silent() {
+    let t = Tesla::new(Config { instance_capacity: 3, ..Config::default() });
+    let counting = Arc::new(CountingHandler::new());
+    t.add_handler(counting.clone());
+    let a = AssertionBuilder::syscall()
+        .named("tiny")
+        .previously(call("check").arg_var("x").returns(0))
+        .build()
+        .unwrap();
+    t.register(compile(&a).unwrap()).unwrap();
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("check");
+    t.fn_entry(syscall, &[]).unwrap();
+    // (∗) + 2 clones fill the table; the rest overflow.
+    for x in 0..10u64 {
+        let args = [Value(x)];
+        t.fn_entry(check, &args).unwrap();
+        t.fn_exit(check, &args, Value(0)).unwrap();
+    }
+    t.fn_exit(syscall, &[], Value(0)).unwrap();
+    assert_eq!(counting.overflows(), 8);
+    assert_eq!(counting.clones(), 2);
+}
+
+#[test]
+fn counting_handler_weights_transitions() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let counting = Arc::new(CountingHandler::new());
+    t.add_handler(counting.clone());
+    for _ in 0..5 {
+        poll_scenario(&t, id, Some(42), Some(42)).unwrap();
+    }
+    let defs = t.class_defs();
+    let auto = &defs[0].automaton;
+    let check_sym = auto
+        .symbols
+        .iter()
+        .find(|s| s.kind.to_string().contains("mac_socket_check_poll"))
+        .unwrap()
+        .id;
+    assert_eq!(counting.symbol_count(0, check_sym), 5);
+    assert_eq!(counting.symbol_count(0, auto.site_sym), 5);
+    assert!(counting.covered_symbols(0).contains(&auto.site_sym));
+}
+
+#[test]
+fn strict_automata_reject_unexpected_events() {
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::within("f")
+        .named("strict_seq")
+        .previously(
+            ExprBuilder::from(call("a").returns(0))
+                .then(call("b").returns(0))
+                .strict(),
+        )
+        .build()
+        .unwrap();
+    t.register(compile(&a).unwrap()).unwrap();
+    let f = t.intern_fn("f");
+    let (fa, fb) = (t.intern_fn("a"), t.intern_fn("b"));
+    t.fn_entry(f, &[]).unwrap();
+    t.fn_entry(fa, &[]).unwrap();
+    t.fn_exit(fa, &[], Value(0)).unwrap();
+    t.fn_entry(fb, &[]).unwrap();
+    t.fn_exit(fb, &[], Value(0)).unwrap();
+    // b again, out of order: strict violation.
+    t.fn_entry(fb, &[]).unwrap();
+    let err = t.fn_exit(fb, &[], Value(0)).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Strict);
+}
+
+#[test]
+fn flags_and_bitmask_static_checks_gate_dispatch() {
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::within("f")
+        .named("flagged")
+        .previously(call("io").arg_var("vp").arg_flags(0x80).returns(0))
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let f = t.intern_fn("f");
+    let io = t.intern_fn("io");
+    t.fn_entry(f, &[]).unwrap();
+    // Flag missing: event does not arm the automaton.
+    t.fn_entry(io, &[Value(9), Value(0x01)]).unwrap();
+    t.fn_exit(io, &[Value(9), Value(0x01)], Value(0)).unwrap();
+    assert!(t.assertion_site(id, &[Value(9)]).is_err());
+    let _ = t.fn_exit(f, &[], Value(0));
+
+    // Flag present (among others): arms.
+    t.fn_entry(f, &[]).unwrap();
+    t.fn_entry(io, &[Value(9), Value(0x81)]).unwrap();
+    t.fn_exit(io, &[Value(9), Value(0x81)], Value(0)).unwrap();
+    t.assertion_site(id, &[Value(9)]).unwrap();
+    t.fn_exit(f, &[], Value(0)).unwrap();
+}
+
+#[test]
+fn global_context_spans_threads() {
+    let t = Arc::new(Tesla::with_defaults());
+    let a = AssertionBuilder::bounded(
+        tesla_spec::StaticEvent::Call("job_start".into()),
+        tesla_spec::StaticEvent::ReturnFrom("job_end".into()),
+    )
+    .global()
+    .named("cross_thread")
+    .previously(call("produce").arg_var("item").returns(0))
+    .build()
+    .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let start = t.intern_fn("job_start");
+    let end = t.intern_fn("job_end");
+    let produce = t.intern_fn("produce");
+
+    t.fn_entry(start, &[]).unwrap();
+    // Producer thread emits the event; consumer thread asserts.
+    let tp = t.clone();
+    std::thread::spawn(move || {
+        let args = [Value(7)];
+        tp.fn_entry(produce, &args).unwrap();
+        tp.fn_exit(produce, &args, Value(0)).unwrap();
+    })
+    .join()
+    .unwrap();
+    let tc = t.clone();
+    std::thread::spawn(move || {
+        tc.assertion_site(id, &[Value(7)]).unwrap();
+    })
+    .join()
+    .unwrap();
+    t.fn_exit(end, &[], Value(0)).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn per_thread_context_isolates_threads() {
+    let t = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let a = AssertionBuilder::syscall()
+        .named("thread_local_check")
+        .previously(call("check").arg_var("x").returns(0))
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let syscall = t.intern_fn("amd64_syscall");
+    let check = t.intern_fn("check");
+
+    // Thread A performs the check inside its own syscall...
+    let ta = t.clone();
+    std::thread::spawn(move || {
+        ta.fn_entry(syscall, &[]).unwrap();
+        let args = [Value(7)];
+        ta.fn_entry(check, &args).unwrap();
+        ta.fn_exit(check, &args, Value(0)).unwrap();
+        // Not exiting the syscall: the thread dies with state local.
+    })
+    .join()
+    .unwrap();
+    // ...thread B (this one) must not see it.
+    t.fn_entry(syscall, &[]).unwrap();
+    t.assertion_site(id, &[Value(7)]).unwrap(); // Log mode: no Err
+    let _ = t.fn_exit(syscall, &[], Value(0));
+    assert_eq!(t.violations().len(), 1);
+    reset_thread_state();
+}
+
+#[test]
+fn coverage_reports_unexercised_assertions() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    // A second assertion that is never exercised.
+    let a2 = AssertionBuilder::syscall()
+        .named("never_run")
+        .previously(call("some_other_check").returns(0))
+        .build()
+        .unwrap();
+    t.register(compile(&a2).unwrap()).unwrap();
+    poll_scenario(&t, id, Some(1), Some(1)).unwrap();
+    let cov = t.coverage();
+    assert_eq!(cov.len(), 2);
+    let by_name: std::collections::HashMap<_, _> =
+        cov.into_iter().map(|(n, hits, viols)| (n, (hits, viols))).collect();
+    assert_eq!(by_name["mac_poll"].0, 1);
+    assert_eq!(by_name["never_run"].0, 0);
+}
+
+#[test]
+fn recording_handler_sees_full_lifecycle() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let rec = Arc::new(RecordingHandler::new());
+    t.add_handler(rec.clone());
+    poll_scenario(&t, id, Some(42), Some(42)).unwrap();
+    let evs = rec.events();
+    use tesla_runtime::LifecycleEvent as E;
+    assert!(evs.iter().any(|e| matches!(e, E::New { .. })));
+    assert!(evs.iter().any(|e| matches!(e, E::Clone { .. })));
+    assert!(evs.iter().any(|e| matches!(e, E::Update { .. })));
+    assert!(evs.iter().any(|e| matches!(e, E::Finalise { accepted: true, .. })));
+}
+
+#[test]
+fn or_assertion_accepts_either_check_at_runtime() {
+    // The fig. 7 ufs_open disjunction, end to end.
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::syscall()
+        .named("ufs_open")
+        .previously(
+            ExprBuilder::from(call("mac_kld_check_load").any_ptr().arg_var("vp").returns(0))
+                .or(call("mac_vnode_check_exec").any_ptr().arg_var("vp").returns(0))
+                .or(call("mac_vnode_check_open").any_ptr().arg_var("vp").any("int").returns(0)),
+        )
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let syscall = t.intern_fn("amd64_syscall");
+    for check in ["mac_kld_check_load", "mac_vnode_check_exec", "mac_vnode_check_open"] {
+        let c = t.intern_fn(check);
+        t.fn_entry(syscall, &[]).unwrap();
+        let args = [Value(1), Value(5), Value(0)];
+        t.fn_entry(c, &args).unwrap();
+        t.fn_exit(c, &args, Value(0)).unwrap();
+        t.assertion_site(id, &[Value(5)]).unwrap();
+        t.fn_exit(syscall, &[], Value(0)).unwrap();
+    }
+    // None of them: violation.
+    t.fn_entry(syscall, &[]).unwrap();
+    assert!(t.assertion_site(id, &[Value(5)]).is_err());
+}
+
+#[test]
+fn multiple_classes_share_a_bound_group() {
+    let (t, id1) = syscall_poll_engine(InitMode::Naive, FailMode::FailStop);
+    let a2 = AssertionBuilder::syscall()
+        .named("second")
+        .previously(call("other_check").arg_var("y").returns(0))
+        .build()
+        .unwrap();
+    let id2 = t.register(compile(&a2).unwrap()).unwrap();
+    let syscall = t.intern_fn("amd64_syscall");
+    t.fn_entry(syscall, &[]).unwrap();
+    // Naive mode materialises both eagerly.
+    assert_eq!(t.live_instances_here(id1), 1);
+    assert_eq!(t.live_instances_here(id2), 1);
+    t.fn_exit(syscall, &[], Value(0)).unwrap();
+    assert_eq!(t.live_instances_here(id1), 0);
+    assert_eq!(t.live_instances_here(id2), 0);
+}
+
+// ---------------------------------------------------------------------
+// §7 "free variables": variables bound only by events, never by the
+// assertion site. The site passes values for its scope prefix only;
+// event-bound variables constrain later events through the instance's
+// binding, exactly like the function-pointer use case the paper
+// sketches.
+// ---------------------------------------------------------------------
+
+#[test]
+fn free_variables_bind_through_events_only() {
+    let t = Tesla::with_defaults();
+    // Within a request: a handle is allocated (binding `h` from the
+    // *return value*), the site is passed with no scope values, and
+    // the same handle must eventually be released.
+    let a = AssertionBuilder::within("request")
+        .named("handle_lifecycle")
+        .body(
+            ExprBuilder::from(call("alloc_handle").returns_var("h"))
+                .then(ExprBuilder::site())
+                .then(call("release_handle").arg_var("h").returns(0)),
+        )
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let request = t.intern_fn("request");
+    let alloc = t.intern_fn("alloc_handle");
+    let release = t.intern_fn("release_handle");
+
+    // Correct: release the handle alloc returned.
+    t.fn_entry(request, &[]).unwrap();
+    t.fn_entry(alloc, &[]).unwrap();
+    t.fn_exit(alloc, &[], Value(77)).unwrap();
+    t.assertion_site(id, &[]).unwrap(); // no site-scope values: h is free
+    t.fn_entry(release, &[Value(77)]).unwrap();
+    t.fn_exit(release, &[Value(77)], Value(0)).unwrap();
+    t.fn_exit(request, &[], Value(0)).unwrap();
+    assert!(t.violations().is_empty());
+
+    // Wrong: release a *different* handle — the free variable's
+    // binding (h=77) rejects 78, and cleanup reports the pending
+    // obligation.
+    t.fn_entry(request, &[]).unwrap();
+    t.fn_entry(alloc, &[]).unwrap();
+    t.fn_exit(alloc, &[], Value(77)).unwrap();
+    t.assertion_site(id, &[]).unwrap();
+    t.fn_entry(release, &[Value(78)]).unwrap();
+    t.fn_exit(release, &[Value(78)], Value(0)).unwrap();
+    let err = t.fn_exit(request, &[], Value(0)).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Cleanup);
+}
+
+#[test]
+fn free_variables_track_function_pointer_identity() {
+    // The §7 motivating case: assert that the function pointer that
+    // was *registered* is the one that gets *invoked*, where the
+    // pointer value is never in the assertion site's scope.
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::within("dispatch_loop")
+        .named("fp_registered_before_use")
+        .previously(
+            ExprBuilder::from(call("register_cb").arg_var("fp").returns(0))
+                .then(call("invoke_cb").arg_var("fp").returns(0)),
+        )
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let (loop_fn, reg, inv) =
+        (t.intern_fn("dispatch_loop"), t.intern_fn("register_cb"), t.intern_fn("invoke_cb"));
+
+    let run = |registered: u64, invoked: u64| -> Result<(), tesla_runtime::Violation> {
+        t.fn_entry(loop_fn, &[])?;
+        t.fn_entry(reg, &[Value(registered)])?;
+        t.fn_exit(reg, &[Value(registered)], Value(0))?;
+        t.fn_entry(inv, &[Value(invoked)])?;
+        t.fn_exit(inv, &[Value(invoked)], Value(0))?;
+        t.assertion_site(id, &[])?;
+        t.fn_exit(loop_fn, &[], Value(0))?;
+        Ok(())
+    };
+    run(0x1000, 0x1000).unwrap();
+    // Invoking a pointer that was never registered: the sequence
+    // [register(fp), invoke(fp)] never completed for any binding.
+    let err = run(0x1000, 0x2000).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::Site);
+    tesla_runtime::engine::reset_thread_state();
+}
+
+#[test]
+fn late_registration_extends_dispatch_tables() {
+    // Classes may be registered while the engine is already
+    // processing events (the paper's "developers would only run with
+    // a subset of assertions enabled" workflow implies dynamic sets).
+    let (t, id1) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    poll_scenario(&t, id1, Some(1), Some(1)).unwrap();
+    // Register a second class now.
+    let a2 = AssertionBuilder::syscall()
+        .named("late")
+        .previously(call("late_check").arg_var("y").returns(0))
+        .build()
+        .unwrap();
+    let id2 = t.register(compile(&a2).unwrap()).unwrap();
+    let syscall = t.intern_fn("amd64_syscall");
+    let late = t.intern_fn("late_check");
+    t.fn_entry(syscall, &[]).unwrap();
+    let args = [Value(9)];
+    t.fn_entry(late, &args).unwrap();
+    t.fn_exit(late, &args, Value(0)).unwrap();
+    t.assertion_site(id2, &[Value(9)]).unwrap();
+    t.fn_exit(syscall, &[], Value(0)).unwrap();
+    // The first class still works too.
+    poll_scenario(&t, id1, Some(2), Some(2)).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn violation_messages_carry_actionable_context() {
+    let (t, id) = syscall_poll_engine(InitMode::Lazy, FailMode::FailStop);
+    let err = poll_scenario(&t, id, Some(41), Some(42)).unwrap_err();
+    let msg = err.to_string();
+    // Assertion name, source form and the offending binding are all
+    // in the fail-stop message a developer sees.
+    assert!(msg.contains("mac_poll"), "{msg}");
+    assert!(msg.contains("mac_socket_check_poll"), "{msg}");
+    assert!(msg.contains("so=42"), "{msg}");
+}

@@ -1,0 +1,547 @@
+//! An AppKit-like UI library over the objc runtime: views that
+//! delegate drawing to cells, a graphics context with named gstates,
+//! a cursor stack, tracking rectangles and a run loop.
+//!
+//! Both §2.3/§3.5.3 bugs are seeded behind [`GuiBugs`]:
+//!
+//! * **Cursor push/pop imbalance** — "events invalidating cursor
+//!   tracking rectangles were being delivered after events that
+//!   inspected those rectangles", so mouse-entered events are not
+//!   correctly paired with mouse-exited events and the same cursor is
+//!   pushed onto the cursor stack multiple times.
+//! * **Non-LIFO gstate restore** — "the new back end's inability to
+//!   save and restore graphics states in a non-LIFO order": the buggy
+//!   backend treats `setGState:` as a plain pop.
+
+use crate::objc::{objc_msg_send, ObjId, ObjcRuntime, Sel};
+use std::collections::HashMap;
+
+/// Seeded GNUstep bugs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuiBugs {
+    /// Tracking-rect invalidations delivered after inspection:
+    /// duplicate cursor pushes.
+    pub duplicate_cursor_push: bool,
+    /// Backend restores gstates LIFO-only, ignoring the requested
+    /// state id.
+    pub backend_lifo_only: bool,
+}
+
+/// A draw command in the "framebuffer" — the observable rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrawOp {
+    /// A stroked line with the current colour.
+    Line {
+        /// Start.
+        from: (i64, i64),
+        /// End.
+        to: (i64, i64),
+        /// Colour at stroke time.
+        color: i64,
+    },
+    /// A filled rectangle.
+    Fill {
+        /// Origin.
+        at: (i64, i64),
+        /// Size.
+        size: (i64, i64),
+        /// Colour at fill time.
+        color: i64,
+    },
+}
+
+/// One graphics state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GState {
+    /// Current colour.
+    pub color: i64,
+    /// Current line width.
+    pub line_width: i64,
+    /// Current point.
+    pub pos: (i64, i64),
+}
+
+impl Default for GState {
+    fn default() -> GState {
+        GState { color: 0, line_width: 1, pos: (0, 0) }
+    }
+}
+
+/// A view with an optional cursor-tracking rectangle.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewState {
+    /// The view object.
+    pub obj: ObjId,
+    /// Its cell (drawing delegate).
+    pub cell: ObjId,
+    /// Frame (x, y, w, h).
+    pub frame: (i64, i64, i64, i64),
+    /// Cursor id pushed while the mouse is inside (0 = none).
+    pub cursor: i64,
+    /// Tracking bookkeeping: is the mouse believed to be inside?
+    pub inside: bool,
+}
+
+impl ViewState {
+    fn contains(&self, p: (i64, i64)) -> bool {
+        let (x, y, w, h) = self.frame;
+        p.0 >= x && p.0 < x + w && p.1 >= y && p.1 < y + h
+    }
+}
+
+/// Replayable UI events (the GNU Xnee substitute feeds these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UiEvent {
+    /// Pointer motion.
+    MouseMoved(i64, i64),
+    /// Something moved/scrolled: tracking rectangles must be
+    /// re-established. The buggy ordering drops the exit events.
+    InvalidateTracking,
+    /// Damage everything: full redraw.
+    Expose,
+}
+
+/// Interned selectors the library uses on hot paths.
+#[derive(Debug, Clone, Copy)]
+pub struct Sels {
+    /// `[NSCursor push]`
+    pub push: Sel,
+    /// `[NSCursor pop]`
+    pub pop: Sel,
+    /// `mouseEntered:`
+    pub mouse_entered: Sel,
+    /// `mouseExited:`
+    pub mouse_exited: Sel,
+    /// `drawRect:`
+    pub draw_rect: Sel,
+    /// `drawWithFrame:inView:`
+    pub draw_with_frame: Sel,
+    /// `defineGState`
+    pub define_gstate: Sel,
+    /// `setGState:`
+    pub set_gstate: Sel,
+    /// `saveGraphicsState`
+    pub save_gstate: Sel,
+    /// `restoreGraphicsState`
+    pub restore_gstate: Sel,
+    /// `setColor:`
+    pub set_color: Sel,
+    /// `setLineWidth:`
+    pub set_line_width: Sel,
+    /// `moveToPoint::`
+    pub move_to: Sel,
+    /// `lineToPoint::`
+    pub line_to: Sel,
+    /// `fillRect::::`
+    pub fill_rect: Sel,
+}
+
+/// The assembled UI world. Holds the objc runtime (so the whole
+/// world is the `W` the runtime dispatches through).
+pub struct GuiWorld {
+    /// The objc runtime.
+    pub rt: ObjcRuntime<GuiWorld>,
+    /// Hot-path selectors.
+    pub sels: Sels,
+    /// Current graphics state.
+    pub gstate: GState,
+    /// LIFO save/restore stack.
+    pub gstack: Vec<GState>,
+    /// Named gstates (correct backend).
+    pub named_gstates: HashMap<i64, GState>,
+    /// LIFO-only "new backend" storage (buggy).
+    pub lifo_gstates: Vec<GState>,
+    /// Next gstate name.
+    pub next_gstate: i64,
+    /// Cursor stack (the bug's victim).
+    pub cursor_stack: Vec<i64>,
+    /// Views, in z-order.
+    pub views: Vec<ViewState>,
+    /// Rendered output.
+    pub framebuffer: Vec<DrawOp>,
+    /// Mouse position.
+    pub mouse: (i64, i64),
+    /// Seeded bugs.
+    pub bugs: GuiBugs,
+    /// The graphics-context singleton.
+    pub ctx: ObjId,
+    /// The shared cursor object.
+    pub cursor_obj: ObjId,
+}
+
+impl AsMut<ObjcRuntime<GuiWorld>> for GuiWorld {
+    fn as_mut(&mut self) -> &mut ObjcRuntime<GuiWorld> {
+        &mut self.rt
+    }
+}
+
+impl AsRef<ObjcRuntime<GuiWorld>> for GuiWorld {
+    fn as_ref(&self) -> &ObjcRuntime<GuiWorld> {
+        &self.rt
+    }
+}
+
+/// How many auxiliary instrumentable methods to register, so the
+/// interposition set matches the paper's "roughly 110 methods".
+pub const N_AUX_METHODS: usize = 95;
+
+impl GuiWorld {
+    /// Build the world: runtime, classes, the ~110 instrumentable
+    /// selectors and an empty scene.
+    pub fn new(mode: crate::objc::TraceMode, bugs: GuiBugs) -> GuiWorld {
+        let mut rt: ObjcRuntime<GuiWorld> = ObjcRuntime::new(mode);
+
+        let ns_ctx = rt.define_class("NSGraphicsContext");
+        let ns_cursor = rt.define_class("NSCursor");
+        let ns_view = rt.define_class("NSView");
+        let ns_cell = rt.define_class("NSCell");
+        let gs_aux = rt.define_class("GSAuxOps");
+
+        let sels = Sels {
+            push: rt.sel("push"),
+            pop: rt.sel("pop"),
+            mouse_entered: rt.sel("mouseEntered:"),
+            mouse_exited: rt.sel("mouseExited:"),
+            draw_rect: rt.sel("drawRect:"),
+            draw_with_frame: rt.sel("drawWithFrame:inView:"),
+            define_gstate: rt.sel("defineGState"),
+            set_gstate: rt.sel("setGState:"),
+            save_gstate: rt.sel("saveGraphicsState"),
+            restore_gstate: rt.sel("restoreGraphicsState"),
+            set_color: rt.sel("setColor:"),
+            set_line_width: rt.sel("setLineWidth:"),
+            move_to: rt.sel("moveToPoint::"),
+            line_to: rt.sel("lineToPoint::"),
+            fill_rect: rt.sel("fillRect::::"),
+        };
+
+        // NSGraphicsContext methods.
+        rt.add_method(ns_ctx, sels.save_gstate, |w, _r, _a| {
+            w.gstack.push(w.gstate);
+            0
+        });
+        rt.add_method(ns_ctx, sels.restore_gstate, |w, _r, _a| {
+            if let Some(s) = w.gstack.pop() {
+                w.gstate = s;
+            }
+            0
+        });
+        rt.add_method(ns_ctx, sels.define_gstate, |w, _r, _a| {
+            let id = w.next_gstate;
+            w.next_gstate += 1;
+            w.named_gstates.insert(id, w.gstate);
+            w.lifo_gstates.push(w.gstate);
+            id
+        });
+        rt.add_method(ns_ctx, sels.set_gstate, |w, _r, a| {
+            if w.bugs.backend_lifo_only {
+                // BUG (§3.5.3): the new backend cannot restore in
+                // non-LIFO order; it ignores the id and pops.
+                if let Some(s) = w.lifo_gstates.pop() {
+                    w.gstate = s;
+                }
+            } else if let Some(s) = w.named_gstates.get(&a[0]) {
+                w.gstate = *s;
+            }
+            0
+        });
+        rt.add_method(ns_ctx, sels.set_color, |w, _r, a| {
+            w.gstate.color = a[0];
+            0
+        });
+        rt.add_method(ns_ctx, sels.set_line_width, |w, _r, a| {
+            w.gstate.line_width = a[0];
+            0
+        });
+        rt.add_method(ns_ctx, sels.move_to, |w, _r, a| {
+            w.gstate.pos = (a[0], a[1]);
+            0
+        });
+        rt.add_method(ns_ctx, sels.line_to, |w, _r, a| {
+            let from = w.gstate.pos;
+            let to = (a[0], a[1]);
+            let color = w.gstate.color;
+            w.framebuffer.push(DrawOp::Line { from, to, color });
+            w.gstate.pos = to;
+            0
+        });
+        rt.add_method(ns_ctx, sels.fill_rect, |w, _r, a| {
+            let color = w.gstate.color;
+            w.framebuffer.push(DrawOp::Fill { at: (a[0], a[1]), size: (a[2], a[3]), color });
+            0
+        });
+
+        // NSCursor.
+        rt.add_method(ns_cursor, sels.push, |w, r, _a| {
+            w.cursor_stack.push(i64::from(r.0));
+            0
+        });
+        rt.add_method(ns_cursor, sels.pop, |w, _r, _a| {
+            w.cursor_stack.pop();
+            0
+        });
+
+        // NSView: tracking events push/pop the cursor; drawing
+        // delegates to the cell.
+        rt.add_method(ns_view, sels.mouse_entered, |w, _r, _a| {
+            let cursor = w.cursor_obj;
+            let push = w.sels.push;
+            objc_msg_send(w, cursor, push, &[]).expect("cursor push");
+            0
+        });
+        rt.add_method(ns_view, sels.mouse_exited, |w, _r, _a| {
+            let cursor = w.cursor_obj;
+            let pop = w.sels.pop;
+            objc_msg_send(w, cursor, pop, &[]).expect("cursor pop");
+            0
+        });
+        rt.add_method(ns_view, sels.draw_rect, |w, r, _a| {
+            // "many views delegate drawing to 'cells'".
+            let view = w.views.iter().find(|v| v.obj == r).copied();
+            if let Some(v) = view {
+                let dwf = w.sels.draw_with_frame;
+                objc_msg_send(w, v.cell, dwf, &[v.frame.0, v.frame.1, i64::from(r.0)])
+                    .expect("cell draw");
+            }
+            0
+        });
+
+        // NSCell: save state, set colour from its identity, draw a
+        // line across the frame, restore.
+        rt.add_method(ns_cell, sels.draw_with_frame, |w, r, a| {
+            let (save, set_color, move_to, line_to, restore) = (
+                w.sels.save_gstate,
+                w.sels.set_color,
+                w.sels.move_to,
+                w.sels.line_to,
+                w.sels.restore_gstate,
+            );
+            let ctx = w.ctx;
+            objc_msg_send(w, ctx, save, &[]).expect("save");
+            objc_msg_send(w, ctx, set_color, &[i64::from(r.0)]).expect("color");
+            objc_msg_send(w, ctx, move_to, &[a[0], a[1]]).expect("move");
+            objc_msg_send(w, ctx, line_to, &[a[0] + 10, a[1] + 10]).expect("line");
+            objc_msg_send(w, ctx, restore, &[]).expect("restore");
+            0
+        });
+
+        // Auxiliary instrumentable methods, filling the selector set
+        // out to the paper's ~110.
+        for i in 0..N_AUX_METHODS {
+            let sel = rt.sel(&format!("gsAuxOp{i}:"));
+            rt.add_method(gs_aux, sel, |w, _r, a| {
+                w.gstate.line_width = (w.gstate.line_width + a[0]) & 0xff;
+                0
+            });
+        }
+
+        let mut world = GuiWorld {
+            sels,
+            gstate: GState::default(),
+            gstack: Vec::new(),
+            named_gstates: HashMap::new(),
+            lifo_gstates: Vec::new(),
+            next_gstate: 1,
+            cursor_stack: Vec::new(),
+            views: Vec::new(),
+            framebuffer: Vec::new(),
+            mouse: (0, 0),
+            bugs,
+            ctx: ObjId(0),
+            cursor_obj: ObjId(0),
+            rt,
+        };
+        world.ctx = world.rt.alloc(ns_ctx);
+        world.cursor_obj = world.rt.alloc(ns_cursor);
+        world
+    }
+
+    /// Add a view (with its cell) to the scene; `cursor != 0` adds a
+    /// tracking rectangle.
+    pub fn add_view(&mut self, frame: (i64, i64, i64, i64), cursor: i64) -> ObjId {
+        let ns_view = self.find_class("NSView");
+        let ns_cell = self.find_class("NSCell");
+        let obj = self.rt.alloc(ns_view);
+        let cell = self.rt.alloc(ns_cell);
+        self.views.push(ViewState { obj, cell, frame, cursor, inside: false });
+        obj
+    }
+
+    fn find_class(&self, name: &str) -> crate::objc::ClassId {
+        (0..self.rt.n_classes() as u32)
+            .map(crate::objc::ClassId)
+            .find(|c| self.rt.class_name(*c) == name)
+            .expect("class exists")
+    }
+
+    /// Deliver one UI event (tracking-rectangle bookkeeping and the
+    /// seeded reordering bug live here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interposer aborts (TESLA fail-stop).
+    pub fn deliver(&mut self, ev: UiEvent) -> Result<(), String> {
+        match ev {
+            UiEvent::MouseMoved(x, y) => {
+                self.mouse = (x, y);
+                for i in 0..self.views.len() {
+                    let v = self.views[i];
+                    if v.cursor == 0 {
+                        continue;
+                    }
+                    let now_inside = v.contains((x, y));
+                    if now_inside && !v.inside {
+                        let sel = self.sels.mouse_entered;
+                        objc_msg_send(self, v.obj, sel, &[v.cursor])?;
+                        self.views[i].inside = true;
+                    } else if !now_inside && v.inside {
+                        let sel = self.sels.mouse_exited;
+                        objc_msg_send(self, v.obj, sel, &[v.cursor])?;
+                        self.views[i].inside = false;
+                    }
+                }
+                Ok(())
+            }
+            UiEvent::InvalidateTracking => {
+                if self.bugs.duplicate_cursor_push {
+                    // BUG: the invalidation is processed after the
+                    // inspection pass already ran — the "inside"
+                    // bookkeeping is cleared without delivering the
+                    // paired mouseExited events. The next motion
+                    // inside the rect pushes the same cursor again.
+                    for v in &mut self.views {
+                        v.inside = false;
+                    }
+                } else {
+                    // Correct ordering: exits are delivered first.
+                    for i in 0..self.views.len() {
+                        let v = self.views[i];
+                        if v.cursor != 0 && v.inside {
+                            let sel = self.sels.mouse_exited;
+                            objc_msg_send(self, v.obj, sel, &[v.cursor])?;
+                            self.views[i].inside = false;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            UiEvent::Expose => self.redraw(),
+        }
+    }
+
+    /// Redraw every view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interposer aborts.
+    pub fn redraw(&mut self) -> Result<(), String> {
+        for i in 0..self.views.len() {
+            let v = self.views[i];
+            let sel = self.sels.draw_rect;
+            objc_msg_send(self, v.obj, sel, &[])?;
+            let _ = v;
+        }
+        Ok(())
+    }
+
+    /// The non-LIFO gstate usage pattern of §3.5.3: define states for
+    /// two "cells", then draw switching between them in non-LIFO
+    /// order. Returns the colours actually stroked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interposer aborts.
+    pub fn draw_non_lifo_scene(&mut self) -> Result<Vec<i64>, String> {
+        let ctx = self.ctx;
+        let s = self.sels;
+        let start = self.framebuffer.len();
+        // Define two named states with different colours.
+        objc_msg_send(self, ctx, s.set_color, &[0xff0000])?; // red
+        let ga = objc_msg_send(self, ctx, s.define_gstate, &[])?;
+        objc_msg_send(self, ctx, s.set_color, &[0x0000ff])?; // blue
+        let gb = objc_msg_send(self, ctx, s.define_gstate, &[])?;
+        // Non-LIFO: a, then b, then a again.
+        for g in [ga, gb, ga] {
+            objc_msg_send(self, ctx, s.set_gstate, &[g])?;
+            objc_msg_send(self, ctx, s.move_to, &[0, 0])?;
+            objc_msg_send(self, ctx, s.line_to, &[5, 5])?;
+        }
+        Ok(self.framebuffer[start..]
+            .iter()
+            .map(|op| match op {
+                DrawOp::Line { color, .. } | DrawOp::Fill { color, .. } => *color,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objc::TraceMode;
+
+    #[test]
+    fn cell_drawing_saves_and_restores() {
+        let mut w = GuiWorld::new(TraceMode::Release, GuiBugs::default());
+        w.add_view((0, 0, 10, 10), 0);
+        let before = w.gstate;
+        w.redraw().unwrap();
+        assert_eq!(w.framebuffer.len(), 1);
+        // The cell restored the state after drawing.
+        assert_eq!(w.gstate, before);
+    }
+
+    #[test]
+    fn tracking_pushes_and_pops_cursors_in_balance() {
+        let mut w = GuiWorld::new(TraceMode::Release, GuiBugs::default());
+        w.add_view((0, 0, 10, 10), 7);
+        w.deliver(UiEvent::MouseMoved(5, 5)).unwrap();
+        assert_eq!(w.cursor_stack.len(), 1);
+        w.deliver(UiEvent::MouseMoved(50, 50)).unwrap();
+        assert!(w.cursor_stack.is_empty());
+        // With a well-ordered invalidation in between: still balanced.
+        w.deliver(UiEvent::MouseMoved(5, 5)).unwrap();
+        w.deliver(UiEvent::InvalidateTracking).unwrap();
+        assert!(w.cursor_stack.is_empty());
+        w.deliver(UiEvent::MouseMoved(6, 6)).unwrap();
+        w.deliver(UiEvent::MouseMoved(50, 50)).unwrap();
+        assert!(w.cursor_stack.is_empty());
+    }
+
+    #[test]
+    fn cursor_bug_duplicates_pushes() {
+        let bugs = GuiBugs { duplicate_cursor_push: true, ..GuiBugs::default() };
+        let mut w = GuiWorld::new(TraceMode::Release, bugs);
+        w.add_view((0, 0, 10, 10), 7);
+        w.deliver(UiEvent::MouseMoved(5, 5)).unwrap(); // push
+        w.deliver(UiEvent::InvalidateTracking).unwrap(); // late invalidation: no exit!
+        w.deliver(UiEvent::MouseMoved(6, 6)).unwrap(); // duplicate push
+        w.deliver(UiEvent::MouseMoved(50, 50)).unwrap(); // one pop
+        // "a later pop only popping one of a number of duplicated
+        // copies of the same cursor, leaving the UI in the wrong
+        // state."
+        assert_eq!(w.cursor_stack, vec![i64::from(w.cursor_obj.0)]);
+    }
+
+    #[test]
+    fn non_lifo_gstates_render_correctly_on_the_good_backend() {
+        let mut w = GuiWorld::new(TraceMode::Release, GuiBugs::default());
+        let colors = w.draw_non_lifo_scene().unwrap();
+        assert_eq!(colors, vec![0xff0000, 0x0000ff, 0xff0000]);
+    }
+
+    #[test]
+    fn lifo_only_backend_draws_wrong_colours() {
+        let bugs = GuiBugs { backend_lifo_only: true, ..GuiBugs::default() };
+        let mut w = GuiWorld::new(TraceMode::Release, bugs);
+        let colors = w.draw_non_lifo_scene().unwrap();
+        assert_ne!(colors, vec![0xff0000, 0x0000ff, 0xff0000]);
+    }
+
+    #[test]
+    fn selector_population_matches_paper_scale() {
+        let w = GuiWorld::new(TraceMode::Release, GuiBugs::default());
+        // "roughly 110 methods"
+        assert!(w.rt.n_selectors() >= 110, "got {}", w.rt.n_selectors());
+    }
+}

@@ -1,0 +1,340 @@
+//! An Objective-C-like runtime with message-send interposition.
+//!
+//! "In Objective-C, interprocedural flow control is either a C
+//! function call or a message send; methods can be replaced at run
+//! time … message sends are implemented by the `objc_msgSend`
+//! function, provided by the Objective-C runtime library. We modified
+//! these functions in the GNUstep Objective-C runtime to provide a
+//! new interposition mechanism. Before calling any method, the
+//! runtime consults a global table of interposition hooks" (§4.3).
+//!
+//! The four cost tiers of fig. 14a correspond to:
+//!
+//! * [`TraceMode::Release`] — dispatch without tracing support;
+//! * [`TraceMode::TracingEnabled`] — the modified runtime consults
+//!   the (possibly empty) interposition table on every send;
+//! * a trivial interposer registered via
+//!   [`ObjcRuntime::set_interposer`];
+//! * a TESLA interposer feeding libtesla (installed by
+//!   `tesla-sim-gui`'s world).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An object handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId(pub u32);
+
+/// An interned selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sel(pub u32);
+
+/// A class handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub u32);
+
+/// A method implementation. Takes the world (passed back by the
+/// dispatcher), the receiver, and word-sized arguments.
+pub type Imp<W> = fn(&mut W, ObjId, &[i64]) -> i64;
+
+/// Pre/post interposition hooks. Errors abort the send (TESLA
+/// fail-stop).
+pub trait Interposer<W>: Send + Sync {
+    /// Called before the method body.
+    ///
+    /// # Errors
+    ///
+    /// A message aborts the send.
+    fn pre(&self, world: &W, recv: ObjId, sel: &str, args: &[i64]) -> Result<(), String>;
+    /// Called after the method body with its return value.
+    ///
+    /// # Errors
+    ///
+    /// A message aborts the send.
+    fn post(&self, world: &W, recv: ObjId, sel: &str, args: &[i64], ret: i64)
+        -> Result<(), String>;
+}
+
+/// Runtime tracing support level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Tracing not compiled in: raw dispatch.
+    #[default]
+    Release,
+    /// The modified runtime: consult the interposition table per
+    /// send, even when empty.
+    TracingEnabled,
+}
+
+struct ClassDef<W> {
+    name: String,
+    methods: HashMap<Sel, Imp<W>>,
+}
+
+struct Object {
+    class: ClassId,
+}
+
+/// The runtime: classes, selectors, objects and the interposition
+/// table.
+pub struct ObjcRuntime<W> {
+    classes: Vec<ClassDef<W>>,
+    sel_by_name: HashMap<String, Sel>,
+    sel_names: Vec<String>,
+    objects: Vec<Object>,
+    mode: TraceMode,
+    interposer: Option<Arc<dyn Interposer<W>>>,
+    /// Message sends dispatched (statistics).
+    pub sends: u64,
+}
+
+impl<W> Default for ObjcRuntime<W> {
+    fn default() -> ObjcRuntime<W> {
+        ObjcRuntime {
+            classes: Vec::new(),
+            sel_by_name: HashMap::new(),
+            sel_names: Vec::new(),
+            objects: Vec::new(),
+            mode: TraceMode::Release,
+            interposer: None,
+            sends: 0,
+        }
+    }
+}
+
+impl<W> ObjcRuntime<W> {
+    /// Fresh runtime in `mode`.
+    pub fn new(mode: TraceMode) -> ObjcRuntime<W> {
+        ObjcRuntime { mode, ..ObjcRuntime::default() }
+    }
+
+    /// The trace mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Register (or look up) a selector.
+    pub fn sel(&mut self, name: &str) -> Sel {
+        if let Some(s) = self.sel_by_name.get(name) {
+            return *s;
+        }
+        let s = Sel(self.sel_names.len() as u32);
+        self.sel_names.push(name.to_string());
+        self.sel_by_name.insert(name.to_string(), s);
+        s
+    }
+
+    /// Selector name.
+    pub fn sel_name(&self, s: Sel) -> &str {
+        &self.sel_names[s.0 as usize]
+    }
+
+    /// Number of registered selectors.
+    pub fn n_selectors(&self) -> usize {
+        self.sel_names.len()
+    }
+
+    /// Define a class.
+    pub fn define_class(&mut self, name: &str) -> ClassId {
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassDef { name: name.to_string(), methods: HashMap::new() });
+        id
+    }
+
+    /// Add (or replace — methods are dynamic) a method.
+    pub fn add_method(&mut self, class: ClassId, sel: Sel, imp: Imp<W>) {
+        self.classes[class.0 as usize].methods.insert(sel, imp);
+    }
+
+    /// Allocate an instance.
+    pub fn alloc(&mut self, class: ClassId) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object { class });
+        id
+    }
+
+    /// Class of an object.
+    pub fn class_of(&self, obj: ObjId) -> ClassId {
+        self.objects[obj.0 as usize].class
+    }
+
+    /// Class name.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.classes[c.0 as usize].name
+    }
+
+    /// Number of defined classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Install the global interposer ("a global table of
+    /// interposition hooks").
+    pub fn set_interposer(&mut self, i: Arc<dyn Interposer<W>>) {
+        self.interposer = Some(i);
+    }
+
+    /// Remove the interposer.
+    pub fn clear_interposer(&mut self) {
+        self.interposer = None;
+    }
+
+    /// Look up the implementation for `[recv sel]` — "even for an
+    /// object of a known class it is impossible to tell statically
+    /// which method will be invoked", so this happens per send.
+    fn lookup(&self, recv: ObjId, sel: Sel) -> Option<Imp<W>> {
+        let class = self.objects.get(recv.0 as usize)?.class;
+        self.classes[class.0 as usize].methods.get(&sel).copied()
+    }
+}
+
+/// `objc_msgSend`: dispatch `[recv sel args]` through `world`'s
+/// runtime. Free function (not a method) so implementations can
+/// recursively send messages through the same world.
+///
+/// # Errors
+///
+/// Returns the interposer's abort message (TESLA fail-stop), or a
+/// does-not-respond error.
+pub fn objc_msg_send<W: AsMut<ObjcRuntime<W>> + AsRef<ObjcRuntime<W>>>(
+    world: &mut W,
+    recv: ObjId,
+    sel: Sel,
+    args: &[i64],
+) -> Result<i64, String> {
+    let rt = world.as_mut();
+    rt.sends += 1;
+    let imp = rt
+        .lookup(recv, sel)
+        .ok_or_else(|| format!("[{recv:?} {}]: does not respond", rt.sel_name(sel)))?;
+    let traced = rt.mode == TraceMode::TracingEnabled;
+    let interposer = if traced { rt.interposer.clone() } else { None };
+    if let Some(ip) = &interposer {
+        let rt = world.as_ref();
+        let name = rt.sel_name(sel).to_string();
+        ip.pre(world, recv, &name, args)?;
+        let ret = imp(world, recv, args);
+        ip.post(world, recv, &name, args, ret)?;
+        Ok(ret)
+    } else {
+        Ok(imp(world, recv, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A minimal world for runtime-only tests.
+    struct W {
+        rt: ObjcRuntime<W>,
+        counter: i64,
+    }
+
+    impl AsMut<ObjcRuntime<W>> for W {
+        fn as_mut(&mut self) -> &mut ObjcRuntime<W> {
+            &mut self.rt
+        }
+    }
+
+    impl AsRef<ObjcRuntime<W>> for W {
+        fn as_ref(&self) -> &ObjcRuntime<W> {
+            &self.rt
+        }
+    }
+
+    fn world(mode: TraceMode) -> (W, ObjId, Sel, Sel) {
+        let mut w = W { rt: ObjcRuntime::new(mode), counter: 0 };
+        let cls = w.rt.define_class("Counter");
+        let bump = w.rt.sel("bumpBy:");
+        let get = w.rt.sel("value");
+        w.rt.add_method(cls, bump, |w, _recv, args| {
+            w.counter += args[0];
+            w.counter
+        });
+        w.rt.add_method(cls, get, |w, _recv, _args| w.counter);
+        let obj = w.rt.alloc(cls);
+        (w, obj, bump, get)
+    }
+
+    #[test]
+    fn dispatch_runs_methods() {
+        let (mut w, obj, bump, get) = world(TraceMode::Release);
+        assert_eq!(objc_msg_send(&mut w, obj, bump, &[5]).unwrap(), 5);
+        assert_eq!(objc_msg_send(&mut w, obj, bump, &[2]).unwrap(), 7);
+        assert_eq!(objc_msg_send(&mut w, obj, get, &[]).unwrap(), 7);
+        assert_eq!(w.rt.sends, 3);
+    }
+
+    #[test]
+    fn unknown_selector_errors() {
+        let (mut w, obj, _, _) = world(TraceMode::Release);
+        let bogus = w.rt.sel("explode");
+        assert!(objc_msg_send(&mut w, obj, bogus, &[]).is_err());
+    }
+
+    #[test]
+    fn methods_can_be_replaced_at_runtime() {
+        let (mut w, obj, bump, _) = world(TraceMode::Release);
+        let cls = w.rt.class_of(obj);
+        w.rt.add_method(cls, bump, |_, _, _| -1);
+        assert_eq!(objc_msg_send(&mut w, obj, bump, &[5]).unwrap(), -1);
+    }
+
+    struct CountingInterposer {
+        pre: AtomicU64,
+        post: AtomicU64,
+    }
+
+    impl Interposer<W> for CountingInterposer {
+        fn pre(&self, _w: &W, _r: ObjId, _s: &str, _a: &[i64]) -> Result<(), String> {
+            self.pre.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn post(&self, _w: &W, _r: ObjId, _s: &str, _a: &[i64], _ret: i64) -> Result<(), String> {
+            self.post.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn interposition_fires_only_in_tracing_mode() {
+        for (mode, expect) in [(TraceMode::Release, 0u64), (TraceMode::TracingEnabled, 2)] {
+            let (mut w, obj, bump, _) = world(mode);
+            let ip = Arc::new(CountingInterposer {
+                pre: AtomicU64::new(0),
+                post: AtomicU64::new(0),
+            });
+            w.rt.set_interposer(ip.clone());
+            objc_msg_send(&mut w, obj, bump, &[1]).unwrap();
+            objc_msg_send(&mut w, obj, bump, &[1]).unwrap();
+            assert_eq!(ip.pre.load(Ordering::Relaxed), expect);
+            assert_eq!(ip.post.load(Ordering::Relaxed), expect);
+        }
+    }
+
+    struct AbortingInterposer;
+
+    impl Interposer<W> for AbortingInterposer {
+        fn pre(&self, _w: &W, _r: ObjId, sel: &str, _a: &[i64]) -> Result<(), String> {
+            if sel == "bumpBy:" {
+                Err("violation".into())
+            } else {
+                Ok(())
+            }
+        }
+        fn post(&self, _w: &W, _r: ObjId, _s: &str, _a: &[i64], _ret: i64) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn interposer_can_abort_the_send() {
+        let (mut w, obj, bump, get) = world(TraceMode::TracingEnabled);
+        w.rt.set_interposer(Arc::new(AbortingInterposer));
+        assert!(objc_msg_send(&mut w, obj, bump, &[1]).is_err());
+        // Other selectors unaffected; the aborted send never ran.
+        assert_eq!(objc_msg_send(&mut w, obj, get, &[]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,651 @@
+//! VFS and the UFS-like filesystem: syscalls, MAC checks, TESLA
+//! sites.
+//!
+//! The layering mirrors fig. 3 and fig. 7: the *syscall/VFS layer*
+//! performs `mac_vnode_check_*` checks, then calls into the *UFS
+//! implementation* (`ufs_open`, `ffs_read`, `ufs_readdir`, extattr
+//! and ACL ops) where the TESLA assertion sites live. The subtle
+//! code-path-dependent expectations of fig. 7 are all present:
+//!
+//! * `ufs_open` is reached by plain `open(2)`, by `exec(2)` and by
+//!   `kldload(2)` — three *different* MAC checks authorise it;
+//! * `ffs_read` is reached by `read(2)` (after
+//!   `mac_vnode_check_read`), internally by `ufs_readdir` without
+//!   re-checking (the `incallstack` branch), and via `vn_rdwr` with
+//!   `IO_NOMACCHECK` when UFS itself reads ACLs out of extended
+//!   attributes;
+//! * page-fault I/O (`trap_pfault`) performs the read check under its
+//!   own temporal bound.
+
+use crate::mac::MacObject;
+use crate::state::{FObj, FileDesc, VKind};
+use crate::types::{ioflags, oflags, Errno, Fd, KResult, Pid, Ucred, VnodeId};
+use crate::Kernel;
+use tesla_spec::Value;
+
+/// How `ufs_open` was reached — selects which MAC check authorised
+/// it (fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenVia {
+    /// `open(2)`.
+    Open,
+    /// `exec(2)`.
+    Exec,
+    /// `kldload(2)`.
+    KldLoad,
+}
+
+impl Kernel {
+    // ----------------------------------------------------------------
+    // Syscall layer (VFS): checks here, sites in UFS below.
+    // ----------------------------------------------------------------
+
+    /// `open(2)`.
+    pub fn sys_open(&self, pid: Pid, path: &str, flags: u64) -> KResult<Fd> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let (vp, created) = {
+                let st = self.state.lock();
+                match st.namei(path) {
+                    Ok(vp) => (vp, false),
+                    Err(_) if flags & oflags::O_CREAT != 0 => {
+                        let (parent, name) = st.namei_parent(path)?;
+                        let plabel = st.vnode(parent).label;
+                        drop(st);
+                        // Creation is checked against the parent.
+                        self.mac_require(
+                            "mac_vnode_check_create",
+                            "vnode_create",
+                            &cred,
+                            Value::from(parent),
+                            &MacObject::Vnode { label: plabel },
+                            &[],
+                        )?;
+                        let mut st = self.state.lock();
+                        let vp = st.mknod(parent, name, false, cred.label.min(plabel), cred.uid)?;
+                        self.site("vnode/create", &[Value::from(parent)])?;
+                        (vp, true)
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_open",
+                "vnode_open",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[Value(flags)],
+            )?;
+            self.ufs_open(&cred, vp, OpenVia::Open)?;
+            let _ = created;
+            let mut st = self.state.lock();
+            st.fd_alloc(pid, FileDesc { obj: FObj::Vnode(vp), file_cred: cred, offset: 0, flags })
+        })
+    }
+
+    /// `close(2)`.
+    pub fn sys_close(&self, pid: Pid, fd: Fd) -> KResult<()> {
+        self.with_syscall(pid, || {
+            let mut st = self.state.lock();
+            let p = st.proc_mut(pid)?;
+            let slot =
+                p.fds.get_mut(fd.0 as usize).ok_or(Errno::EBADF)?;
+            if slot.take().is_none() {
+                return Err(Errno::EBADF.into());
+            }
+            Ok(())
+        })
+    }
+
+    /// `read(2)`.
+    pub fn sys_read(&self, pid: Pid, fd: Fd, len: usize) -> KResult<Vec<u8>> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let desc = self.state.lock().fd_get(pid, fd)?;
+            let FObj::Vnode(vp) = desc.obj else { return Err(Errno::EISDIR.into()) };
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_read",
+                "vnode_read",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            let data = self.ffs_read(vp, desc.offset, len)?;
+            self.state.lock().fd_mut(pid, fd)?.offset += data.len();
+            Ok(data)
+        })
+    }
+
+    /// `write(2)`.
+    pub fn sys_write(&self, pid: Pid, fd: Fd, data: &[u8]) -> KResult<usize> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let desc = self.state.lock().fd_get(pid, fd)?;
+            let FObj::Vnode(vp) = desc.obj else { return Err(Errno::EISDIR.into()) };
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_write",
+                "vnode_write",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.ffs_write(vp, data)
+        })
+    }
+
+    /// `getdirentries(2)`-style readdir.
+    pub fn sys_readdir(&self, pid: Pid, fd: Fd) -> KResult<Vec<String>> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let desc = self.state.lock().fd_get(pid, fd)?;
+            let FObj::Vnode(vp) = desc.obj else { return Err(Errno::ENOTDIR.into()) };
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_readdir",
+                "vnode_readdir",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.ufs_readdir(vp)
+        })
+    }
+
+    /// `exec(2)` — authorises via `mac_vnode_check_exec`, then takes
+    /// the same `ufs_open` path as `open(2)` (fig. 7).
+    pub fn sys_exec(&self, pid: Pid, path: &str) -> KResult<()> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let vp = self.state.lock().namei(path)?;
+            let (label, is_exec) = {
+                let st = self.state.lock();
+                (st.vnode(vp).label, st.vnode(vp).is_exec)
+            };
+            if !is_exec {
+                return Err(Errno::EACCES.into());
+            }
+            self.mac_require(
+                "mac_vnode_check_exec",
+                "vnode_exec",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.ufs_open(&cred, vp, OpenVia::Exec)?;
+            self.site("proc/exec", &[])?;
+            Ok(())
+        })
+    }
+
+    /// `kldload(2)` — loading a kernel module opens its vnode too.
+    pub fn sys_kldload(&self, pid: Pid, path: &str) -> KResult<()> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let vp = self.state.lock().namei(path)?;
+            self.mac_require(
+                "mac_kld_check_load",
+                "kld_load",
+                &cred,
+                Value::from(vp),
+                &MacObject::System,
+                &[],
+            )?;
+            self.site("system/kld", &[Value::from(vp)])?;
+            self.ufs_open(&cred, vp, OpenVia::KldLoad)?;
+            Ok(())
+        })
+    }
+
+    /// `sysctl(2)`-style system configuration write.
+    pub fn sys_sysctl(&self, pid: Pid, _name: &str, _value: i64) -> KResult<()> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            self.mac_require(
+                "mac_system_check_sysctl",
+                "system_sysctl",
+                &cred,
+                Value(0),
+                &MacObject::System,
+                &[],
+            )?;
+            self.site("system/sysctl", &[Value(0)])?;
+            Ok(())
+        })
+    }
+
+    /// A simple per-op vnode syscall: check + site + state effect.
+    fn vnode_op(
+        &self,
+        pid: Pid,
+        path: &str,
+        check_fn: &'static str,
+        op: &'static str,
+        site_key: &'static str,
+        effect: impl FnOnce(&mut crate::state::State, VnodeId, &Ucred) -> KResult<i64>,
+    ) -> KResult<i64> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let vp = self.state.lock().namei(path)?;
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                check_fn,
+                op,
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.site(site_key, &[Value::from(vp)])?;
+            let mut st = self.state.lock();
+            effect(&mut st, vp, &cred)
+        })
+    }
+
+    /// `stat(2)`.
+    pub fn sys_stat(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(pid, path, "mac_vnode_check_stat", "vnode_stat", "vnode/stat", |st, vp, _| {
+            Ok(st.vnode(vp).data.len() as i64)
+        })
+    }
+
+    /// `lookup` as an explicit op (namei MAC check).
+    pub fn sys_lookup(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_lookup",
+            "vnode_lookup",
+            "vnode/lookup",
+            |_, vp, _| Ok(i64::from(vp.0)),
+        )
+    }
+
+    /// `unlink(2)`.
+    pub fn sys_unlink(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let (parent, name) = {
+                let st = self.state.lock();
+                let (p, n) = st.namei_parent(path)?;
+                (p, n.to_string())
+            };
+            let vp = self.state.lock().namei(path)?;
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_unlink",
+                "vnode_unlink",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.site("vnode/unlink", &[Value::from(vp)])?;
+            let mut st = self.state.lock();
+            st.vnode_mut(parent).children.retain(|(n, _)| *n != name);
+            st.vnode_mut(vp).nlink = st.vnode(vp).nlink.saturating_sub(1);
+            Ok(0)
+        })
+    }
+
+    /// `rename(2)` — checked on both ends.
+    pub fn sys_rename(&self, pid: Pid, from: &str, to: &str) -> KResult<i64> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let vp = self.state.lock().namei(from)?;
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_rename_from",
+                "vnode_rename_from",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.site("vnode/rename_from", &[Value::from(vp)])?;
+            let (to_parent, to_name) = {
+                let st = self.state.lock();
+                let (p, n) = st.namei_parent(to)?;
+                (p, n.to_string())
+            };
+            let to_label = self.state.lock().vnode(to_parent).label;
+            self.mac_require(
+                "mac_vnode_check_rename_to",
+                "vnode_rename_to",
+                &cred,
+                Value::from(to_parent),
+                &MacObject::Vnode { label: to_label },
+                &[],
+            )?;
+            self.site("vnode/rename_to", &[Value::from(to_parent)])?;
+            let (from_parent, from_name) = {
+                let st = self.state.lock();
+                let (p, n) = st.namei_parent(from)?;
+                (p, n.to_string())
+            };
+            let mut st = self.state.lock();
+            st.vnode_mut(from_parent).children.retain(|(n, _)| *n != from_name);
+            st.vnode_mut(to_parent).children.push((to_name, vp));
+            Ok(0)
+        })
+    }
+
+    /// `link(2)`.
+    pub fn sys_link(&self, pid: Pid, existing: &str, newpath: &str) -> KResult<i64> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let vp = self.state.lock().namei(existing)?;
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_link",
+                "vnode_link",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.site("vnode/link", &[Value::from(vp)])?;
+            let (parent, name) = {
+                let st = self.state.lock();
+                let (p, n) = st.namei_parent(newpath)?;
+                (p, n.to_string())
+            };
+            let mut st = self.state.lock();
+            st.vnode_mut(parent).children.push((name, vp));
+            st.vnode_mut(vp).nlink += 1;
+            Ok(0)
+        })
+    }
+
+    /// `chmod(2)`.
+    pub fn sys_setmode(&self, pid: Pid, path: &str, mode: u32) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_setmode",
+            "vnode_setmode",
+            "vnode/setmode",
+            move |st, vp, _| {
+                st.vnode_mut(vp).mode = mode;
+                Ok(0)
+            },
+        )
+    }
+
+    /// `chown(2)`.
+    pub fn sys_setowner(&self, pid: Pid, path: &str, uid: u32) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_setowner",
+            "vnode_setowner",
+            "vnode/setowner",
+            move |st, vp, _| {
+                st.vnode_mut(vp).uid = uid;
+                Ok(0)
+            },
+        )
+    }
+
+    /// `utimes(2)`.
+    pub fn sys_setutimes(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_setutimes",
+            "vnode_setutimes",
+            "vnode/setutimes",
+            |_, _, _| Ok(0),
+        )
+    }
+
+    /// `revoke(2)`.
+    pub fn sys_revoke(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_revoke",
+            "vnode_revoke",
+            "vnode/revoke",
+            |_, _, _| Ok(0),
+        )
+    }
+
+    /// `mmap(2)` of a file.
+    pub fn sys_mmap(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(pid, path, "mac_vnode_check_mmap", "vnode_mmap", "vnode/mmap", |st, vp, _| {
+            Ok(st.vnode(vp).data.len() as i64)
+        })
+    }
+
+    /// `mprotect(2)`-style remap check.
+    pub fn sys_mprotect(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_mprotect",
+            "vnode_mprotect",
+            "vnode/mprotect",
+            |_, _, _| Ok(0),
+        )
+    }
+
+    /// `extattr_get_file(2)`.
+    pub fn sys_extattr_get(&self, pid: Pid, path: &str, name: &str) -> KResult<Vec<u8>> {
+        let name = name.to_string();
+        let r = self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_getextattr",
+            "vnode_getextattr",
+            "vnode/getextattr",
+            |_, vp, _| Ok(i64::from(vp.0)),
+        )?;
+        let vp = VnodeId(r as u32);
+        // UFS reads the attribute through internal file I/O.
+        self.ufs_extattr_read(vp, &name)
+    }
+
+    /// `extattr_set_file(2)`.
+    pub fn sys_extattr_set(&self, pid: Pid, path: &str, name: &str, val: &[u8]) -> KResult<i64> {
+        let name = name.to_string();
+        let val = val.to_vec();
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_setextattr",
+            "vnode_setextattr",
+            "vnode/setextattr",
+            move |st, vp, _| {
+                st.vnode_mut(vp).extattrs.insert(name, val);
+                Ok(0)
+            },
+        )
+    }
+
+    /// `extattr_delete_file(2)`.
+    pub fn sys_extattr_delete(&self, pid: Pid, path: &str, name: &str) -> KResult<i64> {
+        let name = name.to_string();
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_deleteextattr",
+            "vnode_deleteextattr",
+            "vnode/deleteextattr",
+            move |st, vp, _| {
+                st.vnode_mut(vp).extattrs.remove(&name);
+                Ok(0)
+            },
+        )
+    }
+
+    /// `extattr_list_file(2)`.
+    pub fn sys_extattr_list(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_listextattr",
+            "vnode_listextattr",
+            "vnode/listextattr",
+            |st, vp, _| Ok(st.vnode(vp).extattrs.len() as i64),
+        )
+    }
+
+    /// `__acl_get_file(2)` — UFS implements ACLs *in* extended
+    /// attributes, read via `vn_rdwr(IO_NOMACCHECK)` (fig. 7's third
+    /// path into `ffs_read`).
+    pub fn sys_acl_get(&self, pid: Pid, path: &str) -> KResult<Vec<u8>> {
+        let r = self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_getacl",
+            "vnode_getacl",
+            "vnode/getacl",
+            |_, vp, _| Ok(i64::from(vp.0)),
+        )?;
+        let vp = VnodeId(r as u32);
+        self.ufs_extattr_read(vp, "posix1e.acl_access")
+    }
+
+    /// `__acl_set_file(2)`.
+    pub fn sys_acl_set(&self, pid: Pid, path: &str, acl: &[u8]) -> KResult<i64> {
+        let acl = acl.to_vec();
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_setacl",
+            "vnode_setacl",
+            "vnode/setacl",
+            move |st, vp, _| {
+                st.vnode_mut(vp).extattrs.insert("posix1e.acl_access".into(), acl);
+                Ok(0)
+            },
+        )
+    }
+
+    /// `__acl_delete_file(2)`.
+    pub fn sys_acl_delete(&self, pid: Pid, path: &str) -> KResult<i64> {
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_deleteacl",
+            "vnode_deleteacl",
+            "vnode/deleteacl",
+            |st, vp, _| {
+                st.vnode_mut(vp).extattrs.remove("posix1e.acl_access");
+                Ok(0)
+            },
+        )
+    }
+
+    /// A page fault on a mapped file: file-system I/O initiated from
+    /// `trap_pfault`, not from a syscall (§3.5.2). The read check and
+    /// the `ffs_read` site both happen under the pfault bound.
+    pub fn fault_in_page(&self, pid: Pid, vp: VnodeId, offset: usize) -> KResult<Vec<u8>> {
+        self.with_pfault(pid, || {
+            let cred = self.cred_of(pid)?;
+            let label = self.state.lock().vnode(vp).label;
+            self.mac_require(
+                "mac_vnode_check_read",
+                "vnode_read",
+                &cred,
+                Value::from(vp),
+                &MacObject::Vnode { label },
+                &[],
+            )?;
+            self.ffs_read(vp, offset, 4096)
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // UFS implementation layer: assertion sites live here.
+    // ----------------------------------------------------------------
+
+    /// `ufs_open`: the fig. 7 assertion — reached from three syscalls
+    /// with three different authorising checks.
+    pub(crate) fn ufs_open(&self, _cred: &Ucred, vp: VnodeId, _via: OpenVia) -> KResult<()> {
+        self.site("vnode/open", &[Value::from(vp)])?;
+        Ok(())
+    }
+
+    /// `ffs_read`: the fig. 7 read assertion site, reached from
+    /// `read(2)`, from `ufs_readdir` internally, from
+    /// `vn_rdwr(IO_NOMACCHECK)`, and from page faults.
+    pub(crate) fn ffs_read(&self, vp: VnodeId, offset: usize, len: usize) -> KResult<Vec<u8>> {
+        self.site("vnode/read", &[Value::from(vp)])?;
+        let st = self.state.lock();
+        let v = st.vnode(vp);
+        if v.kind != VKind::Reg {
+            // Directory blocks read as raw entries for readdir.
+            return Ok(v.children.iter().flat_map(|(n, _)| n.bytes()).collect());
+        }
+        let start = offset.min(v.data.len());
+        let end = (offset + len).min(v.data.len());
+        Ok(v.data[start..end].to_vec())
+    }
+
+    /// `ffs_write`: write site.
+    pub(crate) fn ffs_write(&self, vp: VnodeId, data: &[u8]) -> KResult<usize> {
+        self.site("vnode/write", &[Value::from(vp)])?;
+        let mut st = self.state.lock();
+        st.vnode_mut(vp).data.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    /// `ufs_readdir`: reads directory blocks through `ffs_read`
+    /// *without* a fresh MAC check — the `incallstack(ufs_readdir)`
+    /// branch of fig. 7 authorises those inner reads.
+    pub(crate) fn ufs_readdir(&self, vp: VnodeId) -> KResult<Vec<String>> {
+        self.hook_ufs_readdir(Value::from(vp), || {
+            self.site("vnode/readdir", &[Value::from(vp)])?;
+            // Internal read of the directory "blocks".
+            let _raw = self.ffs_read(vp, 0, usize::MAX)?;
+            let st = self.state.lock();
+            Ok(st.vnode(vp).children.iter().map(|(n, _)| n.clone()).collect())
+        })
+    }
+
+    /// UFS-internal extattr read: `vn_rdwr` with `IO_NOMACCHECK`
+    /// feeding `ffs_read` (fig. 7's "checks should not be expected"
+    /// path).
+    pub(crate) fn ufs_extattr_read(&self, vp: VnodeId, name: &str) -> KResult<Vec<u8>> {
+        self.hook_vn_rdwr(Value::from(vp), ioflags::IO_NOMACCHECK, || {
+            let _block = self.ffs_read(vp, 0, 0)?;
+            let st = self.state.lock();
+            Ok(st.vnode(vp).extattrs.get(name).cloned().unwrap_or_default())
+        })
+    }
+
+    /// Helper for tests/workloads: create a file with contents.
+    pub fn mkfile(&self, path: &str, data: &[u8], label: i32, exec: bool) -> KResult<VnodeId> {
+        let mut st = self.state.lock();
+        let (parent, name) = st.namei_parent(path)?;
+        let vp = st.mknod(parent, name, false, label, 0)?;
+        let v = st.vnode_mut(vp);
+        v.data = data.to_vec();
+        v.is_exec = exec;
+        Ok(vp)
+    }
+
+    /// Helper: create a directory.
+    pub fn mkdir_p(&self, path: &str, label: i32) -> KResult<VnodeId> {
+        let mut st = self.state.lock();
+        let mut cur = st.root;
+        let comps: Vec<String> =
+            path.split('/').filter(|c| !c.is_empty()).map(str::to_string).collect();
+        for c in comps {
+            cur = match st.vnode(cur).children.iter().find(|(n, _)| *n == c) {
+                Some((_, id)) => *id,
+                None => st.mknod(cur, &c, true, label, 0)?,
+            };
+        }
+        Ok(cur)
+    }
+}

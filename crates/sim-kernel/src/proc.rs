@@ -1,0 +1,572 @@
+//! Process lifecycle, inter-process operations and the facilities the
+//! paper's 37 "P" assertions cover: signals, ptrace, wait,
+//! scheduling, a procfs-like debug interface (19 assertions;
+//! "a deprecated facility disabled by default"), CPUSET (2) and
+//! POSIX real-time scheduling (5).
+//!
+//! Inter-process authorisation is layered as in FreeBSD: syscalls
+//! call `p_cansee`/`p_cansignal`/`p_candebug`/`p_cansched`/
+//! `p_canwait`/`cr_cansee`, which internally invoke the corresponding
+//! `mac_proc_check_*` MAC hook. The MAC assertion set (MP) asserts
+//! the inner checks; the inter-process set (P) asserts the `p_can*`
+//! wrappers — two views of the same dynamic call graph.
+
+use crate::mac::MacObject;
+use crate::state::{Proc, ProcState};
+use crate::types::{pflags, Errno, KResult, Pid};
+use crate::Kernel;
+use tesla_spec::{FieldOp, Value};
+
+/// The procfs-like operations (19, matching the paper's count of
+/// unexercised procfs assertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ProcfsOp {
+    ReadMem,
+    WriteMem,
+    ReadRegs,
+    WriteRegs,
+    ReadDbRegs,
+    ReadStatus,
+    ReadMap,
+    ReadCmdline,
+    ReadEnv,
+    ReadFile,
+    WriteFile,
+    Lookup,
+    GetAttr,
+    Ioctl,
+    CtlAttach,
+    CtlDetach,
+    CtlStep,
+    Note,
+    Signal,
+}
+
+impl ProcfsOp {
+    /// All ops, in a stable order.
+    pub const ALL: [ProcfsOp; 19] = [
+        ProcfsOp::ReadMem,
+        ProcfsOp::WriteMem,
+        ProcfsOp::ReadRegs,
+        ProcfsOp::WriteRegs,
+        ProcfsOp::ReadDbRegs,
+        ProcfsOp::ReadStatus,
+        ProcfsOp::ReadMap,
+        ProcfsOp::ReadCmdline,
+        ProcfsOp::ReadEnv,
+        ProcfsOp::ReadFile,
+        ProcfsOp::WriteFile,
+        ProcfsOp::Lookup,
+        ProcfsOp::GetAttr,
+        ProcfsOp::Ioctl,
+        ProcfsOp::CtlAttach,
+        ProcfsOp::CtlDetach,
+        ProcfsOp::CtlStep,
+        ProcfsOp::Note,
+        ProcfsOp::Signal,
+    ];
+
+    /// The assertion-site key for this op.
+    pub fn site_key(self) -> &'static str {
+        match self {
+            ProcfsOp::ReadMem => "procfs/read_mem",
+            ProcfsOp::WriteMem => "procfs/write_mem",
+            ProcfsOp::ReadRegs => "procfs/read_regs",
+            ProcfsOp::WriteRegs => "procfs/write_regs",
+            ProcfsOp::ReadDbRegs => "procfs/read_dbregs",
+            ProcfsOp::ReadStatus => "procfs/read_status",
+            ProcfsOp::ReadMap => "procfs/read_map",
+            ProcfsOp::ReadCmdline => "procfs/read_cmdline",
+            ProcfsOp::ReadEnv => "procfs/read_env",
+            ProcfsOp::ReadFile => "procfs/read_file",
+            ProcfsOp::WriteFile => "procfs/write_file",
+            ProcfsOp::Lookup => "procfs/lookup",
+            ProcfsOp::GetAttr => "procfs/getattr",
+            ProcfsOp::Ioctl => "procfs/ioctl",
+            ProcfsOp::CtlAttach => "procfs/ctl_attach",
+            ProcfsOp::CtlDetach => "procfs/ctl_detach",
+            ProcfsOp::CtlStep => "procfs/ctl_step",
+            ProcfsOp::Note => "procfs/note",
+            ProcfsOp::Signal => "procfs/signal",
+        }
+    }
+
+    /// Which interprocess check authorises it.
+    pub fn check_fn(self) -> &'static str {
+        match self {
+            ProcfsOp::ReadStatus
+            | ProcfsOp::ReadMap
+            | ProcfsOp::ReadCmdline
+            | ProcfsOp::ReadEnv
+            | ProcfsOp::Lookup
+            | ProcfsOp::GetAttr
+            | ProcfsOp::ReadFile => "p_cansee",
+            ProcfsOp::Signal | ProcfsOp::Note => "p_cansignal",
+            _ => "p_candebug",
+        }
+    }
+}
+
+/// One inter-process operation's authorisation recipe.
+struct IpOp {
+    /// The `p_can*` wrapper.
+    can_fn: &'static str,
+    /// The inner `mac_proc_check_*` hook, if any.
+    mac_fn: Option<&'static str>,
+    /// Policy op string.
+    op: &'static str,
+    /// MAC-set assertion site.
+    mp_site: Option<&'static str>,
+    /// Inter-process-set assertion site.
+    p_site: Option<&'static str>,
+}
+
+impl Kernel {
+    fn target_obj(&self, target: Pid) -> KResult<(MacObject, Value)> {
+        let st = self.state.lock();
+        let p = st.proc_ref(target)?;
+        Ok((MacObject::Proc { label: p.cred.label, uid: p.cred.uid }, Value::from(target)))
+    }
+
+    /// Generic inter-process op: `p_can*` wrapper (hooked) around the
+    /// MAC check (hooked), then the assertion sites, then the effect.
+    fn proc_op<T>(
+        &self,
+        pid: Pid,
+        target: Pid,
+        recipe: &IpOp,
+        effect: impl FnOnce(&mut crate::state::State, &mut Proc) -> KResult<T>,
+    ) -> KResult<T> {
+        self.with_syscall(pid, || self.proc_op_inner(pid, target, recipe, effect))
+    }
+
+    /// The body of [`Kernel::proc_op`], usable when already inside a
+    /// syscall bound (process-group loops).
+    fn proc_op_inner<T>(
+        &self,
+        pid: Pid,
+        target: Pid,
+        recipe: &IpOp,
+        effect: impl FnOnce(&mut crate::state::State, &mut Proc) -> KResult<T>,
+    ) -> KResult<T> {
+        let cred = self.cred_of(pid)?;
+        let (obj, tval) = self.target_obj(target)?;
+        let r = self.p_can(recipe.can_fn, recipe.mac_fn, recipe.op, &cred, tval, &obj)?;
+        if r != 0 {
+            return Err(Errno::EACCES.into());
+        }
+        if let Some(site) = recipe.mp_site {
+            self.site(site, &[tval])?;
+        }
+        if let Some(site) = recipe.p_site {
+            self.site(site, &[tval])?;
+        }
+        let mut st = self.state.lock();
+        // Split-borrow via remove/insert so effects may inspect the
+        // rest of the process table.
+        let mut p = st.procs.remove(&target).ok_or(Errno::ESRCH)?;
+        let r = effect(&mut st, &mut p);
+        st.procs.insert(target, p);
+        r
+    }
+
+    /// `fork(2)`: child inherits descriptors (with their cached
+    /// `file_cred`!) and gets a *copy* of the credential — a new cred
+    /// identity, as `crcopy` makes a new `struct ucred`.
+    pub fn sys_fork(&self, pid: Pid) -> KResult<Pid> {
+        self.with_syscall(pid, || {
+            let parent_cred = self.cred_of(pid)?;
+            let child_cred = self.fresh_cred(parent_cred.uid, parent_cred.gid, parent_cred.label);
+            let mut st = self.state.lock();
+            let parent = st.proc_ref(pid)?.clone();
+            let child_pid = Pid(st.next_pid);
+            st.next_pid += 1;
+            st.procs.insert(
+                child_pid,
+                Proc {
+                    pid: child_pid,
+                    parent: pid,
+                    cred: child_cred,
+                    p_flag: 0,
+                    fds: parent.fds.clone(),
+                    state: ProcState::Running,
+                    siglist: Vec::new(),
+                    cpuset: parent.cpuset,
+                    rtprio: parent.rtprio,
+                    nice: parent.nice,
+                    pgid: parent.pgid,
+                    ktrace: false,
+                    traced_by: None,
+                },
+            );
+            Ok(child_pid)
+        })
+    }
+
+    /// `exit(2)`.
+    pub fn sys_exit(&self, pid: Pid, status: i64) -> KResult<()> {
+        self.with_syscall(pid, || {
+            let mut st = self.state.lock();
+            let p = st.proc_mut(pid)?;
+            p.state = ProcState::Zombie(status);
+            p.fds.clear();
+            Ok(())
+        })
+    }
+
+    /// `wait4(2)`: reap a zombie child.
+    pub fn sys_wait(&self, pid: Pid, child: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_canwait",
+            mac_fn: Some("mac_proc_check_wait"),
+            op: "proc_wait",
+            mp_site: Some("proc/wait"),
+            p_site: Some("ip/wait"),
+        };
+        let status = self.proc_op(pid, child, &OP, move |_, p| {
+            if p.parent != pid {
+                return Err(Errno::EPERM.into());
+            }
+            match p.state {
+                ProcState::Zombie(status) => Ok(status),
+                ProcState::Running => Err(Errno::EINVAL.into()),
+            }
+        })?;
+        self.state.lock().procs.remove(&child);
+        Ok(status)
+    }
+
+    /// `kill(2)`.
+    pub fn sys_kill(&self, pid: Pid, target: Pid, sig: i32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansignal",
+            mac_fn: Some("mac_proc_check_signal"),
+            op: "proc_signal",
+            mp_site: Some("proc/signal"),
+            p_site: Some("ip/signal"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.siglist.push(sig);
+            Ok(0)
+        })
+    }
+
+    /// `killpg(2)`: signal every member of a process group — one
+    /// check (and one assertion-site visit) per member.
+    pub fn sys_killpg(&self, pid: Pid, pgid: u32, sig: i32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansignal",
+            mac_fn: Some("mac_proc_check_signal"),
+            op: "proc_signal",
+            mp_site: None,
+            p_site: Some("ip/signal_pgrp"),
+        };
+        self.with_syscall(pid, || {
+            let members: Vec<Pid> = {
+                let st = self.state.lock();
+                st.procs.values().filter(|p| p.pgid == pgid).map(|p| p.pid).collect()
+            };
+            let mut n = 0;
+            for m in members {
+                self.proc_op_inner(pid, m, &OP, |_, p| {
+                    p.siglist.push(sig);
+                    Ok(0)
+                })?;
+                n += 1;
+            }
+            Ok(n)
+        })
+    }
+
+    /// `ptrace(PT_ATTACH)`.
+    pub fn sys_ptrace_attach(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_candebug",
+            mac_fn: Some("mac_proc_check_debug"),
+            op: "proc_debug",
+            mp_site: Some("proc/debug"),
+            p_site: Some("ip/debug"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.traced_by = Some(pid);
+            Ok(0)
+        })
+    }
+
+    /// `getpriority(2)` — visibility check.
+    pub fn sys_getpriority(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansee",
+            mac_fn: Some("mac_proc_check_see"),
+            op: "proc_see",
+            mp_site: Some("proc/see"),
+            p_site: Some("ip/see"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| Ok(i64::from(p.nice)))
+    }
+
+    /// `setpriority(2)` — scheduling check.
+    pub fn sys_setpriority(&self, pid: Pid, target: Pid, nice: i32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansched",
+            mac_fn: Some("mac_proc_check_sched"),
+            op: "proc_sched",
+            mp_site: Some("proc/sched"),
+            p_site: Some("ip/sched"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.nice = nice;
+            Ok(0)
+        })
+    }
+
+    /// `ktrace(2)`.
+    pub fn sys_ktrace(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_candebug",
+            mac_fn: Some("mac_proc_check_ktrace"),
+            op: "proc_ktrace",
+            mp_site: Some("proc/ktrace"),
+            p_site: Some("ip/ktrace"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| {
+            p.ktrace = true;
+            Ok(0)
+        })
+    }
+
+    /// `getpgid(2)`.
+    pub fn sys_getpgid(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansee",
+            mac_fn: None,
+            op: "proc_see",
+            mp_site: None,
+            p_site: Some("ip/getpgid"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| Ok(i64::from(p.pgid)))
+    }
+
+    /// `setpgid(2)`.
+    pub fn sys_setpgid(&self, pid: Pid, target: Pid, pgid: u32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansee",
+            mac_fn: Some("mac_proc_check_setpgid"),
+            op: "proc_setpgid",
+            mp_site: Some("proc/setpgid"),
+            p_site: Some("ip/setpgid"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.pgid = pgid;
+            Ok(0)
+        })
+    }
+
+    /// `procctl(PROC_REAP_ACQUIRE)`-style reaper acquire.
+    pub fn sys_reap_acquire(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansee",
+            mac_fn: None,
+            op: "proc_see",
+            mp_site: None,
+            p_site: Some("ip/reap"),
+        };
+        self.proc_op(pid, target, &OP, |_, _| Ok(0))
+    }
+
+    /// Credential-visibility query (`cr_cansee` path).
+    pub fn sys_cred_visible(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "cr_cansee",
+            mac_fn: None,
+            op: "cansee",
+            mp_site: None,
+            p_site: Some("ip/cred_visible"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| Ok(i64::from(p.cred.uid)))
+    }
+
+    /// `setuid(2)`: swaps in a fresh credential; the `eventually`
+    /// assertion of §3.5.2 requires `P_SUGID` to be set before the
+    /// syscall returns. The seeded bug skips it.
+    pub fn sys_setuid(&self, pid: Pid, uid: u32) -> KResult<i64> {
+        self.with_syscall(pid, || {
+            let old = self.cred_of(pid)?;
+            if !old.is_root() && old.uid != uid {
+                return Err(Errno::EPERM.into());
+            }
+            self.mac_require(
+                "mac_proc_check_setuid",
+                "proc_setuid",
+                &old,
+                Value::from(pid),
+                &MacObject::Proc { label: old.label, uid: old.uid },
+                &[Value(u64::from(uid))],
+            )?;
+            // The assertion site: from here, P_SUGID must eventually
+            // be set within this syscall.
+            self.site("proc/sugid", &[Value::from(pid)])?;
+            let newcred = self.fresh_cred(uid, old.gid, old.label);
+            {
+                let mut st = self.state.lock();
+                st.proc_mut(pid)?.cred = newcred;
+            }
+            if !self.config().bugs.setuid_skips_sugid {
+                {
+                    let mut st = self.state.lock();
+                    let p = st.proc_mut(pid)?;
+                    p.p_flag |= pflags::P_SUGID;
+                }
+                self.hook_pflag_store(pid, FieldOp::OrAssign, pflags::P_SUGID)?;
+            }
+            Ok(0)
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // CPUSET (2 assertions; post-test-suite facility, §3.5.2)
+    // ----------------------------------------------------------------
+
+    /// `cpuset_getaffinity(2)`.
+    pub fn sys_cpuset_get(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansched",
+            mac_fn: None,
+            op: "proc_sched",
+            mp_site: None,
+            p_site: Some("cpuset/get"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| Ok(p.cpuset as i64))
+    }
+
+    /// `cpuset_setaffinity(2)`.
+    pub fn sys_cpuset_set(&self, pid: Pid, target: Pid, mask: u64) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansched",
+            mac_fn: None,
+            op: "proc_sched",
+            mp_site: None,
+            p_site: Some("cpuset/set"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.cpuset = mask;
+            Ok(0)
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // POSIX real-time scheduling (5 assertions)
+    // ----------------------------------------------------------------
+
+    /// `rtprio(RTP_LOOKUP)`.
+    pub fn sys_rtprio_get(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansee",
+            mac_fn: None,
+            op: "proc_see",
+            mp_site: None,
+            p_site: Some("rt/rtprio_get"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| Ok(i64::from(p.rtprio)))
+    }
+
+    /// `rtprio(RTP_SET)`.
+    pub fn sys_rtprio_set(&self, pid: Pid, target: Pid, prio: i32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansched",
+            mac_fn: None,
+            op: "proc_sched",
+            mp_site: None,
+            p_site: Some("rt/rtprio_set"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.rtprio = prio;
+            Ok(0)
+        })
+    }
+
+    /// `sched_getparam(2)`.
+    pub fn sys_sched_getparam(&self, pid: Pid, target: Pid) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansee",
+            mac_fn: None,
+            op: "proc_see",
+            mp_site: None,
+            p_site: Some("rt/sched_getparam"),
+        };
+        self.proc_op(pid, target, &OP, |_, p| Ok(i64::from(p.rtprio)))
+    }
+
+    /// `sched_setparam(2)`.
+    pub fn sys_sched_setparam(&self, pid: Pid, target: Pid, prio: i32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansched",
+            mac_fn: None,
+            op: "proc_sched",
+            mp_site: None,
+            p_site: Some("rt/sched_setparam"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.rtprio = prio;
+            Ok(0)
+        })
+    }
+
+    /// `sched_setscheduler(2)`.
+    pub fn sys_sched_setscheduler(&self, pid: Pid, target: Pid, policy: i32) -> KResult<i64> {
+        const OP: IpOp = IpOp {
+            can_fn: "p_cansched",
+            mac_fn: None,
+            op: "proc_sched",
+            mp_site: None,
+            p_site: Some("rt/sched_setscheduler"),
+        };
+        self.proc_op(pid, target, &OP, move |_, p| {
+            p.rtprio = policy;
+            Ok(0)
+        })
+    }
+
+    // ----------------------------------------------------------------
+    // procfs (19 assertions; "deprecated facility disabled by
+    // default" — present, callable, unexercised by the standard
+    // test-suite workload)
+    // ----------------------------------------------------------------
+
+    /// One procfs-like operation against `target`.
+    pub fn sys_procfs(&self, pid: Pid, target: Pid, op: ProcfsOp) -> KResult<Vec<u8>> {
+        let recipe = IpOp {
+            can_fn: op.check_fn(),
+            mac_fn: None,
+            op: "proc_debug",
+            mp_site: None,
+            p_site: Some(op.site_key()),
+        };
+        self.proc_op(pid, target, &recipe, move |_, p| {
+            // Minimal but real effects per op family.
+            Ok(match op {
+                ProcfsOp::ReadStatus => {
+                    format!("pid {} uid {}", p.pid.0, p.cred.uid).into_bytes()
+                }
+                ProcfsOp::ReadCmdline => b"init".to_vec(),
+                ProcfsOp::ReadEnv => b"PATH=/bin".to_vec(),
+                ProcfsOp::ReadMem | ProcfsOp::ReadFile | ProcfsOp::ReadMap => vec![0u8; 16],
+                ProcfsOp::ReadRegs | ProcfsOp::ReadDbRegs => vec![0u8; 8],
+                ProcfsOp::Signal => {
+                    p.siglist.push(19);
+                    Vec::new()
+                }
+                ProcfsOp::CtlAttach => {
+                    p.traced_by = Some(pid);
+                    Vec::new()
+                }
+                ProcfsOp::CtlDetach => {
+                    p.traced_by = None;
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            })
+        })
+    }
+}

@@ -1,0 +1,367 @@
+//! The socket layer, with the fig. 3 indirection chain.
+//!
+//! `sys_poll`/`sys_select`/`sys_kevent` all descend through
+//! `fo_poll → soo_poll → sopoll → pru_sopoll → sopoll_generic`, where
+//! `pru_sopoll` is a per-protocol function pointer — exactly the
+//! "abstraction layers separate a check from the code it governs"
+//! structure the paper motivates. The MAC check happens near the top
+//! (`soo_poll`); the TESLA assertion in `sopoll_generic` (fig. 4)
+//! verifies it actually happened, with the right credential.
+//!
+//! Seeded bugs: `kqueue_skips_mac_poll` omits the check on the
+//! kevent path; `poll_passes_file_cred` makes the *select* path pass
+//! the descriptor's cached `file_cred` to `sopoll_generic` where the
+//! assertion expects `active_cred`.
+
+use crate::mac::MacObject;
+use crate::state::{FObj, FileDesc, Proto, SoState, Socket};
+use crate::types::{Errno, Fd, KResult, Pid, SockId, Ucred};
+use crate::Kernel;
+use std::collections::VecDeque;
+use tesla_spec::Value;
+
+/// Which syscall initiated a poll — used only to model the paper's
+/// per-path behaviours (and bugs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PollPath {
+    Poll,
+    Select,
+    Kevent,
+}
+
+/// The per-protocol user-request table (`struct pr_usrreqs`): real
+/// function pointers, preserving the dynamic dispatch of fig. 3.
+struct PrUsrreqs {
+    pru_sopoll: fn(&Kernel, &Ucred, SockId) -> KResult<i64>,
+}
+
+/// `protosw` rows for each protocol.
+fn protosw(proto: Proto) -> &'static PrUsrreqs {
+    // TCP and UDP share the generic implementation; UNIX-domain has
+    // its own thin wrapper (calling the same generic code), mirroring
+    // how FreeBSD routes protocol-specific behaviour.
+    static GENERIC: PrUsrreqs = PrUsrreqs { pru_sopoll: Kernel::sopoll_generic };
+    static UNIX: PrUsrreqs = PrUsrreqs { pru_sopoll: Kernel::sopoll_unix };
+    match proto {
+        Proto::Tcp | Proto::Udp => &GENERIC,
+        Proto::Unix => &UNIX,
+    }
+}
+
+impl Kernel {
+    /// `socket(2)`.
+    pub fn sys_socket(&self, pid: Pid, proto: Proto) -> KResult<Fd> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            self.mac_require(
+                "mac_socket_check_create",
+                "socket_create",
+                &cred,
+                Value(0),
+                &MacObject::Socket { label: cred.label },
+                &[],
+            )?;
+            let so = {
+                let mut st = self.state.lock();
+                let so = SockId(st.sockets.len() as u32);
+                st.sockets.push(Socket {
+                    proto,
+                    state: SoState::Idle,
+                    label: cred.label,
+                    rx: VecDeque::new(),
+                    accept_q: VecDeque::new(),
+                    so_qstate: 0,
+                });
+                so
+            };
+            self.site("socket/create", &[])?;
+            let mut st = self.state.lock();
+            st.fd_alloc(pid, FileDesc { obj: FObj::Socket(so), file_cred: cred, offset: 0, flags: 0 })
+        })
+    }
+
+    fn socket_of(&self, pid: Pid, fd: Fd) -> KResult<(SockId, FileDesc)> {
+        let desc = self.state.lock().fd_get(pid, fd)?;
+        match desc.obj {
+            FObj::Socket(so) => Ok((so, desc)),
+            FObj::Vnode(_) => Err(Errno::ENOTSOCK.into()),
+        }
+    }
+
+    /// A generic checked socket op: MAC check + site + effect.
+    fn socket_op<T>(
+        &self,
+        pid: Pid,
+        fd: Fd,
+        check_fn: &'static str,
+        op: &'static str,
+        site_key: &'static str,
+        effect: impl FnOnce(&mut crate::state::State, SockId) -> KResult<T>,
+    ) -> KResult<T> {
+        self.with_syscall(pid, || {
+            let cred = self.cred_of(pid)?;
+            let (so, _) = self.socket_of(pid, fd)?;
+            let label = self.state.lock().socket(so)?.label;
+            self.mac_require(
+                check_fn,
+                op,
+                &cred,
+                Value::from(so),
+                &MacObject::Socket { label },
+                &[],
+            )?;
+            self.site(site_key, &[Value::from(so)])?;
+            let mut st = self.state.lock();
+            effect(&mut st, so)
+        })
+    }
+
+    /// `bind(2)`.
+    pub fn sys_bind(&self, pid: Pid, fd: Fd) -> KResult<i64> {
+        self.socket_op(pid, fd, "mac_socket_check_bind", "socket_bind", "socket/bind", |st, so| {
+            st.socket_mut(so)?.state = SoState::Bound;
+            Ok(0)
+        })
+    }
+
+    /// `listen(2)`.
+    pub fn sys_listen(&self, pid: Pid, fd: Fd) -> KResult<i64> {
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_listen",
+            "socket_listen",
+            "socket/listen",
+            |st, so| {
+                st.socket_mut(so)?.state = SoState::Listening;
+                Ok(0)
+            },
+        )
+    }
+
+    /// `connect(2)`: connects to a listening socket.
+    pub fn sys_connect(&self, pid: Pid, fd: Fd, to: SockId) -> KResult<i64> {
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_connect",
+            "socket_connect",
+            "socket/connect",
+            move |st, so| {
+                if st.socket(to)?.state != SoState::Listening {
+                    return Err(Errno::ENOTCONN.into());
+                }
+                st.socket_mut(so)?.state = SoState::Connected(to);
+                st.socket_mut(to)?.accept_q.push_back(so);
+                Ok(0)
+            },
+        )
+    }
+
+    /// `accept(2)`.
+    pub fn sys_accept(&self, pid: Pid, fd: Fd) -> KResult<Fd> {
+        let cred = self.cred_of(pid)?;
+        let new = self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_accept",
+            "socket_accept",
+            "socket/accept",
+            |st, so| {
+                let peer = st
+                    .socket_mut(so)?
+                    .accept_q
+                    .pop_front()
+                    .ok_or(Errno::ENOTCONN)?;
+                let label = st.socket(so)?.label;
+                let conn = SockId(st.sockets.len() as u32);
+                st.sockets.push(Socket {
+                    proto: st.socket(so)?.proto,
+                    state: SoState::Connected(peer),
+                    label,
+                    rx: VecDeque::new(),
+                    accept_q: VecDeque::new(),
+                    so_qstate: 0,
+                });
+                st.socket_mut(peer)?.state = SoState::Connected(conn);
+                Ok(conn)
+            },
+        )?;
+        let mut st = self.state.lock();
+        st.fd_alloc(pid, FileDesc { obj: FObj::Socket(new), file_cred: cred, offset: 0, flags: 0 })
+    }
+
+    /// `send(2)`.
+    pub fn sys_send(&self, pid: Pid, fd: Fd, data: &[u8]) -> KResult<i64> {
+        let data = data.to_vec();
+        self.socket_op(pid, fd, "mac_socket_check_send", "socket/send_op", "socket/send", move |st, so| {
+            let n = data.len() as i64;
+            match st.socket(so)?.state {
+                SoState::Connected(peer) => {
+                    st.socket_mut(peer)?.rx.push_back(data);
+                    Ok(n)
+                }
+                _ => Err(Errno::ENOTCONN.into()),
+            }
+        })
+    }
+
+    /// `recv(2)`.
+    pub fn sys_recv(&self, pid: Pid, fd: Fd) -> KResult<Option<Vec<u8>>> {
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_receive",
+            "socket_receive",
+            "socket/receive",
+            |st, so| Ok(st.socket_mut(so)?.rx.pop_front()),
+        )
+    }
+
+    /// `getpeername(2)`-style visibility.
+    pub fn sys_sockvisible(&self, pid: Pid, fd: Fd) -> KResult<i64> {
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_visible",
+            "socket_visible",
+            "socket/visible",
+            |st, so| match st.socket(so)?.state {
+                SoState::Connected(peer) => Ok(i64::from(peer.0)),
+                _ => Ok(-1),
+            },
+        )
+    }
+
+    /// `fstat(2)` on a socket.
+    pub fn sys_sockstat(&self, pid: Pid, fd: Fd) -> KResult<i64> {
+        self.socket_op(pid, fd, "mac_socket_check_stat", "socket_stat", "socket/stat", |st, so| {
+            Ok(st.socket(so)?.rx.len() as i64)
+        })
+    }
+
+    /// `setsockopt(SO_LABEL)`-style relabel.
+    pub fn sys_sockrelabel(&self, pid: Pid, fd: Fd, label: i32) -> KResult<i64> {
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_relabel",
+            "socket_relabel",
+            "socket/relabel",
+            move |st, so| {
+                st.socket_mut(so)?.label = label;
+                Ok(0)
+            },
+        )
+    }
+
+    // ----------------------------------------------------------------
+    // The poll chain of fig. 3.
+    // ----------------------------------------------------------------
+
+    /// `poll(2)`.
+    pub fn sys_poll(&self, pid: Pid, fd: Fd) -> KResult<i64> {
+        self.with_syscall(pid, || self.fo_poll(pid, fd, PollPath::Poll))
+    }
+
+    /// `select(2)` — same chain; carries the seeded wrong-credential
+    /// bug.
+    pub fn sys_select(&self, pid: Pid, fds: &[Fd]) -> KResult<i64> {
+        self.with_syscall(pid, || {
+            let mut ready = 0;
+            for fd in fds {
+                ready += self.fo_poll(pid, *fd, PollPath::Select)?;
+            }
+            Ok(ready)
+        })
+    }
+
+    /// `kevent(2)` — the path the paper found missing its MAC check.
+    pub fn sys_kevent(&self, pid: Pid, fd: Fd) -> KResult<i64> {
+        self.with_syscall(pid, || self.fo_poll(pid, fd, PollPath::Kevent))
+    }
+
+    /// `fo_poll`: file-ops dispatch (`fp->f_ops->fo_poll`).
+    fn fo_poll(&self, pid: Pid, fd: Fd, path: PollPath) -> KResult<i64> {
+        let active_cred = self.cred_of(pid)?;
+        let (so, desc) = self.socket_of(pid, fd)?;
+        self.soo_poll(&active_cred, &desc, so, path)
+    }
+
+    /// `soo_poll`: socket file-ops implementation — the layer that
+    /// performs the MAC check (except on the buggy kevent path).
+    fn soo_poll(
+        &self,
+        active_cred: &Ucred,
+        desc: &FileDesc,
+        so: SockId,
+        path: PollPath,
+    ) -> KResult<i64> {
+        let skip_check =
+            path == PollPath::Kevent && self.config().bugs.kqueue_skips_mac_poll;
+        if !skip_check {
+            let label = self.state.lock().socket(so)?.label;
+            self.mac_require(
+                "mac_socket_check_poll",
+                "socket_poll",
+                active_cred,
+                Value::from(so),
+                &MacObject::Socket { label },
+                &[],
+            )?;
+        }
+        self.sopoll(active_cred, desc, so, path)
+    }
+
+    /// `sopoll`: dispatches through the protocol's `pru_sopoll`
+    /// function pointer. The wrong-credential bug lives here: on the
+    /// select path it passes the descriptor's cached `file_cred`.
+    fn sopoll(
+        &self,
+        active_cred: &Ucred,
+        desc: &FileDesc,
+        so: SockId,
+        path: PollPath,
+    ) -> KResult<i64> {
+        let cred = if path == PollPath::Select && self.config().bugs.poll_passes_file_cred {
+            // BUG (seeded, §3.5.2): "an error in one dynamic call
+            // graph caused the cached file_cred to be passed down
+            // instead of active_cred".
+            desc.file_cred
+        } else {
+            *active_cred
+        };
+        let proto = self.state.lock().socket(so)?.proto;
+        let pru = protosw(proto);
+        (pru.pru_sopoll)(self, &cred, so)
+    }
+
+    /// `sopoll_generic`: the fig. 4 assertion site — "here, we expect
+    /// that an access-control check has already been done", with the
+    /// credential it was done *with*.
+    fn sopoll_generic(&self, active_cred: &Ucred, so: SockId) -> KResult<i64> {
+        self.site("socket/poll", &[active_cred.value(), Value::from(so)])?;
+        let st = self.state.lock();
+        Ok(st.socket(so)?.rx.len() as i64)
+    }
+
+    /// UNIX-domain `pru_sopoll`: protocol-specific wrapper that
+    /// delegates to the generic implementation (a second dynamic call
+    /// graph reaching the same assertion).
+    fn sopoll_unix(&self, active_cred: &Ucred, so: SockId) -> KResult<i64> {
+        self.sopoll_generic(active_cred, so)
+    }
+
+    /// Test/workload helper: make a connected TCP socket pair for
+    /// `pid`, returning (client fd, server-side fd).
+    pub fn socketpair(&self, pid: Pid) -> KResult<(Fd, Fd)> {
+        let srv = self.sys_socket(pid, Proto::Tcp)?;
+        self.sys_bind(pid, srv)?;
+        self.sys_listen(pid, srv)?;
+        let cli = self.sys_socket(pid, Proto::Tcp)?;
+        let (srv_so, _) = self.socket_of(pid, srv)?;
+        self.sys_connect(pid, cli, srv_so)?;
+        let conn = self.sys_accept(pid, srv)?;
+        Ok((cli, conn))
+    }
+}

@@ -1,0 +1,394 @@
+//! Kernel state tables: processes, vnodes, sockets.
+
+use crate::types::{Errno, Fd, KResult, Pid, SockId, Ucred, VnodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FObj {
+    /// A vnode.
+    Vnode(VnodeId),
+    /// A socket.
+    Socket(SockId),
+}
+
+/// An open file description (`struct file`). Caches the opener's
+/// credential (`f_cred` in FreeBSD) — the cached credential the
+/// wrong-credential bug passes where `active_cred` belongs.
+#[derive(Debug, Clone, Copy)]
+pub struct FileDesc {
+    /// Referent.
+    pub obj: FObj,
+    /// Credential cached at open/creation time.
+    pub file_cred: Ucred,
+    /// Read/write offset.
+    pub offset: usize,
+    /// Open flags.
+    pub flags: u64,
+}
+
+/// Process state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable.
+    Running,
+    /// Exited, unreaped (exit status).
+    Zombie(i64),
+}
+
+/// A process (`struct proc`).
+#[derive(Debug, Clone)]
+pub struct Proc {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent pid.
+    pub parent: Pid,
+    /// Current (immutable) credential.
+    pub cred: Ucred,
+    /// `p_flag` bits (`P_SUGID`, …).
+    pub p_flag: u64,
+    /// Descriptor table.
+    pub fds: Vec<Option<FileDesc>>,
+    /// State.
+    pub state: ProcState,
+    /// Pending signals.
+    pub siglist: Vec<i32>,
+    /// CPU affinity mask.
+    pub cpuset: u64,
+    /// POSIX real-time priority.
+    pub rtprio: i32,
+    /// nice value.
+    pub nice: i32,
+    /// Process group.
+    pub pgid: u32,
+    /// ktrace enabled?
+    pub ktrace: bool,
+    /// Being traced by (ptrace).
+    pub traced_by: Option<Pid>,
+}
+
+/// Vnode kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VKind {
+    /// Regular file.
+    Reg,
+    /// Directory.
+    Dir,
+}
+
+/// A vnode with its UFS-like inode state.
+#[derive(Debug, Clone)]
+pub struct Vnode {
+    /// File or directory.
+    pub kind: VKind,
+    /// File contents.
+    pub data: Vec<u8>,
+    /// Directory entries.
+    pub children: Vec<(String, VnodeId)>,
+    /// Extended attributes (also the ACL backing store, as in UFS).
+    pub extattrs: HashMap<String, Vec<u8>>,
+    /// MAC label.
+    pub label: i32,
+    /// Owner.
+    pub uid: u32,
+    /// Mode bits.
+    pub mode: u32,
+    /// Link count.
+    pub nlink: u32,
+    /// Executable image? (for exec and kld)
+    pub is_exec: bool,
+}
+
+impl Vnode {
+    fn dir(label: i32) -> Vnode {
+        Vnode {
+            kind: VKind::Dir,
+            data: Vec::new(),
+            children: Vec::new(),
+            extattrs: HashMap::new(),
+            label,
+            uid: 0,
+            mode: 0o755,
+            nlink: 2,
+            is_exec: false,
+        }
+    }
+
+    fn file(label: i32, uid: u32) -> Vnode {
+        Vnode {
+            kind: VKind::Reg,
+            data: Vec::new(),
+            children: Vec::new(),
+            extattrs: HashMap::new(),
+            label,
+            uid,
+            mode: 0o644,
+            nlink: 1,
+            is_exec: false,
+        }
+    }
+}
+
+/// Socket protocol — selects the `protosw`/`pr_usrreqs` dispatch row
+/// (the fig. 3 indirection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Stream.
+    Tcp,
+    /// Datagram.
+    Udp,
+    /// Local.
+    Unix,
+}
+
+/// Socket state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoState {
+    /// Fresh.
+    Idle,
+    /// Bound to an address.
+    Bound,
+    /// Listening.
+    Listening,
+    /// Connected to a peer.
+    Connected(SockId),
+    /// Torn down.
+    Closed,
+}
+
+/// A socket (`struct socket`).
+#[derive(Debug, Clone)]
+pub struct Socket {
+    /// Protocol.
+    pub proto: Proto,
+    /// State.
+    pub state: SoState,
+    /// MAC label.
+    pub label: i32,
+    /// Receive queue.
+    pub rx: VecDeque<Vec<u8>>,
+    /// Accept queue (listening sockets).
+    pub accept_q: VecDeque<SockId>,
+    /// `so_qstate`-like flags.
+    pub so_qstate: u64,
+}
+
+/// All kernel tables.
+pub struct State {
+    /// Process table.
+    pub procs: HashMap<Pid, Proc>,
+    /// Next pid.
+    pub next_pid: u32,
+    /// Vnode table.
+    pub vnodes: Vec<Vnode>,
+    /// Socket table.
+    pub sockets: Vec<Socket>,
+    /// Root directory.
+    pub root: VnodeId,
+}
+
+impl State {
+    /// Fresh boot state with an empty root filesystem.
+    pub fn boot() -> State {
+        State {
+            procs: HashMap::new(),
+            next_pid: 1,
+            vnodes: vec![Vnode::dir(0)],
+            sockets: Vec::new(),
+            root: VnodeId(0),
+        }
+    }
+
+    /// Create the init process (pid 1).
+    pub fn spawn_init(&mut self, cred: Ucred) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Proc {
+                pid,
+                parent: pid,
+                cred,
+                p_flag: 0,
+                fds: Vec::new(),
+                state: ProcState::Running,
+                siglist: Vec::new(),
+                cpuset: u64::MAX,
+                rtprio: 0,
+                nice: 0,
+                pgid: pid.0,
+                ktrace: false,
+                traced_by: None,
+            },
+        );
+        pid
+    }
+
+    /// Get a live process.
+    pub fn proc_mut(&mut self, pid: Pid) -> KResult<&mut Proc> {
+        self.procs.get_mut(&pid).ok_or_else(|| Errno::ESRCH.into())
+    }
+
+    /// Get a live process (shared).
+    pub fn proc_ref(&self, pid: Pid) -> KResult<&Proc> {
+        self.procs.get(&pid).ok_or_else(|| Errno::ESRCH.into())
+    }
+
+    /// Allocate a descriptor slot in `pid`'s table.
+    pub fn fd_alloc(&mut self, pid: Pid, desc: FileDesc) -> KResult<Fd> {
+        let p = self.proc_mut(pid)?;
+        if let Some(i) = p.fds.iter().position(Option::is_none) {
+            p.fds[i] = Some(desc);
+            return Ok(Fd(i as u32));
+        }
+        if p.fds.len() >= 1024 {
+            return Err(Errno::EMFILE.into());
+        }
+        p.fds.push(Some(desc));
+        Ok(Fd(p.fds.len() as u32 - 1))
+    }
+
+    /// Resolve a descriptor.
+    pub fn fd_get(&self, pid: Pid, fd: Fd) -> KResult<FileDesc> {
+        self.proc_ref(pid)?
+            .fds
+            .get(fd.0 as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| Errno::EBADF.into())
+    }
+
+    /// Mutable access to a descriptor.
+    pub fn fd_mut(&mut self, pid: Pid, fd: Fd) -> KResult<&mut FileDesc> {
+        self.proc_mut(pid)?
+            .fds
+            .get_mut(fd.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| Errno::EBADF.into())
+    }
+
+    /// Walk a `/`-separated absolute path; returns the vnode, or the
+    /// parent + final component when `want_parent`.
+    pub fn namei(&self, path: &str) -> KResult<VnodeId> {
+        let mut cur = self.root;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let v = &self.vnodes[cur.0 as usize];
+            if v.kind != VKind::Dir {
+                return Err(Errno::ENOTDIR.into());
+            }
+            cur = v
+                .children
+                .iter()
+                .find(|(n, _)| n == comp)
+                .map(|(_, id)| *id)
+                .ok_or(Errno::ENOENT)?;
+        }
+        Ok(cur)
+    }
+
+    /// Resolve the parent directory and final component of a path.
+    pub fn namei_parent<'p>(&self, path: &'p str) -> KResult<(VnodeId, &'p str)> {
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        let Some((last, dirs)) = comps.split_last() else {
+            return Err(Errno::EINVAL.into());
+        };
+        let mut cur = self.root;
+        for comp in dirs {
+            let v = &self.vnodes[cur.0 as usize];
+            if v.kind != VKind::Dir {
+                return Err(Errno::ENOTDIR.into());
+            }
+            cur = v
+                .children
+                .iter()
+                .find(|(n, _)| n == comp)
+                .map(|(_, id)| *id)
+                .ok_or(Errno::ENOENT)?;
+        }
+        Ok((cur, last))
+    }
+
+    /// Create a file (or directory) under `parent`.
+    pub fn mknod(
+        &mut self,
+        parent: VnodeId,
+        name: &str,
+        dir: bool,
+        label: i32,
+        uid: u32,
+    ) -> KResult<VnodeId> {
+        if self.vnodes[parent.0 as usize].children.iter().any(|(n, _)| n == name) {
+            return Err(Errno::EEXIST.into());
+        }
+        let id = VnodeId(self.vnodes.len() as u32);
+        self.vnodes.push(if dir { Vnode::dir(label) } else { Vnode::file(label, uid) });
+        self.vnodes[parent.0 as usize].children.push((name.to_string(), id));
+        Ok(id)
+    }
+
+    /// Vnode accessor.
+    pub fn vnode(&self, v: VnodeId) -> &Vnode {
+        &self.vnodes[v.0 as usize]
+    }
+
+    /// Mutable vnode accessor.
+    pub fn vnode_mut(&mut self, v: VnodeId) -> &mut Vnode {
+        &mut self.vnodes[v.0 as usize]
+    }
+
+    /// Socket accessor.
+    pub fn socket(&self, s: SockId) -> KResult<&Socket> {
+        self.sockets.get(s.0 as usize).ok_or_else(|| Errno::ENOTSOCK.into())
+    }
+
+    /// Mutable socket accessor.
+    pub fn socket_mut(&mut self, s: SockId) -> KResult<&mut Socket> {
+        self.sockets.get_mut(s.0 as usize).ok_or_else(|| Errno::ENOTSOCK.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cred() -> Ucred {
+        Ucred { id: 1, uid: 0, gid: 0, label: 10 }
+    }
+
+    #[test]
+    fn boot_and_namei() {
+        let mut st = State::boot();
+        st.spawn_init(cred());
+        let etc = st.mknod(st.root, "etc", true, 0, 0).unwrap();
+        let passwd = st.mknod(etc, "passwd", false, 0, 0).unwrap();
+        assert_eq!(st.namei("/etc/passwd").unwrap(), passwd);
+        assert_eq!(st.namei("/etc").unwrap(), etc);
+        assert_eq!(st.namei("/").unwrap(), st.root);
+        assert!(st.namei("/nope").is_err());
+        let (parent, last) = st.namei_parent("/etc/newfile").unwrap();
+        assert_eq!(parent, etc);
+        assert_eq!(last, "newfile");
+    }
+
+    #[test]
+    fn fd_table_reuses_slots() {
+        let mut st = State::boot();
+        let pid = st.spawn_init(cred());
+        let v = st.mknod(st.root, "f", false, 0, 0).unwrap();
+        let d = FileDesc { obj: FObj::Vnode(v), file_cred: cred(), offset: 0, flags: 0 };
+        let a = st.fd_alloc(pid, d).unwrap();
+        let b = st.fd_alloc(pid, d).unwrap();
+        assert_ne!(a, b);
+        st.proc_mut(pid).unwrap().fds[a.0 as usize] = None;
+        let c = st.fd_alloc(pid, d).unwrap();
+        assert_eq!(a, c);
+        assert!(st.fd_get(pid, Fd(99)).is_err());
+    }
+
+    #[test]
+    fn mknod_rejects_duplicates() {
+        let mut st = State::boot();
+        st.mknod(st.root, "x", false, 0, 0).unwrap();
+        assert!(st.mknod(st.root, "x", false, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Core kernel types: identifiers, credentials, error numbers.
+
+use tesla_spec::Value;
+
+/// Process id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// File-descriptor number within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub u32);
+
+/// Vnode id (the `struct vnode *` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VnodeId(pub u32);
+
+/// Socket id (the `struct socket *` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockId(pub u32);
+
+impl From<Pid> for Value {
+    fn from(p: Pid) -> Value {
+        Value(u64::from(p.0))
+    }
+}
+
+impl From<VnodeId> for Value {
+    fn from(v: VnodeId) -> Value {
+        Value(u64::from(v.0))
+    }
+}
+
+impl From<SockId> for Value {
+    fn from(s: SockId) -> Value {
+        Value(u64::from(s.0))
+    }
+}
+
+/// A credential (`struct ucred`). Credentials are immutable and
+/// identified by `id` — the pointer-identity analogue that TESLA
+/// automata bind: two creds with the same uid but different ids are
+/// *different* automaton bindings, which is how the wrong-credential
+/// bug of §3.5.2 is detectable at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ucred {
+    /// Identity (pointer analogue).
+    pub id: u64,
+    /// Effective uid.
+    pub uid: u32,
+    /// Effective gid.
+    pub gid: u32,
+    /// MAC integrity label (higher = more privileged).
+    pub label: i32,
+}
+
+impl Ucred {
+    /// The credential's identity as a TESLA value.
+    pub fn value(&self) -> Value {
+        Value(self.id)
+    }
+
+    /// Is this root?
+    pub fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+}
+
+/// UNIX error numbers (the subset the simulator uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Errno {
+    EPERM = 1,
+    ENOENT = 2,
+    ESRCH = 3,
+    EBADF = 9,
+    EACCES = 13,
+    EEXIST = 17,
+    ENOTDIR = 20,
+    EISDIR = 21,
+    EINVAL = 22,
+    EMFILE = 24,
+    ENOTSOCK = 38,
+    ENOTCONN = 57,
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Kernel operation failure: an errno, or a TESLA violation that
+/// fail-stopped the "kernel".
+#[derive(Debug, Clone, PartialEq)]
+pub enum KError {
+    /// UNIX error.
+    Errno(Errno),
+    /// A temporal assertion fired.
+    Tesla(tesla_runtime::Violation),
+}
+
+impl From<Errno> for KError {
+    fn from(e: Errno) -> KError {
+        KError::Errno(e)
+    }
+}
+
+impl From<tesla_runtime::Violation> for KError {
+    fn from(v: tesla_runtime::Violation) -> KError {
+        KError::Tesla(v)
+    }
+}
+
+impl std::fmt::Display for KError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KError::Errno(e) => write!(f, "{e}"),
+            KError::Tesla(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::error::Error for KError {}
+
+/// Kernel result type.
+pub type KResult<T> = Result<T, KError>;
+
+/// `open(2)` flags.
+pub mod oflags {
+    /// Read.
+    pub const O_RDONLY: u64 = 0x0;
+    /// Write.
+    pub const O_WRONLY: u64 = 0x1;
+    /// Read/write.
+    pub const O_RDWR: u64 = 0x2;
+    /// Create.
+    pub const O_CREAT: u64 = 0x200;
+}
+
+/// I/O flags for the internal `vn_rdwr` path (fig. 7).
+pub mod ioflags {
+    /// Skip MAC checks — internal file-system I/O.
+    pub const IO_NOMACCHECK: u64 = 0x80;
+}
+
+/// `p_flag` process flags.
+pub mod pflags {
+    /// Set-uid privilege tainting flag; must be set whenever the
+    /// process credential changes (the §3.5.2 `eventually`
+    /// assertion).
+    pub const P_SUGID: u64 = 0x100;
+}

@@ -1,0 +1,248 @@
+//! A miniature DER (ASN.1) codec — just enough of libcrypto's ASN.1
+//! layer to express the paper's attack: "forging an ASN.1 tag inside
+//! a DSA signature so that one of two large integers claimed to have
+//! the BIT STRING type rather than INTEGER" (§3.5.1).
+
+/// ASN.1 universal tags used by DSA signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// `INTEGER` (0x02).
+    Integer,
+    /// `BIT STRING` (0x03) — what the malicious server claims.
+    BitString,
+    /// `SEQUENCE` (0x30).
+    Sequence,
+}
+
+impl Tag {
+    /// DER tag byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            Tag::Integer => 0x02,
+            Tag::BitString => 0x03,
+            Tag::Sequence => 0x30,
+        }
+    }
+
+    /// Parse a tag byte.
+    pub fn from_byte(b: u8) -> Option<Tag> {
+        match b {
+            0x02 => Some(Tag::Integer),
+            0x03 => Some(Tag::BitString),
+            0x30 => Some(Tag::Sequence),
+            _ => None,
+        }
+    }
+}
+
+/// DER decode errors. `UnexpectedTag` is the *exceptional* failure
+/// that OpenSSL's `EVP_VerifyFinal` reports as `-1` — distinct from a
+/// bad signature (`0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Asn1Error {
+    /// Input ended early.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// A different tag than required was found.
+    UnexpectedTag {
+        /// What the grammar required.
+        want: Tag,
+        /// What the encoding claimed.
+        got: Tag,
+    },
+    /// Length over-ran the buffer.
+    BadLength,
+    /// Trailing garbage after the value.
+    TrailingData,
+}
+
+impl std::fmt::Display for Asn1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Asn1Error::Truncated => write!(f, "truncated DER"),
+            Asn1Error::BadTag(b) => write!(f, "unknown tag {b:#04x}"),
+            Asn1Error::UnexpectedTag { want, got } => {
+                write!(f, "expected {want:?}, found {got:?}")
+            }
+            Asn1Error::BadLength => write!(f, "bad length"),
+            Asn1Error::TrailingData => write!(f, "trailing data"),
+        }
+    }
+}
+
+impl std::error::Error for Asn1Error {}
+
+/// Encode one TLV.
+pub fn encode_tlv(tag: Tag, content: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(content.len() + 4);
+    out.push(tag.byte());
+    let len = content.len();
+    if len < 128 {
+        out.push(len as u8);
+    } else {
+        // Two-byte long form is plenty for signatures.
+        out.push(0x82);
+        out.push((len >> 8) as u8);
+        out.push((len & 0xff) as u8);
+    }
+    out.extend_from_slice(content);
+    out
+}
+
+/// Encode a u64 as a DER INTEGER (minimal big-endian, with the
+/// `tag` chosen by the caller so the attack can lie about it).
+pub fn encode_uint_as(tag: Tag, v: u64) -> Vec<u8> {
+    let bytes = v.to_be_bytes();
+    let first = bytes.iter().position(|b| *b != 0).unwrap_or(7);
+    let mut content = bytes[first..].to_vec();
+    // DER: a leading 1-bit would make it negative; pad.
+    if content[0] & 0x80 != 0 {
+        content.insert(0, 0);
+    }
+    encode_tlv(tag, &content)
+}
+
+/// A DER reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from a buffer.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// All bytes consumed?
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn byte(&mut self) -> Result<u8, Asn1Error> {
+        let b = *self.buf.get(self.pos).ok_or(Asn1Error::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read one TLV header, returning (tag, content).
+    pub fn tlv(&mut self) -> Result<(Tag, &'a [u8]), Asn1Error> {
+        let tb = self.byte()?;
+        let tag = Tag::from_byte(tb).ok_or(Asn1Error::BadTag(tb))?;
+        let l0 = self.byte()?;
+        let len = if l0 < 128 {
+            l0 as usize
+        } else {
+            let n = (l0 & 0x7f) as usize;
+            if n == 0 || n > 2 {
+                return Err(Asn1Error::BadLength);
+            }
+            let mut len = 0usize;
+            for _ in 0..n {
+                len = (len << 8) | self.byte()? as usize;
+            }
+            len
+        };
+        let end = self.pos.checked_add(len).ok_or(Asn1Error::BadLength)?;
+        if end > self.buf.len() {
+            return Err(Asn1Error::BadLength);
+        }
+        let content = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok((tag, content))
+    }
+
+    /// Read a TLV and *require* its tag — the check the forged
+    /// signature trips.
+    pub fn expect(&mut self, want: Tag) -> Result<&'a [u8], Asn1Error> {
+        let (tag, content) = self.tlv()?;
+        if tag != want {
+            return Err(Asn1Error::UnexpectedTag { want, got: tag });
+        }
+        Ok(content)
+    }
+
+    /// Read a required INTEGER as u64.
+    pub fn expect_uint(&mut self) -> Result<u64, Asn1Error> {
+        let content = self.expect(Tag::Integer)?;
+        decode_uint(content)
+    }
+}
+
+/// Decode big-endian content bytes to u64.
+pub fn decode_uint(content: &[u8]) -> Result<u64, Asn1Error> {
+    let content = if content.first() == Some(&0) { &content[1..] } else { content };
+    if content.len() > 8 {
+        return Err(Asn1Error::BadLength);
+    }
+    let mut v = 0u64;
+    for b in content {
+        v = (v << 8) | u64::from(*b);
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_roundtrips() {
+        for v in [0u64, 1, 127, 128, 255, 0x8000_0000_0000_0000, u64::MAX] {
+            let der = encode_uint_as(Tag::Integer, v);
+            let mut r = Reader::new(&der);
+            assert_eq!(r.expect_uint().unwrap(), v, "value {v:#x}");
+            assert!(r.at_end());
+        }
+    }
+
+    #[test]
+    fn sequence_of_integers() {
+        let mut body = encode_uint_as(Tag::Integer, 42);
+        body.extend(encode_uint_as(Tag::Integer, 7));
+        let der = encode_tlv(Tag::Sequence, &body);
+        let mut r = Reader::new(&der);
+        let seq = r.expect(Tag::Sequence).unwrap();
+        let mut inner = Reader::new(seq);
+        assert_eq!(inner.expect_uint().unwrap(), 42);
+        assert_eq!(inner.expect_uint().unwrap(), 7);
+        assert!(inner.at_end());
+    }
+
+    #[test]
+    fn forged_tag_is_detected_as_unexpected() {
+        // The CVE-2008-5077-style forgery: r claims BIT STRING.
+        let mut body = encode_uint_as(Tag::BitString, 42);
+        body.extend(encode_uint_as(Tag::Integer, 7));
+        let der = encode_tlv(Tag::Sequence, &body);
+        let mut r = Reader::new(&der);
+        let seq = r.expect(Tag::Sequence).unwrap();
+        let mut inner = Reader::new(seq);
+        match inner.expect_uint() {
+            Err(Asn1Error::UnexpectedTag { want: Tag::Integer, got: Tag::BitString }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(matches!(Reader::new(&[0x02]).tlv(), Err(Asn1Error::Truncated)));
+        assert!(matches!(Reader::new(&[0x07, 0x01, 0x00]).tlv(), Err(Asn1Error::BadTag(0x07))));
+        assert!(matches!(Reader::new(&[0x02, 0x05, 0x00]).tlv(), Err(Asn1Error::BadLength)));
+        // Long form with absurd count.
+        assert!(matches!(
+            Reader::new(&[0x02, 0x84, 0, 0, 0, 1, 0]).tlv(),
+            Err(Asn1Error::BadLength)
+        ));
+    }
+
+    #[test]
+    fn long_form_lengths_roundtrip() {
+        let content = vec![0xab; 300];
+        let der = encode_tlv(Tag::Sequence, &content);
+        let mut r = Reader::new(&der);
+        let got = r.expect(Tag::Sequence).unwrap();
+        assert_eq!(got, &content[..]);
+    }
+}

@@ -1,0 +1,107 @@
+//! "libcrypto": a toy signature scheme with OpenSSL's tri-state
+//! verification interface.
+//!
+//! `EVP_VerifyFinal` returns **1** for a good signature, **0** for a
+//! bad signature, and **-1** for an *exceptional failure* (such as a
+//! forged ASN.1 tag inside the signature). Conflating the last two —
+//! checking `!= 0` or falsy-ness instead of `== 1` — is the
+//! CVE-2008-5077-class bug of §2.1/§3.5.1. No real cryptography here:
+//! the tri-state control flow is the object of study.
+
+use crate::asn1::{encode_tlv, encode_uint_as, Asn1Error, Reader, Tag};
+
+/// A signing/verification key (shared-secret toy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key(pub u64);
+
+/// FNV-1a — the toy message digest.
+pub fn digest(msg: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in msg {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sign `msg`, producing a DER `SEQUENCE { INTEGER r, INTEGER s }`
+/// (the DSA signature shape). When `forge_tag` is set, `r` is encoded
+/// claiming the `BIT STRING` type — the paper's malicious server.
+pub fn sign(msg: &[u8], key: Key, forge_tag: bool) -> Vec<u8> {
+    let h = digest(msg);
+    let r = h ^ key.0;
+    let s = h.rotate_left(17).wrapping_add(key.0);
+    let r_tag = if forge_tag { Tag::BitString } else { Tag::Integer };
+    let mut body = encode_uint_as(r_tag, r);
+    body.extend(encode_uint_as(Tag::Integer, s));
+    encode_tlv(Tag::Sequence, &body)
+}
+
+/// The `EVP_VerifyFinal` result: OpenSSL's infamous tri-state.
+pub type VerifyResult = i64;
+
+/// Verify a DER signature over `msg`. Pure function — the hook-
+/// emitting wrapper lives in [`crate::SslWorld`].
+///
+/// Returns `1` (good), `0` (bad signature) or `-1` (exceptional
+/// failure inside the ASN.1/crypto layer).
+pub fn evp_verify_final(msg: &[u8], sig_der: &[u8], key: Key) -> VerifyResult {
+    match parse_and_check(msg, sig_der, key) {
+        Ok(true) => 1,
+        Ok(false) => 0,
+        Err(_) => -1,
+    }
+}
+
+fn parse_and_check(msg: &[u8], sig_der: &[u8], key: Key) -> Result<bool, Asn1Error> {
+    let mut rd = Reader::new(sig_der);
+    let seq = rd.expect(Tag::Sequence)?;
+    if !rd.at_end() {
+        return Err(Asn1Error::TrailingData);
+    }
+    let mut inner = Reader::new(seq);
+    let r = inner.expect_uint()?;
+    let s = inner.expect_uint()?;
+    if !inner.at_end() {
+        return Err(Asn1Error::TrailingData);
+    }
+    let h = digest(msg);
+    Ok(r == h ^ key.0 && s == h.rotate_left(17).wrapping_add(key.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = Key(0xdead_beef_cafe_f00d);
+
+    #[test]
+    fn good_signature_verifies_as_1() {
+        let sig = sign(b"server key exchange params", KEY, false);
+        assert_eq!(evp_verify_final(b"server key exchange params", &sig, KEY), 1);
+    }
+
+    #[test]
+    fn wrong_message_is_0() {
+        let sig = sign(b"params", KEY, false);
+        assert_eq!(evp_verify_final(b"tampered", &sig, KEY), 0);
+    }
+
+    #[test]
+    fn wrong_key_is_0() {
+        let sig = sign(b"params", KEY, false);
+        assert_eq!(evp_verify_final(b"params", &sig, Key(1)), 0);
+    }
+
+    #[test]
+    fn forged_tag_is_exceptional_minus_1() {
+        let sig = sign(b"params", KEY, true);
+        assert_eq!(evp_verify_final(b"params", &sig, KEY), -1);
+    }
+
+    #[test]
+    fn garbage_is_exceptional_minus_1() {
+        assert_eq!(evp_verify_final(b"params", b"\x00\x01\x02", KEY), -1);
+        assert_eq!(evp_verify_final(b"params", &[], KEY), -1);
+    }
+}

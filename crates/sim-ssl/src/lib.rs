@@ -1,0 +1,228 @@
+//! # tesla-sim-ssl — the OpenSSL / libfetch case study substrate
+//!
+//! Reproduces the software stack of §2.1/§3.5.1 (see DESIGN.md): a
+//! toy **libcrypto** ([`crypto`], [`asn1`]) with OpenSSL's tri-state
+//! `EVP_VerifyFinal`; a **libssl** ([`ssl`]) whose
+//! `ssl3_get_key_exchange` contains the CVE-2008-5077-class
+//! conflation bug (treating the exceptional `-1` as success); a
+//! malicious **s_server** that forges an ASN.1 tag inside the DSA
+//! signature; and a **libfetch** client that retrieves an HTML
+//! document over the handshake.
+//!
+//! The TESLA assertion of fig. 6 is written *in libfetch* — one
+//! library — and drives instrumentation on the API *between* libssl
+//! and libcrypto:
+//!
+//! ```text
+//! TESLA_WITHIN(main, previously(
+//!     EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1));
+//! ```
+//!
+//! "The return value may not have been correctly checked, but if the
+//! function returns non-success, it will not satisfy the TESLA
+//! expression."
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn1;
+pub mod crypto;
+pub mod ssl;
+
+use crypto::Key;
+use ssl::{SslClient, SslError, SslServer};
+use std::sync::Arc;
+use tesla_runtime::{ClassId, NameId, Tesla, Violation};
+use tesla_spec::{call, AssertionBuilder, Value};
+
+/// How a fetch can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchError {
+    /// The TLS layer rejected the handshake (the *fixed* libssl
+    /// behaviour against a malicious server).
+    Ssl(SslError),
+    /// A TESLA assertion fired (the *buggy* libssl behaviour against
+    /// a malicious server, caught by fig. 6).
+    Tesla(Violation),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Ssl(e) => write!(f, "SSL error: {e}"),
+            FetchError::Tesla(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// The assembled world: server, client libraries and (optionally)
+/// TESLA instrumentation.
+pub struct SslWorld {
+    tesla: Option<TeslaCtx>,
+    key: Key,
+}
+
+struct TeslaCtx {
+    engine: Arc<Tesla>,
+    class: ClassId,
+    evp: NameId,
+    main: NameId,
+}
+
+/// The fig. 6 assertion, exactly as in the paper.
+pub fn figure6_assertion() -> tesla_spec::Assertion {
+    AssertionBuilder::within("main")
+        .named("libfetch/verify")
+        .at("fetch.c", 42)
+        .previously(
+            call("EVP_VerifyFinal").any_ptr().any_ptr().any("int").any_ptr().returns(1),
+        )
+        .build()
+        .expect("figure 6 assertion is valid")
+}
+
+impl SslWorld {
+    /// Build a world; attach a libtesla engine to enable the fig. 6
+    /// assertion ("recompile the program and its dependencies").
+    pub fn new(tesla: Option<Arc<Tesla>>) -> SslWorld {
+        let tesla = tesla.map(|engine| {
+            let auto =
+                tesla_automata::compile(&figure6_assertion()).expect("figure 6 compiles");
+            let class = engine.register(auto).expect("registration succeeds");
+            let evp = engine.intern_fn("EVP_VerifyFinal");
+            let main = engine.intern_fn("main");
+            TeslaCtx { engine, class, evp, main }
+        });
+        SslWorld { tesla, key: Key(0xdead_beef_cafe_f00d) }
+    }
+
+    /// The instrumented `EVP_VerifyFinal`: callee-side hooks around
+    /// the libcrypto call (§4.2's instrumentation, emitted here
+    /// directly since the substrate is Rust).
+    fn evp_verify_final_hooked(&self, msg: &[u8], sig: &[u8], key: Key) -> Result<i64, Violation> {
+        // ctx/sigbuf/len/pkey argument values, as the real call has.
+        let args = [Value(0x1000), Value(0x2000), Value(sig.len() as u64), Value(key.0)];
+        if let Some(t) = &self.tesla {
+            t.engine.fn_entry(t.evp, &args)?;
+        }
+        let rc = crypto::evp_verify_final(msg, sig, key);
+        if let Some(t) = &self.tesla {
+            t.engine.fn_exit(t.evp, &args, Value::from_i64(rc))?;
+        }
+        Ok(rc)
+    }
+
+    /// The libfetch client: `fetch_url` — connect, retrieve, and (at
+    /// the paper's assertion site) demand that certificate
+    /// verification previously *succeeded*.
+    ///
+    /// `malicious_server` makes s_server forge the signature tag;
+    /// `buggy_libssl` selects the pre-fix `!= 0` return-value check.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Ssl`] if the handshake failed;
+    /// [`FetchError::Tesla`] if the temporal assertion fired.
+    pub fn fetch_url(
+        &self,
+        malicious_server: bool,
+        buggy_libssl: bool,
+    ) -> Result<Vec<u8>, FetchError> {
+        // Enter the assertion's temporal bound: libfetch's main.
+        if let Some(t) = &self.tesla {
+            t.engine.fn_entry(t.main, &[]).map_err(FetchError::Tesla)?;
+        }
+        let r = self.fetch_inner(malicious_server, buggy_libssl);
+        if let Some(t) = &self.tesla {
+            t.engine.fn_exit(t.main, &[], Value(0)).map_err(FetchError::Tesla)?;
+        }
+        r
+    }
+
+    fn fetch_inner(
+        &self,
+        malicious_server: bool,
+        buggy_libssl: bool,
+    ) -> Result<Vec<u8>, FetchError> {
+        let server = SslServer { key: self.key, forge_signature_tag: malicious_server };
+        let mut client = SslClient { key: self.key, buggy_return_check: buggy_libssl };
+        // SSL_connect: the handshake, including ssl3_get_key_exchange
+        // → EVP_VerifyFinal.
+        client
+            .connect(&server, |msg, sig| self.evp_verify_final_hooked(msg, sig, self.key))
+            .map_err(|e| match e {
+                ssl::HandshakeAbort::Ssl(e) => FetchError::Ssl(e),
+                ssl::HandshakeAbort::Tesla(v) => FetchError::Tesla(v),
+            })?;
+        // The assertion site: about to hand the document to the
+        // application — was the key-exchange signature *successfully*
+        // verified earlier in main?
+        if let Some(t) = &self.tesla {
+            t.engine.assertion_site(t.class, &[]).map_err(FetchError::Tesla)?;
+        }
+        Ok(server.serve_document())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_runtime::{Config, FailMode};
+
+    fn world() -> SslWorld {
+        SslWorld::new(Some(Arc::new(Tesla::with_defaults())))
+    }
+
+    #[test]
+    fn honest_server_fetches_fine_either_libssl() {
+        for buggy in [false, true] {
+            let w = world();
+            let doc = w.fetch_url(false, buggy).unwrap();
+            assert!(doc.starts_with(b"<html>"));
+        }
+    }
+
+    #[test]
+    fn fixed_libssl_rejects_malicious_server_at_handshake() {
+        let w = world();
+        match w.fetch_url(true, false) {
+            Err(FetchError::Ssl(e)) => {
+                assert_eq!(e, SslError::BadSignature);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buggy_libssl_is_caught_by_the_figure6_assertion() {
+        let w = world();
+        match w.fetch_url(true, true) {
+            Err(FetchError::Tesla(v)) => {
+                assert_eq!(v.assertion, "libfetch/verify");
+                assert!(v.source.contains("EVP_VerifyFinal"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buggy_libssl_without_tesla_silently_serves_the_document() {
+        // The vulnerability: no instrumentation, forged signature,
+        // buggy check — the document is served as if verified.
+        let w = SslWorld::new(None);
+        let doc = w.fetch_url(true, true).unwrap();
+        assert!(doc.starts_with(b"<html>"));
+    }
+
+    #[test]
+    fn log_mode_records_instead_of_failing() {
+        let engine =
+            Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+        let w = SslWorld::new(Some(engine.clone()));
+        let doc = w.fetch_url(true, true).unwrap();
+        assert!(doc.starts_with(b"<html>"));
+        assert_eq!(engine.violations().len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! "libssl": the handshake containing the conflation bug.
+//!
+//! §3.5.1: "A vulnerability was caused by applications failing to
+//! properly check tri-state return values … an exceptional failure
+//! inside OpenSSL's libcrypto … was incorrectly conflated with
+//! success by libssl client code." Figure 2's fix changes
+//! `!X509_verify_cert(...)` (falsy check) into an explicit
+//! `X509_verify_cert(...) <= 0` comparison; here the same bug lives
+//! in `ssl3_get_key_exchange`'s handling of `EVP_VerifyFinal`.
+
+use crate::crypto::{sign, Key};
+use tesla_runtime::Violation;
+
+/// TLS-layer failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SslError {
+    /// The key-exchange signature did not verify.
+    BadSignature,
+}
+
+impl std::fmt::Display for SslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SslError::BadSignature => write!(f, "key exchange signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SslError {}
+
+/// Why a handshake stopped: a TLS error, or instrumentation
+/// fail-stopping mid-handshake.
+#[derive(Debug)]
+pub enum HandshakeAbort {
+    /// TLS-layer rejection.
+    Ssl(SslError),
+    /// TESLA violation (strict automata etc.).
+    Tesla(Violation),
+}
+
+/// The server side (`s_server`), optionally malicious.
+pub struct SslServer {
+    /// Signing key.
+    pub key: Key,
+    /// Forge the ASN.1 tag inside the signature (§3.5.1's crafted
+    /// key-exchange signature).
+    pub forge_signature_tag: bool,
+}
+
+/// The ServerKeyExchange message.
+pub struct ServerKeyExchange {
+    /// Key-exchange parameters (what the signature covers).
+    pub params: Vec<u8>,
+    /// DER signature over the params.
+    pub signature: Vec<u8>,
+}
+
+impl SslServer {
+    /// Produce the (possibly maliciously crafted) key exchange.
+    pub fn key_exchange(&self) -> ServerKeyExchange {
+        let params = b"p=23 g=5 pub=19".to_vec();
+        let signature = sign(&params, self.key, self.forge_signature_tag);
+        ServerKeyExchange { params, signature }
+    }
+
+    /// The application payload behind the handshake.
+    pub fn serve_document(&self) -> Vec<u8> {
+        b"<html><body>hello over TLS</body></html>".to_vec()
+    }
+}
+
+/// The client side of the handshake.
+pub struct SslClient {
+    /// Verification key.
+    pub key: Key,
+    /// Use the pre-fix return-value check (`!= 0` — conflates the
+    /// exceptional `-1` with success) instead of `== 1`.
+    pub buggy_return_check: bool,
+}
+
+impl SslClient {
+    /// `SSL_connect`: run the handshake. `verify` is the
+    /// (instrumented) `EVP_VerifyFinal` entry point, injected so the
+    /// instrumentation layer stays outside libssl — mirroring that
+    /// the paper's hooks are woven between the libraries.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeAbort`] on verification failure (fixed client) or
+    /// TESLA fail-stop.
+    pub fn connect(
+        &mut self,
+        server: &SslServer,
+        verify: impl Fn(&[u8], &[u8]) -> Result<i64, Violation>,
+    ) -> Result<(), HandshakeAbort> {
+        let kx = server.key_exchange();
+        self.ssl3_get_key_exchange(&kx, verify)
+    }
+
+    /// The buggy/fixed verification logic.
+    fn ssl3_get_key_exchange(
+        &mut self,
+        kx: &ServerKeyExchange,
+        verify: impl Fn(&[u8], &[u8]) -> Result<i64, Violation>,
+    ) -> Result<(), HandshakeAbort> {
+        let rc = verify(&kx.params, &kx.signature).map_err(HandshakeAbort::Tesla)?;
+        let accepted = if self.buggy_return_check {
+            // BUG (CVE-2008-5077 class): treats -1 ("exceptional
+            // failure") as success because it only tests for the
+            // "bad signature" zero.
+            rc != 0
+        } else {
+            rc == 1
+        };
+        if accepted {
+            Ok(())
+        } else {
+            Err(HandshakeAbort::Ssl(SslError::BadSignature))
+        }
+    }
+}

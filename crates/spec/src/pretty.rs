@@ -1,0 +1,218 @@
+//! Pretty-printing of assertions back to the figure-5 surface syntax.
+//!
+//! The printer and [`crate::parser`] round-trip: printing an assertion
+//! and re-parsing it yields a structurally equal assertion (checked by
+//! a property test in the crate's test suite). This is the format used
+//! in diagnostics and in `.tesla` manifest dumps.
+
+use crate::ast::{
+    Assertion, BoolOp, CallKind, Context, EventExpr, Expr, Modifier, StaticEvent,
+};
+use std::fmt;
+
+impl fmt::Display for StaticEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticEvent::Call(name) => write!(f, "call({name})"),
+            StaticEvent::ReturnFrom(name) => write!(f, "returnfrom({name})"),
+        }
+    }
+}
+
+impl fmt::Display for Modifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Modifier::Optional => "optional",
+            Modifier::Callee => "callee",
+            Modifier::Caller => "caller",
+            Modifier::Strict => "strict",
+            Modifier::Conditional => "conditional",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventExpr::FunctionEvent { name, args, kind } => {
+                let write_args = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    write!(f, "{name}(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                };
+                match kind {
+                    CallKind::Entry => {
+                        write!(f, "call(")?;
+                        write_args(f)?;
+                        write!(f, ")")
+                    }
+                    CallKind::Exit => {
+                        write!(f, "returnfrom(")?;
+                        write_args(f)?;
+                        write!(f, ")")
+                    }
+                    CallKind::ExitWithReturn(ret) => {
+                        write_args(f)?;
+                        write!(f, " == {ret}")
+                    }
+                }
+            }
+            EventExpr::FieldAssignEvent { struct_name, field_name, object, op, value } => {
+                if struct_name.is_empty() {
+                    write!(f, "{object}.{field_name} {op} {value}")
+                } else {
+                    write!(f, "{struct_name}({object}).{field_name} {op} {value}")
+                }
+            }
+            EventExpr::MessageEvent { receiver, selector, args, kind } => {
+                let write_msg = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    write!(f, "[{receiver} ")?;
+                    if args.is_empty() {
+                        write!(f, "{selector}")?;
+                    } else {
+                        for (part, arg) in selector.split_terminator(':').zip(args.iter()) {
+                            write!(f, "{part}: {arg} ")?;
+                        }
+                    }
+                    write!(f, "]")
+                };
+                match kind {
+                    CallKind::Entry => write_msg(f),
+                    CallKind::Exit | CallKind::ExitWithReturn(_) => {
+                        write!(f, "returnfrom(")?;
+                        write_msg(f)?;
+                        write!(f, ")")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Event(e) => write!(f, "{e}"),
+            Expr::AssertionSite => write!(f, "TESLA_ASSERTION_SITE"),
+            Expr::InCallStack(name) => write!(f, "incallstack({name})"),
+            Expr::Sequence(es) => {
+                write!(f, "TSEQUENCE(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Bool { op, exprs } => {
+                let sep = match op {
+                    BoolOp::Or => " || ",
+                    BoolOp::Xor => " ^ ",
+                };
+                // Parenthesise via TSEQUENCE-free grouping: operands
+                // that are themselves boolean get a strict() wrapper in
+                // the grammar; we print nested bools inside TSEQUENCE
+                // of one element to preserve grouping.
+                for (i, e) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "{sep}")?;
+                    }
+                    if matches!(e, Expr::Bool { .. }) {
+                        write!(f, "TSEQUENCE({e})")?;
+                    } else {
+                        write!(f, "{e}")?;
+                    }
+                }
+                Ok(())
+            }
+            Expr::AtLeast { n, exprs } => {
+                write!(f, "ATLEAST({n}")?;
+                for e in exprs {
+                    write!(f, ", {e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Modified { modifier, expr } => write!(f, "{modifier}({expr})"),
+        }
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ctx = match self.context {
+            Context::Global => "global",
+            Context::PerThread => "perthread",
+        };
+        write!(
+            f,
+            "TESLA_ASSERT({ctx}, {}, {}, {})",
+            self.bounds.start, self.bounds.end, self.expr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_assertion, parse_assertion_with_consts};
+    use std::collections::HashMap;
+
+    /// Printing then re-parsing must reproduce the same structure
+    /// (variable numbering may be re-derived but is deterministic).
+    fn roundtrip(src: &str) {
+        let a = parse_assertion(src).unwrap();
+        let printed = a.to_string();
+        let b = parse_assertion(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        assert_eq!(a.context, b.context, "context mismatch for {printed}");
+        assert_eq!(a.bounds, b.bounds, "bounds mismatch for {printed}");
+        assert_eq!(a.expr, b.expr, "expr mismatch for {printed}");
+        assert_eq!(a.variables, b.variables, "variables mismatch for {printed}");
+    }
+
+    #[test]
+    fn roundtrips_paper_assertions() {
+        roundtrip(
+            "TESLA_WITHIN(enclosing_fn, previously(\
+                 security_check(ANY(ptr), o, op) == 0))",
+        );
+        roundtrip("TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(active_cred, so) == 0)");
+        roundtrip(
+            "TESLA_WITHIN(main, previously(\
+               EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1))",
+        );
+        roundtrip(
+            "TESLA_SYSCALL(incallstack(ufs_readdir) \
+               || previously(mac_vnode_check_read(ANY(ptr), vp) == 0))",
+        );
+        roundtrip(
+            "TESLA_WITHIN(startDrawing, previously(ATLEAST(0, \
+               [ANY(id) push], [ANY(id) pop], \
+               [ANY(id) drawWithFrame: ANY(NSRect) inView: ANY(id)])))",
+        );
+        roundtrip("TESLA_GLOBAL(call(a), returnfrom(b), eventually(audit(x)))");
+        roundtrip("TESLA_WITHIN(f, strict(a() ^ b()))");
+        roundtrip("TESLA_WITHIN(f, optional(socket(so).so_qstate = 5))");
+        roundtrip("TESLA_WITHIN(f, TSEQUENCE(s.count += 1, TESLA_ASSERTION_SITE))");
+    }
+
+    #[test]
+    fn flags_print_as_hex_and_reparse() {
+        let consts: HashMap<String, u64> = [("IO_NOMACCHECK".to_string(), 0x80u64)].into();
+        let a = parse_assertion_with_consts(
+            "TESLA_WITHIN(f, previously(call(vn_rdwr(vp, flags(IO_NOMACCHECK)))))",
+            &consts,
+        )
+        .unwrap();
+        let printed = a.to_string();
+        assert!(printed.contains("flags(0x80)"), "printed: {printed}");
+        let b = parse_assertion(&printed).unwrap();
+        assert_eq!(a.expr, b.expr);
+    }
+}

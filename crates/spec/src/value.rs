@@ -1,0 +1,250 @@
+//! Runtime values and argument patterns.
+//!
+//! TESLA events carry machine-word values (pointers, integers, file
+//! descriptors, credentials, …). Assertions match those values with
+//! *argument patterns* (§3.4.1): wildcards (`ANY(type)`), constants,
+//! named variables bound at run time, minimal/maximal bitfields
+//! (`flags(...)` / `bitmask(...)`) and indirect out-parameters (the C
+//! address-of operator, used by APIs that return values by pointer).
+
+use serde::{Deserialize, Serialize};
+
+/// A machine-word value observed at run time.
+///
+/// Values are stored as raw 64-bit words: pointers and unsigned
+/// integers map directly, signed integers use two's complement (so the
+/// tri-state `-1` of `EVP_VerifyFinal` is representable and compares
+/// correctly under equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The all-zero value — C's `NULL`, `0` and `false`.
+    pub const NULL: Value = Value(0);
+
+    /// Construct from a signed integer (two's complement).
+    #[inline]
+    pub fn from_i64(v: i64) -> Value {
+        Value(v as u64)
+    }
+
+    /// Interpret the word as a signed integer.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Construct from an index-like value (object handles in the
+    /// simulated substrates).
+    #[inline]
+    pub fn from_usize(v: usize) -> Value {
+        Value(v as u64)
+    }
+
+    /// Interpret the word as an index.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a boolean (`1`/`0`).
+    #[inline]
+    pub fn from_bool(v: bool) -> Value {
+        Value(u64::from(v))
+    }
+
+    /// True iff the word is non-zero (C truthiness).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::from_i64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::from_i64(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from_usize(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::from_bool(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.0 as i64;
+        if (-4096..0).contains(&s) {
+            // Small negative values print signed: error codes like -1.
+            write!(f, "{s}")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A pattern matched against one event argument (or return value).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArgPattern {
+    /// `ANY(type)` — matches every value. The type name is kept only
+    /// for diagnostics; TESLA's matching is untyped machine words.
+    Any {
+        /// The C type name written in the source (`ptr`, `int`, …).
+        type_name: String,
+    },
+    /// A compile-time constant: matches iff the argument equals it.
+    Const(Value),
+    /// A named variable from the assertion scope. The first event that
+    /// observes the variable *binds* it in the automaton instance
+    /// (cloning the instance, §4.4.1); later events must match the
+    /// bound value.
+    Var {
+        /// Index into the assertion's variable table.
+        index: usize,
+        /// Source-level name, for diagnostics.
+        name: String,
+    },
+    /// `flags(F)` — a *minimal* bitfield (§3.4.1): matches iff all the
+    /// given bits are set in the argument (others may also be set).
+    Flags(u64),
+    /// `bitmask(M)` — a *maximal* bitfield: matches iff the argument
+    /// sets no bits outside the mask.
+    Bitmask(u64),
+    /// `&x` — an out-parameter: the event argument is the *address* of
+    /// a variable; the value to bind/compare is what the callee stored
+    /// through the pointer. Instrumentation dereferences at event time,
+    /// so matching behaves like [`ArgPattern::Var`].
+    OutParam {
+        /// Index into the assertion's variable table.
+        index: usize,
+        /// Source-level name, for diagnostics.
+        name: String,
+    },
+}
+
+impl ArgPattern {
+    /// A wildcard over pointers, the most common `ANY`.
+    pub fn any_ptr() -> ArgPattern {
+        ArgPattern::Any { type_name: "ptr".into() }
+    }
+
+    /// Does this pattern bind or reference a variable?
+    pub fn var_index(&self) -> Option<usize> {
+        match self {
+            ArgPattern::Var { index, .. } | ArgPattern::OutParam { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
+
+    /// Match the pattern against a concrete value, ignoring variable
+    /// binding (variables match any value at this level; binding
+    /// consistency is enforced by the instance store).
+    pub fn matches_static(&self, v: Value) -> bool {
+        match self {
+            ArgPattern::Any { .. } | ArgPattern::Var { .. } | ArgPattern::OutParam { .. } => true,
+            ArgPattern::Const(c) => *c == v,
+            ArgPattern::Flags(required) => v.0 & required == *required,
+            ArgPattern::Bitmask(mask) => v.0 & !mask == 0,
+        }
+    }
+}
+
+impl std::fmt::Display for ArgPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgPattern::Any { type_name } => write!(f, "ANY({type_name})"),
+            ArgPattern::Const(v) => write!(f, "{v}"),
+            ArgPattern::Var { name, .. } => write!(f, "{name}"),
+            ArgPattern::Flags(bits) => write!(f, "flags({bits:#x})"),
+            ArgPattern::Bitmask(bits) => write!(f, "bitmask({bits:#x})"),
+            ArgPattern::OutParam { name, .. } => write!(f, "&{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips_signed() {
+        assert_eq!(Value::from_i64(-1).as_i64(), -1);
+        assert_eq!(Value::from_i64(-1), Value(u64::MAX));
+        assert_eq!(Value::from_i64(i64::MIN).as_i64(), i64::MIN);
+    }
+
+    #[test]
+    fn value_display_signs_small_negatives() {
+        assert_eq!(Value::from_i64(-1).to_string(), "-1");
+        assert_eq!(Value::from_i64(7).to_string(), "7");
+        assert_eq!(Value(u64::MAX - 10_000).to_string(), format!("{}", u64::MAX - 10_000));
+    }
+
+    #[test]
+    fn flags_is_minimal_bitfield() {
+        let p = ArgPattern::Flags(0b0110);
+        assert!(p.matches_static(Value(0b0110)));
+        assert!(p.matches_static(Value(0b1111)));
+        assert!(!p.matches_static(Value(0b0100)));
+        assert!(!p.matches_static(Value(0)));
+    }
+
+    #[test]
+    fn bitmask_is_maximal_bitfield() {
+        let p = ArgPattern::Bitmask(0b0110);
+        assert!(p.matches_static(Value(0)));
+        assert!(p.matches_static(Value(0b0010)));
+        assert!(p.matches_static(Value(0b0110)));
+        assert!(!p.matches_static(Value(0b1000)));
+        assert!(!p.matches_static(Value(0b0111)));
+    }
+
+    #[test]
+    fn const_matches_exactly() {
+        let p = ArgPattern::Const(Value::from_i64(-1));
+        assert!(p.matches_static(Value::from_i64(-1)));
+        assert!(!p.matches_static(Value::NULL));
+    }
+
+    #[test]
+    fn wildcard_and_vars_match_statically() {
+        for v in [Value(0), Value(42), Value(u64::MAX)] {
+            assert!(ArgPattern::any_ptr().matches_static(v));
+            assert!(ArgPattern::Var { index: 0, name: "x".into() }.matches_static(v));
+            assert!(ArgPattern::OutParam { index: 1, name: "e".into() }.matches_static(v));
+        }
+    }
+
+    #[test]
+    fn var_index_extraction() {
+        assert_eq!(ArgPattern::Var { index: 3, name: "x".into() }.var_index(), Some(3));
+        assert_eq!(ArgPattern::OutParam { index: 1, name: "e".into() }.var_index(), Some(1));
+        assert_eq!(ArgPattern::Const(Value(1)).var_index(), None);
+        assert_eq!(ArgPattern::any_ptr().var_index(), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests: every assertion the builder can construct prints
+//! to surface syntax that re-parses to the identical assertion
+//! (expression tree, variable table, bounds, context).
+
+use proptest::prelude::*;
+use tesla_spec::{
+    call, field_assign, msg_send, parse_assertion, AssertionBuilder, ExprBuilder, FieldOp,
+};
+
+const VARS: [&str; 4] = ["vp", "so", "cred", "op_arg"];
+const FNS: [&str; 5] =
+    ["mac_check", "vn_rdwr", "security_check", "audit_event", "EVP_VerifyFinal"];
+const SELS: [&str; 3] = ["push", "pop", "drawWithFrame:inView:"];
+const STRUCTS: [&str; 2] = ["socket", "proc"];
+const FIELDS: [&str; 2] = ["so_qstate", "p_flag"];
+
+/// A recipe for one event (kept as data so the strategy stays
+/// `Clone`).
+#[derive(Debug, Clone)]
+enum EventRecipe {
+    Call {
+        f: usize,
+        args: Vec<ArgRecipe>,
+        ret: Option<RetRecipe>,
+        entry: bool,
+    },
+    Msg {
+        s: usize,
+        n_args: usize,
+    },
+    Field {
+        st: usize,
+        fi: usize,
+        var: usize,
+        op: u8,
+        value: i64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum ArgRecipe {
+    Any,
+    Const(i64),
+    Var(usize),
+    Flags(u64),
+    Bitmask(u64),
+    Out(usize),
+}
+
+#[derive(Debug, Clone)]
+enum RetRecipe {
+    Const(i64),
+    Var(usize),
+}
+
+#[derive(Debug, Clone)]
+enum ExprRecipe {
+    Event(EventRecipe),
+    Or(Vec<ExprRecipe>),
+    Xor(Vec<ExprRecipe>),
+    Seq(Vec<ExprRecipe>),
+    AtLeast(usize, Vec<ExprRecipe>),
+    Optional(Box<ExprRecipe>),
+    Strict(Box<ExprRecipe>),
+    Caller(Box<ExprRecipe>),
+}
+
+fn arg_strategy() -> impl Strategy<Value = ArgRecipe> {
+    prop_oneof![
+        Just(ArgRecipe::Any),
+        (-4i64..100).prop_map(ArgRecipe::Const),
+        (0usize..VARS.len()).prop_map(ArgRecipe::Var),
+        (1u64..0xffff).prop_map(ArgRecipe::Flags),
+        (1u64..0xffff).prop_map(ArgRecipe::Bitmask),
+        (0usize..VARS.len()).prop_map(ArgRecipe::Out),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = EventRecipe> {
+    prop_oneof![
+        (
+            0usize..FNS.len(),
+            proptest::collection::vec(arg_strategy(), 0..3),
+            proptest::option::of(prop_oneof![
+                (-2i64..5).prop_map(RetRecipe::Const),
+                (0usize..VARS.len()).prop_map(RetRecipe::Var),
+            ]),
+            any::<bool>(),
+        )
+            .prop_map(|(f, args, ret, entry)| EventRecipe::Call { f, args, ret, entry }),
+        (0usize..SELS.len(), 0usize..3).prop_map(|(s, n_args)| EventRecipe::Msg { s, n_args }),
+        (0usize..STRUCTS.len(), 0usize..FIELDS.len(), 0usize..VARS.len(), 0u8..5, 0i64..64)
+            .prop_map(|(st, fi, var, op, value)| EventRecipe::Field { st, fi, var, op, value }),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = ExprRecipe> {
+    let leaf = event_strategy().prop_map(ExprRecipe::Event);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(ExprRecipe::Or),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(ExprRecipe::Xor),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(ExprRecipe::Seq),
+            (0usize..3, proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(n, es)| ExprRecipe::AtLeast(n, es)),
+            inner.clone().prop_map(|e| ExprRecipe::Optional(Box::new(e))),
+            inner.clone().prop_map(|e| ExprRecipe::Strict(Box::new(e))),
+            inner.prop_map(|e| ExprRecipe::Caller(Box::new(e))),
+        ]
+    })
+}
+
+fn build_event(r: &EventRecipe) -> ExprBuilder {
+    match r {
+        EventRecipe::Call { f, args, ret, entry } => {
+            let mut c = call(FNS[*f]);
+            for a in args {
+                c = match a {
+                    ArgRecipe::Any => c.any_ptr(),
+                    ArgRecipe::Const(v) => c.arg_const(*v),
+                    ArgRecipe::Var(i) => c.arg_var(VARS[*i]),
+                    ArgRecipe::Flags(b) => c.arg_flags(*b),
+                    ArgRecipe::Bitmask(b) => c.arg_bitmask(*b),
+                    ArgRecipe::Out(i) => c.arg_out(VARS[*i]),
+                };
+            }
+            match (ret, entry) {
+                (Some(RetRecipe::Const(v)), _) => c.returns(*v).into(),
+                (Some(RetRecipe::Var(i)), _) => c.returns_var(VARS[*i]).into(),
+                (None, true) => c.entry().into(),
+                (None, false) => c.into(),
+            }
+        }
+        EventRecipe::Msg { s, n_args } => {
+            let sel = SELS[*s];
+            // Argument count must match the selector's colon count for
+            // the printed form to re-parse.
+            let colons = sel.matches(':').count();
+            let mut m = msg_send(sel);
+            for _ in 0..(*n_args).min(colons) {
+                m = m.any("id");
+            }
+            m.into()
+        }
+        EventRecipe::Field { st, fi, var, op, value } => {
+            let op = match op {
+                0 => FieldOp::Assign,
+                1 => FieldOp::AddAssign,
+                2 => FieldOp::SubAssign,
+                3 => FieldOp::OrAssign,
+                _ => FieldOp::AndAssign,
+            };
+            field_assign(STRUCTS[*st], FIELDS[*fi])
+                .object_var(VARS[*var])
+                .op(op)
+                .value_const(*value)
+                .into()
+        }
+    }
+}
+
+fn build_expr(r: &ExprRecipe) -> ExprBuilder {
+    match r {
+        ExprRecipe::Event(e) => build_event(e),
+        ExprRecipe::Or(es) => {
+            let mut it = es.iter();
+            let mut out = build_expr(it.next().unwrap());
+            for e in it {
+                out = out.or(build_expr(e));
+            }
+            out
+        }
+        ExprRecipe::Xor(es) => {
+            let mut it = es.iter();
+            let mut out = build_expr(it.next().unwrap());
+            for e in it {
+                out = out.xor(build_expr(e));
+            }
+            out
+        }
+        ExprRecipe::Seq(es) => {
+            let mut it = es.iter();
+            let mut out = build_expr(it.next().unwrap());
+            for e in it {
+                out = out.then(build_expr(e));
+            }
+            out
+        }
+        ExprRecipe::AtLeast(n, es) => {
+            tesla_spec::atleast(*n, es.iter().map(build_expr).collect())
+        }
+        ExprRecipe::Optional(e) => build_expr(e).optional(),
+        ExprRecipe::Strict(e) => build_expr(e).strict(),
+        ExprRecipe::Caller(e) => build_expr(e).caller(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(recipe in expr_strategy(), global: bool) {
+        let mut b = AssertionBuilder::within("enclosing_fn").named("prop");
+        if global {
+            b = b.global();
+        }
+        let a = b.previously(build_expr(&recipe)).build().unwrap();
+        let printed = a.to_string();
+        let back = parse_assertion(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        prop_assert_eq!(&a.expr, &back.expr, "printed: {}", printed);
+        prop_assert_eq!(&a.variables, &back.variables, "printed: {}", printed);
+        prop_assert_eq!(a.bounds, back.bounds);
+        prop_assert_eq!(a.context, back.context);
+    }
+
+    /// Every builder-produced assertion validates and (state-cap
+    /// permitting) compiles to an automaton whose symbol patterns
+    /// reference only declared variables.
+    #[test]
+    fn built_assertions_validate(recipe in expr_strategy()) {
+        let a = AssertionBuilder::within("f")
+            .previously(build_expr(&recipe))
+            .build()
+            .unwrap();
+        prop_assert!(a.validate().is_ok());
+        let n_vars = a.variables.len();
+        a.expr.for_each_event(&mut |e| {
+            for v in e.referenced_vars() {
+                assert!(v < n_vars, "variable index {v} out of range {n_vars}");
+            }
+        });
+    }
+}

@@ -1,0 +1,307 @@
+//! # tesla-workload — the paper's workload generators
+//!
+//! DESIGN.md substitutions for the evaluation drivers of §5:
+//!
+//! * [`lmbench`] — the `lmbench` microbenchmarks (fig. 11a's
+//!   `open close`, plus read and poll loops);
+//! * [`oltp`] — a SysBench-OLTP-like multi-threaded, socket-intensive
+//!   transaction workload (fig. 11b, fig. 13);
+//! * [`buildload`] — a Clang-build-like filesystem/compute-intensive
+//!   workload (fig. 11b, fig. 13);
+//! * [`xnee`] — a GNU-Xnee-like scripted UI event replayer measuring
+//!   window redraw times (fig. 14b).
+//!
+//! Generators *execute* work against a substrate; timing is the
+//! caller's job (criterion in the benches, simple clocks in the
+//! `repro` binary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use tesla_sim_kernel::types::{oflags, KResult, Pid};
+use tesla_sim_kernel::Kernel;
+
+/// lmbench-like syscall microbenchmarks.
+pub mod lmbench {
+    use super::*;
+
+    /// Set up the files the microbenchmarks need.
+    pub fn setup(k: &Kernel) {
+        k.mkdir_p("/tmp", 0).expect("mkdir");
+        k.mkfile("/tmp/lat_open", b"0123456789abcdef", 0, false).expect("mkfile");
+    }
+
+    /// One `open`+`close` pair (the paper's `lat_syscall open close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (including TESLA fail-stops).
+    pub fn open_close(k: &Kernel, pid: Pid) -> KResult<()> {
+        let fd = k.sys_open(pid, "/tmp/lat_open", oflags::O_RDONLY)?;
+        k.sys_close(pid, fd)
+    }
+
+    /// `n` open/close iterations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure.
+    pub fn open_close_loop(k: &Kernel, pid: Pid, n: usize) -> KResult<()> {
+        for _ in 0..n {
+            open_close(k, pid)?;
+        }
+        Ok(())
+    }
+
+    /// `n` read iterations over an open descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure.
+    pub fn read_loop(k: &Kernel, pid: Pid, n: usize) -> KResult<()> {
+        let fd = k.sys_open(pid, "/tmp/lat_open", oflags::O_RDONLY)?;
+        for _ in 0..n {
+            let _ = k.sys_read(pid, fd, 4)?;
+        }
+        k.sys_close(pid, fd)
+    }
+
+    /// `n` socket poll iterations (drives the fig. 4/fig. 9 path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure.
+    pub fn poll_loop(k: &Kernel, pid: Pid, n: usize) -> KResult<()> {
+        let (cli, _srv) = k.socketpair(pid)?;
+        for _ in 0..n {
+            k.sys_poll(pid, cli)?;
+        }
+        Ok(())
+    }
+}
+
+/// A SysBench-OLTP-like workload: `threads` workers, each its own
+/// process, running transactions of socket traffic plus table I/O.
+pub mod oltp {
+    use super::*;
+
+    /// Workload parameters.
+    #[derive(Debug, Clone, Copy)]
+    pub struct OltpParams {
+        /// Worker threads.
+        pub threads: usize,
+        /// Transactions per worker.
+        pub transactions: usize,
+        /// Socket round-trips per transaction (socket-intensive).
+        pub socket_ops: usize,
+        /// Userspace work per transaction (query parsing, row
+        /// processing — the database side of SysBench).
+        pub compute: usize,
+    }
+
+    impl Default for OltpParams {
+        fn default() -> OltpParams {
+            OltpParams { threads: 4, transactions: 100, socket_ops: 4, compute: 600 }
+        }
+    }
+
+    /// Run the workload to completion; panics on kernel errors
+    /// (workloads run on clean kernels).
+    pub fn run(k: &Arc<Kernel>, params: OltpParams) {
+        k.mkdir_p("/db", 0).expect("mkdir");
+        if k.sys_stat(k.init_pid(), "/db/table").is_err() {
+            k.mkfile("/db/table", &vec![0u8; 256], 0, false).expect("mkfile");
+        }
+        let mut handles = Vec::new();
+        for _ in 0..params.threads {
+            let k = k.clone();
+            handles.push(std::thread::spawn(move || {
+                let me = k.sys_fork(k.init_pid()).expect("fork");
+                let (cli, srv) = k.socketpair(me).expect("socketpair");
+                let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+                for txn in 0..params.transactions {
+                    // Userspace query processing.
+                    for r in 0..params.compute as u64 {
+                        acc ^= r.wrapping_mul(0x100_0000_01b3) ^ txn as u64;
+                        acc = acc.rotate_left(7);
+                    }
+                    std::hint::black_box(acc);
+                    for _ in 0..params.socket_ops {
+                        k.sys_send(me, cli, b"q").expect("send");
+                        let _ = k.sys_recv(me, srv).expect("recv");
+                        k.sys_poll(me, cli).expect("poll");
+                    }
+                    // Table access.
+                    let fd = k.sys_open(me, "/db/table", oflags::O_RDONLY).expect("open");
+                    let _ = k.sys_read(me, fd, 32).expect("read");
+                    if txn % 4 == 0 {
+                        k.sys_write(me, fd, b"commit").expect("write");
+                    }
+                    k.sys_close(me, fd).expect("close");
+                }
+                k.sys_exit(me, 0).expect("exit");
+                tesla_runtime::engine::reset_thread_state();
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+    }
+}
+
+/// A Clang-build-like workload: open/read/compute/write per "source
+/// file". FS- and compute-intensive, so instrumentation overhead is
+/// amortised (the fig. 11b "Clang build" bar).
+pub mod buildload {
+    use super::*;
+
+    /// Workload parameters.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BuildParams {
+        /// Number of source files to "compile".
+        pub files: usize,
+        /// Compute iterations per file (the compiler's CPU work).
+        pub compute: usize,
+    }
+
+    impl Default for BuildParams {
+        fn default() -> BuildParams {
+            BuildParams { files: 50, compute: 2_000 }
+        }
+    }
+
+    /// Run the build. Returns a checksum (prevents dead-code
+    /// elimination of the compute loop).
+    pub fn run(k: &Kernel, params: BuildParams) -> u64 {
+        let pid = k.init_pid();
+        k.mkdir_p("/src", 0).expect("mkdir");
+        k.mkdir_p("/obj", 0).expect("mkdir");
+        let mut acc: u64 = 0;
+        for i in 0..params.files {
+            let src = format!("/src/file{i}.c");
+            if k.sys_stat(pid, &src).is_err() {
+                k.mkfile(&src, format!("int f{i}(void) {{ return {i}; }}").as_bytes(), 0, false)
+                    .expect("mkfile");
+            }
+            let fd = k.sys_open(pid, &src, oflags::O_RDONLY).expect("open");
+            let text = k.sys_read(pid, fd, 4096).expect("read");
+            k.sys_close(pid, fd).expect("close");
+            // "Compile": hash the text repeatedly.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for round in 0..params.compute {
+                for b in &text {
+                    h ^= u64::from(*b) ^ round as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            acc ^= h;
+            let obj = format!("/obj/file{i}.o");
+            let ofd = match k.sys_open(pid, &obj, oflags::O_CREAT) {
+                Ok(fd) => fd,
+                Err(_) => k.sys_open(pid, &obj, oflags::O_WRONLY).expect("reopen"),
+            };
+            k.sys_write(pid, ofd, &h.to_le_bytes()).expect("write");
+            k.sys_close(pid, ofd).expect("close");
+        }
+        acc
+    }
+}
+
+/// A GNU-Xnee-like UI session replayer (fig. 14b).
+pub mod xnee {
+    use tesla_sim_gui::appkit::UiEvent;
+    use tesla_sim_gui::GuiApp;
+
+    /// A deterministic interactive session: mouse sweeps over the
+    /// dialog (partial repaints) with periodic full exposes (the
+    /// outliers of fig. 14b: "outliers are complete redraws").
+    pub fn session(iterations: usize) -> Vec<Vec<UiEvent>> {
+        let mut out = Vec::with_capacity(iterations);
+        for i in 0..iterations {
+            let x = (i as i64 * 7) % 120;
+            let y = 40 + (i as i64 % 3);
+            let mut batch = vec![UiEvent::MouseMoved(x, y)];
+            if i % 10 == 9 {
+                batch.push(UiEvent::InvalidateTracking);
+            }
+            if i % 5 == 4 {
+                batch.push(UiEvent::Expose);
+            }
+            out.push(batch);
+        }
+        out
+    }
+
+    /// Replay a session, returning per-iteration redraw times.
+    pub fn replay(app: &mut GuiApp, script: &[Vec<UiEvent>]) -> Vec<std::time::Duration> {
+        let mut times = Vec::with_capacity(script.len());
+        for batch in script {
+            let t0 = std::time::Instant::now();
+            app.run_loop_iteration(batch).expect("iteration");
+            times.push(t0.elapsed());
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_runtime::{Config, FailMode, Tesla};
+    use tesla_sim_kernel::assertions::{register_sets, AssertionSet};
+    use tesla_sim_kernel::mac::MacFramework;
+    use tesla_sim_kernel::{Bugs, KernelConfig};
+
+    fn instrumented_kernel(sets: &[AssertionSet]) -> (Arc<Kernel>, Arc<Tesla>) {
+        let t =
+            Arc::new(Tesla::new(Config { fail_mode: FailMode::FailStop, ..Config::default() }));
+        let reg = register_sets(&t, sets).unwrap();
+        let k = Arc::new(Kernel::new(
+            KernelConfig { bugs: Bugs::default(), debug_checks: false },
+            MacFramework::new(),
+            Some((t.clone(), reg.sites)),
+        ));
+        (k, t)
+    }
+
+    #[test]
+    fn lmbench_runs_clean_on_all_assertions() {
+        let (k, t) = instrumented_kernel(&[AssertionSet::All]);
+        lmbench::setup(&k);
+        lmbench::open_close_loop(&k, k.init_pid(), 50).unwrap();
+        lmbench::read_loop(&k, k.init_pid(), 50).unwrap();
+        lmbench::poll_loop(&k, k.init_pid(), 50).unwrap();
+        assert!(t.violations().is_empty());
+    }
+
+    #[test]
+    fn oltp_runs_multithreaded_on_all_assertions() {
+        let (k, t) = instrumented_kernel(&[AssertionSet::All]);
+        oltp::run(&k, oltp::OltpParams { threads: 3, transactions: 20, socket_ops: 2, compute: 600 });
+        assert!(t.violations().is_empty(), "{:?}", t.violations());
+    }
+
+    #[test]
+    fn buildload_is_deterministic() {
+        let (k, t) = instrumented_kernel(&[AssertionSet::M]);
+        let p = buildload::BuildParams { files: 5, compute: 10 };
+        let a = buildload::run(&k, p);
+        let k2 = Kernel::release(KernelConfig::default());
+        let b = buildload::run(&k2, p);
+        assert_eq!(a, b);
+        assert!(t.violations().is_empty());
+    }
+
+    #[test]
+    fn xnee_replay_produces_redraws() {
+        use tesla_sim_gui::appkit::GuiBugs;
+        use tesla_sim_gui::{GuiApp, GuiMode};
+        let script = xnee::session(30);
+        assert_eq!(script.len(), 30);
+        let mut app = GuiApp::new(GuiMode::Release, GuiBugs::default());
+        let times = xnee::replay(&mut app, &script);
+        assert_eq!(times.len(), 30);
+        assert!(!app.world.framebuffer.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: describe a temporal property, compile it to an
+//! automaton, drive events through libtesla, and inspect the state
+//! graph.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+use tesla::prelude::*;
+
+fn main() {
+    // 1. Describe (§3): "within a call to `handle_request`, a prior
+    //    call to `authorise(user, resource)` must have returned 0."
+    //    Identical assertions can be written in C-like surface syntax
+    //    or with the typed builder; show both agree.
+    let parsed = parse_assertion(
+        "TESLA_WITHIN(handle_request, previously(authorise(user, resource) == 0))",
+    )
+    .expect("parses");
+    let built = AssertionBuilder::within("handle_request")
+        .previously(call("authorise").arg_var("user").arg_var("resource").returns(0))
+        .build()
+        .expect("builds");
+    assert_eq!(parsed.expr, built.expr);
+    println!("assertion: {built}");
+
+    // 2. Compile to a finite-state automaton (§4.1) and register with
+    //    libtesla (§4.4).
+    let automaton = compile(&built).expect("compiles");
+    println!(
+        "automaton: {} states, {} symbols, bounded by {}",
+        automaton.n_states,
+        automaton.n_symbols(),
+        automaton.bound.start_fn
+    );
+    let engine = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let rec = Arc::new(RecordingHandler::new());
+    engine.add_handler(rec.clone());
+    let class = engine.register(automaton).expect("registers");
+
+    // 3. Drive events — in a real deployment the instrumenter weaves
+    //    these hooks into your program (§4.2).
+    let handle_request = engine.intern_fn("handle_request");
+    let authorise = engine.intern_fn("authorise");
+
+    // A compliant request: authorise(7, 42) == 0, then the site.
+    engine.fn_entry(handle_request, &[]).unwrap();
+    engine.fn_entry(authorise, &[Value(7), Value(42)]).unwrap();
+    engine.fn_exit(authorise, &[Value(7), Value(42)], Value(0)).unwrap();
+    engine.assertion_site(class, &[Value(7), Value(42)]).unwrap();
+    engine.fn_exit(handle_request, &[], Value(0)).unwrap();
+    println!("compliant request: OK ({} lifecycle events)", rec.len());
+
+    // A non-compliant request: the authorisation was for a *different*
+    // resource — pointer-precise binding catches it.
+    engine.fn_entry(handle_request, &[]).unwrap();
+    engine.fn_entry(authorise, &[Value(7), Value(41)]).unwrap();
+    engine.fn_exit(authorise, &[Value(7), Value(41)], Value(0)).unwrap();
+    engine.assertion_site(class, &[Value(7), Value(42)]).unwrap();
+    engine.fn_exit(handle_request, &[], Value(0)).unwrap();
+
+    for v in engine.violations() {
+        println!("caught: {v}");
+    }
+    assert_eq!(engine.violations().len(), 1);
+
+    // 4. Introspect: render the automaton as Graphviz (fig. 9).
+    let defs = engine.class_defs();
+    let dot = tesla::automata::dot::render(&defs[0].automaton, &tesla::automata::dot::Unweighted);
+    println!("\n{dot}");
+}

@@ -1,0 +1,139 @@
+//! Kernel-substrate integration through the umbrella crate: workload
+//! runs across the fig. 11 configurations, naive/lazy equivalence on
+//! real syscall traffic, and debug-aid coexistence.
+
+use std::sync::Arc;
+use tesla::prelude::*;
+use tesla::sim_kernel::assertions::{register_sets, AssertionSet};
+use tesla::sim_kernel::mac::MacFramework;
+use tesla::sim_kernel::{Bugs, Kernel, KernelConfig};
+use tesla::workload::{buildload, lmbench, oltp};
+
+fn kernel(
+    sets: &[AssertionSet],
+    init_mode: InitMode,
+    debug: bool,
+) -> (Arc<Kernel>, Arc<Tesla>) {
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::FailStop,
+        init_mode,
+        instance_capacity: 64,
+    }));
+    let reg = register_sets(&t, sets).unwrap();
+    let k = Arc::new(Kernel::new(
+        KernelConfig { bugs: Bugs::default(), debug_checks: debug },
+        MacFramework::new(),
+        Some((t.clone(), reg.sites)),
+    ));
+    (k, t)
+}
+
+#[test]
+fn every_fig11_configuration_runs_the_microbenchmark_clean() {
+    let configs: Vec<(&str, Vec<AssertionSet>)> = vec![
+        ("Infrastructure", vec![AssertionSet::Infra]),
+        ("MP", vec![AssertionSet::MP]),
+        ("MS", vec![AssertionSet::MS]),
+        ("MF", vec![AssertionSet::MF]),
+        ("M", vec![AssertionSet::M]),
+        ("All", vec![AssertionSet::All]),
+    ];
+    for (name, sets) in configs {
+        let (k, t) = kernel(&sets, InitMode::Lazy, false);
+        lmbench::setup(&k);
+        lmbench::open_close_loop(&k, k.init_pid(), 100)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        lmbench::poll_loop(&k, k.init_pid(), 100).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(t.violations().is_empty(), "{name}: {:?}", t.violations());
+    }
+}
+
+#[test]
+fn naive_and_lazy_init_agree_on_kernel_traffic() {
+    for init_mode in [InitMode::Naive, InitMode::Lazy] {
+        let (k, t) = kernel(&[AssertionSet::All], init_mode, false);
+        lmbench::setup(&k);
+        lmbench::open_close_loop(&k, k.init_pid(), 50).unwrap();
+        lmbench::read_loop(&k, k.init_pid(), 50).unwrap();
+        lmbench::poll_loop(&k, k.init_pid(), 50).unwrap();
+        buildload::run(&k, buildload::BuildParams { files: 5, compute: 5 });
+        assert!(t.violations().is_empty(), "{init_mode:?}: {:?}", t.violations());
+    }
+}
+
+#[test]
+fn debug_aids_and_tesla_coexist() {
+    // "All (Debug)": WITNESS/INVARIANTS-style sweeps plus all TESLA
+    // assertions.
+    let (k, t) = kernel(&[AssertionSet::All], InitMode::Lazy, true);
+    lmbench::setup(&k);
+    lmbench::open_close_loop(&k, k.init_pid(), 50).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn oltp_under_all_assertions_multithreaded() {
+    let (k, t) = kernel(&[AssertionSet::All], InitMode::Lazy, false);
+    oltp::run(&k, oltp::OltpParams { threads: 4, transactions: 25, socket_ops: 3, compute: 600 });
+    assert!(t.violations().is_empty(), "{:?}", t.violations());
+}
+
+#[test]
+fn buggy_kernel_under_oltp_is_caught_in_log_mode() {
+    let t = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let reg = register_sets(&t, &[AssertionSet::MS]).unwrap();
+    let k = Arc::new(Kernel::new(
+        KernelConfig {
+            bugs: Bugs { kqueue_skips_mac_poll: true, ..Bugs::default() },
+            debug_checks: false,
+        },
+        MacFramework::new(),
+        Some((t.clone(), reg.sites)),
+    ));
+    // The OLTP workload doesn't use kqueue, so it stays clean...
+    oltp::run(&k, oltp::OltpParams { threads: 2, transactions: 10, socket_ops: 2, compute: 600 });
+    assert!(t.violations().is_empty());
+    // ...until a kevent-based poller comes along.
+    let init = k.init_pid();
+    let (cli, _) = k.socketpair(init).unwrap();
+    k.sys_kevent(init, cli).unwrap(); // Log mode: records, continues
+    assert_eq!(t.violations().len(), 1);
+    assert_eq!(t.violations()[0].assertion, "socket/poll");
+}
+
+#[test]
+fn instance_counts_scale_with_observed_objects() {
+    // Clone-per-binding in vivo: each distinct socket polled within
+    // one syscall creates its own automaton instance.
+    let (k, t) = kernel(&[AssertionSet::MS], InitMode::Lazy, false);
+    let init = k.init_pid();
+    let mut fds = Vec::new();
+    for _ in 0..5 {
+        fds.push(k.socketpair(init).unwrap().0);
+    }
+    k.sys_select(init, &fds).unwrap();
+    assert!(t.violations().is_empty());
+    let _ = t.coverage();
+}
+
+#[test]
+fn coverage_counts_accumulate_across_workloads() {
+    let (k, t) = kernel(&[AssertionSet::All], InitMode::Lazy, false);
+    lmbench::setup(&k);
+    lmbench::open_close_loop(&k, k.init_pid(), 10).unwrap();
+    let hits_after_open: u64 = t
+        .coverage()
+        .iter()
+        .filter(|(n, _, _)| n == "vnode/open")
+        .map(|(_, h, _)| *h)
+        .sum();
+    assert_eq!(hits_after_open, 10);
+    lmbench::poll_loop(&k, k.init_pid(), 7).unwrap();
+    let poll_hits: u64 = t
+        .coverage()
+        .iter()
+        .filter(|(n, _, _)| n == "socket/poll")
+        .map(|(_, h, _)| *h)
+        .sum();
+    assert_eq!(poll_hits, 7);
+}

@@ -1,0 +1,95 @@
+//! The OpenSSL case study (§3.5.1), end to end, through the umbrella
+//! crate: the malicious-server × buggy-libssl matrix, introspection
+//! output, and the same scenario rebuilt through the mini-C pipeline.
+
+use std::sync::Arc;
+use tesla::prelude::*;
+use tesla::sim_ssl::{figure6_assertion, FetchError, SslWorld};
+
+#[test]
+fn the_four_quadrant_matrix() {
+    // (malicious server, buggy libssl) → outcome.
+    for (malicious, buggy) in [(false, false), (false, true), (true, false), (true, true)] {
+        let engine = Arc::new(Tesla::with_defaults());
+        let w = SslWorld::new(Some(engine));
+        let r = w.fetch_url(malicious, buggy);
+        match (malicious, buggy) {
+            (false, _) => assert!(r.is_ok(), "honest server must fetch: {r:?}"),
+            (true, false) => assert!(
+                matches!(r, Err(FetchError::Ssl(_))),
+                "fixed client must reject: {r:?}"
+            ),
+            (true, true) => assert!(
+                matches!(r, Err(FetchError::Tesla(_))),
+                "TESLA must catch the conflation: {r:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn figure6_automaton_structure() {
+    let a = figure6_assertion();
+    let auto = compile(&a).unwrap();
+    // previously(x): three states, four symbols (event, site, init,
+    // cleanup).
+    assert_eq!(auto.n_states, 3);
+    assert_eq!(auto.n_symbols(), 4);
+    assert_eq!(auto.bound.start_fn, "main");
+    // And it renders.
+    let dot = tesla::automata::dot::render(&auto, &tesla::automata::dot::Unweighted);
+    assert!(dot.contains("EVP_VerifyFinal"));
+}
+
+#[test]
+fn lifecycle_trace_of_a_successful_fetch() {
+    let engine = Arc::new(Tesla::with_defaults());
+    let rec = Arc::new(RecordingHandler::new());
+    engine.add_handler(rec.clone());
+    let w = SslWorld::new(Some(engine));
+    w.fetch_url(false, false).unwrap();
+    use tesla::runtime::LifecycleEvent as E;
+    let evs = rec.events();
+    // New (∗) at main entry (lazy: at first event), update on the
+    // verify event, update at the site, finalise at main exit.
+    assert!(evs.iter().any(|e| matches!(e, E::New { .. })));
+    assert!(evs.iter().any(|e| matches!(e, E::Finalise { accepted: true, .. })));
+    assert!(!evs.iter().any(|e| matches!(e, E::Error { .. })));
+}
+
+#[test]
+fn the_same_scenario_through_the_minic_pipeline() {
+    // The corpus generator's OpenSSL-shaped program embeds the same
+    // tri-state logic; drive both outcomes through the full compile →
+    // instrument → interpret stack.
+    let project = tesla::corpus::openssl_like(5);
+    let mut bs = tesla::pipeline::BuildSystem::new(
+        project,
+        tesla::pipeline::BuildOptions::tesla_toolchain(),
+    );
+    let art = bs.build().unwrap();
+    // key arg == sig arg → EVP returns 1 → satisfied.
+    let t = Tesla::with_defaults();
+    tesla::pipeline::run_with_tesla(&art, &t, "main", &[9], 10_000_000).unwrap();
+    // The corpus main calls EVP(ctx, key, 8, key): always sig == key.
+    // Rebuild a failing variant: signature mismatch → EVP returns 0 →
+    // the fig. 6 assertion fires at the site.
+    let mut bad = bs;
+    bad.edit(
+        "fetch/main.c",
+        "struct evp_ctx { int digest; int err; };\n\
+         int EVP_VerifyFinal(struct evp_ctx *ctx, int sig, int len, int key);\n\
+         int main(int key) {\n\
+             struct evp_ctx *ctx = malloc(sizeof(struct evp_ctx));\n\
+             int rc = EVP_VerifyFinal(ctx, key + 1, 8, key);\n\
+             TESLA_WITHIN(main, previously(\n\
+                 EVP_VerifyFinal(ANY(ptr), ANY(int), ANY(int), ANY(int)) == 1));\n\
+             return rc;\n\
+         }",
+    );
+    let art = bad.build().unwrap();
+    let t = Tesla::with_defaults();
+    let err =
+        tesla::pipeline::run_with_tesla(&art, &t, "main", &[9], 10_000_000).unwrap_err();
+    assert!(err.contains("TESLA"), "{err}");
+}
