@@ -9,7 +9,8 @@
 
 use crate::automaton::Automaton;
 use crate::dfa::Dfa;
-use crate::symbol::SymbolKind;
+use crate::symbol::{SymbolId, SymbolKind};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Per-transition run-time weights for rendering.
@@ -42,6 +43,77 @@ fn esc(s: &str) -> String {
 /// every cleanup-safe state, and transitions weighted (pen width and
 /// count labels) by run-time occurrence.
 pub fn render(automaton: &Automaton, weights: &dyn WeightSource) -> String {
+    render_inner(automaton, weights, None)
+}
+
+/// The replayed counterexample path through the determinised
+/// automaton, precomputed for highlighting.
+struct Highlight {
+    /// `(state, symbol)` body edges on the error path.
+    hot: HashSet<(u32, u32)>,
+    /// The «init» edge is on the path.
+    init_hot: bool,
+    /// The violating final step: source DFA state and edge label.
+    violation: Option<(u32, String)>,
+}
+
+/// Render the automaton with a counterexample event trace (from the
+/// flow-sensitive model checker) highlighted in red: every edge the
+/// trace takes is bold, and the final — violating — step is drawn
+/// into a synthetic `violation` node, since by definition the
+/// automaton has no legal transition for it.
+///
+/// `trace` is the symbol sequence of the counterexample, starting
+/// with the automaton's «init» symbol; symbols with no transition
+/// from the current state are rendered as the violation and end the
+/// walk.
+pub fn render_with_trace(automaton: &Automaton, trace: &[SymbolId]) -> String {
+    let dfa = Dfa::from_automaton(automaton);
+    let mut hl =
+        Highlight { hot: HashSet::new(), init_hot: false, violation: None };
+    let mut state = dfa.start;
+    for (i, sym) in trace.iter().enumerate() {
+        let last = i + 1 == trace.len();
+        if *sym == automaton.init_sym {
+            hl.init_hot = true;
+            state = dfa.start;
+            continue;
+        }
+        let label = if *sym == automaton.cleanup_sym {
+            "«cleanup»".to_string()
+        } else {
+            match &automaton.symbols[sym.0 as usize].kind {
+                SymbolKind::Site => "«assertion»".to_string(),
+                k => k.to_string(),
+            }
+        };
+        let next = if *sym == automaton.cleanup_sym {
+            None
+        } else {
+            dfa.transitions[state as usize][sym.0 as usize]
+        };
+        match next {
+            // The last trace step is the violation even when a
+            // state-level transition exists (the failure may be at
+            // the binding level: no instance can accept it).
+            Some(next) if !last => {
+                hl.hot.insert((state, sym.0));
+                state = next;
+            }
+            _ => {
+                hl.violation = Some((state, label));
+                break;
+            }
+        }
+    }
+    render_inner(automaton, &Unweighted, Some(&hl))
+}
+
+fn render_inner(
+    automaton: &Automaton,
+    weights: &dyn WeightSource,
+    highlight: Option<&Highlight>,
+) -> String {
     let dfa = Dfa::from_automaton(automaton);
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", esc(&automaton.name));
@@ -62,7 +134,15 @@ pub fn render(automaton: &Automaton, weights: &dyn WeightSource) -> String {
         );
     }
     // «init» edge.
-    let _ = writeln!(out, "  entry -> s0 [label=\"«init»\", style=dashed];");
+    let init_hot = highlight.map(|h| h.init_hot).unwrap_or(false);
+    if init_hot {
+        let _ = writeln!(
+            out,
+            "  entry -> s0 [label=\"«init»\", style=dashed, color=red, penwidth=3.00];"
+        );
+    } else {
+        let _ = writeln!(out, "  entry -> s0 [label=\"«init»\", style=dashed];");
+    }
     // Body transitions.
     let max_w = {
         let mut m = 1u64;
@@ -83,11 +163,13 @@ pub fn render(automaton: &Automaton, weights: &dyn WeightSource) -> String {
                 k => k.to_string(),
             };
             let w = weights.weight(i as u32, sym as u32);
-            let pen = 1.0 + 4.0 * (w as f64) / (max_w as f64);
+            let hot = highlight.map(|h| h.hot.contains(&(i as u32, sym as u32))).unwrap_or(false);
+            let pen = if hot { 3.0 } else { 1.0 + 4.0 * (w as f64) / (max_w as f64) };
+            let color = if hot { ", color=red" } else { "" };
             let wl = if w > 0 { format!(" ({w}×)") } else { String::new() };
             let _ = writeln!(
                 out,
-                "  s{i} -> s{tgt} [label=\"{}{}\", penwidth={pen:.2}];",
+                "  s{i} -> s{tgt} [label=\"{}{}\", penwidth={pen:.2}{color}];",
                 esc(&label),
                 wl
             );
@@ -98,6 +180,20 @@ pub fn render(automaton: &Automaton, weights: &dyn WeightSource) -> String {
         if *safe {
             let _ = writeln!(out, "  s{i} -> exit [label=\"«cleanup»\", style=dashed];");
         }
+    }
+    // The violating step of a highlighted counterexample trace: by
+    // construction the automaton cannot accept it, so it targets a
+    // synthetic error node.
+    if let Some((from, label)) = highlight.and_then(|h| h.violation.as_ref()) {
+        let _ = writeln!(
+            out,
+            "  violation [label=\"violation\", shape=octagon, color=red, fontcolor=red];"
+        );
+        let _ = writeln!(
+            out,
+            "  s{from} -> violation [label=\"{}\", color=red, penwidth=3.00, style=bold];",
+            esc(label)
+        );
     }
     let _ = writeln!(out, "}}");
     out
@@ -138,5 +234,42 @@ mod tests {
         let dot = render(&mac_poll(), &weigher);
         assert!(dot.contains("(100×)"));
         assert!(dot.contains("penwidth=5.00"));
+    }
+
+    #[test]
+    fn trace_highlights_error_path() {
+        let a = mac_poll();
+        // «init» straight to the assertion site with no prior check:
+        // the site step is the violation.
+        let dot = render_with_trace(&a, &[a.init_sym, a.site_sym]);
+        assert!(dot.contains("entry -> s0 [label=\"«init»\", style=dashed, color=red"));
+        assert!(dot.contains("violation [label=\"violation\", shape=octagon"));
+        assert!(dot.contains("-> violation [label=\"«assertion»\", color=red"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn matched_trace_steps_are_bold_red() {
+        let a = mac_poll();
+        let check = a
+            .symbols
+            .iter()
+            .find(|s| s.kind.to_string().contains("mac_socket_check_poll"))
+            .expect("check symbol")
+            .id;
+        let dot = render_with_trace(&a, &[a.init_sym, check, a.site_sym]);
+        // The check edge is walked (red, bold), and the final site
+        // step still ends in the violation node: a site event can
+        // fail at the binding level even where a state transition
+        // exists.
+        assert!(dot.contains("penwidth=3.00, color=red"));
+        assert!(dot.contains("-> violation [label=\"«assertion»\""));
+    }
+
+    #[test]
+    fn plain_render_is_unchanged_by_highlight_machinery() {
+        let dot = render(&mac_poll(), &Unweighted);
+        assert!(!dot.contains("violation ["));
+        assert!(!dot.contains("color=red"));
     }
 }

@@ -1,0 +1,35 @@
+//! Golden-file test for counterexample DOT export: the model
+//! checker's error trace, replayed over the figure-9 automaton, must
+//! render byte-for-byte as the checked-in graph. Regenerate with the
+//! snippet below if the renderer intentionally changes:
+//!
+//! ```ignore
+//! let dot = render_with_trace(&auto, &[auto.init_sym, auto.site_sym]);
+//! std::fs::write("tests/golden/counterexample.dot", dot).unwrap();
+//! ```
+
+use tesla_automata::{compile, dot::render_with_trace};
+use tesla_spec::{call, AssertionBuilder};
+
+#[test]
+fn counterexample_dot_matches_golden() {
+    let a = AssertionBuilder::syscall()
+        .named("figure9")
+        .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+        .build()
+        .unwrap();
+    let auto = compile(&a).unwrap();
+    // The shortest definite violation: «init» straight to the
+    // assertion site with no prior mac_socket_check_poll.
+    let dot = render_with_trace(&auto, &[auto.init_sym, auto.site_sym]);
+    let golden = include_str!("golden/counterexample.dot");
+    assert_eq!(dot, golden, "counterexample DOT drifted from golden file");
+}
+
+#[test]
+fn golden_highlights_are_present() {
+    let golden = include_str!("golden/counterexample.dot");
+    assert!(golden.contains("color=red, penwidth=3.00"));
+    assert!(golden.contains("violation [label=\"violation\", shape=octagon"));
+    assert_eq!(golden.matches('{').count(), golden.matches('}').count());
+}

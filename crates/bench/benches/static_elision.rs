@@ -1,0 +1,59 @@
+//! §7 "static analysis" — run-time benefit of instrumentation
+//! elision. The patched OpenSSL-shaped client is proved safe by the
+//! flow-sensitive model checker; the static toolchain therefore
+//! weaves *no* hooks for it. This bench compares executing the same
+//! program built three ways: uninstrumented baseline, full dynamic
+//! TESLA instrumentation, and the statically-elided build (which
+//! should sit near the baseline — the per-event overhead is gone,
+//! not just reduced).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem};
+use tesla::runtime::Tesla;
+
+fn noverify(mut o: BuildOptions) -> BuildOptions {
+    o.verify = false;
+    o
+}
+
+fn bench_static_elision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec7_static_elision");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let project = tesla::corpus::openssl_like_patched(8);
+
+    let builds: Vec<(&str, _)> = [
+        ("baseline/uninstrumented", noverify(BuildOptions::default_toolchain())),
+        ("dynamic/instrumented", noverify(BuildOptions::tesla_toolchain())),
+        ("static/elided", noverify(BuildOptions::static_toolchain())),
+    ]
+    .into_iter()
+    .map(|(name, opts)| {
+        let mut bs = BuildSystem::new(project.clone(), opts);
+        (name, bs.build().unwrap())
+    })
+    .collect();
+
+    // Sanity: elision actually happened, so the comparison is real.
+    assert_eq!(builds[2].1.stats.sites_elided, 1);
+    assert!(builds[1].1.stats.hooks_inserted > builds[2].1.stats.hooks_inserted);
+
+    for (name, art) in &builds {
+        g.bench_function(*name, |b| {
+            b.iter_batched(
+                Tesla::with_defaults,
+                |t| {
+                    let rc = run_with_tesla(art, &t, "main", &[9], 100_000_000).unwrap();
+                    assert!(t.violations().is_empty());
+                    rc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_static_elision);
+criterion_main!(benches);

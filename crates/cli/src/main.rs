@@ -4,6 +4,8 @@
 //! tesla check  '<assertion>'          parse + compile an assertion, describe the automaton
 //! tesla graph  '<assertion>'          emit the automaton as Graphviz DOT
 //! tesla analyse <file.c>...           run the analyser, print the merged .tesla manifest
+//! tesla static-check <file.c>...      flow-sensitive model checking + diagnostics
+//!                                     [--deny] [--format text|json|sarif]
 //! tesla build   <file.c>...           full TESLA build, print instrumentation stats
 //! tesla run     <file.c>... [--entry f] [--arg N]...
 //!                                     build, weave, execute under libtesla (fail-stop)
@@ -46,7 +48,10 @@ const USAGE: &str = "usage:
   tesla check  '<assertion>'     describe the compiled automaton
   tesla graph  '<assertion>'     emit Graphviz DOT
   tesla analyse <file.c>...      print the merged .tesla manifest
-  tesla static-check <file.c>... compile-time assertion checking (§7)
+  tesla static-check [--deny] [--format text|json|sarif] <file.c>...
+                                 compile-time assertion checking (§7):
+                                 model-check, report, and elide; --deny
+                                 makes warnings/errors a nonzero exit
   tesla build   <file.c>...      TESLA build; print instrumentation stats
   tesla run     <file.c>... [--entry main] [--arg N]...
                                  build and execute under libtesla";
@@ -115,19 +120,36 @@ fn analyse(rest: &[String]) -> Result<(), String> {
 }
 
 fn static_check_cmd(rest: &[String]) -> Result<(), String> {
-    let project = load_project(rest)?;
-    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
-    let art = bs.build().map_err(|e| e.to_string())?;
-    let findings = tesla::instrument::static_check(&art.program, &art.manifest)?;
-    if findings.is_empty() {
-        println!("static check: all {} assertions look satisfiable", art.manifest.entries.len());
-        Ok(())
-    } else {
-        for f in &findings {
-            eprintln!("warning: {f}");
+    let mut files = Vec::new();
+    let mut deny = false;
+    let mut format = tesla::instrument::OutputFormat::Text;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--format" => {
+                format = it.next().ok_or("--format needs text|json|sarif")?.parse()?;
+            }
+            f => match f.strip_prefix("--format=") {
+                Some(v) => format = v.parse()?,
+                None => files.push(f.to_string()),
+            },
         }
-        Err(format!("{} static finding(s)", findings.len()))
     }
+    let project = load_project(&files)?;
+    // The static toolchain model-checks the pristine program and
+    // records per-assertion verdicts alongside the flow-insensitive
+    // findings; both feed the diagnostics below.
+    let mut bs = BuildSystem::new(project, BuildOptions::static_toolchain());
+    let art = bs.build().map_err(|e| e.to_string())?;
+    let diags = tesla::instrument::diagnose(&art.findings, &art.verdicts);
+    print!("{}", tesla::instrument::render(&diags, format));
+    // Exit status contract: findings alone never fail the build;
+    // `--deny` turns warnings and errors into a nonzero exit for CI.
+    if deny && tesla::instrument::has_denials(&diags) {
+        return Err("static check failed (--deny: warnings or errors present)".into());
+    }
+    Ok(())
 }
 
 fn build(rest: &[String]) -> Result<(), String> {

@@ -9,11 +9,49 @@
 use crate::pipeline::Project;
 use std::fmt::Write as _;
 
+/// How the "libfetch" client of [`openssl_like`] treats
+/// `EVP_VerifyFinal`'s result — the axis of the §2 case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientStyle {
+    /// Calls the verifier with `sig == key` and ignores the result.
+    /// Still provably safe: the flow-sensitive checker sees the same
+    /// value in both argument slots, so verification cannot fail.
+    Unchecked,
+    /// Checks the result and bails before the assertion on every
+    /// failing path (the post-CVE-2008-5077 shape): `ProvedSafe`.
+    Patched,
+    /// Never consults the verifier at all before the assertion site
+    /// (the CVE shape): `DefiniteViolation`.
+    Buggy,
+}
+
 /// An OpenSSL-shaped corpus: `files` units of library code
 /// ("libcrypto"/"libssl" layers), plus a "libfetch" client unit whose
 /// `main` carries the fig. 6 assertion referencing a function defined
 /// in unit 0.
 pub fn openssl_like(files: usize) -> Project {
+    openssl_like_with_client(files, ClientStyle::Unchecked)
+}
+
+/// [`openssl_like`], with the client patched to check
+/// `EVP_VerifyFinal`'s result before the assertion site on every
+/// path. The flow-sensitive model checker proves the fig. 6
+/// assertion safe, so the static toolchain elides its
+/// instrumentation entirely.
+pub fn openssl_like_patched(files: usize) -> Project {
+    openssl_like_with_client(files, ClientStyle::Patched)
+}
+
+/// [`openssl_like`], with the CVE-2008-5077-shaped seeded bug: the
+/// client reaches the assertion site without ever calling
+/// `EVP_VerifyFinal`. Every path violates, so the model checker
+/// reports a definite violation with a concrete counterexample
+/// trace at compile time.
+pub fn openssl_like_buggy(files: usize) -> Project {
+    openssl_like_with_client(files, ClientStyle::Buggy)
+}
+
+fn openssl_like_with_client(files: usize, style: ClientStyle) -> Project {
     assert!(files >= 2, "need at least a library and a client");
     let mut units = Vec::with_capacity(files);
     // Unit 0: the libcrypto-ish core, defining EVP_VerifyFinal.
@@ -62,16 +100,30 @@ pub fn openssl_like(files: usize) -> Project {
         }
         units.push((format!("ssl/layer{i}.c"), src));
     }
-    // The client: fig. 6's cross-library assertion.
+    // The client: fig. 6's cross-library assertion. The body varies
+    // with how the client handles verification failure (§2).
     let top = if files >= 3 { format!("ssl_layer_{}_fn_0", files - 2) } else { "crypto_helper_0".to_string() };
+    let body = match style {
+        ClientStyle::Unchecked => format!(
+            "    int rc = EVP_VerifyFinal(ctx, key, 8, key);\n\
+                 int page = {top}(rc);\n"
+        ),
+        ClientStyle::Patched => format!(
+            "    int rc = EVP_VerifyFinal(ctx, key, 8, key);\n\
+                 if (rc != 1) {{ return -1; }}\n\
+                 int page = {top}(rc);\n"
+        ),
+        // A concrete argument keeps the abstract exploration finite;
+        // the seeded bug is that EVP_VerifyFinal is never consulted.
+        ClientStyle::Buggy => format!("    int page = {top}(1);\n"),
+    };
     let client = format!(
         "struct evp_ctx {{ int digest; int err; }};\n\
          int EVP_VerifyFinal(struct evp_ctx *ctx, int sig, int len, int key);\n\
          int {top}(int x);\n\
          int main(int key) {{\n\
              struct evp_ctx *ctx = malloc(sizeof(struct evp_ctx));\n\
-             int rc = EVP_VerifyFinal(ctx, key, 8, key);\n\
-             int page = {top}(rc);\n\
+         {body}\
              TESLA_WITHIN(main, previously(\n\
                  EVP_VerifyFinal(ANY(ptr), ANY(int), ANY(int), ANY(int)) == 1));\n\
              return page;\n\
@@ -184,6 +236,36 @@ mod tests {
         crate::pipeline::run_with_tesla(&art, &t, "amd64_syscall", &[1, 2], 10_000_000)
             .unwrap();
         assert!(t.violations().is_empty());
+    }
+
+    #[test]
+    fn patched_corpus_is_proved_safe_and_elided() {
+        let p = openssl_like_patched(5);
+        let mut bs = BuildSystem::new(p, BuildOptions::static_toolchain());
+        let art = bs.build().unwrap();
+        assert_eq!(art.verdicts.len(), 1);
+        assert!(art.verdicts[0].verdict.elidable(), "got {:?}", art.verdicts[0].verdict);
+        assert_eq!(art.stats.sites_elided, 1);
+        // The elided program still runs — and produces no TESLA
+        // events at all for the proved assertion.
+        let t = tesla_runtime::Tesla::with_defaults();
+        crate::pipeline::run_with_tesla(&art, &t, "main", &[9], 10_000_000).unwrap();
+        assert!(t.violations().is_empty());
+    }
+
+    #[test]
+    fn buggy_corpus_is_definite_violation_at_compile_time() {
+        let p = openssl_like_buggy(5);
+        let mut bs = BuildSystem::new(p, BuildOptions::static_toolchain());
+        let art = bs.build().unwrap();
+        assert_eq!(art.verdicts.len(), 1);
+        match &art.verdicts[0].verdict {
+            tesla_instrument::CheckVerdict::DefiniteViolation { trace } => {
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected DefiniteViolation, got {other:?}"),
+        }
+        assert_eq!(art.stats.sites_elided, 0);
     }
 
     #[test]

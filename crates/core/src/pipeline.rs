@@ -19,11 +19,14 @@
 //! fingerprint-based [`ReinstrumentPolicy::Fingerprint`] is the
 //! "could be pared down through further build optimisation" ablation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 use tesla_automata::Manifest;
 use tesla_cc::UnitOutput;
-use tesla_instrument::{instrument, register_manifest, RuntimeSink};
+use tesla_instrument::{
+    instrument_with_elision, model_check, register_manifest, static_check, AssertionReport,
+    RuntimeSink, StaticFinding,
+};
 use tesla_ir::opt::{optimise, InlineOptions};
 use tesla_ir::verify::{verify, Stage};
 use tesla_ir::{Interp, Module};
@@ -87,6 +90,10 @@ pub struct BuildOptions {
     /// Verify units and the linked program (tests/debug; off in
     /// benchmark runs, as real toolchains do not re-verify).
     pub verify: bool,
+    /// Run the flow-sensitive static model checker before
+    /// instrumenting and elide hooks for assertions it proves safe
+    /// (§7's "static analysis" direction).
+    pub model_check: bool,
 }
 
 impl BuildOptions {
@@ -97,6 +104,7 @@ impl BuildOptions {
             optimise: true,
             reinstrument: ReinstrumentPolicy::Naive,
             verify: true,
+            model_check: false,
         }
     }
 
@@ -107,7 +115,16 @@ impl BuildOptions {
             optimise: true,
             reinstrument: ReinstrumentPolicy::Naive,
             verify: true,
+            model_check: false,
         }
+    }
+
+    /// The TESLA toolchain with the static model checker in front:
+    /// proved-safe assertions are elided, definite violations become
+    /// compile-time reports, everything else falls back to the
+    /// dynamic instrumentation of [`tesla_toolchain`](Self::tesla_toolchain).
+    pub fn static_toolchain() -> BuildOptions {
+        BuildOptions { model_check: true, ..BuildOptions::tesla_toolchain() }
     }
 }
 
@@ -122,6 +139,9 @@ pub struct BuildStats {
     pub linked_insts: usize,
     /// Hooks inserted across re-instrumented units.
     pub hooks_inserted: usize,
+    /// Assertion sites removed outright because the model checker
+    /// proved them safe (summed across re-instrumented units).
+    pub sites_elided: usize,
     /// Bytes of per-unit object code emitted (recompiled units in
     /// default mode; every re-instrumented unit in TESLA mode — the
     /// paper's per-file IR read/instrument/write cycle, §5.1/§7).
@@ -136,6 +156,12 @@ pub struct BuildArtifacts {
     pub manifest: Manifest,
     /// What the build did.
     pub stats: BuildStats,
+    /// Per-assertion model-checker verdicts (empty unless
+    /// [`BuildOptions::model_check`] was set).
+    pub verdicts: Vec<AssertionReport>,
+    /// Flow-insensitive static findings (dormant/unchecked/
+    /// unsatisfiable assertions; empty unless `model_check` was set).
+    pub findings: Vec<StaticFinding>,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -149,6 +175,9 @@ pub enum BuildError {
     Link(String),
     /// Instrumentation failure.
     Instrument(tesla_instrument::InstrumentError),
+    /// Static analysis failure (manifest compilation inside the model
+    /// checker or the flow-insensitive checks).
+    Analysis(String),
     /// Verifier rejection.
     Verify(String),
 }
@@ -159,6 +188,7 @@ impl std::fmt::Display for BuildError {
             BuildError::Compile(file, e) => write!(f, "{file}: {e}"),
             BuildError::Link(e) => write!(f, "link: {e}"),
             BuildError::Instrument(e) => write!(f, "instrument: {e}"),
+            BuildError::Analysis(e) => write!(f, "analysis: {e}"),
             BuildError::Verify(e) => write!(f, "verify: {e}"),
         }
     }
@@ -275,6 +305,27 @@ impl BuildSystem {
             Manifest::new()
         };
 
+        // Static analysis: model-check the *pristine* (un-instrumented)
+        // program against the merged manifest. Elision decisions are
+        // whole-program facts, so the checker must see the linked
+        // flow graph, not any single unit.
+        let mut verdicts: Vec<AssertionReport> = Vec::new();
+        let mut findings: Vec<StaticFinding> = Vec::new();
+        let mut elided: HashSet<u32> = HashSet::new();
+        if self.options.tesla && self.options.model_check {
+            let pristine: Vec<Module> = self
+                .project
+                .units
+                .iter()
+                .map(|u| self.unit_cache[&u.file].1.module.clone())
+                .collect();
+            let analysis = Module::link(pristine, "analysis").map_err(BuildError::Link)?;
+            verdicts = model_check(&analysis, &manifest).map_err(BuildError::Analysis)?;
+            findings = static_check(&analysis, &manifest).map_err(BuildError::Analysis)?;
+            elided =
+                verdicts.iter().filter(|r| r.verdict.elidable()).map(|r| r.class).collect();
+        }
+
         // Per-unit back-end: instrument (TESLA) → optimise → emit
         // object code. This mirrors the paper's per-file workflow
         // (clang -O0 → instrument → opt -O2 → .o); objects are cached
@@ -282,7 +333,7 @@ impl BuildSystem {
         // the dirty unit, while the naive TESLA toolchain re-does
         // every unit on any change (§5.1).
         let manifest_key = if self.options.tesla {
-            match self.options.reinstrument {
+            let base = match self.options.reinstrument {
                 ReinstrumentPolicy::Naive => {
                     // The combined .tesla file was just regenerated:
                     // every object is considered stale.
@@ -290,7 +341,14 @@ impl BuildSystem {
                     self.build_seq
                 }
                 ReinstrumentPolicy::Fingerprint => manifest.fingerprint(),
-            }
+            };
+            // Fold the elision set in: a changed verdict must
+            // invalidate cached objects even when manifest and source
+            // fingerprints are unchanged (elision alters the woven
+            // object).
+            let mut ids: Vec<u32> = elided.iter().copied().collect();
+            ids.sort_unstable();
+            base ^ fingerprint(&format!("elide:{ids:?}"))
         } else {
             0
         };
@@ -320,11 +378,13 @@ impl BuildSystem {
                 m = reload_ir(&m).map_err(BuildError::Link)?;
                 let reloaded = Manifest::from_tesla(&manifest_text)
                     .map_err(|e| BuildError::Link(format!("manifest reload: {e}")))?;
-                let st = instrument(&mut m, &reloaded).map_err(BuildError::Instrument)?;
+                let st = instrument_with_elision(&mut m, &reloaded, &elided)
+                    .map_err(BuildError::Instrument)?;
                 m = reload_ir(&m).map_err(BuildError::Link)?;
                 stats.instrumented_units += 1;
                 stats.hooks_inserted +=
                     st.entry_hooks + st.exit_hooks + st.call_site_hooks + st.field_hooks;
+                stats.sites_elided += st.sites_elided;
             } else {
                 // Without the TESLA toolchain the assertion macros
                 // expand to nothing: drop the placeholders.
@@ -351,7 +411,7 @@ impl BuildSystem {
                 .map_err(|e| BuildError::Verify(format!("linked: {:?}", e.first().unwrap())))?;
         }
         stats.linked_insts = program.n_insts();
-        Ok(BuildArtifacts { program, manifest, stats, elapsed: t0.elapsed() })
+        Ok(BuildArtifacts { program, manifest, stats, verdicts, findings, elapsed: t0.elapsed() })
     }
 }
 

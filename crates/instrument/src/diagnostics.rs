@@ -1,0 +1,434 @@
+//! Diagnostics layer over the static analyses.
+//!
+//! Wraps the name-level findings of [`crate::static_check`] and the
+//! flow-sensitive verdicts of [`crate::model_check`] into a single
+//! stream of [`Diagnostic`]s with stable codes and severities, and
+//! renders that stream as human-readable text, line-oriented JSON, or
+//! SARIF 2.1.0 for editor/CI ingestion.
+//!
+//! Stable codes:
+//!
+//! | code         | meaning                                    | severity |
+//! |--------------|--------------------------------------------|----------|
+//! | `TESLA-S001` | bound function never entered (dormant)     | warning  |
+//! | `TESLA-S002` | assertion site unreachable from the bound  | warning  |
+//! | `TESLA-S003` | automaton requires events no code emits    | error    |
+//! | `TESLA-S004` | definite violation on every feasible path  | error    |
+//! | `TESLA-S005` | proved safe (instrumentation elidable)     | note     |
+//! | `TESLA-S006` | undecided — dynamic instrumentation stays  | note     |
+
+use crate::model_check::{AssertionReport, CheckVerdict};
+use crate::static_check::StaticFinding;
+use std::collections::HashMap;
+use tesla_spec::SourceLoc;
+
+/// How serious a diagnostic is.
+///
+/// `--deny` treats warnings and errors as fatal; notes are
+/// informational and never affect exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A contradiction: the program cannot satisfy the assertion.
+    Error,
+    /// Suspicious but not necessarily wrong (e.g. dead assertion).
+    Warning,
+    /// Informational (proofs, undecided verdicts).
+    Note,
+}
+
+impl Severity {
+    /// SARIF `level` string for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// A single static-analysis finding with a stable code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`TESLA-S001` …).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the assertion the diagnostic concerns.
+    pub assertion: String,
+    /// Human-readable one-line message.
+    pub message: String,
+    /// Source location of the assertion, when known.
+    pub loc: Option<SourceLoc>,
+    /// Counterexample event trace (only for `TESLA-S004`).
+    pub trace: Vec<String>,
+}
+
+/// Output format for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Compiler-style human-readable text.
+    Text,
+    /// A single JSON array of diagnostic objects.
+    Json,
+    /// SARIF 2.1.0 (consumable by GitHub code scanning et al.).
+    Sarif,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            "sarif" => Ok(OutputFormat::Sarif),
+            other => Err(format!("unknown format `{other}` (expected text|json|sarif)")),
+        }
+    }
+}
+
+fn severity_rank(s: Severity) -> u8 {
+    match s {
+        Severity::Error => 0,
+        Severity::Warning => 1,
+        Severity::Note => 2,
+    }
+}
+
+/// Combine name-level findings and flow-sensitive verdicts into one
+/// ordered diagnostic stream (errors first, then warnings, then
+/// notes; stable by code and assertion name within a class).
+///
+/// `reports` double as the source-location oracle: name-level
+/// findings carry no location of their own, so each is attached to
+/// the location of the like-named assertion when one exists.
+pub fn diagnose(findings: &[StaticFinding], reports: &[AssertionReport]) -> Vec<Diagnostic> {
+    let locs: HashMap<&str, &SourceLoc> =
+        reports.iter().map(|r| (r.name.as_str(), &r.loc)).collect();
+    let loc_of = |name: &str| locs.get(name).map(|l| (*l).clone());
+
+    let mut out = Vec::new();
+    for f in findings {
+        let (code, severity, assertion) = match f {
+            StaticFinding::BoundNeverEntered { assertion, .. } => {
+                ("TESLA-S001", Severity::Warning, assertion.clone())
+            }
+            StaticFinding::SiteNeverReached { assertion } => {
+                ("TESLA-S002", Severity::Warning, assertion.clone())
+            }
+            StaticFinding::Unsatisfiable { assertion, .. } => {
+                ("TESLA-S003", Severity::Error, assertion.clone())
+            }
+        };
+        out.push(Diagnostic {
+            code,
+            severity,
+            loc: loc_of(&assertion),
+            assertion,
+            message: f.to_string(),
+            trace: Vec::new(),
+        });
+    }
+    for r in reports {
+        let (code, severity, message, trace) = match &r.verdict {
+            CheckVerdict::ProvedSafe { elide } => (
+                "TESLA-S005",
+                Severity::Note,
+                if *elide {
+                    "proved safe on every feasible path; instrumentation elided".to_string()
+                } else {
+                    "proved safe on every feasible path; instrumentation kept \
+                     (shared events feed other assertions)"
+                        .to_string()
+                },
+                Vec::new(),
+            ),
+            CheckVerdict::DefiniteViolation { trace } => (
+                "TESLA-S004",
+                Severity::Error,
+                "assertion violated on every feasible path".to_string(),
+                trace.iter().map(|s| s.desc.clone()).collect(),
+            ),
+            CheckVerdict::Unknown { reason } => (
+                "TESLA-S006",
+                Severity::Note,
+                format!("undecided statically ({reason}); dynamic instrumentation retained"),
+                Vec::new(),
+            ),
+        };
+        out.push(Diagnostic {
+            code,
+            severity,
+            assertion: r.name.clone(),
+            message,
+            loc: Some(r.loc.clone()),
+            trace,
+        });
+    }
+    out.sort_by(|a, b| {
+        (severity_rank(a.severity), a.code, a.assertion.as_str())
+            .cmp(&(severity_rank(b.severity), b.code, b.assertion.as_str()))
+    });
+    out
+}
+
+/// Should `--deny` fail the build for this diagnostic set?
+pub fn has_denials(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity != Severity::Note)
+}
+
+/// Render diagnostics in the requested format.
+pub fn render(diags: &[Diagnostic], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Text => render_text(diags),
+        OutputFormat::Json => render_json(diags),
+        OutputFormat::Sarif => render_sarif(diags),
+    }
+}
+
+fn render_text(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&format!("{}[{}]: `{}`: {}\n", d.severity, d.code, d.assertion, d.message));
+        if let Some(loc) = &d.loc {
+            s.push_str(&format!("  --> {}:{}\n", loc.file, loc.line));
+        }
+        if !d.trace.is_empty() {
+            s.push_str("  counterexample trace:\n");
+            for (i, step) in d.trace.iter().enumerate() {
+                s.push_str(&format!("    {:>2}. {}\n", i + 1, step));
+            }
+        }
+    }
+    let n = |sev| diags.iter().filter(|d| d.severity == sev).count();
+    s.push_str(&format!(
+        "{} error(s), {} warning(s), {} note(s)\n",
+        n(Severity::Error),
+        n(Severity::Warning),
+        n(Severity::Note)
+    ));
+    s
+}
+
+/// Escape `s` for inclusion inside a JSON string literal.
+///
+/// Hand-rolled (rather than pulling a serialisation crate into the
+/// instrumenter) because diagnostics are the only JSON this crate
+/// ever emits and the value space is just strings and integers.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+fn json_str_list(items: impl Iterator<Item = String>) -> String {
+    let body: Vec<String> = items.collect();
+    format!("[{}]", body.join(", "))
+}
+
+fn render_json(diags: &[Diagnostic]) -> String {
+    let objs = diags.iter().map(|d| {
+        let (file, line) = match &d.loc {
+            Some(l) => (json_str(&l.file), l.line.to_string()),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        format!(
+            "  {{\"code\": {}, \"severity\": {}, \"assertion\": {}, \"message\": {}, \
+             \"file\": {}, \"line\": {}, \"trace\": {}}}",
+            json_str(d.code),
+            json_str(&d.severity.to_string()),
+            json_str(&d.assertion),
+            json_str(&d.message),
+            file,
+            line,
+            json_str_list(d.trace.iter().map(|t| json_str(t))),
+        )
+    });
+    let body: Vec<String> = objs.collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+fn render_sarif(diags: &[Diagnostic]) -> String {
+    let rules = {
+        let mut codes: Vec<&'static str> = diags.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        json_str_list(codes.into_iter().map(|c| {
+            format!("{{\"id\": {}, \"name\": {}}}", json_str(c), json_str(&c.replace('-', "")))
+        }))
+    };
+    let results = json_str_list(diags.iter().map(|d| {
+        let mut message = d.message.clone();
+        if !d.trace.is_empty() {
+            message.push_str("; trace: ");
+            message.push_str(&d.trace.join(" → "));
+        }
+        let locations = match &d.loc {
+            Some(loc) => format!(
+                ", \"locations\": [{{\"physicalLocation\": {{\
+                 \"artifactLocation\": {{\"uri\": {}}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]",
+                json_str(&loc.file),
+                loc.line.max(1)
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}{}}}",
+            json_str(d.code),
+            json_str(d.severity.sarif_level()),
+            json_str(&format!("`{}`: {}", d.assertion, message)),
+            locations
+        )
+    }));
+    format!(
+        "{{\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\", \
+         \"version\": \"2.1.0\", \"runs\": [{{\
+         \"tool\": {{\"driver\": {{\"name\": \"tesla-static-check\", \
+         \"informationUri\": \"https://github.com/tesla-repro/tesla-rs\", \
+         \"rules\": {rules}}}}}, \
+         \"results\": {results}}}]}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_check::TraceStep;
+    use tesla_automata::SymbolId;
+
+    fn loc(line: u32) -> SourceLoc {
+        SourceLoc { file: "demo.c".into(), line }
+    }
+
+    fn sample() -> Vec<Diagnostic> {
+        diagnose(
+            &[
+                StaticFinding::SiteNeverReached { assertion: "dead".into() },
+                StaticFinding::Unsatisfiable {
+                    assertion: "impossible".into(),
+                    missing_events: vec!["call foo(…)".into()],
+                },
+            ],
+            &[
+                AssertionReport {
+                    class: 0,
+                    name: "safe_one".into(),
+                    loc: loc(10),
+                    verdict: CheckVerdict::ProvedSafe { elide: true },
+                },
+                AssertionReport {
+                    class: 1,
+                    name: "broken".into(),
+                    loc: loc(20),
+                    verdict: CheckVerdict::DefiniteViolation {
+                        trace: vec![
+                            TraceStep { sym: SymbolId(0), desc: "«init»".into() },
+                            TraceStep { sym: SymbolId(2), desc: "«assertion»".into() },
+                        ],
+                    },
+                },
+                AssertionReport {
+                    class: 2,
+                    name: "maybe".into(),
+                    loc: loc(30),
+                    verdict: CheckVerdict::Unknown { reason: "indirect call".into() },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn errors_sort_first_and_codes_are_stable() {
+        let diags = sample();
+        assert_eq!(diags[0].code, "TESLA-S003");
+        assert_eq!(diags[1].code, "TESLA-S004");
+        assert_eq!(diags[2].code, "TESLA-S002");
+        assert!(diags.iter().skip(3).all(|d| d.severity == Severity::Note));
+        assert!(has_denials(&diags));
+        assert!(!has_denials(&diags[3..]));
+    }
+
+    #[test]
+    fn text_render_includes_trace_and_summary() {
+        let text = render(&sample(), OutputFormat::Text);
+        assert!(text.contains("error[TESLA-S004]: `broken`"));
+        assert!(text.contains("counterexample trace:"));
+        assert!(text.contains("«init»"));
+        assert!(text.contains("--> demo.c:20"));
+        assert!(text.contains("2 error(s), 1 warning(s), 2 note(s)"));
+    }
+
+    #[test]
+    fn json_render_is_complete_and_escaped() {
+        let text = render(&sample(), OutputFormat::Json);
+        assert_eq!(text.matches("\"code\":").count(), 5);
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with("]\n"));
+        assert!(text.contains("\"code\": \"TESLA-S003\""));
+        assert!(text.contains("\"file\": \"demo.c\", \"line\": 20"));
+        // The counterexample trace rides along on the S004 entry.
+        assert!(text.contains("\"trace\": [\"«init»\", \"«assertion»\"]"));
+        // Quotes and backslashes in messages must be escaped.
+        let quoted = vec![Diagnostic {
+            code: "TESLA-S006",
+            severity: Severity::Note,
+            assertion: "q".into(),
+            message: "saw \"quote\" and \\slash\nnewline".into(),
+            loc: None,
+            trace: Vec::new(),
+        }];
+        let text = render(&quoted, OutputFormat::Json);
+        assert!(text.contains(r#"saw \"quote\" and \\slash\nnewline"#));
+        assert!(text.contains("\"file\": null, \"line\": null"));
+    }
+
+    #[test]
+    fn sarif_render_is_schema_shaped() {
+        let text = render(&sample(), OutputFormat::Sarif);
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        assert!(text.contains("sarif-2.1.0.json"));
+        assert!(text.contains("\"name\": \"tesla-static-check\""));
+        assert_eq!(text.matches("\"ruleId\":").count(), 5);
+        // Every distinct code appears once in the rules table.
+        for code in ["TESLA-S002", "TESLA-S003", "TESLA-S004", "TESLA-S005", "TESLA-S006"] {
+            assert!(text.contains(&format!("{{\"id\": \"{code}\"")), "missing rule {code}");
+        }
+        assert!(text.contains("\"startLine\": 20"));
+        assert!(text.contains("trace: «init» → «assertion»"));
+        // "impossible" has no like-named report, so no location attaches
+        // to its result; its rule id still must.
+        assert!(text.contains("`impossible`"));
+    }
+
+    #[test]
+    fn format_parses_from_str() {
+        assert_eq!("text".parse::<OutputFormat>().unwrap(), OutputFormat::Text);
+        assert_eq!("sarif".parse::<OutputFormat>().unwrap(), OutputFormat::Sarif);
+        assert!("xml".parse::<OutputFormat>().is_err());
+    }
+}

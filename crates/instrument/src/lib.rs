@@ -29,8 +29,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diagnostics;
+pub mod model_check;
 pub mod static_check;
 
+pub use diagnostics::{diagnose, has_denials, render, Diagnostic, OutputFormat, Severity};
+pub use model_check::{model_check, AssertionReport, CheckVerdict, TraceStep};
 pub use static_check::{static_check, StaticFinding};
 
 use std::collections::{HashMap, HashSet};
@@ -54,6 +58,9 @@ pub struct InstrStats {
     pub field_hooks: usize,
     /// Assertion placeholders replaced with site events.
     pub sites_replaced: usize,
+    /// Assertion placeholders removed because the model checker
+    /// proved the assertion safe ([`model_check`]).
+    pub sites_elided: usize,
 }
 
 /// An instrumentation failure.
@@ -93,19 +100,62 @@ impl std::error::Error for InstrumentError {}
 /// Returns [`InstrumentError`] on stale manifests or un-compilable
 /// assertions.
 pub fn instrument(module: &mut Module, manifest: &Manifest) -> Result<InstrStats, InstrumentError> {
+    instrument_with_elision(module, manifest, &HashSet::new())
+}
+
+/// [`instrument`], minus the assertions the model checker proved
+/// safe.
+///
+/// `elided` holds runtime class ids (manifest indices) whose verdict
+/// was [`CheckVerdict::ProvedSafe`] with `elide` set. For those
+/// classes no hooks are woven on their behalf and their assertion-site
+/// placeholders are *removed* rather than rewritten, so the running
+/// program pays nothing for them. Class ids of the remaining automata
+/// are untouched — [`register_manifest`] still registers the full
+/// manifest, and `residual_safe` in [`model_check`] has already
+/// guaranteed that whatever event subset still reaches an elided
+/// class (via hooks shared with live automata) can never take it out
+/// of its safe states.
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] on stale manifests or un-compilable
+/// assertions.
+pub fn instrument_with_elision(
+    module: &mut Module,
+    manifest: &Manifest,
+    elided: &HashSet<u32>,
+) -> Result<InstrStats, InstrumentError> {
     let mut stats = InstrStats::default();
     let automata = manifest
         .compile_all()
         .map_err(|(name, e)| InstrumentError::Compile(format!("{name}: {e}")))?;
 
-    // Program-wide plan: function name → side.
-    let plan = manifest
-        .instrumentation_plan()
-        .map_err(|(name, e)| InstrumentError::Compile(format!("{name}: {e}")))?;
-    // Field events referenced by any automaton: (struct name or "",
-    // field name).
+    // Program-wide plan: function name → side — the plan of every
+    // *live* (non-elided) automaton, merged caller-wins exactly as
+    // `Manifest::instrumentation_plan` does over all of them.
+    let mut plan: std::collections::BTreeMap<String, InstrSide> = std::collections::BTreeMap::new();
+    for (idx, a) in automata.iter().enumerate() {
+        if elided.contains(&(idx as u32)) {
+            continue;
+        }
+        for (name, side) in a.instrumentation_targets() {
+            plan.entry(name)
+                .and_modify(|s| {
+                    if side == InstrSide::Caller {
+                        *s = InstrSide::Caller;
+                    }
+                })
+                .or_insert(side);
+        }
+    }
+    // Field events referenced by any live automaton: (struct name or
+    // "", field name).
     let mut field_targets: HashSet<(String, String)> = HashSet::new();
-    for a in &automata {
+    for (idx, a) in automata.iter().enumerate() {
+        if elided.contains(&(idx as u32)) {
+            continue;
+        }
         for s in &a.symbols {
             if let SymbolKind::FieldAssign { struct_name, field_name, .. } = &s.kind {
                 field_targets.insert((struct_name.clone(), field_name.clone()));
@@ -213,6 +263,11 @@ pub fn instrument(module: &mut Module, manifest: &Manifest) -> Result<InstrStats
                     }
                     Inst::TeslaPseudoAssert { assertion, args } => {
                         let class = class_of[*assertion as usize];
+                        if elided.contains(&class) {
+                            b.insts.remove(i);
+                            stats.sites_elided += 1;
+                            continue;
+                        }
                         let args = args.clone();
                         b.insts[i] = Inst::TeslaSite { class, args };
                         stats.sites_replaced += 1;
@@ -436,6 +491,32 @@ mod tests {
             Err(InstrumentError::StaleManifest { .. }) => {}
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn elision_removes_sites_and_skips_hooks() {
+        let (mut full_m, manifest) = build(&kernel_source(1));
+        let full = instrument(&mut full_m, &manifest).unwrap();
+        assert!(full.entry_hooks > 0);
+
+        let (mut elided_m, _) = build(&kernel_source(1));
+        let elided: HashSet<u32> = [0u32].into_iter().collect();
+        let stats = instrument_with_elision(&mut elided_m, &manifest, &elided).unwrap();
+        assert_eq!(stats.sites_elided, 1);
+        assert_eq!(stats.sites_replaced, 0);
+        assert_eq!(stats.entry_hooks, 0);
+        assert_eq!(stats.hooked_functions, 0);
+        assert!(!has_placeholders(&elided_m));
+        verify(&elided_m, Stage::Linked).unwrap();
+
+        // The elided program runs with zero hook traffic against a
+        // fully registered engine.
+        let tesla = Tesla::new(Config::default());
+        register_manifest(&tesla, &manifest).unwrap();
+        let mut sink = RuntimeSink::new(&tesla);
+        let mut interp = Interp::new(&elided_m, 1_000_000);
+        assert_eq!(interp.run_named("kernel_main", &[7], &mut sink).unwrap(), 1);
+        assert!(tesla.violations().is_empty());
     }
 
     #[test]

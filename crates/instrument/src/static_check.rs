@@ -71,8 +71,10 @@ impl std::fmt::Display for StaticFinding {
 }
 
 /// Function names that can produce events in `module`: defined
-/// functions (callee-side hooks) plus anything called directly or as
-/// an unresolved external (caller-side hooks).
+/// functions (callee-side hooks), anything called directly or as an
+/// unresolved external (caller-side hooks), and any address-taken
+/// function (`FnAddr` — reachable through an indirect call even when
+/// its name appears at no direct call site).
 fn occurring_functions(module: &Module) -> HashSet<String> {
     let mut out: HashSet<String> = module.functions.iter().map(|f| f.name.clone()).collect();
     for f in &module.functions {
@@ -85,6 +87,9 @@ fn occurring_functions(module: &Module) -> HashSet<String> {
                     Inst::Call { callee: Callee::Direct(g), .. } => {
                         out.insert(module.functions[g.0 as usize].name.clone());
                     }
+                    Inst::FnAddr { func, .. } => {
+                        out.insert(module.functions[func.0 as usize].name.clone());
+                    }
                     Inst::TeslaHookCallPre { name, .. } => {
                         out.insert(name.clone());
                     }
@@ -94,6 +99,21 @@ fn occurring_functions(module: &Module) -> HashSet<String> {
         }
     }
     out
+}
+
+/// Does the module perform any indirect call? Function pointers may
+/// be forged from values the IR cannot trace (parameters, loads), so
+/// in their presence "this event cannot occur" reasoning is unsound:
+/// an indirect call could invoke a function whose name never appears
+/// at any direct call site.
+fn has_indirect_calls(module: &Module) -> bool {
+    module.functions.iter().any(|f| {
+        f.blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. }))
+        })
+    })
 }
 
 /// Classes whose site instruction exists in `module` (after
@@ -145,7 +165,11 @@ pub fn static_check(module: &Module, manifest: &Manifest) -> Result<Vec<StaticFi
             continue;
         }
         // Delete transitions on impossible events; is a site
-        // transition still reachable from the start?
+        // transition still reachable from the start? With indirect
+        // calls present, no event is provably impossible.
+        if has_indirect_calls(module) {
+            continue;
+        }
         let impossible: HashSet<u32> = auto
             .symbols
             .iter()
@@ -240,6 +264,27 @@ mod tests {
         }
         // The message is CI-friendly.
         assert!(fs[0].to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn indirect_call_suppresses_unsatisfiable() {
+        // Without the indirect call, ghost_check is provably absent
+        // and the assertion is Unsatisfiable (previous test). With a
+        // function pointer in play the same conclusion is unsound —
+        // the pointer could reach code whose name appears nowhere —
+        // so the conservative pass stays quiet.
+        let (m, man) = build(
+            "int helper(int x) { return 0; }\n\
+             int main(int x) {\n\
+                 int (*fp)(int) = &helper;\n\
+                 fp(x);\n\
+                 TESLA_WITHIN(main, previously(ghost_check(x) == 0));\n\
+                 return 0;\n\
+             }",
+        );
+        assert!(has_indirect_calls(&m));
+        assert!(occurring_functions(&m).contains("helper"));
+        assert_eq!(static_check(&m, &man).unwrap(), vec![]);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Control-flow and call-graph utilities for static analysis.
+//!
+//! The flow-sensitive model checker (in `tesla-instrument`) abstracts
+//! every TIR function body into its sequence/branching structure of
+//! observable events. The pieces that are pure IR — block successor
+//! structure, reachability, the interprocedural call graph, and the
+//! abstract value domain — live here so they can be reused by other
+//! passes without dragging in the automata crates.
+
+use crate::module::{Callee, Function, Inst, Module, Terminator};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An abstract machine-word value for flow-sensitive analysis.
+///
+/// The domain is deliberately tiny: either a compile-time constant or
+/// an opaque *reference* — a symbolic identity for a value the
+/// analysis cannot fold (a parameter, a heap load, an external call's
+/// result). Two occurrences of the same `Ref` id are guaranteed equal
+/// at run time (ids name immutable value identities, not registers);
+/// distinct ids carry no relation unless the analysis learns one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbsVal {
+    /// A known constant.
+    Const(i64),
+    /// An opaque symbolic value with identity `0`-based id.
+    Ref(u32),
+}
+
+impl AbsVal {
+    /// Is this a known constant?
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            AbsVal::Const(c) => Some(c),
+            AbsVal::Ref(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsVal::Const(c) => write!(f, "{c}"),
+            AbsVal::Ref(r) => write!(f, "?{r}"),
+        }
+    }
+}
+
+/// Successor block ids of a terminator.
+pub fn successors(term: &Terminator) -> Vec<u32> {
+    match term {
+        Terminator::Jump(b) => vec![b.0],
+        Terminator::Branch { then_bb, else_bb, .. } => vec![then_bb.0, else_bb.0],
+        Terminator::Ret(_) | Terminator::Unreachable => vec![],
+    }
+}
+
+/// A function's control-flow graph: per-block successor and
+/// predecessor lists, entry is block 0.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]` — blocks reachable in one step from `b`.
+    pub succs: Vec<Vec<u32>>,
+    /// `preds[b]` — blocks that can jump to `b`.
+    pub preds: Vec<Vec<u32>>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            for s in successors(&b.term) {
+                succs[i].push(s);
+                preds[s as usize].push(i as u32);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Blocks reachable from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.succs.len()];
+        if seen.is_empty() {
+            return seen;
+        }
+        let mut q = VecDeque::from([0u32]);
+        seen[0] = true;
+        while let Some(b) = q.pop_front() {
+            for &s in &self.succs[b as usize] {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    q.push_back(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// A name-level interprocedural call graph over a (linked) module.
+///
+/// Edges follow `Callee::Direct` and `Callee::External` call
+/// instructions. Indirect calls are modelled conservatively: a
+/// function that performs *any* indirect call is treated as possibly
+/// calling every address-taken function.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// caller name → callee names (direct + resolved external).
+    edges: HashMap<String, HashSet<String>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `module`.
+    pub fn new(module: &Module) -> CallGraph {
+        // Address-taken functions: conservative indirect-call targets.
+        let mut address_taken: HashSet<String> = HashSet::new();
+        for f in &module.functions {
+            for b in &f.blocks {
+                for i in &b.insts {
+                    if let Inst::FnAddr { func, .. } = i {
+                        address_taken.insert(module.functions[func.0 as usize].name.clone());
+                    }
+                }
+            }
+        }
+        let mut edges: HashMap<String, HashSet<String>> = HashMap::new();
+        for f in &module.functions {
+            let out = edges.entry(f.name.clone()).or_default();
+            for b in &f.blocks {
+                for i in &b.insts {
+                    match i {
+                        Inst::Call { callee: Callee::Direct(g), .. } => {
+                            out.insert(module.functions[g.0 as usize].name.clone());
+                        }
+                        Inst::Call { callee: Callee::External(n), .. } => {
+                            out.insert(n.clone());
+                        }
+                        Inst::Call { callee: Callee::Indirect(_), .. } => {
+                            out.extend(address_taken.iter().cloned());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Can `from` transitively reach `to` (including `from == to`)?
+    pub fn can_reach(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut q: VecDeque<&str> = VecDeque::from([from]);
+        seen.insert(from);
+        while let Some(f) = q.pop_front() {
+            if let Some(out) = self.edges.get(f) {
+                for g in out {
+                    if g == to {
+                        return true;
+                    }
+                    if seen.insert(g) {
+                        q.push_back(g);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::module::{BlockId, Reg};
+
+    fn two_block_fn() -> Function {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.begin_function("f", 1);
+        let c = f.fresh();
+        f.inst(Inst::Const { dst: c, value: 1 });
+        f.end_block(Terminator::Branch { cond: c, then_bb: BlockId(1), else_bb: BlockId(2) });
+        f.end_block(Terminator::Ret(None));
+        let func = f.finish(Terminator::Ret(None));
+        mb.add_function(func);
+        mb.build().functions[0].clone()
+    }
+
+    #[test]
+    fn cfg_succs_and_preds() {
+        let f = two_block_fn();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[0], vec![1, 2]);
+        assert_eq!(cfg.preds[1], vec![0]);
+        assert_eq!(cfg.preds[2], vec![0]);
+        assert!(cfg.reachable().iter().all(|r| *r));
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        assert_eq!(successors(&Terminator::Jump(BlockId(3))), vec![3]);
+        assert_eq!(successors(&Terminator::Ret(Some(Reg(0)))), Vec::<u32>::new());
+        assert_eq!(successors(&Terminator::Unreachable), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn call_graph_reaches_transitively() {
+        let mut mb = ModuleBuilder::new("m");
+        // c is a leaf.
+        let c = mb.begin_function("c", 0).finish_trivial_return(None);
+        mb.add_function(c);
+        // b calls c.
+        let mut b = mb.begin_function("b", 0);
+        b.inst(Inst::Call { dst: None, callee: Callee::Direct(crate::FuncId(0)), args: vec![] });
+        let b = b.finish(Terminator::Ret(None));
+        mb.add_function(b);
+        // a calls b.
+        let mut a = mb.begin_function("a", 0);
+        a.inst(Inst::Call { dst: None, callee: Callee::Direct(crate::FuncId(1)), args: vec![] });
+        let a = a.finish(Terminator::Ret(None));
+        mb.add_function(a);
+        let m = mb.build();
+        let cg = CallGraph::new(&m);
+        assert!(cg.can_reach("a", "c"));
+        assert!(cg.can_reach("a", "b"));
+        assert!(!cg.can_reach("c", "a"));
+        assert!(cg.can_reach("c", "c"));
+    }
+
+    #[test]
+    fn indirect_calls_reach_address_taken_functions() {
+        let mut mb = ModuleBuilder::new("m");
+        let t = mb.begin_function("target", 0).finish_trivial_return(None);
+        mb.add_function(t);
+        let mut f = mb.begin_function("f", 0);
+        let p = f.fresh();
+        f.inst(Inst::FnAddr { dst: p, func: crate::FuncId(0) });
+        f.inst(Inst::Call { dst: None, callee: Callee::Indirect(p), args: vec![] });
+        let func = f.finish(Terminator::Ret(None));
+        mb.add_function(func);
+        let m = mb.build();
+        let cg = CallGraph::new(&m);
+        assert!(cg.can_reach("f", "target"));
+    }
+
+    #[test]
+    fn absval_display_and_const() {
+        assert_eq!(AbsVal::Const(-1).to_string(), "-1");
+        assert_eq!(AbsVal::Ref(3).to_string(), "?3");
+        assert_eq!(AbsVal::Const(7).as_const(), Some(7));
+        assert_eq!(AbsVal::Ref(0).as_const(), None);
+    }
+}

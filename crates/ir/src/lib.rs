@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cfg;
 pub mod interp;
 pub mod module;
 pub mod opt;
 pub mod verify;
 
 pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use cfg::{AbsVal, CallGraph, Cfg};
 pub use interp::{ExecError, HookSink, Interp, NullSink};
 pub use module::{
     Block, BlockId, Callee, CmpOp, FieldRef, FuncId, Function, Inst, Module, Op, Reg, StructId,

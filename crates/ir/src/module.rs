@@ -364,6 +364,7 @@ impl Module {
         // module. Function order in `out` is concatenation order, so
         // a per-module function-id offset applies.
         let mut fn_offset = 0u32;
+        let mut assert_offset = 0u32;
         let mut fixed: Vec<Function> = Vec::with_capacity(out.functions.len());
         for m in &modules {
             let struct_map: Vec<StructId> = m
@@ -375,12 +376,13 @@ impl Module {
                 let mut f = f.clone();
                 for b in &mut f.blocks {
                     for inst in &mut b.insts {
-                        remap_inst(inst, &struct_map, fn_offset, &out);
+                        remap_inst(inst, &struct_map, fn_offset, assert_offset, &out);
                     }
                 }
                 fixed.push(f);
             }
             fn_offset += m.functions.len() as u32;
+            assert_offset += m.assertions.len() as u32;
         }
         out.functions = fixed;
         // Assertions concatenate.
@@ -391,7 +393,13 @@ impl Module {
     }
 }
 
-fn remap_inst(inst: &mut Inst, struct_map: &[StructId], fn_offset: u32, linked: &Module) {
+fn remap_inst(
+    inst: &mut Inst,
+    struct_map: &[StructId],
+    fn_offset: u32,
+    assert_offset: u32,
+    linked: &Module,
+) {
     let remap_field = |f: &mut FieldRef| {
         f.strct = struct_map[f.strct.0 as usize];
     };
@@ -412,6 +420,11 @@ fn remap_inst(inst: &mut Inst, struct_map: &[StructId], fn_offset: u32, linked: 
         Inst::TeslaHookEntry { func } | Inst::TeslaHookExit { func, .. } => {
             func.0 += fn_offset;
         }
+        // Assertion tables concatenate at link time, so placeholder
+        // indices from later units must shift past earlier units'
+        // assertions (matters when linking *un*-instrumented units,
+        // e.g. for static analysis of the whole program).
+        Inst::TeslaPseudoAssert { assertion, .. } => *assertion += assert_offset,
         _ => {}
     }
 }
@@ -505,6 +518,32 @@ mod tests {
         let fb = &linked.functions[linked.function("f_b").unwrap().0 as usize];
         match &fb.blocks[0].insts[2] {
             Inst::Store { field, .. } => assert_eq!(field.strct, socket),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_offsets_assertion_placeholder_indices() {
+        let mk = |unit: &str, fname: &str| {
+            let mut mb = ModuleBuilder::new(unit);
+            let a = tesla_spec::parse_assertion(&format!(
+                "TESLA_WITHIN({fname}, previously(call(helper)))"
+            ))
+            .unwrap();
+            let idx = mb.add_assertion(a);
+            let mut f = mb.begin_function(fname, 0);
+            f.inst(Inst::TeslaPseudoAssert { assertion: idx, args: vec![] });
+            let fb = f.finish(Terminator::Ret(None));
+            mb.add_function(fb);
+            mb.build()
+        };
+        let linked = Module::link(vec![mk("a", "fa"), mk("b", "fb")], "prog").unwrap();
+        assert_eq!(linked.assertions.len(), 2);
+        let fb = &linked.functions[linked.function("fb").unwrap().0 as usize];
+        match &fb.blocks[0].insts[0] {
+            // Unit b's placeholder pointed at its local assertion 0;
+            // after linking it must point at the concatenated index 1.
+            Inst::TeslaPseudoAssert { assertion, .. } => assert_eq!(*assertion, 1),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -1,0 +1,10 @@
+int EVP_VerifyFinal(int ctx, int sig, int len, int key) {
+    if (sig == key) { return 1; }
+    return 0;
+}
+int ssl_main(int sig, int key) {
+    int page = 7;
+    TESLA_WITHIN(ssl_main, previously(
+        EVP_VerifyFinal(ANY(ptr), ANY(int), ANY(int), ANY(int)) == 1));
+    return page;
+}

@@ -1,0 +1,13 @@
+int EVP_VerifyFinal(int ctx, int sig, int len, int key) {
+    if (len < 4) { return -1; }
+    if (sig == key) { return 1; }
+    return 0;
+}
+int ssl_main(int sig, int key) {
+    int ctx = 77;
+    int rc = EVP_VerifyFinal(ctx, sig, 8, key);
+    if (rc != 1) { return -1; }
+    TESLA_WITHIN(ssl_main, previously(
+        EVP_VerifyFinal(ANY(ptr), ANY(int), ANY(int), ANY(int)) == 1));
+    return rc;
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests for the flow-sensitive static toolchain: the §2
+//! OpenSSL case study, model-checked at compile time.
+//!
+//! * the patched client is **proved safe** and its instrumentation is
+//!   elided — the woven program is strictly smaller;
+//! * the seeded CVE-2008-5077-shaped bug is a **definite violation**
+//!   reported with a concrete counterexample trace, in text, JSON and
+//!   SARIF;
+//! * everything the checker cannot decide falls back to the dynamic
+//!   instrumentation unchanged.
+
+use tesla::corpus::{openssl_like_buggy, openssl_like_patched};
+use tesla::instrument::{diagnose, has_denials, render, CheckVerdict, OutputFormat};
+use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem, Project};
+use tesla::runtime::Tesla;
+
+#[test]
+fn patched_build_elides_and_still_runs() {
+    let p = openssl_like_patched(5);
+    let mut stat = BuildSystem::new(p.clone(), BuildOptions::static_toolchain());
+    let sart = stat.build().unwrap();
+    assert_eq!(sart.verdicts.len(), 1);
+    assert!(sart.verdicts[0].verdict.elidable(), "got {:?}", sart.verdicts[0].verdict);
+    assert_eq!(sart.stats.sites_elided, 1);
+
+    // Against the plain TESLA toolchain: elision must remove every
+    // hook for the (only) assertion, so the woven program is smaller.
+    let mut dyn_ = BuildSystem::new(p, BuildOptions::tesla_toolchain());
+    let dart = dyn_.build().unwrap();
+    assert!(dart.stats.hooks_inserted > sart.stats.hooks_inserted);
+    assert!(dart.stats.linked_insts > sart.stats.linked_insts);
+
+    // Both builds run and agree; neither observes a violation.
+    for key in [3, 9, 42] {
+        let ts = Tesla::with_defaults();
+        let td = Tesla::with_defaults();
+        let rs = run_with_tesla(&sart, &ts, "main", &[key], 10_000_000).unwrap();
+        let rd = run_with_tesla(&dart, &td, "main", &[key], 10_000_000).unwrap();
+        assert_eq!(rs, rd);
+        assert!(ts.violations().is_empty());
+        assert!(td.violations().is_empty());
+    }
+}
+
+#[test]
+fn buggy_build_reports_definite_violation_with_trace() {
+    let mut bs = BuildSystem::new(openssl_like_buggy(5), BuildOptions::static_toolchain());
+    let art = bs.build().unwrap();
+    assert_eq!(art.verdicts.len(), 1);
+    let CheckVerdict::DefiniteViolation { trace } = &art.verdicts[0].verdict else {
+        panic!("expected DefiniteViolation, got {:?}", art.verdicts[0].verdict);
+    };
+    assert!(trace.iter().any(|s| s.desc.contains("«init»")), "{trace:?}");
+    // Nothing is elided on a violating build.
+    assert_eq!(art.stats.sites_elided, 0);
+
+    // The diagnostics layer renders the counterexample in all three
+    // formats, with the stable code and denial semantics.
+    let diags = diagnose(&art.findings, &art.verdicts);
+    assert!(has_denials(&diags));
+    let text = render(&diags, OutputFormat::Text);
+    assert!(text.contains("TESLA-S004"), "{text}");
+    assert!(text.contains("counterexample trace:"), "{text}");
+    let json = render(&diags, OutputFormat::Json);
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(json.contains("\"code\": \"TESLA-S004\""), "{json}");
+    let sarif = render(&diags, OutputFormat::Sarif);
+    assert!(sarif.contains("sarif-2.1.0"), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"TESLA-S004\""), "{sarif}");
+}
+
+#[test]
+fn undecidable_build_falls_back_to_dynamic_instrumentation() {
+    // A data-dependent check is beyond the flow-sensitive abstraction:
+    // Unknown verdict, no elision, dynamic enforcement intact.
+    let p = Project::from_sources(&[(
+        "cond.c",
+        "int check(int x) { return 1; }\n\
+         int main(int x) {\n\
+             if (x) { check(x); }\n\
+             TESLA_WITHIN(main, previously(check(ANY(int)) == 1));\n\
+             return 0;\n\
+         }",
+    )]);
+    let mut bs = BuildSystem::new(p, BuildOptions::static_toolchain());
+    let art = bs.build().unwrap();
+    assert_eq!(art.verdicts.len(), 1);
+    assert!(
+        matches!(art.verdicts[0].verdict, CheckVerdict::Unknown { .. }),
+        "got {:?}",
+        art.verdicts[0].verdict
+    );
+    assert_eq!(art.stats.sites_elided, 0);
+    assert!(art.stats.hooks_inserted > 0);
+    // Dynamic enforcement still works: with x != 0 the check runs and
+    // the assertion is satisfied at run time.
+    let t = Tesla::with_defaults();
+    run_with_tesla(&art, &t, "main", &[7], 10_000_000).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn model_check_off_matches_seed_behaviour() {
+    // The plain TESLA toolchain must be bit-for-bit unaffected by the
+    // model-checker machinery: no verdicts, no findings, no elision.
+    let mut bs = BuildSystem::new(openssl_like_patched(4), BuildOptions::tesla_toolchain());
+    let art = bs.build().unwrap();
+    assert!(art.verdicts.is_empty());
+    assert!(art.findings.is_empty());
+    assert_eq!(art.stats.sites_elided, 0);
+}

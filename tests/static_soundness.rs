@@ -1,0 +1,82 @@
+//! Differential soundness of the static model checker.
+//!
+//! The elision contract: when the checker says `ProvedSafe`, the
+//! fully-instrumented program must never observe a runtime violation
+//! of that assertion — under *any* workload. These property tests
+//! drive randomized inputs through the IR interpreter against the
+//! un-elided (oracle) build and check that the oracle agrees with
+//! the verdict, and that the elided build computes the same results.
+
+use proptest::prelude::*;
+use tesla::corpus::{kernel_like, openssl_like_patched};
+use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem};
+use tesla::runtime::Tesla;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn proved_safe_ssl_never_violates_under_random_keys(
+        files in 2usize..5,
+        keys in proptest::collection::vec(-4i64..50, 1..5),
+    ) {
+        let p = openssl_like_patched(files);
+        let mut sbs = BuildSystem::new(p.clone(), BuildOptions::static_toolchain());
+        let sart = sbs.build().unwrap();
+        // The patched corpus is proved safe at every size.
+        for v in &sart.verdicts {
+            prop_assert!(v.verdict.elidable(), "size {files}: {:?}", v.verdict);
+        }
+        // Oracle: the same program, fully instrumented.
+        let mut dbs = BuildSystem::new(p, BuildOptions::tesla_toolchain());
+        let dart = dbs.build().unwrap();
+        for &key in &keys {
+            let td = Tesla::with_defaults();
+            let rd = run_with_tesla(&dart, &td, "main", &[key], 10_000_000);
+            // Soundness: a proved-safe assertion never fires.
+            prop_assert!(rd.is_ok(), "proved-safe program violated at runtime: {rd:?}");
+            prop_assert!(td.violations().is_empty(), "{:?}", td.violations());
+            // Differential: the elided build computes the same value.
+            let ts = Tesla::with_defaults();
+            let rs = run_with_tesla(&sart, &ts, "main", &[key], 10_000_000);
+            prop_assert_eq!(rd, rs);
+            prop_assert!(ts.violations().is_empty());
+        }
+    }
+
+    #[test]
+    fn proved_safe_kernel_assertions_never_violate(
+        files in 2usize..5,
+        creds in proptest::collection::vec((0i64..8, 0i64..8), 1..5),
+    ) {
+        let p = kernel_like(files, 3);
+        let mut sbs = BuildSystem::new(p.clone(), BuildOptions::static_toolchain());
+        let sart = sbs.build().unwrap();
+        let proved: Vec<String> = sart
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict.elidable())
+            .map(|v| v.name.clone())
+            .collect();
+        let mut dbs = BuildSystem::new(p, BuildOptions::tesla_toolchain());
+        let dart = dbs.build().unwrap();
+        for &(cred, nr) in &creds {
+            let td = Tesla::with_defaults();
+            let rd = run_with_tesla(&dart, &td, "amd64_syscall", &[cred, nr], 10_000_000);
+            // Whatever happens dynamically, no *proved-safe* class may
+            // be among the violations.
+            for v in td.violations() {
+                prop_assert!(
+                    !proved.contains(&v.assertion),
+                    "proved-safe assertion `{}` violated: {v:?}",
+                    v.assertion
+                );
+            }
+            // This corpus is in fact violation-free end to end.
+            prop_assert!(rd.is_ok(), "{rd:?}");
+            let ts = Tesla::with_defaults();
+            let rs = run_with_tesla(&sart, &ts, "amd64_syscall", &[cred, nr], 10_000_000);
+            prop_assert_eq!(rd, rs);
+        }
+    }
+}
