@@ -1,0 +1,52 @@
+//! Context scaling — OLTP macrobenchmark throughput at 1/2/4/8
+//! threads, uninstrumented vs the per-thread context vs the global
+//! (sharded, snapshot-dispatched) context. The companion table lives
+//! in EXPERIMENTS.md; the `repro` binary prints the same rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tesla::prelude::*;
+use tesla::sim_kernel::Kernel;
+use tesla::workload::oltp;
+use tesla_bench::{make_kernel_in, KernelCfg};
+
+fn kernel_for(ctx: Option<tesla::spec::Context>) -> Arc<Kernel> {
+    match ctx {
+        // `Release` registers nothing: the uninstrumented baseline.
+        None => make_kernel_in(KernelCfg::Release, InitMode::Lazy, FailMode::Log, None).0,
+        Some(c) => {
+            make_kernel_in(KernelCfg::All, InitMode::Lazy, FailMode::Log, Some(c)).0
+        }
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_scaling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [1usize, 2, 4, 8] {
+        for (label, ctx) in [
+            ("uninstrumented", None),
+            ("per_thread", Some(tesla::spec::Context::PerThread)),
+            ("global", Some(tesla::spec::Context::Global)),
+        ] {
+            let params = oltp::OltpParams {
+                threads,
+                transactions: 100,
+                socket_ops: 4,
+                compute: 600,
+            };
+            g.bench_function(format!("{label}/{threads}t"), |b| {
+                b.iter(|| {
+                    let k = kernel_for(ctx);
+                    oltp::run(&k, params);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use tesla::pipeline::{BuildOptions, BuildSystem};
 use tesla::prelude::*;
 use tesla::sim_kernel::assertions::{register_sets, AssertionSet};
 use tesla::workload::{buildload, lmbench, oltp, xnee};
-use tesla_bench::{fmt_duration, gui_tiers, make_kernel, ratio, time_runs, KernelCfg};
+use tesla_bench::{fmt_duration, gui_tiers, make_kernel, make_kernel_in, ratio, time_runs, KernelCfg};
 
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +46,9 @@ fn main() {
     }
     if want("fig13") {
         fig13();
+    }
+    if want("scaling") {
+        scaling();
     }
     if want("fig14a") {
         fig14a();
@@ -249,7 +252,9 @@ fn fig11b() {
     for cfg in configs {
         let (k, _t) = make_kernel(cfg, InitMode::Lazy);
         let params = oltp::OltpParams { threads: 4, transactions: 60, socket_ops: 3, compute: 4000 };
-        let oltp_d = time_runs(3, || oltp::run(&k, params));
+        let oltp_d = time_runs(3, || {
+            oltp::run(&k, params);
+        });
         let (k2, _t2) = make_kernel(cfg, InitMode::Lazy);
         let bp = buildload::BuildParams { files: 40, compute: 400 };
         let build_d = time_runs(3, || {
@@ -361,7 +366,9 @@ fn fig13() {
             let (k, _t) = make_kernel(KernelCfg::All, init);
             let d = if which == 0 {
                 let params = oltp::OltpParams { threads: 4, transactions: 40, socket_ops: 3, compute: 4000 };
-                time_runs(3, || oltp::run(&k, params))
+                time_runs(3, || {
+                    oltp::run(&k, params);
+                })
             } else {
                 let bp = buildload::BuildParams { files: 30, compute: 300 };
                 time_runs(3, || {
@@ -379,6 +386,47 @@ fn fig13() {
         );
     }
     println!("(paper: micro ~100×→<7×; Clang build 2×→<1.1×; OLTP 10×→ small)");
+}
+
+/// Context scaling: OLTP throughput at 1/2/4/8 threads,
+/// uninstrumented vs per-thread vs global context (all 96 assertions,
+/// Log mode). The EXPERIMENTS.md `context_scaling` table records
+/// these rows before and after the sharded-store/snapshot dispatch
+/// work.
+fn scaling() {
+    header("Context scaling: OLTP txn/s at 1/2/4/8 threads");
+    const TXNS: usize = 400;
+    println!("{:<8} {:<16} {:>12} {:>12}", "threads", "config", "time", "txn/s");
+    for threads in [1usize, 2, 4, 8] {
+        for (label, ctx) in [
+            ("uninstrumented", None),
+            ("per-thread", Some(tesla::spec::Context::PerThread)),
+            ("global", Some(tesla::spec::Context::Global)),
+        ] {
+            let d = time_runs(3, || {
+                let k = match ctx {
+                    None => {
+                        make_kernel_in(KernelCfg::Release, InitMode::Lazy, FailMode::Log, None).0
+                    }
+                    Some(c) => {
+                        make_kernel_in(KernelCfg::All, InitMode::Lazy, FailMode::Log, Some(c)).0
+                    }
+                };
+                let params =
+                    oltp::OltpParams { threads, transactions: TXNS, socket_ops: 4, compute: 600 };
+                oltp::run(&k, params);
+            });
+            let total = (threads * TXNS) as f64;
+            println!(
+                "{:<8} {:<16} {:>12} {:>12.0}",
+                threads,
+                label,
+                fmt_duration(d),
+                total / d.as_secs_f64()
+            );
+        }
+    }
+    println!("(snapshot dispatch + sharded global stores: global ≈ per-thread at every width)");
 }
 
 /// Figure 14a: Objective-C message-send microbenchmark.

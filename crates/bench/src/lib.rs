@@ -11,7 +11,7 @@ use std::sync::Arc;
 use tesla::prelude::*;
 use tesla::sim_gui::appkit::GuiBugs;
 use tesla::sim_gui::{GuiApp, GuiMode};
-use tesla::sim_kernel::assertions::{register_sets, AssertionSet};
+use tesla::sim_kernel::assertions::{register_sets_in, AssertionSet};
 use tesla::sim_kernel::mac::MacFramework;
 use tesla::sim_kernel::{Bugs, Kernel, KernelConfig};
 
@@ -90,17 +90,30 @@ impl KernelCfg {
 
 /// Build a kernel in the given configuration and initialisation mode.
 pub fn make_kernel(cfg: KernelCfg, init_mode: InitMode) -> (Arc<Kernel>, Option<Arc<Tesla>>) {
+    make_kernel_in(cfg, init_mode, FailMode::FailStop, None)
+}
+
+/// [`make_kernel`] with explicit fail mode and an optional context
+/// override forcing every assertion into per-thread or global stores
+/// (the fig. 12 / context-scaling comparisons).
+pub fn make_kernel_in(
+    cfg: KernelCfg,
+    init_mode: InitMode,
+    fail_mode: FailMode,
+    context: Option<tesla::spec::Context>,
+) -> (Arc<Kernel>, Option<Arc<Tesla>>) {
     let sets = cfg.sets();
     let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
     if sets.is_empty() {
         (Arc::new(Kernel::new(kc, MacFramework::new(), None)), None)
     } else {
         let t = Arc::new(Tesla::new(Config {
-            fail_mode: FailMode::FailStop,
+            fail_mode,
             init_mode,
             instance_capacity: 64,
+            ..Config::default()
         }));
-        let reg = register_sets(&t, &sets).expect("sets register");
+        let reg = register_sets_in(&t, &sets, context).expect("sets register");
         let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
         (k, Some(t))
     }

@@ -431,6 +431,10 @@ pub fn run_with_tesla(
 ) -> Result<i64, String> {
     // Register once per engine: repeated runs reuse the classes whose
     // ids the instrumenter baked into `TeslaSite` instructions.
+    // `register_manifest` registers the whole manifest as one batch,
+    // so the engine publishes a single dispatch snapshot — hooks on
+    // other threads see either no classes or all of them, never a
+    // partially registered manifest.
     if tesla.n_classes() == 0 {
         register_manifest(tesla, &artifacts.manifest)?;
     }

@@ -291,10 +291,9 @@ pub fn instrument_with_elision(
 /// failure.
 pub fn register_manifest(tesla: &Tesla, manifest: &Manifest) -> Result<Vec<ClassId>, String> {
     let automata = manifest.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
-    automata
-        .into_iter()
-        .map(|a| tesla.register(a).map_err(|e| e.to_string()))
-        .collect()
+    // One batch: the engine clones and publishes a single dispatch
+    // snapshot for the whole manifest instead of one per class.
+    tesla.register_batch(automata).map_err(|e| e.to_string())
 }
 
 /// Bridges interpreter hook events into a libtesla engine: the

@@ -10,6 +10,29 @@
 //! the event it returns immediately (the cost measured by the
 //! "Infrastructure" kernel configuration of fig. 11).
 //!
+//! # Concurrency model
+//!
+//! The hook hot path is contention-free:
+//!
+//! * **Snapshot publication** — all dispatch state (tables, class
+//!   definitions, handlers) lives in an immutable [`Snapshot`].
+//!   Registration clones the current snapshot, mutates the copy and
+//!   swaps in a fresh `Arc` under a brief write lock, bumping a
+//!   version counter. Hooks keep a thread-local `Arc<Snapshot>` and
+//!   revalidate it with one atomic load per event; the lock is only
+//!   touched when the version moved. Concurrent threads never share a
+//!   reader-writer lock on the dispatch tables.
+//! * **Sharded Global store** — the Global-context store is striped
+//!   over [`Config::global_shards`] mutexes. A bound group (and every
+//!   class in it) maps deterministically to one shard
+//!   (`group % n_shards`), so threads driving disjoint bound groups
+//!   never contend, and a contended group only serialises its own
+//!   shard, not all Global state.
+//! * **Per-thread handles** — each thread caches its store, shadow
+//!   call stack and snapshot in a single `EngineTls` record with a
+//!   one-slot fast path, so steady-state hooks skip the per-event
+//!   HashMap lookup entirely.
+//!
 //! Temporal bounds are tracked per *bound group* (classes sharing the
 //! same start/end events and context). Two strategies, matching
 //! §5.2.2 and fig. 13:
@@ -29,7 +52,7 @@ use crate::intern::{Interner, NameId};
 use crate::store::Store;
 use crate::{RegisterError, MAX_VARS};
 use parking_lot::{Mutex, RwLock};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,11 +96,20 @@ pub struct Config {
     /// Instance-table capacity per class per store (§4.4.1
     /// preallocation).
     pub instance_capacity: usize,
+    /// Number of mutex stripes over the Global-context store. Each
+    /// bound group maps to one shard; threads touching disjoint
+    /// groups never contend. Clamped to at least 1.
+    pub global_shards: usize,
 }
 
 impl Default for Config {
     fn default() -> Config {
-        Config { fail_mode: FailMode::FailStop, init_mode: InitMode::Lazy, instance_capacity: 64 }
+        Config {
+            fail_mode: FailMode::FailStop,
+            init_mode: InitMode::Lazy,
+            instance_capacity: 64,
+            global_shards: 8,
+        }
     }
 }
 
@@ -93,8 +125,9 @@ pub struct ClassDef {
     pub site_hits: AtomicU64,
     /// Violations attributed to this class.
     pub violation_count: AtomicU64,
-    /// `incallstack` guard targets, interned.
-    pub guard_fns: Vec<NameId>,
+    /// `incallstack` guard targets with their interned ids, so guard
+    /// evaluation needs no interner lookup on the hot path.
+    pub guard_fns: Vec<(String, NameId)>,
 }
 
 impl ClassDef {
@@ -197,7 +230,7 @@ struct GroupDef {
     classes: Vec<u32>,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Tables {
     fn_tables: Vec<FnTable>,
     field_tables: Vec<Vec<Translator>>,
@@ -232,26 +265,61 @@ impl Tables {
     }
 }
 
+/// An immutable, atomically-published view of all dispatch state.
+/// Hooks work against one snapshot for the whole event; registration
+/// never mutates a published snapshot.
+#[derive(Default)]
+struct Snapshot {
+    tables: Tables,
+    classes: Vec<Arc<ClassDef>>,
+    handlers: Vec<Arc<dyn EventHandler>>,
+}
+
+/// Per-thread, per-engine cached state: the last snapshot seen, the
+/// PerThread store and the shadow call stack.
+struct EngineTls {
+    /// Snapshot version this thread last observed.
+    version: Cell<u64>,
+    snap: RefCell<Arc<Snapshot>>,
+    store: Rc<RefCell<Store>>,
+    stack: Rc<RefCell<Vec<NameId>>>,
+}
+
+impl EngineTls {
+    fn new() -> Rc<EngineTls> {
+        Rc::new(EngineTls {
+            version: Cell::new(0),
+            snap: RefCell::new(Arc::new(Snapshot::default())),
+            store: Rc::new(RefCell::new(Store::default())),
+            stack: Rc::new(RefCell::new(Vec::new())),
+        })
+    }
+}
+
 /// The libtesla engine handle. Cheap to share via `Arc`; all hook
 /// methods take `&self`.
 pub struct Tesla {
     id: u64,
     config: Config,
     interner: Interner,
-    tables: RwLock<Tables>,
-    classes: RwLock<Vec<Arc<ClassDef>>>,
-    global: Mutex<Store>,
-    handlers: RwLock<Vec<Arc<dyn EventHandler>>>,
+    /// Published dispatch state. The write lock doubles as the
+    /// registration lock; readers only take it after a version miss.
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Bumped (while the write lock is held) on every publish; hooks
+    /// revalidate their cached snapshot against it with one atomic
+    /// load.
+    snap_version: AtomicU64,
+    /// Striped Global-context stores; a bound group lives entirely in
+    /// shard `group % len`.
+    global_shards: Box<[Mutex<Store>]>,
     violation_log: Mutex<Vec<Violation>>,
 }
 
 thread_local! {
-    /// Per-thread stores, keyed by engine id.
-    static TL_STORES: RefCell<HashMap<u64, Rc<RefCell<Store>>>> =
-        RefCell::new(HashMap::new());
-    /// Per-thread shadow call stacks (for `incallstack` guards),
-    /// keyed by engine id.
-    static TL_STACKS: RefCell<HashMap<u64, Rc<RefCell<Vec<NameId>>>>> =
+    /// One-slot fast path: the engine this thread talked to last.
+    static TL_ACTIVE: RefCell<Option<(u64, Rc<EngineTls>)>> = const { RefCell::new(None) };
+    /// Fallback for threads using several engines, keyed by engine id.
+    static TL_ENGINES: RefCell<HashMap<u64, Rc<EngineTls>>> =
         RefCell::new(HashMap::new());
 }
 
@@ -260,14 +328,16 @@ static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
 impl Tesla {
     /// Create an engine with the given configuration.
     pub fn new(config: Config) -> Tesla {
+        let n_shards = config.global_shards.max(1);
         Tesla {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             config,
             interner: Interner::new(),
-            tables: RwLock::new(Tables::default()),
-            classes: RwLock::new(Vec::new()),
-            global: Mutex::new(Store::default()),
-            handlers: RwLock::new(Vec::new()),
+            snapshot: RwLock::new(Arc::new(Snapshot::default())),
+            // Start at 1: a fresh `EngineTls` (version 0) always
+            // pulls the current snapshot on first use.
+            snap_version: AtomicU64::new(1),
+            global_shards: (0..n_shards).map(|_| Mutex::new(Store::default())).collect(),
             violation_log: Mutex::new(Vec::new()),
         }
     }
@@ -302,9 +372,19 @@ impl Tesla {
         self.interner.intern(name)
     }
 
-    /// Add a lifecycle-event handler (§4.4.2).
+    /// Add a lifecycle-event handler (§4.4.2). Publishes a new
+    /// snapshot; events already in flight keep the handler set they
+    /// started with.
     pub fn add_handler(&self, h: Arc<dyn EventHandler>) {
-        self.handlers.write().push(h);
+        let mut slot = self.snapshot.write();
+        let mut next = Snapshot {
+            tables: slot.tables.clone(),
+            classes: slot.classes.clone(),
+            handlers: slot.handlers.clone(),
+        };
+        next.handlers.push(h);
+        *slot = Arc::new(next);
+        self.snap_version.fetch_add(1, Ordering::Release);
     }
 
     /// Violations recorded in [`FailMode::Log`] mode (fail-stop mode
@@ -321,17 +401,54 @@ impl Tesla {
     /// Register a compiled automaton class. Returns its id, used by
     /// the [`Tesla::assertion_site`] hook.
     ///
+    /// Publishes one new snapshot; for many classes prefer
+    /// [`Tesla::register_batch`], which publishes once for the whole
+    /// batch.
+    ///
     /// # Errors
     ///
     /// Returns [`RegisterError`] if the automaton exceeds engine
     /// limits.
     pub fn register(&self, automaton: Automaton) -> Result<ClassId, RegisterError> {
-        if automaton.var_names.len() > MAX_VARS {
-            return Err(RegisterError::TooManyVariables(automaton.var_names.len()));
+        self.register_batch(vec![automaton]).map(|ids| ids[0])
+    }
+
+    /// Register several automata, building and publishing a single
+    /// snapshot. Returns the class ids in argument order. On error
+    /// nothing is registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError`] if any automaton exceeds engine
+    /// limits.
+    pub fn register_batch(
+        &self,
+        automata: Vec<Automaton>,
+    ) -> Result<Vec<ClassId>, RegisterError> {
+        for a in &automata {
+            if a.var_names.len() > MAX_VARS {
+                return Err(RegisterError::TooManyVariables(a.var_names.len()));
+            }
         }
-        let mut classes = self.classes.write();
-        let mut tables = self.tables.write();
-        let class = classes.len() as u32;
+        let mut slot = self.snapshot.write();
+        let mut next = Snapshot {
+            tables: slot.tables.clone(),
+            classes: slot.classes.clone(),
+            handlers: slot.handlers.clone(),
+        };
+        let mut ids = Vec::with_capacity(automata.len());
+        for a in automata {
+            ids.push(ClassId(self.register_into(&mut next, a)));
+        }
+        *slot = Arc::new(next);
+        self.snap_version.fetch_add(1, Ordering::Release);
+        Ok(ids)
+    }
+
+    /// Wire one automaton into a snapshot under construction.
+    fn register_into(&self, next: &mut Snapshot, automaton: Automaton) -> u32 {
+        let tables = &mut next.tables;
+        let class = next.classes.len() as u32;
 
         // Bound group.
         let gk = GroupKey {
@@ -367,13 +484,13 @@ impl Tesla {
         };
 
         // Guard functions need shadow-stack maintenance.
-        let mut guard_fns = Vec::new();
+        let mut guard_fns: Vec<(String, NameId)> = Vec::new();
         for t in &automaton.transitions {
             if let Some(Guard::InCallStack(f)) = &t.guard {
                 let id = self.interner.intern(f);
                 tables.fn_table_mut(id).push_stack = true;
-                if !guard_fns.contains(&id) {
-                    guard_fns.push(id);
+                if !guard_fns.iter().any(|(_, g)| *g == id) {
+                    guard_fns.push((f.clone(), id));
                 }
             }
         }
@@ -431,7 +548,7 @@ impl Tesla {
             }
         }
 
-        classes.push(Arc::new(ClassDef {
+        next.classes.push(Arc::new(ClassDef {
             automaton,
             group,
             capacity: self.config.instance_capacity,
@@ -439,7 +556,7 @@ impl Tesla {
             violation_count: AtomicU64::new(0),
             guard_fns,
         }));
-        Ok(ClassId(class))
+        class
     }
 
     /// Compile and register a [`tesla_spec::Assertion`] in one step.
@@ -458,7 +575,7 @@ impl Tesla {
 
     /// The registered class definitions (introspection, DOT output).
     pub fn class_defs(&self) -> Vec<Arc<ClassDef>> {
-        self.classes.read().clone()
+        self.snapshot.read().classes.clone()
     }
 
     // ------------------------------------------------------------------
@@ -473,10 +590,10 @@ impl Tesla {
     /// exposed.
     #[inline]
     pub fn fn_entry(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
-        let tables = self.tables.read();
-        let Some(ft) = tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
+        let (tls, snap) = self.tls();
+        let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
         if ft.push_stack {
-            self.with_stack(|s| s.push(f));
+            tls.stack.borrow_mut().push(f);
         }
         if ft.bound_start_entry.is_empty()
             && ft.bound_end_entry.is_empty()
@@ -486,11 +603,11 @@ impl Tesla {
         }
         let mut first = None;
         for &g in &ft.bound_start_entry {
-            self.enter_group(&tables, g);
+            self.enter_group(&snap, &tls, g);
         }
-        self.run_translators(&tables, &ft.entry, args, None, None, None, &mut first);
+        self.run_translators(&snap, &tls, &ft.entry, args, None, None, None, &mut first);
         for &g in &ft.bound_end_entry {
-            self.exit_group(&tables, g, &mut first);
+            self.exit_group(&snap, &tls, g, &mut first);
         }
         self.dispose(first)
     }
@@ -498,33 +615,39 @@ impl Tesla {
     /// Function-exit hook; `args` are the entry arguments, `ret` the
     /// return value.
     ///
+    /// The shadow call stack is popped *after* exit translators and
+    /// bound ends run, so an `incallstack(f)` guard evaluated during
+    /// `f`'s own exit event still sees `f` on the stack — symmetric
+    /// with the entry event, which pushes before running translators.
+    ///
     /// # Errors
     ///
     /// In fail-stop mode, returns the violation that this event
     /// exposed.
     #[inline]
     pub fn fn_exit(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
-        let tables = self.tables.read();
-        let Some(ft) = tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
-        if ft.push_stack {
-            self.with_stack(|s| {
-                if let Some(pos) = s.iter().rposition(|x| *x == f) {
-                    s.remove(pos);
-                }
-            });
-        }
-        if ft.bound_start_exit.is_empty() && ft.bound_end_exit.is_empty() && ft.exit.is_empty() {
-            return Ok(());
-        }
+        let (tls, snap) = self.tls();
+        let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
         let mut first = None;
-        for &g in &ft.bound_start_exit {
-            self.enter_group(&tables, g);
+        let active = !ft.bound_start_exit.is_empty()
+            || !ft.bound_end_exit.is_empty()
+            || !ft.exit.is_empty();
+        if active {
+            for &g in &ft.bound_start_exit {
+                self.enter_group(&snap, &tls, g);
+            }
+            self.run_translators(&snap, &tls, &ft.exit, args, Some(ret), None, None, &mut first);
+            for &g in &ft.bound_end_exit {
+                self.exit_group(&snap, &tls, g, &mut first);
+            }
         }
-        self.run_translators(&tables, &ft.exit, args, Some(ret), None, None, &mut first);
-        for &g in &ft.bound_end_exit {
-            self.exit_group(&tables, g, &mut first);
+        if ft.push_stack {
+            let mut s = tls.stack.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|x| *x == f) {
+                s.remove(pos);
+            }
         }
-        self.dispose(first)
+        if active { self.dispose(first) } else { Ok(()) }
     }
 
     /// Structure-field-assignment hook (§4.2 "Field assignment"):
@@ -544,8 +667,8 @@ impl Tesla {
         op: FieldOp,
         value: Value,
     ) -> Result<(), Violation> {
-        let tables = self.tables.read();
-        let Some(entries) = tables.field_tables.get(field_id.0 as usize) else {
+        let (tls, snap) = self.tls();
+        let Some(entries) = snap.tables.field_tables.get(field_id.0 as usize) else {
             return Ok(());
         };
         if entries.is_empty() {
@@ -553,7 +676,8 @@ impl Tesla {
         }
         let mut first = None;
         self.run_translators(
-            &tables,
+            &snap,
+            &tls,
             entries,
             &[],
             None,
@@ -572,13 +696,13 @@ impl Tesla {
     /// exposed.
     #[inline]
     pub fn msg_entry(&self, sel: NameId, receiver: Value, args: &[Value]) -> Result<(), Violation> {
-        let tables = self.tables.read();
-        let Some(st) = tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
+        let (tls, snap) = self.tls();
+        let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
         if st.entry.is_empty() {
             return Ok(());
         }
         let mut first = None;
-        self.run_translators(&tables, &st.entry, args, None, None, Some(receiver), &mut first);
+        self.run_translators(&snap, &tls, &st.entry, args, None, None, Some(receiver), &mut first);
         self.dispose(first)
     }
 
@@ -596,13 +720,22 @@ impl Tesla {
         args: &[Value],
         ret: Value,
     ) -> Result<(), Violation> {
-        let tables = self.tables.read();
-        let Some(st) = tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
+        let (tls, snap) = self.tls();
+        let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
         if st.exit.is_empty() {
             return Ok(());
         }
         let mut first = None;
-        self.run_translators(&tables, &st.exit, args, Some(ret), None, Some(receiver), &mut first);
+        self.run_translators(
+            &snap,
+            &tls,
+            &st.exit,
+            args,
+            Some(ret),
+            None,
+            Some(receiver),
+            &mut first,
+        );
         self.dispose(first)
     }
 
@@ -615,41 +748,33 @@ impl Tesla {
     /// In fail-stop mode, returns the violation that this event
     /// exposed.
     pub fn assertion_site(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
-        let def = {
-            let classes = self.classes.read();
-            classes[class.0 as usize].clone()
-        };
+        let (tls, snap) = self.tls();
+        let def = snap.classes[class.0 as usize].clone();
         def.site_hits.fetch_add(1, Ordering::Relaxed);
-        let tables = self.tables.read();
-        let handlers = self.handlers.read();
-        let bindings: Vec<(usize, Value)> =
-            values.iter().enumerate().map(|(i, v)| (i, *v)).collect();
+        let n = values.len().min(MAX_VARS);
+        let mut bindings = [(0usize, Value::NULL); MAX_VARS];
+        for (i, v) in values.iter().take(n).enumerate() {
+            bindings[i] = (i, *v);
+        }
         let sym = def.automaton.site_sym;
         let mut first = None;
-        self.with_store(def.automaton.context, |store| {
-            store.ensure(self.n_classes(), tables.groups.len());
+        self.with_store(def.automaton.context, def.group, &tls, |store| {
+            store.ensure(snap.classes.len(), snap.tables.groups.len());
             if store.groups[def.group as usize].depth == 0 {
                 // Outside the temporal bound: the site is unreachable
                 // by automaton semantics; treat as unchecked.
                 return;
             }
-            store.materialize(class.0, &def, &handlers);
-            let stack = self.stack_handle();
-            let mut guard_ok = |g: &Guard| match g {
-                Guard::InCallStack(f) => self
-                    .interner
-                    .get(f)
-                    .map(|id| stack.borrow().contains(&id))
-                    .unwrap_or(false),
-            };
+            store.materialize(class.0, &def, &snap.handlers);
+            let mut guard_ok = guard_eval(&def, &tls.stack);
             let out = store.apply_event(
                 class.0,
                 &def,
                 sym,
-                &bindings,
+                &bindings[..n],
                 true,
                 &mut guard_ok,
-                &handlers,
+                &snap.handlers,
             );
             if let Some(v) = out.violation {
                 first.get_or_insert(v);
@@ -685,8 +810,9 @@ impl Tesla {
     /// Coverage report: per class, whether its assertion site was
     /// ever reached (the §3.5.2 test-suite coverage analysis).
     pub fn coverage(&self) -> Vec<(String, u64, u64)> {
-        self.classes
+        self.snapshot
             .read()
+            .classes
             .iter()
             .map(|c| {
                 (
@@ -700,15 +826,16 @@ impl Tesla {
 
     /// Number of registered classes.
     pub fn n_classes(&self) -> usize {
-        self.classes.read().len()
+        self.snapshot.read().classes.len()
     }
 
     /// Live instances for a class in the current thread's store
     /// (tests/introspection).
     pub fn live_instances_here(&self, class: ClassId) -> usize {
-        let def = self.classes.read()[class.0 as usize].clone();
+        let (tls, snap) = self.tls();
+        let def = snap.classes[class.0 as usize].clone();
         let mut n = 0;
-        self.with_store(def.automaton.context, |s| {
+        self.with_store(def.automaton.context, def.group, &tls, |s| {
             n = s.live_instances(class.0);
         });
         n
@@ -717,6 +844,35 @@ impl Tesla {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Hook prologue: this thread's cached state plus the current
+    /// snapshot. Steady state costs one atomic load and no locks; the
+    /// snapshot read lock is only taken when the version moved.
+    #[inline]
+    fn tls(&self) -> (Rc<EngineTls>, Arc<Snapshot>) {
+        let tls = TL_ACTIVE.with(|a| {
+            {
+                let b = a.borrow();
+                if let Some((id, rc)) = &*b {
+                    if *id == self.id {
+                        return rc.clone();
+                    }
+                }
+            }
+            let rc = TL_ENGINES.with(|m| {
+                m.borrow_mut().entry(self.id).or_insert_with(EngineTls::new).clone()
+            });
+            *a.borrow_mut() = Some((self.id, rc.clone()));
+            rc
+        });
+        let v = self.snap_version.load(Ordering::Acquire);
+        if tls.version.get() != v {
+            *tls.snap.borrow_mut() = self.snapshot.read().clone();
+            tls.version.set(v);
+        }
+        let snap = tls.snap.borrow().clone();
+        (tls, snap)
+    }
 
     fn dispose(&self, v: Option<Violation>) -> Result<(), Violation> {
         match v {
@@ -731,47 +887,31 @@ impl Tesla {
         }
     }
 
-    fn with_stack<R>(&self, f: impl FnOnce(&mut Vec<NameId>) -> R) -> R {
-        let h = self.stack_handle();
-        let mut s = h.borrow_mut();
-        f(&mut s)
-    }
-
-    fn stack_handle(&self) -> Rc<RefCell<Vec<NameId>>> {
-        TL_STACKS.with(|m| {
-            m.borrow_mut()
-                .entry(self.id)
-                .or_insert_with(|| Rc::new(RefCell::new(Vec::new())))
-                .clone()
-        })
-    }
-
-    fn with_store<R>(&self, ctx: Context, f: impl FnOnce(&mut Store) -> R) -> R {
+    /// Run `f` against the store owning `group`'s state in `ctx`:
+    /// one of the Global shards, or this thread's store.
+    #[inline]
+    fn with_store<R>(
+        &self,
+        ctx: Context,
+        group: u32,
+        tls: &EngineTls,
+        f: impl FnOnce(&mut Store) -> R,
+    ) -> R {
         match ctx {
             Context::Global => {
-                let mut g = self.global.lock();
+                let shard = group as usize % self.global_shards.len();
+                let mut g = self.global_shards[shard].lock();
                 f(&mut g)
             }
-            Context::PerThread => {
-                let rc = TL_STORES.with(|m| {
-                    m.borrow_mut()
-                        .entry(self.id)
-                        .or_insert_with(|| Rc::new(RefCell::new(Store::default())))
-                        .clone()
-                });
-                let mut s = rc.borrow_mut();
-                f(&mut s)
-            }
+            Context::PerThread => f(&mut tls.store.borrow_mut()),
         }
     }
 
-    fn enter_group(&self, tables: &Tables, g: u32) {
-        let gd = &tables.groups[g as usize];
-        let handlers = self.handlers.read();
+    fn enter_group(&self, snap: &Snapshot, tls: &EngineTls, g: u32) {
+        let gd = &snap.tables.groups[g as usize];
         let naive = self.config.init_mode == InitMode::Naive;
-        let classes = self.classes.read();
-        self.with_store(gd.context, |store| {
-            store.ensure(classes.len(), tables.groups.len());
+        self.with_store(gd.context, g, tls, |store| {
+            store.ensure(snap.classes.len(), snap.tables.groups.len());
             let gs = &mut store.groups[g as usize];
             gs.depth += 1;
             if gs.depth > 1 {
@@ -783,19 +923,17 @@ impl Tesla {
                 // Eager init: touch every class in the group — the
                 // cost the lazy optimisation removes (fig. 13).
                 for &c in &gd.classes {
-                    store.materialize(c, &classes[c as usize], &handlers);
+                    store.materialize(c, &snap.classes[c as usize], &snap.handlers);
                 }
             }
         });
     }
 
-    fn exit_group(&self, tables: &Tables, g: u32, first: &mut Option<Violation>) {
-        let gd = &tables.groups[g as usize];
-        let handlers = self.handlers.read();
+    fn exit_group(&self, snap: &Snapshot, tls: &EngineTls, g: u32, first: &mut Option<Violation>) {
+        let gd = &snap.tables.groups[g as usize];
         let naive = self.config.init_mode == InitMode::Naive;
-        let classes = self.classes.read();
-        self.with_store(gd.context, |store| {
-            store.ensure(classes.len(), tables.groups.len());
+        self.with_store(gd.context, g, tls, |store| {
+            store.ensure(snap.classes.len(), snap.tables.groups.len());
             {
                 let gs = &mut store.groups[g as usize];
                 if gs.depth == 0 {
@@ -813,7 +951,7 @@ impl Tesla {
             };
             for c in to_finalise {
                 if let Some(v) =
-                    store.finalise_class(c, &classes[c as usize], &handlers)
+                    store.finalise_class(c, &snap.classes[c as usize], &snap.handlers)
                 {
                     first.get_or_insert(v);
                 }
@@ -824,7 +962,8 @@ impl Tesla {
     #[allow(clippy::too_many_arguments)]
     fn run_translators(
         &self,
-        tables: &Tables,
+        snap: &Snapshot,
+        tls: &EngineTls,
         entries: &[Translator],
         args: &[Value],
         ret: Option<Value>,
@@ -835,8 +974,8 @@ impl Tesla {
         if entries.is_empty() {
             return;
         }
-        let handlers = self.handlers.read();
-        let classes = self.classes.read();
+        // Fixed-size binding buffer: no per-event heap allocation.
+        let mut bindings = [(0usize, Value::NULL); MAX_VARS];
         'entry: for t in entries {
             // Static checks (§4.2: "the generated code checks static
             // event parameters ... otherwise, the translator branches
@@ -870,42 +1009,54 @@ impl Tesla {
                 }
             }
             // Dynamic variable extraction.
-            let mut bindings: Vec<(usize, Value)> = Vec::with_capacity(t.binds.len());
+            let mut nb = 0;
             for (var, slot) in &t.binds {
                 match slot_value(slot) {
-                    Some(v) => bindings.push((*var as usize, v)),
+                    Some(v) => {
+                        bindings[nb] = (*var as usize, v);
+                        nb += 1;
+                    }
                     None => continue 'entry,
                 }
             }
-            let def = &classes[t.class as usize];
-            let stack = self.stack_handle();
-            let mut guard_ok = |g: &Guard| match g {
-                Guard::InCallStack(f) => self
-                    .interner
-                    .get(f)
-                    .map(|id| stack.borrow().contains(&id))
-                    .unwrap_or(false),
-            };
-            self.with_store(t.context, |store| {
-                store.ensure(classes.len(), tables.groups.len());
+            let def = &snap.classes[t.class as usize];
+            self.with_store(t.context, def.group, tls, |store| {
+                store.ensure(snap.classes.len(), snap.tables.groups.len());
                 if store.groups[def.group as usize].depth == 0 {
                     return; // outside the temporal bound
                 }
-                store.materialize(t.class, def, &handlers);
+                store.materialize(t.class, def, &snap.handlers);
+                let mut guard_ok = guard_eval(def, &tls.stack);
                 let out = store.apply_event(
                     t.class,
                     def,
                     t.sym,
-                    &bindings,
+                    &bindings[..nb],
                     false,
                     &mut guard_ok,
-                    &handlers,
+                    &snap.handlers,
                 );
                 if let Some(v) = out.violation {
                     first.get_or_insert(v);
                 }
             });
         }
+    }
+}
+
+/// Guard evaluator against a shadow call stack, resolving guard
+/// functions through the class's precomputed `(name, id)` pairs.
+fn guard_eval<'a>(
+    def: &'a ClassDef,
+    stack: &'a Rc<RefCell<Vec<NameId>>>,
+) -> impl FnMut(&Guard) -> bool + 'a {
+    move |g: &Guard| match g {
+        Guard::InCallStack(f) => def
+            .guard_fns
+            .iter()
+            .find(|(name, _)| name == f)
+            .map(|(_, id)| stack.borrow().contains(id))
+            .unwrap_or(false),
     }
 }
 
@@ -952,6 +1103,6 @@ fn compile_pattern(p: &ArgPattern, slot: Slot, t: &mut Translator) {
 /// Expose the per-thread state reset, for benchmarks that reuse
 /// threads across engine instances.
 pub fn reset_thread_state() {
-    TL_STORES.with(|m| m.borrow_mut().clear());
-    TL_STACKS.with(|m| m.borrow_mut().clear());
+    TL_ACTIVE.with(|a| *a.borrow_mut() = None);
+    TL_ENGINES.with(|m| m.borrow_mut().clear());
 }

@@ -8,12 +8,15 @@
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense interned-name id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NameId(pub u32);
 
-/// A concurrent string interner.
+/// A concurrent string interner. Names are stored once as `Arc<str>`
+/// shared between the index and the id table, so [`Interner::resolve`]
+/// hands out a reference-counted view instead of copying the string.
 #[derive(Debug, Default)]
 pub struct Interner {
     inner: RwLock<InternerInner>,
@@ -21,8 +24,8 @@ pub struct Interner {
 
 #[derive(Debug, Default)]
 struct InternerInner {
-    by_name: HashMap<String, NameId>,
-    names: Vec<String>,
+    by_name: HashMap<Arc<str>, NameId>,
+    names: Vec<Arc<str>>,
 }
 
 impl Interner {
@@ -42,8 +45,9 @@ impl Interner {
             return *id;
         }
         let id = NameId(w.names.len() as u32);
-        w.names.push(name.to_string());
-        w.by_name.insert(name.to_string(), id);
+        let shared: Arc<str> = Arc::from(name);
+        w.names.push(shared.clone());
+        w.by_name.insert(shared, id);
         id
     }
 
@@ -52,12 +56,13 @@ impl Interner {
         self.inner.read().by_name.get(name).copied()
     }
 
-    /// The string for an id.
+    /// The string for an id (a shared view; cloning is one refcount
+    /// bump, not a copy).
     ///
     /// # Panics
     ///
     /// Panics if `id` was not produced by this interner.
-    pub fn resolve(&self, id: NameId) -> String {
+    pub fn resolve(&self, id: NameId) -> Arc<str> {
         self.inner.read().names[id.0 as usize].clone()
     }
 
@@ -91,7 +96,7 @@ mod tests {
     fn resolve_roundtrips() {
         let i = Interner::new();
         let id = i.intern("mac_socket_check_poll");
-        assert_eq!(i.resolve(id), "mac_socket_check_poll");
+        assert_eq!(&*i.resolve(id), "mac_socket_check_poll");
         assert_eq!(i.get("mac_socket_check_poll"), Some(id));
         assert_eq!(i.get("missing"), None);
     }
@@ -117,7 +122,7 @@ mod tests {
         // Every name resolves to itself.
         for k in 0..50 {
             let n = format!("name{k}");
-            assert_eq!(i.resolve(i.get(&n).unwrap()), n);
+            assert_eq!(&*i.resolve(i.get(&n).unwrap()), n);
         }
     }
 }

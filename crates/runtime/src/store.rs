@@ -137,14 +137,21 @@ impl Store {
         if cs.epoch == epoch {
             return false;
         }
+        // Instances surviving from an earlier epoch that was never
+        // finalised (unbalanced bound exit, or a fail-stop that
+        // abandoned the scope) must not leak into the new epoch.
+        if !cs.instances.is_empty() {
+            cs.instances.clear();
+        }
         cs.epoch = epoch;
         if cs.instances.capacity() < def.capacity {
             cs.instances.reserve_exact(def.capacity - cs.instances.capacity());
         }
+        let slot = cs.instances.len() as u32;
         cs.instances.push(Instance::unnamed(def.automaton.initial_states()));
         self.groups[def.group as usize].materialized.push(class);
         for h in handlers {
-            h.on_event(&LifecycleEvent::New { class, instance: 0 });
+            h.on_event(&LifecycleEvent::New { class, instance: slot });
         }
         true
     }
@@ -209,7 +216,12 @@ impl Store {
                         h.on_event(&LifecycleEvent::Error { violation: v.clone() });
                     }
                     out.violation = Some(v);
-                    return out;
+                    // Stop delivering the event, but fall through to
+                    // commit clones already queued by earlier
+                    // instances: in Log mode the caller continues, and
+                    // those specialisations must survive for later
+                    // events.
+                    break;
                 }
                 // Irrelevant at this instance's progress: ignore.
                 continue;

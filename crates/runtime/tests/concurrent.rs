@@ -1,0 +1,201 @@
+//! Concurrent Global-context dispatch: N threads hammer the hooks at
+//! once, against shared and disjoint bound groups, while snapshots
+//! are swapped under traffic. Violations must never be lost, instance
+//! counts must be exact, and a late `register` must be safe.
+
+use std::sync::Arc;
+use tesla_automata::compile;
+use tesla_runtime::{Config, FailMode, Tesla};
+use tesla_spec::{call, AssertionBuilder, StaticEvent, Value};
+
+fn global_assertion(name: &str, start: &str, end: &str, check: &str) -> tesla_spec::Assertion {
+    AssertionBuilder::bounded(
+        StaticEvent::Call(start.to_string()),
+        StaticEvent::ReturnFrom(end.to_string()),
+    )
+    .global()
+    .named(name)
+    .previously(call(check).arg_var("v").returns(0))
+    .build()
+    .unwrap()
+}
+
+fn log_engine() -> Arc<Tesla> {
+    // Capacity sized for the cross-thread specialisation counts below.
+    Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        instance_capacity: 4096,
+        ..Config::default()
+    }))
+}
+
+/// One Global bound group shared by every thread: producers emit
+/// disjoint value ranges, sites for produced values pass, sites for
+/// unproduced values are violations — and none may be lost.
+#[test]
+fn shared_group_loses_no_violations_or_instances() {
+    const THREADS: u64 = 4;
+    const PRODUCED: u64 = 50;
+    const VIOLATIONS: u64 = 7;
+    let t = log_engine();
+    let a = global_assertion("shared", "job_start", "job_end", "produce");
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let start = t.intern_fn("job_start");
+    let end = t.intern_fn("job_end");
+    let produce = t.intern_fn("produce");
+
+    // The bound is held open by the main thread for the whole run.
+    t.fn_entry(start, &[]).unwrap();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for i in 0..PRODUCED {
+                    let v = w * 1_000 + i;
+                    let args = [Value(v)];
+                    t.fn_entry(produce, &args).unwrap();
+                    t.fn_exit(produce, &args, Value(0)).unwrap();
+                    // A produced value always passes its site.
+                    t.assertion_site(id, &[Value(v)]).unwrap();
+                }
+                for _ in 0..VIOLATIONS {
+                    // Never produced by anyone: a real violation.
+                    t.assertion_site(id, &[Value(900_000 + w)]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Exact instance count in the shared store: (∗) plus one
+    // specialisation per produced value.
+    assert_eq!(t.live_instances_here(id), 1 + (THREADS * PRODUCED) as usize);
+    // Every violating site was recorded, none lost to racing threads.
+    assert_eq!(t.violations().len(), (THREADS * VIOLATIONS) as usize);
+    t.fn_exit(end, &[], Value(0)).unwrap();
+    assert_eq!(t.live_instances_here(id), 0);
+}
+
+/// Disjoint Global bound groups: each thread drives its own group
+/// (its own shard); verdicts and counts stay per-group exact.
+#[test]
+fn disjoint_groups_do_not_interfere() {
+    const THREADS: usize = 4;
+    const ITERS: u64 = 200;
+    let t = log_engine();
+    let ids: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let a = global_assertion(
+                &format!("disjoint_{w}"),
+                &format!("start_{w}"),
+                &format!("end_{w}"),
+                &format!("check_{w}"),
+            );
+            t.register(compile(&a).unwrap()).unwrap()
+        })
+        .collect();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let t = t.clone();
+            let id = ids[w];
+            std::thread::spawn(move || {
+                let start = t.intern_fn(&format!("start_{w}"));
+                let end = t.intern_fn(&format!("end_{w}"));
+                let check = t.intern_fn(&format!("check_{w}"));
+                for i in 0..ITERS {
+                    t.fn_entry(start, &[]).unwrap();
+                    let args = [Value(i)];
+                    t.fn_entry(check, &args).unwrap();
+                    t.fn_exit(check, &args, Value(0)).unwrap();
+                    t.assertion_site(id, &[Value(i)]).unwrap();
+                    if i % 10 == 0 {
+                        // One deliberate violation per ten iterations.
+                        t.assertion_site(id, &[Value(i + 1)]).unwrap();
+                    }
+                    t.fn_exit(end, &[], Value(0)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let per_thread_violations = ITERS.div_ceil(10);
+    assert_eq!(t.violations().len(), THREADS * per_thread_violations as usize);
+    // Per-class coverage is exact: every site hit and every violation
+    // is attributed to the class whose thread produced it.
+    for (name, hits, viols) in t.coverage() {
+        assert_eq!(hits, ITERS + per_thread_violations, "{name}");
+        assert_eq!(viols, per_thread_violations, "{name}");
+    }
+    // All groups were finalised; no instances linger in any shard.
+    for &id in &ids {
+        assert_eq!(t.live_instances_here(id), 0);
+    }
+}
+
+/// A snapshot swap during traffic: worker threads hammer an existing
+/// class while the main thread registers new classes. No events may
+/// be dropped or misrouted, and the late classes must work.
+#[test]
+fn snapshot_swap_under_traffic_is_safe() {
+    const THREADS: u64 = 4;
+    const ITERS: u64 = 500;
+    const LATE_CLASSES: usize = 16;
+    let t = log_engine();
+    let a = global_assertion("base", "job_start", "job_end", "produce");
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let start = t.intern_fn("job_start");
+    let end = t.intern_fn("job_end");
+    let produce = t.intern_fn("produce");
+
+    t.fn_entry(start, &[]).unwrap();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let v = w * 100_000 + i;
+                    let args = [Value(v)];
+                    t.fn_entry(produce, &args).unwrap();
+                    t.fn_exit(produce, &args, Value(0)).unwrap();
+                    t.assertion_site(id, &[Value(v)]).unwrap();
+                }
+            })
+        })
+        .collect();
+    // Swap snapshots while the workers run.
+    let late: Vec<_> = (0..LATE_CLASSES)
+        .map(|k| {
+            let a = global_assertion(
+                &format!("late_{k}"),
+                &format!("late_start_{k}"),
+                &format!("late_end_{k}"),
+                &format!("late_check_{k}"),
+            );
+            t.register(compile(&a).unwrap()).unwrap()
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // No worker event was lost across the swaps.
+    assert!(t.violations().is_empty());
+    assert_eq!(t.live_instances_here(id), 1 + (THREADS * ITERS) as usize);
+    t.fn_exit(end, &[], Value(0)).unwrap();
+    // Every late class is live and enforces end to end.
+    assert_eq!(t.n_classes(), 1 + LATE_CLASSES);
+    for (k, &lid) in late.iter().enumerate() {
+        let s = t.intern_fn(&format!("late_start_{k}"));
+        let e = t.intern_fn(&format!("late_end_{k}"));
+        let c = t.intern_fn(&format!("late_check_{k}"));
+        t.fn_entry(s, &[]).unwrap();
+        let args = [Value(k as u64)];
+        t.fn_entry(c, &args).unwrap();
+        t.fn_exit(c, &args, Value(0)).unwrap();
+        t.assertion_site(lid, &[Value(k as u64)]).unwrap();
+        t.fn_exit(e, &[], Value(0)).unwrap();
+    }
+    assert!(t.violations().is_empty());
+}

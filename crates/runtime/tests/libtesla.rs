@@ -13,7 +13,7 @@ use tesla_runtime::{
 use tesla_spec::{call, field_assign, msg_send, AssertionBuilder, ExprBuilder, FieldOp, Value};
 
 fn syscall_poll_engine(init: InitMode, fail: FailMode) -> (Tesla, tesla_runtime::ClassId) {
-    let t = Tesla::new(Config { fail_mode: fail, init_mode: init, instance_capacity: 64 });
+    let t = Tesla::new(Config { fail_mode: fail, init_mode: init, ..Config::default() });
     let a = AssertionBuilder::syscall()
         .named("mac_poll")
         .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
@@ -698,6 +698,160 @@ fn late_registration_extends_dispatch_tables() {
     // The first class still works too.
     poll_scenario(&t, id1, Some(2), Some(2)).unwrap();
     assert!(t.violations().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Regression tests for hot-path ordering and lifecycle bugs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn incallstack_guard_sees_guarded_fns_own_exit() {
+    // Regression: `fn_exit` used to pop the shadow call stack *before*
+    // running exit translators, so an `incallstack(f)` guard on a
+    // transition consumed during `f`'s own exit event evaluated to
+    // false — asymmetric with the entry event, which pushes before
+    // translators run. The spec surface only attaches guards to site
+    // transitions, so compile a normal assertion and patch the guard
+    // onto the helper's exit-event transition, exactly what a future
+    // guarded-event lowering would emit.
+    use tesla_automata::{Direction, Guard, SymbolKind};
+    let t = Tesla::with_defaults();
+    let a = AssertionBuilder::within("g")
+        .named("exit_guard")
+        .previously(call("helper").returns(0))
+        .build()
+        .unwrap();
+    let mut auto = compile(&a).unwrap();
+    let exit_sym = auto
+        .symbols
+        .iter()
+        .find(|s| {
+            matches!(
+                &s.kind,
+                SymbolKind::Function { name, direction: Direction::Exit, .. } if name == "helper"
+            )
+        })
+        .unwrap()
+        .id;
+    for tr in &mut auto.transitions {
+        if tr.sym == exit_sym {
+            tr.guard = Some(Guard::InCallStack("helper".into()));
+        }
+    }
+    let id = t.register(auto).unwrap();
+    let g = t.intern_fn("g");
+    let helper = t.intern_fn("helper");
+    t.fn_entry(g, &[]).unwrap();
+    t.fn_entry(helper, &[]).unwrap();
+    // The guard must see `helper` on the stack while its own exit
+    // translators run.
+    t.fn_exit(helper, &[], Value(0)).unwrap();
+    t.assertion_site(id, &[]).unwrap();
+    t.fn_exit(g, &[], Value(0)).unwrap();
+    assert!(t.violations().is_empty());
+}
+
+#[test]
+fn strict_violation_keeps_clones_queued_by_earlier_instances() {
+    // Regression: a strict-mode violation used to return from
+    // `Store::apply_event` before committing clones queued by earlier
+    // instances in the same event, so Log-mode callers lost
+    // specialisations that later events should still observe.
+    let t = Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() });
+    // `xor` makes the branches exclusive: once an instance has taken
+    // the `b` branch, `a` has no transition from its state.
+    let a = AssertionBuilder::within("g")
+        .named("strict_clones")
+        .previously(
+            ExprBuilder::from(call("a").arg_var("x").entry())
+                .xor(call("b").arg_var("y").entry())
+                .strict(),
+        )
+        .build()
+        .unwrap();
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let g = t.intern_fn("g");
+    let (fa, fb) = (t.intern_fn("a"), t.intern_fn("b"));
+    t.fn_entry(g, &[]).unwrap();
+    // b(9): (∗) specialises to (y=9) down the `b` branch.
+    t.fn_entry(fb, &[Value(9)]).unwrap();
+    assert_eq!(t.live_instances_here(id), 2);
+    // a(1): slot 0, (∗), queues the clone (x=1); then slot 1, (y=9),
+    // is binding-compatible (x is unknown to it) but its branch has
+    // no transition on `a` — a strict violation. The clone queued
+    // before the violation must still be committed.
+    t.fn_entry(fa, &[Value(1)]).unwrap();
+    let vs = t.violations();
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].kind, ViolationKind::Strict);
+    assert_eq!(
+        t.live_instances_here(id),
+        3,
+        "the clone queued before the strict violation must survive"
+    );
+}
+
+#[test]
+fn stale_instances_cleared_on_epoch_change() {
+    // Regression: `Store::materialize` used to push a fresh (∗)
+    // without clearing instances left from a prior epoch that was
+    // never finalised (a scope abandoned by an unbalanced bound exit
+    // or a fail-stop), and hardcoded the lifecycle slot index to 0.
+    // Modelled directly on the store: the engine's own bookkeeping
+    // keeps entries/exits balanced, but an abandoned store must not
+    // leak old-epoch instances into the new scope.
+    use std::sync::atomic::AtomicU64;
+    use tesla_runtime::engine::ClassDef;
+    use tesla_runtime::store::Store;
+    let a = AssertionBuilder::within("g")
+        .named("stale")
+        .previously(call("c").arg_var("x").returns(0))
+        .build()
+        .unwrap();
+    let auto = compile(&a).unwrap();
+    let check_sym = auto
+        .symbols
+        .iter()
+        .find(|s| matches!(&s.kind, tesla_automata::SymbolKind::Function { name, .. } if name == "c"))
+        .unwrap()
+        .id;
+    let def = ClassDef {
+        automaton: auto,
+        group: 0,
+        capacity: 8,
+        site_hits: AtomicU64::new(0),
+        violation_count: AtomicU64::new(0),
+        guard_fns: Vec::new(),
+    };
+    let mut store = Store::default();
+    store.ensure(1, 1);
+    // Epoch 1: the bound is entered, the class materialises and
+    // specialises on c(x=5).
+    store.groups[0].depth = 1;
+    store.groups[0].epoch = 1;
+    store.materialize(0, &def, &[]);
+    store.apply_event(0, &def, check_sym, &[(0, Value(5))], false, &mut |_| true, &[]);
+    assert_eq!(store.live_instances(0), 2);
+    // The scope is abandoned without finalisation; the next outermost
+    // bound entry starts epoch 2.
+    store.groups[0].epoch = 2;
+    store.groups[0].materialized.clear();
+    let rec = Arc::new(RecordingHandler::new());
+    let handlers: Vec<Arc<dyn tesla_runtime::EventHandler>> = vec![rec.clone()];
+    store.materialize(0, &def, &handlers);
+    assert_eq!(
+        store.live_instances(0),
+        1,
+        "epoch-1 instances must not leak into epoch 2"
+    );
+    // The lifecycle event reports the slot the (∗) actually landed in.
+    let evs = rec.events();
+    assert_eq!(evs.len(), 1);
+    assert!(
+        matches!(evs[0], tesla_runtime::LifecycleEvent::New { class: 0, instance: 0 }),
+        "got {:?}",
+        evs[0]
+    );
 }
 
 #[test]

@@ -410,6 +410,22 @@ pub struct RegisteredSets {
 ///
 /// Returns a description of any compilation/registration failure.
 pub fn register_sets(tesla: &Arc<Tesla>, sets: &[AssertionSet]) -> Result<RegisteredSets, String> {
+    register_sets_in(tesla, sets, None)
+}
+
+/// [`register_sets`] with an optional context override: `Some(ctx)`
+/// forces every assertion into `ctx` (the fig. 12 / scaling
+/// experiments compare identical assertion sets in the per-thread vs
+/// the global context).
+///
+/// # Errors
+///
+/// Returns a description of any compilation/registration failure.
+pub fn register_sets_in(
+    tesla: &Arc<Tesla>,
+    sets: &[AssertionSet],
+    context: Option<tesla_spec::Context>,
+) -> Result<RegisteredSets, String> {
     let mut chosen: Vec<AssertionSet> = sets.iter().flat_map(|s| s.primitives()).collect();
     chosen.sort();
     chosen.dedup();
@@ -419,13 +435,24 @@ pub fn register_sets(tesla: &Arc<Tesla>, sets: &[AssertionSet]) -> Result<Regist
     let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut total = 0usize;
     let mut register = |specs: Vec<Spec>, label: &'static str| -> Result<(), String> {
-        let mut n = 0;
-        for spec in specs {
-            let auto = compile(&spec.assertion)
-                .map_err(|e| format!("{}: {e}", spec.assertion.name))?;
-            let id = tesla.register(auto).map_err(|e| e.to_string())?;
-            sites.entry(spec.key.clone()).or_default().push(id);
-            n += 1;
+        // Compile the whole set, then register it as one batch so the
+        // engine publishes a single dispatch snapshot per set.
+        let mut automata = Vec::with_capacity(specs.len());
+        let mut keys = Vec::with_capacity(specs.len());
+        for mut spec in specs {
+            if let Some(ctx) = context {
+                spec.assertion.context = ctx;
+            }
+            automata.push(
+                compile(&spec.assertion)
+                    .map_err(|e| format!("{}: {e}", spec.assertion.name))?,
+            );
+            keys.push(spec.key);
+        }
+        let ids = tesla.register_batch(automata).map_err(|e| e.to_string())?;
+        let n = ids.len();
+        for (key, id) in keys.into_iter().zip(ids) {
+            sites.entry(key).or_default().push(id);
         }
         *counts.entry(label).or_insert(0) += n;
         total += n;

@@ -112,6 +112,7 @@ fn fresh_kernel(init_mode: InitMode) -> (Arc<Kernel>, Arc<Tesla>) {
         fail_mode: FailMode::FailStop,
         init_mode,
         instance_capacity: 128,
+        ..Config::default()
     }));
     let reg = register_sets(&t, &[AssertionSet::All]).unwrap();
     let k = Arc::new(Kernel::new(
@@ -228,6 +229,7 @@ proptest! {
             fail_mode: FailMode::Log,
             init_mode: InitMode::Lazy,
             instance_capacity: 128,
+            ..Config::default()
         }));
         let reg = register_sets(&t, &[AssertionSet::All]).unwrap();
         let bugs = Bugs {

@@ -106,9 +106,17 @@ pub mod oltp {
         }
     }
 
-    /// Run the workload to completion; panics on kernel errors
-    /// (workloads run on clean kernels).
-    pub fn run(k: &Arc<Kernel>, params: OltpParams) {
+    /// Run the workload to completion and return the total number of
+    /// transactions executed; panics on kernel errors (workloads run
+    /// on clean kernels).
+    ///
+    /// Every worker forks its own process and socketpair, so the
+    /// workload itself shares no file descriptors across threads:
+    /// any cross-thread cost observed under Global-context
+    /// assertions (the `context_scaling` experiment) is engine-side
+    /// — dispatch-snapshot and store-shard synchronisation — not
+    /// workload-side.
+    pub fn run(k: &Arc<Kernel>, params: OltpParams) -> u64 {
         k.mkdir_p("/db", 0).expect("mkdir");
         if k.sys_stat(k.init_pid(), "/db/table").is_err() {
             k.mkfile("/db/table", &vec![0u8; 256], 0, false).expect("mkfile");
@@ -142,11 +150,10 @@ pub mod oltp {
                 }
                 k.sys_exit(me, 0).expect("exit");
                 tesla_runtime::engine::reset_thread_state();
+                params.transactions as u64
             }));
         }
-        for h in handles {
-            h.join().expect("worker");
-        }
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
     }
 }
 

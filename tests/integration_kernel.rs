@@ -18,6 +18,7 @@ fn kernel(
         fail_mode: FailMode::FailStop,
         init_mode,
         instance_capacity: 64,
+        ..Config::default()
     }));
     let reg = register_sets(&t, sets).unwrap();
     let k = Arc::new(Kernel::new(

@@ -34,6 +34,7 @@ fn engine(init_mode: InitMode) -> (Arc<Tesla>, ClassId) {
         fail_mode: FailMode::Log,
         init_mode,
         instance_capacity: 64,
+        ..Config::default()
     }));
     let a = AssertionBuilder::syscall()
         .named("prop")
@@ -228,6 +229,7 @@ fn capacity_sweep_reports_overflows_proportionally() {
             fail_mode: FailMode::Log,
             init_mode: InitMode::Lazy,
             instance_capacity: capacity,
+            ..Config::default()
         });
         let counting = Arc::new(CountingHandler::new());
         t.add_handler(counting.clone());
