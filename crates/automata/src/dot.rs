@@ -34,6 +34,46 @@ impl<F: Fn(u32, u32) -> u64> WeightSource for F {
     }
 }
 
+/// A dense `(state, symbol) → count` snapshot, decoupled from
+/// whatever live counter structure produced it. The runtime's
+/// telemetry registry exports its per-class transition tables in this
+/// shape (state ids follow [`Dfa::from_automaton`]'s deterministic
+/// BFS order, the same order `render` uses), so weighted fig. 9
+/// graphs can be drawn from a frozen snapshot while dispatch
+/// continues.
+pub struct DenseWeights {
+    n_symbols: usize,
+    cells: Vec<u64>,
+}
+
+impl DenseWeights {
+    /// Build from sparse `(from_state, symbol, count)` triples.
+    pub fn from_triples(
+        n_states: u32,
+        n_symbols: usize,
+        triples: impl IntoIterator<Item = (u32, u32, u64)>,
+    ) -> Self {
+        let mut cells = vec![0u64; n_states as usize * n_symbols];
+        for (from, sym, count) in triples {
+            if (from as usize) < n_states as usize && (sym as usize) < n_symbols {
+                cells[from as usize * n_symbols + sym as usize] += count;
+            }
+        }
+        DenseWeights { n_symbols, cells }
+    }
+
+    /// Total firings across all transitions.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+}
+
+impl WeightSource for DenseWeights {
+    fn weight(&self, from: u32, sym: u32) -> u64 {
+        self.cells.get(from as usize * self.n_symbols + sym as usize).copied().unwrap_or(0)
+    }
+}
+
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -234,6 +274,27 @@ mod tests {
         let dot = render(&mac_poll(), &weigher);
         assert!(dot.contains("(100×)"));
         assert!(dot.contains("penwidth=5.00"));
+    }
+
+    #[test]
+    fn dense_weights_snapshot_renders_like_closure() {
+        let a = mac_poll();
+        let dfa = Dfa::from_automaton(&a);
+        // Weight 100 on every symbol out of state 0, mirroring the
+        // closure in `weights_scale_pen_width`; out-of-range triples
+        // are dropped rather than panicking.
+        let triples = (0..a.n_symbols() as u32)
+            .map(|sym| (0u32, sym, 100u64))
+            .chain([(u32::MAX, 0, 5), (0, u32::MAX, 5)]);
+        let dense =
+            DenseWeights::from_triples(dfa.states.len() as u32, a.n_symbols(), triples);
+        assert_eq!(dense.weight(0, 0), 100);
+        assert_eq!(dense.weight(u32::MAX, 0), 0);
+        assert_eq!(dense.total(), 100 * a.n_symbols() as u64);
+        let dot = render(&mac_poll(), &dense);
+        assert!(dot.contains("(100×)"));
+        assert!(dot.contains("penwidth=5.00"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Telemetry overhead — the full observability stack (lock-free
+//! metrics registry, hook-latency timers, per-thread flight recorder)
+//! against the plain instrumented kernel, on the OLTP macrobenchmark
+//! at 1/2/4/8 threads. The acceptance budget for this PR is ≤5%
+//! slowdown with everything attached; the companion table lives in
+//! EXPERIMENTS.md and the `repro telemetry` subcommand prints the
+//! same rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tesla::prelude::*;
+use tesla::workload::oltp;
+use tesla_bench::{make_kernel, make_kernel_telemetry, KernelCfg};
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    // Two event densities, matching `repro telemetry`: "dense" is
+    // fig. 11b's macro parameterization (exposes per-event marginal
+    // cost), "app" is the realistic SysBench-like density where the
+    // ≤5% acceptance budget is measured.
+    for (label, compute) in [("dense", 4_000usize), ("app", 80_000)] {
+        for threads in [1usize, 2, 4, 8] {
+            let params =
+                oltp::OltpParams { threads, transactions: 100, socket_ops: 3, compute };
+            g.bench_function(format!("{label}/off/{threads}t"), |b| {
+                b.iter(|| {
+                    let (k, _t) = make_kernel(KernelCfg::All, InitMode::Lazy);
+                    oltp::run(&k, params);
+                })
+            });
+            g.bench_function(format!("{label}/on/{threads}t"), |b| {
+                b.iter(|| {
+                    let (k, t, rec) =
+                        make_kernel_telemetry(KernelCfg::All, InitMode::Lazy, 1 << 12);
+                    oltp::run(&k, params);
+                    // Snapshotting is part of the observability cost.
+                    let _ = t.unwrap().metrics().snapshot();
+                    let _ = rec.unwrap().snapshot();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

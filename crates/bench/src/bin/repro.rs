@@ -16,7 +16,10 @@ use tesla::pipeline::{BuildOptions, BuildSystem};
 use tesla::prelude::*;
 use tesla::sim_kernel::assertions::{register_sets, AssertionSet};
 use tesla::workload::{buildload, lmbench, oltp, xnee};
-use tesla_bench::{fmt_duration, gui_tiers, make_kernel, make_kernel_in, ratio, time_runs, KernelCfg};
+use tesla_bench::{
+    fmt_duration, gui_tiers, make_kernel, make_kernel_in, make_kernel_telemetry, ratio, time_runs,
+    KernelCfg,
+};
 
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +58,9 @@ fn main() {
     }
     if want("fig14b") {
         fig14b();
+    }
+    if want("telemetry") {
+        telemetry();
     }
 }
 
@@ -427,6 +433,59 @@ fn scaling() {
         }
     }
     println!("(snapshot dispatch + sharded global stores: global ≈ per-thread at every width)");
+}
+
+/// Telemetry overhead: OLTP with the full observability stack
+/// (metrics registry + hook timers + flight recorder) versus the
+/// plain instrumented kernel, at 1/2/4/8 threads. The EXPERIMENTS.md
+/// telemetry table records these rows; the acceptance budget is ≤5%
+/// on the 4-thread row.
+fn telemetry() {
+    header("Telemetry overhead: OLTP txn/s, observability on vs off");
+    // Two parameterizations of the same workload:
+    //
+    //  - "hook-dense" is the fig. 11b macro setup (compute=4000):
+    //    roughly one instrumented event per 160 ns of application
+    //    work, far denser than any real program — it exposes the
+    //    per-event marginal cost of the observability stack.
+    //  - "app-weight" (compute=80000) matches the event density of
+    //    the paper's macrobenchmarks (one syscall per ~1 µs of real
+    //    work, as in the MySQL/SysBench run); the ≤5% budget is
+    //    measured here. The compute=600 stress density of fig. 13 is
+    //    hook-bound by design and reported separately by `repro
+    //    fig13`.
+    const TXNS: usize = 400;
+    for (label, compute) in [("hook-dense (fig. 11b)", 4_000usize), ("app-weight", 80_000)] {
+        println!("-- {label}: compute={compute} per transaction --");
+        println!(
+            "{:<8} {:>12} {:>12} {:>9} {:>14}",
+            "threads", "off", "on", "on/off", "events seen"
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let params = oltp::OltpParams { threads, transactions: TXNS, socket_ops: 3, compute };
+            let off = time_runs(7, || {
+                let (k, _t) = make_kernel(KernelCfg::All, InitMode::Lazy);
+                oltp::run(&k, params);
+            });
+            let mut events = 0u64;
+            let on = time_runs(7, || {
+                let (k, t, rec) =
+                    make_kernel_telemetry(KernelCfg::All, InitMode::Lazy, 1 << 12);
+                oltp::run(&k, params);
+                events = t.unwrap().metrics().events_total();
+                let _ = rec.unwrap().snapshot();
+            });
+            println!(
+                "{:<8} {:>12} {:>12} {:>9} {:>14}",
+                threads,
+                fmt_duration(off),
+                fmt_duration(on),
+                ratio(on, off),
+                events
+            );
+        }
+    }
+    println!("(budget: ≤1.05× at app-weight with metrics, hook timers and recorder attached)");
 }
 
 /// Figure 14a: Objective-C message-send microbenchmark.

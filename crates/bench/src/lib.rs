@@ -119,6 +119,35 @@ pub fn make_kernel_in(
     }
 }
 
+/// [`make_kernel`] with the full telemetry stack attached: the
+/// engine's lock-free metrics registry plus a flight recorder sized
+/// at `recorder_capacity` events per thread. This is the
+/// "observability on" configuration of the EXPERIMENTS.md telemetry
+/// overhead table; `make_kernel` is its "off" baseline.
+pub fn make_kernel_telemetry(
+    cfg: KernelCfg,
+    init_mode: InitMode,
+    recorder_capacity: usize,
+) -> (Arc<Kernel>, Option<Arc<Tesla>>, Option<Arc<FlightRecorder>>) {
+    let sets = cfg.sets();
+    let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
+    if sets.is_empty() {
+        return (Arc::new(Kernel::new(kc, MacFramework::new(), None)), None, None);
+    }
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::FailStop,
+        init_mode,
+        instance_capacity: 64,
+        telemetry: true,
+        ..Config::default()
+    }));
+    let recorder = Arc::new(FlightRecorder::new(recorder_capacity));
+    t.add_handler(recorder.clone());
+    let reg = register_sets_in(&t, &sets, None).expect("sets register");
+    let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
+    (k, Some(t), Some(recorder))
+}
+
 /// The GUI tiers of fig. 14, in bar order.
 pub fn gui_tiers() -> Vec<(&'static str, GuiMode)> {
     vec![

@@ -7,8 +7,10 @@
 //! tesla static-check <file.c>...      flow-sensitive model checking + diagnostics
 //!                                     [--deny] [--format text|json|sarif]
 //! tesla build   <file.c>...           full TESLA build, print instrumentation stats
-//! tesla run     <file.c>... [--entry f] [--arg N]...
+//! tesla run     <file.c>... [--entry f] [--arg N]... [--graph out.dot]
 //!                                     build, weave, execute under libtesla (fail-stop)
+//! tesla observe <file.c>... [--format prom|json|dot|trace] [--entry f] [--arg N]... [-o out]
+//!                                     run under full telemetry, emit the report
 //! ```
 
 use std::process::ExitCode;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         "static-check" => static_check_cmd(rest),
         "build" => build(rest),
         "run" => run(rest),
+        "observe" => observe(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -53,8 +56,17 @@ const USAGE: &str = "usage:
                                  model-check, report, and elide; --deny
                                  makes warnings/errors a nonzero exit
   tesla build   <file.c>...      TESLA build; print instrumentation stats
-  tesla run     <file.c>... [--entry main] [--arg N]...
-                                 build and execute under libtesla";
+  tesla run     <file.c>... [--entry main] [--arg N]... [--graph out.dot]
+                                 build and execute under libtesla;
+                                 --graph writes transition-weighted
+                                 automaton graphs after the run
+  tesla observe <file.c>... [--format prom|json|dot|trace]
+                [--entry main] [--arg N]... [-o out]
+                                 build, run under full telemetry, and
+                                 report: Prometheus text (prom), JSON
+                                 metrics snapshot (json), weighted
+                                 fig. 9 graphs (dot), or a
+                                 chrome://tracing event log (trace)";
 
 fn parse_one(src: &str) -> Result<tesla::spec::Assertion, String> {
     parse_assertion(src).map_err(|e| e.to_string())
@@ -171,6 +183,7 @@ fn run(rest: &[String]) -> Result<(), String> {
     let mut files = Vec::new();
     let mut entry = "main".to_string();
     let mut prog_args: Vec<i64> = Vec::new();
+    let mut graph: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -181,14 +194,26 @@ fn run(rest: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --arg: {e}"))?,
             ),
+            "--graph" => graph = Some(it.next().ok_or("--graph needs a path")?.clone()),
             f => files.push(f.to_string()),
         }
     }
     let project = load_project(&files)?;
     let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
     let art = bs.build().map_err(|e| e.to_string())?;
-    let engine = Arc::new(Tesla::with_defaults());
-    match run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000) {
+    // --graph needs live transition weights, so it switches telemetry
+    // on; plain runs keep the zero-overhead default.
+    let engine = Arc::new(Tesla::new(Config {
+        telemetry: graph.is_some(),
+        ..Config::default()
+    }));
+    let result = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000);
+    if let Some(path) = graph {
+        let dot = weighted_graphs(&engine);
+        std::fs::write(&path, &dot).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {} weighted graph(s) to {path}", engine.n_classes());
+    }
+    match result {
         Ok(rc) => {
             println!("{entry}({prog_args:?}) = {rc}");
             println!("0 violations");
@@ -196,4 +221,84 @@ fn run(rest: &[String]) -> Result<(), String> {
         }
         Err(e) => Err(e),
     }
+}
+
+/// One transition-weighted DOT digraph per registered class, weighted
+/// by the engine's live telemetry (fig. 9's "observations of dynamic
+/// behaviour" combined with the static automaton).
+fn weighted_graphs(engine: &Tesla) -> String {
+    use tesla::automata::dot;
+    let mut out = String::new();
+    for (i, def) in engine.class_defs().iter().enumerate() {
+        match engine.metrics().weight_source(i as u32) {
+            Some(w) => out.push_str(&dot::render(&def.automaton, &*w)),
+            None => out.push_str(&dot::render(&def.automaton, &dot::Unweighted)),
+        }
+    }
+    out
+}
+
+fn observe(rest: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut entry = "main".to_string();
+    let mut prog_args: Vec<i64> = Vec::new();
+    let mut format = "prom".to_string();
+    let mut out_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = it.next().ok_or("--entry needs a name")?.clone(),
+            "--arg" => prog_args.push(
+                it.next()
+                    .ok_or("--arg needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --arg: {e}"))?,
+            ),
+            "--format" => format = it.next().ok_or("--format needs prom|json|dot|trace")?.clone(),
+            "-o" | "--output" => out_path = Some(it.next().ok_or("-o needs a path")?.clone()),
+            f => match f.strip_prefix("--format=") {
+                Some(v) => format = v.to_string(),
+                None => files.push(f.to_string()),
+            },
+        }
+    }
+    if !matches!(format.as_str(), "prom" | "json" | "dot" | "trace") {
+        return Err(format!("unknown --format `{format}` (expected prom|json|dot|trace)"));
+    }
+    let project = load_project(&files)?;
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let art = bs.build().map_err(|e| e.to_string())?;
+
+    // Full telemetry: metrics registry (auto-attached by the engine)
+    // plus a flight recorder for the event log. Violations are
+    // observations here, not failures — log-and-continue.
+    let engine = Arc::new(Tesla::new(Config {
+        telemetry: true,
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
+    let recorder = Arc::new(FlightRecorder::default());
+    engine.add_handler(recorder.clone());
+
+    let rc = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000)?;
+
+    use tesla::runtime::telemetry::export;
+    let report = match format.as_str() {
+        "prom" => export::prometheus(&engine.metrics().snapshot()),
+        "json" => export::json(&engine.metrics().snapshot()),
+        "trace" => export::chrome_trace(&recorder.snapshot()),
+        _ => weighted_graphs(&engine),
+    };
+    match out_path {
+        Some(p) => std::fs::write(&p, &report).map_err(|e| format!("{p}: {e}"))?,
+        None => print!("{report}"),
+    }
+    eprintln!(
+        "{entry}({prog_args:?}) = {rc}; {} events, {} violations, {} recorded ({} overwritten)",
+        engine.metrics().events_total(),
+        engine.metrics().violations(),
+        recorder.total_recorded(),
+        recorder.overwritten(),
+    );
+    Ok(())
 }

@@ -76,8 +76,8 @@ pub use tesla_workload as workload;
 pub mod prelude {
     pub use tesla_automata::{compile, Automaton, Manifest};
     pub use tesla_runtime::{
-        ClassId, Config, CountingHandler, FailMode, InitMode, RecordingHandler, Tesla,
-        Violation, ViolationKind,
+        ClassId, Config, CountingHandler, FailMode, FlightRecorder, InitMode, MetricsRegistry,
+        MetricsSnapshot, RecordingHandler, Tesla, Violation, ViolationKind,
     };
     pub use tesla_spec::{
         atleast, call, field_assign, msg_send, parse_assertion, Assertion, AssertionBuilder,

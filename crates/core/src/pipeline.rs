@@ -438,6 +438,10 @@ pub fn run_with_tesla(
     if tesla.n_classes() == 0 {
         register_manifest(tesla, &artifacts.manifest)?;
     }
+    // Surface the static checker's elision work in the run's metrics:
+    // `tesla_sites_elided` in a Prometheus scrape is the count of
+    // instrumentation sites this very build proved unnecessary.
+    tesla.metrics().set_sites_elided(artifacts.stats.sites_elided as u64);
     let mut sink = RuntimeSink::new(tesla);
     let mut interp = Interp::new(&artifacts.program, fuel);
     interp.run_named(entry, args, &mut sink).map_err(|e| e.to_string())

@@ -50,6 +50,7 @@ use crate::event::{Violation, ViolationKind};
 use crate::handlers::EventHandler;
 use crate::intern::{Interner, NameId};
 use crate::store::Store;
+use crate::telemetry::metrics::{HookKind, HookTimer, MetricsRegistry};
 use crate::{RegisterError, MAX_VARS};
 use parking_lot::{Mutex, RwLock};
 use std::cell::{Cell, RefCell};
@@ -100,6 +101,12 @@ pub struct Config {
     /// bound group maps to one shard; threads touching disjoint
     /// groups never contend. Clamped to at least 1.
     pub global_shards: usize,
+    /// Enable telemetry: the engine attaches its
+    /// [`MetricsRegistry`] as a lifecycle handler and times every
+    /// instrumentation hook into its latency histograms. The
+    /// recording path is lock-free (relaxed atomics on preallocated
+    /// arrays), preserving the contention-free dispatch invariant.
+    pub telemetry: bool,
 }
 
 impl Default for Config {
@@ -109,6 +116,7 @@ impl Default for Config {
             init_mode: InitMode::Lazy,
             instance_capacity: 64,
             global_shards: 8,
+            telemetry: false,
         }
     }
 }
@@ -313,6 +321,11 @@ pub struct Tesla {
     /// shard `group % len`.
     global_shards: Box<[Mutex<Store>]>,
     violation_log: Mutex<Vec<Violation>>,
+    /// The engine's metrics registry. Always present (so callers can
+    /// plumb values like `sites_elided` unconditionally); only
+    /// attached as an event handler — and only fed hook timings —
+    /// when [`Config::telemetry`] is set.
+    metrics: Arc<MetricsRegistry>,
 }
 
 thread_local! {
@@ -329,7 +342,7 @@ impl Tesla {
     /// Create an engine with the given configuration.
     pub fn new(config: Config) -> Tesla {
         let n_shards = config.global_shards.max(1);
-        Tesla {
+        let engine = Tesla {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             config,
             interner: Interner::new(),
@@ -339,7 +352,12 @@ impl Tesla {
             snap_version: AtomicU64::new(1),
             global_shards: (0..n_shards).map(|_| Mutex::new(Store::default())).collect(),
             violation_log: Mutex::new(Vec::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+        };
+        if engine.config.telemetry {
+            engine.add_handler(engine.metrics.clone());
         }
+        engine
     }
 
     /// Create with the default configuration (fail-stop, lazy init).
@@ -374,7 +392,9 @@ impl Tesla {
 
     /// Add a lifecycle-event handler (§4.4.2). Publishes a new
     /// snapshot; events already in flight keep the handler set they
-    /// started with.
+    /// started with. Classes registered before the handler are
+    /// replayed through [`EventHandler::on_register`], so aggregating
+    /// handlers see every class no matter the attach order.
     pub fn add_handler(&self, h: Arc<dyn EventHandler>) {
         let mut slot = self.snapshot.write();
         let mut next = Snapshot {
@@ -382,9 +402,35 @@ impl Tesla {
             classes: slot.classes.clone(),
             handlers: slot.handlers.clone(),
         };
+        for (i, c) in next.classes.iter().enumerate() {
+            h.on_register(i as u32, &c.automaton);
+        }
         next.handlers.push(h);
         *slot = Arc::new(next);
         self.snap_version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The engine's metrics registry (always present; populated by
+    /// dispatch only under [`Config::telemetry`]). External
+    /// aggregates — e.g. the static checker's `sites_elided` — can be
+    /// recorded here regardless of the telemetry flag.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Whether this engine was configured with telemetry enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.config.telemetry
+    }
+
+    /// Hook prologue timing guard: `Some` only under telemetry.
+    #[inline]
+    fn hook_timer(&self, kind: HookKind) -> Option<HookTimer<'_>> {
+        if self.config.telemetry {
+            Some(self.metrics.timer(kind))
+        } else {
+            None
+        }
     }
 
     /// Violations recorded in [`FailMode::Log`] mode (fail-stop mode
@@ -556,6 +602,12 @@ impl Tesla {
             violation_count: AtomicU64::new(0),
             guard_fns,
         }));
+        // Cold path: let aggregating handlers build their dense
+        // per-class tables before any event for this class fires.
+        let def = &next.classes[class as usize];
+        for h in &next.handlers {
+            h.on_register(class, &def.automaton);
+        }
         class
     }
 
@@ -590,6 +642,7 @@ impl Tesla {
     /// exposed.
     #[inline]
     pub fn fn_entry(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
+        let _t = self.hook_timer(HookKind::FnEntry);
         let (tls, snap) = self.tls();
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
         if ft.push_stack {
@@ -626,6 +679,7 @@ impl Tesla {
     /// exposed.
     #[inline]
     pub fn fn_exit(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
+        let _t = self.hook_timer(HookKind::FnExit);
         let (tls, snap) = self.tls();
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
         let mut first = None;
@@ -667,6 +721,7 @@ impl Tesla {
         op: FieldOp,
         value: Value,
     ) -> Result<(), Violation> {
+        let _t = self.hook_timer(HookKind::FieldStore);
         let (tls, snap) = self.tls();
         let Some(entries) = snap.tables.field_tables.get(field_id.0 as usize) else {
             return Ok(());
@@ -696,6 +751,7 @@ impl Tesla {
     /// exposed.
     #[inline]
     pub fn msg_entry(&self, sel: NameId, receiver: Value, args: &[Value]) -> Result<(), Violation> {
+        let _t = self.hook_timer(HookKind::MsgEntry);
         let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
         if st.entry.is_empty() {
@@ -720,6 +776,7 @@ impl Tesla {
         args: &[Value],
         ret: Value,
     ) -> Result<(), Violation> {
+        let _t = self.hook_timer(HookKind::MsgExit);
         let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
         if st.exit.is_empty() {
@@ -748,6 +805,7 @@ impl Tesla {
     /// In fail-stop mode, returns the violation that this event
     /// exposed.
     pub fn assertion_site(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
+        let _t = self.hook_timer(HookKind::AssertionSite);
         let (tls, snap) = self.tls();
         let def = snap.classes[class.0 as usize].clone();
         def.site_hits.fetch_add(1, Ordering::Relaxed);

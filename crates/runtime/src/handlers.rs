@@ -6,19 +6,31 @@
 //! environment variable; in the FreeBSD kernel the default aggregates
 //! via DTrace. [`CountingHandler`] is our DTrace substitute: it
 //! aggregates per-transition counts that feed the weighted automaton
-//! graphs of fig. 9 and the logical-coverage reports.
+//! graphs of fig. 9 and the logical-coverage reports. The heavier
+//! aggregation machinery (metrics registry, flight recorder) lives in
+//! [`crate::telemetry`] and plugs in through the same trait.
 
 use crate::event::LifecycleEvent;
+use crate::telemetry::weights::TransitionWeights;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tesla_automata::{StateSet, SymbolId};
+use tesla_automata::{Automaton, StateSet, SymbolId};
 
 /// A lifecycle-event observer. Handlers must be cheap and re-entrant;
 /// they are called from instrumentation hooks with store locks held.
 pub trait EventHandler: Send + Sync {
     /// Observe one lifecycle event.
     fn on_event(&self, ev: &LifecycleEvent);
+
+    /// Observe a class registration (cold path). The engine calls
+    /// this for every registered class — including, for handlers
+    /// attached late, classes registered before the handler — so
+    /// aggregating handlers can build dense per-class tables instead
+    /// of locking maps on the hot path. Default: ignore.
+    fn on_register(&self, class: u32, automaton: &Automaton) {
+        let _ = (class, automaton);
+    }
 }
 
 /// Prints lifecycle events to stderr when the `TESLA_DEBUG`
@@ -47,33 +59,56 @@ impl EventHandler for StderrHandler {
     }
 }
 
-/// Records every lifecycle event; used by tests and by the
+/// Records lifecycle events; used by tests and by the
 /// trace-exploration workflows of §3.5.3 (the GNUstep investigation
 /// logged "detailed information about the events being delivered").
+///
+/// [`RecordingHandler::new`] is unbounded — fine for tests, unsafe
+/// for production paths. Long-running workloads should use
+/// [`RecordingHandler::bounded`], which keeps the most recent
+/// `capacity` events and counts what it dropped (or the ring-buffer
+/// [`crate::telemetry::FlightRecorder`], which also drops the lock).
 #[derive(Default)]
 pub struct RecordingHandler {
-    events: Mutex<Vec<LifecycleEvent>>,
+    events: Mutex<VecDeque<LifecycleEvent>>,
+    capacity: Option<usize>,
+    dropped: AtomicU64,
 }
 
 impl RecordingHandler {
-    /// New, empty recorder.
+    /// New, empty, *unbounded* recorder (tests and short traces).
     pub fn new() -> RecordingHandler {
         RecordingHandler::default()
     }
 
-    /// Snapshot of the recorded events.
-    pub fn events(&self) -> Vec<LifecycleEvent> {
-        self.events.lock().clone()
+    /// New recorder keeping only the most recent `capacity` events
+    /// (overwrite-oldest).
+    pub fn bounded(capacity: usize) -> RecordingHandler {
+        RecordingHandler {
+            events: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: Some(capacity.max(1)),
+            dropped: AtomicU64::new(0),
+        }
     }
 
-    /// Number of recorded events.
+    /// Snapshot of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<LifecycleEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.lock().len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Events discarded by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Drop all recorded events.
@@ -84,7 +119,14 @@ impl RecordingHandler {
 
 impl EventHandler for RecordingHandler {
     fn on_event(&self, ev: &LifecycleEvent) {
-        self.events.lock().push(ev.clone());
+        let mut q = self.events.lock();
+        if let Some(cap) = self.capacity {
+            while q.len() >= cap {
+                q.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        q.push_back(ev.clone());
     }
 }
 
@@ -94,6 +136,11 @@ impl EventHandler for RecordingHandler {
 /// triggered" (§4.4.2). Because libtesla instances carry exact NFA
 /// state sets, the state-set key *is* the DFA state of the rendered
 /// graph.
+///
+/// Transition counts live in dense per-class atomic matrices built at
+/// registration time (see [`TransitionWeights`]); recording is a
+/// read-only index lookup plus one relaxed `fetch_add`, so the
+/// handler adds no locks to the engine's contention-free hot path.
 #[derive(Default)]
 pub struct CountingHandler {
     news: AtomicU64,
@@ -103,7 +150,7 @@ pub struct CountingHandler {
     finalises_accepted: AtomicU64,
     finalises_rejected: AtomicU64,
     overflows: AtomicU64,
-    transitions: Mutex<HashMap<(u32, StateSet, SymbolId), u64>>,
+    weights: TransitionWeights,
 }
 
 impl CountingHandler {
@@ -150,34 +197,26 @@ impl CountingHandler {
     /// How often `class` took `sym` out of exactly the state set
     /// `from` — a fig. 9 edge weight.
     pub fn transition_count(&self, class: u32, from: StateSet, sym: SymbolId) -> u64 {
-        self.transitions.lock().get(&(class, from, sym)).copied().unwrap_or(0)
+        self.weights.count(class, &from, sym)
     }
 
     /// Sum of transition counts for `class` on `sym` over all source
     /// state sets.
     pub fn symbol_count(&self, class: u32, sym: SymbolId) -> u64 {
-        self.transitions
-            .lock()
-            .iter()
-            .filter(|((c, _, s), _)| *c == class && *s == sym)
-            .map(|(_, n)| *n)
-            .sum()
+        self.weights.symbol_count(class, sym)
     }
 
     /// Symbols of `class` that fired at least once — logical coverage
     /// "like traditional code coverage analysis but at a logical …
     /// level" (§4.4.2).
     pub fn covered_symbols(&self, class: u32) -> Vec<SymbolId> {
-        let mut syms: Vec<SymbolId> = self
-            .transitions
-            .lock()
-            .keys()
-            .filter(|(c, _, _)| *c == class)
-            .map(|(_, _, s)| *s)
-            .collect();
-        syms.sort_unstable();
-        syms.dedup();
-        syms
+        self.weights.covered_symbols(class)
+    }
+
+    /// The underlying weight store, e.g. to fetch a class's dense
+    /// table as a `dot::WeightSource`.
+    pub fn weights(&self) -> &TransitionWeights {
+        &self.weights
     }
 }
 
@@ -187,17 +226,15 @@ impl EventHandler for CountingHandler {
             LifecycleEvent::New { .. } => {
                 self.news.fetch_add(1, Ordering::Relaxed);
             }
-            LifecycleEvent::Clone { class, states, .. } => {
-                self.clones.fetch_add(1, Ordering::Relaxed);
+            LifecycleEvent::Clone { .. } => {
                 // A clone is also a transition of the specialised
-                // instance; count it from the (∗) source states, which
-                // the engine reports via a paired Update. Record the
-                // clone's arrival state set so coverage sees it.
-                let _ = (class, states);
+                // instance; the engine reports that transition via a
+                // paired Update, which is where it is counted.
+                self.clones.fetch_add(1, Ordering::Relaxed);
             }
             LifecycleEvent::Update { class, sym, from_states, .. } => {
                 self.updates.fetch_add(1, Ordering::Relaxed);
-                *self.transitions.lock().entry((*class, *from_states, *sym)).or_insert(0) += 1;
+                self.weights.record(*class, from_states, *sym);
             }
             LifecycleEvent::Error { .. } => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -213,6 +250,10 @@ impl EventHandler for CountingHandler {
                 self.overflows.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    fn on_register(&self, class: u32, automaton: &Automaton) {
+        self.weights.register(class, automaton);
     }
 }
 
@@ -273,6 +314,33 @@ mod tests {
     }
 
     #[test]
+    fn counting_handler_uses_dense_tables_after_registration() {
+        use tesla_spec::{call, AssertionBuilder};
+        let a = tesla_automata::compile(
+            &AssertionBuilder::within("req")
+                .previously(call("check").arg_var("x").returns(0))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let h = CountingHandler::new();
+        h.on_register(0, &a);
+        let start = a.initial_states();
+        h.on_event(&LifecycleEvent::Update {
+            class: 0,
+            instance: 0,
+            sym: a.site_sym,
+            from_states: start,
+            to_states: start,
+        });
+        // Counts come back through the old API…
+        assert_eq!(h.transition_count(0, start, a.site_sym), 1);
+        // …and land in the dense table, whose rows are DOT state ids.
+        let cw = h.weights().class(0).expect("dense table installed");
+        assert_eq!(cw.nonzero().len(), 1);
+    }
+
+    #[test]
     fn recording_handler_keeps_order() {
         let h = RecordingHandler::new();
         assert!(h.is_empty());
@@ -292,6 +360,19 @@ mod tests {
         assert!(matches!(evs[0], LifecycleEvent::New { class: 1, .. }));
         h.clear();
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn bounded_recording_handler_overwrites_oldest() {
+        let h = RecordingHandler::bounded(3);
+        for i in 0..5 {
+            h.on_event(&LifecycleEvent::New { class: 0, instance: i });
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.dropped(), 2);
+        let evs = h.events();
+        assert!(matches!(evs[0], LifecycleEvent::New { instance: 2, .. }));
+        assert!(matches!(evs[2], LifecycleEvent::New { instance: 4, .. }));
     }
 
     #[test]

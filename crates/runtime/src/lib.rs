@@ -27,6 +27,12 @@
 //!   DTrace-substitute) whose per-transition counts drive the
 //!   weighted automaton graphs of fig. 9, a recording handler for
 //!   tests and custom callbacks.
+//! * [`telemetry`] — the observability layer (§4.4.2's DTrace
+//!   substitute): a lock-free metrics registry (per-class counters,
+//!   hook-latency histograms, live transition weights for fig. 9
+//!   graphs), a bounded per-thread flight recorder, and Prometheus /
+//!   JSON / chrome-trace exporters. Enabled per engine via
+//!   [`Config::telemetry`].
 //! * [`event`] — violations and lifecycle event types. Mismatches
 //!   between specification and behaviour *fail-stop* by default
 //!   (hooks return `Err(Violation)`) but can be switched to
@@ -71,11 +77,13 @@ pub mod event;
 pub mod handlers;
 pub mod intern;
 pub mod store;
+pub mod telemetry;
 
 pub use engine::{ClassId, Config, FailMode, InitMode, Tesla};
 pub use event::{LifecycleEvent, Violation, ViolationKind};
 pub use handlers::{CountingHandler, EventHandler, RecordingHandler, StderrHandler};
 pub use intern::{Interner, NameId};
+pub use telemetry::{FlightRecorder, HookKind, MetricsRegistry, MetricsSnapshot, RecordedEvent};
 
 /// Maximum number of scope variables per assertion the runtime
 /// supports; instances store bindings in a fixed-size array so the

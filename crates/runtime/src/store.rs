@@ -150,8 +150,12 @@ impl Store {
         let slot = cs.instances.len() as u32;
         cs.instances.push(Instance::unnamed(def.automaton.initial_states()));
         self.groups[def.group as usize].materialized.push(class);
+        // Events are built once and shared by every handler: handler
+        // count must scale at the cost of a virtual call, not of
+        // re-materialising (and for clones, re-allocating) payloads.
+        let ev = LifecycleEvent::New { class, instance: slot };
         for h in handlers {
-            h.on_event(&LifecycleEvent::New { class, instance: slot });
+            h.on_event(&ev);
         }
         true
     }
@@ -212,8 +216,9 @@ impl Store {
                             auto.symbols[sym.0 as usize].kind
                         ),
                     );
+                    let ev = LifecycleEvent::Error { violation: v.clone() };
                     for h in handlers {
-                        h.on_event(&LifecycleEvent::Error { violation: v.clone() });
+                        h.on_event(&ev);
                     }
                     out.violation = Some(v);
                     // Stop delivering the event, but fall through to
@@ -230,14 +235,17 @@ impl Store {
                 let from = inst.states;
                 cs.instances[i].states = next;
                 out.matched = true;
-                for h in handlers {
-                    h.on_event(&LifecycleEvent::Update {
+                if !handlers.is_empty() {
+                    let ev = LifecycleEvent::Update {
                         class,
                         instance: i as u32,
                         sym,
                         from_states: from,
                         to_states: next,
-                    });
+                    };
+                    for h in handlers {
+                        h.on_event(&ev);
+                    }
                 }
             } else {
                 let mut clone = inst;
@@ -264,41 +272,47 @@ impl Store {
                 let from = cs.instances[j].states;
                 cs.instances[j].states.union_with(&clone.states);
                 let to = cs.instances[j].states;
-                if from != to {
+                if from != to && !handlers.is_empty() {
+                    let ev = LifecycleEvent::Update {
+                        class,
+                        instance: j as u32,
+                        sym,
+                        from_states: from,
+                        to_states: to,
+                    };
                     for h in handlers {
-                        h.on_event(&LifecycleEvent::Update {
-                            class,
-                            instance: j as u32,
-                            sym,
-                            from_states: from,
-                            to_states: to,
-                        });
+                        h.on_event(&ev);
                     }
                 }
             } else if cs.instances.len() < def.capacity {
                 let slot = cs.instances.len() as u32;
                 cs.instances.push(clone);
-                for h in handlers {
-                    h.on_event(&LifecycleEvent::Clone {
+                if !handlers.is_empty() {
+                    let cl = LifecycleEvent::Clone {
                         class,
                         from_instance: src,
                         to_instance: slot,
                         bound: bindings.to_vec(),
                         states: clone.states,
-                    });
+                    };
                     // A clone is also a consumed transition: report it
                     // for coverage/weighted graphs.
-                    h.on_event(&LifecycleEvent::Update {
+                    let up = LifecycleEvent::Update {
                         class,
                         instance: slot,
                         sym,
                         from_states: cs.instances[src as usize].states,
                         to_states: clone.states,
-                    });
+                    };
+                    for h in handlers {
+                        h.on_event(&cl);
+                        h.on_event(&up);
+                    }
                 }
             } else {
+                let ev = LifecycleEvent::Overflow { class };
                 for h in handlers {
-                    h.on_event(&LifecycleEvent::Overflow { class });
+                    h.on_event(&ev);
                 }
             }
         }
@@ -312,8 +326,9 @@ impl Store {
                     describe_bindings(&auto.var_names, bindings)
                 ),
             );
+            let ev = LifecycleEvent::Error { violation: v.clone() };
             for h in handlers {
-                h.on_event(&LifecycleEvent::Error { violation: v.clone() });
+                h.on_event(&ev);
             }
             out.violation = Some(v);
         }
@@ -333,12 +348,9 @@ impl Store {
         let mut violation = None;
         for (i, inst) in cs.instances.iter().enumerate() {
             let accepted = auto.finalise_ok(&inst.states);
+            let ev = LifecycleEvent::Finalise { class, instance: i as u32, accepted };
             for h in handlers {
-                h.on_event(&LifecycleEvent::Finalise {
-                    class,
-                    instance: i as u32,
-                    accepted,
-                });
+                h.on_event(&ev);
             }
             if !accepted && violation.is_none() {
                 let v = def.violation(
@@ -349,8 +361,9 @@ impl Store {
                         inst.name(&auto.var_names)
                     ),
                 );
+                let ev = LifecycleEvent::Error { violation: v.clone() };
                 for h in handlers {
-                    h.on_event(&LifecycleEvent::Error { violation: v.clone() });
+                    h.on_event(&ev);
                 }
                 violation = Some(v);
             }

@@ -1,0 +1,411 @@
+//! Telemetry exporters: Prometheus text, JSON, JSONL, chrome-trace.
+//!
+//! All exporters are pure functions over snapshots — taking a
+//! snapshot is the only interaction with live counters, so exporting
+//! never blocks dispatch. The JSON emitters are hand-rolled (the
+//! snapshot types are flat and the output format is part of the CLI
+//! contract); the snapshot types also carry `serde::Serialize` for
+//! embedding in larger reports.
+
+use crate::telemetry::metrics::{ClassSnapshot, HistogramSnapshot, MetricsSnapshot};
+use crate::telemetry::recorder::RecordedEvent;
+use std::fmt::Write as _;
+
+/// Escape a Prometheus label value.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escape a JSON string value.
+fn jesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i + 1 == h.buckets.len() {
+            break; // the overflow bucket is the +Inf line below
+        }
+        cumulative += b;
+        if *b == 0 {
+            continue; // keep the text compact; cumulative stays right
+        }
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}", 1u64 << i);
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", h.count);
+    let bare = labels.trim_end_matches(',');
+    let _ = writeln!(out, "{name}_sum{{{bare}}} {}", h.sum_ns);
+    let _ = writeln!(out, "{name}_count{{{bare}}} {}", h.count);
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition
+/// format (version 0.0.4).
+pub fn prometheus(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP tesla_events_total Lifecycle events dispatched to handlers.");
+    let _ = writeln!(out, "# TYPE tesla_events_total counter");
+    let _ = writeln!(out, "tesla_events_total {}", s.events_total);
+    let _ = writeln!(out, "# HELP tesla_violations_total Assertion violations observed.");
+    let _ = writeln!(out, "# TYPE tesla_violations_total counter");
+    let _ = writeln!(out, "tesla_violations_total {}", s.violations);
+    let _ = writeln!(
+        out,
+        "# HELP tesla_sites_elided Instrumentation sites removed by the static model checker."
+    );
+    let _ = writeln!(out, "# TYPE tesla_sites_elided gauge");
+    let _ = writeln!(out, "tesla_sites_elided {}", s.sites_elided);
+
+    let _ = writeln!(out, "# HELP tesla_hook_calls_total Instrumentation hook invocations.");
+    let _ = writeln!(out, "# TYPE tesla_hook_calls_total counter");
+    for h in &s.hooks {
+        let _ = writeln!(out, "tesla_hook_calls_total{{hook=\"{}\"}} {}", esc(&h.hook), h.calls);
+    }
+    let _ = writeln!(out, "# HELP tesla_hook_latency_ns Hook latency, log2 nanosecond buckets.");
+    let _ = writeln!(out, "# TYPE tesla_hook_latency_ns histogram");
+    for h in &s.hooks {
+        if h.latency.count == 0 {
+            continue;
+        }
+        histogram(
+            &mut out,
+            "tesla_hook_latency_ns",
+            &format!("hook=\"{}\",", esc(&h.hook)),
+            &h.latency,
+        );
+    }
+
+    let per_class: [(&str, &str, fn(&ClassSnapshot) -> u64); 8] = [
+        ("tesla_instances_created_total", "counter", |c| c.news),
+        ("tesla_instances_cloned_total", "counter", |c| c.clones),
+        ("tesla_updates_total", "counter", |c| c.updates),
+        ("tesla_finalise_accepted_total", "counter", |c| c.accepted),
+        ("tesla_finalise_rejected_total", "counter", |c| c.rejected),
+        ("tesla_overflows_total", "counter", |c| c.overflows),
+        ("tesla_live_instances", "gauge", |c| c.live),
+        ("tesla_live_instances_peak", "gauge", |c| c.high_watermark),
+    ];
+    for (name, ty, get) in per_class {
+        let _ = writeln!(out, "# TYPE {name} {ty}");
+        for c in &s.classes {
+            let _ = writeln!(out, "{name}{{class=\"{}\"}} {}", esc(&c.name), get(c));
+        }
+    }
+    let _ = writeln!(out, "# HELP tesla_transitions_total Automaton edge firings (fig. 9 weights).");
+    let _ = writeln!(out, "# TYPE tesla_transitions_total counter");
+    for c in &s.classes {
+        for t in &c.transitions {
+            let _ = writeln!(
+                out,
+                "tesla_transitions_total{{class=\"{}\",from=\"{}\",symbol=\"{}\"}} {}",
+                esc(&c.name),
+                t.from_state,
+                t.symbol,
+                t.count
+            );
+        }
+    }
+    out
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum_ns,
+        buckets.join(",")
+    )
+}
+
+/// Serialise a metrics snapshot as JSON.
+pub fn json(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"events_total\": {},", s.events_total);
+    let _ = writeln!(out, "  \"violations\": {},", s.violations);
+    let _ = writeln!(out, "  \"sites_elided\": {},", s.sites_elided);
+    let _ = writeln!(out, "  \"hooks\": [");
+    for (i, h) in s.hooks.iter().enumerate() {
+        let sep = if i + 1 == s.hooks.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"hook\":\"{}\",\"calls\":{},\"latency\":{}}}{sep}",
+            jesc(&h.hook),
+            h.calls,
+            json_histogram(&h.latency)
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"classes\": [");
+    for (i, c) in s.classes.iter().enumerate() {
+        let transitions: Vec<String> = c
+            .transitions
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"from_state\":{},\"symbol\":{},\"count\":{}}}",
+                    t.from_state, t.symbol, t.count
+                )
+            })
+            .collect();
+        let sep = if i + 1 == s.classes.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"class\":{},\"name\":\"{}\",\"news\":{},\"clones\":{},\"updates\":{},\
+             \"accepted\":{},\"rejected\":{},\"overflows\":{},\"live\":{},\
+             \"high_watermark\":{},\"transitions\":[{}]}}{sep}",
+            c.class,
+            jesc(&c.name),
+            c.news,
+            c.clones,
+            c.updates,
+            c.accepted,
+            c.rejected,
+            c.overflows,
+            c.live,
+            c.high_watermark,
+            transitions.join(",")
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn json_event(e: &RecordedEvent) -> String {
+    format!(
+        "{{\"ts_ns\":{},\"thread\":{},\"kind\":\"{}\",\"class\":{},\"symbol\":{},\
+         \"instance\":{},\"aux\":{},\"states\":{}}}",
+        e.ts_ns, e.thread, e.kind, e.class, e.symbol, e.instance, e.aux, e.states
+    )
+}
+
+/// One JSON object per line, one line per recorded event.
+pub fn events_jsonl(events: &[RecordedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(out, "{}", json_event(e));
+    }
+    out
+}
+
+/// chrome://tracing "JSON array format", one instant event per line
+/// (the format is line-oriented, so truncated files still load).
+/// Open the output via `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(events: &[RecordedEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        // chrome-trace timestamps are microseconds; "i" = instant.
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"tesla\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}.{:03},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"class\":{},\"symbol\":{},\"instance\":{},\
+             \"aux\":{},\"states\":{}}}}}{sep}",
+            e.kind,
+            e.ts_ns / 1000,
+            e.ts_ns % 1000,
+            e.thread,
+            e.class,
+            e.symbol,
+            e.instance,
+            e.aux,
+            e.states
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LifecycleEvent;
+    use crate::handlers::EventHandler;
+    use crate::telemetry::metrics::{HookKind, MetricsRegistry};
+    use crate::telemetry::recorder::FlightRecorder;
+    use std::time::Duration;
+
+    /// Minimal recursive-descent JSON syntax checker, so the tests
+    /// prove the emitters produce *parseable* JSON without needing a
+    /// JSON library.
+    fn check_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        ws(b, i);
+                        string(b, i)?;
+                        ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(_) => {
+                    // number / true / false / null
+                    let start = *i;
+                    while *i < b.len()
+                        && !matches!(b[*i], b',' | b'}' | b']')
+                        && !(b[*i] as char).is_ascii_whitespace()
+                    {
+                        *i += 1;
+                    }
+                    let tok = std::str::from_utf8(&b[start..*i]).unwrap();
+                    if tok == "true" || tok == "false" || tok == "null" || tok.parse::<f64>().is_ok()
+                    {
+                        Ok(())
+                    } else {
+                        Err(format!("bad literal {tok:?} at {start}"))
+                    }
+                }
+                None => Err("unexpected end".to_string()),
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected '\"' at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'\\' => *i += 2,
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        value(b, &mut i)?;
+        ws(b, &mut i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage at {i}"))
+        }
+    }
+
+    fn populated() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.record_hook(HookKind::FnEntry, Duration::from_nanos(900));
+        r.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
+        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: true });
+        r
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = prometheus(&populated().snapshot());
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line.rsplit_once(' ').is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "bad exposition line: {line}"
+            );
+        }
+        assert!(text.contains("tesla_events_total 2"));
+        assert!(text.contains("tesla_hook_calls_total{hook=\"fn_entry\"} 1"));
+        assert!(text.contains("tesla_hook_latency_ns_bucket{hook=\"fn_entry\",le=\"1024\"} 1"));
+        assert!(text.contains("tesla_live_instances{class=\"unregistered\"} 0"));
+        assert!(text.contains("tesla_live_instances_peak{class=\"unregistered\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_parses() {
+        let j = json(&populated().snapshot());
+        check_json(&j).unwrap();
+        assert!(j.contains("\"events_total\": 2"));
+        assert!(j.contains("\"hook\":\"assertion_site\""));
+    }
+
+    #[test]
+    fn jsonl_and_chrome_trace_parse() {
+        let rec = FlightRecorder::new(64);
+        rec.on_event(&LifecycleEvent::New { class: 1, instance: 2 });
+        rec.on_event(&LifecycleEvent::Overflow { class: 1 });
+        let events = rec.snapshot();
+
+        let l = events_jsonl(&events);
+        assert_eq!(l.lines().count(), 2);
+        for line in l.lines() {
+            check_json(line).unwrap();
+        }
+        assert!(l.contains("\"kind\":\"new\""));
+        assert!(l.contains("\"kind\":\"overflow\""));
+
+        let t = chrome_trace(&events);
+        check_json(&t).unwrap();
+        assert!(t.contains("\"ph\":\"i\""));
+        assert!(t.contains("\"cat\":\"tesla\""));
+    }
+
+    #[test]
+    fn escaping_keeps_output_parseable() {
+        assert_eq!(jesc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("x\"y"), "x\\\"y");
+        check_json(&format!("{{\"k\":\"{}\"}}", jesc("quote \" slash \\ nl \n"))).unwrap();
+    }
+}

@@ -1,0 +1,676 @@
+//! The metrics registry: atomic counters and latency histograms.
+//!
+//! Everything on the recording path is a relaxed atomic operation on
+//! preallocated storage — no locks, no allocation — so attaching the
+//! registry preserves the engine's contention-free dispatch
+//! invariant. Aggregation (snapshots, export) walks the same atomics
+//! read-only and can run concurrently with recording.
+
+use crate::event::LifecycleEvent;
+use crate::handlers::EventHandler;
+use crate::telemetry::weights::{ClassWeights, TransitionWeights, MAX_DENSE_CLASSES};
+use serde::Serialize;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+use tesla_automata::Automaton;
+
+/// Stripes for the hottest global counters (hook calls). Each thread
+/// hashes onto one stripe, so concurrent dispatch threads increment
+/// disjoint cache lines; reads sum the stripes, so totals stay exact.
+const COUNTER_STRIPES: usize = 16;
+
+/// Hook latencies are *sampled*: each thread times one in every
+/// `LATENCY_SAMPLE_PERIOD` of its hook invocations (starting with its
+/// first). Call counts remain exact; only the histogram is a sample.
+/// Two `Instant::now()` reads per hook would otherwise dominate the
+/// hook's own cost on the OLTP macrobenchmark.
+pub const LATENCY_SAMPLE_PERIOD: u32 = 64;
+
+static NEXT_STRIPE: AtomicU64 = AtomicU64::new(0);
+
+/// Per-thread metrics state, fused into one `thread_local` so the hot
+/// path pays a single TLS lookup.
+struct TlMetrics {
+    /// This thread's counter stripe, assigned round-robin on first use.
+    stripe: usize,
+    /// Per-hook-kind countdowns to this thread's next sampled timing.
+    /// Starting at zero means the first invocation of each kind on
+    /// each thread is always sampled, so a touched hook's histogram
+    /// is never empty.
+    sample: [Cell<u32>; N_HOOKS],
+}
+
+thread_local! {
+    static TL_METRICS: TlMetrics = TlMetrics {
+        stripe: NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) as usize % COUNTER_STRIPES,
+        sample: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+    };
+}
+
+#[inline]
+fn thread_stripe() -> usize {
+    TL_METRICS.with(|tl| tl.stripe)
+}
+
+/// One thread-stripe of per-hook call counters, padded to a cache
+/// line so stripes never share one.
+#[repr(align(64))]
+struct HookCallStripe {
+    calls: [AtomicU64; N_HOOKS],
+}
+
+/// The instrumentation hooks, as dense indices for counter arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookKind {
+    /// [`crate::Tesla::fn_entry`].
+    FnEntry = 0,
+    /// [`crate::Tesla::fn_exit`].
+    FnExit = 1,
+    /// [`crate::Tesla::field_store`].
+    FieldStore = 2,
+    /// [`crate::Tesla::msg_entry`].
+    MsgEntry = 3,
+    /// [`crate::Tesla::msg_exit`].
+    MsgExit = 4,
+    /// [`crate::Tesla::assertion_site`].
+    AssertionSite = 5,
+}
+
+/// Number of hook kinds (array sizes).
+pub const N_HOOKS: usize = 6;
+
+impl HookKind {
+    /// All kinds, in index order.
+    pub const ALL: [HookKind; N_HOOKS] = [
+        HookKind::FnEntry,
+        HookKind::FnExit,
+        HookKind::FieldStore,
+        HookKind::MsgEntry,
+        HookKind::MsgExit,
+        HookKind::AssertionSite,
+    ];
+
+    /// Stable label (Prometheus `hook` label value).
+    pub fn label(self) -> &'static str {
+        match self {
+            HookKind::FnEntry => "fn_entry",
+            HookKind::FnExit => "fn_exit",
+            HookKind::FieldStore => "field_store",
+            HookKind::MsgEntry => "msg_entry",
+            HookKind::MsgExit => "msg_exit",
+            HookKind::AssertionSite => "assertion_site",
+        }
+    }
+}
+
+/// Log₂ latency buckets: bucket `i` holds durations below `2^i` ns
+/// (and at least `2^(i-1)`), the last bucket absorbing everything
+/// longer. 40 buckets reach ~18 minutes — far beyond any hook.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A log₂-bucketed nanosecond histogram in a fixed-size atomic array.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// New, zeroed histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration (relaxed atomics only).
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (64 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable histogram copy. `buckets[i]` counts durations in
+/// `[2^(i-1), 2^i)` ns (bucket 0: sub-nanosecond).
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts.
+    pub buckets: Vec<u64>,
+    /// Total recorded durations.
+    pub count: u64,
+    /// Sum of recorded nanoseconds.
+    pub sum_ns: u64,
+}
+
+/// Per-class lifecycle counters and the live-instance gauge.
+///
+/// There is deliberately no `updates` counter here: every `Update`
+/// event lands exactly one transition count in the weight store
+/// (dense or spilled), so the update total is derived from there at
+/// read time instead of paying a third atomic RMW per event on the
+/// hot path.
+pub struct ClassMetrics {
+    name: OnceLock<String>,
+    news: AtomicU64,
+    clones: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    overflows: AtomicU64,
+    live: AtomicI64,
+    high_watermark: AtomicU64,
+}
+
+impl ClassMetrics {
+    fn new() -> ClassMetrics {
+        ClassMetrics {
+            name: OnceLock::new(),
+            news: AtomicU64::new(0),
+            clones: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            live: AtomicI64::new(0),
+            high_watermark: AtomicU64::new(0),
+        }
+    }
+
+    /// The class's assertion name (or a placeholder when events were
+    /// observed without a registration).
+    pub fn name(&self) -> &str {
+        self.name.get().map(String::as_str).unwrap_or("unregistered")
+    }
+
+    /// Instance initialisations.
+    pub fn news(&self) -> u64 {
+        self.news.load(Ordering::Relaxed)
+    }
+
+    /// Instance clones (variable specialisations).
+    pub fn clones(&self) -> u64 {
+        self.clones.load(Ordering::Relaxed)
+    }
+
+    /// Accepted finalisations.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Rejected (violating) finalisations.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Preallocation overflows.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Currently live instances (approximate across threads). The
+    /// internal balance is signed — stale-instance clears can emit
+    /// finalises for instances whose creation predates the gauge — and
+    /// clamped to zero here.
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Most instances ever live at once.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn inc_live(&self) {
+        let now = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        // Guarded max: in steady state the gauge oscillates below the
+        // watermark and the plain load skips the second RMW. A stale
+        // load can only under-read, in which case we fall through to
+        // the (always correct) fetch_max.
+        if now > 0 && now as u64 > self.high_watermark.load(Ordering::Relaxed) {
+            self.high_watermark.fetch_max(now as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn dec_live(&self) {
+        // May transiently go negative (stale instances cleared across
+        // bound epochs without matching creations); the accessor
+        // clamps.
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-class serializable counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassSnapshot {
+    /// Class id.
+    pub class: u32,
+    /// Assertion name.
+    pub name: String,
+    /// Instance initialisations.
+    pub news: u64,
+    /// Instance clones.
+    pub clones: u64,
+    /// State updates.
+    pub updates: u64,
+    /// Accepted finalisations.
+    pub accepted: u64,
+    /// Rejected finalisations.
+    pub rejected: u64,
+    /// Preallocation overflows.
+    pub overflows: u64,
+    /// Currently live instances.
+    pub live: u64,
+    /// Live-instance high-watermark.
+    pub high_watermark: u64,
+    /// Non-zero transition weights.
+    pub transitions: Vec<TransitionCount>,
+}
+
+/// One weighted transition edge: DFA state × symbol → count.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransitionCount {
+    /// Source DFA state (as rendered by `automata::dot`).
+    pub from_state: u32,
+    /// Symbol id.
+    pub symbol: u32,
+    /// Times the edge fired.
+    pub count: u64,
+}
+
+/// Per-hook serializable counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct HookSnapshot {
+    /// Hook label (`fn_entry`, …).
+    pub hook: String,
+    /// Calls into the hook (exact).
+    pub calls: u64,
+    /// Latency distribution (sampled one-in-[`LATENCY_SAMPLE_PERIOD`]
+    /// per thread, so `latency.count <= calls`).
+    pub latency: HistogramSnapshot,
+}
+
+/// A point-in-time copy of every metric, serializable as the JSON
+/// report and convertible to Prometheus text via
+/// [`crate::telemetry::export::prometheus`].
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Lifecycle events dispatched to handlers.
+    pub events_total: u64,
+    /// Violations observed (lifecycle `Error` events).
+    pub violations: u64,
+    /// Instrumentation sites elided by the static model checker.
+    pub sites_elided: u64,
+    /// Per-hook call counts and latencies.
+    pub hooks: Vec<HookSnapshot>,
+    /// Per-class lifecycle counters and transition weights.
+    pub classes: Vec<ClassSnapshot>,
+}
+
+/// The registry: one allocation-free, lock-free sink for everything
+/// the engine can report. Attach it to an engine as an
+/// [`EventHandler`] (done automatically under
+/// [`crate::Config::telemetry`]) and it aggregates; snapshot it any
+/// time, including while dispatch threads are hammering it.
+pub struct MetricsRegistry {
+    hook_calls: Box<[HookCallStripe]>,
+    hook_latency: [LatencyHistogram; N_HOOKS],
+    classes: Box<[OnceLock<Arc<ClassMetrics>>]>,
+    weights: TransitionWeights,
+    violations: AtomicU64,
+    sites_elided: AtomicU64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// New, zeroed registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            hook_calls: (0..COUNTER_STRIPES)
+                .map(|_| HookCallStripe { calls: std::array::from_fn(|_| AtomicU64::new(0)) })
+                .collect(),
+            hook_latency: std::array::from_fn(|_| LatencyHistogram::new()),
+            classes: (0..MAX_DENSE_CLASSES).map(|_| OnceLock::new()).collect(),
+            weights: TransitionWeights::new(),
+            violations: AtomicU64::new(0),
+            sites_elided: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one hook invocation and its duration (always
+    /// histogrammed — direct calls bypass the timer's sampling).
+    #[inline]
+    pub fn record_hook(&self, kind: HookKind, elapsed: Duration) {
+        self.hook_calls[thread_stripe()].calls[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.hook_latency[kind as usize].record_ns(elapsed.as_nanos() as u64);
+    }
+
+    /// Count a hook invocation and start timing it if this thread's
+    /// sampling countdown fires; the guard records on drop, so early
+    /// returns are still measured. Calls are always counted exactly;
+    /// latency is sampled one-in-[`LATENCY_SAMPLE_PERIOD`] per thread.
+    #[inline]
+    pub fn timer(&self, kind: HookKind) -> HookTimer<'_> {
+        let t0 = TL_METRICS.with(|tl| {
+            self.hook_calls[tl.stripe].calls[kind as usize].fetch_add(1, Ordering::Relaxed);
+            let cell = &tl.sample[kind as usize];
+            let v = cell.get();
+            if v == 0 {
+                cell.set(LATENCY_SAMPLE_PERIOD - 1);
+                Some(Instant::now())
+            } else {
+                cell.set(v - 1);
+                None
+            }
+        });
+        HookTimer { registry: self, kind, t0 }
+    }
+
+    /// Calls into `kind` so far (exact: sums the thread stripes).
+    pub fn hook_calls(&self, kind: HookKind) -> u64 {
+        self.hook_calls.iter().map(|s| s.calls[kind as usize].load(Ordering::Relaxed)).sum()
+    }
+
+    /// Latency distribution for `kind`.
+    pub fn hook_latency(&self, kind: HookKind) -> HistogramSnapshot {
+        self.hook_latency[kind as usize].snapshot()
+    }
+
+    /// Counters for `class`, if any event or registration touched it.
+    pub fn class(&self, class: u32) -> Option<Arc<ClassMetrics>> {
+        self.classes.get(class as usize)?.get().cloned()
+    }
+
+    /// Hot-path borrow of a class's counters: initialises the slot on
+    /// first touch, and never clones the `Arc` (two ref-count RMWs
+    /// per event would be pure overhead on the dispatch path).
+    #[inline]
+    fn class_ref(&self, class: u32) -> Option<&ClassMetrics> {
+        self.classes
+            .get(class as usize)
+            .map(|slot| &**slot.get_or_init(|| Arc::new(ClassMetrics::new())))
+    }
+
+    /// The transition-weight store (fig. 9 edge weights).
+    pub fn weights(&self) -> &TransitionWeights {
+        &self.weights
+    }
+
+    /// Dense weight table for `class`, usable directly as the
+    /// [`tesla_automata::dot::WeightSource`] when rendering.
+    pub fn weight_source(&self, class: u32) -> Option<Arc<ClassWeights>> {
+        self.weights.class(class)
+    }
+
+    /// Lifecycle events dispatched so far. Derived, not counted: the
+    /// hot path already pays one counter per event (a lifecycle
+    /// counter, a transition-weight cell, or the violation counter),
+    /// so the total is the sum of those — exact at quiescence and
+    /// monotone while dispatch threads are running.
+    pub fn events_total(&self) -> u64 {
+        let mut total = self.violations();
+        for slot in self.classes.iter() {
+            let Some(c) = slot.get() else { continue };
+            total += c.news()
+                + c.clones()
+                + c.accepted()
+                + c.rejected()
+                + c.overflows();
+        }
+        total + self.weights.grand_total()
+    }
+
+    /// Violations observed so far.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Record the static checker's elision count (idempotent set).
+    pub fn set_sites_elided(&self, n: u64) {
+        self.sites_elided.store(n, Ordering::Relaxed);
+    }
+
+    /// Instrumentation sites the static model checker proved safe and
+    /// removed (plumbed from `BuildStats`).
+    pub fn sites_elided(&self) -> u64 {
+        self.sites_elided.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hooks = HookKind::ALL
+            .iter()
+            .map(|&k| HookSnapshot {
+                hook: k.label().to_string(),
+                calls: self.hook_calls(k),
+                latency: self.hook_latency(k),
+            })
+            .collect();
+        let mut classes = Vec::new();
+        for (id, slot) in self.classes.iter().enumerate() {
+            let Some(c) = slot.get() else { continue };
+            let transitions = self
+                .weights
+                .class(id as u32)
+                .map(|cw| {
+                    cw.nonzero()
+                        .into_iter()
+                        .map(|(from_state, symbol, count)| TransitionCount {
+                            from_state,
+                            symbol,
+                            count,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            classes.push(ClassSnapshot {
+                class: id as u32,
+                name: c.name().to_string(),
+                news: c.news(),
+                clones: c.clones(),
+                updates: self.weights.class_total(id as u32),
+                accepted: c.accepted(),
+                rejected: c.rejected(),
+                overflows: c.overflows(),
+                live: c.live(),
+                high_watermark: c.high_watermark(),
+                transitions,
+            });
+        }
+        MetricsSnapshot {
+            events_total: self.events_total(),
+            violations: self.violations(),
+            sites_elided: self.sites_elided(),
+            hooks,
+            classes,
+        }
+    }
+}
+
+impl EventHandler for MetricsRegistry {
+    fn on_event(&self, ev: &LifecycleEvent) {
+        match ev {
+            LifecycleEvent::New { class, .. } => {
+                if let Some(c) = self.class_ref(*class) {
+                    c.news.fetch_add(1, Ordering::Relaxed);
+                    c.inc_live();
+                }
+            }
+            LifecycleEvent::Clone { class, .. } => {
+                if let Some(c) = self.class_ref(*class) {
+                    c.clones.fetch_add(1, Ordering::Relaxed);
+                    c.inc_live();
+                }
+            }
+            LifecycleEvent::Update { class, sym, from_states, .. } => {
+                // The weight cell is the update counter (see
+                // [`ClassMetrics`]); touching the class slot keeps the
+                // class visible to snapshots even before registration.
+                let _ = self.class_ref(*class);
+                self.weights.record(*class, from_states, *sym);
+            }
+            LifecycleEvent::Error { .. } => {
+                self.violations.fetch_add(1, Ordering::Relaxed);
+            }
+            LifecycleEvent::Finalise { class, accepted, .. } => {
+                if let Some(c) = self.class_ref(*class) {
+                    if *accepted {
+                        c.accepted.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        c.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    c.dec_live();
+                }
+            }
+            LifecycleEvent::Overflow { class } => {
+                if let Some(c) = self.class_ref(*class) {
+                    c.overflows.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn on_register(&self, class: u32, automaton: &Automaton) {
+        if let Some(c) = self.class_ref(class) {
+            let _ = c.name.set(automaton.name.clone());
+        }
+        self.weights.register(class, automaton);
+    }
+}
+
+/// Drop guard measuring one hook invocation (see
+/// [`MetricsRegistry::timer`]). The call itself was counted when the
+/// guard was created; the drop only histograms the duration, and only
+/// on sampled invocations (`t0` is `Some`).
+pub struct HookTimer<'a> {
+    registry: &'a MetricsRegistry,
+    kind: HookKind,
+    t0: Option<Instant>,
+}
+
+impl Drop for HookTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.t0 {
+            self.registry.hook_latency[self.kind as usize]
+                .record_ns(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_automata::{compile, StateSet, SymbolId};
+    use tesla_spec::{call, AssertionBuilder};
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0); // bucket 0
+        h.record_ns(1); // bucket 1
+        h.record_ns(2); // bucket 2
+        h.record_ns(3); // bucket 2
+        h.record_ns(1 << 20); // bucket 21
+        h.record_ns(u64::MAX); // clamped to the last bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[21], 1);
+        assert_eq!(s.buckets[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn registry_tracks_lifecycle_and_live_gauge() {
+        let r = MetricsRegistry::new();
+        let a = compile(
+            &AssertionBuilder::within("req")
+                .previously(call("check").arg_var("x").returns(0))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        r.on_register(0, &a);
+        r.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
+        r.on_event(&LifecycleEvent::Clone {
+            class: 0,
+            from_instance: 0,
+            to_instance: 1,
+            bound: vec![],
+            states: a.initial_states(),
+        });
+        r.on_event(&LifecycleEvent::Update {
+            class: 0,
+            instance: 1,
+            sym: a.site_sym,
+            from_states: a.initial_states(),
+            to_states: StateSet::singleton(1),
+        });
+        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 1, accepted: true });
+        let c = r.class(0).unwrap();
+        assert_eq!(c.name(), a.name);
+        assert_eq!(c.news(), 1);
+        assert_eq!(c.clones(), 1);
+        // Updates are derived from the weight store, not counted.
+        assert_eq!(r.weights().class_total(0), 1);
+        assert_eq!(c.accepted(), 1);
+        assert_eq!(c.live(), 1); // 2 created, 1 finalised
+        assert_eq!(c.high_watermark(), 2);
+        assert_eq!(r.events_total(), 4);
+        assert_eq!(r.weights().symbol_count(0, a.site_sym), 1);
+        // Extra finalises drive the balance negative; the gauge clamps.
+        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: false });
+        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: false });
+        assert_eq!(c.live(), 0);
+        assert_eq!(c.rejected(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_serializable_and_complete() {
+        let r = MetricsRegistry::new();
+        r.record_hook(HookKind::FnEntry, Duration::from_nanos(100));
+        r.set_sites_elided(3);
+        r.on_event(&LifecycleEvent::Update {
+            class: 7,
+            instance: 0,
+            sym: SymbolId(1),
+            from_states: StateSet::singleton(0),
+            to_states: StateSet::singleton(1),
+        });
+        let s = r.snapshot();
+        assert_eq!(s.sites_elided, 3);
+        assert_eq!(s.events_total, 1);
+        assert_eq!(s.hooks.len(), N_HOOKS);
+        assert_eq!(s.hooks[0].calls, 1);
+        assert_eq!(s.classes.len(), 1);
+        assert_eq!(s.classes[0].class, 7);
+        assert_eq!(s.classes[0].name, "unregistered");
+    }
+}

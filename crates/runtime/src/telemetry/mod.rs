@@ -1,0 +1,36 @@
+//! Runtime telemetry (§4.4.2's introspection features).
+//!
+//! The paper makes introspection a first-class libtesla feature: a
+//! pluggable event-notification framework, in-kernel aggregation via
+//! DTrace, and transition-weighted automaton graphs (fig. 9) that let
+//! a programmer "visually inspect the portions of the state graph
+//! that are executed in practice". This module is the reproduction's
+//! DTrace substitute, built so that *observing* the runtime never
+//! perturbs the contention-free dispatch path it observes:
+//!
+//! * [`weights`] — dense per-class transition-weight tables over
+//!   (DFA state, symbol) indices. One atomic add per transition on
+//!   the hot path; a striped spillover map catches the rare keys that
+//!   have no dense slot (unregistered classes, merged state sets).
+//! * [`metrics`] — the [`MetricsRegistry`]: per-class lifecycle
+//!   counters, live-instance gauges with high-watermarks, hook-call
+//!   counters and log₂-bucketed hook-latency histograms in fixed-size
+//!   atomic arrays. Zero locks anywhere on the recording path.
+//! * [`recorder`] — the [`FlightRecorder`]: a bounded, per-thread,
+//!   overwrite-oldest ring buffer of lifecycle events using a seqlock
+//!   protocol over plain `AtomicU64` words (no `unsafe`), snapshotted
+//!   on demand.
+//! * [`export`] — Prometheus text exposition, JSON snapshots, JSONL
+//!   event dumps and chrome://tracing trace-event output.
+
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod weights;
+
+pub use metrics::{
+    ClassMetrics, ClassSnapshot, HistogramSnapshot, HookKind, HookSnapshot, HookTimer,
+    MetricsRegistry, MetricsSnapshot, TransitionCount,
+};
+pub use recorder::{FlightRecorder, RecordedEvent};
+pub use weights::{ClassWeights, TransitionWeights};

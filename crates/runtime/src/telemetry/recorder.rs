@@ -1,0 +1,412 @@
+//! The flight recorder: bounded, per-thread, lock-free event rings.
+//!
+//! Production monitoring wants "the last N things that happened",
+//! not an unbounded log: the paper's GNUstep investigation replayed
+//! "detailed information about the events being delivered" and the
+//! kernel aggregated through DTrace's bounded per-CPU buffers. The
+//! recorder reproduces that shape:
+//!
+//! * Each thread writes to its **own** ring — registered once on
+//!   first touch (the only lock, amortised to zero) and cached in a
+//!   thread-local, mirroring the engine's `EngineTls` pattern.
+//! * A ring slot is one `seq` word plus four payload words, all
+//!   `AtomicU64` — a seqlock in safe Rust. The writer bumps `seq` to
+//!   odd, stores the payload, bumps back to even; a snapshotting
+//!   reader retries any slot whose `seq` was odd or moved. Torn reads
+//!   are *detected*, never returned.
+//! * The ring overwrites oldest. [`FlightRecorder::snapshot`] merges
+//!   all rings into a timestamp-sorted event list; exporters in
+//!   [`crate::telemetry::export`] turn that into JSONL or
+//!   chrome://tracing output.
+
+use crate::event::LifecycleEvent;
+use crate::handlers::EventHandler;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tesla_automata::StateSet;
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// Timestamps are re-read from the clock every `TS_REFRESH` events
+/// per ring; the events in between reuse the cached reading plus
+/// their offset in the batch (so a ring's timestamps stay strictly
+/// ordered). One `Instant::now()` per event would cost more than the
+/// whole seqlock write; at this refresh rate the trace's cross-thread
+/// ordering is accurate to roughly one batch of events.
+const TS_REFRESH: u64 = 16;
+
+/// Event-kind discriminants in the packed representation.
+const K_NEW: u64 = 0;
+const K_CLONE: u64 = 1;
+const K_UPDATE: u64 = 2;
+const K_ERROR: u64 = 3;
+const K_FINALISE: u64 = 4;
+const K_OVERFLOW: u64 = 5;
+
+struct Slot {
+    seq: AtomicU64,
+    w0: AtomicU64,
+    w1: AtomicU64,
+    w2: AtomicU64,
+    w3: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            w0: AtomicU64::new(0),
+            w1: AtomicU64::new(0),
+            w2: AtomicU64::new(0),
+            w3: AtomicU64::new(0),
+        }
+    }
+}
+
+struct ThreadRing {
+    tid: u64,
+    mask: u64,
+    /// Total events ever pushed; `head & mask` is the next slot.
+    head: AtomicU64,
+    /// Clock reading cached at the last [`TS_REFRESH`] boundary.
+    /// Owner-written, relaxed: only a hint for event timestamps.
+    ts_cache: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadRing {
+    fn new(tid: u64, capacity: usize) -> ThreadRing {
+        let cap = capacity.next_power_of_two().max(8);
+        ThreadRing {
+            tid,
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            ts_cache: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Owner-thread only: a nanosecond timestamp for the next event,
+    /// re-reading the clock only at [`TS_REFRESH`] boundaries.
+    #[inline]
+    fn stamp(&self, epoch: &Instant) -> u64 {
+        let i = self.head.load(Ordering::Relaxed);
+        let off = i & (TS_REFRESH - 1);
+        if off == 0 {
+            let now = epoch.elapsed().as_nanos() as u64;
+            self.ts_cache.store(now, Ordering::Relaxed);
+            now
+        } else {
+            self.ts_cache.load(Ordering::Relaxed) + off
+        }
+    }
+
+    /// Owner-thread only: overwrite the oldest slot under the seqlock
+    /// protocol.
+    #[inline]
+    fn push(&self, w: [u64; 4]) {
+        let i = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(i & self.mask) as usize];
+        let s = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(s + 1, Ordering::Release); // odd: write in progress
+        slot.w0.store(w[0], Ordering::Release);
+        slot.w1.store(w[1], Ordering::Release);
+        slot.w2.store(w[2], Ordering::Release);
+        slot.w3.store(w[3], Ordering::Release);
+        slot.seq.store(s + 2, Ordering::Release); // even: stable
+        self.head.store(i + 1, Ordering::Release);
+    }
+
+    /// Any thread: read the current window, skipping slots that are
+    /// mid-write or were overwritten during the read.
+    fn read(&self, out: &mut Vec<RecordedEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let n = head.min(cap);
+        for i in (head - n)..head {
+            let slot = &self.slots[(i & self.mask) as usize];
+            for _attempt in 0..8 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 & 1 == 1 {
+                    continue;
+                }
+                let w = [
+                    slot.w0.load(Ordering::Acquire),
+                    slot.w1.load(Ordering::Acquire),
+                    slot.w2.load(Ordering::Acquire),
+                    slot.w3.load(Ordering::Acquire),
+                ];
+                if slot.seq.load(Ordering::Acquire) == s1 {
+                    out.push(RecordedEvent::unpack(self.tid, w));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A decoded flight-recorder record. The packed form keeps 64 bits of
+/// state-set payload, so NFA states ≥ 64 are truncated in the *trace*
+/// (never in the runtime itself); real automata in this reproduction
+/// have well under 64 states.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecordedEvent {
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// Recorder-assigned dense thread id.
+    pub thread: u64,
+    /// Event kind: `new`, `clone`, `update`, `error`, `finalise`,
+    /// `overflow`.
+    pub kind: &'static str,
+    /// Automaton class.
+    pub class: u32,
+    /// Symbol id (updates only).
+    pub symbol: u32,
+    /// Instance index (clones: the source instance).
+    pub instance: u32,
+    /// Kind-specific extra: clone target instance, finalise
+    /// acceptance (0/1).
+    pub aux: u32,
+    /// Low 64 bits of the relevant state set (updates: source states;
+    /// clones: arrival states).
+    pub states: u64,
+}
+
+impl RecordedEvent {
+    fn pack(ev: &LifecycleEvent) -> (u64, u64, u64) {
+        let low = |s: &StateSet| {
+            s.iter().take_while(|&b| b < 64).fold(0u64, |acc, b| acc | 1 << b)
+        };
+        match ev {
+            LifecycleEvent::New { class, instance } => {
+                (K_NEW | (u64::from(*class) << 8), u64::from(*instance), 0)
+            }
+            LifecycleEvent::Clone { class, from_instance, to_instance, states, .. } => (
+                K_CLONE | (u64::from(*class) << 8),
+                u64::from(*from_instance) | (u64::from(*to_instance) << 32),
+                low(states),
+            ),
+            LifecycleEvent::Update { class, instance, sym, from_states, .. } => (
+                K_UPDATE | (u64::from(*class) << 8) | (u64::from(sym.0) << 40),
+                u64::from(*instance),
+                low(from_states),
+            ),
+            LifecycleEvent::Error { .. } => (K_ERROR, 0, 0),
+            LifecycleEvent::Finalise { class, instance, accepted } => (
+                K_FINALISE | (u64::from(*class) << 8),
+                u64::from(*instance) | (u64::from(*accepted) << 32),
+                0,
+            ),
+            LifecycleEvent::Overflow { class } => (K_OVERFLOW | (u64::from(*class) << 8), 0, 0),
+        }
+    }
+
+    fn unpack(thread: u64, w: [u64; 4]) -> RecordedEvent {
+        let kind = match w[0] & 0xff {
+            K_NEW => "new",
+            K_CLONE => "clone",
+            K_UPDATE => "update",
+            K_ERROR => "error",
+            K_FINALISE => "finalise",
+            _ => "overflow",
+        };
+        RecordedEvent {
+            ts_ns: w[1],
+            thread,
+            kind,
+            class: ((w[0] >> 8) & 0xffff_ffff) as u32,
+            symbol: (w[0] >> 40) as u32,
+            instance: (w[2] & 0xffff_ffff) as u32,
+            aux: (w[2] >> 32) as u32,
+            states: w[3],
+        }
+    }
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's rings, keyed by recorder id. Tiny: almost always
+    /// one live recorder per thread.
+    static TL_RINGS: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+    /// Dense id for this thread in recorder output.
+    static TL_TID: u64 =
+        NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The flight recorder. Attach to an engine with
+/// [`crate::Tesla::add_handler`]; every lifecycle event is packed
+/// into the calling thread's ring with no locks and no allocation
+/// (after the thread's first event).
+pub struct FlightRecorder {
+    id: u64,
+    capacity: usize,
+    epoch: Instant,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// New recorder; each thread gets its own ring of `capacity`
+    /// events (rounded up to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity,
+            epoch: Instant::now(),
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Per-thread ring capacity (rounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.next_power_of_two().max(8)
+    }
+
+    fn ring(&self) -> Arc<ThreadRing> {
+        TL_RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, r)) = rings.iter().find(|(id, _)| *id == self.id) {
+                return r.clone();
+            }
+            // First event on this thread: allocate + register (the
+            // only locked path, once per thread per recorder).
+            let tid = TL_TID.with(|t| *t);
+            let ring = Arc::new(ThreadRing::new(tid, self.capacity));
+            self.rings.lock().push(ring.clone());
+            // Drop cache entries whose recorder is gone (our Arc is
+            // the only one left).
+            rings.retain(|(_, r)| Arc::strong_count(r) > 1);
+            rings.push((self.id, ring.clone()));
+            ring
+        })
+    }
+
+    /// Threads that have recorded at least one event.
+    pub fn thread_count(&self) -> usize {
+        self.rings.lock().len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.rings.lock().iter().map(|r| r.head.load(Ordering::Acquire)).sum()
+    }
+
+    /// Events lost to overwrite-oldest across all rings.
+    pub fn overwritten(&self) -> u64 {
+        let cap = self.capacity() as u64;
+        self.rings
+            .lock()
+            .iter()
+            .map(|r| r.head.load(Ordering::Acquire).saturating_sub(cap))
+            .sum()
+    }
+
+    /// Merge every thread's ring into one timestamp-sorted window of
+    /// the most recent events. Safe to call while writers are live;
+    /// slots being overwritten mid-read are skipped, not torn.
+    pub fn snapshot(&self) -> Vec<RecordedEvent> {
+        let rings: Vec<Arc<ThreadRing>> = self.rings.lock().clone();
+        let mut out = Vec::new();
+        for ring in rings {
+            ring.read(&mut out);
+        }
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+}
+
+impl EventHandler for FlightRecorder {
+    fn on_event(&self, ev: &LifecycleEvent) {
+        let (w0, w2, w3) = RecordedEvent::pack(ev);
+        TL_RINGS.with(|cell| {
+            // Fast path: the ring is already cached for this thread.
+            // Push under the shared borrow — no lock and no Arc
+            // refcount traffic per event.
+            {
+                let rings = cell.borrow();
+                if let Some((_, r)) = rings.iter().find(|(id, _)| *id == self.id) {
+                    let ts = r.stamp(&self.epoch);
+                    r.push([w0, ts, w2, w3]);
+                    return;
+                }
+            }
+            // Cold path, once per thread: allocate and register.
+            let r = self.ring();
+            let ts = r.stamp(&self.epoch);
+            r.push([w0, ts, w2, w3]);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(class: u32, instance: u32) -> LifecycleEvent {
+        LifecycleEvent::New { class, instance }
+    }
+
+    #[test]
+    fn records_and_decodes_events() {
+        let r = FlightRecorder::new(64);
+        r.on_event(&ev(3, 9));
+        r.on_event(&LifecycleEvent::Finalise { class: 3, instance: 9, accepted: true });
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, "new");
+        assert_eq!(snap[0].class, 3);
+        assert_eq!(snap[0].instance, 9);
+        assert_eq!(snap[1].kind, "finalise");
+        assert_eq!(snap[1].aux, 1);
+        assert!(snap[0].ts_ns <= snap[1].ts_ns);
+        assert_eq!(r.total_recorded(), 2);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = FlightRecorder::new(8);
+        for i in 0..20 {
+            r.on_event(&ev(0, i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 8);
+        // The window is the *latest* 8 events.
+        assert_eq!(snap.first().unwrap().instance, 12);
+        assert_eq!(snap.last().unwrap().instance, 19);
+        assert_eq!(r.total_recorded(), 20);
+        assert_eq!(r.overwritten(), 12);
+    }
+
+    #[test]
+    fn each_thread_gets_its_own_ring() {
+        let r = Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    r.on_event(&ev(t, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.thread_count(), 4);
+        assert_eq!(r.total_recorded(), 40);
+        assert_eq!(r.snapshot().len(), 40);
+    }
+}

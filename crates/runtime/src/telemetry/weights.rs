@@ -1,0 +1,393 @@
+//! Dense, lock-free transition-weight tables.
+//!
+//! Fig. 9's weighted graphs need a `(class, source states, symbol) →
+//! count` aggregate. The first implementation kept it in one global
+//! `Mutex<HashMap>`, which reintroduced a shared lock on every state
+//! update and undid the contention-free dispatch work. This version
+//! exploits a structural fact: libtesla instances carry exact NFA
+//! state sets, and every state set reachable by plain stepping is one
+//! of the determinised automaton's states. So at class-registration
+//! time we build an immutable `StateSet → row` index from
+//! [`Dfa::from_automaton`] (whose breadth-first state order is the
+//! same one `dot::render` uses) and a dense `rows × symbols` matrix
+//! of `AtomicU64` cells. Recording a transition is then one read-only
+//! hash lookup plus one relaxed `fetch_add` — no locks, and the row
+//! index doubles as the DFA state id the DOT renderer asks for.
+//!
+//! Keys with no dense slot still happen: events observed before any
+//! registration (standalone handler use) and state sets produced by
+//! *merging* duplicate-binding clones (`union_with` in the store can
+//! build a set that is not a reachable DFA state). Those fall through
+//! to a small striped map — cold by construction, and exact.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use tesla_automata::dot::WeightSource;
+use tesla_automata::{Automaton, Dfa, StateSet, SymbolId};
+
+/// A multiply-fold hasher for the hot `StateSet → row` lookup (and
+/// spill striping). The std default hasher is SipHash, whose keyed
+/// DoS resistance is irrelevant for trusted in-process keys and whose
+/// cost dominates the whole record path for 32-byte `StateSet` keys;
+/// folding each word through a rotate-xor-multiply is ~10× cheaper
+/// and mixes well for bitset-shaped data.
+#[derive(Default)]
+struct FoldHasher(u64);
+
+/// `2^64 / φ` — the usual Fibonacci-hashing multiplier.
+const FOLD_K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl Hasher for FoldHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).rotate_left(25).wrapping_mul(FOLD_K);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FoldBuild = BuildHasherDefault<FoldHasher>;
+
+/// Classes with ids below this get dense tables; beyond it (never in
+/// practice — registration is per-assertion) counts spill to the
+/// striped map and stay exact, just slower.
+pub const MAX_DENSE_CLASSES: usize = 1024;
+
+const SPILL_STRIPES: usize = 16;
+
+/// Below this many DFA states the row lookup is a linear scan of the
+/// BFS-ordered state list — for a handful of 32-byte keys that beats
+/// any hash-and-probe.
+const LINEAR_MAX: usize = 8;
+
+/// One class's dense transition-count matrix, in the determinised
+/// automaton's breadth-first state order (the same order
+/// `automata::dot` renders, so row ids are DOT state ids).
+pub struct ClassWeights {
+    n_syms: usize,
+    /// DFA states in BFS order; a state's position is its dense row.
+    states: Box<[StateSet]>,
+    /// Exact state set → dense row, used once the automaton outgrows
+    /// [`LINEAR_MAX`]. Immutable after construction, so concurrent
+    /// readers need no synchronisation.
+    state_index: HashMap<StateSet, u32, FoldBuild>,
+    cells: Box<[AtomicU64]>,
+}
+
+impl ClassWeights {
+    /// Build the (zeroed) matrix for one compiled automaton.
+    pub fn build(automaton: &Automaton) -> ClassWeights {
+        let dfa = Dfa::from_automaton(automaton);
+        let n_syms = automaton.n_symbols();
+        let mut state_index =
+            HashMap::with_capacity_and_hasher(dfa.states.len(), FoldBuild::default());
+        for (i, s) in dfa.states.iter().enumerate() {
+            state_index.insert(*s, i as u32);
+        }
+        let cells = (0..dfa.states.len() * n_syms).map(|_| AtomicU64::new(0)).collect();
+        ClassWeights { n_syms, states: dfa.states.into_boxed_slice(), state_index, cells }
+    }
+
+    /// Dense row for an exact state set, if indexed.
+    #[inline]
+    fn row_of(&self, from: &StateSet) -> Option<u32> {
+        if self.states.len() <= LINEAR_MAX {
+            self.states.iter().position(|s| s == from).map(|i| i as u32)
+        } else {
+            self.state_index.get(from).copied()
+        }
+    }
+
+    /// Number of DFA states (matrix rows).
+    pub fn n_states(&self) -> usize {
+        if self.n_syms == 0 { 0 } else { self.cells.len() / self.n_syms }
+    }
+
+    /// Number of symbols (matrix columns).
+    pub fn n_symbols(&self) -> usize {
+        self.n_syms
+    }
+
+    #[inline]
+    fn cell(&self, row: u32, sym: u32) -> Option<&AtomicU64> {
+        if (sym as usize) < self.n_syms {
+            self.cells.get(row as usize * self.n_syms + sym as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Count one firing of `sym` out of the exact state set `from`.
+    /// Returns `false` when `from` has no dense row (caller spills).
+    #[inline]
+    pub fn record(&self, from: &StateSet, sym: SymbolId) -> bool {
+        match self.row_of(from) {
+            Some(row) => match self.cell(row, sym.0) {
+                Some(c) => {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Weight of the `row --sym-->` edge (row = DFA/DOT state id).
+    pub fn get(&self, row: u32, sym: u32) -> u64 {
+        self.cell(row, sym).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Dense count for an exact source state set, if indexed.
+    pub fn count_from(&self, from: &StateSet, sym: SymbolId) -> Option<u64> {
+        self.row_of(from).map(|row| self.get(row, sym.0))
+    }
+
+    /// Sum of every cell — the class's dense transition count.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// All non-zero cells as `(row, symbol, count)`.
+    pub fn nonzero(&self) -> Vec<(u32, u32, u64)> {
+        let mut out = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                out.push(((i / self.n_syms) as u32, (i % self.n_syms) as u32, n));
+            }
+        }
+        out
+    }
+}
+
+/// Live transition weights are directly renderable: the dense row ids
+/// are the DFA state ids `automata::dot` queries.
+impl WeightSource for ClassWeights {
+    fn weight(&self, from: u32, sym: u32) -> u64 {
+        self.get(from, sym)
+    }
+}
+
+type SpillKey = (u32, StateSet, SymbolId);
+
+/// The full per-class weight store: dense tables installed at
+/// registration via `OnceLock` slots (readers pay one atomic load),
+/// plus the striped exact-spillover map.
+pub struct TransitionWeights {
+    dense: Box<[OnceLock<Arc<ClassWeights>>]>,
+    spill: Box<[Mutex<HashMap<SpillKey, u64>>]>,
+}
+
+impl Default for TransitionWeights {
+    fn default() -> TransitionWeights {
+        TransitionWeights::new()
+    }
+}
+
+impl TransitionWeights {
+    /// New, empty store.
+    pub fn new() -> TransitionWeights {
+        TransitionWeights {
+            dense: (0..MAX_DENSE_CLASSES).map(|_| OnceLock::new()).collect(),
+            spill: (0..SPILL_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Install the dense table for `class` (idempotent; the first
+    /// registration wins). Called at class registration — cold path.
+    pub fn register(&self, class: u32, automaton: &Automaton) {
+        if let Some(slot) = self.dense.get(class as usize) {
+            let _ = slot.set(Arc::new(ClassWeights::build(automaton)));
+        }
+    }
+
+    /// The dense table for `class`, if registered — this is the
+    /// [`WeightSource`] for rendering that class's weighted graph.
+    pub fn class(&self, class: u32) -> Option<Arc<ClassWeights>> {
+        self.dense.get(class as usize)?.get().cloned()
+    }
+
+    fn stripe(key: &SpillKey) -> usize {
+        let mut h = FoldHasher::default();
+        key.hash(&mut h);
+        h.finish() as usize % SPILL_STRIPES
+    }
+
+    /// Count one transition. Dense fast path: a read-only lookup and
+    /// a relaxed add. The striped map only sees keys with no dense
+    /// slot.
+    #[inline]
+    pub fn record(&self, class: u32, from: &StateSet, sym: SymbolId) {
+        if let Some(slot) = self.dense.get(class as usize) {
+            if let Some(cw) = slot.get() {
+                if cw.record(from, sym) {
+                    return;
+                }
+            }
+        }
+        let key = (class, *from, sym);
+        *self.spill[Self::stripe(&key)].lock().entry(key).or_insert(0) += 1;
+    }
+
+    /// Exact count for `(class, from, sym)` — dense plus spillover
+    /// (events recorded before the class registered land in the
+    /// spillover and are still included).
+    pub fn count(&self, class: u32, from: &StateSet, sym: SymbolId) -> u64 {
+        let dense = self
+            .class(class)
+            .and_then(|cw| cw.count_from(from, sym))
+            .unwrap_or(0);
+        let key = (class, *from, sym);
+        let spilled =
+            self.spill[Self::stripe(&key)].lock().get(&key).copied().unwrap_or(0);
+        dense + spilled
+    }
+
+    /// Sum of counts for `class` on `sym` over all source state sets.
+    pub fn symbol_count(&self, class: u32, sym: SymbolId) -> u64 {
+        let mut total = 0;
+        if let Some(cw) = self.class(class) {
+            for row in 0..cw.n_states() as u32 {
+                total += cw.get(row, sym.0);
+            }
+        }
+        for stripe in self.spill.iter() {
+            total += stripe
+                .lock()
+                .iter()
+                .filter(|((c, _, s), _)| *c == class && *s == sym)
+                .map(|(_, n)| *n)
+                .sum::<u64>();
+        }
+        total
+    }
+
+    /// Every transition recorded for `class` — dense plus spillover.
+    /// One weight lands per `Update` event, so this is also the
+    /// class's exact update count.
+    pub fn class_total(&self, class: u32) -> u64 {
+        let mut total = self.class(class).map_or(0, |cw| cw.total());
+        for stripe in self.spill.iter() {
+            total += stripe
+                .lock()
+                .iter()
+                .filter(|((c, _, _), _)| *c == class)
+                .map(|(_, n)| *n)
+                .sum::<u64>();
+        }
+        total
+    }
+
+    /// Every transition recorded across all classes (the global
+    /// update count).
+    pub fn grand_total(&self) -> u64 {
+        let mut total: u64 = 0;
+        for slot in self.dense.iter() {
+            if let Some(cw) = slot.get() {
+                total += cw.total();
+            }
+        }
+        for stripe in self.spill.iter() {
+            total += stripe.lock().values().sum::<u64>();
+        }
+        total
+    }
+
+    /// Symbols of `class` that fired at least once, sorted.
+    pub fn covered_symbols(&self, class: u32) -> Vec<SymbolId> {
+        let mut syms: Vec<SymbolId> = Vec::new();
+        if let Some(cw) = self.class(class) {
+            for (_, sym, _) in cw.nonzero() {
+                syms.push(SymbolId(sym));
+            }
+        }
+        for stripe in self.spill.iter() {
+            syms.extend(
+                stripe.lock().keys().filter(|(c, _, _)| *c == class).map(|(_, _, s)| *s),
+            );
+        }
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_automata::compile;
+    use tesla_spec::{call, AssertionBuilder};
+
+    fn automaton() -> Automaton {
+        let a = AssertionBuilder::within("req")
+            .previously(call("check").arg_var("x").returns(0))
+            .build()
+            .unwrap();
+        compile(&a).unwrap()
+    }
+
+    #[test]
+    fn dense_and_spill_counts_sum_exactly() {
+        let w = TransitionWeights::new();
+        let a = automaton();
+        let start = a.initial_states();
+        let sym = a.site_sym;
+        // Before registration: spills.
+        w.record(0, &start, sym);
+        w.register(0, &a);
+        // After registration: dense.
+        w.record(0, &start, sym);
+        w.record(0, &start, sym);
+        assert_eq!(w.count(0, &start, sym), 3);
+        assert_eq!(w.symbol_count(0, sym), 3);
+        assert_eq!(w.covered_symbols(0), vec![sym]);
+        // The dense table alone holds only the post-registration hits,
+        // in DFA row 0 (the start state is BFS-first).
+        let cw = w.class(0).unwrap();
+        assert_eq!(cw.get(0, sym.0), 2);
+    }
+
+    #[test]
+    fn unindexed_state_sets_spill_exactly() {
+        let w = TransitionWeights::new();
+        let a = automaton();
+        w.register(0, &a);
+        // A merged (non-DFA) state set.
+        let mut merged = StateSet::singleton(0);
+        merged.insert(a.n_states.saturating_sub(1));
+        merged.insert(1);
+        let sym = a.site_sym;
+        w.record(0, &merged, sym);
+        assert_eq!(w.count(0, &merged, sym), 1);
+    }
+}

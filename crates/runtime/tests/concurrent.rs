@@ -3,9 +3,10 @@
 //! are swapped under traffic. Violations must never be lost, instance
 //! counts must be exact, and a late `register` must be safe.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tesla_automata::compile;
-use tesla_runtime::{Config, FailMode, Tesla};
+use tesla_runtime::{Config, CountingHandler, FailMode, FlightRecorder, HookKind, Tesla};
 use tesla_spec::{call, AssertionBuilder, StaticEvent, Value};
 
 fn global_assertion(name: &str, start: &str, end: &str, check: &str) -> tesla_spec::Assertion {
@@ -198,4 +199,186 @@ fn snapshot_swap_under_traffic_is_safe() {
         t.fn_exit(e, &[], Value(0)).unwrap();
     }
     assert!(t.violations().is_empty());
+}
+
+/// Full telemetry under 8-thread dispatch: the metrics registry, a
+/// flight recorder and the counting handler all ride along, a reader
+/// thread takes snapshots throughout, and at the end every counter
+/// must be *exact* — no event lost, none double-counted — while
+/// concurrent snapshots only ever observe monotone totals.
+#[test]
+fn telemetry_counters_are_exact_under_parallel_dispatch() {
+    const THREADS: u64 = 8;
+    const PRODUCED: u64 = 40;
+    const VIOLATIONS: u64 = 5;
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        instance_capacity: 4096,
+        telemetry: true,
+        ..Config::default()
+    }));
+    let recorder = Arc::new(FlightRecorder::new(1 << 14));
+    let counting = Arc::new(CountingHandler::new());
+    t.add_handler(recorder.clone());
+    t.add_handler(counting.clone());
+    let a = global_assertion("telemetry", "job_start", "job_end", "produce");
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let start = t.intern_fn("job_start");
+    let end = t.intern_fn("job_end");
+    let produce = t.intern_fn("produce");
+
+    // A reader thread snapshots while the hammering runs: totals must
+    // only grow, and snapshotting must never panic or deadlock.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let (t, recorder, stop) = (t.clone(), recorder.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut last_events = 0u64;
+            let mut iters = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let s = t.metrics().snapshot();
+                assert!(s.events_total >= last_events, "events_total went backwards");
+                last_events = s.events_total;
+                let _ = recorder.snapshot();
+                iters += 1;
+            }
+            iters
+        })
+    };
+
+    t.fn_entry(start, &[]).unwrap();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for i in 0..PRODUCED {
+                    let v = w * 1_000 + i;
+                    let args = [Value(v)];
+                    t.fn_entry(produce, &args).unwrap();
+                    t.fn_exit(produce, &args, Value(0)).unwrap();
+                    t.assertion_site(id, &[Value(v)]).unwrap();
+                }
+                for _ in 0..VIOLATIONS {
+                    t.assertion_site(id, &[Value(900_000 + w)]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    t.fn_exit(end, &[], Value(0)).unwrap();
+    stop.store(true, Ordering::Relaxed);
+    assert!(reader.join().unwrap() > 0);
+
+    // Expected lifecycle arithmetic for the shared-group pattern:
+    // one (∗) New; one Clone per produced value; each Clone pairs
+    // with an Update and each passing site adds another; each
+    // unproduced site is an Error; «cleanup» finalises (∗) and every
+    // specialisation.
+    let news = 1;
+    let clones = THREADS * PRODUCED;
+    let updates = 2 * THREADS * PRODUCED;
+    let errors = THREADS * VIOLATIONS;
+    let finalises = 1 + THREADS * PRODUCED;
+    let m = t.metrics();
+
+    assert_eq!(m.violations(), errors);
+    assert_eq!(m.events_total(), news + clones + updates + errors + finalises);
+
+    let snap = m.snapshot();
+    let c = snap.classes.iter().find(|c| c.class == id.0).expect("class metrics");
+    assert_eq!(c.news, news);
+    assert_eq!(c.clones, clones);
+    assert_eq!(c.updates, updates);
+    assert_eq!(c.accepted + c.rejected, finalises);
+    assert_eq!(c.live, 0);
+    assert_eq!(c.high_watermark, 1 + THREADS * PRODUCED);
+
+    // No-lost-counter: the independent CountingHandler saw the exact
+    // same stream as the lock-free registry.
+    assert_eq!(counting.news(), c.news);
+    assert_eq!(counting.clones(), c.clones);
+    assert_eq!(counting.updates(), c.updates);
+    assert_eq!(counting.errors(), errors);
+    assert_eq!(counting.accepted() + counting.rejected(), finalises);
+
+    // Transition weights agree between both tables, and their total
+    // equals the Update count (one edge firing per Update).
+    let rw = m.weight_source(id.0).expect("registry weights");
+    let cw = counting.weights().class(id.0).expect("counting weights");
+    let rt: u64 = rw.nonzero().iter().map(|&(_, _, n)| n).sum();
+    let ct: u64 = cw.nonzero().iter().map(|&(_, _, n)| n).sum();
+    assert_eq!(rt, updates);
+    assert_eq!(ct, updates);
+    assert_eq!(rw.nonzero(), cw.nonzero());
+
+    // Hook instrumentation totals are exact too.
+    assert_eq!(m.hook_calls(HookKind::FnEntry), 1 + THREADS * PRODUCED);
+    assert_eq!(m.hook_calls(HookKind::FnExit), 1 + THREADS * PRODUCED);
+    assert_eq!(m.hook_calls(HookKind::AssertionSite), THREADS * (PRODUCED + VIOLATIONS));
+    // Latency histograms are sampled (one-in-N per thread): bounded
+    // by the exact call count, and non-empty because each thread's
+    // first hook is always sampled.
+    let lat = m.hook_latency(HookKind::AssertionSite);
+    assert!(lat.count > 0 && lat.count <= THREADS * (PRODUCED + VIOLATIONS));
+
+    // The flight recorder captured the whole stream: every ring was
+    // big enough, so nothing was overwritten and the merged snapshot
+    // is the complete, timestamp-ordered event log.
+    assert_eq!(recorder.overwritten(), 0);
+    assert_eq!(recorder.total_recorded(), m.events_total());
+    let log = recorder.snapshot();
+    assert_eq!(log.len() as u64, m.events_total());
+    assert!(log.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    assert!(recorder.thread_count() >= 2, "worker threads got their own rings");
+}
+
+/// A bounded recording handler under the same parallel load: the
+/// buffer must stay at its cap, count its drops, and never lose the
+/// *newest* events.
+#[test]
+fn bounded_recorder_caps_memory_under_parallel_load() {
+    const THREADS: u64 = 4;
+    const PRODUCED: u64 = 100;
+    const CAP: usize = 64;
+    let t = log_engine();
+    let rec = Arc::new(tesla_runtime::RecordingHandler::bounded(CAP));
+    t.add_handler(rec.clone());
+    let a = global_assertion("bounded", "job_start", "job_end", "produce");
+    let id = t.register(compile(&a).unwrap()).unwrap();
+    let start = t.intern_fn("job_start");
+    let end = t.intern_fn("job_end");
+    let produce = t.intern_fn("produce");
+
+    t.fn_entry(start, &[]).unwrap();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for i in 0..PRODUCED {
+                    let v = w * 1_000 + i;
+                    let args = [Value(v)];
+                    t.fn_entry(produce, &args).unwrap();
+                    t.fn_exit(produce, &args, Value(0)).unwrap();
+                    t.assertion_site(id, &[Value(v)]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    t.fn_exit(end, &[], Value(0)).unwrap();
+
+    // New + per-value (Clone + 2 Updates) + finalises.
+    let total = 1 + 3 * THREADS * PRODUCED + (1 + THREADS * PRODUCED);
+    assert_eq!(rec.len(), CAP);
+    assert_eq!(rec.dropped(), total - CAP as u64);
+    // The retained suffix is the newest CAP events: the very last
+    // lifecycle event of the run («cleanup» finalisations) is there.
+    let events = rec.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, tesla_runtime::LifecycleEvent::Finalise { .. })));
 }
