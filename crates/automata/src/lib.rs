@@ -33,6 +33,10 @@
 //!   rebuilds one-to-many (§5.1).
 //! * [`dot`] — Graphviz rendering, optionally weighted by run-time
 //!   transition counts (fig. 9, §4.4.2).
+//! * [`cache`] — the shared automaton compile cache: assertions are
+//!   compiled once per content fingerprint and shared by `Arc` across
+//!   compilation units and threads, fixing the §7 "re-loading,
+//!   re-parsing, and re-interpreting" inefficiency.
 //!
 //! ## Example
 //!
@@ -55,6 +59,7 @@
 
 pub mod automaton;
 pub mod bitset;
+pub mod cache;
 pub mod dfa;
 pub mod dot;
 pub mod manifest;
@@ -63,8 +68,9 @@ pub mod symbol;
 
 pub use automaton::{compile, Automaton, Bound};
 pub use bitset::StateSet;
+pub use cache::CompileCache;
 pub use dfa::Dfa;
-pub use manifest::Manifest;
+pub use manifest::{fnv1a, Fnv64, Manifest};
 pub use symbol::{
     Direction, Guard, InstrSide, ProgEvent, Symbol, SymbolId, SymbolKind, Transition,
 };

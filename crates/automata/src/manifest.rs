@@ -18,6 +18,57 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tesla_spec::Assertion;
 
+/// Streaming FNV-1a hasher — the content-fingerprint primitive used
+/// by manifests, the automaton compile cache, and the pipeline's
+/// object-cache keys. Deliberately not `std::hash::Hasher`: fingerprint
+/// values must be stable across runs and platforms, which `Hash`
+/// implementations do not promise.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Fold a `u32` in (little-endian), without formatting.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Fold a `u64` in (little-endian), without formatting.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a over a byte string in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
 /// One assertion as stored in a manifest, with provenance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ManifestEntry {
@@ -25,6 +76,18 @@ pub struct ManifestEntry {
     pub source_file: String,
     /// The assertion itself.
     pub assertion: Assertion,
+}
+
+impl ManifestEntry {
+    /// Content fingerprint of the *assertion* (not the provenance
+    /// file): two entries with equal fingerprints compile to identical
+    /// automata. This is the key of the shared
+    /// [`CompileCache`](crate::CompileCache).
+    pub fn content_fingerprint(&self) -> u64 {
+        let text = serde_json::to_string(&self.assertion)
+            .expect("assertion serialisation cannot fail");
+        fnv1a(text.as_bytes())
+    }
 }
 
 /// A `.tesla` manifest: the automata descriptions extracted from one
@@ -56,6 +119,13 @@ impl Manifest {
     /// Deterministic: entries are sorted by (file, assertion name,
     /// line) and duplicates dropped.
     pub fn merge(manifests: &[Manifest]) -> Manifest {
+        Manifest::merge_refs(&manifests.iter().collect::<Vec<_>>())
+    }
+
+    /// [`Manifest::merge`] over borrowed manifests — the incremental
+    /// pipeline merges the cached per-unit manifests on every build,
+    /// and should not have to clone each `Manifest` wholesale first.
+    pub fn merge_refs(manifests: &[&Manifest]) -> Manifest {
         let mut entries: Vec<ManifestEntry> =
             manifests.iter().flat_map(|m| m.entries.iter().cloned()).collect();
         entries.sort_by(|a, b| {
@@ -133,12 +203,18 @@ impl Manifest {
     /// decisions in the pipeline.
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over the canonical serialisation.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.to_tesla().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        fnv1a(self.to_tesla().as_bytes())
+    }
+
+    /// Per-entry `(source_file, content fingerprint)` pairs, in entry
+    /// order. The delta-aware pipeline diffs these instead of
+    /// re-serialising the whole manifest: an edited assertion changes
+    /// exactly its own fingerprint.
+    pub fn entry_fingerprints(&self) -> Vec<(String, u64)> {
+        self.entries
+            .iter()
+            .map(|e| (e.source_file.clone(), e.content_fingerprint()))
+            .collect()
     }
 }
 

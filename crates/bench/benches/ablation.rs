@@ -17,9 +17,11 @@ fn bench_reinstrument_policy(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(1));
     g.sample_size(10);
     let project = tesla::corpus::openssl_like(20);
-    for (name, policy) in
-        [("naive", ReinstrumentPolicy::Naive), ("fingerprint", ReinstrumentPolicy::Fingerprint)]
-    {
+    for (name, policy) in [
+        ("naive", ReinstrumentPolicy::Naive),
+        ("fingerprint", ReinstrumentPolicy::Fingerprint),
+        ("delta", ReinstrumentPolicy::Delta),
+    ] {
         g.bench_function(name, |b| {
             let mut opts = BuildOptions::tesla_toolchain();
             opts.reinstrument = policy;

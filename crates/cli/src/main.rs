@@ -7,6 +7,7 @@
 //! tesla static-check <file.c>...      flow-sensitive model checking + diagnostics
 //!                                     [--deny] [--format text|json|sarif]
 //! tesla build   <file.c>...           full TESLA build, print instrumentation stats
+//!                                     [--reinstrument naive|fingerprint|delta] [--jobs N] [--timings]
 //! tesla run     <file.c>... [--entry f] [--arg N]... [--graph out.dot]
 //!                                     build, weave, execute under libtesla (fail-stop)
 //! tesla observe <file.c>... [--format prom|json|dot|trace] [--entry f] [--arg N]... [-o out]
@@ -15,7 +16,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem, Project};
+use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem, Project, ReinstrumentPolicy};
 use tesla::prelude::*;
 
 fn main() -> ExitCode {
@@ -55,7 +56,13 @@ const USAGE: &str = "usage:
                                  compile-time assertion checking (§7):
                                  model-check, report, and elide; --deny
                                  makes warnings/errors a nonzero exit
-  tesla build   <file.c>...      TESLA build; print instrumentation stats
+  tesla build   <file.c>... [--reinstrument naive|fingerprint|delta]
+                [--jobs N] [--timings]
+                                 TESLA build; print instrumentation
+                                 stats. `delta` re-weaves only units
+                                 whose assertions changed and fans the
+                                 back-end out over N threads (0=auto);
+                                 --timings prints a per-stage breakdown
   tesla run     <file.c>... [--entry main] [--arg N]... [--graph out.dot]
                                  build and execute under libtesla;
                                  --graph writes transition-weighted
@@ -164,9 +171,47 @@ fn static_check_cmd(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_reinstrument(v: &str) -> Result<ReinstrumentPolicy, String> {
+    match v {
+        "naive" => Ok(ReinstrumentPolicy::Naive),
+        "fingerprint" => Ok(ReinstrumentPolicy::Fingerprint),
+        "delta" => Ok(ReinstrumentPolicy::Delta),
+        other => Err(format!("unknown --reinstrument `{other}` (expected naive|fingerprint|delta)")),
+    }
+}
+
 fn build(rest: &[String]) -> Result<(), String> {
-    let project = load_project(rest)?;
-    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let mut files = Vec::new();
+    let mut policy = ReinstrumentPolicy::Naive;
+    let mut jobs = 0usize;
+    let mut timings = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reinstrument" => {
+                policy =
+                    parse_reinstrument(it.next().ok_or("--reinstrument needs naive|fingerprint|delta")?)?;
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a count (0 = auto)")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
+            "--timings" => timings = true,
+            f => match f.strip_prefix("--reinstrument=") {
+                Some(v) => policy = parse_reinstrument(v)?,
+                None => match f.strip_prefix("--jobs=") {
+                    Some(v) => jobs = v.parse().map_err(|e| format!("bad --jobs: {e}"))?,
+                    None => files.push(f.to_string()),
+                },
+            },
+        }
+    }
+    let project = load_project(&files)?;
+    let opts = BuildOptions { reinstrument: policy, jobs, ..BuildOptions::tesla_toolchain() };
+    let mut bs = BuildSystem::new(project, opts);
     let art = bs.build().map_err(|e| e.to_string())?;
     println!(
         "compiled {} units; instrumented {}; {} hooks; {} sites; {} TIR instructions",
@@ -176,6 +221,13 @@ fn build(rest: &[String]) -> Result<(), String> {
         art.manifest.entries.len(),
         art.stats.linked_insts
     );
+    if timings {
+        let t = &art.timings;
+        println!(
+            "timings: frontend {:?}; analyse {:?}; model-check {:?}; instrument {:?}; link {:?}",
+            t.frontend, t.analyse, t.model_check, t.instrument, t.link
+        );
+    }
     Ok(())
 }
 

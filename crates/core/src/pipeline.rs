@@ -1,5 +1,5 @@
 //! The end-to-end TESLA build pipeline, with the incremental-rebuild
-//! behaviour of §5.1 (fig. 10).
+//! behaviour of §5.1 (fig. 10) — and the fix the paper asks for.
 //!
 //! A [`BuildSystem`] owns a project (a set of mini-C units) and a
 //! per-unit cache, and supports two workflows:
@@ -14,18 +14,34 @@
 //! defined in any other source file … after modifying a TESLA
 //! assertion in any one source file, instrumentation must be
 //! performed again, potentially on many files. In our current
-//! implementation, we naively re-instrument all code" (§5.1). The
-//! default [`ReinstrumentPolicy::Naive`] reproduces that; the
-//! fingerprint-based [`ReinstrumentPolicy::Fingerprint`] is the
-//! "could be pared down through further build optimisation" ablation.
+//! implementation, we naively re-instrument all code" (§5.1). Three
+//! [`ReinstrumentPolicy`] modes span the design space:
+//!
+//! * [`Naive`](ReinstrumentPolicy::Naive) reproduces the paper's
+//!   implementation: the combined `.tesla` file is regenerated on
+//!   every build, so every object is considered stale, and each unit
+//!   re-loads and re-parses the merged manifest (§7).
+//! * [`Fingerprint`](ReinstrumentPolicy::Fingerprint) is the first
+//!   "could be pared down through further build optimisation"
+//!   ablation: re-instrument all units only when the merged manifest
+//!   fingerprint changed.
+//! * [`Delta`](ReinstrumentPolicy::Delta) is the incremental
+//!   toolchain: assertions are compiled once per content fingerprint
+//!   in a shared [`CompileCache`], each unit's staleness is decided by
+//!   the slice of the instrumentation plan that can actually touch it
+//!   (see [`tesla_instrument::unit_touch_set`] and DESIGN.md §10),
+//!   and the per-unit back-end fans out across threads.
 
 use std::collections::{HashMap, HashSet};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tesla_automata::Manifest;
+use tesla_automata::{Automaton, CompileCache, Fnv64, Manifest};
 use tesla_cc::UnitOutput;
 use tesla_instrument::{
-    instrument_with_elision, model_check, register_manifest, static_check, AssertionReport,
-    RuntimeSink, StaticFinding,
+    instrument_precompiled, instrument_with_elision, model_check, register_manifest,
+    static_check, unit_touch_set, weave_plan, AssertionReport, InstrStats, RuntimeSink,
+    StaticFinding, UnitTouchSet, WeavePlan,
 };
 use tesla_ir::opt::{optimise, InlineOptions};
 use tesla_ir::verify::{verify, Stage};
@@ -76,6 +92,12 @@ pub enum ReinstrumentPolicy {
     /// Re-instrument all units only when the *merged manifest
     /// fingerprint* actually changed; otherwise only dirty units.
     Fingerprint,
+    /// Delta-aware invalidation: re-instrument a unit only when the
+    /// part of the instrumentation plan that can touch *that unit*
+    /// changed. Automata are compiled once per assertion content
+    /// fingerprint and shared across units; the per-unit back-end
+    /// runs in parallel ([`BuildOptions::jobs`]).
+    Delta,
 }
 
 /// Build configuration.
@@ -94,6 +116,12 @@ pub struct BuildOptions {
     /// instrumenting and elide hooks for assertions it proves safe
     /// (§7's "static analysis" direction).
     pub model_check: bool,
+    /// Worker threads for the [`ReinstrumentPolicy::Delta`] front-end
+    /// and back-end fan-out. `0` means "use the machine's available
+    /// parallelism"; `1` forces serial execution. The Naive and
+    /// Fingerprint modes always run serially — they exist to
+    /// reproduce the paper's measurements.
+    pub jobs: usize,
 }
 
 impl BuildOptions {
@@ -105,6 +133,7 @@ impl BuildOptions {
             reinstrument: ReinstrumentPolicy::Naive,
             verify: true,
             model_check: false,
+            jobs: 0,
         }
     }
 
@@ -116,6 +145,7 @@ impl BuildOptions {
             reinstrument: ReinstrumentPolicy::Naive,
             verify: true,
             model_check: false,
+            jobs: 0,
         }
     }
 
@@ -125,6 +155,15 @@ impl BuildOptions {
     /// dynamic instrumentation of [`tesla_toolchain`](Self::tesla_toolchain).
     pub fn static_toolchain() -> BuildOptions {
         BuildOptions { model_check: true, ..BuildOptions::tesla_toolchain() }
+    }
+
+    /// The incremental TESLA toolchain: shared automaton compile
+    /// cache, delta-aware invalidation, parallel back-end.
+    pub fn delta_toolchain() -> BuildOptions {
+        BuildOptions {
+            reinstrument: ReinstrumentPolicy::Delta,
+            ..BuildOptions::tesla_toolchain()
+        }
     }
 }
 
@@ -148,6 +187,22 @@ pub struct BuildStats {
     pub object_bytes: usize,
 }
 
+/// Wall-clock per pipeline stage for one build — the breakdown behind
+/// fig. 10's bar heights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Front-end: parse + lower dirty units (and unit verification).
+    pub frontend: Duration,
+    /// Analyse: merge per-unit manifests program-wide.
+    pub analyse: Duration,
+    /// Static model checking (zero unless enabled).
+    pub model_check: Duration,
+    /// Per-unit back-end: instrument, optimise, emit objects.
+    pub instrument: Duration,
+    /// Link + linked-program verification.
+    pub link: Duration,
+}
+
 /// A finished build.
 pub struct BuildArtifacts {
     /// The linked (and, in TESLA mode, instrumented) program.
@@ -162,6 +217,8 @@ pub struct BuildArtifacts {
     /// Flow-insensitive static findings (dormant/unchecked/
     /// unsatisfiable assertions; empty unless `model_check` was set).
     pub findings: Vec<StaticFinding>,
+    /// Per-stage wall-clock breakdown.
+    pub timings: StageTimings,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -202,13 +259,16 @@ pub struct BuildSystem {
     options: BuildOptions,
     /// Per-unit front-end cache: file → (source fingerprint, output).
     unit_cache: HashMap<String, (u64, UnitOutput)>,
-    /// Fingerprint of the last merged manifest.
-    last_manifest_fp: Option<u64>,
     /// Dirty files (explicitly touched since the last build).
     dirty: Vec<String>,
-    /// Per-unit object cache: file → (source fp, manifest key,
-    /// instrumented+optimised module).
-    object_cache: HashMap<String, (u64, u64, Module)>,
+    /// Per-unit object cache: file → (source fp, instrumentation key,
+    /// instrumented+optimised module). Modules are `Arc`-shared with
+    /// the link step, so a cache hit is a pointer copy, not a deep
+    /// clone.
+    object_cache: HashMap<String, (u64, u64, Arc<Module>)>,
+    /// Shared automaton compile cache (Delta mode): one compilation
+    /// per assertion content fingerprint per program, ever.
+    compile_cache: Arc<CompileCache>,
     /// Monotonic build counter (naive TESLA staleness key).
     build_seq: u64,
 }
@@ -227,26 +287,135 @@ fn reload_ir(m: &Module) -> Result<Module, String> {
 }
 
 fn fingerprint(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    tesla_automata::fnv1a(s.as_bytes())
+}
+
+/// Fold the sorted elision set into a staleness key: a changed
+/// verdict must invalidate cached objects even when manifest and
+/// source fingerprints are unchanged (elision alters the woven
+/// object). Hashes the ids directly — no formatting round-trip.
+fn mix_elided(base: u64, elided: &HashSet<u32>) -> u64 {
+    let mut ids: Vec<u32> = elided.iter().copied().collect();
+    ids.sort_unstable();
+    let mut h = Fnv64::new();
+    h.write_u64(base);
+    for id in ids {
+        h.write_u32(id);
     }
-    h
+    h.finish()
+}
+
+/// The per-unit Delta staleness key: a stable fingerprint of exactly
+/// the inputs the weave of this unit depends on —
+///
+/// 1. plan entries whose function this unit defines (callee side) or
+///    calls (caller side),
+/// 2. field targets matching a store in this unit,
+/// 3. the unit's own assertion sites: merged-manifest class id,
+///    assertion content, and elision verdict.
+///
+/// Anything else provably cannot change the woven output of this unit
+/// (the soundness argument is spelled out in DESIGN.md §10), so a key
+/// match means the cached object is byte-identical to what a re-weave
+/// would produce.
+fn delta_key(
+    plan: &WeavePlan,
+    touch: &UnitTouchSet,
+    manifest: &Manifest,
+    unit_file: &str,
+    elided: &HashSet<u32>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    for (name, side) in &plan.functions {
+        if touch.function_relevant(name, *side) {
+            h.write(name.as_bytes());
+            h.write_u32(*side as u32);
+        }
+    }
+    for target in &plan.fields {
+        if touch.field_relevant(target) {
+            h.write(target.0.as_bytes());
+            h.write(&[0xfe]);
+            h.write(target.1.as_bytes());
+        }
+    }
+    for (idx, entry) in manifest.entries.iter().enumerate() {
+        if entry.source_file == unit_file {
+            let id = u32::try_from(idx).expect("more than u32::MAX assertions");
+            h.write_u32(id);
+            h.write_u64(entry.content_fingerprint());
+            h.write(&[u8::from(elided.contains(&id))]);
+        }
+    }
+    h.finish()
+}
+
+/// Map `f` over `items` on up to `jobs` scoped threads, preserving
+/// order. Falls back to a plain serial loop for `jobs <= 1` or tiny
+/// inputs. Results come back in item order, so callers can report the
+/// first error deterministically, exactly as a serial loop would.
+fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.min(n).max(1);
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let chunk = n.div_ceil(jobs);
+    std::thread::scope(|s| {
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(|| {
+                for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    *out = Some(f(slot.take().expect("slot filled exactly once")));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// Output of weaving one unit in the Delta back-end.
+struct WovenUnit {
+    module: Arc<Module>,
+    stats: InstrStats,
+    object_bytes: usize,
 }
 
 impl BuildSystem {
     /// Create a build system over a project.
     pub fn new(project: Project, options: BuildOptions) -> BuildSystem {
+        BuildSystem::with_compile_cache(project, options, Arc::new(CompileCache::new()))
+    }
+
+    /// Create a build system sharing an automaton compile cache —
+    /// e.g. across the build systems of several test programs that
+    /// assert the same properties.
+    pub fn with_compile_cache(
+        project: Project,
+        options: BuildOptions,
+        compile_cache: Arc<CompileCache>,
+    ) -> BuildSystem {
         BuildSystem {
             project,
             options,
             unit_cache: HashMap::new(),
-            last_manifest_fp: None,
             dirty: Vec::new(),
             object_cache: HashMap::new(),
+            compile_cache,
             build_seq: 0,
         }
+    }
+
+    /// The shared automaton compile cache (hit/miss counters are
+    /// visible through it).
+    pub fn compile_cache(&self) -> &Arc<CompileCache> {
+        &self.compile_cache
     }
 
     /// Mark a file as edited (appends a comment so the fingerprint
@@ -266,65 +435,132 @@ impl BuildSystem {
         }
     }
 
+    /// Worker threads to use in Delta mode.
+    fn effective_jobs(&self) -> usize {
+        match self.options.jobs {
+            0 => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Front-end: recompile units whose source fingerprint changed.
+    /// Serial for Naive/Fingerprint (the paper's toolchain), fanned
+    /// out for Delta.
+    fn run_frontend(&mut self, stats: &mut BuildStats) -> Result<(), BuildError> {
+        let changed: Vec<(String, String, u64)> = self
+            .project
+            .units
+            .iter()
+            .filter_map(|unit| {
+                let fp = fingerprint(&unit.source);
+                let cached = self.unit_cache.get(&unit.file).map(|(f, _)| *f);
+                (cached != Some(fp)).then(|| (unit.file.clone(), unit.source.clone(), fp))
+            })
+            .collect();
+        let jobs = if self.options.reinstrument == ReinstrumentPolicy::Delta {
+            self.effective_jobs()
+        } else {
+            1
+        };
+        let verify_units = self.options.verify;
+        let outputs = parallel_map(changed, jobs, |(file, source, fp)| {
+            let out = tesla_cc::compile_unit(&source, &file)
+                .map_err(|e| BuildError::Compile(file.clone(), e))?;
+            if verify_units {
+                verify(&out.module, Stage::Unit)
+                    .map_err(|e| BuildError::Verify(format!("{file}: {e:?}")))?;
+            }
+            Ok::<(String, u64, UnitOutput), BuildError>((file, fp, out))
+        });
+        for result in outputs {
+            let (file, fp, out) = result?;
+            self.unit_cache.insert(file, (fp, out));
+            stats.compiled_units += 1;
+        }
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Back-end for Naive/Fingerprint: the paper's per-unit workflow,
+    /// deliberately preserved — two IR round-trips per unit plus a
+    /// re-load and re-parse of the merged `.tesla` text (§5.1, §7).
+    fn weave_unit_naive(
+        &self,
+        unit_out: &UnitOutput,
+        manifest_text: &str,
+        elided: &HashSet<u32>,
+        stats: &mut BuildStats,
+    ) -> Result<Module, BuildError> {
+        let mut m = reload_ir(&unit_out.module).map_err(BuildError::Link)?;
+        let reloaded = Manifest::from_tesla(manifest_text)
+            .map_err(|e| BuildError::Link(format!("manifest reload: {e}")))?;
+        let st =
+            instrument_with_elision(&mut m, &reloaded, elided).map_err(BuildError::Instrument)?;
+        m = reload_ir(&m).map_err(BuildError::Link)?;
+        stats.instrumented_units += 1;
+        stats.hooks_inserted +=
+            st.entry_hooks + st.exit_hooks + st.call_site_hooks + st.field_hooks;
+        stats.sites_elided += st.sites_elided;
+        Ok(m)
+    }
+
     /// Run a build: full on first call, incremental afterwards.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] from any stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (a unit index out
+    /// of range).
     pub fn build(&mut self) -> Result<BuildArtifacts, BuildError> {
         let t0 = Instant::now();
         let mut stats = BuildStats::default();
+        let mut timings = StageTimings::default();
 
-        // Front-end: recompile units whose fingerprint changed.
-        for unit in &self.project.units {
-            let fp = fingerprint(&unit.source);
-            let cached = self.unit_cache.get(&unit.file).map(|(f, _)| *f);
-            if cached != Some(fp) {
-                let out = tesla_cc::compile_unit(&unit.source, &unit.file)
-                    .map_err(|e| BuildError::Compile(unit.file.clone(), e))?;
-                if self.options.verify {
-                    verify(&out.module, Stage::Unit)
-                        .map_err(|e| BuildError::Verify(format!("{}: {:?}", unit.file, e)))?;
-                }
-                self.unit_cache.insert(unit.file.clone(), (fp, out));
-                stats.compiled_units += 1;
-            }
-        }
-        self.dirty.clear();
+        let t = Instant::now();
+        self.run_frontend(&mut stats)?;
+        timings.frontend = t.elapsed();
 
         // Analyse: merge the per-unit manifests program-wide.
+        let t = Instant::now();
         let manifest = if self.options.tesla {
-            let per_unit: Vec<Manifest> = self
+            let per_unit: Vec<&Manifest> = self
                 .project
                 .units
                 .iter()
-                .map(|u| self.unit_cache[&u.file].1.manifest.clone())
+                .map(|u| &self.unit_cache[&u.file].1.manifest)
                 .collect();
-            Manifest::merge(&per_unit)
+            Manifest::merge_refs(&per_unit)
         } else {
             Manifest::new()
         };
+        timings.analyse = t.elapsed();
 
         // Static analysis: model-check the *pristine* (un-instrumented)
         // program against the merged manifest. Elision decisions are
         // whole-program facts, so the checker must see the linked
         // flow graph, not any single unit.
+        let t = Instant::now();
         let mut verdicts: Vec<AssertionReport> = Vec::new();
         let mut findings: Vec<StaticFinding> = Vec::new();
         let mut elided: HashSet<u32> = HashSet::new();
         if self.options.tesla && self.options.model_check {
-            let pristine: Vec<Module> = self
+            let pristine: Vec<&Module> = self
                 .project
                 .units
                 .iter()
-                .map(|u| self.unit_cache[&u.file].1.module.clone())
+                .map(|u| &self.unit_cache[&u.file].1.module)
                 .collect();
-            let analysis = Module::link(pristine, "analysis").map_err(BuildError::Link)?;
+            let analysis =
+                Module::link_refs(&pristine, "analysis").map_err(BuildError::Link)?;
             verdicts = model_check(&analysis, &manifest).map_err(BuildError::Analysis)?;
             findings = static_check(&analysis, &manifest).map_err(BuildError::Analysis)?;
             elided =
                 verdicts.iter().filter(|r| r.verdict.elidable()).map(|r| r.class).collect();
         }
+        timings.model_check = t.elapsed();
 
         // Per-unit back-end: instrument (TESLA) → optimise → emit
         // object code. This mirrors the paper's per-file workflow
@@ -332,6 +568,48 @@ impl BuildSystem {
         // so the default toolchain's incremental rebuild only re-does
         // the dirty unit, while the naive TESLA toolchain re-does
         // every unit on any change (§5.1).
+        let t = Instant::now();
+        let modules = if self.options.tesla
+            && self.options.reinstrument == ReinstrumentPolicy::Delta
+        {
+            self.backend_delta(&manifest, &elided, &mut stats)?
+        } else {
+            self.backend_serial(&manifest, &elided, &mut stats)?
+        };
+        timings.instrument = t.elapsed();
+
+        // Link (cheap relative to the per-unit work, as in a real
+        // toolchain).
+        let t = Instant::now();
+        let refs: Vec<&Module> = modules.iter().map(Arc::as_ref).collect();
+        let program = Module::link_refs(&refs, "program").map_err(BuildError::Link)?;
+        if self.options.verify {
+            verify(&program, Stage::Linked)
+                .map_err(|e| BuildError::Verify(format!("linked: {:?}", e.first().unwrap())))?;
+        }
+        timings.link = t.elapsed();
+        stats.linked_insts = program.n_insts();
+        Ok(BuildArtifacts {
+            program,
+            manifest,
+            stats,
+            verdicts,
+            findings,
+            timings,
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    /// Naive/Fingerprint (and non-TESLA) back-end: one staleness key
+    /// for the whole program, serial per-unit loop. The merged
+    /// `.tesla` text is only rendered when some unit actually needs
+    /// re-weaving — a fully cached build serialises nothing.
+    fn backend_serial(
+        &mut self,
+        manifest: &Manifest,
+        elided: &HashSet<u32>,
+        stats: &mut BuildStats,
+    ) -> Result<Vec<Arc<Module>>, BuildError> {
         let manifest_key = if self.options.tesla {
             let base = match self.options.reinstrument {
                 ReinstrumentPolicy::Naive => {
@@ -340,25 +618,20 @@ impl BuildSystem {
                     self.build_seq += 1;
                     self.build_seq
                 }
-                ReinstrumentPolicy::Fingerprint => manifest.fingerprint(),
+                ReinstrumentPolicy::Fingerprint | ReinstrumentPolicy::Delta => {
+                    manifest.fingerprint()
+                }
             };
-            // Fold the elision set in: a changed verdict must
-            // invalidate cached objects even when manifest and source
-            // fingerprints are unchanged (elision alters the woven
-            // object).
-            let mut ids: Vec<u32> = elided.iter().copied().collect();
-            ids.sort_unstable();
-            base ^ fingerprint(&format!("elide:{ids:?}"))
+            mix_elided(base, elided)
         } else {
             0
         };
-        self.last_manifest_fp = Some(manifest.fingerprint());
+        let mut modules: Vec<Arc<Module>> = Vec::with_capacity(self.project.units.len());
         // The paper's implementation "re-load[s], re-pars[es], and
         // re-interpret[s] the same TESLA automaton description for
         // every LLVM IR file it instruments" (§7) — reproduce that
-        // honestly: each unit re-reads the merged .tesla text.
-        let manifest_text = if self.options.tesla { manifest.to_tesla() } else { String::new() };
-        let mut modules: Vec<Module> = Vec::with_capacity(self.project.units.len());
+        // honestly: each stale unit re-reads the merged .tesla text.
+        let mut manifest_text: Option<String> = None;
         for u in &self.project.units {
             let (src_fp, unit_out) = &self.unit_cache[&u.file];
             let cached = self
@@ -366,28 +639,21 @@ impl BuildSystem {
                 .get(&u.file)
                 .filter(|(sfp, mfp, _)| sfp == src_fp && *mfp == manifest_key);
             if let Some((_, _, obj)) = cached {
-                modules.push(obj.clone());
+                modules.push(Arc::clone(obj));
                 continue;
             }
-            let mut m = unit_out.module.clone();
+            let mut m;
             if self.options.tesla {
                 // The TESLA workflow adds pipeline stages (§5.1):
                 // clang emits IR, the standalone instrumenter re-reads
                 // it, instruments, writes it back, and opt re-reads
                 // that. Model the two extra IR round-trips honestly.
-                m = reload_ir(&m).map_err(BuildError::Link)?;
-                let reloaded = Manifest::from_tesla(&manifest_text)
-                    .map_err(|e| BuildError::Link(format!("manifest reload: {e}")))?;
-                let st = instrument_with_elision(&mut m, &reloaded, &elided)
-                    .map_err(BuildError::Instrument)?;
-                m = reload_ir(&m).map_err(BuildError::Link)?;
-                stats.instrumented_units += 1;
-                stats.hooks_inserted +=
-                    st.entry_hooks + st.exit_hooks + st.call_site_hooks + st.field_hooks;
-                stats.sites_elided += st.sites_elided;
+                let text = manifest_text.get_or_insert_with(|| manifest.to_tesla());
+                m = self.weave_unit_naive(unit_out, text, elided, stats)?;
             } else {
                 // Without the TESLA toolchain the assertion macros
                 // expand to nothing: drop the placeholders.
+                m = unit_out.module.clone();
                 for f in &mut m.functions {
                     for b in &mut f.blocks {
                         b.insts
@@ -399,19 +665,87 @@ impl BuildSystem {
                 optimise(&mut m, &InlineOptions::default());
             }
             stats.object_bytes += emit_object(&m);
-            self.object_cache.insert(u.file.clone(), (*src_fp, manifest_key, m.clone()));
+            let m = Arc::new(m);
+            self.object_cache.insert(u.file.clone(), (*src_fp, manifest_key, Arc::clone(&m)));
             modules.push(m);
         }
+        Ok(modules)
+    }
 
-        // Link (cheap relative to the per-unit work, as in a real
-        // toolchain).
-        let program = Module::link(modules, "program").map_err(BuildError::Link)?;
-        if self.options.verify {
-            verify(&program, Stage::Linked)
-                .map_err(|e| BuildError::Verify(format!("linked: {:?}", e.first().unwrap())))?;
+    /// Delta back-end: compile the merged manifest once through the
+    /// shared cache, key each unit by the plan slice that can touch
+    /// it, and re-weave only stale units — in parallel. No IR
+    /// round-trips, no manifest re-parse: the woven output is
+    /// identical to the naive path's because the round-trips are
+    /// serialisation identities (see `tests/build_modes.rs`).
+    fn backend_delta(
+        &mut self,
+        manifest: &Manifest,
+        elided: &HashSet<u32>,
+        stats: &mut BuildStats,
+    ) -> Result<Vec<Arc<Module>>, BuildError> {
+        let automata: Vec<Arc<Automaton>> = self
+            .compile_cache
+            .compile_manifest(manifest)
+            .map_err(|(name, e)| BuildError::Analysis(format!("{name}: {e}")))?;
+        let plan = weave_plan(&automata, elided);
+
+        // Partition into cache hits and stale units.
+        let mut modules: Vec<Option<Arc<Module>>> = vec![None; self.project.units.len()];
+        let mut stale: Vec<(usize, String, u64, u64)> = Vec::new();
+        for (idx, u) in self.project.units.iter().enumerate() {
+            let (src_fp, unit_out) = &self.unit_cache[&u.file];
+            let touch = unit_touch_set(&unit_out.module);
+            let key = delta_key(&plan, &touch, manifest, &u.file, elided);
+            match self
+                .object_cache
+                .get(&u.file)
+                .filter(|(sfp, dkey, _)| sfp == src_fp && *dkey == key)
+            {
+                Some((_, _, obj)) => modules[idx] = Some(Arc::clone(obj)),
+                None => stale.push((idx, u.file.clone(), *src_fp, key)),
+            }
         }
-        stats.linked_insts = program.n_insts();
-        Ok(BuildArtifacts { program, manifest, stats, verdicts, findings, elapsed: t0.elapsed() })
+
+        // Re-weave stale units across worker threads. Everything the
+        // workers read (pristine modules, manifest, shared automata)
+        // is immutable here; results are folded back in unit order so
+        // error reporting matches the serial toolchain.
+        let optimise_objects = self.options.optimise;
+        let unit_cache = &self.unit_cache;
+        let woven = parallel_map(stale, self.effective_jobs(), |(idx, file, src_fp, key)| {
+            let (_, unit_out) = &unit_cache[&file];
+            let mut m = unit_out.module.clone();
+            let st = instrument_precompiled(&mut m, manifest, &automata, elided)
+                .map_err(BuildError::Instrument)?;
+            if optimise_objects {
+                optimise(&mut m, &InlineOptions::default());
+            }
+            let object_bytes = emit_object(&m);
+            Ok::<_, BuildError>((
+                idx,
+                file,
+                src_fp,
+                key,
+                WovenUnit { module: Arc::new(m), stats: st, object_bytes },
+            ))
+        });
+        for result in woven {
+            let (idx, file, src_fp, key, unit) = result?;
+            stats.instrumented_units += 1;
+            stats.hooks_inserted += unit.stats.entry_hooks
+                + unit.stats.exit_hooks
+                + unit.stats.call_site_hooks
+                + unit.stats.field_hooks;
+            stats.sites_elided += unit.stats.sites_elided;
+            stats.object_bytes += unit.object_bytes;
+            self.object_cache.insert(file, (src_fp, key, Arc::clone(&unit.module)));
+            modules[idx] = Some(unit.module);
+        }
+        Ok(modules
+            .into_iter()
+            .map(|m| m.expect("every unit is cached or woven"))
+            .collect())
     }
 }
 
@@ -556,5 +890,59 @@ mod tests {
             let t = Tesla::with_defaults();
             assert_eq!(run_with_tesla(&art, &t, "main", &[7], 100_000).unwrap(), 8);
         }
+    }
+
+    #[test]
+    fn delta_build_instruments_and_enforces() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::delta_toolchain());
+        let art = bs.build().unwrap();
+        assert_eq!(art.stats.compiled_units, 2);
+        assert_eq!(art.stats.instrumented_units, 2);
+        let t = Tesla::with_defaults();
+        assert_eq!(run_with_tesla(&art, &t, "main", &[5], 100_000).unwrap(), 6);
+        assert!(t.violations().is_empty());
+        // One assertion, compiled exactly once.
+        assert_eq!(bs.compile_cache().misses(), 1);
+    }
+
+    #[test]
+    fn delta_touch_of_unrelated_unit_reweaves_only_it() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::delta_toolchain());
+        bs.build().unwrap();
+        bs.touch("lib.c");
+        let art = bs.build().unwrap();
+        // `lib.c` recompiled and re-woven (its source changed); the
+        // plan it sees is unchanged, so main.c's object is reused.
+        assert_eq!(art.stats.compiled_units, 1);
+        assert_eq!(art.stats.instrumented_units, 1);
+    }
+
+    #[test]
+    fn delta_noop_rebuild_is_fully_cached() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::delta_toolchain());
+        bs.build().unwrap();
+        let misses = bs.compile_cache().misses();
+        let art = bs.build().unwrap();
+        assert_eq!(art.stats.compiled_units, 0);
+        assert_eq!(art.stats.instrumented_units, 0);
+        // The rebuild re-used the shared automata: no new compiles.
+        assert_eq!(bs.compile_cache().misses(), misses);
+        assert!(bs.compile_cache().hits() > 0);
+    }
+
+    #[test]
+    fn delta_serial_and_parallel_agree() {
+        let mut serial = BuildSystem::new(
+            two_unit_project(),
+            BuildOptions { jobs: 1, ..BuildOptions::delta_toolchain() },
+        );
+        let mut parallel = BuildSystem::new(
+            two_unit_project(),
+            BuildOptions { jobs: 4, ..BuildOptions::delta_toolchain() },
+        );
+        let a = serial.build().unwrap();
+        let b = parallel.build().unwrap();
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.stats, b.stats);
     }
 }

@@ -35,10 +35,11 @@ pub mod static_check;
 
 pub use diagnostics::{diagnose, has_denials, render, Diagnostic, OutputFormat, Severity};
 pub use model_check::{model_check, AssertionReport, CheckVerdict, TraceStep};
-pub use static_check::{static_check, StaticFinding};
+pub use static_check::{occurring_functions, static_check, StaticFinding};
 
-use std::collections::{HashMap, HashSet};
-use tesla_automata::{InstrSide, Manifest, SymbolKind};
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use tesla_automata::{Automaton, InstrSide, Manifest, SymbolKind};
 use tesla_ir::{Callee, FuncId, Inst, Module, Terminator};
 use tesla_runtime::{ClassId, Tesla};
 use tesla_spec::Value;
@@ -126,21 +127,41 @@ pub fn instrument_with_elision(
     manifest: &Manifest,
     elided: &HashSet<u32>,
 ) -> Result<InstrStats, InstrumentError> {
-    let mut stats = InstrStats::default();
     let automata = manifest
         .compile_all()
         .map_err(|(name, e)| InstrumentError::Compile(format!("{name}: {e}")))?;
+    instrument_precompiled(module, manifest, &automata, elided)
+}
 
-    // Program-wide plan: function name → side — the plan of every
-    // *live* (non-elided) automaton, merged caller-wins exactly as
-    // `Manifest::instrumentation_plan` does over all of them.
-    let mut plan: std::collections::BTreeMap<String, InstrSide> = std::collections::BTreeMap::new();
+/// The program-wide weave plan derived from the *live* (non-elided)
+/// automata: which functions need hooks on which side, and which
+/// structure fields need store hooks. Everything the instrumenter
+/// consults besides the module itself and the site class ids — which
+/// makes it the exact dependency set for delta-aware rebuild
+/// invalidation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeavePlan {
+    /// Function name → instrumentation side, merged caller-wins
+    /// exactly as [`Manifest::instrumentation_plan`] does.
+    pub functions: BTreeMap<String, InstrSide>,
+    /// Field events referenced by any live automaton:
+    /// `(struct name or "", field name)`.
+    pub fields: BTreeSet<(String, String)>,
+}
+
+/// Compute the [`WeavePlan`] of the live automata. `automata` is
+/// positionally aligned with manifest entries (index = runtime class
+/// id); classes in `elided` contribute nothing.
+pub fn weave_plan<A: Borrow<Automaton>>(automata: &[A], elided: &HashSet<u32>) -> WeavePlan {
+    let mut plan = WeavePlan::default();
     for (idx, a) in automata.iter().enumerate() {
         if elided.contains(&(idx as u32)) {
             continue;
         }
+        let a = a.borrow();
         for (name, side) in a.instrumentation_targets() {
-            plan.entry(name)
+            plan.functions
+                .entry(name)
                 .and_modify(|s| {
                     if side == InstrSide::Caller {
                         *s = InstrSide::Caller;
@@ -148,22 +169,40 @@ pub fn instrument_with_elision(
                 })
                 .or_insert(side);
         }
-    }
-    // Field events referenced by any live automaton: (struct name or
-    // "", field name).
-    let mut field_targets: HashSet<(String, String)> = HashSet::new();
-    for (idx, a) in automata.iter().enumerate() {
-        if elided.contains(&(idx as u32)) {
-            continue;
-        }
         for s in &a.symbols {
             if let SymbolKind::FieldAssign { struct_name, field_name, .. } = &s.kind {
-                field_targets.insert((struct_name.clone(), field_name.clone()));
+                plan.fields.insert((struct_name.clone(), field_name.clone()));
             }
         }
     }
     // Message events are instrumented by runtime interposition
     // (§4.3), not by this IR pass.
+    plan
+}
+
+/// [`instrument_with_elision`] against **already compiled** automata —
+/// the §7 optimised toolchain's entry point. The naive workflow
+/// re-parses the merged `.tesla` description and recompiles every
+/// automaton once *per unit*; here the shared
+/// [`tesla_automata::CompileCache`] compiles each assertion once per
+/// program build and every unit (and every back-end thread) weaves
+/// against the same `Arc`-shared classes.
+///
+/// `automata` must be positionally aligned with `manifest.entries`
+/// (index = runtime class id), as
+/// [`tesla_automata::CompileCache::compile_manifest`] produces.
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] on stale manifests.
+pub fn instrument_precompiled<A: Borrow<Automaton>>(
+    module: &mut Module,
+    manifest: &Manifest,
+    automata: &[A],
+    elided: &HashSet<u32>,
+) -> Result<InstrStats, InstrumentError> {
+    let mut stats = InstrStats::default();
+    let WeavePlan { functions: plan, fields: field_targets } = weave_plan(automata, elided);
 
     // Assertion index → runtime class id, by manifest identity.
     let mut class_of: Vec<u32> = Vec::with_capacity(module.assertions.len());
@@ -357,6 +396,77 @@ impl tesla_ir::HookSink for RuntimeSink<'_> {
     fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String> {
         self.tesla.assertion_site(ClassId(class), values).map_err(|v| v.to_string())
     }
+}
+
+/// What a compilation unit's woven form can depend on, extracted from
+/// its *pristine* (un-instrumented) module. Built on the same
+/// occurring-functions analysis as [`static_check`]: the instrumenter
+/// only touches a unit where the [`WeavePlan`] intersects this set, so
+/// a plan change outside it provably cannot alter the unit's object —
+/// the soundness core of the pipeline's delta-aware invalidation (see
+/// DESIGN.md §10).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitTouchSet {
+    /// Functions the unit defines (candidates for callee-side
+    /// entry/exit hooks).
+    pub defined: BTreeSet<String>,
+    /// Function names appearing at the unit's direct or external call
+    /// sites (candidates for caller-side call-site wrapping).
+    pub called: BTreeSet<String>,
+    /// `(struct name, field name)` pairs the unit stores to
+    /// (candidates for field-assignment hooks).
+    pub stored: BTreeSet<(String, String)>,
+}
+
+impl UnitTouchSet {
+    /// Is a plan entry for `name` with `side` relevant to this unit —
+    /// i.e. could the instrumenter weave a hook for it here?
+    pub fn function_relevant(&self, name: &str, side: InstrSide) -> bool {
+        match side {
+            InstrSide::Callee => self.defined.contains(name),
+            InstrSide::Caller => self.called.contains(name),
+        }
+    }
+
+    /// Does a field target `(struct name or "", field name)` match any
+    /// store in this unit? Mirrors the instrumenter's match rule: an
+    /// empty struct name is a wildcard.
+    pub fn field_relevant(&self, target: &(String, String)) -> bool {
+        if target.0.is_empty() {
+            self.stored.iter().any(|(_, f)| *f == target.1)
+        } else {
+            self.stored.contains(target)
+        }
+    }
+}
+
+/// Extract a unit's [`UnitTouchSet`] from its pristine module.
+pub fn unit_touch_set(module: &Module) -> UnitTouchSet {
+    let mut out = UnitTouchSet::default();
+    for f in &module.functions {
+        out.defined.insert(f.name.clone());
+    }
+    for f in &module.functions {
+        for b in &f.blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::Call { callee: Callee::External(n), .. } => {
+                        out.called.insert(n.clone());
+                    }
+                    Inst::Call { callee: Callee::Direct(g), .. } => {
+                        out.called.insert(module.functions[g.0 as usize].name.clone());
+                    }
+                    Inst::Store { field, .. } => {
+                        let s = &module.structs[field.strct.0 as usize];
+                        out.stored
+                            .insert((s.name.clone(), s.fields[field.field as usize].clone()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Check whether a module still needs instrumentation (contains

@@ -75,7 +75,7 @@ impl std::fmt::Display for StaticFinding {
 /// unresolved external (caller-side hooks), and any address-taken
 /// function (`FnAddr` — reachable through an indirect call even when
 /// its name appears at no direct call site).
-fn occurring_functions(module: &Module) -> HashSet<String> {
+pub fn occurring_functions(module: &Module) -> HashSet<String> {
     let mut out: HashSet<String> = module.functions.iter().map(|f| f.name.clone()).collect();
     for f in &module.functions {
         for b in &f.blocks {

@@ -338,9 +338,22 @@ impl Module {
     /// Returns a message on duplicate function names or mismatched
     /// struct definitions.
     pub fn link(modules: Vec<Module>, name: &str) -> Result<Module, String> {
+        Module::link_refs(&modules.iter().collect::<Vec<_>>(), name)
+    }
+
+    /// [`Module::link`] over borrowed modules. The incremental build
+    /// pipeline keeps per-unit objects behind `Arc` so that a cache
+    /// hit copies a pointer instead of a module; linking therefore
+    /// must not demand ownership (it clones only what it merges).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on duplicate function names or mismatched
+    /// struct definitions.
+    pub fn link_refs(modules: &[&Module], name: &str) -> Result<Module, String> {
         let mut out = Module { name: name.to_string(), ..Module::default() };
         // Structs: dedup by name + shape.
-        for m in &modules {
+        for m in modules {
             for s in &m.structs {
                 match out.structs.iter().find(|o| o.name == s.name) {
                     Some(existing) if existing.fields != s.fields => {
@@ -352,7 +365,7 @@ impl Module {
             }
         }
         // Function name table.
-        for m in &modules {
+        for m in modules {
             for f in &m.functions {
                 if out.functions.iter().any(|o| o.name == f.name) {
                     return Err(format!("duplicate definition of `{}`", f.name));
@@ -366,7 +379,7 @@ impl Module {
         let mut fn_offset = 0u32;
         let mut assert_offset = 0u32;
         let mut fixed: Vec<Function> = Vec::with_capacity(out.functions.len());
-        for m in &modules {
+        for m in modules {
             let struct_map: Vec<StructId> = m
                 .structs
                 .iter()
@@ -387,7 +400,7 @@ impl Module {
         out.functions = fixed;
         // Assertions concatenate.
         for m in modules {
-            out.assertions.extend(m.assertions);
+            out.assertions.extend(m.assertions.iter().cloned());
         }
         Ok(out)
     }
