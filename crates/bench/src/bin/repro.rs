@@ -70,6 +70,12 @@ fn main() {
     if which.iter().any(|w| w == "delta-smoke") && !delta_smoke() {
         std::process::exit(1);
     }
+    // CI chaos smoke, not part of `all`: seeded fault-injection sweep;
+    // exits nonzero on any panic, quota breach, unreported absorbed
+    // fault, or nondeterministic ledger.
+    if which.iter().any(|w| w == "chaos") && !chaos() {
+        std::process::exit(1);
+    }
 }
 
 fn header(title: &str) {
@@ -605,6 +611,87 @@ fn delta_smoke() -> bool {
     );
     let ok = art.stats.instrumented_units < units && art.stats.instrumented_units > 0;
     println!("{}", if ok { "OK: delta rebuild stayed incremental" } else { "FAIL: delta rebuild re-instrumented the world" });
+    ok
+}
+
+/// One governed chaos run: the lmbench poll workload on an MP+MS
+/// kernel under a full-menu fault plan. Returns `None` if a panic
+/// escaped into the harness (an automatic failure), otherwise the
+/// plan's ledger and the engine's metrics snapshot.
+fn chaos_run(seed: u64) -> Option<(FaultLedger, MetricsSnapshot)> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    catch_unwind(AssertUnwindSafe(|| {
+        let (k, t) = tesla_bench::make_kernel_chaos(
+            KernelCfg::MpMs,
+            InitMode::Lazy,
+            seed,
+            FaultSpec::default_chaos(),
+        );
+        lmbench::setup(&k);
+        let _ = lmbench::poll_loop(&k, k.init_pid(), 200);
+        let ledger = t.fault_plan().expect("chaos kernels carry a plan").ledger();
+        (ledger, t.metrics().snapshot())
+    }))
+    .ok()
+}
+
+/// CI chaos smoke: three fixed seeds through [`chaos_run`], each run
+/// twice. Fails (returns false, `main` exits nonzero) on any panic
+/// that escapes the engine, any class whose live-instance gauge ever
+/// exceeded the quota, any injected fault the telemetry did not
+/// report absorbed, and any seed whose two runs disagree on the
+/// ledger (the determinism contract).
+fn chaos() -> bool {
+    header("chaos: seeded fault-injection sweep (governed kernel)");
+    const SEEDS: [u64; 3] = [11, 29, 4242];
+    let quota = tesla_bench::CHAOS_QUOTA as u64;
+    let mut ok = true;
+    println!(
+        "{:<8} {:>9} {:>9} {:>10} {:>8} {:>7}",
+        "Seed", "injected", "absorbed", "reported", "peak", "verdict"
+    );
+    for seed in SEEDS {
+        let Some((ledger, snap)) = chaos_run(seed) else {
+            println!("{seed:<8} {:>9} {:>9} {:>10} {:>8} {:>7}", "-", "-", "-", "-", "PANIC");
+            ok = false;
+            continue;
+        };
+        let peak = snap.classes.iter().map(|c| c.high_watermark).max().unwrap_or(0);
+        let balanced = ledger.balanced();
+        let reported = snap.faults_absorbed == ledger.total_injected();
+        let bounded = peak <= quota;
+        let deterministic = match chaos_run(seed) {
+            Some((again, _)) => again == ledger,
+            None => false,
+        };
+        let pass = balanced && reported && bounded && deterministic;
+        ok &= pass;
+        println!(
+            "{seed:<8} {:>9} {:>9} {:>10} {:>8} {:>7}",
+            ledger.total_injected(),
+            ledger.total_absorbed(),
+            snap.faults_absorbed,
+            format!("{peak}/{quota}"),
+            if pass { "ok" } else { "FAIL" }
+        );
+        if !balanced {
+            println!("  FAIL: injected/absorbed ledger unbalanced: {ledger}");
+        }
+        if !reported {
+            println!(
+                "  FAIL: telemetry reported {} absorbed, plan injected {}",
+                snap.faults_absorbed,
+                ledger.total_injected()
+            );
+        }
+        if !bounded {
+            println!("  FAIL: live-instance gauge peaked at {peak} > quota {quota}");
+        }
+        if !deterministic {
+            println!("  FAIL: identical seed produced a different ledger");
+        }
+    }
+    println!("{}", if ok { "OK: chaos sweep clean under all seeds" } else { "FAIL: chaos sweep" });
     ok
 }
 

@@ -148,6 +148,40 @@ pub fn make_kernel_telemetry(
     (k, Some(t), Some(recorder))
 }
 
+/// The live-instance quota chaos kernels run under (per class).
+pub const CHAOS_QUOTA: usize = 16;
+
+/// [`make_kernel`] under a seeded fault plan: governed (quota of
+/// [`CHAOS_QUOTA`] with LRU eviction and degraded mode),
+/// log-and-continue so the workload completes through violations, and
+/// fully telemetered so every absorbed fault is accounted. The
+/// configurations with no assertions have nothing to govern, so this
+/// builder requires one that registers some.
+pub fn make_kernel_chaos(
+    cfg: KernelCfg,
+    init_mode: InitMode,
+    seed: u64,
+    spec: FaultSpec,
+) -> (Arc<Kernel>, Arc<Tesla>) {
+    tesla::runtime::faults::silence_injected_panics();
+    let sets = cfg.sets();
+    assert!(!sets.is_empty(), "chaos kernels need assertions to govern");
+    let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        init_mode,
+        instance_capacity: 64,
+        max_instances: Some(CHAOS_QUOTA),
+        eviction: EvictionPolicy::Lru,
+        telemetry: true,
+        faults: Some(Arc::new(FaultPlan::new(seed, spec))),
+        ..Config::default()
+    }));
+    let reg = register_sets_in(&t, &sets, None).expect("sets register");
+    let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
+    (k, t)
+}
+
 /// The GUI tiers of fig. 14, in bar order.
 pub fn gui_tiers() -> Vec<(&'static str, GuiMode)> {
     vec![

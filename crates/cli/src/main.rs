@@ -9,7 +9,9 @@
 //! tesla build   <file.c>...           full TESLA build, print instrumentation stats
 //!                                     [--reinstrument naive|fingerprint|delta] [--jobs N] [--timings]
 //! tesla run     <file.c>... [--entry f] [--arg N]... [--graph out.dot]
-//!                                     build, weave, execute under libtesla (fail-stop)
+//!               [--chaos SEED] [--faults k=p,...]
+//!                                     build, weave, execute under libtesla (fail-stop;
+//!                                     --chaos: seeded fault injection, ledger on exit)
 //! tesla observe <file.c>... [--format prom|json|dot|trace] [--entry f] [--arg N]... [-o out]
 //!                                     run under full telemetry, emit the report
 //! ```
@@ -64,9 +66,15 @@ const USAGE: &str = "usage:
                                  back-end out over N threads (0=auto);
                                  --timings prints a per-stage breakdown
   tesla run     <file.c>... [--entry main] [--arg N]... [--graph out.dot]
+                [--chaos SEED] [--faults k=p,...]
                                  build and execute under libtesla;
                                  --graph writes transition-weighted
-                                 automaton graphs after the run
+                                 automaton graphs after the run;
+                                 --chaos runs under a seeded fault plan
+                                 (governed, log-and-continue) and prints
+                                 the injected/absorbed ledger; --faults
+                                 picks kinds and periods (e.g.
+                                 panic=7,drop=16; default: full menu)
   tesla observe <file.c>... [--format prom|json|dot|trace]
                 [--entry main] [--arg N]... [-o out]
                                  build, run under full telemetry, and
@@ -236,6 +244,8 @@ fn run(rest: &[String]) -> Result<(), String> {
     let mut entry = "main".to_string();
     let mut prog_args: Vec<i64> = Vec::new();
     let mut graph: Option<String> = None;
+    let mut chaos: Option<u64> = None;
+    let mut fault_arg: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -247,28 +257,76 @@ fn run(rest: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --arg: {e}"))?,
             ),
             "--graph" => graph = Some(it.next().ok_or("--graph needs a path")?.clone()),
+            "--chaos" => {
+                chaos = Some(
+                    it.next()
+                        .ok_or("--chaos needs a seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --chaos seed: {e}"))?,
+                )
+            }
+            "--faults" => fault_arg = Some(it.next().ok_or("--faults needs a spec")?.clone()),
             f => files.push(f.to_string()),
         }
     }
+    let plan = match chaos {
+        Some(seed) => {
+            let spec = match &fault_arg {
+                Some(s) => FaultSpec::parse(s)?,
+                None => FaultSpec::default_chaos(),
+            };
+            Some(Arc::new(FaultPlan::new(seed, spec)))
+        }
+        None if fault_arg.is_some() => {
+            return Err("--faults needs --chaos <seed> to schedule against".into())
+        }
+        None => None,
+    };
     let project = load_project(&files)?;
     let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
     let art = bs.build().map_err(|e| e.to_string())?;
     // --graph needs live transition weights, so it switches telemetry
-    // on; plain runs keep the zero-overhead default.
+    // on; plain runs keep the zero-overhead default. Chaos runs are
+    // governed (quota + LRU + degraded mode), log-and-continue so the
+    // workload completes, and fully telemetered so every absorbed
+    // fault is accounted.
     let engine = Arc::new(Tesla::new(Config {
-        telemetry: graph.is_some(),
+        telemetry: graph.is_some() || plan.is_some(),
+        fail_mode: if plan.is_some() { FailMode::Log } else { FailMode::FailStop },
+        max_instances: if plan.is_some() { Some(64) } else { None },
+        eviction: if plan.is_some() { EvictionPolicy::Lru } else { EvictionPolicy::Error },
+        faults: plan.clone(),
         ..Config::default()
     }));
+    if plan.is_some() {
+        tesla::runtime::faults::silence_injected_panics();
+    }
     let result = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000);
     if let Some(path) = graph {
         let dot = weighted_graphs(&engine);
         std::fs::write(&path, &dot).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {} weighted graph(s) to {path}", engine.n_classes());
     }
+    if let Some(p) = engine.fault_plan() {
+        let ledger = p.ledger();
+        println!("chaos seed {} spec {}", p.seed(), p.spec());
+        print!("{}", ledger.render());
+        let absorbed = engine.metrics().faults_absorbed();
+        println!(
+            "absorbed {} of {} injected; ledger {}",
+            absorbed,
+            ledger.total_injected(),
+            if ledger.balanced() && absorbed == ledger.total_injected() {
+                "balanced"
+            } else {
+                "UNBALANCED"
+            }
+        );
+    }
     match result {
         Ok(rc) => {
             println!("{entry}({prog_args:?}) = {rc}");
-            println!("0 violations");
+            println!("{} violations", engine.violations().len());
             Ok(())
         }
         Err(e) => Err(e),

@@ -76,7 +76,8 @@ pub use tesla_workload as workload;
 pub mod prelude {
     pub use tesla_automata::{compile, Automaton, Manifest};
     pub use tesla_runtime::{
-        ClassId, Config, CountingHandler, FailMode, FlightRecorder, InitMode, MetricsRegistry,
+        ClassId, Config, ConfigError, CountingHandler, EvictionPolicy, FailMode, FaultKind,
+        FaultLedger, FaultPlan, FaultSpec, FlightRecorder, InitMode, MetricsRegistry,
         MetricsSnapshot, RecordingHandler, Tesla, Violation, ViolationKind,
     };
     pub use tesla_spec::{

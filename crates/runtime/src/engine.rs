@@ -47,7 +47,8 @@
 //!   event, and only materialised classes are finalised at exit.
 
 use crate::event::{Violation, ViolationKind};
-use crate::handlers::EventHandler;
+use crate::faults::{FaultKind, FaultPlan, INJECTED_PANIC};
+use crate::handlers::{Dispatch, EventHandler};
 use crate::intern::{Interner, NameId};
 use crate::store::Store;
 use crate::telemetry::metrics::{HookKind, HookTimer, MetricsRegistry};
@@ -55,9 +56,11 @@ use crate::{RegisterError, MAX_VARS};
 use parking_lot::{Mutex, RwLock};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
 use tesla_automata::{Automaton, Direction, Guard, Symbol, SymbolId, SymbolKind};
 use tesla_spec::{ArgPattern, Context, FieldOp, Value};
 
@@ -75,7 +78,61 @@ pub enum FailMode {
     /// Violations are recorded (see [`Tesla::violations`]) and
     /// execution continues.
     Log,
+    /// Violations are recorded and then the hook panics — the
+    /// kernel-style `panic()` disposition of §4.4.2 for hosts that
+    /// cannot thread a `Result` out of instrumented code.
+    Panic,
 }
+
+/// What happens when a class's live-instance quota
+/// ([`Config::max_instances`]) is full and another clone arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Refuse the clone and emit [`crate::LifecycleEvent::Overflow`]
+    /// — the paper's preallocation semantics; no tracked instance is
+    /// ever discarded.
+    #[default]
+    Error,
+    /// Evict the least-recently-touched instance to admit the clone,
+    /// and put the class in degraded mode (shedding a sampled share
+    /// of further clones) for the rest of the bound epoch. Violation
+    /// detection stays sound for the instances that remain.
+    Lru,
+}
+
+/// A [`Config`] the engine refused at construction (zero-sized limit
+/// that would otherwise surface as a divide/modulo panic or a
+/// zero-capacity store deep inside a hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `global_shards` was 0 — the shard index is `group % shards`.
+    ZeroGlobalShards,
+    /// `instance_capacity` was 0 — no class could ever materialise.
+    ZeroInstanceCapacity,
+    /// `max_instances` was `Some(0)` — every instance would be shed.
+    ZeroMaxInstances,
+    /// `degraded_sample` was 0 — the shed sampler divides by it.
+    ZeroDegradedSample,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroGlobalShards => write!(f, "global_shards must be at least 1"),
+            ConfigError::ZeroInstanceCapacity => {
+                write!(f, "instance_capacity must be at least 1")
+            }
+            ConfigError::ZeroMaxInstances => {
+                write!(f, "max_instances, when set, must be at least 1")
+            }
+            ConfigError::ZeroDegradedSample => {
+                write!(f, "degraded_sample must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Automaton-instance initialisation strategy (§5.2.2, fig. 13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -107,6 +164,22 @@ pub struct Config {
     /// recording path is lock-free (relaxed atomics on preallocated
     /// arrays), preserving the contention-free dispatch invariant.
     pub telemetry: bool,
+    /// Per-class live-instance quota (per store). `None` leaves only
+    /// the preallocation bound ([`Config::instance_capacity`]); when
+    /// set, the effective bound is the minimum of the two and
+    /// [`Config::eviction`] decides what happens at the quota.
+    pub max_instances: Option<usize>,
+    /// Disposition when the quota is full and another clone arrives.
+    pub eviction: EvictionPolicy,
+    /// Degraded-mode shed rate: once a class has evicted, one in
+    /// every `degraded_sample` subsequent clones for it is dropped
+    /// (with a [`crate::LifecycleEvent::Shed`] event) until the bound
+    /// epoch ends. Must be at least 1.
+    pub degraded_sample: u32,
+    /// Optional seeded fault-injection plan (chaos testing). The
+    /// engine draws from it at every fault's absorption site; `None`
+    /// costs one branch per site.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for Config {
@@ -117,6 +190,10 @@ impl Default for Config {
             instance_capacity: 64,
             global_shards: 8,
             telemetry: false,
+            max_instances: None,
+            eviction: EvictionPolicy::Error,
+            degraded_sample: 4,
+            faults: None,
         }
     }
 }
@@ -136,6 +213,12 @@ pub struct ClassDef {
     /// `incallstack` guard targets with their interned ids, so guard
     /// evaluation needs no interner lookup on the hot path.
     pub guard_fns: Vec<(String, NameId)>,
+    /// Live-instance quota ([`Config::max_instances`]).
+    pub quota: Option<usize>,
+    /// Quota disposition ([`Config::eviction`]).
+    pub eviction: EvictionPolicy,
+    /// Degraded-mode shed rate ([`Config::degraded_sample`]).
+    pub degraded_sample: u32,
 }
 
 impl ClassDef {
@@ -318,8 +401,10 @@ pub struct Tesla {
     /// load.
     snap_version: AtomicU64,
     /// Striped Global-context stores; a bound group lives entirely in
-    /// shard `group % len`.
-    global_shards: Box<[Mutex<Store>]>,
+    /// shard `group % len`. Deliberately `std::sync::Mutex`: its
+    /// poisoning is the detection mechanism the lock-poison recovery
+    /// path (and the chaos harness) relies on.
+    global_shards: Box<[StdMutex<Store>]>,
     violation_log: Mutex<Vec<Violation>>,
     /// The engine's metrics registry. Always present (so callers can
     /// plumb values like `sites_elided` unconditionally); only
@@ -340,8 +425,40 @@ static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
 
 impl Tesla {
     /// Create an engine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration — use [`Tesla::try_new`]
+    /// where the configuration is not statically known to be valid.
     pub fn new(config: Config) -> Tesla {
-        let n_shards = config.global_shards.max(1);
+        match Tesla::try_new(config) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid TESLA configuration: {e}"),
+        }
+    }
+
+    /// Create an engine, validating the configuration's sizing limits
+    /// up front so a zero shard count (or any other zero-sized limit)
+    /// is a typed error here rather than a modulo-by-zero panic in
+    /// the first instrumentation hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the offending field.
+    pub fn try_new(config: Config) -> Result<Tesla, ConfigError> {
+        if config.global_shards == 0 {
+            return Err(ConfigError::ZeroGlobalShards);
+        }
+        if config.instance_capacity == 0 {
+            return Err(ConfigError::ZeroInstanceCapacity);
+        }
+        if config.max_instances == Some(0) {
+            return Err(ConfigError::ZeroMaxInstances);
+        }
+        if config.degraded_sample == 0 {
+            return Err(ConfigError::ZeroDegradedSample);
+        }
+        let n_shards = config.global_shards;
         let engine = Tesla {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             config,
@@ -350,14 +467,14 @@ impl Tesla {
             // Start at 1: a fresh `EngineTls` (version 0) always
             // pulls the current snapshot on first use.
             snap_version: AtomicU64::new(1),
-            global_shards: (0..n_shards).map(|_| Mutex::new(Store::default())).collect(),
+            global_shards: (0..n_shards).map(|_| StdMutex::new(Store::default())).collect(),
             violation_log: Mutex::new(Vec::new()),
             metrics: Arc::new(MetricsRegistry::new()),
         };
         if engine.config.telemetry {
             engine.add_handler(engine.metrics.clone());
         }
-        engine
+        Ok(engine)
     }
 
     /// Create with the default configuration (fail-stop, lazy init).
@@ -403,7 +520,9 @@ impl Tesla {
             handlers: slot.handlers.clone(),
         };
         for (i, c) in next.classes.iter().enumerate() {
-            h.on_register(i as u32, &c.automaton);
+            if catch_unwind(AssertUnwindSafe(|| h.on_register(i as u32, &c.automaton))).is_err() {
+                self.metrics.note_handler_panic();
+            }
         }
         next.handlers.push(h);
         *slot = Arc::new(next);
@@ -601,12 +720,17 @@ impl Tesla {
             site_hits: AtomicU64::new(0),
             violation_count: AtomicU64::new(0),
             guard_fns,
+            quota: self.config.max_instances,
+            eviction: self.config.eviction,
+            degraded_sample: self.config.degraded_sample,
         }));
         // Cold path: let aggregating handlers build their dense
         // per-class tables before any event for this class fires.
         let def = &next.classes[class as usize];
         for h in &next.handlers {
-            h.on_register(class, &def.automaton);
+            if catch_unwind(AssertUnwindSafe(|| h.on_register(class, &def.automaton))).is_err() {
+                self.metrics.note_handler_panic();
+            }
         }
         class
     }
@@ -643,6 +767,17 @@ impl Tesla {
     #[inline]
     pub fn fn_entry(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::FnEntry);
+        let mut out = Ok(());
+        for _ in 0..self.chaos_reps(HookKind::FnEntry) {
+            let r = self.fn_entry_inner(f, args);
+            if out.is_ok() {
+                out = r;
+            }
+        }
+        out
+    }
+
+    fn fn_entry_inner(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
         if ft.push_stack {
@@ -680,6 +815,17 @@ impl Tesla {
     #[inline]
     pub fn fn_exit(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::FnExit);
+        let mut out = Ok(());
+        for _ in 0..self.chaos_reps(HookKind::FnExit) {
+            let r = self.fn_exit_inner(f, args, ret);
+            if out.is_ok() {
+                out = r;
+            }
+        }
+        out
+    }
+
+    fn fn_exit_inner(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
         let mut first = None;
@@ -722,6 +868,24 @@ impl Tesla {
         value: Value,
     ) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::FieldStore);
+        let mut out = Ok(());
+        for _ in 0..self.chaos_reps(HookKind::FieldStore) {
+            let r = self.field_store_inner(struct_id, field_id, object, op, value);
+            if out.is_ok() {
+                out = r;
+            }
+        }
+        out
+    }
+
+    fn field_store_inner(
+        &self,
+        struct_id: NameId,
+        field_id: NameId,
+        object: Value,
+        op: FieldOp,
+        value: Value,
+    ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(entries) = snap.tables.field_tables.get(field_id.0 as usize) else {
             return Ok(());
@@ -752,6 +916,22 @@ impl Tesla {
     #[inline]
     pub fn msg_entry(&self, sel: NameId, receiver: Value, args: &[Value]) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::MsgEntry);
+        let mut out = Ok(());
+        for _ in 0..self.chaos_reps(HookKind::MsgEntry) {
+            let r = self.msg_entry_inner(sel, receiver, args);
+            if out.is_ok() {
+                out = r;
+            }
+        }
+        out
+    }
+
+    fn msg_entry_inner(
+        &self,
+        sel: NameId,
+        receiver: Value,
+        args: &[Value],
+    ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
         if st.entry.is_empty() {
@@ -777,6 +957,23 @@ impl Tesla {
         ret: Value,
     ) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::MsgExit);
+        let mut out = Ok(());
+        for _ in 0..self.chaos_reps(HookKind::MsgExit) {
+            let r = self.msg_exit_inner(sel, receiver, args, ret);
+            if out.is_ok() {
+                out = r;
+            }
+        }
+        out
+    }
+
+    fn msg_exit_inner(
+        &self,
+        sel: NameId,
+        receiver: Value,
+        args: &[Value],
+        ret: Value,
+    ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
         if st.exit.is_empty() {
@@ -806,6 +1003,17 @@ impl Tesla {
     /// exposed.
     pub fn assertion_site(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::AssertionSite);
+        let mut out = Ok(());
+        for _ in 0..self.chaos_reps(HookKind::AssertionSite) {
+            let r = self.assertion_site_inner(class, values);
+            if out.is_ok() {
+                out = r;
+            }
+        }
+        out
+    }
+
+    fn assertion_site_inner(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let def = snap.classes[class.0 as usize].clone();
         def.site_hits.fetch_add(1, Ordering::Relaxed);
@@ -816,6 +1024,7 @@ impl Tesla {
         }
         let sym = def.automaton.site_sym;
         let mut first = None;
+        let d = self.dispatch(&snap);
         self.with_store(def.automaton.context, def.group, &tls, |store| {
             store.ensure(snap.classes.len(), snap.tables.groups.len());
             if store.groups[def.group as usize].depth == 0 {
@@ -823,17 +1032,10 @@ impl Tesla {
                 // by automaton semantics; treat as unchecked.
                 return;
             }
-            store.materialize(class.0, &def, &snap.handlers);
+            store.materialize(class.0, &def, &d);
             let mut guard_ok = guard_eval(&def, &tls.stack);
-            let out = store.apply_event(
-                class.0,
-                &def,
-                sym,
-                &bindings[..n],
-                true,
-                &mut guard_ok,
-                &snap.handlers,
-            );
+            let out =
+                store.apply_event(class.0, &def, sym, &bindings[..n], true, &mut guard_ok, &d);
             if let Some(v) = out.violation {
                 first.get_or_insert(v);
             }
@@ -940,7 +1142,61 @@ impl Tesla {
                 match self.config.fail_mode {
                     FailMode::FailStop => Err(v),
                     FailMode::Log => Ok(()),
+                    FailMode::Panic => panic!("{v}"),
                 }
+            }
+        }
+    }
+
+    /// The engine's fault-injection plan, if one was configured.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.config.faults.as_ref()
+    }
+
+    /// Bundle a snapshot's handlers with the metrics sink and fault
+    /// plan for one hook invocation's event deliveries.
+    #[inline]
+    fn dispatch<'a>(&'a self, snap: &'a Snapshot) -> Dispatch<'a> {
+        Dispatch::new(&snap.handlers, &self.metrics, self.config.faults.as_deref())
+    }
+
+    /// Hook-prologue chaos draw: how many times to run the hook body.
+    /// 1 in normal operation; 0 when the plan drops the event, 2 when
+    /// it duplicates it. Clock skew is absorbed here too, as a wild
+    /// sample in the hook's latency histogram.
+    #[inline]
+    fn chaos_reps(&self, kind: HookKind) -> u32 {
+        let Some(fp) = self.config.faults.as_deref() else { return 1 };
+        if fp.draw(FaultKind::ClockSkew) {
+            self.metrics.note_clock_skew(kind, fp.skew_ns());
+            fp.absorbed(FaultKind::ClockSkew);
+            self.metrics.note_fault_absorbed();
+        }
+        if fp.draw(FaultKind::EventDrop) {
+            fp.absorbed(FaultKind::EventDrop);
+            self.metrics.note_fault_absorbed();
+            return 0;
+        }
+        if fp.draw(FaultKind::EventDuplicate) {
+            fp.absorbed(FaultKind::EventDuplicate);
+            self.metrics.note_fault_absorbed();
+            return 2;
+        }
+        1
+    }
+
+    /// Lock one Global shard, recovering (and counting) a poisoned
+    /// mutex: the store data is a bag of monotone counters and
+    /// instance tables that a half-completed event leaves stale, not
+    /// corrupt, so continuing is strictly better than propagating the
+    /// poison panic into every future hook.
+    fn lock_shard<'a>(&self, m: &'a StdMutex<Store>) -> std::sync::MutexGuard<'a, Store> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                m.clear_poison();
+                self.metrics.note_lock_poison_recovery();
+                poisoned.into_inner()
             }
         }
     }
@@ -958,7 +1214,23 @@ impl Tesla {
         match ctx {
             Context::Global => {
                 let shard = group as usize % self.global_shards.len();
-                let mut g = self.global_shards[shard].lock();
+                let m = &self.global_shards[shard];
+                if let Some(fp) = self.config.faults.as_deref() {
+                    if fp.draw(FaultKind::LockPoison) {
+                        // Poison the shard for real: panic while the
+                        // guard is held so its unwinding drop marks
+                        // the mutex, then let the ordinary recovery
+                        // path below absorb it.
+                        let guard = self.lock_shard(m);
+                        let _ = catch_unwind(AssertUnwindSafe(move || {
+                            let _held = guard;
+                            std::panic::panic_any(INJECTED_PANIC);
+                        }));
+                        fp.absorbed(FaultKind::LockPoison);
+                        self.metrics.note_fault_absorbed();
+                    }
+                }
+                let mut g = self.lock_shard(m);
                 f(&mut g)
             }
             Context::PerThread => f(&mut tls.store.borrow_mut()),
@@ -968,6 +1240,7 @@ impl Tesla {
     fn enter_group(&self, snap: &Snapshot, tls: &EngineTls, g: u32) {
         let gd = &snap.tables.groups[g as usize];
         let naive = self.config.init_mode == InitMode::Naive;
+        let d = self.dispatch(snap);
         self.with_store(gd.context, g, tls, |store| {
             store.ensure(snap.classes.len(), snap.tables.groups.len());
             let gs = &mut store.groups[g as usize];
@@ -981,7 +1254,7 @@ impl Tesla {
                 // Eager init: touch every class in the group — the
                 // cost the lazy optimisation removes (fig. 13).
                 for &c in &gd.classes {
-                    store.materialize(c, &snap.classes[c as usize], &snap.handlers);
+                    store.materialize(c, &snap.classes[c as usize], &d);
                 }
             }
         });
@@ -990,6 +1263,7 @@ impl Tesla {
     fn exit_group(&self, snap: &Snapshot, tls: &EngineTls, g: u32, first: &mut Option<Violation>) {
         let gd = &snap.tables.groups[g as usize];
         let naive = self.config.init_mode == InitMode::Naive;
+        let d = self.dispatch(snap);
         self.with_store(gd.context, g, tls, |store| {
             store.ensure(snap.classes.len(), snap.tables.groups.len());
             {
@@ -1008,9 +1282,7 @@ impl Tesla {
                 std::mem::take(&mut store.groups[g as usize].materialized)
             };
             for c in to_finalise {
-                if let Some(v) =
-                    store.finalise_class(c, &snap.classes[c as usize], &snap.handlers)
-                {
+                if let Some(v) = store.finalise_class(c, &snap.classes[c as usize], &d) {
                     first.get_or_insert(v);
                 }
             }
@@ -1078,12 +1350,13 @@ impl Tesla {
                 }
             }
             let def = &snap.classes[t.class as usize];
+            let d = self.dispatch(snap);
             self.with_store(t.context, def.group, tls, |store| {
                 store.ensure(snap.classes.len(), snap.tables.groups.len());
                 if store.groups[def.group as usize].depth == 0 {
                     return; // outside the temporal bound
                 }
-                store.materialize(t.class, def, &snap.handlers);
+                store.materialize(t.class, def, &d);
                 let mut guard_ok = guard_eval(def, &tls.stack);
                 let out = store.apply_event(
                     t.class,
@@ -1092,7 +1365,7 @@ impl Tesla {
                     &bindings[..nb],
                     false,
                     &mut guard_ok,
-                    &snap.handlers,
+                    &d,
                 );
                 if let Some(v) = out.violation {
                     first.get_or_insert(v);

@@ -127,6 +127,23 @@ pub enum LifecycleEvent {
         /// Class index.
         class: u32,
     },
+    /// An instance was evicted to make room under
+    /// [`crate::Config::max_instances`] (LRU policy). Obligations the
+    /// evicted instance carried are no longer checked — the event is
+    /// the audit trail for that soundness gap.
+    Evicted {
+        /// Class index.
+        class: u32,
+        /// Evicted instance slot.
+        instance: u32,
+    },
+    /// Degraded mode dropped (shed) a clone/specialisation for this
+    /// class because its quota tripped; retained instances are still
+    /// tracked exactly.
+    Shed {
+        /// Class index.
+        class: u32,
+    },
 }
 
 impl LifecycleEvent {
@@ -137,7 +154,9 @@ impl LifecycleEvent {
             | LifecycleEvent::Clone { class, .. }
             | LifecycleEvent::Update { class, .. }
             | LifecycleEvent::Finalise { class, .. }
-            | LifecycleEvent::Overflow { class } => Some(*class),
+            | LifecycleEvent::Overflow { class }
+            | LifecycleEvent::Evicted { class, .. }
+            | LifecycleEvent::Shed { class } => Some(*class),
             LifecycleEvent::Error { .. } => None,
         }
     }

@@ -11,10 +11,14 @@
 //! [`crate::telemetry`] and plugs in through the same trait.
 
 use crate::event::LifecycleEvent;
+use crate::faults::{FaultKind, FaultPlan, INJECTED_PANIC};
 use crate::telemetry::weights::TransitionWeights;
+use crate::telemetry::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tesla_automata::{Automaton, StateSet, SymbolId};
 
 /// A lifecycle-event observer. Handlers must be cheap and re-entrant;
@@ -30,6 +34,73 @@ pub trait EventHandler: Send + Sync {
     /// of locking maps on the hot path. Default: ignore.
     fn on_register(&self, class: u32, automaton: &Automaton) {
         let _ = (class, automaton);
+    }
+}
+
+/// Panic-isolating lifecycle-event fan-out.
+///
+/// Handlers run from instrumentation hooks with store locks held, so a
+/// buggy handler that unwinds would poison those locks and propagate
+/// into the *host's* call stack — exactly the "instrumentation worse
+/// than the bug" failure the fault model forbids. `Dispatch` wraps
+/// every `on_event` in `catch_unwind`: a panicking handler degrades to
+/// a counted `tesla_handler_panics_total` metric and the remaining
+/// handlers still run.
+///
+/// When a [`FaultPlan`] is attached it may also *inject* a handler
+/// panic at the top of [`Dispatch::notify`] (drawn and absorbed here,
+/// which is what keeps the plan's ledger balanced).
+pub struct Dispatch<'a> {
+    handlers: &'a [Arc<dyn EventHandler>],
+    metrics: &'a MetricsRegistry,
+    faults: Option<&'a FaultPlan>,
+}
+
+impl<'a> Dispatch<'a> {
+    /// Bundle a handler slice with the metrics sink (and optional
+    /// fault plan) for one hook invocation.
+    pub fn new(
+        handlers: &'a [Arc<dyn EventHandler>],
+        metrics: &'a MetricsRegistry,
+        faults: Option<&'a FaultPlan>,
+    ) -> Dispatch<'a> {
+        Dispatch { handlers, metrics, faults }
+    }
+
+    /// True when no handlers are attached (lets callers skip event
+    /// construction entirely).
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+
+    /// The attached fault plan, if any, so store-side injection sites
+    /// (allocation failure) can draw from the same schedule.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults
+    }
+
+    /// The metrics sink absorbed faults are accounted against.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.metrics
+    }
+
+    /// Deliver `ev` to every handler, isolating panics per handler.
+    pub fn notify(&self, ev: &LifecycleEvent) {
+        if let Some(fp) = self.faults {
+            if fp.draw(FaultKind::HandlerPanic) {
+                // Synthetic buggy handler: panics before doing work.
+                let r = catch_unwind(|| std::panic::panic_any(INJECTED_PANIC));
+                debug_assert!(r.is_err());
+                self.metrics.note_handler_panic();
+                self.metrics.note_fault_absorbed();
+                fp.absorbed(FaultKind::HandlerPanic);
+            }
+        }
+        for h in self.handlers {
+            if catch_unwind(AssertUnwindSafe(|| h.on_event(ev))).is_err() {
+                self.metrics.note_handler_panic();
+            }
+        }
     }
 }
 
@@ -150,6 +221,8 @@ pub struct CountingHandler {
     finalises_accepted: AtomicU64,
     finalises_rejected: AtomicU64,
     overflows: AtomicU64,
+    evictions: AtomicU64,
+    shed: AtomicU64,
     weights: TransitionWeights,
 }
 
@@ -192,6 +265,16 @@ impl CountingHandler {
     /// Preallocation overflows.
     pub fn overflows(&self) -> u64 {
         self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Quota evictions (LRU policy).
+    pub fn evicted(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Clones shed by degraded mode.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// How often `class` took `sym` out of exactly the state set
@@ -248,6 +331,12 @@ impl EventHandler for CountingHandler {
             }
             LifecycleEvent::Overflow { .. } => {
                 self.overflows.fetch_add(1, Ordering::Relaxed);
+            }
+            LifecycleEvent::Evicted { .. } => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            LifecycleEvent::Shed { .. } => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -385,6 +474,54 @@ mod tests {
         h.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
         h.on_event(&LifecycleEvent::New { class: 0, instance: 1 });
         assert_eq!(n.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dispatch_isolates_handler_panics() {
+        crate::faults::silence_injected_panics();
+        let metrics = MetricsRegistry::new();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        let bad: Arc<dyn EventHandler> =
+            Arc::new(CallbackHandler::new(|_| std::panic::panic_any(INJECTED_PANIC)));
+        let good: Arc<dyn EventHandler> = Arc::new(CallbackHandler::new(move |_| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+        }));
+        let handlers = vec![bad, good];
+        let d = Dispatch::new(&handlers, &metrics, None);
+        d.notify(&LifecycleEvent::New { class: 0, instance: 0 });
+        d.notify(&LifecycleEvent::Overflow { class: 0 });
+        // The panicking handler never unwound into us, and the healthy
+        // handler behind it still saw every event.
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.handler_panics(), 2);
+    }
+
+    #[test]
+    fn dispatch_injects_and_absorbs_handler_panics() {
+        crate::faults::silence_injected_panics();
+        let metrics = MetricsRegistry::new();
+        let plan = FaultPlan::new(3, crate::faults::FaultSpec::none().with(FaultKind::HandlerPanic, 4));
+        let handlers: Vec<Arc<dyn EventHandler>> = vec![];
+        let d = Dispatch::new(&handlers, &metrics, Some(&plan));
+        for _ in 0..40 {
+            d.notify(&LifecycleEvent::New { class: 0, instance: 0 });
+        }
+        let l = plan.ledger();
+        assert_eq!(l.injected[FaultKind::HandlerPanic as usize], 10);
+        assert!(l.balanced());
+        assert_eq!(metrics.handler_panics(), 10);
+        assert_eq!(metrics.faults_absorbed(), 10);
+    }
+
+    #[test]
+    fn counting_handler_counts_evictions_and_shed() {
+        let h = CountingHandler::new();
+        h.on_event(&LifecycleEvent::Evicted { class: 2, instance: 1 });
+        h.on_event(&LifecycleEvent::Shed { class: 2 });
+        h.on_event(&LifecycleEvent::Shed { class: 2 });
+        assert_eq!(h.evicted(), 1);
+        assert_eq!(h.shed(), 2);
     }
 
     #[test]

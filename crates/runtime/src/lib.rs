@@ -33,6 +33,15 @@
 //!   graphs), a bounded per-thread flight recorder, and Prometheus /
 //!   JSON / chrome-trace exporters. Enabled per engine via
 //!   [`Config::telemetry`].
+//! * [`faults`] — seeded deterministic fault injection
+//!   ([`FaultPlan`]): allocation failure, handler panics, clock skew,
+//!   event drop/duplication and shard-lock poisoning, drawn at the
+//!   exact sites that absorb them so the injected/absorbed ledger
+//!   balances whenever the runtime degrades gracefully. The hardening
+//!   it exercises — instance quotas with LRU eviction and degraded
+//!   mode, panic-isolating dispatch, lock-poison recovery — is always
+//!   on; the injection itself costs one branch per site when no plan
+//!   is configured.
 //! * [`event`] — violations and lifecycle event types. Mismatches
 //!   between specification and behaviour *fail-stop* by default
 //!   (hooks return `Err(Violation)`) but can be switched to
@@ -74,14 +83,16 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod handlers;
 pub mod intern;
 pub mod store;
 pub mod telemetry;
 
-pub use engine::{ClassId, Config, FailMode, InitMode, Tesla};
+pub use engine::{ClassId, Config, ConfigError, EvictionPolicy, FailMode, InitMode, Tesla};
 pub use event::{LifecycleEvent, Violation, ViolationKind};
-pub use handlers::{CountingHandler, EventHandler, RecordingHandler, StderrHandler};
+pub use faults::{FaultKind, FaultLedger, FaultPlan, FaultSpec};
+pub use handlers::{CountingHandler, Dispatch, EventHandler, RecordingHandler, StderrHandler};
 pub use intern::{Interner, NameId};
 pub use telemetry::{FlightRecorder, HookKind, MetricsRegistry, MetricsSnapshot, RecordedEvent};
 

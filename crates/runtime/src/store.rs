@@ -22,9 +22,10 @@
 //!   acceptance if its state set intersects the cleanup-safe set,
 //!   violation otherwise; then the table is expunged.
 
-use crate::engine::ClassDef;
+use crate::engine::{ClassDef, EvictionPolicy};
 use crate::event::{LifecycleEvent, Violation, ViolationKind};
-use crate::handlers::EventHandler;
+use crate::faults::FaultKind;
+use crate::handlers::Dispatch;
 use crate::MAX_VARS;
 use tesla_automata::{Guard, StateSet, SymbolId};
 use tesla_spec::Value;
@@ -39,12 +40,16 @@ pub struct Instance {
     pub bindings: [Value; MAX_VARS],
     /// Bitmask of bound variables.
     pub known: u8,
+    /// Store tick of the last event that touched this instance —
+    /// the recency key for LRU eviction under
+    /// [`crate::Config::max_instances`].
+    pub touch: u64,
 }
 
 impl Instance {
     /// The unnamed `(∗)` instance in the automaton's start state.
     pub fn unnamed(start: StateSet) -> Instance {
-        Instance { states: start, bindings: [Value::NULL; MAX_VARS], known: 0 }
+        Instance { states: start, bindings: [Value::NULL; MAX_VARS], known: 0, touch: 0 }
     }
 
     /// The instance's "name" for diagnostics: `(∗)` or `(v₀=3, v₂=7)`.
@@ -79,6 +84,14 @@ pub struct ClassState {
     /// The bound epoch this class was last materialised in (lazy
     /// initialisation, §5.2.2). 0 = never.
     pub epoch: u64,
+    /// Degraded mode: set when the quota evicted an instance this
+    /// epoch; a sampled share of further clones is shed and site
+    /// misses are suppressed (they may be eviction artefacts). Reset
+    /// at materialisation and finalisation.
+    pub degraded: bool,
+    /// Degraded-mode clone counter driving the 1-in-`degraded_sample`
+    /// shed decision.
+    pub shed_tick: u32,
 }
 
 /// Per-bound-group scope state within one store.
@@ -100,6 +113,8 @@ pub struct Store {
     pub classes: Vec<ClassState>,
     /// Indexed by group id.
     pub groups: Vec<GroupState>,
+    /// Monotonic event clock; stamps [`Instance::touch`].
+    pub tick: u64,
 }
 
 /// What `apply_event` observed.
@@ -126,37 +141,53 @@ impl Store {
     /// Create the `(∗)` instance for `class` if it has not been
     /// materialised in the current epoch of its bound group.
     /// Returns `true` if an instance was created.
-    pub fn materialize(
-        &mut self,
-        class: u32,
-        def: &ClassDef,
-        handlers: &[std::sync::Arc<dyn EventHandler>],
-    ) -> bool {
+    pub fn materialize(&mut self, class: u32, def: &ClassDef, d: &Dispatch<'_>) -> bool {
         let epoch = self.groups[def.group as usize].epoch;
+        let tick = self.tick;
         let cs = &mut self.classes[class as usize];
         if cs.epoch == epoch {
             return false;
         }
         // Instances surviving from an earlier epoch that was never
-        // finalised (unbalanced bound exit, or a fail-stop that
-        // abandoned the scope) must not leak into the new epoch.
+        // finalised (unbalanced bound exit, a dropped bound-end event,
+        // or a fail-stop that abandoned the scope) must not leak into
+        // the new epoch. They are *reclaimed*, not silently dropped:
+        // each emits an `Evicted` event so the live-instance gauge
+        // stays exact — the quota property ("live never exceeds
+        // `max_instances`") has to survive abandoned scopes too.
         if !cs.instances.is_empty() {
+            for slot in 0..cs.instances.len() {
+                d.notify(&LifecycleEvent::Evicted { class, instance: slot as u32 });
+            }
             cs.instances.clear();
         }
+        if let Some(fp) = d.faults() {
+            if fp.draw(FaultKind::AllocFailure) {
+                // Allocation denied: report it as an overflow (the
+                // §4.4.1 "adjust preallocation" signal) and leave the
+                // class unmaterialised — the epoch is not recorded,
+                // so the next event retries.
+                fp.absorbed(FaultKind::AllocFailure);
+                d.metrics().note_fault_absorbed();
+                d.notify(&LifecycleEvent::Overflow { class });
+                return false;
+            }
+        }
         cs.epoch = epoch;
+        cs.degraded = false;
+        cs.shed_tick = 0;
         if cs.instances.capacity() < def.capacity {
             cs.instances.reserve_exact(def.capacity - cs.instances.capacity());
         }
         let slot = cs.instances.len() as u32;
-        cs.instances.push(Instance::unnamed(def.automaton.initial_states()));
+        let mut star = Instance::unnamed(def.automaton.initial_states());
+        star.touch = tick;
+        cs.instances.push(star);
         self.groups[def.group as usize].materialized.push(class);
         // Events are built once and shared by every handler: handler
         // count must scale at the cost of a virtual call, not of
         // re-materialising (and for clones, re-allocating) payloads.
-        let ev = LifecycleEvent::New { class, instance: slot };
-        for h in handlers {
-            h.on_event(&ev);
-        }
+        d.notify(&LifecycleEvent::New { class, instance: slot });
         true
     }
 
@@ -173,9 +204,11 @@ impl Store {
         bindings: &[(usize, Value)],
         is_site: bool,
         guard_ok: &mut dyn FnMut(&Guard) -> bool,
-        handlers: &[std::sync::Arc<dyn EventHandler>],
+        d: &Dispatch<'_>,
     ) -> ApplyOutcome {
         let auto = &def.automaton;
+        self.tick += 1;
+        let tick = self.tick;
         let cs = &mut self.classes[class as usize];
         let mut out = ApplyOutcome::default();
         // Clones created this event: (source slot, instance).
@@ -216,10 +249,7 @@ impl Store {
                             auto.symbols[sym.0 as usize].kind
                         ),
                     );
-                    let ev = LifecycleEvent::Error { violation: v.clone() };
-                    for h in handlers {
-                        h.on_event(&ev);
-                    }
+                    d.notify(&LifecycleEvent::Error { violation: v.clone() });
                     out.violation = Some(v);
                     // Stop delivering the event, but fall through to
                     // commit clones already queued by earlier
@@ -234,18 +264,16 @@ impl Store {
             if specialise_known == 0 {
                 let from = inst.states;
                 cs.instances[i].states = next;
+                cs.instances[i].touch = tick;
                 out.matched = true;
-                if !handlers.is_empty() {
-                    let ev = LifecycleEvent::Update {
+                if !d.is_empty() {
+                    d.notify(&LifecycleEvent::Update {
                         class,
                         instance: i as u32,
                         sym,
                         from_states: from,
                         to_states: next,
-                    };
-                    for h in handlers {
-                        h.on_event(&ev);
-                    }
+                    });
                 }
             } else {
                 let mut clone = inst;
@@ -256,11 +284,26 @@ impl Store {
                     }
                 }
                 clone.states = next;
+                clone.touch = tick;
                 out.matched = true;
                 clones.push((i as u32, clone));
             }
         }
+        // The effective instance bound: the governance quota, if set,
+        // never exceeds the preallocation capacity.
+        let limit = def.quota.map_or(def.capacity, |q| q.min(def.capacity));
         for (src, clone) in clones {
+            // Degraded mode: shed a sampled share of new
+            // specialisations — bounded work in exchange for bounded
+            // memory. In-place updates above are never shed, so the
+            // instances we keep are tracked exactly.
+            if cs.degraded {
+                cs.shed_tick = cs.shed_tick.wrapping_add(1);
+                if cs.shed_tick % def.degraded_sample == 0 {
+                    d.notify(&LifecycleEvent::Shed { class });
+                    continue;
+                }
+            }
             // Deduplicate: an instance with identical bindings may
             // already exist (e.g. the same check ran twice); merge
             // state sets instead of duplicating.
@@ -271,52 +314,79 @@ impl Store {
             {
                 let from = cs.instances[j].states;
                 cs.instances[j].states.union_with(&clone.states);
+                cs.instances[j].touch = tick;
                 let to = cs.instances[j].states;
-                if from != to && !handlers.is_empty() {
-                    let ev = LifecycleEvent::Update {
+                if from != to && !d.is_empty() {
+                    d.notify(&LifecycleEvent::Update {
                         class,
                         instance: j as u32,
                         sym,
                         from_states: from,
                         to_states: to,
-                    };
-                    for h in handlers {
-                        h.on_event(&ev);
-                    }
+                    });
                 }
-            } else if cs.instances.len() < def.capacity {
+            } else if cs.instances.len() < limit {
                 let slot = cs.instances.len() as u32;
                 cs.instances.push(clone);
-                if !handlers.is_empty() {
-                    let cl = LifecycleEvent::Clone {
+                if !d.is_empty() {
+                    // A clone is also a consumed transition: report it
+                    // for coverage/weighted graphs.
+                    d.notify(&LifecycleEvent::Clone {
                         class,
                         from_instance: src,
                         to_instance: slot,
                         bound: bindings.to_vec(),
                         states: clone.states,
-                    };
-                    // A clone is also a consumed transition: report it
-                    // for coverage/weighted graphs.
-                    let up = LifecycleEvent::Update {
+                    });
+                    d.notify(&LifecycleEvent::Update {
                         class,
                         instance: slot,
                         sym,
                         from_states: cs.instances[src as usize].states,
                         to_states: clone.states,
-                    };
-                    for h in handlers {
-                        h.on_event(&cl);
-                        h.on_event(&up);
-                    }
+                    });
+                }
+            } else if def.eviction == EvictionPolicy::Lru {
+                // Quota full: evict the least-recently-touched
+                // instance and take its slot. Evict *before*
+                // reporting the clone so the live gauge never reads
+                // above the quota.
+                let j = (0..cs.instances.len())
+                    .min_by_key(|&i| cs.instances[i].touch)
+                    .expect("limit >= 1 implies a live instance");
+                let from_states = cs.instances[src as usize].states;
+                cs.instances[j] = clone;
+                cs.degraded = true;
+                d.notify(&LifecycleEvent::Evicted { class, instance: j as u32 });
+                if !d.is_empty() {
+                    d.notify(&LifecycleEvent::Clone {
+                        class,
+                        from_instance: src,
+                        to_instance: j as u32,
+                        bound: bindings.to_vec(),
+                        states: clone.states,
+                    });
+                    d.notify(&LifecycleEvent::Update {
+                        class,
+                        instance: j as u32,
+                        sym,
+                        from_states,
+                        to_states: clone.states,
+                    });
                 }
             } else {
-                let ev = LifecycleEvent::Overflow { class };
-                for h in handlers {
-                    h.on_event(&ev);
-                }
+                d.notify(&LifecycleEvent::Overflow { class });
             }
         }
         if !out.matched && is_site && out.violation.is_none() {
+            if cs.degraded {
+                // The matching instance may have been evicted or its
+                // clone shed: a site miss in degraded mode is not
+                // evidence of a bug. Count the suppressed check as
+                // shed work instead of reporting a false positive.
+                d.notify(&LifecycleEvent::Shed { class });
+                return out;
+            }
             let values: Vec<Value> = bindings.iter().map(|(_, v)| *v).collect();
             let v = def.violation(
                 ViolationKind::Site,
@@ -326,10 +396,7 @@ impl Store {
                     describe_bindings(&auto.var_names, bindings)
                 ),
             );
-            let ev = LifecycleEvent::Error { violation: v.clone() };
-            for h in handlers {
-                h.on_event(&ev);
-            }
+            d.notify(&LifecycleEvent::Error { violation: v.clone() });
             out.violation = Some(v);
         }
         out
@@ -341,17 +408,14 @@ impl Store {
         &mut self,
         class: u32,
         def: &ClassDef,
-        handlers: &[std::sync::Arc<dyn EventHandler>],
+        d: &Dispatch<'_>,
     ) -> Option<Violation> {
         let auto = &def.automaton;
         let cs = &mut self.classes[class as usize];
         let mut violation = None;
         for (i, inst) in cs.instances.iter().enumerate() {
             let accepted = auto.finalise_ok(&inst.states);
-            let ev = LifecycleEvent::Finalise { class, instance: i as u32, accepted };
-            for h in handlers {
-                h.on_event(&ev);
-            }
+            d.notify(&LifecycleEvent::Finalise { class, instance: i as u32, accepted });
             if !accepted && violation.is_none() {
                 let v = def.violation(
                     ViolationKind::Cleanup,
@@ -361,15 +425,14 @@ impl Store {
                         inst.name(&auto.var_names)
                     ),
                 );
-                let ev = LifecycleEvent::Error { violation: v.clone() };
-                for h in handlers {
-                    h.on_event(&ev);
-                }
+                d.notify(&LifecycleEvent::Error { violation: v.clone() });
                 violation = Some(v);
             }
         }
         cs.instances.clear();
         cs.epoch = 0;
+        cs.degraded = false;
+        cs.shed_tick = 0;
         violation
     }
 

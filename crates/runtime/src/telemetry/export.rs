@@ -69,6 +69,21 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
     );
     let _ = writeln!(out, "# TYPE tesla_sites_elided gauge");
     let _ = writeln!(out, "tesla_sites_elided {}", s.sites_elided);
+    let _ = writeln!(
+        out,
+        "# HELP tesla_handler_panics_total Handler panics contained by panic-safe dispatch."
+    );
+    let _ = writeln!(out, "# TYPE tesla_handler_panics_total counter");
+    let _ = writeln!(out, "tesla_handler_panics_total {}", s.handler_panics);
+    let _ = writeln!(out, "# HELP tesla_faults_absorbed_total Injected faults absorbed gracefully.");
+    let _ = writeln!(out, "# TYPE tesla_faults_absorbed_total counter");
+    let _ = writeln!(out, "tesla_faults_absorbed_total {}", s.faults_absorbed);
+    let _ = writeln!(
+        out,
+        "# HELP tesla_lock_poison_recoveries_total Poisoned store shard locks recovered."
+    );
+    let _ = writeln!(out, "# TYPE tesla_lock_poison_recoveries_total counter");
+    let _ = writeln!(out, "tesla_lock_poison_recoveries_total {}", s.lock_poison_recoveries);
 
     let _ = writeln!(out, "# HELP tesla_hook_calls_total Instrumentation hook invocations.");
     let _ = writeln!(out, "# TYPE tesla_hook_calls_total counter");
@@ -89,13 +104,15 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
         );
     }
 
-    let per_class: [(&str, &str, fn(&ClassSnapshot) -> u64); 8] = [
+    let per_class: [(&str, &str, fn(&ClassSnapshot) -> u64); 10] = [
         ("tesla_instances_created_total", "counter", |c| c.news),
         ("tesla_instances_cloned_total", "counter", |c| c.clones),
         ("tesla_updates_total", "counter", |c| c.updates),
         ("tesla_finalise_accepted_total", "counter", |c| c.accepted),
         ("tesla_finalise_rejected_total", "counter", |c| c.rejected),
         ("tesla_overflows_total", "counter", |c| c.overflows),
+        ("tesla_evictions_total", "counter", |c| c.evictions),
+        ("tesla_shed_total", "counter", |c| c.shed),
         ("tesla_live_instances", "gauge", |c| c.live),
         ("tesla_live_instances_peak", "gauge", |c| c.high_watermark),
     ];
@@ -138,6 +155,9 @@ pub fn json(s: &MetricsSnapshot) -> String {
     let _ = writeln!(out, "  \"events_total\": {},", s.events_total);
     let _ = writeln!(out, "  \"violations\": {},", s.violations);
     let _ = writeln!(out, "  \"sites_elided\": {},", s.sites_elided);
+    let _ = writeln!(out, "  \"handler_panics\": {},", s.handler_panics);
+    let _ = writeln!(out, "  \"faults_absorbed\": {},", s.faults_absorbed);
+    let _ = writeln!(out, "  \"lock_poison_recoveries\": {},", s.lock_poison_recoveries);
     let _ = writeln!(out, "  \"hooks\": [");
     for (i, h) in s.hooks.iter().enumerate() {
         let sep = if i + 1 == s.hooks.len() { "" } else { "," };
@@ -166,8 +186,8 @@ pub fn json(s: &MetricsSnapshot) -> String {
         let _ = writeln!(
             out,
             "    {{\"class\":{},\"name\":\"{}\",\"news\":{},\"clones\":{},\"updates\":{},\
-             \"accepted\":{},\"rejected\":{},\"overflows\":{},\"live\":{},\
-             \"high_watermark\":{},\"transitions\":[{}]}}{sep}",
+             \"accepted\":{},\"rejected\":{},\"overflows\":{},\"evictions\":{},\"shed\":{},\
+             \"live\":{},\"high_watermark\":{},\"transitions\":[{}]}}{sep}",
             c.class,
             jesc(&c.name),
             c.news,
@@ -176,6 +196,8 @@ pub fn json(s: &MetricsSnapshot) -> String {
             c.accepted,
             c.rejected,
             c.overflows,
+            c.evictions,
+            c.shed,
             c.live,
             c.high_watermark,
             transitions.join(",")

@@ -178,6 +178,8 @@ pub struct ClassMetrics {
     accepted: AtomicU64,
     rejected: AtomicU64,
     overflows: AtomicU64,
+    evictions: AtomicU64,
+    shed: AtomicU64,
     live: AtomicI64,
     high_watermark: AtomicU64,
 }
@@ -191,6 +193,8 @@ impl ClassMetrics {
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             overflows: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             live: AtomicI64::new(0),
             high_watermark: AtomicU64::new(0),
         }
@@ -225,6 +229,17 @@ impl ClassMetrics {
     /// Preallocation overflows.
     pub fn overflows(&self) -> u64 {
         self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Instances evicted under the [`crate::Config::max_instances`]
+    /// quota (LRU policy).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Clones shed by degraded mode after the quota tripped.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Currently live instances (approximate across threads). The
@@ -280,6 +295,10 @@ pub struct ClassSnapshot {
     pub rejected: u64,
     /// Preallocation overflows.
     pub overflows: u64,
+    /// Quota evictions (LRU policy).
+    pub evictions: u64,
+    /// Clones shed by degraded mode.
+    pub shed: u64,
     /// Currently live instances.
     pub live: u64,
     /// Live-instance high-watermark.
@@ -322,6 +341,13 @@ pub struct MetricsSnapshot {
     pub violations: u64,
     /// Instrumentation sites elided by the static model checker.
     pub sites_elided: u64,
+    /// Handler panics contained by [`crate::Dispatch`] (injected and
+    /// organic alike).
+    pub handler_panics: u64,
+    /// Injected faults the engine reported absorbing.
+    pub faults_absorbed: u64,
+    /// Global-store shard locks found poisoned and recovered.
+    pub lock_poison_recoveries: u64,
     /// Per-hook call counts and latencies.
     pub hooks: Vec<HookSnapshot>,
     /// Per-class lifecycle counters and transition weights.
@@ -340,6 +366,9 @@ pub struct MetricsRegistry {
     weights: TransitionWeights,
     violations: AtomicU64,
     sites_elided: AtomicU64,
+    handler_panics: AtomicU64,
+    faults_absorbed: AtomicU64,
+    lock_poison_recoveries: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -360,6 +389,9 @@ impl MetricsRegistry {
             weights: TransitionWeights::new(),
             violations: AtomicU64::new(0),
             sites_elided: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
+            faults_absorbed: AtomicU64::new(0),
+            lock_poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -441,7 +473,9 @@ impl MetricsRegistry {
                 + c.clones()
                 + c.accepted()
                 + c.rejected()
-                + c.overflows();
+                + c.overflows()
+                + c.evictions()
+                + c.shed();
         }
         total + self.weights.grand_total()
     }
@@ -449,6 +483,48 @@ impl MetricsRegistry {
     /// Violations observed so far.
     pub fn violations(&self) -> u64 {
         self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Count a handler panic contained by [`crate::Dispatch`].
+    #[inline]
+    pub fn note_handler_panic(&self) {
+        self.handler_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics contained so far.
+    pub fn handler_panics(&self) -> u64 {
+        self.handler_panics.load(Ordering::Relaxed)
+    }
+
+    /// Count an injected fault the engine absorbed. The chaos harness
+    /// asserts this equals the plan's total injected-fault count.
+    #[inline]
+    pub fn note_fault_absorbed(&self) {
+        self.faults_absorbed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Injected faults absorbed so far.
+    pub fn faults_absorbed(&self) -> u64 {
+        self.faults_absorbed.load(Ordering::Relaxed)
+    }
+
+    /// Count a poisoned shard lock that was recovered.
+    #[inline]
+    pub fn note_lock_poison_recovery(&self) {
+        self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Poisoned shard locks recovered so far.
+    pub fn lock_poison_recoveries(&self) -> u64 {
+        self.lock_poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Record an injected clock-skew sample: a phantom latency lands
+    /// in `kind`'s histogram (the call count is untouched — skew warps
+    /// the clock, not the workload).
+    #[inline]
+    pub fn note_clock_skew(&self, kind: HookKind, ns: u64) {
+        self.hook_latency[kind as usize].record_ns(ns);
     }
 
     /// Record the static checker's elision count (idempotent set).
@@ -498,6 +574,8 @@ impl MetricsRegistry {
                 accepted: c.accepted(),
                 rejected: c.rejected(),
                 overflows: c.overflows(),
+                evictions: c.evictions(),
+                shed: c.shed(),
                 live: c.live(),
                 high_watermark: c.high_watermark(),
                 transitions,
@@ -507,6 +585,9 @@ impl MetricsRegistry {
             events_total: self.events_total(),
             violations: self.violations(),
             sites_elided: self.sites_elided(),
+            handler_panics: self.handler_panics(),
+            faults_absorbed: self.faults_absorbed(),
+            lock_poison_recoveries: self.lock_poison_recoveries(),
             hooks,
             classes,
         }
@@ -551,6 +632,17 @@ impl EventHandler for MetricsRegistry {
             LifecycleEvent::Overflow { class } => {
                 if let Some(c) = self.class_ref(*class) {
                     c.overflows.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            LifecycleEvent::Evicted { class, .. } => {
+                if let Some(c) = self.class_ref(*class) {
+                    c.evictions.fetch_add(1, Ordering::Relaxed);
+                    c.dec_live();
+                }
+            }
+            LifecycleEvent::Shed { class } => {
+                if let Some(c) = self.class_ref(*class) {
+                    c.shed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }

@@ -47,6 +47,8 @@ const K_UPDATE: u64 = 2;
 const K_ERROR: u64 = 3;
 const K_FINALISE: u64 = 4;
 const K_OVERFLOW: u64 = 5;
+const K_EVICTED: u64 = 6;
+const K_SHED: u64 = 7;
 
 struct Slot {
     seq: AtomicU64,
@@ -161,7 +163,7 @@ pub struct RecordedEvent {
     /// Recorder-assigned dense thread id.
     pub thread: u64,
     /// Event kind: `new`, `clone`, `update`, `error`, `finalise`,
-    /// `overflow`.
+    /// `overflow`, `evicted`, `shed`.
     pub kind: &'static str,
     /// Automaton class.
     pub class: u32,
@@ -203,6 +205,10 @@ impl RecordedEvent {
                 0,
             ),
             LifecycleEvent::Overflow { class } => (K_OVERFLOW | (u64::from(*class) << 8), 0, 0),
+            LifecycleEvent::Evicted { class, instance } => {
+                (K_EVICTED | (u64::from(*class) << 8), u64::from(*instance), 0)
+            }
+            LifecycleEvent::Shed { class } => (K_SHED | (u64::from(*class) << 8), 0, 0),
         }
     }
 
@@ -213,6 +219,8 @@ impl RecordedEvent {
             K_UPDATE => "update",
             K_ERROR => "error",
             K_FINALISE => "finalise",
+            K_EVICTED => "evicted",
+            K_SHED => "shed",
             _ => "overflow",
         };
         RecordedEvent {

@@ -822,15 +822,21 @@ fn stale_instances_cleared_on_epoch_change() {
         site_hits: AtomicU64::new(0),
         violation_count: AtomicU64::new(0),
         guard_fns: Vec::new(),
+        quota: None,
+        eviction: tesla_runtime::EvictionPolicy::default(),
+        degraded_sample: 4,
     };
     let mut store = Store::default();
     store.ensure(1, 1);
+    let metrics = tesla_runtime::MetricsRegistry::new();
+    let no_handlers: Vec<Arc<dyn tesla_runtime::EventHandler>> = vec![];
+    let silent = tesla_runtime::Dispatch::new(&no_handlers, &metrics, None);
     // Epoch 1: the bound is entered, the class materialises and
     // specialises on c(x=5).
     store.groups[0].depth = 1;
     store.groups[0].epoch = 1;
-    store.materialize(0, &def, &[]);
-    store.apply_event(0, &def, check_sym, &[(0, Value(5))], false, &mut |_| true, &[]);
+    store.materialize(0, &def, &silent);
+    store.apply_event(0, &def, check_sym, &[(0, Value(5))], false, &mut |_| true, &silent);
     assert_eq!(store.live_instances(0), 2);
     // The scope is abandoned without finalisation; the next outermost
     // bound entry starts epoch 2.
@@ -838,19 +844,32 @@ fn stale_instances_cleared_on_epoch_change() {
     store.groups[0].materialized.clear();
     let rec = Arc::new(RecordingHandler::new());
     let handlers: Vec<Arc<dyn tesla_runtime::EventHandler>> = vec![rec.clone()];
-    store.materialize(0, &def, &handlers);
+    let recording = tesla_runtime::Dispatch::new(&handlers, &metrics, None);
+    store.materialize(0, &def, &recording);
     assert_eq!(
         store.live_instances(0),
         1,
         "epoch-1 instances must not leak into epoch 2"
     );
-    // The lifecycle event reports the slot the (∗) actually landed in.
+    // The abandoned epoch-1 instances are *reclaimed* (each reported
+    // as `Evicted`, keeping the live gauge exact), then the lifecycle
+    // event reports the slot the new (∗) actually landed in.
     let evs = rec.events();
-    assert_eq!(evs.len(), 1);
+    assert_eq!(evs.len(), 3, "got {evs:?}");
     assert!(
-        matches!(evs[0], tesla_runtime::LifecycleEvent::New { class: 0, instance: 0 }),
+        matches!(evs[0], tesla_runtime::LifecycleEvent::Evicted { class: 0, instance: 0 }),
         "got {:?}",
         evs[0]
+    );
+    assert!(
+        matches!(evs[1], tesla_runtime::LifecycleEvent::Evicted { class: 0, instance: 1 }),
+        "got {:?}",
+        evs[1]
+    );
+    assert!(
+        matches!(evs[2], tesla_runtime::LifecycleEvent::New { class: 0, instance: 0 }),
+        "got {:?}",
+        evs[2]
     );
 }
 
