@@ -50,7 +50,12 @@ impl Bound {
             StaticEvent::Call(f) => (f.clone(), Direction::Entry),
             StaticEvent::ReturnFrom(f) => (f.clone(), Direction::Exit),
         };
-        Bound { start_fn, start_dir, end_fn, end_dir }
+        Bound {
+            start_fn,
+            start_dir,
+            end_fn,
+            end_dir,
+        }
     }
 }
 
@@ -135,7 +140,10 @@ impl Lowerer {
                 }
                 Ok(frag)
             }
-            Expr::Bool { op: BoolOp::Or, exprs } => {
+            Expr::Bool {
+                op: BoolOp::Or,
+                exprs,
+            } => {
                 let mut it = exprs.iter();
                 let first = it.next().ok_or(CompileError::EmptyAutomaton)?;
                 let mut frag = self.lower(first, side)?;
@@ -145,7 +153,10 @@ impl Lowerer {
                 }
                 Ok(frag)
             }
-            Expr::Bool { op: BoolOp::Xor, exprs } => {
+            Expr::Bool {
+                op: BoolOp::Xor,
+                exprs,
+            } => {
                 let frags = exprs
                     .iter()
                     .map(|e| self.lower(e, side))
@@ -195,7 +206,10 @@ impl Lowerer {
 pub fn compile(assertion: &Assertion) -> Result<Automaton, CompileError> {
     assertion.validate()?;
     let expr = assertion.expr_with_site();
-    let mut lw = Lowerer { symbols: Vec::new(), strict: false };
+    let mut lw = Lowerer {
+        symbols: Vec::new(),
+        strict: false,
+    };
     let frag = lw.lower(&expr, InstrSide::Callee)?;
     if frag.n_states as usize > MAX_STATES {
         return Err(CompileError::TooManyStates(frag.n_states as usize));
@@ -410,7 +424,7 @@ impl Automaton {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tesla_spec::{call, msg_send, atleast, AssertionBuilder, ExprBuilder};
+    use tesla_spec::{atleast, call, msg_send, AssertionBuilder, ExprBuilder};
 
     fn sym_named(a: &Automaton, needle: &str) -> SymbolId {
         a.symbols
@@ -424,7 +438,12 @@ mod tests {
         // Figure 9's assertion.
         let a = AssertionBuilder::syscall()
             .named("mac_poll")
-            .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+            .previously(
+                call("mac_socket_check_poll")
+                    .any_ptr()
+                    .arg_var("so")
+                    .returns(0),
+            )
             .build()
             .unwrap();
         compile(&a).unwrap()
@@ -456,7 +475,10 @@ mod tests {
         assert_eq!(m.simulate(&[cleanup]), Verdict::Accepted);
         assert_eq!(m.simulate(&[check, cleanup]), Verdict::Accepted);
         // Duplicate checks are ignored, not errors.
-        assert_eq!(m.simulate(&[check, check, site, cleanup]), Verdict::Accepted);
+        assert_eq!(
+            m.simulate(&[check, check, site, cleanup]),
+            Verdict::Accepted
+        );
     }
 
     #[test]
@@ -479,13 +501,14 @@ mod tests {
 
     #[test]
     fn disjunction_accepts_any_branch_and_both() {
-        let a = AssertionBuilder::syscall()
-            .previously(
-                ExprBuilder::from(call("check_open").any_ptr().arg_var("vp").returns(0))
-                    .or(call("check_exec").any_ptr().arg_var("vp").returns(0)),
-            )
-            .build()
-            .unwrap();
+        let a =
+            AssertionBuilder::syscall()
+                .previously(
+                    ExprBuilder::from(call("check_open").any_ptr().arg_var("vp").returns(0))
+                        .or(call("check_exec").any_ptr().arg_var("vp").returns(0)),
+                )
+                .build()
+                .unwrap();
         let m = compile(&a).unwrap();
         let open = sym_named(&m, "check_open");
         let exec = sym_named(&m, "check_exec");
@@ -499,10 +522,9 @@ mod tests {
     #[test]
     fn guarded_site_transition_consults_guard() {
         let a = AssertionBuilder::syscall()
-            .body(
-                ExprBuilder::in_callstack("ufs_readdir")
-                    .or(ExprBuilder::from(call("mac_check").any_ptr().returns(0)).then(ExprBuilder::site())),
-            )
+            .body(ExprBuilder::in_callstack("ufs_readdir").or(
+                ExprBuilder::from(call("mac_check").any_ptr().returns(0)).then(ExprBuilder::site()),
+            ))
             .build()
             .unwrap();
         let m = compile(&a).unwrap();
@@ -538,7 +560,10 @@ mod tests {
                 vec![
                     msg_send("push").into(),
                     msg_send("pop").into(),
-                    msg_send("drawWithFrame:inView:").any("NSRect").any("id").into(),
+                    msg_send("drawWithFrame:inView:")
+                        .any("NSRect")
+                        .any("id")
+                        .into(),
                 ],
             ))
             .build()
@@ -547,7 +572,10 @@ mod tests {
         let push = sym_named(&m, "push");
         let pop = sym_named(&m, "pop");
         let (site, cleanup) = (m.site_sym, m.cleanup_sym);
-        assert_eq!(m.simulate(&[push, push, pop, site, cleanup]), Verdict::Accepted);
+        assert_eq!(
+            m.simulate(&[push, push, pop, site, cleanup]),
+            Verdict::Accepted
+        );
         assert_eq!(m.simulate(&[site, cleanup]), Verdict::Accepted);
     }
 
@@ -556,7 +584,12 @@ mod tests {
         let a = AssertionBuilder::within("main")
             .previously(
                 ExprBuilder::from(
-                    call("EVP_VerifyFinal").any_ptr().any_ptr().any("int").any_ptr().returns(1),
+                    call("EVP_VerifyFinal")
+                        .any_ptr()
+                        .any_ptr()
+                        .any("int")
+                        .any_ptr()
+                        .returns(1),
                 )
                 .caller(),
             )
@@ -574,16 +607,17 @@ mod tests {
     #[test]
     fn instrumentation_targets_cover_bounds_guards_and_events() {
         let a = AssertionBuilder::syscall()
-            .body(
-                ExprBuilder::in_callstack("ufs_readdir")
-                    .or(ExprBuilder::from(call("mac_check").any_ptr().returns(0))
-                        .then(ExprBuilder::site())),
-            )
+            .body(ExprBuilder::in_callstack("ufs_readdir").or(
+                ExprBuilder::from(call("mac_check").any_ptr().returns(0)).then(ExprBuilder::site()),
+            ))
             .build()
             .unwrap();
         let m = compile(&a).unwrap();
-        let names: Vec<String> =
-            m.instrumentation_targets().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = m
+            .instrumentation_targets()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert!(names.contains(&"mac_check".to_string()));
         assert!(names.contains(&"amd64_syscall".to_string()));
         assert!(names.contains(&"ufs_readdir".to_string()));
@@ -617,7 +651,10 @@ mod tests {
                 .then(call(&format!("g{i}")).returns(0));
             big = big.or(e);
         }
-        let a = AssertionBuilder::within("main").previously(big).build().unwrap();
+        let a = AssertionBuilder::within("main")
+            .previously(big)
+            .build()
+            .unwrap();
         assert!(matches!(compile(&a), Err(CompileError::TooManyStates(_))));
     }
 

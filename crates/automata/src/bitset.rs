@@ -41,7 +41,10 @@ impl StateSet {
     #[inline]
     pub fn insert(&mut self, state: u32) {
         let i = state as usize;
-        assert!(i < MAX_STATES, "state {i} exceeds StateSet capacity {MAX_STATES}");
+        assert!(
+            i < MAX_STATES,
+            "state {i} exceeds StateSet capacity {MAX_STATES}"
+        );
         self.bits[i / 64] |= 1 << (i % 64);
     }
 
@@ -84,7 +87,10 @@ impl StateSet {
     /// Does the intersection with `other` contain anything?
     #[inline]
     pub fn intersects(&self, other: &StateSet) -> bool {
-        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Iterate over member states in ascending order.

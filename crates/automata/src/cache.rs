@@ -64,9 +64,8 @@ impl CompileCache {
         // Compile outside the lock: automaton construction (NFA
         // lowering, cross-products, cleanup-safe analysis) is the
         // expensive part and must not serialise other threads.
-        let automaton = Arc::new(
-            compile(&entry.assertion).map_err(|e| (entry.assertion.name.clone(), e))?,
-        );
+        let automaton =
+            Arc::new(compile(&entry.assertion).map_err(|e| (entry.assertion.name.clone(), e))?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().unwrap();
         Ok(Arc::clone(map.entry(key).or_insert(automaton)))
@@ -85,7 +84,11 @@ impl CompileCache {
         &self,
         manifest: &Manifest,
     ) -> Result<Vec<Arc<Automaton>>, (String, CompileError)> {
-        manifest.entries.iter().map(|e| self.get_or_compile(e)).collect()
+        manifest
+            .entries
+            .iter()
+            .map(|e| self.get_or_compile(e))
+            .collect()
     }
 
     /// Cache lookups that found an existing automaton.

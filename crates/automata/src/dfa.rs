@@ -67,10 +67,21 @@ impl Dfa {
             transitions.push(row);
             i += 1;
         }
-        let accepting = states.iter().map(|s| automaton.accepting.intersects(s)).collect();
-        let cleanup_safe =
-            states.iter().map(|s| automaton.cleanup_safe.intersects(s)).collect();
-        Dfa { states, transitions, start: 0, accepting, cleanup_safe }
+        let accepting = states
+            .iter()
+            .map(|s| automaton.accepting.intersects(s))
+            .collect();
+        let cleanup_safe = states
+            .iter()
+            .map(|s| automaton.cleanup_safe.intersects(s))
+            .collect();
+        Dfa {
+            states,
+            transitions,
+            start: 0,
+            accepting,
+            cleanup_safe,
+        }
     }
 
     /// Number of DFA states.
@@ -82,7 +93,10 @@ impl Dfa {
     pub fn run(&self, word: &[SymbolId]) -> Option<u32> {
         let mut s = self.start;
         for sym in word {
-            s = self.transitions[s as usize].get(sym.0 as usize).copied().flatten()?;
+            s = self.transitions[s as usize]
+                .get(sym.0 as usize)
+                .copied()
+                .flatten()?;
         }
         Some(s)
     }
@@ -91,13 +105,17 @@ impl Dfa {
     /// ignore-unmatched-events semantics — pure regular-language
     /// acceptance)?
     pub fn accepts(&self, word: &[SymbolId]) -> bool {
-        self.run(word).map(|s| self.accepting[s as usize]).unwrap_or(false)
+        self.run(word)
+            .map(|s| self.accepting[s as usize])
+            .unwrap_or(false)
     }
 
     /// The fig. 9 style label of a DFA state: `"NFA:1,3"`.
     pub fn label(&self, state: u32) -> String {
-        let members: Vec<String> =
-            self.states[state as usize].iter().map(|s| s.to_string()).collect();
+        let members: Vec<String> = self.states[state as usize]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         format!("NFA:{}", members.join(","))
     }
 }
@@ -279,7 +297,13 @@ impl Dfa {
                 }
             }
         }
-        Dfa { states, transitions, start: start_block as u32, accepting, cleanup_safe }
+        Dfa {
+            states,
+            transitions,
+            start: start_block as u32,
+            accepting,
+            cleanup_safe,
+        }
     }
 }
 
@@ -313,9 +337,7 @@ mod minimise_tests {
 
     #[test]
     fn minimise_preserves_language_on_chain() {
-        let (a, d) = dfa_of(
-            ExprBuilder::from(call("x").returns(0)).then(call("y").returns(0)),
-        );
+        let (a, d) = dfa_of(ExprBuilder::from(call("x").returns(0)).then(call("y").returns(0)));
         let m = d.minimise();
         let syms: Vec<SymbolId> = (0..a.n_symbols() as u32).map(SymbolId).collect();
         // Enumerate all words up to length 3 over the alphabet.

@@ -70,7 +70,10 @@ impl DenseWeights {
 
 impl WeightSource for DenseWeights {
     fn weight(&self, from: u32, sym: u32) -> u64 {
-        self.cells.get(from as usize * self.n_symbols + sym as usize).copied().unwrap_or(0)
+        self.cells
+            .get(from as usize * self.n_symbols + sym as usize)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -83,7 +86,28 @@ fn esc(s: &str) -> String {
 /// every cleanup-safe state, and transitions weighted (pen width and
 /// count labels) by run-time occurrence.
 pub fn render(automaton: &Automaton, weights: &dyn WeightSource) -> String {
-    render_inner(automaton, weights, None)
+    render_inner(automaton, weights, None, &[])
+}
+
+/// Palette for merge-group fills: one colour per group, cycled.
+const GROUP_COLORS: &[&str] = &[
+    "lightsalmon",
+    "lightskyblue",
+    "palegreen",
+    "plum",
+    "khaki",
+    "lightpink",
+];
+
+/// Render the automaton with the linter's mergeable-state groups
+/// highlighted: every state in the same group (indistinguishable
+/// under Hopcroft minimisation of the determinised automaton) is
+/// filled with the same colour, so the redundancy is visible at a
+/// glance. `groups` uses [`Dfa::from_automaton`] state indices — the
+/// same deterministic BFS order `render` draws — as produced by
+/// `analysis::merge_groups`.
+pub fn render_with_merge_groups(automaton: &Automaton, groups: &[Vec<u32>]) -> String {
+    render_inner(automaton, &Unweighted, None, groups)
 }
 
 /// The replayed counterexample path through the determinised
@@ -109,8 +133,11 @@ struct Highlight {
 /// walk.
 pub fn render_with_trace(automaton: &Automaton, trace: &[SymbolId]) -> String {
     let dfa = Dfa::from_automaton(automaton);
-    let mut hl =
-        Highlight { hot: HashSet::new(), init_hot: false, violation: None };
+    let mut hl = Highlight {
+        hot: HashSet::new(),
+        init_hot: false,
+        violation: None,
+    };
     let mut state = dfa.start;
     for (i, sym) in trace.iter().enumerate() {
         let last = i + 1 == trace.len();
@@ -146,15 +173,25 @@ pub fn render_with_trace(automaton: &Automaton, trace: &[SymbolId]) -> String {
             }
         }
     }
-    render_inner(automaton, &Unweighted, Some(&hl))
+    render_inner(automaton, &Unweighted, Some(&hl), &[])
 }
 
 fn render_inner(
     automaton: &Automaton,
     weights: &dyn WeightSource,
     highlight: Option<&Highlight>,
+    merge_groups: &[Vec<u32>],
 ) -> String {
     let dfa = Dfa::from_automaton(automaton);
+    // state → merge-group colour, for the linter's redundancy view.
+    let mut group_color = vec![None; dfa.states.len()];
+    for (gi, group) in merge_groups.iter().enumerate() {
+        for &s in group {
+            if let Some(slot) = group_color.get_mut(s as usize) {
+                *slot = Some(GROUP_COLORS[gi % GROUP_COLORS.len()]);
+            }
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", esc(&automaton.name));
     let _ = writeln!(out, "  rankdir=TB;");
@@ -164,12 +201,24 @@ fn render_inner(
         "  entry [label=\"{}\\n(Entry)\", shape=box];",
         esc(&format!("{}({})", automaton.bound.start_fn, ""))
     );
-    let _ = writeln!(out, "  exit [label=\"{}\\n(Exit)\", shape=box];", esc(&automaton.bound.end_fn));
+    let _ = writeln!(
+        out,
+        "  exit [label=\"{}\\n(Exit)\", shape=box];",
+        esc(&automaton.bound.end_fn)
+    );
     for (i, _set) in dfa.states.iter().enumerate() {
-        let style = if dfa.accepting[i] { ", peripheries=2" } else { "" };
+        let style = if dfa.accepting[i] {
+            ", peripheries=2"
+        } else {
+            ""
+        };
+        let fill = match group_color[i] {
+            Some(color) => format!(", style=filled, fillcolor={color}"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "  s{i} [label=\"state {i}\\n\\\"{}\\\"\"{style}];",
+            "  s{i} [label=\"state {i}\\n\\\"{}\\\"\"{style}{fill}];",
             esc(&dfa.label(i as u32))
         );
     }
@@ -203,10 +252,20 @@ fn render_inner(
                 k => k.to_string(),
             };
             let w = weights.weight(i as u32, sym as u32);
-            let hot = highlight.map(|h| h.hot.contains(&(i as u32, sym as u32))).unwrap_or(false);
-            let pen = if hot { 3.0 } else { 1.0 + 4.0 * (w as f64) / (max_w as f64) };
+            let hot = highlight
+                .map(|h| h.hot.contains(&(i as u32, sym as u32)))
+                .unwrap_or(false);
+            let pen = if hot {
+                3.0
+            } else {
+                1.0 + 4.0 * (w as f64) / (max_w as f64)
+            };
             let color = if hot { ", color=red" } else { "" };
-            let wl = if w > 0 { format!(" ({w}×)") } else { String::new() };
+            let wl = if w > 0 {
+                format!(" ({w}×)")
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
                 "  s{i} -> s{tgt} [label=\"{}{}\", penwidth={pen:.2}{color}];",
@@ -243,12 +302,17 @@ fn render_inner(
 mod tests {
     use super::*;
     use crate::automaton::compile;
-    use tesla_spec::{call, AssertionBuilder};
+    use tesla_spec::{call, AssertionBuilder, ExprBuilder};
 
     fn mac_poll() -> Automaton {
         let a = AssertionBuilder::syscall()
             .named("figure9")
-            .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+            .previously(
+                call("mac_socket_check_poll")
+                    .any_ptr()
+                    .arg_var("so")
+                    .returns(0),
+            )
             .build()
             .unwrap();
         compile(&a).unwrap()
@@ -286,8 +350,7 @@ mod tests {
         let triples = (0..a.n_symbols() as u32)
             .map(|sym| (0u32, sym, 100u64))
             .chain([(u32::MAX, 0, 5), (0, u32::MAX, 5)]);
-        let dense =
-            DenseWeights::from_triples(dfa.states.len() as u32, a.n_symbols(), triples);
+        let dense = DenseWeights::from_triples(dfa.states.len() as u32, a.n_symbols(), triples);
         assert_eq!(dense.weight(0, 0), 100);
         assert_eq!(dense.weight(u32::MAX, 0), 0);
         assert_eq!(dense.total(), 100 * a.n_symbols() as u64);
@@ -332,5 +395,39 @@ mod tests {
         let dot = render(&mac_poll(), &Unweighted);
         assert!(!dot.contains("violation ["));
         assert!(!dot.contains("color=red"));
+        assert!(!dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn merge_groups_share_a_fill_color() {
+        // An exclusive-or of two one-event branches determinises into
+        // two indistinguishable post-event states — the linter's
+        // dead-state pathology.
+        let a = AssertionBuilder::within("f")
+            .named("xor")
+            .previously(
+                ExprBuilder::from(call("push").any("int").returns(1))
+                    .xor(call("pop").any("int").returns(1)),
+            )
+            .build()
+            .unwrap();
+        let auto = compile(&a).unwrap();
+        let dfa = Dfa::from_automaton(&auto);
+        let groups = crate::analysis::merge_groups(&dfa);
+        assert!(!groups.is_empty(), "xor shape should have mergeable states");
+        let dot = render_with_merge_groups(&auto, &groups);
+        // Every state in the first group carries the same fill.
+        let color = GROUP_COLORS[0];
+        for &s in &groups[0] {
+            assert!(
+                dot.contains(&format!("s{s} [label=")) && dot.contains(color),
+                "state s{s} should be filled {color}"
+            );
+        }
+        assert_eq!(
+            dot.matches(&format!("fillcolor={color}")).count(),
+            groups[0].len()
+        );
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }
 }

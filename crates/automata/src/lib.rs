@@ -26,6 +26,12 @@
 //!   `eventually` case).
 //! * [`dfa`] — subset construction; figure 9's states are labelled
 //!   with NFA state sets ("NFA:1,3") exactly as this module produces.
+//! * [`analysis`] — the automaton algebra behind `tesla lint`:
+//!   complete-DFA complement, synchronized product, emptiness within
+//!   the temporal bound, Hopcroft-style minimisation and language
+//!   inclusion via product-with-complement, plus the within-bound
+//!   closure construction that makes TESLA's ignore/site/strict
+//!   semantics amenable to that algebra.
 //! * [`manifest`] — the on-disk `.tesla` interchange format (§4.1).
 //!   The paper uses protocol buffers; we use `serde_json` (see
 //!   DESIGN.md). Manifests from many compilation units are merged into
@@ -57,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod automaton;
 pub mod bitset;
 pub mod cache;
@@ -66,6 +73,10 @@ pub mod manifest;
 pub mod nfa;
 pub mod symbol;
 
+pub use analysis::{
+    body_alphabet, compare_languages, has_guards, merge_groups, union_alphabet, unreachable_states,
+    Closure, CompleteDfa, LanguageRelation,
+};
 pub use automaton::{compile, Automaton, Bound};
 pub use bitset::StateSet;
 pub use cache::CompileCache;
@@ -97,7 +108,10 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Spec(e) => write!(f, "invalid assertion: {e}"),
             CompileError::TooManyStates(n) => {
-                write!(f, "automaton needs {n} states, more than the maximum {MAX_STATES}")
+                write!(
+                    f,
+                    "automaton needs {n} states, more than the maximum {MAX_STATES}"
+                )
             }
             CompileError::EmptyAutomaton => write!(f, "assertion lowered to an empty automaton"),
         }

@@ -84,8 +84,8 @@ impl ManifestEntry {
     /// automata. This is the key of the shared
     /// [`CompileCache`](crate::CompileCache).
     pub fn content_fingerprint(&self) -> u64 {
-        let text = serde_json::to_string(&self.assertion)
-            .expect("assertion serialisation cannot fail");
+        let text =
+            serde_json::to_string(&self.assertion).expect("assertion serialisation cannot fail");
         fnv1a(text.as_bytes())
     }
 }
@@ -106,13 +106,18 @@ pub const MANIFEST_VERSION: u32 = 1;
 impl Manifest {
     /// An empty manifest.
     pub fn new() -> Manifest {
-        Manifest { version: MANIFEST_VERSION, entries: Vec::new() }
+        Manifest {
+            version: MANIFEST_VERSION,
+            entries: Vec::new(),
+        }
     }
 
     /// Add an assertion extracted from `source_file`.
     pub fn push(&mut self, source_file: &str, assertion: Assertion) {
-        self.entries
-            .push(ManifestEntry { source_file: source_file.to_string(), assertion });
+        self.entries.push(ManifestEntry {
+            source_file: source_file.to_string(),
+            assertion,
+        });
     }
 
     /// Combine per-unit manifests into a program-wide manifest.
@@ -126,8 +131,10 @@ impl Manifest {
     /// pipeline merges the cached per-unit manifests on every build,
     /// and should not have to clone each `Manifest` wholesale first.
     pub fn merge_refs(manifests: &[&Manifest]) -> Manifest {
-        let mut entries: Vec<ManifestEntry> =
-            manifests.iter().flat_map(|m| m.entries.iter().cloned()).collect();
+        let mut entries: Vec<ManifestEntry> = manifests
+            .iter()
+            .flat_map(|m| m.entries.iter().cloned())
+            .collect();
         entries.sort_by(|a, b| {
             (&a.source_file, &a.assertion.name, a.assertion.loc.line).cmp(&(
                 &b.source_file,
@@ -136,7 +143,10 @@ impl Manifest {
             ))
         });
         entries.dedup();
-        Manifest { version: MANIFEST_VERSION, entries }
+        Manifest {
+            version: MANIFEST_VERSION,
+            entries,
+        }
     }
 
     /// Serialise to the on-disk `.tesla` encoding.
@@ -226,7 +236,12 @@ mod tests {
     fn sample() -> Assertion {
         AssertionBuilder::syscall()
             .named("mac_poll")
-            .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+            .previously(
+                call("mac_socket_check_poll")
+                    .any_ptr()
+                    .arg_var("so")
+                    .returns(0),
+            )
             .build()
             .unwrap()
     }

@@ -37,13 +37,23 @@ impl Frag {
             n_states: 2,
             start: 0,
             accepts: [1].into(),
-            transitions: vec![Transition { from: 0, sym, to: 1, guard }],
+            transitions: vec![Transition {
+                from: 0,
+                sym,
+                to: 1,
+                guard,
+            }],
         }
     }
 
     /// A fragment accepting only the empty word.
     pub fn empty() -> Frag {
-        Frag { n_states: 1, start: 0, accepts: [0].into(), transitions: Vec::new() }
+        Frag {
+            n_states: 1,
+            start: 0,
+            accepts: [0].into(),
+            transitions: Vec::new(),
+        }
     }
 
     /// Outgoing transitions of `state`.
@@ -90,7 +100,13 @@ impl Frag {
             accepts.extend(self.accepts.iter().copied());
         }
         transitions.extend(b.transitions);
-        Frag { n_states: b.n_states, start: self.start, accepts, transitions }.prune()
+        Frag {
+            n_states: b.n_states,
+            start: self.start,
+            accepts,
+            transitions,
+        }
+        .prune()
     }
 
     /// Exclusive alternation (`^`, and the branching inside
@@ -119,7 +135,13 @@ impl Frag {
         if start_accepting {
             accepts.insert(0);
         }
-        Frag { n_states, start: 0, accepts, transitions }.prune()
+        Frag {
+            n_states,
+            start: 0,
+            accepts,
+            transitions,
+        }
+        .prune()
     }
 
     /// Inclusive OR (`||`): the cross-product automaton of §3.4.2.
@@ -129,8 +151,7 @@ impl Frag {
         let (na, nb) = (self.n_states, b.n_states);
         let idx = |i: u32, j: u32| i * nb + j;
         let mut transitions = Vec::with_capacity(
-            self.transitions.len() as usize * nb as usize
-                + b.transitions.len() * na as usize,
+            self.transitions.len() as usize * nb as usize + b.transitions.len() * na as usize,
         );
         for t in &self.transitions {
             for j in 0..nb {
@@ -194,7 +215,13 @@ impl Frag {
         }
         let mut accepts = self.accepts;
         accepts.insert(self.start);
-        Frag { n_states: self.n_states, start: self.start, accepts, transitions }.prune()
+        Frag {
+            n_states: self.n_states,
+            start: self.start,
+            accepts,
+            transitions,
+        }
+        .prune()
     }
 
     /// `ATLEAST(n, e)`: `n` mandatory copies followed by a star.
@@ -245,7 +272,9 @@ impl Frag {
             })
             .collect();
         transitions.sort_by(|a, b| {
-            (a.from, a.sym, a.to).cmp(&(b.from, b.sym, b.to)).then_with(|| a.guard.cmp(&b.guard))
+            (a.from, a.sym, a.to)
+                .cmp(&(b.from, b.sym, b.to))
+                .then_with(|| a.guard.cmp(&b.guard))
         });
         transitions.dedup();
         let accepts = self
@@ -254,7 +283,12 @@ impl Frag {
             .filter(|s| order[*s as usize] != u32::MAX)
             .map(|s| order[s as usize])
             .collect();
-        Frag { n_states: next, start: order[self.start as usize], accepts, transitions }
+        Frag {
+            n_states: next,
+            start: order[self.start as usize],
+            accepts,
+            transitions,
+        }
     }
 
     /// Simulate the fragment on a word of symbols (guards pass),
@@ -450,8 +484,7 @@ mod tests {
     fn guards_survive_combinators() {
         let g = Some(Guard::InCallStack("ufs_readdir".into()));
         let f = Frag::event(s(9), g.clone()).or(ev(1).seq(ev(9)));
-        let guarded: Vec<_> =
-            f.transitions.iter().filter(|t| t.guard.is_some()).collect();
+        let guarded: Vec<_> = f.transitions.iter().filter(|t| t.guard.is_some()).collect();
         assert!(!guarded.is_empty());
         assert!(guarded.iter().all(|t| t.guard == g));
     }

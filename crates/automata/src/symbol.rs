@@ -15,7 +15,7 @@ use tesla_spec::{ArgPattern, CallKind, EventExpr, FieldOp, Value};
 pub struct SymbolId(pub u32);
 
 /// Function-event direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Direction {
     /// Function or method entry.
     Entry,
@@ -207,9 +207,12 @@ impl Symbol {
     /// hook target or a bound)? Used by the instrumentation planner.
     pub fn function_name(&self) -> Option<(&str, Direction, InstrSide)> {
         match &self.kind {
-            SymbolKind::Function { name, direction, side, .. } => {
-                Some((name.as_str(), *direction, *side))
-            }
+            SymbolKind::Function {
+                name,
+                direction,
+                side,
+                ..
+            } => Some((name.as_str(), *direction, *side)),
             _ => None,
         }
     }
@@ -224,15 +227,36 @@ impl Symbol {
     pub fn matches(&self, ev: &ProgEvent<'_>) -> Option<MatchBindings> {
         match (&self.kind, ev) {
             (
-                SymbolKind::Function { name, args, direction: Direction::Entry, .. },
+                SymbolKind::Function {
+                    name,
+                    args,
+                    direction: Direction::Entry,
+                    ..
+                },
                 ProgEvent::FnEntry { name: en, args: ea },
             ) if name == en => match_args(args, ea, None, None),
             (
-                SymbolKind::Function { name, args, direction: Direction::Exit, ret, .. },
-                ProgEvent::FnExit { name: en, args: ea, ret: er },
+                SymbolKind::Function {
+                    name,
+                    args,
+                    direction: Direction::Exit,
+                    ret,
+                    ..
+                },
+                ProgEvent::FnExit {
+                    name: en,
+                    args: ea,
+                    ret: er,
+                },
             ) if name == en => match_args(args, ea, ret.as_ref(), Some(*er)),
             (
-                SymbolKind::FieldAssign { struct_name, field_name, object, op, value },
+                SymbolKind::FieldAssign {
+                    struct_name,
+                    field_name,
+                    object,
+                    op,
+                    value,
+                },
                 ProgEvent::FieldStore {
                     struct_name: es,
                     field_name: ef,
@@ -240,10 +264,7 @@ impl Symbol {
                     op: eop,
                     value: ev,
                 },
-            ) if field_name == ef
-                && (struct_name.is_empty() || struct_name == es)
-                && op == eop =>
-            {
+            ) if field_name == ef && (struct_name.is_empty() || struct_name == es) && op == eop => {
                 let mut b = MatchBindings::default();
                 if !match_one(object, *eo, &mut b) || !match_one(value, *ev, &mut b) {
                     return None;
@@ -251,8 +272,18 @@ impl Symbol {
                 Some(b)
             }
             (
-                SymbolKind::Message { receiver, selector, args, direction: Direction::Entry, .. },
-                ProgEvent::MsgEntry { receiver: er, selector: es, args: ea },
+                SymbolKind::Message {
+                    receiver,
+                    selector,
+                    args,
+                    direction: Direction::Entry,
+                    ..
+                },
+                ProgEvent::MsgEntry {
+                    receiver: er,
+                    selector: es,
+                    args: ea,
+                },
             ) if selector == es => {
                 let mut b = MatchBindings::default();
                 if !match_one(receiver, *er, &mut b) {
@@ -261,8 +292,20 @@ impl Symbol {
                 match_args_into(args, ea, None, None, b)
             }
             (
-                SymbolKind::Message { receiver, selector, args, direction: Direction::Exit, ret, .. },
-                ProgEvent::MsgExit { receiver: er, selector: es, args: ea, ret: erv },
+                SymbolKind::Message {
+                    receiver,
+                    selector,
+                    args,
+                    direction: Direction::Exit,
+                    ret,
+                    ..
+                },
+                ProgEvent::MsgExit {
+                    receiver: er,
+                    selector: es,
+                    args: ea,
+                    ret: erv,
+                },
             ) if selector == es => {
                 let mut b = MatchBindings::default();
                 if !match_one(receiver, *er, &mut b) {
@@ -332,18 +375,33 @@ pub fn kind_from_event(e: &EventExpr, side: InstrSide) -> SymbolKind {
                 CallKind::Exit => (Direction::Exit, None),
                 CallKind::ExitWithReturn(r) => (Direction::Exit, Some(r.clone())),
             };
-            SymbolKind::Function { name: name.clone(), args: args.clone(), direction, ret, side }
-        }
-        EventExpr::FieldAssignEvent { struct_name, field_name, object, op, value } => {
-            SymbolKind::FieldAssign {
-                struct_name: struct_name.clone(),
-                field_name: field_name.clone(),
-                object: object.clone(),
-                op: *op,
-                value: value.clone(),
+            SymbolKind::Function {
+                name: name.clone(),
+                args: args.clone(),
+                direction,
+                ret,
+                side,
             }
         }
-        EventExpr::MessageEvent { receiver, selector, args, kind } => {
+        EventExpr::FieldAssignEvent {
+            struct_name,
+            field_name,
+            object,
+            op,
+            value,
+        } => SymbolKind::FieldAssign {
+            struct_name: struct_name.clone(),
+            field_name: field_name.clone(),
+            object: object.clone(),
+            op: *op,
+            value: value.clone(),
+        },
+        EventExpr::MessageEvent {
+            receiver,
+            selector,
+            args,
+            kind,
+        } => {
             let (direction, ret) = match kind {
                 CallKind::Entry => (Direction::Entry, None),
                 CallKind::Exit => (Direction::Exit, None),
@@ -363,7 +421,13 @@ pub fn kind_from_event(e: &EventExpr, side: InstrSide) -> SymbolKind {
 impl std::fmt::Display for SymbolKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SymbolKind::Function { name, args, direction, ret, .. } => {
+            SymbolKind::Function {
+                name,
+                args,
+                direction,
+                ret,
+                ..
+            } => {
                 let dir = match direction {
                     Direction::Entry => "call ",
                     Direction::Exit => "",
@@ -383,14 +447,25 @@ impl std::fmt::Display for SymbolKind {
                 }
                 Ok(())
             }
-            SymbolKind::FieldAssign { struct_name, field_name, object, op, value } => {
+            SymbolKind::FieldAssign {
+                struct_name,
+                field_name,
+                object,
+                op,
+                value,
+            } => {
                 if struct_name.is_empty() {
                     write!(f, "{object}.{field_name} {op} {value}")
                 } else {
                     write!(f, "{struct_name}({object}).{field_name} {op} {value}")
                 }
             }
-            SymbolKind::Message { receiver, selector, direction, .. } => {
+            SymbolKind::Message {
+                receiver,
+                selector,
+                direction,
+                ..
+            } => {
                 let dir = match direction {
                     Direction::Entry => "",
                     Direction::Exit => "return ",
@@ -425,12 +500,22 @@ mod tests {
     fn function_exit_matches_name_args_and_return() {
         let s = fn_exit_sym(
             "mac_socket_check_poll",
-            vec![ArgPattern::any_ptr(), ArgPattern::Var { index: 0, name: "so".into() }],
+            vec![
+                ArgPattern::any_ptr(),
+                ArgPattern::Var {
+                    index: 0,
+                    name: "so".into(),
+                },
+            ],
             0,
         );
         let args = [Value(11), Value(22)];
         let hit = s
-            .matches(&ProgEvent::FnExit { name: "mac_socket_check_poll", args: &args, ret: Value(0) })
+            .matches(&ProgEvent::FnExit {
+                name: "mac_socket_check_poll",
+                args: &args,
+                ret: Value(0),
+            })
             .unwrap();
         assert_eq!(hit.pairs, vec![(0, Value(22))]);
 
@@ -444,20 +529,41 @@ mod tests {
             .is_none());
         // Wrong function.
         assert!(s
-            .matches(&ProgEvent::FnExit { name: "other", args: &args, ret: Value(0) })
+            .matches(&ProgEvent::FnExit {
+                name: "other",
+                args: &args,
+                ret: Value(0)
+            })
             .is_none());
         // Entry events do not match exit symbols.
-        assert!(s.matches(&ProgEvent::FnEntry { name: "mac_socket_check_poll", args: &args }).is_none());
+        assert!(s
+            .matches(&ProgEvent::FnEntry {
+                name: "mac_socket_check_poll",
+                args: &args
+            })
+            .is_none());
     }
 
     #[test]
     fn shorter_patterns_ignore_trailing_args() {
         let s = fn_exit_sym("f", vec![ArgPattern::Const(Value(1))], 0);
         let args = [Value(1), Value(99), Value(100)];
-        assert!(s.matches(&ProgEvent::FnExit { name: "f", args: &args, ret: Value(0) }).is_some());
+        assert!(s
+            .matches(&ProgEvent::FnExit {
+                name: "f",
+                args: &args,
+                ret: Value(0)
+            })
+            .is_some());
         // But an event with *fewer* args than patterns cannot match.
         let s2 = fn_exit_sym("f", vec![ArgPattern::Const(Value(1)); 4], 0);
-        assert!(s2.matches(&ProgEvent::FnExit { name: "f", args: &args, ret: Value(0) }).is_none());
+        assert!(s2
+            .matches(&ProgEvent::FnExit {
+                name: "f",
+                args: &args,
+                ret: Value(0)
+            })
+            .is_none());
     }
 
     #[test]
@@ -467,7 +573,10 @@ mod tests {
             kind: SymbolKind::FieldAssign {
                 struct_name: "proc".into(),
                 field_name: "p_flag".into(),
-                object: ArgPattern::Var { index: 0, name: "p".into() },
+                object: ArgPattern::Var {
+                    index: 0,
+                    name: "p".into(),
+                },
                 op: FieldOp::OrAssign,
                 value: ArgPattern::Flags(0x100),
             },
@@ -549,7 +658,11 @@ mod tests {
             })
             .is_some());
         assert!(s
-            .matches(&ProgEvent::MsgEntry { receiver: Value(9), selector: "push", args: &args })
+            .matches(&ProgEvent::MsgEntry {
+                receiver: Value(9),
+                selector: "push",
+                args: &args
+            })
             .is_none());
         assert!(s
             .matches(&ProgEvent::MsgExit {
@@ -563,7 +676,10 @@ mod tests {
 
     #[test]
     fn site_symbol_binds_all_variables() {
-        let s = Symbol { id: SymbolId(0), kind: SymbolKind::Site };
+        let s = Symbol {
+            id: SymbolId(0),
+            kind: SymbolKind::Site,
+        };
         let vals = [Value(5), Value(6)];
         let hit = s.matches(&ProgEvent::Site { bindings: &vals }).unwrap();
         assert_eq!(hit.pairs, vec![(0, Value(5)), (1, Value(6))]);
@@ -577,11 +693,20 @@ mod tests {
                 name: "f".into(),
                 args: vec![],
                 direction: Direction::Exit,
-                ret: Some(ArgPattern::Var { index: 2, name: "rv".into() }),
+                ret: Some(ArgPattern::Var {
+                    index: 2,
+                    name: "rv".into(),
+                }),
                 side: InstrSide::Callee,
             },
         };
-        let hit = s.matches(&ProgEvent::FnExit { name: "f", args: &[], ret: Value(17) }).unwrap();
+        let hit = s
+            .matches(&ProgEvent::FnExit {
+                name: "f",
+                args: &[],
+                ret: Value(17),
+            })
+            .unwrap();
         assert_eq!(hit.pairs, vec![(2, Value(17))]);
     }
 

@@ -15,7 +15,12 @@ use tesla_spec::{call, AssertionBuilder};
 fn counterexample_dot_matches_golden() {
     let a = AssertionBuilder::syscall()
         .named("figure9")
-        .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+        .previously(
+            call("mac_socket_check_poll")
+                .any_ptr()
+                .arg_var("so")
+                .returns(0),
+        )
         .build()
         .unwrap();
     let auto = compile(&a).unwrap();

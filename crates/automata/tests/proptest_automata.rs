@@ -46,7 +46,10 @@ fn build(e: &E) -> ExprBuilder {
 }
 
 fn automaton(e: &E) -> Option<Automaton> {
-    let a = AssertionBuilder::within("f").previously(build(e)).build().unwrap();
+    let a = AssertionBuilder::within("f")
+        .previously(build(e))
+        .build()
+        .unwrap();
     compile(&a).ok() // None when the state cap is exceeded
 }
 
@@ -77,7 +80,13 @@ fn sym_for(a: &Automaton, i: usize) -> Option<SymbolId> {
 /// `a`'s symbol ids; `None` when `a` does not reference some leaf.
 fn word_for(a: &Automaton, word: &[usize]) -> Option<Vec<SymbolId>> {
     word.iter()
-        .map(|&i| if i == usize::MAX { Some(a.site_sym) } else { sym_for(a, i) })
+        .map(|&i| {
+            if i == usize::MAX {
+                Some(a.site_sym)
+            } else {
+                sym_for(a, i)
+            }
+        })
         .collect()
 }
 

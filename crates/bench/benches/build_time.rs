@@ -20,7 +20,10 @@ fn bench_build_time(c: &mut Criterion) {
     for (name, opts) in [
         ("clean/default", noverify(BuildOptions::default_toolchain())),
         ("clean/tesla", noverify(BuildOptions::tesla_toolchain())),
-        ("clean/tesla-delta", noverify(BuildOptions::delta_toolchain())),
+        (
+            "clean/tesla-delta",
+            noverify(BuildOptions::delta_toolchain()),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter_batched(
@@ -31,9 +34,18 @@ fn bench_build_time(c: &mut Criterion) {
         });
     }
     for (name, opts) in [
-        ("incremental/default", noverify(BuildOptions::default_toolchain())),
-        ("incremental/tesla", noverify(BuildOptions::tesla_toolchain())),
-        ("incremental/tesla-delta", noverify(BuildOptions::delta_toolchain())),
+        (
+            "incremental/default",
+            noverify(BuildOptions::default_toolchain()),
+        ),
+        (
+            "incremental/tesla",
+            noverify(BuildOptions::tesla_toolchain()),
+        ),
+        (
+            "incremental/tesla-delta",
+            noverify(BuildOptions::delta_toolchain()),
+        ),
     ] {
         g.bench_function(name, |b| {
             let mut bs = BuildSystem::new(project.clone(), opts);
@@ -53,9 +65,18 @@ fn bench_build_time(c: &mut Criterion) {
     g.sample_size(10);
     let kernel = tesla::corpus::kernel_like(12, 48);
     for (name, opts) in [
-        ("incremental/default", noverify(BuildOptions::default_toolchain())),
-        ("incremental/tesla48", noverify(BuildOptions::tesla_toolchain())),
-        ("incremental/tesla48-delta", noverify(BuildOptions::delta_toolchain())),
+        (
+            "incremental/default",
+            noverify(BuildOptions::default_toolchain()),
+        ),
+        (
+            "incremental/tesla48",
+            noverify(BuildOptions::tesla_toolchain()),
+        ),
+        (
+            "incremental/tesla48-delta",
+            noverify(BuildOptions::delta_toolchain()),
+        ),
     ] {
         g.bench_function(name, |b| {
             let mut bs = BuildSystem::new(kernel.clone(), opts);

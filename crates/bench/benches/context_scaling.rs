@@ -14,9 +14,7 @@ fn kernel_for(ctx: Option<tesla::spec::Context>) -> Arc<Kernel> {
     match ctx {
         // `Release` registers nothing: the uninstrumented baseline.
         None => make_kernel_in(KernelCfg::Release, InitMode::Lazy, FailMode::Log, None).0,
-        Some(c) => {
-            make_kernel_in(KernelCfg::All, InitMode::Lazy, FailMode::Log, Some(c)).0
-        }
+        Some(c) => make_kernel_in(KernelCfg::All, InitMode::Lazy, FailMode::Log, Some(c)).0,
     }
 }
 

@@ -19,7 +19,10 @@ fn engine(global: bool) -> (Arc<Tesla>, ClassId) {
     if global {
         b = b.global();
     }
-    let a = b.previously(call("produce").arg_var("item").returns(0)).build().unwrap();
+    let a = b
+        .previously(call("produce").arg_var("item").returns(0))
+        .build()
+        .unwrap();
     let id = t.register(compile(&a).unwrap()).unwrap();
     (t, id)
 }

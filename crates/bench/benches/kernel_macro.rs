@@ -7,8 +7,12 @@ use tesla::workload::{buildload, oltp};
 use tesla_bench::{make_kernel, KernelCfg};
 
 fn bench_kernel_macro(c: &mut Criterion) {
-    let configs =
-        [KernelCfg::Release, KernelCfg::Debug, KernelCfg::Infrastructure, KernelCfg::All];
+    let configs = [
+        KernelCfg::Release,
+        KernelCfg::Debug,
+        KernelCfg::Infrastructure,
+        KernelCfg::All,
+    ];
 
     let mut g = c.benchmark_group("fig11b_oltp");
     g.sample_size(10);
@@ -17,7 +21,12 @@ fn bench_kernel_macro(c: &mut Criterion) {
     g.sample_size(10);
     for cfg in configs {
         let (k, _t) = make_kernel(cfg, InitMode::Lazy);
-        let params = oltp::OltpParams { threads: 4, transactions: 25, socket_ops: 3, compute: 4000 };
+        let params = oltp::OltpParams {
+            threads: 4,
+            transactions: 25,
+            socket_ops: 3,
+            compute: 4000,
+        };
         g.bench_function(cfg.label(), |b| b.iter(|| oltp::run(&k, params)));
     }
     g.finish();
@@ -29,7 +38,10 @@ fn bench_kernel_macro(c: &mut Criterion) {
     g.sample_size(10);
     for cfg in configs {
         let (k, _t) = make_kernel(cfg, InitMode::Lazy);
-        let params = buildload::BuildParams { files: 25, compute: 250 };
+        let params = buildload::BuildParams {
+            files: 25,
+            compute: 250,
+        };
         g.bench_function(cfg.label(), |b| b.iter(|| buildload::run(&k, params)));
     }
     g.finish();

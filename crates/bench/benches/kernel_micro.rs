@@ -16,7 +16,9 @@ fn bench_kernel_micro(c: &mut Criterion) {
         lmbench::setup(&k);
         let pid = k.init_pid();
         lmbench::open_close_loop(&k, pid, 50).unwrap();
-        g.bench_function(cfg.label(), |b| b.iter(|| lmbench::open_close(&k, pid).unwrap()));
+        g.bench_function(cfg.label(), |b| {
+            b.iter(|| lmbench::open_close(&k, pid).unwrap())
+        });
     }
     g.finish();
 
@@ -24,7 +26,12 @@ fn bench_kernel_micro(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(1));
-    for cfg in [KernelCfg::Release, KernelCfg::Infrastructure, KernelCfg::M, KernelCfg::All] {
+    for cfg in [
+        KernelCfg::Release,
+        KernelCfg::Infrastructure,
+        KernelCfg::M,
+        KernelCfg::All,
+    ] {
         let (k, _t) = make_kernel(cfg, InitMode::Lazy);
         lmbench::setup(&k);
         let pid = k.init_pid();

@@ -12,7 +12,10 @@ fn bench_lazy_init(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(1));
-    for (name, init) in [("pre_naive", InitMode::Naive), ("post_lazy", InitMode::Lazy)] {
+    for (name, init) in [
+        ("pre_naive", InitMode::Naive),
+        ("post_lazy", InitMode::Lazy),
+    ] {
         let (k, _t) = make_kernel(KernelCfg::All, init);
         lmbench::setup(&k);
         let pid = k.init_pid();
@@ -26,9 +29,17 @@ fn bench_lazy_init(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(1));
     g.sample_size(10);
-    for (name, init) in [("pre_naive", InitMode::Naive), ("post_lazy", InitMode::Lazy)] {
+    for (name, init) in [
+        ("pre_naive", InitMode::Naive),
+        ("post_lazy", InitMode::Lazy),
+    ] {
         let (k, _t) = make_kernel(KernelCfg::All, init);
-        let params = oltp::OltpParams { threads: 4, transactions: 20, socket_ops: 3, compute: 4000 };
+        let params = oltp::OltpParams {
+            threads: 4,
+            transactions: 20,
+            socket_ops: 3,
+            compute: 4000,
+        };
         g.bench_function(name, |b| b.iter(|| oltp::run(&k, params)));
     }
     g.finish();

@@ -21,8 +21,7 @@ fn bench_objc_micro(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 i += 1;
-                tesla::sim_gui::objc::objc_msg_send(&mut app.world, ctx, sel, &[i % 5])
-                    .unwrap()
+                tesla::sim_gui::objc::objc_msg_send(&mut app.world, ctx, sel, &[i % 5]).unwrap()
             })
         });
     }

@@ -24,8 +24,14 @@ fn bench_static_elision(c: &mut Criterion) {
     let project = tesla::corpus::openssl_like_patched(8);
 
     let builds: Vec<(&str, _)> = [
-        ("baseline/uninstrumented", noverify(BuildOptions::default_toolchain())),
-        ("dynamic/instrumented", noverify(BuildOptions::tesla_toolchain())),
+        (
+            "baseline/uninstrumented",
+            noverify(BuildOptions::default_toolchain()),
+        ),
+        (
+            "dynamic/instrumented",
+            noverify(BuildOptions::tesla_toolchain()),
+        ),
         ("static/elided", noverify(BuildOptions::static_toolchain())),
     ]
     .into_iter()

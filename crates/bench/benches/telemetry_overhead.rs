@@ -22,8 +22,12 @@ fn bench_telemetry(c: &mut Criterion) {
     // ≤5% acceptance budget is measured.
     for (label, compute) in [("dense", 4_000usize), ("app", 80_000)] {
         for threads in [1usize, 2, 4, 8] {
-            let params =
-                oltp::OltpParams { threads, transactions: 100, socket_ops: 3, compute };
+            let params = oltp::OltpParams {
+                threads,
+                transactions: 100,
+                socket_ops: 3,
+                compute,
+            };
             g.bench_function(format!("{label}/off/{threads}t"), |b| {
                 b.iter(|| {
                     let (k, _t) = make_kernel(KernelCfg::All, InitMode::Lazy);

@@ -164,7 +164,10 @@ fn fig10() {
     let incr_default = incr(noverify(BuildOptions::default_toolchain()));
     let incr_tesla = incr(noverify(BuildOptions::tesla_toolchain()));
 
-    println!("{:<22} {:>12} {:>12} {:>9}", "", "Default", "TESLA", "slowdown");
+    println!(
+        "{:<22} {:>12} {:>12} {:>9}",
+        "", "Default", "TESLA", "slowdown"
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>9}",
         "Clean build",
@@ -179,9 +182,7 @@ fn fig10() {
         fmt_duration(incr_tesla),
         ratio(incr_tesla, incr_default)
     );
-    println!(
-        "(paper: clean ≈2.5×; incremental ≈500× — one edited file re-instruments every unit)"
-    );
+    println!("(paper: clean ≈2.5×; incremental ≈500× — one edited file re-instruments every unit)");
 }
 
 /// §5.2.1: kernel-shaped corpus build times.
@@ -250,7 +251,12 @@ fn fig11a() {
         if cfg == KernelCfg::Release {
             base = per_op;
         }
-        println!("{:<16} {:>12} {:>9}", cfg.label(), fmt_duration(per_op), ratio(per_op, base));
+        println!(
+            "{:<16} {:>12} {:>9}",
+            cfg.label(),
+            fmt_duration(per_op),
+            ratio(per_op, base)
+        );
     }
     println!("(paper: TESLA microbenchmark overhead measurable; Debug ≈3× on micro)");
 }
@@ -266,17 +272,28 @@ fn fig11b() {
         KernelCfg::M,
         KernelCfg::All,
     ];
-    println!("{:<16} {:>14} {:>14}", "Config", "OLTP (socket)", "Build (FS/CPU)");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "Config", "OLTP (socket)", "Build (FS/CPU)"
+    );
     let mut oltp_base = Duration::ZERO;
     let mut build_base = Duration::ZERO;
     for cfg in configs {
         let (k, _t) = make_kernel(cfg, InitMode::Lazy);
-        let params = oltp::OltpParams { threads: 4, transactions: 60, socket_ops: 3, compute: 4000 };
+        let params = oltp::OltpParams {
+            threads: 4,
+            transactions: 60,
+            socket_ops: 3,
+            compute: 4000,
+        };
         let oltp_d = time_runs(3, || {
             oltp::run(&k, params);
         });
         let (k2, _t2) = make_kernel(cfg, InitMode::Lazy);
-        let bp = buildload::BuildParams { files: 40, compute: 400 };
+        let bp = buildload::BuildParams {
+            files: 40,
+            compute: 400,
+        };
         let build_d = time_runs(3, || {
             buildload::run(&k2, bp);
         });
@@ -315,7 +332,10 @@ fn fig12() {
             if global {
                 b = b.global();
             }
-            let a = b.previously(call("produce").arg_var("item").returns(0)).build().unwrap();
+            let a = b
+                .previously(call("produce").arg_var("item").returns(0))
+                .build()
+                .unwrap();
             let id = t.register(compile(&a).unwrap()).unwrap();
             let job = t.intern_fn("job");
             let produce = t.intern_fn("produce");
@@ -339,7 +359,10 @@ fn fig12() {
                 h.join().unwrap();
             }
         });
-        println!("{label:<12} {:>12} ({EVENTS} events, {THREADS} threads)", fmt_duration(d));
+        println!(
+            "{label:<12} {:>12} ({EVENTS} events, {THREADS} threads)",
+            fmt_duration(d)
+        );
         results.push(d);
     }
     println!("global/per-thread: {}", ratio(results[1], results[0]));
@@ -355,7 +378,10 @@ fn fig13() {
         "{:<22} {:>12} {:>12} {:>9}",
         "Microbenchmark", "Pre (naive)", "Post (lazy)", "speedup"
     );
-    for (label, cfg) in [("MAC (M)", KernelCfg::M), ("All assertions", KernelCfg::All)] {
+    for (label, cfg) in [
+        ("MAC (M)", KernelCfg::M),
+        ("All assertions", KernelCfg::All),
+    ] {
         let mut per = Vec::new();
         for init in [InitMode::Naive, InitMode::Lazy] {
             let (k, _t) = make_kernel(cfg, init);
@@ -363,8 +389,7 @@ fn fig13() {
             let pid = k.init_pid();
             lmbench::open_close_loop(&k, pid, 100).unwrap();
             per.push(
-                time_runs(3, || lmbench::open_close_loop(&k, pid, ITERS).unwrap())
-                    / ITERS as u32,
+                time_runs(3, || lmbench::open_close_loop(&k, pid, ITERS).unwrap()) / ITERS as u32,
             );
         }
         println!(
@@ -385,12 +410,20 @@ fn fig13() {
         for init in [InitMode::Naive, InitMode::Lazy] {
             let (k, _t) = make_kernel(KernelCfg::All, init);
             let d = if which == 0 {
-                let params = oltp::OltpParams { threads: 4, transactions: 40, socket_ops: 3, compute: 4000 };
+                let params = oltp::OltpParams {
+                    threads: 4,
+                    transactions: 40,
+                    socket_ops: 3,
+                    compute: 4000,
+                };
                 time_runs(3, || {
                     oltp::run(&k, params);
                 })
             } else {
-                let bp = buildload::BuildParams { files: 30, compute: 300 };
+                let bp = buildload::BuildParams {
+                    files: 30,
+                    compute: 300,
+                };
                 time_runs(3, || {
                     buildload::run(&k, bp);
                 })
@@ -416,7 +449,10 @@ fn fig13() {
 fn scaling() {
     header("Context scaling: OLTP txn/s at 1/2/4/8 threads");
     const TXNS: usize = 400;
-    println!("{:<8} {:<16} {:>12} {:>12}", "threads", "config", "time", "txn/s");
+    println!(
+        "{:<8} {:<16} {:>12} {:>12}",
+        "threads", "config", "time", "txn/s"
+    );
     for threads in [1usize, 2, 4, 8] {
         for (label, ctx) in [
             ("uninstrumented", None),
@@ -432,8 +468,12 @@ fn scaling() {
                         make_kernel_in(KernelCfg::All, InitMode::Lazy, FailMode::Log, Some(c)).0
                     }
                 };
-                let params =
-                    oltp::OltpParams { threads, transactions: TXNS, socket_ops: 4, compute: 600 };
+                let params = oltp::OltpParams {
+                    threads,
+                    transactions: TXNS,
+                    socket_ops: 4,
+                    compute: 600,
+                };
                 oltp::run(&k, params);
             });
             let total = (threads * TXNS) as f64;
@@ -469,22 +509,29 @@ fn telemetry() {
     //    hook-bound by design and reported separately by `repro
     //    fig13`.
     const TXNS: usize = 400;
-    for (label, compute) in [("hook-dense (fig. 11b)", 4_000usize), ("app-weight", 80_000)] {
+    for (label, compute) in [
+        ("hook-dense (fig. 11b)", 4_000usize),
+        ("app-weight", 80_000),
+    ] {
         println!("-- {label}: compute={compute} per transaction --");
         println!(
             "{:<8} {:>12} {:>12} {:>9} {:>14}",
             "threads", "off", "on", "on/off", "events seen"
         );
         for threads in [1usize, 2, 4, 8] {
-            let params = oltp::OltpParams { threads, transactions: TXNS, socket_ops: 3, compute };
+            let params = oltp::OltpParams {
+                threads,
+                transactions: TXNS,
+                socket_ops: 3,
+                compute,
+            };
             let off = time_runs(7, || {
                 let (k, _t) = make_kernel(KernelCfg::All, InitMode::Lazy);
                 oltp::run(&k, params);
             });
             let mut events = 0u64;
             let on = time_runs(7, || {
-                let (k, t, rec) =
-                    make_kernel_telemetry(KernelCfg::All, InitMode::Lazy, 1 << 12);
+                let (k, t, rec) = make_kernel_telemetry(KernelCfg::All, InitMode::Lazy, 1 << 12);
                 oltp::run(&k, params);
                 events = t.unwrap().metrics().events_total();
                 let _ = rec.unwrap().snapshot();
@@ -514,7 +561,11 @@ fn build_modes() {
         o
     };
     let corpora = [
-        ("OpenSSL-shaped (fig. 10, 40 units)", tesla::corpus::openssl_like(40), "ssl/layer1.c"),
+        (
+            "OpenSSL-shaped (fig. 10, 40 units)",
+            tesla::corpus::openssl_like(40),
+            "ssl/layer1.c",
+        ),
         (
             "kernel-shaped (§5.2.1, 20 units, 85 assertions)",
             tesla::corpus::kernel_like(20, 85),
@@ -563,7 +614,10 @@ fn build_modes() {
             "-"
         );
         for (label, policy) in policies {
-            let opts = BuildOptions { reinstrument: policy, ..nv(BuildOptions::tesla_toolchain()) };
+            let opts = BuildOptions {
+                reinstrument: policy,
+                ..nv(BuildOptions::tesla_toolchain())
+            };
             let clean_d = clean_of(opts);
             let (incr_d, st, rewoven) = incr_of(opts);
             println!(
@@ -610,7 +664,14 @@ fn delta_smoke() -> bool {
         bs.compile_cache().misses()
     );
     let ok = art.stats.instrumented_units < units && art.stats.instrumented_units > 0;
-    println!("{}", if ok { "OK: delta rebuild stayed incremental" } else { "FAIL: delta rebuild re-instrumented the world" });
+    println!(
+        "{}",
+        if ok {
+            "OK: delta rebuild stayed incremental"
+        } else {
+            "FAIL: delta rebuild re-instrumented the world"
+        }
+    );
     ok
 }
 
@@ -652,11 +713,19 @@ fn chaos() -> bool {
     );
     for seed in SEEDS {
         let Some((ledger, snap)) = chaos_run(seed) else {
-            println!("{seed:<8} {:>9} {:>9} {:>10} {:>8} {:>7}", "-", "-", "-", "-", "PANIC");
+            println!(
+                "{seed:<8} {:>9} {:>9} {:>10} {:>8} {:>7}",
+                "-", "-", "-", "-", "PANIC"
+            );
             ok = false;
             continue;
         };
-        let peak = snap.classes.iter().map(|c| c.high_watermark).max().unwrap_or(0);
+        let peak = snap
+            .classes
+            .iter()
+            .map(|c| c.high_watermark)
+            .max()
+            .unwrap_or(0);
         let balanced = ledger.balanced();
         let reported = snap.faults_absorbed == ledger.total_injected();
         let bounded = peak <= quota;
@@ -691,7 +760,14 @@ fn chaos() -> bool {
             println!("  FAIL: identical seed produced a different ledger");
         }
     }
-    println!("{}", if ok { "OK: chaos sweep clean under all seeds" } else { "FAIL: chaos sweep" });
+    println!(
+        "{}",
+        if ok {
+            "OK: chaos sweep clean under all seeds"
+        } else {
+            "FAIL: chaos sweep"
+        }
+    );
     ok
 }
 
@@ -710,13 +786,8 @@ fn fig14a() {
         app.run_loop_iteration(&[]).unwrap();
         let d = time_runs(3, || {
             for i in 0..SENDS {
-                tesla::sim_gui::objc::objc_msg_send(
-                    &mut app.world,
-                    ctx,
-                    sel,
-                    &[(i % 5) as i64],
-                )
-                .unwrap();
+                tesla::sim_gui::objc::objc_msg_send(&mut app.world, ctx, sel, &[(i % 5) as i64])
+                    .unwrap();
             }
         }) / SENDS as u32;
         if base.is_zero() {
@@ -731,7 +802,10 @@ fn fig14a() {
 fn fig14b() {
     header("Figure 14b: window redraw times (Xnee-like replay, 200 iterations)");
     let script = xnee::session(200);
-    println!("{:<16} {:>12} {:>12} {:>12}", "Mode", "median", "p95", "max");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "Mode", "median", "p95", "max"
+    );
     for (label, mode) in gui_tiers() {
         let mut app = tesla_bench::make_gui(mode);
         let mut times = xnee::replay(&mut app, &script);

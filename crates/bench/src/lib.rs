@@ -103,7 +103,10 @@ pub fn make_kernel_in(
     context: Option<tesla::spec::Context>,
 ) -> (Arc<Kernel>, Option<Arc<Tesla>>) {
     let sets = cfg.sets();
-    let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
+    let kc = KernelConfig {
+        bugs: Bugs::default(),
+        debug_checks: cfg.debug_checks(),
+    };
     if sets.is_empty() {
         (Arc::new(Kernel::new(kc, MacFramework::new(), None)), None)
     } else {
@@ -114,7 +117,11 @@ pub fn make_kernel_in(
             ..Config::default()
         }));
         let reg = register_sets_in(&t, &sets, context).expect("sets register");
-        let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
+        let k = Arc::new(Kernel::new(
+            kc,
+            MacFramework::new(),
+            Some((t.clone(), reg.sites)),
+        ));
         (k, Some(t))
     }
 }
@@ -130,9 +137,16 @@ pub fn make_kernel_telemetry(
     recorder_capacity: usize,
 ) -> (Arc<Kernel>, Option<Arc<Tesla>>, Option<Arc<FlightRecorder>>) {
     let sets = cfg.sets();
-    let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
+    let kc = KernelConfig {
+        bugs: Bugs::default(),
+        debug_checks: cfg.debug_checks(),
+    };
     if sets.is_empty() {
-        return (Arc::new(Kernel::new(kc, MacFramework::new(), None)), None, None);
+        return (
+            Arc::new(Kernel::new(kc, MacFramework::new(), None)),
+            None,
+            None,
+        );
     }
     let t = Arc::new(Tesla::new(Config {
         fail_mode: FailMode::FailStop,
@@ -144,7 +158,11 @@ pub fn make_kernel_telemetry(
     let recorder = Arc::new(FlightRecorder::new(recorder_capacity));
     t.add_handler(recorder.clone());
     let reg = register_sets_in(&t, &sets, None).expect("sets register");
-    let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
+    let k = Arc::new(Kernel::new(
+        kc,
+        MacFramework::new(),
+        Some((t.clone(), reg.sites)),
+    ));
     (k, Some(t), Some(recorder))
 }
 
@@ -166,7 +184,10 @@ pub fn make_kernel_chaos(
     tesla::runtime::faults::silence_injected_panics();
     let sets = cfg.sets();
     assert!(!sets.is_empty(), "chaos kernels need assertions to govern");
-    let kc = KernelConfig { bugs: Bugs::default(), debug_checks: cfg.debug_checks() };
+    let kc = KernelConfig {
+        bugs: Bugs::default(),
+        debug_checks: cfg.debug_checks(),
+    };
     let t = Arc::new(Tesla::new(Config {
         fail_mode: FailMode::Log,
         init_mode,
@@ -178,7 +199,11 @@ pub fn make_kernel_chaos(
         ..Config::default()
     }));
     let reg = register_sets_in(&t, &sets, None).expect("sets register");
-    let k = Arc::new(Kernel::new(kc, MacFramework::new(), Some((t.clone(), reg.sites))));
+    let k = Arc::new(Kernel::new(
+        kc,
+        MacFramework::new(),
+        Some((t.clone(), reg.sites)),
+    ));
     (k, t)
 }
 

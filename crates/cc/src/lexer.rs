@@ -74,9 +74,9 @@ impl std::error::Error for LexError {}
 
 /// Multi-character operators, longest first.
 const PUNCTS: &[&str] = &[
-    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "|=", "&=", "^=", "++",
-    "--", "{", "}", "(", ")", "[", "]", ";", ",", ".", "*", "/", "%", "+", "-", "<", ">", "=",
-    "!", "&", "|", "^", "~", ":",
+    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "|=", "&=", "^=", "++", "--",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "*", "/", "%", "+", "-", "<", ">", "=", "!", "&",
+    "|", "^", "~", ":",
 ];
 
 /// Lex `src`, running the preprocessor-lite pass.
@@ -108,7 +108,10 @@ pub fn lex(src: &str) -> Result<LexOutput, LexError> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { message: "unterminated comment".into(), line });
+                        return Err(LexError {
+                            message: "unterminated comment".into(),
+                            line,
+                        });
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
@@ -141,7 +144,10 @@ pub fn lex(src: &str) -> Result<LexOutput, LexError> {
                         i += 1;
                     }
                     if i == ds {
-                        return Err(LexError { message: "empty hex literal".into(), line });
+                        return Err(LexError {
+                            message: "empty hex literal".into(),
+                            line,
+                        });
                     }
                     v as i64
                 } else {
@@ -152,7 +158,11 @@ pub fn lex(src: &str) -> Result<LexOutput, LexError> {
                     }
                     v
                 };
-                out.tokens.push(Spanned { tok: Tok::Int(value), offset: start, line });
+                out.tokens.push(Spanned {
+                    tok: Tok::Int(value),
+                    offset: start,
+                    line,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 at_line_start = false;
@@ -175,12 +185,20 @@ pub fn lex(src: &str) -> Result<LexOutput, LexError> {
                         line,
                     });
                 };
-                out.tokens.push(Spanned { tok: Tok::Punct(p), offset: i, line });
+                out.tokens.push(Spanned {
+                    tok: Tok::Punct(p),
+                    offset: i,
+                    line,
+                });
                 i += p.len();
             }
         }
     }
-    out.tokens.push(Spanned { tok: Tok::Eof, offset: src.len(), line });
+    out.tokens.push(Spanned {
+        tok: Tok::Eof,
+        offset: src.len(),
+        line,
+    });
     Ok(out)
 }
 
@@ -188,12 +206,14 @@ fn parse_directive(d: &str, line: u32, out: &mut LexOutput) -> Result<(), LexErr
     let mut parts = d.split_whitespace();
     match parts.next() {
         Some("#define") => {
-            let name = parts
-                .next()
-                .ok_or_else(|| LexError { message: "#define without name".into(), line })?;
-            let value = parts
-                .next()
-                .ok_or_else(|| LexError { message: "#define without value".into(), line })?;
+            let name = parts.next().ok_or_else(|| LexError {
+                message: "#define without name".into(),
+                line,
+            })?;
+            let value = parts.next().ok_or_else(|| LexError {
+                message: "#define without value".into(),
+                line,
+            })?;
             let v = parse_int(value).ok_or_else(|| LexError {
                 message: format!("#define {name}: `{value}` is not an integer"),
                 line,
@@ -205,9 +225,10 @@ fn parse_directive(d: &str, line: u32, out: &mut LexOutput) -> Result<(), LexErr
             out.includes.push(parts.collect::<Vec<_>>().join(" "));
             Ok(())
         }
-        Some(other) => {
-            Err(LexError { message: format!("unsupported directive `{other}`"), line })
-        }
+        Some(other) => Err(LexError {
+            message: format!("unsupported directive `{other}`"),
+            line,
+        }),
         None => Ok(()),
     }
 }
@@ -231,8 +252,23 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
-                "`int`", "`foo`", "`(`", "`struct`", "`socket`", "`*`", "`so`", "`)`", "`{`",
-                "`return`", "`so`", "`->`", "`so_state`", "`+`", "`16`", "`;`", "`}`",
+                "`int`",
+                "`foo`",
+                "`(`",
+                "`struct`",
+                "`socket`",
+                "`*`",
+                "`so`",
+                "`)`",
+                "`{`",
+                "`return`",
+                "`so`",
+                "`->`",
+                "`so_state`",
+                "`+`",
+                "`16`",
+                "`;`",
+                "`}`",
                 "end of file"
             ]
         );
@@ -261,8 +297,12 @@ mod tests {
     #[test]
     fn compound_operators_lex_greedily() {
         let out = lex("a += b; c->d++; e >= f;").unwrap();
-        let puncts: Vec<&Tok> =
-            out.tokens.iter().map(|t| &t.tok).filter(|t| matches!(t, Tok::Punct(_))).collect();
+        let puncts: Vec<&Tok> = out
+            .tokens
+            .iter()
+            .map(|t| &t.tok)
+            .filter(|t| matches!(t, Tok::Punct(_)))
+            .collect();
         assert!(puncts.contains(&&Tok::Punct("+=")));
         assert!(puncts.contains(&&Tok::Punct("->")));
         assert!(puncts.contains(&&Tok::Punct("++")));

@@ -113,9 +113,15 @@ mod tests {
         // The flag constant resolved and the struct type was patched.
         let mut seen = false;
         a.expr.for_each_event(&mut |e| {
-            if let tesla_spec::EventExpr::FieldAssignEvent { struct_name, value, .. } = e {
+            if let tesla_spec::EventExpr::FieldAssignEvent {
+                struct_name, value, ..
+            } = e
+            {
                 assert_eq!(struct_name, "proc");
-                assert_eq!(value, &tesla_spec::ArgPattern::Const(tesla_spec::Value(0x100)));
+                assert_eq!(
+                    value,
+                    &tesla_spec::ArgPattern::Const(tesla_spec::Value(0x100))
+                );
                 seen = true;
             }
         });

@@ -40,7 +40,10 @@ impl std::error::Error for LowerError {}
 /// Returns [`LowerError`] on constructs sema admits but TIR cannot
 /// express (e.g. `&external_function`).
 pub fn lower_unit(unit: &Unit, info: &UnitInfo) -> Result<Module, LowerError> {
-    let mut module = Module { name: unit.file.clone(), ..Module::default() };
+    let mut module = Module {
+        name: unit.file.clone(),
+        ..Module::default()
+    };
     let mut struct_ids = HashMap::new();
     for s in &unit.structs {
         let id = StructId(module.structs.len() as u32);
@@ -94,7 +97,10 @@ impl<'a> FnLower<'a> {
             struct_ids,
             fn_ids,
             module,
-            blocks: vec![Draft { insts: Vec::new(), term: None }],
+            blocks: vec![Draft {
+                insts: Vec::new(),
+                term: None,
+            }],
             cur: 0,
             next_reg: f.params.len() as u32,
             scopes: vec![HashMap::new()],
@@ -102,7 +108,10 @@ impl<'a> FnLower<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LowerError {
-        LowerError { message: message.into(), function: self.f.name.clone() }
+        LowerError {
+            message: message.into(),
+            function: self.f.name.clone(),
+        }
     }
 
     fn fresh(&mut self) -> Reg {
@@ -116,7 +125,10 @@ impl<'a> FnLower<'a> {
     }
 
     fn new_block(&mut self) -> usize {
-        self.blocks.push(Draft { insts: Vec::new(), term: None });
+        self.blocks.push(Draft {
+            insts: Vec::new(),
+            term: None,
+        });
         self.blocks.len() - 1
     }
 
@@ -145,7 +157,10 @@ impl<'a> FnLower<'a> {
         let blocks = self
             .blocks
             .into_iter()
-            .map(|d| Block { insts: d.insts, term: d.term.unwrap_or(Terminator::Ret(None)) })
+            .map(|d| Block {
+                insts: d.insts,
+                term: d.term.unwrap_or(Terminator::Ret(None)),
+            })
             .collect();
         Ok(Function {
             name: self.f.name.clone(),
@@ -174,7 +189,10 @@ impl<'a> FnLower<'a> {
                 } else {
                     self.emit(Inst::Const { dst: reg, value: 0 });
                 }
-                self.scopes.last_mut().unwrap().insert(name.clone(), (reg, ty.clone()));
+                self.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(name.clone(), (reg, ty.clone()));
                 Ok(())
             }
             Stmt::Assign { lv, op, value } => {
@@ -186,24 +204,41 @@ impl<'a> FnLower<'a> {
                             .ok_or_else(|| self.err(format!("undeclared `{name}`")))?;
                         match op {
                             FieldOp::Assign => self.emit(Inst::Copy { dst: reg, src: v }),
-                            FieldOp::AddAssign => {
-                                self.emit(Inst::Bin { dst: reg, op: Op::Add, lhs: reg, rhs: v })
-                            }
-                            FieldOp::SubAssign => {
-                                self.emit(Inst::Bin { dst: reg, op: Op::Sub, lhs: reg, rhs: v })
-                            }
-                            FieldOp::OrAssign => {
-                                self.emit(Inst::Bin { dst: reg, op: Op::Or, lhs: reg, rhs: v })
-                            }
-                            FieldOp::AndAssign => {
-                                self.emit(Inst::Bin { dst: reg, op: Op::And, lhs: reg, rhs: v })
-                            }
+                            FieldOp::AddAssign => self.emit(Inst::Bin {
+                                dst: reg,
+                                op: Op::Add,
+                                lhs: reg,
+                                rhs: v,
+                            }),
+                            FieldOp::SubAssign => self.emit(Inst::Bin {
+                                dst: reg,
+                                op: Op::Sub,
+                                lhs: reg,
+                                rhs: v,
+                            }),
+                            FieldOp::OrAssign => self.emit(Inst::Bin {
+                                dst: reg,
+                                op: Op::Or,
+                                lhs: reg,
+                                rhs: v,
+                            }),
+                            FieldOp::AndAssign => self.emit(Inst::Bin {
+                                dst: reg,
+                                op: Op::And,
+                                lhs: reg,
+                                rhs: v,
+                            }),
                         }
                     }
                     LValue::Field { base, field } => {
                         let obj = self.lower_expr(base)?;
                         let fr = self.field_ref(base, field)?;
-                        self.emit(Inst::Store { obj, field: fr, op: *op, value: v });
+                        self.emit(Inst::Store {
+                            obj,
+                            field: fr,
+                            op: *op,
+                            value: v,
+                        });
                     }
                 }
                 Ok(())
@@ -224,7 +259,11 @@ impl<'a> FnLower<'a> {
                 self.switch_to(dead);
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.lower_expr(cond)?;
                 let then_bb = self.new_block();
                 let else_bb = self.new_block();
@@ -264,16 +303,21 @@ impl<'a> FnLower<'a> {
             Stmt::Tesla { assertion, .. } => {
                 let mut args = Vec::with_capacity(assertion.variables.len());
                 for v in &assertion.variables {
-                    let (reg, _) = *self
-                        .lookup(v)
-                        .ok_or_else(|| self.err(format!("assertion variable `{v}` not in scope")))?;
+                    let (reg, _) = *self.lookup(v).ok_or_else(|| {
+                        self.err(format!("assertion variable `{v}` not in scope"))
+                    })?;
                     args.push(reg);
                 }
                 let idx = self.module.assertions.len() as u32;
                 self.module
                     .assertions
-                    .push(tesla_ir::module::ModuleAssertion { assertion: assertion.clone() });
-                self.emit(Inst::TeslaPseudoAssert { assertion: idx, args });
+                    .push(tesla_ir::module::ModuleAssertion {
+                        assertion: assertion.clone(),
+                    });
+                self.emit(Inst::TeslaPseudoAssert {
+                    assertion: idx,
+                    args,
+                });
                 Ok(())
             }
         }
@@ -297,7 +341,10 @@ impl<'a> FnLower<'a> {
             .iter()
             .position(|p| p.name == field)
             .ok_or_else(|| self.err(format!("struct `{sname}` has no field `{field}`")))?;
-        Ok(FieldRef { strct: sid, field: fi as u32 })
+        Ok(FieldRef {
+            strct: sid,
+            field: fi as u32,
+        })
     }
 
     fn type_of(&self, e: &Expr) -> Option<CType> {
@@ -340,7 +387,11 @@ impl<'a> FnLower<'a> {
                 let obj = self.lower_expr(base)?;
                 let fr = self.field_ref(base, field)?;
                 let dst = self.fresh();
-                self.emit(Inst::Load { dst, obj, field: fr });
+                self.emit(Inst::Load {
+                    dst,
+                    obj,
+                    field: fr,
+                });
                 Ok(dst)
             }
             Expr::Call { callee, args } => {
@@ -348,16 +399,18 @@ impl<'a> FnLower<'a> {
                     args.iter().map(|a| self.lower_expr(a)).collect();
                 let argv = argv?;
                 let target = match &**callee {
-                    Expr::Var(name) if self.lookup(name).is_none() => {
-                        match self.fn_ids.get(name) {
-                            Some(f) => Callee::Direct(*f),
-                            None => Callee::External(name.clone()),
-                        }
-                    }
+                    Expr::Var(name) if self.lookup(name).is_none() => match self.fn_ids.get(name) {
+                        Some(f) => Callee::Direct(*f),
+                        None => Callee::External(name.clone()),
+                    },
                     other => Callee::Indirect(self.lower_expr(other)?),
                 };
                 let dst = self.fresh();
-                self.emit(Inst::Call { dst: Some(dst), callee: target, args: argv });
+                self.emit(Inst::Call {
+                    dst: Some(dst),
+                    callee: target,
+                    args: argv,
+                });
                 Ok(dst)
             }
             Expr::FnAddr(name) => {
@@ -387,29 +440,62 @@ impl<'a> FnLower<'a> {
                     UnOp::Neg => {
                         let z = self.fresh();
                         self.emit(Inst::Const { dst: z, value: 0 });
-                        self.emit(Inst::Bin { dst, op: Op::Sub, lhs: z, rhs: v });
+                        self.emit(Inst::Bin {
+                            dst,
+                            op: Op::Sub,
+                            lhs: z,
+                            rhs: v,
+                        });
                     }
                     UnOp::Not => {
                         let z = self.fresh();
                         self.emit(Inst::Const { dst: z, value: 0 });
-                        self.emit(Inst::Cmp { dst, op: CmpOp::Eq, lhs: v, rhs: z });
+                        self.emit(Inst::Cmp {
+                            dst,
+                            op: CmpOp::Eq,
+                            lhs: v,
+                            rhs: z,
+                        });
                     }
                     UnOp::BitNot => {
                         let m = self.fresh();
                         self.emit(Inst::Const { dst: m, value: -1 });
-                        self.emit(Inst::Bin { dst, op: Op::Xor, lhs: v, rhs: m });
+                        self.emit(Inst::Bin {
+                            dst,
+                            op: Op::Xor,
+                            lhs: v,
+                            rhs: m,
+                        });
                     }
                 }
                 Ok(dst)
             }
-            Expr::Bin { op: BinOp::LogAnd, lhs, rhs } => self.lower_short_circuit(lhs, rhs, true),
-            Expr::Bin { op: BinOp::LogOr, lhs, rhs } => self.lower_short_circuit(lhs, rhs, false),
+            Expr::Bin {
+                op: BinOp::LogAnd,
+                lhs,
+                rhs,
+            } => self.lower_short_circuit(lhs, rhs, true),
+            Expr::Bin {
+                op: BinOp::LogOr,
+                lhs,
+                rhs,
+            } => self.lower_short_circuit(lhs, rhs, false),
             Expr::Bin { op, lhs, rhs } => {
                 let a = self.lower_expr(lhs)?;
                 let b = self.lower_expr(rhs)?;
                 let dst = self.fresh();
-                let emit_cmp = |op| Inst::Cmp { dst, op, lhs: a, rhs: b };
-                let emit_bin = |op| Inst::Bin { dst, op, lhs: a, rhs: b };
+                let emit_cmp = |op| Inst::Cmp {
+                    dst,
+                    op,
+                    lhs: a,
+                    rhs: b,
+                };
+                let emit_bin = |op| Inst::Bin {
+                    dst,
+                    op,
+                    lhs: a,
+                    rhs: b,
+                };
                 let inst = match op {
                     BinOp::Add => emit_bin(Op::Add),
                     BinOp::Sub => emit_bin(Op::Sub),
@@ -447,10 +533,19 @@ impl<'a> FnLower<'a> {
         // Normalise lhs to 0/1 into dst.
         let z = self.fresh();
         self.emit(Inst::Const { dst: z, value: 0 });
-        self.emit(Inst::Cmp { dst, op: CmpOp::Ne, lhs: a, rhs: z });
+        self.emit(Inst::Cmp {
+            dst,
+            op: CmpOp::Ne,
+            lhs: a,
+            rhs: z,
+        });
         let rhs_bb = self.new_block();
         let join_bb = self.new_block();
-        let (then_bb, else_bb) = if is_and { (rhs_bb, join_bb) } else { (join_bb, rhs_bb) };
+        let (then_bb, else_bb) = if is_and {
+            (rhs_bb, join_bb)
+        } else {
+            (join_bb, rhs_bb)
+        };
         self.terminate(Terminator::Branch {
             cond: dst,
             then_bb: BlockId(then_bb as u32),
@@ -460,7 +555,12 @@ impl<'a> FnLower<'a> {
         let b = self.lower_expr(rhs)?;
         let z2 = self.fresh();
         self.emit(Inst::Const { dst: z2, value: 0 });
-        self.emit(Inst::Cmp { dst, op: CmpOp::Ne, lhs: b, rhs: z2 });
+        self.emit(Inst::Cmp {
+            dst,
+            op: CmpOp::Ne,
+            lhs: b,
+            rhs: z2,
+        });
         self.terminate(Terminator::Jump(BlockId(join_bb as u32)));
         self.switch_to(join_bb);
         Ok(dst)
@@ -583,11 +683,9 @@ mod tests {
         );
         assert_eq!(m.assertions.len(), 1);
         let f = &m.functions[m.function("f").unwrap().0 as usize];
-        let has_placeholder = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::TeslaPseudoAssert { assertion: 0, args } if args.len() == 1));
+        let has_placeholder = f.blocks.iter().flat_map(|b| &b.insts).any(
+            |i| matches!(i, Inst::TeslaPseudoAssert { assertion: 0, args } if args.len() == 1),
+        );
         assert!(has_placeholder);
     }
 
@@ -610,7 +708,10 @@ mod tests {
         let f = &m.functions[0];
         assert!(f.blocks[0].insts.iter().any(|i| matches!(
             i,
-            Inst::Store { op: FieldOp::OrAssign, .. }
+            Inst::Store {
+                op: FieldOp::OrAssign,
+                ..
+            }
         )));
     }
 }

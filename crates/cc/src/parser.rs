@@ -7,9 +7,7 @@
 //! workflow of §4.1, where assertion macros are parsed out of the
 //! Clang AST with the surrounding compile context available.
 
-use crate::ast::{
-    BinOp, CType, Expr, FunctionDef, LValue, Param, Stmt, StructDefAst, UnOp, Unit,
-};
+use crate::ast::{BinOp, CType, Expr, FunctionDef, LValue, Param, Stmt, StructDefAst, UnOp, Unit};
 use crate::lexer::{lex, LexOutput, Spanned, Tok};
 use tesla_spec::FieldOp;
 
@@ -60,7 +58,10 @@ impl<'s> P<'s> {
     }
 
     fn err(&self, message: impl Into<String>) -> CParseError {
-        CParseError { message: message.into(), line: self.line() }
+        CParseError {
+            message: message.into(),
+            line: self.line(),
+        }
     }
 
     fn expect_punct(&mut self, p: &'static str) -> Result<(), CParseError> {
@@ -215,7 +216,13 @@ impl<'s> P<'s> {
         }
         self.expect_punct("{")?;
         let body = self.parse_block()?;
-        unit.functions.push(FunctionDef { ret, name, params, body, line });
+        unit.functions.push(FunctionDef {
+            ret,
+            name,
+            params,
+            body,
+            line,
+        });
         Ok(())
     }
 
@@ -236,7 +243,11 @@ impl<'s> P<'s> {
             // Could be a decl `struct S *p = ..` — but `struct` here
             // can only be a decl since struct defs are top-level.
             let (ty, name) = self.parse_declarator()?;
-            let init = if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Decl { ty, name, init });
         }
@@ -258,7 +269,11 @@ impl<'s> P<'s> {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_body, else_body });
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
         }
         if self.is_ident("while") {
             self.bump();
@@ -271,7 +286,11 @@ impl<'s> P<'s> {
         }
         if self.is_ident("return") {
             self.bump();
-            let v = if *self.peek() == Tok::Punct(";") { None } else { Some(self.parse_expr()?) };
+            let v = if *self.peek() == Tok::Punct(";") {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(v));
         }
@@ -307,8 +326,11 @@ impl<'s> P<'s> {
                         return Err(self.err(format!("`{other:?}` is not assignable")));
                     }
                 };
-                let value =
-                    if implicit_one { Expr::Int(1) } else { self.parse_expr()? };
+                let value = if implicit_one {
+                    Expr::Int(1)
+                } else {
+                    self.parse_expr()?
+                };
                 self.expect_punct(";")?;
                 Ok(Stmt::Assign { lv, op, value })
             }
@@ -340,9 +362,15 @@ impl<'s> P<'s> {
         let text = &self.src[start_off..end_off];
         let mut assertion =
             tesla_spec::parse_assertion_with_consts(text, &self.defines).map_err(|e| {
-                CParseError { message: format!("in TESLA assertion: {e}"), line }
+                CParseError {
+                    message: format!("in TESLA assertion: {e}"),
+                    line,
+                }
             })?;
-        assertion.loc = tesla_spec::SourceLoc { file: self.file.clone(), line };
+        assertion.loc = tesla_spec::SourceLoc {
+            file: self.file.clone(),
+            line,
+        };
         assertion.name = format!("{}:{line}", self.file);
         Ok(Stmt::Tesla { assertion, line })
     }
@@ -358,13 +386,19 @@ impl<'s> P<'s> {
     fn parse_bin(&mut self, min_level: u8) -> Result<Expr, CParseError> {
         let mut lhs = self.parse_unary()?;
         loop {
-            let Some((op, level)) = self.peek_binop() else { break };
+            let Some((op, level)) = self.peek_binop() else {
+                break;
+            };
             if level < min_level {
                 break;
             }
             self.bump();
             let rhs = self.parse_bin(level + 1)?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -401,15 +435,24 @@ impl<'s> P<'s> {
         match self.peek() {
             Tok::Punct("-") => {
                 self.bump();
-                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(self.parse_unary()?) })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.parse_unary()?),
+                })
             }
             Tok::Punct("!") => {
                 self.bump();
-                Ok(Expr::Un { op: UnOp::Not, expr: Box::new(self.parse_unary()?) })
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    expr: Box::new(self.parse_unary()?),
+                })
             }
             Tok::Punct("~") => {
                 self.bump();
-                Ok(Expr::Un { op: UnOp::BitNot, expr: Box::new(self.parse_unary()?) })
+                Ok(Expr::Un {
+                    op: UnOp::BitNot,
+                    expr: Box::new(self.parse_unary()?),
+                })
             }
             _ => self.parse_postfix(),
         }
@@ -420,7 +463,10 @@ impl<'s> P<'s> {
         loop {
             if self.eat_punct("->") {
                 let field = self.expect_ident()?;
-                e = Expr::Field { base: Box::new(e), field };
+                e = Expr::Field {
+                    base: Box::new(e),
+                    field,
+                };
             } else if *self.peek() == Tok::Punct("(") {
                 self.bump();
                 let mut args = Vec::new();
@@ -433,7 +479,10 @@ impl<'s> P<'s> {
                         self.expect_punct(",")?;
                     }
                 }
-                e = Expr::Call { callee: Box::new(e), args };
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                };
             } else {
                 break;
             }
@@ -504,9 +553,21 @@ impl<'s> P<'s> {
 ///
 /// Returns [`CParseError`] on lexical or syntactic failure.
 pub fn parse_unit(src: &str, file: &str) -> Result<Unit, CParseError> {
-    let LexOutput { tokens, defines, includes: _ } =
-        lex(src).map_err(|e| CParseError { message: e.message, line: e.line })?;
-    let mut p = P { src, toks: tokens, pos: 0, defines, file: file.to_string() };
+    let LexOutput {
+        tokens,
+        defines,
+        includes: _,
+    } = lex(src).map_err(|e| CParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut p = P {
+        src,
+        toks: tokens,
+        pos: 0,
+        defines,
+        file: file.to_string(),
+    };
     p.parse_unit()
 }
 
@@ -533,7 +594,11 @@ mod tests {
         assert_eq!(f.params.len(), 2);
         assert_eq!(f.body.len(), 3);
         match &f.body[1] {
-            Stmt::Assign { lv: LValue::Field { field, .. }, op: FieldOp::Assign, .. } => {
+            Stmt::Assign {
+                lv: LValue::Field { field, .. },
+                op: FieldOp::Assign,
+                ..
+            } => {
                 assert_eq!(field, "so_state");
             }
             other => panic!("unexpected {other:?}"),
@@ -575,7 +640,11 @@ mod tests {
         .unwrap();
         let f = &u.functions[0];
         match &f.body[0] {
-            Stmt::Decl { ty: CType::FnPtr, name, init: Some(Expr::Field { .. }) } => {
+            Stmt::Decl {
+                ty: CType::FnPtr,
+                name,
+                init: Some(Expr::Field { .. }),
+            } => {
                 assert_eq!(name, "fp");
             }
             other => panic!("unexpected {other:?}"),
@@ -647,7 +716,11 @@ mod tests {
         let u = parse_unit("int f(int a, int b) { return a + b * 2 == a << 1; }", "p.c").unwrap();
         // ((a + (b*2)) == (a << 1))
         match &u.functions[0].body[0] {
-            Stmt::Return(Some(Expr::Bin { op: BinOp::Eq, lhs, rhs })) => {
+            Stmt::Return(Some(Expr::Bin {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            })) => {
                 assert!(matches!(**lhs, Expr::Bin { op: BinOp::Add, .. }));
                 assert!(matches!(**rhs, Expr::Bin { op: BinOp::Shl, .. }));
             }

@@ -47,7 +47,9 @@ struct Scope {
 
 impl Scope {
     fn new() -> Scope {
-        Scope { vars: vec![HashMap::new()] }
+        Scope {
+            vars: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -59,7 +61,11 @@ impl Scope {
     }
 
     fn declare(&mut self, name: &str, ty: CType) -> bool {
-        self.vars.last_mut().unwrap().insert(name.to_string(), ty).is_none()
+        self.vars
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), ty)
+            .is_none()
     }
 
     fn lookup(&self, name: &str) -> Option<&CType> {
@@ -77,7 +83,11 @@ pub fn analyse(unit: &mut Unit) -> Result<UnitInfo, Vec<SemaError>> {
     let mut errs = Vec::new();
     let mut info = UnitInfo::default();
     for s in &unit.structs {
-        if info.structs.insert(s.name.clone(), s.fields.clone()).is_some() {
+        if info
+            .structs
+            .insert(s.name.clone(), s.fields.clone())
+            .is_some()
+        {
             errs.push(SemaError {
                 message: format!("struct `{}` defined twice", s.name),
                 function: String::new(),
@@ -105,7 +115,10 @@ pub fn analyse(unit: &mut Unit) -> Result<UnitInfo, Vec<SemaError>> {
             if let CType::Ptr(t) = &p.ty {
                 if !info.structs.contains_key(t) {
                     errs.push(SemaError {
-                        message: format!("struct `{}` field `{}` has unknown type `struct {t}`", s.name, p.name),
+                        message: format!(
+                            "struct `{}` field `{}` has unknown type `struct {t}`",
+                            s.name, p.name
+                        ),
                         function: String::new(),
                     });
                 }
@@ -134,11 +147,17 @@ fn check_function(f: &mut FunctionDef, info: &UnitInfo, errs: &mut Vec<SemaError
 }
 
 fn err(f: &FunctionDef, message: String) -> SemaError {
-    SemaError { message, function: f.name.clone() }
+    SemaError {
+        message,
+        function: f.name.clone(),
+    }
 }
 
 fn serr(function: &str, message: String) -> SemaError {
-    SemaError { message, function: function.to_string() }
+    SemaError {
+        message,
+        function: function.to_string(),
+    }
 }
 
 fn check_block(
@@ -177,7 +196,11 @@ fn check_block(
                 }
             }
             Stmt::Expr(e) => check_expr(e, fname, info, scope, errs),
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 check_expr(cond, fname, info, scope, errs);
                 scope.push();
                 check_block(then_body, fname, info, scope, errs);
@@ -206,7 +229,14 @@ fn check_block(
                 }
                 // Patch untyped field events with the variable's
                 // struct type (Clang-style type resolution).
-                patch_field_structs(&mut assertion.expr, &assertion.variables, scope, fname, info, errs);
+                patch_field_structs(
+                    &mut assertion.expr,
+                    &assertion.variables,
+                    scope,
+                    fname,
+                    info,
+                    errs,
+                );
             }
         }
     }
@@ -222,7 +252,12 @@ fn patch_field_structs(
 ) {
     use tesla_spec::{ArgPattern, EventExpr, Expr as TExpr};
     match e {
-        TExpr::Event(EventExpr::FieldAssignEvent { struct_name, field_name, object, .. }) => {
+        TExpr::Event(EventExpr::FieldAssignEvent {
+            struct_name,
+            field_name,
+            object,
+            ..
+        }) => {
             if struct_name.is_empty() {
                 if let ArgPattern::Var { name, .. } = object {
                     match scope.lookup(name) {
@@ -286,7 +321,10 @@ fn check_field_access(
             None => None, // unknown struct reported at decl
         },
         Some(other) => {
-            errs.push(serr(fname, format!("`->{field}` on non-pointer type {other}")));
+            errs.push(serr(
+                fname,
+                format!("`->{field}` on non-pointer type {other}"),
+            ));
             None
         }
         None => None,
@@ -419,7 +457,10 @@ mod tests {
         fails_with("int f() { y = 3; return 0; }", "undeclared `y`");
         fails_with("int f(int a) { int a = 3; return a; }", "redeclared");
         fails_with("int g(int a); int f() { return g(); }", "expects 1");
-        fails_with("int f() { struct nope *p = NULL; return 0; }", "unknown struct");
+        fails_with(
+            "int f() { struct nope *p = NULL; return 0; }",
+            "unknown struct",
+        );
         fails_with("int f() { return h; }", "undeclared `h`");
     }
 

@@ -6,8 +6,11 @@
 //! tesla analyse <file.c>...           run the analyser, print the merged .tesla manifest
 //! tesla static-check <file.c>...      flow-sensitive model checking + diagnostics
 //!                                     [--deny] [--format text|json|sarif]
+//! tesla lint    <file.c>...           specification-level lints (TESLA-L001…L006)
+//!                                     [--deny] [--format text|json|sarif] [--graph out.dot]
 //! tesla build   <file.c>...           full TESLA build, print instrumentation stats
-//!                                     [--reinstrument naive|fingerprint|delta] [--jobs N] [--timings]
+//!                                     [--reinstrument naive|fingerprint|delta] [--jobs N]
+//!                                     [--timings] [--lint[=deny]]
 //! tesla run     <file.c>... [--entry f] [--arg N]... [--graph out.dot]
 //!               [--chaos SEED] [--faults k=p,...]
 //!                                     build, weave, execute under libtesla (fail-stop;
@@ -21,31 +24,65 @@ use std::sync::Arc;
 use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem, Project, ReinstrumentPolicy};
 use tesla::prelude::*;
 
+/// Why the process is exiting non-zero. The exit-status contract is
+/// part of the CLI surface (scripts and CI match on it):
+///
+/// * `0` — clean: the command did its work and no denied diagnostics;
+/// * `1` — [`CliError::Denied`]: diagnostics present and `--deny` was
+///   given (the command itself worked);
+/// * `2` — [`CliError::Usage`]: bad invocation, unreadable input, or
+///   a build/run failure.
+enum CliError {
+    /// Diagnostics at warning level or above under `--deny`.
+    Denied(String),
+    /// Everything else: usage, I/O, compile, or execution failure.
+    Usage(String),
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> CliError {
+        CliError::Usage(e)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(e: &str) -> CliError {
+        CliError::Usage(e.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let r = match cmd.as_str() {
-        "check" => check(rest),
-        "graph" => graph(rest),
-        "analyse" | "analyze" => analyse(rest),
+    let r: Result<(), CliError> = match cmd.as_str() {
+        "check" => check(rest).map_err(CliError::Usage),
+        "graph" => graph(rest).map_err(CliError::Usage),
+        "analyse" | "analyze" => analyse(rest).map_err(CliError::Usage),
         "static-check" => static_check_cmd(rest),
+        "lint" => lint(rest),
         "build" => build(rest),
-        "run" => run(rest),
-        "observe" => observe(rest),
+        "run" => run(rest).map_err(CliError::Usage),
+        "observe" => observe(rest).map_err(CliError::Usage),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match r {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Denied(e)) => {
             eprintln!("tesla: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("tesla: {e}");
+            ExitCode::from(2)
         }
     }
 }
@@ -58,13 +95,24 @@ const USAGE: &str = "usage:
                                  compile-time assertion checking (§7):
                                  model-check, report, and elide; --deny
                                  makes warnings/errors a nonzero exit
+  tesla lint    [--deny] [--format text|json|sarif] [--graph out.dot]
+                <file.c>...
+                                 specification-level lints over the
+                                 assertions themselves (TESLA-L001…
+                                 L006): vacuity, contradiction,
+                                 subsumption, dead states, bounds that
+                                 never close, incompatible matchers;
+                                 --graph writes DOT with mergeable
+                                 states highlighted
   tesla build   <file.c>... [--reinstrument naive|fingerprint|delta]
-                [--jobs N] [--timings]
+                [--jobs N] [--timings] [--lint[=deny]]
                                  TESLA build; print instrumentation
                                  stats. `delta` re-weaves only units
                                  whose assertions changed and fans the
                                  back-end out over N threads (0=auto);
-                                 --timings prints a per-stage breakdown
+                                 --timings prints a per-stage breakdown;
+                                 --lint runs the specification lints
+                                 first (=deny fails the build on them)
   tesla run     <file.c>... [--entry main] [--arg N]... [--graph out.dot]
                 [--chaos SEED] [--faults k=p,...]
                                  build and execute under libtesla;
@@ -81,7 +129,10 @@ const USAGE: &str = "usage:
                                  report: Prometheus text (prom), JSON
                                  metrics snapshot (json), weighted
                                  fig. 9 graphs (dot), or a
-                                 chrome://tracing event log (trace)";
+                                 chrome://tracing event log (trace)
+
+exit status: 0 clean; 1 diagnostics present under --deny; 2 usage,
+I/O, or build/run failure";
 
 fn parse_one(src: &str) -> Result<tesla::spec::Assertion, String> {
     parse_assertion(src).map_err(|e| e.to_string())
@@ -110,7 +161,10 @@ fn graph(rest: &[String]) -> Result<(), String> {
     let src = rest.first().ok_or("graph needs an assertion string")?;
     let a = parse_one(src)?;
     let auto = compile(&a).map_err(|e| e.to_string())?;
-    print!("{}", tesla::automata::dot::render(&auto, &tesla::automata::dot::Unweighted));
+    print!(
+        "{}",
+        tesla::automata::dot::render(&auto, &tesla::automata::dot::Unweighted)
+    );
     Ok(())
 }
 
@@ -124,7 +178,10 @@ fn load_project(files: &[String]) -> Result<Project, String> {
         units.push((f.clone(), src));
     }
     Ok(Project::from_sources(
-        &units.iter().map(|(f, s)| (f.as_str(), s.as_str())).collect::<Vec<_>>(),
+        &units
+            .iter()
+            .map(|(f, s)| (f.as_str(), s.as_str()))
+            .collect::<Vec<_>>(),
     ))
 }
 
@@ -141,15 +198,23 @@ fn analyse(rest: &[String]) -> Result<(), String> {
         "({} assertions across {} units; instrumentation plan: {:?})",
         merged.entries.len(),
         project.units.len(),
-        merged.instrumentation_plan().map_err(|(n, e)| format!("{n}: {e}"))?
+        merged
+            .instrumentation_plan()
+            .map_err(|(n, e)| format!("{n}: {e}"))?
     );
     Ok(())
 }
 
-fn static_check_cmd(rest: &[String]) -> Result<(), String> {
+/// Shared `--deny` / `--format` / file-list parsing for the two
+/// diagnostic commands.
+fn parse_diag_flags(
+    rest: &[String],
+    graph: Option<&mut Option<String>>,
+) -> Result<(Vec<String>, bool, tesla::instrument::OutputFormat), CliError> {
     let mut files = Vec::new();
     let mut deny = false;
     let mut format = tesla::instrument::OutputFormat::Text;
+    let mut graph = graph;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -157,12 +222,21 @@ fn static_check_cmd(rest: &[String]) -> Result<(), String> {
             "--format" => {
                 format = it.next().ok_or("--format needs text|json|sarif")?.parse()?;
             }
+            "--graph" if graph.is_some() => {
+                let path = it.next().ok_or("--graph needs a path")?.clone();
+                **graph.as_mut().unwrap() = Some(path);
+            }
             f => match f.strip_prefix("--format=") {
                 Some(v) => format = v.parse()?,
                 None => files.push(f.to_string()),
             },
         }
     }
+    Ok((files, deny, format))
+}
+
+fn static_check_cmd(rest: &[String]) -> Result<(), CliError> {
+    let (files, deny, format) = parse_diag_flags(rest, None)?;
     let project = load_project(&files)?;
     // The static toolchain model-checks the pristine program and
     // records per-assertion verdicts alongside the flow-insensitive
@@ -172,9 +246,53 @@ fn static_check_cmd(rest: &[String]) -> Result<(), String> {
     let diags = tesla::instrument::diagnose(&art.findings, &art.verdicts);
     print!("{}", tesla::instrument::render(&diags, format));
     // Exit status contract: findings alone never fail the build;
-    // `--deny` turns warnings and errors into a nonzero exit for CI.
+    // `--deny` turns warnings and errors into exit status 1 for CI.
     if deny && tesla::instrument::has_denials(&diags) {
-        return Err("static check failed (--deny: warnings or errors present)".into());
+        return Err(CliError::Denied(
+            "static check failed (--deny: warnings or errors present)".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn lint(rest: &[String]) -> Result<(), CliError> {
+    let mut graph: Option<String> = None;
+    let (files, deny, format) = parse_diag_flags(rest, Some(&mut graph))?;
+    let project = load_project(&files)?;
+    // Lints need only the assertions, not a woven build: parse and
+    // analyse each unit, merge the manifests, compile the automata
+    // once and hand them to the lint pass.
+    let mut manifests = Vec::new();
+    for u in &project.units {
+        let out = tesla::cc::compile_unit(&u.source, &u.file).map_err(|e| e.to_string())?;
+        manifests.push(out.manifest);
+    }
+    let merged = tesla::automata::Manifest::merge(&manifests);
+    let automata = merged.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
+    let lints = tesla::instrument::lint_compiled(&merged, &automata);
+    let diags = tesla::instrument::diagnose_lints(&lints);
+    print!("{}", tesla::instrument::render(&diags, format));
+    if let Some(path) = graph {
+        // One DOT digraph per automaton with dead/mergeable states,
+        // mergeable groups sharing a fill colour.
+        let mut dot = String::new();
+        for l in &lints {
+            if let tesla::instrument::LintFinding::DeadStates {
+                assertion, groups, ..
+            } = l
+            {
+                if let Some(a) = automata.iter().find(|a| a.name == *assertion) {
+                    dot.push_str(&tesla::automata::dot::render_with_merge_groups(a, groups));
+                }
+            }
+        }
+        std::fs::write(&path, &dot).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote dead-state graphs to {path}");
+    }
+    if deny && tesla::instrument::has_denials(&diags) {
+        return Err(CliError::Denied(
+            "lint failed (--deny: warnings or errors present)".into(),
+        ));
     }
     Ok(())
 }
@@ -184,21 +302,27 @@ fn parse_reinstrument(v: &str) -> Result<ReinstrumentPolicy, String> {
         "naive" => Ok(ReinstrumentPolicy::Naive),
         "fingerprint" => Ok(ReinstrumentPolicy::Fingerprint),
         "delta" => Ok(ReinstrumentPolicy::Delta),
-        other => Err(format!("unknown --reinstrument `{other}` (expected naive|fingerprint|delta)")),
+        other => Err(format!(
+            "unknown --reinstrument `{other}` (expected naive|fingerprint|delta)"
+        )),
     }
 }
 
-fn build(rest: &[String]) -> Result<(), String> {
+fn build(rest: &[String]) -> Result<(), CliError> {
     let mut files = Vec::new();
     let mut policy = ReinstrumentPolicy::Naive;
     let mut jobs = 0usize;
     let mut timings = false;
+    let mut lint = false;
+    let mut lint_deny = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--reinstrument" => {
-                policy =
-                    parse_reinstrument(it.next().ok_or("--reinstrument needs naive|fingerprint|delta")?)?;
+                policy = parse_reinstrument(
+                    it.next()
+                        .ok_or("--reinstrument needs naive|fingerprint|delta")?,
+                )?;
             }
             "--jobs" => {
                 jobs = it
@@ -208,6 +332,11 @@ fn build(rest: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --jobs: {e}"))?;
             }
             "--timings" => timings = true,
+            "--lint" => lint = true,
+            "--lint=deny" => {
+                lint = true;
+                lint_deny = true;
+            }
             f => match f.strip_prefix("--reinstrument=") {
                 Some(v) => policy = parse_reinstrument(v)?,
                 None => match f.strip_prefix("--jobs=") {
@@ -218,9 +347,26 @@ fn build(rest: &[String]) -> Result<(), String> {
         }
     }
     let project = load_project(&files)?;
-    let opts = BuildOptions { reinstrument: policy, jobs, ..BuildOptions::tesla_toolchain() };
+    let opts = BuildOptions {
+        reinstrument: policy,
+        jobs,
+        lint,
+        ..BuildOptions::tesla_toolchain()
+    };
     let mut bs = BuildSystem::new(project, opts);
     let art = bs.build().map_err(|e| e.to_string())?;
+    if lint {
+        let diags = tesla::instrument::diagnose_lints(&art.lints);
+        eprint!(
+            "{}",
+            tesla::instrument::render(&diags, tesla::instrument::OutputFormat::Text)
+        );
+        if lint_deny && tesla::instrument::has_denials(&diags) {
+            return Err(CliError::Denied(
+                "build failed (--lint=deny: specification lints present)".into(),
+            ));
+        }
+    }
     println!(
         "compiled {} units; instrumented {}; {} hooks; {} sites; {} TIR instructions",
         art.stats.compiled_units,
@@ -292,9 +438,17 @@ fn run(rest: &[String]) -> Result<(), String> {
     // fault is accounted.
     let engine = Arc::new(Tesla::new(Config {
         telemetry: graph.is_some() || plan.is_some(),
-        fail_mode: if plan.is_some() { FailMode::Log } else { FailMode::FailStop },
+        fail_mode: if plan.is_some() {
+            FailMode::Log
+        } else {
+            FailMode::FailStop
+        },
         max_instances: if plan.is_some() { Some(64) } else { None },
-        eviction: if plan.is_some() { EvictionPolicy::Lru } else { EvictionPolicy::Error },
+        eviction: if plan.is_some() {
+            EvictionPolicy::Lru
+        } else {
+            EvictionPolicy::Error
+        },
         faults: plan.clone(),
         ..Config::default()
     }));
@@ -364,7 +518,12 @@ fn observe(rest: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --arg: {e}"))?,
             ),
-            "--format" => format = it.next().ok_or("--format needs prom|json|dot|trace")?.clone(),
+            "--format" => {
+                format = it
+                    .next()
+                    .ok_or("--format needs prom|json|dot|trace")?
+                    .clone()
+            }
             "-o" | "--output" => out_path = Some(it.next().ok_or("-o needs a path")?.clone()),
             f => match f.strip_prefix("--format=") {
                 Some(v) => format = v.to_string(),
@@ -373,7 +532,9 @@ fn observe(rest: &[String]) -> Result<(), String> {
         }
     }
     if !matches!(format.as_str(), "prom" | "json" | "dot" | "trace") {
-        return Err(format!("unknown --format `{format}` (expected prom|json|dot|trace)"));
+        return Err(format!(
+            "unknown --format `{format}` (expected prom|json|dot|trace)"
+        ));
     }
     let project = load_project(&files)?;
     let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());

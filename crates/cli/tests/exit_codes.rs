@@ -1,0 +1,98 @@
+//! The CLI exit-status contract, end to end against the real binary:
+//!
+//! * `0` — clean: the command did its work, no denied diagnostics;
+//! * `1` — diagnostics at warning level or above under `--deny`
+//!   (the command itself worked);
+//! * `2` — usage, I/O, or build/run failure.
+//!
+//! Scripts and the CI lint-smoke job match on these values, so they
+//! are pinned here rather than left to drift.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn example(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/minic")
+        .join(name);
+    p.to_str().expect("utf-8 path").to_string()
+}
+
+fn tesla(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tesla"))
+        .args(args)
+        .output()
+        .expect("spawn tesla")
+}
+
+fn assert_exit(out: &Output, want: i32) {
+    assert_eq!(
+        out.status.code(),
+        Some(want),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn clean_lint_exits_zero_even_with_deny() {
+    let out = tesla(&["lint", "--deny", &example("safe.c")]);
+    assert_exit(&out, 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_findings_exit_zero_without_deny_and_one_with() {
+    let path = example("lint_pathologies.c");
+    // Findings alone never fail the command…
+    let out = tesla(&["lint", &path]);
+    assert_exit(&out, 0);
+    // …but `--deny` turns them into exit status 1, and the findings
+    // still reach stdout in the requested format.
+    let out = tesla(&["lint", "--deny", "--format=sarif", &path]);
+    assert_exit(&out, 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for code in ["TESLA-L001", "TESLA-L002", "TESLA-L003", "TESLA-L004"] {
+        let rule = format!("\"ruleId\": \"{code}\"");
+        assert_eq!(stdout.matches(&rule).count(), 1, "{code} in {stdout}");
+    }
+}
+
+#[test]
+fn build_lint_deny_exits_one_on_pathologies() {
+    let out = tesla(&["build", "--lint=deny", &example("lint_pathologies.c")]);
+    assert_exit(&out, 1);
+    // Plain --lint reports on stderr but exits clean.
+    let out = tesla(&["build", "--lint", &example("lint_pathologies.c")]);
+    assert_exit(&out, 0);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("TESLA-L001"), "{stderr}");
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    // No arguments at all.
+    assert_exit(&tesla(&[]), 2);
+    // Unknown command.
+    assert_exit(&tesla(&["frobnicate"]), 2);
+    // Missing input file.
+    assert_exit(&tesla(&["lint", "no-such-file.c"]), 2);
+    // Bad flag value.
+    assert_exit(&tesla(&["lint", "--format=xml", &example("safe.c")]), 2);
+    // A trailing flag with its value missing.
+    assert_exit(
+        &tesla(&["lint", &example("lint_pathologies.c"), "--format"]),
+        2,
+    );
+}
+
+#[test]
+fn static_check_deny_contract_matches_lint() {
+    // The buggy CVE corpus has a definite violation: exit 1 under
+    // --deny, 0 without.
+    let path = example("cve_unchecked.c");
+    assert_exit(&tesla(&["static-check", &path]), 0);
+    assert_exit(&tesla(&["static-check", "--deny", &path]), 1);
+}

@@ -102,7 +102,11 @@ fn openssl_like_with_client(files: usize, style: ClientStyle) -> Project {
     }
     // The client: fig. 6's cross-library assertion. The body varies
     // with how the client handles verification failure (§2).
-    let top = if files >= 3 { format!("ssl_layer_{}_fn_0", files - 2) } else { "crypto_helper_0".to_string() };
+    let top = if files >= 3 {
+        format!("ssl_layer_{}_fn_0", files - 2)
+    } else {
+        "crypto_helper_0".to_string()
+    };
     let body = match style {
         ClientStyle::Unchecked => format!(
             "    int rc = EVP_VerifyFinal(ctx, key, 8, key);\n\
@@ -206,7 +210,10 @@ mod tests {
     fn openssl_corpus_builds_both_ways() {
         let p = openssl_like(8);
         assert_eq!(p.units.len(), 8);
-        for opts in [BuildOptions::default_toolchain(), BuildOptions::tesla_toolchain()] {
+        for opts in [
+            BuildOptions::default_toolchain(),
+            BuildOptions::tesla_toolchain(),
+        ] {
             let mut bs = BuildSystem::new(p.clone(), opts);
             let art = bs.build().unwrap();
             assert!(art.stats.linked_insts > 0);
@@ -233,8 +240,7 @@ mod tests {
         let art = bs.build().unwrap();
         assert_eq!(art.manifest.entries.len(), 10);
         let t = tesla_runtime::Tesla::with_defaults();
-        crate::pipeline::run_with_tesla(&art, &t, "amd64_syscall", &[1, 2], 10_000_000)
-            .unwrap();
+        crate::pipeline::run_with_tesla(&art, &t, "amd64_syscall", &[1, 2], 10_000_000).unwrap();
         assert!(t.violations().is_empty());
     }
 
@@ -244,7 +250,11 @@ mod tests {
         let mut bs = BuildSystem::new(p, BuildOptions::static_toolchain());
         let art = bs.build().unwrap();
         assert_eq!(art.verdicts.len(), 1);
-        assert!(art.verdicts[0].verdict.elidable(), "got {:?}", art.verdicts[0].verdict);
+        assert!(
+            art.verdicts[0].verdict.elidable(),
+            "got {:?}",
+            art.verdicts[0].verdict
+        );
         assert_eq!(art.stats.sites_elided, 1);
         // The elided program still runs — and produces no TESLA
         // events at all for the proved assertion.

@@ -39,9 +39,9 @@ use std::time::{Duration, Instant};
 use tesla_automata::{Automaton, CompileCache, Fnv64, Manifest};
 use tesla_cc::UnitOutput;
 use tesla_instrument::{
-    instrument_precompiled, instrument_with_elision, model_check, register_manifest,
-    static_check, unit_touch_set, weave_plan, AssertionReport, InstrStats, RuntimeSink,
-    StaticFinding, UnitTouchSet, WeavePlan,
+    instrument_precompiled, instrument_with_elision, lint_manifest, model_check, register_manifest,
+    static_check, unit_touch_set, weave_plan, AssertionReport, InstrStats, LintFinding,
+    RuntimeSink, StaticFinding, UnitTouchSet, WeavePlan,
 };
 use tesla_ir::opt::{optimise, InlineOptions};
 use tesla_ir::verify::{verify, Stage};
@@ -70,7 +70,10 @@ impl Project {
         Project {
             units: sources
                 .iter()
-                .map(|(f, s)| SourceUnit { file: (*f).to_string(), source: (*s).to_string() })
+                .map(|(f, s)| SourceUnit {
+                    file: (*f).to_string(),
+                    source: (*s).to_string(),
+                })
                 .collect(),
         }
     }
@@ -116,6 +119,11 @@ pub struct BuildOptions {
     /// instrumenting and elide hooks for assertions it proves safe
     /// (§7's "static analysis" direction).
     pub model_check: bool,
+    /// Run the specification-level lints ([`lint_manifest`]) over the
+    /// merged manifest — vacuity, contradiction, subsumption,
+    /// dead-state, bound and matcher checks on the assertions
+    /// themselves, independent of any program analysis.
+    pub lint: bool,
     /// Worker threads for the [`ReinstrumentPolicy::Delta`] front-end
     /// and back-end fan-out. `0` means "use the machine's available
     /// parallelism"; `1` forces serial execution. The Naive and
@@ -133,6 +141,7 @@ impl BuildOptions {
             reinstrument: ReinstrumentPolicy::Naive,
             verify: true,
             model_check: false,
+            lint: false,
             jobs: 0,
         }
     }
@@ -145,6 +154,7 @@ impl BuildOptions {
             reinstrument: ReinstrumentPolicy::Naive,
             verify: true,
             model_check: false,
+            lint: false,
             jobs: 0,
         }
     }
@@ -154,7 +164,10 @@ impl BuildOptions {
     /// compile-time reports, everything else falls back to the
     /// dynamic instrumentation of [`tesla_toolchain`](Self::tesla_toolchain).
     pub fn static_toolchain() -> BuildOptions {
-        BuildOptions { model_check: true, ..BuildOptions::tesla_toolchain() }
+        BuildOptions {
+            model_check: true,
+            ..BuildOptions::tesla_toolchain()
+        }
     }
 
     /// The incremental TESLA toolchain: shared automaton compile
@@ -217,6 +230,9 @@ pub struct BuildArtifacts {
     /// Flow-insensitive static findings (dormant/unchecked/
     /// unsatisfiable assertions; empty unless `model_check` was set).
     pub findings: Vec<StaticFinding>,
+    /// Specification-level lint findings (empty unless
+    /// [`BuildOptions::lint`] was set).
+    pub lints: Vec<LintFinding>,
     /// Per-stage wall-clock breakdown.
     pub timings: StageTimings,
     /// Wall-clock time.
@@ -377,7 +393,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Output of weaving one unit in the Delta back-end.
@@ -438,7 +457,9 @@ impl BuildSystem {
     /// Worker threads to use in Delta mode.
     fn effective_jobs(&self) -> usize {
         match self.options.jobs {
-            0 => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            0 => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
             n => n,
         }
     }
@@ -536,6 +557,14 @@ impl BuildSystem {
         } else {
             Manifest::new()
         };
+        // Specification-level lints run straight off the merged
+        // manifest: they concern the assertions themselves, so they
+        // need no program analysis and report before any weaving.
+        let lints: Vec<LintFinding> = if self.options.tesla && self.options.lint {
+            lint_manifest(&manifest).map_err(BuildError::Analysis)?
+        } else {
+            Vec::new()
+        };
         timings.analyse = t.elapsed();
 
         // Static analysis: model-check the *pristine* (un-instrumented)
@@ -553,12 +582,14 @@ impl BuildSystem {
                 .iter()
                 .map(|u| &self.unit_cache[&u.file].1.module)
                 .collect();
-            let analysis =
-                Module::link_refs(&pristine, "analysis").map_err(BuildError::Link)?;
+            let analysis = Module::link_refs(&pristine, "analysis").map_err(BuildError::Link)?;
             verdicts = model_check(&analysis, &manifest).map_err(BuildError::Analysis)?;
             findings = static_check(&analysis, &manifest).map_err(BuildError::Analysis)?;
-            elided =
-                verdicts.iter().filter(|r| r.verdict.elidable()).map(|r| r.class).collect();
+            elided = verdicts
+                .iter()
+                .filter(|r| r.verdict.elidable())
+                .map(|r| r.class)
+                .collect();
         }
         timings.model_check = t.elapsed();
 
@@ -569,13 +600,12 @@ impl BuildSystem {
         // the dirty unit, while the naive TESLA toolchain re-does
         // every unit on any change (§5.1).
         let t = Instant::now();
-        let modules = if self.options.tesla
-            && self.options.reinstrument == ReinstrumentPolicy::Delta
-        {
-            self.backend_delta(&manifest, &elided, &mut stats)?
-        } else {
-            self.backend_serial(&manifest, &elided, &mut stats)?
-        };
+        let modules =
+            if self.options.tesla && self.options.reinstrument == ReinstrumentPolicy::Delta {
+                self.backend_delta(&manifest, &elided, &mut stats)?
+            } else {
+                self.backend_serial(&manifest, &elided, &mut stats)?
+            };
         timings.instrument = t.elapsed();
 
         // Link (cheap relative to the per-unit work, as in a real
@@ -595,6 +625,7 @@ impl BuildSystem {
             stats,
             verdicts,
             findings,
+            lints,
             timings,
             elapsed: t0.elapsed(),
         })
@@ -666,7 +697,8 @@ impl BuildSystem {
             }
             stats.object_bytes += emit_object(&m);
             let m = Arc::new(m);
-            self.object_cache.insert(u.file.clone(), (*src_fp, manifest_key, Arc::clone(&m)));
+            self.object_cache
+                .insert(u.file.clone(), (*src_fp, manifest_key, Arc::clone(&m)));
             modules.push(m);
         }
         Ok(modules)
@@ -727,7 +759,11 @@ impl BuildSystem {
                 file,
                 src_fp,
                 key,
-                WovenUnit { module: Arc::new(m), stats: st, object_bytes },
+                WovenUnit {
+                    module: Arc::new(m),
+                    stats: st,
+                    object_bytes,
+                },
             ))
         });
         for result in woven {
@@ -739,7 +775,8 @@ impl BuildSystem {
                 + unit.stats.field_hooks;
             stats.sites_elided += unit.stats.sites_elided;
             stats.object_bytes += unit.object_bytes;
-            self.object_cache.insert(file, (src_fp, key, Arc::clone(&unit.module)));
+            self.object_cache
+                .insert(file, (src_fp, key, Arc::clone(&unit.module)));
             modules[idx] = Some(unit.module);
         }
         Ok(modules
@@ -775,10 +812,14 @@ pub fn run_with_tesla(
     // Surface the static checker's elision work in the run's metrics:
     // `tesla_sites_elided` in a Prometheus scrape is the count of
     // instrumentation sites this very build proved unnecessary.
-    tesla.metrics().set_sites_elided(artifacts.stats.sites_elided as u64);
+    tesla
+        .metrics()
+        .set_sites_elided(artifacts.stats.sites_elided as u64);
     let mut sink = RuntimeSink::new(tesla);
     let mut interp = Interp::new(&artifacts.program, fuel);
-    interp.run_named(entry, args, &mut sink).map_err(|e| e.to_string())
+    interp
+        .run_named(entry, args, &mut sink)
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -884,7 +925,10 @@ mod tests {
         for optimise in [false, true] {
             let mut bs = BuildSystem::new(
                 two_unit_project(),
-                BuildOptions { optimise, ..BuildOptions::tesla_toolchain() },
+                BuildOptions {
+                    optimise,
+                    ..BuildOptions::tesla_toolchain()
+                },
             );
             let art = bs.build().unwrap();
             let t = Tesla::with_defaults();
@@ -934,11 +978,17 @@ mod tests {
     fn delta_serial_and_parallel_agree() {
         let mut serial = BuildSystem::new(
             two_unit_project(),
-            BuildOptions { jobs: 1, ..BuildOptions::delta_toolchain() },
+            BuildOptions {
+                jobs: 1,
+                ..BuildOptions::delta_toolchain()
+            },
         );
         let mut parallel = BuildSystem::new(
             two_unit_project(),
-            BuildOptions { jobs: 4, ..BuildOptions::delta_toolchain() },
+            BuildOptions {
+                jobs: 4,
+                ..BuildOptions::delta_toolchain()
+            },
         );
         let a = serial.build().unwrap();
         let b = parallel.build().unwrap();

@@ -1,12 +1,14 @@
 //! Diagnostics layer over the static analyses.
 //!
-//! Wraps the name-level findings of [`crate::static_check`] and the
-//! flow-sensitive verdicts of [`crate::model_check`] into a single
-//! stream of [`Diagnostic`]s with stable codes and severities, and
-//! renders that stream as human-readable text, line-oriented JSON, or
-//! SARIF 2.1.0 for editor/CI ingestion.
+//! Wraps the name-level findings of [`crate::static_check`], the
+//! flow-sensitive verdicts of [`crate::model_check`] and the
+//! specification-level lints of [`crate::lint`] into a single stream
+//! of [`Diagnostic`]s with stable codes and severities, and renders
+//! that stream as human-readable text, line-oriented JSON, or SARIF
+//! 2.1.0 for editor/CI ingestion.
 //!
-//! Stable codes:
+//! Stable codes — the `S` family diagnoses the *program* against the
+//! specification, the `L` family diagnoses the specification itself:
 //!
 //! | code         | meaning                                    | severity |
 //! |--------------|--------------------------------------------|----------|
@@ -16,11 +18,40 @@
 //! | `TESLA-S004` | definite violation on every feasible path  | error    |
 //! | `TESLA-S005` | proved safe (instrumentation elidable)     | note     |
 //! | `TESLA-S006` | undecided — dynamic instrumentation stays  | note     |
+//! | `TESLA-L001` | vacuous: assertion can never fail          | warning  |
+//! | `TESLA-L002` | contradiction: assertion can never pass    | error    |
+//! | `TESLA-L003` | subsumed by a strictly stronger assertion  | warning  |
+//! | `TESLA-L004` | automaton has dead or mergeable states     | warning  |
+//! | `TESLA-L005` | temporal bound can never close             | error    |
+//! | `TESLA-L006` | incompatible matchers on the same callee   | warning  |
 
+use crate::lint::LintFinding;
 use crate::model_check::{AssertionReport, CheckVerdict};
 use crate::static_check::StaticFinding;
 use std::collections::HashMap;
 use tesla_spec::SourceLoc;
+
+/// Every diagnostic code this crate can construct, in table order.
+///
+/// The codes are a public contract: scripts grep for them, CI matches
+/// on them, and the module-doc table above documents them. A
+/// self-consistency test asserts the three stay in sync.
+pub fn all_codes() -> &'static [&'static str] {
+    &[
+        "TESLA-S001",
+        "TESLA-S002",
+        "TESLA-S003",
+        "TESLA-S004",
+        "TESLA-S005",
+        "TESLA-S006",
+        "TESLA-L001",
+        "TESLA-L002",
+        "TESLA-L003",
+        "TESLA-L004",
+        "TESLA-L005",
+        "TESLA-L006",
+    ]
+}
 
 /// How serious a diagnostic is.
 ///
@@ -92,7 +123,9 @@ impl std::str::FromStr for OutputFormat {
             "text" => Ok(OutputFormat::Text),
             "json" => Ok(OutputFormat::Json),
             "sarif" => Ok(OutputFormat::Sarif),
-            other => Err(format!("unknown format `{other}` (expected text|json|sarif)")),
+            other => Err(format!(
+                "unknown format `{other}` (expected text|json|sarif)"
+            )),
         }
     }
 }
@@ -175,11 +208,63 @@ pub fn diagnose(findings: &[StaticFinding], reports: &[AssertionReport]) -> Vec<
             trace,
         });
     }
-    out.sort_by(|a, b| {
-        (severity_rank(a.severity), a.code, a.assertion.as_str())
-            .cmp(&(severity_rank(b.severity), b.code, b.assertion.as_str()))
-    });
+    sort_diagnostics(&mut out);
     out
+}
+
+/// Wrap specification-level lint findings as diagnostics.
+///
+/// Vacuity, subsumption, dead states and incompatible matchers are
+/// warnings: the specification is suspicious but a run could still
+/// behave sensibly. Contradictions and bounds that never close are
+/// errors: the assertion (or its instance lifetime) can never
+/// complete, so the specification is certainly wrong.
+pub fn diagnose_lints(lints: &[LintFinding]) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = lints
+        .iter()
+        .map(|l| {
+            let severity = match l {
+                LintFinding::Contradiction { .. } | LintFinding::BoundNeverCloses { .. } => {
+                    Severity::Error
+                }
+                _ => Severity::Warning,
+            };
+            Diagnostic {
+                code: l.code(),
+                severity,
+                assertion: l.assertion().to_string(),
+                message: l.to_string(),
+                loc: Some(l.loc().clone()),
+                trace: Vec::new(),
+            }
+        })
+        .collect();
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Combine program-level findings/verdicts and specification-level
+/// lints into one ordered stream (the union of [`diagnose`] and
+/// [`diagnose_lints`] under the shared sort).
+pub fn diagnose_with_lints(
+    findings: &[StaticFinding],
+    reports: &[AssertionReport],
+    lints: &[LintFinding],
+) -> Vec<Diagnostic> {
+    let mut out = diagnose(findings, reports);
+    out.extend(diagnose_lints(lints));
+    sort_diagnostics(&mut out);
+    out
+}
+
+fn sort_diagnostics(out: &mut [Diagnostic]) {
+    out.sort_by(|a, b| {
+        (severity_rank(a.severity), a.code, a.assertion.as_str()).cmp(&(
+            severity_rank(b.severity),
+            b.code,
+            b.assertion.as_str(),
+        ))
+    });
 }
 
 /// Should `--deny` fail the build for this diagnostic set?
@@ -199,7 +284,10 @@ pub fn render(diags: &[Diagnostic], format: OutputFormat) -> String {
 fn render_text(diags: &[Diagnostic]) -> String {
     let mut s = String::new();
     for d in diags {
-        s.push_str(&format!("{}[{}]: `{}`: {}\n", d.severity, d.code, d.assertion, d.message));
+        s.push_str(&format!(
+            "{}[{}]: `{}`: {}\n",
+            d.severity, d.code, d.assertion, d.message
+        ));
         if let Some(loc) = &d.loc {
             s.push_str(&format!("  --> {}:{}\n", loc.file, loc.line));
         }
@@ -278,7 +366,11 @@ fn render_sarif(diags: &[Diagnostic]) -> String {
         codes.sort_unstable();
         codes.dedup();
         json_str_list(codes.into_iter().map(|c| {
-            format!("{{\"id\": {}, \"name\": {}}}", json_str(c), json_str(&c.replace('-', "")))
+            format!(
+                "{{\"id\": {}, \"name\": {}}}",
+                json_str(c),
+                json_str(&c.replace('-', ""))
+            )
         }))
     };
     let results = json_str_list(diags.iter().map(|d| {
@@ -322,13 +414,18 @@ mod tests {
     use tesla_automata::SymbolId;
 
     fn loc(line: u32) -> SourceLoc {
-        SourceLoc { file: "demo.c".into(), line }
+        SourceLoc {
+            file: "demo.c".into(),
+            line,
+        }
     }
 
     fn sample() -> Vec<Diagnostic> {
         diagnose(
             &[
-                StaticFinding::SiteNeverReached { assertion: "dead".into() },
+                StaticFinding::SiteNeverReached {
+                    assertion: "dead".into(),
+                },
                 StaticFinding::Unsatisfiable {
                     assertion: "impossible".into(),
                     missing_events: vec!["call foo(…)".into()],
@@ -347,8 +444,14 @@ mod tests {
                     loc: loc(20),
                     verdict: CheckVerdict::DefiniteViolation {
                         trace: vec![
-                            TraceStep { sym: SymbolId(0), desc: "«init»".into() },
-                            TraceStep { sym: SymbolId(2), desc: "«assertion»".into() },
+                            TraceStep {
+                                sym: SymbolId(0),
+                                desc: "«init»".into(),
+                            },
+                            TraceStep {
+                                sym: SymbolId(2),
+                                desc: "«assertion»".into(),
+                            },
                         ],
                     },
                 },
@@ -356,7 +459,9 @@ mod tests {
                     class: 2,
                     name: "maybe".into(),
                     loc: loc(30),
-                    verdict: CheckVerdict::Unknown { reason: "indirect call".into() },
+                    verdict: CheckVerdict::Unknown {
+                        reason: "indirect call".into(),
+                    },
                 },
             ],
         )
@@ -415,8 +520,17 @@ mod tests {
         assert!(text.contains("\"name\": \"tesla-static-check\""));
         assert_eq!(text.matches("\"ruleId\":").count(), 5);
         // Every distinct code appears once in the rules table.
-        for code in ["TESLA-S002", "TESLA-S003", "TESLA-S004", "TESLA-S005", "TESLA-S006"] {
-            assert!(text.contains(&format!("{{\"id\": \"{code}\"")), "missing rule {code}");
+        for code in [
+            "TESLA-S002",
+            "TESLA-S003",
+            "TESLA-S004",
+            "TESLA-S005",
+            "TESLA-S006",
+        ] {
+            assert!(
+                text.contains(&format!("{{\"id\": \"{code}\"")),
+                "missing rule {code}"
+            );
         }
         assert!(text.contains("\"startLine\": 20"));
         assert!(text.contains("trace: «init» → «assertion»"));
@@ -425,10 +539,145 @@ mod tests {
         assert!(text.contains("`impossible`"));
     }
 
+    fn lint_loc(file: &str, line: u32) -> SourceLoc {
+        SourceLoc {
+            file: file.into(),
+            line,
+        }
+    }
+
+    fn sample_lints() -> Vec<LintFinding> {
+        vec![
+            LintFinding::Vacuous {
+                assertion: "vac".into(),
+                loc: lint_loc("lint.c", 3),
+            },
+            LintFinding::Contradiction {
+                assertion: "contra".into(),
+                loc: lint_loc("lint.c", 4),
+            },
+            LintFinding::Subsumed {
+                assertion: "weak".into(),
+                loc: lint_loc("lint.c", 5),
+                by: "strong".into(),
+            },
+            LintFinding::DeadStates {
+                assertion: "xor".into(),
+                loc: lint_loc("lint.c", 6),
+                groups: vec![vec![1, 2]],
+                unreachable: vec![7],
+            },
+            LintFinding::BoundNeverCloses {
+                assertion: "stuck".into(),
+                loc: lint_loc("lint.c", 7),
+                function: "f".into(),
+            },
+            LintFinding::IncompatibleMatchers {
+                function: "ioctl".into(),
+                first: "one".into(),
+                second: "two".into(),
+                position: 0,
+                first_pattern: "1".into(),
+                second_pattern: "2".into(),
+                loc: lint_loc("lint.c", 8),
+            },
+        ]
+    }
+
+    #[test]
+    fn lints_map_to_stable_codes_and_severities() {
+        let diags = diagnose_lints(&sample_lints());
+        assert_eq!(diags.len(), 6);
+        // Errors (L002, L005) sort before the four warnings.
+        assert_eq!(diags[0].code, "TESLA-L002");
+        assert_eq!(diags[1].code, "TESLA-L005");
+        assert!(diags[..2].iter().all(|d| d.severity == Severity::Error));
+        assert!(diags[2..].iter().all(|d| d.severity == Severity::Warning));
+        assert!(has_denials(&diags));
+        // Every lint diagnostic carries its assertion's location.
+        assert!(diags.iter().all(|d| d.loc.is_some()));
+        // Messages carry the cross-references reviewers need.
+        let weak = diags.iter().find(|d| d.code == "TESLA-L003").unwrap();
+        assert!(weak.message.contains("`strong`"));
+        let m = diags.iter().find(|d| d.code == "TESLA-L006").unwrap();
+        assert!(m.message.contains("`ioctl`") && m.message.contains("1 vs 2"));
+        let dead = diags.iter().find(|d| d.code == "TESLA-L004").unwrap();
+        assert!(dead.message.contains("{s1, s2}") && dead.message.contains("{n7}"));
+    }
+
+    #[test]
+    fn combined_stream_shares_one_sort() {
+        let diags = diagnose_with_lints(
+            &[StaticFinding::Unsatisfiable {
+                assertion: "imp".into(),
+                missing_events: vec!["call foo(…)".into()],
+            }],
+            &[],
+            &sample_lints(),
+        );
+        // L-errors before S-errors (code order), then warnings.
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            [
+                "TESLA-L002",
+                "TESLA-L005",
+                "TESLA-S003",
+                "TESLA-L001",
+                "TESLA-L003",
+                "TESLA-L004",
+                "TESLA-L006"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_constructible_code_is_documented_and_registered() {
+        // Construct one diagnostic of every variant the crate can
+        // emit, and check the set of produced codes is exactly
+        // `all_codes()`.
+        let mut produced: Vec<&'static str> = sample()
+            .iter()
+            .chain(
+                diagnose(
+                    &[StaticFinding::BoundNeverEntered {
+                        assertion: "dormant".into(),
+                        bound_fn: "f".into(),
+                    }],
+                    &[],
+                )
+                .iter(),
+            )
+            .map(|d| d.code)
+            .chain(diagnose_lints(&sample_lints()).iter().map(|d| d.code))
+            .collect();
+        produced.sort_unstable();
+        produced.dedup();
+        let mut registered: Vec<&'static str> = all_codes().to_vec();
+        registered.sort_unstable();
+        assert_eq!(
+            produced, registered,
+            "all_codes() out of sync with diagnose*"
+        );
+
+        // And every registered code appears as a row of the
+        // module-doc table at the top of this file.
+        let source = include_str!("diagnostics.rs");
+        for code in all_codes() {
+            assert!(
+                source.contains(&format!("//! | `{code}` |")),
+                "{code} missing from the module-doc table"
+            );
+        }
+    }
+
     #[test]
     fn format_parses_from_str() {
         assert_eq!("text".parse::<OutputFormat>().unwrap(), OutputFormat::Text);
-        assert_eq!("sarif".parse::<OutputFormat>().unwrap(), OutputFormat::Sarif);
+        assert_eq!(
+            "sarif".parse::<OutputFormat>().unwrap(),
+            OutputFormat::Sarif
+        );
         assert!("xml".parse::<OutputFormat>().is_err());
     }
 }

@@ -30,10 +30,15 @@
 #![warn(missing_docs)]
 
 pub mod diagnostics;
+pub mod lint;
 pub mod model_check;
 pub mod static_check;
 
-pub use diagnostics::{diagnose, has_denials, render, Diagnostic, OutputFormat, Severity};
+pub use diagnostics::{
+    all_codes, diagnose, diagnose_lints, diagnose_with_lints, has_denials, render, Diagnostic,
+    OutputFormat, Severity,
+};
+pub use lint::{lint_compiled, lint_manifest, LintFinding};
 pub use model_check::{model_check, AssertionReport, CheckVerdict, TraceStep};
 pub use static_check::{occurring_functions, static_check, StaticFinding};
 
@@ -82,7 +87,10 @@ impl std::fmt::Display for InstrumentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InstrumentError::StaleManifest { assertion } => {
-                write!(f, "assertion `{assertion}` not in the merged manifest; re-run analysis")
+                write!(
+                    f,
+                    "assertion `{assertion}` not in the merged manifest; re-run analysis"
+                )
             }
             InstrumentError::Compile(e) => write!(f, "automaton compilation failed: {e}"),
         }
@@ -170,8 +178,14 @@ pub fn weave_plan<A: Borrow<Automaton>>(automata: &[A], elided: &HashSet<u32>) -
                 .or_insert(side);
         }
         for s in &a.symbols {
-            if let SymbolKind::FieldAssign { struct_name, field_name, .. } = &s.kind {
-                plan.fields.insert((struct_name.clone(), field_name.clone()));
+            if let SymbolKind::FieldAssign {
+                struct_name,
+                field_name,
+                ..
+            } = &s.kind
+            {
+                plan.fields
+                    .insert((struct_name.clone(), field_name.clone()));
             }
         }
     }
@@ -202,7 +216,10 @@ pub fn instrument_precompiled<A: Borrow<Automaton>>(
     elided: &HashSet<u32>,
 ) -> Result<InstrStats, InstrumentError> {
     let mut stats = InstrStats::default();
-    let WeavePlan { functions: plan, fields: field_targets } = weave_plan(automata, elided);
+    let WeavePlan {
+        functions: plan,
+        fields: field_targets,
+    } = weave_plan(automata, elided);
 
     // Assertion index → runtime class id, by manifest identity.
     let mut class_of: Vec<u32> = Vec::with_capacity(module.assertions.len());
@@ -232,8 +249,7 @@ pub fn instrument_precompiled<A: Borrow<Automaton>>(
 
     let fn_names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
     let struct_names: Vec<String> = module.structs.iter().map(|s| s.name.clone()).collect();
-    let struct_fields: Vec<Vec<String>> =
-        module.structs.iter().map(|s| s.fields.clone()).collect();
+    let struct_fields: Vec<Vec<String>> = module.structs.iter().map(|s| s.fields.clone()).collect();
 
     for (fi, f) in module.functions.iter_mut().enumerate() {
         let fid = FuncId(fi as u32);
@@ -241,7 +257,9 @@ pub fn instrument_precompiled<A: Borrow<Automaton>>(
         if callee_side {
             stats.hooked_functions += 1;
             // Entry hook at the top of the entry block.
-            f.blocks[0].insts.insert(0, Inst::TeslaHookEntry { func: fid });
+            f.blocks[0]
+                .insts
+                .insert(0, Inst::TeslaHookEntry { func: fid });
             stats.entry_hooks += 1;
             // Exit hooks before every return.
             for b in &mut f.blocks {
@@ -282,7 +300,12 @@ pub fn instrument_precompiled<A: Borrow<Automaton>>(
                             }
                         }
                     }
-                    Inst::Store { obj, field, op, value } => {
+                    Inst::Store {
+                        obj,
+                        field,
+                        op,
+                        value,
+                    } => {
                         let sname = &struct_names[field.strct.0 as usize];
                         let fname = &struct_fields[field.strct.0 as usize][field.field as usize];
                         let hit = field_targets.contains(&(sname.clone(), fname.clone()))
@@ -329,7 +352,9 @@ pub fn instrument_precompiled<A: Borrow<Automaton>>(
 /// Returns a description of the first compilation or registration
 /// failure.
 pub fn register_manifest(tesla: &Tesla, manifest: &Manifest) -> Result<Vec<ClassId>, String> {
-    let automata = manifest.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
+    let automata = manifest
+        .compile_all()
+        .map_err(|(n, e)| format!("{n}: {e}"))?;
     // One batch: the engine clones and publishes a single dispatch
     // snapshot for the whole manifest instead of one per class.
     tesla.register_batch(automata).map_err(|e| e.to_string())
@@ -347,7 +372,11 @@ pub struct RuntimeSink<'t> {
 impl<'t> RuntimeSink<'t> {
     /// Wrap an engine.
     pub fn new(tesla: &'t Tesla) -> RuntimeSink<'t> {
-        RuntimeSink { tesla, fn_ids: HashMap::new(), field_ids: HashMap::new() }
+        RuntimeSink {
+            tesla,
+            fn_ids: HashMap::new(),
+            field_ids: HashMap::new(),
+        }
     }
 
     fn fn_id(&mut self, name: &str) -> tesla_runtime::NameId {
@@ -390,11 +419,15 @@ impl tesla_ir::HookSink for RuntimeSink<'_> {
     ) -> Result<(), String> {
         let s = self.name_id(struct_name);
         let f = self.name_id(field_name);
-        self.tesla.field_store(s, f, object, op, value).map_err(|v| v.to_string())
+        self.tesla
+            .field_store(s, f, object, op, value)
+            .map_err(|v| v.to_string())
     }
 
     fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String> {
-        self.tesla.assertion_site(ClassId(class), values).map_err(|v| v.to_string())
+        self.tesla
+            .assertion_site(ClassId(class), values)
+            .map_err(|v| v.to_string())
     }
 }
 
@@ -450,11 +483,18 @@ pub fn unit_touch_set(module: &Module) -> UnitTouchSet {
         for b in &f.blocks {
             for i in &b.insts {
                 match i {
-                    Inst::Call { callee: Callee::External(n), .. } => {
+                    Inst::Call {
+                        callee: Callee::External(n),
+                        ..
+                    } => {
                         out.called.insert(n.clone());
                     }
-                    Inst::Call { callee: Callee::Direct(g), .. } => {
-                        out.called.insert(module.functions[g.0 as usize].name.clone());
+                    Inst::Call {
+                        callee: Callee::Direct(g),
+                        ..
+                    } => {
+                        out.called
+                            .insert(module.functions[g.0 as usize].name.clone());
                     }
                     Inst::Store { field, .. } => {
                         let s = &module.structs[field.strct.0 as usize];
@@ -473,9 +513,11 @@ pub fn unit_touch_set(module: &Module) -> UnitTouchSet {
 /// placeholders) — used by pipeline caching.
 pub fn has_placeholders(m: &Module) -> bool {
     m.functions.iter().any(|f| {
-        f.blocks
-            .iter()
-            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::TeslaPseudoAssert { .. })))
+        f.blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, Inst::TeslaPseudoAssert { .. }))
+        })
     })
 }
 
@@ -552,7 +594,9 @@ mod tests {
     fn uninstrumented_placeholders_trap_at_runtime() {
         let (m, _manifest) = build(&kernel_source(1));
         let mut interp = Interp::new(&m, 1_000_000);
-        assert!(interp.run_named("kernel_main", &[7], &mut NullSink).is_err());
+        assert!(interp
+            .run_named("kernel_main", &[7], &mut NullSink)
+            .is_err());
     }
 
     #[test]

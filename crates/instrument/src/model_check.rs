@@ -49,7 +49,7 @@ use std::collections::{BTreeMap, HashMap};
 use tesla_automata::{
     Automaton, Direction, Guard, InstrSide, Manifest, StateSet, SymbolId, SymbolKind,
 };
-use tesla_ir::{AbsVal, Callee, CallGraph, CmpOp, FuncId, Inst, Module, Op, Terminator};
+use tesla_ir::{AbsVal, CallGraph, Callee, CmpOp, FuncId, Inst, Module, Op, Terminator};
 use tesla_spec::{ArgPattern, FieldOp, SourceLoc, Value};
 
 /// Per-assertion instruction budget for the abstract exploration.
@@ -125,14 +125,20 @@ pub struct AssertionReport {
 /// Returns a description of manifest compilation failures or a stale
 /// manifest (an assertion in the module with no manifest entry).
 pub fn model_check(module: &Module, manifest: &Manifest) -> Result<Vec<AssertionReport>, String> {
-    let automata = manifest.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
-    let plan = manifest.instrumentation_plan().map_err(|(n, e)| format!("{n}: {e}"))?;
+    let automata = manifest
+        .compile_all()
+        .map_err(|(n, e)| format!("{n}: {e}"))?;
+    let plan = manifest
+        .instrumentation_plan()
+        .map_err(|(n, e)| format!("{n}: {e}"))?;
     let mut class_of: Vec<u32> = Vec::with_capacity(module.assertions.len());
     for a in &module.assertions {
         let idx = manifest
             .entries
             .iter()
-            .position(|e| e.assertion.name == a.assertion.name && e.assertion.loc == a.assertion.loc)
+            .position(|e| {
+                e.assertion.name == a.assertion.name && e.assertion.loc == a.assertion.loc
+            })
             .ok_or_else(|| format!("assertion `{}` not in manifest (stale)", a.assertion.name))?;
         class_of.push(idx as u32);
     }
@@ -256,9 +262,22 @@ impl Config {
 
 #[derive(Debug, Clone)]
 enum EventBody {
-    Fn { name: String, dir: Direction, args: Vec<AbsVal>, ret: Option<AbsVal> },
-    Field { sname: String, fname: String, op: FieldOp, obj: AbsVal, val: AbsVal },
-    Site { vals: Vec<AbsVal> },
+    Fn {
+        name: String,
+        dir: Direction,
+        args: Vec<AbsVal>,
+        ret: Option<AbsVal>,
+    },
+    Field {
+        sname: String,
+        fname: String,
+        op: FieldOp,
+        obj: AbsVal,
+        val: AbsVal,
+    },
+    Site {
+        vals: Vec<AbsVal>,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -280,19 +299,38 @@ fn slot_val(ev: &EventBody, s: Slot) -> AbsVal {
 }
 
 fn fmt_vals(vals: &[AbsVal]) -> String {
-    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    vals.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn render_event(ev: &EventBody) -> String {
     match ev {
-        EventBody::Fn { name, dir: Direction::Entry, args, .. } => {
+        EventBody::Fn {
+            name,
+            dir: Direction::Entry,
+            args,
+            ..
+        } => {
             format!("call {name}({})", fmt_vals(args))
         }
-        EventBody::Fn { name, dir: Direction::Exit, args, ret } => {
+        EventBody::Fn {
+            name,
+            dir: Direction::Exit,
+            args,
+            ret,
+        } => {
             let r = ret.map(|r| r.to_string()).unwrap_or_default();
             format!("{name}({}) returned {r}", fmt_vals(args))
         }
-        EventBody::Field { sname, fname, op, obj, val } => {
+        EventBody::Field {
+            sname,
+            fname,
+            op,
+            obj,
+            val,
+        } => {
             if sname.is_empty() {
                 format!("{obj}.{fname} {op} {val}")
             } else {
@@ -315,7 +353,10 @@ struct World {
 #[derive(Debug)]
 enum Outcome {
     Safe,
-    Violation { trace: Vec<TraceStep>, definite: bool },
+    Violation {
+        trace: Vec<TraceStep>,
+        definite: bool,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -491,8 +532,12 @@ fn propagate_cmp(
     let eq_known = matches!((op, truth), (CmpOp::Eq, true) | (CmpOp::Ne, false));
     let ne_known = matches!(
         (op, truth),
-        (CmpOp::Eq, false) | (CmpOp::Ne, true) | (CmpOp::Lt, true) | (CmpOp::Gt, true)
-            | (CmpOp::Le, false) | (CmpOp::Ge, false)
+        (CmpOp::Eq, false)
+            | (CmpOp::Ne, true)
+            | (CmpOp::Lt, true)
+            | (CmpOp::Gt, true)
+            | (CmpOp::Le, false)
+            | (CmpOp::Ge, false)
     );
     if eq_known {
         if cfg.definitely_neq(x, y) {
@@ -652,8 +697,7 @@ impl Checker<'_> {
                 ip: 0,
                 regs,
                 exit_hook: side == InstrSide::Callee,
-                post_event: (side == InstrSide::Caller)
-                    .then(|| (start_fn.clone(), params.clone())),
+                post_event: (side == InstrSide::Caller).then(|| (start_fn.clone(), params.clone())),
                 ret_dst: None,
             }],
             instances: vec![AbsInstance {
@@ -673,7 +717,12 @@ impl Checker<'_> {
             }],
         };
         // The bound entry event itself runs through the translators.
-        let ev = EventBody::Fn { name: start_fn.clone(), dir: Direction::Entry, args: params, ret: None };
+        let ev = EventBody::Fn {
+            name: start_fn.clone(),
+            dir: Direction::Entry,
+            args: params,
+            ret: None,
+        };
         let start = self.deliver(cfg, ev, None, &start_fn);
         self.worklist.extend(start);
         while let Some(c) = self.worklist.pop() {
@@ -691,13 +740,24 @@ impl Checker<'_> {
             return CheckVerdict::Unknown { reason };
         }
         let total = self.outcomes.len();
-        let n_safe = self.outcomes.iter().filter(|o| matches!(o, Outcome::Safe)).count();
-        let viols: Vec<&Outcome> =
-            self.outcomes.iter().filter(|o| matches!(o, Outcome::Violation { .. })).collect();
+        let n_safe = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Safe))
+            .count();
+        let viols: Vec<&Outcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Violation { .. }))
+            .collect();
         if viols.is_empty() {
-            CheckVerdict::ProvedSafe { elide: residual_safe(auto) }
+            CheckVerdict::ProvedSafe {
+                elide: residual_safe(auto),
+            }
         } else if n_safe == 0
-            && viols.iter().all(|o| matches!(o, Outcome::Violation { definite: true, .. }))
+            && viols
+                .iter()
+                .all(|o| matches!(o, Outcome::Violation { definite: true, .. }))
         {
             let trace = viols
                 .iter()
@@ -829,7 +889,12 @@ impl Checker<'_> {
                 set(&mut cfg, dst, AbsVal::Ref(r));
                 Some(cfg)
             }
-            Inst::Store { obj, field, op, value } => {
+            Inst::Store {
+                obj,
+                field,
+                op,
+                value,
+            } => {
                 let sname = self.module.structs[field.strct.0 as usize].name.clone();
                 let fname = self.module.structs[field.strct.0 as usize].fields
                     [field.field as usize]
@@ -837,7 +902,13 @@ impl Checker<'_> {
                 let ov = reg(&cfg, obj);
                 let vv = reg(&cfg, value);
                 let infn = self.module.functions[func_idx].name.clone();
-                let ev = EventBody::Field { sname, fname, op, obj: ov, val: vv };
+                let ev = EventBody::Field {
+                    sname,
+                    fname,
+                    op,
+                    obj: ov,
+                    val: vv,
+                };
                 let outs = self.deliver(cfg, ev, None, &infn);
                 self.continue_with(outs)
             }
@@ -970,7 +1041,11 @@ impl Checker<'_> {
                 fr.ip = 0;
                 Some(cfg)
             }
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let v = cfg.frames.last().expect("frame").regs[cond.0 as usize];
                 let goto = |cfg: &mut Config, b: u32| {
                     let fr = cfg.frames.last_mut().expect("frame");
@@ -1095,19 +1170,26 @@ impl Checker<'_> {
                 .symbols
                 .iter()
                 .filter(|s| match &s.kind {
-                    SymbolKind::Function { name: n, direction, .. } => {
-                        n == name && direction == dir
-                    }
+                    SymbolKind::Function {
+                        name: n, direction, ..
+                    } => n == name && direction == dir,
                     _ => false,
                 })
                 .map(|s| s.id)
                 .collect(),
-            EventBody::Field { sname, fname, op, .. } => self
+            EventBody::Field {
+                sname, fname, op, ..
+            } => self
                 .auto
                 .symbols
                 .iter()
                 .filter(|s| match &s.kind {
-                    SymbolKind::FieldAssign { struct_name, field_name, op: sop, .. } => {
+                    SymbolKind::FieldAssign {
+                        struct_name,
+                        field_name,
+                        op: sop,
+                        ..
+                    } => {
                         field_name == fname
                             && (struct_name.is_empty() || struct_name == sname)
                             && sop == op
@@ -1122,7 +1204,11 @@ impl Checker<'_> {
             return vec![cfg];
         }
         let is_site = matches!(ev, EventBody::Site { .. });
-        let mut worlds = vec![World { cfg, ev, binds: Vec::new() }];
+        let mut worlds = vec![World {
+            cfg,
+            ev,
+            binds: Vec::new(),
+        }];
         for sym in candidates {
             let mut next = Vec::new();
             for w in worlds {
@@ -1156,7 +1242,12 @@ impl Checker<'_> {
     fn match_symbol(&mut self, w: World, sym: SymbolId) -> Vec<(World, bool)> {
         let kind = self.auto.symbols[sym.0 as usize].kind.clone();
         let slots: Vec<(ArgPattern, Slot)> = match &kind {
-            SymbolKind::Function { args, ret, direction, .. } => {
+            SymbolKind::Function {
+                args,
+                ret,
+                direction,
+                ..
+            } => {
                 let ev_args = match &w.ev {
                     EventBody::Fn { args, .. } => args.len(),
                     _ => return vec![(w, false)],
@@ -1164,8 +1255,12 @@ impl Checker<'_> {
                 if args.len() > ev_args {
                     return vec![(w, false)]; // event carries too few args
                 }
-                let mut s: Vec<(ArgPattern, Slot)> =
-                    args.iter().cloned().enumerate().map(|(i, p)| (p, Slot::Arg(i))).collect();
+                let mut s: Vec<(ArgPattern, Slot)> = args
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(i, p)| (p, Slot::Arg(i)))
+                    .collect();
                 if *direction == Direction::Exit {
                     if let Some(rp) = ret {
                         s.push((rp.clone(), Slot::Ret));
@@ -1276,7 +1371,11 @@ impl Checker<'_> {
         if extra_stack == Some(f) {
             return Some(true);
         }
-        if cfg.frames.iter().any(|fr| self.module.functions[fr.func].name == f) {
+        if cfg
+            .frames
+            .iter()
+            .any(|fr| self.module.functions[fr.func].name == f)
+        {
             return Some(true);
         }
         if self.module.function(f).is_some() && self.cg.can_reach(f, &self.auto.bound.start_fn) {
@@ -1295,7 +1394,7 @@ impl Checker<'_> {
         extra_stack: Option<&str>,
     ) -> Vec<World> {
         w.cfg.materialized = true; // lazy materialisation on first match
-        // Resolve every guard this symbol's transitions mention.
+                                   // Resolve every guard this symbol's transitions mention.
         let mut guard_names: Vec<String> = self
             .auto
             .transitions_on(sym)
@@ -1348,7 +1447,12 @@ impl Checker<'_> {
             matched: bool,
         }
         let n = w.cfg.instances.len();
-        let mut tasks = vec![Task { w, clones: Vec::new(), idx: 0, matched: false }];
+        let mut tasks = vec![Task {
+            w,
+            clones: Vec::new(),
+            idx: 0,
+            matched: false,
+        }];
         'tasks: while let Some(mut t) = tasks.pop() {
             while t.idx < n {
                 let inst = t.w.cfg.instances[t.idx].clone();
@@ -1426,7 +1530,10 @@ impl Checker<'_> {
             // the store dedups (union of state sets).
             for clone in t.clones {
                 if let Some(ex) =
-                    t.w.cfg.instances.iter_mut().find(|i| i.bindings == clone.bindings)
+                    t.w.cfg
+                        .instances
+                        .iter_mut()
+                        .find(|i| i.bindings == clone.bindings)
                 {
                     ex.states.union_with(&clone.states);
                 } else {
@@ -1443,7 +1550,10 @@ impl Checker<'_> {
                 if let Some(last) = trace.last_mut() {
                     last.desc.push_str(" — no instance can accept");
                 }
-                self.outcomes.push(Outcome::Violation { trace, definite: true });
+                self.outcomes.push(Outcome::Violation {
+                    trace,
+                    definite: true,
+                });
                 continue; // fail-stop: path ends here
             }
             out.push(t.w);
@@ -1479,10 +1589,13 @@ impl Checker<'_> {
                     .zip(&b.bindings)
                     .any(|(x, y)| x.is_some() != y.is_some());
                 mask_differs
-                    || a.bindings.iter().zip(&b.bindings).any(|(x, y)| match (x, y) {
-                        (Some(x), Some(y)) => cfg.definitely_neq(*x, *y),
-                        _ => false,
-                    })
+                    || a.bindings
+                        .iter()
+                        .zip(&b.bindings)
+                        .any(|(x, y)| match (x, y) {
+                            (Some(x), Some(y)) => cfg.definitely_neq(*x, *y),
+                            _ => false,
+                        })
             })
         });
         let mut trace = cfg.trace.clone();
@@ -1492,7 +1605,12 @@ impl Checker<'_> {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
-                b.map(|v| format!("{}={v}", self.auto.var_names.get(i).cloned().unwrap_or_default()))
+                b.map(|v| {
+                    format!(
+                        "{}={v}",
+                        self.auto.var_names.get(i).cloned().unwrap_or_default()
+                    )
+                })
             })
             .collect();
         trace.push(TraceStep {
@@ -1500,7 +1618,11 @@ impl Checker<'_> {
             desc: format!(
                 "«cleanup»: {} returned with unmet obligation ({})",
                 self.auto.bound.start_fn,
-                if bound.is_empty() { "no bindings".to_string() } else { bound.join(", ") }
+                if bound.is_empty() {
+                    "no bindings".to_string()
+                } else {
+                    bound.join(", ")
+                }
             ),
         });
         self.outcomes.push(Outcome::Violation { trace, definite });
@@ -1583,7 +1705,9 @@ mod tests {
             CheckVerdict::DefiniteViolation { trace } => {
                 assert!(trace.iter().any(|s| s.desc.contains("«init»")), "{trace:?}");
                 assert!(
-                    trace.iter().any(|s| s.desc.contains("no instance can accept")),
+                    trace
+                        .iter()
+                        .any(|s| s.desc.contains("no instance can accept")),
                     "{trace:?}"
                 );
             }

@@ -54,14 +54,23 @@ pub enum StaticFinding {
 impl std::fmt::Display for StaticFinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StaticFinding::BoundNeverEntered { assertion, bound_fn } => write!(
+            StaticFinding::BoundNeverEntered {
+                assertion,
+                bound_fn,
+            } => write!(
                 f,
                 "`{assertion}`: temporal bound `{bound_fn}` never occurs — assertion is dormant"
             ),
             StaticFinding::SiteNeverReached { assertion } => {
-                write!(f, "`{assertion}`: assertion site is never reached — property unchecked")
+                write!(
+                    f,
+                    "`{assertion}`: assertion site is never reached — property unchecked"
+                )
             }
-            StaticFinding::Unsatisfiable { assertion, missing_events } => write!(
+            StaticFinding::Unsatisfiable {
+                assertion,
+                missing_events,
+            } => write!(
                 f,
                 "`{assertion}`: unsatisfiable — required events {missing_events:?} cannot occur \
                  in this program; every site visit will be a violation"
@@ -81,10 +90,16 @@ pub fn occurring_functions(module: &Module) -> HashSet<String> {
         for b in &f.blocks {
             for i in &b.insts {
                 match i {
-                    Inst::Call { callee: Callee::External(n), .. } => {
+                    Inst::Call {
+                        callee: Callee::External(n),
+                        ..
+                    } => {
                         out.insert(n.clone());
                     }
-                    Inst::Call { callee: Callee::Direct(g), .. } => {
+                    Inst::Call {
+                        callee: Callee::Direct(g),
+                        ..
+                    } => {
                         out.insert(module.functions[g.0 as usize].name.clone());
                     }
                     Inst::FnAddr { func, .. } => {
@@ -109,9 +124,15 @@ pub fn occurring_functions(module: &Module) -> HashSet<String> {
 fn has_indirect_calls(module: &Module) -> bool {
     module.functions.iter().any(|f| {
         f.blocks.iter().any(|b| {
-            b.insts
-                .iter()
-                .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. }))
+            b.insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::Indirect(_),
+                        ..
+                    }
+                )
+            })
         })
     })
 }
@@ -147,7 +168,9 @@ fn sites_present(module: &Module) -> HashSet<u32> {
 /// Returns the manifest-compilation error message if an assertion
 /// fails to compile.
 pub fn static_check(module: &Module, manifest: &Manifest) -> Result<Vec<StaticFinding>, String> {
-    let automata = manifest.compile_all().map_err(|(n, e)| format!("{n}: {e}"))?;
+    let automata = manifest
+        .compile_all()
+        .map_err(|(n, e)| format!("{n}: {e}"))?;
     let occurring = occurring_functions(module);
     let sites = sites_present(module);
     let mut findings = Vec::new();

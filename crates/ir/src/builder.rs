@@ -13,7 +13,12 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Start a module named `name` (by convention, the source file).
     pub fn new(name: &str) -> ModuleBuilder {
-        ModuleBuilder { module: Module { name: name.to_string(), ..Module::default() } }
+        ModuleBuilder {
+            module: Module {
+                name: name.to_string(),
+                ..Module::default()
+            },
+        }
     }
 
     /// Declare a structure type.
@@ -42,7 +47,9 @@ impl ModuleBuilder {
     /// Attach a TESLA assertion extracted by the front-end.
     pub fn add_assertion(&mut self, a: tesla_spec::Assertion) -> u32 {
         let id = self.module.assertions.len() as u32;
-        self.module.assertions.push(ModuleAssertion { assertion: a });
+        self.module
+            .assertions
+            .push(ModuleAssertion { assertion: a });
         id
     }
 
@@ -101,7 +108,10 @@ impl FunctionBuilder {
     /// Terminate the current block and start a new one; returns the
     /// id of the *new* block.
     pub fn end_block(&mut self, term: Terminator) -> BlockId {
-        self.blocks.push(Block { insts: std::mem::take(&mut self.current), term });
+        self.blocks.push(Block {
+            insts: std::mem::take(&mut self.current),
+            term,
+        });
         BlockId(self.blocks.len() as u32)
     }
 
@@ -112,7 +122,10 @@ impl FunctionBuilder {
 
     /// Terminate the current block and produce the function.
     pub fn finish(mut self, term: Terminator) -> Function {
-        self.blocks.push(Block { insts: std::mem::take(&mut self.current), term });
+        self.blocks.push(Block {
+            insts: std::mem::take(&mut self.current),
+            term,
+        });
         Function {
             name: self.name,
             n_params: self.n_params,
@@ -150,7 +163,12 @@ mod tests {
         let mut mb = ModuleBuilder::new("m");
         let mut f = mb.begin_function("abs_diff", 2);
         let c = f.fresh();
-        f.inst(Inst::Cmp { dst: c, op: CmpOp::Lt, lhs: f.param(0), rhs: f.param(1) });
+        f.inst(Inst::Cmp {
+            dst: c,
+            op: CmpOp::Lt,
+            lhs: f.param(0),
+            rhs: f.param(1),
+        });
         let then_bb = f.end_block(Terminator::Branch {
             cond: c,
             then_bb: BlockId(1),
@@ -158,10 +176,20 @@ mod tests {
         });
         assert_eq!(then_bb, BlockId(1));
         let r1 = f.fresh();
-        f.inst(Inst::Bin { dst: r1, op: Op::Sub, lhs: f.param(1), rhs: f.param(0) });
+        f.inst(Inst::Bin {
+            dst: r1,
+            op: Op::Sub,
+            lhs: f.param(1),
+            rhs: f.param(0),
+        });
         f.end_block(Terminator::Ret(Some(r1)));
         let r2 = f.fresh();
-        f.inst(Inst::Bin { dst: r2, op: Op::Sub, lhs: f.param(0), rhs: f.param(1) });
+        f.inst(Inst::Bin {
+            dst: r2,
+            op: Op::Sub,
+            lhs: f.param(0),
+            rhs: f.param(1),
+        });
         let func = f.finish(Terminator::Ret(Some(r2)));
         assert_eq!(func.blocks.len(), 3);
         mb.add_function(func);

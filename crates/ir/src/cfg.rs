@@ -49,7 +49,9 @@ impl std::fmt::Display for AbsVal {
 pub fn successors(term: &Terminator) -> Vec<u32> {
     match term {
         Terminator::Jump(b) => vec![b.0],
-        Terminator::Branch { then_bb, else_bb, .. } => vec![then_bb.0, else_bb.0],
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => vec![then_bb.0, else_bb.0],
         Terminator::Ret(_) | Terminator::Unreachable => vec![],
     }
 }
@@ -131,13 +133,22 @@ impl CallGraph {
             for b in &f.blocks {
                 for i in &b.insts {
                     match i {
-                        Inst::Call { callee: Callee::Direct(g), .. } => {
+                        Inst::Call {
+                            callee: Callee::Direct(g),
+                            ..
+                        } => {
                             out.insert(module.functions[g.0 as usize].name.clone());
                         }
-                        Inst::Call { callee: Callee::External(n), .. } => {
+                        Inst::Call {
+                            callee: Callee::External(n),
+                            ..
+                        } => {
                             out.insert(n.clone());
                         }
-                        Inst::Call { callee: Callee::Indirect(_), .. } => {
+                        Inst::Call {
+                            callee: Callee::Indirect(_),
+                            ..
+                        } => {
                             out.extend(address_taken.iter().cloned());
                         }
                         _ => {}
@@ -183,7 +194,11 @@ mod tests {
         let mut f = mb.begin_function("f", 1);
         let c = f.fresh();
         f.inst(Inst::Const { dst: c, value: 1 });
-        f.end_block(Terminator::Branch { cond: c, then_bb: BlockId(1), else_bb: BlockId(2) });
+        f.end_block(Terminator::Branch {
+            cond: c,
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
         f.end_block(Terminator::Ret(None));
         let func = f.finish(Terminator::Ret(None));
         mb.add_function(func);
@@ -203,7 +218,10 @@ mod tests {
     #[test]
     fn successors_of_terminators() {
         assert_eq!(successors(&Terminator::Jump(BlockId(3))), vec![3]);
-        assert_eq!(successors(&Terminator::Ret(Some(Reg(0)))), Vec::<u32>::new());
+        assert_eq!(
+            successors(&Terminator::Ret(Some(Reg(0)))),
+            Vec::<u32>::new()
+        );
         assert_eq!(successors(&Terminator::Unreachable), Vec::<u32>::new());
     }
 
@@ -215,12 +233,20 @@ mod tests {
         mb.add_function(c);
         // b calls c.
         let mut b = mb.begin_function("b", 0);
-        b.inst(Inst::Call { dst: None, callee: Callee::Direct(crate::FuncId(0)), args: vec![] });
+        b.inst(Inst::Call {
+            dst: None,
+            callee: Callee::Direct(crate::FuncId(0)),
+            args: vec![],
+        });
         let b = b.finish(Terminator::Ret(None));
         mb.add_function(b);
         // a calls b.
         let mut a = mb.begin_function("a", 0);
-        a.inst(Inst::Call { dst: None, callee: Callee::Direct(crate::FuncId(1)), args: vec![] });
+        a.inst(Inst::Call {
+            dst: None,
+            callee: Callee::Direct(crate::FuncId(1)),
+            args: vec![],
+        });
         let a = a.finish(Terminator::Ret(None));
         mb.add_function(a);
         let m = mb.build();
@@ -238,8 +264,15 @@ mod tests {
         mb.add_function(t);
         let mut f = mb.begin_function("f", 0);
         let p = f.fresh();
-        f.inst(Inst::FnAddr { dst: p, func: crate::FuncId(0) });
-        f.inst(Inst::Call { dst: None, callee: Callee::Indirect(p), args: vec![] });
+        f.inst(Inst::FnAddr {
+            dst: p,
+            func: crate::FuncId(0),
+        });
+        f.inst(Inst::Call {
+            dst: None,
+            callee: Callee::Indirect(p),
+            args: vec![],
+        });
         let func = f.finish(Terminator::Ret(None));
         mb.add_function(func);
         let m = mb.build();

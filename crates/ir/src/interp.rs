@@ -58,7 +58,14 @@ impl HookSink for NullSink {
     fn fn_exit(&mut self, _: &str, _: &[Value], _: Value) -> Result<(), String> {
         Ok(())
     }
-    fn field_store(&mut self, _: &str, _: &str, _: Value, _: FieldOp, _: Value) -> Result<(), String> {
+    fn field_store(
+        &mut self,
+        _: &str,
+        _: &str,
+        _: Value,
+        _: FieldOp,
+        _: Value,
+    ) -> Result<(), String> {
         Ok(())
     }
     fn assertion_site(&mut self, _: u32, _: &[Value]) -> Result<(), String> {
@@ -113,7 +120,14 @@ pub struct Interp<'m> {
 impl<'m> Interp<'m> {
     /// Create an interpreter over a linked module with a fuel budget.
     pub fn new(module: &'m Module, fuel: u64) -> Interp<'m> {
-        Interp { module, heap: Vec::new(), externs: HashMap::new(), fuel, retired: 0, hook_events: 0 }
+        Interp {
+            module,
+            heap: Vec::new(),
+            externs: HashMap::new(),
+            fuel,
+            retired: 0,
+            hook_events: 0,
+        }
     }
 
     /// Provide an external function.
@@ -196,9 +210,12 @@ impl<'m> Interp<'m> {
                         let (a, b) = (regs[lhs.0 as usize], regs[rhs.0 as usize]);
                         regs[dst.0 as usize] = i64::from(eval_cmp(*op, a, b));
                     }
-                    Inst::Call { dst, callee, args: argr } => {
-                        let argv: Vec<i64> =
-                            argr.iter().map(|r| regs[r.0 as usize]).collect();
+                    Inst::Call {
+                        dst,
+                        callee,
+                        args: argr,
+                    } => {
+                        let argv: Vec<i64> = argr.iter().map(|r| regs[r.0 as usize]).collect();
                         let rv = match callee {
                             Callee::Direct(g) => self.call(*g, &argv, sink, depth + 1)?,
                             Callee::Indirect(r) => {
@@ -229,14 +246,22 @@ impl<'m> Interp<'m> {
                     }
                     Inst::New { dst, strct } => {
                         let nf = self.module.structs[strct.0 as usize].fields.len();
-                        self.heap.push(HeapObject { strct: strct.0, fields: vec![0; nf] });
+                        self.heap.push(HeapObject {
+                            strct: strct.0,
+                            fields: vec![0; nf],
+                        });
                         regs[dst.0 as usize] = self.heap.len() as i64; // 1-based
                     }
                     Inst::Load { dst, obj, field } => {
                         let v = self.field(regs[obj.0 as usize], *field)?.0;
                         regs[dst.0 as usize] = v;
                     }
-                    Inst::Store { obj, field, op, value } => {
+                    Inst::Store {
+                        obj,
+                        field,
+                        op,
+                        value,
+                    } => {
                         let rhs = regs[value.0 as usize];
                         let (old, slot) = self.field(regs[obj.0 as usize], *field)?;
                         let new = apply_field_op(*op, old, rhs);
@@ -253,35 +278,42 @@ impl<'m> Interp<'m> {
                         self.hook_events += 1;
                         let name = &self.module.functions[func.0 as usize].name;
                         let n = self.module.functions[func.0 as usize].n_params as usize;
-                        let argv: Vec<Value> =
-                            regs[..n].iter().map(|v| Value(*v as u64)).collect();
+                        let argv: Vec<Value> = regs[..n].iter().map(|v| Value(*v as u64)).collect();
                         sink.fn_entry(name, &argv).map_err(ExecError::Violation)?;
                     }
                     Inst::TeslaHookExit { func, ret } => {
                         self.hook_events += 1;
                         let name = &self.module.functions[func.0 as usize].name;
                         let n = self.module.functions[func.0 as usize].n_params as usize;
-                        let argv: Vec<Value> =
-                            regs[..n].iter().map(|v| Value(*v as u64)).collect();
+                        let argv: Vec<Value> = regs[..n].iter().map(|v| Value(*v as u64)).collect();
                         let rv = ret.map(|r| regs[r.0 as usize]).unwrap_or(0);
                         sink.fn_exit(name, &argv, Value(rv as u64))
                             .map_err(ExecError::Violation)?;
                     }
                     Inst::TeslaHookCallPre { name, args } => {
                         self.hook_events += 1;
-                        let argv: Vec<Value> =
-                            args.iter().map(|r| Value(regs[r.0 as usize] as u64)).collect();
+                        let argv: Vec<Value> = args
+                            .iter()
+                            .map(|r| Value(regs[r.0 as usize] as u64))
+                            .collect();
                         sink.fn_entry(name, &argv).map_err(ExecError::Violation)?;
                     }
                     Inst::TeslaHookCallPost { name, args, ret } => {
                         self.hook_events += 1;
-                        let argv: Vec<Value> =
-                            args.iter().map(|r| Value(regs[r.0 as usize] as u64)).collect();
+                        let argv: Vec<Value> = args
+                            .iter()
+                            .map(|r| Value(regs[r.0 as usize] as u64))
+                            .collect();
                         let rv = ret.map(|r| regs[r.0 as usize]).unwrap_or(0);
                         sink.fn_exit(name, &argv, Value(rv as u64))
                             .map_err(ExecError::Violation)?;
                     }
-                    Inst::TeslaHookField { obj, field, op, value } => {
+                    Inst::TeslaHookField {
+                        obj,
+                        field,
+                        op,
+                        value,
+                    } => {
                         self.hook_events += 1;
                         let sd = &self.module.structs[field.strct.0 as usize];
                         sink.field_store(
@@ -295,9 +327,12 @@ impl<'m> Interp<'m> {
                     }
                     Inst::TeslaSite { class, args } => {
                         self.hook_events += 1;
-                        let argv: Vec<Value> =
-                            args.iter().map(|r| Value(regs[r.0 as usize] as u64)).collect();
-                        sink.assertion_site(*class, &argv).map_err(ExecError::Violation)?;
+                        let argv: Vec<Value> = args
+                            .iter()
+                            .map(|r| Value(regs[r.0 as usize] as u64))
+                            .collect();
+                        sink.assertion_site(*class, &argv)
+                            .map_err(ExecError::Violation)?;
                     }
                 }
             }
@@ -307,7 +342,11 @@ impl<'m> Interp<'m> {
             self.fuel -= 1;
             match &block.term {
                 Terminator::Jump(b) => bb = b.0 as usize,
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     bb = if regs[cond.0 as usize] != 0 {
                         then_bb.0 as usize
                     } else {
@@ -440,21 +479,53 @@ mod tests {
         let mut f = mb.begin_function("fib", 1);
         let two = f.constant(2);
         let c = f.fresh();
-        f.inst(Inst::Cmp { dst: c, op: CmpOp::Lt, lhs: f.param(0), rhs: two });
-        f.end_block(Terminator::Branch { cond: c, then_bb: BlockId(1), else_bb: BlockId(2) });
+        f.inst(Inst::Cmp {
+            dst: c,
+            op: CmpOp::Lt,
+            lhs: f.param(0),
+            rhs: two,
+        });
+        f.end_block(Terminator::Branch {
+            cond: c,
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
         f.end_block(Terminator::Ret(Some(f.param(0))));
         let one = f.constant(1);
         let n1 = f.fresh();
-        f.inst(Inst::Bin { dst: n1, op: Op::Sub, lhs: f.param(0), rhs: one });
+        f.inst(Inst::Bin {
+            dst: n1,
+            op: Op::Sub,
+            lhs: f.param(0),
+            rhs: one,
+        });
         let r1 = f.fresh();
-        f.inst(Inst::Call { dst: Some(r1), callee: Callee::Direct(FuncId(0)), args: vec![n1] });
+        f.inst(Inst::Call {
+            dst: Some(r1),
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![n1],
+        });
         let two2 = f.constant(2);
         let n2 = f.fresh();
-        f.inst(Inst::Bin { dst: n2, op: Op::Sub, lhs: f.param(0), rhs: two2 });
+        f.inst(Inst::Bin {
+            dst: n2,
+            op: Op::Sub,
+            lhs: f.param(0),
+            rhs: two2,
+        });
         let r2 = f.fresh();
-        f.inst(Inst::Call { dst: Some(r2), callee: Callee::Direct(FuncId(0)), args: vec![n2] });
+        f.inst(Inst::Call {
+            dst: Some(r2),
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![n2],
+        });
         let sum = f.fresh();
-        f.inst(Inst::Bin { dst: sum, op: Op::Add, lhs: r1, rhs: r2 });
+        f.inst(Inst::Bin {
+            dst: sum,
+            op: Op::Add,
+            lhs: r1,
+            rhs: r2,
+        });
         let func = f.finish(Terminator::Ret(Some(sum)));
         mb.add_function(func);
         mb.build()
@@ -472,7 +543,10 @@ mod tests {
     fn fuel_exhaustion_is_reported() {
         let m = fib_module();
         let mut i = Interp::new(&m, 50);
-        assert_eq!(i.run_named("fib", &[20], &mut NullSink), Err(ExecError::OutOfFuel));
+        assert_eq!(
+            i.run_named("fib", &[20], &mut NullSink),
+            Err(ExecError::OutOfFuel)
+        );
     }
 
     #[test]
@@ -497,7 +571,11 @@ mod tests {
             value: v2,
         });
         let out = f.fresh();
-        f.inst(Inst::Load { dst: out, obj: o, field: FieldRef { strct: s, field: 0 } });
+        f.inst(Inst::Load {
+            dst: out,
+            obj: o,
+            field: FieldRef { strct: s, field: 0 },
+        });
         let func = f.finish(Terminator::Ret(Some(out)));
         mb.add_function(func);
         let m = mb.build();
@@ -513,7 +591,11 @@ mod tests {
         let mut f = mb.begin_function("deref_null", 0);
         let z = f.constant(0);
         let out = f.fresh();
-        f.inst(Inst::Load { dst: out, obj: z, field: FieldRef { strct: s, field: 0 } });
+        f.inst(Inst::Load {
+            dst: out,
+            obj: z,
+            field: FieldRef { strct: s, field: 0 },
+        });
         let func = f.finish(Terminator::Ret(Some(out)));
         mb.add_function(func);
         let m = mb.build();
@@ -531,16 +613,28 @@ mod tests {
         let mut t = mb.begin_function("target", 1);
         let one = t.constant(1);
         let r = t.fresh();
-        t.inst(Inst::Bin { dst: r, op: Op::Add, lhs: t.param(0), rhs: one });
+        t.inst(Inst::Bin {
+            dst: r,
+            op: Op::Add,
+            lhs: t.param(0),
+            rhs: one,
+        });
         let tf = t.finish(Terminator::Ret(Some(r)));
         let target = mb.add_function(tf);
         // main: fp = &target; return fp(41)
         let mut f = mb.begin_function("main", 0);
         let fp = f.fresh();
-        f.inst(Inst::FnAddr { dst: fp, func: target });
+        f.inst(Inst::FnAddr {
+            dst: fp,
+            func: target,
+        });
         let a = f.constant(41);
         let out = f.fresh();
-        f.inst(Inst::Call { dst: Some(out), callee: Callee::Indirect(fp), args: vec![a] });
+        f.inst(Inst::Call {
+            dst: Some(out),
+            callee: Callee::Indirect(fp),
+            args: vec![a],
+        });
         let func = f.finish(Terminator::Ret(Some(out)));
         mb.add_function(func);
         let m = mb.build();
@@ -554,13 +648,23 @@ mod tests {
         let mut f = mb.begin_function("g", 1);
         f.inst(Inst::TeslaHookEntry { func: FuncId(0) });
         let r = f.constant(0);
-        f.inst(Inst::TeslaHookExit { func: FuncId(0), ret: Some(r) });
+        f.inst(Inst::TeslaHookExit {
+            func: FuncId(0),
+            ret: Some(r),
+        });
         let gf = f.finish(Terminator::Ret(Some(r)));
         mb.add_function(gf);
         let mut f = mb.begin_function("main", 0);
         let a = f.constant(7);
-        f.inst(Inst::Call { dst: None, callee: Callee::Direct(FuncId(0)), args: vec![a] });
-        f.inst(Inst::TeslaSite { class: 3, args: vec![a] });
+        f.inst(Inst::Call {
+            dst: None,
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![a],
+        });
+        f.inst(Inst::TeslaSite {
+            class: 3,
+            args: vec![a],
+        });
         let func = f.finish(Terminator::Ret(None));
         mb.add_function(func);
         let m = mb.build();
@@ -578,7 +682,10 @@ mod tests {
         );
         assert_eq!(i.hook_events, 3);
 
-        let mut failing = TraceSink { fail_on_site: true, ..TraceSink::default() };
+        let mut failing = TraceSink {
+            fail_on_site: true,
+            ..TraceSink::default()
+        };
         let mut i = Interp::new(&m, 1000);
         match i.run_named("main", &[], &mut failing) {
             Err(ExecError::Violation(v)) => assert_eq!(v, "boom"),
@@ -590,7 +697,10 @@ mod tests {
     fn uninstrumented_pseudo_assert_traps() {
         let mut mb = ModuleBuilder::new("m");
         let mut f = mb.begin_function("main", 0);
-        f.inst(Inst::TeslaPseudoAssert { assertion: 0, args: vec![] });
+        f.inst(Inst::TeslaPseudoAssert {
+            assertion: 0,
+            args: vec![],
+        });
         let func = f.finish(Terminator::Ret(None));
         mb.add_function(func);
         let m = mb.build();
@@ -620,7 +730,10 @@ mod tests {
         assert_eq!(i.run_named("main", &[], &mut NullSink).unwrap(), 42);
         // Missing external traps.
         let mut i2 = Interp::new(&m, 1000);
-        assert!(matches!(i2.run_named("main", &[], &mut NullSink), Err(ExecError::Trap(_))));
+        assert!(matches!(
+            i2.run_named("main", &[], &mut NullSink),
+            Err(ExecError::Trap(_))
+        ));
     }
 
     #[test]
@@ -630,11 +743,19 @@ mod tests {
         let a = f.constant(1);
         let z = f.constant(0);
         let out = f.fresh();
-        f.inst(Inst::Bin { dst: out, op: Op::Div, lhs: a, rhs: z });
+        f.inst(Inst::Bin {
+            dst: out,
+            op: Op::Div,
+            lhs: a,
+            rhs: z,
+        });
         let func = f.finish(Terminator::Ret(Some(out)));
         mb.add_function(func);
         let m = mb.build();
         let mut i = Interp::new(&m, 1000);
-        assert!(matches!(i.run_named("main", &[], &mut NullSink), Err(ExecError::Trap(_))));
+        assert!(matches!(
+            i.run_named("main", &[], &mut NullSink),
+            Err(ExecError::Trap(_))
+        ));
     }
 }

@@ -313,7 +313,10 @@ impl Module {
 
     /// Find a struct by name.
     pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
-        self.structs.iter().position(|s| s.name == name).map(|i| StructId(i as u32))
+        self.structs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StructId(i as u32))
     }
 
     /// Total instruction count (build-cost metrics).
@@ -351,7 +354,10 @@ impl Module {
     /// Returns a message on duplicate function names or mismatched
     /// struct definitions.
     pub fn link_refs(modules: &[&Module], name: &str) -> Result<Module, String> {
-        let mut out = Module { name: name.to_string(), ..Module::default() };
+        let mut out = Module {
+            name: name.to_string(),
+            ..Module::default()
+        };
         // Structs: dedup by name + shape.
         for m in modules {
             for s in &m.structs {
@@ -464,7 +470,11 @@ mod tests {
         let mut a = ModuleBuilder::new("a");
         let mut f = a.begin_function("caller", 0);
         let r = f.fresh();
-        f.inst(Inst::Call { dst: Some(r), callee: Callee::External("callee".into()), args: vec![] });
+        f.inst(Inst::Call {
+            dst: Some(r),
+            callee: Callee::External("callee".into()),
+            args: vec![],
+        });
         let fb = f.finish(Terminator::Ret(Some(r)));
         a.add_function(fb);
         let a = a.build();
@@ -480,7 +490,10 @@ mod tests {
         let linked = Module::link(vec![a, b], "prog").unwrap();
         let caller = &linked.functions[linked.function("caller").unwrap().0 as usize];
         match &caller.blocks[0].insts[0] {
-            Inst::Call { callee: Callee::Direct(f), .. } => {
+            Inst::Call {
+                callee: Callee::Direct(f),
+                ..
+            } => {
                 assert_eq!(linked.functions[f.0 as usize].name, "callee");
             }
             other => panic!("unexpected {other:?}"),
@@ -525,7 +538,10 @@ mod tests {
         };
         let linked = Module::link(vec![mk("a", false), mk("b", true)], "prog").unwrap();
         // socket defined once despite appearing in both modules.
-        assert_eq!(linked.structs.iter().filter(|s| s.name == "socket").count(), 1);
+        assert_eq!(
+            linked.structs.iter().filter(|s| s.name == "socket").count(),
+            1
+        );
         let socket = linked.struct_by_name("socket").unwrap();
         // b's store must point at the merged socket id.
         let fb = &linked.functions[linked.function("f_b").unwrap().0 as usize];
@@ -545,7 +561,10 @@ mod tests {
             .unwrap();
             let idx = mb.add_assertion(a);
             let mut f = mb.begin_function(fname, 0);
-            f.inst(Inst::TeslaPseudoAssert { assertion: idx, args: vec![] });
+            f.inst(Inst::TeslaPseudoAssert {
+                assertion: idx,
+                args: vec![],
+            });
             let fb = f.finish(Terminator::Ret(None));
             mb.add_function(fb);
             mb.build()

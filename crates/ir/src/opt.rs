@@ -23,7 +23,10 @@ pub struct InlineOptions {
 
 impl Default for InlineOptions {
     fn default() -> InlineOptions {
-        InlineOptions { max_insts: 16, max_blocks: 3 }
+        InlineOptions {
+            max_insts: 16,
+            max_blocks: 3,
+        }
     }
 }
 
@@ -71,7 +74,13 @@ pub fn optimise(m: &mut Module, opts: &InlineOptions) -> OptStats {
     let candidates: Vec<Option<Function>> = m
         .functions
         .iter()
-        .map(|f| if inlinable(f, opts) { Some(f.clone()) } else { None })
+        .map(|f| {
+            if inlinable(f, opts) {
+                Some(f.clone())
+            } else {
+                None
+            }
+        })
         .collect();
     for f in &mut m.functions {
         stats.inlined_calls += inline_in_function(f, &candidates);
@@ -92,7 +101,12 @@ fn inline_in_function(f: &mut Function, candidates: &[Option<Function>]) -> usiz
         let mut ii = 0;
         while ii < f.blocks[bi].insts.len() {
             let inst = f.blocks[bi].insts[ii].clone();
-            let Inst::Call { dst, callee: Callee::Direct(g), args } = inst else {
+            let Inst::Call {
+                dst,
+                callee: Callee::Direct(g),
+                args,
+            } = inst
+            else {
                 ii += 1;
                 continue;
             };
@@ -194,7 +208,10 @@ fn splice_single_block(
     f.n_regs += body.n_regs;
     let mut splice: Vec<Inst> = Vec::with_capacity(body.blocks[0].insts.len() + args.len() + 1);
     for (i, a) in args.iter().enumerate() {
-        splice.push(Inst::Copy { dst: remap_reg(Reg(i as u32), base), src: *a });
+        splice.push(Inst::Copy {
+            dst: remap_reg(Reg(i as u32), base),
+            src: *a,
+        });
     }
     for inst in &body.blocks[0].insts {
         let mut inst = inst.clone();
@@ -204,7 +221,10 @@ fn splice_single_block(
     match &body.blocks[0].term {
         Terminator::Ret(Some(r)) => {
             if let Some(d) = dst {
-                splice.push(Inst::Copy { dst: d, src: remap_reg(*r, base) });
+                splice.push(Inst::Copy {
+                    dst: d,
+                    src: remap_reg(*r, base),
+                });
             }
         }
         Terminator::Ret(None) => {}
@@ -235,15 +255,19 @@ fn splice_multi_block(
     let rest: Vec<Inst> = f.blocks[bi].insts.split_off(ii + 1);
     f.blocks[bi].insts.pop(); // the call itself
     for (i, a) in args.iter().enumerate() {
-        f.blocks[bi]
-            .insts
-            .push(Inst::Copy { dst: remap_reg(Reg(i as u32), base), src: *a });
+        f.blocks[bi].insts.push(Inst::Copy {
+            dst: remap_reg(Reg(i as u32), base),
+            src: *a,
+        });
     }
     let orig_term = std::mem::replace(
         &mut f.blocks[bi].term,
         Terminator::Jump(BlockId(callee_block_base)),
     );
-    f.blocks.push(Block { insts: rest, term: orig_term }); // continuation = cont_id
+    f.blocks.push(Block {
+        insts: rest,
+        term: orig_term,
+    }); // continuation = cont_id
 
     for b in &body.blocks {
         let mut insts = Vec::with_capacity(b.insts.len());
@@ -254,14 +278,21 @@ fn splice_multi_block(
         }
         let term = match &b.term {
             Terminator::Jump(t) => Terminator::Jump(BlockId(t.0 + callee_block_base)),
-            Terminator::Branch { cond, then_bb, else_bb } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
                 cond: remap_reg(*cond, base),
                 then_bb: BlockId(then_bb.0 + callee_block_base),
                 else_bb: BlockId(else_bb.0 + callee_block_base),
             },
             Terminator::Ret(r) => {
                 if let (Some(d), Some(r)) = (dst, r) {
-                    insts.push(Inst::Copy { dst: d, src: remap_reg(*r, base) });
+                    insts.push(Inst::Copy {
+                        dst: d,
+                        src: remap_reg(*r, base),
+                    });
                 }
                 Terminator::Jump(cont_id)
             }
@@ -276,7 +307,8 @@ fn remove_dead_copies(f: &mut Function) -> usize {
     let mut removed = 0;
     for b in &mut f.blocks {
         let before = b.insts.len();
-        b.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
+        b.insts
+            .retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
         removed += before - b.insts.len();
     }
     removed
@@ -297,26 +329,53 @@ mod tests {
         let mut f = mb.begin_function("add1", 1);
         let one = f.constant(1);
         let r = f.fresh();
-        f.inst(Inst::Bin { dst: r, op: Op::Add, lhs: f.param(0), rhs: one });
+        f.inst(Inst::Bin {
+            dst: r,
+            op: Op::Add,
+            lhs: f.param(0),
+            rhs: one,
+        });
         let add1 = mb.add_function(f.finish(Terminator::Ret(Some(r))));
 
         let mut f = mb.begin_function("abs", 1);
         let z = f.constant(0);
         let c = f.fresh();
-        f.inst(Inst::Cmp { dst: c, op: CmpOp::Lt, lhs: f.param(0), rhs: z });
-        f.end_block(Terminator::Branch { cond: c, then_bb: BlockId(1), else_bb: BlockId(2) });
+        f.inst(Inst::Cmp {
+            dst: c,
+            op: CmpOp::Lt,
+            lhs: f.param(0),
+            rhs: z,
+        });
+        f.end_block(Terminator::Branch {
+            cond: c,
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
         let z2 = f.constant(0);
         let neg = f.fresh();
-        f.inst(Inst::Bin { dst: neg, op: Op::Sub, lhs: z2, rhs: f.param(0) });
+        f.inst(Inst::Bin {
+            dst: neg,
+            op: Op::Sub,
+            lhs: z2,
+            rhs: f.param(0),
+        });
         f.end_block(Terminator::Ret(Some(neg)));
         let p0 = f.param(0);
         let abs = mb.add_function(f.finish(Terminator::Ret(Some(p0))));
 
         let mut f = mb.begin_function("main", 1);
         let t = f.fresh();
-        f.inst(Inst::Call { dst: Some(t), callee: Callee::Direct(add1), args: vec![f.param(0)] });
+        f.inst(Inst::Call {
+            dst: Some(t),
+            callee: Callee::Direct(add1),
+            args: vec![f.param(0)],
+        });
         let out = f.fresh();
-        f.inst(Inst::Call { dst: Some(out), callee: Callee::Direct(abs), args: vec![t] });
+        f.inst(Inst::Call {
+            dst: Some(out),
+            callee: Callee::Direct(abs),
+            args: vec![t],
+        });
         mb.add_function(f.finish(Terminator::Ret(Some(out))));
         mb.build()
     }
@@ -361,17 +420,18 @@ mod tests {
         let mut m = program();
         // Pretend add1 was instrumented.
         let add1 = m.function("add1").unwrap();
-        m.functions[add1.0 as usize]
-            .blocks[0]
+        m.functions[add1.0 as usize].blocks[0]
             .insts
             .insert(0, Inst::TeslaHookEntry { func: add1 });
         let stats = optimise(&mut m, &InlineOptions::default());
         // abs still inlines; add1 must not.
         assert_eq!(stats.inlined_calls, 1);
         let main = &m.functions[m.function("main").unwrap().0 as usize];
-        let still_calls_add1 = main.blocks.iter().flat_map(|b| &b.insts).any(
-            |i| matches!(i, Inst::Call { callee: Callee::Direct(g), .. } if *g == add1),
-        );
+        let still_calls_add1 = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Direct(g), .. } if *g == add1));
         assert!(still_calls_add1);
     }
 
@@ -381,7 +441,11 @@ mod tests {
         let mut mb = ModuleBuilder::new("m");
         let mut f = mb.begin_function("loopy", 1);
         let r = f.fresh();
-        f.inst(Inst::Call { dst: Some(r), callee: Callee::Direct(FuncId(0)), args: vec![f.param(0)] });
+        f.inst(Inst::Call {
+            dst: Some(r),
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![f.param(0)],
+        });
         mb.add_function(f.finish(Terminator::Ret(Some(r))));
         let mut m = mb.build();
         let stats = optimise(&mut m, &InlineOptions::default());
@@ -391,7 +455,13 @@ mod tests {
     #[test]
     fn threshold_controls_inlining() {
         let mut m = program();
-        let stats = optimise(&mut m, &InlineOptions { max_insts: 0, max_blocks: 1 });
+        let stats = optimise(
+            &mut m,
+            &InlineOptions {
+                max_insts: 0,
+                max_blocks: 1,
+            },
+        );
         assert_eq!(stats.inlined_calls, 0);
     }
 }

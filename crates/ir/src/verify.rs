@@ -149,7 +149,9 @@ pub fn verify(m: &Module, stage: Stage) -> Result<(), Vec<VerifyError>> {
                         check_reg!(*obj, "obj");
                         check_field(m, field, |msg| errs.push(err(bi, ii, msg)));
                     }
-                    Inst::Store { obj, value, field, .. } => {
+                    Inst::Store {
+                        obj, value, field, ..
+                    } => {
                         check_reg!(*obj, "obj");
                         check_reg!(*value, "value");
                         check_field(m, field, |msg| errs.push(err(bi, ii, msg)));
@@ -189,7 +191,9 @@ pub fn verify(m: &Module, stage: Stage) -> Result<(), Vec<VerifyError>> {
                             check_reg!(*r, "ret");
                         }
                     }
-                    Inst::TeslaHookField { obj, value, field, .. } => {
+                    Inst::TeslaHookField {
+                        obj, value, field, ..
+                    } => {
                         check_reg!(*obj, "obj");
                         check_reg!(*value, "value");
                         check_field(m, field, |msg| errs.push(err(bi, ii, msg)));
@@ -213,7 +217,11 @@ pub fn verify(m: &Module, stage: Stage) -> Result<(), Vec<VerifyError>> {
                         errs.push(terr("jump target out of range".into()));
                     }
                 }
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     if !reg_ok(*cond) {
                         errs.push(terr("branch condition register out of range".into()));
                     }
@@ -244,7 +252,10 @@ fn check_field(m: &Module, field: &crate::module::FieldRef, mut emit: impl FnMut
         None => emit("field access on unknown struct".into()),
         Some(s) => {
             if s.fields.get(field.field as usize).is_none() {
-                emit(format!("struct `{}` has no field index {}", s.name, field.field));
+                emit(format!(
+                    "struct `{}` has no field index {}",
+                    s.name, field.field
+                ));
             }
         }
     }
@@ -305,7 +316,11 @@ mod tests {
         let gf = g.finish_trivial_return(None);
         mb.add_function(gf);
         let mut f = mb.begin_function("f", 0);
-        f.inst(Inst::Call { dst: None, callee: Callee::Direct(FuncId(0)), args: vec![] });
+        f.inst(Inst::Call {
+            dst: None,
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![],
+        });
         let ff = f.finish(Terminator::Ret(None));
         mb.add_function(ff);
         let m = mb.build();
@@ -319,7 +334,11 @@ mod tests {
         let s = mb.add_struct("s", &["a"]);
         let mut f = mb.begin_function("f", 1);
         let out = f.fresh();
-        f.inst(Inst::Load { dst: out, obj: f.param(0), field: FieldRef { strct: s, field: 5 } });
+        f.inst(Inst::Load {
+            dst: out,
+            obj: f.param(0),
+            field: FieldRef { strct: s, field: 5 },
+        });
         let func = f.finish(Terminator::Ret(Some(out)));
         mb.add_function(func);
         let m = mb.build();
@@ -332,7 +351,10 @@ mod tests {
         f.inst(Inst::Load {
             dst: out,
             obj: f.param(0),
-            field: FieldRef { strct: StructId(7), field: 0 },
+            field: FieldRef {
+                strct: StructId(7),
+                field: 0,
+            },
         });
         let func = f.finish(Terminator::Ret(Some(out)));
         mb.add_function(func);
@@ -349,7 +371,10 @@ mod tests {
                 .unwrap(),
         );
         let mut f = mb.begin_function("f", 0);
-        f.inst(Inst::TeslaPseudoAssert { assertion: 0, args: vec![] });
+        f.inst(Inst::TeslaPseudoAssert {
+            assertion: 0,
+            args: vec![],
+        });
         let func = f.finish(Terminator::Ret(None));
         mb.add_function(func);
         let m = mb.build();
@@ -364,7 +389,11 @@ mod tests {
         let g = mb.begin_function("g", 0);
         mb.add_function(g.finish_trivial_return(None));
         let mut f = mb.begin_function("f", 0);
-        f.inst(Inst::Call { dst: None, callee: Callee::External("g".into()), args: vec![] });
+        f.inst(Inst::Call {
+            dst: None,
+            callee: Callee::External("g".into()),
+            args: vec![],
+        });
         mb.add_function(f.finish(Terminator::Ret(None)));
         let m = mb.build();
         assert!(verify(&m, Stage::Unit).is_ok());

@@ -467,7 +467,9 @@ impl Tesla {
             // Start at 1: a fresh `EngineTls` (version 0) always
             // pulls the current snapshot on first use.
             snap_version: AtomicU64::new(1),
-            global_shards: (0..n_shards).map(|_| StdMutex::new(Store::default())).collect(),
+            global_shards: (0..n_shards)
+                .map(|_| StdMutex::new(Store::default()))
+                .collect(),
             violation_log: Mutex::new(Vec::new()),
             metrics: Arc::new(MetricsRegistry::new()),
         };
@@ -586,10 +588,7 @@ impl Tesla {
     ///
     /// Returns [`RegisterError`] if any automaton exceeds engine
     /// limits.
-    pub fn register_batch(
-        &self,
-        automata: Vec<Automaton>,
-    ) -> Result<Vec<ClassId>, RegisterError> {
+    pub fn register_batch(&self, automata: Vec<Automaton>) -> Result<Vec<ClassId>, RegisterError> {
         for a in &automata {
             if a.var_names.len() > MAX_VARS {
                 return Err(RegisterError::TooManyVariables(a.var_names.len()));
@@ -631,13 +630,14 @@ impl Tesla {
             }
             None => {
                 let g = tables.groups.len() as u32;
-                tables.groups.push(GroupDef { context: automaton.context, classes: vec![class] });
+                tables.groups.push(GroupDef {
+                    context: automaton.context,
+                    classes: vec![class],
+                });
                 tables.group_index.insert(gk.clone(), g);
                 // Wire the bound events into the function tables.
                 match gk.start_dir {
-                    Direction::Entry => {
-                        tables.fn_table_mut(gk.start_fn).bound_start_entry.push(g)
-                    }
+                    Direction::Entry => tables.fn_table_mut(gk.start_fn).bound_start_entry.push(g),
                     Direction::Exit => tables.fn_table_mut(gk.start_fn).bound_start_exit.push(g),
                 }
                 match gk.end_dir {
@@ -663,8 +663,15 @@ impl Tesla {
         // Event translators.
         for sym in &automaton.symbols {
             match &sym.kind {
-                SymbolKind::Function { name, args, direction, ret, .. } => {
-                    let t = compile_fn_translator(class, sym, args, ret.as_ref(), automaton.context);
+                SymbolKind::Function {
+                    name,
+                    args,
+                    direction,
+                    ret,
+                    ..
+                } => {
+                    let t =
+                        compile_fn_translator(class, sym, args, ret.as_ref(), automaton.context);
                     let id = self.interner.intern(name);
                     let ft = tables.fn_table_mut(id);
                     match direction {
@@ -672,7 +679,13 @@ impl Tesla {
                         Direction::Exit => ft.exit.push(t),
                     }
                 }
-                SymbolKind::FieldAssign { struct_name, field_name, object, op, value } => {
+                SymbolKind::FieldAssign {
+                    struct_name,
+                    field_name,
+                    object,
+                    op,
+                    value,
+                } => {
                     let struct_filter = if struct_name.is_empty() {
                         None
                     } else {
@@ -693,14 +706,15 @@ impl Tesla {
                     let id = self.interner.intern(field_name);
                     tables.field_table_mut(id).push(t);
                 }
-                SymbolKind::Message { receiver, selector, args, direction, ret } => {
-                    let mut t = compile_fn_translator(
-                        class,
-                        sym,
-                        args,
-                        ret.as_ref(),
-                        automaton.context,
-                    );
+                SymbolKind::Message {
+                    receiver,
+                    selector,
+                    args,
+                    direction,
+                    ret,
+                } => {
+                    let mut t =
+                        compile_fn_translator(class, sym, args, ret.as_ref(), automaton.context);
                     compile_pattern(receiver, Slot::Receiver, &mut t);
                     let id = self.interner.intern(selector);
                     let st = tables.sel_table_mut(id);
@@ -741,10 +755,7 @@ impl Tesla {
     ///
     /// Returns a string describing compilation or registration
     /// failure.
-    pub fn register_assertion(
-        &self,
-        assertion: &tesla_spec::Assertion,
-    ) -> Result<ClassId, String> {
+    pub fn register_assertion(&self, assertion: &tesla_spec::Assertion) -> Result<ClassId, String> {
         let a = tesla_automata::compile(assertion).map_err(|e| e.to_string())?;
         self.register(a).map_err(|e| e.to_string())
     }
@@ -779,14 +790,13 @@ impl Tesla {
 
     fn fn_entry_inner(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
-        let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
+        let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else {
+            return Ok(());
+        };
         if ft.push_stack {
             tls.stack.borrow_mut().push(f);
         }
-        if ft.bound_start_entry.is_empty()
-            && ft.bound_end_entry.is_empty()
-            && ft.entry.is_empty()
-        {
+        if ft.bound_start_entry.is_empty() && ft.bound_end_entry.is_empty() && ft.entry.is_empty() {
             return Ok(());
         }
         let mut first = None;
@@ -827,16 +837,26 @@ impl Tesla {
 
     fn fn_exit_inner(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
-        let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else { return Ok(()) };
+        let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else {
+            return Ok(());
+        };
         let mut first = None;
-        let active = !ft.bound_start_exit.is_empty()
-            || !ft.bound_end_exit.is_empty()
-            || !ft.exit.is_empty();
+        let active =
+            !ft.bound_start_exit.is_empty() || !ft.bound_end_exit.is_empty() || !ft.exit.is_empty();
         if active {
             for &g in &ft.bound_start_exit {
                 self.enter_group(&snap, &tls, g);
             }
-            self.run_translators(&snap, &tls, &ft.exit, args, Some(ret), None, None, &mut first);
+            self.run_translators(
+                &snap,
+                &tls,
+                &ft.exit,
+                args,
+                Some(ret),
+                None,
+                None,
+                &mut first,
+            );
             for &g in &ft.bound_end_exit {
                 self.exit_group(&snap, &tls, g, &mut first);
             }
@@ -847,7 +867,11 @@ impl Tesla {
                 s.remove(pos);
             }
         }
-        if active { self.dispose(first) } else { Ok(()) }
+        if active {
+            self.dispose(first)
+        } else {
+            Ok(())
+        }
     }
 
     /// Structure-field-assignment hook (§4.2 "Field assignment"):
@@ -933,12 +957,23 @@ impl Tesla {
         args: &[Value],
     ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
-        let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
+        let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else {
+            return Ok(());
+        };
         if st.entry.is_empty() {
             return Ok(());
         }
         let mut first = None;
-        self.run_translators(&snap, &tls, &st.entry, args, None, None, Some(receiver), &mut first);
+        self.run_translators(
+            &snap,
+            &tls,
+            &st.entry,
+            args,
+            None,
+            None,
+            Some(receiver),
+            &mut first,
+        );
         self.dispose(first)
     }
 
@@ -975,7 +1010,9 @@ impl Tesla {
         ret: Value,
     ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
-        let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else { return Ok(()) };
+        let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else {
+            return Ok(());
+        };
         if st.exit.is_empty() {
             return Ok(());
         }
@@ -1120,7 +1157,10 @@ impl Tesla {
                 }
             }
             let rc = TL_ENGINES.with(|m| {
-                m.borrow_mut().entry(self.id).or_insert_with(EngineTls::new).clone()
+                m.borrow_mut()
+                    .entry(self.id)
+                    .or_insert_with(EngineTls::new)
+                    .clone()
             });
             *a.borrow_mut() = Some((self.id, rc.clone()));
             rc
@@ -1166,7 +1206,9 @@ impl Tesla {
     /// sample in the hook's latency histogram.
     #[inline]
     fn chaos_reps(&self, kind: HookKind) -> u32 {
-        let Some(fp) = self.config.faults.as_deref() else { return 1 };
+        let Some(fp) = self.config.faults.as_deref() else {
+            return 1;
+        };
         if fp.draw(FaultKind::ClockSkew) {
             self.metrics.note_clock_skew(kind, fp.skew_ns());
             fp.absorbed(FaultKind::ClockSkew);

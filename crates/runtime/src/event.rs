@@ -171,7 +171,10 @@ mod tests {
         let v = Violation {
             assertion: "mac_poll".into(),
             kind: ViolationKind::Site,
-            loc: SourceLoc { file: "uipc_socket.c".into(), line: 42 },
+            loc: SourceLoc {
+                file: "uipc_socket.c".into(),
+                line: 42,
+            },
             source: "TESLA_SYSCALL_PREVIOUSLY(...)".into(),
             values: vec![Value(7)],
             detail: "no instance for so=7".into(),
@@ -185,7 +188,14 @@ mod tests {
 
     #[test]
     fn lifecycle_event_class_accessor() {
-        assert_eq!(LifecycleEvent::New { class: 3, instance: 0 }.class(), Some(3));
+        assert_eq!(
+            LifecycleEvent::New {
+                class: 3,
+                instance: 0
+            }
+            .class(),
+            Some(3)
+        );
         assert_eq!(LifecycleEvent::Overflow { class: 9 }.class(), Some(9));
     }
 }

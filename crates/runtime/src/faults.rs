@@ -100,7 +100,9 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// No faults at all (a plan with this spec only pays the draws).
     pub fn none() -> FaultSpec {
-        FaultSpec { periods: [0; N_FAULTS] }
+        FaultSpec {
+            periods: [0; N_FAULTS],
+        }
     }
 
     /// The default chaos mix: every class of fault enabled at rates
@@ -327,7 +329,12 @@ impl FaultLedger {
             if i == 0 && a == 0 {
                 continue;
             }
-            out.push_str(&format!("{:<8} injected {:>6}  absorbed {:>6}\n", k.label(), i, a));
+            out.push_str(&format!(
+                "{:<8} injected {:>6}  absorbed {:>6}\n",
+                k.label(),
+                i,
+                a
+            ));
         }
         if out.is_empty() {
             out.push_str("no faults fired\n");
@@ -389,7 +396,9 @@ mod tests {
     #[test]
     fn draw_rate_matches_period() {
         let plan = FaultPlan::new(42, FaultSpec::none().with(FaultKind::EventDrop, 10));
-        let fired = (0..1000).filter(|_| plan.draw(FaultKind::EventDrop)).count();
+        let fired = (0..1000)
+            .filter(|_| plan.draw(FaultKind::EventDrop))
+            .count();
         assert_eq!(fired, 100);
         // Disabled kinds never fire.
         assert!(!(0..1000).any(|_| plan.draw(FaultKind::HandlerPanic)));

@@ -64,7 +64,11 @@ impl<'a> Dispatch<'a> {
         metrics: &'a MetricsRegistry,
         faults: Option<&'a FaultPlan>,
     ) -> Dispatch<'a> {
-        Dispatch { handlers, metrics, faults }
+        Dispatch {
+            handlers,
+            metrics,
+            faults,
+        }
     }
 
     /// True when no handlers are attached (lets callers skip event
@@ -113,7 +117,9 @@ pub struct StderrHandler {
 impl StderrHandler {
     /// Create, sampling `TESLA_DEBUG` once.
     pub fn from_env() -> StderrHandler {
-        StderrHandler { enabled: std::env::var_os("TESLA_DEBUG").is_some() }
+        StderrHandler {
+            enabled: std::env::var_os("TESLA_DEBUG").is_some(),
+        }
     }
 
     /// Create with an explicit enable flag (tests).
@@ -315,7 +321,12 @@ impl EventHandler for CountingHandler {
                 // paired Update, which is where it is counted.
                 self.clones.fetch_add(1, Ordering::Relaxed);
             }
-            LifecycleEvent::Update { class, sym, from_states, .. } => {
+            LifecycleEvent::Update {
+                class,
+                sym,
+                from_states,
+                ..
+            } => {
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 self.weights.record(*class, from_states, *sym);
             }
@@ -385,17 +396,27 @@ mod tests {
     #[test]
     fn counting_handler_tallies() {
         let h = CountingHandler::new();
-        h.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
+        h.on_event(&LifecycleEvent::New {
+            class: 0,
+            instance: 0,
+        });
         h.on_event(&update(0, 0, 1));
         h.on_event(&update(0, 0, 1));
         h.on_event(&update(0, 1, 2));
-        h.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: true });
+        h.on_event(&LifecycleEvent::Finalise {
+            class: 0,
+            instance: 0,
+            accepted: true,
+        });
         h.on_event(&LifecycleEvent::Overflow { class: 0 });
         assert_eq!(h.news(), 1);
         assert_eq!(h.updates(), 3);
         assert_eq!(h.accepted(), 1);
         assert_eq!(h.overflows(), 1);
-        assert_eq!(h.transition_count(0, StateSet::singleton(0), SymbolId(1)), 2);
+        assert_eq!(
+            h.transition_count(0, StateSet::singleton(0), SymbolId(1)),
+            2
+        );
         assert_eq!(h.symbol_count(0, SymbolId(1)), 2);
         assert_eq!(h.covered_symbols(0), vec![SymbolId(1), SymbolId(2)]);
         // Other classes are unaffected.
@@ -433,7 +454,10 @@ mod tests {
     fn recording_handler_keeps_order() {
         let h = RecordingHandler::new();
         assert!(h.is_empty());
-        h.on_event(&LifecycleEvent::New { class: 1, instance: 0 });
+        h.on_event(&LifecycleEvent::New {
+            class: 1,
+            instance: 0,
+        });
         h.on_event(&LifecycleEvent::Error {
             violation: Violation {
                 assertion: "a".into(),
@@ -455,7 +479,10 @@ mod tests {
     fn bounded_recording_handler_overwrites_oldest() {
         let h = RecordingHandler::bounded(3);
         for i in 0..5 {
-            h.on_event(&LifecycleEvent::New { class: 0, instance: i });
+            h.on_event(&LifecycleEvent::New {
+                class: 0,
+                instance: i,
+            });
         }
         assert_eq!(h.len(), 3);
         assert_eq!(h.dropped(), 2);
@@ -471,8 +498,14 @@ mod tests {
         let h = CallbackHandler::new(|_| {
             n.fetch_add(1, Ordering::Relaxed);
         });
-        h.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
-        h.on_event(&LifecycleEvent::New { class: 0, instance: 1 });
+        h.on_event(&LifecycleEvent::New {
+            class: 0,
+            instance: 0,
+        });
+        h.on_event(&LifecycleEvent::New {
+            class: 0,
+            instance: 1,
+        });
         assert_eq!(n.load(Ordering::Relaxed), 2);
     }
 
@@ -482,14 +515,18 @@ mod tests {
         let metrics = MetricsRegistry::new();
         let seen = Arc::new(AtomicU64::new(0));
         let seen2 = seen.clone();
-        let bad: Arc<dyn EventHandler> =
-            Arc::new(CallbackHandler::new(|_| std::panic::panic_any(INJECTED_PANIC)));
+        let bad: Arc<dyn EventHandler> = Arc::new(CallbackHandler::new(|_| {
+            std::panic::panic_any(INJECTED_PANIC)
+        }));
         let good: Arc<dyn EventHandler> = Arc::new(CallbackHandler::new(move |_| {
             seen2.fetch_add(1, Ordering::Relaxed);
         }));
         let handlers = vec![bad, good];
         let d = Dispatch::new(&handlers, &metrics, None);
-        d.notify(&LifecycleEvent::New { class: 0, instance: 0 });
+        d.notify(&LifecycleEvent::New {
+            class: 0,
+            instance: 0,
+        });
         d.notify(&LifecycleEvent::Overflow { class: 0 });
         // The panicking handler never unwound into us, and the healthy
         // handler behind it still saw every event.
@@ -501,11 +538,17 @@ mod tests {
     fn dispatch_injects_and_absorbs_handler_panics() {
         crate::faults::silence_injected_panics();
         let metrics = MetricsRegistry::new();
-        let plan = FaultPlan::new(3, crate::faults::FaultSpec::none().with(FaultKind::HandlerPanic, 4));
+        let plan = FaultPlan::new(
+            3,
+            crate::faults::FaultSpec::none().with(FaultKind::HandlerPanic, 4),
+        );
         let handlers: Vec<Arc<dyn EventHandler>> = vec![];
         let d = Dispatch::new(&handlers, &metrics, Some(&plan));
         for _ in 0..40 {
-            d.notify(&LifecycleEvent::New { class: 0, instance: 0 });
+            d.notify(&LifecycleEvent::New {
+                class: 0,
+                instance: 0,
+            });
         }
         let l = plan.ledger();
         assert_eq!(l.injected[FaultKind::HandlerPanic as usize], 10);
@@ -517,7 +560,10 @@ mod tests {
     #[test]
     fn counting_handler_counts_evictions_and_shed() {
         let h = CountingHandler::new();
-        h.on_event(&LifecycleEvent::Evicted { class: 2, instance: 1 });
+        h.on_event(&LifecycleEvent::Evicted {
+            class: 2,
+            instance: 1,
+        });
         h.on_event(&LifecycleEvent::Shed { class: 2 });
         h.on_event(&LifecycleEvent::Shed { class: 2 });
         assert_eq!(h.evicted(), 1);
@@ -528,6 +574,9 @@ mod tests {
     fn stderr_handler_disabled_is_silent() {
         // Just exercise the code path; nothing observable.
         let h = StderrHandler::new(false);
-        h.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
+        h.on_event(&LifecycleEvent::New {
+            class: 0,
+            instance: 0,
+        });
     }
 }

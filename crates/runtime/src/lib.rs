@@ -112,7 +112,10 @@ impl std::fmt::Display for RegisterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RegisterError::TooManyVariables(n) => {
-                write!(f, "assertion uses {n} variables; libtesla supports {MAX_VARS}")
+                write!(
+                    f,
+                    "assertion uses {n} variables; libtesla supports {MAX_VARS}"
+                )
             }
         }
     }

@@ -49,7 +49,12 @@ pub struct Instance {
 impl Instance {
     /// The unnamed `(∗)` instance in the automaton's start state.
     pub fn unnamed(start: StateSet) -> Instance {
-        Instance { states: start, bindings: [Value::NULL; MAX_VARS], known: 0, touch: 0 }
+        Instance {
+            states: start,
+            bindings: [Value::NULL; MAX_VARS],
+            known: 0,
+            touch: 0,
+        }
     }
 
     /// The instance's "name" for diagnostics: `(∗)` or `(v₀=3, v₂=7)`.
@@ -157,7 +162,10 @@ impl Store {
         // `max_instances`") has to survive abandoned scopes too.
         if !cs.instances.is_empty() {
             for slot in 0..cs.instances.len() {
-                d.notify(&LifecycleEvent::Evicted { class, instance: slot as u32 });
+                d.notify(&LifecycleEvent::Evicted {
+                    class,
+                    instance: slot as u32,
+                });
             }
             cs.instances.clear();
         }
@@ -177,7 +185,8 @@ impl Store {
         cs.degraded = false;
         cs.shed_tick = 0;
         if cs.instances.capacity() < def.capacity {
-            cs.instances.reserve_exact(def.capacity - cs.instances.capacity());
+            cs.instances
+                .reserve_exact(def.capacity - cs.instances.capacity());
         }
         let slot = cs.instances.len() as u32;
         let mut star = Instance::unnamed(def.automaton.initial_states());
@@ -187,7 +196,10 @@ impl Store {
         // Events are built once and shared by every handler: handler
         // count must scale at the cost of a virtual call, not of
         // re-materialising (and for clones, re-allocating) payloads.
-        d.notify(&LifecycleEvent::New { class, instance: slot });
+        d.notify(&LifecycleEvent::New {
+            class,
+            instance: slot,
+        });
         true
     }
 
@@ -249,7 +261,9 @@ impl Store {
                             auto.symbols[sym.0 as usize].kind
                         ),
                     );
-                    d.notify(&LifecycleEvent::Error { violation: v.clone() });
+                    d.notify(&LifecycleEvent::Error {
+                        violation: v.clone(),
+                    });
                     out.violation = Some(v);
                     // Stop delivering the event, but fall through to
                     // commit clones already queued by earlier
@@ -357,7 +371,10 @@ impl Store {
                 let from_states = cs.instances[src as usize].states;
                 cs.instances[j] = clone;
                 cs.degraded = true;
-                d.notify(&LifecycleEvent::Evicted { class, instance: j as u32 });
+                d.notify(&LifecycleEvent::Evicted {
+                    class,
+                    instance: j as u32,
+                });
                 if !d.is_empty() {
                     d.notify(&LifecycleEvent::Clone {
                         class,
@@ -396,7 +413,9 @@ impl Store {
                     describe_bindings(&auto.var_names, bindings)
                 ),
             );
-            d.notify(&LifecycleEvent::Error { violation: v.clone() });
+            d.notify(&LifecycleEvent::Error {
+                violation: v.clone(),
+            });
             out.violation = Some(v);
         }
         out
@@ -415,7 +434,11 @@ impl Store {
         let mut violation = None;
         for (i, inst) in cs.instances.iter().enumerate() {
             let accepted = auto.finalise_ok(&inst.states);
-            d.notify(&LifecycleEvent::Finalise { class, instance: i as u32, accepted });
+            d.notify(&LifecycleEvent::Finalise {
+                class,
+                instance: i as u32,
+                accepted,
+            });
             if !accepted && violation.is_none() {
                 let v = def.violation(
                     ViolationKind::Cleanup,
@@ -425,7 +448,9 @@ impl Store {
                         inst.name(&auto.var_names)
                     ),
                 );
-                d.notify(&LifecycleEvent::Error { violation: v.clone() });
+                d.notify(&LifecycleEvent::Error {
+                    violation: v.clone(),
+                });
                 violation = Some(v);
             }
         }
@@ -438,7 +463,10 @@ impl Store {
 
     /// Live instance count for a class (tests, introspection).
     pub fn live_instances(&self, class: u32) -> usize {
-        self.classes.get(class as usize).map(|c| c.instances.len()).unwrap_or(0)
+        self.classes
+            .get(class as usize)
+            .map(|c| c.instances.len())
+            .unwrap_or(0)
     }
 }
 
@@ -478,10 +506,7 @@ mod tests {
         i.known = 0b101;
         i.bindings[0] = Value(7);
         i.bindings[2] = Value(9);
-        assert_eq!(
-            i.name(&["a".into(), "b".into(), "c".into()]),
-            "(a=7, c=9)"
-        );
+        assert_eq!(i.name(&["a".into(), "b".into(), "c".into()]), "(a=7, c=9)");
         assert_eq!(i.known_values(), vec![Value(7), Value(9)]);
     }
 

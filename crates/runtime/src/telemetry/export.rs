@@ -13,7 +13,9 @@ use std::fmt::Write as _;
 
 /// Escape a Prometheus label value.
 fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Escape a JSON string value.
@@ -45,7 +47,11 @@ fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) 
         if *b == 0 {
             continue; // keep the text compact; cumulative stays right
         }
-        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}", 1u64 << i);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}",
+            1u64 << i
+        );
     }
     let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", h.count);
     let bare = labels.trim_end_matches(',');
@@ -57,10 +63,16 @@ fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) 
 /// format (version 0.0.4).
 pub fn prometheus(s: &MetricsSnapshot) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# HELP tesla_events_total Lifecycle events dispatched to handlers.");
+    let _ = writeln!(
+        out,
+        "# HELP tesla_events_total Lifecycle events dispatched to handlers."
+    );
     let _ = writeln!(out, "# TYPE tesla_events_total counter");
     let _ = writeln!(out, "tesla_events_total {}", s.events_total);
-    let _ = writeln!(out, "# HELP tesla_violations_total Assertion violations observed.");
+    let _ = writeln!(
+        out,
+        "# HELP tesla_violations_total Assertion violations observed."
+    );
     let _ = writeln!(out, "# TYPE tesla_violations_total counter");
     let _ = writeln!(out, "tesla_violations_total {}", s.violations);
     let _ = writeln!(
@@ -75,7 +87,10 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
     );
     let _ = writeln!(out, "# TYPE tesla_handler_panics_total counter");
     let _ = writeln!(out, "tesla_handler_panics_total {}", s.handler_panics);
-    let _ = writeln!(out, "# HELP tesla_faults_absorbed_total Injected faults absorbed gracefully.");
+    let _ = writeln!(
+        out,
+        "# HELP tesla_faults_absorbed_total Injected faults absorbed gracefully."
+    );
     let _ = writeln!(out, "# TYPE tesla_faults_absorbed_total counter");
     let _ = writeln!(out, "tesla_faults_absorbed_total {}", s.faults_absorbed);
     let _ = writeln!(
@@ -83,14 +98,29 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
         "# HELP tesla_lock_poison_recoveries_total Poisoned store shard locks recovered."
     );
     let _ = writeln!(out, "# TYPE tesla_lock_poison_recoveries_total counter");
-    let _ = writeln!(out, "tesla_lock_poison_recoveries_total {}", s.lock_poison_recoveries);
+    let _ = writeln!(
+        out,
+        "tesla_lock_poison_recoveries_total {}",
+        s.lock_poison_recoveries
+    );
 
-    let _ = writeln!(out, "# HELP tesla_hook_calls_total Instrumentation hook invocations.");
+    let _ = writeln!(
+        out,
+        "# HELP tesla_hook_calls_total Instrumentation hook invocations."
+    );
     let _ = writeln!(out, "# TYPE tesla_hook_calls_total counter");
     for h in &s.hooks {
-        let _ = writeln!(out, "tesla_hook_calls_total{{hook=\"{}\"}} {}", esc(&h.hook), h.calls);
+        let _ = writeln!(
+            out,
+            "tesla_hook_calls_total{{hook=\"{}\"}} {}",
+            esc(&h.hook),
+            h.calls
+        );
     }
-    let _ = writeln!(out, "# HELP tesla_hook_latency_ns Hook latency, log2 nanosecond buckets.");
+    let _ = writeln!(
+        out,
+        "# HELP tesla_hook_latency_ns Hook latency, log2 nanosecond buckets."
+    );
     let _ = writeln!(out, "# TYPE tesla_hook_latency_ns histogram");
     for h in &s.hooks {
         if h.latency.count == 0 {
@@ -122,7 +152,10 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
             let _ = writeln!(out, "{name}{{class=\"{}\"}} {}", esc(&c.name), get(c));
         }
     }
-    let _ = writeln!(out, "# HELP tesla_transitions_total Automaton edge firings (fig. 9 weights).");
+    let _ = writeln!(
+        out,
+        "# HELP tesla_transitions_total Automaton edge firings (fig. 9 weights)."
+    );
     let _ = writeln!(out, "# TYPE tesla_transitions_total counter");
     for c in &s.classes {
         for t in &c.transitions {
@@ -157,7 +190,11 @@ pub fn json(s: &MetricsSnapshot) -> String {
     let _ = writeln!(out, "  \"sites_elided\": {},", s.sites_elided);
     let _ = writeln!(out, "  \"handler_panics\": {},", s.handler_panics);
     let _ = writeln!(out, "  \"faults_absorbed\": {},", s.faults_absorbed);
-    let _ = writeln!(out, "  \"lock_poison_recoveries\": {},", s.lock_poison_recoveries);
+    let _ = writeln!(
+        out,
+        "  \"lock_poison_recoveries\": {},",
+        s.lock_poison_recoveries
+    );
     let _ = writeln!(out, "  \"hooks\": [");
     for (i, h) in s.hooks.iter().enumerate() {
         let sep = if i + 1 == s.hooks.len() { "" } else { "," };
@@ -334,7 +371,10 @@ mod tests {
                         *i += 1;
                     }
                     let tok = std::str::from_utf8(&b[start..*i]).unwrap();
-                    if tok == "true" || tok == "false" || tok == "null" || tok.parse::<f64>().is_ok()
+                    if tok == "true"
+                        || tok == "false"
+                        || tok == "null"
+                        || tok.parse::<f64>().is_ok()
                     {
                         Ok(())
                     } else {
@@ -373,8 +413,15 @@ mod tests {
     fn populated() -> MetricsRegistry {
         let r = MetricsRegistry::new();
         r.record_hook(HookKind::FnEntry, Duration::from_nanos(900));
-        r.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
-        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: true });
+        r.on_event(&LifecycleEvent::New {
+            class: 0,
+            instance: 0,
+        });
+        r.on_event(&LifecycleEvent::Finalise {
+            class: 0,
+            instance: 0,
+            accepted: true,
+        });
         r
     }
 
@@ -384,7 +431,9 @@ mod tests {
         for line in text.lines() {
             assert!(
                 line.starts_with('#')
-                    || line.rsplit_once(' ').is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                    || line
+                        .rsplit_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
                 "bad exposition line: {line}"
             );
         }
@@ -406,7 +455,10 @@ mod tests {
     #[test]
     fn jsonl_and_chrome_trace_parse() {
         let rec = FlightRecorder::new(64);
-        rec.on_event(&LifecycleEvent::New { class: 1, instance: 2 });
+        rec.on_event(&LifecycleEvent::New {
+            class: 1,
+            instance: 2,
+        });
         rec.on_event(&LifecycleEvent::Overflow { class: 1 });
         let events = rec.snapshot();
 
@@ -428,6 +480,10 @@ mod tests {
     fn escaping_keeps_output_parseable() {
         assert_eq!(jesc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("x\"y"), "x\\\"y");
-        check_json(&format!("{{\"k\":\"{}\"}}", jesc("quote \" slash \\ nl \n"))).unwrap();
+        check_json(&format!(
+            "{{\"k\":\"{}\"}}",
+            jesc("quote \" slash \\ nl \n")
+        ))
+        .unwrap();
     }
 }

@@ -145,7 +145,11 @@ impl LatencyHistogram {
     /// Point-in-time copy.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
         }
@@ -203,7 +207,10 @@ impl ClassMetrics {
     /// The class's assertion name (or a placeholder when events were
     /// observed without a registration).
     pub fn name(&self) -> &str {
-        self.name.get().map(String::as_str).unwrap_or("unregistered")
+        self.name
+            .get()
+            .map(String::as_str)
+            .unwrap_or("unregistered")
     }
 
     /// Instance initialisations.
@@ -382,7 +389,9 @@ impl MetricsRegistry {
     pub fn new() -> MetricsRegistry {
         MetricsRegistry {
             hook_calls: (0..COUNTER_STRIPES)
-                .map(|_| HookCallStripe { calls: std::array::from_fn(|_| AtomicU64::new(0)) })
+                .map(|_| HookCallStripe {
+                    calls: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
                 .collect(),
             hook_latency: std::array::from_fn(|_| LatencyHistogram::new()),
             classes: (0..MAX_DENSE_CLASSES).map(|_| OnceLock::new()).collect(),
@@ -421,12 +430,19 @@ impl MetricsRegistry {
                 None
             }
         });
-        HookTimer { registry: self, kind, t0 }
+        HookTimer {
+            registry: self,
+            kind,
+            t0,
+        }
     }
 
     /// Calls into `kind` so far (exact: sums the thread stripes).
     pub fn hook_calls(&self, kind: HookKind) -> u64 {
-        self.hook_calls.iter().map(|s| s.calls[kind as usize].load(Ordering::Relaxed)).sum()
+        self.hook_calls
+            .iter()
+            .map(|s| s.calls[kind as usize].load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Latency distribution for `kind`.
@@ -609,7 +625,12 @@ impl EventHandler for MetricsRegistry {
                     c.inc_live();
                 }
             }
-            LifecycleEvent::Update { class, sym, from_states, .. } => {
+            LifecycleEvent::Update {
+                class,
+                sym,
+                from_states,
+                ..
+            } => {
                 // The weight cell is the update counter (see
                 // [`ClassMetrics`]); touching the class slot keeps the
                 // class visible to snapshots even before registration.
@@ -619,7 +640,9 @@ impl EventHandler for MetricsRegistry {
             LifecycleEvent::Error { .. } => {
                 self.violations.fetch_add(1, Ordering::Relaxed);
             }
-            LifecycleEvent::Finalise { class, accepted, .. } => {
+            LifecycleEvent::Finalise {
+                class, accepted, ..
+            } => {
                 if let Some(c) = self.class_ref(*class) {
                     if *accepted {
                         c.accepted.fetch_add(1, Ordering::Relaxed);
@@ -710,7 +733,10 @@ mod tests {
         )
         .unwrap();
         r.on_register(0, &a);
-        r.on_event(&LifecycleEvent::New { class: 0, instance: 0 });
+        r.on_event(&LifecycleEvent::New {
+            class: 0,
+            instance: 0,
+        });
         r.on_event(&LifecycleEvent::Clone {
             class: 0,
             from_instance: 0,
@@ -725,7 +751,11 @@ mod tests {
             from_states: a.initial_states(),
             to_states: StateSet::singleton(1),
         });
-        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 1, accepted: true });
+        r.on_event(&LifecycleEvent::Finalise {
+            class: 0,
+            instance: 1,
+            accepted: true,
+        });
         let c = r.class(0).unwrap();
         assert_eq!(c.name(), a.name);
         assert_eq!(c.news(), 1);
@@ -738,8 +768,16 @@ mod tests {
         assert_eq!(r.events_total(), 4);
         assert_eq!(r.weights().symbol_count(0, a.site_sym), 1);
         // Extra finalises drive the balance negative; the gauge clamps.
-        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: false });
-        r.on_event(&LifecycleEvent::Finalise { class: 0, instance: 0, accepted: false });
+        r.on_event(&LifecycleEvent::Finalise {
+            class: 0,
+            instance: 0,
+            accepted: false,
+        });
+        r.on_event(&LifecycleEvent::Finalise {
+            class: 0,
+            instance: 0,
+            accepted: false,
+        });
         assert_eq!(c.live(), 0);
         assert_eq!(c.rejected(), 2);
     }

@@ -182,32 +182,52 @@ pub struct RecordedEvent {
 impl RecordedEvent {
     fn pack(ev: &LifecycleEvent) -> (u64, u64, u64) {
         let low = |s: &StateSet| {
-            s.iter().take_while(|&b| b < 64).fold(0u64, |acc, b| acc | 1 << b)
+            s.iter()
+                .take_while(|&b| b < 64)
+                .fold(0u64, |acc, b| acc | 1 << b)
         };
         match ev {
             LifecycleEvent::New { class, instance } => {
                 (K_NEW | (u64::from(*class) << 8), u64::from(*instance), 0)
             }
-            LifecycleEvent::Clone { class, from_instance, to_instance, states, .. } => (
+            LifecycleEvent::Clone {
+                class,
+                from_instance,
+                to_instance,
+                states,
+                ..
+            } => (
                 K_CLONE | (u64::from(*class) << 8),
                 u64::from(*from_instance) | (u64::from(*to_instance) << 32),
                 low(states),
             ),
-            LifecycleEvent::Update { class, instance, sym, from_states, .. } => (
+            LifecycleEvent::Update {
+                class,
+                instance,
+                sym,
+                from_states,
+                ..
+            } => (
                 K_UPDATE | (u64::from(*class) << 8) | (u64::from(sym.0) << 40),
                 u64::from(*instance),
                 low(from_states),
             ),
             LifecycleEvent::Error { .. } => (K_ERROR, 0, 0),
-            LifecycleEvent::Finalise { class, instance, accepted } => (
+            LifecycleEvent::Finalise {
+                class,
+                instance,
+                accepted,
+            } => (
                 K_FINALISE | (u64::from(*class) << 8),
                 u64::from(*instance) | (u64::from(*accepted) << 32),
                 0,
             ),
             LifecycleEvent::Overflow { class } => (K_OVERFLOW | (u64::from(*class) << 8), 0, 0),
-            LifecycleEvent::Evicted { class, instance } => {
-                (K_EVICTED | (u64::from(*class) << 8), u64::from(*instance), 0)
-            }
+            LifecycleEvent::Evicted { class, instance } => (
+                K_EVICTED | (u64::from(*class) << 8),
+                u64::from(*instance),
+                0,
+            ),
             LifecycleEvent::Shed { class } => (K_SHED | (u64::from(*class) << 8), 0, 0),
         }
     }
@@ -308,7 +328,11 @@ impl FlightRecorder {
 
     /// Total events ever recorded (including overwritten ones).
     pub fn total_recorded(&self) -> u64 {
-        self.rings.lock().iter().map(|r| r.head.load(Ordering::Acquire)).sum()
+        self.rings
+            .lock()
+            .iter()
+            .map(|r| r.head.load(Ordering::Acquire))
+            .sum()
     }
 
     /// Events lost to overwrite-oldest across all rings.
@@ -370,7 +394,11 @@ mod tests {
     fn records_and_decodes_events() {
         let r = FlightRecorder::new(64);
         r.on_event(&ev(3, 9));
-        r.on_event(&LifecycleEvent::Finalise { class: 3, instance: 9, accepted: true });
+        r.on_event(&LifecycleEvent::Finalise {
+            class: 3,
+            instance: 9,
+            accepted: true,
+        });
         let snap = r.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].kind, "new");

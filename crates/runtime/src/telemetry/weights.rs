@@ -113,8 +113,15 @@ impl ClassWeights {
         for (i, s) in dfa.states.iter().enumerate() {
             state_index.insert(*s, i as u32);
         }
-        let cells = (0..dfa.states.len() * n_syms).map(|_| AtomicU64::new(0)).collect();
-        ClassWeights { n_syms, states: dfa.states.into_boxed_slice(), state_index, cells }
+        let cells = (0..dfa.states.len() * n_syms)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        ClassWeights {
+            n_syms,
+            states: dfa.states.into_boxed_slice(),
+            state_index,
+            cells,
+        }
     }
 
     /// Dense row for an exact state set, if indexed.
@@ -129,7 +136,11 @@ impl ClassWeights {
 
     /// Number of DFA states (matrix rows).
     pub fn n_states(&self) -> usize {
-        if self.n_syms == 0 { 0 } else { self.cells.len() / self.n_syms }
+        if self.n_syms == 0 {
+            0
+        } else {
+            self.cells.len() / self.n_syms
+        }
     }
 
     /// Number of symbols (matrix columns).
@@ -219,7 +230,9 @@ impl TransitionWeights {
     pub fn new() -> TransitionWeights {
         TransitionWeights {
             dense: (0..MAX_DENSE_CLASSES).map(|_| OnceLock::new()).collect(),
-            spill: (0..SPILL_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            spill: (0..SPILL_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -256,7 +269,10 @@ impl TransitionWeights {
             }
         }
         let key = (class, *from, sym);
-        *self.spill[Self::stripe(&key)].lock().entry(key).or_insert(0) += 1;
+        *self.spill[Self::stripe(&key)]
+            .lock()
+            .entry(key)
+            .or_insert(0) += 1;
     }
 
     /// Exact count for `(class, from, sym)` — dense plus spillover
@@ -268,8 +284,11 @@ impl TransitionWeights {
             .and_then(|cw| cw.count_from(from, sym))
             .unwrap_or(0);
         let key = (class, *from, sym);
-        let spilled =
-            self.spill[Self::stripe(&key)].lock().get(&key).copied().unwrap_or(0);
+        let spilled = self.spill[Self::stripe(&key)]
+            .lock()
+            .get(&key)
+            .copied()
+            .unwrap_or(0);
         dense + spilled
     }
 
@@ -333,7 +352,11 @@ impl TransitionWeights {
         }
         for stripe in self.spill.iter() {
             syms.extend(
-                stripe.lock().keys().filter(|(c, _, _)| *c == class).map(|(_, _, s)| *s),
+                stripe
+                    .lock()
+                    .keys()
+                    .filter(|(c, _, _)| *c == class)
+                    .map(|(_, _, s)| *s),
             );
         }
         syms.sort_unstable();

@@ -117,12 +117,14 @@ fn same_seed_same_ledger() {
     let (_, a) = run_chaos(0xDEAD_BEEF, FaultSpec::default_chaos());
     let (_, b) = run_chaos(0xDEAD_BEEF, FaultSpec::default_chaos());
     assert_eq!(a, b, "same seed must reproduce the same ledger");
-    assert!(a.total_injected() > 0, "the default menu must actually fire");
+    assert!(
+        a.total_injected() > 0,
+        "the default menu must actually fire"
+    );
     // And a different seed shifts the phases. Totals of a single other
     // seed can coincide by chance (they differ by at most one fire per
     // kind), so ask only that *some* nearby seed lands elsewhere.
-    let shifted = (1..=8u64)
-        .any(|k| run_chaos(0xDEAD_BEEF + k, FaultSpec::default_chaos()).1 != a);
+    let shifted = (1..=8u64).any(|k| run_chaos(0xDEAD_BEEF + k, FaultSpec::default_chaos()).1 != a);
     assert!(shifted, "eight different seeds all reproduced {a}");
 }
 
@@ -145,21 +147,18 @@ fn single_kind_plans_absorb_at_their_site() {
     use tesla_runtime::FaultKind;
     tesla_runtime::faults::silence_injected_panics();
 
-    let (snap, ledger) =
-        run_chaos(11, FaultSpec::none().with(FaultKind::LockPoison, 5));
+    let (snap, ledger) = run_chaos(11, FaultSpec::none().with(FaultKind::LockPoison, 5));
     assert!(ledger.balanced());
     assert!(ledger.total_injected() > 0);
     assert_eq!(snap.lock_poison_recoveries, ledger.total_injected());
 
-    let (snap, ledger) =
-        run_chaos(13, FaultSpec::none().with(FaultKind::AllocFailure, 2));
+    let (snap, ledger) = run_chaos(13, FaultSpec::none().with(FaultKind::AllocFailure, 2));
     assert!(ledger.balanced());
     assert!(ledger.total_injected() > 0);
     let overflows: u64 = snap.classes.iter().map(|c| c.overflows).sum();
     assert_eq!(overflows, ledger.total_injected());
 
-    let (snap, ledger) =
-        run_chaos(17, FaultSpec::none().with(FaultKind::HandlerPanic, 6));
+    let (snap, ledger) = run_chaos(17, FaultSpec::none().with(FaultKind::HandlerPanic, 6));
     assert!(ledger.balanced());
     assert!(ledger.total_injected() > 0);
     assert_eq!(snap.handler_panics, ledger.total_injected());
@@ -184,7 +183,11 @@ fn quota_lru_sheds_and_never_exceeds() {
     workload(&t, id);
     let snap = t.metrics().snapshot();
     let c = &snap.classes[0];
-    assert!(c.high_watermark <= QUOTA as u64, "peak {}", c.high_watermark);
+    assert!(
+        c.high_watermark <= QUOTA as u64,
+        "peak {}",
+        c.high_watermark
+    );
     assert!(c.evictions > 0, "the burst must have evicted");
     assert!(c.shed > 0, "degraded mode must have shed clones");
     // Detection stays sound for retained instances: the per-scope

@@ -123,7 +123,10 @@ fn disjoint_groups_do_not_interfere() {
         w.join().unwrap();
     }
     let per_thread_violations = ITERS.div_ceil(10);
-    assert_eq!(t.violations().len(), THREADS * per_thread_violations as usize);
+    assert_eq!(
+        t.violations().len(),
+        THREADS * per_thread_violations as usize
+    );
     // Per-class coverage is exact: every site hit and every violation
     // is attributed to the class whose thread produced it.
     for (name, hits, viols) in t.coverage() {
@@ -284,10 +287,17 @@ fn telemetry_counters_are_exact_under_parallel_dispatch() {
     let m = t.metrics();
 
     assert_eq!(m.violations(), errors);
-    assert_eq!(m.events_total(), news + clones + updates + errors + finalises);
+    assert_eq!(
+        m.events_total(),
+        news + clones + updates + errors + finalises
+    );
 
     let snap = m.snapshot();
-    let c = snap.classes.iter().find(|c| c.class == id.0).expect("class metrics");
+    let c = snap
+        .classes
+        .iter()
+        .find(|c| c.class == id.0)
+        .expect("class metrics");
     assert_eq!(c.news, news);
     assert_eq!(c.clones, clones);
     assert_eq!(c.updates, updates);
@@ -316,7 +326,10 @@ fn telemetry_counters_are_exact_under_parallel_dispatch() {
     // Hook instrumentation totals are exact too.
     assert_eq!(m.hook_calls(HookKind::FnEntry), 1 + THREADS * PRODUCED);
     assert_eq!(m.hook_calls(HookKind::FnExit), 1 + THREADS * PRODUCED);
-    assert_eq!(m.hook_calls(HookKind::AssertionSite), THREADS * (PRODUCED + VIOLATIONS));
+    assert_eq!(
+        m.hook_calls(HookKind::AssertionSite),
+        THREADS * (PRODUCED + VIOLATIONS)
+    );
     // Latency histograms are sampled (one-in-N per thread): bounded
     // by the exact call count, and non-empty because each thread's
     // first hook is always sampled.
@@ -331,7 +344,10 @@ fn telemetry_counters_are_exact_under_parallel_dispatch() {
     let log = recorder.snapshot();
     assert_eq!(log.len() as u64, m.events_total());
     assert!(log.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
-    assert!(recorder.thread_count() >= 2, "worker threads got their own rings");
+    assert!(
+        recorder.thread_count() >= 2,
+        "worker threads got their own rings"
+    );
 }
 
 /// A bounded recording handler under the same parallel load: the

@@ -36,7 +36,10 @@ fn scope(
     id: tesla_runtime::ClassId,
     ok: u64,
     bad: Option<u64>,
-) -> (Result<(), tesla_runtime::Violation>, Result<(), tesla_runtime::Violation>) {
+) -> (
+    Result<(), tesla_runtime::Violation>,
+    Result<(), tesla_runtime::Violation>,
+) {
     let req = t.intern_fn("req");
     let check = t.intern_fn("check");
     t.fn_entry(req, &[]).unwrap();
@@ -64,7 +67,10 @@ fn fail_stop_returns_the_violation_and_stays_live() {
     assert_eq!(t.violations().len(), 1);
     // Handlers saw the Error lifecycle event (delivery, not just the
     // returned value).
-    assert!(rec.events().iter().any(|e| matches!(e, LifecycleEvent::Error { .. })));
+    assert!(rec
+        .events()
+        .iter()
+        .any(|e| matches!(e, LifecycleEvent::Error { .. })));
     // Liveness: a fresh scope still checks correctly.
     let (pass, fail) = scope(&t, id, 3, Some(4));
     assert!(pass.is_ok());
@@ -100,10 +106,7 @@ fn panic_mode_panics_with_context_and_stays_live() {
     .unwrap_err();
     // The panic payload is the violation's display form — actionable,
     // like the fail-stop message.
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("req_check"), "panic payload: {msg}");
     // The violation was logged *before* unwinding.
     assert_eq!(t.violations().len(), 1);
@@ -118,19 +121,31 @@ fn zero_limits_are_rejected_with_typed_errors() {
     use tesla_runtime::ConfigError;
     let cases: [(Config, ConfigError); 4] = [
         (
-            Config { global_shards: 0, ..Config::default() },
+            Config {
+                global_shards: 0,
+                ..Config::default()
+            },
             ConfigError::ZeroGlobalShards,
         ),
         (
-            Config { instance_capacity: 0, ..Config::default() },
+            Config {
+                instance_capacity: 0,
+                ..Config::default()
+            },
             ConfigError::ZeroInstanceCapacity,
         ),
         (
-            Config { max_instances: Some(0), ..Config::default() },
+            Config {
+                max_instances: Some(0),
+                ..Config::default()
+            },
             ConfigError::ZeroMaxInstances,
         ),
         (
-            Config { degraded_sample: 0, ..Config::default() },
+            Config {
+                degraded_sample: 0,
+                ..Config::default()
+            },
             ConfigError::ZeroDegradedSample,
         ),
     ];
@@ -139,9 +154,14 @@ fn zero_limits_are_rejected_with_typed_errors() {
     }
     // And the panicking constructor reports the same diagnosis instead
     // of a modulo-by-zero deep inside a hook.
-    let err = catch_unwind(|| Tesla::new(Config { global_shards: 0, ..Config::default() }))
-        .err()
-        .expect("zero shards must panic in Tesla::new");
+    let err = catch_unwind(|| {
+        Tesla::new(Config {
+            global_shards: 0,
+            ..Config::default()
+        })
+    })
+    .err()
+    .expect("zero shards must panic in Tesla::new");
     let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("global_shards"), "panic payload: {msg}");
 }
@@ -180,14 +200,20 @@ fn all_modes_deliver_under_injected_handler_panics() {
         // saw the Error event.
         assert_eq!(t.violations().len(), 1, "mode {mode:?}");
         assert!(
-            rec.events().iter().any(|e| matches!(e, LifecycleEvent::Error { .. })),
+            rec.events()
+                .iter()
+                .any(|e| matches!(e, LifecycleEvent::Error { .. })),
             "mode {mode:?}"
         );
         // Every injected panic was absorbed and accounted.
         let l = plan.ledger();
         assert!(l.balanced(), "mode {mode:?}: {l}");
         assert!(l.total_injected() > 0, "mode {mode:?}");
-        assert_eq!(t.metrics().handler_panics(), l.total_injected(), "mode {mode:?}");
+        assert_eq!(
+            t.metrics().handler_panics(),
+            l.total_injected(),
+            "mode {mode:?}"
+        );
         // Liveness after the chaos: one more scope with no violation
         // (so even Panic mode returns), which must pass cleanly.
         let (pass, _) = catch_unwind(AssertUnwindSafe(|| scope(&t, id, 7, None))).unwrap();

@@ -7,16 +7,25 @@
 use std::sync::Arc;
 use tesla_automata::compile;
 use tesla_runtime::{
-    engine::reset_thread_state, CountingHandler, Config, FailMode, InitMode, RecordingHandler,
+    engine::reset_thread_state, Config, CountingHandler, FailMode, InitMode, RecordingHandler,
     Tesla, Violation, ViolationKind,
 };
 use tesla_spec::{call, field_assign, msg_send, AssertionBuilder, ExprBuilder, FieldOp, Value};
 
 fn syscall_poll_engine(init: InitMode, fail: FailMode) -> (Tesla, tesla_runtime::ClassId) {
-    let t = Tesla::new(Config { fail_mode: fail, init_mode: init, ..Config::default() });
+    let t = Tesla::new(Config {
+        fail_mode: fail,
+        init_mode: init,
+        ..Config::default()
+    });
     let a = AssertionBuilder::syscall()
         .named("mac_poll")
-        .previously(call("mac_socket_check_poll").any_ptr().arg_var("so").returns(0))
+        .previously(
+            call("mac_socket_check_poll")
+                .any_ptr()
+                .arg_var("so")
+                .returns(0),
+        )
         .build()
         .unwrap();
     let id = t.register(compile(&a).unwrap()).unwrap();
@@ -156,7 +165,10 @@ fn failed_check_return_value_does_not_arm_the_automaton() {
 }
 
 fn eventually_engine(fail: FailMode) -> (Tesla, tesla_runtime::ClassId) {
-    let t = Tesla::new(Config { fail_mode: fail, ..Config::default() });
+    let t = Tesla::new(Config {
+        fail_mode: fail,
+        ..Config::default()
+    });
     let a = AssertionBuilder::syscall()
         .named("sugid_flag")
         .eventually(
@@ -178,7 +190,8 @@ fn eventually_met_accepts() {
     let (proc_s, p_flag) = (t.intern_struct("proc"), t.intern_field("p_flag"));
     t.fn_entry(syscall, &[]).unwrap();
     t.assertion_site(id, &[Value(55)]).unwrap();
-    t.field_store(proc_s, p_flag, Value(55), FieldOp::OrAssign, Value(0x100)).unwrap();
+    t.field_store(proc_s, p_flag, Value(55), FieldOp::OrAssign, Value(0x100))
+        .unwrap();
     t.fn_exit(syscall, &[], Value(0)).unwrap();
     assert!(t.violations().is_empty());
 }
@@ -202,7 +215,8 @@ fn eventually_wrong_object_fails_at_cleanup() {
     t.fn_entry(syscall, &[]).unwrap();
     t.assertion_site(id, &[Value(55)]).unwrap();
     // Flag set on a *different* process.
-    t.field_store(proc_s, p_flag, Value(56), FieldOp::OrAssign, Value(0x100)).unwrap();
+    t.field_store(proc_s, p_flag, Value(56), FieldOp::OrAssign, Value(0x100))
+        .unwrap();
     let err = t.fn_exit(syscall, &[], Value(0)).unwrap_err();
     assert_eq!(err.kind, ViolationKind::Cleanup);
 }
@@ -215,7 +229,8 @@ fn field_op_must_match() {
     t.fn_entry(syscall, &[]).unwrap();
     t.assertion_site(id, &[Value(55)]).unwrap();
     // Plain assignment is not the asserted |= event.
-    t.field_store(proc_s, p_flag, Value(55), FieldOp::Assign, Value(0x100)).unwrap();
+    t.field_store(proc_s, p_flag, Value(55), FieldOp::Assign, Value(0x100))
+        .unwrap();
     assert!(t.fn_exit(syscall, &[], Value(0)).is_err());
 }
 
@@ -295,11 +310,13 @@ fn incallstack_guard_consults_shadow_stack() {
     let a = AssertionBuilder::syscall()
         .named("ufs_read_paths")
         .body(
-            ExprBuilder::in_callstack("ufs_readdir")
-                .or(ExprBuilder::from(
-                    call("mac_vnode_check_read").any_ptr().arg_var("vp").returns(0),
-                )
-                .then(ExprBuilder::site())),
+            ExprBuilder::in_callstack("ufs_readdir").or(ExprBuilder::from(
+                call("mac_vnode_check_read")
+                    .any_ptr()
+                    .arg_var("vp")
+                    .returns(0),
+            )
+            .then(ExprBuilder::site())),
         )
         .build()
         .unwrap();
@@ -341,7 +358,10 @@ fn message_events_flow_like_functions() {
 
 #[test]
 fn overflow_is_reported_not_silent() {
-    let t = Tesla::new(Config { instance_capacity: 3, ..Config::default() });
+    let t = Tesla::new(Config {
+        instance_capacity: 3,
+        ..Config::default()
+    });
     let counting = Arc::new(CountingHandler::new());
     t.add_handler(counting.clone());
     let a = AssertionBuilder::syscall()
@@ -476,7 +496,10 @@ fn global_context_spans_threads() {
 
 #[test]
 fn per_thread_context_isolates_threads() {
-    let t = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
     let a = AssertionBuilder::syscall()
         .named("thread_local_check")
         .previously(call("check").arg_var("x").returns(0))
@@ -518,8 +541,10 @@ fn coverage_reports_unexercised_assertions() {
     poll_scenario(&t, id, Some(1), Some(1)).unwrap();
     let cov = t.coverage();
     assert_eq!(cov.len(), 2);
-    let by_name: std::collections::HashMap<_, _> =
-        cov.into_iter().map(|(n, hits, viols)| (n, (hits, viols))).collect();
+    let by_name: std::collections::HashMap<_, _> = cov
+        .into_iter()
+        .map(|(n, hits, viols)| (n, (hits, viols)))
+        .collect();
     assert_eq!(by_name["mac_poll"].0, 1);
     assert_eq!(by_name["never_run"].0, 0);
 }
@@ -535,7 +560,9 @@ fn recording_handler_sees_full_lifecycle() {
     assert!(evs.iter().any(|e| matches!(e, E::New { .. })));
     assert!(evs.iter().any(|e| matches!(e, E::Clone { .. })));
     assert!(evs.iter().any(|e| matches!(e, E::Update { .. })));
-    assert!(evs.iter().any(|e| matches!(e, E::Finalise { accepted: true, .. })));
+    assert!(evs
+        .iter()
+        .any(|e| matches!(e, E::Finalise { accepted: true, .. })));
 }
 
 #[test]
@@ -545,15 +572,31 @@ fn or_assertion_accepts_either_check_at_runtime() {
     let a = AssertionBuilder::syscall()
         .named("ufs_open")
         .previously(
-            ExprBuilder::from(call("mac_kld_check_load").any_ptr().arg_var("vp").returns(0))
-                .or(call("mac_vnode_check_exec").any_ptr().arg_var("vp").returns(0))
-                .or(call("mac_vnode_check_open").any_ptr().arg_var("vp").any("int").returns(0)),
+            ExprBuilder::from(
+                call("mac_kld_check_load")
+                    .any_ptr()
+                    .arg_var("vp")
+                    .returns(0),
+            )
+            .or(call("mac_vnode_check_exec")
+                .any_ptr()
+                .arg_var("vp")
+                .returns(0))
+            .or(call("mac_vnode_check_open")
+                .any_ptr()
+                .arg_var("vp")
+                .any("int")
+                .returns(0)),
         )
         .build()
         .unwrap();
     let id = t.register(compile(&a).unwrap()).unwrap();
     let syscall = t.intern_fn("amd64_syscall");
-    for check in ["mac_kld_check_load", "mac_vnode_check_exec", "mac_vnode_check_open"] {
+    for check in [
+        "mac_kld_check_load",
+        "mac_vnode_check_exec",
+        "mac_vnode_check_open",
+    ] {
         let c = t.intern_fn(check);
         t.fn_entry(syscall, &[]).unwrap();
         let args = [Value(1), Value(5), Value(0)];
@@ -652,8 +695,11 @@ fn free_variables_track_function_pointer_identity() {
         .build()
         .unwrap();
     let id = t.register(compile(&a).unwrap()).unwrap();
-    let (loop_fn, reg, inv) =
-        (t.intern_fn("dispatch_loop"), t.intern_fn("register_cb"), t.intern_fn("invoke_cb"));
+    let (loop_fn, reg, inv) = (
+        t.intern_fn("dispatch_loop"),
+        t.intern_fn("register_cb"),
+        t.intern_fn("invoke_cb"),
+    );
 
     let run = |registered: u64, invoked: u64| -> Result<(), tesla_runtime::Violation> {
         t.fn_entry(loop_fn, &[])?;
@@ -757,7 +803,10 @@ fn strict_violation_keeps_clones_queued_by_earlier_instances() {
     // `Store::apply_event` before committing clones queued by earlier
     // instances in the same event, so Log-mode callers lost
     // specialisations that later events should still observe.
-    let t = Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() });
+    let t = Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    });
     // `xor` makes the branches exclusive: once an instance has taken
     // the `b` branch, `a` has no transition from its state.
     let a = AssertionBuilder::within("g")
@@ -812,7 +861,9 @@ fn stale_instances_cleared_on_epoch_change() {
     let check_sym = auto
         .symbols
         .iter()
-        .find(|s| matches!(&s.kind, tesla_automata::SymbolKind::Function { name, .. } if name == "c"))
+        .find(
+            |s| matches!(&s.kind, tesla_automata::SymbolKind::Function { name, .. } if name == "c"),
+        )
         .unwrap()
         .id;
     let def = ClassDef {
@@ -836,7 +887,15 @@ fn stale_instances_cleared_on_epoch_change() {
     store.groups[0].depth = 1;
     store.groups[0].epoch = 1;
     store.materialize(0, &def, &silent);
-    store.apply_event(0, &def, check_sym, &[(0, Value(5))], false, &mut |_| true, &silent);
+    store.apply_event(
+        0,
+        &def,
+        check_sym,
+        &[(0, Value(5))],
+        false,
+        &mut |_| true,
+        &silent,
+    );
     assert_eq!(store.live_instances(0), 2);
     // The scope is abandoned without finalisation; the next outermost
     // bound entry starts epoch 2.
@@ -857,17 +916,35 @@ fn stale_instances_cleared_on_epoch_change() {
     let evs = rec.events();
     assert_eq!(evs.len(), 3, "got {evs:?}");
     assert!(
-        matches!(evs[0], tesla_runtime::LifecycleEvent::Evicted { class: 0, instance: 0 }),
+        matches!(
+            evs[0],
+            tesla_runtime::LifecycleEvent::Evicted {
+                class: 0,
+                instance: 0
+            }
+        ),
         "got {:?}",
         evs[0]
     );
     assert!(
-        matches!(evs[1], tesla_runtime::LifecycleEvent::Evicted { class: 0, instance: 1 }),
+        matches!(
+            evs[1],
+            tesla_runtime::LifecycleEvent::Evicted {
+                class: 0,
+                instance: 1
+            }
+        ),
         "got {:?}",
         evs[1]
     );
     assert!(
-        matches!(evs[2], tesla_runtime::LifecycleEvent::New { class: 0, instance: 0 }),
+        matches!(
+            evs[2],
+            tesla_runtime::LifecycleEvent::New {
+                class: 0,
+                instance: 0
+            }
+        ),
         "got {:?}",
         evs[2]
     );

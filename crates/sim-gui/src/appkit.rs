@@ -63,7 +63,11 @@ pub struct GState {
 
 impl Default for GState {
     fn default() -> GState {
-        GState { color: 0, line_width: 1, pos: (0, 0) }
+        GState {
+            color: 0,
+            line_width: 1,
+            pos: (0, 0),
+        }
     }
 }
 
@@ -267,7 +271,11 @@ impl GuiWorld {
         });
         rt.add_method(ns_ctx, sels.fill_rect, |w, _r, a| {
             let color = w.gstate.color;
-            w.framebuffer.push(DrawOp::Fill { at: (a[0], a[1]), size: (a[2], a[3]), color });
+            w.framebuffer.push(DrawOp::Fill {
+                at: (a[0], a[1]),
+                size: (a[2], a[3]),
+                color,
+            });
             0
         });
 
@@ -363,7 +371,13 @@ impl GuiWorld {
         let ns_cell = self.find_class("NSCell");
         let obj = self.rt.alloc(ns_view);
         let cell = self.rt.alloc(ns_cell);
-        self.views.push(ViewState { obj, cell, frame, cursor, inside: false });
+        self.views.push(ViewState {
+            obj,
+            cell,
+            frame,
+            cursor,
+            inside: false,
+        });
         obj
     }
 
@@ -510,16 +524,19 @@ mod tests {
 
     #[test]
     fn cursor_bug_duplicates_pushes() {
-        let bugs = GuiBugs { duplicate_cursor_push: true, ..GuiBugs::default() };
+        let bugs = GuiBugs {
+            duplicate_cursor_push: true,
+            ..GuiBugs::default()
+        };
         let mut w = GuiWorld::new(TraceMode::Release, bugs);
         w.add_view((0, 0, 10, 10), 7);
         w.deliver(UiEvent::MouseMoved(5, 5)).unwrap(); // push
         w.deliver(UiEvent::InvalidateTracking).unwrap(); // late invalidation: no exit!
         w.deliver(UiEvent::MouseMoved(6, 6)).unwrap(); // duplicate push
         w.deliver(UiEvent::MouseMoved(50, 50)).unwrap(); // one pop
-        // "a later pop only popping one of a number of duplicated
-        // copies of the same cursor, leaving the UI in the wrong
-        // state."
+                                                         // "a later pop only popping one of a number of duplicated
+                                                         // copies of the same cursor, leaving the UI in the wrong
+                                                         // state."
         assert_eq!(w.cursor_stack, vec![i64::from(w.cursor_obj.0)]);
     }
 
@@ -532,7 +549,10 @@ mod tests {
 
     #[test]
     fn lifo_only_backend_draws_wrong_colours() {
-        let bugs = GuiBugs { backend_lifo_only: true, ..GuiBugs::default() };
+        let bugs = GuiBugs {
+            backend_lifo_only: true,
+            ..GuiBugs::default()
+        };
         let mut w = GuiWorld::new(TraceMode::Release, bugs);
         let colors = w.draw_non_lifo_scene().unwrap();
         assert_ne!(colors, vec![0xff0000, 0x0000ff, 0xff0000]);

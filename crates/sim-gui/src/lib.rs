@@ -72,7 +72,8 @@ impl TrivialInterposer {
 
 impl Interposer<GuiWorld> for TrivialInterposer {
     fn pre(&self, _w: &GuiWorld, _r: ObjId, _s: &str, _a: &[i64]) -> Result<(), String> {
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
     fn post(
@@ -102,7 +103,11 @@ impl TeslaInterposer {
         engine: Arc<Tesla>,
         handler: Option<Arc<dyn Fn(&TraceEvent) + Send + Sync>>,
     ) -> TeslaInterposer {
-        TeslaInterposer { engine, sel_ids: Mutex::new(HashMap::new()), handler }
+        TeslaInterposer {
+            engine,
+            sel_ids: Mutex::new(HashMap::new()),
+            handler,
+        }
     }
 
     fn sel_id(&self, name: &str) -> NameId {
@@ -118,7 +123,12 @@ impl TeslaInterposer {
     fn emit(&self, w: &GuiWorld, entry: bool, recv: ObjId, sel: &str) {
         if let Some(h) = &self.handler {
             let class = w.rt.class_name(w.rt.class_of(recv)).to_string();
-            h(&TraceEvent { entry, receiver: recv.0, class, selector: sel.to_string() });
+            h(&TraceEvent {
+                entry,
+                receiver: recv.0,
+                class,
+                selector: sel.to_string(),
+            });
         }
     }
 }
@@ -155,8 +165,7 @@ impl Interposer<GuiWorld> for TeslaInterposer {
 /// methods should have been called — a pure tracing automaton over
 /// the full selector list.
 pub fn figure8_assertion(selectors: &[String]) -> tesla_spec::Assertion {
-    let alts: Vec<ExprBuilder> =
-        selectors.iter().map(|s| msg_send(s).into()).collect();
+    let alts: Vec<ExprBuilder> = selectors.iter().map(|s| msg_send(s).into()).collect();
     AssertionBuilder::within("run_loop_iteration")
         .named("gui/trace")
         .previously(atleast(0, alts))
@@ -191,7 +200,9 @@ impl GuiApp {
         let tesla = match mode {
             GuiMode::Release | GuiMode::TracingEnabled => None,
             GuiMode::Interposed => {
-                world.rt.set_interposer(Arc::new(TrivialInterposer::default()));
+                world
+                    .rt
+                    .set_interposer(Arc::new(TrivialInterposer::default()));
                 None
             }
             GuiMode::Tesla(engine) => Some((engine, None)),
@@ -202,8 +213,8 @@ impl GuiApp {
             let selectors: Vec<String> = (0..world.rt.n_selectors() as u32)
                 .map(|i| world.rt.sel_name(objc::Sel(i)).to_string())
                 .collect();
-            let auto = tesla_automata::compile(&figure8_assertion(&selectors))
-                .expect("figure 8 compiles");
+            let auto =
+                tesla_automata::compile(&figure8_assertion(&selectors)).expect("figure 8 compiles");
             let class = engine.register(auto).expect("registration succeeds");
             let bound = engine.intern_fn("run_loop_iteration");
             world
@@ -238,9 +249,13 @@ impl GuiApp {
         }
         if let Some((engine, class, bound)) = &self.tesla {
             if result.is_ok() {
-                engine.assertion_site(*class, &[]).map_err(|v| v.to_string())?;
+                engine
+                    .assertion_site(*class, &[])
+                    .map_err(|v| v.to_string())?;
             }
-            engine.fn_exit(*bound, &[], Value(0)).map_err(|v| v.to_string())?;
+            engine
+                .fn_exit(*bound, &[], Value(0))
+                .map_err(|v| v.to_string())?;
         }
         result
     }
@@ -276,10 +291,14 @@ mod tests {
     fn drive(app: &mut GuiApp) {
         // An Xnee-ish little session: move over the tracking view,
         // invalidate, move again, leave, expose.
-        app.run_loop_iteration(&[UiEvent::MouseMoved(5, 45)]).unwrap();
-        app.run_loop_iteration(&[UiEvent::InvalidateTracking]).unwrap();
-        app.run_loop_iteration(&[UiEvent::MouseMoved(6, 46)]).unwrap();
-        app.run_loop_iteration(&[UiEvent::MouseMoved(500, 500)]).unwrap();
+        app.run_loop_iteration(&[UiEvent::MouseMoved(5, 45)])
+            .unwrap();
+        app.run_loop_iteration(&[UiEvent::InvalidateTracking])
+            .unwrap();
+        app.run_loop_iteration(&[UiEvent::MouseMoved(6, 46)])
+            .unwrap();
+        app.run_loop_iteration(&[UiEvent::MouseMoved(500, 500)])
+            .unwrap();
         app.run_loop_iteration(&[UiEvent::Expose]).unwrap();
     }
 
@@ -320,7 +339,10 @@ mod tests {
 
         // Buggy app: the trace shows unpaired pushes.
         trace.lock().clear();
-        let bugs = GuiBugs { duplicate_cursor_push: true, ..GuiBugs::default() };
+        let bugs = GuiBugs {
+            duplicate_cursor_push: true,
+            ..GuiBugs::default()
+        };
         let mut app = GuiApp::new(GuiMode::TeslaTracing(engine, handler), bugs);
         drive(&mut app);
         assert!(cursor_imbalance(&trace.lock()) > 0);
@@ -337,7 +359,10 @@ mod tests {
         }));
         let handler: Arc<dyn Fn(&TraceEvent) + Send + Sync> =
             Arc::new(move |ev| sink.lock().push(ev.clone()));
-        let bugs = GuiBugs { backend_lifo_only: true, ..GuiBugs::default() };
+        let bugs = GuiBugs {
+            backend_lifo_only: true,
+            ..GuiBugs::default()
+        };
         let mut app = GuiApp::new(GuiMode::TeslaTracing(engine, handler), bugs);
         let colors = app.world.draw_non_lifo_scene().unwrap();
         // Wrong rendering...

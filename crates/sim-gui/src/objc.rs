@@ -105,7 +105,10 @@ impl<W> Default for ObjcRuntime<W> {
 impl<W> ObjcRuntime<W> {
     /// Fresh runtime in `mode`.
     pub fn new(mode: TraceMode) -> ObjcRuntime<W> {
-        ObjcRuntime { mode, ..ObjcRuntime::default() }
+        ObjcRuntime {
+            mode,
+            ..ObjcRuntime::default()
+        }
     }
 
     /// The trace mode.
@@ -137,7 +140,10 @@ impl<W> ObjcRuntime<W> {
     /// Define a class.
     pub fn define_class(&mut self, name: &str) -> ClassId {
         let id = ClassId(self.classes.len() as u32);
-        self.classes.push(ClassDef { name: name.to_string(), methods: HashMap::new() });
+        self.classes.push(ClassDef {
+            name: name.to_string(),
+            methods: HashMap::new(),
+        });
         id
     }
 
@@ -245,7 +251,10 @@ mod tests {
     }
 
     fn world(mode: TraceMode) -> (W, ObjId, Sel, Sel) {
-        let mut w = W { rt: ObjcRuntime::new(mode), counter: 0 };
+        let mut w = W {
+            rt: ObjcRuntime::new(mode),
+            counter: 0,
+        };
         let cls = w.rt.define_class("Counter");
         let bump = w.rt.sel("bumpBy:");
         let get = w.rt.sel("value");

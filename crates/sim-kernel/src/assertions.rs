@@ -107,9 +107,20 @@ fn mf_specs() -> Vec<Spec> {
         assertion: AssertionBuilder::syscall()
             .named("vnode/open")
             .previously(
-                ExprBuilder::from(call("mac_kld_check_load").any_ptr().arg_var("vp").returns(0))
-                    .or(call("mac_vnode_check_exec").any_ptr().arg_var("vp").returns(0))
-                    .or(call("mac_vnode_check_open").any_ptr().arg_var("vp").returns(0)),
+                ExprBuilder::from(
+                    call("mac_kld_check_load")
+                        .any_ptr()
+                        .arg_var("vp")
+                        .returns(0),
+                )
+                .or(call("mac_vnode_check_exec")
+                    .any_ptr()
+                    .arg_var("vp")
+                    .returns(0))
+                .or(call("mac_vnode_check_open")
+                    .any_ptr()
+                    .arg_var("vp")
+                    .returns(0)),
             )
             .build()
             .expect("valid"),
@@ -119,11 +130,17 @@ fn mf_specs() -> Vec<Spec> {
     let read_body = || {
         ExprBuilder::in_callstack("ufs_readdir")
             .or(ExprBuilder::from(
-                call("vn_rdwr").arg_var("vp").arg_flags(ioflags::IO_NOMACCHECK).entry(),
+                call("vn_rdwr")
+                    .arg_var("vp")
+                    .arg_flags(ioflags::IO_NOMACCHECK)
+                    .entry(),
             )
             .then(ExprBuilder::site()))
             .or(ExprBuilder::from(
-                call("mac_vnode_check_read").any_ptr().arg_var("vp").returns(0),
+                call("mac_vnode_check_read")
+                    .any_ptr()
+                    .arg_var("vp")
+                    .returns(0),
             )
             .then(ExprBuilder::site()))
     };
@@ -184,7 +201,10 @@ fn ms_specs() -> Vec<Spec> {
         assertion: AssertionBuilder::syscall()
             .named("socket/poll")
             .previously(
-                call("mac_socket_check_poll").arg_var("active_cred").arg_var("so").returns(0),
+                call("mac_socket_check_poll")
+                    .arg_var("active_cred")
+                    .arg_var("so")
+                    .returns(0),
             )
             .build()
             .expect("valid"),
@@ -323,10 +343,8 @@ fn infra_specs() -> Vec<Spec> {
                 assertion: AssertionBuilder::syscall()
                     .named(&key)
                     .previously(
-                        ExprBuilder::from(
-                            call(&format!("tesla_selftest_event_{i}")).returns(0),
-                        )
-                        .optional(),
+                        ExprBuilder::from(call(&format!("tesla_selftest_event_{i}")).returns(0))
+                            .optional(),
                     )
                     .build()
                     .expect("valid"),
@@ -444,8 +462,7 @@ pub fn register_sets_in(
                 spec.assertion.context = ctx;
             }
             automata.push(
-                compile(&spec.assertion)
-                    .map_err(|e| format!("{}: {e}", spec.assertion.name))?,
+                compile(&spec.assertion).map_err(|e| format!("{}: {e}", spec.assertion.name))?,
             );
             keys.push(spec.key);
         }
@@ -472,7 +489,11 @@ pub fn register_sets_in(
     if include_cross {
         register(cross_specs(), "Cross")?;
     }
-    Ok(RegisteredSets { sites, counts, total })
+    Ok(RegisteredSets {
+        sites,
+        counts,
+        total,
+    })
 }
 
 #[cfg(test)]

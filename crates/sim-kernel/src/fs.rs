@@ -81,7 +81,15 @@ impl Kernel {
             self.ufs_open(&cred, vp, OpenVia::Open)?;
             let _ = created;
             let mut st = self.state.lock();
-            st.fd_alloc(pid, FileDesc { obj: FObj::Vnode(vp), file_cred: cred, offset: 0, flags })
+            st.fd_alloc(
+                pid,
+                FileDesc {
+                    obj: FObj::Vnode(vp),
+                    file_cred: cred,
+                    offset: 0,
+                    flags,
+                },
+            )
         })
     }
 
@@ -90,8 +98,7 @@ impl Kernel {
         self.with_syscall(pid, || {
             let mut st = self.state.lock();
             let p = st.proc_mut(pid)?;
-            let slot =
-                p.fds.get_mut(fd.0 as usize).ok_or(Errno::EBADF)?;
+            let slot = p.fds.get_mut(fd.0 as usize).ok_or(Errno::EBADF)?;
             if slot.take().is_none() {
                 return Err(Errno::EBADF.into());
             }
@@ -104,7 +111,9 @@ impl Kernel {
         self.with_syscall(pid, || {
             let cred = self.cred_of(pid)?;
             let desc = self.state.lock().fd_get(pid, fd)?;
-            let FObj::Vnode(vp) = desc.obj else { return Err(Errno::EISDIR.into()) };
+            let FObj::Vnode(vp) = desc.obj else {
+                return Err(Errno::EISDIR.into());
+            };
             let label = self.state.lock().vnode(vp).label;
             self.mac_require(
                 "mac_vnode_check_read",
@@ -125,7 +134,9 @@ impl Kernel {
         self.with_syscall(pid, || {
             let cred = self.cred_of(pid)?;
             let desc = self.state.lock().fd_get(pid, fd)?;
-            let FObj::Vnode(vp) = desc.obj else { return Err(Errno::EISDIR.into()) };
+            let FObj::Vnode(vp) = desc.obj else {
+                return Err(Errno::EISDIR.into());
+            };
             let label = self.state.lock().vnode(vp).label;
             self.mac_require(
                 "mac_vnode_check_write",
@@ -144,7 +155,9 @@ impl Kernel {
         self.with_syscall(pid, || {
             let cred = self.cred_of(pid)?;
             let desc = self.state.lock().fd_get(pid, fd)?;
-            let FObj::Vnode(vp) = desc.obj else { return Err(Errno::ENOTDIR.into()) };
+            let FObj::Vnode(vp) = desc.obj else {
+                return Err(Errno::ENOTDIR.into());
+            };
             let label = self.state.lock().vnode(vp).label;
             self.mac_require(
                 "mac_vnode_check_readdir",
@@ -251,9 +264,14 @@ impl Kernel {
 
     /// `stat(2)`.
     pub fn sys_stat(&self, pid: Pid, path: &str) -> KResult<i64> {
-        self.vnode_op(pid, path, "mac_vnode_check_stat", "vnode_stat", "vnode/stat", |st, vp, _| {
-            Ok(st.vnode(vp).data.len() as i64)
-        })
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_stat",
+            "vnode_stat",
+            "vnode/stat",
+            |st, vp, _| Ok(st.vnode(vp).data.len() as i64),
+        )
     }
 
     /// `lookup` as an explicit op (namei MAC check).
@@ -331,7 +349,9 @@ impl Kernel {
                 (p, n.to_string())
             };
             let mut st = self.state.lock();
-            st.vnode_mut(from_parent).children.retain(|(n, _)| *n != from_name);
+            st.vnode_mut(from_parent)
+                .children
+                .retain(|(n, _)| *n != from_name);
             st.vnode_mut(to_parent).children.push((to_name, vp));
             Ok(0)
         })
@@ -420,9 +440,14 @@ impl Kernel {
 
     /// `mmap(2)` of a file.
     pub fn sys_mmap(&self, pid: Pid, path: &str) -> KResult<i64> {
-        self.vnode_op(pid, path, "mac_vnode_check_mmap", "vnode_mmap", "vnode/mmap", |st, vp, _| {
-            Ok(st.vnode(vp).data.len() as i64)
-        })
+        self.vnode_op(
+            pid,
+            path,
+            "mac_vnode_check_mmap",
+            "vnode_mmap",
+            "vnode/mmap",
+            |st, vp, _| Ok(st.vnode(vp).data.len() as i64),
+        )
     }
 
     /// `mprotect(2)`-style remap check.
@@ -524,7 +549,9 @@ impl Kernel {
             "vnode_setacl",
             "vnode/setacl",
             move |st, vp, _| {
-                st.vnode_mut(vp).extattrs.insert("posix1e.acl_access".into(), acl);
+                st.vnode_mut(vp)
+                    .extattrs
+                    .insert("posix1e.acl_access".into(), acl);
                 Ok(0)
             },
         )
@@ -608,7 +635,12 @@ impl Kernel {
             // Internal read of the directory "blocks".
             let _raw = self.ffs_read(vp, 0, usize::MAX)?;
             let st = self.state.lock();
-            Ok(st.vnode(vp).children.iter().map(|(n, _)| n.clone()).collect())
+            Ok(st
+                .vnode(vp)
+                .children
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect())
         })
     }
 
@@ -638,8 +670,11 @@ impl Kernel {
     pub fn mkdir_p(&self, path: &str, label: i32) -> KResult<VnodeId> {
         let mut st = self.state.lock();
         let mut cur = st.root;
-        let comps: Vec<String> =
-            path.split('/').filter(|c| !c.is_empty()).map(str::to_string).collect();
+        let comps: Vec<String> = path
+            .split('/')
+            .filter(|c| !c.is_empty())
+            .map(str::to_string)
+            .collect();
         for c in comps {
             cur = match st.vnode(cur).children.iter().find(|(n, _)| *n == c) {
                 Some((_, id)) => *id,

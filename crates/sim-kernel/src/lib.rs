@@ -164,7 +164,12 @@ impl Kernel {
 
     /// Mint a fresh immutable credential.
     pub fn fresh_cred(&self, uid: u32, gid: u32, label: i32) -> Ucred {
-        Ucred { id: self.next_cred_id.fetch_add(1, Ordering::Relaxed), uid, gid, label }
+        Ucred {
+            id: self.next_cred_id.fetch_add(1, Ordering::Relaxed),
+            uid,
+            gid,
+            label,
+        }
     }
 
     // --------------------------------------------------------------
@@ -179,11 +184,7 @@ impl Kernel {
     /// Run `f` inside the `amd64_syscall` temporal bound. The exit
     /// hook always runs (even when `f` fail-stops) so bound scopes
     /// stay balanced.
-    pub(crate) fn with_syscall<T>(
-        &self,
-        pid: Pid,
-        f: impl FnOnce() -> KResult<T>,
-    ) -> KResult<T> {
+    pub(crate) fn with_syscall<T>(&self, pid: Pid, f: impl FnOnce() -> KResult<T>) -> KResult<T> {
         let args = [Value::from(pid)];
         if let Some(t) = self.t() {
             t.engine.fn_entry(t.ids.amd64_syscall, &args)?;
@@ -199,7 +200,9 @@ impl Kernel {
                     Err(KError::Errno(e)) => Value::from_i64(*e as i64),
                     Err(KError::Tesla(_)) => Value(0),
                 };
-                t.engine.fn_exit(t.ids.amd64_syscall, &args, rv).map_err(KError::from)
+                t.engine
+                    .fn_exit(t.ids.amd64_syscall, &args, rv)
+                    .map_err(KError::from)
             }
             None => Ok(()),
         };
@@ -219,9 +222,10 @@ impl Kernel {
         }
         let r = f();
         let exit = match self.t() {
-            Some(t) => {
-                t.engine.fn_exit(t.ids.trap_pfault, &args, Value(0)).map_err(KError::from)
-            }
+            Some(t) => t
+                .engine
+                .fn_exit(t.ids.trap_pfault, &args, Value(0))
+                .map_err(KError::from),
             None => Ok(()),
         };
         match (r, exit) {
@@ -284,7 +288,8 @@ impl Kernel {
             None => self.mac_fw.check(op, cred, obj),
         };
         if let Some(t) = self.t() {
-            t.engine.fn_exit(t.ids.checks[can_fn], &args, Value::from_i64(r))?;
+            t.engine
+                .fn_exit(t.ids.checks[can_fn], &args, Value::from_i64(r))?;
         }
         Ok(r)
     }
@@ -361,7 +366,8 @@ impl Kernel {
         if let Some(t) = self.t() {
             let s = t.engine.intern_struct("proc");
             let f = t.engine.intern_field("p_flag");
-            t.engine.field_store(s, f, Value::from(pid), op, Value(value))?;
+            t.engine
+                .field_store(s, f, Value::from(pid), op, Value(value))?;
         }
         Ok(())
     }
@@ -390,7 +396,10 @@ impl Kernel {
     /// Look up a process's credential.
     pub fn cred_of(&self, pid: Pid) -> KResult<Ucred> {
         let st = self.state.lock();
-        st.procs.get(&pid).map(|p| p.cred).ok_or_else(|| KError::from(types::Errno::ESRCH))
+        st.procs
+            .get(&pid)
+            .map(|p| p.cred)
+            .ok_or_else(|| KError::from(types::Errno::ESRCH))
     }
 
     /// The init process.

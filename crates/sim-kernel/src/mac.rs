@@ -144,7 +144,12 @@ mod tests {
     use super::*;
 
     fn cred(uid: u32, label: i32) -> Ucred {
-        Ucred { id: 1, uid, gid: uid, label }
+        Ucred {
+            id: 1,
+            uid,
+            gid: uid,
+            label,
+        }
     }
 
     #[test]
@@ -168,7 +173,9 @@ mod tests {
         assert!(p.check("proc_signal", &me, &mine).is_ok());
         assert!(p.check("proc_signal", &me, &theirs).is_err());
         // Non-process objects unaffected.
-        assert!(p.check("vnode_read", &me, &MacObject::Vnode { label: 9 }).is_ok());
+        assert!(p
+            .check("vnode_read", &me, &MacObject::Vnode { label: 9 })
+            .is_ok());
     }
 
     #[test]

@@ -126,7 +126,13 @@ impl Kernel {
     fn target_obj(&self, target: Pid) -> KResult<(MacObject, Value)> {
         let st = self.state.lock();
         let p = st.proc_ref(target)?;
-        Ok((MacObject::Proc { label: p.cred.label, uid: p.cred.uid }, Value::from(target)))
+        Ok((
+            MacObject::Proc {
+                label: p.cred.label,
+                uid: p.cred.uid,
+            },
+            Value::from(target),
+        ))
     }
 
     /// Generic inter-process op: `p_can*` wrapper (hooked) around the
@@ -265,7 +271,11 @@ impl Kernel {
         self.with_syscall(pid, || {
             let members: Vec<Pid> = {
                 let st = self.state.lock();
-                st.procs.values().filter(|p| p.pgid == pgid).map(|p| p.pid).collect()
+                st.procs
+                    .values()
+                    .filter(|p| p.pgid == pgid)
+                    .map(|p| p.pid)
+                    .collect()
             };
             let mut n = 0;
             for m in members {
@@ -401,7 +411,10 @@ impl Kernel {
                 "proc_setuid",
                 &old,
                 Value::from(pid),
-                &MacObject::Proc { label: old.label, uid: old.uid },
+                &MacObject::Proc {
+                    label: old.label,
+                    uid: old.uid,
+                },
                 &[Value(u64::from(uid))],
             )?;
             // The assertion site: from here, P_SUGID must eventually
@@ -546,9 +559,7 @@ impl Kernel {
         self.proc_op(pid, target, &recipe, move |_, p| {
             // Minimal but real effects per op family.
             Ok(match op {
-                ProcfsOp::ReadStatus => {
-                    format!("pid {} uid {}", p.pid.0, p.cred.uid).into_bytes()
-                }
+                ProcfsOp::ReadStatus => format!("pid {} uid {}", p.pid.0, p.cred.uid).into_bytes(),
                 ProcfsOp::ReadCmdline => b"init".to_vec(),
                 ProcfsOp::ReadEnv => b"PATH=/bin".to_vec(),
                 ProcfsOp::ReadMem | ProcfsOp::ReadFile | ProcfsOp::ReadMap => vec![0u8; 16],

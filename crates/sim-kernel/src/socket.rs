@@ -40,8 +40,12 @@ fn protosw(proto: Proto) -> &'static PrUsrreqs {
     // TCP and UDP share the generic implementation; UNIX-domain has
     // its own thin wrapper (calling the same generic code), mirroring
     // how FreeBSD routes protocol-specific behaviour.
-    static GENERIC: PrUsrreqs = PrUsrreqs { pru_sopoll: Kernel::sopoll_generic };
-    static UNIX: PrUsrreqs = PrUsrreqs { pru_sopoll: Kernel::sopoll_unix };
+    static GENERIC: PrUsrreqs = PrUsrreqs {
+        pru_sopoll: Kernel::sopoll_generic,
+    };
+    static UNIX: PrUsrreqs = PrUsrreqs {
+        pru_sopoll: Kernel::sopoll_unix,
+    };
     match proto {
         Proto::Tcp | Proto::Udp => &GENERIC,
         Proto::Unix => &UNIX,
@@ -76,7 +80,15 @@ impl Kernel {
             };
             self.site("socket/create", &[])?;
             let mut st = self.state.lock();
-            st.fd_alloc(pid, FileDesc { obj: FObj::Socket(so), file_cred: cred, offset: 0, flags: 0 })
+            st.fd_alloc(
+                pid,
+                FileDesc {
+                    obj: FObj::Socket(so),
+                    file_cred: cred,
+                    offset: 0,
+                    flags: 0,
+                },
+            )
         })
     }
 
@@ -118,10 +130,17 @@ impl Kernel {
 
     /// `bind(2)`.
     pub fn sys_bind(&self, pid: Pid, fd: Fd) -> KResult<i64> {
-        self.socket_op(pid, fd, "mac_socket_check_bind", "socket_bind", "socket/bind", |st, so| {
-            st.socket_mut(so)?.state = SoState::Bound;
-            Ok(0)
-        })
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_bind",
+            "socket_bind",
+            "socket/bind",
+            |st, so| {
+                st.socket_mut(so)?.state = SoState::Bound;
+                Ok(0)
+            },
+        )
     }
 
     /// `listen(2)`.
@@ -188,22 +207,37 @@ impl Kernel {
             },
         )?;
         let mut st = self.state.lock();
-        st.fd_alloc(pid, FileDesc { obj: FObj::Socket(new), file_cred: cred, offset: 0, flags: 0 })
+        st.fd_alloc(
+            pid,
+            FileDesc {
+                obj: FObj::Socket(new),
+                file_cred: cred,
+                offset: 0,
+                flags: 0,
+            },
+        )
     }
 
     /// `send(2)`.
     pub fn sys_send(&self, pid: Pid, fd: Fd, data: &[u8]) -> KResult<i64> {
         let data = data.to_vec();
-        self.socket_op(pid, fd, "mac_socket_check_send", "socket/send_op", "socket/send", move |st, so| {
-            let n = data.len() as i64;
-            match st.socket(so)?.state {
-                SoState::Connected(peer) => {
-                    st.socket_mut(peer)?.rx.push_back(data);
-                    Ok(n)
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_send",
+            "socket/send_op",
+            "socket/send",
+            move |st, so| {
+                let n = data.len() as i64;
+                match st.socket(so)?.state {
+                    SoState::Connected(peer) => {
+                        st.socket_mut(peer)?.rx.push_back(data);
+                        Ok(n)
+                    }
+                    _ => Err(Errno::ENOTCONN.into()),
                 }
-                _ => Err(Errno::ENOTCONN.into()),
-            }
-        })
+            },
+        )
     }
 
     /// `recv(2)`.
@@ -235,9 +269,14 @@ impl Kernel {
 
     /// `fstat(2)` on a socket.
     pub fn sys_sockstat(&self, pid: Pid, fd: Fd) -> KResult<i64> {
-        self.socket_op(pid, fd, "mac_socket_check_stat", "socket_stat", "socket/stat", |st, so| {
-            Ok(st.socket(so)?.rx.len() as i64)
-        })
+        self.socket_op(
+            pid,
+            fd,
+            "mac_socket_check_stat",
+            "socket_stat",
+            "socket/stat",
+            |st, so| Ok(st.socket(so)?.rx.len() as i64),
+        )
     }
 
     /// `setsockopt(SO_LABEL)`-style relabel.
@@ -297,8 +336,7 @@ impl Kernel {
         so: SockId,
         path: PollPath,
     ) -> KResult<i64> {
-        let skip_check =
-            path == PollPath::Kevent && self.config().bugs.kqueue_skips_mac_poll;
+        let skip_check = path == PollPath::Kevent && self.config().bugs.kqueue_skips_mac_poll;
         if !skip_check {
             let label = self.state.lock().socket(so)?.label;
             self.mac_require(

@@ -317,12 +317,22 @@ impl State {
         label: i32,
         uid: u32,
     ) -> KResult<VnodeId> {
-        if self.vnodes[parent.0 as usize].children.iter().any(|(n, _)| n == name) {
+        if self.vnodes[parent.0 as usize]
+            .children
+            .iter()
+            .any(|(n, _)| n == name)
+        {
             return Err(Errno::EEXIST.into());
         }
         let id = VnodeId(self.vnodes.len() as u32);
-        self.vnodes.push(if dir { Vnode::dir(label) } else { Vnode::file(label, uid) });
-        self.vnodes[parent.0 as usize].children.push((name.to_string(), id));
+        self.vnodes.push(if dir {
+            Vnode::dir(label)
+        } else {
+            Vnode::file(label, uid)
+        });
+        self.vnodes[parent.0 as usize]
+            .children
+            .push((name.to_string(), id));
         Ok(id)
     }
 
@@ -338,12 +348,16 @@ impl State {
 
     /// Socket accessor.
     pub fn socket(&self, s: SockId) -> KResult<&Socket> {
-        self.sockets.get(s.0 as usize).ok_or_else(|| Errno::ENOTSOCK.into())
+        self.sockets
+            .get(s.0 as usize)
+            .ok_or_else(|| Errno::ENOTSOCK.into())
     }
 
     /// Mutable socket accessor.
     pub fn socket_mut(&mut self, s: SockId) -> KResult<&mut Socket> {
-        self.sockets.get_mut(s.0 as usize).ok_or_else(|| Errno::ENOTSOCK.into())
+        self.sockets
+            .get_mut(s.0 as usize)
+            .ok_or_else(|| Errno::ENOTSOCK.into())
     }
 }
 
@@ -352,7 +366,12 @@ mod tests {
     use super::*;
 
     fn cred() -> Ucred {
-        Ucred { id: 1, uid: 0, gid: 0, label: 10 }
+        Ucred {
+            id: 1,
+            uid: 0,
+            gid: 0,
+            label: 10,
+        }
     }
 
     #[test]
@@ -375,7 +394,12 @@ mod tests {
         let mut st = State::boot();
         let pid = st.spawn_init(cred());
         let v = st.mknod(st.root, "f", false, 0, 0).unwrap();
-        let d = FileDesc { obj: FObj::Vnode(v), file_cred: cred(), offset: 0, flags: 0 };
+        let d = FileDesc {
+            obj: FObj::Vnode(v),
+            file_cred: cred(),
+            offset: 0,
+            flags: 0,
+        };
         let a = st.fd_alloc(pid, d).unwrap();
         let b = st.fd_alloc(pid, d).unwrap();
         assert_ne!(a, b);

@@ -116,14 +116,18 @@ fn fresh_kernel(init_mode: InitMode) -> (Arc<Kernel>, Arc<Tesla>) {
     }));
     let reg = register_sets(&t, &[AssertionSet::All]).unwrap();
     let k = Arc::new(Kernel::new(
-        KernelConfig { bugs: Bugs::default(), debug_checks: false },
+        KernelConfig {
+            bugs: Bugs::default(),
+            debug_checks: false,
+        },
         MacFramework::new(),
         Some((t.clone(), reg.sites)),
     ));
     k.mkdir_p("/tmp", 0).unwrap();
     k.mkdir_p("/bin", 0).unwrap();
     for i in 0..6 {
-        k.mkfile(&format!("/tmp/f{i}"), b"contents", 0, false).unwrap();
+        k.mkfile(&format!("/tmp/f{i}"), b"contents", 0, false)
+            .unwrap();
     }
     k.mkfile("/bin/prog", b"\x7fELF", 0, true).unwrap();
     (k, t)
@@ -137,7 +141,11 @@ fn exec(k: &Kernel, pids: &mut Vec<Pid>, op: Op) -> Result<(), KError> {
     let tgt = |t: u8, pids: &[Pid]| pids[t as usize % pids.len()];
     let r: Result<i64, KError> = match op {
         Op::Open(p, c) => {
-            let flags = if c == 1 { oflags::O_CREAT } else { oflags::O_RDONLY };
+            let flags = if c == 1 {
+                oflags::O_CREAT
+            } else {
+                oflags::O_RDONLY
+            };
             k.sys_open(me, &path(p), flags).map(|f| i64::from(f.0))
         }
         Op::Close(f) => k.sys_close(me, Fd(u32::from(f))).map(|()| 0),
@@ -149,7 +157,9 @@ fn exec(k: &Kernel, pids: &mut Vec<Pid>, op: Op) -> Result<(), KError> {
         Op::Link(a, b) => k.sys_link(me, &path(a), &format!("/tmp/link{b}")),
         Op::Setmode(p) => k.sys_setmode(me, &path(p), 0o600),
         Op::ExtattrSet(p) => k.sys_extattr_set(me, &path(p), "user.x", b"v"),
-        Op::ExtattrGet(p) => k.sys_extattr_get(me, &path(p), "user.x").map(|d| d.len() as i64),
+        Op::ExtattrGet(p) => k
+            .sys_extattr_get(me, &path(p), "user.x")
+            .map(|d| d.len() as i64),
         Op::AclSet(p) => k.sys_acl_set(me, &path(p), b"u::rw-"),
         Op::AclGet(p) => k.sys_acl_get(me, &path(p)).map(|d| d.len() as i64),
         Op::Mmap(p) => k.sys_mmap(me, &path(p)),

@@ -12,10 +12,16 @@ use tesla_sim_kernel::types::{oflags, KError, Pid};
 use tesla_sim_kernel::{Bugs, Kernel, KernelConfig};
 
 fn kernel_with(sets: &[AssertionSet], bugs: Bugs, fail: FailMode) -> (Kernel, Arc<Tesla>) {
-    let tesla = Arc::new(Tesla::new(Config { fail_mode: fail, ..Config::default() }));
+    let tesla = Arc::new(Tesla::new(Config {
+        fail_mode: fail,
+        ..Config::default()
+    }));
     let reg = register_sets(&tesla, sets).unwrap();
     let k = Kernel::new(
-        KernelConfig { bugs, debug_checks: false },
+        KernelConfig {
+            bugs,
+            debug_checks: false,
+        },
         MacFramework::new(),
         Some((tesla.clone(), reg.sites)),
     );
@@ -102,7 +108,11 @@ fn run_test_suite(k: &Kernel) -> Result<(), KError> {
 fn clean_kernel_with_all_assertions_passes() {
     let (k, t) = kernel_with(&[AssertionSet::All], Bugs::default(), FailMode::FailStop);
     run_test_suite(&k).unwrap();
-    assert!(t.violations().is_empty(), "violations: {:?}", t.violations());
+    assert!(
+        t.violations().is_empty(),
+        "violations: {:?}",
+        t.violations()
+    );
 }
 
 #[test]
@@ -113,7 +123,10 @@ fn release_kernel_runs_without_tesla() {
 
 #[test]
 fn kqueue_bug_is_caught_only_on_the_kevent_path() {
-    let bugs = Bugs { kqueue_skips_mac_poll: true, ..Bugs::default() };
+    let bugs = Bugs {
+        kqueue_skips_mac_poll: true,
+        ..Bugs::default()
+    };
     let (k, t) = kernel_with(&[AssertionSet::MS], bugs, FailMode::FailStop);
     let init = k.init_pid();
     let (cli, _srv) = k.socketpair(init).unwrap();
@@ -137,7 +150,10 @@ fn wrong_credential_bug_is_caught_via_binding_mismatch() {
     // "one of two present checks was performed using the wrong
     // credential": the check *does* run, but with file_cred; the
     // assertion binds active_cred and cannot match.
-    let bugs = Bugs { poll_passes_file_cred: true, ..Bugs::default() };
+    let bugs = Bugs {
+        poll_passes_file_cred: true,
+        ..Bugs::default()
+    };
     let (k, _t) = kernel_with(&[AssertionSet::MS], bugs, FailMode::FailStop);
     let init = k.init_pid();
     let (cli, _srv) = k.socketpair(init).unwrap();
@@ -160,7 +176,10 @@ fn wrong_credential_bug_is_caught_via_binding_mismatch() {
 
 #[test]
 fn sugid_bug_is_caught_at_syscall_exit() {
-    let bugs = Bugs { setuid_skips_sugid: true, ..Bugs::default() };
+    let bugs = Bugs {
+        setuid_skips_sugid: true,
+        ..Bugs::default()
+    };
     let (k, _t) = kernel_with(&[AssertionSet::MP], bugs, FailMode::FailStop);
     let init = k.init_pid();
     let err = k.sys_setuid(init, 0).unwrap_err();
@@ -244,9 +263,24 @@ fn coverage_reproduces_26_of_37_unexercised() {
     // "Most omissions (19) were in procfs ... Two were in the CPUSET
     // facility ... five further were in the POSIX real-time
     // scheduling facility."
-    assert_eq!(unexercised.iter().filter(|n| n.starts_with("procfs/")).count(), 19);
-    assert_eq!(unexercised.iter().filter(|n| n.starts_with("cpuset/")).count(), 2);
-    assert_eq!(unexercised.iter().filter(|n| n.starts_with("rt/")).count(), 5);
+    assert_eq!(
+        unexercised
+            .iter()
+            .filter(|n| n.starts_with("procfs/"))
+            .count(),
+        19
+    );
+    assert_eq!(
+        unexercised
+            .iter()
+            .filter(|n| n.starts_with("cpuset/"))
+            .count(),
+        2
+    );
+    assert_eq!(
+        unexercised.iter().filter(|n| n.starts_with("rt/")).count(),
+        5
+    );
 
     // An extended suite that also drives procfs/cpuset/rt exercises
     // everything — TESLA helping improve test coverage (§3.5.2).
@@ -273,7 +307,11 @@ fn mac_policy_denial_prevents_operation_without_violation() {
     let reg = register_sets(&tesla, &[AssertionSet::MF]).unwrap();
     let mut fw = MacFramework::new();
     fw.register(Box::new(BibaPolicy) as Box<dyn MacPolicy>);
-    let k = Kernel::new(KernelConfig::default(), fw, Some((tesla.clone(), reg.sites)));
+    let k = Kernel::new(
+        KernelConfig::default(),
+        fw,
+        Some((tesla.clone(), reg.sites)),
+    );
     k.mkdir_p("/tmp", 0).unwrap();
     k.mkfile("/tmp/secret", b"top", 5, false).unwrap();
     let init = k.init_pid();
@@ -285,8 +323,13 @@ fn mac_policy_denial_prevents_operation_without_violation() {
         let mut st = k.state_for_tests();
         st.proc_mut(child).unwrap().cred = low;
     }
-    let err = k.sys_open(child, "/tmp/secret", oflags::O_RDONLY).unwrap_err();
-    assert!(matches!(err, KError::Errno(tesla_sim_kernel::Errno::EACCES)));
+    let err = k
+        .sys_open(child, "/tmp/secret", oflags::O_RDONLY)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        KError::Errno(tesla_sim_kernel::Errno::EACCES)
+    ));
     // Denied before the object op: no assertion site reached, no
     // violation.
     assert!(tesla.violations().is_empty());

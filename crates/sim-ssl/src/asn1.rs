@@ -172,7 +172,11 @@ impl<'a> Reader<'a> {
 
 /// Decode big-endian content bytes to u64.
 pub fn decode_uint(content: &[u8]) -> Result<u64, Asn1Error> {
-    let content = if content.first() == Some(&0) { &content[1..] } else { content };
+    let content = if content.first() == Some(&0) {
+        &content[1..]
+    } else {
+        content
+    };
     if content.len() > 8 {
         return Err(Asn1Error::BadLength);
     }
@@ -220,16 +224,28 @@ mod tests {
         let seq = r.expect(Tag::Sequence).unwrap();
         let mut inner = Reader::new(seq);
         match inner.expect_uint() {
-            Err(Asn1Error::UnexpectedTag { want: Tag::Integer, got: Tag::BitString }) => {}
+            Err(Asn1Error::UnexpectedTag {
+                want: Tag::Integer,
+                got: Tag::BitString,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
     fn malformed_input_errors() {
-        assert!(matches!(Reader::new(&[0x02]).tlv(), Err(Asn1Error::Truncated)));
-        assert!(matches!(Reader::new(&[0x07, 0x01, 0x00]).tlv(), Err(Asn1Error::BadTag(0x07))));
-        assert!(matches!(Reader::new(&[0x02, 0x05, 0x00]).tlv(), Err(Asn1Error::BadLength)));
+        assert!(matches!(
+            Reader::new(&[0x02]).tlv(),
+            Err(Asn1Error::Truncated)
+        ));
+        assert!(matches!(
+            Reader::new(&[0x07, 0x01, 0x00]).tlv(),
+            Err(Asn1Error::BadTag(0x07))
+        ));
+        assert!(matches!(
+            Reader::new(&[0x02, 0x05, 0x00]).tlv(),
+            Err(Asn1Error::BadLength)
+        ));
         // Long form with absurd count.
         assert!(matches!(
             Reader::new(&[0x02, 0x84, 0, 0, 0, 1, 0]).tlv(),

@@ -31,7 +31,11 @@ pub fn sign(msg: &[u8], key: Key, forge_tag: bool) -> Vec<u8> {
     let h = digest(msg);
     let r = h ^ key.0;
     let s = h.rotate_left(17).wrapping_add(key.0);
-    let r_tag = if forge_tag { Tag::BitString } else { Tag::Integer };
+    let r_tag = if forge_tag {
+        Tag::BitString
+    } else {
+        Tag::Integer
+    };
     let mut body = encode_uint_as(r_tag, r);
     body.extend(encode_uint_as(Tag::Integer, s));
     encode_tlv(Tag::Sequence, &body)
@@ -78,7 +82,10 @@ mod tests {
     #[test]
     fn good_signature_verifies_as_1() {
         let sig = sign(b"server key exchange params", KEY, false);
-        assert_eq!(evp_verify_final(b"server key exchange params", &sig, KEY), 1);
+        assert_eq!(
+            evp_verify_final(b"server key exchange params", &sig, KEY),
+            1
+        );
     }
 
     #[test]

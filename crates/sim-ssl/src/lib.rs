@@ -77,7 +77,12 @@ pub fn figure6_assertion() -> tesla_spec::Assertion {
         .named("libfetch/verify")
         .at("fetch.c", 42)
         .previously(
-            call("EVP_VerifyFinal").any_ptr().any_ptr().any("int").any_ptr().returns(1),
+            call("EVP_VerifyFinal")
+                .any_ptr()
+                .any_ptr()
+                .any("int")
+                .any_ptr()
+                .returns(1),
         )
         .build()
         .expect("figure 6 assertion is valid")
@@ -88,14 +93,21 @@ impl SslWorld {
     /// assertion ("recompile the program and its dependencies").
     pub fn new(tesla: Option<Arc<Tesla>>) -> SslWorld {
         let tesla = tesla.map(|engine| {
-            let auto =
-                tesla_automata::compile(&figure6_assertion()).expect("figure 6 compiles");
+            let auto = tesla_automata::compile(&figure6_assertion()).expect("figure 6 compiles");
             let class = engine.register(auto).expect("registration succeeds");
             let evp = engine.intern_fn("EVP_VerifyFinal");
             let main = engine.intern_fn("main");
-            TeslaCtx { engine, class, evp, main }
+            TeslaCtx {
+                engine,
+                class,
+                evp,
+                main,
+            }
         });
-        SslWorld { tesla, key: Key(0xdead_beef_cafe_f00d) }
+        SslWorld {
+            tesla,
+            key: Key(0xdead_beef_cafe_f00d),
+        }
     }
 
     /// The instrumented `EVP_VerifyFinal`: callee-side hooks around
@@ -103,7 +115,12 @@ impl SslWorld {
     /// directly since the substrate is Rust).
     fn evp_verify_final_hooked(&self, msg: &[u8], sig: &[u8], key: Key) -> Result<i64, Violation> {
         // ctx/sigbuf/len/pkey argument values, as the real call has.
-        let args = [Value(0x1000), Value(0x2000), Value(sig.len() as u64), Value(key.0)];
+        let args = [
+            Value(0x1000),
+            Value(0x2000),
+            Value(sig.len() as u64),
+            Value(key.0),
+        ];
         if let Some(t) = &self.tesla {
             t.engine.fn_entry(t.evp, &args)?;
         }
@@ -136,7 +153,9 @@ impl SslWorld {
         }
         let r = self.fetch_inner(malicious_server, buggy_libssl);
         if let Some(t) = &self.tesla {
-            t.engine.fn_exit(t.main, &[], Value(0)).map_err(FetchError::Tesla)?;
+            t.engine
+                .fn_exit(t.main, &[], Value(0))
+                .map_err(FetchError::Tesla)?;
         }
         r
     }
@@ -146,12 +165,20 @@ impl SslWorld {
         malicious_server: bool,
         buggy_libssl: bool,
     ) -> Result<Vec<u8>, FetchError> {
-        let server = SslServer { key: self.key, forge_signature_tag: malicious_server };
-        let mut client = SslClient { key: self.key, buggy_return_check: buggy_libssl };
+        let server = SslServer {
+            key: self.key,
+            forge_signature_tag: malicious_server,
+        };
+        let mut client = SslClient {
+            key: self.key,
+            buggy_return_check: buggy_libssl,
+        };
         // SSL_connect: the handshake, including ssl3_get_key_exchange
         // → EVP_VerifyFinal.
         client
-            .connect(&server, |msg, sig| self.evp_verify_final_hooked(msg, sig, self.key))
+            .connect(&server, |msg, sig| {
+                self.evp_verify_final_hooked(msg, sig, self.key)
+            })
             .map_err(|e| match e {
                 ssl::HandshakeAbort::Ssl(e) => FetchError::Ssl(e),
                 ssl::HandshakeAbort::Tesla(v) => FetchError::Tesla(v),
@@ -160,7 +187,9 @@ impl SslWorld {
         // application — was the key-exchange signature *successfully*
         // verified earlier in main?
         if let Some(t) = &self.tesla {
-            t.engine.assertion_site(t.class, &[]).map_err(FetchError::Tesla)?;
+            t.engine
+                .assertion_site(t.class, &[])
+                .map_err(FetchError::Tesla)?;
         }
         Ok(server.serve_document())
     }
@@ -218,8 +247,10 @@ mod tests {
 
     #[test]
     fn log_mode_records_instead_of_failing() {
-        let engine =
-            Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+        let engine = Arc::new(Tesla::new(Config {
+            fail_mode: FailMode::Log,
+            ..Config::default()
+        }));
         let w = SslWorld::new(Some(engine.clone()));
         let doc = w.fetch_url(true, true).unwrap();
         assert!(doc.starts_with(b"<html>"));

@@ -176,7 +176,12 @@ impl EventExpr {
                     push(object);
                     push(value);
                 }
-                EventExpr::MessageEvent { receiver, args, kind, .. } => {
+                EventExpr::MessageEvent {
+                    receiver,
+                    args,
+                    kind,
+                    ..
+                } => {
                     push(receiver);
                     args.iter().for_each(&mut push);
                     if let CallKind::ExitWithReturn(r) = kind {
@@ -487,7 +492,10 @@ mod tests {
             ev("f"),
             Expr::AssertionSite,
         ]));
-        assert_eq!(a.validate(), Err(crate::SpecError::MultipleAssertionSites(2)));
+        assert_eq!(
+            a.validate(),
+            Err(crate::SpecError::MultipleAssertionSites(2))
+        );
     }
 
     #[test]
@@ -531,9 +539,15 @@ mod tests {
             name: "f".into(),
             args: vec![
                 ArgPattern::any_ptr(),
-                ArgPattern::Var { index: 2, name: "o".into() },
+                ArgPattern::Var {
+                    index: 2,
+                    name: "o".into(),
+                },
             ],
-            kind: CallKind::ExitWithReturn(ArgPattern::Var { index: 0, name: "r".into() }),
+            kind: CallKind::ExitWithReturn(ArgPattern::Var {
+                index: 0,
+                name: "r".into(),
+            }),
         };
         assert_eq!(e.referenced_vars(), vec![2, 0]);
     }

@@ -77,12 +77,20 @@ enum RawPattern {
 /// Begin a function event: `call("f")` (further shaped by the
 /// builder's `.returns(v)` / `.entry()` / argument methods).
 pub fn call(name: &str) -> CallBuilder {
-    CallBuilder { name: name.to_string(), args: Vec::new(), kind: RawKind::Exit }
+    CallBuilder {
+        name: name.to_string(),
+        args: Vec::new(),
+        kind: RawKind::Exit,
+    }
 }
 
 /// A `returnfrom(f(...))` event (function exit, return unmatched).
 pub fn returnfrom(name: &str) -> CallBuilder {
-    CallBuilder { name: name.to_string(), args: Vec::new(), kind: RawKind::Exit }
+    CallBuilder {
+        name: name.to_string(),
+        args: Vec::new(),
+        kind: RawKind::Exit,
+    }
 }
 
 /// Begin a message event `[receiver selector ...]`; receiver defaults
@@ -111,7 +119,10 @@ pub fn field_assign(struct_name: &str, field_name: &str) -> FieldBuilder {
 /// `ATLEAST(n, ...)`: at least `n` events drawn from `exprs` in any
 /// order (fig. 8).
 pub fn atleast(n: usize, exprs: Vec<ExprBuilder>) -> ExprBuilder {
-    ExprBuilder(RawExpr::AtLeast(n, exprs.into_iter().map(|e| e.0).collect()))
+    ExprBuilder(RawExpr::AtLeast(
+        n,
+        exprs.into_iter().map(|e| e.0).collect(),
+    ))
 }
 
 macro_rules! arg_methods {
@@ -377,14 +388,20 @@ impl VarTable {
 
     fn resolve(&mut self, p: &RawPattern) -> ArgPattern {
         match p {
-            RawPattern::Any(t) => ArgPattern::Any { type_name: t.clone() },
+            RawPattern::Any(t) => ArgPattern::Any {
+                type_name: t.clone(),
+            },
             RawPattern::Const(v) => ArgPattern::Const(*v),
-            RawPattern::Var(n) => ArgPattern::Var { index: self.index(n), name: n.clone() },
+            RawPattern::Var(n) => ArgPattern::Var {
+                index: self.index(n),
+                name: n.clone(),
+            },
             RawPattern::Flags(b) => ArgPattern::Flags(*b),
             RawPattern::Bitmask(b) => ArgPattern::Bitmask(*b),
-            RawPattern::OutParam(n) => {
-                ArgPattern::OutParam { index: self.index(n), name: n.clone() }
-            }
+            RawPattern::OutParam(n) => ArgPattern::OutParam {
+                index: self.index(n),
+                name: n.clone(),
+            },
         }
     }
 
@@ -408,10 +425,16 @@ impl VarTable {
                 // event carries exactly one argument pattern per
                 // selector colon. Pad with wildcards, drop extras.
                 let colons = m.selector.matches(':').count();
-                let mut args: Vec<ArgPattern> =
-                    m.args.iter().take(colons).map(|a| self.resolve(a)).collect();
+                let mut args: Vec<ArgPattern> = m
+                    .args
+                    .iter()
+                    .take(colons)
+                    .map(|a| self.resolve(a))
+                    .collect();
                 while args.len() < colons {
-                    args.push(ArgPattern::Any { type_name: "id".into() });
+                    args.push(ArgPattern::Any {
+                        type_name: "id".into(),
+                    });
                 }
                 Expr::Event(EventExpr::MessageEvent {
                     receiver: self.resolve(&m.receiver),
@@ -430,15 +453,18 @@ impl VarTable {
             RawExpr::Site => Expr::AssertionSite,
             RawExpr::InCallStack(n) => Expr::InCallStack(n.clone()),
             RawExpr::Seq(es) => Expr::Sequence(es.iter().map(|e| self.lower(e)).collect()),
-            RawExpr::Bool(op, es) => {
-                Expr::Bool { op: *op, exprs: es.iter().map(|e| self.lower(e)).collect() }
-            }
-            RawExpr::AtLeast(n, es) => {
-                Expr::AtLeast { n: *n, exprs: es.iter().map(|e| self.lower(e)).collect() }
-            }
-            RawExpr::Modified(m, inner) => {
-                Expr::Modified { modifier: *m, expr: Box::new(self.lower(inner)) }
-            }
+            RawExpr::Bool(op, es) => Expr::Bool {
+                op: *op,
+                exprs: es.iter().map(|e| self.lower(e)).collect(),
+            },
+            RawExpr::AtLeast(n, es) => Expr::AtLeast {
+                n: *n,
+                exprs: es.iter().map(|e| self.lower(e)).collect(),
+            },
+            RawExpr::Modified(m, inner) => Expr::Modified {
+                modifier: *m,
+                expr: Box::new(self.lower(inner)),
+            },
         }
     }
 }
@@ -500,7 +526,10 @@ impl AssertionBuilder {
     /// Record the source location of the assertion site.
     #[must_use]
     pub fn at(mut self, file: &str, line: u32) -> AssertionBuilder {
-        self.loc = SourceLoc { file: file.to_string(), line };
+        self.loc = SourceLoc {
+            file: file.to_string(),
+            line,
+        };
         self
     }
 
@@ -567,7 +596,13 @@ mod tests {
         )
         .unwrap();
         let built = AssertionBuilder::within("enclosing_fn")
-            .previously(call("security_check").any_ptr().arg_var("o").arg_var("op").returns(0))
+            .previously(
+                call("security_check")
+                    .any_ptr()
+                    .arg_var("o")
+                    .arg_var("op")
+                    .returns(0),
+            )
             .build()
             .unwrap();
         assert_eq!(parsed.expr, built.expr);
@@ -587,7 +622,10 @@ mod tests {
         let built = AssertionBuilder::syscall()
             .previously(
                 ExprBuilder::from(
-                    call("mac_kld_check_load").any_ptr().arg_var("vp").returns(0),
+                    call("mac_kld_check_load")
+                        .any_ptr()
+                        .arg_var("vp")
+                        .returns(0),
                 )
                 .or(call("mac_vnode_check_open")
                     .any_ptr()
@@ -609,7 +647,10 @@ mod tests {
                 vec![
                     msg_send("push").into(),
                     msg_send("pop").into(),
-                    msg_send("drawWithFrame:inView:").any("NSRect").any("id").into(),
+                    msg_send("drawWithFrame:inView:")
+                        .any("NSRect")
+                        .any("id")
+                        .into(),
                 ],
             ))
             .build()

@@ -50,8 +50,8 @@ pub use ast::{
     StaticEvent,
 };
 pub use builder::{
-    atleast, call, field_assign, msg_send, returnfrom, AssertionBuilder, CallBuilder,
-    ExprBuilder, FieldBuilder, MsgBuilder,
+    atleast, call, field_assign, msg_send, returnfrom, AssertionBuilder, CallBuilder, ExprBuilder,
+    FieldBuilder, MsgBuilder,
 };
 pub use parser::{parse_assertion, parse_assertion_with_consts, parse_expr, ParseError};
 pub use value::{ArgPattern, Value};
@@ -76,7 +76,10 @@ impl std::fmt::Display for SpecError {
         match self {
             SpecError::EmptyExpression => write!(f, "assertion expression contains no events"),
             SpecError::MultipleAssertionSites(n) => {
-                write!(f, "assertion references {n} assertion sites; exactly one is allowed")
+                write!(
+                    f,
+                    "assertion references {n} assertion sites; exactly one is allowed"
+                )
             }
             SpecError::InconsistentVariable(v) => {
                 write!(f, "variable `{v}` is used inconsistently")

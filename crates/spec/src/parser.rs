@@ -200,7 +200,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     toks.push((Tok::PlusAssign, i));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "unexpected `+`".into(), offset: i });
+                    return Err(ParseError {
+                        message: "unexpected `+`".into(),
+                        offset: i,
+                    });
                 }
             }
             b'-' => {
@@ -217,7 +220,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     }
                     toks.push((Tok::Int(-v), start));
                 } else {
-                    return Err(ParseError { message: "unexpected `-`".into(), offset: i });
+                    return Err(ParseError {
+                        message: "unexpected `-`".into(),
+                        offset: i,
+                    });
                 }
             }
             b'0'..=b'9' => {
@@ -248,9 +254,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(src[start..i].to_string()), start));
@@ -277,7 +281,12 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &str, consts: &'a HashMap<String, u64>) -> Result<Parser<'a>, ParseError> {
-        Ok(Parser { toks: lex(src)?, pos: 0, consts, vars: Vec::new() })
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            consts,
+            vars: Vec::new(),
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -310,7 +319,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, offset: self.offset() }
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
@@ -356,7 +368,11 @@ impl<'a> Parser<'a> {
                 )
             }
             "TESLA_GLOBAL" | "TESLA_PERTHREAD" => {
-                let ctx = if head == "TESLA_GLOBAL" { Context::Global } else { Context::PerThread };
+                let ctx = if head == "TESLA_GLOBAL" {
+                    Context::Global
+                } else {
+                    Context::PerThread
+                };
                 let start = self.parse_static_event()?;
                 self.expect(&Tok::Comma)?;
                 let end = self.parse_static_event()?;
@@ -417,7 +433,10 @@ impl<'a> Parser<'a> {
             self.bump();
             exprs.push(self.parse_xor_expr()?);
         }
-        Ok(Expr::Bool { op: BoolOp::Or, exprs })
+        Ok(Expr::Bool {
+            op: BoolOp::Or,
+            exprs,
+        })
     }
 
     fn parse_xor_expr(&mut self) -> Result<Expr, ParseError> {
@@ -430,7 +449,10 @@ impl<'a> Parser<'a> {
             self.bump();
             exprs.push(self.parse_primary()?);
         }
-        Ok(Expr::Bool { op: BoolOp::Xor, exprs })
+        Ok(Expr::Bool {
+            op: BoolOp::Xor,
+            exprs,
+        })
     }
 
     fn parse_expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
@@ -520,7 +542,10 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::LParen)?;
                 let e = self.parse_expr()?;
                 self.expect(&Tok::RParen)?;
-                Ok(Expr::Modified { modifier: m, expr: Box::new(e) })
+                Ok(Expr::Modified {
+                    modifier: m,
+                    expr: Box::new(e),
+                })
             }
             "incallstack" => {
                 self.bump();
@@ -534,8 +559,11 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::LParen)?;
                 if *self.peek() == Tok::LBracket {
                     // returnfrom([recv sel]) — method-return event.
-                    let kind =
-                        if head == "call" { CallKind::Entry } else { CallKind::Exit };
+                    let kind = if head == "call" {
+                        CallKind::Entry
+                    } else {
+                        CallKind::Exit
+                    };
                     let e = self.parse_message(kind)?;
                     self.expect(&Tok::RParen)?;
                     return Ok(e);
@@ -547,7 +575,11 @@ impl<'a> Parser<'a> {
                     Vec::new()
                 };
                 self.expect(&Tok::RParen)?;
-                let kind = if head == "call" { CallKind::Entry } else { CallKind::Exit };
+                let kind = if head == "call" {
+                    CallKind::Entry
+                } else {
+                    CallKind::Exit
+                };
                 Ok(Expr::Event(EventExpr::FunctionEvent { name, args, kind }))
             }
             _ => self.parse_call_or_field(head),
@@ -583,13 +615,20 @@ impl<'a> Parser<'a> {
                 // with no return check.
                 CallKind::Exit
             };
-            return Ok(Expr::Event(EventExpr::FunctionEvent { name: head, args, kind }));
+            return Ok(Expr::Event(EventExpr::FunctionEvent {
+                name: head,
+                args,
+                kind,
+            }));
         }
         if *self.peek() == Tok::Dot {
             // `obj.field op val`: struct type unknown at parse time;
             // the object is a variable named `head`.
             let idx = self.var_index(&head);
-            let obj = ArgPattern::Var { index: idx, name: head };
+            let obj = ArgPattern::Var {
+                index: idx,
+                name: head,
+            };
             return self.parse_field_tail(String::new(), obj);
         }
         Err(self.err(format!("expected `(` or `.` after `{}`", head)))
@@ -645,7 +684,12 @@ impl<'a> Parser<'a> {
         if selector.is_empty() {
             return Err(self.err("message has no selector".into()));
         }
-        Ok(Expr::Event(EventExpr::MessageEvent { receiver, selector, args, kind }))
+        Ok(Expr::Event(EventExpr::MessageEvent {
+            receiver,
+            selector,
+            args,
+            kind,
+        }))
     }
 
     fn parse_arg_patterns(&mut self) -> Result<Vec<ArgPattern>, ParseError> {
@@ -818,10 +862,7 @@ mod tests {
                         assert_eq!(name, "security_check");
                         assert_eq!(args.len(), 3);
                         assert_eq!(args[0], ArgPattern::any_ptr());
-                        assert_eq!(
-                            *kind,
-                            CallKind::ExitWithReturn(ArgPattern::Const(Value(0)))
-                        );
+                        assert_eq!(*kind, CallKind::ExitWithReturn(ArgPattern::Const(Value(0))));
                     }
                     other => panic!("unexpected event {other:?}"),
                 }
@@ -837,7 +878,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.bounds, Bounds::within(SYSCALL_BOUND_FN));
-        assert_eq!(a.variables, vec!["active_cred".to_string(), "so".to_string()]);
+        assert_eq!(
+            a.variables,
+            vec!["active_cred".to_string(), "so".to_string()]
+        );
     }
 
     #[test]
@@ -869,7 +913,10 @@ mod tests {
         // previously(x || y || z): the OR is under a sequence.
         match &a.expr {
             Expr::Sequence(es) => match &es[0] {
-                Expr::Bool { op: BoolOp::Or, exprs } => assert_eq!(exprs.len(), 3),
+                Expr::Bool {
+                    op: BoolOp::Or,
+                    exprs,
+                } => assert_eq!(exprs.len(), 3),
                 other => panic!("expected OR, got {other:?}"),
             },
             other => panic!("expected sequence, got {other:?}"),
@@ -889,7 +936,10 @@ mod tests {
         .unwrap();
         assert!(a.validate().is_ok());
         match &a.expr {
-            Expr::Bool { op: BoolOp::Or, exprs } => {
+            Expr::Bool {
+                op: BoolOp::Or,
+                exprs,
+            } => {
                 assert_eq!(exprs[0], Expr::InCallStack("ufs_readdir".into()));
                 // The flags pattern resolved the named constant.
                 let mut found_flags = false;
@@ -923,23 +973,24 @@ mod tests {
         assert_eq!(selectors.len(), 4);
         assert_eq!(selectors[0], ("push".to_string(), CallKind::Entry));
         assert_eq!(selectors[2].0, "drawWithFrame:inView:");
-        assert_eq!(selectors[3], ("restoreGraphicsState".to_string(), CallKind::Exit));
+        assert_eq!(
+            selectors[3],
+            ("restoreGraphicsState".to_string(), CallKind::Exit)
+        );
     }
 
     #[test]
     fn parses_global_and_assert_forms() {
-        let a = parse_assertion(
-            "TESLA_GLOBAL(call(start), returnfrom(stop), eventually(audit(x)))",
-        )
-        .unwrap();
+        let a =
+            parse_assertion("TESLA_GLOBAL(call(start), returnfrom(stop), eventually(audit(x)))")
+                .unwrap();
         assert_eq!(a.context, Context::Global);
         assert_eq!(a.bounds.start, StaticEvent::Call("start".into()));
         assert_eq!(a.bounds.end, StaticEvent::ReturnFrom("stop".into()));
 
-        let b = parse_assertion(
-            "TESLA_ASSERT(global, call(a), returnfrom(b), TSEQUENCE(f(), g()))",
-        )
-        .unwrap();
+        let b =
+            parse_assertion("TESLA_ASSERT(global, call(a), returnfrom(b), TSEQUENCE(f(), g()))")
+                .unwrap();
         assert_eq!(b.context, Context::Global);
         match &b.expr {
             Expr::Sequence(es) => assert_eq!(es.len(), 2),
@@ -950,8 +1001,7 @@ mod tests {
     #[test]
     fn parses_field_assignment_forms() {
         // Typed form.
-        let (e, vars) =
-            parse_expr("socket(so).so_qstate = 5", &HashMap::new()).unwrap();
+        let (e, vars) = parse_expr("socket(so).so_qstate = 5", &HashMap::new()).unwrap();
         match e {
             Expr::Event(EventExpr::FieldAssignEvent {
                 struct_name,
@@ -972,7 +1022,12 @@ mod tests {
         // Untyped form with increment.
         let (e, _) = parse_expr("s.refcount++", &HashMap::new()).unwrap();
         match e {
-            Expr::Event(EventExpr::FieldAssignEvent { struct_name, op, value, .. }) => {
+            Expr::Event(EventExpr::FieldAssignEvent {
+                struct_name,
+                op,
+                value,
+                ..
+            }) => {
                 assert!(struct_name.is_empty());
                 assert_eq!(op, FieldOp::AddAssign);
                 assert_eq!(value, ArgPattern::Const(Value(1)));
@@ -1001,8 +1056,14 @@ mod tests {
     fn parses_modifiers_and_xor() {
         let (e, _) = parse_expr("strict(a() ^ b())", &HashMap::new()).unwrap();
         match e {
-            Expr::Modified { modifier: Modifier::Strict, expr } => match *expr {
-                Expr::Bool { op: BoolOp::Xor, ref exprs } => assert_eq!(exprs.len(), 2),
+            Expr::Modified {
+                modifier: Modifier::Strict,
+                expr,
+            } => match *expr {
+                Expr::Bool {
+                    op: BoolOp::Xor,
+                    ref exprs,
+                } => assert_eq!(exprs.len(), 2),
                 other => panic!("unexpected {other:?}"),
             },
             other => panic!("unexpected {other:?}"),
@@ -1017,9 +1078,18 @@ mod tests {
     fn xor_binds_tighter_than_or() {
         let (e, _) = parse_expr("a() || b() ^ c()", &HashMap::new()).unwrap();
         match e {
-            Expr::Bool { op: BoolOp::Or, exprs } => {
+            Expr::Bool {
+                op: BoolOp::Or,
+                exprs,
+            } => {
                 assert_eq!(exprs.len(), 2);
-                assert!(matches!(&exprs[1], Expr::Bool { op: BoolOp::Xor, .. }));
+                assert!(matches!(
+                    &exprs[1],
+                    Expr::Bool {
+                        op: BoolOp::Xor,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1031,7 +1101,13 @@ mod tests {
         assert_eq!(vars, vec!["err".to_string()]);
         match e {
             Expr::Event(EventExpr::FunctionEvent { args, .. }) => {
-                assert_eq!(args[0], ArgPattern::OutParam { index: 0, name: "err".into() });
+                assert_eq!(
+                    args[0],
+                    ArgPattern::OutParam {
+                        index: 0,
+                        name: "err".into()
+                    }
+                );
                 assert_eq!(args[1], ArgPattern::Const(Value::from_i64(-1)));
                 assert_eq!(args[2], ArgPattern::Const(Value(0x40)));
             }
@@ -1041,10 +1117,8 @@ mod tests {
 
     #[test]
     fn shared_variables_get_one_index() {
-        let a = parse_assertion(
-            "TESLA_WITHIN(f, previously(check(x, y) == 0 || other(x) == 0))",
-        )
-        .unwrap();
+        let a = parse_assertion("TESLA_WITHIN(f, previously(check(x, y) == 0 || other(x) == 0))")
+            .unwrap();
         assert_eq!(a.variables, vec!["x".to_string(), "y".to_string()]);
         let mut xs = Vec::new();
         a.expr.for_each_event(&mut |e| {
@@ -1063,10 +1137,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let a = parse_assertion(
-            "TESLA_WITHIN(f, /* inline */ previously(g() == 0)) // trailing",
-        )
-        .unwrap();
+        let a = parse_assertion("TESLA_WITHIN(f, /* inline */ previously(g() == 0)) // trailing")
+            .unwrap();
         assert_eq!(a.bounds.start.function(), "f");
     }
 

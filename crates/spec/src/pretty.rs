@@ -5,9 +5,7 @@
 //! a property test in the crate's test suite). This is the format used
 //! in diagnostics and in `.tesla` manifest dumps.
 
-use crate::ast::{
-    Assertion, BoolOp, CallKind, Context, EventExpr, Expr, Modifier, StaticEvent,
-};
+use crate::ast::{Assertion, BoolOp, CallKind, Context, EventExpr, Expr, Modifier, StaticEvent};
 use std::fmt;
 
 impl fmt::Display for StaticEvent {
@@ -63,14 +61,25 @@ impl fmt::Display for EventExpr {
                     }
                 }
             }
-            EventExpr::FieldAssignEvent { struct_name, field_name, object, op, value } => {
+            EventExpr::FieldAssignEvent {
+                struct_name,
+                field_name,
+                object,
+                op,
+                value,
+            } => {
                 if struct_name.is_empty() {
                     write!(f, "{object}.{field_name} {op} {value}")
                 } else {
                     write!(f, "{struct_name}({object}).{field_name} {op} {value}")
                 }
             }
-            EventExpr::MessageEvent { receiver, selector, args, kind } => {
+            EventExpr::MessageEvent {
+                receiver,
+                selector,
+                args,
+                kind,
+            } => {
                 let write_msg = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
                     write!(f, "[{receiver} ")?;
                     if args.is_empty() {

@@ -150,7 +150,9 @@ pub enum ArgPattern {
 impl ArgPattern {
     /// A wildcard over pointers, the most common `ANY`.
     pub fn any_ptr() -> ArgPattern {
-        ArgPattern::Any { type_name: "ptr".into() }
+        ArgPattern::Any {
+            type_name: "ptr".into(),
+        }
     }
 
     /// Does this pattern bind or reference a variable?
@@ -170,6 +172,31 @@ impl ArgPattern {
             ArgPattern::Const(c) => *c == v,
             ArgPattern::Flags(required) => v.0 & required == *required,
             ArgPattern::Bitmask(mask) => v.0 & !mask == 0,
+        }
+    }
+
+    /// Are the two patterns *provably* disjoint — is there no value
+    /// both can match? Used by the spec linter to flag assertions that
+    /// observe the same callee with incompatible matchers. Wildcards
+    /// and variables overlap everything (a variable's binding is a
+    /// run-time property), so only concrete pattern pairs can be
+    /// disjoint:
+    ///
+    /// - two distinct constants;
+    /// - a constant missing a required `flags` bit;
+    /// - a constant with bits outside a `bitmask`;
+    /// - `flags` requiring a bit the `bitmask` forbids.
+    ///
+    /// Two `flags` patterns always overlap (their union satisfies
+    /// both), as do two `bitmask` patterns (zero satisfies both).
+    pub fn disjoint_with(&self, other: &ArgPattern) -> bool {
+        use ArgPattern::{Bitmask, Const, Flags};
+        match (self, other) {
+            (Const(a), Const(b)) => a != b,
+            (Const(v), Flags(req)) | (Flags(req), Const(v)) => v.0 & req != *req,
+            (Const(v), Bitmask(mask)) | (Bitmask(mask), Const(v)) => v.0 & !mask != 0,
+            (Flags(req), Bitmask(mask)) | (Bitmask(mask), Flags(req)) => req & !mask != 0,
+            _ => false,
         }
     }
 }
@@ -202,7 +229,10 @@ mod tests {
     fn value_display_signs_small_negatives() {
         assert_eq!(Value::from_i64(-1).to_string(), "-1");
         assert_eq!(Value::from_i64(7).to_string(), "7");
-        assert_eq!(Value(u64::MAX - 10_000).to_string(), format!("{}", u64::MAX - 10_000));
+        assert_eq!(
+            Value(u64::MAX - 10_000).to_string(),
+            format!("{}", u64::MAX - 10_000)
+        );
     }
 
     #[test]
@@ -235,15 +265,68 @@ mod tests {
     fn wildcard_and_vars_match_statically() {
         for v in [Value(0), Value(42), Value(u64::MAX)] {
             assert!(ArgPattern::any_ptr().matches_static(v));
-            assert!(ArgPattern::Var { index: 0, name: "x".into() }.matches_static(v));
-            assert!(ArgPattern::OutParam { index: 1, name: "e".into() }.matches_static(v));
+            assert!(ArgPattern::Var {
+                index: 0,
+                name: "x".into()
+            }
+            .matches_static(v));
+            assert!(ArgPattern::OutParam {
+                index: 1,
+                name: "e".into()
+            }
+            .matches_static(v));
         }
     }
 
     #[test]
+    fn disjointness_is_decided_only_for_concrete_pairs() {
+        let c0 = ArgPattern::Const(Value(0));
+        let c1 = ArgPattern::Const(Value(1));
+        let any = ArgPattern::any_ptr();
+        let var = ArgPattern::Var {
+            index: 0,
+            name: "x".into(),
+        };
+        // Distinct constants are disjoint; identical ones are not.
+        assert!(c0.disjoint_with(&c1));
+        assert!(c1.disjoint_with(&c0));
+        assert!(!c0.disjoint_with(&ArgPattern::Const(Value(0))));
+        // Wildcards and variables overlap everything.
+        assert!(!any.disjoint_with(&c0));
+        assert!(!var.disjoint_with(&c1));
+        // Const 0 cannot set the required flag bit.
+        assert!(c0.disjoint_with(&ArgPattern::Flags(0b1)));
+        assert!(!c1.disjoint_with(&ArgPattern::Flags(0b1)));
+        // Const 8 has a bit outside bitmask 0b0110.
+        assert!(ArgPattern::Const(Value(8)).disjoint_with(&ArgPattern::Bitmask(0b0110)));
+        assert!(!ArgPattern::Const(Value(0b0010)).disjoint_with(&ArgPattern::Bitmask(0b0110)));
+        // flags requires a bit the bitmask forbids.
+        assert!(ArgPattern::Flags(0b1000).disjoint_with(&ArgPattern::Bitmask(0b0110)));
+        assert!(!ArgPattern::Flags(0b0100).disjoint_with(&ArgPattern::Bitmask(0b0110)));
+        // Two flags always overlap (union), two bitmasks always
+        // overlap (zero).
+        assert!(!ArgPattern::Flags(0b01).disjoint_with(&ArgPattern::Flags(0b10)));
+        assert!(!ArgPattern::Bitmask(0b01).disjoint_with(&ArgPattern::Bitmask(0b10)));
+    }
+
+    #[test]
     fn var_index_extraction() {
-        assert_eq!(ArgPattern::Var { index: 3, name: "x".into() }.var_index(), Some(3));
-        assert_eq!(ArgPattern::OutParam { index: 1, name: "e".into() }.var_index(), Some(1));
+        assert_eq!(
+            ArgPattern::Var {
+                index: 3,
+                name: "x".into()
+            }
+            .var_index(),
+            Some(3)
+        );
+        assert_eq!(
+            ArgPattern::OutParam {
+                index: 1,
+                name: "e".into()
+            }
+            .var_index(),
+            Some(1)
+        );
         assert_eq!(ArgPattern::Const(Value(1)).var_index(), None);
         assert_eq!(ArgPattern::any_ptr().var_index(), None);
     }

@@ -8,8 +8,13 @@ use tesla_spec::{
 };
 
 const VARS: [&str; 4] = ["vp", "so", "cred", "op_arg"];
-const FNS: [&str; 5] =
-    ["mac_check", "vn_rdwr", "security_check", "audit_event", "EVP_VerifyFinal"];
+const FNS: [&str; 5] = [
+    "mac_check",
+    "vn_rdwr",
+    "security_check",
+    "audit_event",
+    "EVP_VerifyFinal",
+];
 const SELS: [&str; 3] = ["push", "pop", "drawWithFrame:inView:"];
 const STRUCTS: [&str; 2] = ["socket", "proc"];
 const FIELDS: [&str; 2] = ["so_qstate", "p_flag"];
@@ -87,10 +92,27 @@ fn event_strategy() -> impl Strategy<Value = EventRecipe> {
             ]),
             any::<bool>(),
         )
-            .prop_map(|(f, args, ret, entry)| EventRecipe::Call { f, args, ret, entry }),
+            .prop_map(|(f, args, ret, entry)| EventRecipe::Call {
+                f,
+                args,
+                ret,
+                entry
+            }),
         (0usize..SELS.len(), 0usize..3).prop_map(|(s, n_args)| EventRecipe::Msg { s, n_args }),
-        (0usize..STRUCTS.len(), 0usize..FIELDS.len(), 0usize..VARS.len(), 0u8..5, 0i64..64)
-            .prop_map(|(st, fi, var, op, value)| EventRecipe::Field { st, fi, var, op, value }),
+        (
+            0usize..STRUCTS.len(),
+            0usize..FIELDS.len(),
+            0usize..VARS.len(),
+            0u8..5,
+            0i64..64
+        )
+            .prop_map(|(st, fi, var, op, value)| EventRecipe::Field {
+                st,
+                fi,
+                var,
+                op,
+                value
+            }),
     ]
 }
 
@@ -103,7 +125,9 @@ fn expr_strategy() -> impl Strategy<Value = ExprRecipe> {
             proptest::collection::vec(inner.clone(), 2..4).prop_map(ExprRecipe::Seq),
             (0usize..3, proptest::collection::vec(inner.clone(), 1..3))
                 .prop_map(|(n, es)| ExprRecipe::AtLeast(n, es)),
-            inner.clone().prop_map(|e| ExprRecipe::Optional(Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| ExprRecipe::Optional(Box::new(e))),
             inner.clone().prop_map(|e| ExprRecipe::Strict(Box::new(e))),
             inner.prop_map(|e| ExprRecipe::Caller(Box::new(e))),
         ]
@@ -112,7 +136,12 @@ fn expr_strategy() -> impl Strategy<Value = ExprRecipe> {
 
 fn build_event(r: &EventRecipe) -> ExprBuilder {
     match r {
-        EventRecipe::Call { f, args, ret, entry } => {
+        EventRecipe::Call {
+            f,
+            args,
+            ret,
+            entry,
+        } => {
             let mut c = call(FNS[*f]);
             for a in args {
                 c = match a {
@@ -142,7 +171,13 @@ fn build_event(r: &EventRecipe) -> ExprBuilder {
             }
             m.into()
         }
-        EventRecipe::Field { st, fi, var, op, value } => {
+        EventRecipe::Field {
+            st,
+            fi,
+            var,
+            op,
+            value,
+        } => {
             let op = match op {
                 0 => FieldOp::Assign,
                 1 => FieldOp::AddAssign,
@@ -186,9 +221,7 @@ fn build_expr(r: &ExprRecipe) -> ExprBuilder {
             }
             out
         }
-        ExprRecipe::AtLeast(n, es) => {
-            tesla_spec::atleast(*n, es.iter().map(build_expr).collect())
-        }
+        ExprRecipe::AtLeast(n, es) => tesla_spec::atleast(*n, es.iter().map(build_expr).collect()),
         ExprRecipe::Optional(e) => build_expr(e).optional(),
         ExprRecipe::Strict(e) => build_expr(e).strict(),
         ExprRecipe::Caller(e) => build_expr(e).caller(),

@@ -29,7 +29,8 @@ pub mod lmbench {
     /// Set up the files the microbenchmarks need.
     pub fn setup(k: &Kernel) {
         k.mkdir_p("/tmp", 0).expect("mkdir");
-        k.mkfile("/tmp/lat_open", b"0123456789abcdef", 0, false).expect("mkfile");
+        k.mkfile("/tmp/lat_open", b"0123456789abcdef", 0, false)
+            .expect("mkfile");
     }
 
     /// One `open`+`close` pair (the paper's `lat_syscall open close`).
@@ -102,7 +103,12 @@ pub mod oltp {
 
     impl Default for OltpParams {
         fn default() -> OltpParams {
-            OltpParams { threads: 4, transactions: 100, socket_ops: 4, compute: 600 }
+            OltpParams {
+                threads: 4,
+                transactions: 100,
+                socket_ops: 4,
+                compute: 600,
+            }
         }
     }
 
@@ -119,7 +125,8 @@ pub mod oltp {
     pub fn run(k: &Arc<Kernel>, params: OltpParams) -> u64 {
         k.mkdir_p("/db", 0).expect("mkdir");
         if k.sys_stat(k.init_pid(), "/db/table").is_err() {
-            k.mkfile("/db/table", &vec![0u8; 256], 0, false).expect("mkfile");
+            k.mkfile("/db/table", &vec![0u8; 256], 0, false)
+                .expect("mkfile");
         }
         let mut handles = Vec::new();
         for _ in 0..params.threads {
@@ -174,7 +181,10 @@ pub mod buildload {
 
     impl Default for BuildParams {
         fn default() -> BuildParams {
-            BuildParams { files: 50, compute: 2_000 }
+            BuildParams {
+                files: 50,
+                compute: 2_000,
+            }
         }
     }
 
@@ -188,8 +198,13 @@ pub mod buildload {
         for i in 0..params.files {
             let src = format!("/src/file{i}.c");
             if k.sys_stat(pid, &src).is_err() {
-                k.mkfile(&src, format!("int f{i}(void) {{ return {i}; }}").as_bytes(), 0, false)
-                    .expect("mkfile");
+                k.mkfile(
+                    &src,
+                    format!("int f{i}(void) {{ return {i}; }}").as_bytes(),
+                    0,
+                    false,
+                )
+                .expect("mkfile");
             }
             let fd = k.sys_open(pid, &src, oflags::O_RDONLY).expect("open");
             let text = k.sys_read(pid, fd, 4096).expect("read");
@@ -261,11 +276,16 @@ mod tests {
     use tesla_sim_kernel::{Bugs, KernelConfig};
 
     fn instrumented_kernel(sets: &[AssertionSet]) -> (Arc<Kernel>, Arc<Tesla>) {
-        let t =
-            Arc::new(Tesla::new(Config { fail_mode: FailMode::FailStop, ..Config::default() }));
+        let t = Arc::new(Tesla::new(Config {
+            fail_mode: FailMode::FailStop,
+            ..Config::default()
+        }));
         let reg = register_sets(&t, sets).unwrap();
         let k = Arc::new(Kernel::new(
-            KernelConfig { bugs: Bugs::default(), debug_checks: false },
+            KernelConfig {
+                bugs: Bugs::default(),
+                debug_checks: false,
+            },
             MacFramework::new(),
             Some((t.clone(), reg.sites)),
         ));
@@ -285,14 +305,25 @@ mod tests {
     #[test]
     fn oltp_runs_multithreaded_on_all_assertions() {
         let (k, t) = instrumented_kernel(&[AssertionSet::All]);
-        oltp::run(&k, oltp::OltpParams { threads: 3, transactions: 20, socket_ops: 2, compute: 600 });
+        oltp::run(
+            &k,
+            oltp::OltpParams {
+                threads: 3,
+                transactions: 20,
+                socket_ops: 2,
+                compute: 600,
+            },
+        );
         assert!(t.violations().is_empty(), "{:?}", t.violations());
     }
 
     #[test]
     fn buildload_is_deterministic() {
         let (k, t) = instrumented_kernel(&[AssertionSet::M]);
-        let p = buildload::BuildParams { files: 5, compute: 10 };
+        let p = buildload::BuildParams {
+            files: 5,
+            compute: 10,
+        };
         let a = buildload::run(&k, p);
         let k2 = Kernel::release(KernelConfig::default());
         let b = buildload::run(&k2, p);

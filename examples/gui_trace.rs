@@ -16,11 +16,7 @@ use tesla::workload::xnee;
 fn main() {
     // The fig. 8 tracing assertion over a small selector list, for
     // display; the app registers it over the full ~110-method list.
-    let preview = figure8_assertion(&[
-        "push".into(),
-        "pop".into(),
-        "drawWithFrame:inView:".into(),
-    ]);
+    let preview = figure8_assertion(&["push".into(), "pop".into(), "drawWithFrame:inView:".into()]);
     println!("figure 8 (abridged):\n  {preview}\n");
 
     let trace: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
@@ -29,8 +25,14 @@ fn main() {
         Arc::new(move |e| sink.lock().push(e.clone()));
 
     // --- Bug 1: cursor push/pop imbalance --------------------------
-    let engine = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
-    let bugs = GuiBugs { duplicate_cursor_push: true, ..GuiBugs::default() };
+    let engine = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
+    let bugs = GuiBugs {
+        duplicate_cursor_push: true,
+        ..GuiBugs::default()
+    };
     let mut app = GuiApp::new(GuiMode::TeslaTracing(engine.clone(), handler.clone()), bugs);
     let script = xnee::session(60);
     xnee::replay(&mut app, &script);
@@ -41,7 +43,11 @@ fn main() {
     println!("cursor bug session: {} trace events", t.len());
     println!("  [NSCursor push] × {pushes}");
     println!("  [NSCursor pop]  × {pops}");
-    println!("  imbalance: {} (cursor stack residue: {:?})", cursor_imbalance(&t), app.world.cursor_stack);
+    println!(
+        "  imbalance: {} (cursor stack residue: {:?})",
+        cursor_imbalance(&t),
+        app.world.cursor_stack
+    );
     println!(
         "  → mouse-entered events not paired with mouse-exited: the same\n\
          \x20   cursor was pushed multiple times and one pop cannot restore it.\n"
@@ -52,15 +58,27 @@ fn main() {
     println!("  trace excerpt:");
     for e in t
         .iter()
-        .filter(|e| e.entry && matches!(e.selector.as_str(), "push" | "pop" | "mouseEntered:" | "mouseExited:"))
+        .filter(|e| {
+            e.entry
+                && matches!(
+                    e.selector.as_str(),
+                    "push" | "pop" | "mouseEntered:" | "mouseExited:"
+                )
+        })
         .take(8)
     {
-        println!("    [{} {}] (receiver #{})", e.class, e.selector, e.receiver);
+        println!(
+            "    [{} {}] (receiver #{})",
+            e.class, e.selector, e.receiver
+        );
     }
 
     // --- Bug 2: non-LIFO gstate restore ----------------------------
     trace.lock().clear();
-    let bugs = GuiBugs { backend_lifo_only: true, ..GuiBugs::default() };
+    let bugs = GuiBugs {
+        backend_lifo_only: true,
+        ..GuiBugs::default()
+    };
     let mut buggy = GuiApp::new(GuiMode::TeslaTracing(engine, handler), bugs);
     let got = buggy.world.draw_non_lifo_scene().unwrap();
     let mut good = GuiApp::new(GuiMode::Release, GuiBugs::default());

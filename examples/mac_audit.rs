@@ -17,7 +17,10 @@ use tesla::sim_kernel::{Bugs, Kernel, KernelConfig};
 use tesla::workload::lmbench;
 
 fn buggy_kernel() -> (Arc<Kernel>, Arc<Tesla>) {
-    let tesla = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let tesla = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
     let reg = register_sets(&tesla, &[AssertionSet::All]).expect("assertions register");
     println!("registered assertion sets (table 1):");
     for (set, n) in &reg.counts {
@@ -30,7 +33,10 @@ fn buggy_kernel() -> (Arc<Kernel>, Arc<Tesla>) {
         setuid_skips_sugid: true,
     };
     let k = Arc::new(Kernel::new(
-        KernelConfig { bugs, debug_checks: false },
+        KernelConfig {
+            bugs,
+            debug_checks: false,
+        },
         MacFramework::new(),
         Some((tesla.clone(), reg.sites)),
     ));
@@ -108,8 +114,14 @@ fn main() {
     );
     println!(
         "  procfs: {}  cpuset: {}  posix-rt: {}",
-        unexercised.iter().filter(|n| n.starts_with("procfs/")).count(),
-        unexercised.iter().filter(|n| n.starts_with("cpuset/")).count(),
+        unexercised
+            .iter()
+            .filter(|n| n.starts_with("procfs/"))
+            .count(),
+        unexercised
+            .iter()
+            .filter(|n| n.starts_with("cpuset/"))
+            .count(),
         unexercised.iter().filter(|n| n.starts_with("rt/")).count(),
     );
 

@@ -1,0 +1,67 @@
+/* Seeded specification defects for `tesla lint` — one per lint code.
+ * Each assertion below is well-formed (it parses, compiles to an
+ * automaton, and the program builds and runs) but says something no
+ * execution could ever falsify, satisfy, or need:
+ *
+ *   lint_vacuous      TESLA-L001  optional(...) body accepts everything
+ *   lint_contradictory TESLA-L002 body waits for the bound's own exit
+ *   lint_sub (2nd)    TESLA-L003  weaker disjunct of the 1st assertion
+ *   lint_deadstate    TESLA-L004  xor branches duplicate DFA structure
+ *
+ * The lint corpus test and the CI lint-smoke job assert each defect is
+ * flagged exactly once with its stable code.
+ */
+
+int lint_log(int msg) { return 0; }
+int lint_verify(int tok) { return 0; }
+int lint_audit(int tok) { return 0; }
+int lint_push(int v) { return 1; }
+int lint_pop(int v) { return 1; }
+
+/* L001: the optional(...) wrapper means the empty event sequence
+ * already satisfies the body — the assertion can never fail. */
+int lint_vacuous(int x) {
+    lint_log(x);
+    TESLA_WITHIN(lint_vacuous, previously(optional(lint_log(ANY(int)) == 0)));
+    return 0;
+}
+
+/* L002: the body event is the exit of lint_contradictory itself, but
+ * the bound is one activation of lint_contradictory — within a single
+ * (non-recursive) activation that exit can never precede the site, so
+ * the assertion can never pass. */
+int lint_contradictory(int x) {
+    TESLA_WITHIN(lint_contradictory, previously(lint_contradictory(ANY(int)) == 0));
+    return 0;
+}
+
+/* L003: the second assertion's language strictly contains the first's
+ * (same bound, same context) — whenever the strict form holds, the
+ * disjunction holds too, so the weaker assertion is dead weight. */
+int lint_sub(int tok) {
+    int rc = lint_verify(tok);
+    lint_audit(tok);
+    TESLA_WITHIN(lint_sub, previously(lint_verify(ANY(int)) == 0));
+    TESLA_WITHIN(lint_sub, previously(
+        lint_verify(ANY(int)) == 0 || lint_audit(ANY(int)) == 0));
+    return rc;
+}
+
+/* L004: the two xor branches lower to structurally duplicated DFA
+ * states that minimisation would merge — redundant automaton
+ * structure (harmless at run time, wasteful and usually a spec
+ * copy-paste smell). */
+int lint_deadstate(int v) {
+    lint_push(v);
+    TESLA_WITHIN(lint_deadstate, previously(
+        lint_push(ANY(int)) == 1 ^ lint_pop(ANY(int)) == 1));
+    return 0;
+}
+
+int main(int x) {
+    lint_vacuous(x);
+    lint_contradictory(x);
+    lint_sub(x);
+    lint_deadstate(x);
+    return 0;
+}

@@ -26,7 +26,11 @@ int sopoll_generic(int cred, struct socket *so) {\n\
 }\n";
 
 fn syscall_c(checked: bool) -> String {
-    let check = if checked { "mac_socket_check_poll(cred, so);" } else { "/* forgot! */" };
+    let check = if checked {
+        "mac_socket_check_poll(cred, so);"
+    } else {
+        "/* forgot! */"
+    };
     format!(
         "struct socket {{ int so_state; }};\n\
          int mac_socket_check_poll(int cred, struct socket *so);\n\
@@ -55,7 +59,10 @@ fn main() {
         art.stats.hooks_inserted,
         art.stats.linked_insts
     );
-    println!("merged manifest ({} assertion):", art.manifest.entries.len());
+    println!(
+        "merged manifest ({} assertion):",
+        art.manifest.entries.len()
+    );
     println!("{}", art.manifest.to_tesla());
 
     let engine = Tesla::with_defaults();

@@ -14,12 +14,16 @@ fn main() {
     //    call to `authorise(user, resource)` must have returned 0."
     //    Identical assertions can be written in C-like surface syntax
     //    or with the typed builder; show both agree.
-    let parsed = parse_assertion(
-        "TESLA_WITHIN(handle_request, previously(authorise(user, resource) == 0))",
-    )
-    .expect("parses");
+    let parsed =
+        parse_assertion("TESLA_WITHIN(handle_request, previously(authorise(user, resource) == 0))")
+            .expect("parses");
     let built = AssertionBuilder::within("handle_request")
-        .previously(call("authorise").arg_var("user").arg_var("resource").returns(0))
+        .previously(
+            call("authorise")
+                .arg_var("user")
+                .arg_var("resource")
+                .returns(0),
+        )
         .build()
         .expect("builds");
     assert_eq!(parsed.expr, built.expr);
@@ -34,7 +38,10 @@ fn main() {
         automaton.n_symbols(),
         automaton.bound.start_fn
     );
-    let engine = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let engine = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
     let rec = Arc::new(RecordingHandler::new());
     engine.add_handler(rec.clone());
     let class = engine.register(automaton).expect("registers");
@@ -47,8 +54,12 @@ fn main() {
     // A compliant request: authorise(7, 42) == 0, then the site.
     engine.fn_entry(handle_request, &[]).unwrap();
     engine.fn_entry(authorise, &[Value(7), Value(42)]).unwrap();
-    engine.fn_exit(authorise, &[Value(7), Value(42)], Value(0)).unwrap();
-    engine.assertion_site(class, &[Value(7), Value(42)]).unwrap();
+    engine
+        .fn_exit(authorise, &[Value(7), Value(42)], Value(0))
+        .unwrap();
+    engine
+        .assertion_site(class, &[Value(7), Value(42)])
+        .unwrap();
     engine.fn_exit(handle_request, &[], Value(0)).unwrap();
     println!("compliant request: OK ({} lifecycle events)", rec.len());
 
@@ -56,8 +67,12 @@ fn main() {
     // resource — pointer-precise binding catches it.
     engine.fn_entry(handle_request, &[]).unwrap();
     engine.fn_entry(authorise, &[Value(7), Value(41)]).unwrap();
-    engine.fn_exit(authorise, &[Value(7), Value(41)], Value(0)).unwrap();
-    engine.assertion_site(class, &[Value(7), Value(42)]).unwrap();
+    engine
+        .fn_exit(authorise, &[Value(7), Value(41)], Value(0))
+        .unwrap();
+    engine
+        .assertion_site(class, &[Value(7), Value(42)])
+        .unwrap();
     engine.fn_exit(handle_request, &[], Value(0)).unwrap();
 
     for v in engine.violations() {

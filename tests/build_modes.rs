@@ -44,7 +44,9 @@ fn kern_src() -> String {
          int other_check(int cred, struct socket *so) { return 0; }\n",
     );
     for s in 0..N_SUBSYS {
-        src.push_str(&format!("int subsys_{s}_entry(int cred, struct socket *so);\n"));
+        src.push_str(&format!(
+            "int subsys_{s}_entry(int cred, struct socket *so);\n"
+        ));
     }
     src.push_str(
         "int amd64_syscall(int cred, int nr) {\n\
@@ -106,7 +108,10 @@ fn project_for(states: &[UnitState]) -> Project {
 }
 
 fn options_for(policy: ReinstrumentPolicy) -> BuildOptions {
-    BuildOptions { reinstrument: policy, ..BuildOptions::tesla_toolchain() }
+    BuildOptions {
+        reinstrument: policy,
+        ..BuildOptions::tesla_toolchain()
+    }
 }
 
 /// Everything observable about a build + run, for cross-policy
@@ -132,12 +137,21 @@ fn assert_equivalent(a: &BuildArtifacts, b: &BuildArtifacts, ctx: &str) {
 /// script and require observational equivalence after every build.
 fn differential_run(seed: u64, steps: usize) {
     let mut rng = Rng(seed);
-    let mut states =
-        vec![UnitState { asserts: 1, checker: "mac_check", expect: 0, salt: 0 }; N_SUBSYS];
+    let mut states = vec![
+        UnitState {
+            asserts: 1,
+            checker: "mac_check",
+            expect: 0,
+            salt: 0
+        };
+        N_SUBSYS
+    ];
     let initial = project_for(&states);
     let mut naive = BuildSystem::new(initial.clone(), options_for(ReinstrumentPolicy::Naive));
-    let mut fingerprint =
-        BuildSystem::new(initial.clone(), options_for(ReinstrumentPolicy::Fingerprint));
+    let mut fingerprint = BuildSystem::new(
+        initial.clone(),
+        options_for(ReinstrumentPolicy::Fingerprint),
+    );
     let mut delta = BuildSystem::new(initial, options_for(ReinstrumentPolicy::Delta));
 
     let a = naive.build().unwrap();
@@ -160,8 +174,11 @@ fn differential_run(seed: u64, steps: usize) {
             3 => states[s].expect = rng.below(3) as i64,
             // Re-point the assertion at the other checker.
             _ => {
-                states[s].checker =
-                    if states[s].checker == "mac_check" { "other_check" } else { "mac_check" }
+                states[s].checker = if states[s].checker == "mac_check" {
+                    "other_check"
+                } else {
+                    "mac_check"
+                }
             }
         }
         let file = format!("subsys/unit{s}.c");
@@ -199,7 +216,12 @@ fn delta_tracks_elision_verdict_changes() {
     use tesla::corpus::{openssl_like, openssl_like_buggy, openssl_like_patched};
 
     let client = |p: &Project| {
-        p.units.iter().find(|u| u.file == "fetch/main.c").unwrap().source.clone()
+        p.units
+            .iter()
+            .find(|u| u.file == "fetch/main.c")
+            .unwrap()
+            .source
+            .clone()
     };
     let base = openssl_like(4);
     let clients = [
@@ -235,8 +257,15 @@ fn delta_tracks_elision_verdict_changes() {
 /// assertion *content* (same event set) re-weaves exactly that unit.
 #[test]
 fn assertion_edit_invalidates_exactly_the_affected_unit() {
-    let mut states =
-        vec![UnitState { asserts: 1, checker: "mac_check", expect: 0, salt: 0 }; N_SUBSYS];
+    let mut states = vec![
+        UnitState {
+            asserts: 1,
+            checker: "mac_check",
+            expect: 0,
+            salt: 0
+        };
+        N_SUBSYS
+    ];
     let mut bs = BuildSystem::new(project_for(&states), BuildOptions::delta_toolchain());
     let first = bs.build().unwrap();
     assert_eq!(first.stats.instrumented_units, N_SUBSYS + 1);
@@ -245,10 +274,16 @@ fn assertion_edit_invalidates_exactly_the_affected_unit() {
     // functions, so only unit 1's own site changed.
     states[1].expect = 1;
     let st = states[1];
-    bs.edit("subsys/unit1.c", &subsys_src(1, st.asserts, st.checker, st.expect, st.salt));
+    bs.edit(
+        "subsys/unit1.c",
+        &subsys_src(1, st.asserts, st.checker, st.expect, st.salt),
+    );
     let art = bs.build().unwrap();
     assert_eq!(art.stats.compiled_units, 1);
-    assert_eq!(art.stats.instrumented_units, 1, "only the edited unit re-weaves");
+    assert_eq!(
+        art.stats.instrumented_units, 1,
+        "only the edited unit re-weaves"
+    );
 
     // And the edit is semantically live: mac_check returns 0, the
     // assertion now demands 1, so the run violates.
@@ -262,8 +297,15 @@ fn assertion_edit_invalidates_exactly_the_affected_unit() {
 /// gained the new callee — and nothing else.
 #[test]
 fn assertion_retarget_invalidates_the_defining_unit_too() {
-    let mut states =
-        vec![UnitState { asserts: 1, checker: "mac_check", expect: 0, salt: 0 }; N_SUBSYS];
+    let mut states = vec![
+        UnitState {
+            asserts: 1,
+            checker: "mac_check",
+            expect: 0,
+            salt: 0
+        };
+        N_SUBSYS
+    ];
     let mut bs = BuildSystem::new(project_for(&states), BuildOptions::delta_toolchain());
     bs.build().unwrap();
 
@@ -273,7 +315,10 @@ fn assertion_retarget_invalidates_the_defining_unit_too() {
     // either checker, so they stay cached.
     states[2].checker = "other_check";
     let st = states[2];
-    bs.edit("subsys/unit2.c", &subsys_src(2, st.asserts, st.checker, st.expect, st.salt));
+    bs.edit(
+        "subsys/unit2.c",
+        &subsys_src(2, st.asserts, st.checker, st.expect, st.salt),
+    );
     let art = bs.build().unwrap();
     assert_eq!(art.stats.compiled_units, 1);
     assert_eq!(
@@ -288,8 +333,15 @@ fn assertion_retarget_invalidates_the_defining_unit_too() {
 /// spot that per-unit keys fix.
 #[test]
 fn touch_under_delta_reweaves_one_unit() {
-    let states =
-        vec![UnitState { asserts: 1, checker: "mac_check", expect: 0, salt: 0 }; N_SUBSYS];
+    let states = vec![
+        UnitState {
+            asserts: 1,
+            checker: "mac_check",
+            expect: 0,
+            salt: 0
+        };
+        N_SUBSYS
+    ];
     let mut bs = BuildSystem::new(project_for(&states), BuildOptions::delta_toolchain());
     bs.build().unwrap();
     bs.touch("kern/syscall.c");

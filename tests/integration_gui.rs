@@ -20,7 +20,10 @@ fn replay_is_identical_across_all_tiers() {
     let release = render(GuiMode::Release);
     assert_eq!(release, render(GuiMode::TracingEnabled));
     assert_eq!(release, render(GuiMode::Interposed));
-    assert_eq!(release, render(GuiMode::Tesla(Arc::new(Tesla::with_defaults()))));
+    assert_eq!(
+        release,
+        render(GuiMode::Tesla(Arc::new(Tesla::with_defaults())))
+    );
 }
 
 #[test]
@@ -48,9 +51,14 @@ fn trace_diagnosis_of_the_cursor_bug_across_a_session() {
         Arc::new(move |e| sink.lock().push(e.clone()));
     for buggy in [false, true] {
         trace.lock().clear();
-        let engine =
-            Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
-        let bugs = GuiBugs { duplicate_cursor_push: buggy, ..GuiBugs::default() };
+        let engine = Arc::new(Tesla::new(Config {
+            fail_mode: FailMode::Log,
+            ..Config::default()
+        }));
+        let bugs = GuiBugs {
+            duplicate_cursor_push: buggy,
+            ..GuiBugs::default()
+        };
         let mut app = GuiApp::new(GuiMode::TeslaTracing(engine, handler.clone()), bugs);
         xnee::replay(&mut app, &xnee::session(60));
         let imbalance = cursor_imbalance(&trace.lock());
@@ -70,10 +78,13 @@ fn traces_attribute_events_to_classes() {
     let sink = trace.clone();
     let handler: Arc<dyn Fn(&TraceEvent) + Send + Sync> =
         Arc::new(move |e| sink.lock().push(e.clone()));
-    let engine = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
-    let mut app =
-        GuiApp::new(GuiMode::TeslaTracing(engine, handler), GuiBugs::default());
-    app.run_loop_iteration(&[tesla::sim_gui::appkit::UiEvent::Expose]).unwrap();
+    let engine = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
+    let mut app = GuiApp::new(GuiMode::TeslaTracing(engine, handler), GuiBugs::default());
+    app.run_loop_iteration(&[tesla::sim_gui::appkit::UiEvent::Expose])
+        .unwrap();
     let classes: std::collections::HashSet<String> =
         trace.lock().iter().map(|e| e.class.clone()).collect();
     assert!(classes.contains("NSView"));
@@ -107,5 +118,8 @@ fn gstate_profile_exposes_save_restore_pairs() {
     let colors = find("setColor:");
     assert!(saves > 0);
     assert_eq!(saves, restores, "every save paired with a restore");
-    assert!(colors >= saves, "each save/restore pair only changes colour/position");
+    assert!(
+        colors >= saves,
+        "each save/restore pair only changes colour/position"
+    );
 }

@@ -9,11 +9,7 @@ use tesla::sim_kernel::mac::MacFramework;
 use tesla::sim_kernel::{Bugs, Kernel, KernelConfig};
 use tesla::workload::{buildload, lmbench, oltp};
 
-fn kernel(
-    sets: &[AssertionSet],
-    init_mode: InitMode,
-    debug: bool,
-) -> (Arc<Kernel>, Arc<Tesla>) {
+fn kernel(sets: &[AssertionSet], init_mode: InitMode, debug: bool) -> (Arc<Kernel>, Arc<Tesla>) {
     let t = Arc::new(Tesla::new(Config {
         fail_mode: FailMode::FailStop,
         init_mode,
@@ -22,7 +18,10 @@ fn kernel(
     }));
     let reg = register_sets(&t, sets).unwrap();
     let k = Arc::new(Kernel::new(
-        KernelConfig { bugs: Bugs::default(), debug_checks: debug },
+        KernelConfig {
+            bugs: Bugs::default(),
+            debug_checks: debug,
+        },
         MacFramework::new(),
         Some((t.clone(), reg.sites)),
     ));
@@ -42,8 +41,7 @@ fn every_fig11_configuration_runs_the_microbenchmark_clean() {
     for (name, sets) in configs {
         let (k, t) = kernel(&sets, InitMode::Lazy, false);
         lmbench::setup(&k);
-        lmbench::open_close_loop(&k, k.init_pid(), 100)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        lmbench::open_close_loop(&k, k.init_pid(), 100).unwrap_or_else(|e| panic!("{name}: {e}"));
         lmbench::poll_loop(&k, k.init_pid(), 100).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(t.violations().is_empty(), "{name}: {:?}", t.violations());
     }
@@ -57,8 +55,18 @@ fn naive_and_lazy_init_agree_on_kernel_traffic() {
         lmbench::open_close_loop(&k, k.init_pid(), 50).unwrap();
         lmbench::read_loop(&k, k.init_pid(), 50).unwrap();
         lmbench::poll_loop(&k, k.init_pid(), 50).unwrap();
-        buildload::run(&k, buildload::BuildParams { files: 5, compute: 5 });
-        assert!(t.violations().is_empty(), "{init_mode:?}: {:?}", t.violations());
+        buildload::run(
+            &k,
+            buildload::BuildParams {
+                files: 5,
+                compute: 5,
+            },
+        );
+        assert!(
+            t.violations().is_empty(),
+            "{init_mode:?}: {:?}",
+            t.violations()
+        );
     }
 }
 
@@ -75,24 +83,46 @@ fn debug_aids_and_tesla_coexist() {
 #[test]
 fn oltp_under_all_assertions_multithreaded() {
     let (k, t) = kernel(&[AssertionSet::All], InitMode::Lazy, false);
-    oltp::run(&k, oltp::OltpParams { threads: 4, transactions: 25, socket_ops: 3, compute: 600 });
+    oltp::run(
+        &k,
+        oltp::OltpParams {
+            threads: 4,
+            transactions: 25,
+            socket_ops: 3,
+            compute: 600,
+        },
+    );
     assert!(t.violations().is_empty(), "{:?}", t.violations());
 }
 
 #[test]
 fn buggy_kernel_under_oltp_is_caught_in_log_mode() {
-    let t = Arc::new(Tesla::new(Config { fail_mode: FailMode::Log, ..Config::default() }));
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
     let reg = register_sets(&t, &[AssertionSet::MS]).unwrap();
     let k = Arc::new(Kernel::new(
         KernelConfig {
-            bugs: Bugs { kqueue_skips_mac_poll: true, ..Bugs::default() },
+            bugs: Bugs {
+                kqueue_skips_mac_poll: true,
+                ..Bugs::default()
+            },
             debug_checks: false,
         },
         MacFramework::new(),
         Some((t.clone(), reg.sites)),
     ));
     // The OLTP workload doesn't use kqueue, so it stays clean...
-    oltp::run(&k, oltp::OltpParams { threads: 2, transactions: 10, socket_ops: 2, compute: 600 });
+    oltp::run(
+        &k,
+        oltp::OltpParams {
+            threads: 2,
+            transactions: 10,
+            socket_ops: 2,
+            compute: 600,
+        },
+    );
     assert!(t.violations().is_empty());
     // ...until a kevent-based poller comes along.
     let init = k.init_pid();

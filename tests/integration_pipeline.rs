@@ -12,7 +12,11 @@ use tesla_runtime::Tesla;
 /// syscall layer, the socket layer with the assertion, and a check
 /// function — events and assertions spread across units.
 fn mac_project(do_check: bool) -> Project {
-    let check_call = if do_check { "mac_socket_check_poll(cred, so);" } else { "" };
+    let check_call = if do_check {
+        "mac_socket_check_poll(cred, so);"
+    } else {
+        ""
+    };
     Project::from_sources(&[
         (
             "mac.c",
@@ -65,7 +69,11 @@ fn default_toolchain_ignores_assertions_entirely() {
     let mut bs = BuildSystem::new(mac_project(false), BuildOptions::default_toolchain());
     let art = bs.build().unwrap();
     let mut i = tesla_ir::Interp::new(&art.program, 1_000_000);
-    assert_eq!(i.run_named("amd64_syscall", &[7], &mut tesla_ir::NullSink).unwrap(), 0);
+    assert_eq!(
+        i.run_named("amd64_syscall", &[7], &mut tesla_ir::NullSink)
+            .unwrap(),
+        0
+    );
 }
 
 #[test]
@@ -97,7 +105,10 @@ fn instrument_then_optimise_keeps_events_optimise_first_loses_them() {
     let mut sink = tesla_instrument::RuntimeSink::new(&t);
     let mut i = tesla_ir::Interp::new(&wrong, 1_000_000);
     let r = i.run_named("main", &[3], &mut sink);
-    assert!(r.is_err(), "optimise-first should lose the check event and violate");
+    assert!(
+        r.is_err(),
+        "optimise-first should lose the check event and violate"
+    );
 
     // instrument-then-optimise (the pipeline's order): all events
     // observed, assertion satisfied — and the instrumented callee was
@@ -122,8 +133,10 @@ fn manifests_link_across_units_like_tesla_files() {
         outs.push(tesla_cc::compile_unit(&u.source, &u.file).unwrap());
     }
     let texts: Vec<String> = outs.iter().map(|o| o.manifest.to_tesla()).collect();
-    let parsed: Vec<tesla_automata::Manifest> =
-        texts.iter().map(|t| tesla_automata::Manifest::from_tesla(t).unwrap()).collect();
+    let parsed: Vec<tesla_automata::Manifest> = texts
+        .iter()
+        .map(|t| tesla_automata::Manifest::from_tesla(t).unwrap())
+        .collect();
     let merged = tesla_automata::Manifest::merge(&parsed);
     assert_eq!(merged.entries.len(), 1);
     let plan = merged.instrumentation_plan().unwrap();

@@ -22,8 +22,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         Just(Op::EnterSyscall),
         Just(Op::ExitSyscall),
-        (0u8..3, prop_oneof![Just(0i8), Just(-1i8)])
-            .prop_map(|(so, ret)| Op::Check { so, ret }),
+        (0u8..3, prop_oneof![Just(0i8), Just(-1i8)]).prop_map(|(so, ret)| Op::Check { so, ret }),
         (0u8..3).prop_map(|so| Op::Site { so }),
         Just(Op::Unrelated),
     ]
@@ -56,7 +55,8 @@ fn drive(t: &Tesla, id: ClassId, trace: &[Op]) -> usize {
             Op::Check { so, ret } => {
                 let args = [Value(1), Value(u64::from(*so))];
                 t.fn_entry(check, &args).unwrap();
-                t.fn_exit(check, &args, Value::from_i64(i64::from(*ret))).unwrap();
+                t.fn_exit(check, &args, Value::from_i64(i64::from(*ret)))
+                    .unwrap();
             }
             Op::Site { so } => {
                 t.assertion_site(id, &[Value(u64::from(*so))]).unwrap();
@@ -252,7 +252,11 @@ fn capacity_sweep_reports_overflows_proportionally() {
         // (∗) occupies one slot; the rest hold clones; the remainder
         // of the 20 distinct bindings overflow — and are *reported*.
         let expected_overflow = distinct.saturating_sub(capacity as u64 - 1);
-        assert_eq!(counting.overflows(), expected_overflow, "capacity {capacity}");
+        assert_eq!(
+            counting.overflows(),
+            expected_overflow,
+            "capacity {capacity}"
+        );
         tesla::runtime::engine::reset_thread_state();
     }
 }

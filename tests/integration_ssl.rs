@@ -53,7 +53,9 @@ fn lifecycle_trace_of_a_successful_fetch() {
     // New (∗) at main entry (lazy: at first event), update on the
     // verify event, update at the site, finalise at main exit.
     assert!(evs.iter().any(|e| matches!(e, E::New { .. })));
-    assert!(evs.iter().any(|e| matches!(e, E::Finalise { accepted: true, .. })));
+    assert!(evs
+        .iter()
+        .any(|e| matches!(e, E::Finalise { accepted: true, .. })));
     assert!(!evs.iter().any(|e| matches!(e, E::Error { .. })));
 }
 
@@ -89,7 +91,6 @@ fn the_same_scenario_through_the_minic_pipeline() {
     );
     let art = bad.build().unwrap();
     let t = Tesla::with_defaults();
-    let err =
-        tesla::pipeline::run_with_tesla(&art, &t, "main", &[9], 10_000_000).unwrap_err();
+    let err = tesla::pipeline::run_with_tesla(&art, &t, "main", &[9], 10_000_000).unwrap_err();
     assert!(err.contains("TESLA"), "{err}");
 }

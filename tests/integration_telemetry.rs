@@ -33,7 +33,9 @@ fn assert_prometheus_well_formed(text: &str) {
     for line in text.lines() {
         assert!(
             line.starts_with('#')
-                || line.rsplit_once(' ').is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                || line
+                    .rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
             "bad exposition line: {line}"
         );
     }
@@ -56,11 +58,22 @@ fn oltp_under_full_telemetry_exports_every_format() {
     t.add_handler(recorder.clone());
     let reg = register_sets(&t, &[AssertionSet::All]).unwrap();
     let k = Arc::new(Kernel::new(
-        KernelConfig { bugs: Bugs::default(), debug_checks: false },
+        KernelConfig {
+            bugs: Bugs::default(),
+            debug_checks: false,
+        },
         MacFramework::new(),
         Some((t.clone(), reg.sites)),
     ));
-    oltp::run(&k, oltp::OltpParams { threads: 4, transactions: 20, socket_ops: 3, compute: 50 });
+    oltp::run(
+        &k,
+        oltp::OltpParams {
+            threads: 4,
+            transactions: 20,
+            socket_ops: 3,
+            compute: 50,
+        },
+    );
     assert!(t.violations().is_empty(), "{:?}", t.violations());
 
     let m = t.metrics();
@@ -87,8 +100,14 @@ fn oltp_under_full_telemetry_exports_every_format() {
     // Flight-recorder event log, JSONL + chrome-trace.
     let events = recorder.snapshot();
     assert!(!events.is_empty());
-    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "snapshot must be sorted");
-    assert!(recorder.thread_count() >= 4, "each oltp worker records into its own ring");
+    assert!(
+        events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+        "snapshot must be sorted"
+    );
+    assert!(
+        recorder.thread_count() >= 4,
+        "each oltp worker records into its own ring"
+    );
     let jsonl = export::events_jsonl(&events);
     assert_eq!(jsonl.lines().count(), events.len());
     for line in jsonl.lines().take(32) {
@@ -103,14 +122,19 @@ fn oltp_under_full_telemetry_exports_every_format() {
     // Weighted fig. 9 graphs straight off the live registry.
     let mut weighted = 0;
     for (i, def) in t.class_defs().iter().enumerate() {
-        let Some(w) = m.weight_source(i as u32) else { continue };
+        let Some(w) = m.weight_source(i as u32) else {
+            continue;
+        };
         let dot = tesla::automata::dot::render(&def.automaton, &*w);
         assert!(dot.contains("digraph"));
         if dot.contains("×") {
             weighted += 1;
         }
     }
-    assert!(weighted > 0, "at least one class must render with live edge weights");
+    assert!(
+        weighted > 0,
+        "at least one class must render with live edge weights"
+    );
 }
 
 #[test]
@@ -159,7 +183,9 @@ fn gui_session_renders_weighted_figure8_graph() {
     let c = snap.classes.first().expect("figure 8 class");
     assert!(c.updates > 100, "a 50-event session drives >100 updates");
     let defs = t.class_defs();
-    let w = m.weight_source(0).expect("weights for the registered class");
+    let w = m
+        .weight_source(0)
+        .expect("weights for the registered class");
     let dot = tesla::automata::dot::render(&defs[0].automaton, &*w);
     assert!(dot.contains("×"), "session traffic must weight the graph");
     assert_eq!(dot.matches('{').count(), dot.matches('}').count());

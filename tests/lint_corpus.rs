@@ -1,0 +1,109 @@
+//! End-to-end `tesla lint` over real corpora.
+//!
+//! Two obligations from the lint design (DESIGN.md §12):
+//!
+//! 1. The healthy corpora — the openssl-like and kernel-like
+//!    generators plus `examples/minic/safe.c` — are lint-clean. A
+//!    specification linter that cries wolf on idiomatic specs is
+//!    worse than no linter.
+//! 2. The seeded pathology corpus (`examples/minic/lint_pathologies.c`)
+//!    is flagged with each defect reported *exactly once*, under its
+//!    stable code, in every output format.
+
+use tesla::automata::Manifest;
+use tesla::corpus::{kernel_like, openssl_like, openssl_like_buggy, openssl_like_patched};
+use tesla::instrument::{diagnose_lints, lint_manifest, render, LintFinding, OutputFormat};
+use tesla::pipeline::Project;
+
+const PATHOLOGIES: &str = include_str!("../examples/minic/lint_pathologies.c");
+const SAFE: &str = include_str!("../examples/minic/safe.c");
+
+fn manifest_of_project(p: &Project) -> Manifest {
+    let manifests: Vec<Manifest> = p
+        .units
+        .iter()
+        .map(|u| {
+            tesla::cc::compile_unit(&u.source, &u.file)
+                .unwrap_or_else(|e| panic!("{}: {e}", u.file))
+                .manifest
+        })
+        .collect();
+    Manifest::merge(&manifests)
+}
+
+fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
+    let m = tesla::cc::compile_unit(src, file)
+        .unwrap_or_else(|e| panic!("{file}: {e}"))
+        .manifest;
+    lint_manifest(&m).expect("lint")
+}
+
+#[test]
+fn healthy_corpora_are_lint_clean() {
+    for (name, p) in [
+        ("openssl_like", openssl_like(3)),
+        ("openssl_like_patched", openssl_like_patched(3)),
+        ("openssl_like_buggy", openssl_like_buggy(3)),
+        ("kernel_like", kernel_like(3, 3)),
+    ] {
+        let findings = lint_manifest(&manifest_of_project(&p)).expect("lint");
+        assert!(findings.is_empty(), "{name}: {findings:?}");
+    }
+    let findings = lint_source("safe.c", SAFE);
+    assert!(findings.is_empty(), "safe.c: {findings:?}");
+}
+
+#[test]
+fn pathology_corpus_flags_each_defect_exactly_once() {
+    let findings = lint_source("lint_pathologies.c", PATHOLOGIES);
+    let mut codes: Vec<&str> = findings.iter().map(|f| f.code()).collect();
+    codes.sort_unstable();
+    assert_eq!(
+        codes,
+        ["TESLA-L001", "TESLA-L002", "TESLA-L003", "TESLA-L004"],
+        "{findings:?}"
+    );
+    // Every finding points back into the pathology file.
+    for f in &findings {
+        assert_eq!(f.loc().file, "lint_pathologies.c");
+        assert!(f.assertion().starts_with("lint_pathologies.c:"), "{f:?}");
+    }
+    // The subsumption finding is oriented: the flagged assertion is the
+    // weaker (the `||` disjunction, later in the file) and the `by`
+    // assertion is the stricter earlier one — never self-subsumption.
+    let sub = findings
+        .iter()
+        .find_map(|f| match f {
+            LintFinding::Subsumed { assertion, by, .. } => Some((assertion, by)),
+            _ => None,
+        })
+        .expect("a TESLA-L003 finding");
+    assert_ne!(sub.0, sub.1);
+    // The dead-state finding names at least one mergeable group.
+    let dead = findings
+        .iter()
+        .find_map(|f| match f {
+            LintFinding::DeadStates { groups, .. } => Some(groups),
+            _ => None,
+        })
+        .expect("a TESLA-L004 finding");
+    assert!(!dead.is_empty());
+}
+
+#[test]
+fn every_seeded_code_appears_exactly_once_in_each_format() {
+    let findings = lint_source("lint_pathologies.c", PATHOLOGIES);
+    let diags = diagnose_lints(&findings);
+    let text = render(&diags, OutputFormat::Text);
+    let json = render(&diags, OutputFormat::Json);
+    let sarif = render(&diags, OutputFormat::Sarif);
+    for code in ["TESLA-L001", "TESLA-L002", "TESLA-L003", "TESLA-L004"] {
+        assert_eq!(text.matches(code).count(), 1, "text: {code}\n{text}");
+        let key = format!("\"code\": \"{code}\"");
+        assert_eq!(json.matches(&key).count(), 1, "json: {code}\n{json}");
+        let rule = format!("\"ruleId\": \"{code}\"");
+        assert_eq!(sarif.matches(&rule).count(), 1, "sarif: {code}\n{sarif}");
+    }
+    // And nothing else was reported.
+    assert_eq!(diags.len(), 4);
+}
