@@ -13,15 +13,27 @@
 //!                                     [--timings] [--lint[=deny]]
 //! tesla run     <file.c>... [--entry f] [--arg N]... [--graph out.dot]
 //!               [--chaos SEED] [--faults k=p,...]
+//!               [--record trace.jsonl] [--violations out] [--metrics out]
 //!                                     build, weave, execute under libtesla (fail-stop;
-//!                                     --chaos: seeded fault injection, ledger on exit)
+//!                                     --chaos: seeded fault injection, ledger on exit;
+//!                                     --record: tee every hook event to a JSONL trace)
+//! tesla replay  <trace.jsonl> --spec <file.c>...
+//!               [--violations out] [--metrics out]
+//!                                     re-drive a recorded trace against the spec's
+//!                                     automata: same verdicts, counters, exit status
+//! tesla attach  <socket> --spec <file.c>...
+//!               [--timeout-ms N] [--conns N] [--violations out] [--metrics out]
+//!                                     bind a Unix socket, check live event streams
 //! tesla observe <file.c>... [--format prom|json|dot|trace] [--entry f] [--arg N]... [-o out]
 //!                                     run under full telemetry, emit the report
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use tesla::pipeline::{run_with_tesla, BuildOptions, BuildSystem, Project, ReinstrumentPolicy};
+use tesla::pipeline::{
+    replay_with_tesla, run_with_tesla, run_with_tesla_recorded, BuildArtifacts, BuildOptions,
+    BuildSystem, Project, ReinstrumentPolicy,
+};
 use tesla::prelude::*;
 
 /// Why the process is exiting non-zero. The exit-status contract is
@@ -65,6 +77,8 @@ fn main() -> ExitCode {
         "lint" => lint(rest),
         "build" => build(rest),
         "run" => run(rest).map_err(CliError::Usage),
+        "replay" => replay(rest).map_err(CliError::Usage),
+        "attach" => attach(rest).map_err(CliError::Usage),
         "observe" => observe(rest).map_err(CliError::Usage),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -115,6 +129,7 @@ const USAGE: &str = "usage:
                                  first (=deny fails the build on them)
   tesla run     <file.c>... [--entry main] [--arg N]... [--graph out.dot]
                 [--chaos SEED] [--faults k=p,...]
+                [--record trace.jsonl] [--violations out] [--metrics out]
                                  build and execute under libtesla;
                                  --graph writes transition-weighted
                                  automaton graphs after the run;
@@ -122,7 +137,28 @@ const USAGE: &str = "usage:
                                  (governed, log-and-continue) and prints
                                  the injected/absorbed ledger; --faults
                                  picks kinds and periods (e.g.
-                                 panic=7,drop=16; default: full menu)
+                                 panic=7,drop=16; default: full menu);
+                                 --record tees every hook event into a
+                                 versioned JSONL trace that `tesla
+                                 replay` re-drives; --violations /
+                                 --metrics write the violation list and
+                                 a latency-free counters snapshot
+  tesla replay  <trace.jsonl> --spec <file.c>...
+                [--violations out] [--metrics out]
+                                 re-drive a recorded event trace
+                                 against the spec's automata, through
+                                 the same verdict and telemetry
+                                 machinery as a live run: identical
+                                 violations, counters and exit status;
+                                 malformed traces get a line/byte-offset
+                                 diagnostic and exit status 2
+  tesla attach  <socket> --spec <file.c>...
+                [--timeout-ms N] [--conns N]
+                [--violations out] [--metrics out]
+                                 bind a Unix socket and check live
+                                 JSONL event streams as they arrive
+                                 (--conns connections served in turn,
+                                 --timeout-ms per accept and per read)
   tesla observe <file.c>... [--format prom|json|dot|trace]
                 [--entry main] [--arg N]... [-o out]
                                  build, run under full telemetry, and
@@ -392,6 +428,9 @@ fn run(rest: &[String]) -> Result<(), String> {
     let mut graph: Option<String> = None;
     let mut chaos: Option<u64> = None;
     let mut fault_arg: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut violations_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -412,6 +451,11 @@ fn run(rest: &[String]) -> Result<(), String> {
                 )
             }
             "--faults" => fault_arg = Some(it.next().ok_or("--faults needs a spec")?.clone()),
+            "--record" => record = Some(it.next().ok_or("--record needs a path")?.clone()),
+            "--violations" => {
+                violations_out = Some(it.next().ok_or("--violations needs a path")?.clone())
+            }
+            "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             f => files.push(f.to_string()),
         }
     }
@@ -437,7 +481,7 @@ fn run(rest: &[String]) -> Result<(), String> {
     // workload completes, and fully telemetered so every absorbed
     // fault is accounted.
     let engine = Arc::new(Tesla::new(Config {
-        telemetry: graph.is_some() || plan.is_some(),
+        telemetry: graph.is_some() || plan.is_some() || metrics_out.is_some(),
         fail_mode: if plan.is_some() {
             FailMode::Log
         } else {
@@ -455,7 +499,17 @@ fn run(rest: &[String]) -> Result<(), String> {
     if plan.is_some() {
         tesla::runtime::faults::silence_injected_panics();
     }
-    let result = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000);
+    let result = match &record {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(f);
+            run_with_tesla_recorded(&art, &engine, &entry, &prog_args, 100_000_000, &mut w)
+        }
+        None => run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000),
+    };
+    // Verdict/metrics artifacts are written even for violating runs:
+    // their whole point is comparing a failed run with its replay.
+    write_outputs(&engine, &violations_out, &metrics_out)?;
     if let Some(path) = graph {
         let dot = weighted_graphs(&engine);
         std::fs::write(&path, &dot).map_err(|e| format!("{path}: {e}"))?;
@@ -485,6 +539,152 @@ fn run(rest: &[String]) -> Result<(), String> {
         }
         Err(e) => Err(e),
     }
+}
+
+/// Write the post-run artifacts shared by `run`, `replay` and
+/// `attach`: the violation list (one rendered violation per line) and
+/// the latency-free JSON counters snapshot — both byte-comparable
+/// between a live run and a replay of its recording.
+fn write_outputs(
+    engine: &Tesla,
+    violations: &Option<String>,
+    metrics: &Option<String>,
+) -> Result<(), String> {
+    if let Some(p) = violations {
+        let mut text = String::new();
+        for v in engine.violations() {
+            text.push_str(&v.to_string());
+            text.push('\n');
+        }
+        std::fs::write(p, &text).map_err(|e| format!("{p}: {e}"))?;
+    }
+    if let Some(p) = metrics {
+        let text = tesla::runtime::telemetry::export::json_counters(&engine.metrics().snapshot());
+        std::fs::write(p, &text).map_err(|e| format!("{p}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Build the `--spec` sources into artifacts whose manifest carries
+/// the automata a replayed or attached event stream is checked
+/// against.
+fn build_specs(specs: &[String]) -> Result<BuildArtifacts, String> {
+    if specs.is_empty() {
+        return Err("needs at least one --spec <file.c>".into());
+    }
+    let project = load_project(specs)?;
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    bs.build().map_err(|e| e.to_string())
+}
+
+/// Drive any event source against freshly built spec artifacts and
+/// report exactly as a live run would: the shared tail of `replay`
+/// and `attach`.
+fn drive_source(
+    verb: &str,
+    art: &BuildArtifacts,
+    source: &mut dyn tesla::runtime::EventSource,
+    violations_out: &Option<String>,
+    metrics_out: &Option<String>,
+) -> Result<(), String> {
+    let engine = Arc::new(Tesla::new(Config {
+        telemetry: metrics_out.is_some(),
+        ..Config::default()
+    }));
+    let result = replay_with_tesla(art, &engine, source);
+    write_outputs(&engine, violations_out, metrics_out)?;
+    match result {
+        Ok(stats) => {
+            println!(
+                "{verb}: {} events ({} sites); {} violations",
+                stats.events,
+                stats.sites,
+                engine.violations().len()
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn replay(rest: &[String]) -> Result<(), String> {
+    let mut trace: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut violations_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => specs.push(it.next().ok_or("--spec needs a file")?.clone()),
+            "--violations" => {
+                violations_out = Some(it.next().ok_or("--violations needs a path")?.clone())
+            }
+            "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            f if trace.is_none() => trace = Some(f.to_string()),
+            f => return Err(format!("unexpected argument `{f}` (specs go via --spec)")),
+        }
+    }
+    let trace = trace.ok_or("replay needs a trace file")?;
+    let art = build_specs(&specs).map_err(|e| format!("replay {e}"))?;
+    let mut src = tesla::runtime::JsonlSource::open(std::path::Path::new(&trace))
+        .map_err(|e| e.to_string())?;
+    drive_source("replayed", &art, &mut src, &violations_out, &metrics_out)
+}
+
+#[cfg(unix)]
+fn attach(rest: &[String]) -> Result<(), String> {
+    let mut socket: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut violations_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut conns: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => specs.push(it.next().ok_or("--spec needs a file")?.clone()),
+            "--violations" => {
+                violations_out = Some(it.next().ok_or("--violations needs a path")?.clone())
+            }
+            "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a count")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                )
+            }
+            "--conns" => {
+                conns = Some(
+                    it.next()
+                        .ok_or("--conns needs a count")?
+                        .parse()
+                        .map_err(|e| format!("bad --conns: {e}"))?,
+                )
+            }
+            f if socket.is_none() => socket = Some(f.to_string()),
+            f => return Err(format!("unexpected argument `{f}` (specs go via --spec)")),
+        }
+    }
+    let socket = socket.ok_or("attach needs a socket path")?;
+    let art = build_specs(&specs).map_err(|e| format!("attach {e}"))?;
+    let mut src = tesla::runtime::SocketSource::bind(std::path::Path::new(&socket))
+        .map_err(|e| e.to_string())?;
+    if let Some(ms) = timeout_ms {
+        let d = std::time::Duration::from_millis(ms);
+        src = src.read_timeout(d).accept_timeout(d);
+    }
+    if let Some(n) = conns {
+        src = src.max_conns(n);
+    }
+    eprintln!("listening on {socket}");
+    drive_source("attached", &art, &mut src, &violations_out, &metrics_out)
+}
+
+#[cfg(not(unix))]
+fn attach(_rest: &[String]) -> Result<(), String> {
+    Err("attach requires Unix domain sockets (unsupported on this platform)".into())
 }
 
 /// One transition-weighted DOT digraph per registered class, weighted

@@ -96,3 +96,100 @@ fn static_check_deny_contract_matches_lint() {
     assert_exit(&tesla(&["static-check", &path]), 0);
     assert_exit(&tesla(&["static-check", "--deny", &path]), 1);
 }
+
+#[test]
+fn bad_fault_specs_exit_two() {
+    let path = example("safe.c");
+    let run = |spec: &str| {
+        tesla(&[
+            "run", &path, "--entry", "ssl_main", "--arg", "5", "--arg", "5", "--chaos", "42",
+            "--faults", spec,
+        ])
+    };
+    // A valid spec runs clean…
+    assert_exit(&run("panic=40,drop=16"), 0);
+    // …but duplicate kinds and trailing garbage are usage errors, not
+    // last-write-wins or silently-eaten.
+    let out = run("panic=1,panic=2");
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicate fault kind `panic`"), "{stderr}");
+    let out = run("panic=40,");
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty segment"), "{stderr}");
+}
+
+#[test]
+fn replay_exit_codes_match_the_run_contract() {
+    let dir = std::env::temp_dir().join(format!("tesla-exitcodes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    // Record a clean run; replay exits 0 like the run did.
+    let trace = p("safe.jsonl");
+    let out = tesla(&[
+        "run",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--arg",
+        "5",
+        "--arg",
+        "5",
+        "--record",
+        &trace,
+    ]);
+    assert_exit(&out, 0);
+    assert_exit(&tesla(&["replay", &trace, "--spec", &example("safe.c")]), 0);
+
+    // A violating run exits 2; so does its replay.
+    let cve_trace = p("cve.jsonl");
+    let out = tesla(&[
+        "run",
+        &example("cve_unchecked.c"),
+        "--entry",
+        "ssl_main",
+        "--arg",
+        "5",
+        "--arg",
+        "5",
+        "--record",
+        &cve_trace,
+    ]);
+    assert_exit(&out, 2);
+    let out = tesla(&["replay", &cve_trace, "--spec", &example("cve_unchecked.c")]);
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("violation"), "{stderr}");
+
+    // Missing trace file: exit 2 with an I/O diagnostic.
+    let out = tesla(&["replay", &p("no-such.jsonl"), "--spec", &example("safe.c")]);
+    assert_exit(&out, 2);
+
+    // Malformed line: exit 2 with a line + byte-offset diagnostic.
+    let bad = p("bad.jsonl");
+    std::fs::write(&bad, "{\"tesla_trace\":1}\nnot json\n").unwrap();
+    let out = tesla(&["replay", &bad, "--spec", &example("safe.c")]);
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2") && stderr.contains("byte offset 18"),
+        "{stderr}"
+    );
+
+    // A trace truncated mid-line: positioned diagnostic, never a
+    // panic.
+    let full = std::fs::read_to_string(&cve_trace).unwrap();
+    let trunc = p("trunc.jsonl");
+    std::fs::write(&trunc, &full[..full.len() - 4]).unwrap();
+    let out = tesla(&["replay", &trunc, "--spec", &example("cve_unchecked.c")]);
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed trace line"), "{stderr}");
+
+    // Replay without --spec is a usage error.
+    assert_exit(&tesla(&["replay", &trace]), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,126 @@
+//! Run → record → replay round-trips, end to end against the real
+//! binary: for every corpus program, a recorded live run and its
+//! replay must produce byte-identical violation lists, byte-identical
+//! latency-free metrics snapshots, and the same exit status.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn example(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/minic")
+        .join(name);
+    p.to_str().expect("utf-8 path").to_string()
+}
+
+fn tesla(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tesla"))
+        .args(args)
+        .output()
+        .expect("spawn tesla")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tesla-roundtrip-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Record a run of `file`, replay it, and return
+/// `(run_exit, replay_exit, live_violations, replayed_violations,
+/// live_metrics, replayed_metrics)`.
+#[allow(clippy::type_complexity)]
+fn round_trip(tag: &str, file: &str) -> (i32, i32, String, String, String, String) {
+    let dir = scratch(tag);
+    let p = |n: &str| dir.join(n).to_str().unwrap().to_string();
+    let (trace, lv, lm, rv, rm) = (
+        p("trace.jsonl"),
+        p("live.viol"),
+        p("live.metrics"),
+        p("replay.viol"),
+        p("replay.metrics"),
+    );
+    let run = tesla(&[
+        "run",
+        &example(file),
+        "--entry",
+        "ssl_main",
+        "--arg",
+        "5",
+        "--arg",
+        "5",
+        "--record",
+        &trace,
+        "--violations",
+        &lv,
+        "--metrics",
+        &lm,
+    ]);
+    let replay = tesla(&[
+        "replay",
+        &trace,
+        "--spec",
+        &example(file),
+        "--violations",
+        &rv,
+        "--metrics",
+        &rm,
+    ]);
+    let out = (
+        run.status.code().unwrap(),
+        replay.status.code().unwrap(),
+        std::fs::read_to_string(&lv).unwrap(),
+        std::fs::read_to_string(&rv).unwrap(),
+        std::fs::read_to_string(&lm).unwrap(),
+        std::fs::read_to_string(&rm).unwrap(),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+#[test]
+fn clean_run_replays_identically() {
+    let (run, replay, lv, rv, lm, rm) = round_trip("safe", "safe.c");
+    assert_eq!(run, 0);
+    assert_eq!(replay, 0);
+    assert_eq!(lv, "", "a clean run has no violations");
+    assert_eq!(lv, rv, "violation lists must be byte-identical");
+    assert_eq!(lm, rm, "metrics snapshots must be byte-identical");
+    assert!(lm.contains("\"events_total\""), "{lm}");
+}
+
+#[test]
+fn violating_run_replays_identically() {
+    let (run, replay, lv, rv, lm, rm) = round_trip("cve", "cve_unchecked.c");
+    assert_eq!(run, 2, "violation fail-stops the live run");
+    assert_eq!(replay, 2, "and its replay");
+    assert!(lv.contains("assertion-site violation"), "{lv}");
+    assert_eq!(lv, rv, "violation lists must be byte-identical");
+    assert_eq!(lm, rm, "metrics snapshots must be byte-identical");
+}
+
+#[test]
+fn recorded_trace_is_schema_versioned_jsonl() {
+    let dir = scratch("schema");
+    let trace = dir.join("trace.jsonl").to_str().unwrap().to_string();
+    let out = tesla(&[
+        "run",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--arg",
+        "5",
+        "--arg",
+        "5",
+        "--record",
+        &trace,
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("{\"tesla_trace\":1}"));
+    for l in lines {
+        assert!(l.starts_with("{\"ev\":\""), "unexpected line {l}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

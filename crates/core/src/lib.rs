@@ -76,10 +76,14 @@ pub use tesla_workload as workload;
 pub mod prelude {
     pub use tesla_automata::{compile, Automaton, Manifest};
     pub use tesla_runtime::{
-        ClassId, Config, ConfigError, CountingHandler, EvictionPolicy, FailMode, FaultKind,
-        FaultLedger, FaultPlan, FaultSpec, FlightRecorder, InitMode, MetricsRegistry,
-        MetricsSnapshot, RecordingHandler, Tesla, Violation, ViolationKind,
+        BufferedSource, ClassId, Config, ConfigError, CountingHandler, DriveError, EventSource,
+        EvictionPolicy, FailMode, FaultKind, FaultLedger, FaultPlan, FaultSpec, FlightRecorder,
+        IngressError, IngressEvent, IngressEventRef, IngressStats, InitMode, JsonlSource,
+        MetricsRegistry, MetricsSnapshot, NameCache, RecordingHandler, Tesla, TraceWriter,
+        Violation, ViolationKind,
     };
+    #[cfg(unix)]
+    pub use tesla_runtime::SocketSource;
     pub use tesla_spec::{
         atleast, call, field_assign, msg_send, parse_assertion, Assertion, AssertionBuilder,
         ExprBuilder, FieldOp, Value,

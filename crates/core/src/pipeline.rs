@@ -41,12 +41,12 @@ use tesla_cc::UnitOutput;
 use tesla_instrument::{
     instrument_precompiled, instrument_with_elision, lint_manifest, model_check, register_manifest,
     static_check, unit_touch_set, weave_plan, AssertionReport, InstrStats, LintFinding,
-    RuntimeSink, StaticFinding, UnitTouchSet, WeavePlan,
+    RecordingSink, RuntimeSink, StaticFinding, UnitTouchSet, WeavePlan,
 };
 use tesla_ir::opt::{optimise, InlineOptions};
 use tesla_ir::verify::{verify, Stage};
 use tesla_ir::{Interp, Module};
-use tesla_runtime::Tesla;
+use tesla_runtime::{DriveError, EventSource, IngressStats, Tesla};
 
 /// One source unit.
 #[derive(Debug, Clone, PartialEq)]
@@ -822,6 +822,86 @@ pub fn run_with_tesla(
         .map_err(|e| e.to_string())
 }
 
+/// [`run_with_tesla`], with every hook event teed into a JSONL trace
+/// (the `tesla run --record` path). The trace is finalised even when
+/// the run fail-stops, so a violating run's offending event is the
+/// recording's last line and `tesla replay` reproduces the verdict.
+///
+/// # Errors
+///
+/// The interpreter error (including TESLA violations), or a trace
+/// write failure, as a string.
+pub fn run_with_tesla_recorded(
+    artifacts: &BuildArtifacts,
+    tesla: &Tesla,
+    entry: &str,
+    args: &[i64],
+    fuel: u64,
+    trace_out: &mut dyn std::io::Write,
+) -> Result<i64, String> {
+    if tesla.n_classes() == 0 {
+        register_manifest(tesla, &artifacts.manifest)?;
+    }
+    tesla
+        .metrics()
+        .set_sites_elided(artifacts.stats.sites_elided as u64);
+    let mut sink = RecordingSink::new(RuntimeSink::new(tesla), trace_out);
+    let mut interp = Interp::new(&artifacts.program, fuel);
+    let run = interp
+        .run_named(entry, args, &mut sink)
+        .map_err(|e| e.to_string());
+    let finished = sink.finish().map(|_| ());
+    let value = run?;
+    finished?;
+    Ok(value)
+}
+
+/// Why a replay failed: setup (build/registration) versus the event
+/// stream itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// Registering the manifest's automata failed.
+    Setup(String),
+    /// The drain stopped: transport/framing failure or a violation.
+    Drive(DriveError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Setup(e) => write!(f, "{e}"),
+            ReplayError::Drive(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Drive a recorded or live event stream into a libtesla engine
+/// against the same build artifacts a live run would use: the
+/// `tesla replay` / `tesla attach` path. Registration and metrics
+/// seeding match [`run_with_tesla`] exactly, so a replayed run's
+/// verdicts and counters are comparable byte for byte with the live
+/// run that produced the trace.
+///
+/// # Errors
+///
+/// [`ReplayError`] — registration failures, positioned stream
+/// diagnostics, or the first violation (in fail-stop mode).
+pub fn replay_with_tesla(
+    artifacts: &BuildArtifacts,
+    tesla: &Tesla,
+    source: &mut dyn EventSource,
+) -> Result<IngressStats, ReplayError> {
+    if tesla.n_classes() == 0 {
+        register_manifest(tesla, &artifacts.manifest).map_err(ReplayError::Setup)?;
+    }
+    tesla
+        .metrics()
+        .set_sites_elided(artifacts.stats.sites_elided as u64);
+    tesla.drive(source).map_err(ReplayError::Drive)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -889,6 +969,87 @@ mod tests {
         let t = Tesla::with_defaults();
         let err = run_with_tesla(&art, &t, "main", &[5], 100_000).unwrap_err();
         assert!(err.contains("TESLA"), "{err}");
+    }
+
+    #[test]
+    fn recorded_pipeline_run_replays_identically() {
+        use tesla_runtime::telemetry::export;
+        use tesla_runtime::JsonlSource;
+
+        // Passing and violating programs: both must round-trip.
+        for (check_ret, violates) in [(0i64, false), (1, true)] {
+            let mut bs = BuildSystem::new(
+                Project::from_sources(&[(
+                    "main.c",
+                    &format!(
+                        "int check(int x) {{ return {check_ret}; }}\n\
+                         int main(int x) {{\n\
+                             check(x);\n\
+                             TESLA_WITHIN(main, previously(check(x) == 0));\n\
+                             return 0;\n\
+                         }}"
+                    ),
+                )]),
+                BuildOptions::tesla_toolchain(),
+            );
+            let art = bs.build().unwrap();
+
+            // Live run in Log mode (drains fully even when violating),
+            // teed to an in-memory trace.
+            let live = Tesla::new(tesla_runtime::Config {
+                fail_mode: tesla_runtime::FailMode::Log,
+                ..tesla_runtime::Config::default()
+            });
+            let mut trace = Vec::new();
+            run_with_tesla_recorded(&art, &live, "main", &[5], 100_000, &mut trace).unwrap();
+            assert_eq!(live.violations().len(), usize::from(violates));
+
+            // Replay into a fresh engine through the pipeline's replay
+            // entry point: identical violations and counters.
+            let replayed = Tesla::new(tesla_runtime::Config {
+                fail_mode: tesla_runtime::FailMode::Log,
+                ..tesla_runtime::Config::default()
+            });
+            let mut src = JsonlSource::new(&trace[..]);
+            let stats = replay_with_tesla(&art, &replayed, &mut src).unwrap();
+            assert!(stats.events > 0);
+
+            let viols = |t: &Tesla| {
+                t.violations()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(viols(&live), viols(&replayed));
+            // Latency-free counter exports are byte-identical: the
+            // replay drove the very same event stream.
+            assert_eq!(
+                export::json_counters(&live.metrics().snapshot()),
+                export::json_counters(&replayed.metrics().snapshot())
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_trace_is_a_positioned_replay_error() {
+        let mut bs = BuildSystem::new(two_unit_project(), BuildOptions::tesla_toolchain());
+        let art = bs.build().unwrap();
+        let t = Tesla::with_defaults();
+        let text = format!(
+            "{}\n{{\"ev\":\"fn_entry\",\"fn\":\"main\",\"args\":[5]}}\nnot json\n",
+            tesla_runtime::ingress::TRACE_HEADER
+        );
+        let mut src = tesla_runtime::JsonlSource::new(text.as_bytes());
+        match replay_with_tesla(&art, &t, &mut src).unwrap_err() {
+            ReplayError::Drive(DriveError::Source(
+                tesla_runtime::IngressError::Malformed { line, .. },
+                stats,
+            )) => {
+                assert_eq!(line, 3);
+                assert_eq!(stats.events, 1);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
     }
 
     #[test]

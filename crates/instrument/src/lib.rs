@@ -43,10 +43,10 @@ pub use model_check::{model_check, AssertionReport, CheckVerdict, TraceStep};
 pub use static_check::{occurring_functions, static_check, StaticFinding};
 
 use std::borrow::Borrow;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use tesla_automata::{Automaton, InstrSide, Manifest, SymbolKind};
 use tesla_ir::{Callee, FuncId, Inst, Module, Terminator};
-use tesla_runtime::{ClassId, Tesla};
+use tesla_runtime::{ClassId, IngressEventRef, NameCache, Tesla, TraceWriter};
 use tesla_spec::Value;
 
 /// Instrumentation statistics (drives the build-time experiments).
@@ -363,10 +363,16 @@ pub fn register_manifest(tesla: &Tesla, manifest: &Manifest) -> Result<Vec<Class
 /// Bridges interpreter hook events into a libtesla engine: the
 /// deployed-program configuration (compiler weaves hooks → hooks call
 /// libtesla).
+///
+/// This is the in-process [`tesla_runtime::EventSource`]-shaped
+/// transport: each interpreter hook becomes an
+/// [`IngressEventRef`] dispatched through [`Tesla::ingest`], the same
+/// boundary `tesla replay` and `tesla attach` feed — so a live run
+/// and a replayed recording of it take the identical path into the
+/// engine.
 pub struct RuntimeSink<'t> {
     tesla: &'t Tesla,
-    fn_ids: HashMap<String, tesla_runtime::NameId>,
-    field_ids: HashMap<String, tesla_runtime::NameId>,
+    cache: NameCache,
 }
 
 impl<'t> RuntimeSink<'t> {
@@ -374,39 +380,24 @@ impl<'t> RuntimeSink<'t> {
     pub fn new(tesla: &'t Tesla) -> RuntimeSink<'t> {
         RuntimeSink {
             tesla,
-            fn_ids: HashMap::new(),
-            field_ids: HashMap::new(),
+            cache: NameCache::new(),
         }
     }
 
-    fn fn_id(&mut self, name: &str) -> tesla_runtime::NameId {
-        if let Some(id) = self.fn_ids.get(name) {
-            return *id;
-        }
-        let id = self.tesla.intern_fn(name);
-        self.fn_ids.insert(name.to_string(), id);
-        id
-    }
-
-    fn name_id(&mut self, name: &str) -> tesla_runtime::NameId {
-        if let Some(id) = self.field_ids.get(name) {
-            return *id;
-        }
-        let id = self.tesla.intern_field(name);
-        self.field_ids.insert(name.to_string(), id);
-        id
+    fn ingest(&mut self, ev: IngressEventRef<'_>) -> Result<(), String> {
+        self.tesla
+            .ingest(&mut self.cache, ev)
+            .map_err(|v| v.to_string())
     }
 }
 
 impl tesla_ir::HookSink for RuntimeSink<'_> {
     fn fn_entry(&mut self, name: &str, args: &[Value]) -> Result<(), String> {
-        let id = self.fn_id(name);
-        self.tesla.fn_entry(id, args).map_err(|v| v.to_string())
+        self.ingest(IngressEventRef::FnEntry { name, args })
     }
 
     fn fn_exit(&mut self, name: &str, args: &[Value], ret: Value) -> Result<(), String> {
-        let id = self.fn_id(name);
-        self.tesla.fn_exit(id, args, ret).map_err(|v| v.to_string())
+        self.ingest(IngressEventRef::FnExit { name, args, ret })
     }
 
     fn field_store(
@@ -417,17 +408,95 @@ impl tesla_ir::HookSink for RuntimeSink<'_> {
         op: tesla_spec::FieldOp,
         value: Value,
     ) -> Result<(), String> {
-        let s = self.name_id(struct_name);
-        let f = self.name_id(field_name);
-        self.tesla
-            .field_store(s, f, object, op, value)
-            .map_err(|v| v.to_string())
+        self.ingest(IngressEventRef::FieldStore {
+            strct: struct_name,
+            field: field_name,
+            object,
+            op,
+            value,
+        })
     }
 
     fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String> {
-        self.tesla
-            .assertion_site(ClassId(class), values)
-            .map_err(|v| v.to_string())
+        self.ingest(IngressEventRef::AssertionSite { class, values })
+    }
+}
+
+/// A [`tesla_ir::HookSink`] tee: records every hook event to a JSONL
+/// trace ([`TraceWriter`]) and then forwards it to an inner sink.
+///
+/// Events are written *before* dispatch, so when a forwarded event
+/// fail-stops the run, the offending event is the trace's last line —
+/// a recorded violating run replays to the same violation.
+pub struct RecordingSink<S, W: std::io::Write> {
+    inner: S,
+    writer: TraceWriter<W>,
+}
+
+impl<S, W: std::io::Write> RecordingSink<S, W> {
+    /// Tee `inner`'s event stream into a trace written to `out`.
+    pub fn new(inner: S, out: W) -> RecordingSink<S, W> {
+        RecordingSink {
+            inner,
+            writer: TraceWriter::new(out),
+        }
+    }
+
+    fn record(&mut self, ev: &IngressEventRef<'_>) -> Result<(), String> {
+        self.writer
+            .record(ev)
+            .map_err(|e| format!("trace write: {e}"))
+    }
+
+    /// Finish the trace (flushing the header even for an empty run)
+    /// and return the inner sink plus the written-out trace sink.
+    ///
+    /// # Errors
+    ///
+    /// The write/flush error, stringified, if the trace could not be
+    /// finalised.
+    pub fn finish(self) -> Result<(S, W), String> {
+        let out = self
+            .writer
+            .finish()
+            .map_err(|e| format!("trace write: {e}"))?;
+        Ok((self.inner, out))
+    }
+}
+
+impl<S: tesla_ir::HookSink, W: std::io::Write> tesla_ir::HookSink for RecordingSink<S, W> {
+    fn fn_entry(&mut self, name: &str, args: &[Value]) -> Result<(), String> {
+        self.record(&IngressEventRef::FnEntry { name, args })?;
+        self.inner.fn_entry(name, args)
+    }
+
+    fn fn_exit(&mut self, name: &str, args: &[Value], ret: Value) -> Result<(), String> {
+        self.record(&IngressEventRef::FnExit { name, args, ret })?;
+        self.inner.fn_exit(name, args, ret)
+    }
+
+    fn field_store(
+        &mut self,
+        struct_name: &str,
+        field_name: &str,
+        object: Value,
+        op: tesla_spec::FieldOp,
+        value: Value,
+    ) -> Result<(), String> {
+        self.record(&IngressEventRef::FieldStore {
+            strct: struct_name,
+            field: field_name,
+            object,
+            op,
+            value,
+        })?;
+        self.inner
+            .field_store(struct_name, field_name, object, op, value)
+    }
+
+    fn assertion_site(&mut self, class: u32, values: &[Value]) -> Result<(), String> {
+        self.record(&IngressEventRef::AssertionSite { class, values })?;
+        self.inner.assertion_site(class, values)
     }
 }
 
@@ -670,6 +739,56 @@ mod tests {
         let mut interp = Interp::new(&elided_m, 1_000_000);
         assert_eq!(interp.run_named("kernel_main", &[7], &mut sink).unwrap(), 1);
         assert!(tesla.violations().is_empty());
+    }
+
+    #[test]
+    fn recorded_run_replays_to_identical_verdicts() {
+        use tesla_runtime::{EventSource, JsonlSource};
+
+        for do_check in [1i64, 0] {
+            let (mut m, manifest) = build(&kernel_source(do_check));
+            instrument(&mut m, &manifest).unwrap();
+
+            // Live run, teed into an in-memory JSONL trace. Log mode
+            // so a violating run still drains completely.
+            let live = Tesla::new(Config {
+                fail_mode: tesla_runtime::FailMode::Log,
+                ..Config::default()
+            });
+            register_manifest(&live, &manifest).unwrap();
+            let mut sink = RecordingSink::new(RuntimeSink::new(&live), Vec::new());
+            let mut interp = Interp::new(&m, 1_000_000);
+            interp.run_named("kernel_main", &[7], &mut sink).unwrap();
+            let (_, trace) = sink.finish().unwrap();
+
+            // Replay the trace into a fresh engine: byte-identical
+            // violation lists.
+            let replayed = Tesla::new(Config {
+                fail_mode: tesla_runtime::FailMode::Log,
+                ..Config::default()
+            });
+            register_manifest(&replayed, &manifest).unwrap();
+            let mut src = JsonlSource::new(&trace[..]);
+            let stats = replayed.drive(&mut src).unwrap();
+            assert!(stats.events > 0);
+            let fmt = |t: &Tesla| {
+                t.violations()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(fmt(&live), fmt(&replayed));
+            assert_eq!(live.violations().len(), usize::from(do_check == 0));
+
+            // The trace is schema-clean: every line after the header
+            // parses back, and a second decode agrees with the first.
+            let mut src2 = JsonlSource::new(&trace[..]);
+            let mut n = 0;
+            while src2.next_event().unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, stats.events);
+        }
     }
 
     #[test]

@@ -788,10 +788,26 @@ impl Tesla {
         out
     }
 
+    /// Dispatch-table miss triage: distinguish "interned but not
+    /// instrumented" (a legal no-op — the common fast path for
+    /// uninstrumented functions) from "never interned" (a malformed
+    /// event: a typo'd replay trace or an id minted by another
+    /// engine, which previously passed vacuously). One relaxed atomic
+    /// load on the happy path; the exact interner length is consulted
+    /// only when the lower bound cannot vouch for the id.
+    #[inline]
+    fn check_known(&self, id: NameId, what: &str) -> Result<(), Violation> {
+        let idx = id.0 as usize;
+        if idx < self.interner.len_lower_bound() || idx < self.interner.len() {
+            return Ok(());
+        }
+        Err(Violation::unknown_name(what, &format!("#{}", id.0)))
+    }
+
     fn fn_entry_inner(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else {
-            return Ok(());
+            return self.check_known(f, "function");
         };
         if ft.push_stack {
             tls.stack.borrow_mut().push(f);
@@ -838,7 +854,7 @@ impl Tesla {
     fn fn_exit_inner(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else {
-            return Ok(());
+            return self.check_known(f, "function");
         };
         let mut first = None;
         let active =
@@ -912,7 +928,9 @@ impl Tesla {
     ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(entries) = snap.tables.field_tables.get(field_id.0 as usize) else {
-            return Ok(());
+            return self
+                .check_known(struct_id, "struct")
+                .and_then(|()| self.check_known(field_id, "field"));
         };
         if entries.is_empty() {
             return Ok(());
@@ -958,7 +976,7 @@ impl Tesla {
     ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else {
-            return Ok(());
+            return self.check_known(sel, "selector");
         };
         if st.entry.is_empty() {
             return Ok(());
@@ -1011,7 +1029,7 @@ impl Tesla {
     ) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else {
-            return Ok(());
+            return self.check_known(sel, "selector");
         };
         if st.exit.is_empty() {
             return Ok(());
@@ -1052,7 +1070,15 @@ impl Tesla {
 
     fn assertion_site_inner(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
         let (tls, snap) = self.tls();
-        let def = snap.classes[class.0 as usize].clone();
+        let Some(def) = snap.classes.get(class.0 as usize).cloned() else {
+            // A site event for a class that was never registered must
+            // not panic the monitor — replayed traces carry class ids
+            // chosen by the producer.
+            return Err(Violation::unknown_name(
+                "assertion class",
+                &format!("#{}", class.0),
+            ));
+        };
         def.site_hits.fetch_add(1, Ordering::Relaxed);
         let n = values.len().min(MAX_VARS);
         let mut bindings = [(0usize, Value::NULL); MAX_VARS];
@@ -1091,13 +1117,23 @@ impl Tesla {
         self.fn_entry(self.interner.intern(name), args)
     }
 
-    /// [`Tesla::fn_exit`] with a string name (interned on the spot).
+    /// [`Tesla::fn_exit`] with a string name.
+    ///
+    /// Unlike [`Tesla::fn_entry_named`] this does **not** intern on
+    /// the spot: an exit for a function this engine has never seen
+    /// enter is a malformed event stream (most often a typo'd replay
+    /// trace), and interning it would make the typo pass vacuously
+    /// forever after.
     ///
     /// # Errors
     ///
-    /// See [`Tesla::fn_exit`].
+    /// Returns a [`ViolationKind::UnknownName`] violation when `name`
+    /// was never interned; otherwise see [`Tesla::fn_exit`].
     pub fn fn_exit_named(&self, name: &str, args: &[Value], ret: Value) -> Result<(), Violation> {
-        self.fn_exit(self.interner.intern(name), args, ret)
+        match self.interner.get(name) {
+            Some(id) => self.fn_exit(id, args, ret),
+            None => Err(Violation::unknown_name("function", name)),
+        }
     }
 
     // ------------------------------------------------------------------

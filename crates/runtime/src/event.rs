@@ -21,6 +21,13 @@ pub enum ViolationKind {
     /// `strict` semantics: an alphabet event matched an instance but
     /// had no transition from its current state.
     Strict,
+    /// An ingress event referenced a name or assertion class this
+    /// engine has never seen — a typo'd replay trace, an id minted by
+    /// a different engine, or a producer speaking the wrong schema.
+    /// Unlike the other kinds this is an *event-stream* error, not an
+    /// assertion disposition: it is returned directly from the hook
+    /// and never downgraded by [`crate::FailMode::Log`].
+    UnknownName,
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -29,6 +36,7 @@ impl std::fmt::Display for ViolationKind {
             ViolationKind::Site => write!(f, "assertion-site violation"),
             ViolationKind::Cleanup => write!(f, "unmet obligation at bound end"),
             ViolationKind::Strict => write!(f, "unexpected event (strict)"),
+            ViolationKind::UnknownName => write!(f, "unknown name in event"),
         }
     }
 }
@@ -53,6 +61,26 @@ pub struct Violation {
     pub values: Vec<Value>,
     /// Human-readable detail.
     pub detail: String,
+}
+
+impl Violation {
+    /// Build the structured error for a malformed ingress event:
+    /// `what` says which namespace missed ("function", "selector",
+    /// "assertion class", …), `name` is the offending name (or `#id`
+    /// for a raw [`crate::NameId`] that was never minted).
+    pub fn unknown_name(what: &str, name: &str) -> Violation {
+        Violation {
+            assertion: "<ingress>".into(),
+            kind: ViolationKind::UnknownName,
+            loc: SourceLoc {
+                file: "<ingress>".into(),
+                line: 0,
+            },
+            source: String::new(),
+            values: Vec::new(),
+            detail: format!("{what} `{name}` was never interned by this engine"),
+        }
+    }
 }
 
 impl std::fmt::Display for Violation {

@@ -134,12 +134,26 @@ impl FaultSpec {
     /// unlisted kinds stay disabled. The empty string is
     /// [`FaultSpec::none`].
     ///
+    /// The grammar is strict: empty segments (a trailing comma, a
+    /// doubled comma) and repeated kinds are rejected rather than
+    /// silently ignored or last-write-wins — a chaos run whose spec
+    /// was half-applied is worse than one that refuses to start.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first malformed pair.
     pub fn parse(s: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::none();
-        for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if s.trim().is_empty() {
+            return Ok(spec);
+        }
+        let mut seen = [false; N_FAULTS];
+        for pair in s.split(',').map(str::trim) {
+            if pair.is_empty() {
+                return Err(format!(
+                    "bad fault spec `{s}`: empty segment (trailing or doubled comma)"
+                ));
+            }
             let (key, val) = pair
                 .split_once('=')
                 .ok_or_else(|| format!("bad fault spec `{pair}`: expected kind=period"))?;
@@ -151,6 +165,13 @@ impl FaultSpec {
                         "unknown fault kind `{key}` (expected one of alloc, panic, skew, dup, drop, poison)"
                     )
                 })?;
+            if seen[kind as usize] {
+                return Err(format!(
+                    "duplicate fault kind `{}`: each kind may be given once",
+                    kind.label()
+                ));
+            }
+            seen[kind as usize] = true;
             let period: u32 = val
                 .trim()
                 .parse()
@@ -391,6 +412,23 @@ mod tests {
         assert!(FaultSpec::parse("bogus=3").is_err());
         assert!(FaultSpec::parse("panic").is_err());
         assert!(FaultSpec::parse("panic=x").is_err());
+    }
+
+    #[test]
+    fn spec_rejects_trailing_garbage_and_duplicates() {
+        // Whitespace-only is the empty spec, like "".
+        assert_eq!(FaultSpec::parse("  ").unwrap(), FaultSpec::none());
+        // Trailing and doubled commas are errors, not silently eaten.
+        let e = FaultSpec::parse("panic=40,").unwrap_err();
+        assert!(e.contains("empty segment"), "{e}");
+        let e = FaultSpec::parse("panic=40,,drop=16").unwrap_err();
+        assert!(e.contains("empty segment"), "{e}");
+        assert!(FaultSpec::parse(",panic=40").is_err());
+        // A repeated kind is an error, not last-write-wins.
+        let e = FaultSpec::parse("panic=1,panic=2").unwrap_err();
+        assert!(e.contains("duplicate fault kind `panic`"), "{e}");
+        let e = FaultSpec::parse("drop=4, panic=1, drop=9").unwrap_err();
+        assert!(e.contains("duplicate fault kind `drop`"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The transport-agnostic wire model for runtime events.
+//!
+//! [`IngressEvent`] is the owned form produced by deserialising a
+//! transport ([`crate::ingress::EventSource`]); [`IngressEventRef`]
+//! is the borrowed form that in-process producers (the IR
+//! interpreter, recorders) build on the stack without allocating.
+//! Both cover the full hook surface of [`crate::Tesla`]: function
+//! entry/exit, structure field stores, Objective-C style message
+//! entry/exit, and assertion sites.
+//!
+//! Names travel as strings; interned-id resolution happens at the
+//! ingestion boundary ([`crate::Tesla::ingest`]), per source, so two
+//! sources feeding one engine cannot confuse each other's ids.
+
+use tesla_spec::{FieldOp, Value};
+
+/// An owned runtime event as it crosses a transport boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngressEvent {
+    /// A function was entered with these argument values.
+    FnEntry {
+        /// Function name.
+        name: String,
+        /// Argument values, in declaration order.
+        args: Vec<Value>,
+    },
+    /// A function returned.
+    FnExit {
+        /// Function name; must have been seen entering before
+        /// (an exit for a never-seen name is a malformed stream).
+        name: String,
+        /// The entry argument values.
+        args: Vec<Value>,
+        /// The return value.
+        ret: Value,
+    },
+    /// A structure field was assigned.
+    FieldStore {
+        /// Structure type name.
+        strct: String,
+        /// Field name.
+        field: String,
+        /// The containing object.
+        object: Value,
+        /// Plain or compound assignment operator.
+        op: FieldOp,
+        /// The assigned value.
+        value: Value,
+    },
+    /// A message send (method entry).
+    MsgEntry {
+        /// Selector name.
+        selector: String,
+        /// The receiver.
+        receiver: Value,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+    /// A method returned.
+    MsgExit {
+        /// Selector name; same never-seen rule as [`IngressEvent::FnExit`].
+        selector: String,
+        /// The receiver.
+        receiver: Value,
+        /// Argument values.
+        args: Vec<Value>,
+        /// The return value.
+        ret: Value,
+    },
+    /// Execution reached an assertion site.
+    AssertionSite {
+        /// The registered class index ([`crate::ClassId`] value).
+        class: u32,
+        /// The scope's variable values in variable-index order.
+        values: Vec<Value>,
+    },
+}
+
+/// A borrowed runtime event; what in-process adapters hand to
+/// [`crate::Tesla::ingest`] without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressEventRef<'a> {
+    /// See [`IngressEvent::FnEntry`].
+    FnEntry {
+        /// Function name.
+        name: &'a str,
+        /// Argument values.
+        args: &'a [Value],
+    },
+    /// See [`IngressEvent::FnExit`].
+    FnExit {
+        /// Function name.
+        name: &'a str,
+        /// Entry argument values.
+        args: &'a [Value],
+        /// Return value.
+        ret: Value,
+    },
+    /// See [`IngressEvent::FieldStore`].
+    FieldStore {
+        /// Structure type name.
+        strct: &'a str,
+        /// Field name.
+        field: &'a str,
+        /// Containing object.
+        object: Value,
+        /// Assignment operator.
+        op: FieldOp,
+        /// Assigned value.
+        value: Value,
+    },
+    /// See [`IngressEvent::MsgEntry`].
+    MsgEntry {
+        /// Selector name.
+        selector: &'a str,
+        /// Receiver.
+        receiver: Value,
+        /// Argument values.
+        args: &'a [Value],
+    },
+    /// See [`IngressEvent::MsgExit`].
+    MsgExit {
+        /// Selector name.
+        selector: &'a str,
+        /// Receiver.
+        receiver: Value,
+        /// Argument values.
+        args: &'a [Value],
+        /// Return value.
+        ret: Value,
+    },
+    /// See [`IngressEvent::AssertionSite`].
+    AssertionSite {
+        /// Class index.
+        class: u32,
+        /// Variable values.
+        values: &'a [Value],
+    },
+}
+
+impl IngressEvent {
+    /// Borrow this event for ingestion.
+    pub fn as_ref(&self) -> IngressEventRef<'_> {
+        match self {
+            IngressEvent::FnEntry { name, args } => IngressEventRef::FnEntry { name, args },
+            IngressEvent::FnExit { name, args, ret } => IngressEventRef::FnExit {
+                name,
+                args,
+                ret: *ret,
+            },
+            IngressEvent::FieldStore {
+                strct,
+                field,
+                object,
+                op,
+                value,
+            } => IngressEventRef::FieldStore {
+                strct,
+                field,
+                object: *object,
+                op: *op,
+                value: *value,
+            },
+            IngressEvent::MsgEntry {
+                selector,
+                receiver,
+                args,
+            } => IngressEventRef::MsgEntry {
+                selector,
+                receiver: *receiver,
+                args,
+            },
+            IngressEvent::MsgExit {
+                selector,
+                receiver,
+                args,
+                ret,
+            } => IngressEventRef::MsgExit {
+                selector,
+                receiver: *receiver,
+                args,
+                ret: *ret,
+            },
+            IngressEvent::AssertionSite { class, values } => {
+                IngressEventRef::AssertionSite {
+                    class: *class,
+                    values,
+                }
+            }
+        }
+    }
+
+    /// The wire-schema label for this event kind (the `"ev"` field).
+    pub fn kind_label(&self) -> &'static str {
+        self.as_ref().kind_label()
+    }
+}
+
+impl IngressEventRef<'_> {
+    /// The wire-schema label for this event kind (the `"ev"` field).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            IngressEventRef::FnEntry { .. } => "fn_entry",
+            IngressEventRef::FnExit { .. } => "fn_exit",
+            IngressEventRef::FieldStore { .. } => "field_store",
+            IngressEventRef::MsgEntry { .. } => "msg_entry",
+            IngressEventRef::MsgExit { .. } => "msg_exit",
+            IngressEventRef::AssertionSite { .. } => "site",
+        }
+    }
+
+    /// Deep-copy into the owned form.
+    pub fn to_owned_event(&self) -> IngressEvent {
+        match *self {
+            IngressEventRef::FnEntry { name, args } => IngressEvent::FnEntry {
+                name: name.to_string(),
+                args: args.to_vec(),
+            },
+            IngressEventRef::FnExit { name, args, ret } => IngressEvent::FnExit {
+                name: name.to_string(),
+                args: args.to_vec(),
+                ret,
+            },
+            IngressEventRef::FieldStore {
+                strct,
+                field,
+                object,
+                op,
+                value,
+            } => IngressEvent::FieldStore {
+                strct: strct.to_string(),
+                field: field.to_string(),
+                object,
+                op,
+                value,
+            },
+            IngressEventRef::MsgEntry {
+                selector,
+                receiver,
+                args,
+            } => IngressEvent::MsgEntry {
+                selector: selector.to_string(),
+                receiver,
+                args: args.to_vec(),
+            },
+            IngressEventRef::MsgExit {
+                selector,
+                receiver,
+                args,
+                ret,
+            } => IngressEvent::MsgExit {
+                selector: selector.to_string(),
+                receiver,
+                args: args.to_vec(),
+                ret,
+            },
+            IngressEventRef::AssertionSite { class, values } => IngressEvent::AssertionSite {
+                class,
+                values: values.to_vec(),
+            },
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! A small, dependency-free JSON reader for the trace wire format.
+//!
+//! The runtime deliberately avoids pulling a serialisation stack
+//! into the hot library just to frame replay traces: the wire schema
+//! needs exactly RFC 8259 values, and errors must carry byte
+//! positions so the transport layer can report *where* a stream went
+//! wrong. Strict on structure (no trailing garbage, no unescaped
+//! controls, paired surrogates), tolerant on content (any JSON value
+//! parses, so unknown fields added by future producers are carried
+//! and ignored).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; the payload is its exact `u64` value when it has
+    /// one (the only numeric domain the wire schema uses — floats
+    /// and negatives parse but carry `None`).
+    Num(Option<u64>),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order. Duplicate keys are a parse error:
+    /// for a trace schema, "last key wins" is how inconsistent
+    /// events slip through unnoticed.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document; trailing non-whitespace is an
+    /// error. Errors read `"<reason> at byte <n>"`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason with the byte position.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value(0)?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// The object's fields, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Look up a field by key, when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The exact `u64` payload, when this is a number with one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => *n,
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.i))
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return self.err(&format!("duplicate key {key:?}"));
+            }
+            self.ws();
+            self.eat(b':')?;
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.i + 4;
+        let Some(hex) = self.b.get(self.i..end) else {
+            return self.err("truncated \\u escape");
+        };
+        let s = std::str::from_utf8(hex).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
+        let v = u16::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
+        self.i = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // High surrogate: a \uXXXX low half
+                                // must follow.
+                                if self.b.get(self.i) != Some(&b'\\')
+                                    || self.b.get(self.i + 1) != Some(&b'u')
+                                {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let cp = 0x10000
+                                    + ((u32::from(hi) - 0xd800) << 10)
+                                    + (u32::from(lo) - 0xdc00);
+                                char::from_u32(cp).ok_or_else(|| {
+                                    format!("invalid code point at byte {}", self.i)
+                                })?
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.err::<()>("unpaired surrogate").unwrap_err())?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) if c < 0x20 => return self.err("unescaped control character"),
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the input is a &str, so
+                    // boundaries are trustworthy.
+                    let rest = &self.b[self.i..];
+                    let s = std::str::from_utf8(rest).expect("input was a &str");
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        // Validate syntactically via the float grammar; keep the
+        // exact u64 when the token is one.
+        if tok.parse::<f64>().is_err() {
+            return Err(format!("bad number {tok:?} at byte {start}"));
+        }
+        Ok(Json::Num(tok.parse::<u64>().ok()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_parse() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(Some(42)));
+        assert_eq!(
+            Json::parse(&u64::MAX.to_string()).unwrap(),
+            Json::Num(Some(u64::MAX))
+        );
+        assert_eq!(Json::parse("-1").unwrap(), Json::Num(None));
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Num(None));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+        assert_eq!(
+            Json::parse("[1, 2]").unwrap(),
+            Json::Array(vec![Json::Num(Some(1)), Json::Num(Some(2))])
+        );
+        let obj = Json::parse("{\"a\": 1, \"b\": [true, null]}").unwrap();
+        assert_eq!(obj.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(obj.get("b").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        assert_eq!(
+            Json::parse("\"a\\\"b\\\\c\\n\\t\\u0000\\u2028\"").unwrap(),
+            Json::Str("a\"b\\c\n\t\0\u{2028}".into())
+        );
+        // Surrogate pair for 𝄞 (U+1D11E).
+        assert_eq!(
+            Json::parse("\"\\ud834\\udd1e\"").unwrap(),
+            Json::Str("\u{1d11e}".into())
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(Json::parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn errors_carry_byte_positions() {
+        for (doc, needle) in [
+            ("", "unexpected end"),
+            ("{", "expected '\"'"),
+            ("{\"a\":1,}", "expected '\"'"),
+            ("[1 2]", "expected ','"),
+            ("\"abc", "unterminated string"),
+            ("\"\\q\"", "unknown escape"),
+            ("\"\\ud834x\"", "unpaired surrogate"),
+            ("\"\x01\"", "unescaped control"),
+            ("nulL", "bad literal"),
+            ("1 2", "trailing garbage"),
+            ("{\"a\":1,\"a\":2}", "duplicate key"),
+        ] {
+            let err = Json::parse(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc:?} -> {err}");
+            assert!(err.contains("at byte"), "{doc:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded_no_stack_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&deep).unwrap_err().contains("nesting too deep"));
+    }
+}

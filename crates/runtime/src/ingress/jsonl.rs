@@ -1,0 +1,408 @@
+//! The versioned JSONL trace schema (`tesla_trace` version 1).
+//!
+//! A trace is a UTF-8 text stream, one JSON object per line:
+//!
+//! * The **first** non-blank line is the header
+//!   `{"tesla_trace":1}`. A stream without it — or with a version
+//!   this build does not speak — is rejected before any event is
+//!   dispatched.
+//! * Every following non-blank line is one event, discriminated by
+//!   its `"ev"` field:
+//!
+//! ```text
+//! {"ev":"fn_entry","fn":"EVP_VerifyFinal","args":[7,1]}
+//! {"ev":"fn_exit","fn":"EVP_VerifyFinal","args":[7,1],"ret":1}
+//! {"ev":"field_store","struct":"conn","field":"state","obj":7,"op":"=","val":2}
+//! {"ev":"msg_entry","sel":"lockFocus","recv":3,"args":[]}
+//! {"ev":"msg_exit","sel":"lockFocus","recv":3,"args":[],"ret":0}
+//! {"ev":"site","class":0,"vals":[7]}
+//! ```
+//!
+//! All values are unsigned 64-bit integers (the runtime's [`Value`]
+//! domain). Unknown *fields* are ignored for forward compatibility;
+//! unknown `"ev"` labels, missing required fields, and out-of-domain
+//! values are malformed. Blank lines are permitted and skipped.
+//! Versioning rule: additions that old readers can safely ignore
+//! (new optional fields) do not bump the version; anything a version-1
+//! reader would misinterpret (new event kinds, changed field
+//! meanings) must.
+//!
+//! The writer ([`TraceWriter`]) emits names through the same
+//! hardened escaper as the telemetry exporters, so traces stay
+//! parseable for arbitrary interned names.
+
+use crate::ingress::event::{IngressEvent, IngressEventRef};
+use crate::ingress::json::Json;
+use crate::telemetry::export::json_escape;
+use std::io::Write;
+use tesla_spec::{FieldOp, Value};
+
+/// The schema version this build reads and writes.
+pub const TRACE_VERSION: u32 = 1;
+
+/// The header line starting every version-1 trace (no trailing
+/// newline).
+pub const TRACE_HEADER: &str = "{\"tesla_trace\":1}";
+
+fn op_label(op: FieldOp) -> &'static str {
+    match op {
+        FieldOp::Assign => "=",
+        FieldOp::AddAssign => "+=",
+        FieldOp::SubAssign => "-=",
+        FieldOp::OrAssign => "|=",
+        FieldOp::AndAssign => "&=",
+    }
+}
+
+fn op_from_label(s: &str) -> Option<FieldOp> {
+    Some(match s {
+        "=" => FieldOp::Assign,
+        "+=" => FieldOp::AddAssign,
+        "-=" => FieldOp::SubAssign,
+        "|=" => FieldOp::OrAssign,
+        "&=" => FieldOp::AndAssign,
+        _ => return None,
+    })
+}
+
+fn values_json(vs: &[Value]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| v.0.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Render one event as its single-line wire form (no trailing
+/// newline).
+pub fn format_event(ev: &IngressEventRef<'_>) -> String {
+    match *ev {
+        IngressEventRef::FnEntry { name, args } => format!(
+            "{{\"ev\":\"fn_entry\",\"fn\":\"{}\",\"args\":{}}}",
+            json_escape(name),
+            values_json(args)
+        ),
+        IngressEventRef::FnExit { name, args, ret } => format!(
+            "{{\"ev\":\"fn_exit\",\"fn\":\"{}\",\"args\":{},\"ret\":{}}}",
+            json_escape(name),
+            values_json(args),
+            ret.0
+        ),
+        IngressEventRef::FieldStore {
+            strct,
+            field,
+            object,
+            op,
+            value,
+        } => format!(
+            "{{\"ev\":\"field_store\",\"struct\":\"{}\",\"field\":\"{}\",\
+             \"obj\":{},\"op\":\"{}\",\"val\":{}}}",
+            json_escape(strct),
+            json_escape(field),
+            object.0,
+            op_label(op),
+            value.0
+        ),
+        IngressEventRef::MsgEntry {
+            selector,
+            receiver,
+            args,
+        } => format!(
+            "{{\"ev\":\"msg_entry\",\"sel\":\"{}\",\"recv\":{},\"args\":{}}}",
+            json_escape(selector),
+            receiver.0,
+            values_json(args)
+        ),
+        IngressEventRef::MsgExit {
+            selector,
+            receiver,
+            args,
+            ret,
+        } => format!(
+            "{{\"ev\":\"msg_exit\",\"sel\":\"{}\",\"recv\":{},\"args\":{},\"ret\":{}}}",
+            json_escape(selector),
+            receiver.0,
+            values_json(args),
+            ret.0
+        ),
+        IngressEventRef::AssertionSite { class, values } => format!(
+            "{{\"ev\":\"site\",\"class\":{},\"vals\":{}}}",
+            class,
+            values_json(values)
+        ),
+    }
+}
+
+/// Parse a header line; `Ok(version)` when it is a `tesla_trace`
+/// header at all (the caller rejects unsupported versions with a
+/// positioned diagnostic).
+pub fn parse_header(line: &str) -> Result<u32, String> {
+    let v = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("header must be a JSON object".to_string());
+    }
+    match v.get("tesla_trace").and_then(Json::as_u64) {
+        Some(ver) => u32::try_from(ver).map_err(|_| format!("absurd trace version {ver}")),
+        None => Err(format!(
+            "first line must be the version header {TRACE_HEADER}"
+        )),
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    field(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn value_field(obj: &Json, key: &str) -> Result<Value, String> {
+    field(obj, key)?
+        .as_u64()
+        .map(Value)
+        .ok_or_else(|| format!("field {key:?} must be an unsigned integer"))
+}
+
+fn values_field(obj: &Json, key: &str) -> Result<Vec<Value>, String> {
+    let arr = field(obj, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} must be an array"))?;
+    arr.iter()
+        .map(|v| {
+            v.as_u64()
+                .map(Value)
+                .ok_or_else(|| format!("field {key:?} must contain unsigned integers"))
+        })
+        .collect()
+}
+
+/// Parse one event line. The error is the *reason*; the transport
+/// layer wraps it with line/offset position.
+pub fn parse_event(line: &str) -> Result<IngressEvent, String> {
+    let obj = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if obj.as_object().is_none() {
+        return Err("event must be a JSON object".to_string());
+    }
+    let ev = str_field(&obj, "ev")?;
+    match ev.as_str() {
+        "fn_entry" => Ok(IngressEvent::FnEntry {
+            name: str_field(&obj, "fn")?,
+            args: values_field(&obj, "args")?,
+        }),
+        "fn_exit" => Ok(IngressEvent::FnExit {
+            name: str_field(&obj, "fn")?,
+            args: values_field(&obj, "args")?,
+            ret: value_field(&obj, "ret")?,
+        }),
+        "field_store" => {
+            let op_s = str_field(&obj, "op")?;
+            let op = op_from_label(&op_s)
+                .ok_or_else(|| format!("unknown field operator {op_s:?} (want =, +=, -=, |=, &=)"))?;
+            Ok(IngressEvent::FieldStore {
+                strct: str_field(&obj, "struct")?,
+                field: str_field(&obj, "field")?,
+                object: value_field(&obj, "obj")?,
+                op,
+                value: value_field(&obj, "val")?,
+            })
+        }
+        "msg_entry" => Ok(IngressEvent::MsgEntry {
+            selector: str_field(&obj, "sel")?,
+            receiver: value_field(&obj, "recv")?,
+            args: values_field(&obj, "args")?,
+        }),
+        "msg_exit" => Ok(IngressEvent::MsgExit {
+            selector: str_field(&obj, "sel")?,
+            receiver: value_field(&obj, "recv")?,
+            args: values_field(&obj, "args")?,
+            ret: value_field(&obj, "ret")?,
+        }),
+        "site" => {
+            let class = field(&obj, "class")?
+                .as_u64()
+                .and_then(|c| u32::try_from(c).ok())
+                .ok_or_else(|| "field \"class\" must be a u32".to_string())?;
+            Ok(IngressEvent::AssertionSite {
+                class,
+                values: values_field(&obj, "vals")?,
+            })
+        }
+        other => Err(format!("unknown event kind {other:?}")),
+    }
+}
+
+/// Streams events to a [`Write`] in the version-1 wire format. The
+/// header is emitted lazily before the first event, so an empty
+/// recording still produces a valid (header-only) trace via
+/// [`TraceWriter::finish`].
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    wrote_header: bool,
+    events: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap a sink.
+    pub fn new(w: W) -> TraceWriter<W> {
+        TraceWriter {
+            w,
+            wrote_header: false,
+            events: 0,
+        }
+    }
+
+    fn header(&mut self) -> std::io::Result<()> {
+        if !self.wrote_header {
+            writeln!(self.w, "{TRACE_HEADER}")?;
+            self.wrote_header = true;
+        }
+        Ok(())
+    }
+
+    /// Append one event line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn record(&mut self, ev: &IngressEventRef<'_>) -> std::io::Result<()> {
+        self.header()?;
+        writeln!(self.w, "{}", format_event(ev))?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Write the header if nothing was recorded, flush, and hand the
+    /// sink back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.header()?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: IngressEvent) {
+        let line = format_event(&ev.as_ref());
+        assert_eq!(parse_event(&line).unwrap(), ev, "line: {line}");
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        roundtrip(IngressEvent::FnEntry {
+            name: "malloc".into(),
+            args: vec![Value(16)],
+        });
+        roundtrip(IngressEvent::FnExit {
+            name: "malloc".into(),
+            args: vec![Value(16)],
+            ret: Value(0xdead),
+        });
+        for op in [
+            FieldOp::Assign,
+            FieldOp::AddAssign,
+            FieldOp::SubAssign,
+            FieldOp::OrAssign,
+            FieldOp::AndAssign,
+        ] {
+            roundtrip(IngressEvent::FieldStore {
+                strct: "conn".into(),
+                field: "state".into(),
+                object: Value(7),
+                op,
+                value: Value(2),
+            });
+        }
+        roundtrip(IngressEvent::MsgEntry {
+            selector: "lockFocus".into(),
+            receiver: Value(3),
+            args: vec![],
+        });
+        roundtrip(IngressEvent::MsgExit {
+            selector: "lockFocus".into(),
+            receiver: Value(3),
+            args: vec![Value(1), Value(2)],
+            ret: Value(0),
+        });
+        roundtrip(IngressEvent::AssertionSite {
+            class: 4,
+            values: vec![Value(7), Value(u64::MAX)],
+        });
+    }
+
+    #[test]
+    fn hostile_names_roundtrip() {
+        for name in ["a\"b", "back\\slash", "nl\nnl", "ctl\x00\x1f", "uni\u{2028}"] {
+            roundtrip(IngressEvent::FnEntry {
+                name: name.into(),
+                args: vec![],
+            });
+        }
+    }
+
+    #[test]
+    fn header_parses_and_rejects() {
+        assert_eq!(parse_header(TRACE_HEADER).unwrap(), 1);
+        assert_eq!(parse_header("{\"tesla_trace\":99}").unwrap(), 99);
+        assert!(parse_header("{\"ev\":\"fn_entry\"}").is_err());
+        assert!(parse_header("not json").is_err());
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("{\"ev\":\"warp\"}", "unknown event kind"),
+            ("{\"ev\":\"fn_entry\"}", "missing field \"fn\""),
+            ("{\"ev\":\"fn_exit\",\"fn\":\"f\",\"args\":[]}", "ret"),
+            (
+                "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[-1]}",
+                "unsigned",
+            ),
+            (
+                "{\"ev\":\"field_store\",\"struct\":\"s\",\"field\":\"f\",\
+                 \"obj\":1,\"op\":\"**=\",\"val\":2}",
+                "unknown field operator",
+            ),
+            ("[1,2,3]", "must be a JSON object"),
+            ("{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[", "invalid JSON"),
+        ] {
+            let err = parse_event(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_forward_compat() {
+        let ev = parse_event(
+            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[1],\"future_field\":true}",
+        )
+        .unwrap();
+        assert_eq!(
+            ev,
+            IngressEvent::FnEntry {
+                name: "f".into(),
+                args: vec![Value(1)],
+            }
+        );
+    }
+
+    #[test]
+    fn writer_emits_header_even_when_empty() {
+        let w = TraceWriter::new(Vec::new());
+        let bytes = w.finish().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), format!("{TRACE_HEADER}\n"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Transport-agnostic event ingress.
+//!
+//! The engine's hooks ([`Tesla::fn_entry`] and friends) take interned
+//! [`crate::NameId`]s — the right interface for woven instrumentation,
+//! the wrong one for everything else. This module is the boundary
+//! where *named* events from any transport become id-keyed hook
+//! calls:
+//!
+//! * [`IngressEvent`]/[`IngressEventRef`] — the wire model covering
+//!   the full hook surface;
+//! * [`EventSource`] — anything that yields events: a recorded JSONL
+//!   trace ([`JsonlSource`]), a live Unix socket ([`SocketSource`]),
+//!   an in-memory buffer ([`BufferedSource`]), or the IR interpreter
+//!   (adapted in `tesla-instrument`);
+//! * [`Tesla::ingest`] — one event through per-source name
+//!   resolution ([`NameCache`]) into the engine;
+//! * [`Tesla::drive`] — the pump: drain a source, count what flowed
+//!   ([`IngressStats`]), stop at the first error.
+//!
+//! Name-resolution policy, per namespace: *introducing* events
+//! (`fn_entry`, `msg_entry`, `field_store`) intern their names —
+//! producers legitimately mention functions the spec never saw.
+//! *Closing* events (`fn_exit`, `msg_exit`) only resolve names that
+//! already exist; a close for a never-seen name is a malformed
+//! stream (most often a typo'd trace) and fails loudly rather than
+//! interning the typo and passing vacuously forever after.
+
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod replay;
+#[cfg(unix)]
+pub mod socket;
+
+pub use event::{IngressEvent, IngressEventRef};
+pub use jsonl::{TraceWriter, TRACE_HEADER, TRACE_VERSION};
+pub use replay::{JsonlSource, LineDecoder};
+#[cfg(unix)]
+pub use socket::SocketSource;
+
+use crate::engine::Tesla;
+use crate::event::Violation;
+use crate::intern::NameId;
+use std::collections::HashMap;
+
+/// Why ingestion stopped: the transport layer's error taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngressError {
+    /// The transport failed (open, bind, read). Not positioned: the
+    /// stream itself is not at fault.
+    Io(String),
+    /// A line violated the wire schema. Positioned by 1-based line
+    /// number and the byte offset of that line's start within the
+    /// stream (per connection for socket transports).
+    Malformed {
+        /// 1-based line number.
+        line: u64,
+        /// Byte offset of the line's first byte.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The stream's header declared a version this build does not
+    /// speak.
+    Version {
+        /// 1-based line number of the header.
+        line: u64,
+        /// Byte offset of the header line.
+        offset: u64,
+        /// The declared version.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// A bounded wait (accept or read) expired.
+    Timeout,
+}
+
+impl std::fmt::Display for IngressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngressError::Io(e) => write!(f, "ingress I/O error: {e}"),
+            IngressError::Malformed {
+                line,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "malformed trace line {line} (byte offset {offset}): {detail}"
+            ),
+            IngressError::Version {
+                line,
+                offset,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported trace version {found} at line {line} \
+                 (byte offset {offset}); this build speaks version {supported}"
+            ),
+            IngressError::Timeout => write!(f, "timed out waiting for the event stream"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+/// Anything that yields a stream of runtime events.
+///
+/// `Ok(None)` is clean end-of-stream; implementations must be fused
+/// (keep returning `Ok(None)`). Errors are fatal to the stream.
+pub trait EventSource {
+    /// Pull the next event.
+    ///
+    /// # Errors
+    ///
+    /// An [`IngressError`] from the taxonomy above; the stream must
+    /// not be read further afterwards.
+    fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError>;
+}
+
+/// An in-memory [`EventSource`] — the adapter that makes any
+/// collected event list (e.g. an interpreter run captured by a
+/// recorder) replayable through the same pump as external streams.
+#[derive(Debug, Default)]
+pub struct BufferedSource {
+    events: std::collections::VecDeque<IngressEvent>,
+}
+
+impl BufferedSource {
+    /// Wrap a collected event list.
+    pub fn new(events: Vec<IngressEvent>) -> BufferedSource {
+        BufferedSource {
+            events: events.into(),
+        }
+    }
+}
+
+impl From<Vec<IngressEvent>> for BufferedSource {
+    fn from(events: Vec<IngressEvent>) -> BufferedSource {
+        BufferedSource::new(events)
+    }
+}
+
+impl EventSource for BufferedSource {
+    fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
+        Ok(self.events.pop_front())
+    }
+}
+
+/// Per-source name → id resolution state.
+///
+/// Each source owns one cache, so resolution is done exactly once
+/// per distinct name per source and two sources feeding one engine
+/// can never alias through a shared map. The namespaces are kept
+/// apart exactly as the engine's dispatch tables keep them apart.
+#[derive(Debug, Default)]
+pub struct NameCache {
+    fns: HashMap<String, NameId>,
+    structs: HashMap<String, NameId>,
+    fields: HashMap<String, NameId>,
+    selectors: HashMap<String, NameId>,
+}
+
+impl NameCache {
+    /// Fresh, empty cache.
+    pub fn new() -> NameCache {
+        NameCache::default()
+    }
+
+    fn intern(
+        map: &mut HashMap<String, NameId>,
+        name: &str,
+        intern: impl FnOnce(&str) -> NameId,
+    ) -> NameId {
+        if let Some(id) = map.get(name) {
+            return *id;
+        }
+        let id = intern(name);
+        map.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve without interning: `None` when the engine has never
+    /// seen `name` in this namespace.
+    fn resolve(
+        map: &mut HashMap<String, NameId>,
+        name: &str,
+        get: impl FnOnce(&str) -> Option<NameId>,
+    ) -> Option<NameId> {
+        if let Some(id) = map.get(name) {
+            return Some(*id);
+        }
+        let id = get(name)?;
+        map.insert(name.to_string(), id);
+        Some(id)
+    }
+}
+
+/// What flowed through one [`Tesla::drive`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Total events dispatched (including the one that errored, if
+    /// any).
+    pub events: u64,
+    /// `fn_entry` events.
+    pub fn_entries: u64,
+    /// `fn_exit` events.
+    pub fn_exits: u64,
+    /// `field_store` events.
+    pub field_stores: u64,
+    /// `msg_entry` events.
+    pub msg_entries: u64,
+    /// `msg_exit` events.
+    pub msg_exits: u64,
+    /// `site` events.
+    pub sites: u64,
+}
+
+/// Why a [`Tesla::drive`] stopped before draining its source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriveError {
+    /// The transport failed or the stream was malformed; carries the
+    /// stats up to the failure.
+    Source(IngressError, IngressStats),
+    /// The engine reported a violation (fail-stop mode, or an
+    /// unknown-name event in any mode); `seq` is the 1-based event
+    /// ordinal.
+    Event {
+        /// 1-based ordinal of the offending event.
+        seq: u64,
+        /// The violation.
+        violation: Violation,
+        /// Stats up to and including the offending event.
+        stats: IngressStats,
+    },
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::Source(e, _) => write!(f, "{e}"),
+            DriveError::Event { seq, violation, .. } => {
+                write!(f, "event {seq}: {violation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+impl Tesla {
+    /// Dispatch one wire-model event into the engine, resolving
+    /// names through `cache` (one cache per source).
+    ///
+    /// # Errors
+    ///
+    /// A [`Violation`] from the underlying hook, or a
+    /// [`crate::ViolationKind::UnknownName`] violation when a closing
+    /// event names something this engine never saw.
+    pub fn ingest(
+        &self,
+        cache: &mut NameCache,
+        ev: IngressEventRef<'_>,
+    ) -> Result<(), Violation> {
+        match ev {
+            IngressEventRef::FnEntry { name, args } => {
+                let id = NameCache::intern(&mut cache.fns, name, |n| self.intern_fn(n));
+                self.fn_entry(id, args)
+            }
+            IngressEventRef::FnExit { name, args, ret } => {
+                match NameCache::resolve(&mut cache.fns, name, |n| self.interner().get(n)) {
+                    Some(id) => self.fn_exit(id, args, ret),
+                    None => Err(Violation::unknown_name("function", name)),
+                }
+            }
+            IngressEventRef::FieldStore {
+                strct,
+                field,
+                object,
+                op,
+                value,
+            } => {
+                let sid = NameCache::intern(&mut cache.structs, strct, |n| self.intern_struct(n));
+                let fid = NameCache::intern(&mut cache.fields, field, |n| self.intern_field(n));
+                self.field_store(sid, fid, object, op, value)
+            }
+            IngressEventRef::MsgEntry {
+                selector,
+                receiver,
+                args,
+            } => {
+                let id =
+                    NameCache::intern(&mut cache.selectors, selector, |n| self.intern_selector(n));
+                self.msg_entry(id, receiver, args)
+            }
+            IngressEventRef::MsgExit {
+                selector,
+                receiver,
+                args,
+                ret,
+            } => {
+                match NameCache::resolve(&mut cache.selectors, selector, |n| {
+                    self.interner().get(n)
+                }) {
+                    Some(id) => self.msg_exit(id, receiver, args, ret),
+                    None => Err(Violation::unknown_name("selector", selector)),
+                }
+            }
+            IngressEventRef::AssertionSite { class, values } => {
+                self.assertion_site(crate::ClassId(class), values)
+            }
+        }
+    }
+
+    /// Drain `source` into this engine: the pump behind `tesla
+    /// replay` and `tesla attach`.
+    ///
+    /// Stops at the first transport error or hook violation; in
+    /// [`crate::FailMode::Log`] violations are recorded and the drain
+    /// continues, exactly as a live instrumented run would behave.
+    ///
+    /// # Errors
+    ///
+    /// [`DriveError`] describing what stopped the drain; both
+    /// variants carry the stats accumulated so far.
+    pub fn drive(&self, source: &mut dyn EventSource) -> Result<IngressStats, DriveError> {
+        let mut cache = NameCache::new();
+        let mut stats = IngressStats::default();
+        loop {
+            let ev = match source.next_event() {
+                Ok(Some(ev)) => ev,
+                Ok(None) => return Ok(stats),
+                Err(e) => return Err(DriveError::Source(e, stats)),
+            };
+            stats.events += 1;
+            match ev {
+                IngressEvent::FnEntry { .. } => stats.fn_entries += 1,
+                IngressEvent::FnExit { .. } => stats.fn_exits += 1,
+                IngressEvent::FieldStore { .. } => stats.field_stores += 1,
+                IngressEvent::MsgEntry { .. } => stats.msg_entries += 1,
+                IngressEvent::MsgExit { .. } => stats.msg_exits += 1,
+                IngressEvent::AssertionSite { .. } => stats.sites += 1,
+            }
+            if let Err(violation) = self.ingest(&mut cache, ev.as_ref()) {
+                return Err(DriveError::Event {
+                    seq: stats.events,
+                    violation,
+                    stats,
+                });
+            }
+        }
+    }
+}

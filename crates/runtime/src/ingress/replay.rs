@@ -1,0 +1,266 @@
+//! Replaying recorded JSONL traces from files and pipes.
+//!
+//! [`LineDecoder`] is the transport-independent framing layer: it
+//! pulls lines off any [`BufRead`], enforces the version header,
+//! tracks 1-based line numbers and byte offsets, and converts parse
+//! failures into positioned [`IngressError::Malformed`] diagnostics
+//! instead of panicking. [`JsonlSource`] wraps it around a file (or
+//! anything readable); the Unix-socket transport reuses the decoder
+//! per connection.
+
+use crate::ingress::event::IngressEvent;
+use crate::ingress::jsonl::{parse_event, parse_header, TRACE_VERSION};
+use crate::ingress::{EventSource, IngressError};
+use std::fs::File;
+use std::io::{BufRead, BufReader, ErrorKind};
+use std::path::Path;
+
+/// Line-oriented trace framing over any [`BufRead`], with positioned
+/// diagnostics.
+#[derive(Debug)]
+pub struct LineDecoder<R: BufRead> {
+    r: R,
+    /// 1-based number of the line currently being read.
+    line_no: u64,
+    /// Byte offset of the start of the current line.
+    line_start: u64,
+    /// Total bytes consumed.
+    offset: u64,
+    header_seen: bool,
+    buf: String,
+}
+
+impl<R: BufRead> LineDecoder<R> {
+    /// Start decoding a fresh stream (header not yet seen).
+    pub fn new(r: R) -> LineDecoder<R> {
+        LineDecoder {
+            r,
+            line_no: 0,
+            line_start: 0,
+            offset: 0,
+            header_seen: false,
+            buf: String::new(),
+        }
+    }
+
+    /// The position of the line most recently read, as
+    /// `(line, byte_offset)`.
+    pub fn position(&self) -> (u64, u64) {
+        (self.line_no, self.line_start)
+    }
+
+    fn malformed(&self, detail: String) -> IngressError {
+        IngressError::Malformed {
+            line: self.line_no,
+            offset: self.line_start,
+            detail,
+        }
+    }
+
+    /// Pull the next event, validating the header on first use.
+    ///
+    /// `Ok(None)` is clean end-of-stream. A timeout-flavoured I/O
+    /// error (`WouldBlock`/`TimedOut`, as produced by socket read
+    /// timeouts) surfaces as [`IngressError::Timeout`]; any other
+    /// read failure as [`IngressError::Io`].
+    ///
+    /// # Errors
+    ///
+    /// See above; malformed lines yield
+    /// [`IngressError::Malformed`] with this decoder's position.
+    pub fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            self.line_start = self.offset;
+            let n = self.r.read_line(&mut self.buf).map_err(|e| {
+                match e.kind() {
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut => IngressError::Timeout,
+                    // A line that is not UTF-8 is a framing problem,
+                    // not an environment problem: position it.
+                    ErrorKind::InvalidData => self.malformed("line is not valid UTF-8".into()),
+                    _ => IngressError::Io(e.to_string()),
+                }
+            })?;
+            if n == 0 {
+                if !self.header_seen {
+                    return Err(self.malformed(format!(
+                        "empty stream: expected the version header \
+                         {{\"tesla_trace\":{TRACE_VERSION}}}"
+                    )));
+                }
+                return Ok(None);
+            }
+            self.offset += n as u64;
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            // Note: a final line without a newline terminator is
+            // still parsed — a *syntactically complete* trailing line
+            // is fine; a truncated one fails JSON parsing and gets a
+            // positioned diagnostic like every other malformed line.
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !self.header_seen {
+                let ver = parse_header(line).map_err(|e| self.malformed(e))?;
+                if ver != TRACE_VERSION {
+                    return Err(IngressError::Version {
+                        line: self.line_no,
+                        offset: self.line_start,
+                        found: ver,
+                        supported: TRACE_VERSION,
+                    });
+                }
+                self.header_seen = true;
+                continue;
+            }
+            let ev = parse_event(line).map_err(|e| self.malformed(e))?;
+            return Ok(Some(ev));
+        }
+    }
+}
+
+/// An [`EventSource`] over a recorded JSONL trace (file, pipe, or
+/// any reader).
+#[derive(Debug)]
+pub struct JsonlSource<R: BufRead> {
+    decoder: LineDecoder<R>,
+}
+
+impl JsonlSource<BufReader<File>> {
+    /// Open a trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`IngressError::Io`] when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<JsonlSource<BufReader<File>>, IngressError> {
+        let f = File::open(path)
+            .map_err(|e| IngressError::Io(format!("{}: {e}", path.display())))?;
+        Ok(JsonlSource::new(BufReader::new(f)))
+    }
+}
+
+impl<R: BufRead> JsonlSource<R> {
+    /// Decode a trace from any buffered reader (pipes, byte slices in
+    /// tests).
+    pub fn new(r: R) -> JsonlSource<R> {
+        JsonlSource {
+            decoder: LineDecoder::new(r),
+        }
+    }
+}
+
+impl<R: BufRead> EventSource for JsonlSource<R> {
+    fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
+        self.decoder.next_event()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingress::jsonl::TRACE_HEADER;
+    use tesla_spec::Value;
+
+    fn src(text: &str) -> JsonlSource<&[u8]> {
+        JsonlSource::new(text.as_bytes())
+    }
+
+    #[test]
+    fn reads_header_then_events_then_eof() {
+        let text = format!(
+            "{TRACE_HEADER}\n\
+             {{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[1]}}\n\
+             \n\
+             {{\"ev\":\"site\",\"class\":0,\"vals\":[]}}\n"
+        );
+        let mut s = src(&text);
+        assert_eq!(
+            s.next_event().unwrap(),
+            Some(IngressEvent::FnEntry {
+                name: "f".into(),
+                args: vec![Value(1)],
+            })
+        );
+        assert_eq!(
+            s.next_event().unwrap(),
+            Some(IngressEvent::AssertionSite {
+                class: 0,
+                values: vec![],
+            })
+        );
+        assert_eq!(s.next_event().unwrap(), None);
+        assert_eq!(s.next_event().unwrap(), None); // fused
+    }
+
+    #[test]
+    fn missing_header_is_positioned() {
+        let mut s = src("{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[]}\n");
+        match s.next_event().unwrap_err() {
+            IngressError::Malformed { line, offset, detail } => {
+                assert_eq!((line, offset), (1, 0));
+                assert!(detail.contains("version header"), "{detail}");
+            }
+            e => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut s = src("{\"tesla_trace\":2}\n");
+        match s.next_event().unwrap_err() {
+            IngressError::Version { found, supported, .. } => {
+                assert_eq!((found, supported), (2, 1));
+            }
+            e => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn malformed_line_reports_line_and_offset() {
+        let text = format!("{TRACE_HEADER}\n{{\"ev\":\"fn_entry\"}}\n");
+        let mut s = src(&text);
+        match s.next_event().unwrap_err() {
+            IngressError::Malformed { line, offset, detail } => {
+                assert_eq!(line, 2);
+                assert_eq!(offset, TRACE_HEADER.len() as u64 + 1);
+                assert!(detail.contains("missing field"), "{detail}");
+            }
+            e => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn truncated_final_line_is_malformed_not_a_panic() {
+        let text = format!("{TRACE_HEADER}\n{{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[");
+        let mut s = src(&text);
+        match s.next_event().unwrap_err() {
+            IngressError::Malformed { line, detail, .. } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("invalid JSON"), "{detail}");
+            }
+            e => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_malformed() {
+        assert!(matches!(
+            src("").next_event().unwrap_err(),
+            IngressError::Malformed { line: 1, offset: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn complete_final_line_without_newline_parses() {
+        let text = format!("{TRACE_HEADER}\n{{\"ev\":\"site\",\"class\":3,\"vals\":[9]}}");
+        let mut s = src(&text);
+        assert_eq!(
+            s.next_event().unwrap(),
+            Some(IngressEvent::AssertionSite {
+                class: 3,
+                values: vec![Value(9)],
+            })
+        );
+        assert_eq!(s.next_event().unwrap(), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Live-attach ingestion over a Unix domain socket.
+//!
+//! [`SocketSource`] binds a listening socket and serves producer
+//! connections one at a time, in accept order. Framing is
+//! per-connection: every producer speaks the full JSONL schema —
+//! its own version header first, then event lines — and
+//! diagnostics carry the connection number alongside the line and
+//! byte offset *within that connection's stream*.
+//!
+//! Timeouts are first-class rather than hangs: both the wait for a
+//! connection and each read on an established connection are
+//! bounded, surfacing [`IngressError::Timeout`] so the driving loop
+//! (and the `tesla attach` verb) can report a stalled producer
+//! instead of blocking forever.
+
+#![cfg(unix)]
+
+use crate::ingress::event::IngressEvent;
+use crate::ingress::replay::LineDecoder;
+use crate::ingress::{EventSource, IngressError};
+use std::io::BufReader;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// An [`EventSource`] accepting JSONL event streams over a Unix
+/// domain socket.
+#[derive(Debug)]
+pub struct SocketSource {
+    listener: UnixListener,
+    path: PathBuf,
+    conn: Option<LineDecoder<BufReader<UnixStream>>>,
+    /// 1-based index of the connection currently being drained.
+    conn_no: u64,
+    /// Stop after serving this many connections.
+    max_conns: u64,
+    read_timeout: Duration,
+    accept_timeout: Duration,
+}
+
+impl SocketSource {
+    /// Bind `path`, replacing a stale socket file from a previous
+    /// run. Defaults: serve exactly one connection, 10 s accept
+    /// timeout, 10 s per-read timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`IngressError::Io`] when the path cannot be bound.
+    pub fn bind(path: &Path) -> Result<SocketSource, IngressError> {
+        if path.exists() {
+            std::fs::remove_file(path)
+                .map_err(|e| IngressError::Io(format!("{}: {e}", path.display())))?;
+        }
+        let listener = UnixListener::bind(path)
+            .map_err(|e| IngressError::Io(format!("{}: {e}", path.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| IngressError::Io(e.to_string()))?;
+        Ok(SocketSource {
+            listener,
+            path: path.to_path_buf(),
+            conn: None,
+            conn_no: 0,
+            max_conns: 1,
+            read_timeout: Duration::from_secs(10),
+            accept_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Serve up to `n` connections (≥ 1) before reporting
+    /// end-of-stream.
+    pub fn max_conns(mut self, n: u64) -> SocketSource {
+        self.max_conns = n.max(1);
+        self
+    }
+
+    /// Bound each read on an established connection.
+    pub fn read_timeout(mut self, d: Duration) -> SocketSource {
+        self.read_timeout = d;
+        self
+    }
+
+    /// Bound the wait for the next producer connection.
+    pub fn accept_timeout(mut self, d: Duration) -> SocketSource {
+        self.accept_timeout = d;
+        self
+    }
+
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The 1-based index of the connection currently (or most
+    /// recently) served.
+    pub fn connection(&self) -> u64 {
+        self.conn_no
+    }
+
+    fn accept(&mut self) -> Result<(), IngressError> {
+        let start = Instant::now();
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // The listener is non-blocking (for the bounded
+                    // accept loop); reads on the accepted stream must
+                    // block — up to the read timeout.
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| IngressError::Io(e.to_string()))?;
+                    stream
+                        .set_read_timeout(Some(self.read_timeout))
+                        .map_err(|e| IngressError::Io(e.to_string()))?;
+                    self.conn_no += 1;
+                    self.conn = Some(LineDecoder::new(BufReader::new(stream)));
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if start.elapsed() >= self.accept_timeout {
+                        return Err(IngressError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(IngressError::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// Re-position a connection-relative diagnostic so the consumer
+    /// sees which producer misbehaved.
+    fn tag(&self, e: IngressError) -> IngressError {
+        match e {
+            IngressError::Malformed { line, offset, detail } => IngressError::Malformed {
+                line,
+                offset,
+                detail: format!("connection {}: {detail}", self.conn_no),
+            },
+            other => other,
+        }
+    }
+}
+
+impl Drop for SocketSource {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl EventSource for SocketSource {
+    fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
+        loop {
+            if self.conn.is_none() {
+                if self.conn_no >= self.max_conns {
+                    return Ok(None);
+                }
+                self.accept()?;
+            }
+            let decoder = self.conn.as_mut().expect("connection just established");
+            match decoder.next_event() {
+                Ok(Some(ev)) => return Ok(Some(ev)),
+                // Producer hung up cleanly: move on to the next
+                // connection (or finish).
+                Ok(None) => self.conn = None,
+                Err(e) => {
+                    let e = self.tag(e);
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingress::jsonl::TRACE_HEADER;
+    use std::io::Write;
+    use tesla_spec::Value;
+
+    fn sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tesla-ingress-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn one_connection_streams_events() {
+        let path = sock_path("one");
+        let mut src = SocketSource::bind(&path)
+            .unwrap()
+            .accept_timeout(Duration::from_secs(5));
+        let writer_path = path.clone();
+        let t = std::thread::spawn(move || {
+            let mut s = UnixStream::connect(&writer_path).unwrap();
+            writeln!(s, "{TRACE_HEADER}").unwrap();
+            writeln!(s, "{{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[4]}}").unwrap();
+        });
+        assert_eq!(
+            src.next_event().unwrap(),
+            Some(IngressEvent::FnEntry {
+                name: "f".into(),
+                args: vec![Value(4)],
+            })
+        );
+        assert_eq!(src.next_event().unwrap(), None);
+        t.join().unwrap();
+        drop(src);
+        assert!(!path.exists(), "socket file cleaned up on drop");
+    }
+
+    #[test]
+    fn malformed_line_is_tagged_with_connection_and_position() {
+        let path = sock_path("bad");
+        let mut src = SocketSource::bind(&path)
+            .unwrap()
+            .accept_timeout(Duration::from_secs(5));
+        let writer_path = path.clone();
+        let t = std::thread::spawn(move || {
+            let mut s = UnixStream::connect(&writer_path).unwrap();
+            writeln!(s, "{TRACE_HEADER}").unwrap();
+            writeln!(s, "{{\"ev\":\"nope\"}}").unwrap();
+        });
+        match src.next_event().unwrap_err() {
+            IngressError::Malformed { line, detail, .. } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("connection 1"), "{detail}");
+                assert!(detail.contains("unknown event kind"), "{detail}");
+            }
+            e => panic!("{e}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn accept_timeout_reports_timeout_not_hang() {
+        let path = sock_path("timeout");
+        let mut src = SocketSource::bind(&path)
+            .unwrap()
+            .accept_timeout(Duration::from_millis(30));
+        assert!(matches!(src.next_event().unwrap_err(), IngressError::Timeout));
+    }
+
+    #[test]
+    fn two_connections_each_frame_independently() {
+        let path = sock_path("two");
+        let mut src = SocketSource::bind(&path)
+            .unwrap()
+            .max_conns(2)
+            .accept_timeout(Duration::from_secs(5));
+        let writer_path = path.clone();
+        let t = std::thread::spawn(move || {
+            for val in [1u64, 2] {
+                let mut s = UnixStream::connect(&writer_path).unwrap();
+                // Each connection re-sends the header: framing is
+                // per-connection, not per-socket.
+                writeln!(s, "{TRACE_HEADER}").unwrap();
+                writeln!(s, "{{\"ev\":\"fn_entry\",\"fn\":\"g\",\"args\":[{val}]}}").unwrap();
+            }
+        });
+        let mut vals = Vec::new();
+        while let Some(ev) = src.next_event().unwrap() {
+            match ev {
+                IngressEvent::FnEntry { args, .. } => vals.push(args[0].0),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(vals, [1, 2]);
+        assert_eq!(src.connection(), 2);
+        t.join().unwrap();
+    }
+}

@@ -8,6 +8,7 @@
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A dense interned-name id.
@@ -20,6 +21,10 @@ pub struct NameId(pub u32);
 #[derive(Debug, Default)]
 pub struct Interner {
     inner: RwLock<InternerInner>,
+    // Published under the write lock after every insert: a monotone
+    // lower bound on `len()` readable without taking the read lock,
+    // so hot hook paths can rule ids in-range with one atomic load.
+    approx_len: AtomicUsize,
 }
 
 #[derive(Debug, Default)]
@@ -48,6 +53,7 @@ impl Interner {
         let shared: Arc<str> = Arc::from(name);
         w.names.push(shared.clone());
         w.by_name.insert(shared, id);
+        self.approx_len.store(w.names.len(), Ordering::Release);
         id
     }
 
@@ -71,6 +77,14 @@ impl Interner {
         self.inner.read().names.len()
     }
 
+    /// A monotone lower bound on [`Interner::len`] that costs one
+    /// atomic load. An id below the bound is certainly valid; an id
+    /// at or above it *may* still be valid (a racing insert not yet
+    /// observed) and must be confirmed against the exact `len()`.
+    pub fn len_lower_bound(&self) -> usize {
+        self.approx_len.load(Ordering::Acquire)
+    }
+
     /// True when nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -90,6 +104,7 @@ mod tests {
         let c = i.intern("bar");
         assert_ne!(a, c);
         assert_eq!(i.len(), 2);
+        assert_eq!(i.len_lower_bound(), 2);
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod handlers;
+pub mod ingress;
 pub mod intern;
 pub mod store;
 pub mod telemetry;
@@ -93,6 +94,12 @@ pub use engine::{ClassId, Config, ConfigError, EvictionPolicy, FailMode, InitMod
 pub use event::{LifecycleEvent, Violation, ViolationKind};
 pub use faults::{FaultKind, FaultLedger, FaultPlan, FaultSpec};
 pub use handlers::{CountingHandler, Dispatch, EventHandler, RecordingHandler, StderrHandler};
+pub use ingress::{
+    BufferedSource, DriveError, EventSource, IngressError, IngressEvent, IngressEventRef,
+    IngressStats, JsonlSource, NameCache, TraceWriter,
+};
+#[cfg(unix)]
+pub use ingress::SocketSource;
 pub use intern::{Interner, NameId};
 pub use telemetry::{FlightRecorder, HookKind, MetricsRegistry, MetricsSnapshot, RecordedEvent};
 

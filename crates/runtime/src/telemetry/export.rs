@@ -18,8 +18,16 @@ fn esc(s: &str) -> String {
         .replace('\n', "\\n")
 }
 
-/// Escape a JSON string value.
-fn jesc(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal.
+///
+/// Interned names can now arrive from external replay traces, so the
+/// escaper must keep *any* `&str` parseable: all C0 controls (RFC
+/// 8259 requires `< 0x20` escaped), DEL and the C1 block (raw they
+/// survive JSON but corrupt terminal/log pipelines), and U+2028/2029
+/// (legal JSON, but unescaped they break JS consumers that eval
+/// responses). Rust strings are always valid UTF-8, so these classes
+/// are exactly the bytes that can make emitted JSON unsafe.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -28,7 +36,11 @@ fn jesc(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20
+                || ('\u{7f}'..='\u{9f}').contains(&c)
+                || c == '\u{2028}'
+                || c == '\u{2029}' =>
+            {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -201,7 +213,7 @@ pub fn json(s: &MetricsSnapshot) -> String {
         let _ = writeln!(
             out,
             "    {{\"hook\":\"{}\",\"calls\":{},\"latency\":{}}}{sep}",
-            jesc(&h.hook),
+            json_escape(&h.hook),
             h.calls,
             json_histogram(&h.latency)
         );
@@ -226,7 +238,76 @@ pub fn json(s: &MetricsSnapshot) -> String {
              \"accepted\":{},\"rejected\":{},\"overflows\":{},\"evictions\":{},\"shed\":{},\
              \"live\":{},\"high_watermark\":{},\"transitions\":[{}]}}{sep}",
             c.class,
-            jesc(&c.name),
+            json_escape(&c.name),
+            c.news,
+            c.clones,
+            c.updates,
+            c.accepted,
+            c.rejected,
+            c.overflows,
+            c.evictions,
+            c.shed,
+            c.live,
+            c.high_watermark,
+            transitions.join(",")
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// Serialise the *deterministic* subset of a metrics snapshot as
+/// JSON: everything in [`json`] except the hook latency histograms,
+/// whose nanosecond timings differ between otherwise identical runs.
+///
+/// Two runs that observed the same event stream — e.g. a live run
+/// and its recorded-trace replay — produce byte-identical output
+/// from this exporter, so `tesla run --metrics` / `tesla replay
+/// --metrics` files can be compared with a plain `diff`.
+pub fn json_counters(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"events_total\": {},", s.events_total);
+    let _ = writeln!(out, "  \"violations\": {},", s.violations);
+    let _ = writeln!(out, "  \"sites_elided\": {},", s.sites_elided);
+    let _ = writeln!(out, "  \"handler_panics\": {},", s.handler_panics);
+    let _ = writeln!(out, "  \"faults_absorbed\": {},", s.faults_absorbed);
+    let _ = writeln!(
+        out,
+        "  \"lock_poison_recoveries\": {},",
+        s.lock_poison_recoveries
+    );
+    let _ = writeln!(out, "  \"hooks\": [");
+    for (i, h) in s.hooks.iter().enumerate() {
+        let sep = if i + 1 == s.hooks.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"hook\":\"{}\",\"calls\":{}}}{sep}",
+            json_escape(&h.hook),
+            h.calls
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"classes\": [");
+    for (i, c) in s.classes.iter().enumerate() {
+        let transitions: Vec<String> = c
+            .transitions
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"from_state\":{},\"symbol\":{},\"count\":{}}}",
+                    t.from_state, t.symbol, t.count
+                )
+            })
+            .collect();
+        let sep = if i + 1 == s.classes.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"class\":{},\"name\":\"{}\",\"news\":{},\"clones\":{},\"updates\":{},\
+             \"accepted\":{},\"rejected\":{},\"overflows\":{},\"evictions\":{},\"shed\":{},\
+             \"live\":{},\"high_watermark\":{},\"transitions\":[{}]}}{sep}",
+            c.class,
+            json_escape(&c.name),
             c.news,
             c.clones,
             c.updates,
@@ -478,12 +559,104 @@ mod tests {
 
     #[test]
     fn escaping_keeps_output_parseable() {
-        assert_eq!(jesc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("x\"y"), "x\\\"y");
         check_json(&format!(
             "{{\"k\":\"{}\"}}",
-            jesc("quote \" slash \\ nl \n")
+            json_escape("quote \" slash \\ nl \n")
         ))
         .unwrap();
+        // DEL, C1 controls, and the JS line separators are all forced
+        // into \uXXXX form.
+        assert_eq!(json_escape("\u{7f}"), "\\u007f");
+        assert_eq!(json_escape("\u{85}"), "\\u0085");
+        assert_eq!(json_escape("\u{2028}\u{2029}"), "\\u2028\\u2029");
+        check_json(&format!("{{\"k\":\"{}\"}}", json_escape("\x00\x1f\u{9f}"))).unwrap();
+    }
+
+    #[test]
+    fn json_counters_is_valid_and_latency_free() {
+        let j = json_counters(&populated().snapshot());
+        check_json(&j).unwrap();
+        assert!(j.contains("\"events_total\": 2"));
+        assert!(!j.contains("latency"), "{j}");
+        assert!(!j.contains("sum_ns"), "{j}");
+    }
+
+    /// Build a snapshot whose every string field is attacker-chosen.
+    fn hostile_snapshot(name: &str) -> MetricsSnapshot {
+        use crate::telemetry::metrics::{ClassSnapshot, HookSnapshot, TransitionCount};
+        MetricsSnapshot {
+            events_total: 1,
+            violations: 0,
+            sites_elided: 0,
+            handler_panics: 0,
+            faults_absorbed: 0,
+            lock_poison_recoveries: 0,
+            hooks: vec![HookSnapshot {
+                hook: name.to_string(),
+                calls: 3,
+                latency: HistogramSnapshot {
+                    buckets: vec![0, 1, 0],
+                    count: 1,
+                    sum_ns: 7,
+                },
+            }],
+            classes: vec![ClassSnapshot {
+                class: 0,
+                name: name.to_string(),
+                news: 1,
+                clones: 0,
+                updates: 2,
+                accepted: 1,
+                rejected: 0,
+                overflows: 0,
+                evictions: 0,
+                shed: 0,
+                live: 0,
+                high_watermark: 1,
+                transitions: vec![TransitionCount {
+                    from_state: 0,
+                    symbol: 1,
+                    count: 2,
+                }],
+            }],
+        }
+    }
+
+    proptest::proptest! {
+        // Replay traces carry arbitrary external names; every string
+        // that can reach an interned-name slot must leave the JSON
+        // emitters parseable. `any::<char>()` includes the control
+        // planes that "\\PC*" would filter out.
+        #[test]
+        fn arbitrary_names_keep_json_parseable(
+            chars in proptest::collection::vec(proptest::prelude::any::<char>(), 0..48)
+        ) {
+            let name: String = chars.into_iter().collect();
+            let snap = hostile_snapshot(&name);
+            check_json(&json(&snap)).unwrap();
+            check_json(&json_counters(&snap)).unwrap();
+            // The escaped form must still be lossless for embedding:
+            // no raw quote/backslash/control byte survives.
+            let e = json_escape(&name);
+            proptest::prop_assert!(!e.bytes().any(|b| b < 0x20 || b == 0x7f));
+        }
+
+        #[test]
+        fn arbitrary_names_keep_prometheus_line_oriented(
+            chars in proptest::collection::vec(proptest::prelude::any::<char>(), 0..48)
+        ) {
+            let name: String = chars.into_iter().collect();
+            let text = prometheus(&hostile_snapshot(&name));
+            // Escaping must keep one sample per line: no label value
+            // may smuggle a raw newline into the exposition text.
+            for line in text.lines() {
+                proptest::prop_assert!(
+                    line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                    "bad exposition line: {line}"
+                );
+            }
+        }
     }
 }

@@ -6,7 +6,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tesla_automata::compile;
-use tesla_runtime::{Config, CountingHandler, FailMode, FlightRecorder, HookKind, Tesla};
+use tesla_runtime::{
+    Config, CountingHandler, FailMode, FlightRecorder, HookKind, Tesla, ViolationKind,
+};
 use tesla_spec::{call, AssertionBuilder, StaticEvent, Value};
 
 fn global_assertion(name: &str, start: &str, end: &str, check: &str) -> tesla_spec::Assertion {
@@ -348,6 +350,76 @@ fn telemetry_counters_are_exact_under_parallel_dispatch() {
         recorder.thread_count() >= 2,
         "worker threads got their own rings"
     );
+}
+
+/// Regression: the per-thread snapshot cache (one-slot active engine
+/// plus the per-engine map) must never serve a *dropped* engine's
+/// snapshot to a successor engine on the same thread — neither with
+/// nor without an explicit `reset_thread_state` in between.
+#[test]
+fn dropped_engine_snapshot_cache_does_not_leak_into_successor() {
+    fn drive_passing_cycle(t: &Tesla, id: tesla_runtime::ClassId, prefix: &str, v: u64) {
+        let start = t.intern_fn(&format!("{prefix}_start"));
+        let end = t.intern_fn(&format!("{prefix}_end"));
+        let check = t.intern_fn(&format!("{prefix}_check"));
+        t.fn_entry(start, &[]).unwrap();
+        let args = [Value(v)];
+        t.fn_entry(check, &args).unwrap();
+        t.fn_exit(check, &args, Value(0)).unwrap();
+        t.assertion_site(id, &[Value(v)]).unwrap();
+        t.fn_exit(end, &[], Value(0)).unwrap();
+    }
+
+    // Engine A populates this thread's cache (hooks on this very
+    // thread) and is then dropped mid-bound, with live instances and
+    // a recorded violation in its snapshot.
+    let a = log_engine();
+    let a_class = {
+        let spec = global_assertion("cache_a", "a_start", "a_end", "a_check");
+        a.register(compile(&spec).unwrap()).unwrap()
+    };
+    drive_passing_cycle(&a, a_class, "a", 7);
+    let start = a.intern_fn("a_start");
+    a.fn_entry(start, &[]).unwrap();
+    a.assertion_site(a_class, &[Value(999)]).unwrap(); // logged violation
+    assert_eq!(a.violations().len(), 1);
+    drop(a);
+
+    // Engine B on the same thread, no reset: A's cached snapshot
+    // (which *has* a class at a_class's index) must not answer for B,
+    // whose snapshot has no classes yet.
+    let b = log_engine();
+    let err = b.assertion_site(a_class, &[Value(7)]).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::UnknownName);
+    let b_class = {
+        let spec = global_assertion("cache_b", "b_start", "b_end", "b_check");
+        b.register(compile(&spec).unwrap()).unwrap()
+    };
+    drive_passing_cycle(&b, b_class, "b", 11);
+    // B's verdicts are its own: A's logged violation did not carry
+    // over, and B's bound was finalised cleanly.
+    assert!(b.violations().is_empty());
+    assert_eq!(b.live_instances_here(b_class), 0);
+    drop(b);
+
+    // Same again after an explicit thread-state reset: a fresh engine
+    // must behave identically from a cold cache.
+    tesla_runtime::engine::reset_thread_state();
+    let c = log_engine();
+    let err = c.assertion_site(a_class, &[Value(7)]).unwrap_err();
+    assert_eq!(err.kind, ViolationKind::UnknownName);
+    let c_class = {
+        let spec = global_assertion("cache_c", "c_start", "c_end", "c_check");
+        c.register(compile(&spec).unwrap()).unwrap()
+    };
+    drive_passing_cycle(&c, c_class, "c", 13);
+    assert!(c.violations().is_empty());
+
+    // And resetting *while an engine is live* only costs the cache:
+    // the engine's own state (snapshot, stores, verdicts) survives.
+    tesla_runtime::engine::reset_thread_state();
+    drive_passing_cycle(&c, c_class, "c", 14);
+    assert!(c.violations().is_empty());
 }
 
 /// A bounded recording handler under the same parallel load: the
