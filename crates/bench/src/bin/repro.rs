@@ -17,8 +17,8 @@ use tesla::prelude::*;
 use tesla::sim_kernel::assertions::{register_sets, AssertionSet};
 use tesla::workload::{buildload, lmbench, oltp, xnee};
 use tesla_bench::{
-    fmt_duration, gui_tiers, make_kernel, make_kernel_in, make_kernel_telemetry, ratio, time_runs,
-    KernelCfg,
+    fmt_duration, gui_tiers, make_kernel, make_kernel_governed, make_kernel_in,
+    make_kernel_telemetry, ratio, time_runs, KernelCfg,
 };
 
 fn main() {
@@ -74,6 +74,13 @@ fn main() {
     // exits nonzero on any panic, quota breach, unreported absorbed
     // fault, or nondeterministic ledger.
     if which.iter().any(|w| w == "chaos") && !chaos() {
+        std::process::exit(1);
+    }
+    // Governance smoke, not part of `all`: the adaptive overhead
+    // governor must keep the violation list byte-identical to an
+    // ungoverned run while holding its overhead SLO; exits nonzero on
+    // any mismatch.
+    if which.iter().any(|w| w == "governance") && !governance() {
         std::process::exit(1);
     }
 }
@@ -821,4 +828,144 @@ fn fig14b() {
         );
     }
     println!("(paper: longest redraw 54 ms with full tracing — still smooth animation)");
+}
+
+/// Drive a deterministic mixed workload (healthy traffic plus seeded
+/// violating assertion sites) through one engine and return the
+/// rendered violation list plus the governor's exit state.
+fn governance_drive(governor: Option<(u32, u32)>) -> (Vec<String>, u32, u64, usize) {
+    let engine = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        telemetry: true,
+        governor: governor.map(|(slo_milli, tick_events)| GovernorConfig {
+            slo_milli,
+            tick_events,
+            allow_shed: false,
+        }),
+        ..Config::default()
+    }));
+    let assertion = AssertionBuilder::within("txn")
+        .named("governance/checked-before-use")
+        .previously(call("check").arg_var("x").returns(0))
+        .build()
+        .unwrap();
+    let class = engine
+        .register(tesla::automata::compile(&assertion).unwrap())
+        .unwrap();
+    let txn = engine.intern_fn("txn");
+    let check = engine.intern_fn("check");
+    for i in 0..20_000u64 {
+        engine.fn_entry(txn, &[]).unwrap();
+        let x = Value(i % 8);
+        engine.fn_entry(check, &[x]).unwrap();
+        engine.fn_exit(check, &[x], Value(0)).unwrap();
+        engine.assertion_site(class, &[x]).unwrap();
+        if i % 97 == 0 {
+            // A value `check` never blessed: a Site violation, logged
+            // and continued past.
+            engine.assertion_site(class, &[Value(10_000 + i)]).unwrap();
+        }
+        engine.fn_exit(txn, &[], Value(0)).unwrap();
+    }
+    let violations: Vec<String> = engine.violations().iter().map(|v| v.to_string()).collect();
+    let (level, overhead, decisions) = match engine.governor() {
+        Some(g) => (
+            g.level(),
+            g.estimate_overhead_milli(engine.metrics()),
+            g.decisions().len(),
+        ),
+        None => (0, 0, 0),
+    };
+    (violations, level, overhead, decisions)
+}
+
+/// Governance smoke: (a) the governor's exact levels must leave the
+/// violation list byte-identical to an ungoverned run; (b) under
+/// hook-dense load it must escalate and cost no more than ungoverned
+/// telemetry; (c) its report surfaces must be populated.
+fn governance() -> bool {
+    use tesla::runtime::telemetry::analysis::fmt_overhead;
+    header("Governance: adaptive overhead governor vs ungoverned telemetry");
+    let mut ok = true;
+
+    // -- Soundness: byte-identical violations under a tight SLO. --
+    let (base_viol, _, _, _) = governance_drive(None);
+    let (gov_viol, level, overhead, decisions) = governance_drive(Some((1050, 64)));
+    println!(
+        "soundness: {} violations ungoverned, {} governed; lists {}",
+        base_viol.len(),
+        gov_viol.len(),
+        if base_viol == gov_viol {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if base_viol.is_empty() || base_viol != gov_viol {
+        eprintln!("governance: FAIL (violation lists must be nonempty and identical)");
+        ok = false;
+    }
+    println!(
+        "governor: level {level} after {decisions} decision(s); exit estimate {}",
+        fmt_overhead(overhead)
+    );
+    // The workload is almost pure hook dispatch, so a 1.05x SLO must
+    // drive the controller up its exact ladder (and never past it).
+    if decisions == 0 || level == 0 || level > 7 {
+        eprintln!("governance: FAIL (expected escalation within the exact levels)");
+        ok = false;
+    }
+
+    // -- Overhead: governed vs ungoverned telemetry on OLTP. --
+    const TXNS: usize = 400;
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7}",
+        "workload", "off", "on", "governed", "on/off", "gov/off", "level"
+    );
+    let mut governed_not_slower = true;
+    for (label, compute) in [
+        ("hook-dense (fig. 11b)", 4_000usize),
+        ("app-weight", 80_000),
+    ] {
+        let params = oltp::OltpParams {
+            threads: 4,
+            transactions: TXNS,
+            socket_ops: 3,
+            compute,
+        };
+        let off = time_runs(5, || {
+            let (k, _t) = make_kernel(KernelCfg::All, InitMode::Lazy);
+            oltp::run(&k, params);
+        });
+        let on = time_runs(5, || {
+            let (k, _t, _rec) = make_kernel_telemetry(KernelCfg::All, InitMode::Lazy, 1 << 12);
+            oltp::run(&k, params);
+        });
+        let mut level = 0u32;
+        let gov = time_runs(5, || {
+            let (k, t) = make_kernel_governed(KernelCfg::All, InitMode::Lazy, 1200, 1024);
+            oltp::run(&k, params);
+            level = t.unwrap().governor().unwrap().level();
+        });
+        println!(
+            "{label:<24} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7}",
+            fmt_duration(off),
+            fmt_duration(on),
+            fmt_duration(gov),
+            ratio(on, off),
+            ratio(gov, off),
+            level
+        );
+        // Generous noise slack: the claim is "the governor never makes
+        // a telemetered run meaningfully slower", not a microbenchmark.
+        if gov.as_secs_f64() > on.as_secs_f64() * 1.25 {
+            governed_not_slower = false;
+        }
+    }
+    if !governed_not_slower {
+        eprintln!("governance: FAIL (governed run >1.25x slower than ungoverned telemetry)");
+        ok = false;
+    }
+    println!("(SLO 1.2x; exact levels only — clone shedding disabled)");
+    ok
 }

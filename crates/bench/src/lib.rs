@@ -166,6 +166,46 @@ pub fn make_kernel_telemetry(
     (k, Some(t), Some(recorder))
 }
 
+/// [`make_kernel_telemetry`] with the adaptive overhead governor in
+/// the loop: full telemetry (the governor's feedback signal) plus a
+/// controller holding `slo_milli` (e.g. 1200 = 1.2×) with the given
+/// tick period. `allow_shed` stays off — the EXPERIMENTS.md
+/// governance row requires the violation list to stay byte-identical
+/// to the ungoverned run, which the exact levels guarantee.
+pub fn make_kernel_governed(
+    cfg: KernelCfg,
+    init_mode: InitMode,
+    slo_milli: u32,
+    tick_events: u32,
+) -> (Arc<Kernel>, Option<Arc<Tesla>>) {
+    let sets = cfg.sets();
+    let kc = KernelConfig {
+        bugs: Bugs::default(),
+        debug_checks: cfg.debug_checks(),
+    };
+    if sets.is_empty() {
+        return (Arc::new(Kernel::new(kc, MacFramework::new(), None)), None);
+    }
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::FailStop,
+        init_mode,
+        instance_capacity: 64,
+        governor: Some(GovernorConfig {
+            slo_milli,
+            tick_events,
+            allow_shed: false,
+        }),
+        ..Config::default()
+    }));
+    let reg = register_sets_in(&t, &sets, None).expect("sets register");
+    let k = Arc::new(Kernel::new(
+        kc,
+        MacFramework::new(),
+        Some((t.clone(), reg.sites)),
+    ));
+    (k, Some(t))
+}
+
 /// The live-instance quota chaos kernels run under (per class).
 pub const CHAOS_QUOTA: usize = 16;
 

@@ -12,10 +12,12 @@
 //!                                     [--reinstrument naive|fingerprint|delta] [--jobs N]
 //!                                     [--timings] [--lint[=deny]]
 //! tesla run     <file.c>... [--entry f] [--arg N]... [--graph out.dot]
-//!               [--chaos SEED] [--faults k=p,...]
+//!               [--chaos SEED] [--faults k=p,...] [--govern SLO [--allow-shed]]
 //!               [--record trace.jsonl] [--violations out] [--metrics out]
 //!                                     build, weave, execute under libtesla (fail-stop;
 //!                                     --chaos: seeded fault injection, ledger on exit;
+//!                                     --govern: adaptive overhead governor holding the
+//!                                     SLO, decision log + final estimate on exit;
 //!                                     --record: tee every hook event to a JSONL trace)
 //! tesla replay  <trace.jsonl> --spec <file.c>...
 //!               [--violations out] [--metrics out]
@@ -25,7 +27,15 @@
 //!               [--timeout-ms N] [--conns N] [--violations out] [--metrics out]
 //!                                     bind a Unix socket, check live event streams
 //! tesla observe <file.c>... [--format prom|json|dot|trace] [--entry f] [--arg N]... [-o out]
-//!                                     run under full telemetry, emit the report
+//!               [--replay trace.jsonl] [--chaos SEED] [--faults k=p,...]
+//!               [--baseline base.json --anomalies [--format text|json|prom]]
+//!                                     run under full telemetry, emit the report;
+//!                                     --baseline/--anomalies: score the run against a
+//!                                     recorded baseline (TESLA-A001/A002/A003)
+//! tesla baseline <file.c>... [--entry f] [--arg N]... [--out base.json]
+//!               [--from-trace trace.jsonl]
+//!                                     learn a healthy-run baseline (transition-weight
+//!                                     distributions + hook-latency profiles)
 //! ```
 
 use std::process::ExitCode;
@@ -35,6 +45,7 @@ use tesla::pipeline::{
     BuildSystem, Project, ReinstrumentPolicy,
 };
 use tesla::prelude::*;
+use tesla::runtime::telemetry::analysis;
 
 /// Why the process is exiting non-zero. The exit-status contract is
 /// part of the CLI surface (scripts and CI match on it):
@@ -79,7 +90,8 @@ fn main() -> ExitCode {
         "run" => run(rest).map_err(CliError::Usage),
         "replay" => replay(rest).map_err(CliError::Usage),
         "attach" => attach(rest).map_err(CliError::Usage),
-        "observe" => observe(rest).map_err(CliError::Usage),
+        "observe" => observe(rest),
+        "baseline" => baseline_cmd(rest).map_err(CliError::Usage),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -129,6 +141,7 @@ const USAGE: &str = "usage:
                                  first (=deny fails the build on them)
   tesla run     <file.c>... [--entry main] [--arg N]... [--graph out.dot]
                 [--chaos SEED] [--faults k=p,...]
+                [--govern SLO [--allow-shed]]
                 [--record trace.jsonl] [--violations out] [--metrics out]
                                  build and execute under libtesla;
                                  --graph writes transition-weighted
@@ -138,6 +151,13 @@ const USAGE: &str = "usage:
                                  the injected/absorbed ledger; --faults
                                  picks kinds and periods (e.g.
                                  panic=7,drop=16; default: full menu);
+                                 --govern runs the adaptive overhead
+                                 governor against an SLO like 1.2 (a
+                                 1.2x instrumented-overhead target),
+                                 printing its rate decisions and final
+                                 overhead estimate; --allow-shed lets
+                                 it shed clones (sound but inexact)
+                                 past the exact levels;
                                  --record tees every hook event into a
                                  versioned JSONL trace that `tesla
                                  replay` re-drives; --violations /
@@ -161,17 +181,51 @@ const USAGE: &str = "usage:
                                  --timeout-ms per accept and per read)
   tesla observe <file.c>... [--format prom|json|dot|trace]
                 [--entry main] [--arg N]... [-o out]
+                [--replay trace.jsonl] [--chaos SEED] [--faults k=p,...]
+                [--baseline base.json --anomalies]
                                  build, run under full telemetry, and
                                  report: Prometheus text (prom), JSON
                                  metrics snapshot (json), weighted
                                  fig. 9 graphs (dot), or a
-                                 chrome://tracing event log (trace)
+                                 chrome://tracing event log (trace);
+                                 --replay drives a recorded trace
+                                 instead of executing the program;
+                                 --baseline + --anomalies score the
+                                 run against a recorded baseline and
+                                 report TESLA-A001 (novel transition),
+                                 A002 (weight divergence), A003
+                                 (latency regression) with flight-
+                                 recorder evidence — findings exit 1;
+                                 anomaly --format: text|json|prom
+  tesla baseline <file.c>... [--entry main] [--arg N]...
+                [--out base.json] [--from-trace trace.jsonl]
+                                 learn a healthy-run baseline:
+                                 per-automaton transition-weight
+                                 distributions and per-hook latency
+                                 profiles, from a live run or a
+                                 recorded trace (--from-trace), as a
+                                 versioned baseline file (stdout when
+                                 --out is omitted)
 
-exit status: 0 clean; 1 diagnostics present under --deny; 2 usage,
-I/O, or build/run failure";
+exit status: 0 clean; 1 diagnostics present under --deny (or anomalies
+under --anomalies); 2 usage, I/O, or build/run failure";
 
 fn parse_one(src: &str) -> Result<tesla::spec::Assertion, String> {
     parse_assertion(src).map_err(|e| e.to_string())
+}
+
+/// Parse a `--govern` SLO like `1.2` or `1.2x` into ×1000 units.
+fn parse_slo(v: &str) -> Result<u32, String> {
+    let f: f64 = v
+        .trim_end_matches('x')
+        .parse()
+        .map_err(|e| format!("bad --govern SLO `{v}`: {e}"))?;
+    if !(f > 1.0 && f <= 1000.0) {
+        return Err(format!(
+            "bad --govern SLO `{v}`: must be above 1.0 (an overhead target like 1.2)"
+        ));
+    }
+    Ok((f * 1000.0).round() as u32)
 }
 
 fn check(rest: &[String]) -> Result<(), String> {
@@ -431,6 +485,8 @@ fn run(rest: &[String]) -> Result<(), String> {
     let mut record: Option<String> = None;
     let mut violations_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut govern: Option<u32> = None;
+    let mut allow_shed = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -451,6 +507,12 @@ fn run(rest: &[String]) -> Result<(), String> {
                 )
             }
             "--faults" => fault_arg = Some(it.next().ok_or("--faults needs a spec")?.clone()),
+            "--govern" => {
+                govern = Some(parse_slo(
+                    it.next().ok_or("--govern needs an SLO like 1.2")?,
+                )?)
+            }
+            "--allow-shed" => allow_shed = true,
             "--record" => record = Some(it.next().ok_or("--record needs a path")?.clone()),
             "--violations" => {
                 violations_out = Some(it.next().ok_or("--violations needs a path")?.clone())
@@ -458,6 +520,9 @@ fn run(rest: &[String]) -> Result<(), String> {
             "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
             f => files.push(f.to_string()),
         }
+    }
+    if allow_shed && govern.is_none() {
+        return Err("--allow-shed needs --govern <slo>".into());
     }
     let plan = match chaos {
         Some(seed) => {
@@ -494,6 +559,11 @@ fn run(rest: &[String]) -> Result<(), String> {
             EvictionPolicy::Error
         },
         faults: plan.clone(),
+        governor: govern.map(|slo_milli| GovernorConfig {
+            slo_milli,
+            allow_shed,
+            ..GovernorConfig::default()
+        }),
         ..Config::default()
     }));
     if plan.is_some() {
@@ -514,6 +584,20 @@ fn run(rest: &[String]) -> Result<(), String> {
         let dot = weighted_graphs(&engine);
         std::fs::write(&path, &dot).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {} weighted graph(s) to {path}", engine.n_classes());
+    }
+    if let Some(g) = engine.governor() {
+        let decisions = g.render_decisions();
+        if !decisions.is_empty() {
+            println!("{decisions}");
+        }
+        let est = g.estimate_overhead_milli(engine.metrics());
+        println!(
+            "governed overhead {} (SLO {}), level {}, {} hook events",
+            analysis::fmt_overhead(est),
+            analysis::fmt_overhead(u64::from(g.config().slo_milli)),
+            g.level(),
+            g.events()
+        );
     }
     if let Some(p) = engine.fault_plan() {
         let ledger = p.ledger();
@@ -702,12 +786,17 @@ fn weighted_graphs(engine: &Tesla) -> String {
     out
 }
 
-fn observe(rest: &[String]) -> Result<(), String> {
+fn observe(rest: &[String]) -> Result<(), CliError> {
     let mut files = Vec::new();
     let mut entry = "main".to_string();
     let mut prog_args: Vec<i64> = Vec::new();
-    let mut format = "prom".to_string();
+    let mut format: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut anomalies = false;
+    let mut replay_trace: Option<String> = None;
+    let mut chaos: Option<u64> = None;
+    let mut fault_arg: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -719,23 +808,78 @@ fn observe(rest: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --arg: {e}"))?,
             ),
             "--format" => {
-                format = it
-                    .next()
-                    .ok_or("--format needs prom|json|dot|trace")?
-                    .clone()
+                format = Some(
+                    it.next()
+                        .ok_or("--format needs prom|json|dot|trace (or text under --anomalies)")?
+                        .clone(),
+                )
             }
             "-o" | "--output" => out_path = Some(it.next().ok_or("-o needs a path")?.clone()),
+            "--baseline" => {
+                baseline_path = Some(it.next().ok_or("--baseline needs a path")?.clone())
+            }
+            "--anomalies" => anomalies = true,
+            "--replay" => {
+                replay_trace = Some(it.next().ok_or("--replay needs a trace file")?.clone())
+            }
+            "--chaos" => {
+                chaos = Some(
+                    it.next()
+                        .ok_or("--chaos needs a seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --chaos seed: {e}"))?,
+                )
+            }
+            "--faults" => fault_arg = Some(it.next().ok_or("--faults needs a spec")?.clone()),
             f => match f.strip_prefix("--format=") {
-                Some(v) => format = v.to_string(),
+                Some(v) => format = Some(v.to_string()),
                 None => files.push(f.to_string()),
             },
         }
     }
-    if !matches!(format.as_str(), "prom" | "json" | "dot" | "trace") {
-        return Err(format!(
-            "unknown --format `{format}` (expected prom|json|dot|trace)"
-        ));
+    if anomalies && baseline_path.is_none() {
+        return Err("--anomalies needs --baseline <file>".into());
     }
+    // Scoring is on when a baseline is given; --anomalies alone names
+    // the intent but the baseline is what makes it possible.
+    let scoring = baseline_path.is_some();
+    let format = format.unwrap_or_else(|| if scoring { "text" } else { "prom" }.to_string());
+    let valid = if scoring {
+        matches!(format.as_str(), "text" | "prom" | "json")
+    } else {
+        matches!(format.as_str(), "prom" | "json" | "dot" | "trace")
+    };
+    if !valid {
+        return Err(format!(
+            "unknown --format `{format}` (expected {})",
+            if scoring {
+                "text|json|prom under --baseline"
+            } else {
+                "prom|json|dot|trace"
+            }
+        )
+        .into());
+    }
+    // Load the baseline before the run so a malformed or
+    // version-bumped file is a positioned usage error (exit 2),
+    // mirroring the trace-schema contract.
+    let baseline = match &baseline_path {
+        Some(p) => Some(Baseline::load(std::path::Path::new(p)).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let plan = match chaos {
+        Some(seed) => {
+            let spec = match &fault_arg {
+                Some(s) => FaultSpec::parse(s)?,
+                None => FaultSpec::default_chaos(),
+            };
+            Some(Arc::new(FaultPlan::new(seed, spec)))
+        }
+        None if fault_arg.is_some() => {
+            return Err("--faults needs --chaos <seed> to schedule against".into())
+        }
+        None => None,
+    };
     let project = load_project(&files)?;
     let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
     let art = bs.build().map_err(|e| e.to_string())?;
@@ -746,30 +890,140 @@ fn observe(rest: &[String]) -> Result<(), String> {
     let engine = Arc::new(Tesla::new(Config {
         telemetry: true,
         fail_mode: FailMode::Log,
+        faults: plan.clone(),
         ..Config::default()
     }));
+    if plan.is_some() {
+        tesla::runtime::faults::silence_injected_panics();
+    }
     let recorder = Arc::new(FlightRecorder::default());
     engine.add_handler(recorder.clone());
 
-    let rc = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000)?;
+    let driven = match &replay_trace {
+        Some(trace) => {
+            let mut src = tesla::runtime::JsonlSource::open(std::path::Path::new(trace))
+                .map_err(|e| e.to_string())?;
+            let stats = replay_with_tesla(&art, &engine, &mut src).map_err(|e| e.to_string())?;
+            format!("replayed {} events ({} sites)", stats.events, stats.sites)
+        }
+        None => {
+            let rc = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000)?;
+            format!("{entry}({prog_args:?}) = {rc}")
+        }
+    };
 
     use tesla::runtime::telemetry::export;
-    let report = match format.as_str() {
-        "prom" => export::prometheus(&engine.metrics().snapshot()),
-        "json" => export::json(&engine.metrics().snapshot()),
-        "trace" => export::chrome_trace(&recorder.snapshot()),
-        _ => weighted_graphs(&engine),
+    let snap = engine.metrics().snapshot();
+    let (report, verdict) = match &baseline {
+        Some(base) => {
+            let scored = analysis::score(base, &snap, Some(&recorder), &ScorerConfig::default());
+            let text = match format.as_str() {
+                "json" => analysis::anomaly::json(&scored),
+                "prom" => analysis::anomaly::prometheus(&scored),
+                _ => analysis::anomaly::render_text(&scored),
+            };
+            (text, Some(scored))
+        }
+        None => {
+            let text = match format.as_str() {
+                "prom" => export::prometheus(&snap),
+                "json" => export::json(&snap),
+                "trace" => export::chrome_trace(&recorder.snapshot()),
+                _ => weighted_graphs(&engine),
+            };
+            (text, None)
+        }
     };
     match out_path {
         Some(p) => std::fs::write(&p, &report).map_err(|e| format!("{p}: {e}"))?,
         None => print!("{report}"),
     }
     eprintln!(
-        "{entry}({prog_args:?}) = {rc}; {} events, {} violations, {} recorded ({} overwritten)",
+        "{driven}; {} events, {} violations, {} recorded ({} overwritten)",
         engine.metrics().events_total(),
         engine.metrics().violations(),
         recorder.total_recorded(),
         recorder.overwritten(),
     );
+    if let Some(scored) = verdict {
+        eprintln!(
+            "anomalies: {} finding(s) over {} scored class(es) ({} unmatched)",
+            scored.anomalies.len(),
+            scored.classes_scored,
+            scored.classes_unmatched
+        );
+        if !scored.is_clean() {
+            let codes: Vec<&str> = scored.anomalies.iter().map(|a| a.code.code()).collect();
+            return Err(CliError::Denied(format!(
+                "anomalies detected: {}",
+                codes.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn baseline_cmd(rest: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut entry = "main".to_string();
+    let mut prog_args: Vec<i64> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut from_trace: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = it.next().ok_or("--entry needs a name")?.clone(),
+            "--arg" => prog_args.push(
+                it.next()
+                    .ok_or("--arg needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --arg: {e}"))?,
+            ),
+            "--out" | "-o" => out_path = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--from-trace" => {
+                from_trace = Some(it.next().ok_or("--from-trace needs a trace file")?.clone())
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+    let project = load_project(&files)?;
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let art = bs.build().map_err(|e| e.to_string())?;
+    // A baseline is a statement about healthy behaviour: violations
+    // are recorded (log-and-continue) but do not abort the learning
+    // run — the operator decides whether the run was healthy.
+    let engine = Arc::new(Tesla::new(Config {
+        telemetry: true,
+        fail_mode: FailMode::Log,
+        ..Config::default()
+    }));
+    match &from_trace {
+        Some(trace) => {
+            let mut src = tesla::runtime::JsonlSource::open(std::path::Path::new(trace))
+                .map_err(|e| e.to_string())?;
+            let stats = replay_with_tesla(&art, &engine, &mut src).map_err(|e| e.to_string())?;
+            eprintln!(
+                "learned from {trace}: {} events ({} sites)",
+                stats.events, stats.sites
+            );
+        }
+        None => {
+            let rc = run_with_tesla(&art, &engine, &entry, &prog_args, 100_000_000)?;
+            eprintln!("learned from {entry}({prog_args:?}) = {rc}");
+        }
+    }
+    let base = Baseline::from_snapshot(&engine.metrics().snapshot());
+    eprintln!(
+        "baseline: {} hook profile(s), {} class distribution(s), {} violation(s) during learning",
+        base.hooks.len(),
+        base.classes.len(),
+        engine.violations().len()
+    );
+    match out_path {
+        Some(p) => base
+            .save(std::path::Path::new(&p))
+            .map_err(|e| e.to_string())?,
+        None => print!("{}", base.render()),
+    }
     Ok(())
 }

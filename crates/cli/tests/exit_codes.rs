@@ -121,6 +121,114 @@ fn bad_fault_specs_exit_two() {
 }
 
 #[test]
+fn baseline_and_anomaly_exit_codes() {
+    let dir = std::env::temp_dir().join(format!("tesla-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    // Learn a baseline from a healthy run: exit 0, versioned header.
+    let base = p("safe.base.json");
+    let out = tesla(&[
+        "baseline",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--arg",
+        "5",
+        "--arg",
+        "5",
+        "--out",
+        &base,
+    ]);
+    assert_exit(&out, 0);
+    let text = std::fs::read_to_string(&base).unwrap();
+    assert!(text.starts_with("{\"tesla_baseline\":1}"), "{text}");
+
+    // Scoring the same healthy run against its own baseline is clean.
+    let out = tesla(&[
+        "observe",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--arg",
+        "5",
+        "--arg",
+        "5",
+        "--baseline",
+        &base,
+        "--anomalies",
+    ]);
+    assert_exit(&out, 0);
+
+    // --anomalies without a baseline to score against is a usage error.
+    let out = tesla(&["observe", &example("safe.c"), "--anomalies"]);
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--anomalies needs --baseline"), "{stderr}");
+
+    // A malformed baseline is a *positioned* usage error, mirroring
+    // the trace-schema contract: exit 2 before any run happens.
+    let bad = p("bad.base.json");
+    std::fs::write(&bad, "{\"tesla_baseline\":1}\nnot json\n").unwrap();
+    let out = tesla(&[
+        "observe",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--baseline",
+        &bad,
+        "--anomalies",
+    ]);
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("malformed baseline line 2") && stderr.contains("byte offset 21"),
+        "{stderr}"
+    );
+
+    // A version-bumped header names both versions and exits 2.
+    let v2 = p("v2.base.json");
+    std::fs::write(&v2, "{\"tesla_baseline\":2}\n").unwrap();
+    let out = tesla(&[
+        "observe",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--baseline",
+        &v2,
+        "--anomalies",
+    ]);
+    assert_exit(&out, 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unsupported baseline version 2"),
+        "{stderr}"
+    );
+
+    // A bad --govern value is caught before the program builds.
+    let out = tesla(&[
+        "run",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--govern",
+        "0.5x",
+    ]);
+    assert_exit(&out, 2);
+    // …and --allow-shed without --govern has nothing to act on.
+    let out = tesla(&[
+        "run",
+        &example("safe.c"),
+        "--entry",
+        "ssl_main",
+        "--allow-shed",
+    ]);
+    assert_exit(&out, 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn replay_exit_codes_match_the_run_contract() {
     let dir = std::env::temp_dir().join(format!("tesla-exitcodes-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

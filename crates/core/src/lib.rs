@@ -75,15 +75,15 @@ pub use tesla_workload as workload;
 /// The things almost every user wants in scope.
 pub mod prelude {
     pub use tesla_automata::{compile, Automaton, Manifest};
-    pub use tesla_runtime::{
-        BufferedSource, ClassId, Config, ConfigError, CountingHandler, DriveError, EventSource,
-        EvictionPolicy, FailMode, FaultKind, FaultLedger, FaultPlan, FaultSpec, FlightRecorder,
-        IngressError, IngressEvent, IngressEventRef, IngressStats, InitMode, JsonlSource,
-        MetricsRegistry, MetricsSnapshot, NameCache, RecordingHandler, Tesla, TraceWriter,
-        Violation, ViolationKind,
-    };
     #[cfg(unix)]
     pub use tesla_runtime::SocketSource;
+    pub use tesla_runtime::{
+        AnomalyReport, Baseline, BaselineError, BufferedSource, ClassId, Config, ConfigError,
+        CountingHandler, DriveError, EventSource, EvictionPolicy, FailMode, FaultKind, FaultLedger,
+        FaultPlan, FaultSpec, FlightRecorder, Governor, GovernorConfig, IngressError, IngressEvent,
+        IngressEventRef, IngressStats, InitMode, JsonlSource, MetricsRegistry, MetricsSnapshot,
+        NameCache, RecordingHandler, ScorerConfig, Tesla, TraceWriter, Violation, ViolationKind,
+    };
     pub use tesla_spec::{
         atleast, call, field_assign, msg_send, parse_assertion, Assertion, AssertionBuilder,
         ExprBuilder, FieldOp, Value,

@@ -52,6 +52,7 @@ use crate::handlers::{Dispatch, EventHandler};
 use crate::intern::{Interner, NameId};
 use crate::store::Store;
 use crate::telemetry::metrics::{HookKind, HookTimer, MetricsRegistry};
+use crate::telemetry::{Governor, GovernorConfig};
 use crate::{RegisterError, MAX_VARS};
 use parking_lot::{Mutex, RwLock};
 use std::cell::{Cell, RefCell};
@@ -113,6 +114,11 @@ pub enum ConfigError {
     ZeroMaxInstances,
     /// `degraded_sample` was 0 — the shed sampler divides by it.
     ZeroDegradedSample,
+    /// The governor SLO was at or below 1.0× — no instrumented run
+    /// can hold an overhead below "no overhead at all".
+    GovernorSlo,
+    /// The governor tick period was 0 — the controller divides by it.
+    ZeroGovernorTick,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -127,6 +133,15 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroDegradedSample => {
                 write!(f, "degraded_sample must be at least 1")
+            }
+            ConfigError::GovernorSlo => {
+                write!(
+                    f,
+                    "governor slo_milli must exceed 1000 (an overhead SLO above 1.0x)"
+                )
+            }
+            ConfigError::ZeroGovernorTick => {
+                write!(f, "governor tick_events must be at least 1")
             }
         }
     }
@@ -180,6 +195,11 @@ pub struct Config {
     /// engine draws from it at every fault's absorption site; `None`
     /// costs one branch per site.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional adaptive overhead governor
+    /// ([`crate::telemetry::Governor`]). Setting this forces
+    /// [`Config::telemetry`] on — the controller's feedback signal is
+    /// the hook-latency telemetry.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for Config {
@@ -194,6 +214,7 @@ impl Default for Config {
             eviction: EvictionPolicy::Error,
             degraded_sample: 4,
             faults: None,
+            governor: None,
         }
     }
 }
@@ -411,6 +432,10 @@ pub struct Tesla {
     /// attached as an event handler — and only fed hook timings —
     /// when [`Config::telemetry`] is set.
     metrics: Arc<MetricsRegistry>,
+    /// The adaptive overhead governor, present only when
+    /// [`Config::governor`] was set. Ticked from the hook prologue;
+    /// its actuators reach the store through [`Dispatch`].
+    governor: Option<Arc<Governor>>,
 }
 
 thread_local! {
@@ -445,7 +470,7 @@ impl Tesla {
     /// # Errors
     ///
     /// Returns [`ConfigError`] naming the offending field.
-    pub fn try_new(config: Config) -> Result<Tesla, ConfigError> {
+    pub fn try_new(mut config: Config) -> Result<Tesla, ConfigError> {
         if config.global_shards == 0 {
             return Err(ConfigError::ZeroGlobalShards);
         }
@@ -458,7 +483,19 @@ impl Tesla {
         if config.degraded_sample == 0 {
             return Err(ConfigError::ZeroDegradedSample);
         }
+        if let Some(g) = config.governor {
+            if g.slo_milli <= 1000 {
+                return Err(ConfigError::GovernorSlo);
+            }
+            if g.tick_events == 0 {
+                return Err(ConfigError::ZeroGovernorTick);
+            }
+            // The governor's feedback signal *is* the hook-latency
+            // telemetry: a governed engine is a telemetered engine.
+            config.telemetry = true;
+        }
         let n_shards = config.global_shards;
+        let governor = config.governor.map(|g| Arc::new(Governor::new(g)));
         let engine = Tesla {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             config,
@@ -472,6 +509,7 @@ impl Tesla {
                 .collect(),
             violation_log: Mutex::new(Vec::new()),
             metrics: Arc::new(MetricsRegistry::new()),
+            governor,
         };
         if engine.config.telemetry {
             engine.add_handler(engine.metrics.clone());
@@ -544,14 +582,26 @@ impl Tesla {
         self.config.telemetry
     }
 
-    /// Hook prologue timing guard: `Some` only under telemetry.
+    /// Hook prologue timing guard: `Some` only under telemetry. Also
+    /// counts the event into the governor's controller, which may run
+    /// a feedback tick here (every `tick_events` hook events).
     #[inline]
     fn hook_timer(&self, kind: HookKind) -> Option<HookTimer<'_>> {
+        if let Some(g) = &self.governor {
+            g.on_event(&self.metrics);
+        }
         if self.config.telemetry {
             Some(self.metrics.timer(kind))
         } else {
             None
         }
+    }
+
+    /// The adaptive overhead governor, when configured
+    /// ([`Config::governor`]): inspect its decision log, current
+    /// escalation level and overhead estimate.
+    pub fn governor(&self) -> Option<&Governor> {
+        self.governor.as_deref()
     }
 
     /// Violations recorded in [`FailMode::Log`] mode (fail-stop mode
@@ -1234,6 +1284,7 @@ impl Tesla {
     #[inline]
     fn dispatch<'a>(&'a self, snap: &'a Snapshot) -> Dispatch<'a> {
         Dispatch::new(&snap.handlers, &self.metrics, self.config.faults.as_deref())
+            .with_governor(self.governor.as_deref())
     }
 
     /// Hook-prologue chaos draw: how many times to run the hook body.

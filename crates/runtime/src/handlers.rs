@@ -13,7 +13,7 @@
 use crate::event::LifecycleEvent;
 use crate::faults::{FaultKind, FaultPlan, INJECTED_PANIC};
 use crate::telemetry::weights::TransitionWeights;
-use crate::telemetry::MetricsRegistry;
+use crate::telemetry::{Governor, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,6 +54,7 @@ pub struct Dispatch<'a> {
     handlers: &'a [Arc<dyn EventHandler>],
     metrics: &'a MetricsRegistry,
     faults: Option<&'a FaultPlan>,
+    governor: Option<&'a Governor>,
 }
 
 impl<'a> Dispatch<'a> {
@@ -68,13 +69,46 @@ impl<'a> Dispatch<'a> {
             handlers,
             metrics,
             faults,
+            governor: None,
         }
+    }
+
+    /// Attach the overhead governor so the store can consult its
+    /// actuators (update-notification sampling, clone shedding).
+    pub fn with_governor(mut self, governor: Option<&'a Governor>) -> Dispatch<'a> {
+        self.governor = governor;
+        self
     }
 
     /// True when no handlers are attached (lets callers skip event
     /// construction entirely).
     pub fn is_empty(&self) -> bool {
         self.handlers.is_empty()
+    }
+
+    /// The governor's clone-shed period: 0 means "shed nothing",
+    /// `n > 0` means "shed one specialising clone in `n`". Nonzero
+    /// only when the governor was configured with `allow_shed` and
+    /// escalated past the exact levels.
+    pub fn governed_shed(&self) -> u32 {
+        self.governor.map_or(0, Governor::shed_period)
+    }
+
+    /// Draw the governor's clone-shed sampler for one specialising
+    /// clone. False with no governor or below the shed levels; at the
+    /// shed levels, true for one clone in [`Dispatch::governed_shed`]
+    /// on a phase that persists across scope generations.
+    pub fn shed_clone(&self) -> bool {
+        self.governor.map_or(false, Governor::shed_clone)
+    }
+
+    /// Should the hot-path in-place `Update` notification be built and
+    /// delivered? False when no handlers are attached, or when the
+    /// governor is sampling update notifications to hold its SLO.
+    /// Only *observation* is affected — the automaton state advanced
+    /// regardless.
+    pub fn admits_update(&self) -> bool {
+        !self.is_empty() && self.governor.map_or(true, Governor::admit_update)
     }
 
     /// The attached fault plan, if any, so store-side injection sites

@@ -181,12 +181,10 @@ impl IngressEvent {
                 args,
                 ret: *ret,
             },
-            IngressEvent::AssertionSite { class, values } => {
-                IngressEventRef::AssertionSite {
-                    class: *class,
-                    values,
-                }
-            }
+            IngressEvent::AssertionSite { class, values } => IngressEventRef::AssertionSite {
+                class: *class,
+                values,
+            },
         }
     }
 

@@ -207,8 +207,10 @@ impl Parser<'_> {
         let Some(hex) = self.b.get(self.i..end) else {
             return self.err("truncated \\u escape");
         };
-        let s = std::str::from_utf8(hex).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
-        let v = u16::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
+        let s =
+            std::str::from_utf8(hex).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
+        let v =
+            u16::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
         self.i = end;
         Ok(v)
     }
@@ -257,8 +259,9 @@ impl Parser<'_> {
                                     format!("invalid code point at byte {}", self.i)
                                 })?
                             } else {
-                                char::from_u32(u32::from(hi))
-                                    .ok_or_else(|| self.err::<()>("unpaired surrogate").unwrap_err())?
+                                char::from_u32(u32::from(hi)).ok_or_else(|| {
+                                    self.err::<()>("unpaired surrogate").unwrap_err()
+                                })?
                             };
                             out.push(c);
                             continue;
@@ -325,7 +328,10 @@ mod tests {
         );
         let obj = Json::parse("{\"a\": 1, \"b\": [true, null]}").unwrap();
         assert_eq!(obj.get("a").and_then(Json::as_u64), Some(1));
-        assert_eq!(obj.get("b").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            obj.get("b").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
         assert_eq!(obj.get("missing"), None);
     }
 

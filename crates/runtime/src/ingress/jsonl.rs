@@ -197,8 +197,9 @@ pub fn parse_event(line: &str) -> Result<IngressEvent, String> {
         }),
         "field_store" => {
             let op_s = str_field(&obj, "op")?;
-            let op = op_from_label(&op_s)
-                .ok_or_else(|| format!("unknown field operator {op_s:?} (want =, +=, -=, |=, &=)"))?;
+            let op = op_from_label(&op_s).ok_or_else(|| {
+                format!("unknown field operator {op_s:?} (want =, +=, -=, |=, &=)")
+            })?;
             Ok(IngressEvent::FieldStore {
                 strct: str_field(&obj, "struct")?,
                 field: str_field(&obj, "field")?,
@@ -345,7 +346,13 @@ mod tests {
 
     #[test]
     fn hostile_names_roundtrip() {
-        for name in ["a\"b", "back\\slash", "nl\nnl", "ctl\x00\x1f", "uni\u{2028}"] {
+        for name in [
+            "a\"b",
+            "back\\slash",
+            "nl\nnl",
+            "ctl\x00\x1f",
+            "uni\u{2028}",
+        ] {
             roundtrip(IngressEvent::FnEntry {
                 name: name.into(),
                 args: vec![],
@@ -377,7 +384,10 @@ mod tests {
                 "unknown field operator",
             ),
             ("[1,2,3]", "must be a JSON object"),
-            ("{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[", "invalid JSON"),
+            (
+                "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[",
+                "invalid JSON",
+            ),
         ] {
             let err = parse_event(line).unwrap_err();
             assert!(err.contains(needle), "{line} -> {err}");
@@ -386,10 +396,9 @@ mod tests {
 
     #[test]
     fn unknown_fields_are_ignored_for_forward_compat() {
-        let ev = parse_event(
-            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[1],\"future_field\":true}",
-        )
-        .unwrap();
+        let ev =
+            parse_event("{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[1],\"future_field\":true}")
+                .unwrap();
         assert_eq!(
             ev,
             IngressEvent::FnEntry {
@@ -403,6 +412,9 @@ mod tests {
     fn writer_emits_header_even_when_empty() {
         let w = TraceWriter::new(Vec::new());
         let bytes = w.finish().unwrap();
-        assert_eq!(String::from_utf8(bytes).unwrap(), format!("{TRACE_HEADER}\n"));
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            format!("{TRACE_HEADER}\n")
+        );
     }
 }

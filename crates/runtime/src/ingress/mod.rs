@@ -258,11 +258,7 @@ impl Tesla {
     /// A [`Violation`] from the underlying hook, or a
     /// [`crate::ViolationKind::UnknownName`] violation when a closing
     /// event names something this engine never saw.
-    pub fn ingest(
-        &self,
-        cache: &mut NameCache,
-        ev: IngressEventRef<'_>,
-    ) -> Result<(), Violation> {
+    pub fn ingest(&self, cache: &mut NameCache, ev: IngressEventRef<'_>) -> Result<(), Violation> {
         match ev {
             IngressEventRef::FnEntry { name, args } => {
                 let id = NameCache::intern(&mut cache.fns, name, |n| self.intern_fn(n));
@@ -300,9 +296,8 @@ impl Tesla {
                 args,
                 ret,
             } => {
-                match NameCache::resolve(&mut cache.selectors, selector, |n| {
-                    self.interner().get(n)
-                }) {
+                match NameCache::resolve(&mut cache.selectors, selector, |n| self.interner().get(n))
+                {
                     Some(id) => self.msg_exit(id, receiver, args, ret),
                     None => Err(Violation::unknown_name("selector", selector)),
                 }

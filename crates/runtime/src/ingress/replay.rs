@@ -133,8 +133,8 @@ impl JsonlSource<BufReader<File>> {
     ///
     /// [`IngressError::Io`] when the file cannot be opened.
     pub fn open(path: &Path) -> Result<JsonlSource<BufReader<File>>, IngressError> {
-        let f = File::open(path)
-            .map_err(|e| IngressError::Io(format!("{}: {e}", path.display())))?;
+        let f =
+            File::open(path).map_err(|e| IngressError::Io(format!("{}: {e}", path.display())))?;
         Ok(JsonlSource::new(BufReader::new(f)))
     }
 }
@@ -196,7 +196,11 @@ mod tests {
     fn missing_header_is_positioned() {
         let mut s = src("{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[]}\n");
         match s.next_event().unwrap_err() {
-            IngressError::Malformed { line, offset, detail } => {
+            IngressError::Malformed {
+                line,
+                offset,
+                detail,
+            } => {
                 assert_eq!((line, offset), (1, 0));
                 assert!(detail.contains("version header"), "{detail}");
             }
@@ -208,7 +212,9 @@ mod tests {
     fn future_version_is_rejected() {
         let mut s = src("{\"tesla_trace\":2}\n");
         match s.next_event().unwrap_err() {
-            IngressError::Version { found, supported, .. } => {
+            IngressError::Version {
+                found, supported, ..
+            } => {
                 assert_eq!((found, supported), (2, 1));
             }
             e => panic!("{e}"),
@@ -220,7 +226,11 @@ mod tests {
         let text = format!("{TRACE_HEADER}\n{{\"ev\":\"fn_entry\"}}\n");
         let mut s = src(&text);
         match s.next_event().unwrap_err() {
-            IngressError::Malformed { line, offset, detail } => {
+            IngressError::Malformed {
+                line,
+                offset,
+                detail,
+            } => {
                 assert_eq!(line, 2);
                 assert_eq!(offset, TRACE_HEADER.len() as u64 + 1);
                 assert!(detail.contains("missing field"), "{detail}");
@@ -246,7 +256,11 @@ mod tests {
     fn empty_stream_is_malformed() {
         assert!(matches!(
             src("").next_event().unwrap_err(),
-            IngressError::Malformed { line: 1, offset: 0, .. }
+            IngressError::Malformed {
+                line: 1,
+                offset: 0,
+                ..
+            }
         ));
     }
 

@@ -130,7 +130,11 @@ impl SocketSource {
     /// sees which producer misbehaved.
     fn tag(&self, e: IngressError) -> IngressError {
         match e {
-            IngressError::Malformed { line, offset, detail } => IngressError::Malformed {
+            IngressError::Malformed {
+                line,
+                offset,
+                detail,
+            } => IngressError::Malformed {
                 line,
                 offset,
                 detail: format!("connection {}: {detail}", self.conn_no),
@@ -236,7 +240,10 @@ mod tests {
         let mut src = SocketSource::bind(&path)
             .unwrap()
             .accept_timeout(Duration::from_millis(30));
-        assert!(matches!(src.next_event().unwrap_err(), IngressError::Timeout));
+        assert!(matches!(
+            src.next_event().unwrap_err(),
+            IngressError::Timeout
+        ));
     }
 
     #[test]

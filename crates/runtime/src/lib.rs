@@ -94,14 +94,18 @@ pub use engine::{ClassId, Config, ConfigError, EvictionPolicy, FailMode, InitMod
 pub use event::{LifecycleEvent, Violation, ViolationKind};
 pub use faults::{FaultKind, FaultLedger, FaultPlan, FaultSpec};
 pub use handlers::{CountingHandler, Dispatch, EventHandler, RecordingHandler, StderrHandler};
+#[cfg(unix)]
+pub use ingress::SocketSource;
 pub use ingress::{
     BufferedSource, DriveError, EventSource, IngressError, IngressEvent, IngressEventRef,
     IngressStats, JsonlSource, NameCache, TraceWriter,
 };
-#[cfg(unix)]
-pub use ingress::SocketSource;
 pub use intern::{Interner, NameId};
-pub use telemetry::{FlightRecorder, HookKind, MetricsRegistry, MetricsSnapshot, RecordedEvent};
+pub use telemetry::{
+    Anomaly, AnomalyCode, AnomalyReport, Baseline, BaselineError, ClassScore, FlightRecorder,
+    Governor, GovernorConfig, GovernorDecision, HookKind, MetricsRegistry, MetricsSnapshot,
+    RecordedEvent, ScorerConfig, Welford,
+};
 
 /// Maximum number of scope variables per assertion the runtime
 /// supports; instances store bindings in a fixed-size array so the

@@ -280,7 +280,10 @@ impl Store {
                 cs.instances[i].states = next;
                 cs.instances[i].touch = tick;
                 out.matched = true;
-                if !d.is_empty() {
+                // The governor may sample these hot-path notifications
+                // (observation only: the state advance above already
+                // happened and is never shed).
+                if d.admits_update() {
                     d.notify(&LifecycleEvent::Update {
                         class,
                         instance: i as u32,
@@ -307,16 +310,25 @@ impl Store {
         // never exceeds the preallocation capacity.
         let limit = def.quota.map_or(def.capacity, |q| q.min(def.capacity));
         for (src, clone) in clones {
-            // Degraded mode: shed a sampled share of new
-            // specialisations — bounded work in exchange for bounded
-            // memory. In-place updates above are never shed, so the
-            // instances we keep are tracked exactly.
+            // Shed a sampled share of new specialisations — bounded
+            // work in exchange for bounded memory (degraded mode) or a
+            // held overhead SLO (governor with `allow_shed`). Each
+            // source draws its own sampler: degraded mode phases per
+            // scope epoch (unchanged quota semantics), while the
+            // governor's phase rolls across scope generations so a
+            // one-clone-per-scope workload still sheds its share.
+            // In-place updates above are never shed, so the instances
+            // we keep are tracked exactly.
             if cs.degraded {
                 cs.shed_tick = cs.shed_tick.wrapping_add(1);
                 if cs.shed_tick % def.degraded_sample == 0 {
                     d.notify(&LifecycleEvent::Shed { class });
                     continue;
                 }
+            }
+            if d.shed_clone() {
+                d.notify(&LifecycleEvent::Shed { class });
+                continue;
             }
             // Deduplicate: an instance with identical bindings may
             // already exist (e.g. the same check ran twice); merge
@@ -396,11 +408,12 @@ impl Store {
             }
         }
         if !out.matched && is_site && out.violation.is_none() {
-            if cs.degraded {
+            if cs.degraded || d.governed_shed() != 0 {
                 // The matching instance may have been evicted or its
-                // clone shed: a site miss in degraded mode is not
-                // evidence of a bug. Count the suppressed check as
-                // shed work instead of reporting a false positive.
+                // clone shed (by degraded mode or the governor): a
+                // site miss while shedding is not evidence of a bug.
+                // Count the suppressed check as shed work instead of
+                // reporting a false positive.
                 d.notify(&LifecycleEvent::Shed { class });
                 return out;
             }

@@ -1,0 +1,601 @@
+//! Healthy-run baselines: learned per-automaton transition-weight
+//! distributions and per-hook latency profiles.
+//!
+//! A [`Baseline`] is a statistical summary of one or more *healthy*
+//! runs, captured from a telemetry [`MetricsSnapshot`]:
+//!
+//! * per hook kind, a streaming mean/deviation of the sampled latency
+//!   histogram (via [`Welford`] over bucket midpoints);
+//! * per automaton class (keyed by assertion name, so a baseline
+//!   survives re-registration in a different class order), the raw
+//!   transition-edge counts of the [`ClassWeights`] table, from which
+//!   the scorer derives normalized transition-frequency vectors.
+//!
+//! The on-disk format deliberately mirrors the trace-schema contract
+//! of [`crate::ingress`]: line-oriented JSON with a versioned header
+//! (`{"tesla_baseline":1}`), `"rec"`-tagged records, unknown fields
+//! ignored for forward compatibility, and *positioned* diagnostics
+//! ([`BaselineError::Malformed`] / [`BaselineError::Version`] carry a
+//! 1-based line number and the byte offset of the line start) so a
+//! bad baseline file fails exactly like a bad trace does.
+//!
+//! [`ClassWeights`]: crate::telemetry::weights::ClassWeights
+
+use crate::ingress::json::Json;
+use crate::telemetry::export::json_escape;
+use crate::telemetry::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::path::Path;
+
+/// The baseline schema version this build reads and writes.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// The exact header line a version-1 baseline file starts with.
+pub const BASELINE_HEADER: &str = "{\"tesla_baseline\":1}";
+
+/// Streaming mean/variance accumulator (Welford's online algorithm,
+/// with Chan's parallel-merge update for weighted batches).
+///
+/// Numerically stable: no sum-of-squares catastrophic cancellation,
+/// so it is safe over nanosecond magnitudes mixed with zeros.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Fold `w` identical observations in at once (Chan's merge of a
+    /// zero-variance batch): equivalent to calling [`Welford::push`]
+    /// `w` times, in O(1).
+    pub fn push_weighted(&mut self, x: f64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        let delta = x - self.mean;
+        let total = self.count + w;
+        self.mean += delta * w as f64 / total as f64;
+        self.m2 += delta * delta * (self.count as f64 * w as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Summarise a latency histogram: each bucket contributes its
+    /// midpoint, weighted by its count.
+    pub fn from_histogram(h: &HistogramSnapshot) -> Welford {
+        let mut w = Welford::new();
+        for (i, &n) in h.buckets.iter().enumerate() {
+            w.push_weighted(HistogramSnapshot::bucket_midpoint_ns(i) as f64, n);
+        }
+        w
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// The learned latency profile of one hook kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HookBaseline {
+    /// Hook label, e.g. `fn_entry` (see
+    /// [`crate::telemetry::HookKind::label`]).
+    pub hook: String,
+    /// Total hook invocations in the baseline run (exact).
+    pub calls: u64,
+    /// Latency observations behind the profile (sampled).
+    pub samples: u64,
+    /// Mean latency over histogram bucket midpoints, rounded to ns.
+    pub mean_ns: u64,
+    /// Standard deviation, rounded to ns.
+    pub std_ns: u64,
+}
+
+/// One observed automaton transition edge: DFA row × symbol → count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineEdge {
+    /// Dense DFA row index (the DOT node id of
+    /// [`crate::telemetry::weights::ClassWeights`]).
+    pub from: u32,
+    /// Symbol index into the automaton alphabet.
+    pub sym: u32,
+    /// Times the edge was taken across the baseline runs.
+    pub n: u64,
+}
+
+/// The learned transition-weight distribution of one assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassBaseline {
+    /// Assertion name — the stable key; class ids are registration
+    /// order and do not survive across runs.
+    pub name: String,
+    /// Sum of all edge counts.
+    pub total: u64,
+    /// Observed edges, sorted by `(from, sym)`.
+    pub edges: Vec<BaselineEdge>,
+}
+
+impl ClassBaseline {
+    /// Count for an edge (0 when never taken in the baseline).
+    pub fn edge(&self, from: u32, sym: u32) -> u64 {
+        self.edges
+            .binary_search_by_key(&(from, sym), |e| (e.from, e.sym))
+            .map(|i| self.edges[i].n)
+            .unwrap_or(0)
+    }
+}
+
+/// A persisted healthy-run model: what "normal" looks like.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-hook latency profiles.
+    pub hooks: Vec<HookBaseline>,
+    /// Per-assertion transition distributions.
+    pub classes: Vec<ClassBaseline>,
+}
+
+/// Why a baseline file could not be used. Mirrors
+/// [`crate::IngressError`]'s taxonomy and wording so the CLI's
+/// positioned-diagnostic contract (exit 2) is uniform across trace
+/// and baseline inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The file could not be read or written.
+    Io(String),
+    /// A line violated the baseline schema. Positioned by 1-based
+    /// line number and the byte offset of that line's start.
+    Malformed {
+        /// 1-based line number.
+        line: u64,
+        /// Byte offset of the line's first byte.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The header declared a version this build does not speak.
+    Version {
+        /// 1-based line number of the header.
+        line: u64,
+        /// Byte offset of the header line.
+        offset: u64,
+        /// The declared version.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Io(e) => write!(f, "baseline I/O error: {e}"),
+            BaselineError::Malformed {
+                line,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "malformed baseline line {line} (byte offset {offset}): {detail}"
+            ),
+            BaselineError::Version {
+                line,
+                offset,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported baseline version {found} at line {line} \
+                 (byte offset {offset}); this build speaks version {supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Learn a baseline from a telemetry snapshot of a healthy run.
+    ///
+    /// Classes with no observed transitions contribute nothing (an
+    /// assertion that never fired carries no distribution to compare
+    /// against). Classes sharing an assertion name — the same spec
+    /// registered into several classes — are merged by summing edge
+    /// counts, which is exactly the "several healthy runs" semantics.
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Baseline {
+        let mut hooks = Vec::new();
+        for h in &snap.hooks {
+            if h.calls == 0 && h.latency.count == 0 {
+                continue;
+            }
+            let w = Welford::from_histogram(&h.latency);
+            hooks.push(HookBaseline {
+                hook: h.hook.clone(),
+                calls: h.calls,
+                samples: w.count(),
+                mean_ns: round_ns(w.mean()),
+                std_ns: round_ns(w.std_dev()),
+            });
+        }
+        let mut classes: Vec<ClassBaseline> = Vec::new();
+        for c in &snap.classes {
+            if c.transitions.is_empty() {
+                continue;
+            }
+            let cb = match classes.iter_mut().find(|cb| cb.name == c.name) {
+                Some(cb) => cb,
+                None => {
+                    classes.push(ClassBaseline {
+                        name: c.name.clone(),
+                        total: 0,
+                        edges: Vec::new(),
+                    });
+                    classes.last_mut().expect("just pushed")
+                }
+            };
+            for t in &c.transitions {
+                cb.total = cb.total.saturating_add(t.count);
+                match cb
+                    .edges
+                    .binary_search_by_key(&(t.from_state, t.symbol), |e| (e.from, e.sym))
+                {
+                    Ok(i) => cb.edges[i].n = cb.edges[i].n.saturating_add(t.count),
+                    Err(i) => cb.edges.insert(
+                        i,
+                        BaselineEdge {
+                            from: t.from_state,
+                            sym: t.symbol,
+                            n: t.count,
+                        },
+                    ),
+                }
+            }
+        }
+        Baseline { hooks, classes }
+    }
+
+    /// The learned profile for a hook label, if any.
+    pub fn hook(&self, label: &str) -> Option<&HookBaseline> {
+        self.hooks.iter().find(|h| h.hook == label)
+    }
+
+    /// The learned distribution for an assertion name, if any.
+    pub fn class(&self, name: &str) -> Option<&ClassBaseline> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Serialise to the versioned line-oriented format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(BASELINE_HEADER);
+        out.push('\n');
+        for h in &self.hooks {
+            out.push_str(&format!(
+                "{{\"rec\":\"hook\",\"hook\":\"{}\",\"calls\":{},\"samples\":{},\
+                 \"mean_ns\":{},\"std_ns\":{}}}\n",
+                json_escape(&h.hook),
+                h.calls,
+                h.samples,
+                h.mean_ns,
+                h.std_ns
+            ));
+        }
+        for c in &self.classes {
+            let edges: Vec<String> = c
+                .edges
+                .iter()
+                .map(|e| format!("{{\"from\":{},\"sym\":{},\"n\":{}}}", e.from, e.sym, e.n))
+                .collect();
+            out.push_str(&format!(
+                "{{\"rec\":\"class\",\"class\":\"{}\",\"total\":{},\"edges\":[{}]}}\n",
+                json_escape(&c.name),
+                c.total,
+                edges.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Parse the versioned line-oriented format.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Version`] when the header declares a version
+    /// other than [`BASELINE_VERSION`]; [`BaselineError::Malformed`]
+    /// for anything else the schema rejects — both positioned by line
+    /// and byte offset.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut line_no: u64 = 0;
+        let mut offset: u64 = 0;
+        let mut saw_header = false;
+        let mut b = Baseline::default();
+        for raw in text.split('\n') {
+            line_no += 1;
+            let line_offset = offset;
+            offset += raw.len() as u64 + 1;
+            let line = raw.strip_suffix('\r').unwrap_or(raw);
+            if line.trim().is_empty() {
+                continue;
+            }
+            let malformed = |detail: String| BaselineError::Malformed {
+                line: line_no,
+                offset: line_offset,
+                detail,
+            };
+            let val = Json::parse(line).map_err(&malformed)?;
+            if !saw_header {
+                let v = val
+                    .get("tesla_baseline")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| {
+                        malformed(format!("expected baseline header {BASELINE_HEADER}"))
+                    })?;
+                if v != u64::from(BASELINE_VERSION) {
+                    return Err(BaselineError::Version {
+                        line: line_no,
+                        offset: line_offset,
+                        found: u32::try_from(v).unwrap_or(u32::MAX),
+                        supported: BASELINE_VERSION,
+                    });
+                }
+                saw_header = true;
+                continue;
+            }
+            match str_field(&val, "rec").map_err(&malformed)? {
+                "hook" => b.hooks.push(HookBaseline {
+                    hook: str_field(&val, "hook").map_err(&malformed)?.to_string(),
+                    calls: u64_field(&val, "calls").map_err(&malformed)?,
+                    samples: u64_field(&val, "samples").map_err(&malformed)?,
+                    mean_ns: u64_field(&val, "mean_ns").map_err(&malformed)?,
+                    std_ns: u64_field(&val, "std_ns").map_err(&malformed)?,
+                }),
+                "class" => {
+                    let mut edges = Vec::new();
+                    let arr = val
+                        .get("edges")
+                        .ok_or_else(|| malformed("missing field `edges`".into()))?
+                        .as_array()
+                        .ok_or_else(|| malformed("field `edges` must be an array".into()))?;
+                    for e in arr {
+                        edges.push(BaselineEdge {
+                            from: u32_field(e, "from").map_err(&malformed)?,
+                            sym: u32_field(e, "sym").map_err(&malformed)?,
+                            n: u64_field(e, "n").map_err(&malformed)?,
+                        });
+                    }
+                    edges.sort_by_key(|e| (e.from, e.sym));
+                    b.classes.push(ClassBaseline {
+                        name: str_field(&val, "class").map_err(&malformed)?.to_string(),
+                        total: u64_field(&val, "total").map_err(&malformed)?,
+                        edges,
+                    });
+                }
+                other => {
+                    return Err(malformed(format!("unknown record type `{other}`")));
+                }
+            }
+        }
+        if !saw_header {
+            return Err(BaselineError::Malformed {
+                line: 1,
+                offset: 0,
+                detail: format!("empty baseline: missing header {BASELINE_HEADER}"),
+            });
+        }
+        Ok(b)
+    }
+
+    /// Read and parse a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Io`] when the file cannot be read, otherwise
+    /// whatever [`Baseline::parse`] reports.
+    pub fn load(path: &Path) -> Result<Baseline, BaselineError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| BaselineError::Io(format!("{}: {e}", path.display())))?;
+        Baseline::parse(&text)
+    }
+
+    /// Serialise and write a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), BaselineError> {
+        std::fs::write(path, self.render())
+            .map_err(|e| BaselineError::Io(format!("{}: {e}", path.display())))
+    }
+}
+
+fn round_ns(x: f64) -> u64 {
+    if x.is_finite() && x > 0.0 {
+        x.round().min(u64::MAX as f64) as u64
+    } else {
+        0
+    }
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` must be an unsigned integer"))
+}
+
+fn u32_field(obj: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(obj, key)?).map_err(|_| format!("field `{key}` is out of range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [4.0, 7.0, 13.0, 16.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 4);
+        assert!((w.mean() - 10.0).abs() < 1e-9);
+        // Population variance of [4,7,13,16] around 10: (36+9+9+36)/4.
+        assert!((w.variance() - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_push_equals_repeated_push() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for _ in 0..5 {
+            a.push(3.0);
+        }
+        for _ in 0..2 {
+            a.push(11.0);
+        }
+        b.push_weighted(3.0, 5);
+        b.push_weighted(11.0, 2);
+        assert_eq!(a.count(), b.count());
+        assert!((a.mean() - b.mean()).abs() < 1e-9);
+        assert!((a.variance() - b.variance()).abs() < 1e-9);
+    }
+
+    fn sample() -> Baseline {
+        Baseline {
+            hooks: vec![HookBaseline {
+                hook: "fn_entry".into(),
+                calls: 128,
+                samples: 2,
+                mean_ns: 512,
+                std_ns: 40,
+            }],
+            classes: vec![ClassBaseline {
+                name: "lock \"protocol\"".into(),
+                total: 9,
+                edges: vec![
+                    BaselineEdge {
+                        from: 0,
+                        sym: 1,
+                        n: 4,
+                    },
+                    BaselineEdge {
+                        from: 1,
+                        sym: 2,
+                        n: 5,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let b = sample();
+        let text = b.render();
+        assert!(text.starts_with(BASELINE_HEADER));
+        let back = Baseline::parse(&text).expect("round trip");
+        assert_eq!(b, back);
+        assert_eq!(back.class("lock \"protocol\"").unwrap().edge(1, 2), 5);
+        assert_eq!(back.class("lock \"protocol\"").unwrap().edge(3, 3), 0);
+    }
+
+    #[test]
+    fn version_bump_is_a_positioned_error() {
+        let err = Baseline::parse("{\"tesla_baseline\":2}\n").unwrap_err();
+        assert_eq!(
+            err,
+            BaselineError::Version {
+                line: 1,
+                offset: 0,
+                found: 2,
+                supported: BASELINE_VERSION
+            }
+        );
+        assert!(err.to_string().contains("unsupported baseline version 2"));
+    }
+
+    #[test]
+    fn malformed_record_is_positioned() {
+        let text = format!("{BASELINE_HEADER}\n{{\"rec\":\"hook\"}}\n");
+        match Baseline::parse(&text).unwrap_err() {
+            BaselineError::Malformed {
+                line,
+                offset,
+                detail,
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(offset, BASELINE_HEADER.len() as u64 + 1);
+                assert!(detail.contains("missing field `hook`"), "{detail}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_record_and_missing_header_are_rejected() {
+        let text = format!("{BASELINE_HEADER}\n{{\"rec\":\"mystery\"}}\n");
+        assert!(matches!(
+            Baseline::parse(&text),
+            Err(BaselineError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            Baseline::parse(""),
+            Err(BaselineError::Malformed { line: 1, .. })
+        ));
+        // A record before the header is a header error, not silently
+        // reinterpreted.
+        assert!(matches!(
+            Baseline::parse("{\"rec\":\"hook\"}\n"),
+            Err(BaselineError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_fields_are_forward_compatible() {
+        let text = format!(
+            "{BASELINE_HEADER}\n{{\"rec\":\"hook\",\"hook\":\"x\",\"calls\":1,\
+             \"samples\":1,\"mean_ns\":2,\"std_ns\":0,\"future\":\"ignored\"}}\n"
+        );
+        let b = Baseline::parse(&text).expect("unknown fields ignored");
+        assert_eq!(b.hooks.len(), 1);
+    }
+}

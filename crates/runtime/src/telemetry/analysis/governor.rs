@@ -1,0 +1,426 @@
+//! The adaptive overhead governor: a feedback controller that holds
+//! an instrumented-overhead SLO by shedding *observation* work.
+//!
+//! ## Control loop
+//!
+//! Every [`GovernorConfig::tick_events`] hook events the governor
+//! recomputes its overhead estimate from hook-latency telemetry:
+//!
+//! ```text
+//! cost     = Σ_kind p50_latency(kind) × calls(kind)      (robust)
+//! overhead = wall / max(wall − cost, wall/16)
+//! ```
+//!
+//! The p50 (not the mean) makes the estimate immune to clock-skew
+//! phantoms — a handful of injected 1 s "latencies" moves a mean by
+//! orders of magnitude but leaves the median untouched — and the
+//! `wall/16` floor bounds the estimate at 16× even if the cost model
+//! goes wild.
+//!
+//! Against the SLO the controller walks a monotone escalation ladder
+//! (with one-step hysteresis: it relaxes only below 90% of the SLO):
+//!
+//! 1. **levels 1–3** — multiply every hook's latency sampling period
+//!    (64 → 256 → 1024 → 4096): pure telemetry cost;
+//! 2. **levels 4–7** — deliver only 1-in-{2,4,8,16} in-place `Update`
+//!    notifications to handlers (weights/recorder become uniformly
+//!    sampled): pure observation cost;
+//! 3. **levels 8–10** — *only* with [`GovernorConfig::allow_shed`] —
+//!    shed 1-in-{8,4,2} specialising clones, reusing the
+//!    degraded-mode soundness rules of [`crate::store`].
+//!
+//! ## Soundness
+//!
+//! Levels 1–7 never touch the automaton machinery: every event still
+//! advances every instance, so the violation list is **byte-identical**
+//! to an ungoverned run — that is the default operating envelope.
+//! Levels 8–10 shed real work; exactly as in degraded mode, shed
+//! clones can only *suppress* checks (a site miss while shedding
+//! downgrades to [`crate::LifecycleEvent::Shed`]), never fabricate a
+//! violation and never report a false pass. In-place updates — the
+//! transitions that can push an automaton past a guard — are never
+//! shed at any level.
+
+use crate::telemetry::metrics::{HookKind, MetricsRegistry, LATENCY_SAMPLE_PERIOD};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Governor parameters, validated at [`crate::Tesla::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Overhead SLO ×1000 (1200 = "hold instrumented overhead at or
+    /// below 1.2×"). Must exceed 1000.
+    pub slo_milli: u32,
+    /// Hook events between controller ticks. Must be nonzero.
+    pub tick_events: u32,
+    /// Permit the clone-shedding levels (8–10). Off by default: the
+    /// default envelope keeps violation detection exact.
+    pub allow_shed: bool,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> GovernorConfig {
+        GovernorConfig {
+            slo_milli: 1200,
+            tick_events: 1024,
+            allow_shed: false,
+        }
+    }
+}
+
+/// One recorded controller action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorDecision {
+    /// Hook-event count at the tick.
+    pub at_event: u64,
+    /// Overhead estimate that triggered the move (×1000).
+    pub overhead_milli: u64,
+    /// Escalation level after the move.
+    pub level: u32,
+    /// Per-hook latency sampling period now in force.
+    pub sample_period: u32,
+    /// Update-notification delivery period (1 = all).
+    pub notify_period: u32,
+    /// Clone-shed period (0 = off).
+    pub shed_period: u32,
+}
+
+/// Escalation ceiling without / with `allow_shed`.
+const MAX_LEVEL_EXACT: u32 = 7;
+const MAX_LEVEL_SHED: u32 = 10;
+/// Bounded decision log.
+const MAX_DECISIONS: usize = 256;
+
+/// The feedback controller. One per engine, shared by every hook.
+#[derive(Debug)]
+pub struct Governor {
+    cfg: GovernorConfig,
+    start: Instant,
+    events: AtomicU64,
+    level: AtomicU32,
+    notify_period: AtomicU32,
+    notify_tick: AtomicU64,
+    shed_period: AtomicU32,
+    shed_tick: AtomicU64,
+    overhead_milli: AtomicU64,
+    in_tick: AtomicBool,
+    decisions: Mutex<Vec<GovernorDecision>>,
+}
+
+impl Governor {
+    /// Fresh controller at level 0 (nothing shed, base sampling).
+    pub fn new(cfg: GovernorConfig) -> Governor {
+        Governor {
+            cfg,
+            start: Instant::now(),
+            events: AtomicU64::new(0),
+            level: AtomicU32::new(0),
+            notify_period: AtomicU32::new(1),
+            notify_tick: AtomicU64::new(0),
+            shed_period: AtomicU32::new(0),
+            shed_tick: AtomicU64::new(0),
+            overhead_milli: AtomicU64::new(1000),
+            in_tick: AtomicBool::new(false),
+            decisions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GovernorConfig {
+        &self.cfg
+    }
+
+    /// Actuator settings for a level: (latency sample period,
+    /// update-notify period, clone-shed period).
+    fn settings(level: u32) -> (u32, u32, u32) {
+        let sample = LATENCY_SAMPLE_PERIOD << (2 * level.min(3));
+        let notify = match level {
+            0..=3 => 1,
+            4 => 2,
+            5 => 4,
+            6 => 8,
+            _ => 16,
+        };
+        let shed = match level {
+            0..=7 => 0,
+            8 => 8,
+            9 => 4,
+            _ => 2,
+        };
+        (sample, notify, shed)
+    }
+
+    /// Count one hook event; run a controller tick every
+    /// `tick_events`. Called from the engine's hook prologue.
+    #[inline]
+    pub fn on_event(&self, metrics: &MetricsRegistry) {
+        let n = self.events.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % u64::from(self.cfg.tick_events.max(1)) == 0 {
+            self.tick(n, metrics);
+        }
+    }
+
+    /// Should this in-place `Update` notification be delivered?
+    /// Counts 1-in-`notify_period`; always true at level ≤ 3.
+    #[inline]
+    pub fn admit_update(&self) -> bool {
+        let p = self.notify_period.load(Ordering::Relaxed);
+        if p <= 1 {
+            return true;
+        }
+        self.notify_tick.fetch_add(1, Ordering::Relaxed) % u64::from(p) == 0
+    }
+
+    /// Current clone-shed period (0 unless `allow_shed` escalated).
+    #[inline]
+    pub fn shed_period(&self) -> u32 {
+        self.shed_period.load(Ordering::Relaxed)
+    }
+
+    /// Should this specialising clone be shed? Counts
+    /// 1-in-[`Governor::shed_period`] on a phase that rolls across
+    /// scope generations — scoped automata that clone once per scope
+    /// still shed their share, which a per-scope counter would miss.
+    #[inline]
+    pub fn shed_clone(&self) -> bool {
+        let p = self.shed_period.load(Ordering::Relaxed);
+        if p == 0 {
+            return false;
+        }
+        self.shed_tick.fetch_add(1, Ordering::Relaxed) % u64::from(p) == 0
+    }
+
+    /// Latest overhead estimate ×1000.
+    pub fn overhead_milli(&self) -> u64 {
+        self.overhead_milli.load(Ordering::Relaxed)
+    }
+
+    /// Current escalation level.
+    pub fn level(&self) -> u32 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Hook events seen so far.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// The recorded controller actions (bounded at 256).
+    pub fn decisions(&self) -> Vec<GovernorDecision> {
+        self.decisions.lock().map(|d| d.clone()).unwrap_or_default()
+    }
+
+    /// Recompute the overhead estimate without adjusting anything —
+    /// the number `tesla run --govern` prints at exit.
+    pub fn estimate_overhead_milli(&self, metrics: &MetricsRegistry) -> u64 {
+        let estimate = self.estimate(metrics);
+        self.overhead_milli.store(estimate, Ordering::Relaxed);
+        estimate
+    }
+
+    fn estimate(&self, metrics: &MetricsRegistry) -> u64 {
+        let wall = self.start.elapsed().as_nanos().max(1);
+        let mut cost: u128 = 0;
+        for kind in HookKind::ALL {
+            let calls = metrics.hook_calls(kind);
+            if calls == 0 {
+                continue;
+            }
+            let h = metrics.hook_latency(kind);
+            if h.count == 0 {
+                continue;
+            }
+            cost += u128::from(h.quantile_ns(0.5)) * u128::from(calls);
+        }
+        // Even a wild cost model cannot report more than 16×: the
+        // app-time floor is wall/16.
+        let cost = cost.min(wall - wall / 16);
+        ((wall * 1000) / (wall - cost).max(1)).min(u64::MAX as u128) as u64
+    }
+
+    fn tick(&self, at_event: u64, metrics: &MetricsRegistry) {
+        if self.in_tick.swap(true, Ordering::Acquire) {
+            return; // another thread is mid-tick
+        }
+        let overhead = self.estimate(metrics);
+        self.overhead_milli.store(overhead, Ordering::Relaxed);
+        let slo = u64::from(self.cfg.slo_milli);
+        let max_level = if self.cfg.allow_shed {
+            MAX_LEVEL_SHED
+        } else {
+            MAX_LEVEL_EXACT
+        };
+        let level = self.level.load(Ordering::Relaxed);
+        let new_level = if overhead > slo {
+            (level + 1).min(max_level)
+        } else if overhead * 10 < slo * 9 {
+            level.saturating_sub(1)
+        } else {
+            level
+        };
+        if new_level != level {
+            let (sample, notify, shed) = Governor::settings(new_level);
+            for kind in HookKind::ALL {
+                metrics.set_sample_period(kind, sample);
+            }
+            self.notify_period.store(notify, Ordering::Relaxed);
+            self.shed_period.store(shed, Ordering::Relaxed);
+            self.level.store(new_level, Ordering::Relaxed);
+            if let Ok(mut d) = self.decisions.lock() {
+                if d.len() < MAX_DECISIONS {
+                    d.push(GovernorDecision {
+                        at_event,
+                        overhead_milli: overhead,
+                        level: new_level,
+                        sample_period: sample,
+                        notify_period: notify,
+                        shed_period: shed,
+                    });
+                }
+            }
+        }
+        self.in_tick.store(false, Ordering::Release);
+    }
+
+    /// Render the decision log as one line per action.
+    pub fn render_decisions(&self) -> String {
+        self.decisions()
+            .iter()
+            .map(|d| {
+                let shed = if d.shed_period == 0 {
+                    "off".to_string()
+                } else {
+                    format!("1/{}", d.shed_period)
+                };
+                format!(
+                    "govern: event {} overhead {} -> level {} \
+                     (latency sample 1/{}, update notify 1/{}, clone shed {})",
+                    d.at_event,
+                    fmt_overhead(d.overhead_milli),
+                    d.level,
+                    d.sample_period,
+                    d.notify_period,
+                    shed
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// `1234` → `"1.23×"`.
+pub fn fmt_overhead(milli: u64) -> String {
+    format!("{}.{:02}x", milli / 1000, (milli % 1000) / 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn escalation_ladder_is_monotone_and_ordered() {
+        let mut prev = Governor::settings(0);
+        assert_eq!(prev, (LATENCY_SAMPLE_PERIOD, 1, 0));
+        for level in 1..=MAX_LEVEL_SHED {
+            let (s, n, sh) = Governor::settings(level);
+            let (ps, pn, psh) = prev;
+            assert!(s >= ps, "sample period never relaxes on escalation");
+            assert!(n >= pn, "notify period never relaxes on escalation");
+            // Shed periods count "1 clone in N": once engaged, N only
+            // shrinks (shedding a larger share) as the level climbs.
+            assert!(
+                psh == 0 || (sh != 0 && sh <= psh),
+                "shed only tightens once engaged"
+            );
+            prev = (s, n, sh);
+        }
+        // Exact levels never shed clones.
+        for level in 0..=MAX_LEVEL_EXACT {
+            assert_eq!(Governor::settings(level).2, 0);
+        }
+    }
+
+    #[test]
+    fn heavy_hook_cost_escalates_and_adjusts_sampling() {
+        let metrics = MetricsRegistry::new();
+        // Fake an expensive world: every hook call "took" ~1 ms.
+        for _ in 0..1000 {
+            metrics.record_hook(HookKind::FnEntry, Duration::from_nanos(1_000_000));
+        }
+        let g = Governor::new(GovernorConfig {
+            slo_milli: 1100,
+            tick_events: 8,
+            allow_shed: false,
+        });
+        for _ in 0..64 {
+            g.on_event(&metrics);
+        }
+        assert!(g.overhead_milli() > 1100, "estimate {}", g.overhead_milli());
+        assert!(g.level() > 0, "controller escalated");
+        assert!(g.level() <= MAX_LEVEL_EXACT, "exact mode caps below shed");
+        assert_eq!(g.shed_period(), 0, "no clone shedding without allow_shed");
+        assert!(!g.decisions().is_empty());
+        assert!(
+            metrics.sample_period(HookKind::FnEntry) > LATENCY_SAMPLE_PERIOD,
+            "sampling period widened"
+        );
+        assert!(g.render_decisions().contains("govern: event"));
+    }
+
+    #[test]
+    fn idle_world_stays_at_level_zero() {
+        let metrics = MetricsRegistry::new();
+        let g = Governor::new(GovernorConfig {
+            slo_milli: 1200,
+            tick_events: 4,
+            allow_shed: true,
+        });
+        for _ in 0..64 {
+            g.on_event(&metrics);
+        }
+        assert_eq!(g.level(), 0);
+        assert_eq!(g.shed_period(), 0);
+        assert!(g.decisions().is_empty());
+        assert!(g.admit_update(), "level 0 admits every update");
+    }
+
+    #[test]
+    fn allow_shed_reaches_the_shed_levels() {
+        let metrics = MetricsRegistry::new();
+        for _ in 0..1000 {
+            metrics.record_hook(HookKind::FnEntry, Duration::from_nanos(1_000_000));
+        }
+        let g = Governor::new(GovernorConfig {
+            slo_milli: 1100,
+            tick_events: 2,
+            allow_shed: true,
+        });
+        for _ in 0..64 {
+            g.on_event(&metrics);
+        }
+        assert_eq!(g.level(), MAX_LEVEL_SHED);
+        assert!(g.shed_period() > 0);
+        // 1-in-16 update notifications at the top of the ladder.
+        let admitted = (0..160).filter(|_| g.admit_update()).count();
+        assert_eq!(admitted, 10);
+        // 1-in-2 clone shedding, on a phase that is independent of
+        // scope churn: exactly half of any draw sequence sheds.
+        let shed = (0..10).filter(|_| g.shed_clone()).count();
+        assert_eq!(shed, 5);
+    }
+
+    #[test]
+    fn shed_clone_is_inert_below_the_shed_levels() {
+        let g = Governor::new(GovernorConfig::default());
+        assert!((0..32).all(|_| !g.shed_clone()));
+    }
+
+    #[test]
+    fn overhead_formatting() {
+        assert_eq!(fmt_overhead(1000), "1.00x");
+        assert_eq!(fmt_overhead(1234), "1.23x");
+        assert_eq!(fmt_overhead(16000), "16.00x");
+    }
+}

@@ -12,7 +12,7 @@ use crate::telemetry::recorder::RecordedEvent;
 use std::fmt::Write as _;
 
 /// Escape a Prometheus label value.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
@@ -49,7 +49,21 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+/// Emit one histogram family, **rescaled to estimated totals**: the
+/// histogram only observed `h.count` of `calls` invocations (1-in-N
+/// per-thread sampling), so every bucket and the sum are multiplied
+/// by the observed sampling factor `calls / h.count`. Without this,
+/// Prometheus rates computed from the buckets under-report by the
+/// sampling period (~64×). `_count` equals `calls` exactly, keeping
+/// the `+Inf` bucket invariant.
+fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot, calls: u64) {
+    let factor = if h.count > 0 && calls > h.count {
+        calls as f64 / h.count as f64
+    } else {
+        1.0
+    };
+    let scale = |n: u64| (n as f64 * factor).round() as u64;
+    let total = calls.max(h.count);
     let mut cumulative = 0u64;
     for (i, b) in h.buckets.iter().enumerate() {
         if i + 1 == h.buckets.len() {
@@ -61,14 +75,15 @@ fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) 
         }
         let _ = writeln!(
             out,
-            "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}",
-            1u64 << i
+            "{name}_bucket{{{labels}le=\"{}\"}} {}",
+            1u64 << i,
+            scale(cumulative)
         );
     }
-    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {total}");
     let bare = labels.trim_end_matches(',');
-    let _ = writeln!(out, "{name}_sum{{{bare}}} {}", h.sum_ns);
-    let _ = writeln!(out, "{name}_count{{{bare}}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum{{{bare}}} {}", scale(h.sum_ns));
+    let _ = writeln!(out, "{name}_count{{{bare}}} {total}");
 }
 
 /// Render a metrics snapshot in the Prometheus text exposition
@@ -131,7 +146,8 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
     }
     let _ = writeln!(
         out,
-        "# HELP tesla_hook_latency_ns Hook latency, log2 nanosecond buckets."
+        "# HELP tesla_hook_latency_ns Hook latency, log2 nanosecond buckets \
+         (estimated: sampled 1-in-N and rescaled by the observed sampling factor)."
     );
     let _ = writeln!(out, "# TYPE tesla_hook_latency_ns histogram");
     for h in &s.hooks {
@@ -143,6 +159,42 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
             "tesla_hook_latency_ns",
             &format!("hook=\"{}\",", esc(&h.hook)),
             &h.latency,
+            h.calls,
+        );
+    }
+    for (name, q) in [
+        ("tesla_hook_latency_p50_ns", 0.50),
+        ("tesla_hook_latency_p95_ns", 0.95),
+        ("tesla_hook_latency_p99_ns", 0.99),
+    ] {
+        let _ = writeln!(
+            out,
+            "# HELP {name} Estimated hook latency quantile (log2 bucket midpoint)."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for h in &s.hooks {
+            if h.latency.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{name}{{hook=\"{}\"}} {}",
+                esc(&h.hook),
+                h.latency.quantile_ns(q)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP tesla_hook_sample_period Latency sampling period in force (one timed call in N; adjusted by the overhead governor)."
+    );
+    let _ = writeln!(out, "# TYPE tesla_hook_sample_period gauge");
+    for h in &s.hooks {
+        let _ = writeln!(
+            out,
+            "tesla_hook_sample_period{{hook=\"{}\"}} {}",
+            esc(&h.hook),
+            h.sample_period
         );
     }
 
@@ -187,9 +239,12 @@ pub fn prometheus(s: &MetricsSnapshot) -> String {
 fn json_histogram(h: &HistogramSnapshot) -> String {
     let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
     format!(
-        "{{\"count\":{},\"sum_ns\":{},\"buckets\":[{}]}}",
+        "{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"buckets\":[{}]}}",
         h.count,
         h.sum_ns,
+        h.p50_ns(),
+        h.p95_ns(),
+        h.p99_ns(),
         buckets.join(",")
     )
 }
@@ -212,9 +267,10 @@ pub fn json(s: &MetricsSnapshot) -> String {
         let sep = if i + 1 == s.hooks.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"hook\":\"{}\",\"calls\":{},\"latency\":{}}}{sep}",
+            "    {{\"hook\":\"{}\",\"calls\":{},\"sample_period\":{},\"latency\":{}}}{sep}",
             json_escape(&h.hook),
             h.calls,
+            h.sample_period,
             json_histogram(&h.latency)
         );
     }
@@ -596,6 +652,7 @@ mod tests {
             hooks: vec![HookSnapshot {
                 hook: name.to_string(),
                 calls: 3,
+                sample_period: 64,
                 latency: HistogramSnapshot {
                     buckets: vec![0, 1, 0],
                     count: 1,

@@ -11,7 +11,7 @@ use crate::handlers::EventHandler;
 use crate::telemetry::weights::{ClassWeights, TransitionWeights, MAX_DENSE_CLASSES};
 use serde::Serialize;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tesla_automata::Automaton;
@@ -26,7 +26,18 @@ const COUNTER_STRIPES: usize = 16;
 /// first). Call counts remain exact; only the histogram is a sample.
 /// Two `Instant::now()` reads per hook would otherwise dominate the
 /// hook's own cost on the OLTP macrobenchmark.
+///
+/// This is the *default* period; the effective per-kind period lives
+/// in [`MetricsRegistry::sample_period`] so the overhead governor can
+/// widen it at runtime.
 pub const LATENCY_SAMPLE_PERIOD: u32 = 64;
+
+/// Cap on what one observation may add to a histogram's `sum_ns`:
+/// the floor of the top bucket (2³⁸ ns ≈ 4.6 min). A wild duration —
+/// an injected clock skew, a suspended thread — still lands in the
+/// top bucket, but can no longer poison the sum (and through it any
+/// mean-based overhead estimate) by orders of magnitude.
+const SUM_SATURATE_NS: u64 = 1 << (LATENCY_BUCKETS - 2);
 
 static NEXT_STRIPE: AtomicU64 = AtomicU64::new(0);
 
@@ -133,13 +144,17 @@ impl LatencyHistogram {
         }
     }
 
-    /// Record one duration (relaxed atomics only).
+    /// Record one duration (relaxed atomics only). The bucket index
+    /// clamps into the top bucket and the sum contribution saturates
+    /// at [`SUM_SATURATE_NS`], so a wild observation cannot poison
+    /// the aggregate.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
         let idx = (64 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(ns.min(SUM_SATURATE_NS), Ordering::Relaxed);
     }
 
     /// Point-in-time copy.
@@ -164,8 +179,64 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
     /// Total recorded durations.
     pub count: u64,
-    /// Sum of recorded nanoseconds.
+    /// Sum of recorded nanoseconds (each observation's contribution
+    /// saturated at the top bucket's floor).
     pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Lower bound of bucket `i` in ns (`0` for bucket 0).
+    pub fn bucket_floor_ns(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Midpoint of bucket `i` in ns — the representative value used
+    /// for derived statistics (quantiles, means) over the log₂
+    /// buckets: 0, 1, then `3·2^(i-2)`.
+    pub fn bucket_midpoint_ns(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 3u64 << (i - 2),
+        }
+    }
+
+    /// Derived quantile estimate: the midpoint of the bucket holding
+    /// the `q`-quantile observation (`q` in `0.0..=1.0`). A coarse
+    /// estimate — log₂ buckets bound it within 2× — but robust: a few
+    /// wild outliers move the top buckets, not the median.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return HistogramSnapshot::bucket_midpoint_ns(i);
+            }
+        }
+        HistogramSnapshot::bucket_midpoint_ns(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Median latency estimate.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile latency estimate.
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile latency estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
 }
 
 /// Per-class lifecycle counters and the live-instance gauge.
@@ -332,8 +403,12 @@ pub struct HookSnapshot {
     pub hook: String,
     /// Calls into the hook (exact).
     pub calls: u64,
-    /// Latency distribution (sampled one-in-[`LATENCY_SAMPLE_PERIOD`]
-    /// per thread, so `latency.count <= calls`).
+    /// Latency sampling period in force when the snapshot was taken
+    /// (one timed invocation per `sample_period` per thread; the
+    /// overhead governor may have widened it from
+    /// [`LATENCY_SAMPLE_PERIOD`]).
+    pub sample_period: u32,
+    /// Latency distribution (sampled, so `latency.count <= calls`).
     pub latency: HistogramSnapshot,
 }
 
@@ -369,6 +444,10 @@ pub struct MetricsSnapshot {
 pub struct MetricsRegistry {
     hook_calls: Box<[HookCallStripe]>,
     hook_latency: [LatencyHistogram; N_HOOKS],
+    /// Effective per-kind latency sampling periods. Default
+    /// [`LATENCY_SAMPLE_PERIOD`]; the overhead governor widens them
+    /// to trade histogram resolution for timer cost.
+    sample_period: [AtomicU32; N_HOOKS],
     classes: Box<[OnceLock<Arc<ClassMetrics>>]>,
     weights: TransitionWeights,
     violations: AtomicU64,
@@ -394,6 +473,7 @@ impl MetricsRegistry {
                 })
                 .collect(),
             hook_latency: std::array::from_fn(|_| LatencyHistogram::new()),
+            sample_period: std::array::from_fn(|_| AtomicU32::new(LATENCY_SAMPLE_PERIOD)),
             classes: (0..MAX_DENSE_CLASSES).map(|_| OnceLock::new()).collect(),
             weights: TransitionWeights::new(),
             violations: AtomicU64::new(0),
@@ -415,7 +495,9 @@ impl MetricsRegistry {
     /// Count a hook invocation and start timing it if this thread's
     /// sampling countdown fires; the guard records on drop, so early
     /// returns are still measured. Calls are always counted exactly;
-    /// latency is sampled one-in-[`LATENCY_SAMPLE_PERIOD`] per thread.
+    /// latency is sampled one-in-[`MetricsRegistry::sample_period`]
+    /// per thread (the period is re-read at each countdown reset, so
+    /// governor adjustments take effect within one period).
     #[inline]
     pub fn timer(&self, kind: HookKind) -> HookTimer<'_> {
         let t0 = TL_METRICS.with(|tl| {
@@ -423,7 +505,8 @@ impl MetricsRegistry {
             let cell = &tl.sample[kind as usize];
             let v = cell.get();
             if v == 0 {
-                cell.set(LATENCY_SAMPLE_PERIOD - 1);
+                let period = self.sample_period[kind as usize].load(Ordering::Relaxed);
+                cell.set(period.max(1) - 1);
                 Some(Instant::now())
             } else {
                 cell.set(v - 1);
@@ -435,6 +518,17 @@ impl MetricsRegistry {
             kind,
             t0,
         }
+    }
+
+    /// The latency sampling period in force for `kind`.
+    pub fn sample_period(&self, kind: HookKind) -> u32 {
+        self.sample_period[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Set the latency sampling period for `kind` (clamped to ≥ 1).
+    /// Threads pick the new period up at their next countdown reset.
+    pub fn set_sample_period(&self, kind: HookKind, period: u32) {
+        self.sample_period[kind as usize].store(period.max(1), Ordering::Relaxed);
     }
 
     /// Calls into `kind` so far (exact: sums the thread stripes).
@@ -561,6 +655,7 @@ impl MetricsRegistry {
             .map(|&k| HookSnapshot {
                 hook: k.label().to_string(),
                 calls: self.hook_calls(k),
+                sample_period: self.sample_period(k),
                 latency: self.hook_latency(k),
             })
             .collect();
@@ -692,8 +787,11 @@ pub struct HookTimer<'a> {
 impl Drop for HookTimer<'_> {
     fn drop(&mut self) {
         if let Some(t0) = self.t0 {
-            self.registry.hook_latency[self.kind as usize]
-                .record_ns(t0.elapsed().as_nanos() as u64);
+            // Saturating, not wrapping: a clock that jumps (suspend,
+            // injected skew) must land in the top bucket, never wrap
+            // into a plausible-looking small value.
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.registry.hook_latency[self.kind as usize].record_ns(ns);
         }
     }
 }
@@ -720,6 +818,62 @@ mod tests {
         assert_eq!(s.buckets[2], 2);
         assert_eq!(s.buckets[21], 1);
         assert_eq!(s.buckets[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn wild_durations_saturate_the_sum_and_leave_the_median_alone() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_ns(512);
+        }
+        h.record_ns(u64::MAX); // a clock-skew phantom
+        let s = h.snapshot();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.buckets[LATENCY_BUCKETS - 1], 1);
+        // The sum absorbed at most the top bucket's floor, not
+        // u64::MAX (which would wrap every later observation away).
+        assert!(s.sum_ns <= 100 * 512 + SUM_SATURATE_NS);
+        assert_eq!(s.p50_ns(), HistogramSnapshot::bucket_midpoint_ns(10));
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record_ns(2); // bucket 2
+        }
+        for _ in 0..45 {
+            h.record_ns(1000); // bucket 10
+        }
+        for _ in 0..5 {
+            h.record_ns(1 << 20); // bucket 21
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50_ns(), HistogramSnapshot::bucket_midpoint_ns(2));
+        assert_eq!(s.p95_ns(), HistogramSnapshot::bucket_midpoint_ns(10));
+        assert_eq!(s.p99_ns(), HistogramSnapshot::bucket_midpoint_ns(21));
+        let empty = HistogramSnapshot {
+            buckets: vec![],
+            count: 0,
+            sum_ns: 0,
+        };
+        assert_eq!(empty.p50_ns(), 0);
+    }
+
+    #[test]
+    fn sample_period_is_adjustable_per_kind() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.sample_period(HookKind::FnEntry), LATENCY_SAMPLE_PERIOD);
+        r.set_sample_period(HookKind::FnEntry, 4096);
+        assert_eq!(r.sample_period(HookKind::FnEntry), 4096);
+        r.set_sample_period(HookKind::FnEntry, 0);
+        assert_eq!(r.sample_period(HookKind::FnEntry), 1, "clamped to >= 1");
+        assert_eq!(
+            r.sample_period(HookKind::FnExit),
+            LATENCY_SAMPLE_PERIOD,
+            "other kinds untouched"
+        );
+        assert_eq!(r.snapshot().hooks[0].sample_period, 1);
     }
 
     #[test]

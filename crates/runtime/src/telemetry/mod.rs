@@ -22,12 +22,20 @@
 //!   on demand.
 //! * [`export`] — Prometheus text exposition, JSON snapshots, JSONL
 //!   event dumps and chrome://tracing trace-event output.
+//! * [`analysis`] — the layer that *consumes* all of the above
+//!   online: healthy-run baselines, the TESLA-A00x anomaly scorer,
+//!   and the adaptive overhead governor.
 
+pub mod analysis;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod weights;
 
+pub use analysis::{
+    Anomaly, AnomalyCode, AnomalyReport, Baseline, BaselineError, ClassScore, Governor,
+    GovernorConfig, GovernorDecision, ScorerConfig, Welford,
+};
 pub use metrics::{
     ClassMetrics, ClassSnapshot, HistogramSnapshot, HookKind, HookSnapshot, HookTimer,
     MetricsRegistry, MetricsSnapshot, TransitionCount,

@@ -196,6 +196,71 @@ fn quota_lru_sheds_and_never_exceeds() {
     assert!(!t.violations().is_empty());
 }
 
+/// Clock-skew hardening: a skew-heavy plan (a wild 1 µs–1 s phantom
+/// sample every other hook event) cannot poison the telemetry
+/// aggregates or runaway the governor. The histogram sum saturates
+/// per observation at the top bucket's floor, and the governor's
+/// overhead estimate — p50-based with a wall/16 app-time floor —
+/// stays at or below its 16× cap, so the controller escalates but
+/// never past the exact ceiling it was configured with.
+#[test]
+fn clock_skew_saturates_sums_and_bounds_the_governor() {
+    use tesla_runtime::telemetry::metrics::LATENCY_BUCKETS;
+    use tesla_runtime::{FaultKind, GovernorConfig};
+    tesla_runtime::faults::silence_injected_panics();
+    tesla_runtime::engine::reset_thread_state();
+
+    let t = Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        instance_capacity: 64,
+        telemetry: true,
+        governor: Some(GovernorConfig {
+            slo_milli: 1200,
+            tick_events: 32,
+            allow_shed: false,
+        }),
+        faults: Some(Arc::new(FaultPlan::new(
+            42,
+            FaultSpec::none().with(FaultKind::ClockSkew, 2),
+        ))),
+        ..Config::default()
+    }));
+    let id = t.register(compile(&chaos_assertion()).unwrap()).unwrap();
+    workload(&t, id);
+
+    let ledger = t.fault_plan().unwrap().ledger();
+    assert!(ledger.total_injected() > 0, "the skew plan must fire");
+    assert!(ledger.balanced());
+
+    // Per-observation saturation: even if *every* sample were a wild
+    // 1 s phantom, the sum can absorb at most the top bucket's floor
+    // per sample — never u64-wrapping territory.
+    let saturate = 1u64 << (LATENCY_BUCKETS - 2);
+    let snap = t.metrics().snapshot();
+    for h in &snap.hooks {
+        assert!(
+            h.latency.sum_ns <= h.latency.count.saturating_mul(saturate),
+            "{}: sum {} exceeds {} × saturation floor",
+            h.hook,
+            h.latency.sum_ns,
+            h.latency.count
+        );
+    }
+
+    // Governor robustness: the estimate is capped at 16× by the
+    // wall/16 app-time floor, so phantom latencies can escalate the
+    // controller (that is fine — they look like real cost) but can
+    // neither blow up the estimate nor breach the exact ceiling.
+    let g = t.governor().expect("governor configured");
+    let est = g.estimate_overhead_milli(t.metrics());
+    assert!(
+        (1000..=16_000).contains(&est),
+        "estimate {est} out of range"
+    );
+    assert!(g.level() <= 7, "exact ceiling breached under skew");
+    assert_eq!(g.shed_period(), 0, "skew must not unlock clone shedding");
+}
+
 /// The Error policy (default) keeps the strict §4.4.1 semantics:
 /// exceeding the quota is an overflow report, never an eviction.
 #[test]

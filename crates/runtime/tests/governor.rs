@@ -1,0 +1,150 @@
+//! Engine-level properties of the adaptive overhead governor.
+//!
+//! The exact levels (1–7) must leave violation detection byte-for-byte
+//! identical to an ungoverned run: they shed *observation* (latency
+//! sampling, update notifications), never automaton work. The shed
+//! levels (8–10, `allow_shed`) reuse degraded-mode soundness — a
+//! suppressed check downgrades to `Shed`, never to a false verdict in
+//! either direction.
+
+use std::sync::Arc;
+use tesla_automata::compile;
+use tesla_runtime::{Config, FailMode, GovernorConfig, Tesla};
+use tesla_spec::{call, AssertionBuilder, Value};
+
+fn governed_assertion() -> tesla_spec::Assertion {
+    AssertionBuilder::within("txn")
+        .named("governor/checked-before-use")
+        .previously(call("check").arg_var("x").returns(0))
+        .build()
+        .unwrap()
+}
+
+fn engine(governor: Option<GovernorConfig>) -> Arc<Tesla> {
+    Arc::new(Tesla::new(Config {
+        fail_mode: FailMode::Log,
+        telemetry: true,
+        governor,
+        ..Config::default()
+    }))
+}
+
+/// Healthy traffic with seeded violating sites: every 43rd iteration
+/// reaches the assertion site with a value `check` never blessed.
+fn drive(t: &Tesla, iters: u64) -> Vec<String> {
+    let id = t.register(compile(&governed_assertion()).unwrap()).unwrap();
+    let txn = t.intern_fn("txn");
+    let check = t.intern_fn("check");
+    for i in 0..iters {
+        let _ = t.fn_entry(txn, &[]);
+        let x = Value(i % 8);
+        let _ = t.fn_entry(check, &[x]);
+        let _ = t.fn_exit(check, &[x], Value(0));
+        let _ = t.assertion_site(id, &[x]);
+        if i % 43 == 0 {
+            let _ = t.assertion_site(id, &[Value(50_000 + i)]);
+        }
+        let _ = t.fn_exit(txn, &[], Value(0));
+    }
+    t.violations().iter().map(|v| v.to_string()).collect()
+}
+
+#[test]
+fn exact_levels_keep_violations_byte_identical() {
+    tesla_runtime::engine::reset_thread_state();
+    let base = engine(None);
+    let baseline = drive(&base, 6_000);
+    assert!(!baseline.is_empty(), "workload must produce violations");
+
+    tesla_runtime::engine::reset_thread_state();
+    // A 1.05x SLO against a hook-dominated loop: the controller is
+    // forced up the ladder, and without `allow_shed` must stop at the
+    // exact ceiling.
+    let gov = engine(Some(GovernorConfig {
+        slo_milli: 1050,
+        tick_events: 64,
+        allow_shed: false,
+    }));
+    let governed = drive(&gov, 6_000);
+
+    let g = gov.governor().expect("governor configured");
+    assert!(g.level() > 0, "controller never escalated");
+    assert!(
+        g.level() <= 7,
+        "exact ceiling breached: level {}",
+        g.level()
+    );
+    assert_eq!(g.shed_period(), 0, "clone shedding without allow_shed");
+    assert!(!g.decisions().is_empty());
+    assert_eq!(
+        baseline, governed,
+        "exact governor levels changed the violation list"
+    );
+}
+
+#[test]
+fn allow_shed_suppresses_checks_but_never_fabricates_violations() {
+    tesla_runtime::engine::reset_thread_state();
+    let gov = engine(Some(GovernorConfig {
+        slo_milli: 1001,
+        tick_events: 1,
+        allow_shed: true,
+    }));
+    // Healthy workload only: every site is genuinely satisfiable, so
+    // any violation would be a false positive introduced by shedding.
+    let id = gov
+        .register(compile(&governed_assertion()).unwrap())
+        .unwrap();
+    let txn = gov.intern_fn("txn");
+    let check = gov.intern_fn("check");
+    for i in 0..4_000u64 {
+        let _ = gov.fn_entry(txn, &[]);
+        let x = Value(i % 16);
+        let _ = gov.fn_entry(check, &[x]);
+        let _ = gov.fn_exit(check, &[x], Value(0));
+        let _ = gov.assertion_site(id, &[x]);
+        let _ = gov.fn_exit(txn, &[], Value(0));
+    }
+    let g = gov.governor().expect("governor configured");
+    assert!(
+        g.level() > 7,
+        "tick-per-event at a 1.001x SLO must reach the shed levels (level {})",
+        g.level()
+    );
+    assert!(g.shed_period() > 0);
+    let snap = gov.metrics().snapshot();
+    let shed: u64 = snap.classes.iter().map(|c| c.shed).sum();
+    assert!(shed > 0, "shed levels engaged but nothing was shed");
+    assert!(
+        gov.violations().is_empty(),
+        "governor shedding fabricated violations: {:?}",
+        gov.violations()
+    );
+}
+
+#[test]
+fn governor_reporting_surfaces_are_populated() {
+    tesla_runtime::engine::reset_thread_state();
+    let gov = engine(Some(GovernorConfig {
+        slo_milli: 1050,
+        tick_events: 32,
+        allow_shed: false,
+    }));
+    drive(&gov, 2_000);
+    let g = gov.governor().unwrap();
+    let est = g.estimate_overhead_milli(gov.metrics());
+    assert!(est >= 1000, "overhead estimate below 1.0x: {est}");
+    assert!(g.events() > 0);
+    let rendered = g.render_decisions();
+    assert!(
+        rendered.contains("govern: event"),
+        "decision log empty or unrendered: {rendered:?}"
+    );
+    // The adjusted sampling periods surface in the metrics snapshot
+    // (and from there in the Prometheus export).
+    let snap = gov.metrics().snapshot();
+    assert!(
+        snap.hooks.iter().any(|h| h.sample_period > 64),
+        "escalation never widened a sampling period"
+    );
+}
