@@ -18,6 +18,7 @@
 //! first-insert-wins (both results are identical by construction).
 
 use crate::automaton::{compile, Automaton};
+use crate::compiled::CompiledDfa;
 use crate::manifest::{Manifest, ManifestEntry};
 use crate::CompileError;
 use std::collections::HashMap;
@@ -30,6 +31,11 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug, Default)]
 pub struct CompileCache {
     map: Mutex<HashMap<u64, Arc<Automaton>>>,
+    /// Dense transition matrices keyed by the same fingerprint.
+    /// `Some(None)` records "this automaton is outside the compilable
+    /// fragment" so repeated registrations skip re-running subset
+    /// construction just to fail again.
+    dfa_map: Mutex<HashMap<u64, Option<Arc<CompiledDfa>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -88,6 +94,56 @@ impl CompileCache {
             .entries
             .iter()
             .map(|e| self.get_or_compile(e))
+            .collect()
+    }
+
+    /// Compile `entry`'s automaton *and* its dense transition matrix
+    /// (when one exists), both memoised by content fingerprint. The
+    /// matrix's `None` outcome (guards / state blow-up) is memoised
+    /// too, so re-registering an uncompilable automaton costs one map
+    /// probe, not a subset construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompileCache::get_or_compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal lock was poisoned by a panicking thread.
+    pub fn get_or_compile_with_dfa(
+        &self,
+        entry: &ManifestEntry,
+    ) -> Result<(Arc<Automaton>, Option<Arc<CompiledDfa>>), (String, CompileError)> {
+        let automaton = self.get_or_compile(entry)?;
+        let key = entry.content_fingerprint();
+        if let Some(d) = self.dfa_map.lock().unwrap().get(&key) {
+            return Ok((automaton, d.clone()));
+        }
+        // Subset construction outside the lock, first-insert-wins —
+        // same discipline as the automaton map.
+        let dfa = CompiledDfa::build(&automaton).map(Arc::new);
+        let mut map = self.dfa_map.lock().unwrap();
+        Ok((automaton, map.entry(key).or_insert(dfa).clone()))
+    }
+
+    /// [`CompileCache::compile_manifest`], with each automaton paired
+    /// with its memoised transition matrix (or `None` for automata
+    /// outside the compilable fragment). Positionally aligned with
+    /// `manifest.entries`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile failure, tagged with its assertion
+    /// name.
+    #[allow(clippy::type_complexity)]
+    pub fn compile_manifest_with_dfas(
+        &self,
+        manifest: &Manifest,
+    ) -> Result<Vec<(Arc<Automaton>, Option<Arc<CompiledDfa>>)>, (String, CompileError)> {
+        manifest
+            .entries
+            .iter()
+            .map(|e| self.get_or_compile_with_dfa(e))
             .collect()
     }
 
@@ -173,6 +229,18 @@ mod tests {
         // Different names → different content → different automata.
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn dfa_memoisation_shares_matrices() {
+        let cache = CompileCache::new();
+        let m = manifest_with(1);
+        let (a1, d1) = cache.get_or_compile_with_dfa(&m.entries[0]).unwrap();
+        let (a2, d2) = cache.get_or_compile_with_dfa(&m.entries[0]).unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let (d1, d2) = (d1.expect("guard-free"), d2.expect("guard-free"));
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert!(d1.n_states() >= 2);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod analysis;
 pub mod automaton;
 pub mod bitset;
 pub mod cache;
+pub mod compiled;
 pub mod dfa;
 pub mod dot;
 pub mod manifest;
@@ -80,6 +81,7 @@ pub use analysis::{
 pub use automaton::{compile, Automaton, Bound};
 pub use bitset::StateSet;
 pub use cache::CompileCache;
+pub use compiled::CompiledDfa;
 pub use dfa::Dfa;
 pub use manifest::{fnv1a, Fnv64, Manifest};
 pub use symbol::{

@@ -1,0 +1,129 @@
+//! Batched dispatch — the compiled-automata drain against per-event
+//! hook dispatch, on the 96-assertion Global saturation corpus with
+//! telemetry attached. Three shapes:
+//!
+//! * `per_event/*` — the pre-batching architecture: every hook pays
+//!   the full prologue inline, interpreted or compiled stepping.
+//! * `stage_drain/N` — producer stages one chunk on its ring, the
+//!   engine drains it in batches of `N` (the `Config::batch_size`
+//!   knob); the pair is one iteration since criterion cannot split.
+//! * `dispatch_batch/256` — the batch dispatcher alone on a prebuilt
+//!   [`BatchBuf`], isolating the amortised hook prologue from ring
+//!   decode.
+//!
+//! The companion table lives in EXPERIMENTS.md; `repro saturation`
+//! prints the multi-producer rows and gates the 8-producer ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use tesla::prelude::*;
+use tesla::runtime::BatchBuf;
+
+const CLASSES: usize = 96;
+const ROUNDS: usize = 1_024; // 4 events per round
+
+/// The saturation corpus on a fresh engine: 96 Global scope/call
+/// assertions, telemetry on. `compiled: false` registers without DFA
+/// matrices (interpreted NFA stepping — the pre-PR dispatch).
+fn engine(compiled: bool, batch_size: usize) -> (Arc<Tesla>, Vec<(NameId, NameId)>) {
+    let mut config = Config {
+        fail_mode: FailMode::Log,
+        telemetry: true,
+        ..Config::default()
+    };
+    config.batch_size = batch_size;
+    let engine = Arc::new(Tesla::new(config));
+    let automata: Vec<_> = (0..CLASSES)
+        .map(|i| {
+            let a = AssertionBuilder::within(&format!("scope_{i}"))
+                .global()
+                .named(&format!("saturation/{i}"))
+                .previously(call(&format!("check_{i}")).arg_var("x").returns(0))
+                .build()
+                .unwrap();
+            tesla::automata::compile(&a).unwrap()
+        })
+        .collect();
+    if compiled {
+        engine.register_batch(automata).unwrap();
+    } else {
+        let pairs = automata
+            .into_iter()
+            .map(|a| (Arc::new(a), None::<Arc<tesla::automata::CompiledDfa>>))
+            .collect();
+        engine.register_batch_compiled(pairs).unwrap();
+    }
+    let names = (0..CLASSES)
+        .map(|i| {
+            (
+                engine.intern_fn(&format!("scope_{i}")),
+                engine.intern_fn(&format!("check_{i}")),
+            )
+        })
+        .collect();
+    (engine, names)
+}
+
+fn bench_batched_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_dispatch");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Elements((ROUNDS * 4) as u64));
+
+    for (label, compiled) in [("interpreted", false), ("compiled", true)] {
+        let (e, names) = engine(compiled, 256);
+        g.bench_function(format!("per_event/{label}"), |b| {
+            b.iter(|| {
+                let v = [Value(0)];
+                for r in 0..ROUNDS {
+                    let (scope, check) = names[r % CLASSES];
+                    let _ = e.fn_entry(scope, &[]);
+                    let _ = e.fn_entry(check, &v);
+                    let _ = e.fn_exit(check, &v, Value(0));
+                    let _ = e.fn_exit(scope, &[], Value(0));
+                }
+            })
+        });
+    }
+
+    for batch_size in [64usize, 256, 1024] {
+        let (e, names) = engine(true, batch_size);
+        let ingress = BatchIngress::new(ROUNDS * 8 + 64);
+        let mut producer = ingress.producer();
+        g.bench_function(format!("stage_drain/{batch_size}"), |b| {
+            b.iter(|| {
+                let v = [Value(0)];
+                for r in 0..ROUNDS {
+                    let (scope, check) = names[r % CLASSES];
+                    assert!(producer.fn_entry(scope, &[]));
+                    assert!(producer.fn_entry(check, &v));
+                    assert!(producer.fn_exit(check, &v, Value(0)));
+                    assert!(producer.fn_exit(scope, &[], Value(0)));
+                }
+                while e.drain_ingress(&ingress).unwrap() > 0 {}
+            })
+        });
+    }
+    g.finish();
+
+    let mut core = c.benchmark_group("batched_dispatch_core");
+    core.throughput(Throughput::Elements(256));
+    let (e, names) = engine(true, 256);
+    let mut batch = BatchBuf::with_capacity(256);
+    let v = [Value(0)];
+    for r in 0..64 {
+        let (scope, check) = names[r % CLASSES];
+        batch.push_fn_entry(scope, &[]);
+        batch.push_fn_entry(check, &v);
+        batch.push_fn_exit(check, &v, Value(0));
+        batch.push_fn_exit(scope, &[], Value(0));
+    }
+    core.bench_function("dispatch_batch/256", |b| {
+        b.iter(|| e.dispatch_batch(&batch).unwrap())
+    });
+    core.finish();
+}
+
+criterion_group!(benches, bench_batched_dispatch);
+criterion_main!(benches);

@@ -165,20 +165,27 @@ const USAGE: &str = "usage:
                                  a latency-free counters snapshot
   tesla replay  <trace.jsonl> --spec <file.c>...
                 [--violations out] [--metrics out]
+                [--batch-size N | --no-batch]
                                  re-drive a recorded event trace
                                  against the spec's automata, through
                                  the same verdict and telemetry
                                  machinery as a live run: identical
                                  violations, counters and exit status;
+                                 events are drained in batches (256 by
+                                 default) to amortise per-event costs —
+                                 --batch-size tunes the batch,
+                                 --no-batch forces per-event dispatch;
                                  malformed traces get a line/byte-offset
                                  diagnostic and exit status 2
   tesla attach  <socket> --spec <file.c>...
                 [--timeout-ms N] [--conns N]
                 [--violations out] [--metrics out]
+                [--batch-size N | --no-batch]
                                  bind a Unix socket and check live
                                  JSONL event streams as they arrive
                                  (--conns connections served in turn,
-                                 --timeout-ms per accept and per read)
+                                 --timeout-ms per accept and per read,
+                                 batching as in replay)
   tesla observe <file.c>... [--format prom|json|dot|trace]
                 [--entry main] [--arg N]... [-o out]
                 [--replay trace.jsonl] [--chaos SEED] [--faults k=p,...]
@@ -670,11 +677,16 @@ fn drive_source(
     source: &mut dyn tesla::runtime::EventSource,
     violations_out: &Option<String>,
     metrics_out: &Option<String>,
+    batch_size: Option<usize>,
 ) -> Result<(), String> {
-    let engine = Arc::new(Tesla::new(Config {
+    let mut config = Config {
         telemetry: metrics_out.is_some(),
         ..Config::default()
-    }));
+    };
+    if let Some(n) = batch_size {
+        config.batch_size = n;
+    }
+    let engine = Arc::new(Tesla::new(config));
     let result = replay_with_tesla(art, &engine, source);
     write_outputs(&engine, violations_out, metrics_out)?;
     match result {
@@ -691,11 +703,25 @@ fn drive_source(
     }
 }
 
+/// Parse a `--batch-size` operand: a dispatch batch size of at
+/// least 1.
+fn parse_batch_size(arg: Option<&String>) -> Result<usize, String> {
+    let n: usize = arg
+        .ok_or("--batch-size needs a count")?
+        .parse()
+        .map_err(|e| format!("bad --batch-size: {e}"))?;
+    if n == 0 {
+        return Err("bad --batch-size: must be at least 1".into());
+    }
+    Ok(n)
+}
+
 fn replay(rest: &[String]) -> Result<(), String> {
     let mut trace: Option<String> = None;
     let mut specs: Vec<String> = Vec::new();
     let mut violations_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut batch_size: Option<usize> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -704,6 +730,8 @@ fn replay(rest: &[String]) -> Result<(), String> {
                 violations_out = Some(it.next().ok_or("--violations needs a path")?.clone())
             }
             "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--batch-size" => batch_size = Some(parse_batch_size(it.next())?),
+            "--no-batch" => batch_size = Some(1),
             f if trace.is_none() => trace = Some(f.to_string()),
             f => return Err(format!("unexpected argument `{f}` (specs go via --spec)")),
         }
@@ -712,7 +740,14 @@ fn replay(rest: &[String]) -> Result<(), String> {
     let art = build_specs(&specs).map_err(|e| format!("replay {e}"))?;
     let mut src = tesla::runtime::JsonlSource::open(std::path::Path::new(&trace))
         .map_err(|e| e.to_string())?;
-    drive_source("replayed", &art, &mut src, &violations_out, &metrics_out)
+    drive_source(
+        "replayed",
+        &art,
+        &mut src,
+        &violations_out,
+        &metrics_out,
+        batch_size,
+    )
 }
 
 #[cfg(unix)]
@@ -723,6 +758,7 @@ fn attach(rest: &[String]) -> Result<(), String> {
     let mut metrics_out: Option<String> = None;
     let mut timeout_ms: Option<u64> = None;
     let mut conns: Option<u64> = None;
+    let mut batch_size: Option<usize> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -731,6 +767,8 @@ fn attach(rest: &[String]) -> Result<(), String> {
                 violations_out = Some(it.next().ok_or("--violations needs a path")?.clone())
             }
             "--metrics" => metrics_out = Some(it.next().ok_or("--metrics needs a path")?.clone()),
+            "--batch-size" => batch_size = Some(parse_batch_size(it.next())?),
+            "--no-batch" => batch_size = Some(1),
             "--timeout-ms" => {
                 timeout_ms = Some(
                     it.next()
@@ -763,7 +801,14 @@ fn attach(rest: &[String]) -> Result<(), String> {
         src = src.max_conns(n);
     }
     eprintln!("listening on {socket}");
-    drive_source("attached", &art, &mut src, &violations_out, &metrics_out)
+    drive_source(
+        "attached",
+        &art,
+        &mut src,
+        &violations_out,
+        &metrics_out,
+        batch_size,
+    )
 }
 
 #[cfg(not(unix))]

@@ -78,11 +78,12 @@ pub mod prelude {
     #[cfg(unix)]
     pub use tesla_runtime::SocketSource;
     pub use tesla_runtime::{
-        AnomalyReport, Baseline, BaselineError, BufferedSource, ClassId, Config, ConfigError,
-        CountingHandler, DriveError, EventSource, EvictionPolicy, FailMode, FaultKind, FaultLedger,
-        FaultPlan, FaultSpec, FlightRecorder, Governor, GovernorConfig, IngressError, IngressEvent,
-        IngressEventRef, IngressStats, InitMode, JsonlSource, MetricsRegistry, MetricsSnapshot,
-        NameCache, RecordingHandler, ScorerConfig, Tesla, TraceWriter, Violation, ViolationKind,
+        AnomalyReport, Baseline, BaselineError, BatchIngress, BufferedSource, ClassId, Config,
+        ConfigError, CountingHandler, DriveError, EventProducer, EventSource, EvictionPolicy,
+        FailMode, FaultKind, FaultLedger, FaultPlan, FaultSpec, FlightRecorder, Governor,
+        GovernorConfig, IngressError, IngressEvent, IngressEventRef, IngressStats, InitMode,
+        JsonlSource, MetricsRegistry, MetricsSnapshot, NameCache, NameId, RecordingHandler,
+        ScorerConfig, Tesla, TraceWriter, Violation, ViolationKind,
     };
     pub use tesla_spec::{
         atleast, call, field_assign, msg_send, parse_assertion, Assertion, AssertionBuilder,

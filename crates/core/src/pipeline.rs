@@ -39,7 +39,8 @@ use std::time::{Duration, Instant};
 use tesla_automata::{Automaton, CompileCache, Fnv64, Manifest};
 use tesla_cc::UnitOutput;
 use tesla_instrument::{
-    instrument_precompiled, instrument_with_elision, lint_manifest, model_check, register_manifest,
+    instrument_precompiled, instrument_with_elision, lint_manifest, model_check,
+    register_manifest_cached,
     static_check, unit_touch_set, weave_plan, AssertionReport, InstrStats, LintFinding,
     RecordingSink, RuntimeSink, StaticFinding, UnitTouchSet, WeavePlan,
 };
@@ -237,6 +238,12 @@ pub struct BuildArtifacts {
     pub timings: StageTimings,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// The build's shared compile cache: automata and their compiled
+    /// transition matrices, memoised by assertion content
+    /// fingerprint. Engine registration resolves through it so
+    /// subset construction runs once per build system, not once per
+    /// engine.
+    pub compile_cache: Arc<CompileCache>,
 }
 
 /// Build failure.
@@ -628,6 +635,7 @@ impl BuildSystem {
             lints,
             timings,
             elapsed: t0.elapsed(),
+            compile_cache: Arc::clone(&self.compile_cache),
         })
     }
 
@@ -807,7 +815,7 @@ pub fn run_with_tesla(
     // other threads see either no classes or all of them, never a
     // partially registered manifest.
     if tesla.n_classes() == 0 {
-        register_manifest(tesla, &artifacts.manifest)?;
+        register_manifest_cached(tesla, &artifacts.manifest, &artifacts.compile_cache)?;
     }
     // Surface the static checker's elision work in the run's metrics:
     // `tesla_sites_elided` in a Prometheus scrape is the count of
@@ -840,7 +848,7 @@ pub fn run_with_tesla_recorded(
     trace_out: &mut dyn std::io::Write,
 ) -> Result<i64, String> {
     if tesla.n_classes() == 0 {
-        register_manifest(tesla, &artifacts.manifest)?;
+        register_manifest_cached(tesla, &artifacts.manifest, &artifacts.compile_cache)?;
     }
     tesla
         .metrics()
@@ -894,7 +902,7 @@ pub fn replay_with_tesla(
     source: &mut dyn EventSource,
 ) -> Result<IngressStats, ReplayError> {
     if tesla.n_classes() == 0 {
-        register_manifest(tesla, &artifacts.manifest).map_err(ReplayError::Setup)?;
+        register_manifest_cached(tesla, &artifacts.manifest, &artifacts.compile_cache).map_err(ReplayError::Setup)?;
     }
     tesla
         .metrics()

@@ -360,6 +360,28 @@ pub fn register_manifest(tesla: &Tesla, manifest: &Manifest) -> Result<Vec<Class
     tesla.register_batch(automata).map_err(|e| e.to_string())
 }
 
+/// [`register_manifest`], resolving automata *and* their compiled
+/// transition matrices through a shared
+/// [`tesla_automata::CompileCache`]: the build's memoised subset
+/// constructions are reused instead of re-run per engine, so a
+/// `run` + `replay` pair (or repeated runs under one build system)
+/// pays for each DFA exactly once.
+///
+/// # Errors
+///
+/// Returns a description of the first compilation or registration
+/// failure.
+pub fn register_manifest_cached(
+    tesla: &Tesla,
+    manifest: &Manifest,
+    cache: &tesla_automata::CompileCache,
+) -> Result<Vec<ClassId>, String> {
+    let pairs = cache
+        .compile_manifest_with_dfas(manifest)
+        .map_err(|(n, e)| format!("{n}: {e}"))?;
+    tesla.register_batch_compiled(pairs).map_err(|e| e.to_string())
+}
+
 /// Bridges interpreter hook events into a libtesla engine: the
 /// deployed-program configuration (compiler weaves hooks → hooks call
 /// libtesla).

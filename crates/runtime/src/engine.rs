@@ -49,9 +49,10 @@
 use crate::event::{Violation, ViolationKind};
 use crate::faults::{FaultKind, FaultPlan, INJECTED_PANIC};
 use crate::handlers::{Dispatch, EventHandler};
+use crate::ingress::batch::{BatchBuf, BatchItem};
 use crate::intern::{Interner, NameId};
 use crate::store::Store;
-use crate::telemetry::metrics::{HookKind, HookTimer, MetricsRegistry};
+use crate::telemetry::metrics::{HookKind, HookTimer, MetricsRegistry, N_HOOKS};
 use crate::telemetry::{Governor, GovernorConfig};
 use crate::{RegisterError, MAX_VARS};
 use parking_lot::{Mutex, RwLock};
@@ -62,7 +63,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
-use tesla_automata::{Automaton, Direction, Guard, Symbol, SymbolId, SymbolKind};
+use tesla_automata::{Automaton, CompiledDfa, Direction, Guard, Symbol, SymbolId, SymbolKind};
 use tesla_spec::{ArgPattern, Context, FieldOp, Value};
 
 /// Identifies a registered automaton class.
@@ -119,6 +120,9 @@ pub enum ConfigError {
     GovernorSlo,
     /// The governor tick period was 0 — the controller divides by it.
     ZeroGovernorTick,
+    /// `batch_size` was 0 — the batched drain could never make
+    /// progress.
+    ZeroBatchSize,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -142,6 +146,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroGovernorTick => {
                 write!(f, "governor tick_events must be at least 1")
+            }
+            ConfigError::ZeroBatchSize => {
+                write!(f, "batch_size must be at least 1")
             }
         }
     }
@@ -200,6 +207,12 @@ pub struct Config {
     /// [`Config::telemetry`] on — the controller's feedback signal is
     /// the hook-latency telemetry.
     pub governor: Option<GovernorConfig>,
+    /// Maximum events drained per batch by [`Tesla::drive`] and
+    /// [`Tesla::dispatch_batch`]. Batched drain amortises snapshot
+    /// loads, telemetry counter updates and Global-shard locking over
+    /// the whole batch; `1` disables batching (every event pays the
+    /// full per-event prologue, exactly as the direct hook calls do).
+    pub batch_size: usize,
 }
 
 impl Default for Config {
@@ -215,14 +228,23 @@ impl Default for Config {
             degraded_sample: 4,
             faults: None,
             governor: None,
+            batch_size: 256,
         }
     }
 }
 
 /// A registered class: compiled automaton plus bookkeeping.
 pub struct ClassDef {
-    /// The compiled automaton.
-    pub automaton: Automaton,
+    /// The compiled automaton. Shared with the compile cache (and any
+    /// other engine registered from it) rather than cloned per
+    /// registration.
+    pub automaton: Arc<Automaton>,
+    /// Dense `(state × symbol) → state` transition matrix for the
+    /// guard-free fragment ([`CompiledDfa`]); `None` keeps this class
+    /// on the interpreted NFA path. Never a semantic fork: compiled
+    /// instances keep materialising the same [`tesla_automata::StateSet`]s
+    /// the interpreter would.
+    pub compiled: Option<Arc<CompiledDfa>>,
     /// Bound-group id.
     pub group: u32,
     /// Instance-table capacity.
@@ -408,6 +430,52 @@ impl EngineTls {
     }
 }
 
+/// Global-shard lock state threaded through one hook invocation — or,
+/// on the batched drain, through a whole batch.
+///
+/// Per-event hooks use [`ShardCache::per_event`]: every store access
+/// locks and unlocks its shard, exactly the pre-batching behaviour
+/// (including the lock-poison fault draw). The batched drain uses
+/// [`ShardCache::batched`], which *coalesces* consecutive accesses to
+/// the same shard into one held guard: a run of events against one
+/// bound group pays one lock acquisition, not one per store access.
+/// Coalescing is disabled whenever a fault plan is configured — the
+/// lock-poison fault must be drawn at every acquisition site, and a
+/// panic while a coalesced guard spans several events would poison
+/// more state than the per-event path ever could.
+struct ShardCache<'a> {
+    coalesce: bool,
+    shard: usize,
+    guard: Option<std::sync::MutexGuard<'a, Store>>,
+}
+
+impl<'a> ShardCache<'a> {
+    /// Lock-per-access semantics (the per-event hook path).
+    fn per_event() -> ShardCache<'a> {
+        ShardCache {
+            coalesce: false,
+            shard: usize::MAX,
+            guard: None,
+        }
+    }
+
+    /// Guard-coalescing semantics for the batched drain. `coalesce`
+    /// must be `false` when a fault plan is configured.
+    fn batched(coalesce: bool) -> ShardCache<'a> {
+        ShardCache {
+            coalesce,
+            shard: usize::MAX,
+            guard: None,
+        }
+    }
+
+    /// Release any held guard (the batch flush point).
+    fn release(&mut self) {
+        self.guard = None;
+        self.shard = usize::MAX;
+    }
+}
+
 /// The libtesla engine handle. Cheap to share via `Arc`; all hook
 /// methods take `&self`.
 pub struct Tesla {
@@ -482,6 +550,9 @@ impl Tesla {
         }
         if config.degraded_sample == 0 {
             return Err(ConfigError::ZeroDegradedSample);
+        }
+        if config.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
         }
         if let Some(g) = config.governor {
             if g.slo_milli <= 1000 {
@@ -582,7 +653,14 @@ impl Tesla {
         self.config.telemetry
     }
 
-    /// Hook prologue timing guard: `Some` only under telemetry. Also
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Hook prologue timing guard: `Some` only under telemetry *and*
+    /// when this invocation was picked by the latency sampler —
+    /// unsampled hooks pay no clock read and drop no guard. Also
     /// counts the event into the governor's controller, which may run
     /// a feedback tick here (every `tick_events` hook events).
     #[inline]
@@ -591,7 +669,7 @@ impl Tesla {
             g.on_event(&self.metrics);
         }
         if self.config.telemetry {
-            Some(self.metrics.timer(kind))
+            self.metrics.timer(kind)
         } else {
             None
         }
@@ -639,7 +717,32 @@ impl Tesla {
     /// Returns [`RegisterError`] if any automaton exceeds engine
     /// limits.
     pub fn register_batch(&self, automata: Vec<Automaton>) -> Result<Vec<ClassId>, RegisterError> {
-        for a in &automata {
+        let pairs = automata
+            .into_iter()
+            .map(|a| {
+                let compiled = CompiledDfa::build(&a).map(Arc::new);
+                (Arc::new(a), compiled)
+            })
+            .collect();
+        self.register_batch_compiled(pairs)
+    }
+
+    /// [`Tesla::register_batch`] over pre-shared automata with their
+    /// memoised transition matrices, as produced by
+    /// [`tesla_automata::CompileCache::compile_manifest_with_dfas`] —
+    /// the batch path that never re-runs subset construction for an
+    /// automaton the cache has already compiled (or already proved
+    /// uncompilable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError`] if any automaton exceeds engine
+    /// limits; on error nothing is registered.
+    pub fn register_batch_compiled(
+        &self,
+        pairs: Vec<(Arc<Automaton>, Option<Arc<CompiledDfa>>)>,
+    ) -> Result<Vec<ClassId>, RegisterError> {
+        for (a, _) in &pairs {
             if a.var_names.len() > MAX_VARS {
                 return Err(RegisterError::TooManyVariables(a.var_names.len()));
             }
@@ -650,9 +753,9 @@ impl Tesla {
             classes: slot.classes.clone(),
             handlers: slot.handlers.clone(),
         };
-        let mut ids = Vec::with_capacity(automata.len());
-        for a in automata {
-            ids.push(ClassId(self.register_into(&mut next, a)));
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (a, c) in pairs {
+            ids.push(ClassId(self.register_into(&mut next, a, c)));
         }
         *slot = Arc::new(next);
         self.snap_version.fetch_add(1, Ordering::Release);
@@ -660,7 +763,12 @@ impl Tesla {
     }
 
     /// Wire one automaton into a snapshot under construction.
-    fn register_into(&self, next: &mut Snapshot, automaton: Automaton) -> u32 {
+    fn register_into(
+        &self,
+        next: &mut Snapshot,
+        automaton: Arc<Automaton>,
+        compiled: Option<Arc<CompiledDfa>>,
+    ) -> u32 {
         let tables = &mut next.tables;
         let class = next.classes.len() as u32;
 
@@ -779,6 +887,7 @@ impl Tesla {
 
         next.classes.push(Arc::new(ClassDef {
             automaton,
+            compiled,
             group,
             capacity: self.config.instance_capacity,
             site_hits: AtomicU64::new(0),
@@ -828,9 +937,11 @@ impl Tesla {
     #[inline]
     pub fn fn_entry(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::FnEntry);
+        let (tls, snap) = self.tls();
+        let mut cache = ShardCache::per_event();
         let mut out = Ok(());
         for _ in 0..self.chaos_reps(HookKind::FnEntry) {
-            let r = self.fn_entry_inner(f, args);
+            let r = self.fn_entry_inner(&tls, &snap, &mut cache, f, args);
             if out.is_ok() {
                 out = r;
             }
@@ -854,8 +965,14 @@ impl Tesla {
         Err(Violation::unknown_name(what, &format!("#{}", id.0)))
     }
 
-    fn fn_entry_inner(&self, f: NameId, args: &[Value]) -> Result<(), Violation> {
-        let (tls, snap) = self.tls();
+    fn fn_entry_inner<'a>(
+        &'a self,
+        tls: &EngineTls,
+        snap: &Snapshot,
+        cache: &mut ShardCache<'a>,
+        f: NameId,
+        args: &[Value],
+    ) -> Result<(), Violation> {
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else {
             return self.check_known(f, "function");
         };
@@ -867,11 +984,11 @@ impl Tesla {
         }
         let mut first = None;
         for &g in &ft.bound_start_entry {
-            self.enter_group(&snap, &tls, g);
+            self.enter_group(snap, tls, cache, g);
         }
-        self.run_translators(&snap, &tls, &ft.entry, args, None, None, None, &mut first);
+        self.run_translators(snap, tls, cache, &ft.entry, args, None, None, None, &mut first);
         for &g in &ft.bound_end_entry {
-            self.exit_group(&snap, &tls, g, &mut first);
+            self.exit_group(snap, tls, cache, g, &mut first);
         }
         self.dispose(first)
     }
@@ -891,9 +1008,11 @@ impl Tesla {
     #[inline]
     pub fn fn_exit(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::FnExit);
+        let (tls, snap) = self.tls();
+        let mut cache = ShardCache::per_event();
         let mut out = Ok(());
         for _ in 0..self.chaos_reps(HookKind::FnExit) {
-            let r = self.fn_exit_inner(f, args, ret);
+            let r = self.fn_exit_inner(&tls, &snap, &mut cache, f, args, ret);
             if out.is_ok() {
                 out = r;
             }
@@ -901,8 +1020,15 @@ impl Tesla {
         out
     }
 
-    fn fn_exit_inner(&self, f: NameId, args: &[Value], ret: Value) -> Result<(), Violation> {
-        let (tls, snap) = self.tls();
+    fn fn_exit_inner<'a>(
+        &'a self,
+        tls: &EngineTls,
+        snap: &Snapshot,
+        cache: &mut ShardCache<'a>,
+        f: NameId,
+        args: &[Value],
+        ret: Value,
+    ) -> Result<(), Violation> {
         let Some(ft) = snap.tables.fn_tables.get(f.0 as usize) else {
             return self.check_known(f, "function");
         };
@@ -911,11 +1037,12 @@ impl Tesla {
             !ft.bound_start_exit.is_empty() || !ft.bound_end_exit.is_empty() || !ft.exit.is_empty();
         if active {
             for &g in &ft.bound_start_exit {
-                self.enter_group(&snap, &tls, g);
+                self.enter_group(snap, tls, cache, g);
             }
             self.run_translators(
-                &snap,
-                &tls,
+                snap,
+                tls,
+                cache,
                 &ft.exit,
                 args,
                 Some(ret),
@@ -924,7 +1051,7 @@ impl Tesla {
                 &mut first,
             );
             for &g in &ft.bound_end_exit {
-                self.exit_group(&snap, &tls, g, &mut first);
+                self.exit_group(snap, tls, cache, g, &mut first);
             }
         }
         if ft.push_stack {
@@ -958,9 +1085,12 @@ impl Tesla {
         value: Value,
     ) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::FieldStore);
+        let (tls, snap) = self.tls();
+        let mut cache = ShardCache::per_event();
         let mut out = Ok(());
         for _ in 0..self.chaos_reps(HookKind::FieldStore) {
-            let r = self.field_store_inner(struct_id, field_id, object, op, value);
+            let r =
+                self.field_store_inner(&tls, &snap, &mut cache, struct_id, field_id, object, op, value);
             if out.is_ok() {
                 out = r;
             }
@@ -968,15 +1098,18 @@ impl Tesla {
         out
     }
 
-    fn field_store_inner(
-        &self,
+    #[allow(clippy::too_many_arguments)]
+    fn field_store_inner<'a>(
+        &'a self,
+        tls: &EngineTls,
+        snap: &Snapshot,
+        cache: &mut ShardCache<'a>,
         struct_id: NameId,
         field_id: NameId,
         object: Value,
         op: FieldOp,
         value: Value,
     ) -> Result<(), Violation> {
-        let (tls, snap) = self.tls();
         let Some(entries) = snap.tables.field_tables.get(field_id.0 as usize) else {
             return self
                 .check_known(struct_id, "struct")
@@ -987,8 +1120,9 @@ impl Tesla {
         }
         let mut first = None;
         self.run_translators(
-            &snap,
-            &tls,
+            snap,
+            tls,
+            cache,
             entries,
             &[],
             None,
@@ -1008,9 +1142,11 @@ impl Tesla {
     #[inline]
     pub fn msg_entry(&self, sel: NameId, receiver: Value, args: &[Value]) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::MsgEntry);
+        let (tls, snap) = self.tls();
+        let mut cache = ShardCache::per_event();
         let mut out = Ok(());
         for _ in 0..self.chaos_reps(HookKind::MsgEntry) {
-            let r = self.msg_entry_inner(sel, receiver, args);
+            let r = self.msg_entry_inner(&tls, &snap, &mut cache, sel, receiver, args);
             if out.is_ok() {
                 out = r;
             }
@@ -1018,13 +1154,15 @@ impl Tesla {
         out
     }
 
-    fn msg_entry_inner(
-        &self,
+    fn msg_entry_inner<'a>(
+        &'a self,
+        tls: &EngineTls,
+        snap: &Snapshot,
+        cache: &mut ShardCache<'a>,
         sel: NameId,
         receiver: Value,
         args: &[Value],
     ) -> Result<(), Violation> {
-        let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else {
             return self.check_known(sel, "selector");
         };
@@ -1033,8 +1171,9 @@ impl Tesla {
         }
         let mut first = None;
         self.run_translators(
-            &snap,
-            &tls,
+            snap,
+            tls,
+            cache,
             &st.entry,
             args,
             None,
@@ -1060,9 +1199,11 @@ impl Tesla {
         ret: Value,
     ) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::MsgExit);
+        let (tls, snap) = self.tls();
+        let mut cache = ShardCache::per_event();
         let mut out = Ok(());
         for _ in 0..self.chaos_reps(HookKind::MsgExit) {
-            let r = self.msg_exit_inner(sel, receiver, args, ret);
+            let r = self.msg_exit_inner(&tls, &snap, &mut cache, sel, receiver, args, ret);
             if out.is_ok() {
                 out = r;
             }
@@ -1070,14 +1211,17 @@ impl Tesla {
         out
     }
 
-    fn msg_exit_inner(
-        &self,
+    #[allow(clippy::too_many_arguments)]
+    fn msg_exit_inner<'a>(
+        &'a self,
+        tls: &EngineTls,
+        snap: &Snapshot,
+        cache: &mut ShardCache<'a>,
         sel: NameId,
         receiver: Value,
         args: &[Value],
         ret: Value,
     ) -> Result<(), Violation> {
-        let (tls, snap) = self.tls();
         let Some(st) = snap.tables.sel_tables.get(sel.0 as usize) else {
             return self.check_known(sel, "selector");
         };
@@ -1086,8 +1230,9 @@ impl Tesla {
         }
         let mut first = None;
         self.run_translators(
-            &snap,
-            &tls,
+            snap,
+            tls,
+            cache,
             &st.exit,
             args,
             Some(ret),
@@ -1108,9 +1253,11 @@ impl Tesla {
     /// exposed.
     pub fn assertion_site(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
         let _t = self.hook_timer(HookKind::AssertionSite);
+        let (tls, snap) = self.tls();
+        let mut cache = ShardCache::per_event();
         let mut out = Ok(());
         for _ in 0..self.chaos_reps(HookKind::AssertionSite) {
-            let r = self.assertion_site_inner(class, values);
+            let r = self.assertion_site_inner(&tls, &snap, &mut cache, class, values);
             if out.is_ok() {
                 out = r;
             }
@@ -1118,8 +1265,14 @@ impl Tesla {
         out
     }
 
-    fn assertion_site_inner(&self, class: ClassId, values: &[Value]) -> Result<(), Violation> {
-        let (tls, snap) = self.tls();
+    fn assertion_site_inner<'a>(
+        &'a self,
+        tls: &EngineTls,
+        snap: &Snapshot,
+        cache: &mut ShardCache<'a>,
+        class: ClassId,
+        values: &[Value],
+    ) -> Result<(), Violation> {
         let Some(def) = snap.classes.get(class.0 as usize).cloned() else {
             // A site event for a class that was never registered must
             // not panic the monitor — replayed traces carry class ids
@@ -1137,8 +1290,8 @@ impl Tesla {
         }
         let sym = def.automaton.site_sym;
         let mut first = None;
-        let d = self.dispatch(&snap);
-        self.with_store(def.automaton.context, def.group, &tls, |store| {
+        let d = self.dispatch(snap);
+        self.with_store(def.automaton.context, def.group, tls, cache, |store| {
             store.ensure(snap.classes.len(), snap.tables.groups.len());
             if store.groups[def.group as usize].depth == 0 {
                 // Outside the temporal bound: the site is unreachable
@@ -1154,6 +1307,131 @@ impl Tesla {
             }
         });
         self.dispose(first)
+    }
+
+    /// Dispatch a staged batch of events through the hooks with the
+    /// per-event prologue amortised: one snapshot load for the whole
+    /// batch, one telemetry counter RMW per hook kind
+    /// ([`crate::telemetry::metrics::MetricsRegistry::add_hook_calls`]),
+    /// and — when no fault plan is active — the Global store-shard
+    /// lock held across consecutive same-shard events instead of
+    /// being re-taken per event.
+    ///
+    /// Semantics are byte-identical to dispatching the same events
+    /// through the individual hooks in order: violations are logged
+    /// and disposed per [`Config::fail_mode`] exactly as the
+    /// per-event path does, and the drain stops at the first event
+    /// whose hook returns `Err` (fail-stop violations, unknown
+    /// names). Counter flushes happen when this call returns —
+    /// including on the error path — so metrics never miss events
+    /// that ran ("flush on verdict").
+    ///
+    /// # Errors
+    ///
+    /// `(index, violation)` — the offset *within the batch* of the
+    /// event that stopped the drain, and the violation it raised.
+    /// Items after it were not dispatched.
+    pub fn dispatch_batch(&self, batch: &BatchBuf) -> Result<(), (usize, Violation)> {
+        let (tls, snap) = self.tls();
+        let mut tally = [0u64; N_HOOKS];
+        // Two clock reads per batch replace the per-event sampling
+        // countdown: the whole batch is timed once and the mean is
+        // recorded for every sample the per-event path would have
+        // taken, so governor cost estimates read batch-amortised
+        // latencies.
+        let batch_t0 = if self.config.telemetry {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let mut out: Result<(), (usize, Violation)> = Ok(());
+        {
+            // Fault plans draw per lock acquisition (poison
+            // injection), so guard coalescing is disabled under one:
+            // the per-event lock pattern must be preserved exactly.
+            let mut cache = ShardCache::batched(self.config.faults.is_none());
+            for (idx, item) in batch.items.iter().enumerate() {
+                // An unknown-name rejection never reaches a hook on
+                // the per-event path (name resolution fails first),
+                // so it ticks neither the governor nor telemetry.
+                if let BatchItem::Reject { ref violation, .. } = *item {
+                    out = Err((idx, violation.clone()));
+                    break;
+                }
+                let kind = item.kind();
+                if let Some(g) = &self.governor {
+                    g.on_event(&self.metrics);
+                }
+                tally[kind as usize] += 1;
+                let mut first: Result<(), Violation> = Ok(());
+                for _ in 0..self.chaos_reps(kind) {
+                    let r = match *item {
+                        BatchItem::FnEntry { f, args } => {
+                            self.fn_entry_inner(&tls, &snap, &mut cache, f, batch.slice(args))
+                        }
+                        BatchItem::FnExit { f, args, ret } => {
+                            self.fn_exit_inner(&tls, &snap, &mut cache, f, batch.slice(args), ret)
+                        }
+                        BatchItem::FieldStore {
+                            strct,
+                            field,
+                            object,
+                            op,
+                            value,
+                        } => self.field_store_inner(
+                            &tls, &snap, &mut cache, strct, field, object, op, value,
+                        ),
+                        BatchItem::MsgEntry { sel, recv, args } => {
+                            self.msg_entry_inner(&tls, &snap, &mut cache, sel, recv, batch.slice(args))
+                        }
+                        BatchItem::MsgExit {
+                            sel,
+                            recv,
+                            args,
+                            ret,
+                        } => self.msg_exit_inner(
+                            &tls,
+                            &snap,
+                            &mut cache,
+                            sel,
+                            recv,
+                            batch.slice(args),
+                            ret,
+                        ),
+                        BatchItem::Site { class, vals } => self.assertion_site_inner(
+                            &tls,
+                            &snap,
+                            &mut cache,
+                            class,
+                            batch.slice(vals),
+                        ),
+                        BatchItem::Reject { .. } => unreachable!("handled above"),
+                    };
+                    if first.is_ok() {
+                        first = r;
+                    }
+                }
+                if let Err(v) = first {
+                    out = Err((idx, v));
+                    break;
+                }
+            }
+            // `cache` drops here, releasing any held shard guard
+            // before counters flush — the flush-on-verdict point.
+        }
+        if let Some(t0) = batch_t0 {
+            let dispatched: u64 = tally.iter().sum();
+            if dispatched > 0 {
+                let per_event_ns =
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX) / dispatched;
+                for kind in HookKind::ALL {
+                    self.metrics
+                        .record_batch_samples(kind, tally[kind as usize], per_event_ns);
+                    self.metrics.add_hook_calls(kind, tally[kind as usize]);
+                }
+            }
+        }
+        out
     }
 
     // Convenience string-keyed hooks (tests, examples).
@@ -1218,7 +1496,8 @@ impl Tesla {
         let (tls, snap) = self.tls();
         let def = snap.classes[class.0 as usize].clone();
         let mut n = 0;
-        self.with_store(def.automaton.context, def.group, &tls, |s| {
+        let mut cache = ShardCache::per_event();
+        self.with_store(def.automaton.context, def.group, &tls, &mut cache, |s| {
             n = s.live_instances(class.0);
         });
         n
@@ -1331,18 +1610,34 @@ impl Tesla {
     }
 
     /// Run `f` against the store owning `group`'s state in `ctx`:
-    /// one of the Global shards, or this thread's store.
+    /// one of the Global shards, or this thread's store. `cache`
+    /// carries the shard guard across accesses when coalescing (the
+    /// batched drain); per-event callers pass a fresh
+    /// [`ShardCache::per_event`].
     #[inline]
-    fn with_store<R>(
-        &self,
+    fn with_store<'a, R>(
+        &'a self,
         ctx: Context,
         group: u32,
         tls: &EngineTls,
+        cache: &mut ShardCache<'a>,
         f: impl FnOnce(&mut Store) -> R,
     ) -> R {
         match ctx {
             Context::Global => {
                 let shard = group as usize % self.global_shards.len();
+                if cache.coalesce {
+                    if cache.guard.is_none() || cache.shard != shard {
+                        // Drop the previous shard's guard before
+                        // taking the next: at most one shard lock is
+                        // ever held, so batch order can never deadlock
+                        // against another engine thread.
+                        cache.release();
+                        cache.guard = Some(self.lock_shard(&self.global_shards[shard]));
+                        cache.shard = shard;
+                    }
+                    return f(cache.guard.as_mut().expect("guard installed above"));
+                }
                 let m = &self.global_shards[shard];
                 if let Some(fp) = self.config.faults.as_deref() {
                     if fp.draw(FaultKind::LockPoison) {
@@ -1366,11 +1661,17 @@ impl Tesla {
         }
     }
 
-    fn enter_group(&self, snap: &Snapshot, tls: &EngineTls, g: u32) {
+    fn enter_group<'a>(
+        &'a self,
+        snap: &Snapshot,
+        tls: &EngineTls,
+        cache: &mut ShardCache<'a>,
+        g: u32,
+    ) {
         let gd = &snap.tables.groups[g as usize];
         let naive = self.config.init_mode == InitMode::Naive;
         let d = self.dispatch(snap);
-        self.with_store(gd.context, g, tls, |store| {
+        self.with_store(gd.context, g, tls, cache, |store| {
             store.ensure(snap.classes.len(), snap.tables.groups.len());
             let gs = &mut store.groups[g as usize];
             gs.depth += 1;
@@ -1389,11 +1690,18 @@ impl Tesla {
         });
     }
 
-    fn exit_group(&self, snap: &Snapshot, tls: &EngineTls, g: u32, first: &mut Option<Violation>) {
+    fn exit_group<'a>(
+        &'a self,
+        snap: &Snapshot,
+        tls: &EngineTls,
+        cache: &mut ShardCache<'a>,
+        g: u32,
+        first: &mut Option<Violation>,
+    ) {
         let gd = &snap.tables.groups[g as usize];
         let naive = self.config.init_mode == InitMode::Naive;
         let d = self.dispatch(snap);
-        self.with_store(gd.context, g, tls, |store| {
+        self.with_store(gd.context, g, tls, cache, |store| {
             store.ensure(snap.classes.len(), snap.tables.groups.len());
             {
                 let gs = &mut store.groups[g as usize];
@@ -1419,10 +1727,11 @@ impl Tesla {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_translators(
-        &self,
+    fn run_translators<'a>(
+        &'a self,
         snap: &Snapshot,
         tls: &EngineTls,
+        cache: &mut ShardCache<'a>,
         entries: &[Translator],
         args: &[Value],
         ret: Option<Value>,
@@ -1480,7 +1789,7 @@ impl Tesla {
             }
             let def = &snap.classes[t.class as usize];
             let d = self.dispatch(snap);
-            self.with_store(t.context, def.group, tls, |store| {
+            self.with_store(t.context, def.group, tls, cache, |store| {
                 store.ensure(snap.classes.len(), snap.tables.groups.len());
                 if store.groups[def.group as usize].depth == 0 {
                     return; // outside the temporal bound

@@ -1,0 +1,244 @@
+//! Batched event buffers for the compiled-dispatch drain.
+//!
+//! Per-event dispatch pays the full hook prologue — snapshot load,
+//! telemetry counter RMW, store-shard lock — for every single event.
+//! A [`BatchBuf`] lets the ingestion layer stage up to
+//! [`crate::Config::batch_size`] events (names already resolved to
+//! [`NameId`]s, payload values packed into one arena) and hand them
+//! to [`crate::Tesla::dispatch_batch`], which amortises those
+//! prologue costs across the whole batch while keeping verdicts,
+//! violation ordering, and counters byte-identical to the per-event
+//! path.
+
+use crate::event::Violation;
+use crate::ingress::IngressStats;
+use crate::intern::NameId;
+use crate::telemetry::metrics::HookKind;
+use crate::ClassId;
+use tesla_spec::{FieldOp, Value};
+
+/// One staged event with names pre-resolved and values stored as a
+/// `(start, len)` span into the owning [`BatchBuf`]'s value arena.
+#[derive(Debug, Clone)]
+pub(crate) enum BatchItem {
+    FnEntry {
+        f: NameId,
+        args: (u32, u32),
+    },
+    FnExit {
+        f: NameId,
+        args: (u32, u32),
+        ret: Value,
+    },
+    FieldStore {
+        strct: NameId,
+        field: NameId,
+        object: Value,
+        op: FieldOp,
+        value: Value,
+    },
+    MsgEntry {
+        sel: NameId,
+        recv: Value,
+        args: (u32, u32),
+    },
+    MsgExit {
+        sel: NameId,
+        recv: Value,
+        args: (u32, u32),
+        ret: Value,
+    },
+    Site {
+        class: ClassId,
+        vals: (u32, u32),
+    },
+    /// A closing event whose name the engine never saw. The
+    /// per-event path fails at this event's position without running
+    /// any hook; the batched drain reproduces that by carrying the
+    /// violation to the event's slot in the batch.
+    Reject {
+        kind: HookKind,
+        violation: Violation,
+    },
+}
+
+impl BatchItem {
+    /// The hook kind this item dispatches as (used for stats).
+    pub(crate) fn kind(&self) -> HookKind {
+        match self {
+            BatchItem::FnEntry { .. } => HookKind::FnEntry,
+            BatchItem::FnExit { .. } => HookKind::FnExit,
+            BatchItem::FieldStore { .. } => HookKind::FieldStore,
+            BatchItem::MsgEntry { .. } => HookKind::MsgEntry,
+            BatchItem::MsgExit { .. } => HookKind::MsgExit,
+            BatchItem::Site { .. } => HookKind::AssertionSite,
+            BatchItem::Reject { kind, .. } => *kind,
+        }
+    }
+}
+
+/// A reusable batch of staged events. Clearing keeps both the item
+/// vector and the value arena allocated, so a steady-state drain
+/// loop allocates nothing per batch.
+#[derive(Debug, Default)]
+pub struct BatchBuf {
+    pub(crate) items: Vec<BatchItem>,
+    pub(crate) vals: Vec<Value>,
+}
+
+impl BatchBuf {
+    /// An empty batch.
+    pub fn new() -> BatchBuf {
+        BatchBuf::default()
+    }
+
+    /// An empty batch with room for `n` events.
+    pub fn with_capacity(n: usize) -> BatchBuf {
+        BatchBuf {
+            items: Vec::with_capacity(n),
+            vals: Vec::with_capacity(n * 4),
+        }
+    }
+
+    /// Drop staged events, keeping allocations.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.vals.clear();
+    }
+
+    /// Number of staged events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn span(&mut self, values: &[Value]) -> (u32, u32) {
+        let start = u32::try_from(self.vals.len()).expect("batch value arena exceeds u32 range");
+        let len = u32::try_from(values.len()).expect("event payload exceeds u32 range");
+        self.vals.extend_from_slice(values);
+        (start, len)
+    }
+
+    /// Resolve a span back to its payload slice.
+    pub(crate) fn slice(&self, span: (u32, u32)) -> &[Value] {
+        let (start, len) = (span.0 as usize, span.1 as usize);
+        &self.vals[start..start + len]
+    }
+
+    /// Stage a `fn_entry` event.
+    pub fn push_fn_entry(&mut self, f: NameId, args: &[Value]) {
+        let args = self.span(args);
+        self.items.push(BatchItem::FnEntry { f, args });
+    }
+
+    /// Stage a `fn_exit` event.
+    pub fn push_fn_exit(&mut self, f: NameId, args: &[Value], ret: Value) {
+        let args = self.span(args);
+        self.items.push(BatchItem::FnExit { f, args, ret });
+    }
+
+    /// Stage a `field_store` event.
+    pub fn push_field_store(
+        &mut self,
+        strct: NameId,
+        field: NameId,
+        object: Value,
+        op: FieldOp,
+        value: Value,
+    ) {
+        self.items.push(BatchItem::FieldStore {
+            strct,
+            field,
+            object,
+            op,
+            value,
+        });
+    }
+
+    /// Stage a `msg_entry` event.
+    pub fn push_msg_entry(&mut self, sel: NameId, recv: Value, args: &[Value]) {
+        let args = self.span(args);
+        self.items.push(BatchItem::MsgEntry { sel, recv, args });
+    }
+
+    /// Stage a `msg_exit` event.
+    pub fn push_msg_exit(&mut self, sel: NameId, recv: Value, args: &[Value], ret: Value) {
+        let args = self.span(args);
+        self.items.push(BatchItem::MsgExit {
+            sel,
+            recv,
+            args,
+            ret,
+        });
+    }
+
+    /// Stage an assertion-site event.
+    pub fn push_site(&mut self, class: ClassId, vals: &[Value]) {
+        let vals = self.span(vals);
+        self.items.push(BatchItem::Site { class, vals });
+    }
+
+    /// Stage a pre-judged rejection (unknown closing name).
+    pub(crate) fn push_reject(&mut self, kind: HookKind, violation: Violation) {
+        self.items.push(BatchItem::Reject { kind, violation });
+    }
+
+    /// Add the first `n` staged events to `stats`, per kind.
+    pub(crate) fn count_into(&self, stats: &mut IngressStats, n: usize) {
+        for item in &self.items[..n] {
+            stats.events += 1;
+            match item.kind() {
+                HookKind::FnEntry => stats.fn_entries += 1,
+                HookKind::FnExit => stats.fn_exits += 1,
+                HookKind::FieldStore => stats.field_stores += 1,
+                HookKind::MsgEntry => stats.msg_entries += 1,
+                HookKind::MsgExit => stats.msg_exits += 1,
+                HookKind::AssertionSite => stats.sites += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_address_the_value_arena() {
+        let mut b = BatchBuf::new();
+        b.push_fn_entry(NameId(0), &[Value(1), Value(2)]);
+        b.push_site(ClassId(3), &[Value(9)]);
+        assert_eq!(b.len(), 2);
+        match b.items[0] {
+            BatchItem::FnEntry { args, .. } => {
+                assert_eq!(b.slice(args), &[Value(1), Value(2)]);
+            }
+            ref other => panic!("{other:?}"),
+        }
+        match b.items[1] {
+            BatchItem::Site { vals, .. } => assert_eq!(b.slice(vals), &[Value(9)]),
+            ref other => panic!("{other:?}"),
+        }
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.vals.len(), 0);
+    }
+
+    #[test]
+    fn count_into_tallies_prefixes() {
+        let mut b = BatchBuf::new();
+        b.push_fn_entry(NameId(0), &[]);
+        b.push_fn_exit(NameId(0), &[], Value(0));
+        b.push_site(ClassId(0), &[]);
+        let mut stats = IngressStats::default();
+        b.count_into(&mut stats, 2);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.fn_entries, 1);
+        assert_eq!(stats.fn_exits, 1);
+        assert_eq!(stats.sites, 0);
+    }
+}

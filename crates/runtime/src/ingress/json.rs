@@ -94,13 +94,23 @@ impl Json {
 
 const MAX_DEPTH: usize = 64;
 
-struct Parser<'a> {
+/// The raw cursor behind [`Json::parse`]. Crate-internal so the
+/// JSONL event scanner can reuse the exact same lexical rules
+/// (escapes, number grammar, whitespace) without building a value
+/// tree for every event line.
+pub(crate) struct Parser<'a> {
     b: &'a [u8],
     i: usize,
 }
 
+impl<'a> Parser<'a> {
+    pub(crate) fn new(s: &'a str) -> Parser<'a> {
+        Parser { b: s.as_bytes(), i: 0 }
+    }
+}
+
 impl Parser<'_> {
-    fn ws(&mut self) {
+    pub(crate) fn ws(&mut self) {
         while let Some(&c) = self.b.get(self.i) {
             if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
                 self.i += 1;
@@ -123,7 +133,49 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<Json, String> {
+    /// The next unconsumed byte, if any.
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    /// Consume `c` if it is next; `false` otherwise.
+    pub(crate) fn eat_ok(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the whole input has been consumed.
+    pub(crate) fn at_end(&self) -> bool {
+        self.i == self.b.len()
+    }
+
+    /// Parse a number token and return its exact `u64` value, or
+    /// `None` when the token is not a valid non-negative integer.
+    pub(crate) fn u64_token(&mut self) -> Option<u64> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        tok.parse::<u64>().ok()
+    }
+
+    /// Skip one complete JSON value (validating it lexically).
+    /// Depth starts at 1 — the value sits inside the event object —
+    /// so the nesting bound matches [`Json::parse`] exactly.
+    pub(crate) fn skip_value(&mut self) -> Result<(), String> {
+        self.value(1).map(|_| ())
+    }
+
+    pub(crate) fn value(&mut self, depth: usize) -> Result<Json, String> {
         if depth > MAX_DEPTH {
             return self.err("nesting too deep");
         }
@@ -216,14 +268,21 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
         let mut out = String::new();
+        self.string_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Parse a string, appending its unescaped form to `out`. The
+    /// caller clears `out` when reuse is intended.
+    pub(crate) fn string_into(&mut self, out: &mut String) -> Result<(), String> {
+        self.eat(b'"')?;
         loop {
             match self.b.get(self.i) {
                 None => return self.err("unterminated string"),
                 Some(b'"') => {
                     self.i += 1;
-                    return Ok(out);
+                    return Ok(());
                 }
                 Some(b'\\') => {
                     self.i += 1;

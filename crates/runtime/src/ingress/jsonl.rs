@@ -32,7 +32,7 @@
 //! parseable for arbitrary interned names.
 
 use crate::ingress::event::{IngressEvent, IngressEventRef};
-use crate::ingress::json::Json;
+use crate::ingress::json::{Json, Parser};
 use crate::telemetry::export::json_escape;
 use std::io::Write;
 use tesla_spec::{FieldOp, Value};
@@ -233,6 +233,381 @@ pub fn parse_event(line: &str) -> Result<IngressEvent, String> {
     }
 }
 
+/// The event shape held by an [`EventScratch`] after a successful
+/// decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    FnEntry,
+    FnExit,
+    FieldStore,
+    MsgEntry,
+    MsgExit,
+    Site,
+}
+
+// One bit per known wire field, for duplicate detection and the
+// per-kind required/allowed masks.
+const B_EV: u32 = 1 << 0;
+const B_FN: u32 = 1 << 1;
+const B_SEL: u32 = 1 << 2;
+const B_STRUCT: u32 = 1 << 3;
+const B_FIELD: u32 = 1 << 4;
+const B_ARGS: u32 = 1 << 5;
+const B_VALS: u32 = 1 << 6;
+const B_RET: u32 = 1 << 7;
+const B_OBJ: u32 = 1 << 8;
+const B_RECV: u32 = 1 << 9;
+const B_VAL: u32 = 1 << 10;
+const B_OP: u32 = 1 << 11;
+const B_CLASS: u32 = 1 << 12;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn scan_values(p: &mut Parser<'_>, out: &mut Vec<Value>) -> bool {
+    out.clear();
+    if !p.eat_ok(b'[') {
+        return false;
+    }
+    p.ws();
+    if p.eat_ok(b']') {
+        return true;
+    }
+    loop {
+        p.ws();
+        match p.u64_token() {
+            Some(v) => out.push(Value(v)),
+            None => return false,
+        }
+        p.ws();
+        if p.eat_ok(b',') {
+            continue;
+        }
+        return p.eat_ok(b']');
+    }
+}
+
+/// Reusable buffers for the borrowed event decode
+/// ([`parse_event_ref`]). One scratch per decoder keeps the replay
+/// hot loop free of per-event `String`/`Vec` allocations: names and
+/// value lists land in these buffers and are handed out as an
+/// [`IngressEventRef`] borrowing them.
+#[derive(Debug)]
+pub struct EventScratch {
+    kind: EvKind,
+    /// `fn` / `sel` / `struct` — every kind has at most one of them.
+    name: String,
+    field: String,
+    args: Vec<Value>,
+    /// `obj` / `recv`.
+    a: Value,
+    /// `ret` / `val`.
+    b: Value,
+    op: FieldOp,
+    class: u32,
+    label: String,
+    key: String,
+    tmp: String,
+    unknown: Vec<u64>,
+}
+
+impl Default for EventScratch {
+    fn default() -> EventScratch {
+        EventScratch {
+            kind: EvKind::FnEntry,
+            name: String::new(),
+            field: String::new(),
+            args: Vec::new(),
+            a: Value(0),
+            b: Value(0),
+            op: FieldOp::Assign,
+            class: 0,
+            label: String::new(),
+            key: String::new(),
+            tmp: String::new(),
+            unknown: Vec::new(),
+        }
+    }
+}
+
+impl EventScratch {
+    /// Fresh scratch buffers.
+    pub fn new() -> EventScratch {
+        EventScratch::default()
+    }
+
+    /// Single-pass scan of one event line into the scratch buffers.
+    /// Returns `false` on *anything* unexpected — malformed JSON,
+    /// wrong field types, duplicate keys, schema violations — in
+    /// which case the caller re-parses through the [`Json`] tree
+    /// path, whose verdict (and error message) is authoritative. The
+    /// scanner therefore only has to be exactly right about the
+    /// lines it accepts.
+    fn scan(&mut self, line: &str) -> bool {
+        self.name.clear();
+        self.field.clear();
+        self.args.clear();
+        self.label.clear();
+        self.unknown.clear();
+        let mut p = Parser::new(line);
+        let mut seen = 0u32;
+        p.ws();
+        if !p.eat_ok(b'{') {
+            return false;
+        }
+        p.ws();
+        if !p.eat_ok(b'}') {
+            loop {
+                p.ws();
+                self.key.clear();
+                if p.string_into(&mut self.key).is_err() {
+                    return false;
+                }
+                p.ws();
+                if !p.eat_ok(b':') {
+                    return false;
+                }
+                p.ws();
+                let bit = match self.key.as_str() {
+                    "ev" => B_EV,
+                    "fn" => B_FN,
+                    "sel" => B_SEL,
+                    "struct" => B_STRUCT,
+                    "field" => B_FIELD,
+                    "args" => B_ARGS,
+                    "vals" => B_VALS,
+                    "ret" => B_RET,
+                    "obj" => B_OBJ,
+                    "recv" => B_RECV,
+                    "val" => B_VAL,
+                    "op" => B_OP,
+                    "class" => B_CLASS,
+                    _ => 0,
+                };
+                if bit != 0 {
+                    if seen & bit != 0 {
+                        return false;
+                    }
+                    seen |= bit;
+                } else {
+                    // Unknown keys are skipped but must still fail
+                    // on duplicates (a hash collision merely forces
+                    // the fallback, which decides for real).
+                    let h = fnv1a(self.key.as_bytes());
+                    if self.unknown.contains(&h) {
+                        return false;
+                    }
+                    self.unknown.push(h);
+                }
+                let ok = match bit {
+                    B_EV => {
+                        self.label.clear();
+                        p.string_into(&mut self.label).is_ok()
+                    }
+                    B_FN | B_SEL | B_STRUCT => {
+                        self.name.clear();
+                        p.string_into(&mut self.name).is_ok()
+                    }
+                    B_FIELD => {
+                        self.field.clear();
+                        p.string_into(&mut self.field).is_ok()
+                    }
+                    B_OP => {
+                        self.tmp.clear();
+                        p.string_into(&mut self.tmp).is_ok()
+                            && match op_from_label(&self.tmp) {
+                                Some(op) => {
+                                    self.op = op;
+                                    true
+                                }
+                                None => false,
+                            }
+                    }
+                    B_ARGS | B_VALS => scan_values(&mut p, &mut self.args),
+                    B_OBJ | B_RECV => match p.u64_token() {
+                        Some(v) => {
+                            self.a = Value(v);
+                            true
+                        }
+                        None => false,
+                    },
+                    B_RET | B_VAL => match p.u64_token() {
+                        Some(v) => {
+                            self.b = Value(v);
+                            true
+                        }
+                        None => false,
+                    },
+                    B_CLASS => match p.u64_token().and_then(|v| u32::try_from(v).ok()) {
+                        Some(c) => {
+                            self.class = c;
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => p.skip_value().is_ok(),
+                };
+                if !ok {
+                    return false;
+                }
+                p.ws();
+                if p.eat_ok(b',') {
+                    continue;
+                }
+                if p.eat_ok(b'}') {
+                    break;
+                }
+                return false;
+            }
+        }
+        p.ws();
+        if !p.at_end() || seen & B_EV == 0 {
+            return false;
+        }
+        let (kind, required) = match self.label.as_str() {
+            "fn_entry" => (EvKind::FnEntry, B_FN | B_ARGS),
+            "fn_exit" => (EvKind::FnExit, B_FN | B_ARGS | B_RET),
+            "field_store" => (
+                EvKind::FieldStore,
+                B_STRUCT | B_FIELD | B_OBJ | B_OP | B_VAL,
+            ),
+            "msg_entry" => (EvKind::MsgEntry, B_SEL | B_RECV | B_ARGS),
+            "msg_exit" => (EvKind::MsgExit, B_SEL | B_RECV | B_ARGS | B_RET),
+            "site" => (EvKind::Site, B_CLASS | B_VALS),
+            _ => return false,
+        };
+        // Off-schema known keys (e.g. a stray "vals" on fn_entry)
+        // share buffers with schema keys, so hand those lines to the
+        // fallback, which reads exactly the fields it needs.
+        if seen & required != required || seen & !(required | B_EV) != 0 {
+            return false;
+        }
+        self.kind = kind;
+        true
+    }
+
+    fn fill_from(&mut self, ev: IngressEvent) {
+        match ev {
+            IngressEvent::FnEntry { name, args } => {
+                self.kind = EvKind::FnEntry;
+                self.name = name;
+                self.args = args;
+            }
+            IngressEvent::FnExit { name, args, ret } => {
+                self.kind = EvKind::FnExit;
+                self.name = name;
+                self.args = args;
+                self.b = ret;
+            }
+            IngressEvent::FieldStore {
+                strct,
+                field,
+                object,
+                op,
+                value,
+            } => {
+                self.kind = EvKind::FieldStore;
+                self.name = strct;
+                self.field = field;
+                self.a = object;
+                self.op = op;
+                self.b = value;
+            }
+            IngressEvent::MsgEntry {
+                selector,
+                receiver,
+                args,
+            } => {
+                self.kind = EvKind::MsgEntry;
+                self.name = selector;
+                self.a = receiver;
+                self.args = args;
+            }
+            IngressEvent::MsgExit {
+                selector,
+                receiver,
+                args,
+                ret,
+            } => {
+                self.kind = EvKind::MsgExit;
+                self.name = selector;
+                self.a = receiver;
+                self.args = args;
+                self.b = ret;
+            }
+            IngressEvent::AssertionSite { class, values } => {
+                self.kind = EvKind::Site;
+                self.class = class;
+                self.args = values;
+            }
+        }
+    }
+
+    fn as_event_ref(&self) -> IngressEventRef<'_> {
+        match self.kind {
+            EvKind::FnEntry => IngressEventRef::FnEntry {
+                name: &self.name,
+                args: &self.args,
+            },
+            EvKind::FnExit => IngressEventRef::FnExit {
+                name: &self.name,
+                args: &self.args,
+                ret: self.b,
+            },
+            EvKind::FieldStore => IngressEventRef::FieldStore {
+                strct: &self.name,
+                field: &self.field,
+                object: self.a,
+                op: self.op,
+                value: self.b,
+            },
+            EvKind::MsgEntry => IngressEventRef::MsgEntry {
+                selector: &self.name,
+                receiver: self.a,
+                args: &self.args,
+            },
+            EvKind::MsgExit => IngressEventRef::MsgExit {
+                selector: &self.name,
+                receiver: self.a,
+                args: &self.args,
+                ret: self.b,
+            },
+            EvKind::Site => IngressEventRef::AssertionSite {
+                class: self.class,
+                values: &self.args,
+            },
+        }
+    }
+}
+
+/// [`parse_event`], minus the per-event allocations: on the replay
+/// hot path names and value lists are decoded straight into
+/// `scratch`'s reused buffers and returned as a borrowing
+/// [`IngressEventRef`]. Behaviour is identical to [`parse_event`] —
+/// any line the fast scanner is unsure about is re-parsed through
+/// the `Json` tree path, so accepted events and error messages
+/// match byte for byte.
+///
+/// # Errors
+///
+/// Exactly the errors of [`parse_event`].
+pub fn parse_event_ref<'s>(
+    line: &str,
+    scratch: &'s mut EventScratch,
+) -> Result<IngressEventRef<'s>, String> {
+    if !scratch.scan(line) {
+        let owned = parse_event(line)?;
+        scratch.fill_from(owned);
+    }
+    Ok(scratch.as_event_ref())
+}
+
 /// Streams events to a [`Write`] in the version-1 wire format. The
 /// header is emitted lazily before the first event, so an empty
 /// recording still produces a valid (header-only) trace via
@@ -406,6 +781,48 @@ mod tests {
                 args: vec![Value(1)],
             }
         );
+    }
+
+    #[test]
+    fn borrowed_parse_matches_owned() {
+        let mut scratch = EventScratch::new();
+        let lines = [
+            "{\"ev\":\"fn_entry\",\"fn\":\"malloc\",\"args\":[16]}",
+            "{\"ev\":\"fn_exit\",\"fn\":\"malloc\",\"args\":[16],\"ret\":57005}",
+            "{\"ev\":\"field_store\",\"struct\":\"conn\",\"field\":\"state\",\
+             \"obj\":7,\"op\":\"+=\",\"val\":2}",
+            "{\"ev\":\"msg_entry\",\"sel\":\"lockFocus\",\"recv\":3,\"args\":[]}",
+            "{\"ev\":\"msg_exit\",\"sel\":\"lockFocus\",\"recv\":3,\"args\":[1,2],\"ret\":0}",
+            "{\"ev\":\"site\",\"class\":4,\"vals\":[7,18446744073709551615]}",
+            // Escapes land in the scratch unescaped.
+            "{\"ev\":\"fn_entry\",\"fn\":\"a\\\"b\\\\c\\n\",\"args\":[]}",
+            // Unknown fields are skipped without affecting the event.
+            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[1],\"future\":{\"x\":[true,null]}}",
+            // Whitespace and reordered fields.
+            " { \"args\" : [ 1 , 2 ] , \"fn\" : \"f\" , \"ev\" : \"fn_entry\" } ",
+            // Off-schema known key: scanner defers to the tree path.
+            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[1],\"vals\":[9]}",
+        ];
+        for line in lines {
+            let owned = parse_event(line).expect(line);
+            let borrowed = parse_event_ref(line, &mut scratch).expect(line);
+            assert_eq!(borrowed.to_owned_event(), owned, "line: {line}");
+        }
+        // Malformed lines give byte-identical errors on both paths.
+        let bad = [
+            "{\"ev\":\"warp\"}",
+            "{\"ev\":\"fn_entry\"}",
+            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[-1]}",
+            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"args\":[",
+            "[1,2,3]",
+            "{\"ev\":\"fn_entry\",\"fn\":\"f\",\"fn\":\"g\",\"args\":[]}",
+            "{\"ev\":\"site\",\"class\":99999999999,\"vals\":[]}",
+        ];
+        for line in bad {
+            let e1 = parse_event(line).expect_err(line);
+            let e2 = parse_event_ref(line, &mut scratch).expect_err(line);
+            assert_eq!(e1, e2, "line: {line}");
+        }
     }
 
     #[test]

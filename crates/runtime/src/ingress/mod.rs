@@ -25,22 +25,27 @@
 //! stream (most often a typo'd trace) and fails loudly rather than
 //! interning the typo and passing vacuously forever after.
 
+pub mod batch;
 pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod replay;
+pub mod ring;
 #[cfg(unix)]
 pub mod socket;
 
+pub use batch::BatchBuf;
 pub use event::{IngressEvent, IngressEventRef};
-pub use jsonl::{TraceWriter, TRACE_HEADER, TRACE_VERSION};
+pub use jsonl::{EventScratch, TraceWriter, TRACE_HEADER, TRACE_VERSION};
 pub use replay::{JsonlSource, LineDecoder};
+pub use ring::{BatchIngress, EventProducer};
 #[cfg(unix)]
 pub use socket::SocketSource;
 
 use crate::engine::Tesla;
 use crate::event::Violation;
 use crate::intern::NameId;
+use crate::telemetry::metrics::HookKind;
 use std::collections::HashMap;
 
 /// Why ingestion stopped: the transport layer's error taxonomy.
@@ -110,13 +115,24 @@ impl std::error::Error for IngressError {}
 /// `Ok(None)` is clean end-of-stream; implementations must be fused
 /// (keep returning `Ok(None)`). Errors are fatal to the stream.
 pub trait EventSource {
-    /// Pull the next event.
+    /// Pull the next event in borrowed form. Implementations may
+    /// hand out references into internal buffers that the next call
+    /// overwrites — the contract of [`IngressEventRef`].
     ///
     /// # Errors
     ///
     /// An [`IngressError`] from the taxonomy above; the stream must
     /// not be read further afterwards.
-    fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError>;
+    fn next_event_ref(&mut self) -> Result<Option<IngressEventRef<'_>>, IngressError>;
+
+    /// Pull the next event in owned form.
+    ///
+    /// # Errors
+    ///
+    /// As [`EventSource::next_event_ref`].
+    fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
+        Ok(self.next_event_ref()?.map(|ev| ev.to_owned_event()))
+    }
 }
 
 /// An in-memory [`EventSource`] — the adapter that makes any
@@ -125,6 +141,9 @@ pub trait EventSource {
 #[derive(Debug, Default)]
 pub struct BufferedSource {
     events: std::collections::VecDeque<IngressEvent>,
+    /// The event most recently popped, kept alive so
+    /// [`EventSource::next_event_ref`] can borrow from it.
+    current: Option<IngressEvent>,
 }
 
 impl BufferedSource {
@@ -132,6 +151,7 @@ impl BufferedSource {
     pub fn new(events: Vec<IngressEvent>) -> BufferedSource {
         BufferedSource {
             events: events.into(),
+            current: None,
         }
     }
 }
@@ -143,6 +163,11 @@ impl From<Vec<IngressEvent>> for BufferedSource {
 }
 
 impl EventSource for BufferedSource {
+    fn next_event_ref(&mut self) -> Result<Option<IngressEventRef<'_>>, IngressError> {
+        self.current = self.events.pop_front();
+        Ok(self.current.as_ref().map(IngressEvent::as_ref))
+    }
+
     fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
         Ok(self.events.pop_front())
     }
@@ -315,11 +340,25 @@ impl Tesla {
     /// [`crate::FailMode::Log`] violations are recorded and the drain
     /// continues, exactly as a live instrumented run would behave.
     ///
+    /// With [`crate::Config::batch_size`] above 1 (the default),
+    /// events are staged into a [`BatchBuf`] and dispatched through
+    /// [`Tesla::dispatch_batch`], amortising the hook prologue.
+    /// Verdicts, violation ordering, stats, and counters are
+    /// byte-identical to the per-event path (`batch_size = 1`).
+    ///
     /// # Errors
     ///
     /// [`DriveError`] describing what stopped the drain; both
     /// variants carry the stats accumulated so far.
     pub fn drive(&self, source: &mut dyn EventSource) -> Result<IngressStats, DriveError> {
+        if self.config().batch_size > 1 {
+            self.drive_batched(source)
+        } else {
+            self.drive_per_event(source)
+        }
+    }
+
+    fn drive_per_event(&self, source: &mut dyn EventSource) -> Result<IngressStats, DriveError> {
         let mut cache = NameCache::new();
         let mut stats = IngressStats::default();
         loop {
@@ -343,6 +382,111 @@ impl Tesla {
                     violation,
                     stats,
                 });
+            }
+        }
+    }
+
+    /// Stage one borrowed event into `batch`, resolving names
+    /// through `cache` with exactly [`Tesla::ingest`]'s policy:
+    /// introducing events intern, closing events only resolve — an
+    /// unknown closing name becomes a staged rejection that fails at
+    /// the event's position in the batch.
+    fn stage(&self, cache: &mut NameCache, batch: &mut BatchBuf, ev: IngressEventRef<'_>) {
+        match ev {
+            IngressEventRef::FnEntry { name, args } => {
+                let id = NameCache::intern(&mut cache.fns, name, |n| self.intern_fn(n));
+                batch.push_fn_entry(id, args);
+            }
+            IngressEventRef::FnExit { name, args, ret } => {
+                match NameCache::resolve(&mut cache.fns, name, |n| self.interner().get(n)) {
+                    Some(id) => batch.push_fn_exit(id, args, ret),
+                    None => batch.push_reject(
+                        HookKind::FnExit,
+                        Violation::unknown_name("function", name),
+                    ),
+                }
+            }
+            IngressEventRef::FieldStore {
+                strct,
+                field,
+                object,
+                op,
+                value,
+            } => {
+                let sid = NameCache::intern(&mut cache.structs, strct, |n| self.intern_struct(n));
+                let fid = NameCache::intern(&mut cache.fields, field, |n| self.intern_field(n));
+                batch.push_field_store(sid, fid, object, op, value);
+            }
+            IngressEventRef::MsgEntry {
+                selector,
+                receiver,
+                args,
+            } => {
+                let id =
+                    NameCache::intern(&mut cache.selectors, selector, |n| self.intern_selector(n));
+                batch.push_msg_entry(id, receiver, args);
+            }
+            IngressEventRef::MsgExit {
+                selector,
+                receiver,
+                args,
+                ret,
+            } => {
+                match NameCache::resolve(&mut cache.selectors, selector, |n| self.interner().get(n))
+                {
+                    Some(id) => batch.push_msg_exit(id, receiver, args, ret),
+                    None => batch.push_reject(
+                        HookKind::MsgExit,
+                        Violation::unknown_name("selector", selector),
+                    ),
+                }
+            }
+            IngressEventRef::AssertionSite { class, values } => {
+                batch.push_site(crate::ClassId(class), values);
+            }
+        }
+    }
+
+    fn drive_batched(&self, source: &mut dyn EventSource) -> Result<IngressStats, DriveError> {
+        let batch_size = self.config().batch_size;
+        let mut cache = NameCache::new();
+        let mut stats = IngressStats::default();
+        let mut batch = BatchBuf::with_capacity(batch_size);
+        loop {
+            batch.clear();
+            // Fill phase: `None` keeps filling, `Some(None)` is clean
+            // end-of-stream, `Some(Some(e))` a transport error. In
+            // either terminal case the events buffered *before* it
+            // still dispatch — and an event-level violation among
+            // them wins over the transport error, exactly as the
+            // per-event path would report it first.
+            let mut stop: Option<Option<IngressError>> = None;
+            while batch.len() < batch_size {
+                match source.next_event_ref() {
+                    Ok(Some(ev)) => self.stage(&mut cache, &mut batch, ev),
+                    Ok(None) => {
+                        stop = Some(None);
+                        break;
+                    }
+                    Err(e) => {
+                        stop = Some(Some(e));
+                        break;
+                    }
+                }
+            }
+            if let Err((idx, violation)) = self.dispatch_batch(&batch) {
+                batch.count_into(&mut stats, idx + 1);
+                return Err(DriveError::Event {
+                    seq: stats.events,
+                    violation,
+                    stats,
+                });
+            }
+            batch.count_into(&mut stats, batch.len());
+            match stop {
+                Some(None) => return Ok(stats),
+                Some(Some(e)) => return Err(DriveError::Source(e, stats)),
+                None => {}
             }
         }
     }

@@ -8,8 +8,10 @@
 //! anything readable); the Unix-socket transport reuses the decoder
 //! per connection.
 
-use crate::ingress::event::IngressEvent;
-use crate::ingress::jsonl::{parse_event, parse_header, TRACE_VERSION};
+use crate::ingress::event::{IngressEvent, IngressEventRef};
+use crate::ingress::jsonl::{
+    parse_event, parse_event_ref, parse_header, EventScratch, TRACE_VERSION,
+};
 use crate::ingress::{EventSource, IngressError};
 use std::fs::File;
 use std::io::{BufRead, BufReader, ErrorKind};
@@ -28,6 +30,7 @@ pub struct LineDecoder<R: BufRead> {
     offset: u64,
     header_seen: bool,
     buf: String,
+    scratch: EventScratch,
 }
 
 impl<R: BufRead> LineDecoder<R> {
@@ -40,6 +43,7 @@ impl<R: BufRead> LineDecoder<R> {
             offset: 0,
             header_seen: false,
             buf: String::new(),
+            scratch: EventScratch::new(),
         }
     }
 
@@ -69,6 +73,35 @@ impl<R: BufRead> LineDecoder<R> {
     /// See above; malformed lines yield
     /// [`IngressError::Malformed`] with this decoder's position.
     pub fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
+        if !self.advance()? {
+            return Ok(None);
+        }
+        let line = self.buf.trim_end_matches(['\n', '\r']);
+        match parse_event(line) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(e) => Err(self.malformed(e)),
+        }
+    }
+
+    /// [`LineDecoder::next_event`], returning the borrowed event form
+    /// — names and value lists point into this decoder's reused
+    /// buffers, so the replay hot loop performs no per-event
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`LineDecoder::next_event`].
+    pub fn next_event_ref(&mut self) -> Result<Option<IngressEventRef<'_>>, IngressError> {
+        if !self.advance()? {
+            return Ok(None);
+        }
+        self.parse_current().map(Some)
+    }
+
+    /// Advance to the next event line, validating the header on first
+    /// use and skipping blanks. `Ok(true)` leaves the raw line in
+    /// `self.buf`; `Ok(false)` is clean end-of-stream.
+    fn advance(&mut self) -> Result<bool, IngressError> {
         loop {
             self.buf.clear();
             self.line_no += 1;
@@ -89,7 +122,7 @@ impl<R: BufRead> LineDecoder<R> {
                          {{\"tesla_trace\":{TRACE_VERSION}}}"
                     )));
                 }
-                return Ok(None);
+                return Ok(false);
             }
             self.offset += n as u64;
             let line = self.buf.trim_end_matches(['\n', '\r']);
@@ -113,9 +146,33 @@ impl<R: BufRead> LineDecoder<R> {
                 self.header_seen = true;
                 continue;
             }
-            let ev = parse_event(line).map_err(|e| self.malformed(e))?;
-            return Ok(Some(ev));
+            return Ok(true);
         }
+    }
+
+    /// Parse the event line left in `self.buf` by a successful
+    /// [`LineDecoder::advance`], borrowing from the scratch buffers.
+    /// Split from `next_event_ref` so connection-oriented transports
+    /// can pump lines (handling reconnects) before taking the borrow.
+    pub(crate) fn parse_current(&mut self) -> Result<IngressEventRef<'_>, IngressError> {
+        // Copy the position out first: the error path must not touch
+        // `self` once the scratch borrow is live.
+        let (line, offset) = (self.line_no, self.line_start);
+        let raw = self.buf.trim_end_matches(['\n', '\r']);
+        match parse_event_ref(raw, &mut self.scratch) {
+            Ok(ev) => Ok(ev),
+            Err(detail) => Err(IngressError::Malformed {
+                line,
+                offset,
+                detail,
+            }),
+        }
+    }
+
+    /// Transport-internal: pump to the next event line. See
+    /// [`LineDecoder::parse_current`].
+    pub(crate) fn pump(&mut self) -> Result<bool, IngressError> {
+        self.advance()
     }
 }
 
@@ -150,6 +207,10 @@ impl<R: BufRead> JsonlSource<R> {
 }
 
 impl<R: BufRead> EventSource for JsonlSource<R> {
+    fn next_event_ref(&mut self) -> Result<Option<IngressEventRef<'_>>, IngressError> {
+        self.decoder.next_event_ref()
+    }
+
     fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
         self.decoder.next_event()
     }

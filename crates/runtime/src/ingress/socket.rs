@@ -15,7 +15,7 @@
 
 #![cfg(unix)]
 
-use crate::ingress::event::IngressEvent;
+use crate::ingress::event::{IngressEvent, IngressEventRef};
 use crate::ingress::replay::LineDecoder;
 use crate::ingress::{EventSource, IngressError};
 use std::io::BufReader;
@@ -151,6 +151,54 @@ impl Drop for SocketSource {
 }
 
 impl EventSource for SocketSource {
+    fn next_event_ref(&mut self) -> Result<Option<IngressEventRef<'_>>, IngressError> {
+        // Phase 1: pump to the next event line without holding any
+        // borrow, so connection turnover (clean hangups, reconnects)
+        // can mutate `self.conn` freely.
+        loop {
+            if self.conn.is_none() {
+                if self.conn_no >= self.max_conns {
+                    return Ok(None);
+                }
+                self.accept()?;
+            }
+            let pumped = self
+                .conn
+                .as_mut()
+                .expect("connection just established")
+                .pump();
+            match pumped {
+                Ok(true) => break,
+                // Producer hung up cleanly: move on to the next
+                // connection (or finish).
+                Ok(false) => self.conn = None,
+                Err(e) => {
+                    let e = self.tag(e);
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+        // Phase 2: one borrow for the parse. The error path must not
+        // touch `self` again, so the connection tag is applied from
+        // locals copied out beforehand.
+        let conn_no = self.conn_no;
+        let decoder = self.conn.as_mut().expect("pumped above");
+        match decoder.parse_current() {
+            Ok(ev) => Ok(Some(ev)),
+            Err(IngressError::Malformed {
+                line,
+                offset,
+                detail,
+            }) => Err(IngressError::Malformed {
+                line,
+                offset,
+                detail: format!("connection {conn_no}: {detail}"),
+            }),
+            Err(other) => Err(other),
+        }
+    }
+
     fn next_event(&mut self) -> Result<Option<IngressEvent>, IngressError> {
         loop {
             if self.conn.is_none() {

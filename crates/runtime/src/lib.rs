@@ -97,8 +97,8 @@ pub use handlers::{CountingHandler, Dispatch, EventHandler, RecordingHandler, St
 #[cfg(unix)]
 pub use ingress::SocketSource;
 pub use ingress::{
-    BufferedSource, DriveError, EventSource, IngressError, IngressEvent, IngressEventRef,
-    IngressStats, JsonlSource, NameCache, TraceWriter,
+    BatchBuf, BatchIngress, BufferedSource, DriveError, EventProducer, EventScratch, EventSource,
+    IngressError, IngressEvent, IngressEventRef, IngressStats, JsonlSource, NameCache, TraceWriter,
 };
 pub use intern::{Interner, NameId};
 pub use telemetry::{

@@ -27,8 +27,13 @@ use crate::event::{LifecycleEvent, Violation, ViolationKind};
 use crate::faults::FaultKind;
 use crate::handlers::Dispatch;
 use crate::MAX_VARS;
+use tesla_automata::compiled::DEAD;
 use tesla_automata::{Guard, StateSet, SymbolId};
 use tesla_spec::Value;
+
+/// [`Instance::dfa`] sentinel: this instance is not tracked by a
+/// compiled transition matrix and steps the interpreted NFA.
+pub const NO_DFA: u16 = u16::MAX;
 
 /// One automaton instance: a state set plus a partial binding.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +49,12 @@ pub struct Instance {
     /// the recency key for LRU eviction under
     /// [`crate::Config::max_instances`].
     pub touch: u64,
+    /// Compiled-matrix state mirroring [`Instance::states`], or
+    /// [`NO_DFA`] when the class has no matrix (guards) or the
+    /// instance left the matrix's reachable set. `states` stays
+    /// authoritative for every report and verdict; this is purely the
+    /// dispatch accelerator.
+    pub dfa: u16,
 }
 
 impl Instance {
@@ -54,6 +65,7 @@ impl Instance {
             bindings: [Value::NULL; MAX_VARS],
             known: 0,
             touch: 0,
+            dfa: NO_DFA,
         }
     }
 
@@ -191,6 +203,9 @@ impl Store {
         let slot = cs.instances.len() as u32;
         let mut star = Instance::unnamed(def.automaton.initial_states());
         star.touch = tick;
+        if let Some(c) = def.compiled.as_deref() {
+            star.dfa = c.start();
+        }
         cs.instances.push(star);
         self.groups[def.group as usize].materialized.push(class);
         // Events are built once and shared by every handler: handler
@@ -249,7 +264,21 @@ impl Store {
             if !compatible {
                 continue;
             }
-            let next = auto.step(&inst.states, sym, &mut *guard_ok);
+            // Compiled fast path: one dense matrix load instead of the
+            // per-symbol transition-list walk. Equivalent by
+            // construction — the matrix row was precomputed with
+            // exactly `auto.step` over a guard-free automaton.
+            let (next, next_dfa) = match def.compiled.as_deref() {
+                Some(c) if inst.dfa != NO_DFA => {
+                    let nd = c.step(inst.dfa, sym);
+                    if nd == DEAD {
+                        (StateSet::EMPTY, NO_DFA)
+                    } else {
+                        (c.states(nd), nd)
+                    }
+                }
+                _ => (auto.step(&inst.states, sym, &mut *guard_ok), NO_DFA),
+            };
             if next.is_empty() {
                 if auto.strict && !is_site {
                     let v = def.violation(
@@ -278,6 +307,7 @@ impl Store {
             if specialise_known == 0 {
                 let from = inst.states;
                 cs.instances[i].states = next;
+                cs.instances[i].dfa = next_dfa;
                 cs.instances[i].touch = tick;
                 out.matched = true;
                 // The governor may sample these hot-path notifications
@@ -301,6 +331,7 @@ impl Store {
                     }
                 }
                 clone.states = next;
+                clone.dfa = next_dfa;
                 clone.touch = tick;
                 out.matched = true;
                 clones.push((i as u32, clone));
@@ -342,6 +373,14 @@ impl Store {
                 cs.instances[j].states.union_with(&clone.states);
                 cs.instances[j].touch = tick;
                 let to = cs.instances[j].states;
+                // A merged set may leave the matrix's reachable space;
+                // re-resolve, falling back to interpretation when it
+                // does.
+                cs.instances[j].dfa = def
+                    .compiled
+                    .as_deref()
+                    .and_then(|c| c.resolve(&to))
+                    .unwrap_or(NO_DFA);
                 if from != to && !d.is_empty() {
                     d.notify(&LifecycleEvent::Update {
                         class,

@@ -498,26 +498,88 @@ impl MetricsRegistry {
     /// latency is sampled one-in-[`MetricsRegistry::sample_period`]
     /// per thread (the period is re-read at each countdown reset, so
     /// governor adjustments take effect within one period).
+    ///
+    /// Unsampled invocations return `None` and pay exactly one
+    /// striped-counter RMW plus one `Cell` decrement — no clock read,
+    /// no guard, nothing to drop.
     #[inline]
-    pub fn timer(&self, kind: HookKind) -> HookTimer<'_> {
-        let t0 = TL_METRICS.with(|tl| {
+    pub fn timer(&self, kind: HookKind) -> Option<HookTimer<'_>> {
+        TL_METRICS.with(|tl| {
             self.hook_calls[tl.stripe].calls[kind as usize].fetch_add(1, Ordering::Relaxed);
+            self.sample_countdown(tl, kind)
+        })
+    }
+
+    /// [`MetricsRegistry::timer`] without the call count: the batched
+    /// drain counts calls in bulk ([`MetricsRegistry::add_hook_calls`],
+    /// one RMW per batch per hook kind) and only consults the sampling
+    /// countdown per event.
+    #[inline]
+    pub fn sample_timer(&self, kind: HookKind) -> Option<HookTimer<'_>> {
+        TL_METRICS.with(|tl| self.sample_countdown(tl, kind))
+    }
+
+    /// Batch-drain latency sampling: advance this thread's sampling
+    /// countdown for `kind` by `count` events in **one** TLS access
+    /// and record `per_event_ns` for every sample the countdown
+    /// would have fired on the per-event path. The batch dispatcher
+    /// times the whole batch with two clock reads and divides, so
+    /// the histograms — and the overhead governor's cost estimator
+    /// reading them — see batch-amortised per-event latencies.
+    pub fn record_batch_samples(&self, kind: HookKind, count: u64, per_event_ns: u64) {
+        if count == 0 {
+            return;
+        }
+        TL_METRICS.with(|tl| {
             let cell = &tl.sample[kind as usize];
-            let v = cell.get();
-            if v == 0 {
-                let period = self.sample_period[kind as usize].load(Ordering::Relaxed);
-                cell.set(period.max(1) - 1);
-                Some(Instant::now())
-            } else {
-                cell.set(v - 1);
-                None
+            let v = u64::from(cell.get());
+            if count <= v {
+                cell.set((v - count) as u32);
+                return;
+            }
+            let period =
+                u64::from(self.sample_period[kind as usize].load(Ordering::Relaxed).max(1));
+            // The countdown fires once when it crosses zero, then
+            // once per period for the remaining events.
+            let after = count - v - 1;
+            let fires = 1 + after / period;
+            cell.set((period - 1 - (after % period)) as u32);
+            let hist = &self.hook_latency[kind as usize];
+            for _ in 0..fires {
+                hist.record_ns(per_event_ns);
             }
         });
-        HookTimer {
-            registry: self,
-            kind,
-            t0,
+    }
+
+    #[inline]
+    fn sample_countdown(&self, tl: &TlMetrics, kind: HookKind) -> Option<HookTimer<'_>> {
+        let cell = &tl.sample[kind as usize];
+        let v = cell.get();
+        if v == 0 {
+            let period = self.sample_period[kind as usize].load(Ordering::Relaxed);
+            cell.set(period.max(1) - 1);
+            Some(HookTimer {
+                registry: self,
+                kind,
+                t0: Instant::now(),
+            })
+        } else {
+            cell.set(v - 1);
+            None
         }
+    }
+
+    /// Count `n` invocations of `kind` in one striped RMW — the
+    /// batch-drain amortisation of the per-event count in
+    /// [`MetricsRegistry::timer`].
+    #[inline]
+    pub fn add_hook_calls(&self, kind: HookKind, n: u64) {
+        if n == 0 {
+            return;
+        }
+        TL_METRICS.with(|tl| {
+            self.hook_calls[tl.stripe].calls[kind as usize].fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     /// The latency sampling period in force for `kind`.
@@ -774,25 +836,23 @@ impl EventHandler for MetricsRegistry {
     }
 }
 
-/// Drop guard measuring one hook invocation (see
-/// [`MetricsRegistry::timer`]). The call itself was counted when the
-/// guard was created; the drop only histograms the duration, and only
-/// on sampled invocations (`t0` is `Some`).
+/// Drop guard measuring one *sampled* hook invocation (see
+/// [`MetricsRegistry::timer`]). Only sampled invocations get a guard
+/// at all — unsampled hooks construct nothing and read no clock — so
+/// the drop always histograms.
 pub struct HookTimer<'a> {
     registry: &'a MetricsRegistry,
     kind: HookKind,
-    t0: Option<Instant>,
+    t0: Instant,
 }
 
 impl Drop for HookTimer<'_> {
     fn drop(&mut self) {
-        if let Some(t0) = self.t0 {
-            // Saturating, not wrapping: a clock that jumps (suspend,
-            // injected skew) must land in the top bucket, never wrap
-            // into a plausible-looking small value.
-            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            self.registry.hook_latency[self.kind as usize].record_ns(ns);
-        }
+        // Saturating, not wrapping: a clock that jumps (suspend,
+        // injected skew) must land in the top bucket, never wrap
+        // into a plausible-looking small value.
+        let ns = u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.hook_latency[self.kind as usize].record_ns(ns);
     }
 }
 

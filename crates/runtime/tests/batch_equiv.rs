@@ -1,0 +1,254 @@
+//! Differential properties: the batched drain must be
+//! observationally identical to per-event dispatch.
+//!
+//! Random event streams (entries, exits — including never-entered
+//! names, field stores, message sends, assertion sites — including
+//! unknown classes) are driven through `Tesla::drive` with
+//! `batch_size` 1 (the per-event reference) and with batching on,
+//! under both fail modes and with the governor ticking every event.
+//! The drive result, the recorded violation sequence, and the
+//! deterministic counter export (`export::json_counters`) must all be
+//! byte-identical — the flush-on-verdict rule means even a FailStop
+//! verdict in the middle of a batch stops at exactly the same event
+//! ordinal as per-event dispatch. A second axis pits interpreted NFA
+//! stepping against the compiled transition matrices: same oracle,
+//! same requirement.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tesla_automata::compile;
+use tesla_runtime::telemetry::export::json_counters;
+use tesla_runtime::{
+    BufferedSource, Config, DriveError, FailMode, GovernorConfig, IngressEvent, IngressStats,
+    Tesla, Violation,
+};
+use tesla_spec::{call, AssertionBuilder, FieldOp, Value};
+
+/// One generated stream step; decoded into an [`IngressEvent`] by
+/// [`decode`]. Kept as raw small integers so the proptest strategy
+/// stays a flat tuple vector.
+type Op = (u8, u64, u64);
+
+const ENTRY_FNS: [&str; 3] = ["req", "check", "other"];
+const EXIT_FNS: [&str; 4] = ["req", "check", "other", "ghost"];
+
+fn decode(&(op, a, b): &Op) -> IngressEvent {
+    match op % 10 {
+        // Scope open: drives init/cleanup and lazy materialisation.
+        0 => IngressEvent::FnEntry {
+            name: "req".into(),
+            args: vec![],
+        },
+        // The watched call entering and returning 0 (satisfies).
+        1 => IngressEvent::FnEntry {
+            name: "check".into(),
+            args: vec![Value(b)],
+        },
+        2 => IngressEvent::FnExit {
+            name: "check".into(),
+            args: vec![Value(b)],
+            ret: Value(0),
+        },
+        // Arbitrary exits; "ghost" was never entered, so resolving it
+        // fails — the batched stage must reject at the same ordinal
+        // as the per-event unknown-name error.
+        3 => IngressEvent::FnExit {
+            name: EXIT_FNS[(a % 4) as usize].into(),
+            args: vec![Value(b)],
+            ret: Value(b),
+        },
+        4 => IngressEvent::FnEntry {
+            name: ENTRY_FNS[(a % 3) as usize].into(),
+            args: vec![Value(b)],
+        },
+        5 => IngressEvent::FieldStore {
+            strct: "s".into(),
+            field: "f".into(),
+            object: Value(a),
+            op: FieldOp::Assign,
+            value: Value(b),
+        },
+        6 => IngressEvent::MsgEntry {
+            selector: "sel".into(),
+            receiver: Value(a),
+            args: vec![Value(b)],
+        },
+        7 => IngressEvent::MsgExit {
+            selector: if a % 2 == 0 { "sel" } else { "ghost_sel" }.into(),
+            receiver: Value(a),
+            args: vec![Value(b)],
+            ret: Value(0),
+        },
+        // Sites against both registered classes; unsatisfied bindings
+        // violate (recorded under Log, fail-stop mid-batch otherwise).
+        8 => IngressEvent::AssertionSite {
+            class: (a % 2) as u32,
+            values: vec![Value(b)],
+        },
+        // Rarely, an unregistered class: hard error in every mode.
+        _ => IngressEvent::AssertionSite {
+            class: if a == 3 { 7 } else { (a % 2) as u32 },
+            values: vec![Value(b)],
+        },
+    }
+}
+
+/// Everything externally observable about one drive.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    drive: Result<IngressStats, DriveError>,
+    violations: Vec<Violation>,
+    counters: String,
+}
+
+/// Drive `ops` through a fresh engine. `batch_size` 1 is the
+/// per-event reference path; `dfa` false forces interpreted NFA
+/// stepping instead of the compiled matrices; `govern` attaches a
+/// non-escalating governor (huge SLO) so its per-event tick runs in
+/// both paths without perturbing sampling determinism.
+fn run(ops: &[Op], batch_size: usize, fail_mode: FailMode, dfa: bool, govern: bool) -> Outcome {
+    tesla_runtime::engine::reset_thread_state();
+    let t = Tesla::new(Config {
+        fail_mode,
+        telemetry: true,
+        batch_size,
+        governor: govern.then(|| GovernorConfig {
+            slo_milli: u32::MAX,
+            tick_events: 1,
+            allow_shed: false,
+        }),
+        ..Config::default()
+    });
+    let per_thread = AssertionBuilder::within("req")
+        .named("req_check")
+        .previously(call("check").arg_var("x").returns(0))
+        .build()
+        .unwrap();
+    let global = AssertionBuilder::within("req")
+        .global()
+        .named("req_check_global")
+        .previously(call("check").arg_var("x").returns(0))
+        .build()
+        .unwrap();
+    let automata = vec![
+        compile(&per_thread).unwrap(),
+        compile(&global).unwrap(),
+    ];
+    if dfa {
+        t.register_batch(automata).unwrap();
+    } else {
+        let pairs = automata.into_iter().map(|a| (Arc::new(a), None)).collect();
+        t.register_batch_compiled(pairs).unwrap();
+    }
+    let mut source = BufferedSource::new(ops.iter().map(decode).collect());
+    let drive = t.drive(&mut source);
+    Outcome {
+        drive,
+        violations: t.violations(),
+        counters: json_counters(&t.metrics().snapshot()),
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..10, 0u64..4, 0u64..3), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Log mode: the whole stream flows in both paths (modulo hard
+    /// errors, which must agree too).
+    #[test]
+    fn batched_equals_per_event_log_mode(ops in ops_strategy()) {
+        let reference = run(&ops, 1, FailMode::Log, true, false);
+        for batch_size in [2usize, 7, 64] {
+            let batched = run(&ops, batch_size, FailMode::Log, true, false);
+            prop_assert_eq!(&batched, &reference, "batch_size {}", batch_size);
+        }
+    }
+
+    /// FailStop: a violation anywhere inside a batch must stop at the
+    /// same 1-based ordinal with the same stats as per-event mode.
+    #[test]
+    fn batched_equals_per_event_fail_stop(ops in ops_strategy()) {
+        let reference = run(&ops, 1, FailMode::FailStop, true, false);
+        for batch_size in [2usize, 7, 64] {
+            let batched = run(&ops, batch_size, FailMode::FailStop, true, false);
+            prop_assert_eq!(&batched, &reference, "batch_size {}", batch_size);
+        }
+    }
+
+    /// The governor tick interleaves differently under batching (it
+    /// runs inside the drain loop); a non-escalating controller must
+    /// leave every observable identical.
+    #[test]
+    fn batched_equals_per_event_with_governor(ops in ops_strategy()) {
+        let reference = run(&ops, 1, FailMode::Log, true, true);
+        let batched = run(&ops, 7, FailMode::Log, true, true);
+        prop_assert_eq!(&batched, &reference);
+    }
+
+    /// Compiled matrices against interpreted NFA stepping: same
+    /// verdicts, same counters, in both drive modes.
+    #[test]
+    fn compiled_dfa_equals_interpreted(ops in ops_strategy()) {
+        for fail_mode in [FailMode::Log, FailMode::FailStop] {
+            let interpreted = run(&ops, 1, fail_mode, false, false);
+            let compiled = run(&ops, 1, fail_mode, true, false);
+            prop_assert_eq!(&compiled, &interpreted, "per-event, {:?}", fail_mode);
+            let compiled_batched = run(&ops, 64, fail_mode, true, false);
+            prop_assert_eq!(&compiled_batched, &interpreted, "batched, {:?}", fail_mode);
+        }
+    }
+}
+
+/// A hand-built stream pinning the mid-batch fail-stop contract: the
+/// violation lands on event 4 of a 6-event stream, strictly inside a
+/// batch of 64, and the stats count exactly the events up to and
+/// including the offender.
+#[test]
+fn fail_stop_mid_batch_stops_at_exact_ordinal() {
+    let ops: Vec<Op> = vec![
+        (0, 0, 0), // req entry        (opens scope)
+        (1, 0, 1), // check entry
+        (2, 0, 1), // check exit 0     (x = 1 satisfied)
+        (8, 0, 2), // site x = 2       (never satisfied: violation)
+        (1, 0, 2),
+        (2, 0, 2),
+    ];
+    for batch_size in [1usize, 64] {
+        let out = run(&ops, batch_size, FailMode::FailStop, true, false);
+        match &out.drive {
+            Err(DriveError::Event { seq, stats, .. }) => {
+                assert_eq!(*seq, 4, "batch_size {batch_size}");
+                assert_eq!(stats.events, 4);
+                assert_eq!(stats.sites, 1);
+                assert_eq!(stats.fn_entries, 2);
+            }
+            other => panic!("expected mid-stream violation, got {other:?}"),
+        }
+        assert_eq!(out.violations.len(), 1);
+    }
+}
+
+/// An unknown closing name must reject at its exact ordinal from the
+/// batched stage, matching the per-event resolve error.
+#[test]
+fn unknown_exit_name_rejects_at_exact_ordinal() {
+    let ops: Vec<Op> = vec![
+        (0, 0, 0),
+        (3, 3, 0), // fn_exit "ghost": never entered
+        (1, 0, 1),
+    ];
+    let reference = run(&ops, 1, FailMode::Log, true, false);
+    let batched = run(&ops, 64, FailMode::Log, true, false);
+    assert_eq!(batched, reference);
+    match &reference.drive {
+        Err(DriveError::Event { seq, stats, .. }) => {
+            assert_eq!(*seq, 2);
+            assert_eq!(stats.events, 2);
+            assert_eq!(stats.fn_exits, 1);
+        }
+        other => panic!("expected unknown-name error, got {other:?}"),
+    }
+}

@@ -867,7 +867,8 @@ fn stale_instances_cleared_on_epoch_change() {
         .unwrap()
         .id;
     let def = ClassDef {
-        automaton: auto,
+        automaton: Arc::new(auto),
+        compiled: None,
         group: 0,
         capacity: 8,
         site_hits: AtomicU64::new(0),
