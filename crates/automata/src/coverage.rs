@@ -1,0 +1,197 @@
+//! Automaton transition-coverage maps.
+//!
+//! Figure 9's weighted graphs already count how often each
+//! (DFA state, symbol) edge fires; this module reinterprets those
+//! counts as a *coverage map* — which cells of the dense
+//! state × symbol matrix a workload has exercised at all. The
+//! scenario fuzzer (`tesla scenario fuzz`) uses the map as its
+//! guidance signal, in the spirit of LTL-guided greybox fuzzing: a
+//! mutant timeline is interesting when it lights up a cell the corpus
+//! has never reached.
+//!
+//! Coverage is keyed by *class name* (the assertion's human-readable
+//! name) rather than [`crate::automaton::Automaton`] identity, so maps
+//! from separate engine runs — each of which registers its own classes
+//! and gets fresh class ids — can be merged meaningfully. Rows are
+//! BFS-ordered DFA state ids, exactly the rows of the transition
+//! weight tables and the node ids of the DOT rendering.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Covered cells of one automaton class's state × symbol matrix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassCoverage {
+    /// Number of DFA state rows in the dense matrix.
+    pub n_states: u32,
+    /// Number of symbols (columns) in the dense matrix.
+    pub n_symbols: u32,
+    /// Cells `(state_row, symbol)` with at least one observed firing.
+    pub cells: BTreeSet<(u32, u32)>,
+}
+
+impl ClassCoverage {
+    /// A coverage matrix of the given shape with no covered cells.
+    pub fn new(n_states: u32, n_symbols: u32) -> ClassCoverage {
+        ClassCoverage {
+            n_states,
+            n_symbols,
+            cells: BTreeSet::new(),
+        }
+    }
+
+    /// Mark `(state, symbol)` as covered.
+    pub fn mark(&mut self, state: u32, symbol: u32) {
+        self.cells.insert((state, symbol));
+    }
+
+    /// Whether `(state, symbol)` has been covered.
+    pub fn contains(&self, state: u32, symbol: u32) -> bool {
+        self.cells.contains(&(state, symbol))
+    }
+
+    /// Number of covered cells.
+    pub fn covered(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total cell count of the dense matrix.
+    pub fn total_cells(&self) -> usize {
+        self.n_states as usize * self.n_symbols as usize
+    }
+}
+
+/// Transition coverage across automaton classes, keyed by class name.
+///
+/// Deterministically ordered (`BTreeMap`/`BTreeSet`) so renders and
+/// diffs are byte-stable across runs — the fuzzer's determinism test
+/// depends on that.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    classes: BTreeMap<String, ClassCoverage>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Whether no class has any covered cell.
+    pub fn is_empty(&self) -> bool {
+        self.classes.values().all(|c| c.cells.is_empty())
+    }
+
+    /// The coverage matrix for `class`, creating it (with the given
+    /// shape) if absent. If the class is already present the recorded
+    /// shape grows to the maximum seen, so merging maps built against
+    /// differently-compiled versions of an assertion stays lossless.
+    pub fn class_mut(&mut self, class: &str, n_states: u32, n_symbols: u32) -> &mut ClassCoverage {
+        let entry = self
+            .classes
+            .entry(class.to_string())
+            .or_insert_with(|| ClassCoverage::new(n_states, n_symbols));
+        entry.n_states = entry.n_states.max(n_states);
+        entry.n_symbols = entry.n_symbols.max(n_symbols);
+        entry
+    }
+
+    /// The coverage matrix for `class`, if present.
+    pub fn class(&self, class: &str) -> Option<&ClassCoverage> {
+        self.classes.get(class)
+    }
+
+    /// Iterate `(class name, coverage)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ClassCoverage)> {
+        self.classes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Absorb every covered cell of `other` into `self`.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        for (name, theirs) in other.classes.iter() {
+            let mine = self.class_mut(name, theirs.n_states, theirs.n_symbols);
+            mine.cells.extend(theirs.cells.iter().copied());
+        }
+    }
+
+    /// Cells covered by `other` but not by `self`, as
+    /// `(class, state, symbol)` triples in deterministic order. This
+    /// is the fuzzer's interestingness signal: non-empty means the
+    /// candidate run reached somewhere the corpus never has.
+    pub fn newly_covered(&self, other: &CoverageMap) -> Vec<(String, u32, u32)> {
+        let mut novel = Vec::new();
+        for (name, theirs) in other.classes.iter() {
+            let base = self.classes.get(name);
+            for &(state, sym) in theirs.cells.iter() {
+                if base.map_or(true, |b| !b.cells.contains(&(state, sym))) {
+                    novel.push((name.clone(), state, sym));
+                }
+            }
+        }
+        novel
+    }
+
+    /// `(covered, total)` cell counts summed over all classes.
+    pub fn totals(&self) -> (usize, usize) {
+        let covered = self.classes.values().map(ClassCoverage::covered).sum();
+        let total = self.classes.values().map(ClassCoverage::total_cells).sum();
+        (covered, total)
+    }
+
+    /// Human-readable per-class summary, one line per class plus a
+    /// totals line — the `tesla scenario` reporting format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, cov) in self.classes.iter() {
+            out.push_str(&format!(
+                "{name}: {}/{} cells ({} states x {} symbols)\n",
+                cov.covered(),
+                cov.total_cells(),
+                cov.n_states,
+                cov.n_symbols
+            ));
+        }
+        let (covered, total) = self.totals();
+        out.push_str(&format!("total: {covered}/{total} cells\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_merge_and_totals() {
+        let mut a = CoverageMap::new();
+        a.class_mut("x", 3, 4).mark(0, 1);
+        a.class_mut("x", 3, 4).mark(1, 2);
+        let mut b = CoverageMap::new();
+        b.class_mut("x", 3, 4).mark(1, 2);
+        b.class_mut("x", 3, 4).mark(2, 3);
+        b.class_mut("y", 2, 2).mark(0, 0);
+
+        assert_eq!(a.totals(), (2, 12));
+        let novel = a.newly_covered(&b);
+        assert_eq!(
+            novel,
+            vec![("x".to_string(), 2, 3), ("y".to_string(), 0, 0)]
+        );
+        a.merge(&b);
+        assert_eq!(a.totals(), (4, 16));
+        assert!(a.newly_covered(&b).is_empty());
+        assert!(a.class("x").unwrap().contains(2, 3));
+        assert!(!a.class("x").unwrap().contains(0, 0));
+    }
+
+    #[test]
+    fn shape_grows_on_remerge() {
+        let mut a = CoverageMap::new();
+        a.class_mut("x", 2, 2).mark(0, 0);
+        a.class_mut("x", 4, 3).mark(3, 2);
+        assert_eq!(a.class("x").unwrap().n_states, 4);
+        assert_eq!(a.class("x").unwrap().n_symbols, 3);
+        let render = a.render();
+        assert!(render.contains("x: 2/12 cells"));
+        assert!(render.contains("total: 2/12 cells"));
+    }
+}

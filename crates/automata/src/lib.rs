@@ -68,6 +68,7 @@ pub mod automaton;
 pub mod bitset;
 pub mod cache;
 pub mod compiled;
+pub mod coverage;
 pub mod dfa;
 pub mod dot;
 pub mod manifest;
@@ -82,6 +83,7 @@ pub use automaton::{compile, Automaton, Bound};
 pub use bitset::StateSet;
 pub use cache::CompileCache;
 pub use compiled::CompiledDfa;
+pub use coverage::{ClassCoverage, CoverageMap};
 pub use dfa::Dfa;
 pub use manifest::{fnv1a, Fnv64, Manifest};
 pub use symbol::{

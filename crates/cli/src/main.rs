@@ -36,6 +36,10 @@
 //!               [--from-trace trace.jsonl]
 //!                                     learn a healthy-run baseline (transition-weight
 //!                                     distributions + hook-latency profiles)
+//! tesla scenario run <dir|file.yaml> [--tap] [--out tap.txt]
+//!                                     execute declarative YAML scenarios, TAP v14 output
+//! tesla scenario fuzz <dir> [--seed N] [--iterations N] [--budget-ms N] [--out dir]
+//!                                     coverage-guided fuzzing over the scenario corpus
 //! ```
 
 use std::process::ExitCode;
@@ -92,6 +96,7 @@ fn main() -> ExitCode {
         "attach" => attach(rest).map_err(CliError::Usage),
         "observe" => observe(rest),
         "baseline" => baseline_cmd(rest).map_err(CliError::Usage),
+        "scenario" => scenario_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -213,9 +218,35 @@ const USAGE: &str = "usage:
                                  recorded trace (--from-trace), as a
                                  versioned baseline file (stdout when
                                  --out is omitted)
+  tesla scenario run <dir|file.yaml> [--tap] [--out tap.txt]
+                                 execute declarative YAML scenarios:
+                                 each file names a runner (spec,
+                                 sim-ssl, sim-kernel, sim-gui,
+                                 workload, minic), a config, an event
+                                 timeline, optional injected faults,
+                                 and the expected outcome; --tap
+                                 prints TAP version 14 (one point per
+                                 scenario, YAML diagnostics on
+                                 failure), --out also writes the TAP
+                                 to a file; any failing scenario
+                                 exits 1, malformed scenarios get a
+                                 line/byte-offset diagnostic and
+                                 exit 2
+  tesla scenario fuzz <dir> [--seed N] [--iterations N]
+                [--budget-ms N] [--out dir]
+                                 coverage-guided scenario fuzzing:
+                                 deterministically mutate the corpus
+                                 timelines and fault plans, keep
+                                 mutants that reach automaton
+                                 (state, symbol) cells or violation
+                                 signatures the seeds don't, ddmin-
+                                 minimise them, and save them back as
+                                 replayable corpus scenarios
+                                 (--out, default the corpus dir)
 
 exit status: 0 clean; 1 diagnostics present under --deny (or anomalies
-under --anomalies); 2 usage, I/O, or build/run failure";
+under --anomalies, or failing scenarios); 2 usage, I/O, or build/run
+failure";
 
 fn parse_one(src: &str) -> Result<tesla::spec::Assertion, String> {
     parse_assertion(src).map_err(|e| e.to_string())
@@ -534,7 +565,7 @@ fn run(rest: &[String]) -> Result<(), String> {
     let plan = match chaos {
         Some(seed) => {
             let spec = match &fault_arg {
-                Some(s) => FaultSpec::parse(s)?,
+                Some(s) => s.parse::<FaultSpec>()?,
                 None => FaultSpec::default_chaos(),
             };
             Some(Arc::new(FaultPlan::new(seed, spec)))
@@ -915,7 +946,7 @@ fn observe(rest: &[String]) -> Result<(), CliError> {
     let plan = match chaos {
         Some(seed) => {
             let spec = match &fault_arg {
-                Some(s) => FaultSpec::parse(s)?,
+                Some(s) => s.parse::<FaultSpec>()?,
                 None => FaultSpec::default_chaos(),
             };
             Some(Arc::new(FaultPlan::new(seed, spec)))
@@ -1069,6 +1100,167 @@ fn baseline_cmd(rest: &[String]) -> Result<(), String> {
             .save(std::path::Path::new(&p))
             .map_err(|e| e.to_string())?,
         None => print!("{}", base.render()),
+    }
+    Ok(())
+}
+
+/// `tesla scenario <run|fuzz>` — the declarative scenario engine.
+fn scenario_cmd(rest: &[String]) -> Result<(), CliError> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("scenario needs a subcommand: run or fuzz".into());
+    };
+    match sub.as_str() {
+        "run" => scenario_run(rest),
+        "fuzz" => scenario_fuzz(rest).map_err(CliError::Usage),
+        other => Err(CliError::Usage(format!(
+            "unknown scenario subcommand `{other}` (expected run or fuzz)"
+        ))),
+    }
+}
+
+fn scenario_run(rest: &[String]) -> Result<(), CliError> {
+    let mut tap = false;
+    let mut out_path: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tap" => tap = true,
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs a file path")?.clone());
+            }
+            p => {
+                if path.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "scenario run takes one path, got a second: `{p}`"
+                    )));
+                }
+                path = Some(p.to_string());
+            }
+        }
+    }
+    let path = path.ok_or("scenario run needs a scenario file or directory")?;
+    let results =
+        tesla::scenario::run_batch(std::path::Path::new(&path)).map_err(CliError::Usage)?;
+    let tap_text = tesla::scenario::render_tap(&results);
+    if tap {
+        print!("{tap_text}");
+    } else {
+        let mut coverage = tesla::automata::CoverageMap::new();
+        for r in &results {
+            coverage.merge(&r.coverage);
+            if r.ok() {
+                println!("ok   {}", r.name);
+            } else {
+                println!("FAIL {}", r.name);
+                for f in &r.failures {
+                    println!("     - {f}");
+                }
+            }
+        }
+        let (covered, total) = coverage.totals();
+        println!(
+            "{} scenarios, {} failed; transition coverage {covered}/{total}",
+            results.len(),
+            results.iter().filter(|r| !r.ok()).count()
+        );
+    }
+    if let Some(o) = &out_path {
+        std::fs::write(o, &tap_text).map_err(|e| format!("{o}: {e}"))?;
+    }
+    let failed = results.iter().filter(|r| !r.ok()).count();
+    if failed > 0 {
+        return Err(CliError::Denied(format!(
+            "{failed} of {} scenario(s) failed",
+            results.len()
+        )));
+    }
+    Ok(())
+}
+
+fn scenario_fuzz(rest: &[String]) -> Result<(), String> {
+    let mut params = tesla::scenario::FuzzParams::default();
+    let mut out_dir: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                params.seed = v.parse().map_err(|e| format!("bad --seed `{v}`: {e}"))?;
+            }
+            "--iterations" => {
+                let v = it.next().ok_or("--iterations needs a value")?;
+                params.iterations = v
+                    .parse()
+                    .map_err(|e| format!("bad --iterations `{v}`: {e}"))?;
+            }
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a value")?;
+                params.budget_ms =
+                    Some(v.parse().map_err(|e| format!("bad --budget-ms `{v}`: {e}"))?);
+            }
+            "--out" => {
+                out_dir = Some(it.next().ok_or("--out needs a directory")?.clone());
+            }
+            p => {
+                if path.is_some() {
+                    return Err(format!("scenario fuzz takes one corpus dir, got `{p}`"));
+                }
+                path = Some(p.to_string());
+            }
+        }
+    }
+    let path = path.ok_or("scenario fuzz needs a corpus directory")?;
+    let corpus_dir = std::path::Path::new(&path);
+    let files = tesla::scenario::collect_scenario_files(corpus_dir)?;
+    let mut seeds = Vec::with_capacity(files.len());
+    for f in &files {
+        let stem = f
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("scenario")
+            .to_string();
+        seeds.push((stem, tesla::scenario::load_scenario_file(f)?));
+    }
+    let base_dir = if corpus_dir.is_dir() {
+        corpus_dir.to_path_buf()
+    } else {
+        corpus_dir
+            .parent()
+            .unwrap_or(std::path::Path::new("."))
+            .to_path_buf()
+    };
+    let outcome = tesla::scenario::fuzz_corpus(&seeds, &base_dir, params);
+    println!(
+        "fuzz: seed {}, {} mutant(s) tried, {} interesting, {} saved",
+        params.seed, outcome.attempts, outcome.interesting, outcome.saved.len()
+    );
+    println!(
+        "coverage: {}/{} cells before, {}/{} after",
+        outcome.baseline.0, outcome.baseline.1, outcome.after.0, outcome.after.1
+    );
+    let out_dir = out_dir.map_or_else(|| base_dir.clone(), std::path::PathBuf::from);
+    if !outcome.saved.is_empty() {
+        std::fs::create_dir_all(&out_dir)
+            .map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    }
+    for saved in &outcome.saved {
+        let file = out_dir.join(format!("{}.yaml", saved.name));
+        std::fs::write(&file, tesla::scenario::fuzz::render_saved(saved))
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        println!(
+            "saved {} ({} new cell(s), {} novel violation(s))",
+            file.display(),
+            saved.new_cells.len(),
+            saved.novel_violations.len()
+        );
+        for (class, state, symbol) in &saved.new_cells {
+            println!("  new cell: {class} state {state} symbol {symbol}");
+        }
+        for sig in &saved.novel_violations {
+            println!("  novel violation: {sig}");
+        }
     }
     Ok(())
 }

@@ -11,7 +11,9 @@
 //! This crate is the umbrella: it re-exports every component and adds
 //! the end-to-end [`pipeline`] (compile → analyse → merge `.tesla`
 //! manifests → instrument → optimise → run) together with the
-//! [`corpus`] generators used by the build-time experiments (fig. 10).
+//! [`corpus`] generators used by the build-time experiments (fig. 10)
+//! and the declarative [`scenario`] engine behind
+//! `tesla scenario run` / `tesla scenario fuzz`.
 //!
 //! ## The pieces
 //!
@@ -60,6 +62,7 @@
 
 pub mod corpus;
 pub mod pipeline;
+pub mod scenario;
 
 pub use tesla_automata as automata;
 pub use tesla_cc as cc;

@@ -1,0 +1,409 @@
+//! Coverage-guided scenario fuzzing: `tesla scenario fuzz`.
+//!
+//! The corpus scenarios are the seeds. A deterministic splitmix64
+//! mutator perturbs their timelines (swap / drop / duplicate /
+//! retime events, nudge argument values) and fault plans (reseed,
+//! change periods); each mutant runs on a fresh engine and its
+//! transition coverage — the PR-3 weight tables exported as a
+//! [`CoverageMap`] — is compared against the union reached so far.
+//! Mutants that light up an uncovered `(class, state, symbol)` cell
+//! or produce a violation signature no seed produces are *interesting*:
+//! they get ddmin-minimised (smallest sub-timeline preserving the
+//! novelty), their expectations are recomputed from the minimised
+//! run, and they are rendered back to canonical YAML as replayable
+//! corpus members.
+//!
+//! Everything is a pure function of `(corpus, seed, iteration
+//! budget)`: same inputs, byte-identical saved scenarios. The wall
+//! clock budget only ever *truncates* the iteration sequence, so a
+//! generous budget never changes what an earlier iteration saves.
+
+use super::runner::{kind_code, run_scenario, RunOutcome};
+use super::schema::{render_scenario, Expect, RunnerKind, Scenario, Verdict};
+use std::path::Path;
+use std::time::Instant;
+use tesla_automata::CoverageMap;
+use tesla_runtime::scenario::Step;
+use tesla_runtime::ArgValue;
+
+/// Deterministic splitmix64 stream (same generator the fault plans
+/// use), so fuzz runs are reproducible from the seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// Fuzzing controls.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzParams {
+    /// Mutator seed; the whole run is a function of it.
+    pub seed: u64,
+    /// Maximum mutants to generate.
+    pub iterations: u64,
+    /// Optional wall-clock cutoff; only truncates the sequence.
+    pub budget_ms: Option<u64>,
+}
+
+impl Default for FuzzParams {
+    fn default() -> FuzzParams {
+        FuzzParams {
+            seed: 1,
+            iterations: 200,
+            budget_ms: None,
+        }
+    }
+}
+
+/// One minimised, saved mutant.
+#[derive(Debug, Clone)]
+pub struct SavedScenario {
+    /// The corpus file stem to save under (`fuzz-<seed-stem>-NNN`).
+    pub name: String,
+    /// The minimised scenario with recomputed expectations.
+    pub scenario: Scenario,
+    /// Coverage cells this mutant reaches that nothing before it did.
+    pub new_cells: Vec<(String, u32, u32)>,
+    /// Violation signatures nothing before it produced.
+    pub novel_violations: Vec<String>,
+}
+
+/// Result of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Mutants generated.
+    pub attempts: u64,
+    /// Mutants that reached new coverage or novel violations.
+    pub interesting: u64,
+    /// Minimised scenarios worth keeping, in discovery order.
+    pub saved: Vec<SavedScenario>,
+    /// Seed-corpus transition coverage `(covered, total)`.
+    pub baseline: (usize, usize),
+    /// Coverage after fuzzing `(covered, total)`.
+    pub after: (usize, usize),
+}
+
+/// A violation's novelty key: kind plus assertion name, ignoring the
+/// event detail (which carries seed-dependent values).
+fn signature(v: &tesla_runtime::Violation) -> String {
+    format!("{}:{}", kind_code(&v.kind), v.assertion)
+}
+
+fn outcome_signatures(out: &RunOutcome) -> Vec<String> {
+    let mut sigs: Vec<String> = out.violations.iter().map(signature).collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs
+}
+
+/// Recompute a scenario's expectations from an observed run, so the
+/// saved mutant passes `tesla scenario run` as-is. Workload runners
+/// may schedule threads differently run to run, so for them only the
+/// verdict is pinned; everything else pins the exact violation set.
+fn expect_from(runner: RunnerKind, out: &RunOutcome) -> Expect {
+    let mut codes: Vec<String> = out
+        .violations
+        .iter()
+        .map(|v| kind_code(&v.kind).to_string())
+        .collect();
+    codes.sort();
+    codes.dedup();
+    let exact = runner != RunnerKind::Workload;
+    Expect {
+        verdict: if out.violations.is_empty() {
+            Verdict::Pass
+        } else {
+            Verdict::Violation
+        },
+        violations: if exact {
+            Some(out.violations.len() as u64)
+        } else {
+            None
+        },
+        codes,
+        assertion: None,
+        events_min: None,
+        events_max: None,
+        replay_matches: None,
+        ledger_balanced: out.ledger_balanced,
+        notes_contain: Vec::new(),
+    }
+}
+
+/// Apply one random mutation to a scenario in place.
+fn mutate_once(sc: &mut Scenario, rng: &mut Rng) {
+    let n = sc.timeline.len();
+    match rng.below(6) {
+        0 if n >= 2 => {
+            let i = rng.below(n as u64) as usize;
+            let j = rng.below(n as u64) as usize;
+            sc.timeline.swap(i, j);
+        }
+        1 if n >= 2 => {
+            let i = rng.below(n as u64) as usize;
+            sc.timeline.remove(i);
+        }
+        2 if n >= 1 => {
+            let i = rng.below(n as u64) as usize;
+            let copy = sc.timeline[i].clone();
+            sc.timeline.insert(i + 1, copy);
+        }
+        3 if n >= 1 => {
+            let i = rng.below(n as u64) as usize;
+            sc.timeline[i].at = Some(rng.below(1000));
+        }
+        4 if n >= 1 => {
+            // Nudge an integer argument somewhere in the timeline.
+            let i = rng.below(n as u64) as usize;
+            let step: &mut Step = &mut sc.timeline[i];
+            let ints: Vec<usize> = step
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, v))| matches!(v, ArgValue::Int(_)))
+                .map(|(k, _)| k)
+                .collect();
+            if let Some(&k) = ints.get(rng.below(ints.len() as u64) as usize) {
+                if let ArgValue::Int(v) = &mut step.args[k].1 {
+                    let delta = rng.below(17) as i64 - 8;
+                    *v = v.saturating_add(delta);
+                }
+            }
+        }
+        _ => {
+            // Perturb the fault plan when one exists; otherwise fall
+            // back to retiming (keeps the mutation budget spent).
+            if let Some(f) = &mut sc.faults {
+                if rng.below(2) == 0 {
+                    f.seed = rng.next();
+                } else {
+                    let kind = tesla_runtime::FaultKind::ALL
+                        [rng.below(tesla_runtime::FaultKind::ALL.len() as u64) as usize];
+                    f.spec = f.spec.with(kind, 1 + rng.below(64) as u32);
+                }
+            } else if n >= 1 {
+                let i = rng.below(n as u64) as usize;
+                sc.timeline[i].at = Some(rng.below(1000));
+            }
+        }
+    }
+}
+
+/// Does this run still exhibit the recorded novelty — at least one of
+/// `cells` uncovered by `union`, or one of `sigs`?
+fn still_novel(
+    out: &RunOutcome,
+    union: &CoverageMap,
+    cells: &[(String, u32, u32)],
+    sigs: &[String],
+) -> bool {
+    let fresh = union.newly_covered(&out.coverage);
+    if cells.iter().any(|c| fresh.contains(c)) {
+        return true;
+    }
+    let got = outcome_signatures(out);
+    sigs.iter().any(|s| got.contains(s))
+}
+
+/// ddmin over the timeline: find a 1-minimal sub-timeline whose run
+/// still exhibits the novelty. Classic delta debugging — try chunk
+/// removals at doubling granularity; every candidate is re-executed.
+fn minimise(
+    sc: &Scenario,
+    base_dir: &Path,
+    union: &CoverageMap,
+    cells: &[(String, u32, u32)],
+    sigs: &[String],
+) -> Scenario {
+    let mut best = sc.clone();
+    let mut granularity: usize = 2;
+    while best.timeline.len() >= 2 {
+        let len = best.timeline.len();
+        let chunk = (len / granularity).max(1);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < best.timeline.len() {
+            let end = (start + chunk).min(best.timeline.len());
+            let mut candidate = best.clone();
+            candidate.timeline.drain(start..end);
+            let keeps_novelty = match run_scenario(&candidate, base_dir) {
+                Ok(out) => still_novel(&out, union, cells, sigs),
+                Err(_) => false,
+            };
+            if keeps_novelty {
+                best = candidate;
+                reduced = true;
+                // Same start index now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if reduced {
+            granularity = 2;
+        } else if chunk <= 1 {
+            break;
+        } else {
+            granularity = (granularity * 2).min(best.timeline.len().max(2));
+        }
+    }
+    best
+}
+
+/// Fuzz a corpus. `seeds` pairs each scenario with its file stem
+/// (used to derive saved mutant names); `base_dir` anchors relative
+/// paths exactly as `run` does.
+///
+/// Baseline coverage is the union over *all* seeds (including
+/// non-fuzzable ones — a cell a `minic` scenario already reaches is
+/// not novel); only scenarios with `fuzz: true` are mutated.
+pub fn fuzz_corpus(seeds: &[(String, Scenario)], base_dir: &Path, params: FuzzParams) -> FuzzOutcome {
+    let t0 = Instant::now();
+    let mut union = CoverageMap::new();
+    let mut known_sigs: Vec<String> = Vec::new();
+    for (_, sc) in seeds {
+        if let Ok(out) = run_scenario(sc, base_dir) {
+            union.merge(&out.coverage);
+            for s in outcome_signatures(&out) {
+                if !known_sigs.contains(&s) {
+                    known_sigs.push(s);
+                }
+            }
+        }
+    }
+    let baseline = union.totals();
+
+    let fuzzable: Vec<&(String, Scenario)> = seeds.iter().filter(|(_, sc)| sc.fuzz).collect();
+    let mut outcome = FuzzOutcome {
+        attempts: 0,
+        interesting: 0,
+        saved: Vec::new(),
+        baseline,
+        after: baseline,
+    };
+    if fuzzable.is_empty() {
+        return outcome;
+    }
+
+    let mut rng = Rng(params.seed);
+    for attempt in 0..params.iterations {
+        if let Some(ms) = params.budget_ms {
+            if t0.elapsed().as_millis() as u64 >= ms {
+                break;
+            }
+        }
+        outcome.attempts += 1;
+        let (stem, seed_sc) = fuzzable[(attempt % fuzzable.len() as u64) as usize];
+        let mut mutant = seed_sc.clone();
+        for _ in 0..1 + rng.below(3) {
+            mutate_once(&mut mutant, &mut rng);
+        }
+        let Ok(run) = run_scenario(&mutant, base_dir) else {
+            continue;
+        };
+        let new_cells = union.newly_covered(&run.coverage);
+        let novel: Vec<String> = outcome_signatures(&run)
+            .into_iter()
+            .filter(|s| !known_sigs.contains(s))
+            .collect();
+        if new_cells.is_empty() && novel.is_empty() {
+            continue;
+        }
+        outcome.interesting += 1;
+
+        let mut minimised = minimise(&mutant, base_dir, &union, &new_cells, &novel);
+        let Ok(final_run) = run_scenario(&minimised, base_dir) else {
+            continue;
+        };
+        // Re-derive this mutant's actual novelty from the minimised
+        // run, then fold it into the frontier so later mutants must
+        // find strictly more.
+        let final_cells = union.newly_covered(&final_run.coverage);
+        let final_novel: Vec<String> = outcome_signatures(&final_run)
+            .into_iter()
+            .filter(|s| !known_sigs.contains(s))
+            .collect();
+        union.merge(&final_run.coverage);
+        for s in &final_novel {
+            known_sigs.push(s.clone());
+        }
+
+        let name = format!("fuzz-{stem}-{:03}", outcome.saved.len() + 1);
+        minimised.name = name.clone();
+        minimised.description = Some(format!(
+            "minimised mutant of `{stem}` (seed {}): {} new coverage cell(s), {} novel violation(s)",
+            params.seed,
+            final_cells.len(),
+            final_novel.len(),
+        ));
+        minimised.expect = expect_from(minimised.runner, &final_run);
+        outcome.saved.push(SavedScenario {
+            name,
+            scenario: minimised,
+            new_cells: final_cells,
+            novel_violations: final_novel,
+        });
+    }
+    outcome.after = union.totals();
+    outcome
+}
+
+/// Render a saved mutant to its canonical YAML (the replayable corpus
+/// file content).
+pub fn render_saved(saved: &SavedScenario) -> String {
+    render_scenario(&saved.scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = Rng(42);
+        let mut b = Rng(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1]);
+    }
+
+    #[test]
+    fn below_handles_zero() {
+        let mut r = Rng(7);
+        assert_eq!(r.below(0), 0);
+        assert!(r.below(5) < 5);
+    }
+
+    #[test]
+    fn mutations_preserve_scenario_validity() {
+        let sc = super::super::schema::parse_scenario(
+            "tesla_scenario: 1\nname: m\nrunner: spec\nconfig:\n  assertions:\n    - x\n\
+             timeline:\n  - op: fn_entry\n    fn: foo\n  - op: fn_exit\n    fn: foo\n\
+             expect:\n  verdict: pass\n",
+        )
+        .unwrap();
+        let mut rng = Rng(3);
+        for _ in 0..50 {
+            let mut m = sc.clone();
+            mutate_once(&mut m, &mut rng);
+            // The mutated scenario must still render and re-parse.
+            let text = render_scenario(&m);
+            let back = super::super::schema::parse_scenario(&text).unwrap();
+            assert_eq!(back.timeline.len(), m.timeline.len());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! # Declarative scenarios — YAML timelines over every substrate
+//!
+//! A *scenario* is a versioned YAML file describing one end-to-end
+//! check: which substrate to drive (`runner`), how to configure it
+//! (assertion sets, seeded bugs, mini-C sources), an event timeline
+//! (optionally timestamped and threaded), optional injected faults
+//! (reusing the `--faults` grammar), and the expected outcome
+//! (verdict, violation count/codes, event bounds, replay fidelity,
+//! ledger balance).
+//!
+//! The pieces:
+//!
+//! * [`yaml`] — a dependency-free YAML-subset parser with positioned
+//!   errors (`malformed scenario line N (byte offset M): …`),
+//!   matching the ingress trace-error contract;
+//! * [`schema`] — [`Scenario`] and friends: version gate, typed
+//!   fields, canonical re-serialisation for corpus round-trips;
+//! * [`runner`] — executes a scenario on a fresh engine in
+//!   log-and-continue mode and checks expectations;
+//! * [`tap`] — TAP version 14 output, one test point per scenario;
+//! * [`fuzz`] — the coverage-guided timeline mutator behind
+//!   `tesla scenario fuzz`.
+//!
+//! `tesla scenario run <dir|file>` is the CLI entry point; CI runs it
+//! over `examples/scenarios/`.
+
+pub mod fuzz;
+pub mod runner;
+pub mod schema;
+pub mod tap;
+pub mod yaml;
+
+pub use fuzz::{fuzz_corpus, FuzzOutcome, FuzzParams};
+pub use runner::{check_expectations, run_and_check, run_scenario, RunOutcome, ScenarioResult};
+pub use schema::{parse_scenario, render_scenario, Expect, RunnerKind, Scenario, Verdict};
+pub use tap::render_tap;
+pub use yaml::YamlError;
+
+use std::path::{Path, PathBuf};
+
+/// Load and parse one scenario file. Errors are prefixed with the
+/// file name so batch runs point at the offending file.
+///
+/// # Errors
+///
+/// Unreadable file, or a positioned parse error.
+pub fn load_scenario_file(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_scenario(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Collect the scenario files under `path`: the file itself, or every
+/// `*.yaml` / `*.yml` directly inside a directory, sorted by name so
+/// batch order (and TAP point numbering) is stable.
+///
+/// # Errors
+///
+/// Unreadable directory, or no scenario files found.
+pub fn collect_scenario_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_file() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let entries =
+        std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("yaml") | Some("yml")
+                )
+        })
+        .collect();
+    if files.is_empty() {
+        return Err(format!("{}: no scenario files (*.yaml)", path.display()));
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Run every scenario under `path` and collect results in file order.
+/// Per-file parse errors become failing results (not a batch abort)
+/// *except* when the batch contains exactly one explicit file — then
+/// the positioned parse error is returned directly so the CLI can
+/// exit 2 with the diagnostic.
+///
+/// # Errors
+///
+/// Path collection failures, or the parse error of a single-file run.
+pub fn run_batch(path: &Path) -> Result<Vec<ScenarioResult>, String> {
+    let files = collect_scenario_files(path)?;
+    let single = files.len() == 1;
+    let mut results = Vec::with_capacity(files.len());
+    for file in &files {
+        let base = file.parent().unwrap_or_else(|| Path::new("."));
+        match load_scenario_file(file) {
+            Ok(sc) => {
+                let mut r = run_and_check(&sc, base);
+                r.file = Some(file.display().to_string());
+                results.push(r);
+            }
+            Err(e) if single => return Err(e),
+            Err(e) => results.push(ScenarioResult {
+                name: file
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("scenario")
+                    .to_string(),
+                file: Some(file.display().to_string()),
+                failures: vec![e],
+                notes: Vec::new(),
+                coverage: tesla_automata::CoverageMap::new(),
+            }),
+        }
+    }
+    Ok(results)
+}

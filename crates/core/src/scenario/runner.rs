@@ -1,0 +1,473 @@
+//! Scenario execution: one engine per scenario, one adapter per
+//! runner kind, uniform outcome collection and expectation checking.
+//!
+//! Every scenario runs on a fresh [`Tesla`] engine in log-and-continue
+//! mode with telemetry on — log mode so a violating timeline runs to
+//! completion and the scenario can pin the *full* violation set, and
+//! telemetry because the transition-weight tables it maintains are the
+//! coverage signal `tesla scenario fuzz` feeds on. Fault plans from
+//! the `faults:` block attach exactly like the CLI `--faults` flag.
+
+use super::schema::{RunnerKind, Scenario, Verdict};
+use std::path::Path;
+use std::sync::Arc;
+use tesla_automata::CoverageMap;
+use tesla_runtime::scenario::{sort_timeline, step_to_event, Step};
+use tesla_runtime::{
+    BufferedSource, Config, DriveError, FailMode, FaultPlan, JsonlSource, Tesla, Violation,
+    ViolationKind,
+};
+use tesla_sim_gui::appkit::GuiBugs;
+use tesla_sim_gui::scenario::GuiScenario;
+use tesla_sim_kernel::scenario::KernelScenario;
+use tesla_sim_kernel::Bugs;
+use tesla_sim_ssl::scenario::SslScenario;
+use tesla_workload::scenario::WorkloadScenario;
+
+/// Everything observable about one scenario execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Violations recorded by the engine (plus any stream-aborting
+    /// unknown-name violation).
+    pub violations: Vec<Violation>,
+    /// Adapter notes, one line per observable effect.
+    pub notes: Vec<String>,
+    /// Lifecycle events dispatched (the engine's `events_total`).
+    pub events: u64,
+    /// Transition coverage reached by this run.
+    pub coverage: CoverageMap,
+    /// For `minic` record→replay: whether the replayed verdicts and
+    /// event totals matched the live run.
+    pub replay_matches: Option<bool>,
+    /// For fault-injected runs: whether the injected/absorbed ledger
+    /// balanced.
+    pub ledger_balanced: Option<bool>,
+}
+
+/// The label `expect.codes` uses for a violation kind.
+pub fn kind_code(kind: &ViolationKind) -> &'static str {
+    match kind {
+        ViolationKind::Site => "site",
+        ViolationKind::Cleanup => "cleanup",
+        ViolationKind::Strict => "strict",
+        ViolationKind::UnknownName => "unknown-name",
+    }
+}
+
+fn engine_for(sc: &Scenario) -> Result<Arc<Tesla>, String> {
+    let mut config = Config {
+        fail_mode: FailMode::Log,
+        telemetry: true,
+        ..Config::default()
+    };
+    if let Some(f) = &sc.faults {
+        if f.spec.period(tesla_runtime::FaultKind::HandlerPanic) != 0 {
+            tesla_runtime::faults::silence_injected_panics();
+        }
+        config.faults = Some(Arc::new(FaultPlan::new(f.seed, f.spec)));
+    }
+    Tesla::try_new(config)
+        .map(Arc::new)
+        .map_err(|e| format!("engine config: {e}"))
+}
+
+fn sorted_timeline(sc: &Scenario) -> Vec<Step> {
+    let mut steps = sc.timeline.clone();
+    sort_timeline(&mut steps);
+    steps
+}
+
+fn str_list(sc: &Scenario, key: &str) -> Result<Vec<String>, String> {
+    match sc.config.iter().find(|(k, _)| k == key) {
+        None => Ok(Vec::new()),
+        Some((_, v)) => match v {
+            tesla_runtime::ArgValue::Str(s) => Ok(vec![s.clone()]),
+            tesla_runtime::ArgValue::List(items) => items
+                .iter()
+                .map(|i| {
+                    i.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("config `{key}` must be a list of strings"))
+                })
+                .collect(),
+            _ => Err(format!("config `{key}` must be a list of strings")),
+        },
+    }
+}
+
+fn config_bool(sc: &Scenario, key: &str, default: bool) -> Result<bool, String> {
+    match sc.config.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .as_bool()
+            .ok_or_else(|| format!("config `{key}` must be a boolean")),
+    }
+}
+
+fn config_int(sc: &Scenario, key: &str, default: i64) -> Result<i64, String> {
+    match sc.config.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .as_int()
+            .ok_or_else(|| format!("config `{key}` must be an integer")),
+    }
+}
+
+fn config_str<'a>(sc: &'a Scenario, key: &str, default: &'a str) -> Result<&'a str, String> {
+    match sc.config.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .as_str()
+            .ok_or_else(|| format!("config `{key}` must be a string")),
+    }
+}
+
+fn kernel_bugs(labels: &[String]) -> Result<Bugs, String> {
+    let mut bugs = Bugs::default();
+    for l in labels {
+        match l.as_str() {
+            "kqueue_skips_mac_poll" => bugs.kqueue_skips_mac_poll = true,
+            "poll_passes_file_cred" => bugs.poll_passes_file_cred = true,
+            "setuid_skips_sugid" => bugs.setuid_skips_sugid = true,
+            other => return Err(format!("unknown kernel bug `{other}`")),
+        }
+    }
+    Ok(bugs)
+}
+
+fn gui_bugs(labels: &[String]) -> Result<GuiBugs, String> {
+    let mut bugs = GuiBugs::default();
+    for l in labels {
+        match l.as_str() {
+            "duplicate_cursor_push" => bugs.duplicate_cursor_push = true,
+            "backend_lifo_only" => bugs.backend_lifo_only = true,
+            other => return Err(format!("unknown gui bug `{other}`")),
+        }
+    }
+    Ok(bugs)
+}
+
+/// Execute a scenario. `base_dir` anchors relative paths in the
+/// config (`minic` source files).
+///
+/// # Errors
+///
+/// A setup or step error — the scenario could not be *executed*
+/// (unknown op, unbound handle, unreadable file), as opposed to
+/// executing with an unexpected outcome.
+pub fn run_scenario(sc: &Scenario, base_dir: &Path) -> Result<RunOutcome, String> {
+    // Scenarios run back to back in one process: clear the per-thread
+    // shadow call stack so a previous scenario's unbalanced entry
+    // can't leak scope state into this one.
+    tesla_runtime::engine::reset_thread_state();
+    let engine = engine_for(sc)?;
+    let steps = sorted_timeline(sc);
+    let mut notes: Vec<String> = Vec::new();
+    let mut extra_violations: Vec<Violation> = Vec::new();
+    let mut replay_matches = None;
+
+    match sc.runner {
+        RunnerKind::Spec => {
+            let assertions = str_list(sc, "assertions")?;
+            if assertions.is_empty() {
+                return Err("spec runner: config `assertions` must list at least one assertion"
+                    .to_string());
+            }
+            for src in &assertions {
+                let a = tesla_spec::parse_assertion(src)
+                    .map_err(|e| format!("assertion `{src}`: {e}"))?;
+                engine
+                    .register_assertion(&a)
+                    .map_err(|e| format!("assertion `{src}`: {e}"))?;
+            }
+            let events = steps
+                .iter()
+                .map(step_to_event)
+                .collect::<Result<Vec<_>, String>>()?;
+            let mut source = BufferedSource::new(events);
+            match engine.drive(&mut source) {
+                Ok(stats) => notes.push(format!("drive: {} events", stats.events)),
+                Err(DriveError::Event {
+                    seq, violation, ..
+                }) => {
+                    notes.push(format!("drive aborted at event {seq}: {violation}"));
+                    extra_violations.push(violation);
+                }
+                Err(DriveError::Source(e, _)) => return Err(format!("drive: {e}")),
+            }
+        }
+        RunnerKind::SimSsl => {
+            let mut world = SslScenario::new(Some(engine.clone()));
+            for step in &steps {
+                world.step(step)?;
+            }
+            notes.append(&mut world.notes);
+        }
+        RunnerKind::SimKernel => {
+            let sets = str_list(sc, "sets")?;
+            let set_refs: Vec<&str> = sets.iter().map(String::as_str).collect();
+            let sites = KernelScenario::register_sets_by_label(&engine, &set_refs)?;
+            let bugs = kernel_bugs(&str_list(sc, "bugs")?)?;
+            let debug_checks = config_bool(sc, "debug_checks", false)?;
+            let mut world =
+                KernelScenario::new(bugs, debug_checks, Some((engine.clone(), sites)));
+            for step in &steps {
+                world.step(step)?;
+            }
+            notes.append(&mut world.notes);
+        }
+        RunnerKind::SimGui => {
+            let bugs = gui_bugs(&str_list(sc, "bugs")?)?;
+            let mut world = GuiScenario::new(Some(engine.clone()), bugs);
+            for step in &steps {
+                world.step(step)?;
+            }
+            world.finish();
+            notes.append(&mut world.notes);
+        }
+        RunnerKind::Workload => {
+            let sets = str_list(sc, "sets")?;
+            let set_refs: Vec<&str> = sets.iter().map(String::as_str).collect();
+            let sites = KernelScenario::register_sets_by_label(&engine, &set_refs)?;
+            let mut world = WorkloadScenario::new(Some((engine.clone(), sites)));
+            for step in &steps {
+                world.step(step)?;
+            }
+            notes.append(&mut world.notes);
+        }
+        RunnerKind::Minic => {
+            replay_matches = run_minic(sc, base_dir, &engine, &mut notes)?;
+        }
+    }
+
+    let mut violations = engine.violations();
+    violations.extend(extra_violations);
+    let ledger_balanced = engine.fault_plan().map(|plan| {
+        let ledger = plan.ledger();
+        notes.push(ledger.render());
+        ledger.balanced()
+    });
+    Ok(RunOutcome {
+        violations,
+        notes,
+        events: engine.metrics().events_total(),
+        coverage: engine.metrics().coverage_map(),
+        replay_matches,
+        ledger_balanced,
+    })
+}
+
+/// The `minic` runner: build the configured mini-C project, run it
+/// live (optionally recording), and — in `record-replay` mode —
+/// replay the trace into a second engine and compare verdicts.
+fn run_minic(
+    sc: &Scenario,
+    base_dir: &Path,
+    engine: &Arc<Tesla>,
+    notes: &mut Vec<String>,
+) -> Result<Option<bool>, String> {
+    use crate::pipeline::{BuildOptions, BuildSystem, Project};
+
+    let files = str_list(sc, "files")?;
+    if files.is_empty() {
+        return Err("minic runner: config `files` must list at least one source".to_string());
+    }
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for f in &files {
+        let path = base_dir.join(f);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        sources.push((f.clone(), text));
+    }
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let project = Project::from_sources(&refs);
+    let mut bs = BuildSystem::new(project, BuildOptions::tesla_toolchain());
+    let artifacts = bs.build().map_err(|e| e.to_string())?;
+
+    let entry = config_str(sc, "entry", "main")?;
+    let args: Vec<i64> = match sc.config.iter().find(|(k, _)| k == "args") {
+        None => Vec::new(),
+        Some((_, v)) => match v {
+            tesla_runtime::ArgValue::List(items) => items
+                .iter()
+                .map(|i| {
+                    i.as_int()
+                        .ok_or_else(|| "config `args` must be a list of integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("config `args` must be a list of integers".to_string()),
+        },
+    };
+    let fuel = config_int(sc, "fuel", 1_000_000)?.max(1) as u64;
+    let mode = config_str(sc, "mode", "run")?;
+
+    match mode {
+        "run" => {
+            match crate::pipeline::run_with_tesla(&artifacts, engine, entry, &args, fuel) {
+                Ok(ret) => notes.push(format!("run: returned {ret}")),
+                Err(e) => notes.push(format!("run: {e}")),
+            }
+            Ok(None)
+        }
+        "record-replay" => {
+            let mut trace: Vec<u8> = Vec::new();
+            match crate::pipeline::run_with_tesla_recorded(
+                &artifacts, engine, entry, &args, fuel, &mut trace,
+            ) {
+                Ok(ret) => notes.push(format!("run: returned {ret}")),
+                Err(e) => notes.push(format!("run: {e}")),
+            }
+            // Fresh engine, same config shape: the replayed world.
+            let replay_engine = engine_for(sc)?;
+            let mut source = JsonlSource::new(trace.as_slice());
+            match crate::pipeline::replay_with_tesla(&artifacts, &replay_engine, &mut source) {
+                Ok(stats) => notes.push(format!("replay: {} events", stats.events)),
+                Err(e) => notes.push(format!("replay: {e}")),
+            }
+            let live: Vec<String> = engine.violations().iter().map(|v| v.to_string()).collect();
+            let replayed: Vec<String> = replay_engine
+                .violations()
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            let matches = live == replayed
+                && engine.metrics().events_total() == replay_engine.metrics().events_total();
+            notes.push(format!(
+                "replay match: {} ({} live / {} replayed violations)",
+                matches,
+                live.len(),
+                replayed.len()
+            ));
+            Ok(Some(matches))
+        }
+        other => Err(format!(
+            "minic runner: unknown mode `{other}` (expected run or record-replay)"
+        )),
+    }
+}
+
+/// Check a run outcome against a scenario's expectations. Returns the
+/// failure descriptions, empty when the scenario passed.
+pub fn check_expectations(sc: &Scenario, out: &RunOutcome) -> Vec<String> {
+    let mut failures = Vec::new();
+    let e = &sc.expect;
+    match e.verdict {
+        Verdict::Pass => {
+            if !out.violations.is_empty() {
+                failures.push(format!(
+                    "expected verdict pass, got {} violation(s): {}",
+                    out.violations.len(),
+                    out.violations[0]
+                ));
+            }
+        }
+        Verdict::Violation => {
+            if out.violations.is_empty() {
+                failures.push("expected verdict violation, got none".to_string());
+            }
+        }
+    }
+    if let Some(n) = e.violations {
+        if out.violations.len() as u64 != n {
+            failures.push(format!(
+                "expected exactly {n} violation(s), got {}",
+                out.violations.len()
+            ));
+        }
+    }
+    for code in &e.codes {
+        if !out.violations.iter().any(|v| kind_code(&v.kind) == code) {
+            failures.push(format!("expected a `{code}` violation, none recorded"));
+        }
+    }
+    if let Some(substr) = &e.assertion {
+        if !out.violations.iter().any(|v| v.assertion.contains(substr)) {
+            failures.push(format!(
+                "expected a violation of an assertion matching `{substr}`"
+            ));
+        }
+    }
+    if let Some(min) = e.events_min {
+        if out.events < min {
+            failures.push(format!("expected at least {min} events, got {}", out.events));
+        }
+    }
+    if let Some(max) = e.events_max {
+        if out.events > max {
+            failures.push(format!("expected at most {max} events, got {}", out.events));
+        }
+    }
+    if let Some(expected) = e.replay_matches {
+        match out.replay_matches {
+            None => failures.push("expected a record→replay comparison, none ran".to_string()),
+            Some(actual) if actual != expected => {
+                failures.push(format!(
+                    "expected replay_matches {expected}, got {actual}"
+                ));
+            }
+            _ => {}
+        }
+    }
+    if let Some(expected) = e.ledger_balanced {
+        match out.ledger_balanced {
+            None => failures.push("expected a fault ledger, no faults configured".to_string()),
+            Some(actual) if actual != expected => {
+                failures.push(format!(
+                    "expected ledger_balanced {expected}, got {actual}"
+                ));
+            }
+            _ => {}
+        }
+    }
+    for want in &e.notes_contain {
+        if !out.notes.iter().any(|n| n.contains(want)) {
+            failures.push(format!("expected a note containing `{want}`"));
+        }
+    }
+    failures
+}
+
+/// One scenario's reportable result.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario name.
+    pub name: String,
+    /// Source file, when loaded from disk.
+    pub file: Option<String>,
+    /// Expectation failures (or the setup/step error); empty = ok.
+    pub failures: Vec<String>,
+    /// Adapter notes.
+    pub notes: Vec<String>,
+    /// Coverage reached (empty for scenarios that failed setup).
+    pub coverage: CoverageMap,
+}
+
+impl ScenarioResult {
+    /// Did the scenario pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run one scenario and check its expectations.
+pub fn run_and_check(sc: &Scenario, base_dir: &Path) -> ScenarioResult {
+    match run_scenario(sc, base_dir) {
+        Ok(out) => ScenarioResult {
+            name: sc.name.clone(),
+            file: None,
+            failures: check_expectations(sc, &out),
+            notes: out.notes,
+            coverage: out.coverage,
+        },
+        Err(e) => ScenarioResult {
+            name: sc.name.clone(),
+            file: None,
+            failures: vec![format!("scenario could not run: {e}")],
+            notes: Vec::new(),
+            coverage: CoverageMap::new(),
+        },
+    }
+}

@@ -1,0 +1,617 @@
+//! The versioned scenario schema: typed view over a parsed YAML
+//! document, plus the canonical serialisation the fuzzer uses to save
+//! minimised corpus scenarios.
+//!
+//! A scenario file is a map with a `tesla_scenario: 1` version
+//! header, a `name`, a `runner`, an optional generic `config` map, an
+//! optional `faults` block (seed + a PR-5 [`FaultSpec`] string parsed
+//! through the same `FromStr` as the CLI `--faults` flag), a
+//! `timeline` of steps and an `expect` block. Parsing reuses the
+//! positioned [`YamlError`] diagnostics, so a schema violation points
+//! at the offending line exactly like a syntax error does.
+
+use super::yaml::{Node, Pos, Spanned, YamlError};
+use tesla_runtime::scenario::{ArgValue, Step};
+use tesla_runtime::FaultSpec;
+
+/// Which substrate executes the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunnerKind {
+    /// Raw ingress events against assertions from `config.assertions`.
+    Spec,
+    /// The fig. 6 OpenSSL/libfetch world.
+    SimSsl,
+    /// The §3.5.2 FreeBSD/MAC kernel.
+    SimKernel,
+    /// The §3.5.3 GNUstep app.
+    SimGui,
+    /// The §5 workload generators.
+    Workload,
+    /// The mini-C pipeline (build → run/record → replay).
+    Minic,
+}
+
+impl RunnerKind {
+    /// The `runner:` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunnerKind::Spec => "spec",
+            RunnerKind::SimSsl => "sim-ssl",
+            RunnerKind::SimKernel => "sim-kernel",
+            RunnerKind::SimGui => "sim-gui",
+            RunnerKind::Workload => "workload",
+            RunnerKind::Minic => "minic",
+        }
+    }
+
+    fn parse(label: &str, pos: Pos) -> Result<RunnerKind, YamlError> {
+        match label {
+            "spec" => Ok(RunnerKind::Spec),
+            "sim-ssl" => Ok(RunnerKind::SimSsl),
+            "sim-kernel" => Ok(RunnerKind::SimKernel),
+            "sim-gui" => Ok(RunnerKind::SimGui),
+            "workload" => Ok(RunnerKind::Workload),
+            "minic" => Ok(RunnerKind::Minic),
+            other => Err(YamlError::new(
+                pos,
+                format!(
+                    "unknown runner `{other}` (expected spec, sim-ssl, sim-kernel, \
+                     sim-gui, workload or minic)"
+                ),
+            )),
+        }
+    }
+}
+
+/// Injected faults: a seed plus a [`FaultSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultsCfg {
+    /// Deterministic PRNG seed for the fault plan.
+    pub seed: u64,
+    /// The parsed spec.
+    pub spec: FaultSpec,
+}
+
+/// Expected outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Expect {
+    /// `pass` (no violations) or `violation` (at least one).
+    pub verdict: Verdict,
+    /// Exact violation count, when pinned.
+    pub violations: Option<u64>,
+    /// Violation kinds that must each appear at least once
+    /// (`site`, `cleanup`, `strict`, `unknown-name`).
+    pub codes: Vec<String>,
+    /// A substring every scenario violation's assertion name must be
+    /// matched by at least once.
+    pub assertion: Option<String>,
+    /// Lower bound on dispatched events (a metric bound).
+    pub events_min: Option<u64>,
+    /// Upper bound on dispatched events.
+    pub events_max: Option<u64>,
+    /// For `minic` record→replay scenarios: replayed verdicts and
+    /// counters must match the live run byte for byte.
+    pub replay_matches: Option<bool>,
+    /// For fault-injected scenarios: the injected/absorbed ledger
+    /// must balance.
+    pub ledger_balanced: Option<bool>,
+    /// Substrings that must each appear in at least one adapter note
+    /// — the hook for outcomes that are observable but not violations
+    /// (an errno the MAC framework returned, an unbalanced cursor
+    /// stack the tracing automaton records without failing).
+    pub notes_contain: Vec<String>,
+}
+
+/// The expected verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// No violations recorded.
+    #[default]
+    Pass,
+    /// At least one violation recorded.
+    Violation,
+}
+
+impl Verdict {
+    /// The `verdict:` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Violation => "violation",
+        }
+    }
+}
+
+/// A parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Test-point name (the TAP description).
+    pub name: String,
+    /// Optional human description.
+    pub description: Option<String>,
+    /// The substrate.
+    pub runner: RunnerKind,
+    /// Runner-specific configuration in written order.
+    pub config: Vec<(String, ArgValue)>,
+    /// Injected faults, if any.
+    pub faults: Option<FaultsCfg>,
+    /// The timeline.
+    pub timeline: Vec<Step>,
+    /// Expected outcome.
+    pub expect: Expect,
+    /// Whether the fuzzer may use this scenario as a mutation
+    /// substrate (default true; `minic` scenarios default false —
+    /// building a project per mutant is too slow for a fuzz loop).
+    pub fuzz: bool,
+}
+
+/// The schema version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+fn scalar<'a>(node: &'a Spanned, what: &str) -> Result<(&'a str, bool), YamlError> {
+    node.scalar()
+        .ok_or_else(|| YamlError::new(node.pos, format!("{what} must be a scalar")))
+}
+
+fn int_scalar(node: &Spanned, what: &str) -> Result<i64, YamlError> {
+    let (text, _) = scalar(node, what)?;
+    text.parse()
+        .map_err(|_| YamlError::new(node.pos, format!("{what} must be an integer, got `{text}`")))
+}
+
+fn arg_value(node: &Spanned) -> Result<ArgValue, YamlError> {
+    match &node.node {
+        Node::Scalar { text, quoted } => Ok(typed_scalar(text, *quoted)),
+        Node::List(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                out.push(arg_value(item)?);
+            }
+            Ok(ArgValue::List(out))
+        }
+        Node::Map(_) => Err(YamlError::new(
+            node.pos,
+            "nested maps are not allowed as argument values",
+        )),
+    }
+}
+
+/// Type a bare scalar: bools and integers stay typed, everything else
+/// (and anything quoted) is a string.
+fn typed_scalar(text: &str, quoted: bool) -> ArgValue {
+    if !quoted {
+        if text == "true" {
+            return ArgValue::Bool(true);
+        }
+        if text == "false" {
+            return ArgValue::Bool(false);
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return ArgValue::Int(v);
+        }
+    }
+    ArgValue::Str(text.to_string())
+}
+
+fn parse_step(item: &Spanned) -> Result<Step, YamlError> {
+    let entries = item
+        .map()
+        .ok_or_else(|| YamlError::new(item.pos, "timeline entry must be a map"))?;
+    let mut step = Step::new("");
+    let mut have_op = false;
+    for (key, value) in entries {
+        match key.as_str() {
+            "op" => {
+                step.op = scalar(value, "`op`")?.0.to_string();
+                have_op = true;
+            }
+            "at" => {
+                let v = int_scalar(value, "`at`")?;
+                step.at = Some(u64::try_from(v).map_err(|_| {
+                    YamlError::new(value.pos, format!("`at` must be non-negative, got {v}"))
+                })?);
+            }
+            "thread" => {
+                let v = int_scalar(value, "`thread`")?;
+                step.thread = Some(u64::try_from(v).map_err(|_| {
+                    YamlError::new(value.pos, format!("`thread` must be non-negative, got {v}"))
+                })?);
+            }
+            _ => step.args.push((key.clone(), arg_value(value)?)),
+        }
+    }
+    if !have_op || step.op.is_empty() {
+        return Err(YamlError::new(item.pos, "timeline entry needs an `op`"));
+    }
+    Ok(step)
+}
+
+fn parse_expect(node: &Spanned) -> Result<Expect, YamlError> {
+    let entries = node
+        .map()
+        .ok_or_else(|| YamlError::new(node.pos, "`expect` must be a map"))?;
+    let mut e = Expect::default();
+    for (key, value) in entries {
+        match key.as_str() {
+            "verdict" => {
+                e.verdict = match scalar(value, "`verdict`")?.0 {
+                    "pass" => Verdict::Pass,
+                    "violation" => Verdict::Violation,
+                    other => {
+                        return Err(YamlError::new(
+                            value.pos,
+                            format!("unknown verdict `{other}` (expected pass or violation)"),
+                        ))
+                    }
+                };
+            }
+            "violations" => {
+                let v = int_scalar(value, "`violations`")?;
+                e.violations = Some(u64::try_from(v).map_err(|_| {
+                    YamlError::new(value.pos, "`violations` must be non-negative".to_string())
+                })?);
+            }
+            "codes" => {
+                let items = value
+                    .list()
+                    .ok_or_else(|| YamlError::new(value.pos, "`codes` must be a list"))?;
+                for item in items {
+                    let (code, _) = scalar(item, "violation code")?;
+                    match code {
+                        "site" | "cleanup" | "strict" | "unknown-name" => {
+                            e.codes.push(code.to_string())
+                        }
+                        other => {
+                            return Err(YamlError::new(
+                                item.pos,
+                                format!(
+                                    "unknown violation code `{other}` (expected site, \
+                                     cleanup, strict or unknown-name)"
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
+            "assertion" => e.assertion = Some(scalar(value, "`assertion`")?.0.to_string()),
+            "events_min" => {
+                e.events_min = Some(int_scalar(value, "`events_min`")?.max(0) as u64)
+            }
+            "events_max" => {
+                e.events_max = Some(int_scalar(value, "`events_max`")?.max(0) as u64)
+            }
+            "replay_matches" => e.replay_matches = Some(bool_scalar(value, "`replay_matches`")?),
+            "ledger_balanced" => {
+                e.ledger_balanced = Some(bool_scalar(value, "`ledger_balanced`")?)
+            }
+            "notes_contain" => {
+                let items = value
+                    .list()
+                    .ok_or_else(|| YamlError::new(value.pos, "`notes_contain` must be a list"))?;
+                for item in items {
+                    let (s, _) = scalar(item, "note substring")?;
+                    e.notes_contain.push(s.to_string());
+                }
+            }
+            other => {
+                return Err(YamlError::new(
+                    value.pos,
+                    format!("unknown expect key `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(e)
+}
+
+fn bool_scalar(node: &Spanned, what: &str) -> Result<bool, YamlError> {
+    match scalar(node, what)?.0 {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(YamlError::new(
+            node.pos,
+            format!("{what} must be true or false, got `{other}`"),
+        )),
+    }
+}
+
+/// Parse a scenario document.
+///
+/// # Errors
+///
+/// A positioned [`YamlError`]: syntax errors from the YAML layer,
+/// schema violations (missing/unknown keys, bad version) from this
+/// one — callers cannot tell the difference, which is the point.
+pub fn parse_scenario(src: &str) -> Result<Scenario, YamlError> {
+    let doc = super::yaml::parse(src)?;
+    let entries = doc.map().expect("yaml::parse returns a map");
+
+    // Version header first, like the trace format: refuse documents
+    // from the future before complaining about anything else.
+    let version = doc.get("tesla_scenario").ok_or_else(|| {
+        YamlError::new(doc.pos, "missing `tesla_scenario: 1` version header")
+    })?;
+    let v = int_scalar(version, "`tesla_scenario`")?;
+    if v != VERSION as i64 {
+        return Err(YamlError::new(
+            version.pos,
+            format!("unsupported scenario version {v}; this build speaks version {VERSION}"),
+        ));
+    }
+
+    let mut name = None;
+    let mut description = None;
+    let mut runner = None;
+    let mut config = Vec::new();
+    let mut faults = None;
+    let mut timeline = Vec::new();
+    let mut expect = None;
+    let mut fuzz = None;
+
+    for (key, value) in entries {
+        match key.as_str() {
+            "tesla_scenario" => {}
+            "name" => name = Some(scalar(value, "`name`")?.0.to_string()),
+            "description" => description = Some(scalar(value, "`description`")?.0.to_string()),
+            "runner" => runner = Some(RunnerKind::parse(scalar(value, "`runner`")?.0, value.pos)?),
+            "config" => {
+                let entries = value
+                    .map()
+                    .ok_or_else(|| YamlError::new(value.pos, "`config` must be a map"))?;
+                for (k, v) in entries {
+                    config.push((k.clone(), arg_value(v)?));
+                }
+            }
+            "faults" => {
+                let seed = value
+                    .get("seed")
+                    .map(|n| int_scalar(n, "`faults.seed`"))
+                    .transpose()?
+                    .unwrap_or(42);
+                let spec_node = value.get("spec").ok_or_else(|| {
+                    YamlError::new(value.pos, "`faults` needs a `spec` string")
+                })?;
+                let (spec_text, _) = scalar(spec_node, "`faults.spec`")?;
+                // The same FromStr as the CLI --faults flag: identical
+                // strictness for embedded specs.
+                let spec: FaultSpec = spec_text
+                    .parse()
+                    .map_err(|e| YamlError::new(spec_node.pos, e))?;
+                faults = Some(FaultsCfg {
+                    seed: seed.max(0) as u64,
+                    spec,
+                });
+            }
+            "timeline" => {
+                let items = value
+                    .list()
+                    .ok_or_else(|| YamlError::new(value.pos, "`timeline` must be a list"))?;
+                for item in items {
+                    timeline.push(parse_step(item)?);
+                }
+            }
+            "expect" => expect = Some(parse_expect(value)?),
+            "fuzz" => fuzz = Some(bool_scalar(value, "`fuzz`")?),
+            other => {
+                return Err(YamlError::new(
+                    value.pos,
+                    format!("unknown scenario key `{other}`"),
+                ))
+            }
+        }
+    }
+
+    let runner = runner.ok_or_else(|| YamlError::new(doc.pos, "missing `runner`"))?;
+    Ok(Scenario {
+        name: name.ok_or_else(|| YamlError::new(doc.pos, "missing `name`"))?,
+        description,
+        runner,
+        config,
+        faults,
+        timeline,
+        expect: expect.ok_or_else(|| YamlError::new(doc.pos, "missing `expect` block"))?,
+        fuzz: fuzz.unwrap_or(runner != RunnerKind::Minic),
+    })
+}
+
+// ---------------------------------------------------------------
+// Canonical serialisation (the save format for fuzz corpus output).
+// ---------------------------------------------------------------
+
+/// Quote a string when a bare rendering would re-type or mis-parse it.
+fn render_str(s: &str) -> String {
+    let needs_quotes = s.is_empty()
+        || s.parse::<i64>().is_ok()
+        || s == "true"
+        || s == "false"
+        || s.starts_with(['\'', '"', '[', '{', '-', ' '])
+        || s.ends_with(' ')
+        || s.chars().any(|c| "#:,]}\n\t".contains(c));
+    if needs_quotes {
+        let mut out = String::from("\"");
+        for c in s.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
+fn render_value(v: &ArgValue) -> String {
+    match v {
+        ArgValue::Int(i) => i.to_string(),
+        ArgValue::Bool(b) => b.to_string(),
+        ArgValue::Str(s) => render_str(s),
+        ArgValue::List(items) => {
+            let parts: Vec<String> = items.iter().map(render_value).collect();
+            format!("[{}]", parts.join(", "))
+        }
+    }
+}
+
+/// Render a scenario in canonical form: stable key order, canonical
+/// quoting — byte-identical output for equal scenarios, which is what
+/// the fuzz determinism check diffs.
+pub fn render_scenario(sc: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("tesla_scenario: {VERSION}\n"));
+    out.push_str(&format!("name: {}\n", render_str(&sc.name)));
+    if let Some(d) = &sc.description {
+        out.push_str(&format!("description: {}\n", render_str(d)));
+    }
+    out.push_str(&format!("runner: {}\n", sc.runner.label()));
+    if !sc.config.is_empty() {
+        out.push_str("config:\n");
+        for (k, v) in &sc.config {
+            out.push_str(&format!("  {}: {}\n", render_str(k), render_value(v)));
+        }
+    }
+    if let Some(f) = &sc.faults {
+        out.push_str("faults:\n");
+        out.push_str(&format!("  seed: {}\n", f.seed));
+        out.push_str(&format!("  spec: {}\n", render_str(&f.spec.to_string())));
+    }
+    if sc.fuzz != (sc.runner != RunnerKind::Minic) {
+        out.push_str(&format!("fuzz: {}\n", sc.fuzz));
+    }
+    // A bare `timeline:` key with no items does not reparse as a
+    // list, so timeline-free scenarios (minic) omit the section.
+    if !sc.timeline.is_empty() {
+        out.push_str("timeline:\n");
+    }
+    for step in &sc.timeline {
+        out.push_str(&format!("  - op: {}\n", render_str(&step.op)));
+        if let Some(at) = step.at {
+            out.push_str(&format!("    at: {at}\n"));
+        }
+        if let Some(t) = step.thread {
+            out.push_str(&format!("    thread: {t}\n"));
+        }
+        for (k, v) in &step.args {
+            out.push_str(&format!("    {}: {}\n", render_str(k), render_value(v)));
+        }
+    }
+    out.push_str("expect:\n");
+    out.push_str(&format!("  verdict: {}\n", sc.expect.verdict.label()));
+    if let Some(n) = sc.expect.violations {
+        out.push_str(&format!("  violations: {n}\n"));
+    }
+    if !sc.expect.codes.is_empty() {
+        let parts: Vec<String> = sc.expect.codes.iter().map(|c| render_str(c)).collect();
+        out.push_str(&format!("  codes: [{}]\n", parts.join(", ")));
+    }
+    if let Some(a) = &sc.expect.assertion {
+        out.push_str(&format!("  assertion: {}\n", render_str(a)));
+    }
+    if let Some(v) = sc.expect.events_min {
+        out.push_str(&format!("  events_min: {v}\n"));
+    }
+    if let Some(v) = sc.expect.events_max {
+        out.push_str(&format!("  events_max: {v}\n"));
+    }
+    if let Some(v) = sc.expect.replay_matches {
+        out.push_str(&format!("  replay_matches: {v}\n"));
+    }
+    if let Some(v) = sc.expect.ledger_balanced {
+        out.push_str(&format!("  ledger_balanced: {v}\n"));
+    }
+    if !sc.expect.notes_contain.is_empty() {
+        let parts: Vec<String> = sc
+            .expect
+            .notes_contain
+            .iter()
+            .map(|s| render_str(s))
+            .collect();
+        out.push_str(&format!("  notes_contain: [{}]\n", parts.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL_SRC: &str = "\
+tesla_scenario: 1
+name: kevent-mac-bypass
+description: kqueue path skips mac_socket_check_poll
+runner: sim-kernel
+config:
+  bugs: [kqueue_skips_mac_poll]
+  sets: [ms]
+faults:
+  seed: 7
+  spec: drop=16
+timeline:
+  - op: socketpair
+  - op: kevent
+    at: 3
+    fd: cli
+expect:
+  verdict: violation
+  violations: 1
+  codes: [site]
+  assertion: socket/poll
+";
+
+    #[test]
+    fn parses_and_round_trips() {
+        let sc = parse_scenario(KERNEL_SRC).unwrap();
+        assert_eq!(sc.name, "kevent-mac-bypass");
+        assert_eq!(sc.runner, RunnerKind::SimKernel);
+        assert_eq!(sc.timeline.len(), 2);
+        assert_eq!(sc.timeline[1].op, "kevent");
+        assert_eq!(sc.timeline[1].at, Some(3));
+        assert_eq!(sc.timeline[1].str_arg("fd").unwrap(), "cli");
+        assert_eq!(sc.expect.verdict, Verdict::Violation);
+        assert_eq!(sc.expect.violations, Some(1));
+        assert_eq!(sc.faults.as_ref().unwrap().seed, 7);
+        assert!(sc.fuzz);
+
+        // Canonical render → reparse → identical scenario and render.
+        let rendered = render_scenario(&sc);
+        let sc2 = parse_scenario(&rendered).unwrap();
+        assert_eq!(sc, sc2);
+        assert_eq!(rendered, render_scenario(&sc2));
+    }
+
+    #[test]
+    fn version_gate_and_schema_errors_are_positioned() {
+        let e = parse_scenario("tesla_scenario: 2\nname: x\nrunner: spec\nexpect:\n  verdict: pass\n")
+            .unwrap_err();
+        assert!(e.detail.contains("unsupported scenario version 2"), "{e}");
+        assert_eq!(e.pos.line, 1);
+
+        let e = parse_scenario(
+            "tesla_scenario: 1\nname: x\nrunner: warp\nexpect:\n  verdict: pass\n",
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("unknown runner `warp`"), "{e}");
+        assert_eq!(e.pos.line, 3);
+
+        let e = parse_scenario(
+            "tesla_scenario: 1\nname: x\nrunner: spec\ntimeline:\n  - at: 3\nexpect:\n  verdict: pass\n",
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("needs an `op`"), "{e}");
+        assert_eq!(e.pos.line, 5);
+    }
+
+    #[test]
+    fn fault_spec_strictness_matches_cli() {
+        let e = parse_scenario(
+            "tesla_scenario: 1\nname: x\nrunner: spec\nfaults:\n  spec: \"panic=1,panic=2\"\nexpect:\n  verdict: pass\n",
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("duplicate fault kind `panic`"), "{e}");
+        assert_eq!(e.pos.line, 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! TAP version 14 output for scenario runs.
+//!
+//! One test point per scenario; failures carry a YAML diagnostic
+//! block (`---` … `...`) with the expectation failures and the
+//! adapter's outcome notes, so a CI log alone is enough to see *what*
+//! diverged without re-running locally.
+
+use super::runner::ScenarioResult;
+
+/// Escape a string for a single-line TAP description or YAML scalar.
+fn clean(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect()
+}
+
+/// Render one double-quoted YAML scalar for the diagnostic block.
+fn yaml_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in clean(s).chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a full TAP version 14 document for a batch of results.
+pub fn render_tap(results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str("TAP version 14\n");
+    out.push_str(&format!("1..{}\n", results.len()));
+    for (i, r) in results.iter().enumerate() {
+        let point = i + 1;
+        if r.ok() {
+            out.push_str(&format!("ok {point} - {}\n", clean(&r.name)));
+            continue;
+        }
+        out.push_str(&format!("not ok {point} - {}\n", clean(&r.name)));
+        out.push_str("  ---\n");
+        if let Some(file) = &r.file {
+            out.push_str(&format!("  file: {}\n", yaml_str(file)));
+        }
+        out.push_str("  failures:\n");
+        for f in &r.failures {
+            out.push_str(&format!("    - {}\n", yaml_str(f)));
+        }
+        if !r.notes.is_empty() {
+            out.push_str("  notes:\n");
+            for n in &r.notes {
+                out.push_str(&format!("    - {}\n", yaml_str(n)));
+            }
+        }
+        out.push_str("  ...\n");
+    }
+    let failed = results.iter().filter(|r| !r.ok()).count();
+    out.push_str(&format!(
+        "# scenarios: {} run, {} passed, {failed} failed\n",
+        results.len(),
+        results.len() - failed,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesla_automata::CoverageMap;
+
+    fn result(name: &str, failures: Vec<String>) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            file: Some(format!("{name}.yaml")),
+            failures,
+            notes: vec!["note one".to_string()],
+            coverage: CoverageMap::new(),
+        }
+    }
+
+    #[test]
+    fn passing_batch_renders_plan_and_points() {
+        let tap = render_tap(&[result("a", vec![]), result("b", vec![])]);
+        assert!(tap.starts_with("TAP version 14\n1..2\n"));
+        assert!(tap.contains("ok 1 - a\n"));
+        assert!(tap.contains("ok 2 - b\n"));
+        assert!(tap.contains("# scenarios: 2 run, 2 passed, 0 failed"));
+        assert!(!tap.contains("not ok"));
+    }
+
+    #[test]
+    fn failure_carries_yaml_diagnostics() {
+        let tap = render_tap(&[result(
+            "bad",
+            vec!["expected verdict pass, got 1 violation(s): x".to_string()],
+        )]);
+        assert!(tap.contains("not ok 1 - bad\n"));
+        assert!(tap.contains("  ---\n"));
+        assert!(tap.contains("  file: \"bad.yaml\"\n"));
+        assert!(tap.contains("expected verdict pass"));
+        assert!(tap.contains("  notes:\n"));
+        assert!(tap.contains("  ...\n"));
+    }
+
+    #[test]
+    fn newlines_and_quotes_escaped() {
+        let tap = render_tap(&[result("x", vec!["line1\nline2 \"quoted\"".to_string()])]);
+        assert!(tap.contains("- \"line1 line2 \\\"quoted\\\"\""));
+    }
+}

@@ -1,0 +1,596 @@
+//! A positioned, indentation-scoped YAML-subset parser for scenario
+//! files.
+//!
+//! The workspace deliberately carries no YAML dependency, and the
+//! scenario format needs only a small, regular subset: nested maps,
+//! lists of scalars or maps, inline `[a, b]` lists, quoted strings
+//! and `#` comments. What it *does* need — and what a full YAML
+//! library would not give us — is the ingress error contract:
+//! every diagnostic carries the 1-based line number and the byte
+//! offset of the offending line, rendered exactly like
+//! [`tesla_runtime::IngressError::Malformed`]'s
+//! `malformed trace line {line} (byte offset {offset}): {detail}`,
+//! so `tesla scenario` and `tesla replay` speak one language about
+//! broken inputs.
+//!
+//! Strictness rules (mirroring the trace/fault-spec philosophy that a
+//! half-applied input is worse than a rejected one): tabs in
+//! indentation, duplicate map keys, dangling values, unterminated
+//! quotes and stray indentation are all hard errors.
+
+use std::fmt;
+
+/// A source position: 1-based line, byte offset of the line start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u64,
+    /// Byte offset of the start of that line within the document.
+    pub offset: u64,
+}
+
+/// A positioned scenario-parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// Where.
+    pub pos: Pos,
+    /// What.
+    pub detail: String,
+}
+
+impl YamlError {
+    pub(crate) fn new(pos: Pos, detail: impl Into<String>) -> YamlError {
+        YamlError {
+            pos,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "malformed scenario line {} (byte offset {}): {}",
+            self.pos.line, self.pos.offset, self.detail
+        )
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+/// A parsed node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A scalar; `quoted` distinguishes `"5"` (always a string) from
+    /// `5` (which schema layers may type as an integer).
+    Scalar {
+        /// The text, unescaped.
+        text: String,
+        /// Whether the source was quoted.
+        quoted: bool,
+    },
+    /// A list (block `- item` form or inline `[a, b]`).
+    List(Vec<Spanned>),
+    /// A map in written order.
+    Map(Vec<(String, Spanned)>),
+}
+
+/// A node plus the position it started at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The node.
+    pub node: Node,
+    /// Where it started.
+    pub pos: Pos,
+}
+
+impl Spanned {
+    /// The scalar text, if this is a scalar.
+    pub fn scalar(&self) -> Option<(&str, bool)> {
+        match &self.node {
+            Node::Scalar { text, quoted } => Some((text, *quoted)),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is a map.
+    pub fn map(&self) -> Option<&[(String, Spanned)]> {
+        match &self.node {
+            Node::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is a list.
+    pub fn list(&self) -> Option<&[Spanned]> {
+        match &self.node {
+            Node::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a map key.
+    pub fn get(&self, key: &str) -> Option<&Spanned> {
+        self.map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One significant source line.
+#[derive(Debug, Clone)]
+struct Line<'a> {
+    indent: usize,
+    rest: &'a str,
+    pos: Pos,
+}
+
+/// Strip a trailing comment: `#` outside quotes, preceded by
+/// whitespace (or at content start). Returns the retained prefix.
+fn strip_comment(s: &str) -> &str {
+    let mut quote: Option<char> = None;
+    let mut prev_ws = true;
+    for (i, c) in s.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '#' if prev_ws => return &s[..i],
+                _ => {}
+            },
+        }
+        prev_ws = c.is_whitespace();
+    }
+    s
+}
+
+/// Split the document into significant lines with positions.
+fn lines(src: &str) -> Result<Vec<Line<'_>>, YamlError> {
+    let mut out = Vec::new();
+    let mut offset = 0u64;
+    for (idx, raw) in src.split('\n').enumerate() {
+        let pos = Pos {
+            line: idx as u64 + 1,
+            offset,
+        };
+        // +1 for the newline; the final fragment has none but its
+        // offset is never used past end-of-input.
+        let advance = raw.len() as u64 + 1;
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        let content = strip_comment(line);
+        let trimmed = content.trim_end();
+        if !trimmed.trim_start().is_empty() {
+            let indent_text = &trimmed[..trimmed.len() - trimmed.trim_start().len()];
+            if indent_text.contains('\t') {
+                return Err(YamlError::new(pos, "tab in indentation (use spaces)"));
+            }
+            out.push(Line {
+                indent: indent_text.len(),
+                rest: trimmed.trim_start(),
+                pos,
+            });
+        }
+        offset += advance;
+    }
+    Ok(out)
+}
+
+fn is_dash_item(rest: &str) -> bool {
+    rest == "-" || rest.starts_with("- ")
+}
+
+/// Find the first `:` that terminates a key (outside quotes) and is
+/// followed by a space or end-of-line.
+fn find_key_colon(s: &str) -> Option<usize> {
+    let mut quote: Option<char> = None;
+    for (i, c) in s.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                ':' => {
+                    let after = &s[i + 1..];
+                    if after.is_empty() || after.starts_with(' ') {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
+/// Unquote and unescape one scalar token.
+fn scalar_token(tok: &str, pos: Pos) -> Result<Node, YamlError> {
+    let tok = tok.trim();
+    if let Some(body) = tok
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .filter(|_| tok.len() >= 2)
+    {
+        let mut text = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('\\') => text.push('\\'),
+                    Some('"') => text.push('"'),
+                    other => {
+                        return Err(YamlError::new(
+                            pos,
+                            format!(
+                                "unknown escape `\\{}` in quoted string",
+                                other.map(String::from).unwrap_or_default()
+                            ),
+                        ))
+                    }
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        return Ok(Node::Scalar { text, quoted: true });
+    }
+    if let Some(body) = tok
+        .strip_prefix('\'')
+        .and_then(|t| t.strip_suffix('\''))
+        .filter(|_| tok.len() >= 2)
+    {
+        return Ok(Node::Scalar {
+            text: body.to_string(),
+            quoted: true,
+        });
+    }
+    if tok.starts_with('"') || tok.starts_with('\'') {
+        return Err(YamlError::new(pos, format!("unterminated quote in `{tok}`")));
+    }
+    Ok(Node::Scalar {
+        text: tok.to_string(),
+        quoted: false,
+    })
+}
+
+/// Split an inline list body on top-level commas.
+fn split_inline(body: &str, pos: Pos) -> Result<Vec<&str>, YamlError> {
+    let mut items = Vec::new();
+    let mut quote: Option<char> = None;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '[' | ']' | '{' | '}' => {
+                    return Err(YamlError::new(pos, "nested inline collections unsupported"))
+                }
+                ',' => {
+                    items.push(&body[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            },
+        }
+    }
+    if quote.is_some() {
+        return Err(YamlError::new(pos, "unterminated quote in inline list"));
+    }
+    items.push(&body[start..]);
+    Ok(items)
+}
+
+/// Parse an inline value: `[a, b]` list or a scalar.
+fn inline_value(text: &str, pos: Pos) -> Result<Node, YamlError> {
+    let text = text.trim();
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| YamlError::new(pos, "unterminated inline list (missing `]`)"))?;
+        if body.trim().is_empty() {
+            return Ok(Node::List(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for part in split_inline(body, pos)? {
+            if part.trim().is_empty() {
+                return Err(YamlError::new(pos, "empty element in inline list"));
+            }
+            items.push(Spanned {
+                node: scalar_token(part, pos)?,
+                pos,
+            });
+        }
+        return Ok(Node::List(items));
+    }
+    if text.starts_with('{') {
+        return Err(YamlError::new(pos, "inline maps unsupported (use a block)"));
+    }
+    scalar_token(text, pos)
+}
+
+struct Parser<'a> {
+    lines: Vec<Line<'a>>,
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Line<'a>> {
+        self.lines.get(self.i)
+    }
+
+    /// Parse the block starting at the current line, which sits at
+    /// `indent`.
+    fn block(&mut self, indent: usize) -> Result<Spanned, YamlError> {
+        let first = self.peek().expect("block called at a line").clone();
+        if is_dash_item(first.rest) {
+            self.list(indent)
+        } else {
+            let line = self.advance();
+            self.map_from(line, indent)
+        }
+    }
+
+    fn advance(&mut self) -> Line<'a> {
+        let l = self.lines[self.i].clone();
+        self.i += 1;
+        l
+    }
+
+    fn list(&mut self, indent: usize) -> Result<Spanned, YamlError> {
+        let pos = self.peek().expect("list called at a line").pos;
+        let mut items = Vec::new();
+        while let Some(l) = self.peek() {
+            if l.indent < indent {
+                break;
+            }
+            if l.indent > indent {
+                return Err(YamlError::new(l.pos, "unexpected indentation"));
+            }
+            if !is_dash_item(l.rest) {
+                break;
+            }
+            let l = self.advance();
+            let content = l.rest[1..].trim_start();
+            let content_col = l.indent + (l.rest.len() - l.rest[1..].trim_start().len());
+            if content.is_empty() {
+                // `-` alone: nested block on the following lines.
+                match self.peek() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        items.push(self.block(child_indent)?);
+                    }
+                    _ => {
+                        return Err(YamlError::new(l.pos, "list item `-` has no value"));
+                    }
+                }
+            } else if find_key_colon(content).is_some() {
+                // `- key: ...`: an inline map whose first entry sits
+                // at the content column.
+                let virt = Line {
+                    indent: content_col,
+                    rest: content,
+                    pos: l.pos,
+                };
+                items.push(self.map_from(virt, content_col)?);
+            } else {
+                items.push(Spanned {
+                    node: inline_value(content, l.pos)?,
+                    pos: l.pos,
+                });
+            }
+        }
+        Ok(Spanned {
+            node: Node::List(items),
+            pos,
+        })
+    }
+
+    /// Parse a map whose first entry line is `first` (already
+    /// consumed), continuing with further entries at `indent`.
+    fn map_from(&mut self, first: Line<'a>, indent: usize) -> Result<Spanned, YamlError> {
+        let pos = first.pos;
+        let mut entries: Vec<(String, Spanned)> = Vec::new();
+        let mut line = Some(first);
+        loop {
+            let l = match line.take() {
+                Some(l) => l,
+                None => match self.peek() {
+                    Some(next) if next.indent == indent && !is_dash_item(next.rest) => {
+                        self.advance()
+                    }
+                    Some(next) if next.indent > indent => {
+                        return Err(YamlError::new(next.pos, "unexpected indentation"));
+                    }
+                    _ => break,
+                },
+            };
+            let (key, value) = self.entry(&l, indent)?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(YamlError::new(l.pos, format!("duplicate key `{key}`")));
+            }
+            entries.push((key, value));
+        }
+        Ok(Spanned {
+            node: Node::Map(entries),
+            pos,
+        })
+    }
+
+    fn entry(&mut self, l: &Line<'a>, indent: usize) -> Result<(String, Spanned), YamlError> {
+        let colon = find_key_colon(l.rest).ok_or_else(|| {
+            YamlError::new(l.pos, format!("expected `key: value`, got `{}`", l.rest))
+        })?;
+        let key_text = l.rest[..colon].trim();
+        let key = match scalar_token(key_text, l.pos)? {
+            Node::Scalar { text, .. } => text,
+            _ => unreachable!("scalar_token returns scalars"),
+        };
+        if key.is_empty() {
+            return Err(YamlError::new(l.pos, "empty map key"));
+        }
+        let after = l.rest[colon + 1..].trim();
+        if after.is_empty() {
+            // Block value (or an empty scalar when nothing is nested).
+            match self.peek() {
+                Some(next) if next.indent > indent => {
+                    let child_indent = next.indent;
+                    Ok((key, self.block(child_indent)?))
+                }
+                _ => Ok((
+                    key,
+                    Spanned {
+                        node: Node::Scalar {
+                            text: String::new(),
+                            quoted: false,
+                        },
+                        pos: l.pos,
+                    },
+                )),
+            }
+        } else {
+            Ok((
+                key,
+                Spanned {
+                    node: inline_value(after, l.pos)?,
+                    pos: l.pos,
+                },
+            ))
+        }
+    }
+}
+
+/// Parse a scenario document into its top-level map.
+///
+/// # Errors
+///
+/// A positioned [`YamlError`] on the first malformed construct; an
+/// empty document is an error (a scenario file must at least carry
+/// its version header).
+pub fn parse(src: &str) -> Result<Spanned, YamlError> {
+    let lines = lines(src)?;
+    if lines.is_empty() {
+        return Err(YamlError::new(
+            Pos { line: 1, offset: 0 },
+            "empty scenario document",
+        ));
+    }
+    if lines[0].indent != 0 {
+        return Err(YamlError::new(lines[0].pos, "unexpected indentation"));
+    }
+    let mut p = Parser { lines, i: 0 };
+    let doc = p.block(0)?;
+    if let Some(extra) = p.peek() {
+        return Err(YamlError::new(
+            extra.pos,
+            format!("trailing content `{}`", extra.rest),
+        ));
+    }
+    if doc.map().is_none() {
+        return Err(YamlError::new(doc.pos, "top level must be a map"));
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(s: &Spanned) -> &str {
+        s.scalar().expect("scalar").0
+    }
+
+    #[test]
+    fn parses_nested_maps_lists_and_inline() {
+        let doc = parse(
+            "tesla_scenario: 1\n\
+             name: demo   # a comment\n\
+             config:\n\
+             \x20 sets: [ms, mf]\n\
+             \x20 deep: true\n\
+             timeline:\n\
+             \x20 - op: open\n\
+             \x20   path: \"/a b\"\n\
+             \x20 - op: close\n\
+             expect:\n\
+             \x20 verdict: pass\n",
+        )
+        .unwrap();
+        assert_eq!(scalar(doc.get("tesla_scenario").unwrap()), "1");
+        assert_eq!(scalar(doc.get("name").unwrap()), "demo");
+        let config = doc.get("config").unwrap();
+        let sets = config.get("sets").unwrap().list().unwrap();
+        assert_eq!(scalar(&sets[0]), "ms");
+        assert_eq!(scalar(&sets[1]), "mf");
+        let tl = doc.get("timeline").unwrap().list().unwrap();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(scalar(tl[0].get("op").unwrap()), "open");
+        let (path, quoted) = tl[0].get("path").unwrap().scalar().unwrap();
+        assert_eq!(path, "/a b");
+        assert!(quoted);
+        assert_eq!(tl[0].pos.line, 7);
+        assert_eq!(scalar(tl[1].get("op").unwrap()), "close");
+    }
+
+    #[test]
+    fn positions_match_byte_offsets() {
+        let src = "name: ok\nbroken\n";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.pos.line, 2);
+        assert_eq!(e.pos.offset, 9);
+        assert!(e.to_string().starts_with("malformed scenario line 2 (byte offset 9):"));
+    }
+
+    #[test]
+    fn rejects_tabs_duplicates_and_stray_indent() {
+        assert!(parse("a: 1\n\tb: 2\n")
+            .unwrap_err()
+            .detail
+            .contains("tab in indentation"));
+        let e = parse("a: 1\na: 2\n").unwrap_err();
+        assert!(e.detail.contains("duplicate key `a`"), "{e}");
+        assert_eq!(e.pos.line, 2);
+        let e = parse("a: 1\n  b: 2\n").unwrap_err();
+        assert!(e.detail.contains("unexpected indentation"), "{e}");
+        assert!(parse("").is_err());
+        assert!(parse("a: \"unterminated\n").is_err());
+        assert!(parse("a: [1, [2]]\n").is_err());
+    }
+
+    #[test]
+    fn quoting_and_escapes() {
+        let doc = parse("a: \"x\\n\\\"y\\\"\"\nb: 'lit'\nc: 5\n").unwrap();
+        assert_eq!(scalar(doc.get("a").unwrap()), "x\n\"y\"");
+        let (b, q) = doc.get("b").unwrap().scalar().unwrap();
+        assert_eq!((b, q), ("lit", true));
+        let (c, q) = doc.get("c").unwrap().scalar().unwrap();
+        assert_eq!((c, q), ("5", false));
+    }
+
+    #[test]
+    fn dash_block_items_and_empty_values() {
+        let doc = parse(
+            "items:\n\
+             \x20 -\n\
+             \x20   op: a\n\
+             \x20 - plain\n\
+             empty:\n",
+        )
+        .unwrap();
+        let items = doc.get("items").unwrap().list().unwrap();
+        assert_eq!(scalar(items[0].get("op").unwrap()), "a");
+        assert_eq!(scalar(&items[1]), "plain");
+        assert_eq!(scalar(doc.get("empty").unwrap()), "");
+    }
+}

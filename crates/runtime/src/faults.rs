@@ -182,6 +182,18 @@ impl FaultSpec {
     }
 }
 
+/// The one canonical string→spec conversion: `FromStr` simply
+/// delegates to [`FaultSpec::parse`], so the CLI `--faults` flag and
+/// the scenario YAML loader share identical strictness rules (empty
+/// segments and duplicate kinds rejected, never last-write-wins).
+impl std::str::FromStr for FaultSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultSpec, String> {
+        FaultSpec::parse(s)
+    }
+}
+
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
@@ -429,6 +441,16 @@ mod tests {
         assert!(e.contains("duplicate fault kind `panic`"), "{e}");
         let e = FaultSpec::parse("drop=4, panic=1, drop=9").unwrap_err();
         assert!(e.contains("duplicate fault kind `drop`"), "{e}");
+    }
+
+    #[test]
+    fn from_str_is_parse() {
+        let via_trait: FaultSpec = "panic=40, drop=16".parse().unwrap();
+        assert_eq!(via_trait, FaultSpec::parse("panic=40, drop=16").unwrap());
+        assert_eq!(
+            "panic=1,panic=2".parse::<FaultSpec>().unwrap_err(),
+            FaultSpec::parse("panic=1,panic=2").unwrap_err()
+        );
     }
 
     #[test]

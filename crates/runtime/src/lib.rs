@@ -42,6 +42,10 @@
 //!   mode, panic-isolating dispatch, lock-poison recovery — is always
 //!   on; the injection itself costs one branch per site when no plan
 //!   is configured.
+//! * [`scenario`] — the generic timeline-step vocabulary shared by
+//!   the declarative scenario format (`tesla scenario`) and the
+//!   simulator timeline adapters, plus the spec-runner adapter that
+//!   lowers steps to [`IngressEvent`]s.
 //! * [`event`] — violations and lifecycle event types. Mismatches
 //!   between specification and behaviour *fail-stop* by default
 //!   (hooks return `Err(Violation)`) but can be switched to
@@ -87,6 +91,7 @@ pub mod faults;
 pub mod handlers;
 pub mod ingress;
 pub mod intern;
+pub mod scenario;
 pub mod store;
 pub mod telemetry;
 
@@ -101,6 +106,7 @@ pub use ingress::{
     IngressError, IngressEvent, IngressEventRef, IngressStats, JsonlSource, NameCache, TraceWriter,
 };
 pub use intern::{Interner, NameId};
+pub use scenario::{ArgValue, Step};
 pub use telemetry::{
     Anomaly, AnomalyCode, AnomalyReport, Baseline, BaselineError, ClassScore, FlightRecorder,
     Governor, GovernorConfig, GovernorDecision, HookKind, MetricsRegistry, MetricsSnapshot,

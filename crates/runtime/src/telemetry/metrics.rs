@@ -632,6 +632,32 @@ impl MetricsRegistry {
         self.weights.class(class)
     }
 
+    /// The transition-coverage map implied by the weight tables: every
+    /// (state, symbol) cell with a nonzero firing count, keyed by
+    /// class *name* so maps from separate engine runs merge. This is
+    /// the fuzzer's guidance signal (`tesla scenario fuzz`) — coverage
+    /// falls out of the fig. 9 weight counters for free.
+    pub fn coverage_map(&self) -> tesla_automata::CoverageMap {
+        let mut map = tesla_automata::CoverageMap::new();
+        for class in 0..self.classes.len() as u32 {
+            let Some(weights) = self.weights.class(class) else {
+                continue;
+            };
+            let Some(metrics) = self.class(class) else {
+                continue;
+            };
+            let cov = map.class_mut(
+                metrics.name(),
+                weights.n_states() as u32,
+                weights.n_symbols() as u32,
+            );
+            for (row, sym, _count) in weights.nonzero() {
+                cov.mark(row, sym);
+            }
+        }
+        map
+    }
+
     /// Lifecycle events dispatched so far. Derived, not counted: the
     /// hot path already pays one counter per event (a lifecycle
     /// counter, a transition-weight cell, or the violation counter),

@@ -17,6 +17,7 @@
 
 pub mod appkit;
 pub mod objc;
+pub mod scenario;
 
 use appkit::{GuiBugs, GuiWorld, UiEvent};
 use objc::{Interposer, ObjId, TraceMode};

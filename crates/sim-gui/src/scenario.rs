@@ -1,0 +1,92 @@
+//! Timeline adapter: drive a [`GuiApp`] from declarative scenario
+//! steps (`tesla scenario`, runner `sim-gui`).
+//!
+//! UI events accumulate until a `flush` delivers them as one run-loop
+//! iteration (the fig. 8 temporal bound); a trailing unflushed batch
+//! is delivered by [`GuiScenario::finish`], so timelines may omit the
+//! final `flush`:
+//!
+//! | op           | arguments                                |
+//! |--------------|------------------------------------------|
+//! | `mouse`      | `x` (int, default 0), `y` (int, default 0) |
+//! | `invalidate` | —                                        |
+//! | `expose`     | —                                        |
+//! | `flush`      | — (deliver the pending batch)            |
+//!
+//! A run-loop iteration returning an error (a fail-stopped violation)
+//! is an outcome recorded as a note, not a step error.
+
+use crate::appkit::{GuiBugs, UiEvent};
+use crate::{GuiApp, GuiMode};
+use std::sync::Arc;
+use tesla_runtime::scenario::Step;
+use tesla_runtime::Tesla;
+
+/// Scenario-driven GUI app plus its pending event batch.
+pub struct GuiScenario {
+    app: GuiApp,
+    pending: Vec<UiEvent>,
+    /// Human-readable outcome log, one line per delivered batch.
+    pub notes: Vec<String>,
+}
+
+impl GuiScenario {
+    /// Build the app — instrumented under `tesla`, or Release when
+    /// `None` — with the given seeded bugs.
+    pub fn new(tesla: Option<Arc<Tesla>>, bugs: GuiBugs) -> GuiScenario {
+        let mode = match tesla {
+            Some(engine) => GuiMode::Tesla(engine),
+            None => GuiMode::Release,
+        };
+        GuiScenario {
+            app: GuiApp::new(mode, bugs),
+            pending: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Execute one timeline step.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed argument or unknown op.
+    pub fn step(&mut self, step: &Step) -> Result<(), String> {
+        match step.op.as_str() {
+            "mouse" => {
+                let x = step.int_or("x", 0)?;
+                let y = step.int_or("y", 0)?;
+                self.pending.push(UiEvent::MouseMoved(x, y));
+            }
+            "invalidate" => self.pending.push(UiEvent::InvalidateTracking),
+            "expose" => self.pending.push(UiEvent::Expose),
+            "flush" => self.flush(),
+            other => return Err(format!("sim-gui runner: unknown op `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// Deliver any trailing unflushed batch and record the final
+    /// cursor-stack depth. The fig. 8 automaton is a pure tracing
+    /// automaton (`ATLEAST(0, …)` never rejects), so the cursor
+    /// push/pop pairing bugs it illuminates surface here as a note a
+    /// scenario can pin with `notes_contain`, not as a violation.
+    pub fn finish(&mut self) {
+        if !self.pending.is_empty() {
+            self.flush();
+        }
+        self.notes.push(format!(
+            "cursor stack: {} cursor(s) left",
+            self.app.world.cursor_stack.len()
+        ));
+    }
+
+    fn flush(&mut self) {
+        let batch = std::mem::take(&mut self.pending);
+        match self.app.run_loop_iteration(&batch) {
+            Ok(()) => self
+                .notes
+                .push(format!("run_loop_iteration ok ({} events)", batch.len())),
+            Err(e) => self.notes.push(format!("run_loop_iteration failed: {e}")),
+        }
+    }
+}

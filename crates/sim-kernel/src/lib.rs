@@ -40,6 +40,7 @@ pub mod assertions;
 pub mod fs;
 pub mod mac;
 pub mod proc;
+pub mod scenario;
 pub mod socket;
 pub mod state;
 pub mod types;

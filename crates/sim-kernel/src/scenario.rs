@@ -1,0 +1,286 @@
+//! Timeline adapter: drive the simulated [`Kernel`] from declarative
+//! scenario steps (`tesla scenario`, runner `sim-kernel`).
+//!
+//! Steps name kernel objects symbolically — processes and file
+//! descriptors are bound to string handles when created (`as:`) and
+//! referred to by handle afterwards — so timelines stay readable and
+//! the fuzzer can permute them without tracking numeric ids:
+//!
+//! | op           | arguments                                                    |
+//! |--------------|--------------------------------------------------------------|
+//! | `mkdir`      | `path` (str), `label` (int, default 10)                      |
+//! | `mkfile`     | `path`, `data` (str, default ""), `label` (default 10), `exec` (bool) |
+//! | `fork`       | `pid` (handle, default `init`), `as` (new handle)            |
+//! | `open`       | `pid`, `path`, `write`/`creat` (bools), `as` (fd handle)     |
+//! | `close`      | `pid`, `fd` (handle)                                         |
+//! | `read`       | `pid`, `fd`, `len` (int, default 1)                          |
+//! | `write`      | `pid`, `fd`, `data` (str, default "x")                       |
+//! | `stat`       | `pid`, `path`                                                |
+//! | `exec`       | `pid`, `path`                                                |
+//! | `socketpair` | `pid`, `cli` / `srv` (fd handles, default `cli`/`srv`)       |
+//! | `poll`       | `pid`, `fd`                                                  |
+//! | `select`     | `pid`, `fd`                                                  |
+//! | `kevent`     | `pid`, `fd`                                                  |
+//! | `send`       | `pid`, `fd`, `data`                                          |
+//! | `recv`       | `pid`, `fd`                                                  |
+//! | `setuid`     | `pid`, `uid` (int, default 1001)                             |
+//! | `exit`       | `pid`, `code` (int, default 0)                               |
+//! | `wait`       | `pid`, `child` (pid handle)                                  |
+//!
+//! A syscall returning an errno is an *outcome* recorded as a note —
+//! the MAC framework denying an operation is exactly what many
+//! scenarios assert — while an unknown op, ill-typed argument or
+//! unbound handle is a step error that marks the scenario malformed.
+
+use crate::types::{oflags, Fd, KError, Pid};
+use crate::{assertions, Bugs, Kernel, KernelConfig, SiteMap};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tesla_runtime::scenario::Step;
+use tesla_runtime::Tesla;
+
+/// Scenario-driven kernel: the simulated kernel plus the symbolic
+/// handle registries a timeline binds.
+pub struct KernelScenario {
+    kernel: Kernel,
+    pids: BTreeMap<String, Pid>,
+    fds: BTreeMap<String, Fd>,
+    /// Human-readable outcome log, one line per observable effect.
+    pub notes: Vec<String>,
+}
+
+impl KernelScenario {
+    /// Boot a kernel with the given seeded bugs, attached to `tesla`
+    /// (with its registered assertion-site map) when instrumented.
+    /// The handle `init` is pre-bound to PID 1.
+    pub fn new(bugs: Bugs, debug_checks: bool, tesla: Option<(Arc<Tesla>, SiteMap)>) -> KernelScenario {
+        let kernel = Kernel::new(
+            KernelConfig { bugs, debug_checks },
+            crate::mac::MacFramework::new(),
+            tesla,
+        );
+        let mut pids = BTreeMap::new();
+        pids.insert("init".to_string(), kernel.init_pid());
+        KernelScenario {
+            kernel,
+            pids,
+            fds: BTreeMap::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Register the named assertion sets on `tesla` and return the
+    /// site map [`KernelScenario::new`] wants — a convenience wrapper
+    /// over [`assertions::register_sets`] for scenario loaders that
+    /// configure sets by label (`mf`, `ms`, `mp`, `m`, `p`, `infra`,
+    /// `all`).
+    ///
+    /// # Errors
+    ///
+    /// An unknown label, or a registration failure.
+    pub fn register_sets_by_label(
+        tesla: &Arc<Tesla>,
+        labels: &[&str],
+    ) -> Result<SiteMap, String> {
+        let mut sets = Vec::new();
+        for l in labels {
+            sets.push(match *l {
+                "mf" => assertions::AssertionSet::MF,
+                "ms" => assertions::AssertionSet::MS,
+                "mp" => assertions::AssertionSet::MP,
+                "m" => assertions::AssertionSet::M,
+                "p" => assertions::AssertionSet::P,
+                "infra" => assertions::AssertionSet::Infra,
+                "all" => assertions::AssertionSet::All,
+                other => return Err(format!("unknown assertion set `{other}`")),
+            });
+        }
+        if sets.is_empty() {
+            sets.push(assertions::AssertionSet::All);
+        }
+        Ok(assertions::register_sets(tesla, &sets)?.sites)
+    }
+
+    fn pid(&self, step: &Step) -> Result<Pid, String> {
+        let name = step.str_or("pid", "init")?;
+        self.pids
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("op `{}`: unbound pid handle `{name}`", step.op))
+    }
+
+    fn fd(&self, step: &Step, key: &str) -> Result<Fd, String> {
+        let name = step.str_or(key, "fd")?;
+        self.fds
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("op `{}`: unbound fd handle `{name}`", step.op))
+    }
+
+    fn note<T>(&mut self, op: &str, r: Result<T, KError>, ok: impl FnOnce(&T) -> String) {
+        match r {
+            Ok(v) => self.notes.push(format!("{op}: {}", ok(&v))),
+            Err(e) => self.notes.push(format!("{op}: error {e}")),
+        }
+    }
+
+    /// Execute one timeline step.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed argument, unknown op or
+    /// unbound handle.
+    pub fn step(&mut self, step: &Step) -> Result<(), String> {
+        match step.op.as_str() {
+            "mkdir" => {
+                let path = step.str_arg("path")?.to_string();
+                let label = step.int_or("label", 10)? as i32;
+                let r = self.kernel.mkdir_p(&path, label);
+                self.note("mkdir", r, |v| format!("vnode {v:?}"));
+            }
+            "mkfile" => {
+                let path = step.str_arg("path")?.to_string();
+                let data = step.str_or("data", "")?.as_bytes().to_vec();
+                let label = step.int_or("label", 10)? as i32;
+                let exec = step.bool_or("exec", false)?;
+                let r = self.kernel.mkfile(&path, &data, label, exec);
+                self.note("mkfile", r, |v| format!("vnode {v:?}"));
+            }
+            "fork" => {
+                let pid = self.pid(step)?;
+                let name = step.str_arg("as")?.to_string();
+                match self.kernel.sys_fork(pid) {
+                    Ok(child) => {
+                        self.notes.push(format!("fork: {name} = pid {}", child.0));
+                        self.pids.insert(name, child);
+                    }
+                    Err(e) => self.notes.push(format!("fork: error {e}")),
+                }
+            }
+            "open" => {
+                let pid = self.pid(step)?;
+                let path = step.str_arg("path")?.to_string();
+                let mut flags = oflags::O_RDONLY;
+                if step.bool_or("write", false)? {
+                    flags |= oflags::O_WRONLY;
+                }
+                if step.bool_or("creat", false)? {
+                    flags |= oflags::O_CREAT;
+                }
+                let name = step.str_or("as", "fd")?.to_string();
+                match self.kernel.sys_open(pid, &path, flags) {
+                    Ok(fd) => {
+                        self.notes.push(format!("open: {name} = fd {}", fd.0));
+                        self.fds.insert(name, fd);
+                    }
+                    Err(e) => self.notes.push(format!("open: error {e}")),
+                }
+            }
+            "close" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let r = self.kernel.sys_close(pid, fd);
+                self.note("close", r, |_| "ok".to_string());
+            }
+            "read" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let len = step.int_or("len", 1)?.clamp(0, 1 << 20) as usize;
+                let r = self.kernel.sys_read(pid, fd, len);
+                self.note("read", r, |v| format!("{} bytes", v.len()));
+            }
+            "write" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let data = step.str_or("data", "x")?.as_bytes().to_vec();
+                let r = self.kernel.sys_write(pid, fd, &data);
+                self.note("write", r, |v| format!("{v} bytes"));
+            }
+            "stat" => {
+                let pid = self.pid(step)?;
+                let path = step.str_arg("path")?.to_string();
+                let r = self.kernel.sys_stat(pid, &path);
+                self.note("stat", r, |v| format!("{v}"));
+            }
+            "exec" => {
+                let pid = self.pid(step)?;
+                let path = step.str_arg("path")?.to_string();
+                let r = self.kernel.sys_exec(pid, &path);
+                self.note("exec", r, |_| "ok".to_string());
+            }
+            "socketpair" => {
+                let pid = self.pid(step)?;
+                let cli = step.str_or("cli", "cli")?.to_string();
+                let srv = step.str_or("srv", "srv")?.to_string();
+                match self.kernel.socketpair(pid) {
+                    Ok((c, s)) => {
+                        self.notes
+                            .push(format!("socketpair: {cli} = fd {}, {srv} = fd {}", c.0, s.0));
+                        self.fds.insert(cli, c);
+                        self.fds.insert(srv, s);
+                    }
+                    Err(e) => self.notes.push(format!("socketpair: error {e}")),
+                }
+            }
+            "poll" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let r = self.kernel.sys_poll(pid, fd);
+                self.note("poll", r, |v| format!("{v}"));
+            }
+            "select" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let r = self.kernel.sys_select(pid, &[fd]);
+                self.note("select", r, |v| format!("{v}"));
+            }
+            "kevent" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let r = self.kernel.sys_kevent(pid, fd);
+                self.note("kevent", r, |v| format!("{v}"));
+            }
+            "send" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let data = step.str_or("data", "x")?.as_bytes().to_vec();
+                let r = self.kernel.sys_send(pid, fd, &data);
+                self.note("send", r, |v| format!("{v}"));
+            }
+            "recv" => {
+                let pid = self.pid(step)?;
+                let fd = self.fd(step, "fd")?;
+                let r = self.kernel.sys_recv(pid, fd);
+                self.note("recv", r, |v| match v {
+                    Some(d) => format!("{} bytes", d.len()),
+                    None => "empty".to_string(),
+                });
+            }
+            "setuid" => {
+                let pid = self.pid(step)?;
+                let uid = step.int_or("uid", 1001)?.clamp(0, u32::MAX as i64) as u32;
+                let r = self.kernel.sys_setuid(pid, uid);
+                self.note("setuid", r, |v| format!("{v}"));
+            }
+            "exit" => {
+                let pid = self.pid(step)?;
+                let code = step.int_or("code", 0)?;
+                let r = self.kernel.sys_exit(pid, code);
+                self.note("exit", r, |_| "ok".to_string());
+            }
+            "wait" => {
+                let pid = self.pid(step)?;
+                let child_name = step.str_arg("child")?;
+                let child = self
+                    .pids
+                    .get(child_name)
+                    .copied()
+                    .ok_or_else(|| format!("op `wait`: unbound pid handle `{child_name}`"))?;
+                let r = self.kernel.sys_wait(pid, child);
+                self.note("wait", r, |v| format!("status {v}"));
+            }
+            other => return Err(format!("sim-kernel runner: unknown op `{other}`")),
+        }
+        Ok(())
+    }
+}

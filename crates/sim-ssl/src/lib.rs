@@ -27,6 +27,7 @@
 
 pub mod asn1;
 pub mod crypto;
+pub mod scenario;
 pub mod ssl;
 
 use crypto::Key;

@@ -1,0 +1,58 @@
+//! Timeline adapter: drive [`SslWorld`] from declarative scenario
+//! steps (`tesla scenario`, runner `sim-ssl`).
+//!
+//! Ops:
+//!
+//! | op      | arguments                                          |
+//! |---------|----------------------------------------------------|
+//! | `fetch` | `malicious` (bool, default false), `buggy` (bool, default false) |
+//!
+//! A fetch that fails (handshake rejection, or a fail-stop violation
+//! when the engine is in that mode) is an *outcome*, not a step
+//! error: it is recorded as a note and the scenario's expectations
+//! decide whether the run passed. Step errors are reserved for
+//! malformed steps — unknown ops, ill-typed arguments — which mark
+//! the scenario itself broken.
+
+use crate::SslWorld;
+use std::sync::Arc;
+use tesla_runtime::scenario::Step;
+use tesla_runtime::Tesla;
+
+/// Scenario-driven SSL world: fig. 6's libfetch/libssl client plus
+/// the notes accumulated while executing a timeline.
+pub struct SslScenario {
+    world: SslWorld,
+    /// Human-readable outcome log, one line per observable effect.
+    pub notes: Vec<String>,
+}
+
+impl SslScenario {
+    /// A world attached to `tesla` (or uninstrumented when `None`).
+    pub fn new(tesla: Option<Arc<Tesla>>) -> SslScenario {
+        SslScenario {
+            world: SslWorld::new(tesla),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Execute one timeline step.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed argument or unknown op.
+    pub fn step(&mut self, step: &Step) -> Result<(), String> {
+        match step.op.as_str() {
+            "fetch" => {
+                let malicious = step.bool_or("malicious", false)?;
+                let buggy = step.bool_or("buggy", false)?;
+                match self.world.fetch_url(malicious, buggy) {
+                    Ok(doc) => self.notes.push(format!("fetch ok ({} bytes)", doc.len())),
+                    Err(e) => self.notes.push(format!("fetch failed: {e}")),
+                }
+                Ok(())
+            }
+            other => Err(format!("sim-ssl runner: unknown op `{other}`")),
+        }
+    }
+}

@@ -22,6 +22,8 @@ use std::sync::Arc;
 use tesla_sim_kernel::types::{oflags, KResult, Pid};
 use tesla_sim_kernel::Kernel;
 
+pub mod scenario;
+
 /// lmbench-like syscall microbenchmarks.
 pub mod lmbench {
     use super::*;

@@ -1,0 +1,141 @@
+//! Timeline adapter: drive the §5 workload generators from
+//! declarative scenario steps (`tesla scenario`, runner `workload`).
+//!
+//! Each op runs one generator to completion against a shared kernel
+//! (and, for `xnee`, a lazily-built GUI app on the same engine):
+//!
+//! | op           | arguments                                             |
+//! |--------------|-------------------------------------------------------|
+//! | `setup`      | — (lmbench file setup)                                |
+//! | `open_close` | `n` (int, default 100)                                |
+//! | `read_loop`  | `n` (int, default 100)                                |
+//! | `poll_loop`  | `n` (int, default 100)                                |
+//! | `oltp`       | `threads`, `transactions`, `socket_ops`, `compute`    |
+//! | `build`      | `files`, `compute`                                    |
+//! | `xnee`       | `iterations` (int, default 3)                         |
+//!
+//! Workloads run on clean kernels (no seeded bugs): the generators
+//! `expect` success internally, exactly as the benchmarks do.
+
+use crate::{buildload, lmbench, oltp, xnee};
+use std::sync::Arc;
+use tesla_runtime::scenario::Step;
+use tesla_runtime::Tesla;
+use tesla_sim_gui::appkit::GuiBugs;
+use tesla_sim_gui::{GuiApp, GuiMode};
+use tesla_sim_kernel::{Bugs, Kernel, KernelConfig, SiteMap};
+
+/// Scenario-driven workload world: a shared kernel, an optional GUI
+/// app, and the notes accumulated while executing a timeline.
+pub struct WorkloadScenario {
+    kernel: Arc<Kernel>,
+    engine: Option<Arc<Tesla>>,
+    gui: Option<GuiApp>,
+    setup_done: bool,
+    /// Human-readable outcome log, one line per completed generator.
+    pub notes: Vec<String>,
+}
+
+impl WorkloadScenario {
+    /// Boot a clean kernel attached to `tesla` (with its registered
+    /// site map) when instrumented.
+    pub fn new(tesla: Option<(Arc<Tesla>, SiteMap)>) -> WorkloadScenario {
+        let engine = tesla.as_ref().map(|(e, _)| e.clone());
+        let kernel = Arc::new(Kernel::new(
+            KernelConfig {
+                bugs: Bugs::default(),
+                debug_checks: false,
+            },
+            tesla_sim_kernel::mac::MacFramework::new(),
+            tesla,
+        ));
+        WorkloadScenario {
+            kernel,
+            engine,
+            gui: None,
+            setup_done: false,
+            notes: Vec::new(),
+        }
+    }
+
+    /// `lmbench::setup` creates its files with must-succeed calls, so
+    /// it may run only once per kernel; the loops below need it and a
+    /// fuzzer may duplicate or reorder `setup` steps freely.
+    fn ensure_setup(&mut self) {
+        if !self.setup_done {
+            lmbench::setup(&self.kernel);
+            self.setup_done = true;
+        }
+    }
+
+    /// Execute one timeline step.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed argument or unknown op.
+    pub fn step(&mut self, step: &Step) -> Result<(), String> {
+        let n = |name: &str, default: i64, hi: i64| -> Result<usize, String> {
+            Ok(step.int_or(name, default)?.clamp(0, hi) as usize)
+        };
+        match step.op.as_str() {
+            "setup" => {
+                self.ensure_setup();
+                self.notes.push("setup: ok".to_string());
+            }
+            "open_close" => {
+                self.ensure_setup();
+                let count = n("n", 100, 100_000)?;
+                lmbench::open_close_loop(&self.kernel, self.kernel.init_pid(), count)
+                    .map_err(|e| format!("open_close: {e}"))?;
+                self.notes.push(format!("open_close: {count} iterations"));
+            }
+            "read_loop" => {
+                self.ensure_setup();
+                let count = n("n", 100, 100_000)?;
+                lmbench::read_loop(&self.kernel, self.kernel.init_pid(), count)
+                    .map_err(|e| format!("read_loop: {e}"))?;
+                self.notes.push(format!("read_loop: {count} iterations"));
+            }
+            "poll_loop" => {
+                self.ensure_setup();
+                let count = n("n", 100, 100_000)?;
+                lmbench::poll_loop(&self.kernel, self.kernel.init_pid(), count)
+                    .map_err(|e| format!("poll_loop: {e}"))?;
+                self.notes.push(format!("poll_loop: {count} iterations"));
+            }
+            "oltp" => {
+                let params = oltp::OltpParams {
+                    threads: n("threads", 2, 16)?.max(1),
+                    transactions: n("transactions", 20, 10_000)?,
+                    socket_ops: n("socket_ops", 2, 1_000)?,
+                    compute: n("compute", 50, 1_000_000)?,
+                };
+                let done = oltp::run(&self.kernel, params);
+                self.notes.push(format!("oltp: {done} transactions"));
+            }
+            "build" => {
+                let params = buildload::BuildParams {
+                    files: n("files", 10, 10_000)?,
+                    compute: n("compute", 100, 1_000_000)?,
+                };
+                let sum = buildload::run(&self.kernel, params);
+                self.notes.push(format!("build: checksum {sum:x}"));
+            }
+            "xnee" => {
+                let iterations = n("iterations", 3, 1_000)?;
+                let app = self.gui.get_or_insert_with(|| {
+                    let mode = match &self.engine {
+                        Some(e) => GuiMode::Tesla(e.clone()),
+                        None => GuiMode::Release,
+                    };
+                    GuiApp::new(mode, GuiBugs::default())
+                });
+                let script = xnee::session(iterations);
+                let times = xnee::replay(app, &script);
+                self.notes.push(format!("xnee: {} iterations", times.len()));
+            }
+            other => return Err(format!("workload runner: unknown op `{other}`")),
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,148 @@
+//! The scenario engine end to end through the umbrella crate: every
+//! shipped corpus scenario must reproduce its expected verdict from
+//! YAML alone, the canonical renderer must round-trip, and the seeded
+//! fuzzer must be a pure function of (corpus, seed, iterations).
+
+use std::path::{Path, PathBuf};
+use tesla::scenario::{
+    collect_scenario_files, fuzz_corpus, load_scenario_file, parse_scenario, render_scenario,
+    run_and_check, run_scenario, FuzzParams, RunnerKind, Scenario, Verdict,
+};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios")
+}
+
+fn load_all() -> Vec<(PathBuf, Scenario)> {
+    let files = collect_scenario_files(&corpus_dir()).expect("corpus dir");
+    assert!(files.len() >= 10, "shipped corpus shrank: {} files", files.len());
+    files
+        .into_iter()
+        .map(|f| {
+            let sc = load_scenario_file(&f).expect("corpus scenario parses");
+            (f, sc)
+        })
+        .collect()
+}
+
+/// The ISSUE acceptance bar: the corpus reproduces each simulator's
+/// integration expectations from the YAML alone.
+#[test]
+fn shipped_corpus_passes_from_yaml_alone() {
+    let base = corpus_dir();
+    for (file, sc) in load_all() {
+        let r = run_and_check(&sc, &base);
+        assert!(
+            r.ok(),
+            "{}: {:?}\nnotes: {:?}",
+            file.display(),
+            r.failures,
+            r.notes
+        );
+    }
+}
+
+/// Every runner kind is exercised by at least one corpus scenario —
+/// the corpus is the cross-simulator contract, not an ssl-only smoke.
+#[test]
+fn corpus_covers_every_runner() {
+    let kinds: Vec<RunnerKind> = load_all().into_iter().map(|(_, sc)| sc.runner).collect();
+    for want in [
+        RunnerKind::Spec,
+        RunnerKind::SimSsl,
+        RunnerKind::SimKernel,
+        RunnerKind::SimGui,
+        RunnerKind::Workload,
+        RunnerKind::Minic,
+    ] {
+        assert!(
+            kinds.contains(&want),
+            "no corpus scenario exercises runner {want:?}"
+        );
+    }
+}
+
+/// render → parse → render is a fixpoint, and the reparsed scenario
+/// runs to the same verdict as the original.
+#[test]
+fn corpus_round_trips_through_canonical_render() {
+    let base = corpus_dir();
+    for (file, sc) in load_all() {
+        let rendered = render_scenario(&sc);
+        let back = parse_scenario(&rendered)
+            .unwrap_or_else(|e| panic!("{}: rendered form must reparse: {e}", file.display()));
+        assert_eq!(
+            rendered,
+            render_scenario(&back),
+            "{}: canonical render is not a fixpoint",
+            file.display()
+        );
+        let a = run_scenario(&sc, &base).expect("original runs");
+        let b = run_scenario(&back, &base).expect("reparsed runs");
+        assert_eq!(
+            a.violations.len(),
+            b.violations.len(),
+            "{}: reparsed scenario diverged",
+            file.display()
+        );
+    }
+}
+
+/// Per-simulator verdict spot checks, pinned against the scenarios
+/// the CI corpus job replays: a violation scenario really violates,
+/// a clean one really passes.
+#[test]
+fn expected_verdicts_match_observed_outcomes() {
+    let base = corpus_dir();
+    for (file, sc) in load_all() {
+        let out = run_scenario(&sc, &base)
+            .unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        match sc.expect.verdict {
+            Verdict::Pass => assert!(
+                out.violations.is_empty(),
+                "{}: expected pass, saw {:?}",
+                file.display(),
+                out.violations
+            ),
+            Verdict::Violation => assert!(
+                !out.violations.is_empty(),
+                "{}: expected a violation, saw none (notes: {:?})",
+                file.display(),
+                out.notes
+            ),
+        }
+    }
+}
+
+/// Determinism at the library level: two fuzz runs over the same
+/// seeds agree on attempts, save count, coverage totals, and the
+/// rendered bytes of every saved scenario.
+#[test]
+fn fuzzer_is_a_pure_function_of_corpus_seed_and_iterations() {
+    let base = corpus_dir();
+    let seeds: Vec<(String, Scenario)> = load_all()
+        .into_iter()
+        .filter(|(_, sc)| sc.runner == RunnerKind::SimGui)
+        .map(|(f, sc)| {
+            let stem = f.file_stem().unwrap().to_str().unwrap().to_string();
+            (stem, sc)
+        })
+        .collect();
+    assert!(!seeds.is_empty(), "need at least one gui seed scenario");
+    let params = FuzzParams { seed: 7, iterations: 30, budget_ms: None };
+    let run = |base: &Path| fuzz_corpus(&seeds, base, params);
+    let (a, b) = (run(&base), run(&base));
+    assert_eq!(a.attempts, b.attempts, "attempt counts diverged");
+    assert_eq!(a.baseline, b.baseline, "baseline coverage diverged");
+    assert_eq!(a.after, b.after, "post-fuzz coverage diverged");
+    assert_eq!(a.saved.len(), b.saved.len(), "save counts diverged");
+    for (x, y) in a.saved.iter().zip(&b.saved) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(
+            render_scenario(&x.scenario),
+            render_scenario(&y.scenario),
+            "saved scenario {} differs between identical runs",
+            x.name
+        );
+    }
+}
